@@ -1,0 +1,414 @@
+(* ConfigValidator command-line interface.
+
+   The sealed build has no live hosts or Docker daemon to crawl, so
+   validation targets are the synthetic entities from the scenarios
+   library — the same frames the paper's production system would obtain
+   from the agentless crawler. Rules default to the embedded 135-rule
+   corpus; --rules-dir switches to CVL files on disk. *)
+
+let targets =
+  [
+    ("host-good", fun () -> [ Scenarios.Host.compliant () ]);
+    ("host-bad", fun () -> [ Scenarios.Host.misconfigured () ]);
+    ("nginx-image-good", fun () -> [ Scenarios.Webstack.nginx_image_frame ~compliant:true ]);
+    ("nginx-image-bad", fun () -> [ Scenarios.Webstack.nginx_image_frame ~compliant:false ]);
+    ("mysql-image-good", fun () -> [ Scenarios.Webstack.mysql_image_frame ~compliant:true ]);
+    ("mysql-image-bad", fun () -> [ Scenarios.Webstack.mysql_image_frame ~compliant:false ]);
+    ("nginx-container-good", fun () -> [ Scenarios.Webstack.nginx_container_frame ~compliant:true ]);
+    ("nginx-container-bad", fun () -> [ Scenarios.Webstack.nginx_container_frame ~compliant:false ]);
+    ("mysql-container-good", fun () -> [ Scenarios.Webstack.mysql_container_frame ~compliant:true ]);
+    ("mysql-container-bad", fun () -> [ Scenarios.Webstack.mysql_container_frame ~compliant:false ]);
+    ("docker-host-good", fun () -> [ Scenarios.Dockerhost.compliant () ]);
+    ("docker-host-bad", fun () -> [ Scenarios.Dockerhost.misconfigured () ]);
+    ("cloud-good", fun () -> [ Scenarios.Cloud.compliant_frame () ]);
+    ("cloud-bad", fun () -> [ Scenarios.Cloud.misconfigured_frame () ]);
+    ("three-tier-good", fun () -> Scenarios.Deployment.three_tier ~compliant:true);
+    ("three-tier-bad", fun () -> Scenarios.Deployment.three_tier ~compliant:false);
+    ("compose-good", fun () -> [ Scenarios.Orchestrator.compose_compliant () ]);
+    ("compose-bad", fun () -> [ Scenarios.Orchestrator.compose_misconfigured () ]);
+    ("k8s-good", fun () -> [ Scenarios.Orchestrator.k8s_compliant () ]);
+    ("k8s-bad", fun () -> [ Scenarios.Orchestrator.k8s_misconfigured () ]);
+    ("postgres-good", fun () -> [ Scenarios.Database.compliant () ]);
+    ("postgres-bad", fun () -> [ Scenarios.Database.misconfigured () ]);
+    ("apache-good", fun () -> [ Scenarios.Appserver.apache_compliant () ]);
+    ("apache-bad", fun () -> [ Scenarios.Appserver.apache_misconfigured () ]);
+    ("hadoop-good", fun () -> [ Scenarios.Appserver.hadoop_compliant () ]);
+    ("hadoop-bad", fun () -> [ Scenarios.Appserver.hadoop_misconfigured () ]);
+  ]
+
+let source_and_manifest rules_dir =
+  match rules_dir with
+  | None -> Ok (Rulesets.source, Rulesets.manifest)
+  | Some dir -> (
+    let source = Cvl.Loader.file_source ~root:dir in
+    match source.Cvl.Loader.load "manifest.yaml" with
+    | Error e -> Error (Printf.sprintf "cannot read %s/manifest.yaml: %s" dir e)
+    | Ok text -> (
+      match Cvl.Manifest.parse text with
+      | Ok manifest -> Ok (source, manifest)
+      | Error e -> Error (Printf.sprintf "%s/manifest.yaml: %s" dir e)))
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Frames come from a named synthetic target, or from frame-snapshot
+   JSON files exported by `export-frame` (or a real crawler). *)
+let resolve_frames target frame_files =
+  if frame_files <> [] then
+    List.fold_left
+      (fun acc file ->
+        match acc with
+        | Error _ as e -> e
+        | Ok frames -> (
+          match In_channel.with_open_text file In_channel.input_all with
+          | exception Sys_error e -> Error e
+          | text -> (
+            match Frames.Codec.of_string text with
+            | Ok frame -> Ok (frames @ [ frame ])
+            | Error e -> Error (Printf.sprintf "%s: %s" file e))))
+      (Ok []) frame_files
+  else
+    match List.assoc_opt target targets with
+    | Some frames -> Ok (frames ())
+    | None ->
+      Error
+        (Printf.sprintf "unknown target %S; available:\n  %s" target
+           (String.concat "\n  " (List.map fst targets)))
+
+let validate target frame_files tags format verbose only_violations rules_dir =
+  match resolve_frames target frame_files with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok frames -> (
+    match source_and_manifest rules_dir with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok (source, manifest) ->
+      let run = Cvl.Validator.run ~tags ~source ~manifest frames in
+      List.iter
+        (fun (entity, msg) -> Printf.eprintf "warning: rules for %s failed to load: %s\n" entity msg)
+        run.Cvl.Validator.load_errors;
+      let results =
+        if only_violations then Cvl.Report.violations run.Cvl.Validator.results
+        else run.Cvl.Validator.results
+      in
+      (match format with
+      | `Text ->
+        print_string (Cvl.Report.to_text ~verbose results);
+        print_endline (Cvl.Report.summary_line (Cvl.Report.summarize run.Cvl.Validator.results))
+      | `Json -> print_string (Jsonlite.pretty (Cvl.Report.to_json results))
+      | `Junit -> print_string (Cvl.Report.to_junit results));
+      let s = Cvl.Report.summarize run.Cvl.Validator.results in
+      if s.Cvl.Report.violations > 0 || s.Cvl.Report.errors > 0 then 2 else 0)
+
+(* ------------------------------------------------------------------ *)
+(* coverage (Table 1)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let coverage () =
+  let per_entity = Rulesets.all_rules () in
+  let count entity = List.length (List.assoc entity per_entity) in
+  let row group entities =
+    Printf.printf "%-16s %s\n" group
+      (String.concat ", " (List.map (fun e -> Printf.sprintf "%s (%d)" e (count e)) entities))
+  in
+  print_endline "Targets supported by ConfigValidator (paper Table 1):";
+  row "Applications" Rulesets.applications;
+  row "System services" Rulesets.system_services;
+  row "Cloud services" Rulesets.cloud_services;
+  Printf.printf "\n%d target types, %d rules in total\n"
+    (List.length (Rulesets.applications @ Rulesets.system_services @ Rulesets.cloud_services))
+    (Rulesets.paper_rule_count ());
+  print_endline "\nChecklist adherence:";
+  List.iter
+    (fun entity -> Printf.printf "  %-10s %s\n" entity (Rulesets.standard_of entity))
+    (Rulesets.applications @ Rulesets.system_services @ Rulesets.cloud_services);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lint file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error e ->
+    prerr_endline e;
+    1
+  | text -> (
+    match Cvl.Loader.parse_rules text with
+    | Ok rules ->
+      Printf.printf "%s: %d rule(s) OK\n" file (List.length rules);
+      List.iter
+        (fun rule ->
+          Printf.printf "  %-12s %s [%s]\n" (Cvl.Rule.kind_to_string rule) (Cvl.Rule.name rule)
+            (String.concat " " (Cvl.Rule.tags rule)))
+        rules;
+      0
+    | Error e ->
+      Printf.printf "%s: %s\n" file e;
+      1)
+
+(* ------------------------------------------------------------------ *)
+(* remediate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let remediate target rules_dir =
+  match List.assoc_opt target targets with
+  | None ->
+    Printf.eprintf "unknown target %S\n" target;
+    1
+  | Some frames -> (
+    match source_and_manifest rules_dir with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok (source, manifest) ->
+      let frames = frames () in
+      let before =
+        Cvl.Report.summarize (Cvl.Validator.run ~source ~manifest frames).Cvl.Validator.results
+      in
+      let _frames', reports, remaining = Cvl.Remediate.fixpoint ~source ~manifest frames in
+      List.iter (fun r -> Format.printf "%a@." Cvl.Remediate.pp_report r) reports;
+      Printf.printf "\nviolations before: %d\n" before.Cvl.Report.violations;
+      Printf.printf "violations after:  %d (runtime-state findings need operational fixes)\n"
+        (List.length remaining);
+      List.iter
+        (fun (r : Cvl.Engine.result) ->
+          Printf.printf "  remaining: %s/%s — %s\n" r.Cvl.Engine.entity
+            (Cvl.Rule.name r.Cvl.Engine.rule) r.Cvl.Engine.detail)
+        remaining;
+      0)
+
+(* ------------------------------------------------------------------ *)
+(* keywords                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let keywords () =
+  Printf.printf "CVL defines %d keywords:\n\n" Cvl.Keyword.count;
+  List.iter
+    (fun group ->
+      Printf.printf "%s (%d):\n" (Cvl.Keyword.group_to_string group)
+        (Cvl.Keyword.count_in_group group);
+      List.iter
+        (fun (name, g, meaning) ->
+          if g = group then Printf.printf "  %-42s %s\n" name meaning)
+        Cvl.Keyword.all;
+      print_newline ())
+    [ Cvl.Keyword.Common; Cvl.Keyword.Tree; Cvl.Keyword.Schema; Cvl.Keyword.Path;
+      Cvl.Keyword.Script; Cvl.Keyword.Composite ];
+  0
+
+(* ------------------------------------------------------------------ *)
+(* rules-doc                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A Markdown reference of the rule corpus: the artifact the paper hopes
+   applications will one day ship ("configuration profiles possibly
+   defined in CVL"). *)
+let rules_doc () =
+  let expectation_text label (e : Cvl.Rule.expectation option) =
+    match e with
+    | None -> []
+    | Some { Cvl.Rule.values; match_spec } ->
+      [
+        Printf.sprintf "  - %s: `%s` (%s)" label
+          (String.concat "`, `" values)
+          (Cvl.Matcher.to_string match_spec);
+      ]
+  in
+  print_endline "# ConfigValidator rule reference\n";
+  List.iter
+    (fun (entity, rules) ->
+      Printf.printf "## %s — %s (%d rules)\n\n" entity (Rulesets.standard_of entity)
+        (List.length rules);
+      List.iter
+        (fun rule ->
+          let c = Cvl.Rule.common_of rule in
+          Printf.printf "### `%s` (%s)\n\n" c.Cvl.Rule.name (Cvl.Rule.kind_to_string rule);
+          if c.Cvl.Rule.description <> "" then Printf.printf "%s\n\n" c.Cvl.Rule.description;
+          let details =
+            match rule with
+            | Cvl.Rule.Tree r ->
+              (if r.Cvl.Rule.config_paths <> [ "" ] then
+                 [ Printf.sprintf "  - path: `%s`" (String.concat "` | `" r.Cvl.Rule.config_paths) ]
+               else [])
+              @ expectation_text "preferred" r.Cvl.Rule.preferred
+              @ expectation_text "non-preferred" r.Cvl.Rule.non_preferred
+              @ (if r.Cvl.Rule.file_context <> [] then
+                   [ Printf.sprintf "  - files: `%s`" (String.concat "`, `" r.Cvl.Rule.file_context) ]
+                 else [])
+            | Cvl.Rule.Schema r ->
+              [ Printf.sprintf "  - query: `%s` with `%s`" r.Cvl.Rule.query_constraints
+                  (String.concat "`, `" r.Cvl.Rule.query_constraints_value) ]
+              @ expectation_text "preferred" r.Cvl.Rule.schema_preferred
+              @ expectation_text "non-preferred" r.Cvl.Rule.schema_non_preferred
+            | Cvl.Rule.Path r ->
+              (match r.Cvl.Rule.ownership with
+              | Some o -> [ Printf.sprintf "  - ownership: `%s`" o ]
+              | None -> [])
+              @ (match r.Cvl.Rule.permission with
+                | Some p -> [ Printf.sprintf "  - permission ceiling: `%o`" p ]
+                | None -> [])
+            | Cvl.Rule.Script r ->
+              [ Printf.sprintf "  - plugin: `%s`, path: `%s`" r.Cvl.Rule.plugin
+                  (String.concat "` | `" r.Cvl.Rule.script_config_paths) ]
+              @ expectation_text "preferred" r.Cvl.Rule.script_preferred
+              @ expectation_text "non-preferred" r.Cvl.Rule.script_non_preferred
+            | Cvl.Rule.Composite r ->
+              [ Printf.sprintf "  - expression: `%s`" r.Cvl.Rule.expression ]
+          in
+          List.iter print_endline details;
+          if c.Cvl.Rule.suggested_action <> "" then
+            Printf.printf "  - remediation: %s\n" c.Cvl.Rule.suggested_action;
+          Printf.printf "  - tags: %s\n\n" (String.concat " " c.Cvl.Rule.tags))
+        rules)
+    (Rulesets.all_rules ());
+  0
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Interactive Listing 6: show one of the 40 common CIS checks in every
+   encoding the paper compares. *)
+let explain check_id =
+  match
+    List.find_opt
+      (fun (c : Checkir.Check.t) -> c.Checkir.Check.id = check_id)
+      Checkir.Cis40.all
+  with
+  | None ->
+    Printf.eprintf "unknown check %S; the 40 common checks are:\n" check_id;
+    List.iter
+      (fun (c : Checkir.Check.t) ->
+        Printf.eprintf "  %-28s %s\n" c.Checkir.Check.id c.Checkir.Check.title)
+      Checkir.Cis40.all;
+    1
+  | Some check ->
+    let section title body =
+      Printf.printf "******* %s [%d lines] *******\n%s\n" title
+        (List.length
+           (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' body)))
+        body
+    in
+    Printf.printf "%s — %s\n\n" check.Checkir.Check.id check.Checkir.Check.title;
+    section "OpenSCAP: XCCDF/OVAL" (Scap.Xccdf.rule_to_xml check);
+    section "ConfigValidator: YAML" (Checkir.To_cvl.rule check);
+    section "Chef Inspec: Ruby (Expected)" (Inspeclite.Render.expected check);
+    section "Chef Inspec: Ruby (Observed)" (Inspeclite.Render.observed check);
+    section "ConfValley: CPL" (Confvalley.Cpl.render (Confvalley.Cpl.of_check check));
+    0
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let target_arg =
+  let doc = "Validation target (a synthetic entity; see `validate --help` for the list)." in
+  Arg.(value & opt string "three-tier-bad" & info [ "target"; "t" ] ~docv:"TARGET" ~doc)
+
+let tags_arg =
+  let doc = "Only evaluate rules carrying this tag (repeatable), e.g. --tag '#cis'." in
+  Arg.(value & opt_all string [] & info [ "tag" ] ~docv:"TAG" ~doc)
+
+let format_arg =
+  let doc = "Output format: text, json, or junit." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json); ("junit", `Junit) ]) `Text
+    & info [ "format"; "f" ] ~doc)
+
+let frame_files_arg =
+  let doc = "Validate a frame-snapshot JSON file instead of a synthetic target (repeatable)." in
+  Arg.(value & opt_all file [] & info [ "frame-file" ] ~docv:"FILE" ~doc)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Include evidence and suggested actions.")
+
+let only_violations_arg =
+  Arg.(value & flag & info [ "only-violations" ] ~doc:"Report only failing checks.")
+
+let rules_dir_arg =
+  let doc = "Load manifest.yaml and CVL rule files from this directory instead of the embedded corpus." in
+  Arg.(value & opt (some string) None & info [ "rules-dir" ] ~docv:"DIR" ~doc)
+
+let validate_cmd =
+  let doc = "validate a target against CVL rules" in
+  Cmd.v
+    (Cmd.info "validate" ~doc)
+    Term.(
+      const validate $ target_arg $ frame_files_arg $ tags_arg $ format_arg $ verbose_arg
+      $ only_violations_arg $ rules_dir_arg)
+
+let coverage_cmd =
+  Cmd.v (Cmd.info "coverage" ~doc:"print rule coverage (paper Table 1)") Term.(const coverage $ const ())
+
+let lint_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "lint" ~doc:"parse and validate a CVL rule file") Term.(const lint $ file)
+
+let keywords_cmd =
+  Cmd.v (Cmd.info "keywords" ~doc:"list the CVL vocabulary") Term.(const keywords $ const ())
+
+let export_frame target out =
+  match List.assoc_opt target targets with
+  | None ->
+    Printf.eprintf "unknown target %S\n" target;
+    1
+  | Some frames -> (
+    match frames () with
+    | [ frame ] ->
+      let text = Frames.Codec.to_string frame in
+      (match out with
+      | Some path ->
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+        Printf.printf "wrote %s\n" path
+      | None -> print_string text);
+      0
+    | frames ->
+      Printf.eprintf "target has %d frames; export single-frame targets only\n" (List.length frames);
+      1)
+
+let explain_cmd =
+  let check_id =
+    Arg.(value & pos 0 string "cisubuntu14.04_9.3.8" & info [] ~docv:"CHECK_ID")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"show one of the 40 common CIS checks in every compared encoding (paper Listing 6)")
+    Term.(const explain $ check_id)
+
+let rules_doc_cmd =
+  Cmd.v
+    (Cmd.info "rules-doc" ~doc:"generate a Markdown reference of the rule corpus")
+    Term.(const rules_doc $ const ())
+
+let export_frame_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "export-frame" ~doc:"export a target's configuration frame as snapshot JSON")
+    Term.(const export_frame $ target_arg $ out)
+
+let remediate_cmd =
+  let doc = "derive and apply configuration fixes from the rules (advisory)" in
+  Cmd.v (Cmd.info "remediate" ~doc) Term.(const remediate $ target_arg $ rules_dir_arg)
+
+let () =
+  let info =
+    Cmd.info "configvalidator" ~version:"1.0.0"
+      ~doc:"declarative configuration validation for applications, systems and cloud"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            validate_cmd; coverage_cmd; lint_cmd; keywords_cmd; remediate_cmd; export_frame_cmd;
+            rules_doc_cmd; explain_cmd;
+          ]))

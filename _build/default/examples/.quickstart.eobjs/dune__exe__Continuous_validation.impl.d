@@ -1,0 +1,1 @@
+examples/continuous_validation.ml: Cvl Format Frames List Printf Result Rulesets Scenarios String

@@ -1,0 +1,1 @@
+examples/cross_entity_stack.mli:

@@ -1,0 +1,1 @@
+examples/custom_rules.ml: Cvl Frames List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Configtree Crawler Cvl Format Frames Lenses List Printf Rulesets String

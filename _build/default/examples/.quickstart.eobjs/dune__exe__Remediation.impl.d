@@ -1,0 +1,1 @@
+examples/remediation.ml: Cvl Format Frames List Option Printf Rulesets Scenarios

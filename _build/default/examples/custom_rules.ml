@@ -1,0 +1,122 @@
+(* Extending ConfigValidator to an application it has never seen -
+   here, a Redis server - and adapting shipped rules to a deployment
+   through CVL inheritance (paper §3.2, "Inheritance").
+
+   Redis needs no new parser: redis.conf is "Keyword value" like
+   sshd_config, so the manifest simply points the sshd lens at it. This
+   is the paper's point about Augeas-style reuse: a new entity is a
+   manifest section and a YAML file, not custom parsing code.
+
+   Run with: dune exec examples/custom_rules.exe *)
+
+let redis_conf =
+  String.concat "\n"
+    [
+      "bind 0.0.0.0";
+      "port 6379";
+      "protected-mode no";
+      "appendonly yes";
+      "maxmemory 0";
+      "";
+    ]
+
+let redis_rules =
+  {|
+rules:
+  - config_name: bind
+    config_path: [""]
+    config_description: "Interfaces the server listens on."
+    file_context: ["redis.conf"]
+    preferred_value: ["127.0.0.1", "::1"]
+    preferred_value_match: substr,any
+    not_present_description: "bind is not set; redis listens on all interfaces."
+    not_matched_preferred_value_description: "redis accepts connections from any interface."
+    matched_description: "redis only listens on loopback."
+    tags: ["#security", "redis"]
+    suggested_action: "Set `bind 127.0.0.1`."
+
+  - config_name: protected-mode
+    config_path: [""]
+    config_description: "Refuse remote clients when no password is set."
+    file_context: ["redis.conf"]
+    preferred_value: ["yes"]
+    preferred_value_match: exact,all
+    not_present_pass: true
+    not_present_description: "protected-mode not set (defaults to yes)."
+    not_matched_preferred_value_description: "protected-mode is disabled."
+    matched_description: "protected-mode shields passwordless instances."
+    tags: ["#security", "redis"]
+
+  - config_name: requirepass
+    config_path: [""]
+    config_description: "Client authentication password."
+    file_context: ["redis.conf"]
+    check_presence_only: true
+    not_present_description: "No password is required to issue commands."
+    matched_description: "Clients must authenticate."
+    tags: ["#security", "redis"]
+
+  - config_name: maxmemory
+    config_path: [""]
+    config_description: "Memory ceiling (container-friendliness)."
+    file_context: ["redis.conf"]
+    non_preferred_value: ["0"]
+    non_preferred_value_match: exact,any
+    not_present_description: "maxmemory is not set; the instance can grow without bound."
+    not_matched_preferred_value_description: "maxmemory 0 disables the memory ceiling."
+    matched_description: "A memory ceiling is configured."
+    tags: ["#performance", "redis"]
+|}
+
+(* A site that terminates TLS in front of redis relaxes the bind rule to
+   the proxy network and disables the password rule - without copying
+   the base file. *)
+let site_overrides =
+  {|
+parent_cvl_file: "redis.yaml"
+rules:
+  - config_name: bind
+    preferred_value: ["127.0.0.1", "::1", "10.0.2."]
+    matched_description: "redis listens only on loopback or the proxy network."
+
+  - config_name: requirepass
+    disabled: true
+|}
+
+let manifest_yaml =
+  {|
+redis:
+  enabled: True
+  config_search_paths:
+    - /etc/redis
+  cvl_file: "site/redis.yaml"
+  lens: sshd
+|}
+
+let () =
+  let frame =
+    Frames.Frame.add_file
+      (Frames.Frame.create ~id:"redis-box" Frames.Frame.Host)
+      (Frames.File.make ~mode:0o640 ~content:redis_conf "/etc/redis/redis.conf")
+  in
+  let source =
+    Cvl.Loader.assoc_source [ ("redis.yaml", redis_rules); ("site/redis.yaml", site_overrides) ]
+  in
+  let manifest = Cvl.Manifest.parse_exn manifest_yaml in
+
+  print_endline "== redis validated with the site-adapted ruleset ==";
+  let run = Cvl.Validator.run ~source ~manifest [ frame ] in
+  List.iter (fun (e, m) -> Printf.eprintf "load error %s: %s\n" e m) run.Cvl.Validator.load_errors;
+  print_string (Cvl.Report.to_text ~verbose:true run.Cvl.Validator.results);
+  print_endline (Cvl.Report.summary_line (Cvl.Report.summarize run.Cvl.Validator.results));
+
+  (* The same box after remediation. *)
+  print_endline "\n== after remediation ==";
+  let fixed =
+    Frames.Frame.set_content frame ~path:"/etc/redis/redis.conf"
+      (String.concat "\n"
+         [ "bind 10.0.2.15"; "port 6379"; "protected-mode yes"; "maxmemory 512mb"; "" ])
+  in
+  let run = Cvl.Validator.run ~source ~manifest [ fixed ] in
+  print_string (Cvl.Report.to_text run.Cvl.Validator.results);
+  print_endline (Cvl.Report.summary_line (Cvl.Report.summarize run.Cvl.Validator.results))

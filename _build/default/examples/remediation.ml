@@ -1,0 +1,38 @@
+(* Remediation: because CVL rules are declarative, most violations
+   mechanically determine their own fix — the preferred value, the row
+   the table must contain, the permission ceiling. This example takes
+   the misconfigured host, derives fixes from the rules, re-renders the
+   touched files through the same lenses that parsed them, and
+   re-validates.
+
+   Run with: dune exec examples/remediation.exe *)
+
+let summarize label frames =
+  let run = Cvl.Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest frames in
+  let s = Cvl.Report.summarize run.Cvl.Validator.results in
+  Printf.printf "%-28s %s\n" label (Cvl.Report.summary_line s);
+  run
+
+let () =
+  let frames = [ Scenarios.Host.misconfigured () ] in
+  ignore (summarize "before remediation:" frames);
+
+  let frames', reports, remaining =
+    Cvl.Remediate.fixpoint ~source:Rulesets.source ~manifest:Rulesets.manifest frames
+  in
+  print_newline ();
+  List.iter (fun r -> Format.printf "  %a@." Cvl.Remediate.pp_report r) reports;
+  print_newline ();
+  ignore (summarize "after remediation:" frames');
+  Printf.printf "\nremaining findings (%d) are runtime state, not files:\n" (List.length remaining);
+  List.iter
+    (fun (r : Cvl.Engine.result) ->
+      Printf.printf "  %s/%s — %s\n" r.Cvl.Engine.entity (Cvl.Rule.name r.Cvl.Engine.rule)
+        r.Cvl.Engine.detail)
+    remaining;
+
+  (* Show one before/after diff: the sshd configuration. *)
+  print_endline "\n--- sshd_config before ---";
+  print_string (Option.get (Frames.Frame.read (List.hd frames) "/etc/ssh/sshd_config"));
+  print_endline "--- sshd_config after ---";
+  print_string (Option.get (Frames.Frame.read (List.hd frames') "/etc/ssh/sshd_config"))

@@ -1,0 +1,1 @@
+lib/checkir/check.ml: Frames List Re String

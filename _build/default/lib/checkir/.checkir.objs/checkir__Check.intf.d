@@ -1,0 +1,1 @@
+lib/checkir/check.mli: Frames

@@ -1,0 +1,1 @@
+lib/checkir/cis40.mli: Check

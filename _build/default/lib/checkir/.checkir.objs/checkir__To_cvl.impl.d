@@ -1,0 +1,1 @@
+lib/checkir/to_cvl.ml: Check List Printf String

@@ -1,0 +1,1 @@
+lib/checkir/to_cvl.mli: Check

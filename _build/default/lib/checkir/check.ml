@@ -1,0 +1,83 @@
+type sep =
+  | Space
+  | Equals
+
+type expected =
+  | Values of string list
+  | Pattern of string
+
+type target =
+  | Key_value of {
+      file : string;
+      key : string;
+      sep : sep;
+      expected : expected;
+      absent_pass : bool;
+    }
+  | Line_present of { file : string; regex : string }
+  | Line_absent of { file : string; regex : string }
+  | File_mode of { path : string; max_mode : int; owner : string }
+
+type t = {
+  id : string;
+  title : string;
+  description : string;
+  target : target;
+}
+
+let check ~id ~title ?(description = "") target = { id; title; description; target }
+
+let config_lines frame path =
+  match Frames.Frame.read frame path with
+  | None -> []
+  | Some content ->
+    String.split_on_char '\n' content
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let key_values ~sep ~key lines =
+  List.filter_map
+    (fun line ->
+      match sep with
+      | Space ->
+        let kl = String.length key in
+        if String.length line > kl && String.sub line 0 kl = key
+           && (line.[kl] = ' ' || line.[kl] = '\t') then
+          Some (String.trim (String.sub line kl (String.length line - kl)))
+        else None
+      | Equals -> (
+        match String.index_opt line '=' with
+        | Some i when String.trim (String.sub line 0 i) = key ->
+          Some (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+        | Some _ | None -> None))
+    lines
+
+let value_ok expected value =
+  match expected with
+  | Values vs -> List.mem value vs
+  | Pattern p -> (
+    match Re.execp (Re.compile (Re.whole_string (Re.Pcre.re p))) value with
+    | m -> m
+    | exception _ -> false)
+
+let line_matches regex line =
+  match Re.execp (Re.compile (Re.Pcre.re regex)) line with
+  | m -> m
+  | exception _ -> false
+
+let holds frame t =
+  match t.target with
+  | Key_value { file; key; sep; expected; absent_pass } -> (
+    match key_values ~sep ~key (config_lines frame file) with
+    | [] -> absent_pass
+    | values -> List.for_all (value_ok expected) values)
+  | Line_present { file; regex } ->
+    List.exists (line_matches regex) (config_lines frame file)
+  | Line_absent { file; regex } ->
+    not (List.exists (line_matches regex) (config_lines frame file))
+  | File_mode { path; max_mode; owner } -> (
+    match Frames.Frame.stat frame path with
+    | None -> false
+    | Some f ->
+      f.Frames.File.mode land lnot max_mode land 0o7777 = 0
+      && Frames.File.ownership f = owner)

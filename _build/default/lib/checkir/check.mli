@@ -1,0 +1,54 @@
+(** Engine-neutral check IR for the cross-engine comparison (paper
+    Table 2 and Listing 6).
+
+    The paper selects "40 CIS rules common to ConfigValidator, Chef
+    Inspec and CIS-CAT" targeting Ubuntu system services. Each rule here
+    is an abstract check that every engine adapter renders into its own
+    specification language (CVL YAML, XCCDF/OVAL XML, InSpec Ruby) and
+    evaluates with its own machinery, so both the specification-size and
+    the execution-time comparisons run over identical semantics. *)
+
+type sep =
+  | Space  (** sshd_config style: [Key value] *)
+  | Equals  (** sysctl style: [key = value] *)
+
+type expected =
+  | Values of string list  (** any of these literals *)
+  | Pattern of string  (** whole-value regex *)
+
+type target =
+  | Key_value of {
+      file : string;
+      key : string;
+      sep : sep;
+      expected : expected;
+      absent_pass : bool;  (** a missing key complies (secure default) *)
+    }
+  | Line_present of { file : string; regex : string }
+      (** some line must match (unanchored) *)
+  | Line_absent of { file : string; regex : string }
+      (** no line may match *)
+  | File_mode of { path : string; max_mode : int; owner : string }
+      (** mode ceiling + "uid:gid" ownership *)
+
+type t = {
+  id : string;  (** checklist id, e.g. ["cisubuntu14.04_9.3.8"] *)
+  title : string;
+  description : string;
+  target : target;
+}
+
+val check :
+  id:string -> title:string -> ?description:string -> target -> t
+
+(** Reference evaluation of a check against a frame — the semantics the
+    engine adapters must agree with (cross-engine agreement is a test).
+    [true] = compliant. *)
+val holds : Frames.Frame.t -> t -> bool
+
+(** Non-comment logical lines of a file ([] when absent). *)
+val config_lines : Frames.Frame.t -> string -> string list
+
+(** Extract the values of [key] from the file's lines under [sep]
+    (every occurrence, in order). *)
+val key_values : sep:sep -> key:string -> string list -> string list

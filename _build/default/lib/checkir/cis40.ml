@@ -1,0 +1,123 @@
+let sshd_file = "/etc/ssh/sshd_config"
+let sysctl_file = "/etc/sysctl.conf"
+let modprobe_file = "/etc/modprobe.d/CIS.conf"
+let audit_file = "/etc/audit/audit.rules"
+
+let sshd_kv ~id ~title ?(absent_pass = false) ~key expected =
+  Check.check ~id ~title
+    (Check.Key_value { file = sshd_file; key; sep = Check.Space; expected; absent_pass })
+
+let sysctl_kv ~id ~key value =
+  Check.check ~id
+    ~title:(Printf.sprintf "Set %s to %s" key value)
+    (Check.Key_value
+       { file = sysctl_file; key; sep = Check.Equals; expected = Check.Values [ value ]; absent_pass = false })
+
+let permit_root_login =
+  sshd_kv ~id:"cisubuntu14.04_9.3.8" ~title:"Disable SSH Root Login" ~key:"PermitRootLogin"
+    (Check.Values [ "no" ])
+
+let sshd_checks =
+  [
+    sshd_kv ~id:"cisubuntu14.04_9.3.1" ~title:"Set SSH Protocol to 2" ~key:"Protocol"
+      (Check.Values [ "2" ]);
+    sshd_kv ~id:"cisubuntu14.04_9.3.2" ~title:"Set LogLevel to INFO" ~key:"LogLevel"
+      (Check.Values [ "INFO"; "VERBOSE" ]);
+    Check.check ~id:"cisubuntu14.04_9.3.3" ~title:"Set permissions on sshd_config"
+      (Check.File_mode { path = sshd_file; max_mode = 0o600; owner = "0:0" });
+    sshd_kv ~id:"cisubuntu14.04_9.3.4" ~title:"Disable X11 Forwarding" ~key:"X11Forwarding"
+      ~absent_pass:true (Check.Values [ "no" ]);
+    sshd_kv ~id:"cisubuntu14.04_9.3.5" ~title:"Set MaxAuthTries to 4 or less" ~key:"MaxAuthTries"
+      (Check.Pattern "[1-4]");
+    sshd_kv ~id:"cisubuntu14.04_9.3.6" ~title:"Set IgnoreRhosts to Yes" ~key:"IgnoreRhosts"
+      ~absent_pass:true (Check.Values [ "yes" ]);
+    sshd_kv ~id:"cisubuntu14.04_9.3.7" ~title:"Disable Host-Based Authentication"
+      ~key:"HostbasedAuthentication" ~absent_pass:true (Check.Values [ "no" ]);
+    permit_root_login;
+    sshd_kv ~id:"cisubuntu14.04_9.3.9" ~title:"Disable Empty Passwords" ~key:"PermitEmptyPasswords"
+      ~absent_pass:true (Check.Values [ "no" ]);
+    sshd_kv ~id:"cisubuntu14.04_9.3.10" ~title:"Do Not Allow Users to Set Environment Options"
+      ~key:"PermitUserEnvironment" ~absent_pass:true (Check.Values [ "no" ]);
+    Check.check ~id:"cisubuntu14.04_9.3.11" ~title:"Use Only Approved Ciphers"
+      (Check.Line_absent { file = sshd_file; regex = "^\\s*Ciphers\\s+.*(cbc|arcfour|3des)" });
+    sshd_kv ~id:"cisubuntu14.04_9.3.12" ~title:"Set Idle Timeout Interval" ~key:"ClientAliveInterval"
+      (Check.Pattern "([1-9][0-9]?|[12][0-9][0-9]|300)");
+    sshd_kv ~id:"cisubuntu14.04_9.3.13" ~title:"Set LoginGraceTime to a minute or less"
+      ~key:"LoginGraceTime" (Check.Pattern "([1-9]|[1-5][0-9]|60)");
+    sshd_kv ~id:"cisubuntu14.04_9.3.14" ~title:"Set SSH Banner" ~key:"Banner"
+      (Check.Values [ "/etc/issue.net"; "/etc/issue" ]);
+  ]
+
+let sysctl_checks =
+  [
+    sysctl_kv ~id:"cisubuntu14.04_7.1.1" ~key:"net.ipv4.ip_forward" "0";
+    sysctl_kv ~id:"cisubuntu14.04_7.1.2a" ~key:"net.ipv4.conf.all.send_redirects" "0";
+    sysctl_kv ~id:"cisubuntu14.04_7.1.2b" ~key:"net.ipv4.conf.default.send_redirects" "0";
+    sysctl_kv ~id:"cisubuntu14.04_7.2.1a" ~key:"net.ipv4.conf.all.accept_source_route" "0";
+    sysctl_kv ~id:"cisubuntu14.04_7.2.1b" ~key:"net.ipv4.conf.default.accept_source_route" "0";
+    sysctl_kv ~id:"cisubuntu14.04_7.2.2a" ~key:"net.ipv4.conf.all.accept_redirects" "0";
+    sysctl_kv ~id:"cisubuntu14.04_7.2.2b" ~key:"net.ipv4.conf.default.accept_redirects" "0";
+    sysctl_kv ~id:"cisubuntu14.04_7.2.3" ~key:"net.ipv4.conf.all.secure_redirects" "0";
+    sysctl_kv ~id:"cisubuntu14.04_7.2.4" ~key:"net.ipv4.conf.all.log_martians" "1";
+    sysctl_kv ~id:"cisubuntu14.04_7.2.5" ~key:"net.ipv4.icmp_echo_ignore_broadcasts" "1";
+    sysctl_kv ~id:"cisubuntu14.04_7.2.6" ~key:"net.ipv4.icmp_ignore_bogus_error_responses" "1";
+    sysctl_kv ~id:"cisubuntu14.04_7.2.7" ~key:"net.ipv4.conf.all.rp_filter" "1";
+    sysctl_kv ~id:"cisubuntu14.04_7.2.8" ~key:"net.ipv4.tcp_syncookies" "1";
+  ]
+
+let modprobe_line module_ =
+  Printf.sprintf "^install\\s+%s\\s+/bin/true" module_
+
+let modprobe_checks =
+  [
+    Check.check ~id:"cisubuntu14.04_1.1.18" ~title:"Disable Mounting of cramfs"
+      (Check.Line_present { file = modprobe_file; regex = modprobe_line "cramfs" });
+    Check.check ~id:"cisubuntu14.04_1.1.19" ~title:"Disable Mounting of freevxfs"
+      (Check.Line_present { file = modprobe_file; regex = modprobe_line "freevxfs" });
+    Check.check ~id:"cisubuntu14.04_1.1.20" ~title:"Disable Mounting of jffs2"
+      (Check.Line_present { file = modprobe_file; regex = modprobe_line "jffs2" });
+    Check.check ~id:"cisubuntu14.04_7.5.1" ~title:"Disable DCCP"
+      (Check.Line_present { file = modprobe_file; regex = modprobe_line "dccp" });
+    Check.check ~id:"cisubuntu14.04_1.1.25" ~title:"Blacklist usb-storage"
+      (Check.Line_present { file = modprobe_file; regex = "^blacklist\\s+usb-storage" });
+  ]
+
+let audit_watch path key =
+  Printf.sprintf "^-w\\s+%s\\s+-p\\s+wa\\s+-k\\s+%s" path key
+
+let audit_checks =
+  [
+    Check.check ~id:"cisubuntu14.04_8.1.4" ~title:"Record time-change events"
+      (Check.Line_present { file = audit_file; regex = "-S\\s+settimeofday" });
+    Check.check ~id:"cisubuntu14.04_8.1.5a" ~title:"Watch /etc/passwd"
+      (Check.Line_present { file = audit_file; regex = audit_watch "/etc/passwd" "identity" });
+    Check.check ~id:"cisubuntu14.04_8.1.5b" ~title:"Watch /etc/group"
+      (Check.Line_present { file = audit_file; regex = audit_watch "/etc/group" "identity" });
+    Check.check ~id:"cisubuntu14.04_8.1.5c" ~title:"Watch /etc/shadow"
+      (Check.Line_present { file = audit_file; regex = audit_watch "/etc/shadow" "identity" });
+    Check.check ~id:"cisubuntu14.04_8.1.5d" ~title:"Watch /etc/gshadow"
+      (Check.Line_present { file = audit_file; regex = audit_watch "/etc/gshadow" "identity" });
+    Check.check ~id:"cisubuntu14.04_8.1.13" ~title:"Record mount events"
+      (Check.Line_present { file = audit_file; regex = "-S\\s+mount" });
+    Check.check ~id:"cisubuntu14.04_8.1.15" ~title:"Watch /etc/sudoers"
+      (Check.Line_present { file = audit_file; regex = audit_watch "/etc/sudoers" "scope" });
+    Check.check ~id:"cisubuntu14.04_8.1.18" ~title:"Make audit configuration immutable"
+      (Check.Line_present { file = audit_file; regex = "^-e\\s+2\\s*$" });
+  ]
+
+let all = sshd_checks @ sysctl_checks @ modprobe_checks @ audit_checks
+
+let by_file () =
+  List.fold_left
+    (fun acc (c : Check.t) ->
+      let file =
+        match c.Check.target with
+        | Check.Key_value { file; _ } | Check.Line_present { file; _ } | Check.Line_absent { file; _ } ->
+          file
+        | Check.File_mode { path; _ } -> path
+      in
+      match List.assoc_opt file acc with
+      | Some n -> (file, n + 1) :: List.remove_assoc file acc
+      | None -> (file, 1) :: acc)
+    [] all
+  |> List.rev

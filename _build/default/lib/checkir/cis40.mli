@@ -1,0 +1,12 @@
+(** The 40 CIS Ubuntu system-service checks common to all compared
+    engines (paper §4.2): 14 sshd, 13 sysctl, 5 modprobe, 8 audit.
+
+    ["Disable SSH Root Login"] — the Listing 6 exemplar — is
+    {!permit_root_login}. *)
+
+val all : Check.t list
+
+val permit_root_login : Check.t
+
+(** Count per target file, for reporting. *)
+val by_file : unit -> (string * int) list

@@ -1,0 +1,139 @@
+let basename path =
+  match String.rindex_opt path '/' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let quote_list values =
+  "[" ^ String.concat ", " (List.map (Printf.sprintf "%S") values) ^ "]"
+
+let rule (c : Check.t) =
+  let lines =
+    match c.Check.target with
+    | Check.Key_value { file; key; sep = _; expected; absent_pass } ->
+      let preferred, match_spec =
+        match expected with
+        | Check.Values vs -> (quote_list vs, "exact,any")
+        | Check.Pattern p -> (quote_list [ "^(" ^ p ^ ")$" ], "regex,any")
+      in
+      [
+        Printf.sprintf "config_name: %s" key;
+        Printf.sprintf "tags: [\"#security\", \"#cis\", \"#%s\"]" c.Check.id;
+        "config_path: [\"\"]";
+        Printf.sprintf "config_description: %S" c.Check.title;
+        Printf.sprintf "file_context: [%S]" (basename file);
+        Printf.sprintf "preferred_value: %s" preferred;
+        Printf.sprintf "preferred_value_match: %s" match_spec;
+      ]
+      @ (if absent_pass then [ "not_present_pass: true" ] else [])
+      @ [
+          Printf.sprintf "not_present_description: \"%s is not present.\"" key;
+          Printf.sprintf
+            "not_matched_preferred_value_description: \"%s is present but not set to a compliant value.\""
+            key;
+          Printf.sprintf "matched_description: \"%s complies with the benchmark.\"" key;
+        ]
+    | Check.Line_present { file = _; regex } ->
+      [
+        Printf.sprintf "config_schema_name: %s" c.Check.id;
+        Printf.sprintf "tags: [\"#security\", \"#cis\", \"#%s\"]" c.Check.id;
+        Printf.sprintf "config_schema_description: %S" c.Check.title;
+        "query_constraints: \"line ~ ?\"";
+        Printf.sprintf "query_constraints_value: [%S]" (".*(" ^ regex ^ ").*");
+        "query_columns: \"line\"";
+        "expect_rows: 1";
+        Printf.sprintf "not_matched_preferred_value_description: \"required line is missing: %s\""
+          c.Check.title;
+        Printf.sprintf "matched_description: \"%s\"" c.Check.title;
+      ]
+    | Check.Line_absent { file = _; regex } ->
+      [
+        Printf.sprintf "config_schema_name: %s" c.Check.id;
+        Printf.sprintf "tags: [\"#security\", \"#cis\", \"#%s\"]" c.Check.id;
+        Printf.sprintf "config_schema_description: %S" c.Check.title;
+        "query_constraints: \"line ~ ?\"";
+        Printf.sprintf "query_constraints_value: [%S]" (".*(" ^ regex ^ ").*");
+        "query_columns: \"line\"";
+        "non_preferred_value: [\".+\"]";
+        "non_preferred_value_match: regex,any";
+        Printf.sprintf "not_matched_preferred_value_description: \"forbidden line present: %s\""
+          c.Check.title;
+        Printf.sprintf "matched_description: \"%s\"" c.Check.title;
+      ]
+    | Check.File_mode { path; max_mode; owner } ->
+      [
+        Printf.sprintf "path_name: %s" path;
+        Printf.sprintf "tags: [\"#security\", \"#cis\", \"#%s\"]" c.Check.id;
+        Printf.sprintf "path_description: %S" c.Check.title;
+        Printf.sprintf "ownership: %S" owner;
+        Printf.sprintf "permission: %o" max_mode;
+        Printf.sprintf "not_matched_preferred_value_description: \"%s has lax permissions or wrong ownership.\""
+          path;
+        Printf.sprintf "matched_description: \"%s permissions comply.\"" path;
+      ]
+  in
+  String.concat "\n" lines ^ "\n"
+
+let indent text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line ->
+         if line = "" then line else if i = 0 then "  - " ^ line else "    " ^ line)
+  |> String.concat "\n"
+
+let file checks = "rules:\n" ^ String.concat "" (List.map (fun c -> indent (rule c)) checks)
+
+let lens_for_file path =
+  match basename path with
+  | "sshd_config" -> "sshd"
+  | "sysctl.conf" -> "sysctl"
+  | _ -> "lines"
+
+let entity_for_file path =
+  let b = basename path in
+  String.map (fun ch -> if ch = '.' then '_' else ch) b
+
+let bundle checks =
+  (* One manifest entity per (file, normal form): line-pattern checks
+     need the raw-lines table view even when the file has a structured
+     lens, so they go into a sibling "<entity>_lines" entity over the
+     same search path. *)
+  let key_of (c : Check.t) =
+    match c.Check.target with
+    | Check.Key_value { file; _ } -> (file, `Structured)
+    | Check.Line_present { file; _ } | Check.Line_absent { file; _ } ->
+      (file, if lens_for_file file = "lines" then `Structured else `Lines)
+    | Check.File_mode { path; _ } -> (path, `Structured)
+  in
+  let groups =
+    List.fold_left
+      (fun acc c ->
+        let key = key_of c in
+        if List.mem_assoc key acc then (key, List.assoc key acc @ [ c ]) :: List.remove_assoc key acc
+        else (key, [ c ]) :: acc)
+      [] checks
+    |> List.rev
+  in
+  let entity_of (path, form) =
+    match form with
+    | `Structured -> entity_for_file path
+    | `Lines -> entity_for_file path ^ "_lines"
+  in
+  let lens_of (path, form) =
+    match form with `Structured -> lens_for_file path | `Lines -> "lines"
+  in
+  let manifest =
+    groups
+    |> List.map (fun (((path, _) as key), _) ->
+           String.concat "\n"
+             [
+               entity_of key ^ ":";
+               "  enabled: True";
+               Printf.sprintf "  config_search_paths: [%S]" path;
+               Printf.sprintf "  cvl_file: \"cis40/%s.yaml\"" (entity_of key);
+               Printf.sprintf "  lens: %s" (lens_of key);
+             ])
+    |> String.concat "\n"
+  in
+  let rule_files =
+    List.map (fun (key, cs) -> (Printf.sprintf "cis40/%s.yaml" (entity_of key), file cs)) groups
+  in
+  (manifest ^ "\n", rule_files)

@@ -1,0 +1,14 @@
+(** Render abstract checks into CVL YAML — the ConfigValidator column of
+    the Table 2 / Listing 6 comparison. The rendering mirrors the
+    paper's Listing 6 layout (10 lines for PermitRootLogin). *)
+
+(** One rule document. *)
+val rule : Check.t -> string
+
+(** A complete CVL rule file for a check list. *)
+val file : Check.t list -> string
+
+(** Manifest entries (entity per target file) pointing at [file]'s
+    virtual path, for running the rendered rules through the real
+    pipeline. Returns (manifest_yaml, [(path, contents)]). *)
+val bundle : Check.t list -> string * (string * string) list

@@ -1,0 +1,1 @@
+lib/cloudsim/deployment.ml: Frames Jsonlite List Secgroup

@@ -1,0 +1,1 @@
+lib/cloudsim/deployment.mli: Frames Jsonlite Secgroup

@@ -1,0 +1,84 @@
+type user = {
+  name : string;
+  role : string;
+  enabled : bool;
+  multi_factor : bool;
+}
+
+type instance = {
+  id : string;
+  name : string;
+  image : string;
+  flavor : string;
+  security_groups : string list;
+  public_ip : bool;
+}
+
+type service = {
+  service_name : string;
+  config_path : string;
+  config : string;
+}
+
+type t = {
+  name : string;
+  region : string;
+  services : service list;
+  security_groups : Secgroup.t list;
+  users : user list;
+  instances : instance list;
+}
+
+let make ?(region = "us-south") ?(services = []) ?(security_groups = []) ?(users = [])
+    ?(instances = []) ~name () =
+  { name; region; services; security_groups; users; instances }
+
+let service ~name ~path config = { service_name = name; config_path = path; config }
+
+let users_json t =
+  Jsonlite.Arr
+    (List.map
+       (fun (u : user) ->
+         Jsonlite.Obj
+           [
+             ("name", Jsonlite.Str u.name);
+             ("role", Jsonlite.Str u.role);
+             ("enabled", Jsonlite.Bool u.enabled);
+             ("multi_factor", Jsonlite.Bool u.multi_factor);
+           ])
+       t.users)
+
+let servers_json t =
+  Jsonlite.Arr
+    (List.map
+       (fun (i : instance) ->
+         Jsonlite.Obj
+           [
+             ("id", Jsonlite.Str i.id);
+             ("name", Jsonlite.Str i.name);
+             ("image", Jsonlite.Str i.image);
+             ("flavor", Jsonlite.Str i.flavor);
+             ( "security_groups",
+               Jsonlite.Arr (List.map (fun s -> Jsonlite.Str s) i.security_groups) );
+             ("public_ip", Jsonlite.Bool i.public_ip);
+           ])
+       t.instances)
+
+let secgroups_json t = Jsonlite.Arr (List.map Secgroup.to_json t.security_groups)
+
+let to_frame t =
+  let frame = Frames.Frame.create ~os:"openstack" ~id:t.name (Frames.Frame.Cloud t.name) in
+  let frame =
+    List.fold_left
+      (fun frame (s : service) -> Frames.Frame.add_file frame (Frames.File.make ~content:s.config s.config_path))
+      frame t.services
+  in
+  let frame =
+    Frames.Frame.set_runtime_doc frame ~key:"openstack_secgroups"
+      (Jsonlite.to_string (secgroups_json t))
+  in
+  let frame =
+    Frames.Frame.set_runtime_doc frame ~key:"openstack_users" (Jsonlite.to_string (users_json t))
+  in
+  Frames.Frame.set_runtime_doc frame ~key:"openstack_servers"
+    (Jsonlite.to_string (servers_json t))

@@ -1,0 +1,60 @@
+(** An OpenStack-like deployment: control-plane services with their
+    configuration files, plus API-resident state (security groups,
+    users, instances).
+
+    [to_frame] materializes the deployment as a [Cloud] configuration
+    frame: service configs appear at their conventional paths
+    (/etc/keystone/keystone.conf, /etc/nova/nova.conf, …) and the
+    API-resident state is exposed as runtime documents
+    (["openstack_secgroups"], ["openstack_users"],
+    ["openstack_servers"]) the way the crawler's cloud plugin would
+    fetch them over HTTP. *)
+
+type user = {
+  name : string;
+  role : string;  (** ["admin"] | ["member"] | … *)
+  enabled : bool;
+  multi_factor : bool;
+}
+
+type instance = {
+  id : string;
+  name : string;
+  image : string;
+  flavor : string;
+  security_groups : string list;
+  public_ip : bool;
+}
+
+type service = {
+  service_name : string;  (** ["keystone"], ["nova"], … *)
+  config_path : string;  (** where its ini config lives *)
+  config : string;  (** raw ini text *)
+}
+
+type t = {
+  name : string;
+  region : string;
+  services : service list;
+  security_groups : Secgroup.t list;
+  users : user list;
+  instances : instance list;
+}
+
+val make :
+  ?region:string ->
+  ?services:service list ->
+  ?security_groups:Secgroup.t list ->
+  ?users:user list ->
+  ?instances:instance list ->
+  name:string ->
+  unit ->
+  t
+
+val service : name:string -> path:string -> string -> service
+
+val to_frame : t -> Frames.Frame.t
+
+val users_json : t -> Jsonlite.t
+val servers_json : t -> Jsonlite.t
+val secgroups_json : t -> Jsonlite.t

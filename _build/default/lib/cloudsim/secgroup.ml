@@ -1,0 +1,51 @@
+type direction = Ingress | Egress
+
+type rule = {
+  direction : direction;
+  protocol : string;
+  port_min : int;
+  port_max : int;
+  cidr : string;
+}
+
+type t = {
+  name : string;
+  description : string;
+  rules : rule list;
+}
+
+let make ?(description = "") ~name rules = { name; description; rules }
+
+let ingress ?(protocol = "tcp") ?(cidr = "0.0.0.0/0") ~port () =
+  { direction = Ingress; protocol; port_min = port; port_max = port; cidr }
+
+let ingress_range ?(protocol = "tcp") ?(cidr = "0.0.0.0/0") port_min port_max =
+  { direction = Ingress; protocol; port_min; port_max; cidr }
+
+let rule_world_open rule = rule.cidr = "0.0.0.0/0" || rule.cidr = "::/0"
+
+let world_open_on t ~port =
+  List.filter
+    (fun r ->
+      r.direction = Ingress && rule_world_open r && r.port_min <= port && port <= r.port_max)
+    t.rules
+
+let direction_to_string = function Ingress -> "ingress" | Egress -> "egress"
+
+let rule_to_json r =
+  Jsonlite.Obj
+    [
+      ("direction", Jsonlite.Str (direction_to_string r.direction));
+      ("protocol", Jsonlite.Str r.protocol);
+      ("port_range_min", Jsonlite.Num (float_of_int r.port_min));
+      ("port_range_max", Jsonlite.Num (float_of_int r.port_max));
+      ("remote_ip_prefix", Jsonlite.Str r.cidr);
+    ]
+
+let to_json t =
+  Jsonlite.Obj
+    [
+      ("name", Jsonlite.Str t.name);
+      ("description", Jsonlite.Str t.description);
+      ("security_group_rules", Jsonlite.Arr (List.map rule_to_json t.rules));
+    ]

@@ -1,0 +1,32 @@
+(** IaaS security groups — the paper's canonical example of
+    configuration held in an entity's runtime state rather than a file,
+    retrievable only through the cloud API. *)
+
+type direction = Ingress | Egress
+
+type rule = {
+  direction : direction;
+  protocol : string;  (** ["tcp"] | ["udp"] | ["icmp"] | ["any"] *)
+  port_min : int;
+  port_max : int;
+  cidr : string;  (** e.g. ["0.0.0.0/0"] *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  rules : rule list;
+}
+
+val make : ?description:string -> name:string -> rule list -> t
+
+val ingress : ?protocol:string -> ?cidr:string -> port:int -> unit -> rule
+val ingress_range : ?protocol:string -> ?cidr:string -> int -> int -> rule
+
+(** A rule is world-open when its CIDR is ["0.0.0.0/0"] (or ["::/0"]). *)
+val rule_world_open : rule -> bool
+
+(** Ingress rules that expose [port] to the world. *)
+val world_open_on : t -> port:int -> rule list
+
+val to_json : t -> Jsonlite.t

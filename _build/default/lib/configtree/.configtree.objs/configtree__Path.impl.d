@@ -1,0 +1,1 @@
+lib/configtree/path.ml: List Printf String Tree

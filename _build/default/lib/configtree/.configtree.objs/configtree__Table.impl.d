@@ -1,0 +1,1 @@
+lib/configtree/table.ml: Format List Printf Re String

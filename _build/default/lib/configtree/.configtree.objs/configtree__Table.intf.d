@@ -1,0 +1,1 @@
+lib/configtree/table.mli: Format

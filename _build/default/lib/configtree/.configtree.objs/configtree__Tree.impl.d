@@ -1,0 +1,1 @@
+lib/configtree/tree.ml: Format List Option Printf String

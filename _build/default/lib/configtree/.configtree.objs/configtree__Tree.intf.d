@@ -1,0 +1,1 @@
+lib/configtree/tree.mli: Format

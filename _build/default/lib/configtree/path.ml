@@ -1,0 +1,89 @@
+type segment =
+  | Label of string
+  | Indexed of string * int
+  | Wildcard
+  | Deep
+
+type t = segment list
+
+let parse_segment s =
+  if s = "*" then Ok Wildcard
+  else if s = "**" then Ok Deep
+  else if s = "" then Error "empty path segment"
+  else
+    match String.index_opt s '[' with
+    | None -> Ok (Label s)
+    | Some i ->
+      if String.length s < i + 3 || s.[String.length s - 1] <> ']' then
+        Error (Printf.sprintf "malformed index in segment %S" s)
+      else
+        let label = String.sub s 0 i in
+        let digits = String.sub s (i + 1) (String.length s - i - 2) in
+        (match int_of_string_opt digits with
+        | Some n when n >= 1 && label <> "" -> Ok (Indexed (label, n))
+        | _ -> Error (Printf.sprintf "malformed index in segment %S" s))
+
+let parse s =
+  if String.trim s = "" then Ok []
+  else
+    let parts = String.split_on_char '/' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+        match parse_segment p with
+        | Ok seg -> go (seg :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] parts
+
+let parse_exn s =
+  match parse s with
+  | Ok p -> p
+  | Error msg -> invalid_arg (Printf.sprintf "Path.parse_exn: %s" msg)
+
+let segment_to_string = function
+  | Label l -> l
+  | Indexed (l, n) -> Printf.sprintf "%s[%d]" l n
+  | Wildcard -> "*"
+  | Deep -> "**"
+
+let to_string p = String.concat "/" (List.map segment_to_string p)
+
+(* [select forest seg] is the list of children of [forest] matched by one
+   segment. Indexing is relative to same-label siblings, as in Augeas. *)
+let select (forest : Tree.t list) seg =
+  match seg with
+  | Wildcard -> forest
+  | Label l -> List.filter (fun (n : Tree.t) -> String.equal n.label l) forest
+  | Indexed (l, idx) ->
+    let same = List.filter (fun (n : Tree.t) -> String.equal n.label l) forest in
+    (match List.nth_opt same (idx - 1) with Some n -> [ n ] | None -> [])
+  | Deep -> assert false
+
+let find forest path =
+  (* [**] matches zero or more labels, so [**/x] must reach root-level
+     [x] as well as arbitrarily deep ones. Matching recurses on sibling
+     lists; physical duplicates (possible with several [**]) are folded
+     out at the end. *)
+  let rec go (forest : Tree.t list) = function
+    | [] -> forest
+    | Deep :: rest ->
+      let here = go forest rest in
+      let deeper = List.concat_map (fun (n : Tree.t) -> go n.children (Deep :: rest)) forest in
+      here @ deeper
+    | seg :: rest ->
+      let selected = select forest seg in
+      if rest = [] then selected
+      else List.concat_map (fun (n : Tree.t) -> go n.children rest) selected
+  in
+  let matches = go forest path in
+  List.fold_left (fun acc n -> if List.memq n acc then acc else n :: acc) [] matches
+  |> List.rev
+
+let find_values forest path =
+  List.filter_map (fun (n : Tree.t) -> n.value) (find forest path)
+
+let exists forest path = find forest path <> []
+let find_str forest s = find forest (parse_exn s)
+let find_values_str forest s = find_values forest (parse_exn s)
+let exists_str forest s = exists forest (parse_exn s)

@@ -1,0 +1,47 @@
+(** Path expressions over configuration trees.
+
+    A path is a ['/']-separated sequence of segments. A segment is
+    - a literal label, e.g. [server] (labels may contain dots, as in
+      sysctl keys such as [net.ipv4.ip_forward]);
+    - an indexed label, e.g. [server[2]], selecting the 2nd sibling with
+      that label (1-based, as in Augeas);
+    - [*], matching any single label;
+    - [**], matching any chain of zero or more labels.
+
+    The empty path [""] denotes the forest roots themselves, which lets
+    CVL rules with [config_path: [""]] match top-level keys such as
+    [PermitRootLogin] in sshd_config. *)
+
+type segment =
+  | Label of string
+  | Indexed of string * int
+  | Wildcard
+  | Deep
+
+type t = segment list
+
+val parse : string -> (t, string) result
+
+(** [parse_exn s] is [parse s].
+    @raise Invalid_argument on malformed paths. *)
+val parse_exn : string -> t
+
+val to_string : t -> string
+
+(** All nodes reached by following the path from the forest roots. The
+    path addresses nodes, not values: [find forest (parse_exn "a/b")]
+    returns every node labelled [b] under a root labelled [a]. An empty
+    path returns the roots. *)
+val find : Tree.t list -> t -> Tree.t list
+
+(** Values of the matched nodes, skipping valueless matches. *)
+val find_values : Tree.t list -> t -> string list
+
+val exists : Tree.t list -> t -> bool
+
+(** [find_str forest "a/b"] parses then finds.
+    @raise Invalid_argument on malformed paths. *)
+val find_str : Tree.t list -> string -> Tree.t list
+
+val find_values_str : Tree.t list -> string -> string list
+val exists_str : Tree.t list -> string -> bool

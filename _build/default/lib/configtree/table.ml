@@ -1,0 +1,161 @@
+type t = {
+  name : string;
+  columns : string list;
+  rows : string list list;
+}
+
+let make ~name ~columns rows =
+  let arity = List.length columns in
+  let rec pad row n = if n <= 0 then row else pad (row @ [ "" ]) (n - 1) in
+  let rec fix acc = function
+    | [] -> Ok (List.rev acc)
+    | row :: rest ->
+      let len = List.length row in
+      if len > arity then
+        Error
+          (Printf.sprintf "table %s: row with %d cells exceeds %d columns" name
+             len arity)
+      else fix (pad row (arity - len) :: acc) rest
+  in
+  match fix [] rows with
+  | Ok rows -> Ok { name; columns; rows }
+  | Error _ as e -> e
+
+let make_exn ~name ~columns rows =
+  match make ~name ~columns rows with
+  | Ok t -> t
+  | Error msg -> invalid_arg msg
+
+type op = Eq | Neq | Matches | Not_matches
+
+type clause = {
+  column : string;
+  op : op;
+  operand : string;
+  regex : Re.re option;  (** compiled when [op] is a regex operator *)
+}
+
+type query = clause list
+
+let parse_op = function
+  | "=" -> Ok Eq
+  | "!=" -> Ok Neq
+  | "~" -> Ok Matches
+  | "!~" -> Ok Not_matches
+  | s -> Error (Printf.sprintf "unknown operator %S" s)
+
+(* Split on the literal token [AND] (case-insensitive), respecting no
+   quoting: constraint strings in CVL are simple conjunctions. *)
+let split_and s =
+  let words = String.split_on_char ' ' s in
+  let rec go current acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | w :: rest when String.lowercase_ascii w = "and" ->
+      go [] (List.rev current :: acc) rest
+    | w :: rest -> go (w :: current) acc rest
+  in
+  go [] [] words
+  |> List.map (fun ws -> String.concat " " (List.filter (fun w -> w <> "") ws))
+  |> List.filter (fun s -> s <> "")
+
+let parse_clause text =
+  let parts =
+    String.split_on_char ' ' text |> List.filter (fun s -> s <> "")
+  in
+  match parts with
+  | [ column; op_s; operand ] -> (
+    match parse_op op_s with
+    | Error _ as e -> e
+    | Ok op -> Ok (column, op, operand))
+  | _ -> Error (Printf.sprintf "malformed constraint clause %S" text)
+
+let parse_query ~constraints ~values =
+  let texts = if String.trim constraints = "" then [] else split_and constraints in
+  let rec go acc values = function
+    | [] ->
+      if values = [] then Ok (List.rev acc)
+      else Error "more constraint values than '?' placeholders"
+    | text :: rest -> (
+      match parse_clause text with
+      | Error _ as e -> e
+      | Ok (column, op, operand) ->
+        let bind operand values =
+          if operand = "?" then
+            match values with
+            | v :: vs -> Ok (v, vs)
+            | [] -> Error "more '?' placeholders than constraint values"
+          else Ok (operand, values)
+        in
+        (match bind operand values with
+        | Error _ as e -> e
+        | Ok (operand, values) ->
+          let regex =
+            match op with
+            | Matches | Not_matches ->
+              (try Some (Re.compile (Re.whole_string (Re.Pcre.re operand)))
+               with _ -> None)
+            | Eq | Neq -> None
+          in
+          (match (op, regex) with
+          | (Matches | Not_matches), None ->
+            Error (Printf.sprintf "invalid regex %S" operand)
+          | _ -> go ({ column; op; operand; regex } :: acc) values rest)))
+  in
+  go [] values texts
+
+let op_to_string = function Eq -> "=" | Neq -> "!=" | Matches -> "~" | Not_matches -> "!~"
+
+let query_clauses query =
+  List.map (fun clause -> (clause.column, op_to_string clause.op, clause.operand)) query
+
+let query_bindings query =
+  List.filter_map
+    (fun clause -> match clause.op with Eq -> Some (clause.column, clause.operand) | _ -> None)
+    query
+
+let column_index t column =
+  let rec go i = function
+    | [] -> Error (Printf.sprintf "table %s: unknown column %S" t.name column)
+    | c :: _ when String.equal c column -> Ok i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.columns
+
+let clause_holds t row clause =
+  match column_index t clause.column with
+  | Error _ -> false
+  | Ok i ->
+    let cell = List.nth row i in
+    (match (clause.op, clause.regex) with
+    | Eq, _ -> String.equal cell clause.operand
+    | Neq, _ -> not (String.equal cell clause.operand)
+    | Matches, Some re -> Re.execp re cell
+    | Not_matches, Some re -> not (Re.execp re cell)
+    | (Matches | Not_matches), None -> false)
+
+let select t query =
+  List.filter (fun row -> List.for_all (clause_holds t row) query) t.rows
+
+let project t ~columns rows =
+  match columns with
+  | [] | [ "*" ] -> Ok rows
+  | _ ->
+    let rec indices acc = function
+      | [] -> Ok (List.rev acc)
+      | c :: rest -> (
+        match column_index t c with
+        | Ok i -> indices (i :: acc) rest
+        | Error _ as e -> e)
+    in
+    (match indices [] columns with
+    | Error _ as e -> e
+    | Ok idxs -> Ok (List.map (fun row -> List.map (List.nth row) idxs) rows))
+
+let column_values t ~column =
+  match column_index t column with
+  | Error _ -> []
+  | Ok i -> List.map (fun row -> List.nth row i) t.rows
+
+let pp fmt t =
+  Format.fprintf fmt "table %s (%s)@." t.name (String.concat ", " t.columns);
+  List.iter (fun row -> Format.fprintf fmt "  %s@." (String.concat " | " row)) t.rows

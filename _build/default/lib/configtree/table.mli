@@ -1,0 +1,53 @@
+(** Schema-pattern configurations ("SQL-table like structure" in the
+    paper): files such as /etc/passwd or /etc/fstab whose lines are rows
+    with positional, implicitly-named columns.
+
+    CVL schema rules query these tables through [query_constraints]
+    (e.g. ["dir = ?"]) with positional ['?'] placeholders bound by
+    [query_constraints_value], and project columns via [query_columns]
+    (["*"] or a comma list). *)
+
+type t = {
+  name : string;  (** e.g. ["fstab"] *)
+  columns : string list;
+  rows : string list list;  (** each row has [List.length columns] cells *)
+}
+
+(** [make ~name ~columns rows] checks that every row matches the column
+    arity; short rows are right-padded with [""] (schema files routinely
+    omit trailing fields), longer rows are rejected. *)
+val make : name:string -> columns:string list -> string list list -> (t, string) result
+
+val make_exn : name:string -> columns:string list -> string list list -> t
+
+(** A parsed constraint conjunction. *)
+type query
+
+(** [parse_query ~constraints ~values] parses e.g.
+    [~constraints:"dir = ? AND fstype != ?" ~values:["/tmp"; "swap"]].
+    Operators: [=], [!=], [~] (regex, anchored), [!~]. The number of
+    ['?'] placeholders must equal [List.length values]. An empty
+    constraint string selects every row. *)
+val parse_query : constraints:string -> values:string list -> (query, string) result
+
+(** Rows satisfying the query. *)
+val select : t -> query -> string list list
+
+(** The (column, value) pairs of the query's [=] clauses — what a row
+    must contain to satisfy the equality part of the query. Used by
+    remediation to synthesize missing rows. *)
+val query_bindings : query -> (string * string) list
+
+(** Every clause as (column, operator, operand), operators spelled as in
+    the surface syntax ([=], [!=], [~], [!~]). *)
+val query_clauses : query -> (string * string * string) list
+
+(** [project t ~columns rows] keeps the named columns of each row, in the
+    requested order; ["*"] (or [[]]) keeps all. Unknown column names are
+    an error. *)
+val project : t -> columns:string list -> string list list -> (string list list, string) result
+
+(** Cells of [column] over all selected rows. *)
+val column_values : t -> column:string -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type t = {
+  label : string;
+  value : string option;
+  children : t list;
+}
+
+let node ?value ?(children = []) label = { label; value; children }
+let leaf label value = node ~value label
+let section label children = node ~children label
+
+let value_exn n =
+  match n.value with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Tree.value_exn: node %S has no value" n.label)
+
+let rec size_node n = 1 + size n.children
+and size forest = List.fold_left (fun acc n -> acc + size_node n) 0 forest
+
+let rec depth_node n = 1 + depth n.children
+and depth forest = List.fold_left (fun acc n -> max acc (depth_node n)) 0 forest
+
+let flatten forest =
+  let buf = ref [] in
+  let rec go prefix n =
+    let here = if prefix = "" then n.label else prefix ^ "/" ^ n.label in
+    (match n.value with Some v -> buf := (here, v) :: !buf | None -> ());
+    List.iter (go here) n.children
+  in
+  List.iter (go "") forest;
+  List.rev !buf
+
+let rec equal a b =
+  String.equal a.label b.label
+  && Option.equal String.equal a.value b.value
+  && List.equal equal a.children b.children
+
+let rec pp_indent fmt indent n =
+  let pad = String.make indent ' ' in
+  (match n.value with
+  | Some v -> Format.fprintf fmt "%s%s = %S" pad n.label v
+  | None -> Format.fprintf fmt "%s%s" pad n.label);
+  List.iter
+    (fun c ->
+      Format.pp_print_newline fmt ();
+      pp_indent fmt (indent + 2) c)
+    n.children
+
+let pp fmt n = pp_indent fmt 0 n
+
+let pp_forest fmt forest =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp fmt forest
+
+let to_string forest = Format.asprintf "%a" pp_forest forest

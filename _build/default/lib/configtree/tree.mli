@@ -1,0 +1,47 @@
+(** Augeas-style labelled configuration trees.
+
+    A configuration file is normalized into a forest of nodes. Each node
+    carries a label (the key or section name), an optional value, and an
+    ordered list of children. Repeated labels are permitted and are
+    addressed positionally, as in Augeas. *)
+
+type t = {
+  label : string;
+  value : string option;
+  children : t list;
+}
+
+(** [node ?value ?children label] builds a node. *)
+val node : ?value:string -> ?children:t list -> string -> t
+
+(** [leaf label value] is [node ~value label]. *)
+val leaf : string -> string -> t
+
+(** [section label children] is [node ~children label]. *)
+val section : string -> t list -> t
+
+(** [value_exn n] is the value of [n].
+    @raise Invalid_argument if [n] has no value. *)
+val value_exn : t -> string
+
+(** Number of nodes in the forest, including inner nodes. *)
+val size : t list -> int
+
+(** Depth of the deepest node; [0] for an empty forest. *)
+val depth : t list -> int
+
+(** All (path, value) pairs of valued nodes, paths rendered as
+    [a/b/c]. Ordering is document order. *)
+val flatten : t list -> (string * string) list
+
+(** Structural equality that ignores child order is deliberately NOT
+    provided: configuration semantics are order sensitive (e.g. repeated
+    nginx directives). [equal] is ordered structural equality. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_forest : Format.formatter -> t list -> unit
+
+(** [to_string forest] renders the forest in an indented
+    [label = value] debug syntax. *)
+val to_string : t list -> string

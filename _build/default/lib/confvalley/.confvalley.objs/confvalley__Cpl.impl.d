@@ -1,0 +1,1 @@
+lib/confvalley/cpl.ml: Array Checkir Frames Hashtbl List Printf Re Result String

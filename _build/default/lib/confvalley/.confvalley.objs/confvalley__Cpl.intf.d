@@ -1,0 +1,1 @@
+lib/confvalley/cpl.mli: Checkir Frames

@@ -1,0 +1,335 @@
+type format =
+  | Kv_space
+  | Kv_equals
+  | Lines
+
+type comparison =
+  | Eq of string
+  | In of string list
+  | Matches of string
+
+type assertion =
+  | Key of { binding : string; key : string; if_present : bool; comparison : comparison }
+  | Exists of { binding : string; key : string }
+  | Count of { binding : string; regex : string; op : [ `Ge | `Eq ]; bound : int }
+  | Mode_le of { path : string; ceiling : int }
+  | Owner_eq of { path : string; owner : string }
+
+type program = {
+  bindings : (string * (string * format)) list;
+  assertions : assertion list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let format_of_string = function
+  | "kv_space" -> Ok Kv_space
+  | "kv_equals" -> Ok Kv_equals
+  | "lines" -> Ok Lines
+  | s -> Error (Printf.sprintf "unknown format %S" s)
+
+let format_to_string = function
+  | Kv_space -> "kv_space"
+  | Kv_equals -> "kv_equals"
+  | Lines -> "lines"
+
+(* Tokens: identifiers, quoted strings, numbers, and punctuation that
+   matters for the grammar. *)
+type token =
+  | Ident of string
+  | Str of string
+  | Num of int
+  | Punct of string
+
+let tokenize line ~lineno =
+  let n = String.length line in
+  let out = ref [] in
+  let rec go i =
+    if i >= n then Ok ()
+    else
+      match line.[i] with
+      | ' ' | '\t' -> go (i + 1)
+      | '"' -> (
+        match String.index_from_opt line (i + 1) '"' with
+        | None -> Error (Printf.sprintf "line %d: unterminated string" lineno)
+        | Some j ->
+          out := Str (String.sub line (i + 1) (j - i - 1)) :: !out;
+          go (j + 1))
+      | '0' .. '9' ->
+        let rec digits j = if j < n && line.[j] >= '0' && line.[j] <= '9' then digits (j + 1) else j in
+        let j = digits i in
+        out := Num (int_of_string (String.sub line i (j - i))) :: !out;
+        go j
+      | '[' | ']' | '(' | ')' | ',' ->
+        out := Punct (String.make 1 line.[i]) :: !out;
+        go (i + 1)
+      | '=' when i + 1 < n && line.[i + 1] = '=' ->
+        out := Punct "==" :: !out;
+        go (i + 2)
+      | '=' ->
+        out := Punct "=" :: !out;
+        go (i + 1)
+      | '<' when i + 1 < n && line.[i + 1] = '=' ->
+        out := Punct "<=" :: !out;
+        go (i + 2)
+      | '>' when i + 1 < n && line.[i + 1] = '=' ->
+        out := Punct ">=" :: !out;
+        go (i + 2)
+      | c when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' ->
+        let is_ident ch =
+          (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || (ch >= '0' && ch <= '9') || ch = '_'
+        in
+        let rec ident j = if j < n && is_ident line.[j] then ident (j + 1) else j in
+        let j = ident i in
+        out := Ident (String.sub line i (j - i)) :: !out;
+        go j
+      | c -> Error (Printf.sprintf "line %d: unexpected character %C" lineno c)
+  in
+  let* () = go 0 in
+  Ok (List.rev !out)
+
+let parse_comparison tokens ~lineno =
+  match tokens with
+  | Punct "==" :: Str v :: [] -> Ok (Eq v)
+  | Ident "in" :: Punct "[" :: rest ->
+    let rec items acc = function
+      | Str v :: Punct "," :: more -> items (v :: acc) more
+      | Str v :: Punct "]" :: [] -> Ok (In (List.rev (v :: acc)))
+      | _ -> Error (Printf.sprintf "line %d: malformed value list" lineno)
+    in
+    items [] rest
+  | Ident "matches" :: Str re :: [] -> Ok (Matches re)
+  | _ -> Error (Printf.sprintf "line %d: expected ==, in [...], or matches" lineno)
+
+let parse_selector tokens ~lineno =
+  match tokens with
+  | Ident binding :: Punct "[" :: Str key :: Punct "]" :: rest -> Ok ((binding, key), rest)
+  | _ -> Error (Printf.sprintf "line %d: expected binding[\"key\"]" lineno)
+
+let parse_assertion tokens ~lineno =
+  match tokens with
+  | Ident "exists" :: rest ->
+    let* (binding, key), rest = parse_selector rest ~lineno in
+    if rest = [] then Ok (Exists { binding; key })
+    else Error (Printf.sprintf "line %d: trailing tokens after exists" lineno)
+  | Ident "if_present" :: rest ->
+    let* (binding, key), rest = parse_selector rest ~lineno in
+    let* comparison = parse_comparison rest ~lineno in
+    Ok (Key { binding; key; if_present = true; comparison })
+  | Ident "count" :: Punct "(" :: Ident "match" :: Punct "(" :: Ident binding :: Punct ","
+    :: Str regex :: Punct ")" :: Punct ")" :: rest -> (
+    match rest with
+    | Punct ">=" :: Num bound :: [] -> Ok (Count { binding; regex; op = `Ge; bound })
+    | Punct "==" :: Num bound :: [] -> Ok (Count { binding; regex; op = `Eq; bound })
+    | _ -> Error (Printf.sprintf "line %d: expected >= N or == N after count()" lineno))
+  | Ident "mode" :: Punct "(" :: Str path :: Punct ")" :: Punct "<=" :: Num ceiling :: [] -> (
+    match int_of_string_opt ("0o" ^ string_of_int ceiling) with
+    | Some bits -> Ok (Mode_le { path; ceiling = bits })
+    | None -> Error (Printf.sprintf "line %d: invalid octal mode" lineno))
+  | Ident "owner" :: Punct "(" :: Str path :: Punct ")" :: Punct "==" :: Str owner :: [] ->
+    Ok (Owner_eq { path; owner })
+  | _ ->
+    let* (binding, key), rest = parse_selector tokens ~lineno in
+    let* comparison = parse_comparison rest ~lineno in
+    Ok (Key { binding; key; if_present = false; comparison })
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno bindings assertions = function
+    | [] -> Ok { bindings = List.rev bindings; assertions = List.rev assertions }
+    | line :: rest -> (
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go (lineno + 1) bindings assertions rest
+      else
+        let* tokens = tokenize line ~lineno in
+        match tokens with
+        | Ident "let" :: Ident name :: Punct "=" :: Ident "file" :: Punct "(" :: Str path
+          :: Punct "," :: Ident fmt :: Punct ")" :: [] ->
+          let* format = format_of_string fmt in
+          if List.mem_assoc name bindings then
+            Error (Printf.sprintf "line %d: duplicate binding %s" lineno name)
+          else go (lineno + 1) ((name, (path, format)) :: bindings) assertions rest
+        | Ident "assert" :: body ->
+          let* assertion = parse_assertion body ~lineno in
+          go (lineno + 1) bindings (assertion :: assertions) rest
+        | _ -> Error (Printf.sprintf "line %d: expected let or assert" lineno))
+  in
+  go 1 [] [] lines
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* CPL strings are raw between quotes (the parser applies no escape
+   processing), so rendering must not escape backslashes; embedded
+   quotes are unsupported, as in the original language's regex atoms. *)
+let quote s = "\"" ^ s ^ "\""
+
+let render_comparison = function
+  | Eq v -> Printf.sprintf "== %s" (quote v)
+  | In vs -> Printf.sprintf "in [%s]" (String.concat ", " (List.map quote vs))
+  | Matches re -> Printf.sprintf "matches %s" (quote re)
+
+let render_assertion = function
+  | Key { binding; key; if_present; comparison } ->
+    Printf.sprintf "assert %s%s[%s] %s"
+      (if if_present then "if_present " else "")
+      binding (quote key) (render_comparison comparison)
+  | Exists { binding; key } -> Printf.sprintf "assert exists %s[%s]" binding (quote key)
+  | Count { binding; regex; op; bound } ->
+    Printf.sprintf "assert count(match(%s, %s)) %s %d" binding (quote regex)
+      (match op with `Ge -> ">=" | `Eq -> "==")
+      bound
+  | Mode_le { path; ceiling } -> Printf.sprintf "assert mode(%s) <= %o" (quote path) ceiling
+  | Owner_eq { path; owner } -> Printf.sprintf "assert owner(%s) == %s" (quote path) (quote owner)
+
+let render program =
+  String.concat "\n"
+    (List.map
+       (fun (name, (path, fmt)) ->
+         Printf.sprintf "let %s = file(%s, %s)" name (quote path) (format_to_string fmt))
+       program.bindings
+    @ List.map render_assertion program.assertions)
+  ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let regex_cache : (string, Re.re option) Hashtbl.t = Hashtbl.create 32
+
+let compile_whole pattern =
+  match Hashtbl.find_opt regex_cache pattern with
+  | Some c -> c
+  | None ->
+    let c = try Some (Re.compile (Re.whole_string (Re.Pcre.re pattern))) with _ -> None in
+    Hashtbl.add regex_cache pattern c;
+    c
+
+let compile_search pattern =
+  let key = "\x00search:" ^ pattern in
+  match Hashtbl.find_opt regex_cache key with
+  | Some c -> c
+  | None ->
+    let c = try Some (Re.compile (Re.Pcre.re pattern)) with _ -> None in
+    Hashtbl.add regex_cache key c;
+    c
+
+let values_of frame program ~binding ~key =
+  match List.assoc_opt binding program.bindings with
+  | None -> None
+  | Some (path, format) -> (
+    let lines = Checkir.Check.config_lines frame path in
+    match format with
+    | Kv_space -> Some (Checkir.Check.key_values ~sep:Checkir.Check.Space ~key lines)
+    | Kv_equals -> Some (Checkir.Check.key_values ~sep:Checkir.Check.Equals ~key lines)
+    | Lines -> Some (List.filter (fun l -> l = key) lines))
+
+let comparison_holds comparison value =
+  match comparison with
+  | Eq expected -> String.equal value expected
+  | In vs -> List.mem value vs
+  | Matches re -> ( match compile_whole re with Some re -> Re.execp re value | None -> false)
+
+let eval_assertion frame program = function
+  | Key { binding; key; if_present; comparison } -> (
+    match values_of frame program ~binding ~key with
+    | None -> false
+    | Some [] -> if_present
+    | Some values -> List.for_all (comparison_holds comparison) values)
+  | Exists { binding; key } -> (
+    match values_of frame program ~binding ~key with
+    | Some (_ :: _) -> true
+    | Some [] | None -> false)
+  | Count { binding; regex; op; bound } -> (
+    match (List.assoc_opt binding program.bindings, compile_search regex) with
+    | Some (path, _), Some re ->
+      let hits =
+        List.length (List.filter (Re.execp re) (Checkir.Check.config_lines frame path))
+      in
+      (match op with `Ge -> hits >= bound | `Eq -> hits = bound)
+    | _ -> false)
+  | Mode_le { path; ceiling } -> (
+    match Frames.Frame.stat frame path with
+    | Some f -> f.Frames.File.mode land lnot ceiling land 0o7777 = 0
+    | None -> false)
+  | Owner_eq { path; owner } -> (
+    match Frames.Frame.stat frame path with
+    | Some f -> Frames.File.ownership f = owner
+    | None -> false)
+
+let eval frame program = List.map (eval_assertion frame program) program.assertions
+let check frame program = List.for_all (fun b -> b) (eval frame program)
+
+(* ------------------------------------------------------------------ *)
+(* From abstract checks                                                *)
+(* ------------------------------------------------------------------ *)
+
+let binding_for file =
+  let base =
+    match String.rindex_opt file '/' with
+    | Some i -> String.sub file (i + 1) (String.length file - i - 1)
+    | None -> file
+  in
+  String.map (fun c -> if c = '.' || c = '-' then '_' else c) base
+
+let format_for (sep : Checkir.Check.sep) =
+  match sep with Checkir.Check.Space -> Kv_space | Checkir.Check.Equals -> Kv_equals
+
+let assertions_of_check (c : Checkir.Check.t) =
+  match c.Checkir.Check.target with
+  | Checkir.Check.Key_value { file; key; sep; expected; absent_pass } ->
+    let comparison =
+      match expected with
+      | Checkir.Check.Values [ v ] -> Eq v
+      | Checkir.Check.Values vs -> In vs
+      | Checkir.Check.Pattern p -> Matches p
+    in
+    ([ (file, format_for sep) ], [ Key { binding = binding_for file; key; if_present = absent_pass; comparison } ])
+  | Checkir.Check.Line_present { file; regex } ->
+    ([ (file, Lines) ], [ Count { binding = binding_for file; regex; op = `Ge; bound = 1 } ])
+  | Checkir.Check.Line_absent { file; regex } ->
+    ([ (file, Lines) ], [ Count { binding = binding_for file; regex; op = `Eq; bound = 0 } ])
+  | Checkir.Check.File_mode { path; max_mode; owner } ->
+    ([], [ Mode_le { path; ceiling = max_mode }; Owner_eq { path; owner } ])
+
+let of_check c =
+  let bindings, assertions = assertions_of_check c in
+  let bindings = List.map (fun (path, fmt) -> (binding_for path, (path, fmt))) bindings in
+  { bindings; assertions }
+
+let of_checks checks =
+  let bindings = ref [] in
+  let spans = ref [] in
+  let assertions = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun (c : Checkir.Check.t) ->
+      let bs, asserts = assertions_of_check c in
+      List.iter
+        (fun (path, fmt) ->
+          let name = binding_for path in
+          if not (List.mem_assoc name !bindings) then bindings := (name, (path, fmt)) :: !bindings)
+        bs;
+      let start = !count in
+      assertions := !assertions @ asserts;
+      count := !count + List.length asserts;
+      spans := (c.Checkir.Check.id, start, !count) :: !spans)
+    checks;
+  ({ bindings = List.rev !bindings; assertions = !assertions }, List.rev !spans)
+
+let run_checks frame checks =
+  let program, spans = of_checks checks in
+  let verdicts = Array.of_list (eval frame program) in
+  List.map
+    (fun (id, start, stop) ->
+      let ok = ref true in
+      for i = start to stop - 1 do
+        if not verdicts.(i) then ok := false
+      done;
+      (id, !ok))
+    spans

@@ -1,0 +1,72 @@
+(** A miniature ConfValley-style validation language ("CPL").
+
+    ConfValley (Huang et al., EuroSys '15) is the declarative
+    configuration-validation framework the paper positions CVL against:
+    also declarative, but — per the paper — "still requires significant
+    DevOps expertise". This module makes that qualitative §4.2 claim
+    executable: the same 40 CIS checks render into a CPL-style
+    imperative-declarative hybrid (explicit source bindings, typed
+    selectors, quantified assertions) and run against configuration
+    frames, so specification sizes and runtimes can be compared under
+    identical semantics.
+
+    The language (a faithful simplification of CPL's shape):
+
+    {v
+    let sshd = file("/etc/ssh/sshd_config", kv_space)
+    assert sshd["PermitRootLogin"] == "no"
+    assert if_present sshd["X11Forwarding"] == "no"
+    assert sshd["MaxAuthTries"] matches "[1-4]"
+    assert sshd["LogLevel"] in ["INFO", "VERBOSE"]
+    assert count(match(audit, "-w /etc/passwd")) >= 1
+    assert mode("/etc/ssh/sshd_config") <= 600
+    assert owner("/etc/ssh/sshd_config") == "0:0"
+    v}
+
+    Formats: [kv_space] (sshd style), [kv_equals] (sysctl style),
+    [lines] (raw non-comment lines). An assertion over a selector is
+    evaluated against {e every} occurrence of the key. *)
+
+type format =
+  | Kv_space
+  | Kv_equals
+  | Lines
+
+type comparison =
+  | Eq of string
+  | In of string list
+  | Matches of string  (** whole-value regex *)
+
+type assertion =
+  | Key of { binding : string; key : string; if_present : bool; comparison : comparison }
+  | Exists of { binding : string; key : string }
+  | Count of { binding : string; regex : string; op : [ `Ge | `Eq ]; bound : int }
+  | Mode_le of { path : string; ceiling : int }
+  | Owner_eq of { path : string; owner : string }
+
+type program = {
+  bindings : (string * (string * format)) list;  (** name → (path, format) *)
+  assertions : assertion list;
+}
+
+val parse : string -> (program, string) result
+val render : program -> string
+
+(** Each assertion's verdict, in order ([true] = holds). *)
+val eval : Frames.Frame.t -> program -> bool list
+
+(** Whole-program conjunction. *)
+val check : Frames.Frame.t -> program -> bool
+
+(** {2 Table 2 / Listing 6 integration} *)
+
+(** Render one abstract check as a standalone CPL program (binding +
+    assertions) — the ConfValley column of the spec-size comparison. *)
+val of_check : Checkir.Check.t -> program
+
+(** One program covering all checks (bindings shared), plus the span of
+    assertion indexes belonging to each check id. *)
+val of_checks : Checkir.Check.t list -> program * (string * int * int) list
+
+(** Run all checks through one parsed program: (check id, compliant). *)
+val run_checks : Frames.Frame.t -> Checkir.Check.t list -> (string * bool) list

@@ -1,0 +1,225 @@
+type extracted = {
+  entity_id : string;
+  source_path : string;
+  content : string;
+  file : Frames.File.t;
+}
+
+let glob_re pattern =
+  let buf = Buffer.create (String.length pattern + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '*' -> Buffer.add_string buf "[^/]*"
+      | '.' | '\\' | '+' | '^' | '$' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '?' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      | c -> Buffer.add_char buf c)
+    pattern;
+  Re.compile (Re.whole_string (Re.Posix.re (Buffer.contents buf)))
+
+let basename path =
+  match String.rindex_opt path '/' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let pattern_matches pattern path =
+  let re = glob_re pattern in
+  if String.contains pattern '/' then begin
+    let rec go start =
+      if start > String.length path then false
+      else
+        let candidate = String.sub path start (String.length path - start) in
+        if Re.execp re candidate then true
+        else
+          match String.index_from_opt path start '/' with
+          | Some i -> go (i + 1)
+          | None -> false
+    in
+    go 0
+  end
+  else Re.execp re (basename path)
+
+let find_config_files frame ~search_paths ~patterns =
+  let candidates =
+    List.concat_map
+      (fun root ->
+        match Frames.Frame.stat frame root with
+        | Some ({ Frames.File.kind = Frames.File.Regular; _ } as f) -> [ f ]
+        | Some { Frames.File.kind = Frames.File.Directory; _ } ->
+          Frames.Frame.files_under frame ~prefix:root
+        | Some { Frames.File.kind = Frames.File.Symlink _; _ } | None -> [])
+      search_paths
+  in
+  let matches (f : Frames.File.t) =
+    patterns = [] || List.exists (fun p -> pattern_matches p f.path) patterns
+  in
+  candidates
+  |> List.filter matches
+  |> List.sort_uniq (fun (a : Frames.File.t) b -> String.compare a.path b.path)
+  |> List.map (fun (f : Frames.File.t) ->
+         {
+           entity_id = Frames.Frame.id frame;
+           source_path = f.path;
+           content = f.content;
+           file = f;
+         })
+
+let stat_path = Frames.Frame.stat
+
+type plugin = {
+  plugin_name : string;
+  description : string;
+  lens_name : string;
+  run : Frames.Frame.t -> (string, string) result;
+}
+
+let runtime_doc_plugin ~name ~description ~lens_name ~key =
+  {
+    plugin_name = name;
+    description;
+    lens_name;
+    run =
+      (fun frame ->
+        match Frames.Frame.runtime_doc frame key with
+        | Some doc -> Ok doc
+        | None ->
+          Error
+            (Printf.sprintf "plugin %s: entity %s exposes no %S runtime state" name
+               (Frames.Frame.id frame) key));
+  }
+
+let sysctl_runtime =
+  {
+    plugin_name = "sysctl_runtime";
+    description = "full kernel parameter table, as printed by `sysctl -a`";
+    lens_name = "sysctl";
+    run =
+      (fun frame ->
+        match Frames.Frame.kernel_params frame with
+        | [] -> Error "plugin sysctl_runtime: frame has no kernel parameter table"
+        | params -> Ok (Lenses.Sysctl.render_params (List.sort compare params)));
+  }
+
+let process_list =
+  {
+    plugin_name = "process_list";
+    description = "running processes, one `pid user command` row per line";
+    lens_name = "proc";
+    run =
+      (fun frame ->
+        let rows =
+          Frames.Frame.processes frame
+          |> List.map (fun (p : Frames.Frame.process) ->
+                 Printf.sprintf "%d %s %s" p.pid p.user p.command)
+        in
+        Ok (String.concat "\n" rows ^ "\n"));
+  }
+
+let package_list =
+  {
+    plugin_name = "package_list";
+    description = "installed packages as `name version` properties";
+    lens_name = "properties";
+    run =
+      (fun frame ->
+        let rows =
+          Frames.Frame.packages frame
+          |> List.map (fun (p : Frames.Frame.package) -> Printf.sprintf "%s=%s" p.name p.version)
+        in
+        Ok (String.concat "\n" rows ^ "\n"));
+  }
+
+(* Derived cloud exposures: joint conditions over security-group fields
+   (port ranges x CIDRs) and user attributes cannot be expressed as a
+   single tree assertion, so — exactly as the paper prescribes for
+   custom configuration — an entity-specific plugin computes them and
+   emits plain key=value facts for the rule engine. *)
+let openstack_exposures =
+  {
+    plugin_name = "openstack_exposures";
+    description = "derived exposure facts from security groups and identity state";
+    lens_name = "properties";
+    run =
+      (fun frame ->
+        match
+          ( Frames.Frame.runtime_doc frame "openstack_secgroups",
+            Frames.Frame.runtime_doc frame "openstack_users" )
+        with
+        | None, _ | _, None ->
+          Error "plugin openstack_exposures: entity exposes no OpenStack runtime state"
+        | Some secgroups_doc, Some users_doc -> (
+          match (Jsonlite.parse secgroups_doc, Jsonlite.parse users_doc) with
+          | Error e, _ | _, Error e ->
+            Error (Printf.sprintf "plugin openstack_exposures: %s" (Jsonlite.error_to_string e))
+          | Ok secgroups, Ok users ->
+            let groups = Option.value (Jsonlite.get_arr secgroups) ~default:[] in
+            let rules =
+              List.concat_map
+                (fun g ->
+                  match Jsonlite.member "security_group_rules" g with
+                  | Some (Jsonlite.Arr rs) -> rs
+                  | _ -> [])
+                groups
+            in
+            let world_open_port port =
+              List.exists
+                (fun r ->
+                  let str key = Option.bind (Jsonlite.member key r) Jsonlite.get_str in
+                  let num key = Option.bind (Jsonlite.member key r) Jsonlite.get_num in
+                  str "direction" = Some "ingress"
+                  && (str "remote_ip_prefix" = Some "0.0.0.0/0" || str "remote_ip_prefix" = Some "::/0")
+                  &&
+                  match (num "port_range_min", num "port_range_max") with
+                  | Some lo, Some hi -> lo <= float_of_int port && float_of_int port <= hi
+                  | _ -> false)
+                rules
+            in
+            let admins_without_mfa =
+              Option.value (Jsonlite.get_arr users) ~default:[]
+              |> List.filter (fun u ->
+                     let str key = Option.bind (Jsonlite.member key u) Jsonlite.get_str in
+                     let flag key = Option.bind (Jsonlite.member key u) Jsonlite.get_bool in
+                     str "role" = Some "admin"
+                     && flag "enabled" = Some true
+                     && flag "multi_factor" = Some false)
+              |> List.length
+            in
+            let yesno b = if b then "yes" else "no" in
+            Ok
+              (String.concat "\n"
+                 [
+                   Printf.sprintf "world_open_ssh=%s" (yesno (world_open_port 22));
+                   Printf.sprintf "world_open_db=%s" (yesno (world_open_port 3306));
+                   Printf.sprintf "admins_without_mfa=%d" admins_without_mfa;
+                 ]
+              ^ "\n")));
+  }
+
+let plugins =
+  [
+    sysctl_runtime;
+    openstack_exposures;
+    runtime_doc_plugin ~name:"mysql_variables"
+      ~description:"MySQL server variables (SHOW VARIABLES), key=value form" ~lens_name:"ini"
+      ~key:"mysql_variables";
+    runtime_doc_plugin ~name:"docker_inspect" ~description:"docker inspect document"
+      ~lens_name:"json" ~key:"docker_inspect";
+    runtime_doc_plugin ~name:"docker_image_config" ~description:"image configuration (USER, ENV, HEALTHCHECK)"
+      ~lens_name:"json" ~key:"docker_image_config";
+    runtime_doc_plugin ~name:"openstack_secgroups" ~description:"security groups via the network API"
+      ~lens_name:"json" ~key:"openstack_secgroups";
+    runtime_doc_plugin ~name:"openstack_users" ~description:"identity users via the keystone API"
+      ~lens_name:"json" ~key:"openstack_users";
+    runtime_doc_plugin ~name:"openstack_servers" ~description:"instances via the compute API"
+      ~lens_name:"json" ~key:"openstack_servers";
+    process_list;
+    package_list;
+  ]
+
+let find_plugin name = List.find_opt (fun p -> String.equal p.plugin_name name) plugins
+
+let run_plugin frame ~name =
+  match find_plugin name with
+  | Some plugin -> plugin.run frame
+  | None -> Error (Printf.sprintf "unknown plugin %S" name)

@@ -1,0 +1,56 @@
+(** The config extractor (the paper's "Crawler" stage): walks an
+    entity's configuration frame, returning the configuration files a
+    manifest asks for plus their metadata, and runs entity plugins for
+    state that lives in the runtime rather than in files. *)
+
+type extracted = {
+  entity_id : string;
+  source_path : string;  (** absolute path inside the frame *)
+  content : string;
+  file : Frames.File.t;  (** permission/ownership metadata *)
+}
+
+(** [find_config_files frame ~search_paths ~patterns] returns every
+    regular file under any of [search_paths] (each may be a directory or
+    a single file) whose basename matches one of [patterns] (['*']
+    globs; a pattern containing ['/'] matches as a path suffix).
+    With [patterns = []] every file under the search paths is returned.
+    Results are sorted by path and deduplicated. *)
+val find_config_files :
+  Frames.Frame.t -> search_paths:string list -> patterns:string list -> extracted list
+
+(** [stat_path frame path] is the metadata for a path rule: [None] when
+    the path does not exist in the frame. *)
+val stat_path : Frames.Frame.t -> string -> Frames.File.t option
+
+(** [pattern_matches pattern path] — the glob matching used by
+    [find_config_files], exposed for CVL [file_context] filtering:
+    basename match for plain patterns, path-suffix match for patterns
+    containing ['/']. *)
+val pattern_matches : string -> string -> bool
+
+(** {2 Runtime-state plugins}
+
+    A plugin extracts configuration that exists only in the entity's
+    runtime (the paper's "custom configuration"): kernel parameters via
+    [sysctl -a], MySQL server variables, docker-inspect state, cloud
+    API objects. Output is text in a format some lens can parse; the
+    plugin names the lens. *)
+
+type plugin = {
+  plugin_name : string;
+  description : string;
+  lens_name : string;  (** lens used to normalize the plugin's output *)
+  run : Frames.Frame.t -> (string, string) result;
+}
+
+(** Built-in plugins: [sysctl_runtime], [mysql_variables],
+    [docker_inspect], [docker_image_config], [openstack_secgroups],
+    [openstack_users], [openstack_servers], [process_list],
+    [package_list]. *)
+val plugins : plugin list
+
+val find_plugin : string -> plugin option
+
+(** Run a named plugin against a frame. *)
+val run_plugin : Frames.Frame.t -> name:string -> (string, string) result

@@ -1,0 +1,1 @@
+lib/cvl/engine.mli: Frames Lenses Manifest Rule Stdlib

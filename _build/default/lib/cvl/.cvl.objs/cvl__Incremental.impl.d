@@ -1,0 +1,1 @@
+lib/cvl/incremental.ml: Engine Frames List Manifest Rule String Validator

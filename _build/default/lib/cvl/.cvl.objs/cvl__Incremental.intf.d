@@ -1,0 +1,1 @@
+lib/cvl/incremental.mli: Engine Frames Manifest Rule

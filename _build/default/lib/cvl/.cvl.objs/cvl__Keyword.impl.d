@@ -1,0 +1,1 @@
+lib/cvl/keyword.ml: List Option String

@@ -1,0 +1,1 @@
+lib/cvl/loader.ml: Expr Filename In_channel Keyword List Matcher Option Printf Result Rule String Yamlite

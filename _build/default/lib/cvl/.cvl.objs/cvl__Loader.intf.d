@@ -1,0 +1,1 @@
+lib/cvl/loader.mli: Rule Yamlite

@@ -1,0 +1,1 @@
+lib/cvl/manifest.ml: List Loader Option Printf Result Yamlite

@@ -1,0 +1,1 @@
+lib/cvl/manifest.mli: Loader Rule Yamlite

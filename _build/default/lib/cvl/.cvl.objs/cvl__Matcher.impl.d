@@ -1,0 +1,1 @@
+lib/cvl/matcher.ml: Hashtbl List Printf Re String

@@ -1,0 +1,1 @@
+lib/cvl/matcher.mli:

@@ -1,0 +1,1 @@
+lib/cvl/remediate.ml: Configtree Crawler Engine Format Frames Lenses List Manifest Matcher Option Printf Report Rule String Validator

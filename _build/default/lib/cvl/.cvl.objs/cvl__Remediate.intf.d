@@ -1,0 +1,1 @@
+lib/cvl/remediate.mli: Engine Format Frames Loader Manifest Rule

@@ -1,0 +1,1 @@
+lib/cvl/report.ml: Buffer Engine Jsonlite List Printf Rule String Xmllite

@@ -1,0 +1,1 @@
+lib/cvl/report.mli: Engine Jsonlite

@@ -1,0 +1,1 @@
+lib/cvl/rule.ml: List Matcher String

@@ -1,0 +1,1 @@
+lib/cvl/validator.ml: Engine Expr Frames List Manifest Option Printf Result Rule String

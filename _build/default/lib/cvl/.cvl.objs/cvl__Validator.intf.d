@@ -1,0 +1,1 @@
+lib/cvl/validator.mli: Engine Expr Frames Loader Manifest Rule

@@ -1,0 +1,442 @@
+type verdict =
+  | Matched
+  | Not_matched
+  | Not_present
+  | Not_applicable
+  | Engine_error of string
+
+let verdict_to_string = function
+  | Matched -> "matched"
+  | Not_matched -> "not-matched"
+  | Not_present -> "not-present"
+  | Not_applicable -> "not-applicable"
+  | Engine_error msg -> Printf.sprintf "error(%s)" msg
+
+let is_violation = function
+  | Not_matched | Not_present -> true
+  | Matched | Not_applicable | Engine_error _ -> false
+
+type result = {
+  entity : string;
+  frame_id : string;
+  rule : Rule.t;
+  verdict : verdict;
+  detail : string;
+  evidence : string list;
+}
+
+type entity_ctx = {
+  entity : string;
+  frame : Frames.Frame.t;
+  configs : (string * (Lenses.Lens.normalized, string) Stdlib.result) list;
+}
+
+let build_ctx frame (entry : Manifest.entry) =
+  let extracted =
+    Crawler.find_config_files frame ~search_paths:entry.Manifest.search_paths ~patterns:[]
+  in
+  let configs =
+    List.map
+      (fun (e : Crawler.extracted) ->
+        ( e.Crawler.source_path,
+          Lenses.Registry.parse ?lens_name:entry.Manifest.lens ~path:e.Crawler.source_path
+            e.Crawler.content ))
+      extracted
+  in
+  { entity = entry.Manifest.entity; frame; configs }
+
+let ctx_of_documents ~entity frame docs =
+  { entity; frame; configs = List.map (fun (path, n) -> (path, Ok n)) docs }
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mk ctx rule verdict ~detail ~evidence =
+  { entity = ctx.entity; frame_id = Frames.Frame.id ctx.frame; rule; verdict; detail; evidence }
+
+(* Pick the configured output string for the verdict, with a generic
+   fallback so reports never show empty findings. *)
+let describe (c : Rule.common) verdict =
+  let fallback =
+    match verdict with
+    | Matched -> Printf.sprintf "%s: configuration matches the preferred value" c.Rule.name
+    | Not_matched -> Printf.sprintf "%s: configuration does not match the preferred value" c.Rule.name
+    | Not_present -> Printf.sprintf "%s: configuration not present" c.Rule.name
+    | Not_applicable -> Printf.sprintf "%s: not applicable" c.Rule.name
+    | Engine_error msg -> Printf.sprintf "%s: %s" c.Rule.name msg
+  in
+  let configured =
+    match verdict with
+    | Matched -> c.Rule.matched_description
+    | Not_matched -> c.Rule.not_matched_description
+    | Not_present -> c.Rule.not_present_description
+    | Not_applicable | Engine_error _ -> ""
+  in
+  if configured = "" then fallback else configured
+
+let files_in_context ctx patterns =
+  List.filter
+    (fun (path, _) ->
+      patterns = [] || List.exists (fun p -> Crawler.pattern_matches p path) patterns)
+    ctx.configs
+
+let trees_in_context ctx patterns =
+  files_in_context ctx patterns
+  |> List.filter_map (fun (path, parsed) ->
+         match parsed with
+         | Ok (Lenses.Lens.Tree forest) -> Some (path, forest)
+         | Ok (Lenses.Lens.Table _) | Error _ -> None)
+
+let tables_in_context ctx patterns =
+  files_in_context ctx patterns
+  |> List.filter_map (fun (path, parsed) ->
+         match parsed with
+         | Ok (Lenses.Lens.Table t) -> Some (path, t)
+         | Ok (Lenses.Lens.Tree _) | Error _ -> None)
+
+let parse_errors_in_context ctx patterns =
+  files_in_context ctx patterns
+  |> List.filter_map (fun (path, parsed) ->
+         match parsed with
+         | Error e -> Some (Printf.sprintf "%s: %s" path e)
+         | Ok _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Tree rules                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let label_exists forest label =
+  (* Try the label as a root, then anywhere in the forest. Labels may
+     contain '/' as part of a path expression. *)
+  match Configtree.Path.parse label with
+  | Error _ -> false
+  | Ok path ->
+    Configtree.Path.exists forest path
+    || Configtree.Path.exists forest (Configtree.Path.Deep :: path)
+
+let nodes_at forest ~config_path ~name =
+  let path_text = if config_path = "" then name else config_path ^ "/" ^ name in
+  match Configtree.Path.parse path_text with
+  | Error _ -> []
+  | Ok path -> Configtree.Path.find forest path
+
+(* Gather the observed values for a tree rule in one file's forest. *)
+let observed_values (r : Rule.tree_rule) forest =
+  let name = r.Rule.tree_common.Rule.name in
+  let nodes = List.concat_map (fun cp -> nodes_at forest ~config_path:cp ~name) r.Rule.config_paths in
+  let raw = List.filter_map (fun (n : Configtree.Tree.t) -> n.value) nodes in
+  let values =
+    match r.Rule.value_separator with
+    | None -> raw
+    | Some sep when String.length sep = 1 ->
+      List.concat_map
+        (fun v -> String.split_on_char sep.[0] v |> List.map String.trim |> List.filter (( <> ) ""))
+        raw
+    | Some _ -> raw
+  in
+  (List.length nodes, values)
+
+let expectation_violated ?(case_insensitive = false) (e : Rule.expectation) values =
+  (* Non-preferred semantics: any observed value matching is a
+     violation. *)
+  List.filter
+    (fun v -> Matcher.satisfies ~case_insensitive e.Rule.match_spec ~rule_values:e.Rule.values ~config_value:v)
+    values
+
+let expectation_satisfied ?(case_insensitive = false) (e : Rule.expectation) values =
+  (* Preferred semantics: every observed value must satisfy. *)
+  List.for_all
+    (fun v -> Matcher.satisfies ~case_insensitive e.Rule.match_spec ~rule_values:e.Rule.values ~config_value:v)
+    values
+
+let eval_tree_in ctx rule (r : Rule.tree_rule) =
+  let c = r.Rule.tree_common in
+  let files = trees_in_context ctx r.Rule.file_context in
+  if files = [] then
+    let errors = parse_errors_in_context ctx r.Rule.file_context in
+    if errors <> [] then
+      mk ctx rule (Engine_error "configuration files failed to parse")
+        ~detail:(describe c (Engine_error "configuration files failed to parse"))
+        ~evidence:errors
+    else
+      mk ctx rule Not_applicable
+        ~detail:(Printf.sprintf "%s: no configuration files found" c.Rule.name)
+        ~evidence:[]
+  else
+    (* Keep only the files whose required context configs are present. *)
+    let applicable =
+      List.filter
+        (fun (_, forest) -> List.for_all (label_exists forest) r.Rule.require_other_configs)
+        files
+    in
+    if applicable = [] then
+      mk ctx rule Not_applicable
+        ~detail:
+          (Printf.sprintf "%s: required configs (%s) not present" c.Rule.name
+             (String.concat ", " r.Rule.require_other_configs))
+        ~evidence:(List.map fst files)
+    else
+      let per_file = List.map (fun (path, forest) -> (path, observed_values r forest)) applicable in
+      let total_nodes = List.fold_left (fun acc (_, (n, _)) -> acc + n) 0 per_file in
+      let values = List.concat_map (fun (_, (_, vs)) -> vs) per_file in
+      let evidence =
+        List.filter_map
+          (fun (path, (n, vs)) ->
+            if n = 0 then None
+            else Some (Printf.sprintf "%s: %s = [%s]" path c.Rule.name (String.concat "; " vs)))
+          per_file
+      in
+      if total_nodes = 0 then
+        let verdict = if r.Rule.not_present_pass then Matched else Not_present in
+        let detail =
+          if r.Rule.not_present_pass && c.Rule.not_present_description <> "" then
+            c.Rule.not_present_description
+          else describe c Not_present
+        in
+        mk ctx rule verdict ~detail ~evidence:(List.map fst applicable)
+      else if r.Rule.check_presence_only then
+        mk ctx rule Matched ~detail:(describe c Matched) ~evidence
+      else
+        let case_insensitive = r.Rule.case_insensitive in
+        let bad =
+          match r.Rule.non_preferred with
+          | Some e -> expectation_violated ~case_insensitive e values
+          | None -> []
+        in
+        if bad <> [] then
+          mk ctx rule Not_matched ~detail:(describe c Not_matched)
+            ~evidence:(evidence @ [ Printf.sprintf "non-preferred value(s): %s" (String.concat "; " bad) ])
+        else
+          let ok =
+            match r.Rule.preferred with
+            | Some e -> expectation_satisfied ~case_insensitive e values
+            | None -> true
+          in
+          if ok then mk ctx rule Matched ~detail:(describe c Matched) ~evidence
+          else mk ctx rule Not_matched ~detail:(describe c Not_matched) ~evidence
+
+(* ------------------------------------------------------------------ *)
+(* Schema rules                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let eval_schema_in ctx rule (r : Rule.schema_rule) =
+  let c = r.Rule.schema_common in
+  let tables = tables_in_context ctx r.Rule.schema_file_context in
+  if tables = [] then
+    mk ctx rule Not_applicable
+      ~detail:(Printf.sprintf "%s: no schema configuration found" c.Rule.name)
+      ~evidence:(parse_errors_in_context ctx r.Rule.schema_file_context)
+  else
+    let run (path, table) =
+      match
+        Configtree.Table.parse_query ~constraints:r.Rule.query_constraints
+          ~values:r.Rule.query_constraints_value
+      with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok query -> (
+        let rows = Configtree.Table.select table query in
+        match Configtree.Table.project table ~columns:r.Rule.query_columns rows with
+        | Error e -> Error (Printf.sprintf "%s: %s" path e)
+        | Ok projected -> Ok (path, projected))
+    in
+    let outcomes = List.map run tables in
+    (match List.find_opt Result.is_error outcomes with
+    | Some (Error e) -> mk ctx rule (Engine_error e) ~detail:(describe c (Engine_error e)) ~evidence:[ e ]
+    | Some (Ok _) -> assert false
+    | None ->
+      let per_file = List.filter_map Result.to_option outcomes in
+      let rows = List.concat_map snd per_file in
+      let cells = match List.concat rows with [] -> [ "" ] | cells -> cells in
+      let evidence =
+        List.filter_map
+          (fun (path, rows) ->
+            if rows = [] then None
+            else
+              Some
+                (Printf.sprintf "%s: %d row(s): %s" path (List.length rows)
+                   (String.concat " | " (List.map (String.concat ":") rows))))
+          per_file
+      in
+      let row_count = List.length rows in
+      let enough_rows = match r.Rule.expect_rows with Some n -> row_count >= n | None -> true in
+      if not enough_rows then
+        mk ctx rule Not_matched
+          ~detail:(describe c Not_matched)
+          ~evidence:(evidence @ [ Printf.sprintf "expected >= %d row(s), found %d" (Option.get r.Rule.expect_rows) row_count ])
+      else
+        let bad =
+          match r.Rule.schema_non_preferred with
+          | Some e -> expectation_violated e cells
+          | None -> []
+        in
+        if bad <> [] then
+          mk ctx rule Not_matched ~detail:(describe c Not_matched)
+            ~evidence:(evidence @ [ Printf.sprintf "non-preferred value(s): %s" (String.concat "; " bad) ])
+        else
+          let ok =
+            match r.Rule.schema_preferred with
+            | Some e -> expectation_satisfied e cells
+            | None -> true
+          in
+          if ok then mk ctx rule Matched ~detail:(describe c Matched) ~evidence
+          else mk ctx rule Not_matched ~detail:(describe c Not_matched) ~evidence)
+
+(* ------------------------------------------------------------------ *)
+(* Path rules                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let kind_name = function
+  | Frames.File.Regular -> "file"
+  | Frames.File.Directory -> "directory"
+  | Frames.File.Symlink _ -> "symlink"
+
+let eval_path_in ctx rule (r : Rule.path_rule) =
+  let c = r.Rule.path_common in
+  match Crawler.stat_path ctx.frame r.Rule.path with
+  | None ->
+    if ctx.configs = [] then
+      (* The entity has no configuration in this frame at all: a missing
+         path is "entity not installed here", not a finding. *)
+      mk ctx rule Not_applicable
+        ~detail:(Printf.sprintf "%s: entity not present in this frame" c.Rule.name)
+        ~evidence:[]
+    else if r.Rule.should_exist then
+      mk ctx rule Not_present ~detail:(describe c Not_present) ~evidence:[ r.Rule.path ^ ": absent" ]
+    else
+      mk ctx rule Matched
+        ~detail:(if c.Rule.matched_description <> "" then c.Rule.matched_description
+                 else Printf.sprintf "%s is absent, as required" r.Rule.path)
+        ~evidence:[ r.Rule.path ^ ": absent" ]
+  | Some f ->
+    let evidence = [ Format.asprintf "%a" Frames.File.pp f ] in
+    if not r.Rule.should_exist then
+      mk ctx rule Not_matched
+        ~detail:(if c.Rule.not_matched_description <> "" then c.Rule.not_matched_description
+                 else Printf.sprintf "%s exists but must not" r.Rule.path)
+        ~evidence
+    else
+      let failures = ref [] in
+      (match r.Rule.file_type with
+      | Some want when want <> kind_name f.Frames.File.kind ->
+        failures := Printf.sprintf "expected a %s, found a %s" want (kind_name f.Frames.File.kind) :: !failures
+      | Some _ | None -> ());
+      (match r.Rule.ownership with
+      | Some want when want <> Frames.File.ownership f ->
+        failures := Printf.sprintf "ownership %s, expected %s" (Frames.File.ownership f) want :: !failures
+      | Some _ | None -> ());
+      (match r.Rule.permission with
+      | Some ceiling when f.Frames.File.mode land lnot ceiling land 0o7777 <> 0 ->
+        failures :=
+          Printf.sprintf "mode %s exceeds ceiling %o" (Frames.File.permission_octal f) ceiling
+          :: !failures
+      | Some _ | None -> ());
+      if !failures = [] then mk ctx rule Matched ~detail:(describe c Matched) ~evidence
+      else mk ctx rule Not_matched ~detail:(describe c Not_matched) ~evidence:(evidence @ List.rev !failures)
+
+(* ------------------------------------------------------------------ *)
+(* Script rules                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let eval_script_in ctx rule (r : Rule.script_rule) =
+  let c = r.Rule.script_common in
+  match Crawler.find_plugin r.Rule.plugin with
+  | None ->
+    let msg = Printf.sprintf "unknown plugin %S" r.Rule.plugin in
+    mk ctx rule (Engine_error msg) ~detail:(describe c (Engine_error msg)) ~evidence:[]
+  | Some plugin -> (
+    match plugin.Crawler.run ctx.frame with
+    | Error msg -> mk ctx rule Not_applicable ~detail:msg ~evidence:[]
+    | Ok output -> (
+      let virtual_path = "plugin://" ^ r.Rule.plugin in
+      match Lenses.Registry.parse ~lens_name:plugin.Crawler.lens_name ~path:virtual_path output with
+      | Error msg ->
+        mk ctx rule (Engine_error msg) ~detail:(describe c (Engine_error msg)) ~evidence:[ output ]
+      | Ok (Lenses.Lens.Table _) ->
+        let msg = Printf.sprintf "plugin %s yields a table; script rules assert on trees" r.Rule.plugin in
+        mk ctx rule (Engine_error msg) ~detail:(describe c (Engine_error msg)) ~evidence:[]
+      | Ok (Lenses.Lens.Tree forest) ->
+        (* Script config_paths are full paths to the asserted leaf. *)
+        let nodes =
+          List.concat_map
+            (fun p ->
+              match Configtree.Path.parse p with
+              | Ok path -> Configtree.Path.find forest path
+              | Error _ -> [])
+            r.Rule.script_config_paths
+        in
+        let values = List.filter_map (fun (n : Configtree.Tree.t) -> n.value) nodes in
+        let evidence =
+          List.map (fun v -> Printf.sprintf "%s: %s" virtual_path v) values
+        in
+        if nodes = [] then
+          let verdict = if r.Rule.script_not_present_pass then Matched else Not_present in
+          let detail =
+            if r.Rule.script_not_present_pass && c.Rule.not_present_description <> "" then
+              c.Rule.not_present_description
+            else describe c Not_present
+          in
+          mk ctx rule verdict ~detail ~evidence:[]
+        else
+          let bad =
+            match r.Rule.script_non_preferred with
+            | Some e -> expectation_violated e values
+            | None -> []
+          in
+          if bad <> [] then
+            mk ctx rule Not_matched ~detail:(describe c Not_matched)
+              ~evidence:(evidence @ [ Printf.sprintf "non-preferred value(s): %s" (String.concat "; " bad) ])
+          else
+            let ok =
+              match r.Rule.script_preferred with
+              | Some e -> expectation_satisfied e values
+              | None -> true
+            in
+            if ok then mk ctx rule Matched ~detail:(describe c Matched) ~evidence
+            else mk ctx rule Not_matched ~detail:(describe c Not_matched) ~evidence))
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let eval_rule ctx rule =
+  if Rule.is_disabled rule then
+    mk ctx rule Not_applicable
+      ~detail:(Printf.sprintf "%s: disabled" (Rule.name rule))
+      ~evidence:[]
+  else
+    match rule with
+    | Rule.Tree r -> eval_tree_in ctx rule r
+    | Rule.Schema r -> eval_schema_in ctx rule r
+    | Rule.Path r -> eval_path_in ctx rule r
+    | Rule.Script r -> eval_script_in ctx rule r
+    | Rule.Composite _ ->
+      let msg = "composite rules are evaluated by the validator, not the engine" in
+      mk ctx rule (Engine_error msg) ~detail:msg ~evidence:[]
+
+let eval_entity ctx rules = List.map (eval_rule ctx) rules
+
+let lookup_config_value ctx ~key ~subpath =
+  let forests =
+    List.filter_map
+      (fun (_, parsed) ->
+        match parsed with Ok (Lenses.Lens.Tree f) -> Some f | _ -> None)
+      ctx.configs
+  in
+  let try_path forest text =
+    match Configtree.Path.parse text with
+    | Error _ -> None
+    | Ok path -> (
+      match Configtree.Path.find_values forest path with
+      | v :: _ -> Some v
+      | [] -> None)
+  in
+  let candidates =
+    match subpath with
+    | Some sp -> [ sp ^ "/" ^ key; sp ^ "/**/" ^ key ]
+    | None -> [ key; "**/" ^ key ]
+  in
+  (* Dotted keys are a single label in sysctl-style trees; the path
+     parser treats them as one segment already, so no special case is
+     needed beyond trying the candidates in order. *)
+  List.find_map (fun forest -> List.find_map (try_path forest) candidates) forests

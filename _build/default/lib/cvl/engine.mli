@@ -1,0 +1,67 @@
+(** The rule engine: applies CVL rules to an entity's normalized
+    configuration (paper §3.1, "the brain of ConfigValidator").
+
+    Composite rules are not evaluated here — they aggregate per-entity
+    results and are resolved by {!Validator} once every entity has been
+    evaluated. *)
+
+type verdict =
+  | Matched  (** the configuration complies *)
+  | Not_matched  (** a violation: non-preferred matched or preferred did not *)
+  | Not_present  (** the configuration item was not found *)
+  | Not_applicable  (** required context missing (no files, unmet require_other_configs) *)
+  | Engine_error of string  (** lens failure, unknown plugin, bad query, … *)
+
+val verdict_to_string : verdict -> string
+
+(** [Matched] and — when the rule says absence is fine
+    ([not_present_pass], or a path rule with [should_exist: false]) —
+    [Not_present] count as compliant; [Not_applicable] is neutral. *)
+val is_violation : verdict -> bool
+
+type result = {
+  entity : string;
+  frame_id : string;
+  rule : Rule.t;
+  verdict : verdict;
+  detail : string;  (** the rule's output description for this verdict *)
+  evidence : string list;  (** observed values, paths, metadata lines *)
+}
+
+(** An entity's configuration after extraction and normalization:
+    parsed config files plus frame access for path and script rules. *)
+type entity_ctx = {
+  entity : string;
+  frame : Frames.Frame.t;
+  configs : (string * (Lenses.Lens.normalized, string) Stdlib.result) list;
+      (** (path, parse outcome) for every crawled file *)
+}
+
+(** Crawl and normalize: find the entry's config files in the frame and
+    parse each with the entry's lens (or an inferred one). Parse
+    failures are retained per-file so one unparsable file degrades only
+    the rules that need it. *)
+val build_ctx : Frames.Frame.t -> Manifest.entry -> entity_ctx
+
+(** Build a context directly from labelled documents (used by script
+    output and tests). *)
+val ctx_of_documents :
+  entity:string -> Frames.Frame.t -> (string * Lenses.Lens.normalized) list -> entity_ctx
+
+(** Evaluate one non-composite rule. Disabled rules yield
+    [Not_applicable]. Passing a [Rule.Composite] yields
+    [Engine_error]. *)
+val eval_rule : entity_ctx -> Rule.t -> result
+
+(** Evaluate an entity's rules in order. *)
+val eval_entity : entity_ctx -> Rule.t list -> result list
+
+(** {2 Lookup helpers for composite evaluation} *)
+
+(** Find a configuration value by key within an entity's parsed trees:
+    [subpath] (from [CONFIGPATH=\[...\]]) scopes the search; otherwise
+    the key is looked up at the roots and then anywhere ([**/key]).
+    Dotted keys are first tried as a single label (sysctl style), then
+    as a path. *)
+val lookup_config_value :
+  entity_ctx -> key:string -> subpath:string option -> string option

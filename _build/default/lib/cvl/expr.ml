@@ -1,0 +1,306 @@
+type attr = Default | Value | Present
+
+type ref_ = {
+  entity : string;
+  item : string;
+  subpath : string option;
+  attr : attr;
+}
+
+type op = Eq | Neq
+
+type t =
+  | Ref of ref_
+  | Cmp of ref_ * op * string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tref of string
+  | Tstring of string
+  | Tand
+  | Tor
+  | Tnot
+  | Teq
+  | Tneq
+  | Tlparen
+  | Trparen
+
+let is_ref_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' | '/' | '[' | ']' | ':' | '*' -> true
+  | _ -> false
+
+let tokenize input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '&' when i + 1 < n && input.[i + 1] = '&' -> go (i + 2) (Tand :: acc)
+      | '|' when i + 1 < n && input.[i + 1] = '|' -> go (i + 2) (Tor :: acc)
+      | '=' when i + 1 < n && input.[i + 1] = '=' -> go (i + 2) (Teq :: acc)
+      | '!' when i + 1 < n && input.[i + 1] = '=' -> go (i + 2) (Tneq :: acc)
+      | '!' -> go (i + 1) (Tnot :: acc)
+      | '(' -> go (i + 1) (Tlparen :: acc)
+      | ')' -> go (i + 1) (Trparen :: acc)
+      | '"' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then Error "unterminated string literal"
+          else if input.[j] = '"' then begin
+            Buffer.add_string buf "";
+            Ok (j + 1)
+          end
+          else if input.[j] = '\\' && j + 1 < n then begin
+            Buffer.add_char buf input.[j + 1];
+            str (j + 2)
+          end
+          else begin
+            Buffer.add_char buf input.[j];
+            str (j + 1)
+          end
+        in
+        (match str (i + 1) with
+        | Error _ as e -> e
+        | Ok next -> go next (Tstring (Buffer.contents buf) :: acc))
+      | c when is_ref_char c ->
+        (* A single '=' is part of a ref only in the CONFIGPATH=[...]
+           form; '==' always terminates the ref. *)
+        let rec ref_end j =
+          if j >= n then j
+          else if input.[j] = '=' then
+            if j + 1 < n && input.[j + 1] = '[' then ref_end (j + 1) else j
+          else if is_ref_char input.[j] then ref_end (j + 1)
+          else j
+        in
+        let j = ref_end i in
+        go j (Tref (String.sub input i (j - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C in composite expression" c)
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Reference parsing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let strip_suffix ~suffix s =
+  let sl = String.length suffix and l = String.length s in
+  if l >= sl && String.sub s (l - sl) sl = suffix then Some (String.sub s 0 (l - sl)) else None
+
+let parse_ref text =
+  match String.index_opt text '.' with
+  | None -> Error (Printf.sprintf "reference %S lacks an entity qualifier" text)
+  | Some i ->
+    let entity = String.sub text 0 i in
+    let rest = String.sub text (i + 1) (String.length text - i - 1) in
+    if entity = "" || rest = "" then Error (Printf.sprintf "malformed reference %S" text)
+    else
+      let rest, attr =
+        match strip_suffix ~suffix:".VALUE" rest with
+        | Some r -> (r, Value)
+        | None -> (
+          match strip_suffix ~suffix:".PRESENT" rest with
+          | Some r -> (r, Present)
+          | None -> (rest, Default))
+      in
+      (* Optional .CONFIGPATH=[...] segment. *)
+      let marker = ".CONFIGPATH=[" in
+      let item, subpath =
+        match
+          let ml = String.length marker and rl = String.length rest in
+          let rec find k = if k + ml > rl then None else if String.sub rest k ml = marker then Some k else find (k + 1) in
+          find 0
+        with
+        | Some k ->
+          let after = String.sub rest (k + String.length marker) (String.length rest - k - String.length marker) in
+          (match String.index_opt after ']' with
+          | Some close when close = String.length after - 1 ->
+            (String.sub rest 0 k, Some (String.sub after 0 close))
+          | Some _ | None -> (rest, None))
+        | None -> (rest, None)
+      in
+      if item = "" then Error (Printf.sprintf "malformed reference %S" text)
+      else Ok { entity; item; subpath; attr }
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Syntax of string
+
+let parse input =
+  match tokenize input with
+  | Error e -> Error e
+  | Ok tokens -> (
+    let tokens = ref tokens in
+    let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+    let advance () = match !tokens with [] -> () | _ :: rest -> tokens := rest in
+    let rec expr () = or_expr ()
+    and or_expr () =
+      let left = and_expr () in
+      let rec go left =
+        match peek () with
+        | Some Tor ->
+          advance ();
+          go (Or (left, and_expr ()))
+        | _ -> left
+      in
+      go left
+    and and_expr () =
+      let left = unary () in
+      let rec go left =
+        match peek () with
+        | Some Tand ->
+          advance ();
+          go (And (left, unary ()))
+        | _ -> left
+      in
+      go left
+    and unary () =
+      match peek () with
+      | Some Tnot ->
+        advance ();
+        Not (unary ())
+      | Some Tlparen ->
+        advance ();
+        let inner = expr () in
+        (match peek () with
+        | Some Trparen ->
+          advance ();
+          inner
+        | _ -> raise (Syntax "expected ')'"))
+      | Some (Tref text) -> (
+        advance ();
+        let r = match parse_ref text with Ok r -> r | Error e -> raise (Syntax e) in
+        match peek () with
+        | Some Teq ->
+          advance ();
+          (match peek () with
+          | Some (Tstring s) ->
+            advance ();
+            Cmp (r, Eq, s)
+          | _ -> raise (Syntax "expected a quoted string after '=='"))
+        | Some Tneq ->
+          advance ();
+          (match peek () with
+          | Some (Tstring s) ->
+            advance ();
+            Cmp (r, Neq, s)
+          | _ -> raise (Syntax "expected a quoted string after '!='"))
+        | _ -> Ref r)
+      | Some (Tstring _) -> raise (Syntax "string literal outside a comparison")
+      | Some (Tand | Tor | Teq | Tneq | Trparen) | None ->
+        raise (Syntax "expected a reference, '!' or '('")
+    in
+    match expr () with
+    | ast -> (
+      match peek () with
+      | None -> Ok ast
+      | Some _ -> Error "trailing tokens after expression")
+    | exception Syntax msg -> Error msg)
+
+let parse_exn input =
+  match parse input with
+  | Ok ast -> ast
+  | Error msg -> invalid_arg (Printf.sprintf "Expr.parse_exn: %s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ref_to_string r =
+  let base = r.entity ^ "." ^ r.item in
+  let base =
+    match r.subpath with
+    | Some p -> Printf.sprintf "%s.CONFIGPATH=[%s]" base p
+    | None -> base
+  in
+  match r.attr with
+  | Default -> base
+  | Value -> base ^ ".VALUE"
+  | Present -> base ^ ".PRESENT"
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* Precedence-aware printing: parentheses appear exactly where the
+   grammar needs them, so chains print flat ("a && b && c"). *)
+let rec or_string = function
+  (* The parser is left-associative, so only left children may print
+     unparenthesized at the same level — that keeps to_string/parse a
+     true round trip on every tree shape. *)
+  | Or (a, b) -> Printf.sprintf "%s || %s" (or_string a) (and_string b)
+  | e -> and_string e
+
+and and_string = function
+  | And (a, b) -> Printf.sprintf "%s && %s" (and_string a) (unary_string b)
+  | (Or _) as e -> "(" ^ or_string e ^ ")"
+  | e -> unary_string e
+
+and unary_string = function
+  | Not e -> "!" ^ unary_string e
+  | Ref r -> ref_to_string r
+  | Cmp (r, Eq, s) -> Printf.sprintf "%s == %s" (ref_to_string r) (quote s)
+  | Cmp (r, Neq, s) -> Printf.sprintf "%s != %s" (ref_to_string r) (quote s)
+  | (And _ | Or _) as e -> "(" ^ or_string e ^ ")"
+
+let to_string = or_string
+
+let rec entities = function
+  | Ref r | Cmp (r, _, _) -> [ r.entity ]
+  | Not e -> entities e
+  | And (a, b) | Or (a, b) -> entities a @ entities b
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  lookup_rule : entity:string -> rule:string -> bool option;
+  lookup_config : entity:string -> key:string -> subpath:string option -> string option;
+}
+
+let truthy_value v =
+  match String.lowercase_ascii (String.trim v) with
+  | "" | "0" | "false" | "no" | "off" -> false
+  | _ -> true
+
+let ref_truthy env r =
+  match r.attr with
+  | Present -> env.lookup_config ~entity:r.entity ~key:r.item ~subpath:r.subpath <> None
+  | Value -> (
+    match env.lookup_config ~entity:r.entity ~key:r.item ~subpath:r.subpath with
+    | Some v -> truthy_value v
+    | None -> false)
+  | Default -> (
+    match env.lookup_rule ~entity:r.entity ~rule:r.item with
+    | Some matched -> matched
+    | None -> (
+      match env.lookup_config ~entity:r.entity ~key:r.item ~subpath:r.subpath with
+      | Some v -> truthy_value v
+      | None -> false))
+
+let rec eval env = function
+  | Ref r -> ref_truthy env r
+  | Cmp (r, op, literal) -> (
+    match env.lookup_config ~entity:r.entity ~key:r.item ~subpath:r.subpath with
+    | None -> false
+    | Some v -> ( match op with Eq -> String.equal v literal | Neq -> not (String.equal v literal)))
+  | Not e -> not (eval env e)
+  | And (a, b) -> eval env a && eval env b
+  | Or (a, b) -> eval env a || eval env b

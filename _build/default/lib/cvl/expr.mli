@@ -1,0 +1,69 @@
+(** The composite-rule expression language (paper Listing 1):
+
+    {v
+    composite_rule: mysql.ssl-ca.CONFIGPATH=[mysqld].VALUE == "/etc/mysql/cacert.pem"
+                    && !sysctl.net.ipv4.ip_forward && nginx.listen
+    v}
+
+    Grammar:
+    {v
+    expr    := or
+    or      := and ('||' and)*
+    and     := unary ('&&' unary)*
+    unary   := '!' unary | '(' expr ')' | atom
+    atom    := ref (('==' | '!=') quoted-string)?
+    ref     := entity '.' item ('.CONFIGPATH=[' path ']')? ('.VALUE' | '.PRESENT')?
+    v}
+
+    Atom semantics, matching §3.1's "logical conjunction/disjunction
+    over the per-entity rule evaluations":
+    - a bare [entity.item] first resolves as {e that entity's rule
+      named item}: truthy iff the rule matched. When no such rule
+      exists it falls back to a configuration lookup: truthy iff the
+      config exists and its value is not one of
+      ["", "0", "false", "no", "off"].
+    - [.PRESENT] forces the configuration-existence reading.
+    - [.VALUE] (with an optional [.CONFIGPATH=[section]] scoping the
+      lookup) reads the configuration value for comparison; a
+      comparison against a missing value is false for both [==] and
+      [!=] (absence is reported by the per-entity rule, not smuggled
+      through a composite). *)
+
+type attr = Default | Value | Present
+
+type ref_ = {
+  entity : string;
+  item : string;  (** rule name or config key (dots allowed) *)
+  subpath : string option;  (** CONFIGPATH scope, e.g. ["mysqld"] *)
+  attr : attr;
+}
+
+type op = Eq | Neq
+
+type t =
+  | Ref of ref_
+  | Cmp of ref_ * op * string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+
+(** Render back to CVL syntax ([parse (to_string e)] re-parses to an
+    equal AST — checked by property tests). *)
+val to_string : t -> string
+
+(** Entities referenced anywhere in the expression. *)
+val entities : t -> string list
+
+type env = {
+  lookup_rule : entity:string -> rule:string -> bool option;
+      (** [Some true] iff that entity's rule matched; [None] when the
+          entity has no rule of that name *)
+  lookup_config : entity:string -> key:string -> subpath:string option -> string option;
+      (** configuration value lookup in the entity's normalized form *)
+}
+
+val truthy_value : string -> bool
+val eval : env -> t -> bool

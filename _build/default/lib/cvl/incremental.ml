@@ -1,0 +1,72 @@
+let under_search_path ~search_paths path =
+  List.exists
+    (fun root ->
+      let root = Frames.File.normalize_path root in
+      let path = Frames.File.normalize_path path in
+      String.equal path root
+      || (String.length path > String.length root
+          && String.sub path 0 (String.length root) = root
+          && (root = "/" || path.[String.length root] = '/')))
+    search_paths
+
+let has_script_rule rules =
+  List.exists (function Rule.Script _ -> true | _ -> false) rules
+
+let rule_paths rules =
+  List.filter_map (function Rule.Path r -> Some r.Rule.path | _ -> None) rules
+
+let affected_entities ~rules (diff : Frames.Diff.t) =
+  let changed = Frames.Diff.changed_paths diff in
+  let runtime_changed = diff.Frames.Diff.kernel_changes <> [] || diff.Frames.Diff.runtime_doc_changes <> [] in
+  List.filter_map
+    (fun ((entry : Manifest.entry), entity_rules) ->
+      let by_files =
+        List.exists (under_search_path ~search_paths:entry.Manifest.search_paths) changed
+      in
+      let by_path_rules =
+        let targets = rule_paths entity_rules in
+        List.exists (fun p -> List.mem (Frames.File.normalize_path p) targets) changed
+      in
+      (* Conservative: any runtime-state change re-validates every
+         entity that has script rules — plugin-to-document provenance is
+         not tracked per key. *)
+      let by_runtime = runtime_changed && has_script_rule entity_rules in
+      if by_files || by_path_rules || by_runtime then Some entry.Manifest.entity else None)
+    rules
+
+let revalidate ~rules ~previous ~diff frame =
+  let affected = affected_entities ~rules diff in
+  let frame_id = Frames.Frame.id frame in
+  let kept =
+    List.filter
+      (fun (r : Engine.result) ->
+        match r.Engine.rule with
+        | Rule.Composite _ -> false (* always recomputed *)
+        | _ -> not (String.equal r.Engine.frame_id frame_id && List.mem r.Engine.entity affected))
+      previous
+  in
+  let fresh =
+    List.concat_map
+      (fun ((entry : Manifest.entry), entity_rules) ->
+        if not (List.mem entry.Manifest.entity affected) then []
+        else
+          let ctx = Engine.build_ctx frame entry in
+          let plain =
+            List.filter (function Rule.Composite _ -> false | _ -> true) entity_rules
+          in
+          Engine.eval_entity ctx plain)
+      rules
+  in
+  let plain_results = kept @ fresh in
+  (* Composites see the merged results; their config lookups need fresh
+     contexts for every entity of this frame. *)
+  let ctxs =
+    List.map
+      (fun ((entry : Manifest.entry), _) ->
+        (entry.Manifest.entity, [ Engine.build_ctx frame entry ]))
+      rules
+  in
+  let composites =
+    Validator.eval_composites ~rules ~plain_results ~ctxs ~deployment_id:frame_id
+  in
+  (plain_results @ composites, affected)

@@ -1,0 +1,30 @@
+(** Incremental re-validation over frame diffs.
+
+    Production ConfigValidator re-scans tens of thousands of containers
+    daily, but between scans most entities have not changed. Given the
+    diff between the previous and current snapshot of a frame, only the
+    entities whose configuration sources intersect the diff are
+    re-evaluated; untouched entities keep their previous results.
+    Composite rules are always re-evaluated (cheaply) because their
+    atoms may span the re-validated entities. *)
+
+(** Entities whose inputs intersect the diff: a changed file lies under
+    one of the entity's search paths or matches a rule file-context, a
+    changed kernel parameter affects entities with sysctl script rules,
+    a changed runtime document affects entities whose script rules use
+    the corresponding plugin. Entities with path rules outside the
+    search paths are handled via the rule's own path. *)
+val affected_entities :
+  rules:(Manifest.entry * Rule.t list) list -> Frames.Diff.t -> string list
+
+(** [revalidate ~rules ~previous ~diff frame] recomputes results for the
+    affected entities of [frame] and splices them into [previous]
+    (results whose [frame_id] matches other frames are preserved
+    untouched). Returns the merged results and the list of re-evaluated
+    entities. *)
+val revalidate :
+  rules:(Manifest.entry * Rule.t list) list ->
+  previous:Engine.result list ->
+  diff:Frames.Diff.t ->
+  Frames.Frame.t ->
+  Engine.result list * string list

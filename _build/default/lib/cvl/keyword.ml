@@ -1,0 +1,88 @@
+type group =
+  | Common
+  | Tree
+  | Schema
+  | Path
+  | Script
+  | Composite
+
+let group_to_string = function
+  | Common -> "common"
+  | Tree -> "config tree"
+  | Schema -> "schema"
+  | Path -> "path"
+  | Script -> "script"
+  | Composite -> "composite"
+
+let all =
+  [
+    (* Keywords common across rules and entity description: 19. *)
+    ("entity_name", Common, "name of the entity a manifest section describes");
+    ("enabled", Common, "whether the entity's rules are evaluated");
+    ("cvl_file", Common, "path of the file holding the entity's CVL rules");
+    ("parent_cvl_file", Common, "parent rule file this file inherits from");
+    ("rule_type", Common, "rule type hint in a manifest (tree|schema|path|script|composite)");
+    ("config_search_paths", Common, "locations to search for the entity's config files");
+    ("lens", Common, "lens used to normalize the entity's config files");
+    ("rules", Common, "the list of rule definitions in a CVL file");
+    ("tags", Common, "free-form filter tags, e.g. #cis, #hipaa, #cisubuntu14.04_2.1");
+    ("severity", Common, "informational severity attached to a finding");
+    ("disabled", Common, "disable this rule (used when overriding a parent rule)");
+    ("preferred_value", Common, "value(s) the configuration should match");
+    ("non_preferred_value", Common, "value(s) the configuration must not match");
+    ("preferred_value_match", Common, "match semantics 'kind,scope' for preferred values");
+    ("non_preferred_value_match", Common, "match semantics 'kind,scope' for non-preferred values");
+    ("matched_description", Common, "output string when the rule matches");
+    ("not_matched_preferred_value_description", Common, "output string on a violation");
+    ("not_present_description", Common, "output string when the configuration is absent");
+    ("suggested_action", Common, "remediation hint included in the report");
+    (* Config tree rules: 9. *)
+    ("config_name", Tree, "key (leaf label) the rule asserts on");
+    ("config_path", Tree, "alternate tree paths under which config_name may appear");
+    ("config_description", Tree, "what the configuration parameter controls");
+    ("file_context", Tree, "file name patterns the rule applies to");
+    ("require_other_configs", Tree, "configs that must be present for the rule to apply");
+    ("value_separator", Tree, "separator splitting a multi-valued entry before matching");
+    ("case_insensitive", Tree, "compare values case-insensitively");
+    ("check_presence_only", Tree, "assert existence without inspecting the value");
+    ("not_present_pass", Tree, "treat an absent configuration as a pass, not a finding");
+    (* Schema rules: 6. *)
+    ("config_schema_name", Schema, "rule name for a schema (table) assertion");
+    ("config_schema_description", Schema, "what the schema assertion checks");
+    ("query_constraints", Schema, "row filter, e.g. \"dir = ?\" with AND conjunctions");
+    ("query_constraints_value", Schema, "bindings for the '?' placeholders");
+    ("query_columns", Schema, "columns projected before value matching (\"*\" = all)");
+    ("expect_rows", Schema, "minimum number of rows the query must return");
+    (* Path rules: 6. *)
+    ("path_name", Path, "file or directory path the rule asserts on");
+    ("path_description", Path, "what the path assertion checks");
+    ("ownership", Path, "required numeric ownership, \"uid:gid\"");
+    ("permission", Path, "maximum permission bits (octal); stricter modes pass");
+    ("should_exist", Path, "whether the path must exist (default) or must not");
+    ("file_type", Path, "expected kind: file | directory | symlink");
+    (* Script rules: 3. *)
+    ("script_name", Script, "rule name for a runtime-state assertion");
+    ("script_description", Script, "what the script assertion checks");
+    ("script", Script, "crawler plugin that extracts the runtime state");
+    (* Composite rules: 3. *)
+    ("composite_rule_name", Composite, "rule name for a cross-entity assertion");
+    ("composite_rule_description", Composite, "what the composite assertion checks");
+    ("composite_rule", Composite, "boolean expression over per-entity results");
+  ]
+
+let is_keyword k = List.exists (fun (name, _, _) -> String.equal name k) all
+
+let group_of k =
+  List.find_opt (fun (name, _, _) -> String.equal name k) all
+  |> Option.map (fun (_, g, _) -> g)
+
+let in_group g = List.filter_map (fun (name, g', _) -> if g = g' then Some name else None) all
+
+let allowed_in g =
+  let own = in_group g @ in_group Common in
+  match g with
+  | Script -> "config_path" :: "not_present_pass" :: own
+  | Common | Tree | Schema | Path | Composite -> own
+
+let count = List.length all
+let count_in_group g = List.length (in_group g)

@@ -1,0 +1,33 @@
+(** The CVL vocabulary: 46 keywords across entity description and the
+    five rule types (the paper, §3.2: "CVL has a total of 46 keywords
+    across all rule types and entity description. A configuration rule
+    typically has no more than ten keywords.").
+
+    Grouping mirrors the paper: keywords common across rules (19 — the
+    manifest/entity keys, tags, the value-to-match keys, and the output
+    descriptions), then per-rule-type keywords: config tree (9), schema
+    (6), path (6), script (3), composite (3). *)
+
+type group =
+  | Common
+  | Tree
+  | Schema
+  | Path
+  | Script
+  | Composite
+
+val group_to_string : group -> string
+
+(** All 46 keywords with their group and a one-line meaning. *)
+val all : (string * group * string) list
+
+val is_keyword : string -> bool
+val group_of : string -> group option
+
+(** Keywords legal in a rule of the given group: its own plus [Common].
+    (Script rules additionally borrow [config_path] and
+    [not_present_pass] from the tree group.) *)
+val allowed_in : group -> string list
+
+val count : int
+val count_in_group : group -> int

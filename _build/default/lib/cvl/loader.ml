@@ -1,0 +1,362 @@
+type source = { load : string -> (string, string) result }
+
+let assoc_source files =
+  {
+    load =
+      (fun path ->
+        match List.assoc_opt path files with
+        | Some text -> Ok text
+        | None -> Error (Printf.sprintf "no such rule file %S in source" path));
+  }
+
+let file_source ~root =
+  {
+    load =
+      (fun path ->
+        let full = Filename.concat root path in
+        match In_channel.with_open_text full In_channel.input_all with
+        | text -> Ok text
+        | exception Sys_error msg -> Error msg);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Helpers over YAML rule mappings                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let discriminators =
+  [
+    ("config_name", `Tree);
+    ("config_schema_name", `Schema);
+    ("path_name", `Path);
+    ("script_name", `Script);
+    ("composite_rule_name", `Composite);
+  ]
+
+let rule_kind_of_map kvs =
+  let present = List.filter (fun (k, _) -> List.mem_assoc k kvs) discriminators in
+  match present with
+  | [ (key, kind) ] -> Ok (key, kind)
+  | [] ->
+    Error
+      "rule has no discriminator key (expected one of config_name, config_schema_name, \
+       path_name, script_name, composite_rule_name)"
+  | multiple ->
+    Error
+      (Printf.sprintf "rule mixes discriminator keys: %s"
+         (String.concat ", " (List.map fst multiple)))
+
+let rule_name_of_map kvs =
+  match rule_kind_of_map kvs with
+  | Error _ as e -> e
+  | Ok (key, _) -> (
+    match Yamlite.Value.get_str (List.assoc key kvs) with
+    | Some name -> Ok name
+    | None -> Error (Printf.sprintf "%s must be a scalar" key))
+
+let str_field kvs key = Option.bind (List.assoc_opt key kvs) Yamlite.Value.get_str
+
+let str_field_default kvs key ~default =
+  Option.value (str_field kvs key) ~default
+
+let str_list_field kvs key =
+  match List.assoc_opt key kvs with
+  | None -> Ok None
+  | Some v -> (
+    match Yamlite.Value.get_str_list v with
+    | Some l -> Ok (Some l)
+    | None -> Error (Printf.sprintf "%s must be a list of scalars" key))
+
+let bool_field kvs key ~default =
+  match List.assoc_opt key kvs with
+  | None -> Ok default
+  | Some v -> (
+    match Yamlite.Value.get_bool v with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "%s must be a boolean" key))
+
+let int_field kvs key =
+  match List.assoc_opt key kvs with
+  | None -> Ok None
+  | Some v -> (
+    match Yamlite.Value.get_int v with
+    | Some i -> Ok (Some i)
+    | None -> Error (Printf.sprintf "%s must be an integer" key))
+
+(* Permission is octal text in CVL ("644"), whether YAML parsed it as an
+   int literal or a string. *)
+let octal_field kvs key =
+  match List.assoc_opt key kvs with
+  | None -> Ok None
+  | Some v -> (
+    match Yamlite.Value.get_str v with
+    | Some text -> (
+      match int_of_string_opt ("0o" ^ text) with
+      | Some bits -> Ok (Some bits)
+      | None -> Error (Printf.sprintf "%s must be octal permission bits, got %S" key text))
+    | None -> Error (Printf.sprintf "%s must be octal permission bits" key))
+
+let expectation kvs ~value_key ~match_key =
+  let* values = str_list_field kvs value_key in
+  match values with
+  | None -> (
+    match List.assoc_opt match_key kvs with
+    | Some _ -> Error (Printf.sprintf "%s given without %s" match_key value_key)
+    | None -> Ok None)
+  | Some values -> (
+    match str_field kvs match_key with
+    | None -> Ok (Some { Rule.values; match_spec = Matcher.default })
+    | Some spec_text -> (
+      match Matcher.parse spec_text with
+      | Ok match_spec -> Ok (Some { Rule.values; match_spec })
+      | Error e -> Error (Printf.sprintf "%s: %s" match_key e)))
+
+let check_keywords ~group ~name kvs =
+  let allowed = Keyword.allowed_in group in
+  let rec go = function
+    | [] -> Ok ()
+    | (k, _) :: rest ->
+      if List.mem k allowed then go rest
+      else if Keyword.is_keyword k then
+        Error
+          (Printf.sprintf "rule %S: keyword %S is not valid in a %s rule" name k
+             (Keyword.group_to_string group))
+      else Error (Printf.sprintf "rule %S: unknown keyword %S" name k)
+  in
+  go kvs
+
+let common_of_map kvs ~name ~description_key =
+  let* disabled = bool_field kvs "disabled" ~default:false in
+  let* tags = str_list_field kvs "tags" in
+  Ok
+    (Rule.common name
+       ~description:(str_field_default kvs description_key ~default:"")
+       ~tags:(Option.value tags ~default:[])
+       ~severity:(str_field_default kvs "severity" ~default:"medium")
+       ~matched:(str_field_default kvs "matched_description" ~default:"")
+       ~not_matched:
+         (str_field_default kvs "not_matched_preferred_value_description" ~default:"")
+       ~not_present:(str_field_default kvs "not_present_description" ~default:"")
+       ~suggested_action:(str_field_default kvs "suggested_action" ~default:"")
+       ~disabled)
+
+let tree_of_map kvs ~name =
+  let* () = check_keywords ~group:Keyword.Tree ~name kvs in
+  let* common = common_of_map kvs ~name ~description_key:"config_description" in
+  let* config_paths = str_list_field kvs "config_path" in
+  let* preferred = expectation kvs ~value_key:"preferred_value" ~match_key:"preferred_value_match" in
+  let* non_preferred =
+    expectation kvs ~value_key:"non_preferred_value" ~match_key:"non_preferred_value_match"
+  in
+  let* file_context = str_list_field kvs "file_context" in
+  let* require_other_configs = str_list_field kvs "require_other_configs" in
+  let* case_insensitive = bool_field kvs "case_insensitive" ~default:false in
+  let* check_presence_only = bool_field kvs "check_presence_only" ~default:false in
+  let* not_present_pass = bool_field kvs "not_present_pass" ~default:false in
+  Ok
+    (Rule.Tree
+       {
+         Rule.tree_common = common;
+         config_paths = Option.value config_paths ~default:[ "" ];
+         preferred;
+         non_preferred;
+         file_context = Option.value file_context ~default:[];
+         require_other_configs = Option.value require_other_configs ~default:[];
+         value_separator = str_field kvs "value_separator";
+         case_insensitive;
+         check_presence_only;
+         not_present_pass;
+       })
+
+let schema_of_map kvs ~name =
+  let* () = check_keywords ~group:Keyword.Schema ~name kvs in
+  let* common = common_of_map kvs ~name ~description_key:"config_schema_description" in
+  let* constraints_value = str_list_field kvs "query_constraints_value" in
+  let* columns = str_list_field kvs "query_columns" in
+  let* preferred = expectation kvs ~value_key:"preferred_value" ~match_key:"preferred_value_match" in
+  let* non_preferred =
+    expectation kvs ~value_key:"non_preferred_value" ~match_key:"non_preferred_value_match"
+  in
+  let* file_context = str_list_field kvs "file_context" in
+  let* expect_rows = int_field kvs "expect_rows" in
+  Ok
+    (Rule.Schema
+       {
+         Rule.schema_common = common;
+         query_constraints = str_field_default kvs "query_constraints" ~default:"";
+         query_constraints_value = Option.value constraints_value ~default:[];
+         query_columns = Option.value columns ~default:[ "*" ];
+         schema_preferred = preferred;
+         schema_non_preferred = non_preferred;
+         schema_file_context = Option.value file_context ~default:[];
+         expect_rows;
+       })
+
+let path_of_map kvs ~name =
+  let* () = check_keywords ~group:Keyword.Path ~name kvs in
+  let* common = common_of_map kvs ~name ~description_key:"path_description" in
+  let* permission = octal_field kvs "permission" in
+  let* should_exist = bool_field kvs "should_exist" ~default:true in
+  Ok
+    (Rule.Path
+       {
+         Rule.path_common = common;
+         path = name;
+         ownership = str_field kvs "ownership";
+         permission;
+         should_exist;
+         file_type = str_field kvs "file_type";
+       })
+
+let script_of_map kvs ~name =
+  let* () = check_keywords ~group:Keyword.Script ~name kvs in
+  let* common = common_of_map kvs ~name ~description_key:"script_description" in
+  let* config_paths = str_list_field kvs "config_path" in
+  let* preferred = expectation kvs ~value_key:"preferred_value" ~match_key:"preferred_value_match" in
+  let* non_preferred =
+    expectation kvs ~value_key:"non_preferred_value" ~match_key:"non_preferred_value_match"
+  in
+  let* script_not_present_pass = bool_field kvs "not_present_pass" ~default:false in
+  match str_field kvs "script" with
+  | None -> Error (Printf.sprintf "rule %S: script rules need a `script:` plugin name" name)
+  | Some plugin ->
+    Ok
+      (Rule.Script
+         {
+           Rule.script_common = common;
+           plugin;
+           script_config_paths = Option.value config_paths ~default:[ "" ];
+           script_preferred = preferred;
+           script_non_preferred = non_preferred;
+           script_not_present_pass;
+         })
+
+let composite_of_map kvs ~name =
+  let* () = check_keywords ~group:Keyword.Composite ~name kvs in
+  let* common = common_of_map kvs ~name ~description_key:"composite_rule_description" in
+  match str_field kvs "composite_rule" with
+  | None -> Error (Printf.sprintf "rule %S: composite rules need a `composite_rule:` expression" name)
+  | Some expression -> (
+    (* Validate the expression eagerly so authoring errors surface at
+       load time, not at the first evaluation. *)
+    match Expr.parse expression with
+    | Error e -> Error (Printf.sprintf "rule %S: bad composite expression: %s" name e)
+    | Ok _ -> Ok (Rule.Composite { Rule.composite_common = common; expression }))
+
+let rule_of_map kvs =
+  let* _key, kind = rule_kind_of_map kvs in
+  let* name = rule_name_of_map kvs in
+  match kind with
+  | `Tree -> tree_of_map kvs ~name
+  | `Schema -> schema_of_map kvs ~name
+  | `Path -> path_of_map kvs ~name
+  | `Script -> script_of_map kvs ~name
+  | `Composite -> composite_of_map kvs ~name
+
+let rule_of_yaml v =
+  match Yamlite.Value.get_map v with
+  | Some kvs -> rule_of_map kvs
+  | None -> Error "a CVL rule must be a YAML mapping"
+
+(* ------------------------------------------------------------------ *)
+(* File shapes and inheritance                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Extract (parent, rule maps) from a parsed document. *)
+let doc_shape v =
+  match v with
+  | Yamlite.Value.List items ->
+    let maps = List.filter_map Yamlite.Value.get_map items in
+    if List.length maps = List.length items then Ok (None, maps)
+    else Error "rule list contains a non-mapping entry"
+  | Yamlite.Value.Map kvs when List.mem_assoc "rules" kvs ->
+    let parent = str_field kvs "parent_cvl_file" in
+    let* () =
+      match List.filter (fun (k, _) -> k <> "rules" && k <> "parent_cvl_file") kvs with
+      | [] -> Ok ()
+      | (k, _) :: _ -> Error (Printf.sprintf "unexpected top-level key %S in rule file" k)
+    in
+    (match Yamlite.Value.get_list (List.assoc "rules" kvs) with
+    | None -> Error "`rules:` must be a list"
+    | Some items ->
+      let maps = List.filter_map Yamlite.Value.get_map items in
+      if List.length maps = List.length items then Ok (parent, maps)
+      else Error "`rules:` contains a non-mapping entry")
+  | Yamlite.Value.Map kvs -> Ok (None, [ kvs ])
+  | Yamlite.Value.Null -> Ok (None, [])
+  | Yamlite.Value.Bool _ | Yamlite.Value.Int _ | Yamlite.Value.Float _ | Yamlite.Value.Str _ ->
+    Error "a CVL file must contain rule mappings"
+
+let shapes_of_text text =
+  match Yamlite.Parse.multi text with
+  | Error e -> Error (Yamlite.Parse.error_to_string e)
+  | Ok docs ->
+    let rec go parent maps = function
+      | [] -> Ok (parent, List.rev maps)
+      | doc :: rest ->
+        let* p, ms = doc_shape doc in
+        let parent =
+          match (parent, p) with
+          | None, p -> p
+          | Some _, _ -> parent
+        in
+        go parent (List.rev_append ms maps) rest
+    in
+    go None [] docs
+
+(* Merge child rule maps over parent maps by rule name: child keys win;
+   unmatched child rules are appended in order. *)
+let merge_maps parent_maps child_maps =
+  let name_of kvs = Result.value (rule_name_of_map kvs) ~default:"" in
+  let overridden =
+    List.map
+      (fun pm ->
+        let pname = name_of pm in
+        match List.find_opt (fun cm -> name_of cm = pname && pname <> "") child_maps with
+        | Some cm ->
+          let merged =
+            pm
+            |> List.filter (fun (k, _) -> not (List.mem_assoc k cm))
+            |> fun keep -> keep @ cm
+          in
+          (* Preserve the parent's key order where possible. *)
+          List.map (fun (k, _) -> (k, List.assoc k merged)) pm
+          @ List.filter (fun (k, _) -> not (List.mem_assoc k pm)) cm
+        | None -> pm)
+      parent_maps
+  in
+  let parent_names = List.map name_of parent_maps in
+  let fresh = List.filter (fun cm -> not (List.mem (name_of cm) parent_names)) child_maps in
+  overridden @ fresh
+
+let rec maps_of_file source path ~visited =
+  if List.mem path visited then
+    Error (Printf.sprintf "inheritance cycle through %S" path)
+  else
+    let* text = source.load path in
+    let* parent, maps = shapes_of_text text in
+    match parent with
+    | None -> Ok maps
+    | Some parent_path ->
+      let* parent_maps = maps_of_file source parent_path ~visited:(path :: visited) in
+      Ok (merge_maps parent_maps maps)
+
+let parse_all maps =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | kvs :: rest ->
+      let* rule = rule_of_map kvs in
+      go (rule :: acc) rest
+  in
+  go [] maps
+
+let parse_rules text =
+  let* parent, maps = shapes_of_text text in
+  match parent with
+  | Some p -> Error (Printf.sprintf "parent_cvl_file %S cannot be resolved without a source" p)
+  | None -> parse_all maps
+
+let load_file source path =
+  let* maps = maps_of_file source path ~visited:[] in
+  parse_all maps

@@ -1,0 +1,42 @@
+(** Loading CVL rule files.
+
+    A CVL file is YAML in one of three accepted shapes:
+    - a list of rule mappings;
+    - a mapping with a [rules:] list (optionally preceded by
+      [parent_cvl_file:] for inheritance);
+    - a [---]-separated stream of rule mappings.
+
+    Rule type is determined by the discriminator key present:
+    [config_name] (tree), [config_schema_name] (schema), [path_name]
+    (path), [script_name] (script), [composite_rule_name] (composite).
+
+    Validation is strict: a key that is not a CVL keyword, or not legal
+    for the rule's type, is an error naming the offending rule — this is
+    most of what "usable" means for non-expert rule writers.
+
+    Inheritance (paper §3.2): when a file names a [parent_cvl_file],
+    the parent's rules are loaded first; a child rule whose name matches
+    a parent rule {e overrides} it key-by-key (so a child can replace
+    just [preferred_value], or set [disabled: true] to switch the parent
+    rule off) and new child rules are appended. Chains are followed
+    transitively; cycles are detected and reported. *)
+
+(** Resolves a rule-file path to its text: from disk, or from the
+    embedded ruleset corpus. *)
+type source = { load : string -> (string, string) result }
+
+(** A source backed by an association list (embedded rulesets). *)
+val assoc_source : (string * string) list -> source
+
+(** A source reading the real filesystem, for the CLI. *)
+val file_source : root:string -> source
+
+(** Parse rule text directly (no inheritance resolution: a
+    [parent_cvl_file] key is an error here). *)
+val parse_rules : string -> (Rule.t list, string) result
+
+(** Load a rule file through [source], following parent chains. *)
+val load_file : source -> string -> (Rule.t list, string) result
+
+(** Parse one YAML rule mapping. *)
+val rule_of_yaml : Yamlite.Value.t -> (Rule.t, string) result

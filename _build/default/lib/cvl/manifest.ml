@@ -1,0 +1,99 @@
+type entry = {
+  entity : string;
+  enabled : bool;
+  search_paths : string list;
+  cvl_file : string;
+  lens : string option;
+  rule_type : string option;
+}
+
+let ( let* ) = Result.bind
+
+let entry_of_section entity kvs =
+  let allowed =
+    [ "enabled"; "config_search_paths"; "cvl_file"; "lens"; "rule_type"; "entity_name" ]
+  in
+  let* () =
+    match List.find_opt (fun (k, _) -> not (List.mem k allowed)) kvs with
+    | Some (k, _) -> Error (Printf.sprintf "manifest %s: unknown key %S" entity k)
+    | None -> Ok ()
+  in
+  let str key = Option.bind (List.assoc_opt key kvs) Yamlite.Value.get_str in
+  let* enabled =
+    match List.assoc_opt "enabled" kvs with
+    | None -> Ok true
+    | Some v -> (
+      match Yamlite.Value.get_bool v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "manifest %s: enabled must be a boolean" entity))
+  in
+  let* search_paths =
+    match List.assoc_opt "config_search_paths" kvs with
+    | None -> Ok []
+    | Some v -> (
+      match Yamlite.Value.get_str_list v with
+      | Some l -> Ok l
+      | None -> Error (Printf.sprintf "manifest %s: config_search_paths must be a list" entity))
+  in
+  match str "cvl_file" with
+  | None -> Error (Printf.sprintf "manifest %s: cvl_file is required" entity)
+  | Some cvl_file ->
+    Ok
+      {
+        entity;
+        enabled;
+        search_paths;
+        cvl_file;
+        lens = str "lens";
+        rule_type = str "rule_type";
+      }
+
+let parse text =
+  match Yamlite.Parse.string text with
+  | Error e -> Error (Yamlite.Parse.error_to_string e)
+  | Ok (Yamlite.Value.Map sections) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (entity, v) :: rest -> (
+        match Yamlite.Value.get_map v with
+        | Some kvs ->
+          let* entry = entry_of_section entity kvs in
+          go (entry :: acc) rest
+        | None -> Error (Printf.sprintf "manifest %s: section must be a mapping" entity))
+    in
+    go [] sections
+  | Ok _ -> Error "a manifest must be a mapping of entity sections"
+
+let parse_exn text =
+  match parse text with
+  | Ok entries -> entries
+  | Error msg -> invalid_arg (Printf.sprintf "Manifest.parse_exn: %s" msg)
+
+let load_rules source entry = Loader.load_file source entry.cvl_file
+
+let to_yaml entries =
+  Yamlite.Value.Map
+    (List.map
+       (fun e ->
+         let base =
+           [
+             ("enabled", Yamlite.Value.Bool e.enabled);
+             ( "config_search_paths",
+               Yamlite.Value.List (List.map (fun p -> Yamlite.Value.Str p) e.search_paths) );
+             ("cvl_file", Yamlite.Value.Str e.cvl_file);
+           ]
+         in
+         let base =
+           match e.lens with
+           | Some l -> base @ [ ("lens", Yamlite.Value.Str l) ]
+           | None -> base
+         in
+         let base =
+           match e.rule_type with
+           | Some t -> base @ [ ("rule_type", Yamlite.Value.Str t) ]
+           | None -> base
+         in
+         (e.entity, Yamlite.Value.Map base))
+       entries)
+
+let to_string entries = Yamlite.Print.to_string (to_yaml entries)

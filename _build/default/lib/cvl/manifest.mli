@@ -1,0 +1,32 @@
+(** Per-entity manifests (paper Listing 5): where to look for an
+    entity's configuration and which CVL file holds its rules.
+
+    {v
+    nginx:
+      enabled: True
+      config_search_paths:
+        - /etc/nginx
+      cvl_file: "component_configs/nginx.yaml"
+      lens: nginx            # optional; inferred from paths otherwise
+    v}
+
+    A manifest document is a mapping from entity name to such a
+    section; several entities may appear in one document. *)
+
+type entry = {
+  entity : string;
+  enabled : bool;
+  search_paths : string list;
+  cvl_file : string;
+  lens : string option;
+  rule_type : string option;  (** advisory; rules carry their own type *)
+}
+
+val parse : string -> (entry list, string) result
+val parse_exn : string -> entry list
+
+(** Load and parse the entry's rule file through a {!Loader.source}. *)
+val load_rules : Loader.source -> entry -> (Rule.t list, string) result
+
+val to_yaml : entry list -> Yamlite.Value.t
+val to_string : entry list -> string

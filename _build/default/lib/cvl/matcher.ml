@@ -1,0 +1,83 @@
+type kind = Exact | Substr | Regex
+type scope = Any | All
+
+type t = {
+  kind : kind;
+  scope : scope;
+}
+
+let default = { kind = Exact; scope = Any }
+
+let parse_kind = function
+  | "exact" -> Ok Exact
+  | "substr" | "substring" -> Ok Substr
+  | "regex" | "regexp" -> Ok Regex
+  | s -> Error (Printf.sprintf "unknown match kind %S (expected exact|substr|regex)" s)
+
+let parse_scope = function
+  | "any" -> Ok Any
+  | "all" -> Ok All
+  | s -> Error (Printf.sprintf "unknown match scope %S (expected any|all)" s)
+
+let parse input =
+  let parts = String.split_on_char ',' input |> List.map String.trim |> List.filter (( <> ) "") in
+  match parts with
+  | [] -> Ok default
+  | [ one ] -> (
+    match parse_kind one with
+    | Ok kind -> Ok { default with kind }
+    | Error _ -> (
+      match parse_scope one with
+      | Ok scope -> Ok { default with scope }
+      | Error _ -> Error (Printf.sprintf "unknown match spec %S" one)))
+  | [ k; s ] -> (
+    match (parse_kind k, parse_scope s) with
+    | Ok kind, Ok scope -> Ok { kind; scope }
+    | Error e, _ | _, Error e -> Error e)
+  | _ -> Error (Printf.sprintf "malformed match spec %S (expected \"kind,scope\")" input)
+
+let kind_to_string = function Exact -> "exact" | Substr -> "substr" | Regex -> "regex"
+let scope_to_string = function Any -> "any" | All -> "all"
+let to_string t = Printf.sprintf "%s,%s" (kind_to_string t.kind) (scope_to_string t.scope)
+
+(* Rule values are a small fixed vocabulary per ruleset; compiling each
+   regex once mirrors engines that compile patterns at load time. *)
+let regex_cache : (string, Re.re option) Hashtbl.t = Hashtbl.create 64
+
+let compile_cached pattern =
+  match Hashtbl.find_opt regex_cache pattern with
+  | Some cached -> cached
+  | None ->
+    let compiled = try Some (Re.compile (Re.Pcre.re pattern)) with _ -> None in
+    Hashtbl.add regex_cache pattern compiled;
+    compiled
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then true
+  else
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+
+let value_matches ?(case_insensitive = false) kind ~rule_value ~config_value =
+  let rule_value, config_value =
+    if case_insensitive then
+      (String.lowercase_ascii rule_value, String.lowercase_ascii config_value)
+    else (rule_value, config_value)
+  in
+  match kind with
+  | Exact -> String.equal rule_value config_value
+  | Substr -> contains ~needle:rule_value config_value
+  | Regex -> (
+    match compile_cached rule_value with
+    | Some re -> Re.execp re config_value
+    | None -> false)
+
+let satisfies ?case_insensitive t ~rule_values ~config_value =
+  match rule_values with
+  | [] -> false
+  | _ ->
+    let matches rv = value_matches ?case_insensitive t.kind ~rule_value:rv ~config_value in
+    (match t.scope with
+    | Any -> List.exists matches rule_values
+    | All -> List.for_all matches rule_values)

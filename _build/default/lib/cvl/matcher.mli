@@ -1,0 +1,42 @@
+(** Value-match semantics for [preferred_value] /
+    [non_preferred_value].
+
+    A match spec pairs a {e kind} with a {e scope}, written in CVL as
+    e.g. [substr,all] (Listing 2 of the paper):
+    - kind [exact]: rule value equals the configuration value;
+      [substr]: rule value occurs within the configuration value;
+      [regex]: rule value, as an (unanchored) regex, matches it.
+    - scope [all]: every rule value must match the configuration value;
+      [any]: at least one must.
+
+    [exact] is strictly stronger than [substr]: any value list that
+    matches exactly also matches as a substring (a law the property
+    tests check). *)
+
+type kind = Exact | Substr | Regex
+type scope = Any | All
+
+type t = {
+  kind : kind;
+  scope : scope;
+}
+
+val default : t
+(** [exact,any] — the CVL default when no [*_value_match] is given. *)
+
+(** Parse ["substr,all"], ["exact , any"], etc. Either component may be
+    omitted ("substr" alone means [substr] with the default scope). *)
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+
+(** [value_matches spec ~rule_value ~config_value] — one rule value
+    against one configuration value (kind only). *)
+val value_matches :
+  ?case_insensitive:bool -> kind -> rule_value:string -> config_value:string -> bool
+
+(** [satisfies spec ~rule_values ~config_value] — the scope-folded
+    verdict of a value list against one configuration value. An empty
+    rule-value list never satisfies. *)
+val satisfies :
+  ?case_insensitive:bool -> t -> rule_values:string list -> config_value:string -> bool

@@ -1,0 +1,481 @@
+type outcome =
+  | Fixed of string
+  | Skipped of string
+
+type report = {
+  entity : string;
+  rule_name : string;
+  outcome : outcome;
+}
+
+let pp_report fmt r =
+  match r.outcome with
+  | Fixed what -> Format.fprintf fmt "fixed   %s/%s: %s" r.entity r.rule_name what
+  | Skipped why -> Format.fprintf fmt "skipped %s/%s: %s" r.entity r.rule_name why
+
+(* ------------------------------------------------------------------ *)
+(* Tree editing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Literal path segments only; remediation skips wildcard paths. *)
+let literal_segments path_text =
+  if path_text = "" then Some []
+  else
+    let segs = String.split_on_char '/' path_text in
+    if List.exists (fun s -> s = "" || s = "*" || s = "**" || String.contains s '[') segs then None
+    else Some segs
+
+(* Does the section chain exist in the forest? *)
+let rec chain_exists (forest : Configtree.Tree.t list) = function
+  | [] -> true
+  | seg :: rest ->
+    List.exists
+      (fun (n : Configtree.Tree.t) -> n.label = seg && chain_exists n.children rest)
+      forest
+
+(* Apply [update] to the leaves labelled [leaf_name] under the section
+   chain [segs], creating sections along the way when needed.
+   [update (Some node)] rewrites an existing leaf ([None] deletes it);
+   [update None] may synthesize a missing leaf. *)
+let rec edit_forest (forest : Configtree.Tree.t list) segs ~leaf_name ~update =
+  match segs with
+  | [] ->
+    let existing = List.exists (fun (n : Configtree.Tree.t) -> n.label = leaf_name) forest in
+    if existing then
+      List.filter_map
+        (fun (n : Configtree.Tree.t) -> if n.label = leaf_name then update (Some n) else Some n)
+        forest
+    else (
+      match update None with
+      | Some leaf -> forest @ [ leaf ]
+      | None -> forest)
+  | seg :: rest ->
+    let has_section = List.exists (fun (n : Configtree.Tree.t) -> n.label = seg) forest in
+    if has_section then
+      List.map
+        (fun (n : Configtree.Tree.t) ->
+          if n.label = seg then { n with Configtree.Tree.children = edit_forest n.children rest ~leaf_name ~update }
+          else n)
+        forest
+    else forest @ [ Configtree.Tree.section seg (edit_forest [] rest ~leaf_name ~update) ]
+
+(* ------------------------------------------------------------------ *)
+(* Value synthesis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Recover "key value" or "key = value" from a backquoted snippet in
+   suggested_action, e.g. "Set `MaxAuthTries 4` in sshd_config." *)
+let hint_value ~key (c : Rule.common) =
+  let text = c.Rule.suggested_action in
+  match String.index_opt text '`' with
+  | None -> None
+  | Some start -> (
+    match String.index_from_opt text (start + 1) '`' with
+    | None -> None
+    | Some stop ->
+      let snippet = String.sub text (start + 1) (stop - start - 1) in
+      let snippet =
+        let s = String.trim snippet in
+        if String.length s > 0 && s.[String.length s - 1] = ';' then
+          String.trim (String.sub s 0 (String.length s - 1))
+        else s
+      in
+      let kl = String.length key in
+      if String.length snippet > kl && String.sub snippet 0 kl = key then begin
+        let rest = String.trim (String.sub snippet kl (String.length snippet - kl)) in
+        let rest =
+          if String.length rest > 0 && rest.[0] = '=' then
+            String.trim (String.sub rest 1 (String.length rest - 1))
+          else rest
+        in
+        if rest = "" then None else Some rest
+      end
+      else None)
+
+let violates_non_preferred (r : Rule.tree_rule) value =
+  match r.Rule.non_preferred with
+  | Some e ->
+    Matcher.satisfies ~case_insensitive:r.Rule.case_insensitive e.Rule.match_spec
+      ~rule_values:e.Rule.values ~config_value:value
+  | None -> false
+
+type tree_fix =
+  | Set of string  (** replace the value (or insert) *)
+  | Append of string  (** extend the existing value (or insert) *)
+  | Delete  (** remove offending leaves *)
+  | No_fix of string
+
+let tree_fix_of (r : Rule.tree_rule) =
+  let c = r.Rule.tree_common in
+  let key = c.Rule.name in
+  match r.Rule.preferred with
+  | Some { Rule.values = v :: _ as values; match_spec } -> (
+    match match_spec.Matcher.kind with
+    | Matcher.Exact -> Set v
+    | Matcher.Substr ->
+      if r.Rule.non_preferred <> None || match_spec.Matcher.scope = Matcher.All then
+        Set (String.concat " " values)
+      else Append v
+    | Matcher.Regex -> (
+      match hint_value ~key c with
+      | Some v -> Set v
+      | None -> No_fix "cannot synthesize a value from a regex expectation"))
+  | Some { Rule.values = []; _ } -> No_fix "empty preferred value list"
+  | None ->
+    (* A hint recovered from "Remove `key = bad`" would re-set the bad
+       value, so hints that violate non_preferred are rejected, and
+       delete-style rules are handled before hints. *)
+    let safe_hint () =
+      match hint_value ~key c with
+      | Some v when not (violates_non_preferred r v) -> Some v
+      | Some _ | None -> None
+    in
+    if r.Rule.non_preferred <> None && r.Rule.not_present_pass then Delete
+    else if r.Rule.check_presence_only then Set (Option.value (safe_hint ()) ~default:"")
+    else (
+      match safe_hint () with
+      | Some v -> Set v
+      | None -> No_fix "no preferred value and no usable suggested_action hint")
+
+(* ------------------------------------------------------------------ *)
+(* Per-file plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let lens_for (entry : Manifest.entry) path =
+  match entry.Manifest.lens with
+  | Some name -> Lenses.Registry.find name
+  | None -> Lenses.Registry.for_path path
+
+(* Files of the entity visible to a rule, with their lens. *)
+let rule_files frame (entry : Manifest.entry) ~file_context =
+  Crawler.find_config_files frame ~search_paths:entry.Manifest.search_paths ~patterns:[]
+  |> List.filter (fun (e : Crawler.extracted) ->
+         file_context = []
+         || List.exists (fun p -> Crawler.pattern_matches p e.Crawler.source_path) file_context)
+  |> List.filter_map (fun (e : Crawler.extracted) ->
+         Option.map (fun lens -> (e.Crawler.source_path, lens)) (lens_for entry e.Crawler.source_path))
+
+let render_back (lens : Lenses.Lens.t) normalized =
+  match lens.Lenses.Lens.render with
+  | Some render -> render normalized
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Tree rule remediation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fix_tree_rule frame (entry : Manifest.entry) (r : Rule.tree_rule) =
+  let c = r.Rule.tree_common in
+  let key = c.Rule.name in
+  match tree_fix_of r with
+  | No_fix why -> (frame, Skipped why)
+  | fix -> (
+    let files = rule_files frame entry ~file_context:r.Rule.file_context in
+    match files with
+    | [] -> (frame, Skipped "no configuration file to edit")
+    | (path, lens) :: _ -> (
+      let content = Option.value (Frames.Frame.read frame path) ~default:"" in
+      match lens.Lenses.Lens.parse ~filename:path content with
+      | Error e -> (frame, Skipped (Printf.sprintf "%s does not parse: %s" path e))
+      | Ok (Lenses.Lens.Table _) -> (frame, Skipped "tree rule over a schema file")
+      | Ok (Lenses.Lens.Tree forest) -> (
+        let alternatives = List.filter_map literal_segments r.Rule.config_paths in
+        match alternatives with
+        | [] -> (frame, Skipped "config_path uses wildcards; cannot edit structurally")
+        | first :: _ ->
+          (* Pass 1: rewrite existing leaves under every alternative
+             whose section chain exists (a directive may legitimately
+             appear in several of them). *)
+          let touched = ref 0 in
+          let rewrite existing =
+            match (fix, existing) with
+            | Delete, Some (n : Configtree.Tree.t) ->
+              if violates_non_preferred r (Option.value n.value ~default:"") then begin
+                incr touched;
+                None
+              end
+              else Some n
+            | Set v, Some n ->
+              incr touched;
+              Some { n with Configtree.Tree.value = Some v }
+            | Append v, Some (n : Configtree.Tree.t) ->
+              incr touched;
+              let old = Option.value n.value ~default:"" in
+              let joined = if old = "" then v else old ^ " " ^ v in
+              Some { n with Configtree.Tree.value = Some joined }
+            | _, existing -> existing
+          in
+          let existing_alts = List.filter (fun segs -> chain_exists forest segs) alternatives in
+          let edited =
+            List.fold_left
+              (fun forest segs -> edit_forest forest segs ~leaf_name:key ~update:rewrite)
+              forest existing_alts
+          in
+          (* Pass 2: if nothing existed and the fix needs a leaf, insert
+             one under the first available alternative. *)
+          let edited =
+            if !touched > 0 then edited
+            else
+              match fix with
+              | Delete | No_fix _ -> edited
+              | Set v | Append v ->
+                let segs = match existing_alts with segs :: _ -> segs | [] -> first in
+                let insert = function
+                  | Some (n : Configtree.Tree.t) -> Some n
+                  | None -> Some (Configtree.Tree.leaf key v)
+                in
+                edit_forest edited segs ~leaf_name:key ~update:insert
+          in
+          if fix = Delete && !touched = 0 then
+            (frame, Skipped "no offending entry found to remove")
+          else
+            match render_back lens (Lenses.Lens.Tree edited) with
+            | None -> (frame, Skipped (Printf.sprintf "lens %s cannot render" lens.Lenses.Lens.name))
+            | Some text ->
+              let what =
+                match fix with
+                | Set v -> Printf.sprintf "set %s to %S in %s" key v path
+                | Append v -> Printf.sprintf "appended %S to %s in %s" v key path
+                | Delete -> Printf.sprintf "removed offending %s from %s" key path
+                | No_fix _ -> assert false
+              in
+              (Frames.Frame.set_content frame ~path text, Fixed what))))
+
+(* ------------------------------------------------------------------ *)
+(* Schema rule remediation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fix_schema_rule frame (entry : Manifest.entry) (r : Rule.schema_rule) =
+  let files = rule_files frame entry ~file_context:r.Rule.schema_file_context in
+  match files with
+  | [] -> (frame, Skipped "no configuration file to edit")
+  | (path, lens) :: _ -> (
+    let content = Option.value (Frames.Frame.read frame path) ~default:"" in
+    match lens.Lenses.Lens.parse ~filename:path content with
+    | Error e -> (frame, Skipped (Printf.sprintf "%s does not parse: %s" path e))
+    | Ok (Lenses.Lens.Tree _) -> (frame, Skipped "schema rule over a tree file")
+    | Ok (Lenses.Lens.Table table) -> (
+      match
+        Configtree.Table.parse_query ~constraints:r.Rule.query_constraints
+          ~values:r.Rule.query_constraints_value
+      with
+      | Error e -> (frame, Skipped e)
+      | Ok query -> (
+        let bindings = Configtree.Table.query_bindings query in
+        (* Regex clauses of the shape ".*(literal).*" (the generated CIS
+           audit queries) also determine a representative cell value. *)
+        let regex_bindings =
+          let literal_of pattern =
+            let strip_affix ~prefix ~suffix s =
+              let pl = String.length prefix and sl = String.length suffix in
+              if String.length s >= pl + sl
+                 && String.sub s 0 pl = prefix
+                 && String.sub s (String.length s - sl) sl = suffix
+              then Some (String.sub s pl (String.length s - pl - sl))
+              else None
+            in
+            let inner =
+              match strip_affix ~prefix:".*(" ~suffix:").*" pattern with
+              | Some inner -> Some inner
+              | None -> strip_affix ~prefix:".*" ~suffix:".*" pattern
+            in
+            match inner with
+            | Some inner
+              when inner <> ""
+                   && not
+                        (String.exists
+                           (fun ch -> String.contains "\\^$.|?*+()[{" ch)
+                           inner) ->
+              Some inner
+            | _ -> None
+          in
+          List.filter_map
+            (fun (col, op, operand) ->
+              if op = "~" then Option.map (fun v -> (col, v)) (literal_of operand) else None)
+            (Configtree.Table.query_clauses query)
+        in
+        let bindings = bindings @ regex_bindings in
+        let matching = Configtree.Table.select table query in
+        let preferred_head =
+          match r.Rule.schema_preferred with
+          | Some { Rule.values = v :: _; match_spec }
+            when match_spec.Matcher.kind <> Matcher.Regex ->
+            Some (v, match_spec)
+          | _ -> None
+        in
+        let projected_column =
+          match r.Rule.query_columns with [ c ] when c <> "*" -> Some c | _ -> None
+        in
+        let enough_rows =
+          match r.Rule.expect_rows with
+          | Some n -> List.length matching >= n
+          | None -> matching <> []
+        in
+        let columns = table.Configtree.Table.columns in
+        if not enough_rows then begin
+          (* Synthesize a row from the = bindings; the preferred value
+             lands in the projected column, unknown cells get "-". *)
+          let row =
+            List.map
+              (fun col ->
+                match List.assoc_opt col bindings with
+                | Some v -> v
+                | None -> (
+                  match (projected_column, preferred_head) with
+                  | Some c, Some (v, _) when c = col -> v
+                  | _ -> "-"))
+              columns
+          in
+          match
+            Configtree.Table.make ~name:table.Configtree.Table.name ~columns
+              (table.Configtree.Table.rows @ [ row ])
+          with
+          | Error e -> (frame, Skipped e)
+          | Ok table' -> (
+            match render_back lens (Lenses.Lens.Table table') with
+            | None -> (frame, Skipped (Printf.sprintf "lens %s cannot render" lens.Lenses.Lens.name))
+            | Some text ->
+              ( Frames.Frame.set_content frame ~path text,
+                Fixed (Printf.sprintf "added row [%s] to %s" (String.concat " " row) path) ))
+        end
+        else
+          match (projected_column, preferred_head) with
+          | Some column, Some (v, match_spec) -> (
+            let idx =
+              let rec find i = function
+                | [] -> None
+                | c :: _ when c = column -> Some i
+                | _ :: rest -> find (i + 1) rest
+              in
+              find 0 columns
+            in
+            match idx with
+            | None -> (frame, Skipped (Printf.sprintf "unknown column %s" column))
+            | Some idx ->
+              let rewrite row =
+                if List.mem row matching then
+                  List.mapi
+                    (fun i cell ->
+                      if i <> idx then cell
+                      else
+                        match match_spec.Matcher.kind with
+                        | Matcher.Substr when cell <> "" && cell <> "-" -> cell ^ "," ^ v
+                        | _ -> v)
+                    row
+                else row
+              in
+              let table' =
+                { table with Configtree.Table.rows = List.map rewrite table.Configtree.Table.rows }
+              in
+              (match render_back lens (Lenses.Lens.Table table') with
+              | None -> (frame, Skipped (Printf.sprintf "lens %s cannot render" lens.Lenses.Lens.name))
+              | Some text ->
+                ( Frames.Frame.set_content frame ~path text,
+                  Fixed (Printf.sprintf "rewrote column %s of %d row(s) in %s" column
+                           (List.length matching) path) )))
+          | _ -> (frame, Skipped "no single projected column with an invertible expectation"))))
+
+(* ------------------------------------------------------------------ *)
+(* Path rule remediation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fix_path_rule frame (r : Rule.path_rule) =
+  let path = r.Rule.path in
+  match Frames.Frame.stat frame path with
+  | None ->
+    if not r.Rule.should_exist then (frame, Skipped "already absent")
+    else if r.Rule.file_type = Some "directory" then begin
+      let mode = Option.value r.Rule.permission ~default:0o755 in
+      let uid, gid =
+        match Option.map (String.split_on_char ':') r.Rule.ownership with
+        | Some [ u; g ] -> (int_of_string u, int_of_string g)
+        | _ -> (0, 0)
+      in
+      ( Frames.Frame.add_file frame (Frames.File.directory ~mode ~uid ~gid path),
+        Fixed (Printf.sprintf "created directory %s" path) )
+    end
+    else (frame, Skipped "cannot create a file whose content the rule does not determine")
+  | Some _ ->
+    if not r.Rule.should_exist then
+      (Frames.Frame.remove_file frame path, Fixed (Printf.sprintf "removed %s" path))
+    else begin
+      let frame =
+        match r.Rule.permission with
+        | Some mode -> Frames.Frame.chmod frame ~path mode
+        | None -> frame
+      in
+      let frame =
+        match Option.map (String.split_on_char ':') r.Rule.ownership with
+        | Some [ u; g ] -> Frames.Frame.chown frame ~path ~uid:(int_of_string u) ~gid:(int_of_string g)
+        | _ -> frame
+      in
+      (frame, Fixed (Printf.sprintf "reset mode/ownership of %s" path))
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let entity frame (entry : Manifest.entry) rules =
+  let ctx = Engine.build_ctx frame entry in
+  let results = Engine.eval_entity ctx (List.filter (fun r -> not (Rule.is_disabled r)) rules) in
+  List.fold_left
+    (fun (frame, reports) (result : Engine.result) ->
+      if not (Engine.is_violation result.Engine.verdict) then (frame, reports)
+      else
+        let rule_name = Rule.name result.Engine.rule in
+        let frame, outcome =
+          match result.Engine.rule with
+          | Rule.Tree r -> fix_tree_rule frame entry r
+          | Rule.Schema r -> fix_schema_rule frame entry r
+          | Rule.Path r -> fix_path_rule frame r
+          | Rule.Script _ -> (frame, Skipped "runtime state cannot be fixed by editing files")
+          | Rule.Composite _ -> (frame, Skipped "composite rules are fixed through their atoms")
+        in
+        (frame, { entity = entry.Manifest.entity; rule_name; outcome } :: reports))
+    (frame, []) results
+  |> fun (frame, reports) -> (frame, List.rev reports)
+
+let deployment ~source ~manifest frames =
+  let rules =
+    List.filter_map
+      (fun (entry : Manifest.entry) ->
+        if not entry.Manifest.enabled then None
+        else
+          match Manifest.load_rules source entry with
+          | Ok rules -> Some (entry, rules)
+          | Error _ -> None)
+      manifest
+  in
+  let frames, reports =
+    List.fold_left
+      (fun (done_frames, reports) frame ->
+        let frame, frame_reports =
+          List.fold_left
+            (fun (frame, acc) (entry, entity_rules) ->
+              let frame, rs = entity frame entry entity_rules in
+              (frame, acc @ rs))
+            (frame, []) rules
+        in
+        (done_frames @ [ frame ], reports @ frame_reports))
+      ([], []) frames
+  in
+  (frames, reports)
+
+let violation_count ~source ~manifest frames =
+  let run = Validator.run ~source ~manifest frames in
+  Report.violations run.Validator.results
+
+let fixpoint ?(max_rounds = 3) ~source ~manifest frames =
+  let rec go round frames reports =
+    let remaining = violation_count ~source ~manifest frames in
+    if remaining = [] || round >= max_rounds then (frames, reports, remaining)
+    else
+      let frames, new_reports = deployment ~source ~manifest frames in
+      let fixed_something =
+        List.exists (fun r -> match r.outcome with Fixed _ -> true | Skipped _ -> false) new_reports
+      in
+      if fixed_something then go (round + 1) frames (reports @ new_reports)
+      else (frames, reports @ new_reports, violation_count ~source ~manifest frames)
+  in
+  go 0 frames []

@@ -1,0 +1,67 @@
+(** Remediation: derive configuration fixes from the rules themselves.
+
+    Because CVL rules are declarative — they state the preferred value,
+    the offending values, the required rows, the permission ceiling —
+    most violations mechanically determine their own fix. This module
+    turns validation findings into frame edits and re-renders the
+    touched files through the same lenses that parsed them (the benefit
+    the paper's Section 6 anticipates from bidirectional Augeas
+    lenses).
+
+    Remediation is {e advisory}: it produces a candidate configuration
+    to review, not a guaranteed-safe change. Synthesized schema rows use
+    ["-"] placeholders for cells the rule does not determine (e.g. the
+    device of a missing /tmp partition line).
+
+    What is fixed:
+    - tree rules: the offending key is set to the first preferred value
+      (for [exact]/[substr] expectations, or a value recovered from a
+      backquoted `key value` snippet in [suggested_action] for regex
+      expectations); keys matching only [non_preferred] with
+      [not_present_pass] are removed; [check_presence_only] keys are
+      inserted.
+    - path rules: chmod to the ceiling, chown to the required owner;
+      a file that must not exist is removed.
+    - schema rules: a failing single-column projection is rewritten
+      ([substr] expectations append with [','], [exact] replace); a
+      missing row is synthesized from the query's [=] bindings.
+
+    What is skipped (with a reason in the report): script rules (the
+    fix lives in runtime state, not a file), composite rules (fixed
+    transitively by their atoms), rules whose expectation cannot be
+    inverted, and files whose lens has no renderer. *)
+
+type outcome =
+  | Fixed of string  (** human description of the edit *)
+  | Skipped of string  (** why no edit was derived *)
+
+type report = {
+  entity : string;
+  rule_name : string;
+  outcome : outcome;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [entity frame entry rules] applies every derivable fix for the
+    entity's violated rules and returns the edited frame. *)
+val entity :
+  Frames.Frame.t -> Manifest.entry -> Rule.t list -> Frames.Frame.t * report list
+
+(** [deployment ~source ~manifest frames] remediates every entity on
+    every frame. *)
+val deployment :
+  source:Loader.source ->
+  manifest:Manifest.entry list ->
+  Frames.Frame.t list ->
+  Frames.Frame.t list * report list
+
+(** Iterate {!deployment} until the violation count stops improving (at
+    most [max_rounds], default 3); returns the final frames, the
+    accumulated reports and the remaining violations. *)
+val fixpoint :
+  ?max_rounds:int ->
+  source:Loader.source ->
+  manifest:Manifest.entry list ->
+  Frames.Frame.t list ->
+  Frames.Frame.t list * report list * Engine.result list

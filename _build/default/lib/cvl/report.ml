@@ -1,0 +1,171 @@
+type summary = {
+  total : int;
+  matched : int;
+  violations : int;
+  not_present : int;
+  not_applicable : int;
+  errors : int;
+}
+
+let summarize results =
+  List.fold_left
+    (fun acc (r : Engine.result) ->
+      match r.Engine.verdict with
+      | Engine.Matched -> { acc with total = acc.total + 1; matched = acc.matched + 1 }
+      | Engine.Not_matched ->
+        { acc with total = acc.total + 1; violations = acc.violations + 1 }
+      | Engine.Not_present ->
+        {
+          acc with
+          total = acc.total + 1;
+          violations = acc.violations + 1;
+          not_present = acc.not_present + 1;
+        }
+      | Engine.Not_applicable ->
+        { acc with total = acc.total + 1; not_applicable = acc.not_applicable + 1 }
+      | Engine.Engine_error _ -> { acc with total = acc.total + 1; errors = acc.errors + 1 })
+    { total = 0; matched = 0; violations = 0; not_present = 0; not_applicable = 0; errors = 0 }
+    results
+
+let filter_by_tags tags results =
+  if tags = [] then results
+  else
+    List.filter
+      (fun (r : Engine.result) -> List.exists (fun t -> Rule.has_tag r.Engine.rule t) tags)
+      results
+
+let violations results =
+  List.filter (fun (r : Engine.result) -> Engine.is_violation r.Engine.verdict) results
+
+let verdict_glyph = function
+  | Engine.Matched -> "PASS"
+  | Engine.Not_matched -> "FAIL"
+  | Engine.Not_present -> "MISS"
+  | Engine.Not_applicable -> "N/A "
+  | Engine.Engine_error _ -> "ERR "
+
+let to_text ?(verbose = false) results =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (r : Engine.result) ->
+      let c = Rule.common_of r.Engine.rule in
+      Buffer.add_string buf
+        (Printf.sprintf "[%s] %-10s %-28s %s — %s\n" (verdict_glyph r.Engine.verdict)
+           r.Engine.entity r.Engine.frame_id (Rule.name r.Engine.rule) r.Engine.detail);
+      if verbose then begin
+        List.iter (fun e -> Buffer.add_string buf (Printf.sprintf "         · %s\n" e)) r.Engine.evidence;
+        if Engine.is_violation r.Engine.verdict && c.Rule.suggested_action <> "" then
+          Buffer.add_string buf (Printf.sprintf "         ↳ action: %s\n" c.Rule.suggested_action);
+        if c.Rule.tags <> [] then
+          Buffer.add_string buf
+            (Printf.sprintf "         · tags: %s\n" (String.concat " " c.Rule.tags))
+      end)
+    results;
+  Buffer.contents buf
+
+let summary_line s =
+  Printf.sprintf "%d checks: %d passed, %d violations (%d missing), %d n/a, %d errors" s.total
+    s.matched s.violations s.not_present s.not_applicable s.errors
+
+let result_to_json (r : Engine.result) =
+  let c = Rule.common_of r.Engine.rule in
+  Jsonlite.Obj
+    [
+      ("entity", Jsonlite.Str r.Engine.entity);
+      ("frame", Jsonlite.Str r.Engine.frame_id);
+      ("rule", Jsonlite.Str (Rule.name r.Engine.rule));
+      ("type", Jsonlite.Str (Rule.kind_to_string r.Engine.rule));
+      ("verdict", Jsonlite.Str (Engine.verdict_to_string r.Engine.verdict));
+      ("violation", Jsonlite.Bool (Engine.is_violation r.Engine.verdict));
+      ("severity", Jsonlite.Str c.Rule.severity);
+      ("detail", Jsonlite.Str r.Engine.detail);
+      ("evidence", Jsonlite.Arr (List.map (fun e -> Jsonlite.Str e) r.Engine.evidence));
+      ("tags", Jsonlite.Arr (List.map (fun t -> Jsonlite.Str t) c.Rule.tags));
+      ("suggested_action", Jsonlite.Str c.Rule.suggested_action);
+    ]
+
+let to_junit results =
+  (* One testsuite per entity; Not_applicable maps to a skipped case. *)
+  let entities =
+    List.sort_uniq String.compare (List.map (fun (r : Engine.result) -> r.Engine.entity) results)
+  in
+  let el = Xmllite.element in
+  let case (r : Engine.result) =
+    let name =
+      Printf.sprintf "%s @ %s" (Rule.name r.Engine.rule) r.Engine.frame_id
+    in
+    let children =
+      match r.Engine.verdict with
+      | Engine.Matched -> []
+      | Engine.Not_matched | Engine.Not_present ->
+        [
+          Xmllite.Element
+            (el "failure"
+               ~attrs:[ ("message", r.Engine.detail) ]
+               ~children:[ Xmllite.text_child (String.concat "\n" r.Engine.evidence) ]);
+        ]
+      | Engine.Not_applicable -> [ Xmllite.Element (el "skipped" ~attrs:[ ("message", r.Engine.detail) ]) ]
+      | Engine.Engine_error msg -> [ Xmllite.Element (el "error" ~attrs:[ ("message", msg) ]) ]
+    in
+    Xmllite.Element
+      (el "testcase" ~attrs:[ ("name", name); ("classname", r.Engine.entity) ] ~children)
+  in
+  let suite entity =
+    let own = List.filter (fun (r : Engine.result) -> r.Engine.entity = entity) results in
+    let s = summarize own in
+    Xmllite.Element
+      (el "testsuite"
+         ~attrs:
+           [
+             ("name", entity);
+             ("tests", string_of_int s.total);
+             ("failures", string_of_int s.violations);
+             ("errors", string_of_int s.errors);
+             ("skipped", string_of_int s.not_applicable);
+           ]
+         ~children:(List.map case own))
+  in
+  Xmllite.to_string (el "testsuites" ~children:(List.map suite entities))
+
+type run_comparison = {
+  regressions : Engine.result list;
+  fixes : Engine.result list;
+  still_violating : Engine.result list;
+}
+
+let finding_key (r : Engine.result) =
+  (r.Engine.entity, Rule.name r.Engine.rule, r.Engine.frame_id)
+
+let compare_runs ~before ~after =
+  let violating results = List.map finding_key (violations results) in
+  let before_bad = violating before in
+  let in_set set r = List.mem (finding_key r) set in
+  {
+    regressions = List.filter (fun r -> not (in_set before_bad r)) (violations after);
+    fixes =
+      List.filter
+        (fun (r : Engine.result) -> (not (Engine.is_violation r.Engine.verdict)) && in_set before_bad r)
+        after;
+    still_violating = List.filter (in_set before_bad) (violations after);
+  }
+
+let comparison_summary c =
+  Printf.sprintf "%d regression(s), %d fix(es), %d still violating"
+    (List.length c.regressions) (List.length c.fixes) (List.length c.still_violating)
+
+let to_json results =
+  let s = summarize results in
+  Jsonlite.Obj
+    [
+      ( "summary",
+        Jsonlite.Obj
+          [
+            ("total", Jsonlite.Num (float_of_int s.total));
+            ("matched", Jsonlite.Num (float_of_int s.matched));
+            ("violations", Jsonlite.Num (float_of_int s.violations));
+            ("not_present", Jsonlite.Num (float_of_int s.not_present));
+            ("not_applicable", Jsonlite.Num (float_of_int s.not_applicable));
+            ("errors", Jsonlite.Num (float_of_int s.errors));
+          ] );
+      ("results", Jsonlite.Arr (List.map result_to_json results));
+    ]

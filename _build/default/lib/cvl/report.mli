@@ -1,0 +1,48 @@
+(** Output processing (paper §3.1): turn raw engine results into
+    human-readable findings and machine-readable documents, combining
+    each verdict with the rule's descriptions and suggested action. *)
+
+type summary = {
+  total : int;
+  matched : int;
+  violations : int;  (** [Not_matched] + actionable [Not_present] *)
+  not_present : int;
+  not_applicable : int;
+  errors : int;
+}
+
+val summarize : Engine.result list -> summary
+
+(** Keep results whose rule carries at least one of the tags. *)
+val filter_by_tags : string list -> Engine.result list -> Engine.result list
+
+(** Keep only violations. *)
+val violations : Engine.result list -> Engine.result list
+
+(** Render a findings report. [verbose] includes evidence lines and
+    suggested actions. *)
+val to_text : ?verbose:bool -> Engine.result list -> string
+
+val summary_line : summary -> string
+
+val result_to_json : Engine.result -> Jsonlite.t
+val to_json : Engine.result list -> Jsonlite.t
+
+(** JUnit-style XML (one testsuite per entity, one testcase per rule) —
+    the common CI integration format, so validation gates pipelines the
+    way the paper's production deployment gates image pushes. *)
+val to_junit : Engine.result list -> string
+
+(** {2 Run comparison}
+
+    Diff two validation runs (e.g. before and after a deploy): which
+    (entity, rule, frame) findings appeared, which cleared. *)
+
+type run_comparison = {
+  regressions : Engine.result list;  (** violating now, compliant before *)
+  fixes : Engine.result list;  (** compliant now, violating before *)
+  still_violating : Engine.result list;
+}
+
+val compare_runs : before:Engine.result list -> after:Engine.result list -> run_comparison
+val comparison_summary : run_comparison -> string

@@ -1,0 +1,113 @@
+type common = {
+  name : string;
+  description : string;
+  tags : string list;
+  severity : string;
+  matched_description : string;
+  not_matched_description : string;
+  not_present_description : string;
+  suggested_action : string;
+  disabled : bool;
+}
+
+let common ?(description = "") ?(tags = []) ?(severity = "medium") ?(matched = "")
+    ?(not_matched = "") ?(not_present = "") ?(suggested_action = "") ?(disabled = false) name =
+  {
+    name;
+    description;
+    tags;
+    severity;
+    matched_description = matched;
+    not_matched_description = not_matched;
+    not_present_description = not_present;
+    suggested_action;
+    disabled;
+  }
+
+type expectation = {
+  values : string list;
+  match_spec : Matcher.t;
+}
+
+type tree_rule = {
+  tree_common : common;
+  config_paths : string list;
+  preferred : expectation option;
+  non_preferred : expectation option;
+  file_context : string list;
+  require_other_configs : string list;
+  value_separator : string option;
+  case_insensitive : bool;
+  check_presence_only : bool;
+  not_present_pass : bool;
+}
+
+type schema_rule = {
+  schema_common : common;
+  query_constraints : string;
+  query_constraints_value : string list;
+  query_columns : string list;
+  schema_preferred : expectation option;
+  schema_non_preferred : expectation option;
+  schema_file_context : string list;
+  expect_rows : int option;
+}
+
+type path_rule = {
+  path_common : common;
+  path : string;
+  ownership : string option;
+  permission : int option;
+  should_exist : bool;
+  file_type : string option;
+}
+
+type script_rule = {
+  script_common : common;
+  plugin : string;
+  script_config_paths : string list;
+  script_preferred : expectation option;
+  script_non_preferred : expectation option;
+  script_not_present_pass : bool;
+}
+
+type composite_rule = {
+  composite_common : common;
+  expression : string;
+}
+
+type t =
+  | Tree of tree_rule
+  | Schema of schema_rule
+  | Path of path_rule
+  | Script of script_rule
+  | Composite of composite_rule
+
+let common_of = function
+  | Tree r -> r.tree_common
+  | Schema r -> r.schema_common
+  | Path r -> r.path_common
+  | Script r -> r.script_common
+  | Composite r -> r.composite_common
+
+let name t = (common_of t).name
+let tags t = (common_of t).tags
+
+let kind_to_string = function
+  | Tree _ -> "config-tree"
+  | Schema _ -> "schema"
+  | Path _ -> "path"
+  | Script _ -> "script"
+  | Composite _ -> "composite"
+
+let is_disabled t = (common_of t).disabled
+
+let with_common t c =
+  match t with
+  | Tree r -> Tree { r with tree_common = c }
+  | Schema r -> Schema { r with schema_common = c }
+  | Path r -> Path { r with path_common = c }
+  | Script r -> Script { r with script_common = c }
+  | Composite r -> Composite { r with composite_common = c }
+
+let has_tag t tag = List.exists (String.equal tag) (tags t)

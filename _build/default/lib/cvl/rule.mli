@@ -1,0 +1,104 @@
+(** The CVL rule model: the five rule types of the paper (§3.2).
+
+    Construction normally happens through {!Loader}; the records are
+    exposed so programs can also build rules directly (the embedded
+    rulesets do, and the spec-size benchmarks render them back to CVL
+    text, XCCDF/OVAL and InSpec). *)
+
+(** Fields shared by every rule type. *)
+type common = {
+  name : string;
+  description : string;
+  tags : string list;
+  severity : string;  (** informational; default ["medium"] *)
+  matched_description : string;
+  not_matched_description : string;
+  not_present_description : string;
+  suggested_action : string;
+  disabled : bool;
+}
+
+val common :
+  ?description:string ->
+  ?tags:string list ->
+  ?severity:string ->
+  ?matched:string ->
+  ?not_matched:string ->
+  ?not_present:string ->
+  ?suggested_action:string ->
+  ?disabled:bool ->
+  string ->
+  common
+
+(** A value assertion: the list of rule values plus match semantics. *)
+type expectation = {
+  values : string list;
+  match_spec : Matcher.t;
+}
+
+type tree_rule = {
+  tree_common : common;
+  config_paths : string list;  (** alternates; [""] = forest roots *)
+  preferred : expectation option;
+  non_preferred : expectation option;
+  file_context : string list;  (** file patterns; [] = all entity files *)
+  require_other_configs : string list;
+  value_separator : string option;  (** split config value before matching *)
+  case_insensitive : bool;
+  check_presence_only : bool;
+  not_present_pass : bool;
+}
+
+type schema_rule = {
+  schema_common : common;
+  query_constraints : string;
+  query_constraints_value : string list;
+  query_columns : string list;
+  schema_preferred : expectation option;
+  schema_non_preferred : expectation option;
+  schema_file_context : string list;
+  expect_rows : int option;  (** minimum row count, when given *)
+}
+
+type path_rule = {
+  path_common : common;
+  path : string;
+  ownership : string option;  (** ["uid:gid"] *)
+  permission : int option;  (** octal ceiling: stricter modes pass *)
+  should_exist : bool;
+  file_type : string option;  (** ["file"] | ["directory"] | ["symlink"] *)
+}
+
+type script_rule = {
+  script_common : common;
+  plugin : string;  (** crawler plugin name *)
+  script_config_paths : string list;  (** address into the plugin output *)
+  script_preferred : expectation option;
+  script_non_preferred : expectation option;
+  script_not_present_pass : bool;
+}
+
+type composite_rule = {
+  composite_common : common;
+  expression : string;  (** parsed by {!Expr} at evaluation time *)
+}
+
+type t =
+  | Tree of tree_rule
+  | Schema of schema_rule
+  | Path of path_rule
+  | Script of script_rule
+  | Composite of composite_rule
+
+val common_of : t -> common
+val name : t -> string
+val tags : t -> string list
+val kind_to_string : t -> string
+val is_disabled : t -> bool
+
+(** [with_common rule c] replaces the common fields (inheritance
+    overrides use this). *)
+val with_common : t -> common -> t
+
+(** [has_tag rule "#cis"] — exact tag membership. *)
+val has_tag : t -> string -> bool

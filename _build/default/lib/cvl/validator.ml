@@ -1,0 +1,151 @@
+type t = {
+  results : Engine.result list;
+  load_errors : (string * string) list;
+}
+
+let env_of ~results ~ctxs =
+  {
+    Expr.lookup_rule =
+      (fun ~entity ~rule ->
+        let relevant =
+          List.filter
+            (fun (r : Engine.result) ->
+              String.equal r.Engine.entity entity && String.equal (Rule.name r.Engine.rule) rule)
+            results
+        in
+        match relevant with
+        | [] -> None
+        | rs -> Some (List.exists (fun (r : Engine.result) -> r.Engine.verdict = Engine.Matched) rs));
+    Expr.lookup_config =
+      (fun ~entity ~key ~subpath ->
+        match List.assoc_opt entity ctxs with
+        | None -> None
+        | Some entity_ctxs ->
+          List.find_map (fun ctx -> Engine.lookup_config_value ctx ~key ~subpath) entity_ctxs);
+  }
+
+let tag_selected tags rule = tags = [] || List.exists (fun t -> Rule.has_tag rule t) tags
+
+let load_rules ~source ~manifest =
+  let loaded =
+    List.filter_map
+      (fun (entry : Manifest.entry) ->
+        if not entry.Manifest.enabled then None
+        else Some (entry, Manifest.load_rules source entry))
+      manifest
+  in
+  let errors =
+    List.filter_map
+      (fun ((entry : Manifest.entry), outcome) ->
+        match outcome with Error e -> Some (entry.Manifest.entity, e) | Ok _ -> None)
+      loaded
+  in
+  if errors <> [] then Error errors
+  else
+    Ok
+      (List.filter_map
+         (fun (entry, outcome) -> Result.to_option outcome |> Option.map (fun r -> (entry, r)))
+         loaded)
+
+let is_composite = function
+  | Rule.Composite _ -> true
+  | Rule.Tree _ | Rule.Schema _ | Rule.Path _ | Rule.Script _ -> false
+
+let eval_composites ~rules ~plain_results ~ctxs ~deployment_id =
+  let env = env_of ~results:plain_results ~ctxs in
+  List.concat_map
+    (fun ((entry : Manifest.entry), entity_rules) ->
+      entity_rules
+      |> List.filter is_composite
+      |> List.map (fun rule ->
+             let c = Rule.common_of rule in
+             let expression =
+               match rule with Rule.Composite r -> r.Rule.expression | _ -> assert false
+             in
+             let verdict, detail, evidence =
+               if Rule.is_disabled rule then
+                 (Engine.Not_applicable, Printf.sprintf "%s: disabled" c.Rule.name, [])
+               else
+                 match Expr.parse expression with
+                 | Error e -> (Engine.Engine_error e, e, [ expression ])
+                 | Ok ast ->
+                   if Expr.eval env ast then
+                     ( Engine.Matched,
+                       (if c.Rule.matched_description <> "" then c.Rule.matched_description
+                        else Printf.sprintf "%s: composite holds" c.Rule.name),
+                       [ expression ] )
+                   else
+                     ( Engine.Not_matched,
+                       (if c.Rule.not_matched_description <> "" then c.Rule.not_matched_description
+                        else Printf.sprintf "%s: composite does not hold" c.Rule.name),
+                       [ expression ] )
+             in
+             {
+               Engine.entity = entry.Manifest.entity;
+               frame_id = deployment_id;
+               rule;
+               verdict;
+               detail;
+               evidence;
+             }))
+    rules
+
+let deployment_id_of frames =
+  match frames with
+  | [ f ] -> Frames.Frame.id f
+  | _ -> Printf.sprintf "deployment(%d frames)" (List.length frames)
+
+let run_loaded ?(tags = []) ?keep_not_applicable ~rules frames =
+  let keep_na = match keep_not_applicable with Some b -> b | None -> List.length frames <= 1 in
+  let entity_rules =
+    List.map (fun (entry, rs) -> (entry, List.filter (tag_selected tags) rs)) rules
+  in
+  (* Per-entity evaluation over every frame. *)
+  let ctxs =
+    List.map
+      (fun ((entry : Manifest.entry), _) ->
+        (entry.Manifest.entity, List.map (fun frame -> Engine.build_ctx frame entry) frames))
+      entity_rules
+  in
+  let plain_results =
+    List.concat_map
+      (fun ((entry : Manifest.entry), rules) ->
+        let plain = List.filter (fun r -> not (is_composite r)) rules in
+        let entity_ctxs = List.assoc entry.Manifest.entity ctxs in
+        List.concat_map (fun ctx -> Engine.eval_entity ctx plain) entity_ctxs)
+      entity_rules
+  in
+  let plain_results =
+    if keep_na then plain_results
+    else
+      List.filter (fun (r : Engine.result) -> r.Engine.verdict <> Engine.Not_applicable) plain_results
+  in
+  let composite_results =
+    eval_composites ~rules:entity_rules ~plain_results ~ctxs
+      ~deployment_id:(deployment_id_of frames)
+  in
+  { results = plain_results @ composite_results; load_errors = [] }
+
+let run ?tags ?keep_not_applicable ~source ~manifest frames =
+  (* Load errors disable just the affected entity, mirroring production
+     behaviour: one bad rule file must not block the whole scan. *)
+  let loaded =
+    List.filter_map
+      (fun (entry : Manifest.entry) ->
+        if not entry.Manifest.enabled then None
+        else Some (entry, Manifest.load_rules source entry))
+      manifest
+  in
+  let load_errors =
+    List.filter_map
+      (fun ((entry : Manifest.entry), outcome) ->
+        match outcome with Error e -> Some (entry.Manifest.entity, e) | Ok _ -> None)
+      loaded
+  in
+  let rules =
+    List.filter_map
+      (fun (entry, outcome) -> Result.to_option outcome |> Option.map (fun r -> (entry, r)))
+      loaded
+  in
+  let t = run_loaded ?tags ?keep_not_applicable ~rules frames in
+  { t with load_errors }

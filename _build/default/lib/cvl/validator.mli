@@ -1,0 +1,67 @@
+(** End-to-end validation: the full ConfigValidator pipeline
+    (extract → normalize → evaluate → aggregate) over one or more
+    configuration frames.
+
+    A {e deployment} is the list of frames being validated together —
+    e.g. a host plus its containers. Per-entity rules run against every
+    frame; composite rules then aggregate per-entity outcomes across the
+    whole deployment (paper §3.1: "for cross-entity validation the rule
+    engine performs a logical conjunction/disjunction over the
+    per-entity rule evaluations"). *)
+
+type t = {
+  results : Engine.result list;  (** per-entity results, then composites *)
+  load_errors : (string * string) list;  (** (entity, message) *)
+}
+
+(** [run ~source ~manifest frames] loads every enabled entity's rules
+    and evaluates them.
+
+    [tags], when non-empty, keeps only rules carrying at least one of
+    the given tags (e.g. [["#cis"]]).
+
+    [keep_not_applicable] (default [false]) retains [Not_applicable]
+    results — with several frames in a deployment most entities are
+    absent from most frames, so the default drops that noise unless the
+    deployment has a single frame. *)
+val run :
+  ?tags:string list ->
+  ?keep_not_applicable:bool ->
+  source:Loader.source ->
+  manifest:Manifest.entry list ->
+  Frames.Frame.t list ->
+  t
+
+(** [run_loaded ~rules frames] is {!run} with rule loading already done
+    — the per-target work of a long-running validator that amortizes
+    rule loading across targets (as the paper's production deployment
+    does across tens of thousands of containers). *)
+val run_loaded :
+  ?tags:string list ->
+  ?keep_not_applicable:bool ->
+  rules:(Manifest.entry * Rule.t list) list ->
+  Frames.Frame.t list ->
+  t
+
+(** Load every enabled entity's rules once, for {!run_loaded}. *)
+val load_rules :
+  source:Loader.source ->
+  manifest:Manifest.entry list ->
+  ((Manifest.entry * Rule.t list) list, (string * string) list) result
+
+(** Evaluate only the composite rules of [rules] against
+    already-computed per-entity results — used by incremental
+    revalidation, which recomputes composites after splicing. *)
+val eval_composites :
+  rules:(Manifest.entry * Rule.t list) list ->
+  plain_results:Engine.result list ->
+  ctxs:(string * Engine.entity_ctx list) list ->
+  deployment_id:string ->
+  Engine.result list
+
+(** Composite-expression environment over already-computed results and
+    contexts — exposed for tests and for the benchmark ablations. *)
+val env_of :
+  results:Engine.result list ->
+  ctxs:(string * Engine.entity_ctx list) list ->
+  Expr.env

@@ -1,0 +1,1 @@
+lib/docksim/container.ml: Frames Image Jsonlite Layer List Option Printf String

@@ -1,0 +1,1 @@
+lib/docksim/container.mli: Frames Image Jsonlite Layer

@@ -1,0 +1,1 @@
+lib/docksim/dockerfile.ml: Buffer Frames Image Layer List Option Printf Result String

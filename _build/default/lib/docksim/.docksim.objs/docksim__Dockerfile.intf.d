@@ -1,0 +1,1 @@
+lib/docksim/dockerfile.mli: Frames Image

@@ -1,0 +1,1 @@
+lib/docksim/image.ml: Frames Jsonlite Layer List Printf

@@ -1,0 +1,1 @@
+lib/docksim/image.mli: Frames Jsonlite Layer

@@ -1,0 +1,1 @@
+lib/docksim/layer.mli: Frames

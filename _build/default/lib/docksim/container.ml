@@ -1,0 +1,133 @@
+type bind_mount = {
+  source : string;
+  destination : string;
+  read_write : bool;
+}
+
+type runtime = {
+  privileged : bool;
+  network_mode : string;
+  pid_mode : string;
+  ipc_mode : string;
+  readonly_rootfs : bool;
+  memory_limit : int;
+  cpu_shares : int;
+  pids_limit : int;
+  cap_add : string list;
+  cap_drop : string list;
+  security_opt : string list;
+  restart_policy : string;
+  binds : bind_mount list;
+  published_ports : (int * int) list;
+  docker_socket_mounted : bool;
+}
+
+let default_runtime =
+  {
+    privileged = false;
+    network_mode = "bridge";
+    pid_mode = "";
+    ipc_mode = "";
+    readonly_rootfs = false;
+    memory_limit = 0;
+    cpu_shares = 0;
+    pids_limit = 0;
+    cap_add = [];
+    cap_drop = [];
+    security_opt = [];
+    restart_policy = "no";
+    binds = [];
+    published_ports = [];
+    docker_socket_mounted = false;
+  }
+
+type t = {
+  id : string;
+  name : string;
+  image : Image.t;
+  runtime : runtime;
+  runtime_layer : Layer.t;
+  processes : Frames.Frame.process list;
+}
+
+let make ?(runtime = default_runtime) ?(runtime_ops = []) ?(processes = []) ~id ~name image =
+  let runtime_layer = Layer.make ~id:(id ^ "-rw") ~created_by:"container runtime" runtime_ops in
+  { id; name; image; runtime; runtime_layer; processes }
+
+let inspect_json c =
+  let r = c.runtime in
+  let strs l = Jsonlite.Arr (List.map (fun s -> Jsonlite.Str s) l) in
+  let binds =
+    List.map
+      (fun b ->
+        Jsonlite.Str
+          (Printf.sprintf "%s:%s:%s" b.source b.destination (if b.read_write then "rw" else "ro")))
+      (if r.docker_socket_mounted then
+         { source = "/var/run/docker.sock"; destination = "/var/run/docker.sock"; read_write = true }
+         :: r.binds
+       else r.binds)
+  in
+  let ports =
+    List.map
+      (fun (host, cont) ->
+        Jsonlite.Obj
+          [ ("HostPort", Jsonlite.Str (string_of_int host)); ("ContainerPort", Jsonlite.Str (string_of_int cont)) ])
+      r.published_ports
+  in
+  Jsonlite.Obj
+    [
+      ("Id", Jsonlite.Str c.id);
+      ("Name", Jsonlite.Str ("/" ^ c.name));
+      ("Image", Jsonlite.Str c.image.Image.reference);
+      ( "HostConfig",
+        Jsonlite.Obj
+          [
+            ("Privileged", Jsonlite.Bool r.privileged);
+            ("NetworkMode", Jsonlite.Str r.network_mode);
+            ("PidMode", Jsonlite.Str r.pid_mode);
+            ("IpcMode", Jsonlite.Str r.ipc_mode);
+            ("ReadonlyRootfs", Jsonlite.Bool r.readonly_rootfs);
+            ("Memory", Jsonlite.Num (float_of_int r.memory_limit));
+            ("CpuShares", Jsonlite.Num (float_of_int r.cpu_shares));
+            ("PidsLimit", Jsonlite.Num (float_of_int r.pids_limit));
+            ("CapAdd", strs r.cap_add);
+            ("CapDrop", strs r.cap_drop);
+            ("SecurityOpt", strs r.security_opt);
+            ( "RestartPolicy",
+              let name, retries =
+                match String.index_opt r.restart_policy ':' with
+                | Some i ->
+                  ( String.sub r.restart_policy 0 i,
+                    int_of_string_opt
+                      (String.sub r.restart_policy (i + 1)
+                         (String.length r.restart_policy - i - 1))
+                    |> Option.value ~default:0 )
+                | None -> (r.restart_policy, 0)
+              in
+              Jsonlite.Obj
+                [
+                  ("Name", Jsonlite.Str name);
+                  ("MaximumRetryCount", Jsonlite.Num (float_of_int retries));
+                ] );
+            ("Binds", Jsonlite.Arr binds);
+            ("PortBindings", Jsonlite.Arr ports);
+          ] );
+      ("Config", Image.config_json c.image);
+    ]
+
+let to_frame c =
+  let image_frame = Image.flatten c.image in
+  (* Rebuild under the container identity, then replay the runtime layer. *)
+  let base =
+    Frames.Frame.create ~os:c.image.Image.base_os ~id:c.id (Frames.Frame.Container c.id)
+  in
+  let base =
+    List.fold_left Frames.Frame.add_file base (Frames.Frame.all_entries image_frame)
+  in
+  let frame = Layer.apply base c.runtime_layer in
+  let frame = Frames.Frame.set_processes frame c.processes in
+  let frame =
+    Frames.Frame.set_runtime_doc frame ~key:"docker_image_config"
+      (Jsonlite.to_string (Image.config_json c.image))
+  in
+  Frames.Frame.set_runtime_doc frame ~key:"docker_inspect" (Jsonlite.to_string (inspect_json c))

@@ -1,0 +1,56 @@
+(** Running containers: an image plus a writable runtime layer and the
+    runtime settings that CIS-Docker container rules assert on
+    (privilege, namespaces, capabilities, limits, mounts). *)
+
+type bind_mount = {
+  source : string;  (** host path *)
+  destination : string;
+  read_write : bool;
+}
+
+type runtime = {
+  privileged : bool;
+  network_mode : string;  (** ["bridge"] | ["host"] | ["none"] *)
+  pid_mode : string;  (** [""] | ["host"] *)
+  ipc_mode : string;
+  readonly_rootfs : bool;
+  memory_limit : int;  (** bytes; [0] = unlimited *)
+  cpu_shares : int;  (** [0] = default *)
+  pids_limit : int;
+  cap_add : string list;
+  cap_drop : string list;
+  security_opt : string list;  (** e.g. ["apparmor=docker-default"] *)
+  restart_policy : string;  (** ["no"] | ["on-failure:5"] | ["always"] *)
+  binds : bind_mount list;
+  published_ports : (int * int) list;  (** (host, container) *)
+  docker_socket_mounted : bool;
+}
+
+val default_runtime : runtime
+
+type t = {
+  id : string;
+  name : string;
+  image : Image.t;
+  runtime : runtime;
+  runtime_layer : Layer.t;  (** the container's writable layer *)
+  processes : Frames.Frame.process list;
+}
+
+val make :
+  ?runtime:runtime ->
+  ?runtime_ops:Layer.op list ->
+  ?processes:Frames.Frame.process list ->
+  id:string ->
+  name:string ->
+  Image.t ->
+  t
+
+(** The container's live filesystem view: image layers then the runtime
+    layer, with processes attached and two runtime documents installed —
+    ["docker_inspect"] (a docker-inspect-style JSON) and
+    ["docker_image_config"] (inherited from the image). *)
+val to_frame : t -> Frames.Frame.t
+
+(** docker-inspect-style document for script rules and the crawler. *)
+val inspect_json : t -> Jsonlite.t

@@ -1,0 +1,173 @@
+type error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "Dockerfile line %d: %s" e.line e.message
+let fail line fmt = Printf.ksprintf (fun message -> Error { line; message }) fmt
+
+let ( let* ) = Result.bind
+
+(* Logical lines: strip comments, join backslash continuations. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let rec go lineno pending acc = function
+    | [] -> List.rev (match pending with Some (n, s) -> (n, s) :: acc | None -> acc)
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then
+        go (lineno + 1) pending acc rest
+      else
+        let joined, start =
+          match pending with
+          | Some (n, prefix) -> (prefix ^ " " ^ line, n)
+          | None -> (line, lineno)
+        in
+        if String.length joined > 0 && joined.[String.length joined - 1] = '\\' then
+          go (lineno + 1) (Some (start, String.trim (String.sub joined 0 (String.length joined - 1)))) acc rest
+        else go (lineno + 1) None ((start, joined) :: acc) rest
+  in
+  go 1 None [] raw
+
+let split_instruction line =
+  match String.index_opt line ' ' with
+  | None -> (String.uppercase_ascii line, "")
+  | Some i ->
+    ( String.uppercase_ascii (String.sub line 0 i),
+      String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+(* Tokenize shell-ish arguments, honouring quotes. *)
+let tokens s =
+  let n = String.length s in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  let rec go i quote =
+    if i >= n then flush ()
+    else
+      let c = s.[i] in
+      match quote with
+      | Some q -> if c = q then go (i + 1) None else (Buffer.add_char buf c; go (i + 1) quote)
+      | None -> (
+        match c with
+        | ' ' | '\t' ->
+          flush ();
+          go (i + 1) None
+        | '\'' | '"' -> go (i + 1) (Some c)
+        | c ->
+          Buffer.add_char buf c;
+          go (i + 1) None)
+  in
+  go 0 None;
+  List.rev !out
+
+(* RUN commands that change the filesystem. [frame] is the union built
+   so far, needed for chmod/chown/append semantics. *)
+let run_ops lineno frame command =
+  match tokens command with
+  | "rm" :: rest ->
+    let paths = List.filter (fun a -> a <> "-f" && a <> "-rf" && a <> "-r") rest in
+    Ok (List.map (fun p -> Layer.Whiteout p) paths)
+  | [ "mkdir"; "-p"; path ] | [ "mkdir"; path ] ->
+    Ok [ Layer.Add (Frames.File.directory path) ]
+  | [ "chmod"; mode; path ] -> (
+    match (int_of_string_opt ("0o" ^ mode), Frames.Frame.stat frame path) with
+    | Some mode, Some f -> Ok [ Layer.Add { f with Frames.File.mode } ]
+    | None, _ -> fail lineno "chmod: invalid mode %S" mode
+    | _, None -> fail lineno "chmod: %s does not exist in the image" path)
+  | [ "chown"; owner; path ] -> (
+    match (String.split_on_char ':' owner, Frames.Frame.stat frame path) with
+    | [ u; g ], Some f -> (
+      match (int_of_string_opt u, int_of_string_opt g) with
+      | Some uid, Some gid -> Ok [ Layer.Add { f with Frames.File.uid; gid } ]
+      | _ -> fail lineno "chown: numeric uid:gid expected, got %S" owner)
+    | _, None -> fail lineno "chown: %s does not exist in the image" path
+    | _ -> fail lineno "chown: uid:gid expected, got %S" owner)
+  | [ "echo"; text; ">"; path ] ->
+    Ok [ Layer.Add (Frames.File.make ~content:(text ^ "\n") path) ]
+  | [ "echo"; text; ">>"; path ] ->
+    let existing = Option.value (Frames.Frame.read frame path) ~default:"" in
+    Ok [ Layer.Add (Frames.File.make ~content:(existing ^ text ^ "\n") path) ]
+  | _ ->
+    (* An opaque command (apt-get install, …): provenance-only layer;
+       its filesystem effects, if modelled, come from the context. *)
+    Ok []
+
+let split_kv lineno text =
+  match String.index_opt text '=' with
+  | Some i ->
+    Ok (String.sub text 0 i, String.sub text (i + 1) (String.length text - i - 1))
+  | None -> fail lineno "expected KEY=VALUE, got %S" text
+
+let build ?(context = []) ~resolve ~reference text =
+  let lines = logical_lines text in
+  let* () = match lines with
+    | (_, first) :: _ when fst (split_instruction first) = "FROM" -> Ok ()
+    | (line, _) :: _ -> fail line "a Dockerfile must start with FROM"
+    | [] -> fail 1 "empty Dockerfile"
+  in
+  let rec go lines layers config frame counter =
+    match lines with
+    | [] -> Ok (List.rev layers, config)
+    | (lineno, line) :: rest -> (
+      let instruction, args = split_instruction line in
+      let layer ops = Layer.make ~id:(Printf.sprintf "sha256:step-%d" counter) ~created_by:line ops in
+      let continue_with ops config =
+        let l = layer ops in
+        go rest (l :: layers) config (Layer.apply frame l) (counter + 1)
+      in
+      match instruction with
+      | "FROM" -> (
+        match resolve args with
+        | None -> fail lineno "unknown base image %S" args
+        | Some (base : Image.t) ->
+          let base_layer =
+            Layer.make ~id:(Printf.sprintf "sha256:from-%d" counter) ~created_by:line
+              (List.map (fun f -> Layer.Add f) (Frames.Frame.all_entries (Image.flatten base)))
+          in
+          go rest (base_layer :: layers) base.Image.config
+            (Layer.apply frame base_layer) (counter + 1))
+      | "COPY" -> (
+        match tokens args with
+        | [ src; dst ] -> (
+          match List.assoc_opt src context with
+          | Some file -> continue_with [ Layer.Add { file with Frames.File.path = Frames.File.normalize_path dst } ] config
+          | None -> fail lineno "COPY source %S not in the build context" src)
+        | _ -> fail lineno "COPY expects exactly `src dst`")
+      | "RUN" ->
+        let* ops = run_ops lineno frame args in
+        continue_with ops config
+      | "USER" -> continue_with [] { config with Image.user = args }
+      | "EXPOSE" -> (
+        let port = match String.index_opt args '/' with
+          | Some i -> String.sub args 0 i
+          | None -> args
+        in
+        match int_of_string_opt port with
+        | Some p -> continue_with [] { config with Image.exposed_ports = config.Image.exposed_ports @ [ p ] }
+        | None -> fail lineno "EXPOSE expects a port, got %S" args)
+      | "ENV" ->
+        let* k, v = split_kv lineno args in
+        continue_with [] { config with Image.env = config.Image.env @ [ (k, v) ] }
+      | "LABEL" ->
+        let* k, v = split_kv lineno args in
+        continue_with [] { config with Image.labels = config.Image.labels @ [ (k, v) ] }
+      | "HEALTHCHECK" ->
+        let test =
+          if String.length args >= 4 && String.uppercase_ascii (String.sub args 0 4) = "CMD " then
+            String.trim (String.sub args 4 (String.length args - 4))
+          else args
+        in
+        continue_with [] { config with Image.healthcheck = Some test }
+      | "CMD" -> continue_with [] { config with Image.cmd = tokens args }
+      | "ENTRYPOINT" -> continue_with [] { config with Image.entrypoint = tokens args }
+      | "WORKDIR" | "ARG" | "VOLUME" | "STOPSIGNAL" | "SHELL" ->
+        (* Accepted but not modelled. *)
+        continue_with [] config
+      | other -> fail lineno "unsupported instruction %S" other)
+  in
+  let empty = Frames.Frame.create ~id:"build" (Frames.Frame.Docker_image reference) in
+  let* layers, config = go lines [] Image.default_config empty 0 in
+  Ok (Image.make ~config ~reference layers)

@@ -1,0 +1,30 @@
+(** A Dockerfile front-end for the image simulator: build an
+    {!Image.t} from Dockerfile text plus a build context, so image
+    scanning can start from the artifact developers actually write.
+
+    Supported instructions:
+    - [FROM ref] — resolved through the [resolve] callback (a registry);
+    - [COPY src dst] — [src] is looked up in the build context;
+    - [RUN cmd] — a small shell-idiom vocabulary becomes filesystem
+      operations: [rm \[-f|-rf\] path] (whiteout),
+      [mkdir -p path], [chmod MODE path], [chown UID:GID path],
+      [echo "text" > path] and [>> path] (append); any other command
+      records an empty layer (provenance only, like a package
+      install whose effects the context supplies);
+    - [USER], [EXPOSE], [ENV K=V], [LABEL K=V], [HEALTHCHECK CMD …],
+      [CMD …], [ENTRYPOINT …] — image configuration;
+    - comments and blank lines; [\\] line continuations.
+
+    Each instruction contributes one layer whose [created_by] is the
+    instruction text, mirroring [docker history]. *)
+
+type error = { line : int; message : string }
+
+val error_to_string : error -> string
+
+val build :
+  ?context:(string * Frames.File.t) list ->
+  resolve:(string -> Image.t option) ->
+  reference:string ->
+  string ->
+  (Image.t, error) result

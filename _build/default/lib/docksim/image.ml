@@ -1,0 +1,60 @@
+type config = {
+  user : string;
+  exposed_ports : int list;
+  env : (string * string) list;
+  entrypoint : string list;
+  cmd : string list;
+  healthcheck : string option;
+  labels : (string * string) list;
+}
+
+let default_config =
+  {
+    user = "";
+    exposed_ports = [];
+    env = [];
+    entrypoint = [];
+    cmd = [];
+    healthcheck = None;
+    labels = [];
+  }
+
+type t = {
+  reference : string;
+  layers : Layer.t list;
+  config : config;
+  base_os : string;
+}
+
+let make ?(base_os = "ubuntu-14.04") ?(config = default_config) ~reference layers =
+  { reference; layers; config; base_os }
+
+let config_json image =
+  let c = image.config in
+  let strs l = Jsonlite.Arr (List.map (fun s -> Jsonlite.Str s) l) in
+  Jsonlite.Obj
+    [
+      ("User", Jsonlite.Str c.user);
+      ( "ExposedPorts",
+        Jsonlite.Arr (List.map (fun p -> Jsonlite.Str (Printf.sprintf "%d/tcp" p)) c.exposed_ports) );
+      ("Env", strs (List.map (fun (k, v) -> k ^ "=" ^ v) c.env));
+      ("Entrypoint", strs c.entrypoint);
+      ("Cmd", strs c.cmd);
+      ( "Healthcheck",
+        match c.healthcheck with
+        | Some test -> Jsonlite.Obj [ ("Test", strs [ "CMD-SHELL"; test ]) ]
+        | None -> Jsonlite.Null );
+      ("Labels", Jsonlite.Obj (List.map (fun (k, v) -> (k, Jsonlite.Str v)) c.labels));
+      ("Layers", Jsonlite.Num (float_of_int (List.length image.layers)));
+    ]
+
+let flatten image =
+  let base =
+    Frames.Frame.create ~os:image.base_os ~id:image.reference
+      (Frames.Frame.Docker_image image.reference)
+  in
+  let frame = List.fold_left Layer.apply base image.layers in
+  Frames.Frame.set_runtime_doc frame ~key:"docker_image_config"
+    (Jsonlite.to_string (config_json image))
+
+let layer_count image = List.length image.layers

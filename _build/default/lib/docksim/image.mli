@@ -1,0 +1,35 @@
+(** Docker images: an ordered layer stack plus the image configuration
+    that CIS-Docker image rules assert on (USER, HEALTHCHECK, EXPOSE,
+    ENV — e.g. "no secrets in ENV", "do not run as root"). *)
+
+type config = {
+  user : string;  (** [""] means root, per Docker semantics *)
+  exposed_ports : int list;
+  env : (string * string) list;
+  entrypoint : string list;
+  cmd : string list;
+  healthcheck : string option;  (** the test command, if declared *)
+  labels : (string * string) list;
+}
+
+val default_config : config
+
+type t = {
+  reference : string;  (** e.g. ["nginx:1.13"] *)
+  layers : Layer.t list;  (** base image first *)
+  config : config;
+  base_os : string;
+}
+
+val make : ?base_os:string -> ?config:config -> reference:string -> Layer.t list -> t
+
+(** Union-filesystem resolution: fold the layers bottom-up into a
+    {!Frames.Frame.t} whose entity kind is [Docker_image reference].
+    The image configuration is exposed to script rules as the
+    ["docker_image_config"] runtime document (a JSON object). *)
+val flatten : t -> Frames.Frame.t
+
+val config_json : t -> Jsonlite.t
+
+(** Number of layers; CIS-Docker flags images with excessive layers. *)
+val layer_count : t -> int

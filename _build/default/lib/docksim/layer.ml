@@ -1,0 +1,24 @@
+type op =
+  | Add of Frames.File.t
+  | Whiteout of string
+
+type t = {
+  id : string;
+  created_by : string;
+  ops : op list;
+}
+
+let make ~id ~created_by ops = { id; created_by; ops }
+
+let apply frame layer =
+  List.fold_left
+    (fun frame op ->
+      match op with
+      | Add file -> Frames.Frame.add_file frame file
+      | Whiteout path -> Frames.Frame.remove_file frame path)
+    frame layer.ops
+
+let touched layer =
+  List.map
+    (function Add f -> f.Frames.File.path | Whiteout p -> p)
+    layer.ops

@@ -1,0 +1,22 @@
+(** Docker image layers: ordered file operations over a union
+    filesystem. A layer either adds/overwrites a file or deletes one
+    from a lower layer (an AUFS-style whiteout). *)
+
+type op =
+  | Add of Frames.File.t
+  | Whiteout of string  (** path removed from the view of lower layers *)
+
+type t = {
+  id : string;  (** content hash stand-in, e.g. ["sha256:ab12…"] *)
+  created_by : string;  (** the Dockerfile instruction, for provenance *)
+  ops : op list;
+}
+
+val make : id:string -> created_by:string -> op list -> t
+
+(** [apply frame layer] folds the layer's operations into the frame,
+    in order: later ops win over earlier ones within a layer. *)
+val apply : Frames.Frame.t -> t -> Frames.Frame.t
+
+(** Paths this layer touches (adds and whiteouts). *)
+val touched : t -> string list

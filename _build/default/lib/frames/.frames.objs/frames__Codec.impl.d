@@ -1,0 +1,1 @@
+lib/frames/codec.ml: File Frame Jsonlite List Option Printf Result

@@ -1,0 +1,1 @@
+lib/frames/codec.mli: Frame Jsonlite

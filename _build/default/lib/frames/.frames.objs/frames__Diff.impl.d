@@ -1,0 +1,1 @@
+lib/frames/diff.ml: File Format Frame List Option String

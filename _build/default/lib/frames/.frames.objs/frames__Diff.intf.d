@@ -1,0 +1,1 @@
+lib/frames/diff.mli: File Format Frame

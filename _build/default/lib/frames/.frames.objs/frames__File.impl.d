@@ -1,0 +1,1 @@
+lib/frames/file.ml: Format List Printf String

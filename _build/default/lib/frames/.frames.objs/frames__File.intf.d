@@ -1,0 +1,1 @@
+lib/frames/file.mli: Format

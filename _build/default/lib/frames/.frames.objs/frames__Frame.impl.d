@@ -1,0 +1,1 @@
+lib/frames/frame.ml: File Format List Map Option Printf String

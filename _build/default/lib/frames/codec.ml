@@ -1,0 +1,165 @@
+let ( let* ) = Result.bind
+
+let kind_to_json = function
+  | Frame.Host -> Jsonlite.Obj [ ("kind", Jsonlite.Str "host") ]
+  | Frame.Docker_image r ->
+    Jsonlite.Obj [ ("kind", Jsonlite.Str "docker-image"); ("ref", Jsonlite.Str r) ]
+  | Frame.Container c -> Jsonlite.Obj [ ("kind", Jsonlite.Str "container"); ("ref", Jsonlite.Str c) ]
+  | Frame.Cloud n -> Jsonlite.Obj [ ("kind", Jsonlite.Str "cloud"); ("ref", Jsonlite.Str n) ]
+
+let kind_of_json json =
+  let str key = Option.bind (Jsonlite.member key json) Jsonlite.get_str in
+  match str "kind" with
+  | Some "host" -> Ok Frame.Host
+  | Some "docker-image" -> Ok (Frame.Docker_image (Option.value (str "ref") ~default:""))
+  | Some "container" -> Ok (Frame.Container (Option.value (str "ref") ~default:""))
+  | Some "cloud" -> Ok (Frame.Cloud (Option.value (str "ref") ~default:""))
+  | Some other -> Error (Printf.sprintf "unknown entity kind %S" other)
+  | None -> Error "missing entity kind"
+
+let file_kind_to_json = function
+  | File.Regular -> [ ("type", Jsonlite.Str "file") ]
+  | File.Directory -> [ ("type", Jsonlite.Str "dir") ]
+  | File.Symlink target -> [ ("type", Jsonlite.Str "symlink"); ("target", Jsonlite.Str target) ]
+
+let file_to_json (f : File.t) =
+  Jsonlite.Obj
+    ([
+       ("path", Jsonlite.Str f.File.path);
+       ("mode", Jsonlite.Str (Printf.sprintf "%o" f.File.mode));
+       ("uid", Jsonlite.Num (float_of_int f.File.uid));
+       ("gid", Jsonlite.Num (float_of_int f.File.gid));
+       ("owner", Jsonlite.Str f.File.owner);
+       ("group", Jsonlite.Str f.File.group);
+     ]
+    @ file_kind_to_json f.File.kind
+    @ match f.File.kind with File.Regular -> [ ("content", Jsonlite.Str f.File.content) ] | _ -> [])
+
+let file_of_json json =
+  let str key = Option.bind (Jsonlite.member key json) Jsonlite.get_str in
+  let num key default =
+    match Option.bind (Jsonlite.member key json) Jsonlite.get_num with
+    | Some f -> int_of_float f
+    | None -> default
+  in
+  match str "path" with
+  | None -> Error "file entry without a path"
+  | Some path -> (
+    let mode =
+      match str "mode" with
+      | Some text -> Option.value (int_of_string_opt ("0o" ^ text)) ~default:0o644
+      | None -> 0o644
+    in
+    let uid = num "uid" 0 and gid = num "gid" 0 in
+    let owner = Option.value (str "owner") ~default:"root" in
+    let group = Option.value (str "group") ~default:"root" in
+    match str "type" with
+    | Some "dir" -> Ok (File.directory ~mode ~uid ~gid ~owner ~group path)
+    | Some "symlink" -> (
+      match str "target" with
+      | Some target -> Ok (File.symlink ~target path)
+      | None -> Error (path ^ ": symlink without target"))
+    | Some "file" | None ->
+      Ok (File.make ~mode ~uid ~gid ~owner ~group ~content:(Option.value (str "content") ~default:"") path)
+    | Some other -> Error (Printf.sprintf "%s: unknown file type %S" path other))
+
+let pairs_to_json kvs =
+  Jsonlite.Obj (List.map (fun (k, v) -> (k, Jsonlite.Str v)) kvs)
+
+let pairs_of_json = function
+  | Jsonlite.Obj kvs ->
+    Ok (List.filter_map (fun (k, v) -> Option.map (fun s -> (k, s)) (Jsonlite.get_str v)) kvs)
+  | _ -> Error "expected a string mapping"
+
+let to_json frame =
+  Jsonlite.Obj
+    [
+      ("id", Jsonlite.Str (Frame.id frame));
+      ("os", Jsonlite.Str (Frame.os frame));
+      ("entity", kind_to_json (Frame.kind frame));
+      ("files", Jsonlite.Arr (List.map file_to_json (Frame.all_entries frame)));
+      ( "packages",
+        pairs_to_json
+          (List.map (fun (p : Frame.package) -> (p.Frame.name, p.Frame.version)) (Frame.packages frame))
+      );
+      ( "processes",
+        Jsonlite.Arr
+          (List.map
+             (fun (p : Frame.process) ->
+               Jsonlite.Obj
+                 [
+                   ("pid", Jsonlite.Num (float_of_int p.Frame.pid));
+                   ("user", Jsonlite.Str p.Frame.user);
+                   ("command", Jsonlite.Str p.Frame.command);
+                 ])
+             (Frame.processes frame)) );
+      ("kernel", pairs_to_json (Frame.kernel_params frame));
+      ("runtime_docs", pairs_to_json (Frame.runtime_docs frame));
+    ]
+
+let of_json json =
+  let str key = Option.bind (Jsonlite.member key json) Jsonlite.get_str in
+  let* id = Option.to_result ~none:"missing frame id" (str "id") in
+  let* kind =
+    match Jsonlite.member "entity" json with
+    | Some entity -> kind_of_json entity
+    | None -> Ok Frame.Host
+  in
+  let os = Option.value (str "os") ~default:"ubuntu-14.04" in
+  let frame = Frame.create ~os ~id kind in
+  let* frame =
+    match Jsonlite.member "files" json with
+    | Some (Jsonlite.Arr entries) ->
+      List.fold_left
+        (fun acc entry ->
+          let* frame = acc in
+          let* file = file_of_json entry in
+          Ok (Frame.add_file frame file))
+        (Ok frame) entries
+    | Some _ -> Error "files must be an array"
+    | None -> Ok frame
+  in
+  let* frame =
+    match Jsonlite.member "packages" json with
+    | Some packages ->
+      let* kvs = pairs_of_json packages in
+      Ok (Frame.set_packages frame (List.map (fun (name, version) -> { Frame.name; version }) kvs))
+    | None -> Ok frame
+  in
+  let* frame =
+    match Jsonlite.member "processes" json with
+    | Some (Jsonlite.Arr entries) ->
+      let processes =
+        List.filter_map
+          (fun entry ->
+            let str key = Option.bind (Jsonlite.member key entry) Jsonlite.get_str in
+            let num key = Option.bind (Jsonlite.member key entry) Jsonlite.get_num in
+            match (num "pid", str "user", str "command") with
+            | Some pid, Some user, Some command ->
+              Some { Frame.pid = int_of_float pid; user; command }
+            | _ -> None)
+          entries
+      in
+      Ok (Frame.set_processes frame processes)
+    | Some _ -> Error "processes must be an array"
+    | None -> Ok frame
+  in
+  let* frame =
+    match Jsonlite.member "kernel" json with
+    | Some kernel ->
+      let* kvs = pairs_of_json kernel in
+      Ok (Frame.set_kernel_params frame kvs)
+    | None -> Ok frame
+  in
+  match Jsonlite.member "runtime_docs" json with
+  | Some docs ->
+    let* kvs = pairs_of_json docs in
+    Ok (List.fold_left (fun frame (key, doc) -> Frame.set_runtime_doc frame ~key doc) frame kvs)
+  | None -> Ok frame
+
+let to_string frame = Jsonlite.pretty (to_json frame)
+
+let of_string text =
+  match Jsonlite.parse text with
+  | Error e -> Error (Jsonlite.error_to_string e)
+  | Ok json -> of_json json

@@ -1,0 +1,14 @@
+(** Frame (de)serialization as JSON documents.
+
+    The paper's frame abstraction comes from "touchless and always-on
+    cloud analytics" ([24]): entities are crawled once and their frames
+    shipped to analytics backends. This codec is that exchange format —
+    a frame round-trips through a single JSON document, so validation
+    can run wherever the frame lands ([configvalidator validate
+    --frame-file snapshot.json]). *)
+
+val to_json : Frame.t -> Jsonlite.t
+val of_json : Jsonlite.t -> (Frame.t, string) result
+
+val to_string : Frame.t -> string
+val of_string : string -> (Frame.t, string) result

@@ -1,0 +1,101 @@
+type change =
+  | Added of File.t
+  | Removed of File.t
+  | Content_changed of { before : File.t; after : File.t }
+  | Metadata_changed of { before : File.t; after : File.t }
+
+type t = {
+  file_changes : change list;
+  kernel_changes : (string * string option * string option) list;
+  runtime_doc_changes : string list;
+  package_changes : (string * string option * string option) list;
+}
+
+let change_path = function
+  | Added f | Removed f -> f.File.path
+  | Content_changed { after; _ } | Metadata_changed { after; _ } -> after.File.path
+
+let same_metadata (a : File.t) (b : File.t) =
+  a.File.kind = b.File.kind && a.File.mode = b.File.mode && a.File.uid = b.File.uid
+  && a.File.gid = b.File.gid
+
+let file_changes before after =
+  let index frame =
+    List.fold_left
+      (fun acc (f : File.t) -> (f.File.path, f) :: acc)
+      []
+      (Frame.all_entries frame)
+  in
+  let before_files = index before and after_files = index after in
+  let removed_or_changed =
+    List.filter_map
+      (fun (path, (b : File.t)) ->
+        match List.assoc_opt path after_files with
+        | None -> Some (Removed b)
+        | Some a ->
+          if b.File.content <> a.File.content then Some (Content_changed { before = b; after = a })
+          else if not (same_metadata b a) then Some (Metadata_changed { before = b; after = a })
+          else None)
+      before_files
+  in
+  let added =
+    List.filter_map
+      (fun (path, (a : File.t)) ->
+        if List.mem_assoc path before_files then None else Some (Added a))
+      after_files
+  in
+  List.sort (fun c1 c2 -> String.compare (change_path c1) (change_path c2)) (removed_or_changed @ added)
+
+let assoc_changes before after =
+  let keys =
+    List.sort_uniq String.compare (List.map fst before @ List.map fst after)
+  in
+  List.filter_map
+    (fun key ->
+      let b = List.assoc_opt key before and a = List.assoc_opt key after in
+      if b = a then None else Some (key, b, a))
+    keys
+
+let between before after =
+  {
+    file_changes = file_changes before after;
+    kernel_changes = assoc_changes (Frame.kernel_params before) (Frame.kernel_params after);
+    runtime_doc_changes =
+      assoc_changes (Frame.runtime_docs before) (Frame.runtime_docs after)
+      |> List.map (fun (key, _, _) -> key);
+    package_changes =
+      assoc_changes
+        (List.map (fun (p : Frame.package) -> (p.Frame.name, p.Frame.version)) (Frame.packages before))
+        (List.map (fun (p : Frame.package) -> (p.Frame.name, p.Frame.version)) (Frame.packages after));
+  }
+
+let is_empty t =
+  t.file_changes = [] && t.kernel_changes = [] && t.runtime_doc_changes = []
+  && t.package_changes = []
+
+let changed_paths t = List.map change_path t.file_changes
+
+let pp fmt t =
+  List.iter
+    (fun change ->
+      match change with
+      | Added f -> Format.fprintf fmt "+ %s@." f.File.path
+      | Removed f -> Format.fprintf fmt "- %s@." f.File.path
+      | Content_changed { after; _ } -> Format.fprintf fmt "~ %s@." after.File.path
+      | Metadata_changed { before; after } ->
+        Format.fprintf fmt "m %s (%s -> %s)@." after.File.path (File.mode_string before)
+          (File.mode_string after))
+    t.file_changes;
+  List.iter
+    (fun (key, b, a) ->
+      Format.fprintf fmt "k %s (%s -> %s)@." key
+        (Option.value b ~default:"<unset>")
+        (Option.value a ~default:"<unset>"))
+    t.kernel_changes;
+  List.iter (fun key -> Format.fprintf fmt "r %s@." key) t.runtime_doc_changes;
+  List.iter
+    (fun (name, b, a) ->
+      Format.fprintf fmt "p %s (%s -> %s)@." name
+        (Option.value b ~default:"<absent>")
+        (Option.value a ~default:"<absent>"))
+    t.package_changes

@@ -1,0 +1,30 @@
+(** Frame differencing: what changed between two snapshots of the same
+    entity. The paper's related work reaches for snapshot diffing as a
+    troubleshooting aid; here it powers incremental re-validation — only
+    entities whose configuration actually changed are re-evaluated
+    (see [Cvl.Incremental]). *)
+
+type change =
+  | Added of File.t
+  | Removed of File.t
+  | Content_changed of { before : File.t; after : File.t }
+  | Metadata_changed of { before : File.t; after : File.t }
+      (** same content, different mode/ownership/kind *)
+
+type t = {
+  file_changes : change list;  (** sorted by path *)
+  kernel_changes : (string * string option * string option) list;
+      (** (param, before, after) *)
+  runtime_doc_changes : string list;  (** plugin keys whose doc changed *)
+  package_changes : (string * string option * string option) list;
+      (** (name, before version, after version) *)
+}
+
+val between : Frame.t -> Frame.t -> t
+val is_empty : t -> bool
+
+(** Paths touched by file changes. *)
+val changed_paths : t -> string list
+
+val change_path : change -> string
+val pp : Format.formatter -> t -> unit

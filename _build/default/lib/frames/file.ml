@@ -1,0 +1,86 @@
+type kind =
+  | Regular
+  | Directory
+  | Symlink of string
+
+type t = {
+  path : string;
+  kind : kind;
+  content : string;
+  mode : int;
+  uid : int;
+  gid : int;
+  owner : string;
+  group : string;
+  mtime : float;
+}
+
+let normalize_path p =
+  let segments = String.split_on_char '/' p in
+  let resolved =
+    List.fold_left
+      (fun acc seg ->
+        match seg with
+        | "" | "." -> acc
+        | ".." -> ( match acc with [] -> [] | _ :: rest -> rest)
+        | s -> s :: acc)
+      [] segments
+  in
+  "/" ^ String.concat "/" (List.rev resolved)
+
+let parent p =
+  let p = normalize_path p in
+  if p = "/" then "/"
+  else
+    match String.rindex_opt p '/' with
+    | Some 0 -> "/"
+    | Some i -> String.sub p 0 i
+    | None -> "/"
+
+let basename p =
+  let p = normalize_path p in
+  if p = "/" then "/"
+  else
+    match String.rindex_opt p '/' with
+    | Some i -> String.sub p (i + 1) (String.length p - i - 1)
+    | None -> p
+
+let make ?(mode = 0o644) ?(uid = 0) ?(gid = 0) ?(owner = "root") ?(group = "root")
+    ?(mtime = 0.) ~content path =
+  { path = normalize_path path; kind = Regular; content; mode; uid; gid; owner; group; mtime }
+
+let directory ?(mode = 0o755) ?(uid = 0) ?(gid = 0) ?(owner = "root") ?(group = "root") path =
+  { path = normalize_path path; kind = Directory; content = ""; mode; uid; gid; owner; group; mtime = 0. }
+
+let symlink ~target path =
+  {
+    path = normalize_path path;
+    kind = Symlink target;
+    content = "";
+    mode = 0o777;
+    uid = 0;
+    gid = 0;
+    owner = "root";
+    group = "root";
+    mtime = 0.;
+  }
+
+let mode_string f =
+  let type_char =
+    match f.kind with Regular -> '-' | Directory -> 'd' | Symlink _ -> 'l'
+  in
+  let triad shift =
+    let bits = (f.mode lsr shift) land 0o7 in
+    Printf.sprintf "%c%c%c"
+      (if bits land 4 <> 0 then 'r' else '-')
+      (if bits land 2 <> 0 then 'w' else '-')
+      (if bits land 1 <> 0 then 'x' else '-')
+  in
+  Printf.sprintf "%c%s%s%s" type_char (triad 6) (triad 3) (triad 0)
+
+let ownership f = Printf.sprintf "%d:%d" f.uid f.gid
+let permission_octal f = Printf.sprintf "%o" f.mode
+
+let pp fmt f =
+  Format.fprintf fmt "%s %d %s %s %d %s" (mode_string f) 1 f.owner f.group
+    (String.length f.content) f.path

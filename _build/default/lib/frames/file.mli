@@ -1,0 +1,59 @@
+(** Files inside a system configuration frame.
+
+    A frame stores the attributes that CVL path rules assert on:
+    permission bits, numeric and symbolic ownership, size and kind. *)
+
+type kind =
+  | Regular
+  | Directory
+  | Symlink of string  (** link target *)
+
+type t = {
+  path : string;  (** absolute, normalized (no trailing '/', no '..') *)
+  kind : kind;
+  content : string;  (** [""] for directories and symlinks *)
+  mode : int;  (** permission bits, e.g. [0o644] *)
+  uid : int;
+  gid : int;
+  owner : string;
+  group : string;
+  mtime : float;
+}
+
+(** [normalize_path p] collapses duplicate slashes, resolves ['.'] and
+    ['..'] segments, forces a leading slash and strips any trailing one
+    (except for the root). *)
+val normalize_path : string -> string
+
+val parent : string -> string
+val basename : string -> string
+
+(** [make ?mode ?uid ?gid ?owner ?group ?mtime ~content path] builds a
+    regular file. Defaults: mode [0o644], root:root, mtime [0.]. *)
+val make :
+  ?mode:int ->
+  ?uid:int ->
+  ?gid:int ->
+  ?owner:string ->
+  ?group:string ->
+  ?mtime:float ->
+  content:string ->
+  string ->
+  t
+
+val directory :
+  ?mode:int -> ?uid:int -> ?gid:int -> ?owner:string -> ?group:string -> string -> t
+
+val symlink : target:string -> string -> t
+
+(** [mode_string f] renders ls-style, e.g. ["-rw-r--r--"]. *)
+val mode_string : t -> string
+
+(** ["0:0"]-style numeric ownership, as used by CVL's [ownership]
+    keyword. *)
+val ownership : t -> string
+
+(** Octal permission text, e.g. ["644"]. *)
+val permission_octal : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,175 @@
+module Path_map = Map.Make (String)
+
+type package = { name : string; version : string }
+type process = { pid : int; user : string; command : string }
+
+type mount = {
+  device : string;
+  mountpoint : string;
+  fstype : string;
+  options : string list;
+}
+
+type entity_kind =
+  | Host
+  | Docker_image of string
+  | Container of string
+  | Cloud of string
+
+type t = {
+  id : string;
+  kind : entity_kind;
+  os : string;
+  files : File.t Path_map.t;
+  packages : package list;
+  processes : process list;
+  mounts : mount list;
+  kernel_params : (string * string) list;
+  runtime_docs : (string * string) list;
+}
+
+let create ?(os = "ubuntu-14.04") ~id kind =
+  {
+    id;
+    kind;
+    os;
+    files = Path_map.singleton "/" (File.directory "/");
+    packages = [];
+    processes = [];
+    mounts = [];
+    kernel_params = [];
+    runtime_docs = [];
+  }
+
+let id t = t.id
+let kind t = t.kind
+let os t = t.os
+
+let kind_to_string = function
+  | Host -> "host"
+  | Docker_image ref_ -> Printf.sprintf "docker-image(%s)" ref_
+  | Container cid -> Printf.sprintf "container(%s)" cid
+  | Cloud name -> Printf.sprintf "cloud(%s)" name
+
+let rec ensure_parents files path =
+  let dir = File.parent path in
+  if dir = path || Path_map.mem dir files then files
+  else
+    let files = ensure_parents files dir in
+    Path_map.add dir (File.directory dir) files
+
+let add_file t (f : File.t) =
+  let files = ensure_parents t.files f.path in
+  { t with files = Path_map.add f.path f files }
+
+let add_files t fs = List.fold_left add_file t fs
+let remove_file t path = { t with files = Path_map.remove (File.normalize_path path) t.files }
+
+let rec resolve t path hops =
+  if hops <= 0 then None
+  else
+    match Path_map.find_opt (File.normalize_path path) t.files with
+    | Some ({ kind = File.Symlink target; _ } as link) ->
+      let absolute =
+        if String.length target > 0 && target.[0] = '/' then target
+        else File.parent link.path ^ "/" ^ target
+      in
+      resolve t absolute (hops - 1)
+    | other -> other
+
+let stat t path = resolve t path 16
+let exists t path = stat t path <> None
+
+let read t path =
+  match stat t path with
+  | Some { kind = File.Regular; content; _ } -> Some content
+  | Some _ | None -> None
+
+let list_dir t path =
+  let dir = File.normalize_path path in
+  Path_map.fold
+    (fun p f acc -> if p <> dir && File.parent p = dir then f :: acc else acc)
+    t.files []
+  |> List.sort (fun (a : File.t) b -> String.compare a.path b.path)
+
+let files_under t ~prefix =
+  let prefix = File.normalize_path prefix in
+  let matches p =
+    String.equal p prefix
+    || String.length p > String.length prefix
+       && String.sub p 0 (String.length prefix) = prefix
+       && (prefix = "/" || p.[String.length prefix] = '/')
+  in
+  Path_map.fold
+    (fun p (f : File.t) acc ->
+      if matches p && f.kind = File.Regular then f :: acc else acc)
+    t.files []
+  |> List.sort (fun (a : File.t) b -> String.compare a.path b.path)
+
+let all_files t = files_under t ~prefix:"/"
+
+let all_entries t =
+  Path_map.fold (fun _ f acc -> f :: acc) t.files []
+  |> List.sort (fun (a : File.t) b -> String.compare a.path b.path)
+
+let set_packages t packages = { t with packages }
+let packages t = t.packages
+
+let package_version t name =
+  List.find_opt (fun p -> String.equal p.name name) t.packages
+  |> Option.map (fun p -> p.version)
+
+let set_processes t processes = { t with processes }
+let processes t = t.processes
+
+let process_running t command =
+  List.exists (fun p -> String.equal p.command command) t.processes
+
+let set_mounts t mounts = { t with mounts }
+let mounts t = t.mounts
+
+let set_kernel_params t kernel_params = { t with kernel_params }
+let kernel_params t = t.kernel_params
+let kernel_param t name = List.assoc_opt name t.kernel_params
+
+let set_kernel_param t name value =
+  { t with kernel_params = (name, value) :: List.remove_assoc name t.kernel_params }
+
+let set_runtime_doc t ~key doc =
+  { t with runtime_docs = (key, doc) :: List.remove_assoc key t.runtime_docs }
+
+let runtime_doc t key = List.assoc_opt key t.runtime_docs
+let runtime_docs t = t.runtime_docs
+
+let update_file t ~path f =
+  let path = File.normalize_path path in
+  match Path_map.find_opt path t.files with
+  | Some file -> { t with files = Path_map.add path (f file) t.files }
+  | None -> t
+
+let set_content t ~path content =
+  let path = File.normalize_path path in
+  match Path_map.find_opt path t.files with
+  | Some file -> { t with files = Path_map.add path { file with File.content } t.files }
+  | None -> add_file t (File.make ~content path)
+
+let chmod t ~path mode = update_file t ~path (fun f -> { f with File.mode })
+let chown t ~path ~uid ~gid = update_file t ~path (fun f -> { f with File.uid; gid })
+
+let append_line t ~path line =
+  let path = File.normalize_path path in
+  match Path_map.find_opt path t.files with
+  | Some file ->
+    let content =
+      if file.File.content = "" || String.length file.File.content > 0
+         && file.File.content.[String.length file.File.content - 1] = '\n'
+      then file.File.content ^ line ^ "\n"
+      else file.File.content ^ "\n" ^ line ^ "\n"
+    in
+    { t with files = Path_map.add path { file with File.content } t.files }
+  | None -> add_file t (File.make ~content:(line ^ "\n") path)
+
+let pp fmt t =
+  Format.fprintf fmt "frame %s (%s, %s): %d files, %d packages, %d processes"
+    t.id (kind_to_string t.kind) t.os (Path_map.cardinal t.files)
+    (List.length t.packages) (List.length t.processes)

@@ -1,0 +1,105 @@
+(** System configuration frames.
+
+    A frame is a point-in-time snapshot of everything ConfigValidator's
+    rules assert on for one entity: the file tree (with content,
+    permissions and ownership), installed packages, running processes,
+    mounts, and the full kernel parameter set (the paper notes that
+    [sysctl.conf] holds only a subset of [sysctl -a]; the frame stores
+    the live set separately so script rules can query it).
+
+    The paper validates "system configuration frames … without requiring
+    any local installation or remote access"; this module is that
+    abstraction, populated by synthetic scenario builders or by the
+    docker/cloud simulators. *)
+
+type package = { name : string; version : string }
+type process = { pid : int; user : string; command : string }
+
+type mount = {
+  device : string;
+  mountpoint : string;
+  fstype : string;
+  options : string list;
+}
+
+type entity_kind =
+  | Host
+  | Docker_image of string  (** image reference, e.g. ["nginx:1.13"] *)
+  | Container of string  (** container id *)
+  | Cloud of string  (** cloud deployment name *)
+
+type t
+
+val create : ?os:string -> id:string -> entity_kind -> t
+
+val id : t -> string
+val kind : t -> entity_kind
+val os : t -> string
+val kind_to_string : entity_kind -> string
+
+(** {2 Files} *)
+
+(** [add_file frame file] stores the file, implicitly creating parent
+    directories. An existing entry at the same path is replaced. *)
+val add_file : t -> File.t -> t
+
+val add_files : t -> File.t list -> t
+val remove_file : t -> string -> t
+
+(** Lookup resolves symlinks (up to 16 hops, against the frame itself). *)
+val stat : t -> string -> File.t option
+
+val exists : t -> string -> bool
+val read : t -> string -> string option
+
+(** Direct children of a directory, sorted by path. *)
+val list_dir : t -> string -> File.t list
+
+(** Every regular file whose path starts with [prefix] (itself
+    included), sorted by path. *)
+val files_under : t -> prefix:string -> File.t list
+
+(** All regular files, sorted by path. *)
+val all_files : t -> File.t list
+
+(** Every entry — regular files, directories and symlinks — sorted by
+    path. Used when replaying one frame's contents into another (e.g.
+    building a container view from an image). *)
+val all_entries : t -> File.t list
+
+(** {2 Non-file state} *)
+
+val set_packages : t -> package list -> t
+val packages : t -> package list
+val package_version : t -> string -> string option
+
+val set_processes : t -> process list -> t
+val processes : t -> process list
+val process_running : t -> string -> bool
+
+val set_mounts : t -> mount list -> t
+val mounts : t -> mount list
+
+(** The live kernel parameter table ([sysctl -a]). *)
+val set_kernel_params : t -> (string * string) list -> t
+val kernel_params : t -> (string * string) list
+val kernel_param : t -> string -> string option
+val set_kernel_param : t -> string -> string -> t
+
+(** Free-form runtime documents exposed by entity plugins (e.g. a
+    docker-inspect JSON, a cloud API response), keyed by plugin name. *)
+val set_runtime_doc : t -> key:string -> string -> t
+val runtime_doc : t -> string -> string option
+val runtime_docs : t -> (string * string) list
+
+(** {2 Mutation helpers (misconfiguration injection)} *)
+
+val set_content : t -> path:string -> string -> t
+val chmod : t -> path:string -> int -> t
+val chown : t -> path:string -> uid:int -> gid:int -> t
+
+(** [append_line frame ~path line] appends [line ^ "\n"], creating the
+    file if needed. *)
+val append_line : t -> path:string -> string -> t
+
+val pp : Format.formatter -> t -> unit

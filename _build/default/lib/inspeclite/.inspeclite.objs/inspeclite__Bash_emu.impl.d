@@ -1,0 +1,1 @@
+lib/inspeclite/bash_emu.ml: Buffer Frames Hashtbl List Option Printf Re String

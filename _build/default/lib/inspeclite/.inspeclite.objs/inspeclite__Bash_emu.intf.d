@@ -1,0 +1,1 @@
+lib/inspeclite/bash_emu.mli: Frames

@@ -1,0 +1,1 @@
+lib/inspeclite/dsl.ml: Bash_emu Checkir Frames List Re String

@@ -1,0 +1,1 @@
+lib/inspeclite/dsl.mli: Checkir Frames

@@ -1,0 +1,1 @@
+lib/inspeclite/engine.ml: Bash_emu Checkir Dsl List Printf Re String

@@ -1,0 +1,1 @@
+lib/inspeclite/engine.mli: Checkir Dsl Frames

@@ -1,0 +1,1 @@
+lib/inspeclite/render.ml: Checkir Engine List Printf String

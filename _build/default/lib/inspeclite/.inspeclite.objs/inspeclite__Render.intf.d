@@ -1,0 +1,1 @@
+lib/inspeclite/render.mli: Checkir

@@ -1,0 +1,154 @@
+let split_args command =
+  let n = String.length command in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  let rec go i quote =
+    if i >= n then flush ()
+    else
+      let c = command.[i] in
+      match quote with
+      | Some q -> if c = q then go (i + 1) None else (Buffer.add_char buf c; go (i + 1) quote)
+      | None -> (
+        match c with
+        | ' ' | '\t' ->
+          flush ();
+          go (i + 1) None
+        | '\'' | '"' -> go (i + 1) (Some c)
+        | c ->
+          Buffer.add_char buf c;
+          go (i + 1) None)
+  in
+  go 0 None;
+  List.rev !out
+
+let split_pipeline command =
+  (* Split on '|' outside quotes. *)
+  let n = String.length command in
+  let stages = ref [] in
+  let buf = Buffer.create 32 in
+  let rec go i quote =
+    if i >= n then stages := Buffer.contents buf :: !stages
+    else
+      let c = command.[i] in
+      match quote with
+      | Some q ->
+        Buffer.add_char buf c;
+        go (i + 1) (if c = q then None else quote)
+      | None ->
+        if c = '|' then begin
+          stages := Buffer.contents buf :: !stages;
+          Buffer.clear buf;
+          go (i + 1) None
+        end
+        else begin
+          Buffer.add_char buf c;
+          (match c with '\'' | '"' -> go (i + 1) (Some c) | _ -> go (i + 1) None)
+        end
+  in
+  go 0 None;
+  List.rev_map String.trim !stages
+
+let lines s = if s = "" then [] else String.split_on_char '\n' s
+
+let unlines = function
+  | [] -> ""
+  | ls -> String.concat "\n" ls
+
+(* grep's BRE vs PCRE differences don't matter for the patterns the
+   observed encodings use; everything compiles as PCRE. Patterns are
+   cached the way a long-running InSpec process caches its profiles. *)
+let regex_cache : (string, Re.re option) Hashtbl.t = Hashtbl.create 64
+
+let compile_cached pattern =
+  match Hashtbl.find_opt regex_cache pattern with
+  | Some cached -> cached
+  | None ->
+    let compiled = try Some (Re.compile (Re.Pcre.re pattern)) with _ -> None in
+    Hashtbl.add regex_cache pattern compiled;
+    compiled
+
+let grep ~pattern content =
+  match compile_cached pattern with
+  | Some re -> unlines (List.filter (fun l -> Re.execp re l) (lines content))
+  | None -> ""
+
+let take n ls =
+  let rec go i = function
+    | [] -> []
+    | x :: rest -> if i >= n then [] else x :: go (i + 1) rest
+  in
+  go 0 ls
+
+let run_stage frame stdin stage =
+  match split_args stage with
+  | "grep" :: rest -> (
+    let rest = List.filter (fun a -> a <> "-E" && a <> "-e") rest in
+    match rest with
+    | [ pattern ] -> grep ~pattern stdin
+    | [ pattern; file ] -> (
+      match Frames.Frame.read frame file with
+      | Some content -> grep ~pattern content
+      | None -> "")
+    | _ -> "")
+  | [ "head"; flag ] when String.length flag > 1 && flag.[0] = '-' -> (
+    match int_of_string_opt (String.sub flag 1 (String.length flag - 1)) with
+    | Some n -> unlines (take n (lines stdin))
+    | None -> "")
+  | [ "tail"; flag ] when String.length flag > 1 && flag.[0] = '-' -> (
+    match int_of_string_opt (String.sub flag 1 (String.length flag - 1)) with
+    | Some n ->
+      let ls = lines stdin in
+      let len = List.length ls in
+      unlines (List.filteri (fun i _ -> i >= len - n) ls)
+    | None -> "")
+  | [ "wc"; "-l" ] -> string_of_int (List.length (lines stdin))
+  | [ "cut"; dflag; fflag ]
+    when String.length dflag > 2 && String.sub dflag 0 2 = "-d"
+         && String.length fflag > 2 && String.sub fflag 0 2 = "-f" -> (
+    let delim = dflag.[2] in
+    match int_of_string_opt (String.sub fflag 2 (String.length fflag - 2)) with
+    | Some field ->
+      lines stdin
+      |> List.map (fun l ->
+             match List.nth_opt (String.split_on_char delim l) (field - 1) with
+             | Some cell -> cell
+             | None -> "")
+      |> unlines
+    | None -> "")
+  | [ "stat"; "-c"; fmt; file ] -> (
+    match Frames.Frame.stat frame file with
+    | None -> ""
+    | Some f ->
+      let buf = Buffer.create 16 in
+      let n = String.length fmt in
+      let rec go i =
+        if i >= n then ()
+        else if fmt.[i] = '%' && i + 1 < n then begin
+          (match fmt.[i + 1] with
+          | 'a' -> Buffer.add_string buf (Printf.sprintf "%o" f.Frames.File.mode)
+          | 'u' -> Buffer.add_string buf (string_of_int f.Frames.File.uid)
+          | 'g' -> Buffer.add_string buf (string_of_int f.Frames.File.gid)
+          | 'U' -> Buffer.add_string buf f.Frames.File.owner
+          | 'G' -> Buffer.add_string buf f.Frames.File.group
+          | c -> Buffer.add_char buf c);
+          go (i + 2)
+        end
+        else begin
+          Buffer.add_char buf fmt.[i];
+          go (i + 1)
+        end
+      in
+      go 0;
+      Buffer.contents buf)
+  | "echo" :: rest -> String.concat " " rest
+  | [ "cat"; file ] -> Option.value (Frames.Frame.read frame file) ~default:""
+  | _ -> ""
+
+let run frame command =
+  List.fold_left (run_stage frame) "" (split_pipeline command)

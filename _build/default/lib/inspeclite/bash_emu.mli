@@ -1,0 +1,19 @@
+(** A tiny bash emulator for the "observed" Chef Compliance encoding.
+
+    The paper notes that Chef Compliance's CIS rules "boil down to just
+    bash scripts" of the shape
+
+    {v grep '^\s*PermitRootLogin\s' /etc/ssh/sshd_config | head -1 v}
+
+    This module executes exactly that fragment language against a
+    configuration frame: a pipeline of [grep [-E] PATTERN FILE],
+    [head -N], [tail -N], [wc -l], [cut -dC -fN], [stat -c FMT FILE]
+    and [echo TEXT] stages. Quoting: single or double quotes around an
+    argument are stripped; no variable expansion. *)
+
+(** [run frame command] is the pipeline's stdout ([""] on any stage
+    error, like a failing grep). *)
+val run : Frames.Frame.t -> string -> string
+
+(** Tokenize one stage, honouring quotes (exposed for tests). *)
+val split_args : string -> string list

@@ -1,0 +1,103 @@
+type matcher =
+  | Eq of string
+  | Match of string
+  | Be_in of string list
+  | Le of int
+  | Ge of int
+  | Mode_max of int
+  | Exist
+
+type its_test = {
+  property : string;
+  matcher : matcher;
+  negate : bool;
+}
+
+type resource =
+  | Sshd_config
+  | Sysctl_conf
+  | Kv_file of { file : string; sep : Checkir.Check.sep }
+  | File_resource of string
+  | Command of string
+
+type describe_block = {
+  resource : resource;
+  tests : its_test list;
+}
+
+type control = {
+  control_id : string;
+  impact : float;
+  title : string;
+  desc : string;
+  describes : describe_block list;
+}
+
+let control ~id ?(impact = 1.0) ?(title = "") ?(desc = "") describes =
+  { control_id = id; impact; title; desc; describes }
+
+let describe resource tests = { resource; tests }
+let its property ?(negate = false) matcher = { property; matcher; negate }
+
+let sshd_config = Kv_file { file = "/etc/ssh/sshd_config"; sep = Checkir.Check.Space }
+let sysctl_conf = Kv_file { file = "/etc/sysctl.conf"; sep = Checkir.Check.Equals }
+
+let should_eq v = Eq v
+let should_match re = Match re
+
+let fetch_kv frame ~file ~sep property =
+  match Checkir.Check.key_values ~sep ~key:property (Checkir.Check.config_lines frame file) with
+  | [] -> None
+  | v :: _ -> Some v
+
+let fetch frame resource property =
+  match resource with
+  | Sshd_config -> fetch_kv frame ~file:"/etc/ssh/sshd_config" ~sep:Checkir.Check.Space property
+  | Sysctl_conf -> fetch_kv frame ~file:"/etc/sysctl.conf" ~sep:Checkir.Check.Equals property
+  | Kv_file { file; sep } -> fetch_kv frame ~file ~sep property
+  | File_resource path -> (
+    match Frames.Frame.stat frame path with
+    | None -> if property = "exist" then Some "false" else None
+    | Some f -> (
+      match property with
+      | "mode" -> Some (Frames.File.permission_octal f)
+      | "uid" -> Some (string_of_int f.Frames.File.uid)
+      | "gid" -> Some (string_of_int f.Frames.File.gid)
+      | "owner" -> Some f.Frames.File.owner
+      | "group" -> Some f.Frames.File.group
+      | "exist" -> Some "true"
+      | _ -> None))
+  | Command cmd -> (
+    match property with
+    | "stdout" -> Some (Bash_emu.run frame cmd)
+    | "exit_status" -> Some (if Bash_emu.run frame cmd = "" then "1" else "0")
+    | _ -> None)
+
+let matcher_holds matcher value =
+  match matcher with
+  | Eq expected -> String.equal value expected
+  | Match re -> (
+    match Re.execp (Re.compile (Re.Pcre.re re)) value with
+    | m -> m
+    | exception _ -> false)
+  | Be_in vs -> List.mem value vs
+  | Le bound -> ( match int_of_string_opt value with Some n -> n <= bound | None -> false)
+  | Mode_max ceiling -> (
+    match int_of_string_opt ("0o" ^ value) with
+    | Some mode -> mode land lnot ceiling land 0o7777 = 0
+    | None -> false)
+  | Ge bound -> ( match int_of_string_opt value with Some n -> n >= bound | None -> false)
+  | Exist -> true
+
+let test_holds frame resource t =
+  let outcome =
+    match fetch frame resource t.property with
+    | None -> false
+    | Some value -> matcher_holds t.matcher value
+  in
+  if t.negate then not outcome else outcome
+
+let run_control frame c =
+  List.for_all (fun d -> List.for_all (test_holds frame d.resource) d.tests) c.describes
+
+let run_profile frame controls = List.map (fun c -> (c.control_id, run_control frame c)) controls

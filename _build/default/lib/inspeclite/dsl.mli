@@ -1,0 +1,71 @@
+(** An embedded InSpec-style DSL: the "expected" declarative encoding of
+    paper Listing 6 ([control] / [describe] / [its] / [should]),
+    executable against configuration frames.
+
+    {[
+      let ctrl =
+        Dsl.control ~id:"sshd-06" ~impact:1.0 ~title:"Do not permit root login"
+          [ Dsl.describe Dsl.sshd_config
+              [ Dsl.its "PermitRootLogin" (Dsl.should_match "no|without-password") ] ]
+    ]} *)
+
+type matcher =
+  | Eq of string
+  | Match of string  (** unanchored regex *)
+  | Be_in of string list
+  | Le of int
+  | Ge of int
+  | Mode_max of int
+      (** octal-text property must not exceed the bit ceiling
+          (InSpec's [be_more_permissive_than], inverted) *)
+  | Exist
+
+type its_test = {
+  property : string;
+  matcher : matcher;
+  negate : bool;
+}
+
+type resource =
+  | Sshd_config  (** properties are sshd keywords *)
+  | Sysctl_conf  (** properties are dotted kernel keys *)
+  | Kv_file of { file : string; sep : Checkir.Check.sep }
+  | File_resource of string
+      (** properties: [mode] (octal text), [uid], [gid], [owner],
+          [group], [exist] *)
+  | Command of string  (** properties: [stdout], [exit_status] *)
+
+type describe_block = {
+  resource : resource;
+  tests : its_test list;
+}
+
+type control = {
+  control_id : string;
+  impact : float;
+  title : string;
+  desc : string;
+  describes : describe_block list;
+}
+
+val control :
+  id:string -> ?impact:float -> ?title:string -> ?desc:string -> describe_block list -> control
+
+val describe : resource -> its_test list -> describe_block
+val its : string -> ?negate:bool -> matcher -> its_test
+
+val sshd_config : resource
+val sysctl_conf : resource
+
+val should_eq : string -> matcher
+val should_match : string -> matcher
+
+(** Property lookup, exposed for tests: [None] = property missing. *)
+val fetch : Frames.Frame.t -> resource -> string -> string option
+
+(** A control passes when every [its] expectation in every describe
+    block holds. A missing property fails non-negated expectations and
+    passes negated ones. *)
+val run_control : Frames.Frame.t -> control -> bool
+
+val run_profile : Frames.Frame.t -> control list -> (string * bool) list

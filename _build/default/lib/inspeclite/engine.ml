@@ -1,0 +1,129 @@
+type compiled = {
+  check_id : string;
+  command : string;
+  accepts : string -> bool;
+}
+
+let value_re = Re.compile (Re.Pcre.re "^\\s*\\S+\\s+(.+?)\\s*$")
+
+(* Extract the value column of a "Key value" line, the way the observed
+   encoding's `.[](/\s*\S+\s+(.+?)\s*$/, 1)` does. *)
+let extract_space_value line =
+  match Re.exec_opt value_re line with
+  | Some g -> Re.Group.get g 1
+  | None -> ""
+
+let extract_equals_value line =
+  match String.index_opt line '=' with
+  | Some i -> String.trim (String.sub line (i + 1) (String.length line - i - 1))
+  | None -> ""
+
+let expected_ok expected value =
+  match expected with
+  | Checkir.Check.Values vs -> List.mem value vs
+  | Checkir.Check.Pattern p -> (
+    match Re.execp (Re.compile (Re.whole_string (Re.Pcre.re p))) value with
+    | m -> m
+    | exception _ -> false)
+
+let compile (c : Checkir.Check.t) =
+  match c.Checkir.Check.target with
+  | Checkir.Check.Key_value { file; key; sep; expected; absent_pass } ->
+    let command =
+      match sep with
+      | Checkir.Check.Space -> Printf.sprintf "grep '^\\s*%s\\s' %s | head -1" key file
+      | Checkir.Check.Equals -> Printf.sprintf "grep '^\\s*%s\\s*=' %s | head -1" key file
+    in
+    let extract =
+      match sep with
+      | Checkir.Check.Space -> extract_space_value
+      | Checkir.Check.Equals -> extract_equals_value
+    in
+    {
+      check_id = c.Checkir.Check.id;
+      command;
+      accepts =
+        (fun stdout ->
+          if stdout = "" then absent_pass else expected_ok expected (extract stdout));
+    }
+  | Checkir.Check.Line_present { file; regex } ->
+    {
+      check_id = c.Checkir.Check.id;
+      command = Printf.sprintf "grep -E '%s' %s" regex file;
+      accepts = (fun stdout -> stdout <> "");
+    }
+  | Checkir.Check.Line_absent { file; regex } ->
+    {
+      check_id = c.Checkir.Check.id;
+      command = Printf.sprintf "grep -E '%s' %s" regex file;
+      accepts = (fun stdout -> stdout = "");
+    }
+  | Checkir.Check.File_mode { path; max_mode; owner } ->
+    {
+      check_id = c.Checkir.Check.id;
+      command = Printf.sprintf "stat -c '%%a %%u:%%g' %s" path;
+      accepts =
+        (fun stdout ->
+          match String.index_opt stdout ' ' with
+          | None -> false
+          | Some i ->
+            let mode_text = String.sub stdout 0 i in
+            let owner_text = String.sub stdout (i + 1) (String.length stdout - i - 1) in
+            (match int_of_string_opt ("0o" ^ mode_text) with
+            | Some mode -> mode land lnot max_mode land 0o7777 = 0 && String.trim owner_text = owner
+            | None -> false));
+    }
+
+let run frame checks =
+  List.map
+    (fun check ->
+      let compiled = compile check in
+      (compiled.check_id, compiled.accepts (Bash_emu.run frame compiled.command)))
+    checks
+
+let to_dsl (c : Checkir.Check.t) =
+  let describes =
+    match c.Checkir.Check.target with
+    | Checkir.Check.Key_value { file; key; sep; expected; absent_pass } ->
+      let matcher =
+        match expected with
+        | Checkir.Check.Values [ v ] -> Dsl.Eq v
+        | Checkir.Check.Values vs -> Dsl.Be_in vs
+        | Checkir.Check.Pattern p -> Dsl.Match ("^(" ^ p ^ ")$")
+      in
+      let tests =
+        (* An absent secure-by-default key passes; express it as the
+           negated expectation on the insecure value, which also passes
+           when the key is missing. *)
+        match (absent_pass, expected) with
+        | true, Checkir.Check.Values [ "no" ] -> [ Dsl.its key ~negate:true (Dsl.Eq "yes") ]
+        | true, Checkir.Check.Values [ "yes" ] -> [ Dsl.its key ~negate:true (Dsl.Eq "no") ]
+        | _ -> [ Dsl.its key matcher ]
+      in
+      [ Dsl.describe (Dsl.Kv_file { file; sep }) tests ]
+    | Checkir.Check.Line_present { file; regex } ->
+      [
+        Dsl.describe (Dsl.Command (Printf.sprintf "grep -E '%s' %s" regex file))
+          [ Dsl.its "exit_status" (Dsl.Eq "0") ];
+      ]
+    | Checkir.Check.Line_absent { file; regex } ->
+      [
+        Dsl.describe (Dsl.Command (Printf.sprintf "grep -E '%s' %s" regex file))
+          [ Dsl.its "exit_status" (Dsl.Eq "1") ];
+      ]
+    | Checkir.Check.File_mode { path; max_mode; owner } ->
+      let uid, gid =
+        match String.split_on_char ':' owner with
+        | [ u; g ] -> (u, g)
+        | _ -> ("0", "0")
+      in
+      [
+        Dsl.describe (Dsl.File_resource path)
+          [
+            Dsl.its "uid" (Dsl.Eq uid);
+            Dsl.its "gid" (Dsl.Eq gid);
+            Dsl.its "mode" (Dsl.Mode_max max_mode);
+          ];
+      ]
+  in
+  Dsl.control ~id:c.Checkir.Check.id ~title:c.Checkir.Check.title describes

@@ -1,0 +1,23 @@
+(** The "observed" Chef-Compliance execution path for the Table 2
+    comparison: each abstract check is compiled to the bash-grep
+    encoding the paper found in real Chef Compliance content, and the
+    pipeline is executed by {!Bash_emu} with the extracted value
+    compared in OCaml (the way InSpec's [should eq] would). *)
+
+(** The bash command and comparison for one check (exposed so the
+    renderer and the engine stay in sync). *)
+type compiled = {
+  check_id : string;
+  command : string;
+  accepts : string -> bool;  (** predicate over the pipeline stdout *)
+}
+
+val compile : Checkir.Check.t -> compiled
+
+(** (check id, compliant) per check. *)
+val run : Frames.Frame.t -> Checkir.Check.t list -> (string * bool) list
+
+(** Build the equivalent declarative ("expected") {!Dsl.control} for a
+    check — used to cross-validate DSL semantics against the observed
+    path. *)
+val to_dsl : Checkir.Check.t -> Dsl.control

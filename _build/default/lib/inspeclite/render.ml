@@ -1,0 +1,93 @@
+let resource_name file =
+  match file with
+  | "/etc/ssh/sshd_config" -> "sshd_config"
+  | "/etc/sysctl.conf" -> "sysctl_conf"
+  | _ -> Printf.sprintf "parse_config_file('%s')" file
+
+let matcher_text = function
+  | Checkir.Check.Values [ v ] -> Printf.sprintf "{ should eq %S }" v
+  | Checkir.Check.Values vs ->
+    Printf.sprintf "{ should match(/%s/) }" (String.concat "|" vs)
+  | Checkir.Check.Pattern p -> Printf.sprintf "{ should match(/^(%s)$/) }" p
+
+let expected (c : Checkir.Check.t) =
+  let body =
+    match c.Checkir.Check.target with
+    | Checkir.Check.Key_value { file; key; expected; absent_pass; _ } ->
+      let its_line =
+        match (absent_pass, expected) with
+        | true, Checkir.Check.Values [ "no" ] ->
+          Printf.sprintf "    its('%s') { should_not eq \"yes\" }" key
+        | true, Checkir.Check.Values [ "yes" ] ->
+          Printf.sprintf "    its('%s') { should_not eq \"no\" }" key
+        | _ -> Printf.sprintf "    its('%s') %s" key (matcher_text expected)
+      in
+      [ Printf.sprintf "  describe %s do" (resource_name file); its_line; "  end" ]
+    | Checkir.Check.Line_present { file; regex } ->
+      [
+        Printf.sprintf "  describe file('%s') do" file;
+        Printf.sprintf "    its('content') { should match(/%s/) }" regex;
+        "  end";
+      ]
+    | Checkir.Check.Line_absent { file; regex } ->
+      [
+        Printf.sprintf "  describe file('%s') do" file;
+        Printf.sprintf "    its('content') { should_not match(/%s/) }" regex;
+        "  end";
+      ]
+    | Checkir.Check.File_mode { path; max_mode; owner } ->
+      let uid, gid =
+        match String.split_on_char ':' owner with [ u; g ] -> (u, g) | _ -> ("0", "0")
+      in
+      [
+        Printf.sprintf "  describe file('%s') do" path;
+        Printf.sprintf "    it { should_not be_more_permissive_than('%o') }" max_mode;
+        Printf.sprintf "    its('uid') { should eq %s }" uid;
+        Printf.sprintf "    its('gid') { should eq %s }" gid;
+        "  end";
+      ]
+  in
+  String.concat "\n"
+    ([
+       Printf.sprintf "control '%s' do" c.Checkir.Check.id;
+       "  impact 1.0";
+       Printf.sprintf "  title %S" c.Checkir.Check.title;
+     ]
+    @ body @ [ "end"; "" ])
+
+let observed (c : Checkir.Check.t) =
+  let compiled = Engine.compile c in
+  let expectation =
+    match c.Checkir.Check.target with
+    | Checkir.Check.Key_value { expected = Checkir.Check.Values [ v ]; _ } ->
+      Printf.sprintf "    it { should eq %S }" v
+    | Checkir.Check.Key_value { expected = Checkir.Check.Values vs; _ } ->
+      Printf.sprintf "    it { should match(/^(%s)$/) }" (String.concat "|" vs)
+    | Checkir.Check.Key_value { expected = Checkir.Check.Pattern p; _ } ->
+      Printf.sprintf "    it { should match(/^(%s)$/) }" p
+    | Checkir.Check.Line_present _ -> "    it { should_not eq \"\" }"
+    | Checkir.Check.Line_absent _ -> "    it { should eq \"\" }"
+    | Checkir.Check.File_mode _ -> "    it { should match(/^[0-7]+ \\d+:\\d+$/) }"
+  in
+  let extractor =
+    match c.Checkir.Check.target with
+    | Checkir.Check.Key_value _ -> ".stdout.to_s.[](/\\s*\\S+\\s+(.+?)\\s*(#.*)?$/, 1)"
+    | _ -> ".stdout.to_s"
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "control \"xccdf_org.cisecurity.benchmarks_rule_%s\"  do" c.Checkir.Check.id;
+      Printf.sprintf "  title %S" c.Checkir.Check.title;
+      Printf.sprintf "  desc %S"
+        (if c.Checkir.Check.description = "" then c.Checkir.Check.title else c.Checkir.Check.description);
+      "  impact 1.0";
+      Printf.sprintf "  describe bash(%S)%s do" compiled.command extractor;
+      expectation;
+      "  end";
+      "end";
+      "";
+    ]
+
+let profile ~style checks =
+  let render = match style with `Expected -> expected | `Observed -> observed in
+  String.concat "\n" (List.map render checks)

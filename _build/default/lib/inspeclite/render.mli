@@ -1,0 +1,10 @@
+(** Render checks as InSpec Ruby source, in both forms the paper's
+    Listing 6 contrasts: the {e expected} declarative encoding (6 lines
+    for PermitRootLogin) and the {e observed} Chef-Compliance bash
+    encoding (7 lines). Used for the specification-size comparison. *)
+
+val expected : Checkir.Check.t -> string
+val observed : Checkir.Check.t -> string
+
+(** A whole profile file. *)
+val profile : style:[ `Expected | `Observed ] -> Checkir.Check.t list -> string

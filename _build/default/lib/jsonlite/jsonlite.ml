@@ -1,0 +1,254 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+type error = { pos : int; message : string }
+
+exception Parse_error of error
+
+let error_to_string e = Printf.sprintf "offset %d: %s" e.pos e.message
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> Bool.equal x y
+  | Num x, Num y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Arr x, Arr y -> List.equal equal x y
+  | Obj x, Obj y ->
+    List.equal (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2) x y
+  | (Null | Bool _ | Num _ | Str _ | Arr _ | Obj _), _ -> false
+
+type state = { src : string; mutable pos : int }
+
+let fail st fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { pos = st.pos; message })) fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | Some _ | None -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | Some c' -> fail st "expected %C, found %C" c c'
+  | None -> fail st "expected %C, found end of input" c
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st "invalid literal"
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' ->
+      st.pos <- st.pos + 1;
+      Buffer.contents buf
+    | Some '\\' ->
+      st.pos <- st.pos + 1;
+      (match peek st with
+      | None -> fail st "dangling escape"
+      | Some e ->
+        st.pos <- st.pos + 1;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+          let hex = String.sub st.src st.pos 4 in
+          st.pos <- st.pos + 4;
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+          | Some _ -> Buffer.add_char buf '?'
+          | None -> fail st "invalid \\u escape %S" hex)
+        | c -> fail st "invalid escape \\%c" c);
+        go ())
+    | Some c when Char.code c < 0x20 -> fail st "unescaped control character"
+    | Some c ->
+      st.pos <- st.pos + 1;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while (match peek st with Some c when is_num_char c -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Num f
+  | None -> fail st "invalid number %S" text
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws st;
+        let key = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          members ((key, v) :: acc)
+        | Some '}' ->
+          st.pos <- st.pos + 1;
+          List.rev ((key, v) :: acc)
+        | Some c -> fail st "expected ',' or '}', found %C" c
+        | None -> fail st "unterminated object"
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      Arr []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          items (v :: acc)
+        | Some ']' ->
+          st.pos <- st.pos + 1;
+          List.rev (v :: acc)
+        | Some c -> fail st "expected ',' or ']', found %C" c
+        | None -> fail st "unterminated array"
+      in
+      Arr (items [])
+    end
+  | Some '"' -> Str (parse_string_body st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st "unexpected character %C" c
+
+let parse_exn input =
+  let st = { src = input; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  (match peek st with
+  | Some c -> fail st "trailing %C after document" c
+  | None -> ());
+  v
+
+let parse input =
+  match parse_exn input with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool true -> "true"
+  | Bool false -> "false"
+  | Num f -> number_to_string f
+  | Str s -> "\"" ^ escape s ^ "\""
+  | Arr items -> "[" ^ String.concat "," (List.map to_string items) ^ "]"
+  | Obj kvs ->
+    let entry (k, v) = "\"" ^ escape k ^ "\":" ^ to_string v in
+    "{" ^ String.concat "," (List.map entry kvs) ^ "}"
+
+let pretty v =
+  let buf = Buffer.create 256 in
+  let rec go indent v =
+    let pad = String.make indent ' ' in
+    match v with
+    | Null | Bool _ | Num _ | Str _ -> Buffer.add_string buf (to_string v)
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad ^ "  ");
+          go (indent + 2) item)
+        items;
+      Buffer.add_string buf ("\n" ^ pad ^ "]")
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj kvs ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (Printf.sprintf "%s  \"%s\": " pad (escape k));
+          go (indent + 2) v)
+        kvs;
+      Buffer.add_string buf ("\n" ^ pad ^ "}")
+  in
+  go 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | Null | Bool _ | Num _ | Str _ | Arr _ -> None
+
+let get_str = function Str s -> Some s | _ -> None
+let get_bool = function Bool b -> Some b | _ -> None
+let get_num = function Num f -> Some f | _ -> None
+let get_arr = function Arr l -> Some l | _ -> None

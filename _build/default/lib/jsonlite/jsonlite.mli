@@ -1,0 +1,39 @@
+(** Minimal JSON parser and printer.
+
+    Used by the docker [daemon.json] lens, docker-inspect documents in
+    the container simulator, and the machine-readable report output.
+    Full RFC 8259 syntax except that surrogate-pair [\u] escapes decode
+    to ['?'] (no Unicode table in this sealed build; configuration data
+    is ASCII in practice). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+type error = { pos : int; message : string }
+
+exception Parse_error of error
+
+val equal : t -> t -> bool
+val parse : string -> (t, error) result
+
+(** @raise Parse_error on malformed input. *)
+val parse_exn : string -> t
+
+val error_to_string : error -> string
+
+(** Compact rendering. *)
+val to_string : t -> string
+
+(** Two-space indented rendering with a trailing newline. *)
+val pretty : t -> string
+
+val member : string -> t -> t option
+val get_str : t -> string option
+val get_bool : t -> bool option
+val get_num : t -> float option
+val get_arr : t -> t list option

@@ -1,0 +1,1 @@
+lib/lens/apache.ml: Buffer Configtree Lens Lex List Printf Result String

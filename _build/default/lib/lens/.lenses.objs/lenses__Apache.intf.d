@@ -1,0 +1,1 @@
+lib/lens/apache.mli: Lens

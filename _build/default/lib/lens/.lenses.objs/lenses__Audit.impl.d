@@ -1,0 +1,1 @@
+lib/lens/audit.ml: Configtree Lens Lex List Printf String

@@ -1,0 +1,1 @@
+lib/lens/audit.mli: Lens

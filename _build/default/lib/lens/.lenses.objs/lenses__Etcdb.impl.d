@@ -1,0 +1,1 @@
+lib/lens/etcdb.ml: Configtree Lens Lex List Result String

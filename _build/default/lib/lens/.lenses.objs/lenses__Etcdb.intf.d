@@ -1,0 +1,1 @@
+lib/lens/etcdb.mli: Lens

@@ -1,0 +1,1 @@
+lib/lens/fstab.ml: Configtree Lens Lex List Result String

@@ -1,0 +1,1 @@
+lib/lens/fstab.mli: Lens

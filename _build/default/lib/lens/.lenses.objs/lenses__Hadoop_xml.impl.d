@@ -1,0 +1,1 @@
+lib/lens/hadoop_xml.ml: Configtree Lens List Option Printf Result Xmllite

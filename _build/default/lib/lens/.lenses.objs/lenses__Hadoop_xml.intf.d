@@ -1,0 +1,1 @@
+lib/lens/hadoop_xml.mli: Lens

@@ -1,0 +1,1 @@
+lib/lens/hosts.ml: Configtree Lens Lex List Result String

@@ -1,0 +1,1 @@
+lib/lens/ini.ml: Buffer Configtree Lens Lex List Printf Result String

@@ -1,0 +1,1 @@
+lib/lens/ini.mli: Configtree Lens

@@ -1,0 +1,1 @@
+lib/lens/json_lens.ml: Configtree Float Jsonlite Lens List Option Printf String

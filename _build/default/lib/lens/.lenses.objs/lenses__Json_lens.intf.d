@@ -1,0 +1,1 @@
+lib/lens/json_lens.mli: Configtree Jsonlite Lens

@@ -1,0 +1,1 @@
+lib/lens/lens.ml: Buffer Configtree List Printf Re String

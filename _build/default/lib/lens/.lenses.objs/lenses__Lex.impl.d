@@ -1,0 +1,1 @@
+lib/lens/lex.ml: Buffer List String

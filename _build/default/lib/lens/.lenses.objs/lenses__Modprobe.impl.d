@@ -1,0 +1,1 @@
+lib/lens/modprobe.ml: Configtree Lens Lex List Printf String

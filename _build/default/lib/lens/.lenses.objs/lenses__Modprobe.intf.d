@@ -1,0 +1,1 @@
+lib/lens/modprobe.mli: Lens

@@ -1,0 +1,1 @@
+lib/lens/nginx.ml: Buffer Configtree Lens List Printf Result String

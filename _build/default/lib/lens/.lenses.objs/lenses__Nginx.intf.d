@@ -1,0 +1,1 @@
+lib/lens/nginx.mli: Configtree Lens

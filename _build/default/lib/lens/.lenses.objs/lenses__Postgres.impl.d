@@ -1,0 +1,1 @@
+lib/lens/postgres.ml: Configtree Lens Lex List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/lens/postgres.mli: Lens

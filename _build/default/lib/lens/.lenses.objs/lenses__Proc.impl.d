@@ -1,0 +1,1 @@
+lib/lens/proc.ml: Configtree Lens Lex List Result String

@@ -1,0 +1,1 @@
+lib/lens/proc.mli: Lens

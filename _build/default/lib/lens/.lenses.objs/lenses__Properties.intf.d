@@ -1,0 +1,1 @@
+lib/lens/properties.mli: Lens

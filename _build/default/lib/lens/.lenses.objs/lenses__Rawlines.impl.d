@@ -1,0 +1,1 @@
+lib/lens/rawlines.ml: Configtree Lens Lex List Result String

@@ -1,0 +1,1 @@
+lib/lens/rawlines.mli: Lens

@@ -1,0 +1,1 @@
+lib/lens/registry.ml: Apache Audit Etcdb Fstab Hadoop_xml Hosts Ini Json_lens Lens List Modprobe Nginx Postgres Printf Proc Properties Rawlines Sshd String Sysctl Yaml_lens

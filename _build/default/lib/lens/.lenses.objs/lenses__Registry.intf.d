@@ -1,0 +1,1 @@
+lib/lens/registry.mli: Lens

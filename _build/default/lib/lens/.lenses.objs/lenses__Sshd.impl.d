@@ -1,0 +1,1 @@
+lib/lens/sshd.ml: Buffer Configtree Lens Lex List Option Printf Result String

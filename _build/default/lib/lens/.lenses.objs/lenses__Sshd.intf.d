@@ -1,0 +1,1 @@
+lib/lens/sshd.mli: Lens

@@ -1,0 +1,1 @@
+lib/lens/sysctl.ml: Configtree Lens Lex List Option Printf Result String

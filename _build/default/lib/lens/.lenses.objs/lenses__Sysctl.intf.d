@@ -1,0 +1,1 @@
+lib/lens/sysctl.mli: Lens

@@ -1,0 +1,1 @@
+lib/lens/yaml_lens.ml: Configtree Lens List Option Printf Yamlite

@@ -1,0 +1,1 @@
+lib/lens/yaml_lens.mli: Configtree Lens Yamlite

@@ -1,0 +1,81 @@
+let split_keyword text =
+  match String.index_opt text ' ' with
+  | None -> (text, "")
+  | Some i ->
+    (String.sub text 0 i, String.trim (String.sub text (i + 1) (String.length text - i - 1)))
+
+let parse_tree input =
+  let lines = Lex.lines ~continuation:true input in
+  let rec parse acc stack = function
+    | [] -> (
+      match stack with
+      | [] -> Ok (List.rev acc)
+      | (tag, _, _) :: _ -> Error (Printf.sprintf "apache: unclosed <%s> section" tag))
+    | { Lex.num; text } :: rest ->
+      if Lex.starts_with ~prefix:"</" text then begin
+        let tag = String.trim (String.sub text 2 (String.length text - 3)) in
+        match stack with
+        | (open_tag, value, children) :: outer when String.lowercase_ascii open_tag = String.lowercase_ascii tag ->
+          let node = Configtree.Tree.node ?value ~children:(List.rev children) open_tag in
+          (match outer with
+          | [] -> parse (node :: acc) [] rest
+          | (t, v, siblings) :: outer' -> parse acc ((t, v, node :: siblings) :: outer') rest)
+        | (open_tag, _, _) :: _ ->
+          Error (Printf.sprintf "apache: line %d: </%s> closes <%s>" num tag open_tag)
+        | [] -> Error (Printf.sprintf "apache: line %d: stray </%s>" num tag)
+      end
+      else if text.[0] = '<' && text.[String.length text - 1] = '>' then begin
+        let inner = String.sub text 1 (String.length text - 2) in
+        let tag, args = split_keyword inner in
+        let value = if args = "" then None else Some args in
+        parse acc ((tag, value, []) :: stack) rest
+      end
+      else begin
+        let keyword, args = split_keyword text in
+        (* Header directives are addressed by header name (cf. the nginx
+           add_header specialization): the name is the first argument
+           that is not a condition or action keyword. *)
+        let leaf =
+          if String.lowercase_ascii keyword = "header" then begin
+            let modifiers =
+              [ "always"; "onsuccess"; "set"; "append"; "add"; "merge"; "unset"; "echo"; "edit" ]
+            in
+            let tokens = Lex.tokens args in
+            match List.partition (fun t -> List.mem (String.lowercase_ascii t) modifiers) tokens with
+            | _, name :: rest -> Configtree.Tree.leaf ("Header " ^ name) (String.concat " " rest)
+            | _, [] -> Configtree.Tree.leaf keyword args
+          end
+          else Configtree.Tree.leaf keyword args
+        in
+        match stack with
+        | [] -> parse (leaf :: acc) [] rest
+        | (t, v, siblings) :: outer -> parse acc ((t, v, leaf :: siblings) :: outer) rest
+      end
+  in
+  parse [] [] lines
+
+let render_tree forest =
+  let buf = Buffer.create 256 in
+  let rec go indent (n : Configtree.Tree.t) =
+    let pad = String.make indent ' ' in
+    if n.children = [] then
+      match n.value with
+      | Some "" | None -> Buffer.add_string buf (Printf.sprintf "%s%s\n" pad n.label)
+      | Some v -> Buffer.add_string buf (Printf.sprintf "%s%s %s\n" pad n.label v)
+    else begin
+      let head =
+        match n.value with None | Some "" -> n.label | Some v -> n.label ^ " " ^ v
+      in
+      Buffer.add_string buf (Printf.sprintf "%s<%s>\n" pad head);
+      List.iter (go (indent + 2)) n.children;
+      Buffer.add_string buf (Printf.sprintf "%s</%s>\n" pad n.label)
+    end
+  in
+  List.iter (go 0) forest;
+  Buffer.contents buf
+
+let lens =
+  Lens.make ~name:"apache" ~description:"Apache httpd directives and container sections"
+    ~file_patterns:[ "apache2.conf"; "httpd.conf"; "apache2/conf-enabled/*"; "apache2/mods-enabled/*.conf" ]
+    ~render:(function Lens.Tree forest -> Some (render_tree forest) | Lens.Table _ -> None)
+    (fun ~filename:_ input -> Result.map (fun f -> Lens.Tree f) (parse_tree input))

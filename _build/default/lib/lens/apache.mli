@@ -1,0 +1,11 @@
+(** Apache httpd lens: [Directive arg ...] lines plus container sections
+    [<VirtualHost *:80> ... </VirtualHost>].
+
+    Normal form: directives are leaves [Directive = "arg ..."];
+    containers are section nodes labelled with the tag whose value is
+    the tag argument. The paper singles Apache out as a "modular style"
+    that is non-trivial to relate across sections — the nesting is
+    preserved so rules can scope assertions with paths such as
+    [VirtualHost/SSLEngine]. Continuation backslashes are honoured. *)
+
+val lens : Lens.t

@@ -1,0 +1,122 @@
+let columns = [ "kind"; "path"; "perms"; "key"; "fields"; "syscalls"; "action" ]
+
+type acc = {
+  mutable kind : string;
+  mutable path : string;
+  mutable perms : string;
+  mutable key : string;
+  mutable fields : string list;
+  mutable syscalls : string list;
+  mutable action : string;
+}
+
+let fresh () =
+  { kind = ""; path = ""; perms = ""; key = ""; fields = []; syscalls = []; action = "" }
+
+let row_of acc =
+  [
+    acc.kind;
+    acc.path;
+    acc.perms;
+    acc.key;
+    String.concat "," (List.rev acc.fields);
+    String.concat "," (List.rev acc.syscalls);
+    acc.action;
+  ]
+
+let parse_line num text =
+  let acc = fresh () in
+  let rec go = function
+    | [] -> Ok (row_of acc)
+    | "-w" :: path :: rest ->
+      acc.kind <- "watch";
+      acc.path <- path;
+      go rest
+    | "-p" :: perms :: rest ->
+      acc.perms <- perms;
+      go rest
+    | "-k" :: key :: rest ->
+      acc.key <- key;
+      go rest
+    | "-a" :: action :: rest ->
+      acc.kind <- "syscall";
+      acc.action <- action;
+      go rest
+    | "-F" :: field :: rest ->
+      acc.fields <- field :: acc.fields;
+      go rest
+    | "-S" :: syscall :: rest ->
+      acc.syscalls <- syscall :: acc.syscalls;
+      go rest
+    | "-D" :: rest ->
+      acc.kind <- "control";
+      acc.action <- "delete-all";
+      go rest
+    | "-b" :: n :: rest ->
+      acc.kind <- "control";
+      acc.action <- "backlog=" ^ n;
+      go rest
+    | "-e" :: n :: rest ->
+      acc.kind <- "control";
+      acc.action <- "enabled=" ^ n;
+      go rest
+    | "-f" :: n :: rest ->
+      acc.kind <- "control";
+      acc.action <- "failure=" ^ n;
+      go rest
+    | flag :: _ ->
+      Error (Printf.sprintf "audit: line %d: unrecognized token %S" num flag)
+  in
+  go (Lex.tokens text)
+
+let parse ~filename:_ input =
+  let lines = Lex.lines input in
+  let rec go acc = function
+    | [] -> (
+      match Configtree.Table.make ~name:"audit" ~columns (List.rev acc) with
+      | Ok t -> Ok (Lens.Table t)
+      | Error _ as e -> e)
+    | { Lex.num; text } :: rest -> (
+      match parse_line num text with
+      | Ok row -> go (row :: acc) rest
+      | Error _ as e -> e)
+  in
+  go [] lines
+
+let render_row row =
+  match row with
+  | [ kind; path; perms; key; fields; syscalls; action ] ->
+    let parts =
+      match kind with
+      | "watch" ->
+        [ "-w"; path ]
+        @ (if perms = "" then [] else [ "-p"; perms ])
+        @ if key = "" then [] else [ "-k"; key ]
+      | "syscall" ->
+        [ "-a"; action ]
+        @ List.concat_map (fun f -> [ "-F"; f ]) (String.split_on_char ',' fields |> List.filter (( <> ) ""))
+        @ List.concat_map (fun s -> [ "-S"; s ]) (String.split_on_char ',' syscalls |> List.filter (( <> ) ""))
+        @ if key = "" then [] else [ "-k"; key ]
+      | _ -> (
+        match String.index_opt action '=' with
+        | Some i ->
+          let name = String.sub action 0 i in
+          let v = String.sub action (i + 1) (String.length action - i - 1) in
+          let flag =
+            match name with "backlog" -> "-b" | "enabled" -> "-e" | "failure" -> "-f" | _ -> "-D"
+          in
+          if flag = "-D" then [ "-D" ] else [ flag; v ]
+        | None -> [ "-D" ])
+    in
+    String.concat " " parts
+  | _ -> ""
+
+let render = function
+  | Lens.Table t ->
+    Some (String.concat "\n" (List.map render_row t.Configtree.Table.rows) ^ "\n")
+  | Lens.Tree _ -> None
+
+let lens =
+  Lens.make ~name:"audit" ~description:"auditd rules (auditctl syntax)"
+    ~file_patterns:[ "audit.rules"; "audit.d/*.rules"; "rules.d/*.rules" ]
+    ~render parse

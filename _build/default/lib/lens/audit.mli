@@ -1,0 +1,16 @@
+(** auditd rules lens (/etc/audit/audit.rules).
+
+    Lines are auditctl invocations. Normal form is a table with columns
+    [kind, path, perms, key, fields, syscalls, action]:
+    - watch rules [-w /etc/passwd -p wa -k identity] fill
+      [kind="watch", path, perms, key];
+    - syscall rules [-a always,exit -F arch=b64 -S settimeofday -k time]
+      fill [kind="syscall", action="always,exit", fields, syscalls, key];
+    - control lines ([-D], [-b 8192], [-e 2], [-f 1]) fill
+      [kind="control", action].
+
+    The CIS Ubuntu audit section asserts on the presence of specific
+    watches and syscall rules; schema-rule constraints address them by
+    [path], [key] or [syscalls]. *)
+
+val lens : Lens.t

@@ -1,0 +1,30 @@
+let make_colon_lens ~name ~description ~file_patterns ~columns =
+  let parse ~filename:_ input =
+    let lines = Lex.lines input in
+    let rows = List.map (fun { Lex.text; _ } -> Lex.fields ':' text) lines in
+    Result.map
+      (fun table -> Lens.Table table)
+      (Configtree.Table.make ~name ~columns rows)
+  in
+  let render = function
+    | Lens.Table t ->
+      let row r = String.concat ":" r in
+      Some (String.concat "\n" (List.map row t.Configtree.Table.rows) ^ "\n")
+    | Lens.Tree _ -> None
+  in
+  Lens.make ~name ~description ~file_patterns ~render parse
+
+let passwd =
+  make_colon_lens ~name:"passwd" ~description:"/etc/passwd user database"
+    ~file_patterns:[ "passwd" ]
+    ~columns:[ "name"; "password"; "uid"; "gid"; "gecos"; "home"; "shell" ]
+
+let group =
+  make_colon_lens ~name:"group" ~description:"/etc/group database"
+    ~file_patterns:[ "group" ]
+    ~columns:[ "name"; "password"; "gid"; "members" ]
+
+let shadow =
+  make_colon_lens ~name:"shadow" ~description:"/etc/shadow password aging database"
+    ~file_patterns:[ "shadow" ]
+    ~columns:[ "name"; "password"; "lastchanged"; "min"; "max"; "warn"; "inactive"; "expire"; "reserved" ]

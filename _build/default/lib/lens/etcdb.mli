@@ -1,0 +1,13 @@
+(** Colon-separated /etc databases — the paper's canonical "schema
+    pattern" examples. Each parses to a {!Configtree.Table.t} with named
+    columns so CVL schema rules can query them positionally. *)
+
+(** /etc/passwd: [name, password, uid, gid, gecos, home, shell]. *)
+val passwd : Lens.t
+
+(** /etc/group: [name, password, gid, members]. *)
+val group : Lens.t
+
+(** /etc/shadow: [name, password, lastchanged, min, max, warn, inactive,
+    expire, reserved]. *)
+val shadow : Lens.t

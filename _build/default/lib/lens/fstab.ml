@@ -1,0 +1,16 @@
+let columns = [ "device"; "dir"; "fstype"; "options"; "dump"; "pass" ]
+
+let parse ~filename:_ input =
+  let lines = Lex.lines input in
+  let rows = List.map (fun { Lex.text; _ } -> Lex.tokens text) lines in
+  Result.map (fun t -> Lens.Table t) (Configtree.Table.make ~name:"fstab" ~columns rows)
+
+let render = function
+  | Lens.Table t ->
+    Some
+      (String.concat "\n" (List.map (String.concat " ") t.Configtree.Table.rows) ^ "\n")
+  | Lens.Tree _ -> None
+
+let lens =
+  Lens.make ~name:"fstab" ~description:"/etc/fstab mount table" ~file_patterns:[ "fstab" ]
+    ~render parse

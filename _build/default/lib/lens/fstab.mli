@@ -1,0 +1,5 @@
+(** /etc/fstab lens. Columns: [device, dir, fstype, options, dump,
+    pass]. The paper's Listing 3 ("is /tmp on a separate partition")
+    queries this table with [query_constraints: "dir = ?"]. *)
+
+val lens : Lens.t

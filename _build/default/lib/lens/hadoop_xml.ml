@@ -1,0 +1,42 @@
+let parse_tree input =
+  match Xmllite.parse input with
+  | Error e -> Error (Printf.sprintf "hadoop: %s" (Xmllite.error_to_string e))
+  | Ok root ->
+    if root.Xmllite.tag <> "configuration" then
+      Error (Printf.sprintf "hadoop: expected <configuration> root, got <%s>" root.Xmllite.tag)
+    else
+      let property el =
+        match (Xmllite.find "name" el, Xmllite.find "value" el) with
+        | Some name_el, Some value_el ->
+          Ok (Configtree.Tree.leaf (Xmllite.text name_el) (Xmllite.text value_el))
+        | None, _ -> Error "hadoop: <property> without <name>"
+        | _, None -> Error "hadoop: <property> without <value>"
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | el :: rest -> (
+          match property el with
+          | Ok leaf -> go (leaf :: acc) rest
+          | Error _ as e -> e)
+      in
+      go [] (Xmllite.find_all "property" root)
+
+let render_tree forest =
+  let property (n : Configtree.Tree.t) =
+    Xmllite.Element
+      (Xmllite.element "property"
+         ~children:
+           [
+             Xmllite.Element (Xmllite.element "name" ~children:[ Xmllite.text_child n.label ]);
+             Xmllite.Element
+               (Xmllite.element "value"
+                  ~children:[ Xmllite.text_child (Option.value n.value ~default:"") ]);
+           ])
+  in
+  Xmllite.to_string (Xmllite.element "configuration" ~children:(List.map property forest))
+
+let lens =
+  Lens.make ~name:"hadoop" ~description:"Hadoop *-site.xml property lists"
+    ~file_patterns:[ "core-site.xml"; "hdfs-site.xml"; "yarn-site.xml"; "mapred-site.xml"; "*-site.xml" ]
+    ~render:(function Lens.Tree f -> Some (render_tree f) | Lens.Table _ -> None)
+    (fun ~filename:_ input -> Result.map (fun f -> Lens.Tree f) (parse_tree input))

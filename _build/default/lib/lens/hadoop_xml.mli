@@ -1,0 +1,6 @@
+(** Hadoop [*-site.xml] lens:
+    [<configuration><property><name>k</name><value>v</value></property>…].
+    Normal form: one leaf per property, labelled with the property name
+    (dotted Hadoop keys such as [dfs.permissions.enabled]). *)
+
+val lens : Lens.t

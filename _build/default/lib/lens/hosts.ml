@@ -1,0 +1,23 @@
+let columns = [ "ip"; "hostnames" ]
+
+let parse ~filename:_ input =
+  let lines = Lex.lines input in
+  let rows =
+    List.map
+      (fun { Lex.text; _ } ->
+        match Lex.tokens text with
+        | ip :: names -> [ ip; String.concat " " names ]
+        | [] -> [])
+      lines
+    |> List.filter (( <> ) [])
+  in
+  Result.map (fun t -> Lens.Table t) (Configtree.Table.make ~name:"hosts" ~columns rows)
+
+let render = function
+  | Lens.Table t ->
+    Some (String.concat "\n" (List.map (String.concat " ") t.Configtree.Table.rows) ^ "\n")
+  | Lens.Tree _ -> None
+
+let lens =
+  Lens.make ~name:"hosts" ~description:"/etc/hosts name table" ~file_patterns:[ "hosts" ]
+    ~render parse

@@ -1,0 +1,3 @@
+(** /etc/hosts lens. Columns: [ip, hostnames] (hostnames space-joined). *)
+
+val lens : Lens.t

@@ -1,0 +1,48 @@
+let is_header text =
+  String.length text >= 2 && text.[0] = '[' && text.[String.length text - 1] = ']'
+
+let header_name text = String.trim (String.sub text 1 (String.length text - 2))
+
+let parse_tree input =
+  let lines = Lex.lines ~comment_chars:[ '#'; ';' ] input in
+  let entry text =
+    match Lex.split_kv ~seps:[ '='; ':' ] text with
+    | Some (k, v) -> Configtree.Tree.leaf k v
+    | None -> Configtree.Tree.leaf text ""
+  in
+  let rec go acc current = function
+    | [] -> flush acc current
+    | { Lex.text; _ } :: rest ->
+      if is_header text then go (flush acc current) (Some (header_name text, [])) rest
+      else (
+        match current with
+        | None -> go (entry text :: acc) None rest
+        | Some (name, entries) -> go acc (Some (name, entry text :: entries)) rest)
+  and flush acc = function
+    | None -> acc
+    | Some (name, entries) -> Configtree.Tree.section name (List.rev entries) :: acc
+  in
+  Ok (List.rev (go [] None lines))
+
+let render_tree forest =
+  let buf = Buffer.create 256 in
+  let leaf (n : Configtree.Tree.t) =
+    match n.value with
+    | Some "" | None -> Buffer.add_string buf (n.label ^ "\n")
+    | Some v -> Buffer.add_string buf (Printf.sprintf "%s = %s\n" n.label v)
+  in
+  List.iter
+    (fun (n : Configtree.Tree.t) ->
+      if n.children = [] then leaf n
+      else begin
+        Buffer.add_string buf (Printf.sprintf "[%s]\n" n.label);
+        List.iter leaf n.children
+      end)
+    forest;
+  Buffer.contents buf
+
+let lens =
+  Lens.make ~name:"ini" ~description:"INI sections with key=value entries"
+    ~file_patterns:[ "*.cnf"; "*.ini"; "my.cnf" ]
+    ~render:(function Lens.Tree forest -> Some (render_tree forest) | Lens.Table _ -> None)
+    (fun ~filename:_ input -> Result.map (fun f -> Lens.Tree f) (parse_tree input))

@@ -1,0 +1,12 @@
+(** INI-style lens: [\[section\]] headers with [key = value] (or
+    [key: value]) entries, used for MySQL [my.cnf], PHP, and similar.
+
+    Normal form: one section node per header with one leaf per key;
+    keys appearing before any header become root leaves. Bare keys with
+    no separator (e.g. [skip-external-locking]) become leaves with value
+    [""]. Comments: ['#'] and [';']. *)
+
+val lens : Lens.t
+
+(** Parse directly (used by other lenses building on INI). *)
+val parse_tree : string -> (Configtree.Tree.t list, string) result

@@ -1,0 +1,69 @@
+let scalar_text = function
+  | Jsonlite.Null -> ""
+  | Jsonlite.Bool true -> "true"
+  | Jsonlite.Bool false -> "false"
+  | Jsonlite.Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%g" f
+  | Jsonlite.Str s -> s
+  | Jsonlite.Arr _ | Jsonlite.Obj _ -> assert false
+
+let rec node_of_member (key, v) =
+  match v with
+  | Jsonlite.Obj kvs -> [ Configtree.Tree.section key (List.concat_map node_of_member kvs) ]
+  | Jsonlite.Arr items ->
+    List.map
+      (fun item ->
+        match item with
+        | Jsonlite.Obj kvs -> Configtree.Tree.section key (List.concat_map node_of_member kvs)
+        | Jsonlite.Arr _ -> Configtree.Tree.section key (List.concat_map node_of_member [ (key, item) ])
+        | scalar -> Configtree.Tree.leaf key (scalar_text scalar))
+      items
+  | scalar -> [ Configtree.Tree.leaf key (scalar_text scalar) ]
+
+let tree_of_json = function
+  | Jsonlite.Obj kvs -> List.concat_map node_of_member kvs
+  | Jsonlite.Arr items -> List.concat_map (fun v -> node_of_member ("item", v)) items
+  | scalar -> [ Configtree.Tree.leaf "value" (scalar_text scalar) ]
+
+let parse ~filename:_ input =
+  match Jsonlite.parse input with
+  | Ok v -> Ok (Lens.Tree (tree_of_json v))
+  | Error e -> Error (Printf.sprintf "json: %s" (Jsonlite.error_to_string e))
+
+(* Inverse direction, for remediation: scalar types are re-inferred from
+   the literal text ("false" -> boolean), repeated labels regroup into an
+   array. Key order is preserved. *)
+let scalar_of_text s =
+  match s with
+  | "" -> Jsonlite.Null
+  | "true" -> Jsonlite.Bool true
+  | "false" -> Jsonlite.Bool false
+  | _ -> (
+    match float_of_string_opt s with
+    | Some f when not (String.contains s 'x') -> Jsonlite.Num f
+    | _ -> Jsonlite.Str s)
+
+let rec json_of_forest (forest : Configtree.Tree.t list) =
+  (* Group consecutive same-label siblings: 2+ become an array. *)
+  let value_of (n : Configtree.Tree.t) =
+    if n.children = [] then scalar_of_text (Option.value n.value ~default:"")
+    else json_of_forest n.children
+  in
+  let rec group = function
+    | [] -> []
+    | (n : Configtree.Tree.t) :: rest ->
+      let same, others = List.partition (fun (m : Configtree.Tree.t) -> m.label = n.label) rest in
+      (match same with
+      | [] -> (n.label, value_of n) :: group others
+      | _ -> (n.label, Jsonlite.Arr (List.map value_of (n :: same))) :: group others)
+  in
+  Jsonlite.Obj (group forest)
+
+let render_tree forest = Jsonlite.pretty (json_of_forest forest)
+
+let lens =
+  Lens.make ~name:"json" ~description:"JSON configuration documents"
+    ~file_patterns:[ "*.json" ]
+    ~render:(function Lens.Tree f -> Some (render_tree f) | Lens.Table _ -> None)
+    parse

@@ -1,0 +1,10 @@
+(** JSON configuration lens (docker [daemon.json], inspect documents).
+
+    Normal form: objects become section nodes, scalar members become
+    leaves (booleans/numbers rendered to their literal text), arrays
+    become repeated children under the member label (addressable with
+    Augeas-style indices, [ulimits/nofile[2]]). *)
+
+val lens : Lens.t
+
+val tree_of_json : Jsonlite.t -> Configtree.Tree.t list

@@ -1,0 +1,64 @@
+type normalized =
+  | Tree of Configtree.Tree.t list
+  | Table of Configtree.Table.t
+
+type t = {
+  name : string;
+  description : string;
+  file_patterns : string list;
+  parse : filename:string -> string -> (normalized, string) result;
+  render : (normalized -> string option) option;
+}
+
+let make ~name ~description ~file_patterns ?render parse =
+  { name; description; file_patterns; parse; render }
+
+let glob_re pattern =
+  let buf = Buffer.create (String.length pattern + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '*' -> Buffer.add_string buf "[^/]*"
+      | '.' | '\\' | '+' | '^' | '$' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '?' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      | c -> Buffer.add_char buf c)
+    pattern;
+  Re.compile (Re.whole_string (Re.Posix.re (Buffer.contents buf)))
+
+let basename path =
+  match String.rindex_opt path '/' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let suffix_matches re path =
+  (* Match the pattern against every path suffix that starts at a
+     segment boundary, so "sites-enabled/*" matches
+     "/etc/nginx/sites-enabled/default". *)
+  let rec go start =
+    if start > String.length path then false
+    else
+      let candidate = String.sub path start (String.length path - start) in
+      if Re.execp re candidate then true
+      else
+        match String.index_from_opt path start '/' with
+        | Some i -> go (i + 1)
+        | None -> false
+  in
+  go 0
+
+let matches lens path =
+  List.exists
+    (fun pattern ->
+      let re = glob_re pattern in
+      if String.contains pattern '/' then suffix_matches re path
+      else Re.execp re (basename path))
+    lens.file_patterns
+
+let tree_exn = function
+  | Tree forest -> forest
+  | Table t -> invalid_arg (Printf.sprintf "expected tree, got table %s" t.Configtree.Table.name)
+
+let table_exn = function
+  | Table t -> t
+  | Tree _ -> invalid_arg "expected table, got tree"

@@ -1,0 +1,40 @@
+(** The lens framework: per-format parsers that normalize raw
+    configuration text into the tree or schema form consumed by the rule
+    engine (the paper's "Data Normalizer", built on Augeas in the
+    original system).
+
+    A lens declares which files it applies to; {!Registry} resolves a
+    concrete file path to a lens when a manifest does not name one
+    explicitly. *)
+
+type normalized =
+  | Tree of Configtree.Tree.t list
+  | Table of Configtree.Table.t
+
+type t = {
+  name : string;  (** e.g. ["nginx"] *)
+  description : string;
+  file_patterns : string list;
+      (** glob-ish basename or path-suffix patterns this lens claims,
+          e.g. ["nginx.conf"], ["*.cnf"], ["sites-enabled/*"]. ['*']
+          matches any run of characters except ['/']. *)
+  parse : filename:string -> string -> (normalized, string) result;
+  render : (normalized -> string option) option;
+      (** Inverse direction where supported; [None] for formats we only
+          read. Used by round-trip property tests. *)
+}
+
+val make :
+  name:string ->
+  description:string ->
+  file_patterns:string list ->
+  ?render:(normalized -> string option) ->
+  (filename:string -> string -> (normalized, string) result) ->
+  t
+
+(** [matches lens path] tests the basename (and, for patterns containing
+    ['/'], the path suffix) against the lens's patterns. *)
+val matches : t -> string -> bool
+
+val tree_exn : normalized -> Configtree.Tree.t list
+val table_exn : normalized -> Configtree.Table.t

@@ -1,0 +1,115 @@
+type line = {
+  num : int;
+  text : string;
+}
+
+let trim = String.trim
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let strip_comment comment_chars s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i quote =
+    if i >= n then Buffer.contents buf
+    else
+      let c = s.[i] in
+      match quote with
+      | Some q ->
+        Buffer.add_char buf c;
+        go (i + 1) (if c = q then None else quote)
+      | None ->
+        if List.mem c comment_chars then Buffer.contents buf
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) (if c = '"' || c = '\'' then Some c else None)
+        end
+  in
+  go 0 None
+
+let lines ?(comment_chars = [ '#' ]) ?(continuation = false) input =
+  let raw = String.split_on_char '\n' input in
+  (* Join continuation lines first so comments strip per logical line. *)
+  let joined =
+    if not continuation then List.mapi (fun i s -> (i + 1, s)) raw
+    else begin
+      let acc = ref [] in
+      let pending = ref None in
+      List.iteri
+        (fun i s ->
+          let num = i + 1 in
+          let s = match !pending with None -> s | Some (_, p) -> p ^ s in
+          let start_num = match !pending with None -> num | Some (n, _) -> n in
+          let trimmed_end =
+            let t = trim s in
+            String.length t > 0 && t.[String.length t - 1] = '\\'
+          in
+          if trimmed_end then begin
+            let t = trim s in
+            pending := Some (start_num, String.sub t 0 (String.length t - 1) ^ " ")
+          end
+          else begin
+            acc := (start_num, s) :: !acc;
+            pending := None
+          end)
+        raw;
+      (match !pending with Some (n, p) -> acc := (n, p) :: !acc | None -> ());
+      List.rev !acc
+    end
+  in
+  List.filter_map
+    (fun (num, s) ->
+      let text = trim (strip_comment comment_chars s) in
+      if text = "" then None else Some { num; text })
+    joined
+
+let split_kv ~seps s =
+  let n = String.length s in
+  let rec find i quote =
+    if i >= n then None
+    else
+      let c = s.[i] in
+      match quote with
+      | Some q -> find (i + 1) (if c = q then None else quote)
+      | None ->
+        if List.mem c seps then Some i
+        else find (i + 1) (if c = '"' || c = '\'' then Some c else None)
+  in
+  match find 0 None with
+  | None -> None
+  | Some i ->
+    let k = trim (String.sub s 0 i) in
+    let v = trim (String.sub s (i + 1) (n - i - 1)) in
+    if k = "" then None else Some (k, v)
+
+let tokens s =
+  let n = String.length s in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  let rec go i quote =
+    if i >= n then flush ()
+    else
+      let c = s.[i] in
+      match quote with
+      | Some q -> if c = q then go (i + 1) None else (Buffer.add_char buf c; go (i + 1) quote)
+      | None -> (
+        match c with
+        | ' ' | '\t' ->
+          flush ();
+          go (i + 1) None
+        | '"' | '\'' -> go (i + 1) (Some c)
+        | c ->
+          Buffer.add_char buf c;
+          go (i + 1) None)
+  in
+  go 0 None;
+  List.rev !out
+
+let fields sep s = String.split_on_char sep s |> List.map trim

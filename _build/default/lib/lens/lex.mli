@@ -1,0 +1,27 @@
+(** Shared lexical helpers for lenses. *)
+
+type line = {
+  num : int;
+  text : string;  (** comment stripped, trimmed; never empty *)
+}
+
+(** [lines ?comment_chars ?continuation input] splits into logical
+    lines: strips comments introduced by any of [comment_chars] (default
+    [['#']]) when outside quotes, joins lines ending in a backslash when
+    [continuation] is true (default false), drops blanks. *)
+val lines : ?comment_chars:char list -> ?continuation:bool -> string -> line list
+
+(** Split on the first occurrence of any separator character (outside
+    quotes); both sides trimmed. *)
+val split_kv : seps:char list -> string -> (string * string) option
+
+(** Whitespace tokenization honouring single and double quotes; quotes
+    are stripped from the tokens. *)
+val tokens : string -> string list
+
+(** Split a line on a single character, keeping empty fields —
+    /etc/passwd style. *)
+val fields : char -> string -> string list
+
+val starts_with : prefix:string -> string -> bool
+val trim : string -> string

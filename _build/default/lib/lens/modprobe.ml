@@ -1,0 +1,33 @@
+let columns = [ "directive"; "module"; "args" ]
+
+let parse ~filename:_ input =
+  let lines = Lex.lines ~continuation:true input in
+  let rec go acc = function
+    | [] -> (
+      match Configtree.Table.make ~name:"modprobe" ~columns (List.rev acc) with
+      | Ok t -> Ok (Lens.Table t)
+      | Error _ as e -> e)
+    | { Lex.num; text } :: rest -> (
+      match Lex.tokens text with
+      | directive :: module_ :: args
+        when List.mem directive [ "install"; "blacklist"; "options"; "alias"; "remove"; "softdep" ] ->
+        go ([ directive; module_; String.concat " " args ] :: acc) rest
+      | [ "blacklist" ] -> Error (Printf.sprintf "modprobe: line %d: blacklist needs a module" num)
+      | _ -> Error (Printf.sprintf "modprobe: line %d: unrecognized directive in %S" num text))
+  in
+  go [] lines
+
+let render = function
+  | Lens.Table t ->
+    let row = function
+      | [ directive; module_; "" ] -> Printf.sprintf "%s %s" directive module_
+      | [ directive; module_; args ] -> Printf.sprintf "%s %s %s" directive module_ args
+      | _ -> ""
+    in
+    Some (String.concat "\n" (List.map row t.Configtree.Table.rows) ^ "\n")
+  | Lens.Tree _ -> None
+
+let lens =
+  Lens.make ~name:"modprobe" ~description:"kernel module policy (modprobe.d)"
+    ~file_patterns:[ "modprobe.conf"; "modprobe.d/*.conf"; "blacklist*.conf" ]
+    ~render parse

@@ -1,0 +1,6 @@
+(** modprobe.d lens. Columns: [directive, module, args]. Directives:
+    [install], [blacklist], [options], [alias], [remove]. CIS rules
+    assert e.g. that [install cramfs /bin/true] is present (filesystem
+    kernel modules disabled). *)
+
+val lens : Lens.t

@@ -1,0 +1,124 @@
+type token =
+  | Word of string
+  | Lbrace
+  | Rbrace
+  | Semi
+
+let tokenize input =
+  let n = String.length input in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Word (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  let rec go i =
+    if i >= n then flush ()
+    else
+      match input.[i] with
+      | '#' ->
+        flush ();
+        let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      | ' ' | '\t' | '\n' | '\r' ->
+        flush ();
+        go (i + 1)
+      | '{' ->
+        flush ();
+        out := Lbrace :: !out;
+        go (i + 1)
+      | '}' ->
+        flush ();
+        out := Rbrace :: !out;
+        go (i + 1)
+      | ';' ->
+        flush ();
+        out := Semi :: !out;
+        go (i + 1)
+      | ('"' | '\'') as q ->
+        let rec quoted j =
+          if j >= n then j
+          else if input.[j] = q then j + 1
+          else begin
+            Buffer.add_char buf input.[j];
+            quoted (j + 1)
+          end
+        in
+        go (quoted (i + 1))
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1)
+  in
+  go 0;
+  List.rev !out
+
+let parse_tree input =
+  let tokens = tokenize input in
+  (* [parse_items] returns the forest plus the unconsumed tokens after a
+     closing brace (or the end of input at top level). *)
+  let rec parse_items acc depth = function
+    | [] -> if depth = 0 then Ok (List.rev acc, []) else Error "nginx: unexpected end of input (missing '}')"
+    | Rbrace :: rest ->
+      if depth > 0 then Ok (List.rev acc, rest) else Error "nginx: unexpected '}'"
+    | Semi :: rest -> parse_items acc depth rest
+    | Lbrace :: _ -> Error "nginx: '{' without a block name"
+    | Word w :: rest -> (
+      let rec gather args = function
+        | Word a :: more -> gather (a :: args) more
+        | remainder -> (List.rev args, remainder)
+      in
+      let args, remainder = gather [] rest in
+      match remainder with
+      | Semi :: more ->
+        (* Augeas-style specialization: headers are addressed by name
+           ("add_header X-Frame-Options" = "SAMEORIGIN"), so rules can
+           assert on one header among many add_header directives. *)
+        let leaf =
+          match (w, args) with
+          | "add_header", header :: rest ->
+            Configtree.Tree.leaf ("add_header " ^ header) (String.concat " " rest)
+          | _ -> Configtree.Tree.leaf w (String.concat " " args)
+        in
+        parse_items (leaf :: acc) depth more
+      | Lbrace :: more -> (
+        match parse_items [] (depth + 1) more with
+        | Error _ as e -> e
+        | Ok (children, remainder) ->
+          let value = match args with [] -> None | _ -> Some (String.concat " " args) in
+          let node = Configtree.Tree.node ?value ~children w in
+          parse_items (node :: acc) depth remainder)
+      | [] | Rbrace :: _ -> Error (Printf.sprintf "nginx: directive %S not terminated by ';'" w)
+      | Word _ :: _ -> assert false)
+  in
+  match parse_items [] 0 tokens with
+  | Ok (forest, _) -> Ok forest
+  | Error _ as e -> e
+
+let render_tree forest =
+  let buf = Buffer.create 256 in
+  let rec go indent (n : Configtree.Tree.t) =
+    let pad = String.make indent ' ' in
+    if n.children = [] && (n.value <> None || n.label <> "") then begin
+      match n.value with
+      | Some "" | None -> Buffer.add_string buf (Printf.sprintf "%s%s;\n" pad n.label)
+      | Some v -> Buffer.add_string buf (Printf.sprintf "%s%s %s;\n" pad n.label v)
+    end
+    else begin
+      let head =
+        match n.value with None | Some "" -> n.label | Some v -> n.label ^ " " ^ v
+      in
+      Buffer.add_string buf (Printf.sprintf "%s%s {\n" pad head);
+      List.iter (go (indent + 2)) n.children;
+      Buffer.add_string buf (pad ^ "}\n")
+    end
+  in
+  List.iter (go 0) forest;
+  Buffer.contents buf
+
+let lens =
+  Lens.make ~name:"nginx" ~description:"nginx directives and nested blocks"
+    ~file_patterns:[ "nginx.conf"; "sites-enabled/*"; "sites-available/*"; "conf.d/*.conf" ]
+    ~render:(function Lens.Tree forest -> Some (render_tree forest) | Lens.Table _ -> None)
+    (fun ~filename:_ input -> Result.map (fun f -> Lens.Tree f) (parse_tree input))

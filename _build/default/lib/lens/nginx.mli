@@ -1,0 +1,12 @@
+(** nginx.conf lens: directives terminated by [';'] and brace-delimited
+    blocks, nested arbitrarily.
+
+    Normal form: a directive [listen 443 ssl;] is a leaf
+    [listen = "443 ssl"]; a block [server { ... }] is a section node
+    labelled [server] (block arguments, as in [location /api], become
+    the node's value). The paper's Listing 2 addresses these as
+    [config_path: ["server", "http/server"]]. *)
+
+val lens : Lens.t
+
+val parse_tree : string -> (Configtree.Tree.t list, string) result

@@ -1,0 +1,41 @@
+let strip_quotes v =
+  let n = String.length v in
+  if n >= 2 && v.[0] = '\'' && v.[n - 1] = '\'' then
+    (* Postgres escapes a quote by doubling it. *)
+    let inner = String.sub v 1 (n - 2) in
+    String.concat "'" (String.split_on_char '\'' inner |> List.filter (( <> ) ""))
+    |> fun s -> if inner = "" then "" else s
+  else v
+
+let parse_tree input =
+  let lines = Lex.lines input in
+  let entry { Lex.text; _ } =
+    match Lex.split_kv ~seps:[ '=' ] text with
+    | Some (k, v) -> Configtree.Tree.leaf k (strip_quotes v)
+    | None -> (
+      (* "key value" spelling without '='. *)
+      match String.index_opt text ' ' with
+      | Some i ->
+        Configtree.Tree.leaf (String.sub text 0 i)
+          (strip_quotes (String.trim (String.sub text (i + 1) (String.length text - i - 1))))
+      | None -> Configtree.Tree.leaf text "")
+  in
+  Ok (List.map entry lines)
+
+let needs_quotes v =
+  v = "" || String.exists (fun c -> c = ' ' || c = ',' || c = '#') v
+
+let render_tree forest =
+  forest
+  |> List.map (fun (n : Configtree.Tree.t) ->
+         let v = Option.value n.value ~default:"" in
+         let v = if needs_quotes v then "'" ^ v ^ "'" else v in
+         Printf.sprintf "%s = %s" n.label v)
+  |> String.concat "\n"
+  |> fun s -> s ^ "\n"
+
+let lens =
+  Lens.make ~name:"postgres" ~description:"postgresql.conf key = value pairs"
+    ~file_patterns:[ "postgresql.conf"; "postgresql.auto.conf" ]
+    ~render:(function Lens.Tree f -> Some (render_tree f) | Lens.Table _ -> None)
+    (fun ~filename:_ input -> Result.map (fun f -> Lens.Tree f) (parse_tree input))

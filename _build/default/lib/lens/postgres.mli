@@ -1,0 +1,8 @@
+(** postgresql.conf lens: [key = value] with optional single-quoted
+    values and trailing ['#'] comments; quotes are stripped in the
+    normal form ([listen_addresses = 'localhost'] becomes the leaf
+    [listen_addresses = "localhost"]). The [=] is optional in postgres
+    syntax ([checkpoint_timeout 5min]); both spellings normalize
+    identically. *)
+
+val lens : Lens.t

@@ -1,0 +1,17 @@
+let columns = [ "pid"; "user"; "command" ]
+
+let parse ~filename:_ input =
+  let lines = Lex.lines input in
+  let rows =
+    List.filter_map
+      (fun { Lex.text; _ } ->
+        match Lex.tokens text with
+        | pid :: user :: cmd when cmd <> [] -> Some [ pid; user; String.concat " " cmd ]
+        | _ -> None)
+      lines
+  in
+  Result.map (fun t -> Lens.Table t) (Configtree.Table.make ~name:"proc" ~columns rows)
+
+let lens =
+  Lens.make ~name:"proc" ~description:"process table (pid user command)"
+    ~file_patterns:[] parse

@@ -1,0 +1,5 @@
+(** Process-table lens for the [process_list] crawler plugin output:
+    one [pid user command...] row per line. Columns: [pid, user,
+    command] (the command keeps its arguments). *)
+
+val lens : Lens.t

@@ -1,0 +1,21 @@
+let parse_tree input =
+  let lines = Lex.lines ~comment_chars:[ '#'; '!' ] ~continuation:true input in
+  let entry { Lex.text; _ } =
+    match Lex.split_kv ~seps:[ '='; ':' ] text with
+    | Some (k, v) -> Configtree.Tree.leaf k v
+    | None -> Configtree.Tree.leaf text ""
+  in
+  Ok (List.map entry lines)
+
+let render_tree forest =
+  forest
+  |> List.map (fun (n : Configtree.Tree.t) ->
+         Printf.sprintf "%s=%s" n.label (Option.value n.value ~default:""))
+  |> String.concat "\n"
+  |> fun s -> s ^ "\n"
+
+let lens =
+  Lens.make ~name:"properties" ~description:"Java properties key=value pairs"
+    ~file_patterns:[ "*.properties"; "*-env.sh" ]
+    ~render:(function Lens.Tree f -> Some (render_tree f) | Lens.Table _ -> None)
+    (fun ~filename:_ input -> Result.map (fun f -> Lens.Tree f) (parse_tree input))

@@ -1,0 +1,5 @@
+(** Java-style .properties lens ([key=value] / [key: value], ['#'] and
+    ['!'] comments, backslash continuations). Used for Hadoop env files.
+    Normal form: flat leaves. *)
+
+val lens : Lens.t

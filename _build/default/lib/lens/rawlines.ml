@@ -1,0 +1,12 @@
+let parse ~filename:_ input =
+  let rows = List.map (fun { Lex.text; _ } -> [ text ]) (Lex.lines input) in
+  Result.map
+    (fun t -> Lens.Table t)
+    (Configtree.Table.make ~name:"lines" ~columns:[ "line" ] rows)
+
+let render = function
+  | Lens.Table t ->
+    Some (String.concat "\n" (List.map (String.concat "") t.Configtree.Table.rows) ^ "\n")
+  | Lens.Tree _ -> None
+
+let lens = Lens.make ~name:"lines" ~description:"raw non-comment lines" ~file_patterns:[] ~render parse

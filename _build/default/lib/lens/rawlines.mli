@@ -1,0 +1,6 @@
+(** Fallback lens: any text file as a one-column table of its
+    non-comment lines (column ["line"]). Lets schema rules express
+    line-pattern assertions (the common denominator with grep-style
+    engines) without a dedicated lens. *)
+
+val lens : Lens.t

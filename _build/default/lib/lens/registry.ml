@@ -1,0 +1,41 @@
+let all =
+  [
+    Sshd.lens;
+    Sysctl.lens;
+    Postgres.lens;
+    Nginx.lens;
+    Apache.lens;
+    Etcdb.passwd;
+    Etcdb.group;
+    Etcdb.shadow;
+    Fstab.lens;
+    Audit.lens;
+    Modprobe.lens;
+    Hosts.lens;
+    Hadoop_xml.lens;
+    Properties.lens;
+    Ini.lens;
+    Json_lens.lens;
+    Yaml_lens.lens;
+    Proc.lens;
+    Rawlines.lens;
+  ]
+
+let find name = List.find_opt (fun (l : Lens.t) -> String.equal l.name name) all
+let for_path path = List.find_opt (fun lens -> Lens.matches lens path) all
+
+let parse ?lens_name ~path content =
+  let lens =
+    match lens_name with
+    | Some name -> (
+      match find name with
+      | Some lens -> Ok lens
+      | None -> Error (Printf.sprintf "unknown lens %S" name))
+    | None -> (
+      match for_path path with
+      | Some lens -> Ok lens
+      | None -> Error (Printf.sprintf "no lens matches path %S" path))
+  in
+  match lens with
+  | Error _ as e -> e
+  | Ok lens -> lens.parse ~filename:path content

@@ -1,0 +1,16 @@
+(** Lens registry: name → lens resolution for manifests, and
+    file-path → lens inference when a manifest omits the lens name. *)
+
+val all : Lens.t list
+
+val find : string -> Lens.t option
+
+(** First lens whose [file_patterns] match the path, in registration
+    order (more specific lenses are registered before generic ones, so
+    [my.cnf] resolves to [ini] before the JSON lens ever sees it). *)
+val for_path : string -> Lens.t option
+
+(** Parse [content] of [path] with the named lens, or with the inferred
+    one when [lens_name] is [None]. *)
+val parse :
+  ?lens_name:string -> path:string -> string -> (Lens.normalized, string) result

@@ -1,0 +1,52 @@
+let split_keyword text =
+  match String.index_opt text ' ' with
+  | None -> (text, "")
+  | Some i ->
+    (String.sub text 0 i, String.trim (String.sub text (i + 1) (String.length text - i - 1)))
+
+let parse_tree input =
+  let lines = Lex.lines input in
+  let rec go acc current = function
+    | [] -> Ok (List.rev (flush acc current))
+    | { Lex.text; _ } :: rest ->
+      let keyword, args = split_keyword text in
+      if String.lowercase_ascii keyword = "match" then
+        go (flush acc current) (Some (args, [])) rest
+      else
+        let leaf = Configtree.Tree.leaf keyword args in
+        (match current with
+        | None -> go (leaf :: acc) None rest
+        | Some (cond, entries) -> go acc (Some (cond, leaf :: entries)) rest)
+  and flush acc = function
+    | None -> acc
+    | Some (cond, entries) ->
+      Configtree.Tree.node ~value:cond ~children:(List.rev entries) "Match" :: acc
+  in
+  go [] None lines
+
+let render_tree forest =
+  let buf = Buffer.create 256 in
+  let leaf (n : Configtree.Tree.t) =
+    match n.value with
+    | Some "" | None -> Buffer.add_string buf (n.label ^ "\n")
+    | Some v -> Buffer.add_string buf (Printf.sprintf "%s %s\n" n.label v)
+  in
+  List.iter
+    (fun (n : Configtree.Tree.t) ->
+      if n.label = "Match" then begin
+        Buffer.add_string buf (Printf.sprintf "Match %s\n" (Option.value n.value ~default:""));
+        List.iter
+          (fun c ->
+            Buffer.add_string buf "  ";
+            leaf c)
+          n.children
+      end
+      else leaf n)
+    forest;
+  Buffer.contents buf
+
+let lens =
+  Lens.make ~name:"sshd" ~description:"OpenSSH server configuration"
+    ~file_patterns:[ "sshd_config"; "ssh_config" ]
+    ~render:(function Lens.Tree forest -> Some (render_tree forest) | Lens.Table _ -> None)
+    (fun ~filename:_ input -> Result.map (fun f -> Lens.Tree f) (parse_tree input))

@@ -1,0 +1,7 @@
+(** sshd_config lens: [Keyword argument ...] lines; keywords are
+    case-insensitive in OpenSSH but preserved verbatim here (CVL rules
+    quote the canonical spelling). Repeated keywords yield repeated
+    leaves. [Match] blocks become sections whose value is the match
+    condition and whose children are the conditional keywords. *)
+
+val lens : Lens.t

@@ -1,0 +1,28 @@
+let parse_tree input =
+  let lines = Lex.lines ~comment_chars:[ '#'; ';' ] input in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | { Lex.num; text } :: rest -> (
+      match Lex.split_kv ~seps:[ '=' ] text with
+      | Some (k, v) -> go (Configtree.Tree.leaf k v :: acc) rest
+      | None -> Error (Printf.sprintf "sysctl: line %d: expected 'key = value', got %S" num text))
+  in
+  go [] lines
+
+let render_params params =
+  params
+  |> List.map (fun (k, v) -> Printf.sprintf "%s = %s" k v)
+  |> String.concat "\n"
+  |> fun s -> s ^ "\n"
+
+let render_tree forest =
+  render_params
+    (List.filter_map
+       (fun (n : Configtree.Tree.t) -> Option.map (fun v -> (n.label, v)) n.value)
+       forest)
+
+let lens =
+  Lens.make ~name:"sysctl" ~description:"Dotted kernel parameters, key = value"
+    ~file_patterns:[ "sysctl.conf"; "sysctl.d/*" ]
+    ~render:(function Lens.Tree forest -> Some (render_tree forest) | Lens.Table _ -> None)
+    (fun ~filename:_ input -> Result.map (fun f -> Lens.Tree f) (parse_tree input))

@@ -1,0 +1,10 @@
+(** sysctl.conf lens: [key = value] lines where keys are dotted kernel
+    parameter names. Normal form: flat leaves labelled with the full
+    dotted key (e.g. [net.ipv4.ip_forward = 0]), which is how CVL rules
+    and composite references address them. Comments: ['#'] and [';']. *)
+
+val lens : Lens.t
+
+(** Render a kernel parameter table in sysctl.conf syntax (used to
+    expose [sysctl -a] plugin output to the rule engine). *)
+val render_params : (string * string) list -> string

@@ -1,0 +1,60 @@
+let scalar_text v = Option.value (Yamlite.Value.scalar_to_string v) ~default:""
+
+let rec nodes_of_member (key, v) =
+  match v with
+  | Yamlite.Value.Map kvs -> [ Configtree.Tree.section key (List.concat_map nodes_of_member kvs) ]
+  | Yamlite.Value.List items ->
+    List.map
+      (fun item ->
+        match item with
+        | Yamlite.Value.Map kvs -> Configtree.Tree.section key (List.concat_map nodes_of_member kvs)
+        | Yamlite.Value.List _ ->
+          Configtree.Tree.section key (List.concat_map nodes_of_member [ (key, item) ])
+        | scalar -> Configtree.Tree.leaf key (scalar_text scalar))
+      items
+  | scalar -> [ Configtree.Tree.leaf key (scalar_text scalar) ]
+
+let tree_of_yaml = function
+  | Yamlite.Value.Map kvs -> List.concat_map nodes_of_member kvs
+  | Yamlite.Value.List items -> List.concat_map (fun v -> nodes_of_member ("item", v)) items
+  | scalar -> [ Configtree.Tree.leaf "value" (scalar_text scalar) ]
+
+let parse ~filename:_ input =
+  match Yamlite.Parse.string input with
+  | Ok v -> Ok (Lens.Tree (tree_of_yaml v))
+  | Error e -> Error (Printf.sprintf "yaml: %s" (Yamlite.Parse.error_to_string e))
+
+(* Inverse for remediation: scalar types re-inferred from literal text,
+   repeated labels regroup into a sequence. *)
+let yaml_of_text s =
+  match s with
+  | "" -> Yamlite.Value.Null
+  | "true" -> Yamlite.Value.Bool true
+  | "false" -> Yamlite.Value.Bool false
+  | _ -> (
+    match int_of_string_opt s with
+    | Some i -> Yamlite.Value.Int i
+    | None -> Yamlite.Value.Str s)
+
+let rec yaml_of_forest (forest : Configtree.Tree.t list) =
+  let value_of (n : Configtree.Tree.t) =
+    if n.children = [] then yaml_of_text (Option.value n.value ~default:"")
+    else yaml_of_forest n.children
+  in
+  let rec group = function
+    | [] -> []
+    | (n : Configtree.Tree.t) :: rest ->
+      let same, others = List.partition (fun (m : Configtree.Tree.t) -> m.label = n.label) rest in
+      (match same with
+      | [] -> (n.label, value_of n) :: group others
+      | _ -> (n.label, Yamlite.Value.List (List.map value_of (n :: same))) :: group others)
+  in
+  Yamlite.Value.Map (group forest)
+
+let render_tree forest = Yamlite.Print.to_string (yaml_of_forest forest)
+
+let lens =
+  Lens.make ~name:"yaml" ~description:"YAML configuration documents (compose, kubernetes)"
+    ~file_patterns:[ "docker-compose.yml"; "docker-compose.yaml"; "*.yaml"; "*.yml" ]
+    ~render:(function Lens.Tree f -> Some (render_tree f) | Lens.Table _ -> None)
+    parse

@@ -1,0 +1,12 @@
+(** YAML configuration lens: docker-compose files, Kubernetes manifests
+    and other YAML-configured tools (the paper notes YAML's popularity
+    with "Docker Compose, Ansible, and Kubernetes").
+
+    Normal form mirrors the JSON lens: mappings become sections, scalars
+    become leaves with their literal text, sequences become repeated
+    children under the member label. Rules address e.g.
+    [services/*/privileged] or [spec/containers/securityContext]. *)
+
+val lens : Lens.t
+
+val tree_of_yaml : Yamlite.Value.t -> Configtree.Tree.t list

@@ -1,0 +1,1 @@
+lib/rulesets/rulesets.mli: Cvl

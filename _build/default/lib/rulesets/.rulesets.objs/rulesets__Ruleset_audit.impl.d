@@ -1,0 +1,1 @@
+lib/rulesets/ruleset_audit.ml: List Printf String

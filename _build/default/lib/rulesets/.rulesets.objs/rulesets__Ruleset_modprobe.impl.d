@@ -1,0 +1,1 @@
+lib/rulesets/ruleset_modprobe.ml: Printf

@@ -1,0 +1,1 @@
+lib/rulesets/ruleset_postgres.mli:

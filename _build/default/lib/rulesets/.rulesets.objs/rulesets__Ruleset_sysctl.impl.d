@@ -1,0 +1,1 @@
+lib/rulesets/ruleset_sysctl.ml: List Printf String

@@ -1,0 +1,150 @@
+(* OWASP secure-configuration rules for Apache httpd (12 rules). *)
+
+let cvl =
+  {yaml|
+rules:
+  - config_name: ServerTokens
+    config_path: [""]
+    config_description: "Amount of server information in response headers."
+    preferred_value: ["Prod", "ProductOnly"]
+    preferred_value_match: exact,any
+    not_present_description: "ServerTokens is not present; full version info is advertised."
+    not_matched_preferred_value_description: "Response headers leak Apache version details."
+    matched_description: "Only the product name is advertised."
+    tags: ["#security", "#owasp"]
+    file_context: ["apache2.conf", "httpd.conf", "security.conf"]
+    suggested_action: "Set `ServerTokens Prod`."
+
+  - config_name: ServerSignature
+    config_path: [""]
+    config_description: "Server-generated page footers."
+    preferred_value: ["Off"]
+    preferred_value_match: exact,all
+    case_insensitive: true
+    not_present_description: "ServerSignature is not present."
+    not_matched_preferred_value_description: "Error pages carry a server signature."
+    matched_description: "Server signatures are suppressed."
+    tags: ["#security", "#owasp"]
+    file_context: ["apache2.conf", "httpd.conf", "security.conf"]
+    suggested_action: "Set `ServerSignature Off`."
+
+  - config_name: TraceEnable
+    config_path: [""]
+    config_description: "HTTP TRACE method support."
+    preferred_value: ["Off"]
+    preferred_value_match: exact,all
+    case_insensitive: true
+    not_present_description: "TraceEnable is not present; TRACE is allowed by default."
+    not_matched_preferred_value_description: "HTTP TRACE is enabled (XST exposure)."
+    matched_description: "HTTP TRACE is disabled."
+    tags: ["#security", "#owasp"]
+    file_context: ["apache2.conf", "httpd.conf", "security.conf"]
+    suggested_action: "Set `TraceEnable Off`."
+
+  - config_name: SSLProtocol
+    config_path: ["", "VirtualHost", "IfModule"]
+    config_description: "Enabled TLS protocol versions."
+    non_preferred_value: ["(^|[ +])SSLv(2|3)"]
+    non_preferred_value_match: regex,any
+    preferred_value: ["TLSv1.2", "TLSv1.3", "all -SSLv3 -SSLv2 -TLSv1 -TLSv1.1"]
+    preferred_value_match: substr,any
+    not_present_description: "SSLProtocol is not present."
+    not_matched_preferred_value_description: "A deprecated SSL/TLS version is enabled."
+    matched_description: "Only modern TLS versions are enabled."
+    tags: ["#security", "#ssl", "#owasp"]
+    file_context: ["apache2.conf", "httpd.conf", "ssl.conf", "mods-enabled/*.conf"]
+    suggested_action: "Set `SSLProtocol all -SSLv3 -SSLv2 -TLSv1 -TLSv1.1`."
+
+  - config_name: SSLCipherSuite
+    config_path: ["", "VirtualHost", "IfModule"]
+    config_description: "Cipher suites offered for TLS."
+    non_preferred_value: ["(^|[:+ ])(RC4|DES|MD5|eNULL|aNULL|EXPORT|EXP)"]
+    non_preferred_value_match: regex,any
+    not_present_description: "SSLCipherSuite is not present."
+    not_matched_preferred_value_description: "A weak cipher suite is offered."
+    matched_description: "No weak cipher suites are offered."
+    tags: ["#security", "#ssl", "#owasp"]
+    file_context: ["apache2.conf", "httpd.conf", "ssl.conf", "mods-enabled/*.conf"]
+    suggested_action: "Set `SSLCipherSuite HIGH:!aNULL:!MD5:!RC4`."
+
+  - config_name: Options
+    config_path: ["Directory", "VirtualHost/Directory"]
+    config_description: "Per-directory feature options."
+    non_preferred_value: ["(^|[ +])Indexes", "(^|[ +])Includes", "(^|[ +])ExecCGI"]
+    non_preferred_value_match: regex,any
+    not_present_pass: true
+    not_present_description: "No Options directive present (safe defaults)."
+    not_matched_preferred_value_description: "Directory listings, SSI or CGI are enabled."
+    matched_description: "Risky per-directory options are disabled."
+    tags: ["#security", "#owasp"]
+    file_context: ["apache2.conf", "httpd.conf"]
+    suggested_action: "Use `Options -Indexes -Includes -ExecCGI`."
+
+  - config_name: FileETag
+    config_path: [""]
+    config_description: "ETag generation (inode disclosure)."
+    preferred_value: ["None", "MTime Size"]
+    preferred_value_match: exact,any
+    not_present_description: "FileETag is not present; inode-based ETags leak file metadata."
+    not_matched_preferred_value_description: "ETags expose inode numbers."
+    matched_description: "ETags do not expose inode numbers."
+    tags: ["#security", "#owasp"]
+    file_context: ["apache2.conf", "httpd.conf", "security.conf"]
+    suggested_action: "Set `FileETag None`."
+
+  - config_name: Timeout
+    config_path: [""]
+    config_description: "Connection timeout (slowloris containment)."
+    preferred_value: ["^([1-9]|[1-5][0-9]|60)$"]
+    preferred_value_match: regex,any
+    not_present_description: "Timeout is not present; the 300s default holds sockets open."
+    not_matched_preferred_value_description: "Timeout exceeds 60 seconds."
+    matched_description: "Connections time out within a minute."
+    tags: ["#performance", "#owasp"]
+    file_context: ["apache2.conf", "httpd.conf"]
+    suggested_action: "Set `Timeout 60`."
+
+  - config_name: KeepAliveTimeout
+    config_path: [""]
+    config_description: "Idle keep-alive timeout."
+    preferred_value: ["^([1-9]|1[0-5])$"]
+    preferred_value_match: regex,any
+    not_present_description: "KeepAliveTimeout is not present."
+    not_matched_preferred_value_description: "KeepAliveTimeout exceeds 15 seconds."
+    matched_description: "Keep-alive sockets are recycled promptly."
+    tags: ["#performance", "#owasp"]
+    file_context: ["apache2.conf", "httpd.conf"]
+    suggested_action: "Set `KeepAliveTimeout 5`."
+
+  - config_name: Header X-Frame-Options
+    config_path: ["", "VirtualHost", "IfModule"]
+    config_description: "Clickjacking protection response header."
+    check_presence_only: true
+    not_present_description: "No Header directive sets X-Frame-Options."
+    matched_description: "Clickjacking protection headers are set."
+    tags: ["#security", "#owasp", "#headers"]
+    file_context: ["apache2.conf", "httpd.conf", "security.conf"]
+    suggested_action: "Add `Header always append X-Frame-Options SAMEORIGIN`."
+
+  - config_name: User
+    config_path: [""]
+    config_description: "Worker process identity."
+    non_preferred_value: ["root"]
+    non_preferred_value_match: exact,any
+    not_present_description: "User is not present; workers may run as the invoking user."
+    not_matched_preferred_value_description: "Apache workers run as root."
+    matched_description: "Workers run under an unprivileged account."
+    tags: ["#security", "#owasp"]
+    file_context: ["apache2.conf", "httpd.conf"]
+    suggested_action: "Set `User www-data`."
+
+  - path_name: /etc/apache2/apache2.conf
+    path_description: "Permissions and ownership of the Apache configuration."
+    ownership: "0:0"
+    permission: 644
+    file_type: file
+    not_matched_preferred_value_description: "apache2.conf is writable by non-root users."
+    matched_description: "apache2.conf is owned by root with sane permissions."
+    tags: ["#security", "#owasp"]
+    suggested_action: "chown root:root /etc/apache2/apache2.conf && chmod 644 /etc/apache2/apache2.conf"
+|yaml}

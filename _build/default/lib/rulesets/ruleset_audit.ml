@@ -1,0 +1,94 @@
+(* CIS Ubuntu 14.04 §8.1.x — auditd rule coverage (17 schema rules over
+   /etc/audit/audit.rules). The paper reports ConfigValidator covers
+   "all of the audit rules of the Ubuntu checklist". *)
+
+let slug_of_path path =
+  let trimmed =
+    if String.length path > 0 && path.[0] = '/' then String.sub path 1 (String.length path - 1)
+    else path
+  in
+  String.map (fun c -> if c = '/' || c = '.' || c = '-' then '_' else c) trimmed
+
+let watch ~path ~key ~cis =
+  let slug = slug_of_path path in
+  Printf.sprintf
+    {yaml|
+  - config_schema_name: audit_watch_%s
+    config_schema_description: "Audit watch on %s (-w %s -p wa -k %s)"
+    query_constraints: "kind = ? AND path = ?"
+    query_constraints_value: ["watch", "%s"]
+    query_columns: "perms"
+    preferred_value: ["wa", "war", "rwa", "rwxa"]
+    preferred_value_match: exact,any
+    non_preferred_value: [""]
+    non_preferred_value_match: exact,all
+    not_matched_preferred_value_description: "Changes to %s are not audited"
+    matched_description: "Write/attribute changes to %s are audited"
+    tags: ["#cis", "#cisubuntu14.04_%s"]
+    suggested_action: "Add `-w %s -p wa -k %s` to /etc/audit/audit.rules."
+|yaml}
+    slug path path key path path path cis path key
+
+let syscall ~name ~pattern ~key ~cis =
+  Printf.sprintf
+    {yaml|
+  - config_schema_name: audit_syscall_%s
+    config_schema_description: "Audit syscall rule for %s events"
+    query_constraints: "kind = ? AND syscalls ~ ?"
+    query_constraints_value: ["syscall", ".*%s.*"]
+    query_columns: "action"
+    preferred_value: ["always,exit", "exit,always"]
+    preferred_value_match: exact,any
+    non_preferred_value: [""]
+    non_preferred_value_match: exact,all
+    not_matched_preferred_value_description: "%s syscalls are not audited"
+    matched_description: "%s syscalls are audited on exit"
+    tags: ["#cis", "#cisubuntu14.04_%s"]
+    suggested_action: "Add an `-a always,exit -S %s -k %s` rule to audit.rules."
+|yaml}
+    name name pattern name name cis pattern key
+
+let control_immutable =
+  {yaml|
+  - config_schema_name: audit_immutable
+    config_schema_description: "The audit configuration is immutable (-e 2)"
+    query_constraints: "kind = ? AND action = ?"
+    query_constraints_value: ["control", "enabled=2"]
+    query_columns: "action"
+    expect_rows: 1
+    not_matched_preferred_value_description: "audit rules can be changed at runtime (-e 2 missing)"
+    matched_description: "audit configuration is immutable until reboot"
+    tags: ["#cis", "#cisubuntu14.04_8.1.18"]
+    suggested_action: "Append `-e 2` as the last line of audit.rules."
+|yaml}
+
+let watches =
+  [
+    ("/etc/passwd", "identity", "8.1.5");
+    ("/etc/group", "identity", "8.1.5");
+    ("/etc/shadow", "identity", "8.1.5");
+    ("/etc/gshadow", "identity", "8.1.5");
+    ("/etc/security/opasswd", "identity", "8.1.5");
+    ("/etc/network", "system-locale", "8.1.6");
+    ("/etc/apparmor", "MAC-policy", "8.1.7");
+    ("/var/log/faillog", "logins", "8.1.8");
+    ("/var/log/lastlog", "logins", "8.1.8");
+    ("/var/log/tallylog", "logins", "8.1.8");
+    ("/var/run/utmp", "session", "8.1.9");
+    ("/etc/sudoers", "scope", "8.1.15");
+    ("/var/log/sudo.log", "actions", "8.1.16");
+  ]
+
+let syscalls =
+  [
+    ("time_change", "settimeofday", "time-change", "8.1.4");
+    ("perm_mod", "chmod", "perm_mod", "8.1.10");
+    ("mounts", "mount", "mounts", "8.1.13");
+  ]
+
+let cvl =
+  "\nrules:\n"
+  ^ String.concat "" (List.map (fun (path, key, cis) -> watch ~path ~key ~cis) watches)
+  ^ String.concat ""
+      (List.map (fun (name, pattern, key, cis) -> syscall ~name ~pattern ~key ~cis) syscalls)
+  ^ control_immutable

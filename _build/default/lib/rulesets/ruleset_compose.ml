@@ -1,0 +1,133 @@
+(* docker-compose service rules (10 rules) — post-paper coverage growth
+   (§5: "work is under progress to increase ConfigValidator's rule
+   coverage"). YAML manifests normalize through the yaml lens; the
+   [services/*] wildcard addresses every service in the file. *)
+
+let cvl =
+  {yaml|
+rules:
+  - config_name: privileged
+    config_path: ["services/*"]
+    config_description: "Privileged mode grants full host device access."
+    file_context: ["docker-compose.yml", "docker-compose.yaml"]
+    non_preferred_value: ["true"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "No service requests privileged mode."
+    not_matched_preferred_value_description: "A service runs privileged."
+    matched_description: "No service runs privileged."
+    tags: ["#security", "#cisdocker_5.4", "compose"]
+    suggested_action: "Remove `privileged: true`; grant specific capabilities instead."
+
+  - config_name: network_mode
+    config_path: ["services/*"]
+    config_description: "Host networking disables network isolation."
+    file_context: ["docker-compose.yml", "docker-compose.yaml"]
+    non_preferred_value: ["host"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "No service uses host networking."
+    not_matched_preferred_value_description: "A service shares the host network namespace."
+    matched_description: "All services have isolated networks."
+    tags: ["#security", "#cisdocker_5.9", "compose"]
+    suggested_action: "Remove `network_mode: host`."
+
+  - config_name: pid
+    config_path: ["services/*"]
+    config_description: "Host PID namespace sharing."
+    file_context: ["docker-compose.yml", "docker-compose.yaml"]
+    non_preferred_value: ["host"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "No service shares the host PID namespace."
+    not_matched_preferred_value_description: "A service shares the host PID namespace."
+    matched_description: "All services have isolated PID namespaces."
+    tags: ["#security", "#cisdocker_5.15", "compose"]
+    suggested_action: "Remove `pid: host`."
+
+  - config_name: restart
+    config_path: ["services/*"]
+    config_description: "Unbounded restarts can mask crash loops."
+    file_context: ["docker-compose.yml", "docker-compose.yaml"]
+    non_preferred_value: ["always"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "No service restarts unconditionally."
+    not_matched_preferred_value_description: "A service uses restart: always."
+    matched_description: "Restart policies bound retries."
+    tags: ["#availability", "#cisdocker_5.14", "compose"]
+    suggested_action: "Set `restart on-failure:5`."
+
+  - config_name: mem_limit
+    config_path: ["services/*"]
+    config_description: "Per-service memory ceiling."
+    file_context: ["docker-compose.yml", "docker-compose.yaml"]
+    check_presence_only: true
+    not_present_description: "A service has no memory limit."
+    matched_description: "Services carry memory limits."
+    tags: ["#performance", "#cisdocker_5.10", "compose"]
+    suggested_action: "Set `mem_limit 512m` per service."
+
+  - config_name: read_only
+    config_path: ["services/*"]
+    config_description: "Read-only root filesystems."
+    file_context: ["docker-compose.yml", "docker-compose.yaml"]
+    preferred_value: ["true"]
+    preferred_value_match: exact,all
+    not_present_description: "A service has a writable root filesystem."
+    not_matched_preferred_value_description: "read_only is explicitly disabled."
+    matched_description: "Service root filesystems are read-only."
+    tags: ["#security", "#cisdocker_5.12", "compose"]
+    suggested_action: "Set `read_only true` and mount writable volumes explicitly."
+
+  - config_name: user
+    config_path: ["services/*"]
+    config_description: "Service user override."
+    file_context: ["docker-compose.yml", "docker-compose.yaml"]
+    non_preferred_value: ["root", "0", "0:0"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "No service overrides its user to root."
+    not_matched_preferred_value_description: "A service forces the root user."
+    matched_description: "No service forces the root user."
+    tags: ["#security", "#cisdocker_4.1", "compose"]
+    suggested_action: "Remove the root `user:` override."
+
+  - config_name: cap_add
+    config_path: ["services/*"]
+    config_description: "Added Linux capabilities."
+    file_context: ["docker-compose.yml", "docker-compose.yaml"]
+    non_preferred_value: ["SYS_ADMIN", "ALL", "NET_ADMIN"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "No service adds dangerous capabilities."
+    not_matched_preferred_value_description: "A service adds SYS_ADMIN/NET_ADMIN/ALL."
+    matched_description: "No dangerous capabilities are added."
+    tags: ["#security", "#cisdocker_5.3", "compose"]
+    suggested_action: "Drop the capability or isolate the workload."
+
+  - config_name: volumes
+    config_path: ["services/*"]
+    config_description: "Bind mounts of the Docker control socket."
+    file_context: ["docker-compose.yml", "docker-compose.yaml"]
+    non_preferred_value: ["docker.sock"]
+    non_preferred_value_match: substr,any
+    not_present_pass: true
+    not_present_description: "No service mounts the Docker socket."
+    not_matched_preferred_value_description: "A service mounts /var/run/docker.sock."
+    matched_description: "The Docker socket is not exposed to services."
+    tags: ["#security", "#cisdocker_5.31", "compose"]
+    suggested_action: "Remove the docker.sock bind mount."
+
+  - config_name: security_opt
+    config_path: ["services/*"]
+    config_description: "no-new-privileges blocks setuid escalation."
+    file_context: ["docker-compose.yml", "docker-compose.yaml"]
+    preferred_value: ["no-new-privileges"]
+    preferred_value_match: substr,any
+    not_present_description: "Services do not set no-new-privileges."
+    not_matched_preferred_value_description: "security_opt lacks no-new-privileges."
+    matched_description: "Privilege escalation is blocked."
+    tags: ["#security", "#cisdocker_5.25", "compose"]
+    suggested_action: "Add `security_opt no-new-privileges:true`."
+|yaml}

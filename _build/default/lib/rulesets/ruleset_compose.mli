@@ -1,0 +1,4 @@
+(** Embedded CVL rule file for the compose entity; see the module
+    implementation for the per-rule rationale. *)
+
+val cvl : string

@@ -1,0 +1,189 @@
+(* CIS Docker benchmark rules (15 rules): daemon configuration via
+   daemon.json, container runtime state via the docker_inspect plugin,
+   and image configuration via the docker_image_config plugin. The
+   paper reports 41% coverage of the CIS Docker checklist; this corpus
+   covers the daemon-, container- and image-configuration sections. *)
+
+let cvl =
+  {yaml|
+rules:
+  - config_name: icc
+    config_path: [""]
+    config_description: "Inter-container communication on the default bridge."
+    file_context: ["daemon.json"]
+    preferred_value: ["false"]
+    preferred_value_match: exact,all
+    not_present_description: "icc is not set; all containers can talk to each other."
+    not_matched_preferred_value_description: "Unrestricted inter-container traffic is allowed."
+    matched_description: "Inter-container communication is restricted."
+    tags: ["#security", "#cis", "#cisdocker_2.1"]
+    suggested_action: "Set \"icc\": false in /etc/docker/daemon.json."
+
+  - config_name: userland-proxy
+    config_path: [""]
+    config_description: "Userland proxy for published ports (hairpin NAT suffices)."
+    file_context: ["daemon.json"]
+    preferred_value: ["false"]
+    preferred_value_match: exact,all
+    not_present_description: "userland-proxy is not set (enabled by default)."
+    not_matched_preferred_value_description: "The userland proxy process is enabled."
+    matched_description: "The userland proxy is disabled."
+    tags: ["#security", "#cis", "#cisdocker_2.15"]
+    suggested_action: "Set \"userland-proxy\": false in daemon.json."
+
+  - config_name: live-restore
+    config_path: [""]
+    config_description: "Keep containers alive across daemon restarts."
+    file_context: ["daemon.json"]
+    preferred_value: ["true"]
+    preferred_value_match: exact,all
+    not_present_description: "live-restore is not set; daemon restarts kill workloads."
+    not_matched_preferred_value_description: "live-restore is disabled."
+    matched_description: "Containers survive daemon restarts."
+    tags: ["#availability", "#cis", "#cisdocker_2.14"]
+    suggested_action: "Set \"live-restore\": true in daemon.json."
+
+  - config_name: insecure-registries
+    config_path: [""]
+    config_description: "Registries contacted over plain HTTP."
+    file_context: ["daemon.json"]
+    non_preferred_value: [".+"]
+    non_preferred_value_match: regex,any
+    not_present_pass: true
+    not_present_description: "No insecure registries are configured."
+    not_matched_preferred_value_description: "An insecure (HTTP) registry is configured."
+    matched_description: "All registries require TLS."
+    tags: ["#security", "#cis", "#cisdocker_2.4"]
+    suggested_action: "Remove insecure-registries from daemon.json."
+
+  - config_name: userns-remap
+    config_path: [""]
+    config_description: "User-namespace remapping for container root."
+    file_context: ["daemon.json"]
+    preferred_value: ["default"]
+    preferred_value_match: exact,any
+    not_present_description: "userns-remap is not set; container root is host root."
+    not_matched_preferred_value_description: "User-namespace remapping is not the default mapping."
+    matched_description: "Container root is remapped to an unprivileged host range."
+    tags: ["#security", "#cis", "#cisdocker_2.8"]
+    suggested_action: "Set \"userns-remap\": \"default\" in daemon.json."
+
+  - config_name: log-driver
+    config_path: [""]
+    config_description: "Centralized logging driver."
+    file_context: ["daemon.json"]
+    check_presence_only: true
+    not_present_description: "No log driver is configured; container logs stay on the host."
+    matched_description: "A logging driver is configured."
+    tags: ["#audit", "#cis", "#cisdocker_2.12"]
+    suggested_action: "Configure \"log-driver\": \"syslog\" (or a shipper) in daemon.json."
+
+  - script_name: container_privileged
+    script_description: "Containers must not run with --privileged."
+    script: docker_inspect
+    config_path: ["HostConfig/Privileged"]
+    preferred_value: ["false"]
+    preferred_value_match: exact,all
+    not_present_description: "The inspect document does not report Privileged."
+    not_matched_preferred_value_description: "The container runs privileged: full host device access."
+    matched_description: "The container is unprivileged."
+    tags: ["#security", "#cis", "#cisdocker_5.4", "docker"]
+    suggested_action: "Drop --privileged; grant specific capabilities instead."
+
+  - script_name: container_network_mode
+    script_description: "Containers must not share the host network namespace."
+    script: docker_inspect
+    config_path: ["HostConfig/NetworkMode"]
+    non_preferred_value: ["host"]
+    non_preferred_value_match: exact,any
+    not_present_description: "The inspect document does not report NetworkMode."
+    not_matched_preferred_value_description: "The container shares the host network namespace."
+    matched_description: "The container has its own network namespace."
+    tags: ["#security", "#cis", "#cisdocker_5.9", "docker"]
+    suggested_action: "Remove --net=host."
+
+  - script_name: container_pid_mode
+    script_description: "Containers must not share the host PID namespace."
+    script: docker_inspect
+    config_path: ["HostConfig/PidMode"]
+    non_preferred_value: ["host"]
+    non_preferred_value_match: exact,any
+    not_present_description: "The inspect document does not report PidMode."
+    not_matched_preferred_value_description: "The container shares the host PID namespace."
+    matched_description: "The container has its own PID namespace."
+    tags: ["#security", "#cis", "#cisdocker_5.15", "docker"]
+    suggested_action: "Remove --pid=host."
+
+  - script_name: container_readonly_rootfs
+    script_description: "Container root filesystems should be read-only."
+    script: docker_inspect
+    config_path: ["HostConfig/ReadonlyRootfs"]
+    preferred_value: ["true"]
+    preferred_value_match: exact,all
+    not_present_description: "The inspect document does not report ReadonlyRootfs."
+    not_matched_preferred_value_description: "The container root filesystem is writable."
+    matched_description: "The container root filesystem is read-only."
+    tags: ["#security", "#cis", "#cisdocker_5.12", "docker"]
+    suggested_action: "Run with --read-only and explicit volumes for writable paths."
+
+  - script_name: container_memory_limit
+    script_description: "Containers must carry a memory limit."
+    script: docker_inspect
+    config_path: ["HostConfig/Memory"]
+    non_preferred_value: ["0"]
+    non_preferred_value_match: exact,any
+    not_present_description: "The inspect document does not report Memory."
+    not_matched_preferred_value_description: "No memory limit: one container can exhaust the host."
+    matched_description: "A memory limit is set."
+    tags: ["#performance", "#cis", "#cisdocker_5.10", "docker"]
+    suggested_action: "Run with --memory=<limit>."
+
+  - script_name: container_restart_policy
+    script_description: "Restart policy should be on-failure with bounded retries."
+    script: docker_inspect
+    config_path: ["HostConfig/RestartPolicy/Name"]
+    preferred_value: ["on-failure", "no"]
+    preferred_value_match: exact,any
+    not_present_description: "The inspect document does not report a restart policy."
+    not_matched_preferred_value_description: "restart=always can mask crash loops."
+    matched_description: "The restart policy bounds retries."
+    tags: ["#availability", "#cis", "#cisdocker_5.14", "docker"]
+    suggested_action: "Use --restart=on-failure:5."
+
+  - script_name: container_docker_socket
+    script_description: "The Docker control socket must not be mounted into containers."
+    script: docker_inspect
+    config_path: ["HostConfig/Binds"]
+    non_preferred_value: ["docker.sock"]
+    non_preferred_value_match: substr,any
+    not_present_pass: true
+    not_present_description: "No bind mounts are configured."
+    not_matched_preferred_value_description: "The Docker socket is mounted: container root controls the host."
+    matched_description: "The Docker socket is not exposed to the container."
+    tags: ["#security", "#cis", "#cisdocker_5.31", "docker"]
+    suggested_action: "Remove the /var/run/docker.sock bind mount."
+
+  - script_name: image_user
+    script_description: "Images must declare an unprivileged USER."
+    script: docker_image_config
+    config_path: ["User"]
+    non_preferred_value: ["", "root", "0"]
+    non_preferred_value_match: exact,any
+    not_present_description: "The image config does not report User."
+    not_matched_preferred_value_description: "The image runs as root."
+    matched_description: "The image declares an unprivileged USER."
+    tags: ["#security", "#cis", "#cisdocker_4.1", "docker"]
+    suggested_action: "Add a USER instruction to the Dockerfile."
+
+  - script_name: image_healthcheck
+    script_description: "Images should declare a HEALTHCHECK."
+    script: docker_image_config
+    config_path: ["Healthcheck/Test"]
+    preferred_value: [".+"]
+    preferred_value_match: regex,any
+    not_present_description: "The image declares no HEALTHCHECK."
+    not_matched_preferred_value_description: "The image HEALTHCHECK is empty."
+    matched_description: "The image declares a HEALTHCHECK."
+    tags: ["#availability", "#cis", "#cisdocker_4.6", "docker"]
+    suggested_action: "Add a HEALTHCHECK instruction to the Dockerfile."
+|yaml}

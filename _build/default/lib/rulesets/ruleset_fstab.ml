@@ -1,0 +1,48 @@
+(* CIS Ubuntu 14.04 §2.x — filesystem partitioning and mount options
+   (8 schema rules over /etc/fstab). The /tmp separate-partition rule is
+   the paper's Listing 3, reproduced keyword-for-keyword. *)
+
+let separate_partition ~dir ~cis ~slug =
+  Printf.sprintf
+    {yaml|
+  - config_schema_name: check_%s_separate_partition
+    config_schema_description: "Check if %s is on a separate partition"
+    query_constraints: "dir = ?"
+    query_constraints_value: ["%s"]
+    query_columns: "*"
+    non_preferred_value: [""]
+    non_preferred_value_match: exact,all
+    not_matched_preferred_value_description: "%s not on sep. partition"
+    matched_description: "%s is on a separate partition"
+    tags: ["#cis", "#cisubuntu14.04_%s"]
+    suggested_action: "Create a dedicated partition for %s."
+|yaml}
+    slug dir dir dir dir cis dir
+
+let mount_option ~dir ~option ~cis ~slug =
+  Printf.sprintf
+    {yaml|
+  - config_schema_name: check_%s_%s
+    config_schema_description: "Check that %s is mounted with the %s option"
+    query_constraints: "dir = ?"
+    query_constraints_value: ["%s"]
+    query_columns: "options"
+    preferred_value: ["%s"]
+    preferred_value_match: substr,all
+    not_matched_preferred_value_description: "%s is mounted without %s"
+    matched_description: "%s is mounted with %s"
+    tags: ["#cis", "#cisubuntu14.04_%s"]
+    suggested_action: "Add %s to the %s mount options in /etc/fstab."
+|yaml}
+    slug option dir option dir option dir option dir option cis option dir
+
+let cvl =
+  "\nrules:\n"
+  ^ separate_partition ~dir:"/tmp" ~cis:"2.1" ~slug:"tmp"
+  ^ mount_option ~dir:"/tmp" ~option:"nodev" ~cis:"2.2" ~slug:"tmp"
+  ^ mount_option ~dir:"/tmp" ~option:"nosuid" ~cis:"2.3" ~slug:"tmp"
+  ^ mount_option ~dir:"/tmp" ~option:"noexec" ~cis:"2.4" ~slug:"tmp"
+  ^ separate_partition ~dir:"/var" ~cis:"2.5" ~slug:"var"
+  ^ separate_partition ~dir:"/var/log" ~cis:"2.8" ~slug:"var_log"
+  ^ separate_partition ~dir:"/home" ~cis:"2.10" ~slug:"home"
+  ^ mount_option ~dir:"/run/shm" ~option:"noexec" ~cis:"2.16" ~slug:"run_shm"

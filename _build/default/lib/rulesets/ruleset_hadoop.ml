@@ -1,0 +1,78 @@
+(* HIPAA/PCI-aligned Hadoop configuration rules (10 rules over the
+   *-site.xml property lists). *)
+
+let property ~file ~key ~value ~cis_like ~on_fail ~on_match ~absent ~action =
+  Printf.sprintf
+    {yaml|
+  - config_name: %s
+    config_path: [""]
+    config_description: "Hadoop property %s."
+    file_context: ["%s"]
+    preferred_value: ["%s"]
+    preferred_value_match: exact,all
+    not_present_description: "%s"
+    not_matched_preferred_value_description: "%s"
+    matched_description: "%s"
+    tags: ["#hipaa", "#pci", "%s"]
+    suggested_action: "%s"
+|yaml}
+    key key file value absent on_fail on_match cis_like action
+
+let cvl =
+  "\nrules:\n"
+  ^ property ~file:"core-site.xml" ~key:"hadoop.security.authentication" ~value:"kerberos"
+      ~cis_like:"#hadoop_auth" ~absent:"Authentication mode is not declared (simple by default)."
+      ~on_fail:"Cluster authentication is 'simple'; identities are client-asserted."
+      ~on_match:"Kerberos authentication is enforced."
+      ~action:"Set hadoop.security.authentication=kerberos in core-site.xml."
+  ^ property ~file:"core-site.xml" ~key:"hadoop.security.authorization" ~value:"true"
+      ~cis_like:"#hadoop_auth" ~absent:"Service-level authorization is not declared."
+      ~on_fail:"Service-level authorization is disabled."
+      ~on_match:"Service-level authorization is enabled."
+      ~action:"Set hadoop.security.authorization=true in core-site.xml."
+  ^ property ~file:"core-site.xml" ~key:"hadoop.rpc.protection" ~value:"privacy"
+      ~cis_like:"#hadoop_wire" ~absent:"RPC protection is not declared (authentication only)."
+      ~on_fail:"RPC traffic is not encrypted."
+      ~on_match:"RPC traffic is encrypted (privacy)."
+      ~action:"Set hadoop.rpc.protection=privacy in core-site.xml."
+  ^ property ~file:"core-site.xml" ~key:"fs.permissions.umask-mode" ~value:"077"
+      ~cis_like:"#hadoop_fs" ~absent:"The HDFS umask is not declared (022 by default)."
+      ~on_fail:"New HDFS files are group/world readable."
+      ~on_match:"New HDFS files are private to their owner."
+      ~action:"Set fs.permissions.umask-mode=077 in core-site.xml."
+  ^ property ~file:"hdfs-site.xml" ~key:"dfs.permissions.enabled" ~value:"true"
+      ~cis_like:"#hadoop_fs" ~absent:"HDFS permission checking is not declared."
+      ~on_fail:"HDFS permission checking is disabled."
+      ~on_match:"HDFS permission checking is enabled."
+      ~action:"Set dfs.permissions.enabled=true in hdfs-site.xml."
+  ^ property ~file:"hdfs-site.xml" ~key:"dfs.encrypt.data.transfer" ~value:"true"
+      ~cis_like:"#hadoop_wire" ~absent:"Block data transfer encryption is not declared."
+      ~on_fail:"HDFS block transfers are cleartext."
+      ~on_match:"HDFS block transfers are encrypted."
+      ~action:"Set dfs.encrypt.data.transfer=true in hdfs-site.xml."
+  ^ property ~file:"hdfs-site.xml" ~key:"dfs.datanode.data.dir.perm" ~value:"700"
+      ~cis_like:"#hadoop_fs" ~absent:"Datanode directory permissions are not declared."
+      ~on_fail:"Datanode block directories are not private."
+      ~on_match:"Datanode block directories are private."
+      ~action:"Set dfs.datanode.data.dir.perm=700 in hdfs-site.xml."
+  ^ property ~file:"hdfs-site.xml" ~key:"dfs.namenode.acls.enabled" ~value:"true"
+      ~cis_like:"#hadoop_fs" ~absent:"HDFS ACL support is not declared."
+      ~on_fail:"Fine-grained HDFS ACLs are disabled."
+      ~on_match:"Fine-grained HDFS ACLs are enabled."
+      ~action:"Set dfs.namenode.acls.enabled=true in hdfs-site.xml."
+  ^ property ~file:"yarn-site.xml" ~key:"yarn.acl.enable" ~value:"true"
+      ~cis_like:"#hadoop_auth" ~absent:"YARN ACLs are not declared."
+      ~on_fail:"YARN queue/application ACLs are disabled."
+      ~on_match:"YARN queue/application ACLs are enforced."
+      ~action:"Set yarn.acl.enable=true in yarn-site.xml."
+  ^ {yaml|
+  - path_name: /etc/hadoop/conf/core-site.xml
+    path_description: "Permissions and ownership of core-site.xml."
+    ownership: "0:0"
+    permission: 644
+    file_type: file
+    not_matched_preferred_value_description: "core-site.xml is writable by non-root users."
+    matched_description: "core-site.xml is owned by root with sane permissions."
+    tags: ["#hipaa", "#pci"]
+    suggested_action: "chown root:root core-site.xml && chmod 644 core-site.xml"
+|yaml}

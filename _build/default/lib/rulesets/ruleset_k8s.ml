@@ -1,0 +1,127 @@
+(* Kubernetes pod-manifest rules (10 rules) — post-paper coverage
+   growth. Container-level checks address the repeated [containers]
+   sections under [spec]. *)
+
+let cvl =
+  {yaml|
+rules:
+  - config_name: hostNetwork
+    config_path: ["spec"]
+    config_description: "Pods sharing the host network namespace."
+    file_context: ["*.yaml", "*.yml"]
+    non_preferred_value: ["true"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "The pod does not request host networking."
+    not_matched_preferred_value_description: "The pod shares the host network namespace."
+    matched_description: "The pod network is isolated."
+    tags: ["#security", "#k8s_psp", "kubernetes"]
+    suggested_action: "Remove `hostNetwork: true`."
+
+  - config_name: hostPID
+    config_path: ["spec"]
+    config_description: "Pods sharing the host PID namespace."
+    file_context: ["*.yaml", "*.yml"]
+    non_preferred_value: ["true"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "The pod does not share the host PID namespace."
+    not_matched_preferred_value_description: "The pod shares the host PID namespace."
+    matched_description: "The pod PID namespace is isolated."
+    tags: ["#security", "#k8s_psp", "kubernetes"]
+    suggested_action: "Remove `hostPID: true`."
+
+  - config_name: privileged
+    config_path: ["spec/containers/securityContext"]
+    config_description: "Privileged containers."
+    file_context: ["*.yaml", "*.yml"]
+    non_preferred_value: ["true"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "No container requests privileged mode."
+    not_matched_preferred_value_description: "A container runs privileged."
+    matched_description: "No container runs privileged."
+    tags: ["#security", "#k8s_psp", "kubernetes"]
+    suggested_action: "Remove `privileged: true` from the securityContext."
+
+  - config_name: allowPrivilegeEscalation
+    config_path: ["spec/containers/securityContext"]
+    config_description: "setuid/file-capability escalation."
+    file_context: ["*.yaml", "*.yml"]
+    preferred_value: ["false"]
+    preferred_value_match: exact,all
+    not_present_description: "allowPrivilegeEscalation is not set (defaults to true)."
+    not_matched_preferred_value_description: "Privilege escalation is allowed."
+    matched_description: "Privilege escalation is blocked."
+    tags: ["#security", "#k8s_psp", "kubernetes"]
+    suggested_action: "Set `allowPrivilegeEscalation = false`."
+
+  - config_name: readOnlyRootFilesystem
+    config_path: ["spec/containers/securityContext"]
+    config_description: "Writable container root filesystems."
+    file_context: ["*.yaml", "*.yml"]
+    preferred_value: ["true"]
+    preferred_value_match: exact,all
+    not_present_description: "readOnlyRootFilesystem is not set."
+    not_matched_preferred_value_description: "A container root filesystem is writable."
+    matched_description: "Container root filesystems are read-only."
+    tags: ["#security", "#k8s_psp", "kubernetes"]
+    suggested_action: "Set `readOnlyRootFilesystem = true`."
+
+  - config_name: runAsNonRoot
+    config_path: ["spec/containers/securityContext", "spec/securityContext"]
+    config_description: "Root inside containers."
+    file_context: ["*.yaml", "*.yml"]
+    preferred_value: ["true"]
+    preferred_value_match: exact,all
+    not_present_description: "runAsNonRoot is not set."
+    not_matched_preferred_value_description: "A container may run as root."
+    matched_description: "Containers must run as non-root."
+    tags: ["#security", "#k8s_psp", "kubernetes"]
+    suggested_action: "Set `runAsNonRoot = true`."
+
+  - config_name: memory
+    config_path: ["spec/containers/resources/limits"]
+    config_description: "Per-container memory ceilings."
+    file_context: ["*.yaml", "*.yml"]
+    check_presence_only: true
+    not_present_description: "A container has no memory limit."
+    matched_description: "Containers carry memory limits."
+    tags: ["#performance", "kubernetes"]
+    suggested_action: "Set `memory = 512Mi` under resources.limits."
+
+  - config_name: cpu
+    config_path: ["spec/containers/resources/limits"]
+    config_description: "Per-container CPU ceilings."
+    file_context: ["*.yaml", "*.yml"]
+    check_presence_only: true
+    not_present_description: "A container has no CPU limit."
+    matched_description: "Containers carry CPU limits."
+    tags: ["#performance", "kubernetes"]
+    suggested_action: "Set `cpu = 500m` under resources.limits."
+
+  - config_name: imagePullPolicy
+    config_path: ["spec/containers"]
+    config_description: "Stale cached images."
+    file_context: ["*.yaml", "*.yml"]
+    preferred_value: ["Always"]
+    preferred_value_match: exact,all
+    not_present_description: "imagePullPolicy is not set."
+    not_matched_preferred_value_description: "Cached images may be stale."
+    matched_description: "Images are always pulled fresh."
+    tags: ["#availability", "kubernetes"]
+    suggested_action: "Set `imagePullPolicy = Always`."
+
+  - config_name: automountServiceAccountToken
+    config_path: ["spec"]
+    config_description: "API credentials mounted into pods."
+    file_context: ["*.yaml", "*.yml"]
+    non_preferred_value: ["true"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "The pod does not request a service-account token mount."
+    not_matched_preferred_value_description: "API credentials are mounted into the pod."
+    matched_description: "No service-account token is mounted."
+    tags: ["#security", "#k8s_psp", "kubernetes"]
+    suggested_action: "Set `automountServiceAccountToken = false` unless the pod calls the API."
+|yaml}

@@ -1,0 +1,50 @@
+(* CIS Ubuntu 14.04 §1.1.x — uncommon filesystems and protocols
+   disabled at the kernel-module level (9 schema rules over
+   modprobe.d). *)
+
+let disabled_module ~module_ ~cis =
+  Printf.sprintf
+    {yaml|
+  - config_schema_name: disable_%s
+    config_schema_description: "Mounting of %s is disabled via modprobe"
+    query_constraints: "directive = ? AND module = ?"
+    query_constraints_value: ["install", "%s"]
+    query_columns: "args"
+    preferred_value: ["/bin/true", "/bin/false"]
+    preferred_value_match: exact,any
+    non_preferred_value: [""]
+    non_preferred_value_match: exact,all
+    not_matched_preferred_value_description: "The %s module can still be loaded"
+    matched_description: "%s is install-disabled"
+    tags: ["#cis", "#cisubuntu14.04_%s"]
+    suggested_action: "Add `install %s /bin/true` to /etc/modprobe.d/CIS.conf."
+|yaml}
+    module_ module_ module_ module_ module_ cis module_
+
+let blacklist ~module_ ~cis =
+  Printf.sprintf
+    {yaml|
+  - config_schema_name: blacklist_%s
+    config_schema_description: "%s is blacklisted"
+    query_constraints: "directive = ? AND module = ?"
+    query_constraints_value: ["blacklist", "%s"]
+    query_columns: "module"
+    expect_rows: 1
+    not_matched_preferred_value_description: "%s is not blacklisted"
+    matched_description: "%s is blacklisted"
+    tags: ["#cis", "#cisubuntu14.04_%s"]
+    suggested_action: "Add `blacklist %s` to /etc/modprobe.d/blacklist.conf."
+|yaml}
+    module_ module_ module_ module_ module_ cis module_
+
+let cvl =
+  "\nrules:\n"
+  ^ disabled_module ~module_:"cramfs" ~cis:"1.1.18"
+  ^ disabled_module ~module_:"freevxfs" ~cis:"1.1.19"
+  ^ disabled_module ~module_:"jffs2" ~cis:"1.1.20"
+  ^ disabled_module ~module_:"hfs" ~cis:"1.1.21"
+  ^ disabled_module ~module_:"hfsplus" ~cis:"1.1.22"
+  ^ disabled_module ~module_:"squashfs" ~cis:"1.1.23"
+  ^ disabled_module ~module_:"udf" ~cis:"1.1.24"
+  ^ disabled_module ~module_:"dccp" ~cis:"7.5.1"
+  ^ blacklist ~module_:"usb-storage" ~cis:"1.1.25"

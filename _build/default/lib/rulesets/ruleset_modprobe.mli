@@ -1,0 +1,4 @@
+(** Embedded CVL rule file for the modprobe entity; see the module
+    implementation for the per-rule rationale. *)
+
+val cvl : string

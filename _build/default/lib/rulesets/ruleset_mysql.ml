@@ -1,0 +1,142 @@
+(* OWASP/CIS secure-configuration rules for MySQL server (12 rules).
+   The my.cnf path rule is the paper's Listing 4, reproduced
+   keyword-for-keyword; the ssl-ca key participates in the Listing 1
+   composite. *)
+
+let cvl =
+  {yaml|
+rules:
+  - config_name: ssl-ca
+    config_path: ["mysqld"]
+    config_description: "Certificate authority used to validate client certificates."
+    preferred_value: ["/etc/mysql/cacert.pem"]
+    preferred_value_match: exact,all
+    not_present_description: "ssl-ca is not configured; TLS client verification is off."
+    not_matched_preferred_value_description: "ssl-ca does not point at the approved CA bundle."
+    matched_description: "mysql server ssl-ca has a cert"
+    tags: ["#security", "#ssl", "#owasp"]
+    file_context: ["my.cnf", "*.cnf"]
+    suggested_action: "Set `ssl-ca=/etc/mysql/cacert.pem` under [mysqld]."
+
+  - script_name: have_ssl
+    script_description: "TLS support compiled and active (SHOW VARIABLES LIKE 'have_ssl')."
+    script: mysql_variables
+    config_path: ["have_ssl"]
+    preferred_value: ["YES"]
+    preferred_value_match: exact,all
+    not_present_description: "The server does not report have_ssl."
+    not_matched_preferred_value_description: "TLS is not active on the running server."
+    matched_description: "TLS is active on the running server."
+    tags: ["#security", "#ssl", "#owasp"]
+    suggested_action: "Install server certificates and restart mysqld."
+
+  - config_name: bind-address
+    config_path: ["mysqld"]
+    config_description: "Listening address of the server."
+    preferred_value: ["127.0.0.1", "::1", "localhost"]
+    preferred_value_match: exact,any
+    not_present_description: "bind-address is not set; the server listens on all interfaces."
+    not_matched_preferred_value_description: "The server accepts connections from any interface."
+    matched_description: "The server only listens on loopback."
+    tags: ["#security", "#owasp"]
+    file_context: ["my.cnf", "*.cnf"]
+    suggested_action: "Set `bind-address=127.0.0.1` under [mysqld]."
+
+  - config_name: local-infile
+    config_path: ["mysqld"]
+    config_description: "Client-side LOAD DATA LOCAL INFILE."
+    preferred_value: ["0", "OFF"]
+    preferred_value_match: exact,any
+    not_present_description: "local-infile is not set; local file reads are enabled by default."
+    not_matched_preferred_value_description: "Clients may read local files via LOAD DATA LOCAL."
+    matched_description: "LOAD DATA LOCAL INFILE is disabled."
+    tags: ["#security", "#cis", "#owasp"]
+    file_context: ["my.cnf", "*.cnf"]
+    suggested_action: "Set `local-infile=0` under [mysqld]."
+
+  - config_name: skip-symbolic-links
+    config_path: ["mysqld"]
+    config_description: "Symbolic links to tables (privilege-escalation vector)."
+    check_presence_only: true
+    not_present_description: "skip-symbolic-links is not set."
+    matched_description: "Symbolic table links are disabled."
+    tags: ["#security", "#cis"]
+    file_context: ["my.cnf", "*.cnf"]
+    suggested_action: "Add `skip-symbolic-links` under [mysqld]."
+
+  - config_name: secure-file-priv
+    config_path: ["mysqld"]
+    config_description: "Directory jail for SELECT ... INTO OUTFILE."
+    non_preferred_value: [""]
+    non_preferred_value_match: exact,all
+    not_present_description: "secure-file-priv is not set; file exports are unrestricted."
+    not_matched_preferred_value_description: "secure-file-priv is empty; file exports are unrestricted."
+    matched_description: "File import/export is restricted to a dedicated directory."
+    tags: ["#security", "#cis"]
+    file_context: ["my.cnf", "*.cnf"]
+    suggested_action: "Set `secure-file-priv=/var/lib/mysql-files`."
+
+  - config_name: old_passwords
+    config_path: ["mysqld"]
+    config_description: "Legacy pre-4.1 password hashing."
+    non_preferred_value: ["1", "ON"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "old_passwords is not set (modern hashing applies)."
+    not_matched_preferred_value_description: "Weak legacy password hashing is enabled."
+    matched_description: "Modern password hashing is in use."
+    tags: ["#security", "#cis"]
+    file_context: ["my.cnf", "*.cnf"]
+    suggested_action: "Remove `old_passwords=1`."
+
+  - config_name: user
+    config_path: ["mysqld"]
+    config_description: "Unix account the server runs as."
+    non_preferred_value: ["root"]
+    non_preferred_value_match: exact,any
+    not_present_description: "user is not set; mysqld may run as the invoking user."
+    not_matched_preferred_value_description: "mysqld runs as root."
+    matched_description: "mysqld runs under an unprivileged account."
+    tags: ["#security", "#cis", "#owasp"]
+    file_context: ["my.cnf", "*.cnf"]
+    suggested_action: "Set `user=mysql` under [mysqld]."
+
+  - config_name: log-error
+    config_path: ["mysqld", "mysqld_safe"]
+    config_description: "Error log destination."
+    check_presence_only: true
+    not_present_description: "log-error is not set; failures go unrecorded."
+    matched_description: "Errors are logged to a file."
+    tags: ["#security", "#cis", "#audit"]
+    file_context: ["my.cnf", "*.cnf"]
+    suggested_action: "Set `log-error=/var/log/mysql/error.log`."
+
+  - config_name: skip-networking
+    config_path: ["mysqld"]
+    config_description: "TCP listener (socket-only deployments)."
+    not_present_pass: true
+    check_presence_only: true
+    not_present_description: "skip-networking is not set (TCP listener active; ensure bind-address is loopback)."
+    matched_description: "The TCP listener is disabled; only the Unix socket is served."
+    tags: ["#security", "#owasp"]
+    file_context: ["my.cnf", "*.cnf"]
+
+  - path_name: /etc/mysql/my.cnf
+    path_description: "Permissions and ownership for mysql config file"
+    ownership: "0:0"
+    permission: 644
+    tags: ["#owasp"]
+    not_matched_preferred_value_description: "my.cnf is writable by non-root users."
+    matched_description: "my.cnf is owned by root with sane permissions."
+    suggested_action: "chown root:root /etc/mysql/my.cnf && chmod 644 /etc/mysql/my.cnf"
+
+  - path_name: /var/lib/mysql
+    path_description: "Data directory must belong to the mysql account and be private."
+    ownership: "105:114"
+    permission: 700
+    file_type: directory
+    not_matched_preferred_value_description: "The data directory is readable by other accounts."
+    matched_description: "The data directory is private to the mysql account."
+    tags: ["#security", "#cis"]
+    suggested_action: "chown -R mysql:mysql /var/lib/mysql && chmod 700 /var/lib/mysql"
+|yaml}

@@ -1,0 +1,142 @@
+(* OWASP secure-configuration rules for nginx (12 rules). The
+   ssl_protocols rule is the paper's Listing 2, reproduced
+   keyword-for-keyword. *)
+
+let cvl =
+  {yaml|
+rules:
+  - config_name: ssl_protocols
+    config_path: ["server", "http/server"]
+    config_description: "Enables the specified SSL protocols."
+    preferred_value: ["TLSv1.2", "TLSv1.3"]
+    preferred_value_match: substr,any
+    non_preferred_value: ["SSLv2", "SSLv3", "TLSv1($|[ ])", "TLSv1\\.1"]
+    non_preferred_value_match: regex,any
+    not_present_description: "ssl_protocols is not present."
+    not_matched_preferred_value_description: "Non-recommended TLS ver."
+    matched_description: "ssl_protocols key is set to TLS v1.2/1.3"
+    tags: ["#security", "#ssl", "#owasp"]
+    require_other_configs: [listen, ssl_certificate, ssl_certificate_key]
+    file_context: ["nginx.conf", "sites-enabled/*"]
+
+  - config_name: server_tokens
+    config_path: ["http", "http/server", "server"]
+    config_description: "Emission of the nginx version in headers and error pages."
+    preferred_value: ["off"]
+    preferred_value_match: exact,all
+    not_present_description: "server_tokens is not present; the server version is advertised."
+    not_matched_preferred_value_description: "The nginx version is advertised to clients."
+    matched_description: "Version disclosure is disabled."
+    tags: ["#security", "#owasp"]
+    file_context: ["nginx.conf", "sites-enabled/*"]
+    suggested_action: "Set `server_tokens off;` in the http block."
+
+  - config_name: ssl_ciphers
+    config_path: ["server", "http/server", "http"]
+    config_description: "Cipher suites offered for TLS."
+    non_preferred_value: ["(^|[:+ ])(RC4|DES|MD5|eNULL|aNULL|EXPORT|EXP)"]
+    non_preferred_value_match: regex,any
+    not_present_description: "ssl_ciphers is not present; library defaults may include weak suites."
+    not_matched_preferred_value_description: "A weak cipher suite is offered."
+    matched_description: "No weak cipher suites are offered."
+    tags: ["#security", "#ssl", "#owasp"]
+    file_context: ["nginx.conf", "sites-enabled/*"]
+    suggested_action: "Set `ssl_ciphers HIGH:!aNULL:!MD5;`."
+
+  - config_name: listen
+    config_path: ["server", "http/server"]
+    config_description: "Listening sockets should terminate TLS."
+    preferred_value: ["ssl"]
+    preferred_value_match: substr,any
+    not_present_description: "No listen directive found in a server block."
+    not_matched_preferred_value_description: "A server block listens without SSL."
+    matched_description: "All server listeners have SSL enabled."
+    tags: ["#security", "#ssl", "#owasp"]
+    file_context: ["nginx.conf", "sites-enabled/*"]
+    suggested_action: "Use `listen 443 ssl;` and redirect plain HTTP."
+
+  - config_name: ssl_certificate
+    config_path: ["server", "http/server"]
+    config_description: "Server certificate path."
+    check_presence_only: true
+    not_present_description: "ssl_certificate is not configured."
+    matched_description: "A server certificate is configured."
+    tags: ["#security", "#ssl", "#owasp"]
+    file_context: ["nginx.conf", "sites-enabled/*"]
+
+  - config_name: ssl_certificate_key
+    config_path: ["server", "http/server"]
+    config_description: "Server private key path."
+    check_presence_only: true
+    not_present_description: "ssl_certificate_key is not configured."
+    matched_description: "A server private key is configured."
+    tags: ["#security", "#ssl", "#owasp"]
+    file_context: ["nginx.conf", "sites-enabled/*"]
+
+  - config_name: add_header X-Frame-Options
+    config_path: ["server", "http/server"]
+    config_description: "Clickjacking protection header."
+    check_presence_only: true
+    not_present_description: "X-Frame-Options is not sent; pages may be framed."
+    matched_description: "X-Frame-Options is configured."
+    tags: ["#security", "#owasp", "#headers"]
+    file_context: ["nginx.conf", "sites-enabled/*"]
+    suggested_action: "Add `add_header X-Frame-Options SAMEORIGIN;`."
+
+  - config_name: add_header Strict-Transport-Security
+    config_path: ["server", "http/server"]
+    config_description: "HSTS header."
+    check_presence_only: true
+    not_present_description: "Strict-Transport-Security is not sent."
+    matched_description: "HSTS is configured."
+    tags: ["#security", "#owasp", "#headers"]
+    file_context: ["nginx.conf", "sites-enabled/*"]
+    suggested_action: "Add `add_header Strict-Transport-Security \"max-age=31536000\";`."
+
+  - config_name: client_max_body_size
+    config_path: ["http", "server", "http/server"]
+    config_description: "Upload size cap (request-flood containment)."
+    non_preferred_value: ["0"]
+    non_preferred_value_match: exact,any
+    not_present_description: "client_max_body_size is not set; the 1m default applies silently."
+    not_matched_preferred_value_description: "Unlimited request bodies are accepted."
+    matched_description: "Request bodies are capped."
+    tags: ["#performance", "#owasp"]
+    file_context: ["nginx.conf", "sites-enabled/*"]
+    suggested_action: "Set `client_max_body_size 8m;` (or an app-appropriate cap)."
+
+  - config_name: autoindex
+    config_path: ["server", "http/server", "server/location", "http/server/location"]
+    config_description: "Automatic directory listings."
+    non_preferred_value: ["on"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "autoindex is not present (defaults to off)."
+    not_matched_preferred_value_description: "Directory listings are enabled."
+    matched_description: "Directory listings are disabled."
+    tags: ["#security", "#owasp"]
+    file_context: ["nginx.conf", "sites-enabled/*"]
+    suggested_action: "Remove `autoindex on;`."
+
+  - config_name: ssl_prefer_server_ciphers
+    config_path: ["server", "http/server", "http"]
+    config_description: "Server-side cipher ordering."
+    preferred_value: ["on"]
+    preferred_value_match: exact,all
+    not_present_description: "ssl_prefer_server_ciphers is not set."
+    not_matched_preferred_value_description: "Clients dictate cipher order."
+    matched_description: "The server's cipher preference wins."
+    tags: ["#security", "#ssl", "#owasp"]
+    file_context: ["nginx.conf", "sites-enabled/*"]
+    suggested_action: "Set `ssl_prefer_server_ciphers on;`."
+
+  - path_name: /etc/nginx/nginx.conf
+    path_description: "Permissions and ownership of the nginx configuration."
+    ownership: "0:0"
+    permission: 644
+    file_type: file
+    not_matched_preferred_value_description: "nginx.conf is writable by non-root users."
+    matched_description: "nginx.conf is owned by root with sane permissions."
+    tags: ["#security", "#owasp"]
+    suggested_action: "chown root:root /etc/nginx/nginx.conf && chmod 644 /etc/nginx/nginx.conf"
+|yaml}

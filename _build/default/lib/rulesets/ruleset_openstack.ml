@@ -1,0 +1,153 @@
+(* OSSG (OpenStack Security Guide) rules (12 rules): keystone/nova ini
+   configuration plus script rules over API-resident state (security
+   groups, identity users) via the openstack_exposures plugin. *)
+
+let cvl =
+  {yaml|
+rules:
+  - config_name: provider
+    config_path: ["token"]
+    config_description: "Keystone token provider."
+    file_context: ["keystone.conf"]
+    preferred_value: ["fernet"]
+    preferred_value_match: exact,all
+    non_preferred_value: ["uuid", "pki", "pkiz"]
+    non_preferred_value_match: exact,any
+    not_present_description: "No token provider is declared; the deprecated default may apply."
+    not_matched_preferred_value_description: "A deprecated token provider (uuid/pki) is configured."
+    matched_description: "Fernet tokens are in use."
+    tags: ["#security", "#ossg", "openstack"]
+    suggested_action: "Set `provider = fernet` under [token] in keystone.conf."
+
+  - config_name: expiration
+    config_path: ["token"]
+    config_description: "Keystone token lifetime in seconds."
+    file_context: ["keystone.conf"]
+    preferred_value: ["^([1-9][0-9]{0,2}|[1-2][0-9]{3}|3[0-5][0-9]{2}|3600)$"]
+    preferred_value_match: regex,any
+    not_present_description: "Token expiration is not declared."
+    not_matched_preferred_value_description: "Tokens live longer than one hour."
+    matched_description: "Tokens expire within an hour."
+    tags: ["#security", "#ossg", "openstack"]
+    suggested_action: "Set `expiration = 3600` under [token] in keystone.conf."
+
+  - config_name: admin_token
+    config_path: ["DEFAULT"]
+    config_description: "The shared-secret bootstrap admin token."
+    file_context: ["keystone.conf"]
+    non_preferred_value: [".+"]
+    non_preferred_value_match: regex,any
+    not_present_pass: true
+    not_present_description: "No bootstrap admin token is configured."
+    not_matched_preferred_value_description: "A bootstrap admin token is still configured."
+    matched_description: "The bootstrap admin token is removed."
+    tags: ["#security", "#ossg", "openstack"]
+    suggested_action: "Delete admin_token from keystone.conf after bootstrap."
+
+  - config_name: lockout_failure_attempts
+    config_path: ["security_compliance"]
+    config_description: "Account lockout after failed authentications."
+    file_context: ["keystone.conf"]
+    check_presence_only: true
+    not_present_description: "No lockout policy is configured; brute force is unthrottled."
+    matched_description: "Failed logins lock the account."
+    tags: ["#security", "#ossg", "openstack"]
+    suggested_action: "Set `lockout_failure_attempts = 6` under [security_compliance]."
+
+  - config_name: insecure_debug
+    config_path: ["DEFAULT"]
+    config_description: "Verbose auth failure detail in API responses."
+    file_context: ["keystone.conf"]
+    non_preferred_value: ["true", "True"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "insecure_debug is not set (defaults to false)."
+    not_matched_preferred_value_description: "Auth failures leak internal detail to clients."
+    matched_description: "Auth failure responses are terse."
+    tags: ["#security", "#ossg", "openstack"]
+    suggested_action: "Remove `insecure_debug = true` from keystone.conf."
+
+  - config_name: auth_strategy
+    config_path: ["DEFAULT", "api"]
+    config_description: "Nova authentication strategy."
+    file_context: ["nova.conf"]
+    preferred_value: ["keystone"]
+    preferred_value_match: exact,all
+    not_present_description: "auth_strategy is not declared; noauth may be active."
+    not_matched_preferred_value_description: "Nova accepts unauthenticated requests."
+    matched_description: "Nova authenticates through Keystone."
+    tags: ["#security", "#ossg", "openstack"]
+    suggested_action: "Set `auth_strategy = keystone` in nova.conf."
+
+  - config_name: debug
+    config_path: ["DEFAULT"]
+    config_description: "Debug logging in production."
+    file_context: ["nova.conf", "keystone.conf"]
+    non_preferred_value: ["true", "True"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "debug is not set (defaults to false)."
+    not_matched_preferred_value_description: "Debug logging is enabled in production."
+    matched_description: "Debug logging is off."
+    tags: ["#performance", "#ossg", "openstack"]
+    suggested_action: "Set `debug = false`."
+
+  - config_name: api_insecure
+    config_path: ["glance", "DEFAULT"]
+    config_description: "TLS verification towards the image service."
+    file_context: ["nova.conf"]
+    non_preferred_value: ["true", "True"]
+    non_preferred_value_match: exact,any
+    not_present_pass: true
+    not_present_description: "api_insecure is not set (verification on)."
+    not_matched_preferred_value_description: "TLS verification towards Glance is disabled."
+    matched_description: "TLS verification towards Glance is enforced."
+    tags: ["#security", "#ossg", "#ssl", "openstack"]
+    suggested_action: "Remove `api_insecure = true` from nova.conf."
+
+  - script_name: world_open_ssh
+    script_description: "No security group exposes SSH to 0.0.0.0/0."
+    script: openstack_exposures
+    config_path: ["world_open_ssh"]
+    preferred_value: ["no"]
+    preferred_value_match: exact,all
+    not_present_description: "The exposure plugin reported no SSH fact."
+    not_matched_preferred_value_description: "Port 22 is open to the world in a security group."
+    matched_description: "SSH is not world-reachable."
+    tags: ["#security", "#ossg", "openstack"]
+    suggested_action: "Restrict ingress on port 22 to management CIDRs."
+
+  - script_name: world_open_db
+    script_description: "No security group exposes the database port to 0.0.0.0/0."
+    script: openstack_exposures
+    config_path: ["world_open_db"]
+    preferred_value: ["no"]
+    preferred_value_match: exact,all
+    not_present_description: "The exposure plugin reported no DB fact."
+    not_matched_preferred_value_description: "Port 3306 is open to the world in a security group."
+    matched_description: "The database port is not world-reachable."
+    tags: ["#security", "#ossg", "openstack"]
+    suggested_action: "Restrict ingress on 3306 to the application tier."
+
+  - script_name: admins_without_mfa
+    script_description: "Every enabled admin account uses multi-factor authentication."
+    script: openstack_exposures
+    config_path: ["admins_without_mfa"]
+    preferred_value: ["0"]
+    preferred_value_match: exact,all
+    not_present_description: "The exposure plugin reported no MFA fact."
+    not_matched_preferred_value_description: "At least one enabled admin lacks MFA."
+    matched_description: "All enabled admins use MFA."
+    tags: ["#security", "#ossg", "openstack"]
+    suggested_action: "Enable MFA for all admin accounts."
+
+  - path_name: /etc/keystone/keystone.conf
+    path_description: "Keystone configuration must be private to the service account."
+    ownership: "116:116"
+    permission: 640
+    file_type: file
+    not_matched_preferred_value_description: "keystone.conf is readable by other accounts."
+    matched_description: "keystone.conf is private to the keystone account."
+    tags: ["#security", "#ossg", "openstack"]
+    suggested_action: "chown keystone:keystone keystone.conf && chmod 640 keystone.conf"
+|yaml}

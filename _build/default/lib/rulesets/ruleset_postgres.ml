@@ -1,0 +1,151 @@
+(* PostgreSQL server rules (12 rules) — post-paper coverage growth,
+   aligned with the CIS PostgreSQL benchmark's configuration section. *)
+
+let cvl =
+  {yaml|
+rules:
+  - config_name: listen_addresses
+    config_path: [""]
+    config_description: "Interfaces the server listens on."
+    file_context: ["postgresql.conf"]
+    preferred_value: ["localhost", "127.0.0.1"]
+    preferred_value_match: exact,any
+    not_present_description: "listen_addresses is not set (localhost default, but make it explicit)."
+    not_matched_preferred_value_description: "The server accepts connections from non-loopback interfaces."
+    matched_description: "The server only listens on loopback."
+    tags: ["#security", "#cispostgres", "postgres"]
+    suggested_action: "Set `listen_addresses = 'localhost'`."
+
+  - config_name: ssl
+    config_path: [""]
+    config_description: "TLS for client connections."
+    file_context: ["postgresql.conf"]
+    preferred_value: ["on"]
+    preferred_value_match: exact,all
+    not_present_description: "ssl is not set (off by default)."
+    not_matched_preferred_value_description: "Client connections are cleartext."
+    matched_description: "Client connections are encrypted."
+    tags: ["#security", "#ssl", "#cispostgres", "postgres"]
+    suggested_action: "Set `ssl = on`."
+
+  - config_name: ssl_ciphers
+    config_path: [""]
+    config_description: "Cipher suites offered for TLS."
+    file_context: ["postgresql.conf"]
+    non_preferred_value: ["(^|[:+ ])(RC4|DES|MD5|eNULL|aNULL|EXPORT|EXP)"]
+    non_preferred_value_match: regex,any
+    not_present_pass: true
+    not_present_description: "ssl_ciphers is not set (library default HIGH:MEDIUM:+3DES:!aNULL)."
+    not_matched_preferred_value_description: "A weak cipher suite is offered."
+    matched_description: "No weak cipher suites are offered."
+    tags: ["#security", "#ssl", "#cispostgres", "postgres"]
+    suggested_action: "Set `ssl_ciphers HIGH:!aNULL:!MD5`."
+
+  - config_name: password_encryption
+    config_path: [""]
+    config_description: "Password hashing algorithm."
+    file_context: ["postgresql.conf"]
+    preferred_value: ["scram-sha-256"]
+    preferred_value_match: exact,all
+    non_preferred_value: ["md5", "off"]
+    non_preferred_value_match: exact,any
+    not_present_description: "password_encryption is not set."
+    not_matched_preferred_value_description: "Passwords are hashed with a weak algorithm."
+    matched_description: "Passwords use SCRAM-SHA-256."
+    tags: ["#security", "#cispostgres", "postgres"]
+    suggested_action: "Set `password_encryption = scram-sha-256`."
+
+  - config_name: logging_collector
+    config_path: [""]
+    config_description: "Capture of server log output."
+    file_context: ["postgresql.conf"]
+    preferred_value: ["on"]
+    preferred_value_match: exact,all
+    not_present_description: "logging_collector is not set; stderr output is lost."
+    not_matched_preferred_value_description: "Server log output is not collected."
+    matched_description: "Server logs are collected."
+    tags: ["#audit", "#cispostgres", "postgres"]
+    suggested_action: "Set `logging_collector = on`."
+
+  - config_name: log_connections
+    config_path: [""]
+    config_description: "Connection auditing."
+    file_context: ["postgresql.conf"]
+    preferred_value: ["on"]
+    preferred_value_match: exact,all
+    not_present_description: "log_connections is not set."
+    not_matched_preferred_value_description: "Connections are not audited."
+    matched_description: "Connections are audited."
+    tags: ["#audit", "#cispostgres", "postgres"]
+    suggested_action: "Set `log_connections = on`."
+
+  - config_name: log_disconnections
+    config_path: [""]
+    config_description: "Disconnection auditing."
+    file_context: ["postgresql.conf"]
+    preferred_value: ["on"]
+    preferred_value_match: exact,all
+    not_present_description: "log_disconnections is not set."
+    not_matched_preferred_value_description: "Disconnections are not audited."
+    matched_description: "Disconnections are audited."
+    tags: ["#audit", "#cispostgres", "postgres"]
+    suggested_action: "Set `log_disconnections = on`."
+
+  - config_name: log_statement
+    config_path: [""]
+    config_description: "Statement-level auditing."
+    file_context: ["postgresql.conf"]
+    preferred_value: ["ddl", "mod", "all"]
+    preferred_value_match: exact,any
+    non_preferred_value: ["none"]
+    non_preferred_value_match: exact,any
+    not_present_description: "log_statement is not set (none by default)."
+    not_matched_preferred_value_description: "Schema changes are not audited."
+    matched_description: "Schema-changing statements are audited."
+    tags: ["#audit", "#cispostgres", "postgres"]
+    suggested_action: "Set `log_statement = ddl`."
+
+  - config_name: shared_preload_libraries
+    config_path: [""]
+    config_description: "pgaudit provides fine-grained audit records."
+    file_context: ["postgresql.conf"]
+    preferred_value: ["pgaudit"]
+    preferred_value_match: substr,any
+    not_present_description: "shared_preload_libraries does not load pgaudit."
+    not_matched_preferred_value_description: "pgaudit is not loaded."
+    matched_description: "pgaudit is loaded."
+    tags: ["#audit", "#cispostgres", "postgres"]
+    suggested_action: "Add `pgaudit` to shared_preload_libraries."
+
+  - config_name: max_connections
+    config_path: [""]
+    config_description: "Connection cap (memory exhaustion containment)."
+    file_context: ["postgresql.conf"]
+    preferred_value: ["^([1-9][0-9]{0,2}|[1-4][0-9]{3}|5000)$"]
+    preferred_value_match: regex,any
+    not_present_description: "max_connections is not set."
+    not_matched_preferred_value_description: "max_connections exceeds 5000."
+    matched_description: "Connections are capped."
+    tags: ["#performance", "postgres"]
+    suggested_action: "Set `max_connections 200`."
+
+  - path_name: /etc/postgresql/postgresql.conf
+    path_description: "Server configuration must belong to the postgres account."
+    ownership: "26:26"
+    permission: 600
+    file_type: file
+    not_matched_preferred_value_description: "postgresql.conf is readable by other accounts."
+    matched_description: "postgresql.conf is private to the postgres account."
+    tags: ["#security", "#cispostgres", "postgres"]
+    suggested_action: "chown postgres:postgres postgresql.conf && chmod 600 postgresql.conf"
+
+  - path_name: /var/lib/postgresql/data
+    path_description: "The data directory must be private to the postgres account."
+    ownership: "26:26"
+    permission: 700
+    file_type: directory
+    not_matched_preferred_value_description: "The data directory is readable by other accounts."
+    matched_description: "The data directory is private."
+    tags: ["#security", "#cispostgres", "postgres"]
+    suggested_action: "chown -R postgres:postgres data && chmod 700 data"
+|yaml}

@@ -1,0 +1,179 @@
+(* CIS Ubuntu 14.04 §9.3 — OpenSSH server configuration (14 rules).
+   The PermitRootLogin rule is the paper's Listing 6 exemplar,
+   reproduced keyword-for-keyword. *)
+
+let cvl =
+  {yaml|
+rules:
+  - config_name: Protocol
+    tags: ["#security", "#cis", "#cisubuntu14.04_9.3.1"]
+    config_path: [""]
+    config_description: "SSH protocol version."
+    file_context: ["sshd_config"]
+    preferred_value: ["2"]
+    preferred_value_match: exact,any
+    not_present_description: "Protocol is not present; older clients may negotiate SSHv1."
+    not_matched_preferred_value_description: "SSH protocol 1 is permitted."
+    matched_description: "Only SSH protocol 2 is permitted."
+    suggested_action: "Set `Protocol 2` in sshd_config."
+
+  - config_name: LogLevel
+    tags: ["#security", "#cis", "#cisubuntu14.04_9.3.2"]
+    config_path: [""]
+    config_description: "Verbosity of sshd logging."
+    file_context: ["sshd_config"]
+    preferred_value: ["INFO", "VERBOSE"]
+    preferred_value_match: exact,any
+    not_present_description: "LogLevel is not present (default INFO applies, but make it explicit)."
+    not_matched_preferred_value_description: "LogLevel is below INFO; logins may not be recorded."
+    matched_description: "LogLevel captures login activity."
+    suggested_action: "Set `LogLevel INFO` in sshd_config."
+
+  - path_name: /etc/ssh/sshd_config
+    tags: ["#security", "#cis", "#cisubuntu14.04_9.3.3"]
+    path_description: "Permissions and ownership of the sshd configuration file."
+    ownership: "0:0"
+    permission: 600
+    file_type: file
+    not_matched_preferred_value_description: "sshd_config is readable by non-root users."
+    matched_description: "sshd_config is owned by root and not world readable."
+    suggested_action: "chown root:root /etc/ssh/sshd_config && chmod 600 /etc/ssh/sshd_config"
+
+  - config_name: X11Forwarding
+    tags: ["#security", "#cis", "#cisubuntu14.04_9.3.4"]
+    config_path: [""]
+    config_description: "X11 channel forwarding over SSH."
+    file_context: ["sshd_config"]
+    preferred_value: ["no"]
+    preferred_value_match: exact,all
+    not_present_description: "X11Forwarding not present (defaults to no)."
+    not_present_pass: true
+    not_matched_preferred_value_description: "X11Forwarding is enabled."
+    matched_description: "X11Forwarding is disabled."
+    suggested_action: "Set `X11Forwarding no` in sshd_config."
+
+  - config_name: MaxAuthTries
+    tags: ["#security", "#cis", "#cisubuntu14.04_9.3.5"]
+    config_path: [""]
+    config_description: "Maximum authentication attempts per connection."
+    file_context: ["sshd_config"]
+    preferred_value: ["^[1-4]$"]
+    preferred_value_match: regex,any
+    not_present_description: "MaxAuthTries is not present; the default of 6 is too permissive."
+    not_matched_preferred_value_description: "MaxAuthTries exceeds 4."
+    matched_description: "MaxAuthTries is 4 or less."
+    suggested_action: "Set `MaxAuthTries 4` in sshd_config."
+
+  - config_name: IgnoreRhosts
+    tags: ["#security", "#cis", "#cisubuntu14.04_9.3.6"]
+    config_path: [""]
+    config_description: ".rhosts-based authentication."
+    file_context: ["sshd_config"]
+    preferred_value: ["yes"]
+    preferred_value_match: exact,all
+    not_present_description: "IgnoreRhosts is not present (defaults to yes)."
+    not_present_pass: true
+    not_matched_preferred_value_description: "IgnoreRhosts is disabled; .rhosts files are honoured."
+    matched_description: "rhosts files are ignored."
+    suggested_action: "Set `IgnoreRhosts yes` in sshd_config."
+
+  - config_name: HostbasedAuthentication
+    tags: ["#security", "#cis", "#cisubuntu14.04_9.3.7"]
+    config_path: [""]
+    config_description: "Trust-based authentication via .shosts."
+    file_context: ["sshd_config"]
+    preferred_value: ["no"]
+    preferred_value_match: exact,all
+    not_present_description: "HostbasedAuthentication is not present (defaults to no)."
+    not_present_pass: true
+    not_matched_preferred_value_description: "Host-based authentication is enabled."
+    matched_description: "Host-based authentication is disabled."
+    suggested_action: "Set `HostbasedAuthentication no` in sshd_config."
+
+  - config_name: PermitRootLogin
+    tags: ["#security", "#cis", "#cisubuntu14.04_5.2.8"]
+    config_path: [""]
+    config_description: "Enable root login."
+    file_context: ["sshd_config"]
+    preferred_value: ["no"]
+    preferred_value_match: substr,all
+    not_present_description: "PermitRootLogin is not present. It is enabled by default."
+    not_matched_preferred_value_description: "PermitRootLogin is present but it is enabled."
+    matched_description: "Root login is disabled."
+    suggested_action: "Set `PermitRootLogin no` in sshd_config."
+
+  - config_name: PermitEmptyPasswords
+    tags: ["#security", "#cis", "#cisubuntu14.04_9.3.9"]
+    config_path: [""]
+    config_description: "Login to accounts with empty passwords."
+    file_context: ["sshd_config"]
+    preferred_value: ["no"]
+    preferred_value_match: exact,all
+    not_present_description: "PermitEmptyPasswords is not present (defaults to no)."
+    not_present_pass: true
+    not_matched_preferred_value_description: "Accounts with empty passwords may log in over SSH."
+    matched_description: "Empty-password logins are refused."
+    suggested_action: "Set `PermitEmptyPasswords no` in sshd_config."
+
+  - config_name: PermitUserEnvironment
+    tags: ["#security", "#cis", "#cisubuntu14.04_9.3.10"]
+    config_path: [""]
+    config_description: "Processing of ~/.ssh/environment."
+    file_context: ["sshd_config"]
+    preferred_value: ["no"]
+    preferred_value_match: exact,all
+    not_present_description: "PermitUserEnvironment is not present (defaults to no)."
+    not_present_pass: true
+    not_matched_preferred_value_description: "Users may inject environment variables into their sessions."
+    matched_description: "User environment processing is disabled."
+    suggested_action: "Set `PermitUserEnvironment no` in sshd_config."
+
+  - config_name: Ciphers
+    tags: ["#security", "#cis", "#cisubuntu14.04_9.3.11"]
+    config_path: [""]
+    config_description: "Approved symmetric ciphers."
+    file_context: ["sshd_config"]
+    non_preferred_value: ["cbc", "arcfour", "3des"]
+    non_preferred_value_match: substr,any
+    case_insensitive: true
+    not_present_description: "Ciphers is not present; weak CBC ciphers may be negotiated."
+    not_matched_preferred_value_description: "A weak cipher (CBC/arcfour/3des) is enabled."
+    matched_description: "Only counter-mode ciphers are enabled."
+    suggested_action: "Set `Ciphers aes256-ctr,aes192-ctr,aes128-ctr`."
+
+  - config_name: ClientAliveInterval
+    tags: ["#security", "#cis", "#cisubuntu14.04_9.3.12"]
+    config_path: [""]
+    config_description: "Idle timeout before the server terminates the session."
+    file_context: ["sshd_config"]
+    preferred_value: ["^([1-9][0-9]?|[12][0-9][0-9]|300)$"]
+    preferred_value_match: regex,any
+    not_present_description: "ClientAliveInterval is not present; idle sessions never time out."
+    not_matched_preferred_value_description: "Idle timeout exceeds 300 seconds."
+    matched_description: "Idle sessions are terminated within 300 seconds."
+    suggested_action: "Set `ClientAliveInterval 300` and `ClientAliveCountMax 0`."
+
+  - config_name: LoginGraceTime
+    tags: ["#security", "#cis", "#cisubuntu14.04_9.3.13"]
+    config_path: [""]
+    config_description: "Window to complete authentication."
+    file_context: ["sshd_config"]
+    preferred_value: ["^([1-9]|[1-5][0-9]|60)$"]
+    preferred_value_match: regex,any
+    not_present_description: "LoginGraceTime is not present; the 120s default holds sockets open."
+    not_matched_preferred_value_description: "LoginGraceTime exceeds 60 seconds."
+    matched_description: "Authentication must complete within a minute."
+    suggested_action: "Set `LoginGraceTime 60` in sshd_config."
+
+  - config_name: Banner
+    tags: ["#security", "#cis", "#cisubuntu14.04_9.3.14"]
+    config_path: [""]
+    config_description: "Pre-authentication warning banner."
+    file_context: ["sshd_config"]
+    preferred_value: ["/etc/issue.net", "/etc/issue"]
+    preferred_value_match: exact,any
+    not_present_description: "No warning banner is configured."
+    not_matched_preferred_value_description: "Banner does not point at the standard issue file."
+    matched_description: "A warning banner is displayed before authentication."
+    suggested_action: "Set `Banner /etc/issue.net` in sshd_config."
+|yaml}

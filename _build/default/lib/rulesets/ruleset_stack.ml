@@ -1,0 +1,28 @@
+(* Cross-entity composite rules. The first is the paper's Listing 1
+   (with the sysctl atom made explicit: the rule holds when
+   ip_forward's value is "0", i.e. forwarding disabled). *)
+
+let cvl =
+  {yaml|
+rules:
+  - composite_rule_name: "mysql ssl-ca path and sysctl and nginx SSL"
+    composite_rule_description: "Check if nginx is running with SSL, ip_forward is disabled, and mysql server ssl-ca has a cert"
+    composite_rule: mysql.ssl-ca.CONFIGPATH=[mysqld].VALUE == "/etc/mysql/cacert.pem" && sysctl.net.ipv4.ip_forward.VALUE == "0" && nginx.listen
+    tags: ["docker", "nginx", "sysctl"]
+    matched_description: "mysql server ssl-ca has a cert, ip_forward is disabled, and nginx has SSL enabled."
+    not_matched_preferred_value_description: "Either mysql server ssl-ca does not have a cert, or ip_forward is enabled, or nginx has SSL disabled."
+
+  - composite_rule_name: tls_everywhere
+    composite_rule_description: "Strong transport crypto at every tier: nginx TLS protocols, mysql server TLS, sshd cipher policy."
+    composite_rule: nginx.ssl_protocols && mysql.have_ssl && sshd.Ciphers
+    tags: ["#security", "#ssl"]
+    matched_description: "Every tier terminates TLS with modern protocols."
+    not_matched_preferred_value_description: "At least one tier serves traffic without modern TLS."
+
+  - composite_rule_name: no_root_anywhere
+    composite_rule_description: "No tier runs or admits root: sshd refuses root login, images declare USER, mysqld drops privileges."
+    composite_rule: sshd.PermitRootLogin && docker.image_user && mysql.user
+    tags: ["#security"]
+    matched_description: "Root is refused at the edge and dropped in every service."
+    not_matched_preferred_value_description: "A tier still runs as (or admits) root."
+|yaml}

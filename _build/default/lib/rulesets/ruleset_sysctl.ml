@@ -1,0 +1,75 @@
+(* CIS Ubuntu 14.04 §7.x — kernel network parameters (14 rules).
+   Thirteen assert on /etc/sysctl.conf; the last is a script rule over
+   the live `sysctl -a` table (the paper's example of configuration the
+   OS does not fully expose in files). *)
+
+let kv_rule ~name ~cis ~value ~on_fail ~on_match ~absent =
+  Printf.sprintf
+    {yaml|
+  - config_name: %s
+    tags: ["#security", "#cis", "#cisubuntu14.04_%s"]
+    config_path: [""]
+    config_description: "Kernel parameter %s."
+    file_context: ["sysctl.conf"]
+    preferred_value: ["%s"]
+    preferred_value_match: exact,all
+    not_present_description: "%s"
+    not_matched_preferred_value_description: "%s"
+    matched_description: "%s"
+    suggested_action: "Set `%s = %s` in /etc/sysctl.conf and run sysctl -p."
+|yaml}
+    name cis name value absent on_fail on_match name value
+
+let params =
+  [
+    ("net.ipv4.ip_forward", "7.1.1", "0", "IP forwarding is enabled; the host can route packets.",
+     "IP forwarding is disabled.", "net.ipv4.ip_forward is not set; the kernel default may permit forwarding.");
+    ("net.ipv4.conf.all.send_redirects", "7.1.2", "0", "ICMP redirects may be sent (all).",
+     "ICMP redirect sending is disabled (all).", "send_redirects (all) is not set.");
+    ("net.ipv4.conf.default.send_redirects", "7.1.2", "0", "ICMP redirects may be sent (default).",
+     "ICMP redirect sending is disabled (default).", "send_redirects (default) is not set.");
+    ("net.ipv4.conf.all.accept_source_route", "7.2.1", "0", "Source-routed packets are accepted (all).",
+     "Source-routed packets are refused (all).", "accept_source_route (all) is not set.");
+    ("net.ipv4.conf.default.accept_source_route", "7.2.1", "0", "Source-routed packets are accepted (default).",
+     "Source-routed packets are refused (default).", "accept_source_route (default) is not set.");
+    ("net.ipv4.conf.all.accept_redirects", "7.2.2", "0", "ICMP redirects are accepted (all).",
+     "ICMP redirects are refused (all).", "accept_redirects (all) is not set.");
+    ("net.ipv4.conf.default.accept_redirects", "7.2.2", "0", "ICMP redirects are accepted (default).",
+     "ICMP redirects are refused (default).", "accept_redirects (default) is not set.");
+    ("net.ipv4.conf.all.secure_redirects", "7.2.3", "0", "Secure ICMP redirects are accepted.",
+     "Secure ICMP redirects are refused.", "secure_redirects is not set.");
+    ("net.ipv4.conf.all.log_martians", "7.2.4", "1", "Suspicious (martian) packets are not logged.",
+     "Martian packets are logged.", "log_martians is not set.");
+    ("net.ipv4.icmp_echo_ignore_broadcasts", "7.2.5", "1", "Broadcast ICMP echo is answered (smurf exposure).",
+     "Broadcast ICMP echo is ignored.", "icmp_echo_ignore_broadcasts is not set.");
+    ("net.ipv4.icmp_ignore_bogus_error_responses", "7.2.6", "1", "Bogus ICMP errors fill the logs.",
+     "Bogus ICMP error responses are ignored.", "icmp_ignore_bogus_error_responses is not set.");
+    ("net.ipv4.conf.all.rp_filter", "7.2.7", "1", "Reverse-path filtering is off; spoofed sources pass.",
+     "Reverse-path filtering is enforced.", "rp_filter is not set.");
+    ("net.ipv4.tcp_syncookies", "7.2.8", "1", "SYN cookies are disabled; SYN floods can exhaust the backlog.",
+     "SYN cookies protect the accept queue.", "tcp_syncookies is not set.");
+  ]
+
+let script_rule =
+  {yaml|
+  - script_name: kernel.randomize_va_space
+    tags: ["#security", "#cis", "#cisubuntu14.04_4.3"]
+    script_description: "Live ASLR setting via `sysctl -a` (not always present in sysctl.conf)."
+    script: sysctl_runtime
+    config_path: ["kernel.randomize_va_space"]
+    preferred_value: ["2"]
+    preferred_value_match: exact,all
+    not_present_description: "The running kernel does not report randomize_va_space."
+    not_matched_preferred_value_description: "Full address-space layout randomization is not active."
+    matched_description: "Full ASLR is active on the running kernel."
+    suggested_action: "Set `kernel.randomize_va_space = 2` and run sysctl -p."
+|yaml}
+
+let cvl =
+  "\nrules:\n"
+  ^ String.concat ""
+      (List.map
+         (fun (name, cis, value, on_fail, on_match, absent) ->
+           kv_rule ~name ~cis ~value ~on_fail ~on_match ~absent)
+         params)
+  ^ script_rule

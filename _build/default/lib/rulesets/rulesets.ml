@@ -1,0 +1,162 @@
+let manifest_yaml =
+  {yaml|
+sshd:
+  enabled: True
+  config_search_paths:
+    - /etc/ssh
+  cvl_file: "component_configs/sshd.yaml"
+  lens: sshd
+sysctl:
+  enabled: True
+  config_search_paths:
+    - /etc/sysctl.conf
+    - /etc/sysctl.d
+  cvl_file: "component_configs/sysctl.yaml"
+  lens: sysctl
+fstab:
+  enabled: True
+  config_search_paths:
+    - /etc/fstab
+  cvl_file: "component_configs/fstab.yaml"
+  lens: fstab
+modprobe:
+  enabled: True
+  config_search_paths:
+    - /etc/modprobe.d
+  cvl_file: "component_configs/modprobe.yaml"
+  lens: modprobe
+audit:
+  enabled: True
+  config_search_paths:
+    - /etc/audit
+  cvl_file: "component_configs/audit.yaml"
+  lens: audit
+nginx:
+  enabled: True
+  config_search_paths:
+    - /etc/nginx
+  cvl_file: "component_configs/nginx.yaml"
+  lens: nginx
+apache:
+  enabled: True
+  config_search_paths:
+    - /etc/apache2
+  cvl_file: "component_configs/apache.yaml"
+  lens: apache
+mysql:
+  enabled: True
+  config_search_paths:
+    - /etc/mysql
+  cvl_file: "component_configs/mysql.yaml"
+  lens: ini
+hadoop:
+  enabled: True
+  config_search_paths:
+    - /etc/hadoop/conf
+  cvl_file: "component_configs/hadoop.yaml"
+  lens: hadoop
+docker:
+  enabled: True
+  config_search_paths:
+    - /etc/docker
+  cvl_file: "component_configs/docker.yaml"
+  lens: json
+openstack:
+  enabled: True
+  config_search_paths:
+    - /etc/keystone
+    - /etc/nova
+  cvl_file: "component_configs/openstack.yaml"
+  lens: ini
+stack:
+  enabled: True
+  cvl_file: "component_configs/stack.yaml"
+compose:
+  enabled: True
+  config_search_paths:
+    - /srv
+  cvl_file: "component_configs/compose.yaml"
+  lens: yaml
+kubernetes:
+  enabled: True
+  config_search_paths:
+    - /etc/kubernetes/manifests
+  cvl_file: "component_configs/kubernetes.yaml"
+  lens: yaml
+postgres:
+  enabled: True
+  config_search_paths:
+    - /etc/postgresql
+  cvl_file: "component_configs/postgres.yaml"
+  lens: postgres
+|yaml}
+
+(* A deployment-specific override file, demonstrating CVL inheritance:
+   it relaxes the sshd banner rule and disables the protocol rule. *)
+let sshd_site_overrides =
+  {yaml|
+parent_cvl_file: "component_configs/sshd.yaml"
+rules:
+  - config_name: Banner
+    preferred_value: ["/etc/issue.net", "/etc/issue", "/etc/motd"]
+    matched_description: "A site-approved banner is displayed before authentication."
+
+  - config_name: Protocol
+    disabled: true
+|yaml}
+
+let files =
+  [
+    ("manifest.yaml", manifest_yaml);
+    ("component_configs/sshd.yaml", Ruleset_sshd.cvl);
+    ("component_configs/sysctl.yaml", Ruleset_sysctl.cvl);
+    ("component_configs/fstab.yaml", Ruleset_fstab.cvl);
+    ("component_configs/modprobe.yaml", Ruleset_modprobe.cvl);
+    ("component_configs/audit.yaml", Ruleset_audit.cvl);
+    ("component_configs/nginx.yaml", Ruleset_nginx.cvl);
+    ("component_configs/apache.yaml", Ruleset_apache.cvl);
+    ("component_configs/mysql.yaml", Ruleset_mysql.cvl);
+    ("component_configs/hadoop.yaml", Ruleset_hadoop.cvl);
+    ("component_configs/docker.yaml", Ruleset_docker.cvl);
+    ("component_configs/openstack.yaml", Ruleset_openstack.cvl);
+    ("component_configs/stack.yaml", Ruleset_stack.cvl);
+    ("component_configs/compose.yaml", Ruleset_compose.cvl);
+    ("component_configs/kubernetes.yaml", Ruleset_k8s.cvl);
+    ("component_configs/postgres.yaml", Ruleset_postgres.cvl);
+    ("site_overrides/sshd.yaml", sshd_site_overrides);
+  ]
+
+let source = Cvl.Loader.assoc_source files
+
+let manifest = Cvl.Manifest.parse_exn manifest_yaml
+
+let all_rules () =
+  List.map
+    (fun (entry : Cvl.Manifest.entry) ->
+      match Cvl.Manifest.load_rules source entry with
+      | Ok rules -> (entry.Cvl.Manifest.entity, rules)
+      | Error msg ->
+        invalid_arg (Printf.sprintf "embedded ruleset %s failed to load: %s" entry.Cvl.Manifest.entity msg))
+    manifest
+
+let applications = [ "apache"; "nginx"; "hadoop"; "mysql" ]
+let system_services = [ "audit"; "fstab"; "sshd"; "sysctl"; "modprobe" ]
+let cloud_services = [ "openstack"; "docker" ]
+
+let paper_rule_count () =
+  let paper_entities = applications @ system_services @ cloud_services in
+  all_rules ()
+  |> List.filter (fun (entity, _) -> List.mem entity paper_entities)
+  |> List.fold_left (fun acc (_, rules) -> acc + List.length rules) 0
+
+(* Post-paper coverage growth (paper §5 promises community expansion). *)
+let extra_targets = [ "compose"; "kubernetes"; "postgres" ]
+
+let standard_of = function
+  | "apache" | "nginx" -> "OWASP"
+  | "hadoop" -> "HIPAA, PCI"
+  | "openstack" -> "OSSG"
+  | "stack" -> "(composite examples)"
+  | "compose" | "kubernetes" -> "CIS Docker / PSP (post-paper)"
+  | "postgres" -> "CIS PostgreSQL (post-paper)"
+  | _ -> "CIS"

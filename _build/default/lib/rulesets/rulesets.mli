@@ -1,0 +1,46 @@
+(** The embedded rule corpus: the paper's Table 1 targets (11 entity
+    types, 135 rules conforming to CIS / OWASP / HIPAA / PCI / OSSG)
+    plus the cross-entity composite examples (Listing 1).
+
+    Rule files live in this library as CVL YAML text, addressed by the
+    same [component_configs/<entity>.yaml] paths a deployed
+    ConfigValidator would read from disk, so the {!Cvl.Loader.source}
+    abstraction behaves identically for embedded and on-disk rules. *)
+
+(** (path, YAML text) for every rule file, including the manifest at
+    ["manifest.yaml"] and the inheritance example at
+    ["site_overrides/sshd.yaml"]. *)
+val files : (string * string) list
+
+(** Source resolving the embedded files. *)
+val source : Cvl.Loader.source
+
+(** The parsed manifest: 15 entries — the 11 Table 1 targets, the
+    [stack] composite entity, and the post-paper growth targets
+    (compose, kubernetes, postgres). *)
+val manifest : Cvl.Manifest.entry list
+
+(** All rules per entity, loaded through {!source}.
+    @raise Invalid_argument if the embedded corpus fails to load —
+    tests assert it never does. *)
+val all_rules : unit -> (string * Cvl.Rule.t list) list
+
+(** Total rule count across the 11 paper targets (excludes the [stack]
+    composites); the paper reports 135. *)
+val paper_rule_count : unit -> int
+
+(** Entity names in Table 1 order, grouped as the paper groups them. *)
+val applications : string list
+
+(** Post-paper coverage growth: docker-compose and Kubernetes manifests
+    (the expansion the paper's §5 anticipates). Not counted in
+    {!paper_rule_count}. *)
+val extra_targets : string list
+
+val system_services : string list
+val cloud_services : string list
+
+(** The checklist standard each entity's rules adhere to (Table 1 notes:
+    CIS except Apache/Nginx/Hadoop → OWASP/HIPAA/PCI, OpenStack →
+    OSSG). *)
+val standard_of : string -> string

@@ -1,0 +1,1 @@
+lib/scap/ciscat.ml: Char List Printf String Xccdf

@@ -1,0 +1,1 @@
+lib/scap/ciscat.mli: Frames

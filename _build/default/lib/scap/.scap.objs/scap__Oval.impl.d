@@ -1,0 +1,1 @@
+lib/scap/oval.ml: Buffer Checkir Frames Hashtbl List Option Printf Re Result String Xmllite

@@ -1,0 +1,1 @@
+lib/scap/oval.mli: Checkir Frames Xmllite

@@ -1,0 +1,1 @@
+lib/scap/xccdf.ml: Checkir List Option Oval Printf Result Xmllite

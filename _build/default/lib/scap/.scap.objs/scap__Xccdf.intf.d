@@ -1,0 +1,1 @@
+lib/scap/xccdf.mli: Checkir Frames

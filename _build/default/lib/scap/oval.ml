@@ -1,0 +1,387 @@
+type existence =
+  | At_least_one
+  | None_exist
+
+type test =
+  | Text_content of { test_id : string; filepath : string; pattern : string; existence : existence }
+  | File_attrs of { test_id : string; filepath : string; uid : int; gid : int; mode_max : int }
+
+type criteria =
+  | Criterion of { test_ref : string; negate : bool }
+  | Operator of { op : [ `And | `Or ]; negate : bool; children : criteria list }
+
+type definition = {
+  def_id : string;
+  title : string;
+  description : string;
+  criteria : criteria;
+}
+
+type doc = {
+  definitions : definition list;
+  tests : test list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generation from checks                                              *)
+(* ------------------------------------------------------------------ *)
+
+let escape_value v =
+  (* Literal config values become regex alternatives. *)
+  let buf = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      (match c with
+      | '.' | '\\' | '+' | '*' | '?' | '[' | ']' | '^' | '$' | '(' | ')' | '{' | '}' | '|' | '/' ->
+        Buffer.add_char buf '\\'
+      | _ -> ());
+      Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let kv_pattern ~sep ~key body =
+  match sep with
+  | Checkir.Check.Space -> Printf.sprintf "^\\s*%s\\s+(%s)\\s*$" (escape_value key) body
+  | Checkir.Check.Equals -> Printf.sprintf "^\\s*%s\\s*=\\s*(%s)\\s*$" (escape_value key) body
+
+(* The bad-value complement for boolean-ish expectations; [None] when no
+   complement is known (then the positive at_least_one form is used). *)
+let complement = function
+  | Checkir.Check.Values [ "no" ] -> Some "yes"
+  | Checkir.Check.Values [ "yes" ] -> Some "no"
+  | Checkir.Check.Values _ | Checkir.Check.Pattern _ -> None
+
+let of_check (c : Checkir.Check.t) =
+  let def_id = Printf.sprintf "oval:%s:def:1" c.Checkir.Check.id in
+  let test_id = Printf.sprintf "oval:%s:tst:1" c.Checkir.Check.id in
+  let tests, criteria =
+    match c.Checkir.Check.target with
+    | Checkir.Check.Key_value { file; key; sep; expected; absent_pass } ->
+      if absent_pass then
+        let bad =
+          match complement expected with
+          | Some bad -> bad
+          | None -> (
+            (* Fall back to "present and good" when no complement. *)
+            match expected with
+            | Checkir.Check.Values vs -> String.concat "|" (List.map escape_value vs)
+            | Checkir.Check.Pattern p -> p)
+        in
+        let existence = if complement expected <> None then None_exist else At_least_one in
+        ( [ Text_content { test_id; filepath = file; pattern = kv_pattern ~sep ~key bad; existence } ],
+          Criterion { test_ref = test_id; negate = false } )
+      else
+        let body =
+          match expected with
+          | Checkir.Check.Values vs -> String.concat "|" (List.map escape_value vs)
+          | Checkir.Check.Pattern p -> p
+        in
+        ( [ Text_content
+              { test_id; filepath = file; pattern = kv_pattern ~sep ~key body; existence = At_least_one } ],
+          Criterion { test_ref = test_id; negate = false } )
+    | Checkir.Check.Line_present { file; regex } ->
+      ( [ Text_content { test_id; filepath = file; pattern = regex; existence = At_least_one } ],
+        Criterion { test_ref = test_id; negate = false } )
+    | Checkir.Check.Line_absent { file; regex } ->
+      ( [ Text_content { test_id; filepath = file; pattern = regex; existence = None_exist } ],
+        Criterion { test_ref = test_id; negate = false } )
+    | Checkir.Check.File_mode { path; max_mode; owner } ->
+      let uid, gid =
+        match String.split_on_char ':' owner with
+        | [ u; g ] -> (int_of_string u, int_of_string g)
+        | _ -> (0, 0)
+      in
+      ( [ File_attrs { test_id; filepath = path; uid; gid; mode_max = max_mode } ],
+        Criterion { test_ref = test_id; negate = false } )
+  in
+  ( { def_id; title = c.Checkir.Check.title; description = c.Checkir.Check.description; criteria },
+    tests )
+
+let of_checks checks =
+  let pairs = List.map of_check checks in
+  { definitions = List.map fst pairs; tests = List.concat_map snd pairs }
+
+(* ------------------------------------------------------------------ *)
+(* XML serialization                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let existence_to_string = function
+  | At_least_one -> "at_least_one_exists"
+  | None_exist -> "none_exist"
+
+let el = Xmllite.element
+let txt tag s = Xmllite.Element (el tag ~children:[ Xmllite.text_child s ])
+
+let rec criteria_to_xml = function
+  | Criterion { test_ref; negate } ->
+    let attrs = [ ("test_ref", test_ref) ] in
+    let attrs = if negate then ("negate", "true") :: attrs else attrs in
+    Xmllite.Element (el "criterion" ~attrs)
+  | Operator { op; negate; children } ->
+    let attrs = [ ("operator", match op with `And -> "AND" | `Or -> "OR") ] in
+    let attrs = if negate then ("negate", "true") :: attrs else attrs in
+    Xmllite.Element (el "criteria" ~attrs ~children:(List.map criteria_to_xml children))
+
+let definition_to_xml d =
+  Xmllite.Element
+    (el "definition"
+       ~attrs:[ ("class", "compliance"); ("id", d.def_id); ("version", "1") ]
+       ~children:
+         [
+           Xmllite.Element
+             (el "metadata" ~children:[ txt "title" d.title; txt "description" d.description ]);
+           criteria_to_xml d.criteria;
+         ])
+
+(* Objects and states are split out the way real OVAL content is: each
+   test references an object (and optionally a state) by id. *)
+let test_to_xml t =
+  match t with
+  | Text_content { test_id; filepath; pattern; existence } ->
+    let obj_id = test_id ^ ":obj" in
+    [
+      Xmllite.Element
+        (el "ind:textfilecontent54_test"
+           ~attrs:
+             [
+               ("id", test_id); ("check", "all"); ("check_existence", existence_to_string existence);
+             ]
+           ~children:[ Xmllite.Element (el "ind:object" ~attrs:[ ("object_ref", obj_id) ]) ]);
+      Xmllite.Element
+        (el "ind:textfilecontent54_object" ~attrs:[ ("id", obj_id); ("version", "1") ]
+           ~children:
+             [
+               txt "ind:filepath" filepath;
+               Xmllite.Element
+                 (el "ind:pattern"
+                    ~attrs:[ ("operation", "pattern match") ]
+                    ~children:[ Xmllite.text_child pattern ]);
+               Xmllite.Element
+                 (el "ind:instance" ~attrs:[ ("datatype", "int") ] ~children:[ Xmllite.text_child "1" ]);
+             ]);
+    ]
+  | File_attrs { test_id; filepath; uid; gid; mode_max } ->
+    let obj_id = test_id ^ ":obj" and ste_id = test_id ^ ":ste" in
+    [
+      Xmllite.Element
+        (el "unix:file_test"
+           ~attrs:[ ("id", test_id); ("check", "all") ]
+           ~children:
+             [
+               Xmllite.Element (el "unix:object" ~attrs:[ ("object_ref", obj_id) ]);
+               Xmllite.Element (el "unix:state" ~attrs:[ ("state_ref", ste_id) ]);
+             ]);
+      Xmllite.Element (el "unix:file_object" ~attrs:[ ("id", obj_id) ] ~children:[ txt "unix:filepath" filepath ]);
+      Xmllite.Element
+        (el "unix:file_state" ~attrs:[ ("id", ste_id) ]
+           ~children:
+             [
+               txt "unix:uid" (string_of_int uid);
+               txt "unix:gid" (string_of_int gid);
+               txt "unix:mode_max" (Printf.sprintf "%o" mode_max);
+             ]);
+    ]
+
+let to_xml doc =
+  let root =
+    el "oval_definitions"
+      ~attrs:[ ("xmlns", "http://oval.mitre.org/XMLSchema/oval-definitions-5") ]
+      ~children:
+        [
+          Xmllite.Element (el "definitions" ~children:(List.map definition_to_xml doc.definitions));
+          Xmllite.Element (el "tests_objects_states" ~children:(List.concat_map test_to_xml doc.tests));
+        ]
+  in
+  Xmllite.to_string root
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let rec parse_criteria element =
+  match element.Xmllite.tag with
+  | "criterion" -> (
+    match Xmllite.attr "test_ref" element with
+    | Some test_ref ->
+      Ok (Criterion { test_ref; negate = Xmllite.attr "negate" element = Some "true" })
+    | None -> Error "criterion without test_ref")
+  | "criteria" ->
+    let op = if Xmllite.attr "operator" element = Some "OR" then `Or else `And in
+    let negate = Xmllite.attr "negate" element = Some "true" in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | child :: rest ->
+        let* c = parse_criteria child in
+        go (c :: acc) rest
+    in
+    let* children = go [] (Xmllite.elements element) in
+    Ok (Operator { op; negate; children })
+  | other -> Error (Printf.sprintf "unexpected element <%s> in criteria" other)
+
+let parse_definition element =
+  match Xmllite.attr "id" element with
+  | None -> Error "definition without id"
+  | Some def_id -> (
+    let title, description =
+      match Xmllite.find "metadata" element with
+      | Some m ->
+        ( Option.fold ~none:"" ~some:Xmllite.text (Xmllite.find "title" m),
+          Option.fold ~none:"" ~some:Xmllite.text (Xmllite.find "description" m) )
+      | None -> ("", "")
+    in
+    let crit =
+      List.find_opt
+        (fun e -> e.Xmllite.tag = "criteria" || e.Xmllite.tag = "criterion")
+        (Xmllite.elements element)
+    in
+    match crit with
+    | None -> Error (Printf.sprintf "definition %s without criteria" def_id)
+    | Some crit ->
+      let* criteria = parse_criteria crit in
+      Ok { def_id; title; description; criteria })
+
+let parse_tests root =
+  let find_by_id tag id =
+    Xmllite.descendants tag root |> List.find_opt (fun e -> Xmllite.attr "id" e = Some id)
+  in
+  let text_tests =
+    Xmllite.descendants "ind:textfilecontent54_test" root
+    |> List.filter_map (fun t ->
+           let parsed =
+             let* test_id = Option.to_result ~none:"test without id" (Xmllite.attr "id" t) in
+             let existence =
+               if Xmllite.attr "check_existence" t = Some "none_exist" then None_exist else At_least_one
+             in
+             let* obj_ref =
+               Xmllite.find "ind:object" t
+               |> Option.map (Xmllite.attr "object_ref")
+               |> Option.join
+               |> Option.to_result ~none:(test_id ^ ": no object_ref")
+             in
+             let* obj =
+               Option.to_result ~none:(obj_ref ^ ": unresolved object")
+                 (find_by_id "ind:textfilecontent54_object" obj_ref)
+             in
+             let filepath = Option.fold ~none:"" ~some:Xmllite.text (Xmllite.find "ind:filepath" obj) in
+             let pattern = Option.fold ~none:"" ~some:Xmllite.text (Xmllite.find "ind:pattern" obj) in
+             Ok (Text_content { test_id; filepath; pattern; existence })
+           in
+           Result.to_option parsed)
+  in
+  let file_tests =
+    Xmllite.descendants "unix:file_test" root
+    |> List.filter_map (fun t ->
+           let parsed =
+             let* test_id = Option.to_result ~none:"test without id" (Xmllite.attr "id" t) in
+             let* obj_ref =
+               Xmllite.find "unix:object" t
+               |> Option.map (Xmllite.attr "object_ref")
+               |> Option.join
+               |> Option.to_result ~none:(test_id ^ ": no object_ref")
+             in
+             let* ste_ref =
+               Xmllite.find "unix:state" t
+               |> Option.map (Xmllite.attr "state_ref")
+               |> Option.join
+               |> Option.to_result ~none:(test_id ^ ": no state_ref")
+             in
+             let* obj =
+               Option.to_result ~none:(obj_ref ^ ": unresolved object") (find_by_id "unix:file_object" obj_ref)
+             in
+             let* ste =
+               Option.to_result ~none:(ste_ref ^ ": unresolved state") (find_by_id "unix:file_state" ste_ref)
+             in
+             let filepath = Option.fold ~none:"" ~some:Xmllite.text (Xmllite.find "unix:filepath" obj) in
+             let num tag default =
+               match Xmllite.find tag ste with
+               | Some e -> Option.value (int_of_string_opt (Xmllite.text e)) ~default
+               | None -> default
+             in
+             let mode_max =
+               match Xmllite.find "unix:mode_max" ste with
+               | Some e -> Option.value (int_of_string_opt ("0o" ^ Xmllite.text e)) ~default:0o777
+               | None -> 0o777
+             in
+             Ok (File_attrs { test_id; filepath; uid = num "unix:uid" 0; gid = num "unix:gid" 0; mode_max })
+           in
+           Result.to_option parsed)
+  in
+  text_tests @ file_tests
+
+let parse xml =
+  match Xmllite.parse xml with
+  | Error e -> Error (Xmllite.error_to_string e)
+  | Ok root ->
+    if root.Xmllite.tag <> "oval_definitions" then
+      Error (Printf.sprintf "expected <oval_definitions>, got <%s>" root.Xmllite.tag)
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | e :: rest ->
+          let* d = parse_definition e in
+          go (d :: acc) rest
+      in
+      let* definitions = go [] (Xmllite.descendants "definition" root) in
+      Ok { definitions; tests = parse_tests root }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lines_of frame path =
+  match Frames.Frame.read frame path with
+  | None -> []
+  | Some content -> String.split_on_char '\n' content
+
+(* Compiled-pattern cache: OpenSCAP compiles each OVAL pattern once per
+   loaded document; re-compiling per evaluation would misrepresent it. *)
+let regex_cache : (string, Re.re option) Hashtbl.t = Hashtbl.create 64
+
+let compile_cached pattern =
+  match Hashtbl.find_opt regex_cache pattern with
+  | Some cached -> cached
+  | None ->
+    let compiled = try Some (Re.compile (Re.Pcre.re pattern)) with _ -> None in
+    Hashtbl.add regex_cache pattern compiled;
+    compiled
+
+let eval_test frame = function
+  | Text_content { filepath; pattern; existence; _ } -> (
+    match compile_cached pattern with
+    | None -> false
+    | Some re ->
+      let matched = List.exists (fun line -> Re.execp re line) (lines_of frame filepath) in
+      (match existence with At_least_one -> matched | None_exist -> not matched))
+  | File_attrs { filepath; uid; gid; mode_max; _ } -> (
+    match Frames.Frame.stat frame filepath with
+    | None -> false
+    | Some f ->
+      f.Frames.File.uid = uid && f.Frames.File.gid = gid
+      && f.Frames.File.mode land lnot mode_max land 0o7777 = 0)
+
+let find_test doc test_ref =
+  List.find_opt
+    (fun t ->
+      match t with
+      | Text_content { test_id; _ } | File_attrs { test_id; _ } -> String.equal test_id test_ref)
+    doc.tests
+
+let rec eval_criteria doc frame = function
+  | Criterion { test_ref; negate } ->
+    let outcome = match find_test doc test_ref with Some t -> eval_test frame t | None -> false in
+    if negate then not outcome else outcome
+  | Operator { op; negate; children } ->
+    let outcomes = List.map (eval_criteria doc frame) children in
+    let combined =
+      match op with
+      | `And -> List.for_all (fun b -> b) outcomes
+      | `Or -> List.exists (fun b -> b) outcomes
+    in
+    if negate then not combined else combined
+
+let eval_definition doc frame d = eval_criteria doc frame d.criteria
+
+let evaluate doc frame =
+  List.map (fun d -> (d.def_id, eval_definition doc frame d)) doc.definitions

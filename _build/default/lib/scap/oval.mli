@@ -1,0 +1,62 @@
+(** OVAL subset: generation of definition documents from abstract
+    checks, parsing them back, and evaluation against configuration
+    frames — the machinery behind the OpenSCAP and CIS-CAT columns of
+    Table 2.
+
+    Supported constructs (the ones the paper's Listing 6 exemplifies):
+    [ind:textfilecontent54_test/_object] with [pattern match] operation
+    and [check_existence] of [at_least_one_exists] / [none_exist];
+    [unix:file_test/_object/_state] with uid/gid and a mode ceiling;
+    [definition/criteria/criterion] with AND/OR operators and [negate].
+
+    OCaml's [Re] has no negative lookahead, so checks whose CIS content
+    would use one (e.g. "X11Forwarding set to anything but no") are
+    generated in the equivalent [none_exist]-over-bad-values form, which
+    is also how half the real SSG content is written. *)
+
+type existence =
+  | At_least_one
+  | None_exist
+
+type test =
+  | Text_content of { test_id : string; filepath : string; pattern : string; existence : existence }
+  | File_attrs of { test_id : string; filepath : string; uid : int; gid : int; mode_max : int }
+
+type criteria =
+  | Criterion of { test_ref : string; negate : bool }
+  | Operator of { op : [ `And | `Or ]; negate : bool; children : criteria list }
+
+type definition = {
+  def_id : string;
+  title : string;
+  description : string;
+  criteria : criteria;
+}
+
+type doc = {
+  definitions : definition list;
+  tests : test list;
+}
+
+(** Compile a check into OVAL constructs with ids derived from its
+    checklist id. *)
+val of_check : Checkir.Check.t -> definition * test list
+
+val of_checks : Checkir.Check.t list -> doc
+
+(** Serialize to an [oval_definitions] XML document. *)
+val to_xml : doc -> string
+
+(** Individual node renderings, for embedding in XCCDF fragments. *)
+val definition_to_xml : definition -> Xmllite.t
+
+val test_to_xml : test -> Xmllite.t list
+
+(** Parse a (generated-shape) OVAL document. *)
+val parse : string -> (doc, string) result
+
+(** Evaluate one definition: [true] = compliant. *)
+val eval_definition : doc -> Frames.Frame.t -> definition -> bool
+
+(** Evaluate everything: (definition id, compliant). *)
+val evaluate : doc -> Frames.Frame.t -> (string * bool) list

@@ -1,0 +1,146 @@
+type rule = {
+  rule_id : string;
+  title : string;
+  description : string;
+  severity : string;
+  definition_ref : string;
+  selected : bool;
+}
+
+type benchmark = {
+  benchmark_id : string;
+  rules : rule list;
+}
+
+let rule_of_check (c : Checkir.Check.t) =
+  {
+    rule_id = Printf.sprintf "xccdf_org.cis.content_rule_%s" c.Checkir.Check.id;
+    title = c.Checkir.Check.title;
+    description = c.Checkir.Check.description;
+    severity = "medium";
+    definition_ref = Printf.sprintf "oval:%s:def:1" c.Checkir.Check.id;
+    selected = true;
+  }
+
+let of_checks ~id checks = { benchmark_id = id; rules = List.map rule_of_check checks }
+
+let el = Xmllite.element
+let txt ?(attrs = []) tag s = Xmllite.Element (el tag ~attrs ~children:[ Xmllite.text_child s ])
+
+let rule_element r =
+  Xmllite.Element
+    (el "Rule"
+       ~attrs:[ ("id", r.rule_id); ("selected", "false"); ("severity", r.severity) ]
+       ~children:
+         [
+           txt "title" ~attrs:[ ("xml:lang", "en-US") ] r.title;
+           txt "description" ~attrs:[ ("xml:lang", "en-US") ]
+             (if r.description = "" then r.title else r.description);
+           txt "rationale" ~attrs:[ ("xml:lang", "en-US") ]
+             "Required by the benchmark profile this rule belongs to.";
+           Xmllite.Element
+             (el "reference"
+                ~attrs:[ ("href", "https://benchmarks.cisecurity.org/") ]
+                ~children:[ Xmllite.text_child "CIS" ]);
+           Xmllite.Element
+             (el "check"
+                ~attrs:[ ("system", "http://oval.mitre.org/XMLSchema/oval-definitions-5") ]
+                ~children:
+                  [
+                    Xmllite.Element
+                      (el "check-content-ref"
+                         ~attrs:[ ("name", r.definition_ref); ("href", "oval-definitions.xml") ]);
+                  ]);
+         ])
+
+let to_xml b =
+  let selects =
+    List.filter_map
+      (fun r ->
+        if r.selected then
+          Some (Xmllite.Element (el "select" ~attrs:[ ("idref", r.rule_id); ("selected", "true") ]))
+        else None)
+      b.rules
+  in
+  let root =
+    el "Benchmark"
+      ~attrs:[ ("id", b.benchmark_id); ("xmlns", "http://checklists.nist.gov/xccdf/1.2") ]
+      ~children:
+        (Xmllite.Element (el "Profile" ~attrs:[ ("id", b.benchmark_id ^ "_profile") ] ~children:selects)
+         :: List.map rule_element b.rules)
+  in
+  Xmllite.to_string root
+
+let rule_to_xml check =
+  let b = of_checks ~id:"single" [ check ] in
+  let oval_doc = Oval.of_checks [ check ] in
+  (* The per-rule spec, as counted in Listing 6: select + Rule + the OVAL
+     definition/test/object it references. *)
+  let rule = List.hd b.rules in
+  let select =
+    Xmllite.Element (el "select" ~attrs:[ ("idref", rule.rule_id); ("selected", "true") ])
+  in
+  let oval_parts =
+    List.map Oval.definition_to_xml oval_doc.Oval.definitions
+    @ List.concat_map Oval.test_to_xml oval_doc.Oval.tests
+  in
+  Xmllite.to_string (el "fragment" ~children:((select :: [ rule_element rule ]) @ oval_parts))
+
+let parse xml =
+  match Xmllite.parse xml with
+  | Error e -> Error (Xmllite.error_to_string e)
+  | Ok root ->
+    if root.Xmllite.tag <> "Benchmark" then
+      Error (Printf.sprintf "expected <Benchmark>, got <%s>" root.Xmllite.tag)
+    else
+      let selected_ids =
+        Xmllite.descendants "select" root
+        |> List.filter_map (fun s ->
+               if Xmllite.attr "selected" s = Some "true" then Xmllite.attr "idref" s else None)
+      in
+      let rules =
+        Xmllite.descendants "Rule" root
+        |> List.filter_map (fun r ->
+               match Xmllite.attr "id" r with
+               | None -> None
+               | Some rule_id ->
+                 let text_of tag = Option.fold ~none:"" ~some:Xmllite.text (Xmllite.find tag r) in
+                 let definition_ref =
+                   match Xmllite.find "check" r with
+                   | Some c -> (
+                     match Xmllite.find "check-content-ref" c with
+                     | Some ref_ -> Option.value (Xmllite.attr "name" ref_) ~default:""
+                     | None -> "")
+                   | None -> ""
+                 in
+                 Some
+                   {
+                     rule_id;
+                     title = text_of "title";
+                     description = text_of "description";
+                     severity = Option.value (Xmllite.attr "severity" r) ~default:"medium";
+                     definition_ref;
+                     selected = List.mem rule_id selected_ids;
+                   })
+      in
+      Ok { benchmark_id = Option.value (Xmllite.attr "id" root) ~default:""; rules }
+
+let ( let* ) = Result.bind
+
+let run ~benchmark_xml ~oval_xml frame =
+  let* benchmark = parse benchmark_xml in
+  let* oval = Oval.parse oval_xml in
+  let selected = List.filter (fun r -> r.selected) benchmark.rules in
+  Ok
+    (List.map
+       (fun r ->
+         let compliant =
+           match
+             List.find_opt (fun (d : Oval.definition) -> d.Oval.def_id = r.definition_ref)
+               oval.Oval.definitions
+           with
+           | Some d -> Oval.eval_definition oval frame d
+           | None -> false
+         in
+         (r.rule_id, compliant))
+       selected)

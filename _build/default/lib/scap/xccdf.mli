@@ -1,0 +1,36 @@
+(** XCCDF benchmark documents: the checklist layer above OVAL
+    (paper Listing 6 shows the [<Rule>] / [<select>] shape).
+
+    A benchmark bundles Rule elements — title, description, rationale,
+    reference, and a check-content-ref into an OVAL definition — plus a
+    Profile of [<select>] elements switching rules on. [run] is the
+    OpenSCAP-equivalent entry: parse both documents, resolve selected
+    rules to OVAL definitions, evaluate. *)
+
+type rule = {
+  rule_id : string;
+  title : string;
+  description : string;
+  severity : string;
+  definition_ref : string;  (** OVAL definition id *)
+  selected : bool;
+}
+
+type benchmark = {
+  benchmark_id : string;
+  rules : rule list;
+}
+
+(** Generate the benchmark document for a check list (each check becomes
+    one selected Rule referencing its generated OVAL definition). *)
+val of_checks : id:string -> Checkir.Check.t list -> benchmark
+
+val to_xml : benchmark -> string
+val parse : string -> (benchmark, string) result
+
+(** Per-rule XCCDF+OVAL rendering, for the Listing 6 line counts. *)
+val rule_to_xml : Checkir.Check.t -> string
+
+(** Full OpenSCAP-style evaluation: (rule id, compliant) for every
+    selected rule. *)
+val run : benchmark_xml:string -> oval_xml:string -> Frames.Frame.t -> ((string * bool) list, string) result

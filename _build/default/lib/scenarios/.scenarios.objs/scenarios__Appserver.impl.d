@@ -1,0 +1,1 @@
+lib/scenarios/appserver.ml: Frames List Printf String

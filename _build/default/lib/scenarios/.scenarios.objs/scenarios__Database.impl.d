@@ -1,0 +1,1 @@
+lib/scenarios/database.ml: Frames String

@@ -1,0 +1,1 @@
+lib/scenarios/deployment.ml: Cloud Dockerhost Host List Webstack

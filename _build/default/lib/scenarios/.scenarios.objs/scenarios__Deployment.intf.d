@@ -1,0 +1,1 @@
+lib/scenarios/deployment.mli: Frames

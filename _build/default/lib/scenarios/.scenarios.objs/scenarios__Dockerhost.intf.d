@@ -1,0 +1,1 @@
+lib/scenarios/dockerhost.mli: Frames

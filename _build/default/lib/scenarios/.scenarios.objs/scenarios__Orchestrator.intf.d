@@ -1,0 +1,1 @@
+lib/scenarios/orchestrator.mli: Frames

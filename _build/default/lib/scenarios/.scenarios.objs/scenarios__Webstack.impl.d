@@ -1,0 +1,1 @@
+lib/scenarios/webstack.ml: Docksim Frames String

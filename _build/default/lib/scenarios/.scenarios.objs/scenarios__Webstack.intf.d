@@ -1,0 +1,1 @@
+lib/scenarios/webstack.mli: Docksim Frames

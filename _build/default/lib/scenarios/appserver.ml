@@ -1,0 +1,146 @@
+let good_apache_conf =
+  String.concat "\n"
+    [
+      "ServerTokens Prod";
+      "ServerSignature Off";
+      "TraceEnable Off";
+      "FileETag None";
+      "Timeout 60";
+      "KeepAliveTimeout 5";
+      "User www-data";
+      "Group www-data";
+      "Header always append X-Frame-Options SAMEORIGIN";
+      "<IfModule ssl_module>";
+      "  SSLProtocol all -SSLv3 -SSLv2 -TLSv1 -TLSv1.1";
+      "  SSLCipherSuite HIGH:!aNULL:!SHA1";
+      "</IfModule>";
+      "<Directory /var/www>";
+      "  Options -Indexes -Includes -ExecCGI";
+      "  AllowOverride None";
+      "</Directory>";
+      "";
+    ]
+
+(* Faults: version disclosure, TRACE on, SSLv3, RC4, indexes, root
+   worker, long timeouts, inode ETags, no frame protection. *)
+let bad_apache_conf =
+  String.concat "\n"
+    [
+      "ServerTokens Full";
+      "ServerSignature On";
+      "TraceEnable On";
+      "FileETag INode MTime Size";
+      "Timeout 300";
+      "KeepAliveTimeout 60";
+      "User root";
+      "<IfModule ssl_module>";
+      "  SSLProtocol all";
+      "  SSLCipherSuite RC4:HIGH";
+      "</IfModule>";
+      "<Directory /var/www>";
+      "  Options Indexes FollowSymLinks";
+      "</Directory>";
+      "";
+    ]
+
+let apache_frame ~id ~conf ~mode =
+  Frames.Frame.add_files
+    (Frames.Frame.create ~id Frames.Frame.Host)
+    [ Frames.File.make ~mode ~content:conf "/etc/apache2/apache2.conf" ]
+
+let apache_compliant () = apache_frame ~id:"apache-good" ~conf:good_apache_conf ~mode:0o644
+let apache_misconfigured () = apache_frame ~id:"apache-bad" ~conf:bad_apache_conf ~mode:0o664
+
+let site_xml properties =
+  "<?xml version=\"1.0\"?>\n<configuration>\n"
+  ^ String.concat ""
+      (List.map
+         (fun (name, value) ->
+           Printf.sprintf "  <property>\n    <name>%s</name>\n    <value>%s</value>\n  </property>\n"
+             name value)
+         properties)
+  ^ "</configuration>\n"
+
+let good_core_site =
+  site_xml
+    [
+      ("fs.defaultFS", "hdfs://namenode:8020");
+      ("hadoop.security.authentication", "kerberos");
+      ("hadoop.security.authorization", "true");
+      ("hadoop.rpc.protection", "privacy");
+      ("fs.permissions.umask-mode", "077");
+    ]
+
+let good_hdfs_site =
+  site_xml
+    [
+      ("dfs.permissions.enabled", "true");
+      ("dfs.encrypt.data.transfer", "true");
+      ("dfs.datanode.data.dir.perm", "700");
+      ("dfs.namenode.acls.enabled", "true");
+    ]
+
+let good_yarn_site = site_xml [ ("yarn.acl.enable", "true") ]
+
+(* Faults: simple auth, no authorization, cleartext RPC and block
+   transfer, permissive umask and datanode dirs, ACLs off. *)
+let bad_core_site =
+  site_xml
+    [
+      ("fs.defaultFS", "hdfs://namenode:8020");
+      ("hadoop.security.authentication", "simple");
+      ("hadoop.security.authorization", "false");
+      ("fs.permissions.umask-mode", "022");
+    ]
+
+let bad_hdfs_site =
+  site_xml
+    [
+      ("dfs.permissions.enabled", "false");
+      ("dfs.datanode.data.dir.perm", "755");
+    ]
+
+let bad_yarn_site = site_xml [ ("yarn.acl.enable", "false") ]
+
+let hadoop_frame ~id ~core ~hdfs ~yarn ~mode =
+  Frames.Frame.add_files
+    (Frames.Frame.create ~id Frames.Frame.Host)
+    [
+      Frames.File.make ~mode ~content:core "/etc/hadoop/conf/core-site.xml";
+      Frames.File.make ~mode ~content:hdfs "/etc/hadoop/conf/hdfs-site.xml";
+      Frames.File.make ~mode ~content:yarn "/etc/hadoop/conf/yarn-site.xml";
+    ]
+
+let hadoop_compliant () =
+  hadoop_frame ~id:"hadoop-good" ~core:good_core_site ~hdfs:good_hdfs_site ~yarn:good_yarn_site
+    ~mode:0o644
+
+let hadoop_misconfigured () =
+  hadoop_frame ~id:"hadoop-bad" ~core:bad_core_site ~hdfs:bad_hdfs_site ~yarn:bad_yarn_site
+    ~mode:0o666
+
+let injected_faults =
+  [
+    ("apache", "ServerTokens");
+    ("apache", "ServerSignature");
+    ("apache", "TraceEnable");
+    ("apache", "SSLProtocol");
+    ("apache", "SSLCipherSuite");
+    ("apache", "Options");
+    ("apache", "FileETag");
+    ("apache", "Timeout");
+    ("apache", "KeepAliveTimeout");
+    ("apache", "Header X-Frame-Options");
+    ("apache", "User");
+    ("apache", "/etc/apache2/apache2.conf");
+    ("hadoop", "hadoop.security.authentication");
+    ("hadoop", "hadoop.security.authorization");
+    ("hadoop", "hadoop.rpc.protection");
+    ("hadoop", "fs.permissions.umask-mode");
+    ("hadoop", "dfs.permissions.enabled");
+    ("hadoop", "dfs.encrypt.data.transfer");
+    ("hadoop", "dfs.datanode.data.dir.perm");
+    ("hadoop", "dfs.namenode.acls.enabled");
+    ("hadoop", "yarn.acl.enable");
+    ("hadoop", "/etc/hadoop/conf/core-site.xml");
+  ]

@@ -1,0 +1,12 @@
+(** Apache httpd host frames (the remaining Table 1 application
+    targets): compliant and misconfigured variants for the OWASP apache
+    ruleset, and Hadoop data-platform frames for the HIPAA/PCI hadoop
+    ruleset. *)
+
+val apache_compliant : unit -> Frames.Frame.t
+val apache_misconfigured : unit -> Frames.Frame.t
+
+val hadoop_compliant : unit -> Frames.Frame.t
+val hadoop_misconfigured : unit -> Frames.Frame.t
+
+val injected_faults : (string * string) list

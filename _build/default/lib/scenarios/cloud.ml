@@ -1,0 +1,152 @@
+let good_keystone_conf =
+  String.concat "\n"
+    [
+      "[DEFAULT]";
+      "debug = false";
+      "[token]";
+      "provider = fernet";
+      "expiration = 3600";
+      "[security_compliance]";
+      "lockout_failure_attempts = 6";
+      "lockout_duration = 1800";
+      "";
+    ]
+
+(* Faults: uuid tokens, 24h expiration, bootstrap admin token present,
+   insecure_debug, no lockout policy. *)
+let bad_keystone_conf =
+  String.concat "\n"
+    [
+      "[DEFAULT]";
+      "admin_token = SUPERSECRET";
+      "insecure_debug = true";
+      "debug = true";
+      "[token]";
+      "provider = uuid";
+      "expiration = 86400";
+      "";
+    ]
+
+let good_nova_conf =
+  String.concat "\n"
+    [
+      "[DEFAULT]";
+      "auth_strategy = keystone";
+      "debug = false";
+      "[glance]";
+      "api_insecure = false";
+      "";
+    ]
+
+(* Faults: noauth, insecure glance. *)
+let bad_nova_conf =
+  String.concat "\n"
+    [
+      "[DEFAULT]";
+      "auth_strategy = noauth2";
+      "[glance]";
+      "api_insecure = true";
+      "";
+    ]
+
+let good_secgroups =
+  [
+    Cloudsim.Secgroup.make ~name:"web" ~description:"edge tier"
+      [
+        Cloudsim.Secgroup.ingress ~port:443 ();
+        Cloudsim.Secgroup.ingress ~port:80 ();
+        Cloudsim.Secgroup.ingress ~cidr:"10.0.0.0/8" ~port:22 ();
+      ];
+    Cloudsim.Secgroup.make ~name:"db" ~description:"data tier"
+      [ Cloudsim.Secgroup.ingress ~cidr:"10.0.1.0/24" ~port:3306 () ];
+  ]
+
+(* Faults: SSH and MySQL world-open. *)
+let bad_secgroups =
+  [
+    Cloudsim.Secgroup.make ~name:"web" ~description:"edge tier"
+      [
+        Cloudsim.Secgroup.ingress ~port:443 ();
+        Cloudsim.Secgroup.ingress ~port:22 ();
+      ];
+    Cloudsim.Secgroup.make ~name:"db" ~description:"data tier"
+      [ Cloudsim.Secgroup.ingress_range 3300 3310 ];
+  ]
+
+let good_users =
+  [
+    { Cloudsim.Deployment.name = "alice"; role = "admin"; enabled = true; multi_factor = true };
+    { Cloudsim.Deployment.name = "bob"; role = "member"; enabled = true; multi_factor = false };
+    { Cloudsim.Deployment.name = "svc-deploy"; role = "member"; enabled = true; multi_factor = false };
+  ]
+
+(* Fault: an enabled admin without MFA. *)
+let bad_users =
+  [
+    { Cloudsim.Deployment.name = "alice"; role = "admin"; enabled = true; multi_factor = true };
+    { Cloudsim.Deployment.name = "mallory"; role = "admin"; enabled = true; multi_factor = false };
+  ]
+
+let instances =
+  [
+    {
+      Cloudsim.Deployment.id = "i-001";
+      name = "web-1";
+      image = "shop/nginx:1.13";
+      flavor = "m1.small";
+      security_groups = [ "web" ];
+      public_ip = true;
+    };
+    {
+      Cloudsim.Deployment.id = "i-002";
+      name = "db-1";
+      image = "shop/mysql:5.7";
+      flavor = "m1.medium";
+      security_groups = [ "db" ];
+      public_ip = false;
+    };
+  ]
+
+let deployment ~compliant =
+  let keystone = if compliant then good_keystone_conf else bad_keystone_conf in
+  let nova = if compliant then good_nova_conf else bad_nova_conf in
+  Cloudsim.Deployment.make
+    ~name:(if compliant then "cloud-good" else "cloud-bad")
+    ~services:
+      [
+        Cloudsim.Deployment.service ~name:"keystone" ~path:"/etc/keystone/keystone.conf" keystone;
+        Cloudsim.Deployment.service ~name:"nova" ~path:"/etc/nova/nova.conf" nova;
+      ]
+    ~security_groups:(if compliant then good_secgroups else bad_secgroups)
+    ~users:(if compliant then good_users else bad_users)
+    ~instances ()
+
+let compliant () = deployment ~compliant:true
+let misconfigured () = deployment ~compliant:false
+
+let fix_keystone_perms ~compliant frame =
+  let mode = if compliant then 0o640 else 0o644 in
+  let frame = Frames.Frame.chmod frame ~path:"/etc/keystone/keystone.conf" mode in
+  if compliant then Frames.Frame.chown frame ~path:"/etc/keystone/keystone.conf" ~uid:116 ~gid:116
+  else frame
+
+let compliant_frame () = fix_keystone_perms ~compliant:true (Cloudsim.Deployment.to_frame (compliant ()))
+
+let misconfigured_frame () =
+  fix_keystone_perms ~compliant:false (Cloudsim.Deployment.to_frame (misconfigured ()))
+
+let injected_faults =
+  [
+    ("openstack", "provider");
+    ("openstack", "expiration");
+    ("openstack", "admin_token");
+    ("openstack", "lockout_failure_attempts");
+    ("openstack", "insecure_debug");
+    ("openstack", "auth_strategy");
+    ("openstack", "debug");
+    ("openstack", "api_insecure");
+    ("openstack", "world_open_ssh");
+    ("openstack", "world_open_db");
+    ("openstack", "admins_without_mfa");
+    ("openstack", "/etc/keystone/keystone.conf");
+  ]

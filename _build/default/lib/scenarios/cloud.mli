@@ -1,0 +1,11 @@
+(** Synthetic OpenStack deployments for the OSSG rules: control-plane
+    configs (keystone.conf, nova.conf) plus API-resident security
+    groups and identity users. *)
+
+val compliant : unit -> Cloudsim.Deployment.t
+val misconfigured : unit -> Cloudsim.Deployment.t
+
+val compliant_frame : unit -> Frames.Frame.t
+val misconfigured_frame : unit -> Frames.Frame.t
+
+val injected_faults : (string * string) list

@@ -1,0 +1,61 @@
+let good_postgresql_conf =
+  String.concat "\n"
+    [
+      "listen_addresses = 'localhost'";
+      "port = 5432";
+      "max_connections = 200";
+      "ssl = on";
+      "ssl_ciphers = 'HIGH:!aNULL:!MD5'   # strong suites only";
+      "password_encryption = scram-sha-256";
+      "logging_collector = on";
+      "log_connections = on";
+      "log_disconnections = on";
+      "log_statement = 'ddl'";
+      "shared_preload_libraries = 'pgaudit'";
+      "";
+    ]
+
+(* Faults: world listener, no TLS, md5 hashing, auditing off, unbounded
+   connections, lax file modes. *)
+let bad_postgresql_conf =
+  String.concat "\n"
+    [
+      "listen_addresses = '*'";
+      "port = 5432";
+      "max_connections = 10000";
+      "ssl = off";
+      "password_encryption = md5";
+      "log_statement = 'none'";
+      "";
+    ]
+
+let build ~id ~conf ~conf_mode ~data_mode =
+  let frame = Frames.Frame.create ~id Frames.Frame.Host in
+  Frames.Frame.add_files frame
+    [
+      Frames.File.make ~mode:conf_mode ~uid:26 ~gid:26 ~owner:"postgres" ~group:"postgres"
+        ~content:conf "/etc/postgresql/postgresql.conf";
+      Frames.File.directory ~mode:data_mode ~uid:26 ~gid:26 ~owner:"postgres" ~group:"postgres"
+        "/var/lib/postgresql/data";
+    ]
+
+let compliant () =
+  build ~id:"postgres-good" ~conf:good_postgresql_conf ~conf_mode:0o600 ~data_mode:0o700
+
+let misconfigured () =
+  build ~id:"postgres-bad" ~conf:bad_postgresql_conf ~conf_mode:0o644 ~data_mode:0o755
+
+let injected_faults =
+  [
+    ("postgres", "listen_addresses");
+    ("postgres", "ssl");
+    ("postgres", "password_encryption");
+    ("postgres", "logging_collector");
+    ("postgres", "log_connections");
+    ("postgres", "log_disconnections");
+    ("postgres", "log_statement");
+    ("postgres", "shared_preload_libraries");
+    ("postgres", "max_connections");
+    ("postgres", "/etc/postgresql/postgresql.conf");
+    ("postgres", "/var/lib/postgresql/data");
+  ]

@@ -1,0 +1,5 @@
+(** PostgreSQL host frames for the post-paper postgres target. *)
+
+val compliant : unit -> Frames.Frame.t
+val misconfigured : unit -> Frames.Frame.t
+val injected_faults : (string * string) list

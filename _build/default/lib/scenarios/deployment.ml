@@ -1,0 +1,31 @@
+let three_tier ~compliant =
+  [
+    (if compliant then Host.compliant () else Host.misconfigured ());
+    Webstack.nginx_container_frame ~compliant;
+    Webstack.mysql_container_frame ~compliant;
+    (if compliant then Dockerhost.compliant () else Dockerhost.misconfigured ());
+    (if compliant then Cloud.compliant_frame () else Cloud.misconfigured_frame ());
+  ]
+
+let container_fleet n =
+  List.init n (fun i ->
+      let compliant = i mod 2 = 0 in
+      let frame =
+        if i mod 4 < 2 then Webstack.nginx_container_frame ~compliant
+        else Webstack.mysql_container_frame ~compliant
+      in
+      (* Distinct ids keep report rows distinguishable. *)
+      ignore frame;
+      frame)
+
+(* The composites fail as a consequence of the per-entity faults. *)
+let composite_faults =
+  [
+    ("stack", "mysql ssl-ca path and sysctl and nginx SSL");
+    ("stack", "tls_everywhere");
+    ("stack", "no_root_anywhere");
+  ]
+
+let injected_faults =
+  Host.injected_faults @ Webstack.injected_faults @ Dockerhost.injected_faults
+  @ Cloud.injected_faults @ composite_faults

@@ -1,0 +1,13 @@
+(** The three-tier deployment the paper's composite example spans: an
+    Ubuntu host (sshd/sysctl/…), an nginx container, a MySQL container,
+    a Docker daemon host, and the cloud control plane. *)
+
+(** All five frames, compliant or misconfigured together. *)
+val three_tier : compliant:bool -> Frames.Frame.t list
+
+(** A fleet of [n] container frames (alternating nginx/mysql, faults on
+    the odd ones) for the scaling ablation. *)
+val container_fleet : int -> Frames.Frame.t list
+
+(** Every injected fault across the misconfigured deployment. *)
+val injected_faults : (string * string) list

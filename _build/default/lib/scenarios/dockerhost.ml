@@ -1,0 +1,40 @@
+let good_daemon_json =
+  {json|{
+  "icc": false,
+  "userland-proxy": false,
+  "live-restore": true,
+  "userns-remap": "default",
+  "log-driver": "syslog",
+  "log-opts": {"max-size": "10m"}
+}
+|json}
+
+(* Faults: icc unrestricted, an insecure registry, no userns remap, no
+   log driver, live-restore off. *)
+let bad_daemon_json =
+  {json|{
+  "icc": true,
+  "insecure-registries": ["registry.internal:5000"]
+}
+|json}
+
+let build ~id ~daemon_json =
+  let frame = Frames.Frame.create ~id Frames.Frame.Host in
+  Frames.Frame.add_files frame
+    [
+      Frames.File.make ~mode:0o644 ~content:daemon_json "/etc/docker/daemon.json";
+      Frames.File.directory ~mode:0o755 "/etc/docker/certs.d";
+    ]
+
+let compliant () = build ~id:"dockerhost-good" ~daemon_json:good_daemon_json
+let misconfigured () = build ~id:"dockerhost-bad" ~daemon_json:bad_daemon_json
+
+let injected_faults =
+  [
+    ("docker", "icc");
+    ("docker", "userland-proxy");
+    ("docker", "live-restore");
+    ("docker", "insecure-registries");
+    ("docker", "userns-remap");
+    ("docker", "log-driver");
+  ]

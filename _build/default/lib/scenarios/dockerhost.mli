@@ -1,0 +1,6 @@
+(** Docker daemon host frames: /etc/docker/daemon.json in compliant and
+    misconfigured variants, for the CIS-Docker daemon rules. *)
+
+val compliant : unit -> Frames.Frame.t
+val misconfigured : unit -> Frames.Frame.t
+val injected_faults : (string * string) list

@@ -1,0 +1,294 @@
+let good_sshd_config =
+  String.concat "\n"
+    [
+      "# OpenSSH server configuration (CIS-hardened)";
+      "Protocol 2";
+      "LogLevel INFO";
+      "X11Forwarding no";
+      "MaxAuthTries 4";
+      "IgnoreRhosts yes";
+      "HostbasedAuthentication no";
+      "PermitRootLogin no";
+      "PermitEmptyPasswords no";
+      "PermitUserEnvironment no";
+      "Ciphers aes256-ctr,aes192-ctr,aes128-ctr";
+      "ClientAliveInterval 300";
+      "ClientAliveCountMax 0";
+      "LoginGraceTime 60";
+      "Banner /etc/issue.net";
+      "Subsystem sftp /usr/lib/openssh/sftp-server";
+      "";
+    ]
+
+(* Faults: root login permitted, X11 forwarding on, weak cipher listed,
+   no banner, grace time too long. *)
+let bad_sshd_config =
+  String.concat "\n"
+    [
+      "Protocol 2";
+      "LogLevel INFO";
+      "X11Forwarding yes";
+      "MaxAuthTries 4";
+      "IgnoreRhosts yes";
+      "HostbasedAuthentication no";
+      "PermitRootLogin yes";
+      "PermitEmptyPasswords no";
+      "PermitUserEnvironment no";
+      "Ciphers aes256-ctr,aes128-cbc";
+      "ClientAliveInterval 300";
+      "LoginGraceTime 120";
+      "";
+    ]
+
+let good_sysctl_conf =
+  String.concat "\n"
+    [
+      "# Kernel network hardening (CIS 7.x)";
+      "net.ipv4.ip_forward = 0";
+      "net.ipv4.conf.all.send_redirects = 0";
+      "net.ipv4.conf.default.send_redirects = 0";
+      "net.ipv4.conf.all.accept_source_route = 0";
+      "net.ipv4.conf.default.accept_source_route = 0";
+      "net.ipv4.conf.all.accept_redirects = 0";
+      "net.ipv4.conf.default.accept_redirects = 0";
+      "net.ipv4.conf.all.secure_redirects = 0";
+      "net.ipv4.conf.all.log_martians = 1";
+      "net.ipv4.icmp_echo_ignore_broadcasts = 1";
+      "net.ipv4.icmp_ignore_bogus_error_responses = 1";
+      "net.ipv4.conf.all.rp_filter = 1";
+      "net.ipv4.tcp_syncookies = 1";
+      "";
+    ]
+
+(* Faults: forwarding enabled, syncookies line missing, martian logging
+   off. *)
+let bad_sysctl_conf =
+  String.concat "\n"
+    [
+      "net.ipv4.ip_forward = 1";
+      "net.ipv4.conf.all.send_redirects = 0";
+      "net.ipv4.conf.default.send_redirects = 0";
+      "net.ipv4.conf.all.accept_source_route = 0";
+      "net.ipv4.conf.default.accept_source_route = 0";
+      "net.ipv4.conf.all.accept_redirects = 0";
+      "net.ipv4.conf.default.accept_redirects = 0";
+      "net.ipv4.conf.all.secure_redirects = 0";
+      "net.ipv4.conf.all.log_martians = 0";
+      "net.ipv4.icmp_echo_ignore_broadcasts = 1";
+      "net.ipv4.icmp_ignore_bogus_error_responses = 1";
+      "net.ipv4.conf.all.rp_filter = 1";
+      "";
+    ]
+
+let good_fstab =
+  String.concat "\n"
+    [
+      "# <device> <dir> <fstype> <options> <dump> <pass>";
+      "UUID=0a5b-01 / ext4 errors=remount-ro 0 1";
+      "UUID=0a5b-02 /tmp ext4 nodev,nosuid,noexec 0 2";
+      "UUID=0a5b-03 /var ext4 defaults 0 2";
+      "UUID=0a5b-04 /var/log ext4 defaults 0 2";
+      "UUID=0a5b-05 /home ext4 nodev 0 2";
+      "tmpfs /run/shm tmpfs nodev,nosuid,noexec 0 0";
+      "";
+    ]
+
+(* Faults: /tmp is on the root partition (no row), /home missing,
+   /run/shm lacks noexec. *)
+let bad_fstab =
+  String.concat "\n"
+    [
+      "UUID=0a5b-01 / ext4 errors=remount-ro 0 1";
+      "UUID=0a5b-03 /var ext4 defaults 0 2";
+      "UUID=0a5b-04 /var/log ext4 defaults 0 2";
+      "tmpfs /run/shm tmpfs nodev,nosuid 0 0";
+      "";
+    ]
+
+let good_modprobe =
+  String.concat "\n"
+    [
+      "install cramfs /bin/true";
+      "install freevxfs /bin/true";
+      "install jffs2 /bin/true";
+      "install hfs /bin/true";
+      "install hfsplus /bin/true";
+      "install squashfs /bin/true";
+      "install udf /bin/true";
+      "install dccp /bin/true";
+      "blacklist usb-storage";
+      "";
+    ]
+
+(* Faults: cramfs loadable, usb-storage not blacklisted. *)
+let bad_modprobe =
+  String.concat "\n"
+    [
+      "install freevxfs /bin/true";
+      "install jffs2 /bin/true";
+      "install hfs /bin/true";
+      "install hfsplus /bin/true";
+      "install squashfs /bin/true";
+      "install udf /bin/true";
+      "install dccp /bin/true";
+      "";
+    ]
+
+let good_audit_rules =
+  String.concat "\n"
+    [
+      "-b 8192";
+      "-a always,exit -F arch=b64 -S adjtimex -S settimeofday -k time-change";
+      "-a always,exit -F arch=b64 -S chmod -S fchmod -S chown -k perm_mod";
+      "-a always,exit -F arch=b64 -S mount -k mounts";
+      "-w /etc/passwd -p wa -k identity";
+      "-w /etc/group -p wa -k identity";
+      "-w /etc/shadow -p wa -k identity";
+      "-w /etc/gshadow -p wa -k identity";
+      "-w /etc/security/opasswd -p wa -k identity";
+      "-w /etc/network -p wa -k system-locale";
+      "-w /etc/apparmor -p wa -k MAC-policy";
+      "-w /var/log/faillog -p wa -k logins";
+      "-w /var/log/lastlog -p wa -k logins";
+      "-w /var/log/tallylog -p wa -k logins";
+      "-w /var/run/utmp -p wa -k session";
+      "-w /etc/sudoers -p wa -k scope";
+      "-w /var/log/sudo.log -p wa -k actions";
+      "-e 2";
+      "";
+    ]
+
+(* Faults: shadow watch missing, sudoers watch read-only, mounts rule
+   missing, no -e 2. *)
+let bad_audit_rules =
+  String.concat "\n"
+    [
+      "-b 8192";
+      "-a always,exit -F arch=b64 -S adjtimex -S settimeofday -k time-change";
+      "-a always,exit -F arch=b64 -S chmod -S fchmod -S chown -k perm_mod";
+      "-w /etc/passwd -p wa -k identity";
+      "-w /etc/group -p wa -k identity";
+      "-w /etc/gshadow -p wa -k identity";
+      "-w /etc/security/opasswd -p wa -k identity";
+      "-w /etc/network -p wa -k system-locale";
+      "-w /etc/apparmor -p wa -k MAC-policy";
+      "-w /var/log/faillog -p wa -k logins";
+      "-w /var/log/lastlog -p wa -k logins";
+      "-w /var/log/tallylog -p wa -k logins";
+      "-w /var/run/utmp -p wa -k session";
+      "-w /etc/sudoers -p r -k scope";
+      "-w /var/log/sudo.log -p wa -k actions";
+      "";
+    ]
+
+let etc_passwd =
+  String.concat "\n"
+    [
+      "root:x:0:0:root:/root:/bin/bash";
+      "daemon:x:1:1:daemon:/usr/sbin:/usr/sbin/nologin";
+      "www-data:x:33:33:www-data:/var/www:/usr/sbin/nologin";
+      "mysql:x:105:114:MySQL Server:/nonexistent:/bin/false";
+      "sshd:x:104:65534::/var/run/sshd:/usr/sbin/nologin";
+      "";
+    ]
+
+let etc_group =
+  String.concat "\n"
+    [
+      "root:x:0:";
+      "daemon:x:1:";
+      "www-data:x:33:";
+      "mysql:x:114:";
+      "";
+    ]
+
+let base_files =
+  [
+    Frames.File.make ~content:etc_passwd "/etc/passwd";
+    Frames.File.make ~content:etc_group "/etc/group";
+    Frames.File.make ~mode:0o640 ~content:"root:*:16000:0:99999:7:::\n" "/etc/shadow";
+    Frames.File.make ~content:"Authorized access only.\n" "/etc/issue.net";
+    Frames.File.make ~content:"127.0.0.1 localhost\n" "/etc/hosts";
+  ]
+
+let good_kernel_params =
+  [
+    ("kernel.randomize_va_space", "2");
+    ("net.ipv4.ip_forward", "0");
+    ("net.ipv4.tcp_syncookies", "1");
+    ("fs.suid_dumpable", "0");
+  ]
+
+let bad_kernel_params =
+  [
+    ("kernel.randomize_va_space", "0");
+    ("net.ipv4.ip_forward", "1");
+    ("net.ipv4.tcp_syncookies", "1");
+    ("fs.suid_dumpable", "1");
+  ]
+
+let build ~id ~sshd ~sshd_mode ~sysctl ~fstab ~modprobe ~audit ~kernel_params =
+  let frame = Frames.Frame.create ~id Frames.Frame.Host in
+  let frame =
+    Frames.Frame.add_files frame
+      (base_files
+      @ [
+          Frames.File.make ~mode:sshd_mode ~content:sshd "/etc/ssh/sshd_config";
+          Frames.File.make ~content:sysctl "/etc/sysctl.conf";
+          Frames.File.make ~content:fstab "/etc/fstab";
+          Frames.File.make ~content:modprobe "/etc/modprobe.d/CIS.conf";
+          Frames.File.make ~mode:0o640 ~content:audit "/etc/audit/audit.rules";
+        ])
+  in
+  let frame =
+    Frames.Frame.set_packages frame
+      [
+        { Frames.Frame.name = "openssh-server"; version = "6.6p1" };
+        { Frames.Frame.name = "auditd"; version = "2.3.2" };
+      ]
+  in
+  let frame =
+    Frames.Frame.set_processes frame
+      [
+        { Frames.Frame.pid = 1; user = "root"; command = "/sbin/init" };
+        { Frames.Frame.pid = 612; user = "root"; command = "/usr/sbin/sshd -D" };
+        { Frames.Frame.pid = 701; user = "root"; command = "/sbin/auditd" };
+      ]
+  in
+  Frames.Frame.set_kernel_params frame kernel_params
+
+let compliant () =
+  build ~id:"host-good" ~sshd:good_sshd_config ~sshd_mode:0o600 ~sysctl:good_sysctl_conf
+    ~fstab:good_fstab ~modprobe:good_modprobe ~audit:good_audit_rules
+    ~kernel_params:good_kernel_params
+
+let misconfigured () =
+  build ~id:"host-bad" ~sshd:bad_sshd_config ~sshd_mode:0o644 ~sysctl:bad_sysctl_conf
+    ~fstab:bad_fstab ~modprobe:bad_modprobe ~audit:bad_audit_rules
+    ~kernel_params:bad_kernel_params
+
+let injected_faults =
+  [
+    ("sshd", "X11Forwarding");
+    ("sshd", "PermitRootLogin");
+    ("sshd", "Ciphers");
+    ("sshd", "LoginGraceTime");
+    ("sshd", "Banner");
+    ("sshd", "/etc/ssh/sshd_config");
+    ("sysctl", "net.ipv4.ip_forward");
+    ("sysctl", "net.ipv4.conf.all.log_martians");
+    ("sysctl", "net.ipv4.tcp_syncookies");
+    ("sysctl", "kernel.randomize_va_space");
+    ("fstab", "check_tmp_separate_partition");
+    ("fstab", "check_tmp_nodev");
+    ("fstab", "check_tmp_nosuid");
+    ("fstab", "check_tmp_noexec");
+    ("fstab", "check_home_separate_partition");
+    ("fstab", "check_run_shm_noexec");
+    ("modprobe", "disable_cramfs");
+    ("modprobe", "blacklist_usb-storage");
+    ("audit", "audit_watch_etc_shadow");
+    ("audit", "audit_watch_etc_sudoers");
+    ("audit", "audit_syscall_mounts");
+    ("audit", "audit_immutable");
+  ]

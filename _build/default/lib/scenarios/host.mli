@@ -1,0 +1,24 @@
+(** Synthetic Ubuntu 14.04 host frames.
+
+    [compliant] passes the whole system-service ruleset; [misconfigured]
+    carries a known set of injected faults. {!injected_faults} lists the
+    (entity, rule name) pairs the misconfigured host must fail —
+    integration tests assert the validator reports exactly these. *)
+
+val compliant : unit -> Frames.Frame.t
+val misconfigured : unit -> Frames.Frame.t
+
+(** The faults injected into {!misconfigured}, as (entity, rule name). *)
+val injected_faults : (string * string) list
+
+(** {2 Raw configuration texts}
+
+    Exposed so lens round-trip tests and benches can reuse realistic
+    inputs. *)
+
+val good_sshd_config : string
+val good_sysctl_conf : string
+val good_fstab : string
+val good_modprobe : string
+val good_audit_rules : string
+val etc_passwd : string

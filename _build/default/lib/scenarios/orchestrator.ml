@@ -1,0 +1,124 @@
+let good_compose =
+  String.concat "\n"
+    [
+      "version: \"3.8\"";
+      "services:";
+      "  web:";
+      "    image: shop/nginx:1.13-hardened";
+      "    read_only: true";
+      "    mem_limit: 512m";
+      "    restart: on-failure:5";
+      "    security_opt: [no-new-privileges:true]";
+      "    ports: [\"443:443\"]";
+      "  db:";
+      "    image: shop/mysql:5.7-hardened";
+      "    read_only: true";
+      "    mem_limit: 1g";
+      "    restart: on-failure:5";
+      "    security_opt: [no-new-privileges:true]";
+      "    volumes: [\"dbdata:/var/lib/mysql\"]";
+      "";
+    ]
+
+(* Faults: privileged web, host network, docker.sock mount, always
+   restart, root user, SYS_ADMIN, no limits/read_only/security_opt. *)
+let bad_compose =
+  String.concat "\n"
+    [
+      "version: \"3.8\"";
+      "services:";
+      "  web:";
+      "    image: shop/nginx:1.13";
+      "    privileged: true";
+      "    network_mode: host";
+      "    restart: always";
+      "    user: root";
+      "    cap_add: [SYS_ADMIN]";
+      "    volumes: [\"/var/run/docker.sock:/var/run/docker.sock\"]";
+      "  db:";
+      "    image: shop/mysql:5.7";
+      "    pid: host";
+      "";
+    ]
+
+let good_pod =
+  String.concat "\n"
+    [
+      "apiVersion: v1";
+      "kind: Pod";
+      "metadata:";
+      "  name: web";
+      "spec:";
+      "  automountServiceAccountToken: false";
+      "  containers:";
+      "    - name: nginx";
+      "      image: shop/nginx:1.13-hardened";
+      "      imagePullPolicy: Always";
+      "      securityContext:";
+      "        allowPrivilegeEscalation: false";
+      "        readOnlyRootFilesystem: true";
+      "        runAsNonRoot: true";
+      "      resources:";
+      "        limits:";
+      "          memory: 512Mi";
+      "          cpu: 500m";
+      "";
+    ]
+
+(* Faults: host namespaces, privileged, escalation allowed, writable
+   root, root user, no limits, stale pull policy, token mounted. *)
+let bad_pod =
+  String.concat "\n"
+    [
+      "apiVersion: v1";
+      "kind: Pod";
+      "metadata:";
+      "  name: web";
+      "spec:";
+      "  hostNetwork: true";
+      "  hostPID: true";
+      "  automountServiceAccountToken: true";
+      "  containers:";
+      "    - name: nginx";
+      "      image: shop/nginx:latest";
+      "      imagePullPolicy: IfNotPresent";
+      "      securityContext:";
+      "        privileged: true";
+      "        allowPrivilegeEscalation: true";
+      "        readOnlyRootFilesystem: false";
+      "";
+    ]
+
+let frame_with ~id path content =
+  Frames.Frame.add_file
+    (Frames.Frame.create ~id Frames.Frame.Host)
+    (Frames.File.make ~content path)
+
+let compose_compliant () = frame_with ~id:"compose-good" "/srv/app/docker-compose.yml" good_compose
+let compose_misconfigured () = frame_with ~id:"compose-bad" "/srv/app/docker-compose.yml" bad_compose
+let k8s_compliant () = frame_with ~id:"k8s-good" "/etc/kubernetes/manifests/web.yaml" good_pod
+let k8s_misconfigured () = frame_with ~id:"k8s-bad" "/etc/kubernetes/manifests/web.yaml" bad_pod
+
+let injected_faults =
+  [
+    ("compose", "privileged");
+    ("compose", "network_mode");
+    ("compose", "pid");
+    ("compose", "restart");
+    ("compose", "mem_limit");
+    ("compose", "read_only");
+    ("compose", "user");
+    ("compose", "cap_add");
+    ("compose", "volumes");
+    ("compose", "security_opt");
+    ("kubernetes", "hostNetwork");
+    ("kubernetes", "hostPID");
+    ("kubernetes", "privileged");
+    ("kubernetes", "allowPrivilegeEscalation");
+    ("kubernetes", "readOnlyRootFilesystem");
+    ("kubernetes", "runAsNonRoot");
+    ("kubernetes", "memory");
+    ("kubernetes", "cpu");
+    ("kubernetes", "imagePullPolicy");
+    ("kubernetes", "automountServiceAccountToken");
+  ]

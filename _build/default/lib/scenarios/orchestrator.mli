@@ -1,0 +1,12 @@
+(** Orchestrator manifests: a docker-compose application and a
+    Kubernetes pod manifest, compliant and misconfigured — the
+    post-paper coverage-growth targets. *)
+
+val compose_compliant : unit -> Frames.Frame.t
+val compose_misconfigured : unit -> Frames.Frame.t
+
+val k8s_compliant : unit -> Frames.Frame.t
+val k8s_misconfigured : unit -> Frames.Frame.t
+
+(** (entity, rule) faults injected into the misconfigured variants. *)
+val injected_faults : (string * string) list

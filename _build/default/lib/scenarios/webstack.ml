@@ -1,0 +1,242 @@
+let good_nginx_conf =
+  String.concat "\n"
+    [
+      "user www-data;";
+      "worker_processes auto;";
+      "events { worker_connections 1024; }";
+      "http {";
+      "  server_tokens off;";
+      "  client_max_body_size 8m;";
+      "  server {";
+      "    listen 443 ssl;";
+      "    server_name shop.example.com;";
+      "    ssl_protocols TLSv1.2 TLSv1.3;";
+      "    ssl_ciphers HIGH:!aNULL:!MD5;";
+      "    ssl_prefer_server_ciphers on;";
+      "    ssl_certificate /etc/nginx/tls/server.crt;";
+      "    ssl_certificate_key /etc/nginx/tls/server.key;";
+      "    add_header X-Frame-Options SAMEORIGIN;";
+      "    add_header Strict-Transport-Security \"max-age=31536000\";";
+      "    location / { proxy_pass http://app:8080; }";
+      "  }";
+      "}";
+      "";
+    ]
+
+(* Faults: plain-HTTP listener, SSLv3 enabled, weak ciphers, version
+   disclosure, directory listings, missing headers. *)
+let bad_nginx_conf =
+  String.concat "\n"
+    [
+      "user www-data;";
+      "events { worker_connections 1024; }";
+      "http {";
+      "  server {";
+      "    listen 80;";
+      "    server_name shop.example.com;";
+      "    ssl_protocols SSLv3 TLSv1.2;";
+      "    ssl_ciphers RC4:HIGH;";
+      "    ssl_certificate /etc/nginx/tls/server.crt;";
+      "    ssl_certificate_key /etc/nginx/tls/server.key;";
+      "    location /files {";
+      "      autoindex on;";
+      "    }";
+      "  }";
+      "}";
+      "";
+    ]
+
+let good_my_cnf =
+  String.concat "\n"
+    [
+      "[client]";
+      "port = 3306";
+      "[mysqld]";
+      "user = mysql";
+      "port = 3306";
+      "bind-address = 127.0.0.1";
+      "ssl-ca = /etc/mysql/cacert.pem";
+      "ssl-cert = /etc/mysql/server-cert.pem";
+      "ssl-key = /etc/mysql/server-key.pem";
+      "local-infile = 0";
+      "skip-symbolic-links";
+      "secure-file-priv = /var/lib/mysql-files";
+      "log-error = /var/log/mysql/error.log";
+      "";
+    ]
+
+(* Faults: world-reachable listener, local-infile on, no ssl-ca, runs as
+   root, legacy hashing. *)
+let bad_my_cnf =
+  String.concat "\n"
+    [
+      "[client]";
+      "port = 3306";
+      "[mysqld]";
+      "user = root";
+      "port = 3306";
+      "bind-address = 0.0.0.0";
+      "local-infile = 1";
+      "old_passwords = 1";
+      "log-error = /var/log/mysql/error.log";
+      "";
+    ]
+
+let layer = Docksim.Layer.make
+
+let nginx_image ~compliant =
+  let conf = if compliant then good_nginx_conf else bad_nginx_conf in
+  let base =
+    layer ~id:"sha256:base-ubuntu" ~created_by:"FROM ubuntu:14.04"
+      [
+        Docksim.Layer.Add (Frames.File.make ~content:"127.0.0.1 localhost\n" "/etc/hosts");
+        Docksim.Layer.Add
+          (Frames.File.make ~content:"root:x:0:0:root:/root:/bin/bash\nnginx:x:101:101::/nonexistent:/bin/false\n" "/etc/passwd");
+      ]
+  in
+  let install =
+    layer ~id:"sha256:nginx-install" ~created_by:"RUN apt-get install nginx"
+      [
+        Docksim.Layer.Add (Frames.File.make ~content:"# default vhost (removed below)\n" "/etc/nginx/sites-enabled/default");
+        Docksim.Layer.Add (Frames.File.make ~mode:0o644 ~content:conf "/etc/nginx/nginx.conf");
+        Docksim.Layer.Add (Frames.File.make ~mode:0o600 ~content:"CERT\n" "/etc/nginx/tls/server.crt");
+        Docksim.Layer.Add (Frames.File.make ~mode:0o600 ~content:"KEY\n" "/etc/nginx/tls/server.key");
+      ]
+  in
+  let cleanup =
+    layer ~id:"sha256:nginx-clean" ~created_by:"RUN rm /etc/nginx/sites-enabled/default"
+      [ Docksim.Layer.Whiteout "/etc/nginx/sites-enabled/default" ]
+  in
+  let config =
+    if compliant then
+      {
+        Docksim.Image.default_config with
+        Docksim.Image.user = "nginx";
+        exposed_ports = [ 443 ];
+        healthcheck = Some "curl -fk https://localhost/ || exit 1";
+        env = [ ("PATH", "/usr/sbin:/usr/bin:/sbin:/bin") ];
+      }
+    else
+      { Docksim.Image.default_config with Docksim.Image.exposed_ports = [ 80 ] }
+  in
+  Docksim.Image.make ~config ~reference:(if compliant then "shop/nginx:1.13-hardened" else "shop/nginx:1.13")
+    [ base; install; cleanup ]
+
+let mysql_image ~compliant =
+  let cnf = if compliant then good_my_cnf else bad_my_cnf in
+  let base =
+    layer ~id:"sha256:base-ubuntu" ~created_by:"FROM ubuntu:14.04"
+      [
+        Docksim.Layer.Add
+          (Frames.File.make ~content:"root:x:0:0:root:/root:/bin/bash\nmysql:x:105:114::/nonexistent:/bin/false\n" "/etc/passwd");
+      ]
+  in
+  let install =
+    layer ~id:"sha256:mysql-install" ~created_by:"RUN apt-get install mysql-server"
+      [
+        Docksim.Layer.Add (Frames.File.make ~mode:0o644 ~content:cnf "/etc/mysql/my.cnf");
+        Docksim.Layer.Add (Frames.File.directory ~mode:(if compliant then 0o700 else 0o755) ~uid:105 ~gid:114 ~owner:"mysql" ~group:"mysql" "/var/lib/mysql");
+        Docksim.Layer.Add (Frames.File.make ~mode:0o600 ~content:"CA\n" "/etc/mysql/cacert.pem");
+      ]
+  in
+  let config =
+    if compliant then
+      {
+        Docksim.Image.default_config with
+        Docksim.Image.user = "mysql";
+        exposed_ports = [ 3306 ];
+        healthcheck = Some "mysqladmin ping";
+      }
+    else { Docksim.Image.default_config with Docksim.Image.exposed_ports = [ 3306 ] }
+  in
+  Docksim.Image.make ~config
+    ~reference:(if compliant then "shop/mysql:5.7-hardened" else "shop/mysql:5.7")
+    [ base; install ]
+
+let good_runtime =
+  {
+    Docksim.Container.default_runtime with
+    Docksim.Container.readonly_rootfs = true;
+    memory_limit = 512 * 1024 * 1024;
+    cpu_shares = 512;
+    pids_limit = 256;
+    cap_drop = [ "ALL" ];
+    cap_add = [ "NET_BIND_SERVICE" ];
+    security_opt = [ "apparmor=docker-default"; "no-new-privileges" ];
+    restart_policy = "on-failure:5";
+  }
+
+let bad_runtime =
+  {
+    Docksim.Container.default_runtime with
+    Docksim.Container.privileged = true;
+    network_mode = "host";
+    pid_mode = "host";
+    restart_policy = "always";
+    docker_socket_mounted = true;
+  }
+
+let nginx_container ~compliant =
+  let runtime =
+    if compliant then
+      { good_runtime with Docksim.Container.published_ports = [ (443, 443) ] }
+    else { bad_runtime with Docksim.Container.published_ports = [ (80, 80) ] }
+  in
+  Docksim.Container.make ~runtime
+    ~processes:
+      [ { Frames.Frame.pid = 1; user = (if compliant then "nginx" else "root"); command = "nginx -g daemon off;" } ]
+    ~id:(if compliant then "c-nginx-good" else "c-nginx-bad")
+    ~name:"web" (nginx_image ~compliant)
+
+let mysql_container ~compliant =
+  let runtime =
+    if compliant then good_runtime else { bad_runtime with Docksim.Container.network_mode = "bridge" }
+  in
+  Docksim.Container.make ~runtime
+    ~processes:
+      [ { Frames.Frame.pid = 1; user = (if compliant then "mysql" else "root"); command = "mysqld" } ]
+    ~id:(if compliant then "c-mysql-good" else "c-mysql-bad")
+    ~name:"db" (mysql_image ~compliant)
+
+let nginx_image_frame ~compliant = Docksim.Image.flatten (nginx_image ~compliant)
+let mysql_image_frame ~compliant = Docksim.Image.flatten (mysql_image ~compliant)
+let nginx_container_frame ~compliant = Docksim.Container.to_frame (nginx_container ~compliant)
+
+let mysql_container_frame ~compliant =
+  let frame = Docksim.Container.to_frame (mysql_container ~compliant) in
+  let variables =
+    if compliant then "have_ssl = YES\nhave_openssl = YES\nlocal_infile = OFF\n"
+    else "have_ssl = DISABLED\nhave_openssl = DISABLED\nlocal_infile = ON\n"
+  in
+  Frames.Frame.set_runtime_doc frame ~key:"mysql_variables" variables
+
+let injected_faults =
+  [
+    ("nginx", "ssl_protocols");
+    ("nginx", "server_tokens");
+    ("nginx", "ssl_ciphers");
+    ("nginx", "listen");
+    ("nginx", "add_header X-Frame-Options");
+    ("nginx", "add_header Strict-Transport-Security");
+    ("nginx", "client_max_body_size");
+    ("nginx", "autoindex");
+    ("nginx", "ssl_prefer_server_ciphers");
+    ("mysql", "ssl-ca");
+    ("mysql", "have_ssl");
+    ("mysql", "bind-address");
+    ("mysql", "local-infile");
+    ("mysql", "skip-symbolic-links");
+    ("mysql", "secure-file-priv");
+    ("mysql", "old_passwords");
+    ("mysql", "user");
+    ("mysql", "/var/lib/mysql");
+    ("docker", "container_privileged");
+    ("docker", "container_network_mode");
+    ("docker", "container_pid_mode");
+    ("docker", "container_readonly_rootfs");
+    ("docker", "container_memory_limit");
+    ("docker", "container_restart_policy");
+    ("docker", "container_docker_socket");
+    ("docker", "image_user");
+    ("docker", "image_healthcheck");
+  ]

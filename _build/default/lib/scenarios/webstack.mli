@@ -1,0 +1,29 @@
+(** Synthetic web-tier entities: nginx and MySQL Docker images and
+    running containers, in compliant and misconfigured variants.
+
+    These exercise the paper's headline capability — running the same
+    CVL rules against Docker images (static layers) and running
+    containers (image + runtime state) — plus the Listing 1 composite
+    (mysql ssl-ca, nginx SSL). *)
+
+val nginx_image : compliant:bool -> Docksim.Image.t
+val mysql_image : compliant:bool -> Docksim.Image.t
+
+val nginx_container : compliant:bool -> Docksim.Container.t
+val mysql_container : compliant:bool -> Docksim.Container.t
+
+(** Frames for the four entities above. *)
+val nginx_image_frame : compliant:bool -> Frames.Frame.t
+
+val mysql_image_frame : compliant:bool -> Frames.Frame.t
+val nginx_container_frame : compliant:bool -> Frames.Frame.t
+val mysql_container_frame : compliant:bool -> Frames.Frame.t
+
+(** Faults present in the misconfigured container frames, as
+    (entity, rule name). *)
+val injected_faults : (string * string) list
+
+(** Raw configuration texts, for lens round-trip tests and benches. *)
+val good_nginx_conf : string
+
+val good_my_cnf : string

@@ -1,0 +1,288 @@
+type t =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+type error = { pos : int; message : string }
+
+exception Parse_error of error
+
+let error_to_string e = Printf.sprintf "offset %d: %s" e.pos e.message
+
+type state = { src : string; mutable pos : int }
+
+let fail st fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { pos = st.pos; message })) fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = prefix
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | Some _ | None -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let skip_until st marker =
+  match
+    let n = String.length st.src and m = String.length marker in
+    let rec go i = if i + m > n then None else if String.sub st.src i m = marker then Some i else go (i + 1) in
+    go st.pos
+  with
+  | Some i -> st.pos <- i + String.length marker
+  | None -> fail st "unterminated construct (missing %S)" marker
+
+let decode_entities st s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Buffer.contents buf
+    else if s.[i] = '&' then begin
+      match String.index_from_opt s i ';' with
+      | None -> fail st "unterminated entity reference"
+      | Some j ->
+        let name = String.sub s (i + 1) (j - i - 1) in
+        (match name with
+        | "lt" -> Buffer.add_char buf '<'
+        | "gt" -> Buffer.add_char buf '>'
+        | "amp" -> Buffer.add_char buf '&'
+        | "quot" -> Buffer.add_char buf '"'
+        | "apos" -> Buffer.add_char buf '\''
+        | _ when String.length name > 1 && name.[0] = '#' ->
+          let code =
+            if name.[1] = 'x' || name.[1] = 'X' then
+              int_of_string_opt ("0x" ^ String.sub name 2 (String.length name - 2))
+            else int_of_string_opt (String.sub name 1 (String.length name - 1))
+          in
+          (match code with
+          | Some c when c < 128 -> Buffer.add_char buf (Char.chr c)
+          | Some _ -> Buffer.add_char buf '?'
+          | None -> fail st "invalid character reference &%s;" name)
+        | _ -> fail st "unknown entity &%s;" name);
+        go (j + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ':' -> true
+  | _ -> false
+
+let parse_name st =
+  let start = st.pos in
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let parse_attr_value st =
+  match peek st with
+  | Some (('"' | '\'') as q) ->
+    st.pos <- st.pos + 1;
+    let start = st.pos in
+    (match String.index_from_opt st.src st.pos q with
+    | None -> fail st "unterminated attribute value"
+    | Some j ->
+      let raw = String.sub st.src start (j - start) in
+      st.pos <- j + 1;
+      decode_entities st raw)
+  | _ -> fail st "expected quoted attribute value"
+
+let parse_attrs st =
+  let rec go acc =
+    skip_ws st;
+    match peek st with
+    | Some ('/' | '>' | '?') | None -> List.rev acc
+    | Some _ ->
+      let name = parse_name st in
+      skip_ws st;
+      (match peek st with
+      | Some '=' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        let v = parse_attr_value st in
+        go ((name, v) :: acc)
+      | _ -> fail st "expected '=' after attribute %s" name)
+  in
+  go []
+
+(* Skip prolog junk between nodes: comments, PIs, DOCTYPE. Returns true
+   if something was skipped. *)
+let skip_misc st =
+  if looking_at st "<!--" then begin
+    skip_until st "-->";
+    true
+  end
+  else if looking_at st "<?" then begin
+    skip_until st "?>";
+    true
+  end
+  else if looking_at st "<!DOCTYPE" then begin
+    skip_until st ">";
+    true
+  end
+  else false
+
+let rec parse_element st =
+  if peek st <> Some '<' then fail st "expected '<'";
+  st.pos <- st.pos + 1;
+  let tag = parse_name st in
+  let attrs = parse_attrs st in
+  skip_ws st;
+  match peek st with
+  | Some '/' ->
+    st.pos <- st.pos + 1;
+    if peek st <> Some '>' then fail st "expected '>' after '/'";
+    st.pos <- st.pos + 1;
+    { tag; attrs; children = [] }
+  | Some '>' ->
+    st.pos <- st.pos + 1;
+    let children = parse_children st tag in
+    { tag; attrs; children }
+  | _ -> fail st "malformed start tag <%s" tag
+
+and parse_children st tag =
+  let acc = ref [] in
+  let text_buf = Buffer.create 16 in
+  let flush_text () =
+    let raw = Buffer.contents text_buf in
+    Buffer.clear text_buf;
+    if String.trim raw <> "" then acc := Text (decode_entities st raw) :: !acc
+  in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated element <%s>" tag
+    | Some '<' ->
+      if looking_at st "</" then begin
+        flush_text ();
+        st.pos <- st.pos + 2;
+        let close = parse_name st in
+        skip_ws st;
+        if peek st <> Some '>' then fail st "malformed end tag </%s" close;
+        st.pos <- st.pos + 1;
+        if close <> tag then fail st "mismatched end tag </%s> (expected </%s>)" close tag
+      end
+      else if looking_at st "<![CDATA[" then begin
+        (* CDATA is literal: flush pending text, then emit the section
+           verbatim (no entity decoding). *)
+        flush_text ();
+        st.pos <- st.pos + 9;
+        let start = st.pos in
+        skip_until st "]]>";
+        acc := Text (String.sub st.src start (st.pos - 3 - start)) :: !acc;
+        go ()
+      end
+      else if skip_misc st then go ()
+      else begin
+        flush_text ();
+        let child = parse_element st in
+        acc := Element child :: !acc;
+        go ()
+      end
+    | Some c ->
+      st.pos <- st.pos + 1;
+      Buffer.add_char text_buf c;
+      go ()
+  in
+  go ();
+  List.rev !acc
+
+let parse_exn input =
+  let st = { src = input; pos = 0 } in
+  let rec prolog () =
+    skip_ws st;
+    if skip_misc st then prolog ()
+  in
+  prolog ();
+  let root = parse_element st in
+  let rec epilog () =
+    skip_ws st;
+    if skip_misc st then epilog ()
+  in
+  epilog ();
+  (match peek st with
+  | Some c -> fail st "trailing %C after root element" c
+  | None -> ());
+  root
+
+let parse input =
+  match parse_exn input with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+
+let elements e =
+  List.filter_map (function Element el -> Some el | Text _ -> None) e.children
+
+let find_all tag e = List.filter (fun el -> String.equal el.tag tag) (elements e)
+let find tag e = List.find_opt (fun el -> String.equal el.tag tag) (elements e)
+
+let rec descendants tag e =
+  let self = if String.equal e.tag tag then [ e ] else [] in
+  self @ List.concat_map (descendants tag) (elements e)
+
+let attr name e = List.assoc_opt name e.attrs
+
+let text e =
+  e.children
+  |> List.filter_map (function Text s -> Some s | Element _ -> None)
+  |> String.concat ""
+  |> String.trim
+
+let element ?(attrs = []) ?(children = []) tag = { tag; attrs; children }
+let text_child s = Text s
+
+let encode s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string root =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  let rec go indent e =
+    let pad = String.make indent ' ' in
+    let attrs =
+      e.attrs
+      |> List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (encode v))
+      |> String.concat ""
+    in
+    match e.children with
+    | [] -> Buffer.add_string buf (Printf.sprintf "%s<%s%s/>\n" pad e.tag attrs)
+    | [ Text s ] ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s<%s%s>%s</%s>\n" pad e.tag attrs (encode s) e.tag)
+    | children ->
+      Buffer.add_string buf (Printf.sprintf "%s<%s%s>\n" pad e.tag attrs);
+      List.iter
+        (function
+          | Element child -> go (indent + 2) child
+          | Text s -> Buffer.add_string buf (Printf.sprintf "%s  %s\n" pad (encode s)))
+        children;
+      Buffer.add_string buf (Printf.sprintf "%s</%s>\n" pad e.tag)
+  in
+  go 0 root;
+  Buffer.contents buf

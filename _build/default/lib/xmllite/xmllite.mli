@@ -1,0 +1,57 @@
+(** Minimal XML parser and printer.
+
+    Covers the subset needed for XCCDF/OVAL benchmark documents and
+    Hadoop [*-site.xml] configuration files: elements, attributes,
+    character data, comments, processing instructions, CDATA, and the
+    five predefined entities. Namespaces are kept as literal prefixes in
+    tag names (e.g. ["ind:textfilecontent54_test"]), which is how the
+    OVAL evaluator matches them. DTDs are skipped, not validated. *)
+
+type t =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+type error = { pos : int; message : string }
+
+exception Parse_error of error
+
+val error_to_string : error -> string
+
+(** Parse a document; returns the root element (prolog, comments and
+    whitespace around it are accepted and discarded). *)
+val parse : string -> (element, error) result
+
+val parse_exn : string -> element
+
+(** {2 Queries} *)
+
+(** Direct children that are elements. *)
+val elements : element -> element list
+
+(** Direct children with the given tag. *)
+val find_all : string -> element -> element list
+
+val find : string -> element -> element option
+
+(** Recursive descendant search, document order, self included. *)
+val descendants : string -> element -> element list
+
+val attr : string -> element -> string option
+
+(** Concatenated character data of the element, entities decoded,
+    surrounding whitespace trimmed. *)
+val text : element -> string
+
+(** {2 Construction and printing} *)
+
+val element : ?attrs:(string * string) list -> ?children:t list -> string -> element
+val text_child : string -> t
+
+(** Indented rendering with XML declaration. *)
+val to_string : element -> string

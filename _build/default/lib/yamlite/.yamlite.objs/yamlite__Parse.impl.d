@@ -1,0 +1,1 @@
+lib/yamlite/parse.ml: Array Buffer List Printf String Value

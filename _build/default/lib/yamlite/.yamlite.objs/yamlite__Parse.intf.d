@@ -1,0 +1,1 @@
+lib/yamlite/parse.mli: Value

@@ -1,0 +1,1 @@
+lib/yamlite/print.ml: Buffer List Parse Printf String Value

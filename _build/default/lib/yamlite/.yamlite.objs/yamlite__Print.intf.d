@@ -1,0 +1,1 @@
+lib/yamlite/print.mli: Value

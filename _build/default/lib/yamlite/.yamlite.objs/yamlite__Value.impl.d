@@ -1,0 +1,1 @@
+lib/yamlite/value.ml: Bool Float Format Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/yamlite/value.mli: Format

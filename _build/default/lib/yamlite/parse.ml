@@ -1,0 +1,507 @@
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Logical lines                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type line = {
+  num : int;
+  indent : int;
+  text : string;  (** content after indentation, comment stripped, rtrimmed *)
+}
+
+(* Strip a trailing comment. A ['#'] opens a comment only at the start of
+   the content or after whitespace, and only outside quotes. *)
+let strip_comment num s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i quote =
+    if i >= n then Buffer.contents buf
+    else
+      let c = s.[i] in
+      match quote with
+      | Some q ->
+        Buffer.add_char buf c;
+        if c = q then
+          if q = '\'' && i + 1 < n && s.[i + 1] = '\'' then (
+            Buffer.add_char buf '\'';
+            go (i + 2) quote)
+          else go (i + 1) None
+        else if q = '"' && c = '\\' && i + 1 < n then (
+          Buffer.add_char buf s.[i + 1];
+          go (i + 2) quote)
+        else go (i + 1) quote
+      | None ->
+        if c = '#' && (i = 0 || s.[i - 1] = ' ' || s.[i - 1] = '\t') then
+          Buffer.contents buf
+        else begin
+          Buffer.add_char buf c;
+          if c = '"' || c = '\'' then go (i + 1) (Some c) else go (i + 1) None
+        end
+  in
+  ignore num;
+  go 0 None
+
+let rtrim s =
+  let n = ref (String.length s) in
+  while !n > 0 && (s.[!n - 1] = ' ' || s.[!n - 1] = '\t' || s.[!n - 1] = '\r') do
+    decr n
+  done;
+  String.sub s 0 !n
+
+let indent_of num s =
+  let n = String.length s in
+  let rec go i =
+    if i < n && s.[i] = ' ' then go (i + 1)
+    else if i < n && s.[i] = '\t' then fail num "tab character in indentation"
+    else i
+  in
+  go 0
+
+(* Raw split that keeps every physical line (needed by block scalars). *)
+let physical_lines input =
+  String.split_on_char '\n' input |> List.mapi (fun i s -> (i + 1, s))
+
+let logical_lines raw =
+  List.filter_map
+    (fun (num, s) ->
+      let ind = indent_of num s in
+      let body = String.sub s ind (String.length s - ind) in
+      let text = rtrim (strip_comment num body) in
+      if text = "" then None else Some { num; indent = ind; text })
+    raw
+
+(* ------------------------------------------------------------------ *)
+(* Flow (inline) values                                                *)
+(* ------------------------------------------------------------------ *)
+
+let infer_scalar s =
+  let t = String.trim s in
+  if t = "" || t = "~" then Value.Null
+  else
+    match String.lowercase_ascii t with
+    | "null" -> Value.Null
+    | "true" -> Value.Bool true
+    | "false" -> Value.Bool false
+    | _ -> (
+      match int_of_string_opt t with
+      | Some i -> Value.Int i
+      | None ->
+        (* Only unambiguous floats: avoid eating version strings like
+           1.2.3 or scalars like ".". *)
+        let is_floaty =
+          String.length t > 0
+          && (match t.[0] with '0' .. '9' | '-' | '+' | '.' -> true | _ -> false)
+          && String.exists (fun c -> c = '.' || c = 'e' || c = 'E') t
+          && not (String.contains t ' ')
+        in
+        (match (is_floaty, float_of_string_opt t) with
+        | true, Some f -> Value.Float f
+        | _ -> Value.Str t))
+
+(* A character cursor over one line's worth of flow content. *)
+type cursor = { src : string; mutable pos : int; num : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+let advance c = c.pos <- c.pos + 1
+
+let skip_spaces c =
+  while
+    match peek c with
+    | Some (' ' | '\t') -> true
+    | Some _ | None -> false
+  do
+    advance c
+  done
+
+let parse_double_quoted c =
+  advance c;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c.num "unterminated double-quoted string"
+    | Some '"' ->
+      advance c;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | None -> fail c.num "dangling escape in double-quoted string"
+      | Some e ->
+        advance c;
+        let ch =
+          match e with
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | 'r' -> '\r'
+          | '0' -> '\000'
+          | '\\' -> '\\'
+          | '"' -> '"'
+          | '\'' -> '\''
+          | other -> other
+        in
+        Buffer.add_char buf ch;
+        go ())
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ()
+
+let parse_single_quoted c =
+  advance c;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c.num "unterminated single-quoted string"
+    | Some '\'' ->
+      advance c;
+      if peek c = Some '\'' then (
+        advance c;
+        Buffer.add_char buf '\'';
+        go ())
+      else Buffer.contents buf
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ()
+
+(* [terminators] are the characters that end a plain scalar in the
+   current context (e.g. [,]}] inside flow collections). *)
+let parse_plain c terminators =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> Buffer.contents buf
+    | Some ch when List.mem ch terminators -> Buffer.contents buf
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  infer_scalar (go ())
+
+let rec parse_flow c terminators =
+  skip_spaces c;
+  match peek c with
+  | None -> Value.Null
+  | Some '[' ->
+    advance c;
+    let items = ref [] in
+    let rec loop () =
+      skip_spaces c;
+      match peek c with
+      | Some ']' -> advance c
+      | None -> fail c.num "unterminated flow sequence"
+      | Some _ ->
+        let v = parse_flow c [ ','; ']' ] in
+        items := v :: !items;
+        skip_spaces c;
+        (match peek c with
+        | Some ',' ->
+          advance c;
+          loop ()
+        | Some ']' -> advance c
+        | Some ch -> fail c.num "unexpected %C in flow sequence" ch
+        | None -> fail c.num "unterminated flow sequence")
+    in
+    loop ();
+    Value.List (List.rev !items)
+  | Some '{' ->
+    advance c;
+    let items = ref [] in
+    let rec loop () =
+      skip_spaces c;
+      match peek c with
+      | Some '}' -> advance c
+      | None -> fail c.num "unterminated flow mapping"
+      | Some _ ->
+        let key =
+          match peek c with
+          | Some '"' -> parse_double_quoted c
+          | Some '\'' -> parse_single_quoted c
+          | _ -> (
+            match parse_plain c [ ':'; ','; '}' ] with
+            | Value.Str s -> s
+            | v -> (
+              match Value.scalar_to_string v with
+              | Some s -> String.trim s
+              | None -> fail c.num "invalid flow mapping key"))
+        in
+        let key = String.trim key in
+        skip_spaces c;
+        (match peek c with
+        | Some ':' -> advance c
+        | _ -> fail c.num "expected ':' after flow mapping key %S" key);
+        let v = parse_flow c [ ','; '}' ] in
+        if List.mem_assoc key !items then fail c.num "duplicate key %S" key;
+        items := (key, v) :: !items;
+        skip_spaces c;
+        (match peek c with
+        | Some ',' ->
+          advance c;
+          loop ()
+        | Some '}' -> advance c
+        | Some ch -> fail c.num "unexpected %C in flow mapping" ch
+        | None -> fail c.num "unterminated flow mapping")
+    in
+    loop ();
+    Value.Map (List.rev !items)
+  | Some '"' -> Value.Str (parse_double_quoted c)
+  | Some '\'' -> Value.Str (parse_single_quoted c)
+  | Some _ -> parse_plain c terminators
+
+let flow_of_string num s =
+  let c = { src = s; pos = 0; num } in
+  let v = parse_flow c [] in
+  skip_spaces c;
+  (match peek c with
+  | Some ch -> fail num "trailing %C after value" ch
+  | None -> ());
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Block structure                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  lines : line array;
+  raw : (int * string) array;  (** physical lines, for block scalars *)
+  mutable cur : int;
+}
+
+let peek_line st = if st.cur < Array.length st.lines then Some st.lines.(st.cur) else None
+
+let is_seq_item text = text = "-" || (String.length text >= 2 && text.[0] = '-' && text.[1] = ' ')
+
+(* Split "key: rest" / "key:" at the top level of a line. Returns None if
+   the line has no key separator (it is then a plain scalar line). *)
+let split_key num text =
+  if text.[0] = '"' || text.[0] = '\'' then begin
+    let c = { src = text; pos = 0; num } in
+    let key = if text.[0] = '"' then parse_double_quoted c else parse_single_quoted c in
+    skip_spaces c;
+    match peek c with
+    | Some ':' ->
+      advance c;
+      let rest = String.sub text c.pos (String.length text - c.pos) in
+      Some (key, String.trim rest)
+    | _ -> None
+  end
+  else if text.[0] = '{' || text.[0] = '[' then
+    (* A flow collection: any colon inside belongs to the flow parser. *)
+    None
+  else begin
+    (* The separator is a colon followed by space or end of line; this
+       keeps URLs (http://...) and times inside plain scalars intact. *)
+    let n = String.length text in
+    let rec find i =
+      if i >= n then None
+      else if text.[i] = ':' && (i + 1 = n || text.[i + 1] = ' ') then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some i ->
+      let key = String.trim (String.sub text 0 i) in
+      let rest = if i + 1 >= n then "" else String.trim (String.sub text (i + 1) (n - i - 1)) in
+      if key = "" then fail num "empty mapping key" else Some (key, rest)
+  end
+
+(* Block scalars: [|] literal and [>] folded. [key_line] is the physical
+   line number of the introducing line; content is every following
+   physical line more indented than [parent_indent] (blank lines kept). *)
+let parse_block_scalar st ~style ~key_num ~parent_indent =
+  (* Find the physical position just after the key line. *)
+  let raw = st.raw in
+  let n = Array.length raw in
+  let start =
+    let rec go i = if i >= n then n else if fst raw.(i) > key_num then i else go (i + 1) in
+    go 0
+  in
+  (* Collect physical lines until a non-blank line with indent <= parent. *)
+  let body = ref [] in
+  let block_indent = ref None in
+  let i = ref start in
+  let continue = ref true in
+  while !continue && !i < n do
+    let _, s = raw.(!i) in
+    let stripped = rtrim s in
+    if stripped = "" then begin
+      body := "" :: !body;
+      incr i
+    end
+    else begin
+      let ind = indent_of (fst raw.(!i)) s in
+      if ind <= parent_indent then continue := false
+      else begin
+        let bi =
+          match !block_indent with
+          | Some bi -> bi
+          | None ->
+            block_indent := Some ind;
+            ind
+        in
+        let content =
+          if String.length stripped >= bi then String.sub stripped bi (String.length stripped - bi)
+          else String.trim stripped
+        in
+        body := content :: !body;
+        incr i
+      end
+    end
+  done;
+  (* Advance the logical cursor past consumed lines. *)
+  let last_physical = if !i = 0 then key_num else fst raw.(!i - 1) in
+  while
+    match peek_line st with
+    | Some l -> l.num <= last_physical
+    | None -> false
+  do
+    st.cur <- st.cur + 1
+  done;
+  (* Drop trailing blank lines. *)
+  let lines = List.rev !body in
+  let rec drop_trailing = function
+    | [] -> []
+    | l -> (
+      match List.rev l with
+      | "" :: rest -> drop_trailing (List.rev rest)
+      | _ -> l)
+  in
+  let lines = drop_trailing lines in
+  match style with
+  | '|' -> Value.Str (String.concat "\n" lines)
+  | '>' -> Value.Str (String.concat " " (List.filter (fun l -> l <> "") lines))
+  | _ -> assert false
+
+let rec parse_node st ~min_indent =
+  match peek_line st with
+  | None -> Value.Null
+  | Some l when l.indent < min_indent -> Value.Null
+  | Some l -> if is_seq_item l.text then parse_sequence st ~indent:l.indent else parse_mapping st ~indent:l.indent
+
+and parse_sequence st ~indent =
+  let items = ref [] in
+  let rec loop () =
+    match peek_line st with
+    | Some l when l.indent = indent && is_seq_item l.text ->
+      st.cur <- st.cur + 1;
+      let rest = if l.text = "-" then "" else String.trim (String.sub l.text 1 (String.length l.text - 1)) in
+      let item =
+        if rest = "" then parse_node st ~min_indent:(indent + 1)
+        else parse_inline_item st ~line:l ~rest ~indent
+      in
+      items := item :: !items;
+      loop ()
+    | Some l when l.indent > indent -> fail l.num "unexpected indentation inside sequence"
+    | Some _ | None -> ()
+  in
+  loop ();
+  Value.List (List.rev !items)
+
+(* A sequence item with inline content: either a scalar/flow value, or
+   the first entry of a nested mapping ("- key: value"). *)
+and parse_inline_item st ~line ~rest ~indent =
+  match split_key line.num rest with
+  | None -> parse_value_text st ~num:line.num ~parent_indent:indent ~text:rest
+  | Some (key, key_rest) ->
+    (* The virtual indent of the nested mapping is where [rest] starts. *)
+    let virtual_indent = indent + (String.length line.text - String.length rest) in
+    let first = parse_entry_value st ~num:line.num ~parent_indent:virtual_indent ~rest:key_rest in
+    let tail = parse_mapping_entries st ~indent:virtual_indent ~acc:[ (key, first) ] ~first_num:line.num in
+    Value.Map tail
+
+and parse_mapping st ~indent =
+  match peek_line st with
+  | None -> Value.Null
+  | Some first -> (
+    match split_key first.num first.text with
+    | None ->
+      (* A bare scalar at block level (whole document is a scalar). *)
+      st.cur <- st.cur + 1;
+      parse_value_text st ~num:first.num ~parent_indent:(indent - 1) ~text:first.text
+    | Some (key, rest) ->
+      st.cur <- st.cur + 1;
+      let v = parse_entry_value st ~num:first.num ~parent_indent:indent ~rest in
+      Value.Map (parse_mapping_entries st ~indent ~acc:[ (key, v) ] ~first_num:first.num))
+
+and parse_mapping_entries st ~indent ~acc ~first_num =
+  match peek_line st with
+  | Some l when l.indent = indent && not (is_seq_item l.text) -> (
+    match split_key l.num l.text with
+    | None -> fail l.num "expected 'key:' in mapping"
+    | Some (key, rest) ->
+      if List.mem_assoc key acc then fail l.num "duplicate key %S" key;
+      st.cur <- st.cur + 1;
+      let v = parse_entry_value st ~num:l.num ~parent_indent:indent ~rest in
+      parse_mapping_entries st ~indent ~acc:((key, v) :: acc) ~first_num)
+  | Some l when l.indent > indent -> fail l.num "unexpected indentation in mapping"
+  | Some _ | None -> List.rev acc
+
+(* The value part of a "key: rest" entry (cursor already past the key
+   line). *)
+and parse_entry_value st ~num ~parent_indent ~rest =
+  if rest = "" then
+    (* Nested block, or a sequence at the same indent, or null. *)
+    match peek_line st with
+    | Some l when l.indent > parent_indent -> parse_node st ~min_indent:(parent_indent + 1)
+    | Some l when l.indent = parent_indent && is_seq_item l.text -> parse_sequence st ~indent:parent_indent
+    | Some _ | None -> Value.Null
+  else if rest = "|" || rest = ">" then
+    parse_block_scalar st ~style:rest.[0] ~key_num:num ~parent_indent
+  else parse_value_text st ~num ~parent_indent ~text:rest
+
+and parse_value_text st ~num ~parent_indent ~text =
+  ignore st;
+  ignore parent_indent;
+  flow_of_string num text
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let is_doc_marker text = text = "---" || text = "..."
+
+let parse_document raw_lines =
+  let lines = logical_lines raw_lines |> List.filter (fun l -> not (is_doc_marker l.text)) in
+  let st = { lines = Array.of_list lines; raw = Array.of_list raw_lines; cur = 0 } in
+  let v = parse_node st ~min_indent:0 in
+  (match peek_line st with
+  | Some l -> fail l.num "trailing content after document"
+  | None -> ());
+  v
+
+let string_exn input = parse_document (physical_lines input)
+
+let string input =
+  match string_exn input with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+
+let multi input =
+  let raw = physical_lines input in
+  (* Split on physical lines whose trimmed content is "---". *)
+  let docs = ref [] in
+  let current = ref [] in
+  let flush () =
+    docs := List.rev !current :: !docs;
+    current := []
+  in
+  List.iter
+    (fun (num, s) -> if String.trim s = "---" then flush () else current := (num, s) :: !current)
+    raw;
+  flush ();
+  let non_empty d = List.exists (fun (_, s) -> String.trim (strip_comment 0 s) <> "") d in
+  let docs = List.rev !docs |> List.filter non_empty in
+  match List.map parse_document docs with
+  | vs -> Ok vs
+  | exception Parse_error e -> Error e

@@ -1,0 +1,30 @@
+(** Parser for the YAML subset used by CVL documents.
+
+    Supported: block mappings and sequences, flow sequences [[a, b]] and
+    mappings [{a: b}], single- and double-quoted scalars, plain scalars,
+    ['#'] comments, [|] literal and [>] folded block scalars, [---]
+    document separators.
+
+    Deliberate deviations from YAML 1.1:
+    - only [true]/[false] (any case) are booleans. [yes]/[no]/[on]/[off]
+      remain strings, because CVL rules routinely assert on the literal
+      words [no] or [yes] (e.g. [preferred_value: ["no"]] for
+      [PermitRootLogin]) and silently coercing them corrupts rules;
+    - anchors, aliases, tags and complex keys are not supported;
+    - duplicate mapping keys are an error rather than last-wins. *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+val error_to_string : error -> string
+
+(** Parse a single document. An empty (or comment-only) input is
+    [Value.Null]. *)
+val string : string -> (Value.t, error) result
+
+(** @raise Parse_error on malformed input. *)
+val string_exn : string -> Value.t
+
+(** Parse a [---]-separated stream of documents. *)
+val multi : string -> (Value.t list, error) result

@@ -1,0 +1,92 @@
+let needs_quoting s =
+  s = ""
+  || (match Parse.string_exn s with Value.Str s' -> s' <> s | _ -> true | exception _ -> true)
+  || String.exists (fun c -> c = '\n' || c = '"' || c = '\'' || c = '#') s
+  || s.[0] = ' '
+  || s.[String.length s - 1] = ' '
+  || s.[0] = '-' || s.[0] = '[' || s.[0] = ']' || s.[0] = '{' || s.[0] = '}'
+  || s.[0] = '&' || s.[0] = '*' || s.[0] = '!' || s.[0] = '|' || s.[0] = '>'
+  || s.[0] = '%' || s.[0] = '@'
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let scalar s = if needs_quoting s then quote s else s
+
+let scalar_of_value = function
+  | Value.Null -> "null"
+  | Value.Bool true -> "true"
+  | Value.Bool false -> "false"
+  | Value.Int i -> string_of_int i
+  | Value.Float f ->
+    let s = Printf.sprintf "%g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s else s ^ ".0"
+  | Value.Str s -> scalar s
+  | Value.List _ | Value.Map _ -> assert false
+
+let rec flow = function
+  | (Value.Null | Value.Bool _ | Value.Int _ | Value.Float _ | Value.Str _) as v -> scalar_of_value v
+  | Value.List items -> "[" ^ String.concat ", " (List.map flow items) ^ "]"
+  | Value.Map kvs ->
+    let entry (k, v) = Printf.sprintf "%s: %s" (scalar k) (flow v) in
+    "{" ^ String.concat ", " (List.map entry kvs) ^ "}"
+
+let is_scalar = function
+  | Value.Null | Value.Bool _ | Value.Int _ | Value.Float _ | Value.Str _ -> true
+  | Value.List _ | Value.Map _ -> false
+
+let rec render buf indent v =
+  let pad = String.make indent ' ' in
+  match v with
+  | Value.Map [] -> Buffer.add_string buf (pad ^ "{}\n")
+  | Value.Map kvs ->
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | _ when is_scalar v ->
+          Buffer.add_string buf (Printf.sprintf "%s%s: %s\n" pad (scalar k) (scalar_of_value v))
+        | Value.List items when List.for_all is_scalar items ->
+          Buffer.add_string buf (Printf.sprintf "%s%s: %s\n" pad (scalar k) (flow v))
+        | Value.List [] -> Buffer.add_string buf (Printf.sprintf "%s%s: []\n" pad (scalar k))
+        | Value.Map [] -> Buffer.add_string buf (Printf.sprintf "%s%s: {}\n" pad (scalar k))
+        | _ ->
+          Buffer.add_string buf (Printf.sprintf "%s%s:\n" pad (scalar k));
+          render buf (indent + 2) v)
+      kvs
+  | Value.List [] -> Buffer.add_string buf (pad ^ "[]\n")
+  | Value.List items ->
+    List.iter
+      (fun item ->
+        if is_scalar item then
+          Buffer.add_string buf (Printf.sprintf "%s- %s\n" pad (scalar_of_value item))
+        else begin
+          match item with
+          | Value.List inner when List.for_all is_scalar inner ->
+            Buffer.add_string buf (Printf.sprintf "%s- %s\n" pad (flow item))
+          | Value.Map ((k, v) :: rest) when is_scalar v ->
+            Buffer.add_string buf (Printf.sprintf "%s- %s: %s\n" pad (scalar k) (scalar_of_value v));
+            if rest <> [] then render buf (indent + 2) (Value.Map rest)
+          | _ ->
+            Buffer.add_string buf (Printf.sprintf "%s- %s\n" pad (flow item))
+        end)
+      items
+  | _ when is_scalar v -> Buffer.add_string buf (pad ^ scalar_of_value v ^ "\n")
+  | _ -> assert false
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  render buf 0 v;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Rendering values back to YAML text.
+
+    [to_string] emits block style, using flow style for lists of scalars
+    (the idiomatic CVL layout, cf. the paper's Listings 1-5). Scalars
+    that would re-parse as a different value (e.g. the string ["true"],
+    ["644"], or one containing [: ]) are double-quoted, so
+    [Parse.string_exn (to_string v)] round-trips for every [v] whose
+    mapping keys are printable. *)
+
+val to_string : Value.t -> string
+
+(** Render a value as a single flow-style expression. *)
+val flow : Value.t -> string
+
+(** [scalar s] is the YAML spelling of the string scalar [s], quoting
+    only when required. *)
+val scalar : string -> string

@@ -1,0 +1,82 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Map of (string * t) list
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> Bool.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | List x, List y -> List.equal equal x y
+  | Map x, Map y ->
+    List.equal (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2) x y
+  | (Null | Bool _ | Int _ | Float _ | Str _ | List _ | Map _), _ -> false
+
+let find key = function
+  | Map kvs -> List.assoc_opt key kvs
+  | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None
+
+let scalar_to_string = function
+  | Null -> Some ""
+  | Bool true -> Some "true"
+  | Bool false -> Some "false"
+  | Int i -> Some (string_of_int i)
+  | Float f -> Some (Printf.sprintf "%g" f)
+  | Str s -> Some s
+  | List _ | Map _ -> None
+
+let get_str = scalar_to_string
+
+let get_bool = function
+  | Bool b -> Some b
+  | Str s -> (
+    match String.lowercase_ascii s with
+    | "true" | "yes" | "on" -> Some true
+    | "false" | "no" | "off" -> Some false
+    | _ -> None)
+  | Null | Int _ | Float _ | List _ | Map _ -> None
+
+let get_int = function
+  | Int i -> Some i
+  | Str s -> int_of_string_opt s
+  | Null | Bool _ | Float _ | List _ | Map _ -> None
+
+let get_list = function
+  | List l -> Some l
+  | Null | Bool _ | Int _ | Float _ | Str _ | Map _ -> None
+
+let get_str_list v =
+  match v with
+  | List l ->
+    let strs = List.filter_map scalar_to_string l in
+    if List.length strs = List.length l then Some strs else None
+  | Null | Bool _ | Int _ | Float _ | Str _ ->
+    Option.map (fun s -> [ s ]) (scalar_to_string v)
+  | Map _ -> None
+
+let get_map = function
+  | Map kvs -> Some kvs
+  | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None
+
+let rec pp fmt = function
+  | Null -> Format.pp_print_string fmt "null"
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.fprintf fmt "%g" f
+  | Str s -> Format.fprintf fmt "%S" s
+  | List l ->
+    Format.fprintf fmt "[@[%a@]]"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ") pp)
+      l
+  | Map kvs ->
+    let pp_kv fmt (k, v) = Format.fprintf fmt "%s: %a" k pp v in
+    Format.fprintf fmt "{@[%a@]}"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ") pp_kv)
+      kvs

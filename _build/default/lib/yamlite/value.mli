@@ -1,0 +1,45 @@
+(** YAML document values.
+
+    Mapping keys are strings; CVL never uses complex keys. Key order is
+    preserved (rule files are read and diffed by humans). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Map of (string * t) list
+
+val equal : t -> t -> bool
+
+(** {2 Typed accessors}
+
+    The [find] family returns [None] when the key is absent; the [get]
+    family additionally returns [None] on a type mismatch. CVL's loader
+    reports both cases with its own diagnostics. *)
+
+val find : string -> t -> t option
+
+(** [get_str (Str s)] is [Some s]; scalars of other kinds are rendered
+    back to their literal text (CVL treats e.g. [permission: 644] and
+    [enabled: True] uniformly as strings when the keyword wants one). *)
+val get_str : t -> string option
+
+val get_bool : t -> bool option
+val get_int : t -> int option
+
+(** A list of scalars, each coerced as [get_str]. A bare scalar is
+    accepted as a one-element list, matching PyYAML-era CVL files where
+    [tags: "#cis"] and [tags: ["#cis"]] are interchangeable. *)
+val get_str_list : t -> string list option
+
+val get_list : t -> t list option
+val get_map : t -> (string * t) list option
+
+(** Literal text of a scalar: [Bool true] is ["true"], [Int 644] is
+    ["644"], etc. Returns [None] on lists and maps. *)
+val scalar_to_string : t -> string option
+
+val pp : Format.formatter -> t -> unit

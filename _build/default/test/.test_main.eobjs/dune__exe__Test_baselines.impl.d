@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Checkir Confvalley Cvl Inspeclite List Re Result Scap Scenarios String

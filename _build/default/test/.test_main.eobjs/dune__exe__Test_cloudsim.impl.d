@@ -1,0 +1,1 @@
+test/test_cloudsim.ml: Alcotest Cloudsim Crawler Frames Jsonlite List Option Re Scenarios Secgroup

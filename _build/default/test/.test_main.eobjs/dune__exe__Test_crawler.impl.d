@@ -1,0 +1,1 @@
+test/test_crawler.ml: Alcotest Configtree Crawler Filename Frames Jsonlite Lenses List Re Result Scenarios

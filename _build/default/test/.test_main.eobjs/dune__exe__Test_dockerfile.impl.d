@@ -1,0 +1,1 @@
+test/test_dockerfile.ml: Alcotest Cvl Dockerfile Docksim Frames Image Layer List Option Re Rulesets Scenarios

@@ -1,0 +1,1 @@
+test/test_docksim.ml: Alcotest Container Docksim Frames Image Jsonlite Layer List Option Printf QCheck QCheck_alcotest Re Scenarios String

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Checkir Dsl Engine Inspeclite List Scap Scenarios

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Cvl Engine Frames Lenses Manifest Matcher Rule Scenarios

@@ -1,0 +1,1 @@
+test/test_engine_props.ml: Cvl Engine Frames Incremental List Manifest Matcher Printf QCheck QCheck_alcotest Result Rule Rulesets Scenarios String Validator

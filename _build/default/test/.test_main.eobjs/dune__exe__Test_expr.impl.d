@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Cvl Expr List QCheck QCheck_alcotest Result

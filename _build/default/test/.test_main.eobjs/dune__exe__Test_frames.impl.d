@@ -1,0 +1,1 @@
+test/test_frames.ml: Alcotest File Frame Frames List Option QCheck QCheck_alcotest String

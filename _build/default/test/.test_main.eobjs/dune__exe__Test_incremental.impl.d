@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Cvl Engine Frames Incremental List Result Rule Rulesets Scenarios Validator

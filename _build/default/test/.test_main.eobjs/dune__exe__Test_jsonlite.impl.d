@@ -1,0 +1,1 @@
+test/test_jsonlite.ml: Alcotest Docksim Hashtbl Jsonlite List Option QCheck QCheck_alcotest Scenarios

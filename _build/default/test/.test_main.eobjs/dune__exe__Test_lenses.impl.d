@@ -1,0 +1,1 @@
+test/test_lenses.ml: Alcotest Configtree Lenses List Option Result Scenarios

@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Cvl Expr List Loader Manifest Matcher Option Re Result Rule Rulesets

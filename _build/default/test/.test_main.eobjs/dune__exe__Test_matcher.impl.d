@@ -1,0 +1,1 @@
+test/test_matcher.ml: Alcotest Cvl List Matcher Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Cvl Engine Frames Keyword List Manifest Option Report Rule Rulesets Scenarios Validator

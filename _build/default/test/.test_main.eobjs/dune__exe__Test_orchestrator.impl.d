@@ -1,0 +1,1 @@
+test/test_orchestrator.ml: Alcotest Configtree Cvl Engine Lenses List Option Report Result Rule Rulesets Scenarios Validator

@@ -1,0 +1,1 @@
+test/test_remediate.ml: Alcotest Cvl Engine Frames List Loader Manifest Option Re Remediate Report Result Rule Rulesets Scenarios Validator

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Cvl Engine Frames List Option Remediate Report Result Rule Rulesets Scenarios Validator Xmllite

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Char Configtree Confvalley Cvl Inspeclite Jsonlite Lenses List Printexc Printf QCheck QCheck_alcotest Scenarios String Xmllite Yamlite

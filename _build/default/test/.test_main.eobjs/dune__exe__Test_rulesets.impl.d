@@ -1,0 +1,1 @@
+test/test_rulesets.ml: Alcotest Cvl Keyword List Rule Rulesets Yamlite

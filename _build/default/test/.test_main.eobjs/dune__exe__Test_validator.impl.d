@@ -1,0 +1,1 @@
+test/test_validator.ml: Alcotest Cvl Engine Jsonlite List Option Re Report Rule Rulesets Scenarios Validator

@@ -1,0 +1,1 @@
+test/test_xmllite.ml: Alcotest Checkir Configtree Lenses List Scap Xmllite

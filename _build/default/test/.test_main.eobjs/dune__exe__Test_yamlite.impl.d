@@ -1,0 +1,1 @@
+test/test_yamlite.ml: Alcotest Hashtbl List QCheck QCheck_alcotest Yamlite

@@ -1,0 +1,41 @@
+  $ configvalidator coverage | head -6
+  $ configvalidator keywords | head -1
+  $ configvalidator validate -t host-bad --only-violations | grep sshd
+  $ configvalidator validate -t host-good --only-violations
+  $ configvalidator validate -t host-bad --tag '#cisubuntu14.04_5.2.8' --only-violations
+  $ configvalidator export-frame -t host-bad -o frame.json
+  $ configvalidator validate --frame-file frame.json --only-violations | grep -c FAIL
+  $ cat > rules.yaml <<'YAML'
+  > rules:
+  >   - config_name: PermitRootLogin
+  >     preferred_value: ["no"]
+  >     tags: ["#cis"]
+  > YAML
+  $ configvalidator lint rules.yaml
+  $ cat > bad.yaml <<'YAML'
+  > rules:
+  >   - config_name: x
+  >     prefered_value: ["no"]
+  > YAML
+  $ configvalidator lint bad.yaml
+  $ configvalidator remediate -t docker-host-bad | tail -2
+  $ configvalidator explain cisubuntu14.04_9.3.8 | grep '\*\*\*'
+  $ mkdir -p site/component_configs
+  $ cat > site/manifest.yaml <<'YAML'
+  > sshd:
+  >   enabled: True
+  >   config_search_paths:
+  >     - /etc/ssh
+  >   cvl_file: "component_configs/sshd.yaml"
+  >   lens: sshd
+  > YAML
+  $ cat > site/component_configs/sshd.yaml <<'YAML'
+  > rules:
+  >   - config_name: PermitRootLogin
+  >     config_path: [""]
+  >     file_context: ["sshd_config"]
+  >     preferred_value: ["no"]
+  >     not_matched_preferred_value_description: "root login enabled"
+  >     tags: ["#site"]
+  > YAML
+  $ configvalidator validate -t host-bad --rules-dir site --only-violations

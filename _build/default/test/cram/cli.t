@@ -1,0 +1,112 @@
+The coverage table reproduces the paper's Table 1 census.
+
+  $ configvalidator coverage | head -6
+  Targets supported by ConfigValidator (paper Table 1):
+  Applications     apache (12), nginx (12), hadoop (10), mysql (12)
+  System services  audit (17), fstab (8), sshd (14), sysctl (14), modprobe (9)
+  Cloud services   openstack (12), docker (15)
+  
+  11 target types, 135 rules in total
+
+The keyword census matches the paper's 46.
+
+  $ configvalidator keywords | head -1
+  CVL defines 46 keywords:
+
+Validating the misconfigured host reports the sshd findings and exits 2.
+
+  $ configvalidator validate -t host-bad --only-violations | grep sshd
+  [FAIL] sshd       host-bad                     /etc/ssh/sshd_config — sshd_config is readable by non-root users.
+  [FAIL] sshd       host-bad                     X11Forwarding — X11Forwarding is enabled.
+  [FAIL] sshd       host-bad                     PermitRootLogin — PermitRootLogin is present but it is enabled.
+  [FAIL] sshd       host-bad                     Ciphers — A weak cipher (CBC/arcfour/3des) is enabled.
+  [FAIL] sshd       host-bad                     LoginGraceTime — LoginGraceTime exceeds 60 seconds.
+  [MISS] sshd       host-bad                     Banner — No warning banner is configured.
+
+The compliant host has no per-entity violations; only the cross-entity
+composites fail, because a lone host cannot satisfy rules that span the
+nginx and mysql tiers.
+
+  $ configvalidator validate -t host-good --only-violations
+  [FAIL] stack      host-good                    mysql ssl-ca path and sysctl and nginx SSL — Either mysql server ssl-ca does not have a cert, or ip_forward is enabled, or nginx has SSL disabled.
+  [FAIL] stack      host-good                    tls_everywhere — At least one tier serves traffic without modern TLS.
+  [FAIL] stack      host-good                    no_root_anywhere — A tier still runs as (or admits) root.
+  170 checks: 62 passed, 3 violations (0 missing), 105 n/a, 0 errors
+  [2]
+
+Tag filtering selects rule subsets.
+
+  $ configvalidator validate -t host-bad --tag '#cisubuntu14.04_5.2.8' --only-violations
+  [FAIL] sshd       host-bad                     PermitRootLogin — PermitRootLogin is present but it is enabled.
+  1 checks: 0 passed, 1 violations (0 missing), 0 n/a, 0 errors
+  [2]
+
+Frames round-trip through export and --frame-file.
+
+  $ configvalidator export-frame -t host-bad -o frame.json
+  wrote frame.json
+  $ configvalidator validate --frame-file frame.json --only-violations | grep -c FAIL
+  23
+
+Linting a CVL file reports its rules.
+
+  $ cat > rules.yaml <<'YAML'
+  > rules:
+  >   - config_name: PermitRootLogin
+  >     preferred_value: ["no"]
+  >     tags: ["#cis"]
+  > YAML
+  $ configvalidator lint rules.yaml
+  rules.yaml: 1 rule(s) OK
+    config-tree  PermitRootLogin [#cis]
+
+Lint rejects unknown keywords with a precise message.
+
+  $ cat > bad.yaml <<'YAML'
+  > rules:
+  >   - config_name: x
+  >     prefered_value: ["no"]
+  > YAML
+  $ configvalidator lint bad.yaml
+  bad.yaml: rule "x": unknown keyword "prefered_value"
+  [1]
+
+Remediation fixes the docker daemon host completely.
+
+  $ configvalidator remediate -t docker-host-bad | tail -2
+    remaining: stack/tls_everywhere — At least one tier serves traffic without modern TLS.
+    remaining: stack/no_root_anywhere — A tier still runs as (or admits) root.
+
+The explain command reproduces Listing 6 for any of the 40 common checks.
+
+  $ configvalidator explain cisubuntu14.04_9.3.8 | grep '\*\*\*'
+  ******* OpenSCAP: XCCDF/OVAL [28 lines] *******
+  ******* ConfigValidator: YAML [10 lines] *******
+  ******* Chef Inspec: Ruby (Expected) [7 lines] *******
+  ******* Chef Inspec: Ruby (Observed) [8 lines] *******
+  ******* ConfValley: CPL [2 lines] *******
+
+Rules can also be loaded from disk with --rules-dir.
+
+  $ mkdir -p site/component_configs
+  $ cat > site/manifest.yaml <<'YAML'
+  > sshd:
+  >   enabled: True
+  >   config_search_paths:
+  >     - /etc/ssh
+  >   cvl_file: "component_configs/sshd.yaml"
+  >   lens: sshd
+  > YAML
+  $ cat > site/component_configs/sshd.yaml <<'YAML'
+  > rules:
+  >   - config_name: PermitRootLogin
+  >     config_path: [""]
+  >     file_context: ["sshd_config"]
+  >     preferred_value: ["no"]
+  >     not_matched_preferred_value_description: "root login enabled"
+  >     tags: ["#site"]
+  > YAML
+  $ configvalidator validate -t host-bad --rules-dir site --only-violations
+  [FAIL] sshd       host-bad                     PermitRootLogin — root login enabled
+  1 checks: 0 passed, 1 violations (0 missing), 0 n/a, 0 errors
+  [2]

@@ -1,0 +1,202 @@
+let checks = Checkir.Cis40.all
+
+let ir_cases =
+  [
+    Alcotest.test_case "exactly 40 common checks" `Quick (fun () ->
+        Alcotest.(check int) "count" 40 (List.length checks));
+    Alcotest.test_case "check ids unique" `Quick (fun () ->
+        let ids = List.map (fun (c : Checkir.Check.t) -> c.Checkir.Check.id) checks in
+        Alcotest.(check int) "unique" 40 (List.length (List.sort_uniq compare ids)));
+    Alcotest.test_case "reference semantics on the scenario hosts" `Quick (fun () ->
+        let good = Scenarios.Host.compliant () and bad = Scenarios.Host.misconfigured () in
+        Alcotest.(check int) "good failures" 0
+          (List.length (List.filter (fun c -> not (Checkir.Check.holds good c)) checks));
+        Alcotest.(check int) "bad failures" 15
+          (List.length (List.filter (fun c -> not (Checkir.Check.holds bad c)) checks)));
+    Alcotest.test_case "key_values extraction" `Quick (fun () ->
+        let lines = [ "PermitRootLogin no"; "Port 22"; "Port 2222"; "Foo=1" ] in
+        Alcotest.(check (list string)) "space" [ "no" ]
+          (Checkir.Check.key_values ~sep:Checkir.Check.Space ~key:"PermitRootLogin" lines);
+        Alcotest.(check (list string)) "repeats" [ "22"; "2222" ]
+          (Checkir.Check.key_values ~sep:Checkir.Check.Space ~key:"Port" lines);
+        Alcotest.(check (list string)) "equals" [ "1" ]
+          (Checkir.Check.key_values ~sep:Checkir.Check.Equals ~key:"Foo" lines);
+        (* Key prefixes must not match. *)
+        Alcotest.(check (list string)) "no prefix capture" []
+          (Checkir.Check.key_values ~sep:Checkir.Check.Space ~key:"Perm" lines));
+  ]
+
+(* Cross-engine agreement: every adapter must agree with the reference
+   semantics, check by check, on both hosts. *)
+let agreement_case name verdicts_of =
+  Alcotest.test_case (name ^ " agrees with reference semantics") `Quick (fun () ->
+      List.iter
+        (fun frame ->
+          let verdicts = verdicts_of frame in
+          List.iter
+            (fun (c : Checkir.Check.t) ->
+              let reference = Checkir.Check.holds frame c in
+              match List.assoc_opt c.Checkir.Check.id verdicts with
+              | Some v when v = reference -> ()
+              | Some v ->
+                Alcotest.failf "%s: %s says %b, reference %b" c.Checkir.Check.id name v reference
+              | None -> Alcotest.failf "%s: missing from %s" c.Checkir.Check.id name)
+            checks)
+        [ Scenarios.Host.compliant (); Scenarios.Host.misconfigured () ])
+
+let oval_verdicts frame =
+  let doc = Scap.Oval.of_checks checks in
+  (* Exercise the full serialize/parse path, not just the in-memory doc. *)
+  let doc = Result.get_ok (Scap.Oval.parse (Scap.Oval.to_xml doc)) in
+  Scap.Oval.evaluate doc frame
+  |> List.map (fun (def_id, ok) ->
+         (* oval:<check id>:def:1 *)
+         let id = String.sub def_id 5 (String.length def_id - 5 - 6) in
+         (id, ok))
+
+let xccdf_verdicts frame =
+  let benchmark_xml = Scap.Xccdf.to_xml (Scap.Xccdf.of_checks ~id:"cis40" checks) in
+  let oval_xml = Scap.Oval.to_xml (Scap.Oval.of_checks checks) in
+  match Scap.Xccdf.run ~benchmark_xml ~oval_xml frame with
+  | Ok results ->
+    let prefix = "xccdf_org.cis.content_rule_" in
+    List.map
+      (fun (rid, ok) -> (String.sub rid (String.length prefix) (String.length rid - String.length prefix), ok))
+      results
+  | Error e -> Alcotest.fail e
+
+let inspec_dsl_verdicts frame =
+  List.map
+    (fun (c : Checkir.Check.t) ->
+      (c.Checkir.Check.id, Inspeclite.Dsl.run_control frame (Inspeclite.Engine.to_dsl c)))
+    checks
+
+let agreement_cases =
+  [
+    agreement_case "oval" oval_verdicts;
+    agreement_case "confvalley cpl" (fun frame -> Confvalley.Cpl.run_checks frame checks);
+    agreement_case "xccdf+oval (openscap path)" xccdf_verdicts;
+    agreement_case "inspec observed (bash)" (fun frame -> Inspeclite.Engine.run frame checks);
+    agreement_case "inspec expected (dsl)" inspec_dsl_verdicts;
+    agreement_case "ciscat (oval + startup)" (fun frame ->
+        let benchmark_xml = Scap.Xccdf.to_xml (Scap.Xccdf.of_checks ~id:"cis40" checks) in
+        let oval_xml = Scap.Oval.to_xml (Scap.Oval.of_checks checks) in
+        match Scap.Ciscat.run ~startup_units:1 ~benchmark_xml ~oval_xml frame with
+        | Ok results ->
+          let prefix = "xccdf_org.cis.content_rule_" in
+          List.map
+            (fun (rid, ok) ->
+              (String.sub rid (String.length prefix) (String.length rid - String.length prefix), ok))
+            results
+        | Error e -> Alcotest.fail e);
+  ]
+
+let bash_cases =
+  [
+    Alcotest.test_case "bash emulator pipelines" `Quick (fun () ->
+        let frame = Scenarios.Host.compliant () in
+        let run cmd = Inspeclite.Bash_emu.run frame cmd in
+        Alcotest.(check string) "grep + head"
+          "PermitRootLogin no"
+          (run "grep '^\\s*PermitRootLogin\\s' /etc/ssh/sshd_config | head -1");
+        Alcotest.(check string) "wc -l" "1" (run "grep 'Banner' /etc/ssh/sshd_config | wc -l");
+        Alcotest.(check string) "missing file" "" (run "grep 'x' /nonexistent");
+        Alcotest.(check string) "stat" "600 0:0" (run "stat -c '%a %u:%g' /etc/ssh/sshd_config");
+        Alcotest.(check string) "cut" "root" (run "grep '^root:' /etc/passwd | cut -d: -f1");
+        Alcotest.(check string) "echo" "hi there" (run "echo hi there"));
+    Alcotest.test_case "bash emulator quoting" `Quick (fun () ->
+        Alcotest.(check (list string)) "split" [ "grep"; "a b"; "/f" ]
+          (Inspeclite.Bash_emu.split_args "grep 'a b' /f"));
+  ]
+
+let render_cases =
+  [
+    Alcotest.test_case "listing 6 relative spec sizes" `Quick (fun () ->
+        (* 45 lines XCCDF/OVAL vs 10 CVL vs 6-7 InSpec for
+           PermitRootLogin: our generators must preserve the ordering
+           and rough ratios. *)
+        let check = Checkir.Cis40.permit_root_login in
+        let count s = List.length (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)) in
+        let xccdf = count (Scap.Xccdf.rule_to_xml check) in
+        let cvl = count (Checkir.To_cvl.rule check) in
+        let inspec_expected = count (Inspeclite.Render.expected check) in
+        let inspec_observed = count (Inspeclite.Render.observed check) in
+        Alcotest.(check bool) "xccdf largest" true (xccdf > 2 * cvl);
+        Alcotest.(check bool) "cvl around ten" true (cvl >= 8 && cvl <= 12);
+        Alcotest.(check bool) "inspec smallest" true (inspec_expected <= cvl && inspec_observed <= cvl));
+    Alcotest.test_case "generated cvl for all 40 checks loads" `Quick (fun () ->
+        let manifest_yaml, rule_files = Checkir.To_cvl.bundle checks in
+        let manifest = Cvl.Manifest.parse_exn manifest_yaml in
+        let source = Cvl.Loader.assoc_source rule_files in
+        List.iter
+          (fun (entry : Cvl.Manifest.entry) ->
+            match Cvl.Manifest.load_rules source entry with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "%s: %s" entry.Cvl.Manifest.entity e)
+          manifest);
+    Alcotest.test_case "generated inspec profile mentions every control" `Quick (fun () ->
+        let profile = Inspeclite.Render.profile ~style:`Observed checks in
+        List.iter
+          (fun (c : Checkir.Check.t) ->
+            if not (Re.execp (Re.compile (Re.str c.Checkir.Check.id)) profile) then
+              Alcotest.failf "%s missing from profile" c.Checkir.Check.id)
+          checks);
+    Alcotest.test_case "generated oval parses back identically" `Quick (fun () ->
+        let doc = Scap.Oval.of_checks checks in
+        let doc' = Result.get_ok (Scap.Oval.parse (Scap.Oval.to_xml doc)) in
+        Alcotest.(check int) "definitions" (List.length doc.Scap.Oval.definitions)
+          (List.length doc'.Scap.Oval.definitions);
+        Alcotest.(check int) "tests" (List.length doc.Scap.Oval.tests)
+          (List.length doc'.Scap.Oval.tests));
+    Alcotest.test_case "xccdf benchmark parses back with selections" `Quick (fun () ->
+        let xml = Scap.Xccdf.to_xml (Scap.Xccdf.of_checks ~id:"cis40" checks) in
+        let b = Result.get_ok (Scap.Xccdf.parse xml) in
+        Alcotest.(check int) "rules" 40 (List.length b.Scap.Xccdf.rules);
+        Alcotest.(check bool) "all selected" true
+          (List.for_all (fun (r : Scap.Xccdf.rule) -> r.Scap.Xccdf.selected) b.Scap.Xccdf.rules));
+  ]
+
+let cpl_cases =
+  [
+    Alcotest.test_case "cpl render/parse roundtrip on the 40-check program" `Quick (fun () ->
+        let program, spans = Confvalley.Cpl.of_checks checks in
+        let text = Confvalley.Cpl.render program in
+        match Confvalley.Cpl.parse text with
+        | Error e -> Alcotest.fail e
+        | Ok program' ->
+          Alcotest.(check string) "roundtrip" text (Confvalley.Cpl.render program');
+          Alcotest.(check int) "one span per check" 40 (List.length spans));
+    Alcotest.test_case "cpl evaluates a hand-written program" `Quick (fun () ->
+        let text =
+          "# hardening profile\n\
+           let sshd = file(\"/etc/ssh/sshd_config\", kv_space)\n\
+           assert sshd[\"PermitRootLogin\"] == \"no\"\n\
+           assert exists sshd[\"Banner\"]\n\
+           assert if_present sshd[\"X11Forwarding\"] == \"no\"\n\
+           assert mode(\"/etc/ssh/sshd_config\") <= 600\n"
+        in
+        let program = Result.get_ok (Confvalley.Cpl.parse text) in
+        Alcotest.(check (list bool)) "good host" [ true; true; true; true ]
+          (Confvalley.Cpl.eval (Scenarios.Host.compliant ()) program);
+        Alcotest.(check (list bool)) "bad host" [ false; false; false; false ]
+          (Confvalley.Cpl.eval (Scenarios.Host.misconfigured ()) program));
+    Alcotest.test_case "cpl parse errors carry line numbers" `Quick (fun () ->
+        (match Confvalley.Cpl.parse "let x = file(\"/a\", kv_space)\nassert nonsense here\n" with
+        | Error e ->
+          Alcotest.(check bool) "line 2" true (Re.execp (Re.compile (Re.str "line 2")) e)
+        | Ok _ -> Alcotest.fail "expected error");
+        Alcotest.(check bool) "duplicate binding" true
+          (Result.is_error
+             (Confvalley.Cpl.parse
+                "let x = file(\"/a\", kv_space)\nlet x = file(\"/b\", lines)\n"));
+        Alcotest.(check bool) "unknown format" true
+          (Result.is_error (Confvalley.Cpl.parse "let x = file(\"/a\", toml)\n")));
+    Alcotest.test_case "cpl unknown binding fails closed" `Quick (fun () ->
+        let program =
+          Result.get_ok (Confvalley.Cpl.parse "assert ghost[\"key\"] == \"v\"\n")
+        in
+        Alcotest.(check (list bool)) "false" [ false ]
+          (Confvalley.Cpl.eval (Scenarios.Host.compliant ()) program));
+  ]
+
+let suite = ir_cases @ agreement_cases @ bash_cases @ render_cases @ cpl_cases

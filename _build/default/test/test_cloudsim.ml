@@ -1,0 +1,68 @@
+open Cloudsim
+
+let secgroup_cases =
+  [
+    Alcotest.test_case "world-open detection" `Quick (fun () ->
+        let g =
+          Secgroup.make ~name:"web"
+            [
+              Secgroup.ingress ~port:443 ();
+              Secgroup.ingress ~cidr:"10.0.0.0/8" ~port:22 ();
+              Secgroup.ingress_range 3300 3310;
+            ]
+        in
+        Alcotest.(check int) "443 open" 1 (List.length (Secgroup.world_open_on g ~port:443));
+        Alcotest.(check int) "22 closed" 0 (List.length (Secgroup.world_open_on g ~port:22));
+        Alcotest.(check int) "3306 in range" 1 (List.length (Secgroup.world_open_on g ~port:3306));
+        Alcotest.(check int) "3311 outside" 0 (List.length (Secgroup.world_open_on g ~port:3311)));
+    Alcotest.test_case "ipv6 world cidr" `Quick (fun () ->
+        let r = Secgroup.ingress ~cidr:"::/0" ~port:22 () in
+        Alcotest.(check bool) "open" true (Secgroup.rule_world_open r));
+    Alcotest.test_case "secgroup json shape" `Quick (fun () ->
+        let g = Secgroup.make ~name:"db" [ Secgroup.ingress ~cidr:"10.0.1.0/24" ~port:3306 () ] in
+        let json = Secgroup.to_json g in
+        Alcotest.(check (option string)) "name" (Some "db")
+          (Option.bind (Jsonlite.member "name" json) Jsonlite.get_str);
+        match Jsonlite.member "security_group_rules" json with
+        | Some (Jsonlite.Arr [ r ]) ->
+          Alcotest.(check (option string)) "cidr" (Some "10.0.1.0/24")
+            (Option.bind (Jsonlite.member "remote_ip_prefix" r) Jsonlite.get_str)
+        | _ -> Alcotest.fail "rules shape");
+  ]
+
+let deployment_cases =
+  [
+    Alcotest.test_case "frame carries service configs" `Quick (fun () ->
+        let frame = Scenarios.Cloud.compliant_frame () in
+        Alcotest.(check bool) "keystone.conf" true (Frames.Frame.exists frame "/etc/keystone/keystone.conf");
+        Alcotest.(check bool) "nova.conf" true (Frames.Frame.exists frame "/etc/nova/nova.conf");
+        match Frames.Frame.kind frame with
+        | Frames.Frame.Cloud _ -> ()
+        | _ -> Alcotest.fail "kind");
+    Alcotest.test_case "frame exposes API documents" `Quick (fun () ->
+        let frame = Scenarios.Cloud.misconfigured_frame () in
+        let doc key = Option.get (Frames.Frame.runtime_doc frame key) in
+        let secgroups = Jsonlite.parse_exn (doc "openstack_secgroups") in
+        Alcotest.(check bool) "groups is array" true (Jsonlite.get_arr secgroups <> None);
+        let users = Jsonlite.parse_exn (doc "openstack_users") in
+        Alcotest.(check bool) "users is array" true (Jsonlite.get_arr users <> None);
+        let servers = Jsonlite.parse_exn (doc "openstack_servers") in
+        Alcotest.(check int) "two instances" 2
+          (List.length (Option.get (Jsonlite.get_arr servers))));
+    Alcotest.test_case "exposures plugin derives facts" `Quick (fun () ->
+        let bad = Scenarios.Cloud.misconfigured_frame () in
+        (match Crawler.run_plugin bad ~name:"openstack_exposures" with
+        | Ok out ->
+          Alcotest.(check bool) "ssh open" true (Re.execp (Re.compile (Re.str "world_open_ssh=yes")) out);
+          Alcotest.(check bool) "db open" true (Re.execp (Re.compile (Re.str "world_open_db=yes")) out);
+          Alcotest.(check bool) "mfa" true (Re.execp (Re.compile (Re.str "admins_without_mfa=1")) out)
+        | Error e -> Alcotest.fail e);
+        let good = Scenarios.Cloud.compliant_frame () in
+        match Crawler.run_plugin good ~name:"openstack_exposures" with
+        | Ok out ->
+          Alcotest.(check bool) "ssh closed" true (Re.execp (Re.compile (Re.str "world_open_ssh=no")) out);
+          Alcotest.(check bool) "mfa ok" true (Re.execp (Re.compile (Re.str "admins_without_mfa=0")) out)
+        | Error e -> Alcotest.fail e);
+  ]
+
+let suite = secgroup_cases @ deployment_cases

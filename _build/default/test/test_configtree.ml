@@ -1,0 +1,142 @@
+open Configtree
+
+let forest =
+  [
+    Tree.section "http"
+      [
+        Tree.leaf "server_tokens" "off";
+        Tree.section "server"
+          [ Tree.leaf "listen" "443 ssl"; Tree.leaf "listen" "80"; Tree.leaf "root" "/srv" ];
+        Tree.section "server" [ Tree.leaf "listen" "8080" ];
+      ];
+    Tree.leaf "user" "www-data";
+  ]
+
+let find name path expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check (list string)) "values" expected (Path.find_values_str forest path))
+
+let tree_cases =
+  [
+    find "root leaf" "user" [ "www-data" ];
+    find "nested" "http/server_tokens" [ "off" ];
+    find "repeated labels gather" "http/server/listen" [ "443 ssl"; "80"; "8080" ];
+    find "indexed sibling" "http/server[2]/listen" [ "8080" ];
+    find "index into repeats" "http/server[1]/listen[2]" [ "80" ];
+    find "wildcard" "http/*/listen" [ "443 ssl"; "80"; "8080" ];
+    find "deep wildcard" "**/listen" [ "443 ssl"; "80"; "8080" ];
+    find "deep anchors anywhere" "**/root" [ "/srv" ];
+    find "no match" "http/nothing" [];
+    find "out of range index" "http/server[5]/listen" [];
+    Alcotest.test_case "empty path returns roots" `Quick (fun () ->
+        Alcotest.(check int) "roots" 2 (List.length (Path.find forest [])));
+    Alcotest.test_case "parse errors" `Quick (fun () ->
+        Alcotest.(check bool) "bad index" true (Result.is_error (Path.parse "a[0]"));
+        Alcotest.(check bool) "empty segment" true (Result.is_error (Path.parse "a//b"));
+        Alcotest.(check bool) "junk index" true (Result.is_error (Path.parse "a[x]")));
+    Alcotest.test_case "path print/parse roundtrip" `Quick (fun () ->
+        let p = Path.parse_exn "a/*/b[2]/**/c" in
+        Alcotest.(check bool) "roundtrip" true (Path.parse_exn (Path.to_string p) = p));
+    Alcotest.test_case "size and depth" `Quick (fun () ->
+        Alcotest.(check int) "size" 9 (Tree.size forest);
+        Alcotest.(check int) "depth" 3 (Tree.depth forest));
+    Alcotest.test_case "flatten document order" `Quick (fun () ->
+        let flat = Tree.flatten forest in
+        Alcotest.(check (option string)) "first" (Some "http/server_tokens")
+          (Option.map fst (List.nth_opt flat 0));
+        Alcotest.(check int) "count" 6 (List.length flat));
+    Alcotest.test_case "dotted labels are single segments" `Quick (fun () ->
+        let f = [ Tree.leaf "net.ipv4.ip_forward" "0" ] in
+        Alcotest.(check (list string)) "lookup" [ "0" ] (Path.find_values_str f "net.ipv4.ip_forward"));
+  ]
+
+let fstab_table =
+  Table.make_exn ~name:"fstab"
+    ~columns:[ "device"; "dir"; "fstype"; "options"; "dump"; "pass" ]
+    [
+      [ "/dev/sda1"; "/"; "ext4"; "errors=remount-ro"; "0"; "1" ];
+      [ "/dev/sda2"; "/tmp"; "ext4"; "nodev,nosuid"; "0"; "2" ];
+      [ "tmpfs"; "/run/shm"; "tmpfs"; "nodev" ];
+    ]
+
+let query_case name ~constraints ~values ~columns expected =
+  Alcotest.test_case name `Quick (fun () ->
+      match Table.parse_query ~constraints ~values with
+      | Error e -> Alcotest.fail e
+      | Ok q -> (
+        let rows = Table.select fstab_table q in
+        match Table.project fstab_table ~columns rows with
+        | Ok projected -> Alcotest.(check (list (list string))) "rows" expected projected
+        | Error e -> Alcotest.fail e))
+
+let table_cases =
+  [
+    Alcotest.test_case "short rows padded" `Quick (fun () ->
+        match Table.parse_query ~constraints:"dir = ?" ~values:[ "/run/shm" ] with
+        | Ok q ->
+          Alcotest.(check (list (list string))) "padded"
+            [ [ "tmpfs"; "/run/shm"; "tmpfs"; "nodev"; ""; "" ] ]
+            (Table.select fstab_table q)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "long rows rejected" `Quick (fun () ->
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Table.make ~name:"x" ~columns:[ "a" ] [ [ "1"; "2" ] ])));
+    query_case "paper listing 3 query" ~constraints:"dir = ?" ~values:[ "/tmp" ] ~columns:[ "*" ]
+      [ [ "/dev/sda2"; "/tmp"; "ext4"; "nodev,nosuid"; "0"; "2" ] ];
+    query_case "projection" ~constraints:"dir = ?" ~values:[ "/tmp" ] ~columns:[ "options" ]
+      [ [ "nodev,nosuid" ] ];
+    query_case "conjunction" ~constraints:"fstype = ? AND dir != ?" ~values:[ "ext4"; "/" ]
+      ~columns:[ "dir" ]
+      [ [ "/tmp" ] ];
+    query_case "regex operator" ~constraints:"options ~ ?" ~values:[ ".*nosuid.*" ] ~columns:[ "dir" ]
+      [ [ "/tmp" ] ];
+    query_case "negated regex" ~constraints:"options !~ ?" ~values:[ ".*nodev.*" ] ~columns:[ "dir" ]
+      [ [ "/" ] ];
+    query_case "empty constraints select all" ~constraints:"" ~values:[] ~columns:[ "dir" ]
+      [ [ "/" ]; [ "/tmp" ]; [ "/run/shm" ] ];
+    Alcotest.test_case "placeholder arity mismatch" `Quick (fun () ->
+        Alcotest.(check bool) "too few" true
+          (Result.is_error (Table.parse_query ~constraints:"dir = ?" ~values:[]));
+        Alcotest.(check bool) "too many" true
+          (Result.is_error (Table.parse_query ~constraints:"dir = ?" ~values:[ "a"; "b" ])));
+    Alcotest.test_case "unknown column projection" `Quick (fun () ->
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Table.project fstab_table ~columns:[ "nope" ] [])));
+    Alcotest.test_case "column_values" `Quick (fun () ->
+        Alcotest.(check (list string)) "dirs" [ "/"; "/tmp"; "/run/shm" ]
+          (Table.column_values fstab_table ~column:"dir"));
+  ]
+
+(* Property: [find] with a Deep prefix is a superset of plain find. *)
+let label_gen = QCheck.Gen.(string_size ~gen:(char_range 'a' 'c') (int_range 1 2))
+
+let tree_gen =
+  let open QCheck.Gen in
+  let rec node depth =
+    let* label = label_gen in
+    if depth = 0 then return (Tree.leaf label "v")
+    else
+      let* children = list_size (int_range 0 3) (node (depth - 1)) in
+      let* has_value = bool in
+      return (Tree.node ?value:(if has_value then Some "v" else None) ~children label)
+  in
+  list_size (int_range 0 4) (node 2)
+
+let deep_superset_prop =
+  QCheck.Test.make ~count:300 ~name:"deep search is a superset of rooted search"
+    (QCheck.make
+       ~print:(fun (forest, label) -> Printf.sprintf "%s @ %s" (Tree.to_string forest) label)
+       QCheck.Gen.(pair tree_gen label_gen))
+    (fun (forest, label) ->
+      let rooted = Path.find forest [ Path.Label label ] in
+      let deep = Path.find forest [ Path.Deep; Path.Label label ] in
+      List.for_all (fun n -> List.memq n deep) rooted)
+
+let size_flatten_prop =
+  QCheck.Test.make ~count:300 ~name:"flatten length is bounded by size"
+    (QCheck.make ~print:Tree.to_string tree_gen)
+    (fun forest -> List.length (Tree.flatten forest) <= Tree.size forest)
+
+let suite =
+  tree_cases @ table_cases
+  @ [ QCheck_alcotest.to_alcotest deep_superset_prop; QCheck_alcotest.to_alcotest size_flatten_prop ]

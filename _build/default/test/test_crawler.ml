@@ -1,0 +1,94 @@
+let host () = Scenarios.Host.compliant ()
+
+let find_cases =
+  [
+    Alcotest.test_case "directory search" `Quick (fun () ->
+        let found =
+          Crawler.find_config_files (host ()) ~search_paths:[ "/etc/ssh" ] ~patterns:[]
+        in
+        Alcotest.(check (list string)) "paths" [ "/etc/ssh/sshd_config" ]
+          (List.map (fun (e : Crawler.extracted) -> e.Crawler.source_path) found));
+    Alcotest.test_case "single file search" `Quick (fun () ->
+        let found =
+          Crawler.find_config_files (host ()) ~search_paths:[ "/etc/sysctl.conf" ] ~patterns:[]
+        in
+        Alcotest.(check int) "one" 1 (List.length found));
+    Alcotest.test_case "pattern filtering" `Quick (fun () ->
+        let found =
+          Crawler.find_config_files (host ()) ~search_paths:[ "/etc" ] ~patterns:[ "*.conf" ]
+        in
+        Alcotest.(check bool) "only .conf" true
+          (List.for_all
+             (fun (e : Crawler.extracted) ->
+               Filename.check_suffix e.Crawler.source_path ".conf")
+             found);
+        Alcotest.(check bool) "found some" true (found <> []));
+    Alcotest.test_case "path-suffix patterns" `Quick (fun () ->
+        Alcotest.(check bool) "matches" true
+          (Crawler.pattern_matches "sites-enabled/*" "/etc/nginx/sites-enabled/shop");
+        Alcotest.(check bool) "no match" false
+          (Crawler.pattern_matches "sites-enabled/*" "/etc/nginx/nginx.conf"));
+    Alcotest.test_case "missing search path is empty" `Quick (fun () ->
+        Alcotest.(check int) "none" 0
+          (List.length (Crawler.find_config_files (host ()) ~search_paths:[ "/nonexistent" ] ~patterns:[])));
+    Alcotest.test_case "results deduplicated and sorted" `Quick (fun () ->
+        let found =
+          Crawler.find_config_files (host ())
+            ~search_paths:[ "/etc/ssh"; "/etc/ssh/sshd_config" ] ~patterns:[]
+        in
+        Alcotest.(check int) "dedup" 1 (List.length found));
+    Alcotest.test_case "metadata carried" `Quick (fun () ->
+        let found =
+          Crawler.find_config_files (host ()) ~search_paths:[ "/etc/ssh/sshd_config" ] ~patterns:[]
+        in
+        match found with
+        | [ e ] -> Alcotest.(check int) "mode" 0o600 e.Crawler.file.Frames.File.mode
+        | _ -> Alcotest.fail "expected one file");
+  ]
+
+let plugin_cases =
+  [
+    Alcotest.test_case "sysctl_runtime renders the live table" `Quick (fun () ->
+        match Crawler.run_plugin (host ()) ~name:"sysctl_runtime" with
+        | Ok out ->
+          Alcotest.(check bool) "randomize_va_space" true
+            (Re.execp (Re.compile (Re.str "kernel.randomize_va_space = 2")) out)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "sysctl_runtime errors without kernel table" `Quick (fun () ->
+        let empty = Frames.Frame.create ~id:"e" Frames.Frame.Host in
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Crawler.run_plugin empty ~name:"sysctl_runtime")));
+    Alcotest.test_case "mysql_variables reads runtime doc" `Quick (fun () ->
+        let frame = Scenarios.Webstack.mysql_container_frame ~compliant:true in
+        match Crawler.run_plugin frame ~name:"mysql_variables" with
+        | Ok out -> Alcotest.(check bool) "have_ssl" true (Re.execp (Re.compile (Re.str "have_ssl")) out)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "docker_inspect plugin output parses as json" `Quick (fun () ->
+        let frame = Scenarios.Webstack.nginx_container_frame ~compliant:false in
+        match Crawler.run_plugin frame ~name:"docker_inspect" with
+        | Ok out -> Alcotest.(check bool) "json" true (Result.is_ok (Jsonlite.parse out))
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "process_list plugin" `Quick (fun () ->
+        match Crawler.run_plugin (host ()) ~name:"process_list" with
+        | Ok out -> (
+          match Lenses.Registry.parse ~lens_name:"proc" ~path:"plugin://proc" out with
+          | Ok (Lenses.Lens.Table t) ->
+            Alcotest.(check bool) "sshd row" true
+              (List.exists (fun row -> List.nth row 2 = "/usr/sbin/sshd -D") t.Configtree.Table.rows)
+          | _ -> Alcotest.fail "expected table")
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "package_list plugin" `Quick (fun () ->
+        match Crawler.run_plugin (host ()) ~name:"package_list" with
+        | Ok out -> Alcotest.(check bool) "auditd" true (Re.execp (Re.compile (Re.str "auditd=2.3.2")) out)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "unknown plugin errors" `Quick (fun () ->
+        Alcotest.(check bool) "error" true (Result.is_error (Crawler.run_plugin (host ()) ~name:"nope")));
+    Alcotest.test_case "every plugin names a registered lens" `Quick (fun () ->
+        List.iter
+          (fun (p : Crawler.plugin) ->
+            if Lenses.Registry.find p.Crawler.lens_name = None then
+              Alcotest.failf "plugin %s names unknown lens %s" p.Crawler.plugin_name p.Crawler.lens_name)
+          Crawler.plugins);
+  ]
+
+let suite = find_cases @ plugin_cases

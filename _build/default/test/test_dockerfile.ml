@@ -1,0 +1,120 @@
+open Docksim
+
+let base_image =
+  Image.make ~reference:"ubuntu:14.04"
+    [
+      Layer.make ~id:"sha256:base" ~created_by:"base"
+        [
+          Layer.Add (Frames.File.make ~content:"root:x:0:0:root:/root:/bin/bash\n" "/etc/passwd");
+          Layer.Add (Frames.File.make ~content:"# default vhost\n" "/etc/nginx/sites-enabled/default");
+        ];
+    ]
+
+let resolve = function "ubuntu:14.04" -> Some base_image | _ -> None
+
+let build ?context text =
+  match Dockerfile.build ?context ~resolve ~reference:"test:latest" text with
+  | Ok image -> image
+  | Error e -> Alcotest.fail (Dockerfile.error_to_string e)
+
+let build_err text =
+  match Dockerfile.build ~resolve ~reference:"test:latest" text with
+  | Ok _ -> Alcotest.fail "expected a build error"
+  | Error e -> e
+
+let nginx_conf = Frames.File.make ~mode:0o644 ~content:Scenarios.Webstack.good_nginx_conf "nginx.conf"
+
+let cases =
+  [
+    Alcotest.test_case "FROM inherits base files and config" `Quick (fun () ->
+        let image = build "FROM ubuntu:14.04\n" in
+        let frame = Image.flatten image in
+        Alcotest.(check bool) "passwd" true (Frames.Frame.exists frame "/etc/passwd"));
+    Alcotest.test_case "COPY takes files from the context" `Quick (fun () ->
+        let image =
+          build ~context:[ ("nginx.conf", nginx_conf) ]
+            "FROM ubuntu:14.04\nCOPY nginx.conf /etc/nginx/nginx.conf\n"
+        in
+        let frame = Image.flatten image in
+        Alcotest.(check (option string)) "copied" (Some Scenarios.Webstack.good_nginx_conf)
+          (Frames.Frame.read frame "/etc/nginx/nginx.conf"));
+    Alcotest.test_case "RUN rm produces a whiteout" `Quick (fun () ->
+        let image = build "FROM ubuntu:14.04\nRUN rm -f /etc/nginx/sites-enabled/default\n" in
+        Alcotest.(check bool) "gone" false
+          (Frames.Frame.exists (Image.flatten image) "/etc/nginx/sites-enabled/default"));
+    Alcotest.test_case "RUN chmod/chown/echo/mkdir sequence" `Quick (fun () ->
+        let image =
+          build
+            "FROM ubuntu:14.04\n\
+             RUN mkdir -p /etc/app\n\
+             RUN echo \"secret\" > /etc/app/key\n\
+             RUN echo \"more\" >> /etc/app/key\n\
+             RUN chmod 600 /etc/app/key\n\
+             RUN chown 33:33 /etc/app/key\n"
+        in
+        let f = Option.get (Frames.Frame.stat (Image.flatten image) "/etc/app/key") in
+        Alcotest.(check string) "content" "secret\nmore\n" f.Frames.File.content;
+        Alcotest.(check int) "mode" 0o600 f.Frames.File.mode;
+        Alcotest.(check string) "owner" "33:33" (Frames.File.ownership f));
+    Alcotest.test_case "config instructions accumulate" `Quick (fun () ->
+        let image =
+          build
+            "FROM ubuntu:14.04\n\
+             USER nginx\n\
+             EXPOSE 443/tcp\n\
+             ENV MODE=prod\n\
+             LABEL team=web\n\
+             HEALTHCHECK CMD curl -f https://localhost/\n\
+             ENTRYPOINT nginx\n\
+             CMD -g 'daemon off;'\n"
+        in
+        Alcotest.(check string) "user" "nginx" image.Image.config.Image.user;
+        Alcotest.(check (list int)) "ports" [ 443 ] image.Image.config.Image.exposed_ports;
+        Alcotest.(check (option string)) "env" (Some "prod")
+          (List.assoc_opt "MODE" image.Image.config.Image.env);
+        Alcotest.(check bool) "healthcheck" true (image.Image.config.Image.healthcheck <> None));
+    Alcotest.test_case "continuations and comments" `Quick (fun () ->
+        let image =
+          build "# build\nFROM ubuntu:14.04\nRUN echo \"a\" \\\n  > /etc/a\n"
+        in
+        Alcotest.(check (option string)) "joined" (Some "a\n")
+          (Frames.Frame.read (Image.flatten image) "/etc/a"));
+    Alcotest.test_case "one layer per instruction (docker history)" `Quick (fun () ->
+        let image = build "FROM ubuntu:14.04\nRUN mkdir -p /x\nUSER nginx\n" in
+        Alcotest.(check int) "layers" 3 (Image.layer_count image));
+    Alcotest.test_case "errors carry line numbers" `Quick (fun () ->
+        let e = build_err "FROM ubuntu:14.04\nCOPY missing.conf /etc/x\n" in
+        Alcotest.(check int) "line" 2 e.Dockerfile.line;
+        let e = build_err "RUN echo hi\n" in
+        Alcotest.(check bool) "must start with FROM" true
+          (Re.execp (Re.compile (Re.str "FROM")) e.Dockerfile.message);
+        let e = build_err "FROM nowhere:1\n" in
+        Alcotest.(check bool) "unknown base" true
+          (Re.execp (Re.compile (Re.str "unknown base")) e.Dockerfile.message);
+        let e = build_err "FROM ubuntu:14.04\nFROBNICATE x\n" in
+        Alcotest.(check bool) "unsupported" true
+          (Re.execp (Re.compile (Re.str "unsupported")) e.Dockerfile.message));
+    Alcotest.test_case "built image validates end to end" `Quick (fun () ->
+        (* Build a hardened nginx image from a Dockerfile and scan it:
+           the pipeline the paper's Vulnerability Advisor runs on push. *)
+        let image =
+          build ~context:[ ("nginx.conf", nginx_conf) ]
+            "FROM ubuntu:14.04\n\
+             COPY nginx.conf /etc/nginx/nginx.conf\n\
+             RUN rm -f /etc/nginx/sites-enabled/default\n\
+             USER nginx\n\
+             EXPOSE 443\n\
+             HEALTHCHECK CMD curl -fk https://localhost/\n"
+        in
+        let run =
+          Cvl.Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest
+            [ Image.flatten image ]
+        in
+        let nginx_violations =
+          Cvl.Report.violations run.Cvl.Validator.results
+          |> List.filter (fun (r : Cvl.Engine.result) -> r.Cvl.Engine.entity = "nginx")
+        in
+        Alcotest.(check int) "clean nginx scan" 0 (List.length nginx_violations));
+  ]
+
+let suite = cases

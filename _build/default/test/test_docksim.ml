@@ -1,0 +1,152 @@
+open Docksim
+
+let file path content = Frames.File.make ~content path
+let add path content = Layer.Add (file path content)
+
+let layer_cases =
+  [
+    Alcotest.test_case "later layers win" `Quick (fun () ->
+        let image =
+          Image.make ~reference:"t:1"
+            [
+              Layer.make ~id:"l1" ~created_by:"FROM base" [ add "/etc/x" "old" ];
+              Layer.make ~id:"l2" ~created_by:"RUN sed" [ add "/etc/x" "new" ];
+            ]
+        in
+        Alcotest.(check (option string)) "content" (Some "new")
+          (Frames.Frame.read (Image.flatten image) "/etc/x"));
+    Alcotest.test_case "whiteout removes lower files" `Quick (fun () ->
+        let image =
+          Image.make ~reference:"t:1"
+            [
+              Layer.make ~id:"l1" ~created_by:"FROM base" [ add "/etc/default-vhost" "x" ];
+              Layer.make ~id:"l2" ~created_by:"RUN rm" [ Layer.Whiteout "/etc/default-vhost" ];
+            ]
+        in
+        Alcotest.(check bool) "gone" false (Frames.Frame.exists (Image.flatten image) "/etc/default-vhost"));
+    Alcotest.test_case "re-add after whiteout" `Quick (fun () ->
+        let image =
+          Image.make ~reference:"t:1"
+            [
+              Layer.make ~id:"l1" ~created_by:"a" [ add "/x" "1" ];
+              Layer.make ~id:"l2" ~created_by:"b" [ Layer.Whiteout "/x" ];
+              Layer.make ~id:"l3" ~created_by:"c" [ add "/x" "2" ];
+            ]
+        in
+        Alcotest.(check (option string)) "readded" (Some "2")
+          (Frames.Frame.read (Image.flatten image) "/x"));
+    Alcotest.test_case "ops within a layer apply in order" `Quick (fun () ->
+        let layer =
+          Layer.make ~id:"l" ~created_by:"x" [ add "/x" "1"; Layer.Whiteout "/x"; add "/x" "2" ]
+        in
+        let frame = Layer.apply (Frames.Frame.create ~id:"t" Frames.Frame.Host) layer in
+        Alcotest.(check (option string)) "last op wins" (Some "2") (Frames.Frame.read frame "/x"));
+  ]
+
+let image_cases =
+  [
+    Alcotest.test_case "image frame kind and runtime doc" `Quick (fun () ->
+        let frame = Scenarios.Webstack.nginx_image_frame ~compliant:true in
+        (match Frames.Frame.kind frame with
+        | Frames.Frame.Docker_image _ -> ()
+        | _ -> Alcotest.fail "wrong kind");
+        Alcotest.(check bool) "config doc" true
+          (Frames.Frame.runtime_doc frame "docker_image_config" <> None));
+    Alcotest.test_case "config json carries USER and healthcheck" `Quick (fun () ->
+        let image = Scenarios.Webstack.nginx_image ~compliant:true in
+        let json = Image.config_json image in
+        Alcotest.(check (option string)) "user" (Some "nginx")
+          (Option.bind (Jsonlite.member "User" json) Jsonlite.get_str);
+        Alcotest.(check bool) "healthcheck" true (Jsonlite.member "Healthcheck" json <> Some Jsonlite.Null));
+    Alcotest.test_case "nginx image whiteout removed default vhost" `Quick (fun () ->
+        let frame = Scenarios.Webstack.nginx_image_frame ~compliant:true in
+        Alcotest.(check bool) "default vhost gone" false
+          (Frames.Frame.exists frame "/etc/nginx/sites-enabled/default"));
+  ]
+
+let container_cases =
+  [
+    Alcotest.test_case "container inherits image files" `Quick (fun () ->
+        let frame = Scenarios.Webstack.mysql_container_frame ~compliant:true in
+        Alcotest.(check bool) "my.cnf" true (Frames.Frame.exists frame "/etc/mysql/my.cnf");
+        match Frames.Frame.kind frame with
+        | Frames.Frame.Container _ -> ()
+        | _ -> Alcotest.fail "wrong kind");
+    Alcotest.test_case "inspect document shape" `Quick (fun () ->
+        let c = Scenarios.Webstack.nginx_container ~compliant:false in
+        let doc = Container.inspect_json c in
+        let hc = Option.get (Jsonlite.member "HostConfig" doc) in
+        Alcotest.(check (option bool)) "privileged" (Some true)
+          (Option.bind (Jsonlite.member "Privileged" hc) Jsonlite.get_bool);
+        Alcotest.(check (option string)) "network" (Some "host")
+          (Option.bind (Jsonlite.member "NetworkMode" hc) Jsonlite.get_str);
+        let binds = Option.get (Jsonlite.member "Binds" hc) in
+        Alcotest.(check bool) "docker.sock mounted" true
+          (match binds with
+          | Jsonlite.Arr items ->
+            List.exists
+              (fun b ->
+                match Jsonlite.get_str b with
+                | Some s -> Re.execp (Re.compile (Re.str "docker.sock")) s
+                | None -> false)
+              items
+          | _ -> false));
+    Alcotest.test_case "container processes attached" `Quick (fun () ->
+        let frame = Scenarios.Webstack.nginx_container_frame ~compliant:true in
+        Alcotest.(check bool) "nginx running" true
+          (Frames.Frame.process_running frame "nginx -g daemon off;"));
+  ]
+
+(* Union-fs properties. *)
+let ops_gen =
+  QCheck.Gen.(
+    let path = map (fun c -> Printf.sprintf "/f/%c" c) (char_range 'a' 'e') in
+    list_size (int_range 0 20)
+      (oneof
+         [
+           map (fun p -> Layer.Add (file p p)) path;
+           map (fun p -> Layer.Whiteout p) path;
+         ]))
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Layer.Add f -> "+" ^ f.Frames.File.path
+         | Layer.Whiteout p -> "-" ^ p)
+       ops)
+
+let split_prop =
+  QCheck.Test.make ~count:300 ~name:"layer split point does not change the union"
+    (QCheck.make ~print:(fun (ops, k) -> Printf.sprintf "%s @%d" (print_ops ops) k)
+       QCheck.Gen.(pair ops_gen (int_range 0 20)))
+    (fun (ops, k) ->
+      let k = min k (List.length ops) in
+      let take, drop =
+        (List.filteri (fun i _ -> i < k) ops, List.filteri (fun i _ -> i >= k) ops)
+      in
+      let one = Image.flatten (Image.make ~reference:"t" [ Layer.make ~id:"a" ~created_by:"" ops ]) in
+      let two =
+        Image.flatten
+          (Image.make ~reference:"t"
+             [ Layer.make ~id:"a" ~created_by:"" take; Layer.make ~id:"b" ~created_by:"" drop ])
+      in
+      List.map (fun (f : Frames.File.t) -> (f.Frames.File.path, f.Frames.File.content))
+        (Frames.Frame.all_files one)
+      = List.map (fun (f : Frames.File.t) -> (f.Frames.File.path, f.Frames.File.content))
+          (Frames.Frame.all_files two))
+
+let whiteout_idempotent_prop =
+  QCheck.Test.make ~count:300 ~name:"duplicate whiteout is idempotent"
+    (QCheck.make ~print:print_ops ops_gen)
+    (fun ops ->
+      let double =
+        List.concat_map (function Layer.Whiteout p -> [ Layer.Whiteout p; Layer.Whiteout p ] | op -> [ op ]) ops
+      in
+      let flat ops = Image.flatten (Image.make ~reference:"t" [ Layer.make ~id:"a" ~created_by:"" ops ]) in
+      List.map (fun (f : Frames.File.t) -> f.Frames.File.path) (Frames.Frame.all_files (flat ops))
+      = List.map (fun (f : Frames.File.t) -> f.Frames.File.path) (Frames.Frame.all_files (flat double)))
+
+let suite =
+  layer_cases @ image_cases @ container_cases
+  @ [ QCheck_alcotest.to_alcotest split_prop; QCheck_alcotest.to_alcotest whiteout_idempotent_prop ]

@@ -1,0 +1,114 @@
+(* Direct tests of the InSpec-style embedded DSL (the "expected"
+   declarative form of paper Listing 6) and of the OVAL criteria
+   algebra. *)
+
+let frame = Scenarios.Host.compliant ()
+let bad_frame = Scenarios.Host.misconfigured ()
+
+open Inspeclite
+
+let listing6_control =
+  (* The paper's expected encoding, almost verbatim. *)
+  Dsl.control ~id:"sshd-06" ~impact:1.0
+    ~title:"Server: Do not permit root-based login"
+    [ Dsl.describe Dsl.sshd_config [ Dsl.its "PermitRootLogin" (Dsl.should_match "no|without-password") ] ]
+
+let dsl_cases =
+  [
+    Alcotest.test_case "listing 6 expected control" `Quick (fun () ->
+        Alcotest.(check bool) "good host passes" true (Dsl.run_control frame listing6_control);
+        Alcotest.(check bool) "bad host fails" false (Dsl.run_control bad_frame listing6_control));
+    Alcotest.test_case "resources fetch properties" `Quick (fun () ->
+        Alcotest.(check (option string)) "sshd key" (Some "no")
+          (Dsl.fetch frame Dsl.sshd_config "PermitRootLogin");
+        Alcotest.(check (option string)) "sysctl key" (Some "0")
+          (Dsl.fetch frame Dsl.sysctl_conf "net.ipv4.ip_forward");
+        Alcotest.(check (option string)) "file mode" (Some "600")
+          (Dsl.fetch frame (Dsl.File_resource "/etc/ssh/sshd_config") "mode");
+        Alcotest.(check (option string)) "file exist" (Some "false")
+          (Dsl.fetch frame (Dsl.File_resource "/nope") "exist");
+        Alcotest.(check (option string)) "command stdout" (Some "hello")
+          (Dsl.fetch frame (Dsl.Command "echo hello") "stdout");
+        Alcotest.(check (option string)) "missing key" None
+          (Dsl.fetch frame Dsl.sshd_config "NoSuchKeyword"));
+    Alcotest.test_case "matchers" `Quick (fun () ->
+        let check_matcher name matcher value expected =
+          let ctrl =
+            Dsl.control ~id:"m" [ Dsl.describe (Dsl.Command ("echo " ^ value)) [ Dsl.its "stdout" matcher ] ]
+          in
+          Alcotest.(check bool) name expected (Dsl.run_control frame ctrl)
+        in
+        check_matcher "eq hit" (Dsl.Eq "x") "x" true;
+        check_matcher "eq miss" (Dsl.Eq "x") "y" false;
+        check_matcher "be_in" (Dsl.Be_in [ "a"; "b" ]) "b" true;
+        check_matcher "le" (Dsl.Le 4) "3" true;
+        check_matcher "le miss" (Dsl.Le 4) "5" false;
+        check_matcher "ge" (Dsl.Ge 2) "2" true;
+        check_matcher "mode_max pass" (Dsl.Mode_max 0o644) "600" true;
+        check_matcher "mode_max bitwise fail" (Dsl.Mode_max 0o644) "606" false;
+        check_matcher "match unanchored" (Dsl.Match "v1\\.[23]") "TLSv1.2" true;
+        check_matcher "exist" Dsl.Exist "whatever" true);
+    Alcotest.test_case "negated expectations" `Quick (fun () ->
+        let ctrl =
+          Dsl.control ~id:"n"
+            [ Dsl.describe Dsl.sshd_config [ Dsl.its "PermitRootLogin" ~negate:true (Dsl.Eq "yes") ] ]
+        in
+        Alcotest.(check bool) "good host" true (Dsl.run_control frame ctrl);
+        Alcotest.(check bool) "bad host" false (Dsl.run_control bad_frame ctrl);
+        (* Negation over a missing property passes (nothing equals yes). *)
+        let ctrl_missing =
+          Dsl.control ~id:"n2"
+            [ Dsl.describe Dsl.sshd_config [ Dsl.its "NoSuchKeyword" ~negate:true (Dsl.Eq "yes") ] ]
+        in
+        Alcotest.(check bool) "missing negated" true (Dsl.run_control frame ctrl_missing));
+    Alcotest.test_case "run_profile aggregates controls" `Quick (fun () ->
+        let controls = List.map Engine.to_dsl Checkir.Cis40.all in
+        let results = Dsl.run_profile bad_frame controls in
+        Alcotest.(check int) "forty controls" 40 (List.length results);
+        Alcotest.(check int) "fifteen failures" 15
+          (List.length (List.filter (fun (_, ok) -> not ok) results)));
+  ]
+
+let oval_criteria_cases =
+  let open Scap.Oval in
+  let test_true = Text_content { test_id = "t"; filepath = "/etc/ssh/sshd_config"; pattern = "PermitRootLogin"; existence = At_least_one } in
+  let test_false = Text_content { test_id = "f"; filepath = "/etc/ssh/sshd_config"; pattern = "zzz_nothing"; existence = At_least_one } in
+  let doc criteria = { definitions = [ { def_id = "d"; title = ""; description = ""; criteria } ]; tests = [ test_true; test_false ] } in
+  let eval criteria =
+    let d = doc criteria in
+    eval_definition d frame (List.hd d.definitions)
+  in
+  [
+    Alcotest.test_case "criteria operators and negation" `Quick (fun () ->
+        let t = Criterion { test_ref = "t"; negate = false } in
+        let f = Criterion { test_ref = "f"; negate = false } in
+        Alcotest.(check bool) "plain true" true (eval t);
+        Alcotest.(check bool) "plain false" false (eval f);
+        Alcotest.(check bool) "negate" true (eval (Criterion { test_ref = "f"; negate = true }));
+        Alcotest.(check bool) "and" false (eval (Operator { op = `And; negate = false; children = [ t; f ] }));
+        Alcotest.(check bool) "or" true (eval (Operator { op = `Or; negate = false; children = [ t; f ] }));
+        Alcotest.(check bool) "negated and" true
+          (eval (Operator { op = `And; negate = true; children = [ t; f ] }));
+        Alcotest.(check bool) "missing test_ref is false" false
+          (eval (Criterion { test_ref = "ghost"; negate = false })));
+    Alcotest.test_case "none_exist semantics" `Quick (fun () ->
+        let none =
+          Text_content
+            { test_id = "n"; filepath = "/etc/ssh/sshd_config"; pattern = "PermitRootLogin\\s+yes"; existence = None_exist }
+        in
+        let d = { definitions = [ { def_id = "d"; title = ""; description = ""; criteria = Criterion { test_ref = "n"; negate = false } } ]; tests = [ none ] } in
+        Alcotest.(check bool) "good host: no root login line" true
+          (eval_definition d frame (List.hd d.definitions));
+        Alcotest.(check bool) "bad host: line present" false
+          (eval_definition d bad_frame (List.hd d.definitions)));
+    Alcotest.test_case "file_attrs test" `Quick (fun () ->
+        let attrs =
+          File_attrs { test_id = "a"; filepath = "/etc/ssh/sshd_config"; uid = 0; gid = 0; mode_max = 0o600 }
+        in
+        let d = { definitions = [ { def_id = "d"; title = ""; description = ""; criteria = Criterion { test_ref = "a"; negate = false } } ]; tests = [ attrs ] } in
+        Alcotest.(check bool) "good host 600" true (eval_definition d frame (List.hd d.definitions));
+        Alcotest.(check bool) "bad host 644" false
+          (eval_definition d bad_frame (List.hd d.definitions)));
+  ]
+
+let suite = dsl_cases @ oval_criteria_cases

@@ -1,0 +1,280 @@
+open Cvl
+
+(* A small synthetic entity: one sshd-style file and one fstab table. *)
+let frame content =
+  Frames.Frame.add_files
+    (Frames.Frame.create ~id:"t" Frames.Frame.Host)
+    [ Frames.File.make ~mode:0o600 ~content "/etc/ssh/sshd_config" ]
+
+let ctx ?(entity = "sshd") content =
+  Engine.build_ctx (frame content)
+    {
+      Manifest.entity;
+      enabled = true;
+      search_paths = [ "/etc/ssh" ];
+      cvl_file = "unused";
+      lens = Some "sshd";
+      rule_type = None;
+    }
+
+let tree_rule ?(paths = [ "" ]) ?preferred ?non_preferred ?(not_present_pass = false)
+    ?(check_presence_only = false) ?(require = []) ?(file_context = []) ?value_separator
+    ?(case_insensitive = false) name =
+  Rule.Tree
+    {
+      Rule.tree_common = Rule.common name;
+      config_paths = paths;
+      preferred;
+      non_preferred;
+      file_context;
+      require_other_configs = require;
+      value_separator;
+      case_insensitive;
+      check_presence_only;
+      not_present_pass;
+    }
+
+let expect_verdict name rule content expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let r = Engine.eval_rule (ctx content) rule in
+      Alcotest.(check string) "verdict" (Engine.verdict_to_string expected)
+        (Engine.verdict_to_string r.Engine.verdict))
+
+let exact values = { Rule.values; match_spec = Matcher.default }
+
+let tree_cases =
+  [
+    expect_verdict "preferred matches"
+      (tree_rule ~preferred:(exact [ "no" ]) "PermitRootLogin")
+      "PermitRootLogin no\n" Engine.Matched;
+    expect_verdict "preferred mismatch"
+      (tree_rule ~preferred:(exact [ "no" ]) "PermitRootLogin")
+      "PermitRootLogin yes\n" Engine.Not_matched;
+    expect_verdict "absent key"
+      (tree_rule ~preferred:(exact [ "no" ]) "PermitRootLogin")
+      "Port 22\n" Engine.Not_present;
+    expect_verdict "absent key with not_present_pass"
+      (tree_rule ~preferred:(exact [ "no" ]) ~not_present_pass:true "X11Forwarding")
+      "Port 22\n" Engine.Matched;
+    expect_verdict "non-preferred trumps preferred"
+      (tree_rule ~preferred:(exact [ "aes" ]) ~non_preferred:(exact [ "aes" ]) "Ciphers")
+      "Ciphers aes\n" Engine.Not_matched;
+    expect_verdict "repeated keys must all comply"
+      (tree_rule ~preferred:(exact [ "22" ]) "Port")
+      "Port 22\nPort 2222\n" Engine.Not_matched;
+    expect_verdict "check_presence_only ignores value"
+      (tree_rule ~check_presence_only:true "Banner")
+      "Banner /anything\n" Engine.Matched;
+    expect_verdict "require_other_configs gates the rule"
+      (tree_rule ~preferred:(exact [ "x" ]) ~require:[ "NoSuchKey" ] "Port")
+      "Port x\n" Engine.Not_applicable;
+    expect_verdict "require_other_configs satisfied"
+      (tree_rule ~preferred:(exact [ "x" ]) ~require:[ "Banner" ] "Port")
+      "Port x\nBanner /etc/issue\n" Engine.Matched;
+    expect_verdict "file_context excludes files"
+      (tree_rule ~preferred:(exact [ "x" ]) ~file_context:[ "other.conf" ] "Port")
+      "Port x\n" Engine.Not_applicable;
+    expect_verdict "value separator splits before matching"
+      (tree_rule
+         ~non_preferred:{ Rule.values = [ "cbc" ]; match_spec = { Matcher.kind = Matcher.Substr; scope = Matcher.Any } }
+         ~value_separator:"," "Ciphers")
+      "Ciphers aes256-ctr,aes128-cbc\n" Engine.Not_matched;
+    expect_verdict "case-insensitive matching"
+      (tree_rule ~case_insensitive:true ~preferred:(exact [ "off" ]) "Setting")
+      "Setting OFF\n" Engine.Matched;
+    expect_verdict "disabled rules are not applicable"
+      (match tree_rule ~preferred:(exact [ "no" ]) "PermitRootLogin" with
+       | Rule.Tree r ->
+         Rule.Tree { r with Rule.tree_common = { r.Rule.tree_common with Rule.disabled = true } }
+       | r -> r)
+      "PermitRootLogin yes\n" Engine.Not_applicable;
+  ]
+
+let path_rule ?(should_exist = true) ?ownership ?permission ?file_type path =
+  Rule.Path
+    { Rule.path_common = Rule.common path; path; ownership; permission; should_exist; file_type }
+
+let path_cases =
+  [
+    expect_verdict "path exists with sane mode"
+      (path_rule ~ownership:"0:0" ~permission:0o600 "/etc/ssh/sshd_config")
+      "x\n" Engine.Matched;
+    expect_verdict "stricter mode passes a ceiling"
+      (path_rule ~permission:0o644 "/etc/ssh/sshd_config")
+      "x\n" Engine.Matched;
+    expect_verdict "missing path"
+      (path_rule "/etc/nope") "x\n" Engine.Not_present;
+    expect_verdict "must-not-exist violated"
+      (path_rule ~should_exist:false "/etc/ssh/sshd_config")
+      "x\n" Engine.Not_matched;
+    expect_verdict "must-not-exist satisfied"
+      (path_rule ~should_exist:false "/etc/nope") "x\n" Engine.Matched;
+    expect_verdict "wrong ownership"
+      (path_rule ~ownership:"33:33" "/etc/ssh/sshd_config")
+      "x\n" Engine.Not_matched;
+    expect_verdict "wrong type"
+      (path_rule ~file_type:"directory" "/etc/ssh/sshd_config")
+      "x\n" Engine.Not_matched;
+    Alcotest.test_case "mode ceiling is bitwise" `Quick (fun () ->
+        (* 0o606 has a world-write... no: 606 = rw- --- rw-. Under a 644
+           ceiling the 002 bit exceeds it even though 606 < 644
+           numerically. *)
+        let fr =
+          Frames.Frame.add_files
+            (Frames.Frame.create ~id:"t" Frames.Frame.Host)
+            [ Frames.File.make ~mode:0o606 ~content:"" "/etc/f" ]
+        in
+        let ctx =
+          Engine.ctx_of_documents ~entity:"x" fr [ ("/etc/f", Lenses.Lens.Tree []) ]
+        in
+        let r = Engine.eval_rule ctx (path_rule ~permission:0o644 "/etc/f") in
+        Alcotest.(check string) "verdict" "not-matched" (Engine.verdict_to_string r.Engine.verdict));
+  ]
+
+let schema_rule ?(constraints = "") ?(values = []) ?(columns = [ "*" ]) ?preferred ?non_preferred
+    ?expect_rows name =
+  Rule.Schema
+    {
+      Rule.schema_common = Rule.common name;
+      query_constraints = constraints;
+      query_constraints_value = values;
+      query_columns = columns;
+      schema_preferred = preferred;
+      schema_non_preferred = non_preferred;
+      schema_file_context = [];
+      expect_rows;
+    }
+
+let fstab_ctx content =
+  let fr =
+    Frames.Frame.add_files
+      (Frames.Frame.create ~id:"t" Frames.Frame.Host)
+      [ Frames.File.make ~content "/etc/fstab" ]
+  in
+  Engine.build_ctx fr
+    {
+      Manifest.entity = "fstab";
+      enabled = true;
+      search_paths = [ "/etc/fstab" ];
+      cvl_file = "unused";
+      lens = Some "fstab";
+      rule_type = None;
+    }
+
+let expect_schema name rule content expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let r = Engine.eval_rule (fstab_ctx content) rule in
+      Alcotest.(check string) "verdict" (Engine.verdict_to_string expected)
+        (Engine.verdict_to_string r.Engine.verdict))
+
+let schema_cases =
+  [
+    expect_schema "paper listing 3 on a separate /tmp"
+      (schema_rule ~constraints:"dir = ?" ~values:[ "/tmp" ]
+         ~non_preferred:{ Rule.values = [ "" ]; match_spec = { Matcher.kind = Matcher.Exact; scope = Matcher.All } }
+         "check_tmp_separate_partition")
+      "/dev/sda2 /tmp ext4 nodev 0 2\n" Engine.Matched;
+    expect_schema "paper listing 3 without /tmp"
+      (schema_rule ~constraints:"dir = ?" ~values:[ "/tmp" ]
+         ~non_preferred:{ Rule.values = [ "" ]; match_spec = { Matcher.kind = Matcher.Exact; scope = Matcher.All } }
+         "check_tmp_separate_partition")
+      "/dev/sda1 / ext4 defaults 0 1\n" Engine.Not_matched;
+    expect_schema "column projection with substring expectation"
+      (schema_rule ~constraints:"dir = ?" ~values:[ "/tmp" ] ~columns:[ "options" ]
+         ~preferred:{ Rule.values = [ "nodev" ]; match_spec = { Matcher.kind = Matcher.Substr; scope = Matcher.All } }
+         "tmp_nodev")
+      "/dev/sda2 /tmp ext4 nodev,nosuid 0 2\n" Engine.Matched;
+    expect_schema "expect_rows unmet"
+      (schema_rule ~constraints:"dir = ?" ~values:[ "/boot" ] ~expect_rows:1 "boot_partition")
+      "/dev/sda1 / ext4 defaults 0 1\n" Engine.Not_matched;
+    Alcotest.test_case "bad query surfaces as engine error" `Quick (fun () ->
+        let r =
+          Engine.eval_rule (fstab_ctx "/dev/sda1 / ext4 defaults 0 1\n")
+            (schema_rule ~constraints:"nope ~ ?" ~values:[ "(" ] "bad-regex")
+        in
+        match r.Engine.verdict with
+        | Engine.Engine_error _ -> ()
+        | v -> Alcotest.failf "expected error, got %s" (Engine.verdict_to_string v));
+  ]
+
+let script_cases =
+  [
+    Alcotest.test_case "script rule over plugin output" `Quick (fun () ->
+        let fr = Scenarios.Webstack.mysql_container_frame ~compliant:true in
+        let ctx = Engine.ctx_of_documents ~entity:"mysql" fr [] in
+        let rule =
+          Rule.Script
+            {
+              Rule.script_common = Rule.common "have_ssl";
+              plugin = "mysql_variables";
+              script_config_paths = [ "have_ssl" ];
+              script_preferred = Some { Rule.values = [ "YES" ]; match_spec = Matcher.default };
+              script_non_preferred = None;
+              script_not_present_pass = false;
+            }
+        in
+        let r = Engine.eval_rule ctx rule in
+        Alcotest.(check string) "verdict" "matched" (Engine.verdict_to_string r.Engine.verdict));
+    Alcotest.test_case "unknown plugin is an engine error" `Quick (fun () ->
+        let ctx = Engine.ctx_of_documents ~entity:"x" (Frames.Frame.create ~id:"t" Frames.Frame.Host) [] in
+        let rule =
+          Rule.Script
+            {
+              Rule.script_common = Rule.common "r";
+              plugin = "nope";
+              script_config_paths = [ "k" ];
+              script_preferred = None;
+              script_non_preferred = None;
+              script_not_present_pass = false;
+            }
+        in
+        match (Engine.eval_rule ctx rule).Engine.verdict with
+        | Engine.Engine_error _ -> ()
+        | v -> Alcotest.failf "expected error, got %s" (Engine.verdict_to_string v));
+    Alcotest.test_case "plugin without data is not applicable" `Quick (fun () ->
+        let ctx = Engine.ctx_of_documents ~entity:"x" (Frames.Frame.create ~id:"t" Frames.Frame.Host) [] in
+        let rule =
+          Rule.Script
+            {
+              Rule.script_common = Rule.common "r";
+              plugin = "mysql_variables";
+              script_config_paths = [ "k" ];
+              script_preferred = None;
+              script_non_preferred = None;
+              script_not_present_pass = false;
+            }
+        in
+        Alcotest.(check string) "verdict" "not-applicable"
+          (Engine.verdict_to_string (Engine.eval_rule ctx rule).Engine.verdict));
+    Alcotest.test_case "composite handed to engine is an error" `Quick (fun () ->
+        let ctx = Engine.ctx_of_documents ~entity:"x" (Frames.Frame.create ~id:"t" Frames.Frame.Host) [] in
+        let rule = Rule.Composite { Rule.composite_common = Rule.common "c"; expression = "a.b" } in
+        match (Engine.eval_rule ctx rule).Engine.verdict with
+        | Engine.Engine_error _ -> ()
+        | v -> Alcotest.failf "expected error, got %s" (Engine.verdict_to_string v));
+  ]
+
+let parse_error_case =
+  Alcotest.test_case "unparsable config degrades to engine error" `Quick (fun () ->
+      let fr =
+        Frames.Frame.add_files
+          (Frames.Frame.create ~id:"t" Frames.Frame.Host)
+          [ Frames.File.make ~content:"http { unterminated\n" "/etc/nginx/nginx.conf" ]
+      in
+      let ctx =
+        Engine.build_ctx fr
+          {
+            Manifest.entity = "nginx";
+            enabled = true;
+            search_paths = [ "/etc/nginx" ];
+            cvl_file = "u";
+            lens = Some "nginx";
+            rule_type = None;
+          }
+      in
+      let rule = tree_rule ~preferred:(exact [ "off" ]) "server_tokens" in
+      match (Engine.eval_rule ctx rule).Engine.verdict with
+      | Engine.Engine_error _ -> ()
+      | v -> Alcotest.failf "expected error, got %s" (Engine.verdict_to_string v))
+
+let suite = tree_cases @ path_cases @ schema_cases @ script_cases @ [ parse_error_case ]

@@ -1,0 +1,168 @@
+(* Semantic laws of the rule engine, checked over randomized sshd-style
+   configurations and rule fragments. *)
+
+open Cvl
+
+let ident = QCheck.Gen.(string_size ~gen:(char_range 'a' 'e') (int_range 1 4))
+
+let config_gen =
+  QCheck.Gen.(
+    let* entries = list_size (int_range 0 8) (pair ident ident) in
+    return entries)
+
+let frame_of entries =
+  let content =
+    String.concat "" (List.map (fun (k, v) -> Printf.sprintf "%s %s\n" k v) entries)
+  in
+  Frames.Frame.add_file
+    (Frames.Frame.create ~id:"prop" Frames.Frame.Host)
+    (Frames.File.make ~content "/etc/ssh/sshd_config")
+
+let ctx_of entries =
+  Engine.build_ctx (frame_of entries)
+    {
+      Manifest.entity = "sshd";
+      enabled = true;
+      search_paths = [ "/etc/ssh" ];
+      cvl_file = "-";
+      lens = Some "sshd";
+      rule_type = None;
+    }
+
+let tree_rule ?preferred ?non_preferred ?(not_present_pass = false) ?(check_presence_only = false)
+    name =
+  Rule.Tree
+    {
+      Rule.tree_common = Rule.common name;
+      config_paths = [ "" ];
+      preferred;
+      non_preferred;
+      file_context = [];
+      require_other_configs = [];
+      value_separator = None;
+      case_insensitive = false;
+      check_presence_only;
+      not_present_pass;
+    }
+
+let verdict ctx rule = (Engine.eval_rule ctx rule).Engine.verdict
+
+let scenario_gen = QCheck.Gen.(triple config_gen ident (list_size (int_range 1 3) ident))
+
+let print_scenario (entries, key, values) =
+  Printf.sprintf "config=[%s] key=%s values=[%s]"
+    (String.concat ";" (List.map (fun (k, v) -> k ^ " " ^ v) entries))
+    key (String.concat ";" values)
+
+let prop name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name (QCheck.make ~print:print_scenario scenario_gen) f)
+
+let not_present_iff_absent =
+  prop "Not_present iff the key never occurs" (fun (entries, key, values) ->
+      let ctx = ctx_of entries in
+      let rule =
+        tree_rule ~preferred:{ Rule.values; match_spec = Matcher.default } key
+      in
+      let absent = not (List.mem_assoc key entries) in
+      (verdict ctx rule = Engine.Not_present) = absent)
+
+let removing_non_preferred_never_hurts =
+  prop "removing non_preferred never turns Matched into a violation"
+    (fun (entries, key, values) ->
+      let ctx = ctx_of entries in
+      let with_np =
+        tree_rule
+          ~preferred:{ Rule.values; match_spec = Matcher.default }
+          ~non_preferred:{ Rule.values; match_spec = { Matcher.kind = Matcher.Substr; scope = Matcher.Any } }
+          key
+      in
+      let without_np =
+        tree_rule ~preferred:{ Rule.values; match_spec = Matcher.default } key
+      in
+      verdict ctx with_np <> Engine.Matched || verdict ctx without_np = Engine.Matched)
+
+let not_present_pass_only_affects_absence =
+  prop "not_present_pass only reinterprets absence" (fun (entries, key, values) ->
+      let ctx = ctx_of entries in
+      let strict = tree_rule ~preferred:{ Rule.values; match_spec = Matcher.default } key in
+      let lax =
+        tree_rule ~preferred:{ Rule.values; match_spec = Matcher.default } ~not_present_pass:true key
+      in
+      match (verdict ctx strict, verdict ctx lax) with
+      | Engine.Not_present, Engine.Matched -> true
+      | a, b -> a = b)
+
+let presence_only_ignores_values =
+  prop "check_presence_only is insensitive to expectations" (fun (entries, key, values) ->
+      let ctx = ctx_of entries in
+      let bare = tree_rule ~check_presence_only:true key in
+      let with_values =
+        tree_rule ~check_presence_only:true
+          ~preferred:{ Rule.values; match_spec = Matcher.default }
+          key
+      in
+      verdict ctx bare = verdict ctx with_values)
+
+let exact_match_implies_substr_match =
+  prop "a rule matching exactly also matches as substring" (fun (entries, key, values) ->
+      let ctx = ctx_of entries in
+      let exact =
+        tree_rule ~preferred:{ Rule.values; match_spec = { Matcher.kind = Matcher.Exact; scope = Matcher.Any } } key
+      in
+      let substr =
+        tree_rule ~preferred:{ Rule.values; match_spec = { Matcher.kind = Matcher.Substr; scope = Matcher.Any } } key
+      in
+      verdict ctx exact <> Engine.Matched || verdict ctx substr = Engine.Matched)
+
+let disabled_is_inert =
+  prop "disabled rules never produce findings" (fun (entries, key, values) ->
+      let ctx = ctx_of entries in
+      let rule =
+        match tree_rule ~preferred:{ Rule.values; match_spec = Matcher.default } key with
+        | Rule.Tree r ->
+          Rule.Tree { r with Rule.tree_common = { r.Rule.tree_common with Rule.disabled = true } }
+        | r -> r
+      in
+      verdict ctx rule = Engine.Not_applicable)
+
+(* Incremental law over random edits: splicing equals recomputation. *)
+let incremental_matches_full =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"incremental revalidation equals a full run (random edits)"
+       (QCheck.make ~print:print_scenario scenario_gen)
+       (fun (entries, key, _) ->
+         let rules =
+           Result.get_ok
+             (Validator.load_rules ~source:Rulesets.source ~manifest:Rulesets.manifest)
+         in
+         let before = Scenarios.Host.compliant () in
+         let previous = (Validator.run_loaded ~rules [ before ]).Validator.results in
+         (* Random edit: append generated entries to sshd_config and set
+            one kernel param. *)
+         let after =
+           List.fold_left
+             (fun frame (k, v) ->
+               Frames.Frame.append_line frame ~path:"/etc/ssh/sshd_config" (k ^ " " ^ v))
+             before entries
+         in
+         let after = Frames.Frame.set_kernel_param after ("fuzz." ^ key) "1" in
+         let merged, _ =
+           Incremental.revalidate ~rules ~previous ~diff:(Frames.Diff.between before after) after
+         in
+         let key_of (r : Engine.result) =
+           (r.Engine.entity, Rule.name r.Engine.rule, Engine.verdict_to_string r.Engine.verdict)
+         in
+         let full = (Validator.run_loaded ~rules [ after ]).Validator.results in
+         List.sort compare (List.map key_of merged) = List.sort compare (List.map key_of full)))
+
+let suite =
+  [
+    not_present_iff_absent;
+    removing_non_preferred_never_hurts;
+    not_present_pass_only_affects_absence;
+    presence_only_ignores_values;
+    exact_match_implies_substr_match;
+    disabled_is_inert;
+    incremental_matches_full;
+  ]

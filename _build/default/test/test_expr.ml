@@ -1,0 +1,134 @@
+open Cvl
+
+let parses name input expected_str =
+  Alcotest.test_case name `Quick (fun () ->
+      match Expr.parse input with
+      | Ok ast -> Alcotest.(check string) "printed" expected_str (Expr.to_string ast)
+      | Error e -> Alcotest.fail e)
+
+let rejects name input =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool) "rejected" true (Result.is_error (Expr.parse input)))
+
+let parse_cases =
+  [
+    parses "bare reference" "nginx.listen" "nginx.listen";
+    parses "dotted key" "sysctl.net.ipv4.ip_forward" "sysctl.net.ipv4.ip_forward";
+    parses "comparison" {|sshd.PermitRootLogin.VALUE == "no"|} {|sshd.PermitRootLogin.VALUE == "no"|};
+    parses "inequality" {|a.b != "x"|} {|a.b != "x"|};
+    parses "negation" "!sysctl.net.ipv4.ip_forward" "!sysctl.net.ipv4.ip_forward";
+    parses "present attribute" "mysql.ssl-ca.PRESENT" "mysql.ssl-ca.PRESENT";
+    parses "configpath form (paper listing 1)"
+      {|mysql.ssl-ca.CONFIGPATH=[mysqld].VALUE == "/etc/mysql/cacert.pem"|}
+      {|mysql.ssl-ca.CONFIGPATH=[mysqld].VALUE == "/etc/mysql/cacert.pem"|};
+    parses "conjunction chain" "a.x && b.y && c.z" "a.x && b.y && c.z";
+    parses "precedence and over or" "a.x || b.y && c.z" "a.x || b.y && c.z";
+    parses "parens" "(a.x || b.y) && c.z" "(a.x || b.y) && c.z";
+    rejects "missing entity" "listen";
+    rejects "empty" "";
+    rejects "dangling operator" "a.x &&";
+    rejects "unterminated string" {|a.x == "oops|};
+    rejects "unbalanced paren" "(a.x";
+    rejects "string without comparison" {|"alone"|};
+  ]
+
+let env_of_configs rules configs =
+  {
+    Expr.lookup_rule =
+      (fun ~entity ~rule -> List.assoc_opt (entity, rule) rules);
+    Expr.lookup_config =
+      (fun ~entity ~key ~subpath ->
+        List.assoc_opt (entity, key, subpath) configs);
+  }
+
+let eval name ~rules ~configs input expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let env = env_of_configs rules configs in
+      Alcotest.(check bool) "eval" expected (Expr.eval env (Expr.parse_exn input)))
+
+let eval_cases =
+  [
+    eval "rule ref true" ~rules:[ (("nginx", "listen"), true) ] ~configs:[] "nginx.listen" true;
+    eval "rule ref false" ~rules:[ (("nginx", "listen"), false) ] ~configs:[] "nginx.listen" false;
+    eval "rule lookup beats config" ~rules:[ (("e", "k"), false) ]
+      ~configs:[ (("e", "k", None), "1") ]
+      "e.k" false;
+    eval "config fallback truthy" ~rules:[] ~configs:[ (("sysctl", "a.b", None), "1") ] "sysctl.a.b" true;
+    eval "config fallback falsy zero" ~rules:[] ~configs:[ (("sysctl", "a.b", None), "0") ] "sysctl.a.b" false;
+    eval "missing ref is false" ~rules:[] ~configs:[] "x.y" false;
+    eval "value comparison" ~rules:[] ~configs:[ (("m", "ssl-ca", Some "mysqld"), "/etc/ca.pem") ]
+      {|m.ssl-ca.CONFIGPATH=[mysqld].VALUE == "/etc/ca.pem"|} true;
+    eval "comparison on missing value is false for ==" ~rules:[] ~configs:[]
+      {|m.k.VALUE == "x"|} false;
+    eval "comparison on missing value is false for !=" ~rules:[] ~configs:[]
+      {|m.k.VALUE != "x"|} false;
+    eval "present attribute" ~rules:[] ~configs:[ (("e", "k", None), "0") ] "e.k.PRESENT" true;
+    eval "negation" ~rules:[] ~configs:[ (("e", "k", None), "1") ] "!e.k" false;
+    eval "and short" ~rules:[ (("a", "x"), true); (("b", "y"), false) ] ~configs:[] "a.x && b.y" false;
+    eval "or" ~rules:[ (("a", "x"), false); (("b", "y"), true) ] ~configs:[] "a.x || b.y" true;
+    Alcotest.test_case "entities listing" `Quick (fun () ->
+        let ast = Expr.parse_exn "a.x && (b.y || !c.z)" in
+        Alcotest.(check (list string)) "entities" [ "a"; "b"; "c" ] (Expr.entities ast));
+    Alcotest.test_case "truthy_value table" `Quick (fun () ->
+        List.iter
+          (fun (v, expected) -> Alcotest.(check bool) v expected (Expr.truthy_value v))
+          [ ("", false); ("0", false); ("no", false); ("off", false); ("false", false);
+            ("FALSE", false); ("1", true); ("yes", true); ("443 ssl", true) ]);
+  ]
+
+(* Round-trip property over generated ASTs. *)
+let ident_gen = QCheck.Gen.(string_size ~gen:(char_range 'a' 'e') (int_range 1 4))
+
+let ref_gen =
+  QCheck.Gen.(
+    let* entity = ident_gen in
+    let* item = ident_gen in
+    let* subpath = opt ident_gen in
+    let* attr =
+      oneofl
+        (match subpath with
+        | Some _ -> [ Expr.Value; Expr.Present ]
+        (* A bare CONFIGPATH-less ref prints identically for Default. *)
+        | None -> [ Expr.Default; Expr.Value; Expr.Present ])
+    in
+    return { Expr.entity; item; subpath; attr })
+
+let expr_gen =
+  QCheck.Gen.(
+    let rec go depth =
+      if depth = 0 then
+        oneof
+          [
+            map (fun r -> Expr.Ref r) ref_gen;
+            map2 (fun r s -> Expr.Cmp (r, Expr.Eq, s)) ref_gen ident_gen;
+            map2 (fun r s -> Expr.Cmp (r, Expr.Neq, s)) ref_gen ident_gen;
+          ]
+      else
+        frequency
+          [
+            (2, go 0);
+            (1, map (fun e -> Expr.Not e) (go (depth - 1)));
+            (1, map2 (fun a b -> Expr.And (a, b)) (go (depth - 1)) (go (depth - 1)));
+            (1, map2 (fun a b -> Expr.Or (a, b)) (go (depth - 1)) (go (depth - 1)));
+          ]
+    in
+    go 3)
+
+let rec expr_equal a b =
+  match (a, b) with
+  | Expr.Ref r1, Expr.Ref r2 -> r1 = r2
+  | Expr.Cmp (r1, o1, s1), Expr.Cmp (r2, o2, s2) -> r1 = r2 && o1 = o2 && s1 = s2
+  | Expr.Not e1, Expr.Not e2 -> expr_equal e1 e2
+  | Expr.And (a1, b1), Expr.And (a2, b2) | Expr.Or (a1, b1), Expr.Or (a2, b2) ->
+    expr_equal a1 a2 && expr_equal b1 b2
+  | _ -> false
+
+let roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"expr to_string/parse roundtrip"
+    (QCheck.make ~print:Expr.to_string expr_gen)
+    (fun e ->
+      match Expr.parse (Expr.to_string e) with
+      | Ok e' -> expr_equal e e'
+      | Error msg -> QCheck.Test.fail_reportf "reparse failed: %s" msg)
+
+let suite = parse_cases @ eval_cases @ [ QCheck_alcotest.to_alcotest roundtrip_prop ]

@@ -1,0 +1,136 @@
+open Frames
+
+let frame_with files =
+  Frame.add_files (Frame.create ~id:"t" Frame.Host) files
+
+let path_cases =
+  [
+    Alcotest.test_case "normalize_path" `Quick (fun () ->
+        Alcotest.(check string) "dup slashes" "/a/b" (File.normalize_path "//a///b/");
+        Alcotest.(check string) "dot segments" "/a/c" (File.normalize_path "/a/./b/../c");
+        Alcotest.(check string) "escape above root" "/" (File.normalize_path "/../..");
+        Alcotest.(check string) "root" "/" (File.normalize_path "/"));
+    Alcotest.test_case "parent and basename" `Quick (fun () ->
+        Alcotest.(check string) "parent" "/a" (File.parent "/a/b");
+        Alcotest.(check string) "parent of top" "/" (File.parent "/a");
+        Alcotest.(check string) "basename" "b" (File.basename "/a/b"));
+    Alcotest.test_case "mode rendering" `Quick (fun () ->
+        let f = File.make ~mode:0o644 ~content:"" "/etc/x" in
+        Alcotest.(check string) "ls style" "-rw-r--r--" (File.mode_string f);
+        Alcotest.(check string) "octal" "644" (File.permission_octal f);
+        Alcotest.(check string) "ownership" "0:0" (File.ownership f);
+        let d = File.directory ~mode:0o750 "/etc/d" in
+        Alcotest.(check string) "dir" "drwxr-x---" (File.mode_string d));
+  ]
+
+let frame_cases =
+  [
+    Alcotest.test_case "add_file creates parents" `Quick (fun () ->
+        let fr = frame_with [ File.make ~content:"x" "/etc/ssh/sshd_config" ] in
+        Alcotest.(check bool) "dir exists" true (Frame.exists fr "/etc/ssh");
+        Alcotest.(check bool) "root exists" true (Frame.exists fr "/");
+        Alcotest.(check (option string)) "read" (Some "x") (Frame.read fr "/etc/ssh/sshd_config"));
+    Alcotest.test_case "read of directory is None" `Quick (fun () ->
+        let fr = frame_with [ File.directory "/etc" ] in
+        Alcotest.(check (option string)) "dir read" None (Frame.read fr "/etc"));
+    Alcotest.test_case "symlink resolution" `Quick (fun () ->
+        let fr =
+          frame_with
+            [ File.make ~content:"real" "/etc/real.conf"; File.symlink ~target:"/etc/real.conf" "/etc/link.conf" ]
+        in
+        Alcotest.(check (option string)) "through link" (Some "real") (Frame.read fr "/etc/link.conf"));
+    Alcotest.test_case "relative symlink" `Quick (fun () ->
+        let fr =
+          frame_with [ File.make ~content:"real" "/etc/real.conf"; File.symlink ~target:"real.conf" "/etc/l" ]
+        in
+        Alcotest.(check (option string)) "relative" (Some "real") (Frame.read fr "/etc/l"));
+    Alcotest.test_case "symlink loops terminate" `Quick (fun () ->
+        let fr = frame_with [ File.symlink ~target:"/b" "/a"; File.symlink ~target:"/a" "/b" ] in
+        Alcotest.(check (option string)) "loop" None (Frame.read fr "/a"));
+    Alcotest.test_case "files_under respects boundaries" `Quick (fun () ->
+        let fr =
+          frame_with
+            [
+              File.make ~content:"1" "/etc/nginx/nginx.conf";
+              File.make ~content:"2" "/etc/nginx/conf.d/a.conf";
+              File.make ~content:"3" "/etc/nginx-extras/x";
+            ]
+        in
+        Alcotest.(check int) "under /etc/nginx" 2
+          (List.length (Frame.files_under fr ~prefix:"/etc/nginx")));
+    Alcotest.test_case "list_dir direct children only" `Quick (fun () ->
+        let fr =
+          frame_with [ File.make ~content:"" "/etc/a"; File.make ~content:"" "/etc/sub/b" ]
+        in
+        Alcotest.(check int) "children" 2 (List.length (Frame.list_dir fr "/etc")));
+    Alcotest.test_case "remove_file" `Quick (fun () ->
+        let fr = frame_with [ File.make ~content:"x" "/etc/a" ] in
+        let fr = Frame.remove_file fr "/etc/a" in
+        Alcotest.(check bool) "gone" false (Frame.exists fr "/etc/a"));
+    Alcotest.test_case "mutators" `Quick (fun () ->
+        let fr = frame_with [ File.make ~content:"a\n" "/etc/x" ] in
+        let fr = Frame.set_content fr ~path:"/etc/x" "b\n" in
+        let fr = Frame.chmod fr ~path:"/etc/x" 0o600 in
+        let fr = Frame.chown fr ~path:"/etc/x" ~uid:7 ~gid:8 in
+        let fr = Frame.append_line fr ~path:"/etc/x" "c" in
+        let f = Option.get (Frame.stat fr "/etc/x") in
+        Alcotest.(check string) "content" "b\nc\n" f.File.content;
+        Alcotest.(check int) "mode" 0o600 f.File.mode;
+        Alcotest.(check string) "owner" "7:8" (File.ownership f));
+    Alcotest.test_case "kernel params" `Quick (fun () ->
+        let fr = Frame.create ~id:"k" Frame.Host in
+        let fr = Frame.set_kernel_param fr "a.b" "1" in
+        let fr = Frame.set_kernel_param fr "a.b" "2" in
+        Alcotest.(check (option string)) "last wins" (Some "2") (Frame.kernel_param fr "a.b");
+        Alcotest.(check int) "no dup" 1 (List.length (Frame.kernel_params fr)));
+    Alcotest.test_case "runtime docs and packages" `Quick (fun () ->
+        let fr = Frame.create ~id:"k" Frame.Host in
+        let fr = Frame.set_runtime_doc fr ~key:"k" "v1" in
+        let fr = Frame.set_runtime_doc fr ~key:"k" "v2" in
+        Alcotest.(check (option string)) "replaced" (Some "v2") (Frame.runtime_doc fr "k");
+        let fr = Frame.set_packages fr [ { Frame.name = "nginx"; version = "1.13" } ] in
+        Alcotest.(check (option string)) "pkg" (Some "1.13") (Frame.package_version fr "nginx"));
+  ]
+
+(* Properties over random file sets. *)
+let path_gen =
+  QCheck.Gen.(
+    let seg = string_size ~gen:(char_range 'a' 'd') (int_range 1 3) in
+    let* segs = list_size (int_range 1 4) seg in
+    return ("/" ^ String.concat "/" segs))
+
+let add_read_prop =
+  QCheck.Test.make ~count:300 ~name:"stat finds every added file"
+    (QCheck.make ~print:(String.concat ",") (QCheck.Gen.list_size (QCheck.Gen.int_range 0 10) path_gen))
+    (fun paths ->
+      (* Adding /a then /a/b turns /a into a file then implicitly needs
+         it as a directory; keep only prefix-free path sets. *)
+      let prefix_free =
+        List.filter
+          (fun p ->
+            not
+              (List.exists
+                 (fun q -> p <> q && String.length q > String.length p
+                           && String.sub q 0 (String.length p + 1) = p ^ "/")
+                 paths))
+          paths
+      in
+      let frame =
+        List.fold_left
+          (fun fr p -> Frames.Frame.add_file fr (File.make ~content:p p))
+          (Frame.create ~id:"p" Frame.Host)
+          prefix_free
+      in
+      List.for_all (fun p -> Frame.read frame p = Some p) prefix_free)
+
+let normalize_idempotent_prop =
+  QCheck.Test.make ~count:300 ~name:"normalize_path is idempotent"
+    (QCheck.make ~print:(fun s -> s)
+       QCheck.Gen.(string_size ~gen:(oneof [ char_range 'a' 'c'; return '/'; return '.' ]) (int_range 0 12)))
+    (fun p ->
+      let once = File.normalize_path p in
+      File.normalize_path once = once)
+
+let suite =
+  path_cases @ frame_cases
+  @ [ QCheck_alcotest.to_alcotest add_read_prop; QCheck_alcotest.to_alcotest normalize_idempotent_prop ]

@@ -1,0 +1,91 @@
+open Cvl
+
+let rules () =
+  Result.get_ok (Validator.load_rules ~source:Rulesets.source ~manifest:Rulesets.manifest)
+
+let diff_cases =
+  [
+    Alcotest.test_case "identical frames diff empty" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        Alcotest.(check bool) "empty" true (Frames.Diff.is_empty (Frames.Diff.between f f)));
+    Alcotest.test_case "content change is reported once" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let f' = Frames.Frame.set_content f ~path:"/etc/sysctl.conf" "net.ipv4.ip_forward = 1\n" in
+        let d = Frames.Diff.between f f' in
+        Alcotest.(check (list string)) "paths" [ "/etc/sysctl.conf" ] (Frames.Diff.changed_paths d));
+    Alcotest.test_case "metadata change distinguished from content" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let f' = Frames.Frame.chmod f ~path:"/etc/ssh/sshd_config" 0o644 in
+        match (Frames.Diff.between f f').Frames.Diff.file_changes with
+        | [ Frames.Diff.Metadata_changed _ ] -> ()
+        | other -> Alcotest.failf "expected one metadata change, got %d" (List.length other));
+    Alcotest.test_case "add and remove" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let f' = Frames.Frame.add_file f (Frames.File.make ~content:"x" "/etc/new.conf") in
+        let f' = Frames.Frame.remove_file f' "/etc/hosts" in
+        let d = Frames.Diff.between f f' in
+        let kinds =
+          List.map
+            (function
+              | Frames.Diff.Added _ -> "add"
+              | Frames.Diff.Removed _ -> "rm"
+              | Frames.Diff.Content_changed _ -> "content"
+              | Frames.Diff.Metadata_changed _ -> "meta")
+            d.Frames.Diff.file_changes
+        in
+        Alcotest.(check (list string)) "kinds" [ "rm"; "add" ] kinds);
+    Alcotest.test_case "kernel and runtime-doc changes" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let f' = Frames.Frame.set_kernel_param f "kernel.randomize_va_space" "0" in
+        let f' = Frames.Frame.set_runtime_doc f' ~key:"mysql_variables" "have_ssl = NO\n" in
+        let d = Frames.Diff.between f f' in
+        Alcotest.(check int) "kernel" 1 (List.length d.Frames.Diff.kernel_changes);
+        Alcotest.(check (list string)) "runtime" [ "mysql_variables" ] d.Frames.Diff.runtime_doc_changes);
+  ]
+
+let incremental_cases =
+  [
+    Alcotest.test_case "a file change affects only its entity" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let f' = Frames.Frame.set_content f ~path:"/etc/sysctl.conf" "net.ipv4.ip_forward = 1\n" in
+        let affected = Incremental.affected_entities ~rules:(rules ()) (Frames.Diff.between f f') in
+        Alcotest.(check (list string)) "affected" [ "sysctl" ] affected);
+    Alcotest.test_case "a kernel change affects script-rule entities" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let f' = Frames.Frame.set_kernel_param f "kernel.randomize_va_space" "0" in
+        let affected = Incremental.affected_entities ~rules:(rules ()) (Frames.Diff.between f f') in
+        Alcotest.(check bool) "sysctl affected" true (List.mem "sysctl" affected);
+        Alcotest.(check bool) "sshd untouched" false (List.mem "sshd" affected));
+    Alcotest.test_case "revalidation matches a full run" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let rules = rules () in
+        let previous = (Validator.run_loaded ~rules [ f ]).Validator.results in
+        (* Break sshd. *)
+        let f' =
+          Frames.Frame.set_content f ~path:"/etc/ssh/sshd_config"
+            (Scenarios.Host.good_sshd_config ^ "PermitRootLogin yes\n")
+        in
+        let incremental, reeval =
+          Incremental.revalidate ~rules ~previous ~diff:(Frames.Diff.between f f') f'
+        in
+        Alcotest.(check (list string)) "only sshd re-evaluated" [ "sshd" ] reeval;
+        let full = (Validator.run_loaded ~rules [ f' ]).Validator.results in
+        let key (r : Engine.result) =
+          (r.Engine.entity, Rule.name r.Engine.rule, Engine.verdict_to_string r.Engine.verdict)
+        in
+        Alcotest.(check (list (triple string string string)))
+          "same verdicts as a full run"
+          (List.sort compare (List.map key full))
+          (List.sort compare (List.map key incremental)));
+    Alcotest.test_case "no change revalidates nothing" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let rules = rules () in
+        let previous = (Validator.run_loaded ~rules [ f ]).Validator.results in
+        let merged, reeval =
+          Incremental.revalidate ~rules ~previous ~diff:(Frames.Diff.between f f) f
+        in
+        Alcotest.(check (list string)) "nothing re-evaluated" [] reeval;
+        Alcotest.(check int) "same result count" (List.length previous) (List.length merged));
+  ]
+
+let suite = diff_cases @ incremental_cases

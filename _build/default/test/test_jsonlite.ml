@@ -1,0 +1,96 @@
+open Jsonlite
+
+let check_parse name input expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let actual = parse_exn input in
+      if not (equal actual expected) then
+        Alcotest.failf "parsed %s, expected %s" (to_string actual) (to_string expected))
+
+let check_error name input =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse input with
+      | Ok v -> Alcotest.failf "expected error, got %s" (to_string v)
+      | Error _ -> ())
+
+let cases =
+  [
+    check_parse "empty object" "{}" (Obj []);
+    check_parse "empty array" "[]" (Arr []);
+    check_parse "scalars" {|[null, true, false, 1, -2.5, "s"]|}
+      (Arr [ Null; Bool true; Bool false; Num 1.; Num (-2.5); Str "s" ]);
+    check_parse "nested" {|{"a": {"b": [1, {"c": 2}]}}|}
+      (Obj [ ("a", Obj [ ("b", Arr [ Num 1.; Obj [ ("c", Num 2.) ] ]) ]) ]);
+    check_parse "string escapes" {|"a\"b\\c\nd\te"|} (Str "a\"b\\c\nd\te");
+    check_parse "unicode escape ascii" {|"A"|} (Str "A");
+    check_parse "whitespace tolerated" "  { \"a\" :\n 1 }  " (Obj [ ("a", Num 1.) ]);
+    check_parse "exponent" "[1e3]" (Arr [ Num 1000. ]);
+    check_error "trailing comma" "[1,]";
+    check_error "single quotes" "{'a': 1}";
+    check_error "bare word" "nope";
+    check_error "trailing garbage" "{} x";
+    check_error "unterminated string" {|"abc|};
+    check_error "control char in string" "\"a\nb\"";
+  ]
+
+let docker_inspect_case =
+  Alcotest.test_case "docker inspect document" `Quick (fun () ->
+      let c = Scenarios.Webstack.nginx_container ~compliant:false in
+      let doc = Docksim.Container.inspect_json c in
+      let reparsed = parse_exn (to_string doc) in
+      Alcotest.(check bool) "roundtrip" true (equal doc reparsed);
+      match member "HostConfig" reparsed with
+      | Some hc ->
+        Alcotest.(check (option bool)) "privileged" (Some true)
+          (Option.bind (member "Privileged" hc) get_bool)
+      | None -> Alcotest.fail "HostConfig missing")
+
+let json_gen =
+  let open QCheck.Gen in
+  let key_gen = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  let scalar =
+    oneof
+      [
+        return Null;
+        map (fun b -> Bool b) bool;
+        map (fun i -> Num (float_of_int i)) small_signed_int;
+        map (fun s -> Str s) (string_size ~gen:printable (int_range 0 10));
+      ]
+  in
+  let rec value depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun l -> Arr l) (list_size (int_range 0 4) (value (depth - 1))));
+          ( 1,
+            map
+              (fun kvs ->
+                let seen = Hashtbl.create 8 in
+                Obj
+                  (List.filter
+                     (fun (k, _) ->
+                       if Hashtbl.mem seen k then false else (Hashtbl.add seen k (); true))
+                     kvs))
+              (list_size (int_range 0 4) (pair key_gen (value (depth - 1)))) );
+        ]
+  in
+  value 3
+
+let roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"json to_string/parse roundtrip"
+    (QCheck.make ~print:to_string json_gen)
+    (fun v ->
+      match parse (to_string v) with
+      | Ok v' -> equal v v'
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" (error_to_string e))
+
+let pretty_roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"json pretty/parse roundtrip"
+    (QCheck.make ~print:to_string json_gen)
+    (fun v -> match parse (pretty v) with Ok v' -> equal v v' | Error _ -> false)
+
+let suite =
+  cases
+  @ [ docker_inspect_case; QCheck_alcotest.to_alcotest roundtrip_prop;
+      QCheck_alcotest.to_alcotest pretty_roundtrip_prop ]

@@ -1,0 +1,198 @@
+let parse_tree lens_name input =
+  match Lenses.Registry.parse ~lens_name ~path:"/test" input with
+  | Ok (Lenses.Lens.Tree forest) -> forest
+  | Ok (Lenses.Lens.Table t) -> Alcotest.failf "expected tree, got table %s" t.Configtree.Table.name
+  | Error e -> Alcotest.fail e
+
+let parse_table lens_name input =
+  match Lenses.Registry.parse ~lens_name ~path:"/test" input with
+  | Ok (Lenses.Lens.Table t) -> t
+  | Ok (Lenses.Lens.Tree _) -> Alcotest.fail "expected table, got tree"
+  | Error e -> Alcotest.fail e
+
+let values forest path = Configtree.Path.find_values_str forest path
+
+let sshd_cases =
+  [
+    Alcotest.test_case "sshd basic keywords" `Quick (fun () ->
+        let f = parse_tree "sshd" "PermitRootLogin no\nPort 22\nPort 2222\n# comment\n" in
+        Alcotest.(check (list string)) "prl" [ "no" ] (values f "PermitRootLogin");
+        Alcotest.(check (list string)) "ports" [ "22"; "2222" ] (values f "Port"));
+    Alcotest.test_case "sshd match blocks" `Quick (fun () ->
+        let f = parse_tree "sshd" "PermitRootLogin no\nMatch User deploy\n  PasswordAuthentication no\n" in
+        Alcotest.(check (list string)) "inner" [ "no" ] (values f "Match/PasswordAuthentication");
+        Alcotest.(check (list string)) "cond" [ "User deploy" ] (values f "Match"));
+  ]
+
+let ini_cases =
+  [
+    Alcotest.test_case "ini sections and bare keys" `Quick (fun () ->
+        let f =
+          parse_tree "ini"
+            "global = 1\n[mysqld]\nuser = mysql\nskip-networking\nport: 3306\n; comment\n[client]\nport = 3306\n"
+        in
+        Alcotest.(check (list string)) "global" [ "1" ] (values f "global");
+        Alcotest.(check (list string)) "user" [ "mysql" ] (values f "mysqld/user");
+        Alcotest.(check (list string)) "bare key" [ "" ] (values f "mysqld/skip-networking");
+        Alcotest.(check (list string)) "colon sep" [ "3306" ] (values f "mysqld/port");
+        Alcotest.(check (list string)) "second section" [ "3306" ] (values f "client/port"));
+  ]
+
+let nginx_cases =
+  [
+    Alcotest.test_case "nginx nested blocks" `Quick (fun () ->
+        let f =
+          parse_tree "nginx"
+            "user www-data;\nhttp {\n  server {\n    listen 443 ssl;\n    location / { proxy_pass http://app; }\n  }\n}\n"
+        in
+        Alcotest.(check (list string)) "listen" [ "443 ssl" ] (values f "http/server/listen");
+        Alcotest.(check (list string)) "loc arg" [ "/" ] (values f "http/server/location");
+        Alcotest.(check (list string)) "proxy" [ "http://app" ] (values f "http/server/location/proxy_pass"));
+    Alcotest.test_case "nginx add_header specialization" `Quick (fun () ->
+        let f = parse_tree "nginx" "server { add_header X-Frame-Options SAMEORIGIN; add_header HSTS x; }\n" in
+        Alcotest.(check (list string)) "xfo" [ "SAMEORIGIN" ] (values f "server/add_header X-Frame-Options"));
+    Alcotest.test_case "nginx quoted args and comments" `Quick (fun () ->
+        let f = parse_tree "nginx" "server {\n  # c\n  add_header Strict-Transport-Security \"max-age=3; x\";\n}\n" in
+        Alcotest.(check (list string)) "quoted" [ "max-age=3; x" ]
+          (values f "server/add_header Strict-Transport-Security"));
+    Alcotest.test_case "nginx errors" `Quick (fun () ->
+        Alcotest.(check bool) "missing brace" true
+          (Result.is_error (Lenses.Registry.parse ~lens_name:"nginx" ~path:"/t" "http { server {\n"));
+        Alcotest.(check bool) "missing semicolon" true
+          (Result.is_error (Lenses.Registry.parse ~lens_name:"nginx" ~path:"/t" "http { listen 80 }\n")));
+  ]
+
+let apache_cases =
+  [
+    Alcotest.test_case "apache containers" `Quick (fun () ->
+        let f =
+          parse_tree "apache"
+            "ServerTokens Prod\n<VirtualHost *:443>\n  SSLEngine on\n  <Directory /srv>\n    Options -Indexes\n  </Directory>\n</VirtualHost>\n"
+        in
+        Alcotest.(check (list string)) "tokens" [ "Prod" ] (values f "ServerTokens");
+        Alcotest.(check (list string)) "vhost arg" [ "*:443" ] (values f "VirtualHost");
+        Alcotest.(check (list string)) "ssl" [ "on" ] (values f "VirtualHost/SSLEngine");
+        Alcotest.(check (list string)) "nested dir" [ "-Indexes" ]
+          (values f "VirtualHost/Directory/Options"));
+    Alcotest.test_case "apache continuation lines" `Quick (fun () ->
+        let f = parse_tree "apache" "LogFormat \"a\" \\\n  combined\n" in
+        Alcotest.(check int) "one directive" 1 (List.length (values f "LogFormat")));
+    Alcotest.test_case "apache header specialization" `Quick (fun () ->
+        let f = parse_tree "apache" "Header always append X-Frame-Options SAMEORIGIN\n" in
+        Alcotest.(check (list string)) "xfo" [ "SAMEORIGIN" ] (values f "Header X-Frame-Options"));
+    Alcotest.test_case "apache unclosed section errors" `Quick (fun () ->
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Lenses.Registry.parse ~lens_name:"apache" ~path:"/t" "<VirtualHost *>\nX y\n")));
+  ]
+
+let schema_cases =
+  [
+    Alcotest.test_case "passwd table" `Quick (fun () ->
+        let t = parse_table "passwd" "root:x:0:0:root:/root:/bin/bash\nmysql:x:105:114::/nonexistent:/bin/false\n" in
+        Alcotest.(check (list string)) "names" [ "root"; "mysql" ]
+          (Configtree.Table.column_values t ~column:"name");
+        Alcotest.(check (list string)) "uids" [ "0"; "105" ]
+          (Configtree.Table.column_values t ~column:"uid"));
+    Alcotest.test_case "fstab table" `Quick (fun () ->
+        let t = parse_table "fstab" "UUID=1 / ext4 defaults 0 1\ntmpfs /run/shm tmpfs nodev 0 0\n" in
+        Alcotest.(check (list string)) "dirs" [ "/"; "/run/shm" ]
+          (Configtree.Table.column_values t ~column:"dir"));
+    Alcotest.test_case "audit watch and syscall rows" `Quick (fun () ->
+        let t =
+          parse_table "audit"
+            "-w /etc/passwd -p wa -k identity\n-a always,exit -F arch=b64 -S mount -k mounts\n-e 2\n"
+        in
+        Alcotest.(check (list string)) "kinds" [ "watch"; "syscall"; "control" ]
+          (Configtree.Table.column_values t ~column:"kind");
+        Alcotest.(check (list string)) "paths" [ "/etc/passwd"; ""; "" ]
+          (Configtree.Table.column_values t ~column:"path");
+        Alcotest.(check (list string)) "actions" [ ""; "always,exit"; "enabled=2" ]
+          (Configtree.Table.column_values t ~column:"action"));
+    Alcotest.test_case "audit rejects junk" `Quick (fun () ->
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Lenses.Registry.parse ~lens_name:"audit" ~path:"/t" "frobnicate\n")));
+    Alcotest.test_case "modprobe directives" `Quick (fun () ->
+        let t = parse_table "modprobe" "install cramfs /bin/true\nblacklist usb-storage\noptions snd x=1\n" in
+        Alcotest.(check (list string)) "directives" [ "install"; "blacklist"; "options" ]
+          (Configtree.Table.column_values t ~column:"directive");
+        Alcotest.(check (list string)) "args" [ "/bin/true"; ""; "x=1" ]
+          (Configtree.Table.column_values t ~column:"args"));
+    Alcotest.test_case "hosts table" `Quick (fun () ->
+        let t = parse_table "hosts" "127.0.0.1 localhost lo\n::1 ip6-localhost\n" in
+        Alcotest.(check (list string)) "hostnames" [ "localhost lo"; "ip6-localhost" ]
+          (Configtree.Table.column_values t ~column:"hostnames"));
+    Alcotest.test_case "rawlines table" `Quick (fun () ->
+        let t = parse_table "lines" "alpha\n# comment\nbeta gamma\n" in
+        Alcotest.(check (list string)) "lines" [ "alpha"; "beta gamma" ]
+          (Configtree.Table.column_values t ~column:"line"));
+  ]
+
+let misc_cases =
+  [
+    Alcotest.test_case "sysctl dotted keys" `Quick (fun () ->
+        let f = parse_tree "sysctl" "net.ipv4.ip_forward = 0\nkernel.sysrq=0\n" in
+        Alcotest.(check (list string)) "fwd" [ "0" ] (values f "net.ipv4.ip_forward");
+        Alcotest.(check (list string)) "sysrq" [ "0" ] (values f "kernel.sysrq"));
+    Alcotest.test_case "sysctl rejects non-kv" `Quick (fun () ->
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Lenses.Registry.parse ~lens_name:"sysctl" ~path:"/t" "what is this\n")));
+    Alcotest.test_case "properties continuation" `Quick (fun () ->
+        let f = parse_tree "properties" "key=a\\\nb\n! bang comment\nother: v\n" in
+        Alcotest.(check (list string)) "joined" [ "a b" ] (values f "key");
+        Alcotest.(check (list string)) "colon" [ "v" ] (values f "other"));
+    Alcotest.test_case "json lens arrays become repeats" `Quick (fun () ->
+        let f = parse_tree "json" {|{"icc": false, "dns": ["8.8.8.8", "1.1.1.1"], "log-opts": {"max-size": "10m"}}|} in
+        Alcotest.(check (list string)) "icc" [ "false" ] (values f "icc");
+        Alcotest.(check (list string)) "dns" [ "8.8.8.8"; "1.1.1.1" ] (values f "dns");
+        Alcotest.(check (list string)) "nested" [ "10m" ] (values f "log-opts/max-size"));
+    Alcotest.test_case "registry path inference" `Quick (fun () ->
+        let name path =
+          Option.map (fun (l : Lenses.Lens.t) -> l.Lenses.Lens.name) (Lenses.Registry.for_path path)
+        in
+        Alcotest.(check (option string)) "sshd" (Some "sshd") (name "/etc/ssh/sshd_config");
+        Alcotest.(check (option string)) "sysctl.d" (Some "sysctl") (name "/etc/sysctl.d/99-x.conf");
+        Alcotest.(check (option string)) "sites-enabled" (Some "nginx") (name "/etc/nginx/sites-enabled/shop");
+        Alcotest.(check (option string)) "my.cnf" (Some "ini") (name "/etc/mysql/my.cnf");
+        Alcotest.(check (option string)) "daemon.json" (Some "json") (name "/etc/docker/daemon.json");
+        Alcotest.(check (option string)) "hadoop" (Some "hadoop") (name "/etc/hadoop/conf/hdfs-site.xml");
+        Alcotest.(check (option string)) "passwd" (Some "passwd") (name "/etc/passwd"));
+    Alcotest.test_case "unknown lens name errors" `Quick (fun () ->
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Lenses.Registry.parse ~lens_name:"nope" ~path:"/x" "")));
+  ]
+
+(* Round-trip stability: parse -> render -> parse is a fixed point for
+   lenses that provide a renderer, over realistic inputs. *)
+let stability name lens_name input =
+  Alcotest.test_case (name ^ " render stability") `Quick (fun () ->
+      let lens = Option.get (Lenses.Registry.find lens_name) in
+      let n1 = Result.get_ok (lens.Lenses.Lens.parse ~filename:"/t" input) in
+      match lens.Lenses.Lens.render with
+      | None -> Alcotest.fail "lens has no renderer"
+      | Some render -> (
+        let text = Option.get (render n1) in
+        match lens.Lenses.Lens.parse ~filename:"/t" text with
+        | Ok n2 -> (
+          match (n1, n2) with
+          | Lenses.Lens.Tree f1, Lenses.Lens.Tree f2 ->
+            Alcotest.(check bool) "tree fixed point" true (List.equal Configtree.Tree.equal f1 f2)
+          | Lenses.Lens.Table t1, Lenses.Lens.Table t2 ->
+            Alcotest.(check (list (list string))) "rows fixed point" t1.Configtree.Table.rows
+              t2.Configtree.Table.rows
+          | _ -> Alcotest.fail "normal form changed")
+        | Error e -> Alcotest.fail e))
+
+let stability_cases =
+  [
+    stability "sshd" "sshd" Scenarios.Host.good_sshd_config;
+    stability "sysctl" "sysctl" Scenarios.Host.good_sysctl_conf;
+    stability "fstab" "fstab" Scenarios.Host.good_fstab;
+    stability "modprobe" "modprobe" Scenarios.Host.good_modprobe;
+    stability "audit" "audit" Scenarios.Host.good_audit_rules;
+    stability "ini" "ini" Scenarios.Webstack.good_my_cnf;
+    stability "nginx" "nginx" Scenarios.Webstack.good_nginx_conf;
+    stability "passwd" "passwd" Scenarios.Host.etc_passwd;
+  ]
+
+let suite =
+  sshd_cases @ ini_cases @ nginx_cases @ apache_cases @ schema_cases @ misc_cases @ stability_cases

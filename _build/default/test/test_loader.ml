@@ -1,0 +1,237 @@
+open Cvl
+
+let load_one yaml =
+  match Loader.parse_rules yaml with
+  | Ok [ rule ] -> rule
+  | Ok rules -> Alcotest.failf "expected one rule, got %d" (List.length rules)
+  | Error e -> Alcotest.fail e
+
+let rejects name yaml fragment =
+  Alcotest.test_case name `Quick (fun () ->
+      match Loader.parse_rules yaml with
+      | Ok _ -> Alcotest.fail "expected a load error"
+      | Error e ->
+        if not (Re.execp (Re.compile (Re.str fragment)) e) then
+          Alcotest.failf "error %S does not mention %S" e fragment)
+
+let listing2 =
+  {|
+config_name: ssl_protocols
+config_path: ["server", "http/server"]
+config_description: "Enables the specified SSL protocols."
+preferred_value: [ "TLSv1.2", "TLSv1.3" ]
+non_preferred_value: [ "SSLv2", "SSLv3", "TLSv1", "TLSv1.1" ]
+non_preferred_value_match: substr,any
+preferred_value_match: substr,all
+not_present_description: "ssl_protocols is not present."
+not_matched_preferred_value_description: "Non-recommended TLS ver."
+matched_description: "ssl_protocols key is set to TLS v1.2/1.3"
+tags: ["#security", "#ssl", "#owasp"]
+require_other_configs: [ listen, ssl_certificate, ssl_certificate_key ]
+file_context: ["nginx.conf", "sites-enabled"]
+|}
+
+let listing3 =
+  {|
+config_schema_name: check_tmp_separate_partition
+config_schema_description: "Check if /tmp is on a separate partition"
+query_constraints: "dir = ?"
+query_constraints_value: ["/tmp"]
+query_columns: "*"
+non_preferred_value: [""]
+non_preferred_value_match: exact,all
+not_matched_preferred_value_description: "/tmp not on sep. partition"
+matched_description: "/tmp is on a separate partition"
+tags: ["#cis", "#cisubuntu14.04_2.1"]
+|}
+
+let listing4 =
+  {|
+path_name: /etc/mysql/my.cnf
+path_description: "Permissions and ownership for mysql config file"
+ownership: "0:0"
+permission: 644
+tags: [ "#owasp" ]
+|}
+
+let listing1 =
+  {|
+composite_rule_name: "mysql ssl-ca path and sysctl and nginx SSL"
+composite_rule_description: "Check if nginx is running with SSL, ip_forward is disabled, and mysql server ssl-ca has a cert"
+composite_rule: mysql.ssl-ca.CONFIGPATH=[mysqld].VALUE == "/etc/mysql/cacert.pem" && !sysctl.net.ipv4.ip_forward && nginx.listen
+tags: ["docker", "nginx", "sysctl"]
+matched_description: "mysql server ssl-ca has a cert, ip_forward is disabled, and nginx has SSL enabled."
+not_matched_preferred_value_description: "Either mysql server ssl-ca does not have a cert, or ip_forward is enabled, or nginx has SSL disabled."
+|}
+
+let paper_listing_cases =
+  [
+    Alcotest.test_case "listing 2: tree rule" `Quick (fun () ->
+        match load_one listing2 with
+        | Rule.Tree r ->
+          Alcotest.(check (list string)) "paths" [ "server"; "http/server" ] r.Rule.config_paths;
+          let p = Option.get r.Rule.preferred in
+          Alcotest.(check string) "match" "substr,all" (Matcher.to_string p.Rule.match_spec);
+          Alcotest.(check (list string)) "values" [ "TLSv1.2"; "TLSv1.3" ] p.Rule.values;
+          Alcotest.(check (list string)) "requires" [ "listen"; "ssl_certificate"; "ssl_certificate_key" ]
+            r.Rule.require_other_configs
+        | _ -> Alcotest.fail "expected tree rule");
+    Alcotest.test_case "listing 3: schema rule" `Quick (fun () ->
+        match load_one listing3 with
+        | Rule.Schema r ->
+          Alcotest.(check string) "constraints" "dir = ?" r.Rule.query_constraints;
+          Alcotest.(check (list string)) "binding" [ "/tmp" ] r.Rule.query_constraints_value;
+          Alcotest.(check (list string)) "columns" [ "*" ] r.Rule.query_columns
+        | _ -> Alcotest.fail "expected schema rule");
+    Alcotest.test_case "listing 4: path rule" `Quick (fun () ->
+        match load_one listing4 with
+        | Rule.Path r ->
+          Alcotest.(check string) "path" "/etc/mysql/my.cnf" r.Rule.path;
+          Alcotest.(check (option string)) "ownership" (Some "0:0") r.Rule.ownership;
+          Alcotest.(check (option int)) "permission" (Some 0o644) r.Rule.permission
+        | _ -> Alcotest.fail "expected path rule");
+    Alcotest.test_case "listing 1: composite rule" `Quick (fun () ->
+        match load_one listing1 with
+        | Rule.Composite r ->
+          Alcotest.(check bool) "expression parses" true (Result.is_ok (Expr.parse r.Rule.expression))
+        | _ -> Alcotest.fail "expected composite rule");
+  ]
+
+let validation_cases =
+  [
+    rejects "unknown keyword" "config_name: x\nconfg_path: [a]\n" "unknown keyword";
+    rejects "keyword from wrong group" "path_name: /x\nquery_constraints: \"a = ?\"\n" "not valid in a path rule";
+    rejects "no discriminator" "preferred_value: [x]\n" "no discriminator";
+    rejects "two discriminators" "config_name: a\npath_name: /x\n" "mixes discriminator";
+    rejects "match without values" "config_name: a\npreferred_value_match: exact,any\n" "without";
+    rejects "bad match spec" "config_name: a\npreferred_value: [x]\npreferred_value_match: sorta\n" "match";
+    rejects "bad permission" "path_name: /x\npermission: 99x\n" "octal";
+    rejects "script without plugin" "script_name: s\nconfig_path: [k]\n" "script";
+    rejects "composite with bad expression" "composite_rule_name: c\ncomposite_rule: \"&& nope\"\n" "expression";
+    rejects "non-mapping rule" "- 42\n" "mapping";
+  ]
+
+let manifest_cases =
+  [
+    Alcotest.test_case "listing 5: manifest" `Quick (fun () ->
+        let entries =
+          Manifest.parse_exn
+            "nginx:\n  enabled: True\n  config_search_paths:\n    - /etc/nginx\n  cvl_file: \"component_configs/nginx.yaml\"\n"
+        in
+        match entries with
+        | [ e ] ->
+          Alcotest.(check string) "entity" "nginx" e.Manifest.entity;
+          Alcotest.(check bool) "enabled" true e.Manifest.enabled;
+          Alcotest.(check (list string)) "paths" [ "/etc/nginx" ] e.Manifest.search_paths;
+          Alcotest.(check string) "file" "component_configs/nginx.yaml" e.Manifest.cvl_file
+        | _ -> Alcotest.fail "expected one entry");
+    Alcotest.test_case "manifest rejects unknown keys" `Quick (fun () ->
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Manifest.parse "x:\n  cvl_file: f\n  shenanigans: 1\n")));
+    Alcotest.test_case "manifest requires cvl_file" `Quick (fun () ->
+        Alcotest.(check bool) "error" true (Result.is_error (Manifest.parse "x:\n  enabled: True\n")));
+    Alcotest.test_case "manifest print/parse roundtrip" `Quick (fun () ->
+        let entries = Rulesets.manifest in
+        let reparsed = Manifest.parse_exn (Manifest.to_string entries) in
+        Alcotest.(check int) "count" (List.length entries) (List.length reparsed);
+        List.iter2
+          (fun (a : Manifest.entry) (b : Manifest.entry) ->
+            Alcotest.(check string) "entity" a.Manifest.entity b.Manifest.entity;
+            Alcotest.(check (list string)) "paths" a.Manifest.search_paths b.Manifest.search_paths)
+          entries reparsed);
+  ]
+
+let parent = {|
+rules:
+  - config_name: Banner
+    config_path: [""]
+    preferred_value: ["/etc/issue.net"]
+    matched_description: "parent banner"
+  - config_name: Protocol
+    config_path: [""]
+    preferred_value: ["2"]
+|}
+
+let child = {|
+parent_cvl_file: "parent.yaml"
+rules:
+  - config_name: Banner
+    preferred_value: ["/etc/motd"]
+  - config_name: Protocol
+    disabled: true
+  - config_name: LogLevel
+    config_path: [""]
+    preferred_value: ["INFO"]
+|}
+
+let inheritance_cases =
+  [
+    Alcotest.test_case "child overrides, disables, extends" `Quick (fun () ->
+        let source = Loader.assoc_source [ ("parent.yaml", parent); ("child.yaml", child) ] in
+        match Loader.load_file source "child.yaml" with
+        | Error e -> Alcotest.fail e
+        | Ok rules -> (
+          Alcotest.(check (list string)) "names and order" [ "Banner"; "Protocol"; "LogLevel" ]
+            (List.map Rule.name rules);
+          (match List.nth rules 0 with
+          | Rule.Tree r ->
+            let p = Option.get r.Rule.preferred in
+            Alcotest.(check (list string)) "overridden value" [ "/etc/motd" ] p.Rule.values;
+            (* Unoverridden keys inherited from the parent. *)
+            Alcotest.(check string) "kept description" "parent banner"
+              r.Rule.tree_common.Rule.matched_description
+          | _ -> Alcotest.fail "tree expected");
+          Alcotest.(check bool) "disabled" true (Rule.is_disabled (List.nth rules 1))));
+    Alcotest.test_case "inheritance cycles detected" `Quick (fun () ->
+        let source =
+          Loader.assoc_source
+            [
+              ("a.yaml", "parent_cvl_file: \"b.yaml\"\nrules: []\n");
+              ("b.yaml", "parent_cvl_file: \"a.yaml\"\nrules: []\n");
+            ]
+        in
+        match Loader.load_file source "a.yaml" with
+        | Ok _ -> Alcotest.fail "expected cycle error"
+        | Error e -> Alcotest.(check bool) "mentions cycle" true (Re.execp (Re.compile (Re.str "cycle")) e));
+    Alcotest.test_case "missing parent reported" `Quick (fun () ->
+        let source = Loader.assoc_source [ ("a.yaml", "parent_cvl_file: \"gone.yaml\"\nrules: []\n") ] in
+        Alcotest.(check bool) "error" true (Result.is_error (Loader.load_file source "a.yaml")));
+    Alcotest.test_case "parse_rules rejects parent references" `Quick (fun () ->
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Loader.parse_rules "parent_cvl_file: \"x.yaml\"\nrules: []\n")));
+    Alcotest.test_case "embedded site override behaves" `Quick (fun () ->
+        match Loader.load_file Rulesets.source "site_overrides/sshd.yaml" with
+        | Error e -> Alcotest.fail e
+        | Ok rules ->
+          Alcotest.(check int) "same count as parent" 14 (List.length rules);
+          let protocol = List.find (fun r -> Rule.name r = "Protocol") rules in
+          Alcotest.(check bool) "protocol disabled" true (Rule.is_disabled protocol);
+          let banner = List.find (fun r -> Rule.name r = "Banner") rules in
+          (match banner with
+          | Rule.Tree r ->
+            let p = Option.get r.Rule.preferred in
+            Alcotest.(check bool) "motd allowed" true (List.mem "/etc/motd" p.Rule.values)
+          | _ -> Alcotest.fail "tree expected"));
+  ]
+
+let shape_cases =
+  [
+    Alcotest.test_case "accepts a bare list of rules" `Quick (fun () ->
+        match Loader.parse_rules "- config_name: a\n  preferred_value: [x]\n- path_name: /x\n" with
+        | Ok rules -> Alcotest.(check int) "two" 2 (List.length rules)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "accepts ----separated documents" `Quick (fun () ->
+        match Loader.parse_rules "config_name: a\npreferred_value: [x]\n---\npath_name: /y\n" with
+        | Ok rules -> Alcotest.(check int) "two" 2 (List.length rules)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "empty file is no rules" `Quick (fun () ->
+        match Loader.parse_rules "# nothing\n" with
+        | Ok [] -> ()
+        | Ok _ -> Alcotest.fail "expected none"
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "rejects stray top-level keys" `Quick (fun () ->
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Loader.parse_rules "rules: []\nextra: 1\n")));
+  ]
+
+let suite = paper_listing_cases @ validation_cases @ manifest_cases @ inheritance_cases @ shape_cases

@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "configvalidator"
+    [
+      ("yamlite", Test_yamlite.suite);
+      ("jsonlite", Test_jsonlite.suite);
+      ("xmllite", Test_xmllite.suite);
+      ("configtree", Test_configtree.suite);
+      ("lenses", Test_lenses.suite);
+      ("frames", Test_frames.suite);
+      ("docksim", Test_docksim.suite);
+      ("dockerfile", Test_dockerfile.suite);
+      ("cloudsim", Test_cloudsim.suite);
+      ("crawler", Test_crawler.suite);
+      ("matcher", Test_matcher.suite);
+      ("expr", Test_expr.suite);
+      ("loader", Test_loader.suite);
+      ("engine", Test_engine.suite);
+      ("engine-props", Test_engine_props.suite);
+      ("validator", Test_validator.suite);
+      ("rulesets", Test_rulesets.suite);
+      ("remediate", Test_remediate.suite);
+      ("orchestrator", Test_orchestrator.suite);
+      ("incremental", Test_incremental.suite);
+      ("report", Test_report.suite);
+      ("robustness", Test_robustness.suite);
+      ("misc", Test_misc.suite);
+      ("baselines", Test_baselines.suite);
+      ("dsl", Test_dsl.suite);
+    ]

@@ -1,0 +1,83 @@
+open Cvl
+
+let parse_cases =
+  [
+    Alcotest.test_case "parse kind,scope" `Quick (fun () ->
+        Alcotest.(check string) "substr,all" "substr,all"
+          (Matcher.to_string (Result.get_ok (Matcher.parse "substr,all")));
+        Alcotest.(check string) "spaces tolerated" "regex,any"
+          (Matcher.to_string (Result.get_ok (Matcher.parse " regex , any ")));
+        Alcotest.(check string) "kind only" "substr,any"
+          (Matcher.to_string (Result.get_ok (Matcher.parse "substr")));
+        Alcotest.(check string) "scope only" "exact,all"
+          (Matcher.to_string (Result.get_ok (Matcher.parse "all")));
+        Alcotest.(check string) "empty is default" "exact,any"
+          (Matcher.to_string (Result.get_ok (Matcher.parse ""))));
+    Alcotest.test_case "parse errors" `Quick (fun () ->
+        Alcotest.(check bool) "junk" true (Result.is_error (Matcher.parse "fuzzy,any"));
+        Alcotest.(check bool) "three parts" true (Result.is_error (Matcher.parse "exact,any,x")));
+  ]
+
+let sat kind scope rule_values config_value =
+  Matcher.satisfies { Matcher.kind; scope } ~rule_values ~config_value
+
+let semantics_cases =
+  [
+    Alcotest.test_case "exact semantics" `Quick (fun () ->
+        Alcotest.(check bool) "hit" true (sat Matcher.Exact Matcher.Any [ "no"; "maybe" ] "no");
+        Alcotest.(check bool) "miss" false (sat Matcher.Exact Matcher.Any [ "no" ] "nope"));
+    Alcotest.test_case "substr semantics" `Quick (fun () ->
+        Alcotest.(check bool) "inside" true (sat Matcher.Substr Matcher.Any [ "SSLv3" ] "TLSv1.2 SSLv3");
+        Alcotest.(check bool) "empty needle matches" true (sat Matcher.Substr Matcher.Any [ "" ] "x"));
+    Alcotest.test_case "regex semantics" `Quick (fun () ->
+        Alcotest.(check bool) "unanchored" true (sat Matcher.Regex Matcher.Any [ "v1\\.[23]" ] "TLSv1.2");
+        Alcotest.(check bool) "anchors" false (sat Matcher.Regex Matcher.Any [ "^[1-4]$" ] "40");
+        Alcotest.(check bool) "invalid regex never matches" false (sat Matcher.Regex Matcher.Any [ "(" ] "x"));
+    Alcotest.test_case "all scope (paper listing 2)" `Quick (fun () ->
+        Alcotest.(check bool) "both present" true
+          (sat Matcher.Substr Matcher.All [ "TLSv1.2"; "TLSv1.3" ] "TLSv1.2 TLSv1.3");
+        Alcotest.(check bool) "one missing" false
+          (sat Matcher.Substr Matcher.All [ "TLSv1.2"; "TLSv1.3" ] "TLSv1.2"));
+    Alcotest.test_case "empty rule values never satisfy" `Quick (fun () ->
+        Alcotest.(check bool) "any" false (sat Matcher.Exact Matcher.Any [] "x");
+        Alcotest.(check bool) "all" false (sat Matcher.Exact Matcher.All [] "x"));
+    Alcotest.test_case "case insensitive option" `Quick (fun () ->
+        Alcotest.(check bool) "ci" true
+          (Matcher.value_matches ~case_insensitive:true Matcher.Exact ~rule_value:"Off" ~config_value:"OFF");
+        Alcotest.(check bool) "cs" false
+          (Matcher.value_matches Matcher.Exact ~rule_value:"Off" ~config_value:"OFF"));
+  ]
+
+(* Laws the mli documents. *)
+let gen_values =
+  QCheck.Gen.(
+    pair
+      (list_size (int_range 1 4) (string_size ~gen:(char_range 'a' 'd') (int_range 0 4)))
+      (string_size ~gen:(char_range 'a' 'd') (int_range 0 8)))
+
+let exact_implies_substr =
+  QCheck.Test.make ~count:500 ~name:"exact match implies substr match"
+    (QCheck.make
+       ~print:(fun (vs, c) -> Printf.sprintf "[%s] / %s" (String.concat ";" vs) c)
+       gen_values)
+    (fun (rule_values, config_value) ->
+      let exact k = sat Matcher.Exact k rule_values config_value in
+      let substr k = sat Matcher.Substr k rule_values config_value in
+      (not (exact Matcher.Any) || substr Matcher.Any)
+      && (not (exact Matcher.All) || substr Matcher.All))
+
+let all_implies_any =
+  QCheck.Test.make ~count:500 ~name:"all scope implies any scope"
+    (QCheck.make
+       ~print:(fun (vs, c) -> Printf.sprintf "[%s] / %s" (String.concat ";" vs) c)
+       gen_values)
+    (fun (rule_values, config_value) ->
+      List.for_all
+        (fun kind ->
+          not (sat kind Matcher.All rule_values config_value)
+          || sat kind Matcher.Any rule_values config_value)
+        [ Matcher.Exact; Matcher.Substr ])
+
+let suite =
+  parse_cases @ semantics_cases
+  @ [ QCheck_alcotest.to_alcotest exact_implies_substr; QCheck_alcotest.to_alcotest all_implies_any ]

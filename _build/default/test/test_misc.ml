@@ -1,0 +1,123 @@
+open Cvl
+
+let keyword_cases =
+  [
+    Alcotest.test_case "keyword lookup and grouping" `Quick (fun () ->
+        Alcotest.(check bool) "known" true (Keyword.is_keyword "preferred_value");
+        Alcotest.(check bool) "unknown" false (Keyword.is_keyword "prefered_value");
+        Alcotest.(check (option string)) "group" (Some "config tree")
+          (Option.map Keyword.group_to_string (Keyword.group_of "config_path"));
+        Alcotest.(check (option string)) "common group" (Some "common")
+          (Option.map Keyword.group_to_string (Keyword.group_of "tags")));
+    Alcotest.test_case "allowed_in includes common everywhere" `Quick (fun () ->
+        List.iter
+          (fun g ->
+            if not (List.mem "tags" (Keyword.allowed_in g)) then
+              Alcotest.failf "%s rules cannot carry tags" (Keyword.group_to_string g))
+          [ Keyword.Tree; Keyword.Schema; Keyword.Path; Keyword.Script; Keyword.Composite ]);
+    Alcotest.test_case "script borrows exactly config_path and not_present_pass" `Quick (fun () ->
+        let script = Keyword.allowed_in Keyword.Script in
+        Alcotest.(check bool) "config_path" true (List.mem "config_path" script);
+        Alcotest.(check bool) "not_present_pass" true (List.mem "not_present_pass" script);
+        Alcotest.(check bool) "file_context stays tree-only" false (List.mem "file_context" script));
+  ]
+
+let report_cases =
+  [
+    Alcotest.test_case "filter_by_tags" `Quick (fun () ->
+        let run =
+          Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest
+            [ Scenarios.Host.misconfigured () ]
+        in
+        let ssl = Report.filter_by_tags [ "#ssl" ] run.Validator.results in
+        Alcotest.(check bool) "nonempty" true (ssl <> []);
+        List.iter
+          (fun (r : Engine.result) ->
+            if not (Rule.has_tag r.Engine.rule "#ssl") then
+              Alcotest.failf "%s leaked through the tag filter" (Rule.name r.Engine.rule))
+          ssl);
+    Alcotest.test_case "keep_not_applicable override" `Quick (fun () ->
+        let frames = Scenarios.Deployment.three_tier ~compliant:true in
+        let kept =
+          Validator.run ~keep_not_applicable:true ~source:Rulesets.source
+            ~manifest:Rulesets.manifest frames
+        in
+        Alcotest.(check bool) "n/a retained" true
+          (List.exists
+             (fun (r : Engine.result) -> r.Engine.verdict = Engine.Not_applicable)
+             kept.Validator.results));
+    Alcotest.test_case "verdict helpers" `Quick (fun () ->
+        Alcotest.(check bool) "not_matched violates" true (Engine.is_violation Engine.Not_matched);
+        Alcotest.(check bool) "not_present violates" true (Engine.is_violation Engine.Not_present);
+        Alcotest.(check bool) "matched ok" false (Engine.is_violation Engine.Matched);
+        Alcotest.(check bool) "n/a neutral" false (Engine.is_violation Engine.Not_applicable);
+        Alcotest.(check bool) "error neutral" false (Engine.is_violation (Engine.Engine_error "x")));
+  ]
+
+let fleet_case =
+  Alcotest.test_case "fleet results scale structurally" `Slow (fun () ->
+      (* Duplicated containers must produce per-frame results whose
+         verdict multiset is the per-container verdict set times the
+         fleet size, and composite rules evaluate once. *)
+      let fleet = Scenarios.Deployment.container_fleet 12 in
+      let run = Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest fleet in
+      let composites =
+        List.filter
+          (fun (r : Engine.result) -> Rule.kind_to_string r.Engine.rule = "composite")
+          run.Validator.results
+      in
+      Alcotest.(check int) "composites once" 3 (List.length composites);
+      (* Every bad nginx container reports the same docker runtime faults. *)
+      let privileged_findings =
+        List.filter
+          (fun (r : Engine.result) ->
+            Rule.name r.Engine.rule = "container_privileged"
+            && Engine.is_violation r.Engine.verdict)
+          run.Validator.results
+      in
+      (* Fleet of 12: indexes 1,3,5,7,9,11 are misconfigured (6). *)
+      Alcotest.(check int) "six privileged containers" 6 (List.length privileged_findings))
+
+let lookup_cases =
+  [
+    Alcotest.test_case "lookup_config_value scoping" `Quick (fun () ->
+        let frame = Scenarios.Webstack.mysql_container_frame ~compliant:true in
+        let ctx =
+          Engine.build_ctx frame
+            {
+              Manifest.entity = "mysql";
+              enabled = true;
+              search_paths = [ "/etc/mysql" ];
+              cvl_file = "-";
+              lens = Some "ini";
+              rule_type = None;
+            }
+        in
+        Alcotest.(check (option string)) "scoped" (Some "/etc/mysql/cacert.pem")
+          (Engine.lookup_config_value ctx ~key:"ssl-ca" ~subpath:(Some "mysqld"));
+        Alcotest.(check (option string)) "deep fallback" (Some "mysql")
+          (Engine.lookup_config_value ctx ~key:"user" ~subpath:None);
+        Alcotest.(check (option string)) "missing" None
+          (Engine.lookup_config_value ctx ~key:"no-such-key" ~subpath:None));
+  ]
+
+let sshd_match_case =
+  Alcotest.test_case "match-block keys do not leak to the top level" `Quick (fun () ->
+      (* A PermitRootLogin inside a Match block must not satisfy the
+         top-level rule: OpenSSH scopes it to the matched users. *)
+      let content = "PermitRootLogin yes\nMatch User deploy\n  PermitRootLogin no\n" in
+      let frame =
+        Frames.Frame.add_file
+          (Frames.Frame.create ~id:"m" Frames.Frame.Host)
+          (Frames.File.make ~mode:0o600 ~content "/etc/ssh/sshd_config")
+      in
+      let run = Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest [ frame ] in
+      let prl =
+        List.find
+          (fun (r : Engine.result) -> Rule.name r.Engine.rule = "PermitRootLogin")
+          run.Validator.results
+      in
+      Alcotest.(check string) "still a violation" "not-matched"
+        (Engine.verdict_to_string prl.Engine.verdict))
+
+let suite = keyword_cases @ report_cases @ [ fleet_case ] @ lookup_cases @ [ sshd_match_case ]

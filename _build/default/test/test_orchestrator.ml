@@ -1,0 +1,135 @@
+open Cvl
+
+let violations frame entity =
+  let run = Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest [ frame ] in
+  Report.violations run.Validator.results
+  |> List.filter (fun (r : Engine.result) -> r.Engine.entity = entity)
+  |> List.map (fun (r : Engine.result) -> (entity, Rule.name r.Engine.rule))
+  |> List.sort_uniq compare
+
+let expected entity =
+  List.sort_uniq compare (List.filter (fun (e, _) -> e = entity) Scenarios.Orchestrator.injected_faults)
+
+let detection_cases =
+  [
+    Alcotest.test_case "compose: compliant file is clean" `Quick (fun () ->
+        Alcotest.(check (list (pair string string))) "no findings" []
+          (violations (Scenarios.Orchestrator.compose_compliant ()) "compose"));
+    Alcotest.test_case "compose: every injected fault is reported" `Quick (fun () ->
+        Alcotest.(check (list (pair string string))) "faults" (expected "compose")
+          (violations (Scenarios.Orchestrator.compose_misconfigured ()) "compose"));
+    Alcotest.test_case "kubernetes: compliant manifest is clean" `Quick (fun () ->
+        Alcotest.(check (list (pair string string))) "no findings" []
+          (violations (Scenarios.Orchestrator.k8s_compliant ()) "kubernetes"));
+    Alcotest.test_case "kubernetes: every injected fault is reported" `Quick (fun () ->
+        Alcotest.(check (list (pair string string))) "faults" (expected "kubernetes")
+          (violations (Scenarios.Orchestrator.k8s_misconfigured ()) "kubernetes"));
+  ]
+
+let lens_cases =
+  [
+    Alcotest.test_case "yaml lens: services wildcard addressing" `Quick (fun () ->
+        let doc = "services:\n  web:\n    privileged: true\n  db:\n    restart: always\n" in
+        match Lenses.Registry.parse ~lens_name:"yaml" ~path:"docker-compose.yml" doc with
+        | Ok (Lenses.Lens.Tree forest) ->
+          Alcotest.(check (list string)) "wildcard" [ "true" ]
+            (Configtree.Path.find_values_str forest "services/*/privileged");
+          Alcotest.(check (list string)) "restart" [ "always" ]
+            (Configtree.Path.find_values_str forest "services/db/restart")
+        | Ok _ -> Alcotest.fail "expected tree"
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "yaml lens: k8s container lists become repeated sections" `Quick (fun () ->
+        let doc =
+          "spec:\n  containers:\n    - name: a\n      image: x\n    - name: b\n      image: y\n"
+        in
+        match Lenses.Registry.parse ~lens_name:"yaml" ~path:"pod.yaml" doc with
+        | Ok (Lenses.Lens.Tree forest) ->
+          Alcotest.(check (list string)) "both containers" [ "a"; "b" ]
+            (Configtree.Path.find_values_str forest "spec/containers/name")
+        | Ok _ -> Alcotest.fail "expected tree"
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "yaml lens render stability" `Quick (fun () ->
+        let lens = Option.get (Lenses.Registry.find "yaml") in
+        let doc = "a: 1\nxs: [1, 2]\nm:\n  inner: true\n" in
+        let n1 = Result.get_ok (lens.Lenses.Lens.parse ~filename:"x.yaml" doc) in
+        let text = Option.get ((Option.get lens.Lenses.Lens.render) n1) in
+        let n2 = Result.get_ok (lens.Lenses.Lens.parse ~filename:"x.yaml" text) in
+        match (n1, n2) with
+        | Lenses.Lens.Tree f1, Lenses.Lens.Tree f2 ->
+          Alcotest.(check bool) "fixed point" true (List.equal Configtree.Tree.equal f1 f2)
+        | _ -> Alcotest.fail "normal form changed");
+  ]
+
+let postgres_cases =
+  [
+    Alcotest.test_case "postgres: compliant server is clean" `Quick (fun () ->
+        Alcotest.(check (list (pair string string))) "no findings" []
+          (violations (Scenarios.Database.compliant ()) "postgres"));
+    Alcotest.test_case "postgres: every injected fault is reported" `Quick (fun () ->
+        Alcotest.(check (list (pair string string)))
+          "faults"
+          (List.sort_uniq compare Scenarios.Database.injected_faults)
+          (violations (Scenarios.Database.misconfigured ()) "postgres"));
+    Alcotest.test_case "postgres lens strips quotes and handles comments" `Quick (fun () ->
+        match
+          Lenses.Registry.parse ~lens_name:"postgres" ~path:"postgresql.conf"
+            "listen_addresses = 'localhost'  # loopback only\nssl on\nwork_mem = 64MB\n"
+        with
+        | Ok (Lenses.Lens.Tree forest) ->
+          Alcotest.(check (list string)) "quoted" [ "localhost" ]
+            (Configtree.Path.find_values_str forest "listen_addresses");
+          Alcotest.(check (list string)) "no equals spelling" [ "on" ]
+            (Configtree.Path.find_values_str forest "ssl");
+          Alcotest.(check (list string)) "plain" [ "64MB" ]
+            (Configtree.Path.find_values_str forest "work_mem")
+        | Ok _ -> Alcotest.fail "expected tree"
+        | Error e -> Alcotest.fail e);
+  ]
+
+let appserver_cases =
+  [
+    Alcotest.test_case "apache: compliant config is clean" `Quick (fun () ->
+        Alcotest.(check (list (pair string string))) "no findings" []
+          (violations (Scenarios.Appserver.apache_compliant ()) "apache"));
+    Alcotest.test_case "apache: every injected fault is reported" `Quick (fun () ->
+        Alcotest.(check (list (pair string string)))
+          "faults"
+          (List.sort_uniq compare
+             (List.filter (fun (e, _) -> e = "apache") Scenarios.Appserver.injected_faults))
+          (violations (Scenarios.Appserver.apache_misconfigured ()) "apache"));
+    Alcotest.test_case "hadoop: compliant config is clean" `Quick (fun () ->
+        Alcotest.(check (list (pair string string))) "no findings" []
+          (violations (Scenarios.Appserver.hadoop_compliant ()) "hadoop"));
+    Alcotest.test_case "hadoop: every injected fault is reported" `Quick (fun () ->
+        Alcotest.(check (list (pair string string)))
+          "faults"
+          (List.sort_uniq compare
+             (List.filter (fun (e, _) -> e = "hadoop") Scenarios.Appserver.injected_faults))
+          (violations (Scenarios.Appserver.hadoop_misconfigured ()) "hadoop"));
+    Alcotest.test_case "every paper target has an exercised scenario" `Quick (fun () ->
+        (* Each of the 11 Table 1 targets must report at least one
+           violation somewhere across the misconfigured scenarios —
+           i.e. no ruleset is dead weight. *)
+        let frames =
+          Scenarios.Deployment.three_tier ~compliant:false
+          @ [
+              Scenarios.Appserver.apache_misconfigured ();
+              Scenarios.Appserver.hadoop_misconfigured ();
+            ]
+        in
+        let run =
+          Cvl.Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest frames
+        in
+        let violating_entities =
+          Cvl.Report.violations run.Cvl.Validator.results
+          |> List.map (fun (r : Cvl.Engine.result) -> r.Cvl.Engine.entity)
+          |> List.sort_uniq compare
+        in
+        List.iter
+          (fun entity ->
+            if not (List.mem entity violating_entities) then
+              Alcotest.failf "target %s has no exercised violations" entity)
+          (Rulesets.applications @ Rulesets.system_services @ Rulesets.cloud_services));
+  ]
+
+let suite = detection_cases @ lens_cases @ postgres_cases @ appserver_cases

@@ -1,0 +1,167 @@
+open Cvl
+
+let run frames = Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest frames
+
+let violations frames = Report.violations (run frames).Validator.results
+
+let is_script_or_composite (r : Engine.result) =
+  match r.Engine.rule with
+  | Rule.Script _ | Rule.Composite _ -> true
+  | Rule.Tree _ | Rule.Schema _ | Rule.Path _ -> false
+
+let fixpoint_cases =
+  [
+    Alcotest.test_case "fixpoint clears every file-fixable violation" `Quick (fun () ->
+        let frames = Scenarios.Deployment.three_tier ~compliant:false in
+        let _frames', _reports, remaining =
+          Remediate.fixpoint ~source:Rulesets.source ~manifest:Rulesets.manifest frames
+        in
+        let file_fixable = List.filter (fun r -> not (is_script_or_composite r)) remaining in
+        Alcotest.(check (list string)) "no tree/schema/path violations remain" []
+          (List.map (fun (r : Engine.result) -> Rule.name r.Engine.rule) file_fixable));
+    Alcotest.test_case "fixpoint strictly reduces violations" `Quick (fun () ->
+        let frames = Scenarios.Deployment.three_tier ~compliant:false in
+        let before = List.length (violations frames) in
+        let frames', _, remaining =
+          Remediate.fixpoint ~source:Rulesets.source ~manifest:Rulesets.manifest frames
+        in
+        Alcotest.(check bool) "fewer after" true (List.length remaining < before);
+        Alcotest.(check int) "frames preserved" (List.length frames) (List.length frames'));
+    Alcotest.test_case "compliant deployment needs no fixes" `Quick (fun () ->
+        let frames = Scenarios.Deployment.three_tier ~compliant:true in
+        let _frames', reports =
+          Remediate.deployment ~source:Rulesets.source ~manifest:Rulesets.manifest frames
+        in
+        let fixed =
+          List.filter (fun r -> match r.Remediate.outcome with Remediate.Fixed _ -> true | _ -> false) reports
+        in
+        Alcotest.(check int) "no fixes" 0 (List.length fixed));
+    Alcotest.test_case "remediated files still parse with their lens" `Quick (fun () ->
+        let frames = Scenarios.Deployment.three_tier ~compliant:false in
+        let frames', _, _ =
+          Remediate.fixpoint ~source:Rulesets.source ~manifest:Rulesets.manifest frames
+        in
+        let t = run frames' in
+        let errors =
+          List.filter
+            (fun (r : Engine.result) ->
+              match r.Engine.verdict with Engine.Engine_error _ -> true | _ -> false)
+            t.Validator.results
+        in
+        Alcotest.(check int) "no parse errors introduced" 0 (List.length errors));
+  ]
+
+(* Focused unit behaviour on a single entity. *)
+let sshd_entry =
+  {
+    Manifest.entity = "sshd";
+    enabled = true;
+    search_paths = [ "/etc/ssh" ];
+    cvl_file = "component_configs/sshd.yaml";
+    lens = Some "sshd";
+    rule_type = None;
+  }
+
+let sshd_rules () = Result.get_ok (Loader.load_file Rulesets.source "component_configs/sshd.yaml")
+
+let host_with_sshd content mode =
+  Frames.Frame.add_file
+    (Frames.Frame.create ~id:"r" Frames.Frame.Host)
+    (Frames.File.make ~mode ~content "/etc/ssh/sshd_config")
+
+let unit_cases =
+  [
+    Alcotest.test_case "sets a wrong value to the preferred one" `Quick (fun () ->
+        let frame = host_with_sshd "PermitRootLogin yes\n" 0o600 in
+        let frame', _ = Remediate.entity frame sshd_entry (sshd_rules ()) in
+        let content = Option.get (Frames.Frame.read frame' "/etc/ssh/sshd_config") in
+        Alcotest.(check bool) "no" true
+          (Re.execp (Re.compile (Re.str "PermitRootLogin no")) content);
+        Alcotest.(check bool) "yes gone" false
+          (Re.execp (Re.compile (Re.str "PermitRootLogin yes")) content));
+    Alcotest.test_case "inserts a missing key" `Quick (fun () ->
+        let frame = host_with_sshd "PermitRootLogin no\n" 0o600 in
+        let frame', _ = Remediate.entity frame sshd_entry (sshd_rules ()) in
+        let content = Option.get (Frames.Frame.read frame' "/etc/ssh/sshd_config") in
+        Alcotest.(check bool) "banner added" true
+          (Re.execp (Re.compile (Re.str "Banner /etc/issue.net")) content));
+    Alcotest.test_case "regex expectation recovered from suggested_action" `Quick (fun () ->
+        (* MaxAuthTries has a regex preferred value; the fix comes from
+           the backquoted `MaxAuthTries 4` hint. *)
+        let frame = host_with_sshd "MaxAuthTries 20\n" 0o600 in
+        let frame', _ = Remediate.entity frame sshd_entry (sshd_rules ()) in
+        let content = Option.get (Frames.Frame.read frame' "/etc/ssh/sshd_config") in
+        Alcotest.(check bool) "hinted value" true
+          (Re.execp (Re.compile (Re.str "MaxAuthTries 4")) content));
+    Alcotest.test_case "path rule fix resets mode and ownership" `Quick (fun () ->
+        let frame = host_with_sshd "PermitRootLogin no\n" 0o666 in
+        let frame = Frames.Frame.chown frame ~path:"/etc/ssh/sshd_config" ~uid:33 ~gid:33 in
+        let frame', _ = Remediate.entity frame sshd_entry (sshd_rules ()) in
+        let f = Option.get (Frames.Frame.stat frame' "/etc/ssh/sshd_config") in
+        Alcotest.(check int) "mode" 0o600 f.Frames.File.mode;
+        Alcotest.(check string) "owner" "0:0" (Frames.File.ownership f));
+    Alcotest.test_case "delete-style rule removes the offending entry" `Quick (fun () ->
+        let entry =
+          { sshd_entry with Manifest.entity = "docker"; search_paths = [ "/etc/docker" ];
+            cvl_file = "component_configs/docker.yaml"; lens = Some "json" }
+        in
+        let rules = Result.get_ok (Loader.load_file Rulesets.source "component_configs/docker.yaml") in
+        let frame = Scenarios.Dockerhost.misconfigured () in
+        let frame', _ = Remediate.entity frame entry rules in
+        let content = Option.get (Frames.Frame.read frame' "/etc/docker/daemon.json") in
+        Alcotest.(check bool) "insecure registries removed" false
+          (Re.execp (Re.compile (Re.str "insecure-registries")) content);
+        Alcotest.(check bool) "icc now false" true
+          (Re.execp (Re.compile (Re.str "\"icc\": false")) content));
+    Alcotest.test_case "schema fix synthesizes a missing row" `Quick (fun () ->
+        let entry =
+          { sshd_entry with Manifest.entity = "modprobe"; search_paths = [ "/etc/modprobe.d" ];
+            cvl_file = "component_configs/modprobe.yaml"; lens = Some "modprobe" }
+        in
+        let rules = Result.get_ok (Loader.load_file Rulesets.source "component_configs/modprobe.yaml") in
+        let frame =
+          Frames.Frame.add_file
+            (Frames.Frame.create ~id:"r" Frames.Frame.Host)
+            (Frames.File.make ~content:"install freevxfs /bin/true\n" "/etc/modprobe.d/CIS.conf")
+        in
+        let frame', _ = Remediate.entity frame entry rules in
+        let content = Option.get (Frames.Frame.read frame' "/etc/modprobe.d/CIS.conf") in
+        Alcotest.(check bool) "cramfs disabled" true
+          (Re.execp (Re.compile (Re.str "install cramfs /bin/true")) content);
+        Alcotest.(check bool) "usb-storage blacklisted" true
+          (Re.execp (Re.compile (Re.str "blacklist usb-storage")) content));
+    Alcotest.test_case "schema fix appends a missing mount option" `Quick (fun () ->
+        let entry =
+          { sshd_entry with Manifest.entity = "fstab"; search_paths = [ "/etc/fstab" ];
+            cvl_file = "component_configs/fstab.yaml"; lens = Some "fstab" }
+        in
+        let rules = Result.get_ok (Loader.load_file Rulesets.source "component_configs/fstab.yaml") in
+        let frame =
+          Frames.Frame.add_file
+            (Frames.Frame.create ~id:"r" Frames.Frame.Host)
+            (Frames.File.make
+               ~content:"UUID=1 / ext4 defaults 0 1\nUUID=2 /tmp ext4 nodev 0 2\n"
+               "/etc/fstab")
+        in
+        let frame', _ = Remediate.entity frame entry rules in
+        let content = Option.get (Frames.Frame.read frame' "/etc/fstab") in
+        Alcotest.(check bool) "nosuid appended" true
+          (Re.execp (Re.compile (Re.Pcre.re "/tmp ext4 nodev[^\\n]*nosuid")) content));
+    Alcotest.test_case "script rules are reported as skipped" `Quick (fun () ->
+        let entry =
+          { sshd_entry with Manifest.entity = "sysctl"; search_paths = [ "/etc/sysctl.conf" ];
+            cvl_file = "component_configs/sysctl.yaml"; lens = Some "sysctl" }
+        in
+        let rules = Result.get_ok (Loader.load_file Rulesets.source "component_configs/sysctl.yaml") in
+        let frame = Scenarios.Host.misconfigured () in
+        let _, reports = Remediate.entity frame entry rules in
+        let skipped_script =
+          List.find_opt (fun r -> r.Remediate.rule_name = "kernel.randomize_va_space") reports
+        in
+        match skipped_script with
+        | Some { Remediate.outcome = Remediate.Skipped _; _ } -> ()
+        | Some { Remediate.outcome = Remediate.Fixed _; _ } -> Alcotest.fail "script rule must not be 'fixed'"
+        | None -> Alcotest.fail "expected a report for the script rule");
+  ]
+
+let suite = fixpoint_cases @ unit_cases

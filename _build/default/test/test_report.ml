@@ -1,0 +1,103 @@
+open Cvl
+
+let run frames = (Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest frames).Validator.results
+
+let junit_cases =
+  [
+    Alcotest.test_case "junit output is well-formed XML with correct counts" `Quick (fun () ->
+        let results = run [ Scenarios.Host.misconfigured () ] in
+        let xml = Report.to_junit results in
+        match Xmllite.parse xml with
+        | Error e -> Alcotest.fail (Xmllite.error_to_string e)
+        | Ok root ->
+          Alcotest.(check string) "root" "testsuites" root.Xmllite.tag;
+          let suites = Xmllite.find_all "testsuite" root in
+          let total_failures =
+            List.fold_left
+              (fun acc suite ->
+                acc + int_of_string (Option.value (Xmllite.attr "failures" suite) ~default:"0"))
+              0 suites
+          in
+          let s = Report.summarize results in
+          Alcotest.(check int) "failures match summary" s.Report.violations total_failures;
+          let cases = Xmllite.descendants "testcase" root in
+          Alcotest.(check int) "one case per result" s.Report.total (List.length cases));
+    Alcotest.test_case "junit escapes rule content" `Quick (fun () ->
+        (* Details contain quotes and ampersands; the XML must reparse. *)
+        let results = run [ Scenarios.Webstack.nginx_container_frame ~compliant:false ] in
+        Alcotest.(check bool) "parses" true (Result.is_ok (Xmllite.parse (Report.to_junit results))));
+  ]
+
+let compare_cases =
+  [
+    Alcotest.test_case "remediation shows up as fixes, no regressions" `Quick (fun () ->
+        let frames = [ Scenarios.Host.misconfigured () ] in
+        let before = run frames in
+        let frames', _, _ =
+          Remediate.fixpoint ~source:Rulesets.source ~manifest:Rulesets.manifest frames
+        in
+        let after = run frames' in
+        let c = Report.compare_runs ~before ~after in
+        Alcotest.(check int) "no regressions" 0 (List.length c.Report.regressions);
+        Alcotest.(check bool) "many fixes" true (List.length c.Report.fixes > 10);
+        Alcotest.(check bool) "script findings persist" true
+          (List.exists
+             (fun (r : Engine.result) -> Rule.name r.Engine.rule = "kernel.randomize_va_space")
+             c.Report.still_violating));
+    Alcotest.test_case "a new fault is a regression" `Quick (fun () ->
+        let good = Scenarios.Host.compliant () in
+        let before = run [ good ] in
+        let bad =
+          Frames.Frame.set_content good ~path:"/etc/sysctl.conf" "net.ipv4.ip_forward = 1\n"
+        in
+        (* Keep the frame id stable so findings correlate. *)
+        let after = run [ bad ] in
+        let c = Report.compare_runs ~before ~after in
+        Alcotest.(check bool) "ip_forward regressed" true
+          (List.exists
+             (fun (r : Engine.result) -> Rule.name r.Engine.rule = "net.ipv4.ip_forward")
+             c.Report.regressions));
+    Alcotest.test_case "identical runs compare clean" `Quick (fun () ->
+        (* The full deployment: a lone host leaves the cross-entity
+           composites unsatisfied. *)
+        let results = run (Scenarios.Deployment.three_tier ~compliant:true) in
+        let c = Report.compare_runs ~before:results ~after:results in
+        Alcotest.(check string) "summary" "0 regression(s), 0 fix(es), 0 still violating"
+          (Report.comparison_summary c));
+  ]
+
+let codec_cases =
+  [
+    Alcotest.test_case "frame JSON roundtrip preserves validation verdicts" `Quick (fun () ->
+        List.iter
+          (fun frame ->
+            let text = Frames.Codec.to_string frame in
+            match Frames.Codec.of_string text with
+            | Error e -> Alcotest.fail e
+            | Ok frame' ->
+              let key (r : Engine.result) =
+                (r.Engine.entity, Rule.name r.Engine.rule, Engine.verdict_to_string r.Engine.verdict)
+              in
+              Alcotest.(check (list (triple string string string)))
+                ("verdicts for " ^ Frames.Frame.id frame)
+                (List.sort compare (List.map key (run [ frame ])))
+                (List.sort compare (List.map key (run [ frame' ]))))
+          [
+            Scenarios.Host.misconfigured ();
+            Scenarios.Webstack.mysql_container_frame ~compliant:false;
+            Scenarios.Cloud.misconfigured_frame ();
+          ]);
+    Alcotest.test_case "frame roundtrip preserves structure" `Quick (fun () ->
+        let frame = Scenarios.Host.compliant () in
+        let frame' = Result.get_ok (Frames.Codec.of_string (Frames.Codec.to_string frame)) in
+        Alcotest.(check bool) "diff empty" true
+          (Frames.Diff.is_empty (Frames.Diff.between frame frame')));
+    Alcotest.test_case "codec rejects malformed documents" `Quick (fun () ->
+        Alcotest.(check bool) "not json" true (Result.is_error (Frames.Codec.of_string "nope"));
+        Alcotest.(check bool) "missing id" true (Result.is_error (Frames.Codec.of_string "{}"));
+        Alcotest.(check bool) "bad kind" true
+          (Result.is_error
+             (Frames.Codec.of_string {|{"id": "x", "entity": {"kind": "mainframe"}}|})));
+  ]
+
+let suite = junit_cases @ compare_cases @ codec_cases

@@ -1,0 +1,96 @@
+(* Fuzz-style robustness: every parser in the stack must return a
+   structured result (or its declared exception) on arbitrary input —
+   never a stack overflow, Not_found, Invalid_argument, or other leak.
+   Production ConfigValidator feeds these parsers whatever bytes the
+   crawler finds. *)
+
+let garbage =
+  QCheck.Gen.(
+    let any_char = map Char.chr (int_range 0 127) in
+    let structured_char =
+      oneofl
+        [ 'a'; 'b'; ':'; '-'; ' '; '\n'; '\t'; '"'; '\''; '['; ']'; '{'; '}'; '#'; '|'; '>';
+          '&'; '*'; '!'; '%'; '@'; '`'; ','; '?'; '='; '<'; '/'; '.'; '('; ')'; '\\'; ';' ]
+    in
+    string_size ~gen:(frequency [ (1, any_char); (3, structured_char) ]) (int_range 0 64))
+
+let total ?(count = 1500) name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name (QCheck.make ~print:String.escaped garbage) (fun input ->
+         match f input with
+         | () -> true
+         | exception e ->
+           QCheck.Test.fail_reportf "leaked exception %s on %S" (Printexc.to_string e) input))
+
+let parser_cases =
+  [
+    total "yaml parser is total" (fun s -> ignore (Yamlite.Parse.string s));
+    total "yaml multi-doc parser is total" (fun s -> ignore (Yamlite.Parse.multi s));
+    total "json parser is total" (fun s -> ignore (Jsonlite.parse s));
+    total "xml parser is total" (fun s -> ignore (Xmllite.parse s));
+    total "composite expression parser is total" (fun s -> ignore (Cvl.Expr.parse s));
+    total "matcher spec parser is total" (fun s -> ignore (Cvl.Matcher.parse s));
+    total "path parser is total" (fun s -> ignore (Configtree.Path.parse s));
+    total "manifest parser is total" (fun s -> ignore (Cvl.Manifest.parse s));
+    total "rule loader is total" (fun s -> ignore (Cvl.Loader.parse_rules s));
+    total "cpl parser is total" (fun s -> ignore (Confvalley.Cpl.parse s));
+    total ~count:400 "bash emulator is total" (fun s ->
+        ignore (Inspeclite.Bash_emu.run (Scenarios.Host.compliant ()) s));
+  ]
+
+let lens_cases =
+  List.map
+    (fun (lens : Lenses.Lens.t) ->
+      total ~count:500
+        (Printf.sprintf "%s lens is total" lens.Lenses.Lens.name)
+        (fun s -> ignore (lens.Lenses.Lens.parse ~filename:"/fuzz" s)))
+    Lenses.Registry.all
+
+(* Structured-but-hostile CVL documents: the loader must reject or load,
+   never crash, and accepted rules must evaluate without exceptions. *)
+let rule_fragments =
+  QCheck.Gen.(
+    let key =
+      oneofl
+        [ "config_name"; "config_path"; "preferred_value"; "preferred_value_match";
+          "non_preferred_value"; "file_context"; "tags"; "path_name"; "permission";
+          "ownership"; "script_name"; "script"; "composite_rule_name"; "composite_rule";
+          "config_schema_name"; "query_constraints"; "query_constraints_value"; "expect_rows";
+          "not_present_pass"; "check_presence_only"; "value_separator"; "disabled" ]
+    in
+    let value =
+      oneofl
+        [ "x"; "[\"a\", \"b\"]"; "true"; "substr,any"; "644"; "\"0:0\""; "[\"\"]"; "1";
+          "\"dir = ?\""; "a.b && c.d"; "regex,all"; "[]"; "99999"; "-1" ]
+    in
+    let* n = int_range 1 8 in
+    let* kvs = list_repeat n (pair key value) in
+    return
+      (String.concat "\n" (List.map (fun (k, v) -> Printf.sprintf "%s: %s" k v) kvs) ^ "\n"))
+
+let hostile_rules =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:800 ~name:"hostile rule documents load-or-reject and evaluate"
+       (QCheck.make ~print:(fun s -> s) rule_fragments)
+       (fun doc ->
+         match Cvl.Loader.parse_rules doc with
+         | Error _ -> true
+         | Ok rules -> (
+           let frame = Scenarios.Host.compliant () in
+           let ctx =
+             Cvl.Engine.build_ctx frame
+               {
+                 Cvl.Manifest.entity = "fuzz";
+                 enabled = true;
+                 search_paths = [ "/etc" ];
+                 cvl_file = "-";
+                 lens = None;
+                 rule_type = None;
+               }
+           in
+           match List.iter (fun rule -> ignore (Cvl.Engine.eval_rule ctx rule)) rules with
+           | () -> true
+           | exception e ->
+             QCheck.Test.fail_reportf "engine leaked %s on:\n%s" (Printexc.to_string e) doc)))
+
+let suite = parser_cases @ lens_cases @ [ hostile_rules ]

@@ -1,0 +1,133 @@
+open Cvl
+
+let run ?tags frames =
+  Validator.run ?tags ~source:Rulesets.source ~manifest:Rulesets.manifest frames
+
+let violations t =
+  Report.violations t.Validator.results
+  |> List.map (fun (r : Engine.result) -> (r.Engine.entity, Rule.name r.Engine.rule))
+  |> List.sort_uniq compare
+
+let detection_cases =
+  [
+    Alcotest.test_case "compliant deployment is all green" `Quick (fun () ->
+        let t = run (Scenarios.Deployment.three_tier ~compliant:true) in
+        Alcotest.(check (list (pair string string))) "no load errors" [] t.Validator.load_errors;
+        Alcotest.(check (list (pair string string))) "no violations" [] (violations t));
+    Alcotest.test_case "misconfigured deployment reports exactly the injected faults" `Quick
+      (fun () ->
+        let t = run (Scenarios.Deployment.three_tier ~compliant:false) in
+        let expected = List.sort_uniq compare Scenarios.Deployment.injected_faults in
+        Alcotest.(check (list (pair string string))) "faults" expected (violations t));
+    Alcotest.test_case "misconfigured host alone" `Quick (fun () ->
+        let t = run [ Scenarios.Host.misconfigured () ] in
+        let expected = List.sort_uniq compare Scenarios.Host.injected_faults in
+        let host_violations =
+          List.filter (fun (e, _) -> List.mem_assoc e (List.map (fun x -> (fst x, ())) expected))
+            (violations t)
+        in
+        Alcotest.(check (list (pair string string))) "host faults" expected host_violations);
+    Alcotest.test_case "image scanning finds config faults before runtime" `Quick (fun () ->
+        let t = run [ Scenarios.Webstack.nginx_image_frame ~compliant:false ] in
+        let nginx = List.filter (fun (e, _) -> e = "nginx") (violations t) in
+        Alcotest.(check bool) "ssl_protocols flagged" true (List.mem ("nginx", "ssl_protocols") nginx);
+        Alcotest.(check bool) "autoindex flagged" true (List.mem ("nginx", "autoindex") nginx));
+  ]
+
+let composite_cases =
+  [
+    Alcotest.test_case "listing 1 composite passes on the compliant stack" `Quick (fun () ->
+        let t = run (Scenarios.Deployment.three_tier ~compliant:true) in
+        let result =
+          List.find
+            (fun (r : Engine.result) ->
+              Rule.name r.Engine.rule = "mysql ssl-ca path and sysctl and nginx SSL")
+            t.Validator.results
+        in
+        Alcotest.(check string) "verdict" "matched" (Engine.verdict_to_string result.Engine.verdict));
+    Alcotest.test_case "composites aggregate across frames" `Quick (fun () ->
+        (* The nginx fact lives in one frame, the mysql fact in another,
+           the sysctl fact in a third. *)
+        let frames = Scenarios.Deployment.three_tier ~compliant:true in
+        let t = run frames in
+        let composite_results =
+          List.filter
+            (fun (r : Engine.result) -> Rule.kind_to_string r.Engine.rule = "composite")
+            t.Validator.results
+        in
+        Alcotest.(check int) "three composites" 3 (List.length composite_results);
+        List.iter
+          (fun (r : Engine.result) ->
+            Alcotest.(check string)
+              (Rule.name r.Engine.rule) "matched"
+              (Engine.verdict_to_string r.Engine.verdict))
+          composite_results);
+    Alcotest.test_case "composite fails when one tier is missing" `Quick (fun () ->
+        (* Without the mysql container, have_ssl cannot match. *)
+        let frames =
+          [ Scenarios.Host.compliant (); Scenarios.Webstack.nginx_container_frame ~compliant:true ]
+        in
+        let t = run frames in
+        let result =
+          List.find
+            (fun (r : Engine.result) -> Rule.name r.Engine.rule = "tls_everywhere")
+            t.Validator.results
+        in
+        Alcotest.(check string) "verdict" "not-matched" (Engine.verdict_to_string result.Engine.verdict));
+  ]
+
+let filter_cases =
+  [
+    Alcotest.test_case "tag filtering selects rule subsets" `Quick (fun () ->
+        let t = run ~tags:[ "#cisdocker_5.4" ] [ Scenarios.Webstack.nginx_container_frame ~compliant:false ] in
+        let names =
+          List.map (fun (r : Engine.result) -> Rule.name r.Engine.rule) t.Validator.results
+          |> List.sort_uniq compare
+        in
+        (* Both the container-runtime rule and the compose rule carry
+           the CIS Docker 5.4 tag. *)
+        Alcotest.(check (list string)) "only the 5.4 rules" [ "container_privileged"; "privileged" ]
+          names);
+    Alcotest.test_case "multi-frame runs drop not-applicable noise" `Quick (fun () ->
+        let t = run (Scenarios.Deployment.three_tier ~compliant:true) in
+        Alcotest.(check bool) "no n/a results" true
+          (List.for_all
+             (fun (r : Engine.result) -> r.Engine.verdict <> Engine.Not_applicable)
+             t.Validator.results));
+    Alcotest.test_case "single-frame runs keep not-applicable" `Quick (fun () ->
+        let t = run [ Scenarios.Host.compliant () ] in
+        Alcotest.(check bool) "has n/a (apache etc.)" true
+          (List.exists
+             (fun (r : Engine.result) -> r.Engine.verdict = Engine.Not_applicable)
+             t.Validator.results));
+  ]
+
+let report_cases =
+  [
+    Alcotest.test_case "summary counts are consistent" `Quick (fun () ->
+        let t = run (Scenarios.Deployment.three_tier ~compliant:false) in
+        let s = Report.summarize t.Validator.results in
+        Alcotest.(check int) "total" (List.length t.Validator.results) s.Report.total;
+        Alcotest.(check int) "partition" s.Report.total
+          (s.Report.matched + s.Report.violations + s.Report.not_applicable + s.Report.errors));
+    Alcotest.test_case "json report parses and carries the summary" `Quick (fun () ->
+        let t = run [ Scenarios.Host.misconfigured () ] in
+        let json = Report.to_json t.Validator.results in
+        let reparsed = Jsonlite.parse_exn (Jsonlite.to_string json) in
+        let summary = Option.get (Jsonlite.member "summary" reparsed) in
+        let violations = Option.get (Jsonlite.member "violations" summary) in
+        Alcotest.(check bool) "violations > 0" true
+          (match Jsonlite.get_num violations with Some f -> f > 0. | None -> false));
+    Alcotest.test_case "text report mentions the paper's output strings" `Quick (fun () ->
+        let t = run [ Scenarios.Host.misconfigured () ] in
+        let text = Report.to_text t.Validator.results in
+        Alcotest.(check bool) "PermitRootLogin line" true
+          (Re.execp (Re.compile (Re.str "PermitRootLogin is present but it is enabled.")) text));
+    Alcotest.test_case "verbose report includes suggested actions" `Quick (fun () ->
+        let t = run [ Scenarios.Host.misconfigured () ] in
+        let text = Report.to_text ~verbose:true t.Validator.results in
+        Alcotest.(check bool) "action hint" true
+          (Re.execp (Re.compile (Re.str "PermitRootLogin no")) text));
+  ]
+
+let suite = detection_cases @ composite_cases @ filter_cases @ report_cases

@@ -1,0 +1,70 @@
+open Xmllite
+
+let parse_ok name input f =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse input with
+      | Ok root -> f root
+      | Error e -> Alcotest.fail (error_to_string e))
+
+let parse_err name input =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse input with
+      | Ok _ -> Alcotest.fail "expected parse error"
+      | Error _ -> ())
+
+let cases =
+  [
+    parse_ok "simple element" "<a/>" (fun r -> Alcotest.(check string) "tag" "a" r.tag);
+    parse_ok "attributes" {|<a x="1" y='two'/>|} (fun r ->
+        Alcotest.(check (option string)) "x" (Some "1") (attr "x" r);
+        Alcotest.(check (option string)) "y" (Some "two") (attr "y" r));
+    parse_ok "text content with entities" "<a>x &lt;&amp;&gt; y</a>" (fun r ->
+        Alcotest.(check string) "text" "x <&> y" (text r));
+    parse_ok "numeric entity" "<a>&#65;&#x42;</a>" (fun r ->
+        Alcotest.(check string) "text" "AB" (text r));
+    parse_ok "nesting and find_all" "<a><b i='1'/><c/><b i='2'/></a>" (fun r ->
+        Alcotest.(check int) "two b" 2 (List.length (find_all "b" r));
+        Alcotest.(check (option string)) "second b" (Some "2")
+          (attr "i" (List.nth (find_all "b" r) 1)));
+    parse_ok "descendants" "<a><b><c/><b><c/></b></b></a>" (fun r ->
+        Alcotest.(check int) "c count" 2 (List.length (descendants "c" r)));
+    parse_ok "comments and PI skipped" "<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><b/></a>"
+      (fun r -> Alcotest.(check int) "children" 1 (List.length (elements r)));
+    parse_ok "CDATA" "<a><![CDATA[<raw> & stuff]]></a>" (fun r ->
+        Alcotest.(check string) "cdata" "<raw> & stuff" (text r));
+    parse_ok "namespaced tags kept literal" "<ind:test xmlns:ind='x'><ind:object/></ind:test>"
+      (fun r ->
+        Alcotest.(check string) "tag" "ind:test" r.tag;
+        Alcotest.(check int) "child" 1 (List.length (find_all "ind:object" r)));
+    parse_ok "DOCTYPE skipped" "<!DOCTYPE html><a/>" (fun r -> Alcotest.(check string) "tag" "a" r.tag);
+    parse_err "mismatched close" "<a><b></a></b>";
+    parse_err "unterminated" "<a><b>";
+    parse_err "trailing garbage" "<a/><b/>";
+    parse_err "bad entity" "<a>&nope;</a>";
+  ]
+
+let print_roundtrip =
+  Alcotest.test_case "to_string/parse roundtrip on a benchmark" `Quick (fun () ->
+      let checks = Checkir.Cis40.all in
+      let xml = Scap.Oval.to_xml (Scap.Oval.of_checks checks) in
+      match parse xml with
+      | Ok root ->
+        Alcotest.(check string) "root" "oval_definitions" root.tag;
+        Alcotest.(check int) "definitions" (List.length checks)
+          (List.length (descendants "definition" root))
+      | Error e -> Alcotest.fail (error_to_string e))
+
+let hadoop_case =
+  Alcotest.test_case "hadoop lens parses *-site.xml" `Quick (fun () ->
+      let doc =
+        "<?xml version=\"1.0\"?>\n<configuration>\n  <property>\n    <name>dfs.permissions.enabled</name>\n\
+        \    <value>true</value>\n  </property>\n</configuration>"
+      in
+      match Lenses.Registry.parse ~lens_name:"hadoop" ~path:"hdfs-site.xml" doc with
+      | Ok (Lenses.Lens.Tree forest) ->
+        Alcotest.(check (list string)) "value" [ "true" ]
+          (Configtree.Path.find_values_str forest "dfs.permissions.enabled")
+      | Ok (Lenses.Lens.Table _) -> Alcotest.fail "expected a tree"
+      | Error e -> Alcotest.fail e)
+
+let suite = cases @ [ print_roundtrip; hadoop_case ]

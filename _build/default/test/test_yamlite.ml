@@ -1,0 +1,158 @@
+let check_parse name input expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let actual = Yamlite.Parse.string_exn input in
+      if not (Yamlite.Value.equal actual expected) then
+        Alcotest.failf "parsed %a, expected %a" Yamlite.Value.pp actual Yamlite.Value.pp expected)
+
+let check_error name input =
+  Alcotest.test_case name `Quick (fun () ->
+      match Yamlite.Parse.string input with
+      | Ok v -> Alcotest.failf "expected a parse error, got %a" Yamlite.Value.pp v
+      | Error _ -> ())
+
+open Yamlite.Value
+
+let scalar_cases =
+  [
+    check_parse "plain string" "hello" (Str "hello");
+    check_parse "integer" "42" (Int 42);
+    check_parse "negative integer" "-7" (Int (-7));
+    check_parse "float" "3.5" (Float 3.5);
+    check_parse "true" "true" (Bool true);
+    check_parse "False" "False" (Bool false);
+    check_parse "null word" "null" Null;
+    check_parse "tilde" "~" Null;
+    check_parse "empty document" "" Null;
+    check_parse "comment-only document" "# nothing here\n" Null;
+    (* The CVL-motivated deviation: yes/no stay strings. *)
+    check_parse "no stays a string" "no" (Str "no");
+    check_parse "yes stays a string" "yes" (Str "yes");
+    check_parse "version is not a float" "1.2.3" (Str "1.2.3");
+    check_parse "double-quoted" {|"a # not comment"|} (Str "a # not comment");
+    check_parse "single-quoted with escape" "'it''s'" (Str "it's");
+    check_parse "dq escapes" {|"a\tb\nc"|} (Str "a\tb\nc");
+  ]
+
+let structure_cases =
+  [
+    check_parse "flat mapping" "a: 1\nb: two\n" (Map [ ("a", Int 1); ("b", Str "two") ]);
+    check_parse "nested mapping" "outer:\n  inner: v\n" (Map [ ("outer", Map [ ("inner", Str "v") ]) ]);
+    check_parse "block sequence" "- a\n- b\n" (List [ Str "a"; Str "b" ]);
+    check_parse "sequence under key" "xs:\n  - 1\n  - 2\n" (Map [ ("xs", List [ Int 1; Int 2 ]) ]);
+    check_parse "sequence at same indent as key" "xs:\n- 1\n- 2\n" (Map [ ("xs", List [ Int 1; Int 2 ]) ]);
+    check_parse "flow sequence" "xs: [1, two, \"three\"]\n" (Map [ ("xs", List [ Int 1; Str "two"; Str "three" ]) ]);
+    check_parse "flow mapping" "m: {a: 1, b: c}\n" (Map [ ("m", Map [ ("a", Int 1); ("b", Str "c") ]) ]);
+    check_parse "empty flow list" "xs: []\n" (Map [ ("xs", List []) ]);
+    check_parse "nested flow" "xs: [[1, 2], {k: v}]\n"
+      (Map [ ("xs", List [ List [ Int 1; Int 2 ]; Map [ ("k", Str "v") ] ]) ]);
+    check_parse "null value key" "a:\nb: 1\n" (Map [ ("a", Null); ("b", Int 1) ]);
+    check_parse "comment stripping" "a: 1 # trailing\n# full line\nb: 2\n"
+      (Map [ ("a", Int 1); ("b", Int 2) ]);
+    check_parse "hash inside quotes kept" "t: [\"#cis\", \"#owasp\"]\n"
+      (Map [ ("t", List [ Str "#cis"; Str "#owasp" ]) ]);
+    check_parse "sequence of inline maps" "- a: 1\n  b: 2\n- a: 3\n"
+      (List [ Map [ ("a", Int 1); ("b", Int 2) ]; Map [ ("a", Int 3) ] ]);
+    check_parse "literal block scalar" "d: |\n  line one\n  line two\n" (Map [ ("d", Str "line one\nline two") ]);
+    check_parse "folded block scalar" "d: >\n  one\n  two\n" (Map [ ("d", Str "one two") ]);
+    check_parse "doc separator ignored" "---\na: 1\n" (Map [ ("a", Int 1) ]);
+    check_parse "colon in plain value" "url: http://x/y\n" (Map [ ("url", Str "http://x/y") ]);
+    check_parse "quoted key" "\"a b\": 1\n" (Map [ ("a b", Int 1) ]);
+  ]
+
+let error_cases =
+  [
+    check_error "tab indentation" "a:\n\tb: 1\n";
+    check_error "duplicate keys" "a: 1\na: 2\n";
+    check_error "unterminated flow list" "xs: [1, 2\n";
+    check_error "unterminated dquote" "a: \"oops\n";
+    check_error "bad nesting" "a: 1\n    b: 2\n";
+  ]
+
+let multi_cases =
+  [
+    Alcotest.test_case "multi-document stream" `Quick (fun () ->
+        match Yamlite.Parse.multi "a: 1\n---\nb: 2\n" with
+        | Ok [ Map [ ("a", Int 1) ]; Map [ ("b", Int 2) ] ] -> ()
+        | Ok docs -> Alcotest.failf "unexpected docs (%d)" (List.length docs)
+        | Error e -> Alcotest.fail (Yamlite.Parse.error_to_string e));
+    Alcotest.test_case "error carries line number" `Quick (fun () ->
+        match Yamlite.Parse.string "a: 1\nb: [\n" with
+        | Error { Yamlite.Parse.line; _ } -> Alcotest.(check int) "line" 2 line
+        | Ok _ -> Alcotest.fail "expected error");
+  ]
+
+let print_cases =
+  [
+    Alcotest.test_case "print quotes ambiguous scalars" `Quick (fun () ->
+        let v = Map [ ("a", Str "true"); ("b", Str "644"); ("c", Str "x: y") ] in
+        let reparsed = Yamlite.Parse.string_exn (Yamlite.Print.to_string v) in
+        Alcotest.(check bool) "roundtrip" true (Yamlite.Value.equal v reparsed));
+    Alcotest.test_case "paper listing 2 parses" `Quick (fun () ->
+        let doc =
+          "config_name: ssl_protocols\n\
+           config_path: [\"server\", \"http/server\"]\n\
+           preferred_value: [ \"TLSv1.2\", \"TLSv1.3\" ]\n\
+           non_preferred_value_match: substr,any\n\
+           tags: [\"#security\", \"#ssl\", \"#owasp\"]\n"
+        in
+        let v = Yamlite.Parse.string_exn doc in
+        Alcotest.(check bool) "has config_name" true (Yamlite.Value.find "config_name" v <> None);
+        match Yamlite.Value.find "preferred_value" v with
+        | Some l -> Alcotest.(check (option (list string))) "values" (Some [ "TLSv1.2"; "TLSv1.3" ])
+                      (Yamlite.Value.get_str_list l)
+        | None -> Alcotest.fail "preferred_value missing");
+  ]
+
+(* Round-trip property: print then parse is identity. *)
+let value_gen =
+  let open QCheck.Gen in
+  let key_gen = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  let scalar =
+    oneof
+      [
+        return Yamlite.Value.Null;
+        map (fun b -> Yamlite.Value.Bool b) bool;
+        map (fun i -> Yamlite.Value.Int i) small_signed_int;
+        map (fun s -> Yamlite.Value.Str s)
+          (string_size ~gen:(oneof [ char_range 'a' 'z'; char_range 'A' 'Z'; char_range '0' '9'; return ' '; return '.'; return '-'; return '#' ]) (int_range 0 12));
+      ]
+  in
+  let rec value depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun l -> Yamlite.Value.List l) (list_size (int_range 0 4) (value (depth - 1))));
+          ( 1,
+            map
+              (fun kvs ->
+                (* Deduplicate keys: duplicate mapping keys are an error. *)
+                let seen = Hashtbl.create 8 in
+                Yamlite.Value.Map
+                  (List.filter
+                     (fun (k, _) ->
+                       if Hashtbl.mem seen k then false
+                       else begin
+                         Hashtbl.add seen k ();
+                         true
+                       end)
+                     kvs))
+              (list_size (int_range 0 4) (pair key_gen (value (depth - 1)))) );
+        ]
+  in
+  value 3
+
+let roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"yaml print/parse roundtrip"
+    (QCheck.make ~print:(fun v -> Yamlite.Print.to_string v) value_gen)
+    (fun v ->
+      match Yamlite.Parse.string (Yamlite.Print.to_string v) with
+      | Ok v' -> Yamlite.Value.equal v v'
+      | Error e ->
+        QCheck.Test.fail_reportf "reparse failed: %s on\n%s" (Yamlite.Parse.error_to_string e)
+          (Yamlite.Print.to_string v))
+
+let suite =
+  scalar_cases @ structure_cases @ error_cases @ multi_cases @ print_cases
+  @ [ QCheck_alcotest.to_alcotest roundtrip_prop ]

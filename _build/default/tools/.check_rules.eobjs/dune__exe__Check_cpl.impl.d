@@ -1,0 +1,1 @@
+tools/check_cpl.ml: Checkir Confvalley List Printf Scenarios String

@@ -1,0 +1,1 @@
+tools/check_engines.ml: Checkir Cvl Inspeclite List Printf Scap Scenarios String

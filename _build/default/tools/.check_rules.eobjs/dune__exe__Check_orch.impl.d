@@ -1,0 +1,1 @@
+tools/check_orch.ml: Cvl List Printf Rulesets Scenarios String

@@ -1,0 +1,1 @@
+tools/check_remediate.ml: Cvl List Printf Rulesets Scenarios

@@ -1,0 +1,1 @@
+tools/check_rules.ml: Cvl List Printf Rulesets

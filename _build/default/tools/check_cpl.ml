@@ -1,0 +1,25 @@
+let () =
+  let checks = Checkir.Cis40.all in
+  let program, _ = Confvalley.Cpl.of_checks checks in
+  let text = Confvalley.Cpl.render program in
+  (* parse/render roundtrip *)
+  (match Confvalley.Cpl.parse text with
+  | Error e -> Printf.printf "PARSE FAIL: %s\n" e
+  | Ok p2 ->
+    Printf.printf "roundtrip: %b (%d bindings, %d assertions)\n"
+      (Confvalley.Cpl.render p2 = text)
+      (List.length p2.Confvalley.Cpl.bindings)
+      (List.length p2.Confvalley.Cpl.assertions));
+  List.iter
+    (fun (label, frame) ->
+      let verdicts = Confvalley.Cpl.run_checks frame checks in
+      let mismatches =
+        List.filter
+          (fun (c : Checkir.Check.t) ->
+            List.assoc c.Checkir.Check.id verdicts <> Checkir.Check.holds frame c)
+          checks
+      in
+      Printf.printf "%s: %d mismatches vs reference\n" label (List.length mismatches);
+      List.iter (fun (c : Checkir.Check.t) -> Printf.printf "  %s\n" c.Checkir.Check.id) mismatches)
+    [ ("good", Scenarios.Host.compliant ()); ("bad", Scenarios.Host.misconfigured ()) ];
+  print_string (String.concat "\n" (List.filteri (fun i _ -> i < 12) (String.split_on_char '\n' text)))

@@ -1,0 +1,33 @@
+let () =
+  let frames = Scenarios.Deployment.three_tier ~compliant:false in
+  let run =
+    Cvl.Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest frames
+  in
+  List.iter (fun (e, msg) -> Printf.printf "LOAD ERROR %s: %s\n" e msg) run.Cvl.Validator.load_errors;
+  print_string (Cvl.Report.to_text run.Cvl.Validator.results);
+  print_endline (Cvl.Report.summary_line (Cvl.Report.summarize run.Cvl.Validator.results));
+  (* Cross-check against the injected fault list. *)
+  let violated =
+    Cvl.Report.violations run.Cvl.Validator.results
+    |> List.map (fun (r : Cvl.Engine.result) -> (r.Cvl.Engine.entity, Cvl.Rule.name r.Cvl.Engine.rule))
+    |> List.sort_uniq compare
+  in
+  let expected = List.sort_uniq compare Scenarios.Deployment.injected_faults in
+  let missing = List.filter (fun f -> not (List.mem f violated)) expected in
+  let unexpected = List.filter (fun f -> not (List.mem f expected)) violated in
+  List.iter (fun (e, r) -> Printf.printf "MISSING: %s/%s\n" e r) missing;
+  List.iter (fun (e, r) -> Printf.printf "UNEXPECTED: %s/%s\n" e r) unexpected;
+  Printf.printf "expected %d faults, detected %d violations (%d missing, %d unexpected)\n"
+    (List.length expected) (List.length violated) (List.length missing) (List.length unexpected);
+  (* Compliant deployment should be all green. *)
+  let good = Cvl.Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest
+      (Scenarios.Deployment.three_tier ~compliant:true) in
+  let bad_good = Cvl.Report.violations good.Cvl.Validator.results in
+  Printf.printf "compliant deployment: %d violations\n" (List.length bad_good);
+  List.iter
+    (fun (r : Cvl.Engine.result) ->
+      Printf.printf "  GOOD-FAIL %s/%s (%s): %s\n" r.Cvl.Engine.entity
+        (Cvl.Rule.name r.Cvl.Engine.rule)
+        (Cvl.Engine.verdict_to_string r.Cvl.Engine.verdict)
+        r.Cvl.Engine.detail)
+    bad_good

@@ -1,0 +1,85 @@
+let checks = Checkir.Cis40.all
+
+let cvl_verdicts frame =
+  let manifest_yaml, rule_files = Checkir.To_cvl.bundle checks in
+  let manifest = Cvl.Manifest.parse_exn manifest_yaml in
+  let source = Cvl.Loader.assoc_source rule_files in
+  let run = Cvl.Validator.run ~source ~manifest [ frame ] in
+  List.filter_map
+    (fun (r : Cvl.Engine.result) ->
+      let ok =
+        match r.Cvl.Engine.verdict with
+        | Cvl.Engine.Matched -> Some true
+        | Cvl.Engine.Not_matched | Cvl.Engine.Not_present -> Some false
+        | Cvl.Engine.Not_applicable | Cvl.Engine.Engine_error _ -> None
+      in
+      (* Recover the check id from the rule's #tag (tree rules are named
+         by config key, not check id). *)
+      let id =
+        List.find_map
+          (fun tag ->
+            if String.length tag > 1 && tag.[0] = '#' && String.length tag > 10
+               && String.sub tag 1 10 = "cisubuntu1" then
+              Some (String.sub tag 1 (String.length tag - 1))
+            else None)
+          (Cvl.Rule.tags r.Cvl.Engine.rule)
+      in
+      match (id, ok) with
+      | Some id, Some ok -> Some (id, ok)
+      | _ ->
+        (match ok with
+        | Some ok -> Some (Cvl.Rule.name r.Cvl.Engine.rule, ok)
+        | None -> None))
+    run.Cvl.Validator.results
+
+let oval_verdicts frame =
+  let benchmark = Scap.Xccdf.of_checks ~id:"cis40" checks in
+  let benchmark_xml = Scap.Xccdf.to_xml benchmark in
+  let oval_xml = Scap.Oval.to_xml (Scap.Oval.of_checks checks) in
+  match Scap.Xccdf.run ~benchmark_xml ~oval_xml frame with
+  | Ok results ->
+    List.map
+      (fun (rule_id, ok) ->
+        let prefix = "xccdf_org.cis.content_rule_" in
+        (String.sub rule_id (String.length prefix) (String.length rule_id - String.length prefix), ok))
+      results
+  | Error e ->
+    Printf.printf "OVAL error: %s\n" e;
+    []
+
+let () =
+  List.iter
+    (fun (label, frame) ->
+      Printf.printf "=== %s ===\n" label;
+      let reference =
+        List.map (fun c -> (c.Checkir.Check.id, Checkir.Check.holds frame c)) checks
+      in
+      let cvl = cvl_verdicts frame in
+      let oval = oval_verdicts frame in
+      let inspec = Inspeclite.Engine.run frame checks in
+      let dsl =
+        List.map
+          (fun c -> (c.Checkir.Check.id, Inspeclite.Dsl.run_control frame (Inspeclite.Engine.to_dsl c)))
+          checks
+      in
+      let mism = ref 0 in
+      List.iter
+        (fun (id, ref_ok) ->
+          let show name verdicts =
+            match List.assoc_opt id verdicts with
+            | Some ok when ok = ref_ok -> ()
+            | Some ok ->
+              incr mism;
+              Printf.printf "  DISAGREE %-28s %s: ref=%b %s=%b\n" id name ref_ok name ok
+            | None ->
+              incr mism;
+              Printf.printf "  MISSING  %-28s from %s\n" id name
+          in
+          show "cvl" cvl;
+          show "oval" oval;
+          show "inspec" inspec;
+          show "dsl" dsl)
+        reference;
+      let fails = List.length (List.filter (fun (_, ok) -> not ok) reference) in
+      Printf.printf "reference: %d/%d fail; disagreements: %d\n" fails (List.length reference) !mism)
+    [ ("good host", Scenarios.Host.compliant ()); ("bad host", Scenarios.Host.misconfigured ()) ]

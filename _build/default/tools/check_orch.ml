@@ -1,0 +1,26 @@
+let check label frame expected_entity =
+  let run = Cvl.Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest [ frame ] in
+  List.iter (fun (e, m) -> Printf.printf "LOAD %s %s\n" e m) run.Cvl.Validator.load_errors;
+  let violations =
+    Cvl.Report.violations run.Cvl.Validator.results
+    |> List.filter (fun (r : Cvl.Engine.result) -> r.Cvl.Engine.entity = expected_entity)
+    |> List.map (fun (r : Cvl.Engine.result) -> Cvl.Rule.name r.Cvl.Engine.rule)
+    |> List.sort_uniq compare
+  in
+  Printf.printf "%s: [%s]\n" label (String.concat "; " violations)
+
+let () =
+  check "compose good" (Scenarios.Orchestrator.compose_compliant ()) "compose";
+  check "compose bad" (Scenarios.Orchestrator.compose_misconfigured ()) "compose";
+  check "k8s good" (Scenarios.Orchestrator.k8s_compliant ()) "kubernetes";
+  check "k8s bad" (Scenarios.Orchestrator.k8s_misconfigured ()) "kubernetes"
+
+let () =
+  check "postgres good" (Scenarios.Database.compliant ()) "postgres";
+  check "postgres bad" (Scenarios.Database.misconfigured ()) "postgres"
+
+let () =
+  check "apache good" (Scenarios.Appserver.apache_compliant ()) "apache";
+  check "apache bad" (Scenarios.Appserver.apache_misconfigured ()) "apache";
+  check "hadoop good" (Scenarios.Appserver.hadoop_compliant ()) "hadoop";
+  check "hadoop bad" (Scenarios.Appserver.hadoop_misconfigured ()) "hadoop"

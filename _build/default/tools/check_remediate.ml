@@ -1,0 +1,23 @@
+let () =
+  let frames = Scenarios.Deployment.three_tier ~compliant:false in
+  let before =
+    Cvl.Report.violations
+      (Cvl.Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest frames).Cvl.Validator.results
+  in
+  Printf.printf "violations before: %d\n" (List.length before);
+  let _frames', reports, remaining =
+    Cvl.Remediate.fixpoint ~source:Rulesets.source ~manifest:Rulesets.manifest frames
+  in
+  let fixed = List.filter (fun r -> match r.Cvl.Remediate.outcome with Cvl.Remediate.Fixed _ -> true | _ -> false) reports in
+  Printf.printf "fixes applied: %d, reports: %d\n" (List.length fixed) (List.length reports);
+  Printf.printf "violations remaining: %d\n" (List.length remaining);
+  List.iter
+    (fun (r : Cvl.Engine.result) ->
+      Printf.printf "  REMAIN %s/%s (%s): %s\n" r.Cvl.Engine.entity (Cvl.Rule.name r.Cvl.Engine.rule)
+        (Cvl.Engine.verdict_to_string r.Cvl.Engine.verdict) r.Cvl.Engine.detail)
+    remaining;
+  List.iter
+    (fun r -> match r.Cvl.Remediate.outcome with
+      | Cvl.Remediate.Skipped why -> Printf.printf "  SKIP %s/%s: %s\n" r.Cvl.Remediate.entity r.Cvl.Remediate.rule_name why
+      | _ -> ())
+    reports

@@ -1,0 +1,5 @@
+let () =
+  let per = Rulesets.all_rules () in
+  List.iter (fun (e, rs) -> Printf.printf "%-10s %d\n" e (List.length rs)) per;
+  Printf.printf "paper total: %d\n" (Rulesets.paper_rule_count ());
+  Printf.printf "keywords: %d\n" Cvl.Keyword.count
