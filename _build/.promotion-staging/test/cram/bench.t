@@ -1,0 +1,24 @@
+The scaling harness has a fast smoke mode so the jobs x cache sweep
+cannot bit-rot: a small fleet, jobs in {1,2}, one timed repetition.
+Timings vary by machine; the structure and the determinism verdict do
+not.
+
+  $ ../../bench/main.exe scaling --smoke --out smoke.json | grep -v ' s ' | grep -v 'speedup\|normalization:'
+  
+  ==================================================================
+  Scaling - 6-frame fleet, jobs x normalization cache (smoke)
+  ==================================================================
+  
+  results identical across every jobs/cache setting: true
+  wrote smoke.json
+
+
+The emitted JSON carries one record per (jobs, cache) cell plus the
+cold/warm normalization ablation.
+
+  $ grep -c '"jobs"' smoke.json
+  4
+  $ grep -o '"deterministic": true' smoke.json
+  "deterministic": true
+  $ grep -o '"cold_misses": [0-9]*' smoke.json
+  "cold_misses": 16

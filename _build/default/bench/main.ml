@@ -425,6 +425,180 @@ let ablation_e () =
     (full_ns /. (incr_ns +. diff_ns))
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: parallel sharding and the normalization cache              *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput at fleet scale (the production deployment validates tens
+   of thousands of containers): a synthetic host/webstack fleet is
+   validated with the frame × entity grid sharded over a domain pool,
+   sweeping jobs × cache. Wall-clock (not per-op OLS) because a fleet
+   scan is one long operation. Emits BENCH_parallel.json. *)
+
+let smoke = ref false
+let out_file = ref "BENCH_parallel.json"
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let scaling_fleet n =
+  List.init n (fun i ->
+      match i mod 8 with
+      | 0 -> Scenarios.Host.compliant ()
+      | 4 -> Scenarios.Host.misconfigured ()
+      | 1 | 5 -> Scenarios.Webstack.nginx_container_frame ~compliant:true
+      | 3 | 7 -> Scenarios.Webstack.nginx_container_frame ~compliant:false
+      | 2 -> Scenarios.Webstack.mysql_container_frame ~compliant:true
+      | _ -> Scenarios.Webstack.mysql_container_frame ~compliant:false)
+
+let result_signature (t : Cvl.Validator.t) =
+  List.map
+    (fun (r : Cvl.Engine.result) ->
+      ( r.Cvl.Engine.entity,
+        r.Cvl.Engine.frame_id,
+        Cvl.Rule.name r.Cvl.Engine.rule,
+        Cvl.Engine.verdict_to_string r.Cvl.Engine.verdict,
+        r.Cvl.Engine.detail,
+        r.Cvl.Engine.evidence ))
+    t.Cvl.Validator.results
+
+let scaling () =
+  let n = if !smoke then 6 else 64 in
+  let job_counts = if !smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let reps = if !smoke then 1 else 3 in
+  heading
+    (Printf.sprintf "Scaling - %d-frame fleet, jobs x normalization cache%s" n
+       (if !smoke then " (smoke)" else ""));
+  let fleet = scaling_fleet n in
+  let rules =
+    Result.get_ok (Cvl.Validator.load_rules ~source:Rulesets.source ~manifest:Rulesets.manifest)
+  in
+  let reference = ref None in
+  let deterministic = ref true in
+  let best_of k f =
+    let rec go k best =
+      if k = 0 then best
+      else
+        let s, _ = wall f in
+        go (k - 1) (Float.min best s)
+    in
+    go k Float.infinity
+  in
+  let measurements =
+    List.concat_map
+      (fun cache ->
+        List.map
+          (fun jobs ->
+            Cvl.Normcache.set_enabled cache;
+            Cvl.Normcache.reset ();
+            let seconds, signature =
+              Pool.with_pool ~jobs (fun pool ->
+                  let run () = Cvl.Validator.run_loaded ~pool ~rules fleet in
+                  let first = run () in
+                  (* With the cache on, the timed runs see the warm
+                     steady state the first run just filled. *)
+                  let seconds = best_of reps (fun () -> ignore (run ())) in
+                  (seconds, result_signature first))
+            in
+            (match !reference with
+            | None -> reference := Some signature
+            | Some expected -> if signature <> expected then deterministic := false);
+            Printf.printf "  jobs=%d cache=%-3s   %8.3f s   (%d results)\n%!" jobs
+              (if cache then "on" else "off")
+              seconds (List.length signature);
+            (jobs, cache, seconds))
+          job_counts)
+      [ false; true ]
+  in
+  (* Normalization cold vs warm, isolated from crawling: the work list
+     is every (lens, path, content) the fleet's grid normalizes. Cold
+     parses each with the registry directly (what every scan paid
+     before the cache existed); warm serves the same list from the
+     content-addressed cache. Looped to amortize timer noise. *)
+  let work =
+    List.concat_map
+      (fun frame ->
+        List.concat_map
+          (fun (entry : Cvl.Manifest.entry) ->
+            Crawler.find_config_files frame ~search_paths:entry.Cvl.Manifest.search_paths
+              ~patterns:[]
+            |> List.map (fun (e : Crawler.extracted) ->
+                   (entry.Cvl.Manifest.lens, e.Crawler.source_path, e.Crawler.content)))
+          Rulesets.manifest)
+      fleet
+  in
+  let loops = if !smoke then 20 else 50 in
+  let normalize_all parse () =
+    for _ = 1 to loops do
+      List.iter (fun (lens_name, path, content) -> ignore (parse ?lens_name ~path content)) work
+    done
+  in
+  let cold_s, () = wall (normalize_all Lenses.Registry.parse) in
+  Cvl.Normcache.set_enabled true;
+  Cvl.Normcache.reset ();
+  List.iter
+    (fun (lens_name, path, content) -> ignore (Cvl.Normcache.parse ?lens_name ~path content))
+    work;
+  let after_fill = Cvl.Normcache.stats () in
+  let warm_s, () = wall (normalize_all Cvl.Normcache.parse) in
+  let after_warm = Cvl.Normcache.stats () in
+  let norm_speedup = cold_s /. Float.max warm_s 1e-9 in
+  let lookup jobs cache =
+    List.find_map
+      (fun (j, c, s) -> if j = jobs && c = cache then Some s else None)
+      measurements
+  in
+  let cores = Pool.default_jobs () in
+  (match (lookup 1 false, lookup (List.fold_left max 1 job_counts) false) with
+  | Some s1, Some sn ->
+    Printf.printf "\nparallel speedup (cache off, jobs=%d vs jobs=1): %.2fx on %d core(s)\n"
+      (List.fold_left max 1 job_counts) (s1 /. sn) cores
+  | _ -> ());
+  Printf.printf
+    "normalization (%dx grid): uncached %.4f s, warm cache %.4f s  (%.1fx; %d unique files, %d \
+     parses per pass)\n"
+    loops cold_s warm_s norm_speedup after_fill.Cvl.Normcache.misses
+    ((after_warm.Cvl.Normcache.hits - after_fill.Cvl.Normcache.hits) / loops);
+  Printf.printf "results identical across every jobs/cache setting: %b\n" !deterministic;
+  let json =
+    Jsonlite.Obj
+      [
+        ("fleet_frames", Jsonlite.Num (float_of_int n));
+        ("smoke", Jsonlite.Bool !smoke);
+        ("cores", Jsonlite.Num (float_of_int cores));
+        ( "runs",
+          Jsonlite.Arr
+            (List.map
+               (fun (jobs, cache, seconds) ->
+                 Jsonlite.Obj
+                   [
+                     ("jobs", Jsonlite.Num (float_of_int jobs));
+                     ("cache", Jsonlite.Bool cache);
+                     ("seconds", Jsonlite.Num seconds);
+                   ])
+               measurements) );
+        ( "normalization",
+          Jsonlite.Obj
+            [
+              ("grid_passes", Jsonlite.Num (float_of_int loops));
+              ("uncached_seconds", Jsonlite.Num cold_s);
+              ("warm_cache_seconds", Jsonlite.Num warm_s);
+              ("speedup", Jsonlite.Num norm_speedup);
+              ("unique_files", Jsonlite.Num (float_of_int after_fill.Cvl.Normcache.misses));
+              ( "parses_per_pass",
+                Jsonlite.Num
+                  (float_of_int
+                     ((after_warm.Cvl.Normcache.hits - after_fill.Cvl.Normcache.hits) / loops)) );
+            ] );
+        ("deterministic", Jsonlite.Bool !deterministic);
+      ]
+  in
+  Out_channel.with_open_text !out_file (fun oc ->
+      Out_channel.output_string oc (Jsonlite.pretty json));
+  Printf.printf "wrote %s\n" !out_file
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -438,10 +612,21 @@ let sections =
     ("ablation-c", ablation_c);
     ("ablation-d", ablation_d);
     ("ablation-e", ablation_e);
+    ("scaling", scaling);
   ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let rec parse_args = function
+    | [] -> []
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse_args rest
+    | "--out" :: file :: rest ->
+      out_file := file;
+      parse_args rest
+    | arg :: rest -> arg :: parse_args rest
+  in
+  let requested = parse_args (List.tl (Array.to_list Sys.argv)) in
   let to_run =
     if requested = [] then sections
     else

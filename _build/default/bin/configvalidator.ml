@@ -76,7 +76,7 @@ let resolve_frames target frame_files =
         (Printf.sprintf "unknown target %S; available:\n  %s" target
            (String.concat "\n  " (List.map fst targets)))
 
-let validate target frame_files tags format verbose only_violations rules_dir =
+let validate target frame_files tags format verbose only_violations rules_dir jobs no_cache =
   match resolve_frames target frame_files with
   | Error e ->
     prerr_endline e;
@@ -87,7 +87,8 @@ let validate target frame_files tags format verbose only_violations rules_dir =
       prerr_endline e;
       1
     | Ok (source, manifest) ->
-      let run = Cvl.Validator.run ~tags ~source ~manifest frames in
+      if no_cache then Cvl.Normcache.set_enabled false;
+      let run = Cvl.Validator.run ~jobs ~tags ~source ~manifest frames in
       List.iter
         (fun (entity, msg) -> Printf.eprintf "warning: rules for %s failed to load: %s\n" entity msg)
         run.Cvl.Validator.load_errors;
@@ -337,13 +338,27 @@ let rules_dir_arg =
   let doc = "Load manifest.yaml and CVL rule files from this directory instead of the embedded corpus." in
   Arg.(value & opt (some string) None & info [ "rules-dir" ] ~docv:"DIR" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Shard the frame $(b,x) entity validation grid across $(docv) parallel domains \
+     (0 = one per core). Results are merged in a deterministic order, identical for \
+     every job count."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the content-addressed normalization cache (parse every file per frame).")
+
 let validate_cmd =
   let doc = "validate a target against CVL rules" in
   Cmd.v
     (Cmd.info "validate" ~doc)
     Term.(
       const validate $ target_arg $ frame_files_arg $ tags_arg $ format_arg $ verbose_arg
-      $ only_violations_arg $ rules_dir_arg)
+      $ only_violations_arg $ rules_dir_arg $ jobs_arg $ no_cache_arg)
 
 let coverage_cmd =
   Cmd.v (Cmd.info "coverage" ~doc:"print rule coverage (paper Table 1)") Term.(const coverage $ const ())

@@ -18,13 +18,34 @@ let glob_re pattern =
     pattern;
   Re.compile (Re.whole_string (Re.Posix.re (Buffer.contents buf)))
 
+(* The same handful of manifest/file-context patterns is matched
+   against every crawled path of every frame; compile each glob once.
+   The mutex makes the memo safe under the validator's domain pool
+   (compiled Re values themselves are domain-safe). *)
+let glob_cache : (string, Re.re) Hashtbl.t = Hashtbl.create 64
+let glob_cache_mutex = Mutex.create ()
+
+let glob_re_cached pattern =
+  Mutex.lock glob_cache_mutex;
+  match Hashtbl.find_opt glob_cache pattern with
+  | Some re ->
+    Mutex.unlock glob_cache_mutex;
+    re
+  | None ->
+    Mutex.unlock glob_cache_mutex;
+    let re = glob_re pattern in
+    Mutex.lock glob_cache_mutex;
+    Hashtbl.replace glob_cache pattern re;
+    Mutex.unlock glob_cache_mutex;
+    re
+
 let basename path =
   match String.rindex_opt path '/' with
   | Some i -> String.sub path (i + 1) (String.length path - i - 1)
   | None -> path
 
 let pattern_matches pattern path =
-  let re = glob_re pattern in
+  let re = glob_re_cached pattern in
   if String.contains pattern '/' then begin
     let rec go start =
       if start > String.length path then false

@@ -1,1 +1,1 @@
-lib/cvl/incremental.mli: Engine Frames Manifest Rule
+lib/cvl/incremental.mli: Engine Frames Manifest Pool Rule

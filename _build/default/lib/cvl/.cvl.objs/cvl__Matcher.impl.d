@@ -1,1 +1,1 @@
-lib/cvl/matcher.ml: Hashtbl List Printf Re String
+lib/cvl/matcher.ml: Hashtbl List Mutex Printf Re String

@@ -1,0 +1,1 @@
+lib/cvl/normcache.ml: Atomic Digest Hashtbl Lenses Mutex Option

@@ -1,0 +1,1 @@
+lib/cvl/normcache.mli: Lenses

@@ -1,1 +1,1 @@
-lib/cvl/validator.ml: Engine Expr Frames List Manifest Option Printf Result Rule String
+lib/cvl/validator.ml: Engine Expr Frames Hashtbl List Manifest Option Pool Printf Result Rule

@@ -39,7 +39,7 @@ let build_ctx frame (entry : Manifest.entry) =
     List.map
       (fun (e : Crawler.extracted) ->
         ( e.Crawler.source_path,
-          Lenses.Registry.parse ?lens_name:entry.Manifest.lens ~path:e.Crawler.source_path
+          Normcache.parse ?lens_name:entry.Manifest.lens ~path:e.Crawler.source_path
             e.Crawler.content ))
       extracted
   in
@@ -349,7 +349,7 @@ let eval_script_in ctx rule (r : Rule.script_rule) =
     | Error msg -> mk ctx rule Not_applicable ~detail:msg ~evidence:[]
     | Ok output -> (
       let virtual_path = "plugin://" ^ r.Rule.plugin in
-      match Lenses.Registry.parse ~lens_name:plugin.Crawler.lens_name ~path:virtual_path output with
+      match Normcache.parse ~lens_name:plugin.Crawler.lens_name ~path:virtual_path output with
       | Error msg ->
         mk ctx rule (Engine_error msg) ~detail:(describe c (Engine_error msg)) ~evidence:[ output ]
       | Ok (Lenses.Lens.Table _) ->

@@ -38,9 +38,10 @@ type entity_ctx = {
 }
 
 (** Crawl and normalize: find the entry's config files in the frame and
-    parse each with the entry's lens (or an inferred one). Parse
-    failures are retained per-file so one unparsable file degrades only
-    the rules that need it. *)
+    parse each with the entry's lens (or an inferred one), via the
+    content-addressed {!Normcache} so frames sharing identical files
+    normalize once. Parse failures are retained per-file so one
+    unparsable file degrades only the rules that need it. *)
 val build_ctx : Frames.Frame.t -> Manifest.entry -> entity_ctx
 
 (** Build a context directly from labelled documents (used by script

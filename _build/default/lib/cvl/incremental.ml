@@ -34,39 +34,58 @@ let affected_entities ~rules (diff : Frames.Diff.t) =
       if by_files || by_path_rules || by_runtime then Some entry.Manifest.entity else None)
     rules
 
-let revalidate ~rules ~previous ~diff frame =
+let revalidate ?pool ~rules ~previous ~diff frame =
+  let pool = Option.value pool ~default:Pool.sequential in
   let affected = affected_entities ~rules diff in
-  let frame_id = Frames.Frame.id frame in
-  let kept =
-    List.filter
-      (fun (r : Engine.result) ->
-        match r.Engine.rule with
-        | Rule.Composite _ -> false (* always recomputed *)
-        | _ -> not (String.equal r.Engine.frame_id frame_id && List.mem r.Engine.entity affected))
-      previous
-  in
-  let fresh =
-    List.concat_map
-      (fun ((entry : Manifest.entry), entity_rules) ->
-        if not (List.mem entry.Manifest.entity affected) then []
-        else
-          let ctx = Engine.build_ctx frame entry in
-          let plain =
-            List.filter (function Rule.Composite _ -> false | _ -> true) entity_rules
-          in
-          Engine.eval_entity ctx plain)
-      rules
-  in
-  let plain_results = kept @ fresh in
-  (* Composites see the merged results; their config lookups need fresh
-     contexts for every entity of this frame. *)
-  let ctxs =
-    List.map
-      (fun ((entry : Manifest.entry), _) ->
-        (entry.Manifest.entity, [ Engine.build_ctx frame entry ]))
-      rules
-  in
-  let composites =
-    Validator.eval_composites ~rules ~plain_results ~ctxs ~deployment_id:frame_id
-  in
-  (plain_results @ composites, affected)
+  if affected = [] then
+    (* Nothing the diff touches feeds any entity: every previous result
+       — composites included, since their atoms are unchanged — still
+       holds. No context is rebuilt at all. *)
+    (previous, [])
+  else begin
+    let frame_id = Frames.Frame.id frame in
+    let kept =
+      List.filter
+        (fun (r : Engine.result) ->
+          match r.Engine.rule with
+          | Rule.Composite _ -> false (* always recomputed *)
+          | _ -> not (String.equal r.Engine.frame_id frame_id && List.mem r.Engine.entity affected))
+        previous
+    in
+    let fresh =
+      Pool.concat_map pool
+        (fun ((entry : Manifest.entry), entity_rules) ->
+          if not (List.mem entry.Manifest.entity affected) then []
+          else
+            let ctx = Engine.build_ctx frame entry in
+            let plain =
+              List.filter (function Rule.Composite _ -> false | _ -> true) entity_rules
+            in
+            Engine.eval_entity ctx plain)
+        rules
+    in
+    let plain_results = kept @ fresh in
+    let has_composites =
+      List.exists
+        (fun (_, entity_rules) ->
+          List.exists (function Rule.Composite _ -> true | _ -> false) entity_rules)
+        rules
+    in
+    if not has_composites then (plain_results, affected)
+    else begin
+      (* Composites see the merged results; their config lookups need
+         contexts for every entity of this frame. Unaffected entities'
+         files are unchanged, so rebuilding their contexts costs only
+         Normcache hits — no re-parsing. *)
+      let ctxs =
+        Pool.map pool
+          (fun ((entry : Manifest.entry), _) ->
+            (entry.Manifest.entity, [ Engine.build_ctx frame entry ]))
+          rules
+      in
+      let composites =
+        Validator.eval_composites ~rules ~plain_results ~ctxs ~deployment_id:frame_id
+      in
+      (plain_results @ composites, affected)
+    end
+  end

@@ -21,8 +21,16 @@ val affected_entities :
     affected entities of [frame] and splices them into [previous]
     (results whose [frame_id] matches other frames are preserved
     untouched). Returns the merged results and the list of re-evaluated
-    entities. *)
+    entities.
+
+    An empty affected set short-circuits: [previous] is returned as-is
+    and no context is rebuilt. Otherwise only affected entities are
+    re-evaluated ([pool] shards them, default sequential); contexts of
+    unaffected entities are reconstructed for composite lookups only,
+    which the content-addressed {!Normcache} satisfies without
+    re-parsing (observable via {!Normcache.stats}). *)
 val revalidate :
+  ?pool:Pool.t ->
   rules:(Manifest.entry * Rule.t list) list ->
   previous:Engine.result list ->
   diff:Frames.Diff.t ->

@@ -41,15 +41,24 @@ let scope_to_string = function Any -> "any" | All -> "all"
 let to_string t = Printf.sprintf "%s,%s" (kind_to_string t.kind) (scope_to_string t.scope)
 
 (* Rule values are a small fixed vocabulary per ruleset; compiling each
-   regex once mirrors engines that compile patterns at load time. *)
+   regex once mirrors engines that compile patterns at load time. The
+   mutex keeps the memo safe when evaluation is sharded across
+   domains. *)
 let regex_cache : (string, Re.re option) Hashtbl.t = Hashtbl.create 64
+let regex_cache_mutex = Mutex.create ()
 
 let compile_cached pattern =
+  Mutex.lock regex_cache_mutex;
   match Hashtbl.find_opt regex_cache pattern with
-  | Some cached -> cached
+  | Some cached ->
+    Mutex.unlock regex_cache_mutex;
+    cached
   | None ->
+    Mutex.unlock regex_cache_mutex;
     let compiled = try Some (Re.compile (Re.Pcre.re pattern)) with _ -> None in
-    Hashtbl.add regex_cache pattern compiled;
+    Mutex.lock regex_cache_mutex;
+    Hashtbl.replace regex_cache pattern compiled;
+    Mutex.unlock regex_cache_mutex;
     compiled
 
 let contains ~needle haystack =

@@ -1,0 +1,67 @@
+(* Content-addressed memoization of lens normalization.
+
+   The cache key is (lens name, path, MD5 of content): two frames that
+   share a file — docksim layers stacked from the same image, fleet
+   scenarios stamped from one template — normalize it once. Keying on
+   the path as well as the digest keeps lens inference (which dispatches
+   on the file name) out of the equation: the same bytes under two
+   paths may legitimately normalize differently.
+
+   Parsed [Lenses.Lens.normalized] values are immutable, so sharing one
+   result across frames and domains is safe. The table is guarded by a
+   single mutex; the parse itself runs outside the critical section, so
+   two domains missing on the same key at the same time duplicate the
+   parse (benign) rather than serialize on it. *)
+
+type stats = { hits : int; misses : int }
+
+let enabled = Atomic.make true
+
+let mutex = Mutex.create ()
+
+let table : (string * string * string, (Lenses.Lens.normalized, string) result) Hashtbl.t =
+  Hashtbl.create 256
+
+let hits = ref 0
+let misses = ref 0
+
+(* Crude bound so a long-lived validator cannot grow without limit;
+   one full fleet scan fits with lots of room. *)
+let max_entries = 8192
+
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let reset () =
+  Mutex.lock mutex;
+  Hashtbl.reset table;
+  hits := 0;
+  misses := 0;
+  Mutex.unlock mutex
+
+let stats () =
+  Mutex.lock mutex;
+  let s = { hits = !hits; misses = !misses } in
+  Mutex.unlock mutex;
+  s
+
+let parse ?lens_name ~path content =
+  if not (Atomic.get enabled) then Lenses.Registry.parse ?lens_name ~path content
+  else begin
+    let key = (Option.value lens_name ~default:"", path, Digest.string content) in
+    Mutex.lock mutex;
+    match Hashtbl.find_opt table key with
+    | Some outcome ->
+      incr hits;
+      Mutex.unlock mutex;
+      outcome
+    | None ->
+      incr misses;
+      Mutex.unlock mutex;
+      let outcome = Lenses.Registry.parse ?lens_name ~path content in
+      Mutex.lock mutex;
+      if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+      Hashtbl.replace table key outcome;
+      Mutex.unlock mutex;
+      outcome
+  end

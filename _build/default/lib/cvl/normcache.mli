@@ -1,0 +1,33 @@
+(** Content-addressed cache over {!Lenses.Registry.parse}.
+
+    Normalization re-parses every crawled file for every frame; in a
+    fleet most frames share most files (layered docksim images, hosts
+    stamped from one template), so {!Engine.build_ctx} routes parsing
+    through this cache, keyed by [(lens_name, path, MD5(content))].
+    Identical content under the same path and lens normalizes once per
+    process instead of once per frame.
+
+    The cache is process-global, domain-safe, and enabled by default;
+    the benchmark harness toggles it for the cold/warm ablation and the
+    incremental tests assert on the hit/miss counters. *)
+
+(** Cumulative counters since the last {!reset}. A hit means the parse
+    was skipped entirely. *)
+type stats = { hits : int; misses : int }
+
+(** Cached equivalent of {!Lenses.Registry.parse}: same signature, same
+    outcomes (parse errors are cached too — identical content fails
+    identically). *)
+val parse :
+  ?lens_name:string -> path:string -> string -> (Lenses.Lens.normalized, string) result
+
+(** Toggle caching (default on). Disabling does not clear the table;
+    use {!reset} for a cold start. *)
+val set_enabled : bool -> unit
+
+val is_enabled : unit -> bool
+
+(** Drop every entry and zero the counters. *)
+val reset : unit -> unit
+
+val stats : unit -> stats

@@ -4,21 +4,29 @@ type t = {
 }
 
 let env_of ~results ~ctxs =
+  (* Composite expressions probe (entity, rule) and entity lookups many
+     times per deployment; index both sides once instead of rescanning
+     the full result list per atom. *)
+  let rule_tbl : (string * string, bool) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (r : Engine.result) ->
+      let key = (r.Engine.entity, Rule.name r.Engine.rule) in
+      let matched = r.Engine.verdict = Engine.Matched in
+      match Hashtbl.find_opt rule_tbl key with
+      | None -> Hashtbl.add rule_tbl key matched
+      | Some m -> if matched && not m then Hashtbl.replace rule_tbl key true)
+    results;
+  let ctx_tbl : (string, Engine.entity_ctx list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (entity, entity_ctxs) ->
+      (* Keep the first binding, as [List.assoc_opt] did. *)
+      if not (Hashtbl.mem ctx_tbl entity) then Hashtbl.add ctx_tbl entity entity_ctxs)
+    ctxs;
   {
-    Expr.lookup_rule =
-      (fun ~entity ~rule ->
-        let relevant =
-          List.filter
-            (fun (r : Engine.result) ->
-              String.equal r.Engine.entity entity && String.equal (Rule.name r.Engine.rule) rule)
-            results
-        in
-        match relevant with
-        | [] -> None
-        | rs -> Some (List.exists (fun (r : Engine.result) -> r.Engine.verdict = Engine.Matched) rs));
+    Expr.lookup_rule = (fun ~entity ~rule -> Hashtbl.find_opt rule_tbl (entity, rule));
     Expr.lookup_config =
       (fun ~entity ~key ~subpath ->
-        match List.assoc_opt entity ctxs with
+        match Hashtbl.find_opt ctx_tbl entity with
         | None -> None
         | Some entity_ctxs ->
           List.find_map (fun ctx -> Engine.lookup_config_value ctx ~key ~subpath) entity_ctxs);
@@ -95,26 +103,58 @@ let deployment_id_of frames =
   | [ f ] -> Frames.Frame.id f
   | _ -> Printf.sprintf "deployment(%d frames)" (List.length frames)
 
-let run_loaded ?(tags = []) ?keep_not_applicable ~rules frames =
+(* Resolve the [?jobs]/[?pool] pair: an explicit pool wins (the caller
+   amortizes domain spawning), otherwise a transient pool is created
+   for the call when [jobs > 1]. *)
+let with_effective_pool ?jobs ?pool f =
+  match pool with
+  | Some p -> f p
+  | None -> (
+    let j = match jobs with Some 0 -> Pool.default_jobs () | Some j -> j | None -> 1 in
+    if j <= 1 then f Pool.sequential else Pool.with_pool ~jobs:j f)
+
+let run_loaded ?(tags = []) ?keep_not_applicable ?jobs ?pool ~rules frames =
   let keep_na = match keep_not_applicable with Some b -> b | None -> List.length frames <= 1 in
   let entity_rules =
     List.map (fun (entry, rs) -> (entry, List.filter (tag_selected tags) rs)) rules
   in
-  (* Per-entity evaluation over every frame. *)
-  let ctxs =
-    List.map
-      (fun ((entry : Manifest.entry), _) ->
-        (entry.Manifest.entity, List.map (fun frame -> Engine.build_ctx frame entry) frames))
+  (* The shard unit is one (entity, frame) cell of the work grid: build
+     the context (crawl + normalize) and evaluate the entity's plain
+     rules against it. [Pool.map] preserves input order, so the merged
+     output is the sequential entity-major / frame-minor / rule order,
+     byte-identical for every job count. *)
+  let units =
+    List.concat_map (fun (entry, rs) -> List.map (fun frame -> (entry, rs, frame)) frames)
       entity_rules
   in
-  let plain_results =
-    List.concat_map
-      (fun ((entry : Manifest.entry), rules) ->
-        let plain = List.filter (fun r -> not (is_composite r)) rules in
-        let entity_ctxs = List.assoc entry.Manifest.entity ctxs in
-        List.concat_map (fun ctx -> Engine.eval_entity ctx plain) entity_ctxs)
-      entity_rules
+  let evaluated =
+    with_effective_pool ?jobs ?pool (fun p ->
+        Pool.map p
+          (fun ((entry : Manifest.entry), rs, frame) ->
+            let ctx = Engine.build_ctx frame entry in
+            let plain = List.filter (fun r -> not (is_composite r)) rs in
+            (ctx, Engine.eval_entity ctx plain))
+          units)
   in
+  (* [units] laid the grid out entity-major with exactly one cell per
+     frame, so consecutive runs of |frames| cells regroup per entity. *)
+  let nframes = List.length frames in
+  let rec regroup entries cells =
+    match entries with
+    | [] -> []
+    | (entry : Manifest.entry) :: rest ->
+      let rec take k acc cells =
+        if k = 0 then (List.rev acc, cells)
+        else
+          match cells with
+          | [] -> (List.rev acc, [])
+          | c :: cs -> take (k - 1) (c :: acc) cs
+      in
+      let mine, others = take nframes [] cells in
+      (entry.Manifest.entity, List.map fst mine) :: regroup rest others
+  in
+  let ctxs = regroup (List.map fst entity_rules) evaluated in
+  let plain_results = List.concat_map snd evaluated in
   let plain_results =
     if keep_na then plain_results
     else
@@ -126,7 +166,7 @@ let run_loaded ?(tags = []) ?keep_not_applicable ~rules frames =
   in
   { results = plain_results @ composite_results; load_errors = [] }
 
-let run ?tags ?keep_not_applicable ~source ~manifest frames =
+let run ?tags ?keep_not_applicable ?jobs ?pool ~source ~manifest frames =
   (* Load errors disable just the affected entity, mirroring production
      behaviour: one bad rule file must not block the whole scan. *)
   let loaded =
@@ -147,5 +187,5 @@ let run ?tags ?keep_not_applicable ~source ~manifest frames =
       (fun (entry, outcome) -> Result.to_option outcome |> Option.map (fun r -> (entry, r)))
       loaded
   in
-  let t = run_loaded ?tags ?keep_not_applicable ~rules frames in
+  let t = run_loaded ?tags ?keep_not_applicable ?jobs ?pool ~rules frames in
   { t with load_errors }

@@ -23,10 +23,21 @@ type t = {
     [keep_not_applicable] (default [false]) retains [Not_applicable]
     results — with several frames in a deployment most entities are
     absent from most frames, so the default drops that noise unless the
-    deployment has a single frame. *)
+    deployment has a single frame.
+
+    [jobs] shards the frame × entity work grid across that many
+    domains ([0] = auto via {!Pool.default_jobs}; default [1],
+    sequential). [pool] supplies an existing {!Pool.t} instead, so a
+    long-running validator amortizes domain spawning across scans; it
+    takes precedence over [jobs]. Whatever the parallelism, results
+    come back in the deterministic sequential order (entity in manifest
+    order, then frame in deployment order, then rule in file order,
+    composites last) — byte-identical across job counts. *)
 val run :
   ?tags:string list ->
   ?keep_not_applicable:bool ->
+  ?jobs:int ->
+  ?pool:Pool.t ->
   source:Loader.source ->
   manifest:Manifest.entry list ->
   Frames.Frame.t list ->
@@ -39,6 +50,8 @@ val run :
 val run_loaded :
   ?tags:string list ->
   ?keep_not_applicable:bool ->
+  ?jobs:int ->
+  ?pool:Pool.t ->
   rules:(Manifest.entry * Rule.t list) list ->
   Frames.Frame.t list ->
   t

@@ -1,0 +1,140 @@
+(* Gang-scheduled domain pool.
+
+   Each map call publishes one task closure under [mutex] and bumps
+   [generation]; workers waiting on [work] pick it up, run it until the
+   task's internal chunk counter is exhausted, and decrement [active].
+   The caller executes chunks too, then blocks on [done_] until every
+   worker that joined the task has left it. A worker that wakes up
+   after the chunks are gone simply finds the counter exhausted (or
+   [task = None]) and goes back to sleep, so stragglers cannot corrupt
+   a later call's results. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  done_ : Condition.t;
+  mutable task : (unit -> unit) option;
+  mutable generation : int;
+  mutable active : int;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let worker t =
+  let last = ref 0 in
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.mutex
+    else if t.generation = !last then begin
+      Condition.wait t.work t.mutex;
+      loop ()
+    end
+    else begin
+      last := t.generation;
+      match t.task with
+      | None -> loop ()
+      | Some f ->
+        t.active <- t.active + 1;
+        Mutex.unlock t.mutex;
+        f ();
+        Mutex.lock t.mutex;
+        t.active <- t.active - 1;
+        if t.active = 0 then Condition.broadcast t.done_;
+        loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      task = None;
+      generation = 0;
+      active = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let sequential = create ~jobs:1
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let shutdown t =
+  let domains =
+    Mutex.lock t.mutex;
+    let ds = t.domains in
+    t.stop <- true;
+    t.domains <- [];
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    ds
+  in
+  List.iter Domain.join domains
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map_array t f arr =
+  let n = Array.length arr in
+  let out = Array.make n None in
+  (* More chunks than executors keeps the tail balanced when item costs
+     differ; chunk boundaries are index arithmetic, never allocation. *)
+  let nchunks = min n (4 * t.jobs) in
+  let next = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let body () =
+    let rec drain () =
+      let c = Atomic.fetch_and_add next 1 in
+      if c < nchunks then begin
+        (try
+           for i = c * n / nchunks to ((c + 1) * n / nchunks) - 1 do
+             out.(i) <- Some (f arr.(i))
+           done
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+        drain ()
+      end
+    in
+    drain ()
+  in
+  Mutex.lock t.mutex;
+  t.task <- Some body;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  body ();
+  Mutex.lock t.mutex;
+  while t.active > 0 do
+    Condition.wait t.done_ t.mutex
+  done;
+  t.task <- None;
+  Mutex.unlock t.mutex;
+  (match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  Array.map Option.get out
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+    if t.jobs <= 1 || t.domains = [] then List.map f xs
+    else Array.to_list (map_array t f (Array.of_list xs))
+
+let concat_map t f xs = List.concat (map t f xs)
+
+let iter t f xs = ignore (map t (fun x -> f x) xs)

@@ -1,0 +1,55 @@
+(** Fixed-size domain pool for data-parallel validation.
+
+    A pool owns [jobs - 1] worker domains (the caller participates as
+    the [jobs]-th executor), created once and reused across every
+    {!map}/{!concat_map} call — the per-target amortization the paper's
+    production deployment applies to rule loading, applied here to
+    domain spawning. With [jobs <= 1] no domains are spawned and every
+    operation degrades to its sequential [List] equivalent, so callers
+    can thread a pool unconditionally.
+
+    Work is sharded into contiguous chunks claimed from an atomic
+    counter, so imbalanced items (one heavyweight frame among many
+    light ones) do not serialize the run. Results are written into a
+    pre-sized array slot per item: output order is the input order, by
+    construction, independent of the number of jobs — the determinism
+    guarantee {!Cvl.Validator.run_loaded} builds on.
+
+    Pools are not reentrant: calling {!map} from inside a function
+    being mapped by the same pool deadlocks. Exceptions raised by [f]
+    are caught on the worker, and the first one is re-raised (with its
+    backtrace) on the calling domain after every in-flight chunk has
+    drained. *)
+
+type t
+
+(** [create ~jobs] spawns [max 0 (jobs - 1)] worker domains.
+    [jobs <= 1] (and [jobs = 1] in particular) yields a pool that runs
+    everything on the calling domain. *)
+val create : jobs:int -> t
+
+(** Number of executors (workers + caller); at least 1. *)
+val jobs : t -> int
+
+(** A shared zero-worker pool; [map sequential f] is [List.map f]. *)
+val sequential : t
+
+(** [Domain.recommended_domain_count], for [-j 0] style "auto". *)
+val default_jobs : unit -> int
+
+(** Order-preserving parallel map. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [concat_map t f xs] is [List.concat (map t f xs)]. *)
+val concat_map : t -> ('a -> 'b list) -> 'a list -> 'b list
+
+(** Parallel iteration (no result, same sharding). *)
+val iter : t -> ('a -> unit) -> 'a list -> unit
+
+(** Stop and join the worker domains. The pool remains usable
+    afterwards, falling back to sequential execution. Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, including on exceptions. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

@@ -1,1 +1,1 @@
-test/test_incremental.ml: Alcotest Cvl Engine Frames Incremental List Result Rule Rulesets Scenarios Validator
+test/test_incremental.ml: Alcotest Cvl Engine Frames Incremental List Normcache Pool Result Rule Rulesets Scenarios Validator

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Atomic Domain Fun List Pool

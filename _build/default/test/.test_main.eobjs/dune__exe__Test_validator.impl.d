@@ -1,1 +1,1 @@
-test/test_validator.ml: Alcotest Cvl Engine Jsonlite List Option Re Report Rule Rulesets Scenarios Validator
+test/test_validator.ml: Alcotest Cvl Engine Jsonlite List Normcache Option Pool Re Report Result Rule Rulesets Scenarios Validator

@@ -1,0 +1,4 @@
+  $ ../../bench/main.exe scaling --smoke --out smoke.json | grep -v ' s ' | grep -v speedup
+  $ grep -c '"jobs"' smoke.json
+  $ grep -o '"deterministic": true' smoke.json
+  $ grep -o '"unique_files": [0-9]*' smoke.json

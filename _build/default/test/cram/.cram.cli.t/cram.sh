@@ -39,3 +39,9 @@
   >     tags: ["#site"]
   > YAML
   $ configvalidator validate -t host-bad --rules-dir site --only-violations
+  $ configvalidator validate --help=plain | grep -A 3 -- '-j N'
+  $ configvalidator validate --help=plain | grep -A 2 -- '--no-cache'
+  $ configvalidator validate -t three-tier-bad -j 1 > seq.out 2>&1; echo exit=$?
+  $ configvalidator validate -t three-tier-bad -j 4 > par.out 2>&1; echo exit=$?
+  $ configvalidator validate -t three-tier-bad -j 4 --no-cache > nocache.out 2>&1; echo exit=$?
+  $ cmp seq.out par.out && cmp seq.out nocache.out && echo identical

@@ -110,3 +110,26 @@ Rules can also be loaded from disk with --rules-dir.
   [FAIL] sshd       host-bad                     PermitRootLogin — root login enabled
   1 checks: 0 passed, 1 violations (0 missing), 0 n/a, 0 errors
   [2]
+
+Parallel validation: -j shards the frame x entity grid across domains,
+and the merged report is byte-identical for every job count.
+
+  $ configvalidator validate --help=plain | grep -A 3 -- '-j N'
+         -j N, --jobs=N (absent=1)
+             Shard the frame x entity validation grid across N parallel domains
+             (0 = one per core). Results are merged in a deterministic order,
+             identical for every job count.
+
+  $ configvalidator validate --help=plain | grep -A 2 -- '--no-cache'
+         --no-cache
+             Disable the content-addressed normalization cache (parse every
+             file per frame).
+
+  $ configvalidator validate -t three-tier-bad -j 1 > seq.out 2>&1; echo exit=$?
+  exit=2
+  $ configvalidator validate -t three-tier-bad -j 4 > par.out 2>&1; echo exit=$?
+  exit=2
+  $ configvalidator validate -t three-tier-bad -j 4 --no-cache > nocache.out 2>&1; echo exit=$?
+  exit=2
+  $ cmp seq.out par.out && cmp seq.out nocache.out && echo identical
+  identical

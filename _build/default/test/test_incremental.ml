@@ -88,4 +88,76 @@ let incremental_cases =
         Alcotest.(check int) "same result count" (List.length previous) (List.length merged));
   ]
 
-let suite = diff_cases @ incremental_cases
+let cache_counter_cases =
+  [
+    Alcotest.test_case "a no-op diff rebuilds no context at all" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let rules = rules () in
+        Normcache.set_enabled true;
+        Normcache.reset ();
+        let previous = (Validator.run_loaded ~rules [ f ]).Validator.results in
+        let before = Normcache.stats () in
+        let merged, reeval =
+          Incremental.revalidate ~rules ~previous ~diff:(Frames.Diff.between f f) f
+        in
+        let after = Normcache.stats () in
+        Alcotest.(check (list string)) "nothing re-evaluated" [] reeval;
+        Alcotest.(check int) "no parse attempted (hits)" before.Normcache.hits after.Normcache.hits;
+        Alcotest.(check int) "no parse attempted (misses)" before.Normcache.misses
+          after.Normcache.misses;
+        Alcotest.(check int) "previous returned as-is" (List.length previous) (List.length merged));
+    Alcotest.test_case "unaffected entities are not re-parsed after a real diff" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let rules = rules () in
+        Normcache.set_enabled true;
+        Normcache.reset ();
+        let previous = (Validator.run_loaded ~rules [ f ]).Validator.results in
+        let before = Normcache.stats () in
+        let f' = Frames.Frame.set_content f ~path:"/etc/sysctl.conf" "net.ipv4.ip_forward = 1\n" in
+        let merged, reeval =
+          Incremental.revalidate ~rules ~previous ~diff:(Frames.Diff.between f f') f'
+        in
+        let after = Normcache.stats () in
+        Alcotest.(check (list string)) "only sysctl re-evaluated" [ "sysctl" ] reeval;
+        (* The one edited file is the only new content in the frame:
+           everything else — including the contexts rebuilt for
+           composite lookups — must come from the cache. *)
+        Alcotest.(check int) "exactly one fresh parse" (before.Normcache.misses + 1)
+          after.Normcache.misses;
+        Alcotest.(check bool) "unaffected contexts served by cache" true
+          (after.Normcache.hits > before.Normcache.hits);
+        (* And the merged outcome still equals a full run. *)
+        let full = (Validator.run_loaded ~rules [ f' ]).Validator.results in
+        let key (r : Engine.result) =
+          (r.Engine.entity, Rule.name r.Engine.rule, Engine.verdict_to_string r.Engine.verdict)
+        in
+        Alcotest.(check (list (triple string string string)))
+          "equals full run"
+          (List.sort compare (List.map key full))
+          (List.sort compare (List.map key merged)));
+    Alcotest.test_case "revalidate with a pool matches sequential revalidate" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let rules = rules () in
+        let previous = (Validator.run_loaded ~rules [ f ]).Validator.results in
+        let f' =
+          Frames.Frame.set_content f ~path:"/etc/ssh/sshd_config"
+            (Scenarios.Host.good_sshd_config ^ "PermitRootLogin yes\n")
+        in
+        let diff = Frames.Diff.between f f' in
+        let seq, _ = Incremental.revalidate ~rules ~previous ~diff f' in
+        let par, _ =
+          Pool.with_pool ~jobs:4 (fun pool -> Incremental.revalidate ~pool ~rules ~previous ~diff f')
+        in
+        let sig_of rs =
+          List.map
+            (fun (r : Engine.result) ->
+              ( r.Engine.entity,
+                Rule.name r.Engine.rule,
+                Engine.verdict_to_string r.Engine.verdict,
+                r.Engine.detail ))
+            rs
+        in
+        Alcotest.(check bool) "identical merged results" true (sig_of seq = sig_of par));
+  ]
+
+let suite = diff_cases @ incremental_cases @ cache_counter_cases

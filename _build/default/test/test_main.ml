@@ -14,6 +14,7 @@ let () =
       ("matcher", Test_matcher.suite);
       ("expr", Test_expr.suite);
       ("loader", Test_loader.suite);
+      ("pool", Test_pool.suite);
       ("engine", Test_engine.suite);
       ("engine-props", Test_engine_props.suite);
       ("validator", Test_validator.suite);

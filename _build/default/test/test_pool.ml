@@ -1,0 +1,83 @@
+(* The domain pool under Cvl.Validator's sharding: ordering, sequential
+   fallback, exception propagation, reuse across calls. *)
+
+let squares n = List.init n (fun i -> i * i)
+
+let map_cases =
+  [
+    Alcotest.test_case "map preserves order and equals List.map" `Quick (fun () ->
+        Pool.with_pool ~jobs:4 (fun p ->
+            let xs = List.init 1000 Fun.id in
+            Alcotest.(check (list int)) "squares" (squares 1000) (Pool.map p (fun x -> x * x) xs)));
+    Alcotest.test_case "empty and singleton inputs" `Quick (fun () ->
+        Pool.with_pool ~jobs:4 (fun p ->
+            Alcotest.(check (list int)) "empty" [] (Pool.map p (fun x -> x) []);
+            Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map p (fun x -> x * x) [ 3 ])));
+    Alcotest.test_case "concat_map flattens in order" `Quick (fun () ->
+        Pool.with_pool ~jobs:3 (fun p ->
+            let xs = List.init 100 Fun.id in
+            Alcotest.(check (list int))
+              "pairs"
+              (List.concat_map (fun x -> [ x; -x ]) xs)
+              (Pool.concat_map p (fun x -> [ x; -x ]) xs)));
+    Alcotest.test_case "iter visits every element exactly once" `Quick (fun () ->
+        Pool.with_pool ~jobs:4 (fun p ->
+            let visited = Atomic.make 0 in
+            Pool.iter p (fun _ -> Atomic.incr visited) (List.init 257 Fun.id);
+            Alcotest.(check int) "count" 257 (Atomic.get visited)));
+    Alcotest.test_case "pool is reusable across calls" `Quick (fun () ->
+        Pool.with_pool ~jobs:4 (fun p ->
+            for n = 1 to 20 do
+              let xs = List.init (n * 7) Fun.id in
+              Alcotest.(check (list int)) "run" (List.map succ xs) (Pool.map p succ xs)
+            done));
+  ]
+
+let fallback_cases =
+  [
+    Alcotest.test_case "jobs <= 1 runs sequentially on the caller" `Quick (fun () ->
+        Pool.with_pool ~jobs:1 (fun p ->
+            Alcotest.(check int) "jobs clamped" 1 (Pool.jobs p);
+            let self = Domain.self () in
+            let domains =
+              Pool.map p (fun _ -> Domain.self ()) (List.init 50 Fun.id) |> List.sort_uniq compare
+            in
+            Alcotest.(check bool) "all on caller" true (domains = [ self ])));
+    Alcotest.test_case "sequential pool behaves like List.map" `Quick (fun () ->
+        let xs = List.init 100 Fun.id in
+        Alcotest.(check (list int)) "map" (squares 100) (Pool.map Pool.sequential (fun x -> x * x) xs));
+    Alcotest.test_case "negative jobs clamp to 1" `Quick (fun () ->
+        Pool.with_pool ~jobs:(-3) (fun p -> Alcotest.(check int) "jobs" 1 (Pool.jobs p)));
+    Alcotest.test_case "default_jobs is positive" `Quick (fun () ->
+        Alcotest.(check bool) "positive" true (Pool.default_jobs () >= 1));
+    Alcotest.test_case "shutdown pool falls back to sequential" `Quick (fun () ->
+        let p = Pool.create ~jobs:4 in
+        Pool.shutdown p;
+        Pool.shutdown p;
+        (* idempotent *)
+        let xs = List.init 64 Fun.id in
+        Alcotest.(check (list int)) "post-shutdown map" (List.map succ xs) (Pool.map p succ xs));
+  ]
+
+exception Boom of int
+
+let exception_cases =
+  [
+    Alcotest.test_case "worker exception propagates to the caller" `Quick (fun () ->
+        Pool.with_pool ~jobs:4 (fun p ->
+            match Pool.map p (fun x -> if x = 321 then raise (Boom x) else x) (List.init 1000 Fun.id) with
+            | _ -> Alcotest.fail "expected Boom"
+            | exception Boom 321 -> ()));
+    Alcotest.test_case "pool survives an exception" `Quick (fun () ->
+        Pool.with_pool ~jobs:4 (fun p ->
+            (try ignore (Pool.map p (fun _ -> failwith "boom") (List.init 100 Fun.id))
+             with Failure _ -> ());
+            let xs = List.init 100 Fun.id in
+            Alcotest.(check (list int)) "still works" (List.map succ xs) (Pool.map p succ xs)));
+    Alcotest.test_case "with_pool shuts down on exception" `Quick (fun () ->
+        match Pool.with_pool ~jobs:2 (fun _ -> failwith "escape") with
+        | () -> Alcotest.fail "expected Failure"
+        | exception Failure _ -> ());
+  ]
+
+let suite = map_cases @ fallback_cases @ exception_cases

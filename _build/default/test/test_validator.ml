@@ -130,4 +130,86 @@ let report_cases =
           (Re.execp (Re.compile (Re.str "PermitRootLogin no")) text));
   ]
 
-let suite = detection_cases @ composite_cases @ filter_cases @ report_cases
+(* ------------------------------------------------------------------ *)
+(* Parallel sharding and the normalization cache                       *)
+(* ------------------------------------------------------------------ *)
+
+let loaded_rules () =
+  Result.get_ok (Validator.load_rules ~source:Rulesets.source ~manifest:Rulesets.manifest)
+
+(* Every observable field, in result order: determinism means these
+   lists — not just the verdict multisets — are equal. *)
+let full_signature (t : Validator.t) =
+  List.map
+    (fun (r : Engine.result) ->
+      ( (r.Engine.entity, r.Engine.frame_id, Rule.name r.Engine.rule),
+        (Engine.verdict_to_string r.Engine.verdict, r.Engine.detail, r.Engine.evidence) ))
+    t.Validator.results
+
+let multi_frame_deployment () =
+  Scenarios.Deployment.three_tier ~compliant:false @ Scenarios.Deployment.container_fleet 8
+
+let parallel_cases =
+  [
+    Alcotest.test_case "jobs=1 and jobs=4 return byte-identical ordered results" `Quick (fun () ->
+        let rules = loaded_rules () in
+        let frames = multi_frame_deployment () in
+        let seq = Validator.run_loaded ~jobs:1 ~rules frames in
+        let par = Validator.run_loaded ~jobs:4 ~rules frames in
+        Alcotest.(check int) "result count" (List.length seq.Validator.results)
+          (List.length par.Validator.results);
+        Alcotest.(check bool) "identical signatures" true (full_signature seq = full_signature par);
+        Alcotest.(check string) "identical rendered reports"
+          (Report.to_text ~verbose:true seq.Validator.results)
+          (Report.to_text ~verbose:true par.Validator.results));
+    Alcotest.test_case "an explicit pool matches the sequential run" `Quick (fun () ->
+        let rules = loaded_rules () in
+        let frames = multi_frame_deployment () in
+        let seq = Validator.run_loaded ~rules frames in
+        Pool.with_pool ~jobs:3 (fun pool ->
+            let a = Validator.run_loaded ~pool ~rules frames in
+            let b = Validator.run_loaded ~pool ~rules frames in
+            Alcotest.(check bool) "pool run matches" true (full_signature seq = full_signature a);
+            Alcotest.(check bool) "pool reuse matches" true (full_signature a = full_signature b)));
+    Alcotest.test_case "parallel run matches via the public run entry point" `Quick (fun () ->
+        let frames = Scenarios.Deployment.three_tier ~compliant:false in
+        let seq = run frames in
+        let par =
+          Validator.run ~jobs:4 ~source:Rulesets.source ~manifest:Rulesets.manifest frames
+        in
+        Alcotest.(check bool) "identical" true (full_signature seq = full_signature par));
+  ]
+
+let cache_cases =
+  [
+    Alcotest.test_case "cached and uncached normalization yield identical verdicts" `Quick
+      (fun () ->
+        let rules = loaded_rules () in
+        let frames = multi_frame_deployment () in
+        Normcache.set_enabled false;
+        let uncached = Validator.run_loaded ~rules frames in
+        Normcache.set_enabled true;
+        Normcache.reset ();
+        let cold = Validator.run_loaded ~rules frames in
+        let warm = Validator.run_loaded ~rules frames in
+        Normcache.set_enabled true;
+        Alcotest.(check bool) "uncached = cold" true (full_signature uncached = full_signature cold);
+        Alcotest.(check bool) "cold = warm" true (full_signature cold = full_signature warm));
+    Alcotest.test_case "frames sharing content hit the cache" `Quick (fun () ->
+        let rules = loaded_rules () in
+        (* The fleet repeats the same container images: identical file
+           content across frames must normalize once. *)
+        let fleet = Scenarios.Deployment.container_fleet 8 in
+        Normcache.set_enabled true;
+        Normcache.reset ();
+        ignore (Validator.run_loaded ~rules fleet);
+        let cold = Normcache.stats () in
+        Alcotest.(check bool) "shared content found" true (cold.Normcache.hits > 0);
+        ignore (Validator.run_loaded ~rules fleet);
+        let warm = Normcache.stats () in
+        Alcotest.(check int) "steady state re-parses nothing" cold.Normcache.misses
+          warm.Normcache.misses);
+  ]
+
+let suite =
+  detection_cases @ composite_cases @ filter_cases @ report_cases @ parallel_cases @ cache_cases
