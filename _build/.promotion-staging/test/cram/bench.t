@@ -3,7 +3,7 @@ cannot bit-rot: a small fleet, jobs in {1,2}, one timed repetition.
 Timings vary by machine; the structure and the determinism verdict do
 not.
 
-  $ ../../bench/main.exe scaling --smoke --out smoke.json | grep -v ' s ' | grep -v 'speedup\|normalization:'
+  $ ../../bench/main.exe scaling --smoke --out smoke.json | grep -v ' s ' | grep -v speedup
   
   ==================================================================
   Scaling - 6-frame fleet, jobs x normalization cache (smoke)
@@ -20,5 +20,23 @@ cold/warm normalization ablation.
   4
   $ grep -o '"deterministic": true' smoke.json
   "deterministic": true
-  $ grep -o '"cold_misses": [0-9]*' smoke.json
-  "cold_misses": 16
+  $ grep -o '"unique_files": [0-9]*' smoke.json
+  "unique_files": 16
+
+The lint benchmark has the same smoke mode. The finding counts are
+deterministic (the corpus generator seeds exactly one typo'd keyword
+per 25 rules); only the timings vary by machine.
+
+  $ ../../bench/main.exe lint --smoke --lint-out lint_smoke.json | grep -v ' us ' | grep -v ' ms ' | grep -v ' ns ' | grep -v overhead
+  
+  ==================================================================
+  Lint - cvlint static analysis over a 100-rule synthetic corpus (smoke)
+  ==================================================================
+  clean corpus findings: 0
+  seeded corpus findings: 4 (4 seeded defects)
+  wrote lint_smoke.json
+
+  $ grep -o '"seeded_findings": 4' lint_smoke.json
+  "seeded_findings": 4
+  $ grep -o '"clean_findings": 0' lint_smoke.json
+  "clean_findings": 0

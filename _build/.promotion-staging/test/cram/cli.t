@@ -57,8 +57,7 @@ Linting a CVL file reports its rules.
   >     tags: ["#cis"]
   > YAML
   $ configvalidator lint rules.yaml
-  rules.yaml: 1 rule(s) OK
-    config-tree  PermitRootLogin [#cis]
+  0 errors, 0 warnings, 0 infos
 
 Lint rejects unknown keywords with a precise message.
 
@@ -68,7 +67,10 @@ Lint rejects unknown keywords with a precise message.
   >     prefered_value: ["no"]
   > YAML
   $ configvalidator lint bad.yaml
-  bad.yaml: rule "x": unknown keyword "prefered_value"
+  bad.yaml:2: warning CVL040 [no-tags]: rule carries no tags
+  bad.yaml:3: error CVL010 [unknown-keyword]: unknown keyword "prefered_value"
+      suggestion: did you mean "preferred_value"?
+  1 error, 1 warning, 0 infos
   [1]
 
 Remediation fixes the docker daemon host completely.

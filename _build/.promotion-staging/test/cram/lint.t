@@ -1,0 +1,66 @@
+The lint JSON output is stable and machine-readable: every diagnostic
+carries its code, severity, file:line span and (when the analyzer can
+guess the fix) a suggestion.
+
+  $ configvalidator lint --rules-dir ../cvl_bad cvl010.yaml --format json
+  {
+    "version": 1,
+    "diagnostics": [
+      {
+        "file": "cvl010.yaml",
+        "line": 4,
+        "code": "CVL010",
+        "name": "unknown-keyword",
+        "severity": "error",
+        "message": "unknown keyword \"prefered_value\"",
+        "suggestion": "did you mean \"preferred_value\"?"
+      }
+    ],
+    "summary": {
+      "errors": 1,
+      "warnings": 0,
+      "infos": 0
+    }
+  }
+  [1]
+
+Warnings and errors gate differently: --fail-on error lets a
+warnings-only file pass.
+
+  $ configvalidator lint --rules-dir ../cvl_bad cvl042.yaml
+  cvl042.yaml:6: warning CVL042 [missing-remediation]: high-severity rule "ssl" has no suggested_action or violation description
+  0 errors, 1 warning, 0 infos
+  [1]
+  $ configvalidator lint --rules-dir ../cvl_bad cvl042.yaml --fail-on error
+  cvl042.yaml:6: warning CVL042 [missing-remediation]: high-severity rule "ssl" has no suggested_action or violation description
+  0 errors, 1 warning, 0 infos
+
+An unreadable file is an input error, not a finding: the message goes
+to stderr and the exit code is 2, distinct from exit 1 for bad rules.
+
+  $ configvalidator lint --rules-dir ../cvl_bad no_such_file.yaml
+  cannot read no_such_file.yaml: ../cvl_bad/no_such_file.yaml: No such file or directory
+  [2]
+
+A whole corpus lints through its manifest: manifest-level findings
+(unknown keys, unknown lens, bad rule_type) and rule findings from every
+referenced file arrive in one deterministically sorted report.
+
+  $ configvalidator lint --rules-dir ../cvl_bad/corpus
+  cvl032.yaml:5: warning CVL032 [dead-config-path]: config_path "net/ipv4/ip_forward" can never be produced by the flat sysctl lens
+      suggestion: flat lenses address settings by dotted key, e.g. a.b.c
+  cvl033.yaml:4: error CVL033 [unknown-entity]: composite expression references entity "mysq", absent from the manifest
+  manifest.yaml:11: warning CVL043 [bad-rule-type]: manifest stack: rule_type "composit" is not a CVL rule type
+      suggestion: did you mean "composite"?
+  manifest.yaml:14: error CVL030 [unknown-lens]: manifest web: lens "ngnix" is not in the registry
+      suggestion: did you mean "nginx"?
+  manifest.yaml:15: error CVL002 [manifest-error]: manifest web: unknown key "search_paths"
+  manifest.yaml:17: error CVL002 [manifest-error]: manifest db: cvl_file is required
+  4 errors, 2 warnings, 0 infos
+  [1]
+
+SARIF output carries the full rule registry plus one result per
+finding.
+
+  $ configvalidator lint --rules-dir ../cvl_bad cvl010.yaml --format sarif | grep -c '"ruleId"'
+  1

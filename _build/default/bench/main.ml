@@ -599,6 +599,107 @@ let scaling () =
   Printf.printf "wrote %s\n" !out_file
 
 (* ------------------------------------------------------------------ *)
+(* Lint: static analysis throughput                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* cvlint runs over every rule file in CI (tools/check_lint) and on
+   each save in an editor integration, so its cost per rule matters.
+   A synthetic corpus pins it down: loader parse alone vs the full
+   multi-pass analysis, on a clean corpus and on one with a 4% seeded
+   defect rate. Emits BENCH_lint.json. *)
+
+let lint_out = ref "BENCH_lint.json"
+
+let gen_lint_rule ~defect i =
+  let name = Printf.sprintf "setting_%03d" i in
+  if defect then
+    (* exactly one finding per seeded rule: a typo'd keyword *)
+    Printf.sprintf
+      "  - config_name: %s\n    prefered_value: [\"on\"]\n    tags: [\"#bench\"]\n" name
+  else
+    match i mod 5 with
+    | 0 ->
+      Printf.sprintf
+        "  - config_name: %s\n    config_path: [\"\"]\n    preferred_value: [\"on\"]\n\
+        \    tags: [\"#bench\"]\n"
+        name
+    | 1 ->
+      Printf.sprintf
+        "  - config_name: %s\n    non_preferred_value: [\"off\", \"0\"]\n\
+        \    non_preferred_value_match: \"exact,any\"\n\
+        \    not_matched_preferred_value_description: \"%s is misconfigured\"\n\
+        \    severity: high\n    tags: [\"#bench\", \"#hardening\"]\n"
+        name name
+    | 2 ->
+      Printf.sprintf
+        "  - path_name: /etc/bench/%s\n    permission: \"644\"\n    ownership: \"0:0\"\n\
+        \    tags: [\"#bench\"]\n"
+        name
+    | 3 ->
+      Printf.sprintf
+        "  - script_name: %s\n    script: sysctl_runtime\n    config_path: [\"kernel.%s\"]\n\
+        \    preferred_value: [\"1\"]\n    tags: [\"#bench\"]\n"
+        name name
+    | _ ->
+      Printf.sprintf
+        "  - config_name: %s\n    preferred_value: [\"TLSv1.[23]\"]\n\
+        \    preferred_value_match: \"regex,any\"\n    tags: [\"#bench\"]\n"
+        name
+
+let gen_lint_corpus ~seed_defects n =
+  "rules:\n"
+  ^ String.concat ""
+      (List.init n (fun i -> gen_lint_rule ~defect:(seed_defects && i mod 25 = 24) i))
+
+let lint_bench () =
+  let n = if !smoke then 100 else 500 in
+  heading
+    (Printf.sprintf "Lint - cvlint static analysis over a %d-rule synthetic corpus%s" n
+       (if !smoke then " (smoke)" else ""));
+  let quota = if !smoke then 0.25 else 0.5 in
+  let clean = gen_lint_corpus ~seed_defects:false n in
+  let seeded = gen_lint_corpus ~seed_defects:true n in
+  let seeded_defects = List.length (List.filter (fun i -> i mod 25 = 24) (List.init n Fun.id)) in
+  let clean_findings = List.length (Cvlint.lint_text ~path:"bench.yaml" clean) in
+  let findings = Cvlint.lint_text ~path:"bench.yaml" seeded in
+  let loader_ns = measure_ns ~quota "loader" (fun () -> Cvl.Loader.parse_rules clean) in
+  let lint_clean_ns =
+    measure_ns ~quota "lint-clean" (fun () -> Cvlint.lint_text ~path:"bench.yaml" clean)
+  in
+  let lint_seeded_ns =
+    measure_ns ~quota "lint-seeded" (fun () -> Cvlint.lint_text ~path:"bench.yaml" seeded)
+  in
+  Printf.printf "clean corpus findings: %d\n" clean_findings;
+  Printf.printf "seeded corpus findings: %d (%d seeded defects)\n" (List.length findings)
+    seeded_defects;
+  Printf.printf "%-40s %12s  (%s per rule)\n" "loader parse (baseline)" (pp_time loader_ns)
+    (pp_time (loader_ns /. float_of_int n));
+  Printf.printf "%-40s %12s  (%s per rule)\n" "cvlint, clean corpus" (pp_time lint_clean_ns)
+    (pp_time (lint_clean_ns /. float_of_int n));
+  Printf.printf "%-40s %12s  (%s per rule)\n" "cvlint, seeded corpus" (pp_time lint_seeded_ns)
+    (pp_time (lint_seeded_ns /. float_of_int n));
+  Printf.printf "analysis overhead over plain loading: %.2fx\n"
+    (lint_clean_ns /. Float.max loader_ns 1e-9);
+  let json =
+    Jsonlite.Obj
+      [
+        ("rules", Jsonlite.Num (float_of_int n));
+        ("smoke", Jsonlite.Bool !smoke);
+        ("seeded_defects", Jsonlite.Num (float_of_int seeded_defects));
+        ("clean_findings", Jsonlite.Num (float_of_int clean_findings));
+        ("seeded_findings", Jsonlite.Num (float_of_int (List.length findings)));
+        ("loader_ns", Jsonlite.Num loader_ns);
+        ("lint_clean_ns", Jsonlite.Num lint_clean_ns);
+        ("lint_seeded_ns", Jsonlite.Num lint_seeded_ns);
+        ("ns_per_rule", Jsonlite.Num (lint_clean_ns /. float_of_int n));
+        ("overhead_vs_loader", Jsonlite.Num (lint_clean_ns /. Float.max loader_ns 1e-9));
+      ]
+  in
+  Out_channel.with_open_text !lint_out (fun oc ->
+      Out_channel.output_string oc (Jsonlite.pretty json));
+  Printf.printf "wrote %s\n" !lint_out
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -613,6 +714,7 @@ let sections =
     ("ablation-d", ablation_d);
     ("ablation-e", ablation_e);
     ("scaling", scaling);
+    ("lint", lint_bench);
   ]
 
 let () =
@@ -623,6 +725,9 @@ let () =
       parse_args rest
     | "--out" :: file :: rest ->
       out_file := file;
+      parse_args rest
+    | "--lint-out" :: file :: rest ->
+      lint_out := file;
       parse_args rest
     | arg :: rest -> arg :: parse_args rest
   in

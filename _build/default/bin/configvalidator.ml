@@ -133,24 +133,47 @@ let coverage () =
 (* lint                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let lint file =
-  match In_channel.with_open_text file In_channel.input_all with
-  | exception Sys_error e ->
-    prerr_endline e;
-    1
-  | text -> (
-    match Cvl.Loader.parse_rules text with
-    | Ok rules ->
-      Printf.printf "%s: %d rule(s) OK\n" file (List.length rules);
-      List.iter
-        (fun rule ->
-          Printf.printf "  %-12s %s [%s]\n" (Cvl.Rule.kind_to_string rule) (Cvl.Rule.name rule)
-            (String.concat " " (Cvl.Rule.tags rule)))
-        rules;
-      0
-    | Error e ->
-      Printf.printf "%s: %s\n" file e;
-      1)
+(* Static analysis over CVL files (the cvlint library). With FILEs,
+   each file and its parent_cvl_file chain is linted; without, the whole
+   corpus is (manifest.yaml plus every rule file it references — the
+   embedded rulesets unless --rules-dir points at a directory).
+
+   Exit codes: 0 clean (below the --fail-on threshold), 1 findings at or
+   above it, 2 unreadable input. Unreadable-input errors go to stderr. *)
+let lint files format fail_on rules_dir lens =
+  let module D = Cvlint.Diagnostic in
+  let source =
+    match rules_dir with
+    | Some dir -> Cvl.Loader.file_source ~root:dir
+    | None when files <> [] -> Cvl.Loader.file_source ~root:"."
+    | None -> Rulesets.source
+  in
+  let unreadable path =
+    match source.Cvl.Loader.load path with
+    | Ok _ -> None
+    | Error msg -> Some (Printf.sprintf "cannot read %s: %s" path msg)
+  in
+  let to_check = if files = [] then [ "manifest.yaml" ] else files in
+  match List.filter_map unreadable to_check with
+  | _ :: _ as errs ->
+    List.iter prerr_endline errs;
+    2
+  | [] ->
+    let diags =
+      if files = [] then Cvlint.lint_corpus ~source ()
+      else
+        D.sort (List.concat_map (fun f -> Cvlint.lint_file ?lens ~source f) files)
+    in
+    (match format with
+    | `Text ->
+      print_string (Cvlint.Render.to_text diags);
+      print_endline (Cvlint.Render.summary_line diags)
+    | `Json -> print_string (Jsonlite.pretty (Cvlint.Render.to_json diags))
+    | `Sarif -> print_string (Jsonlite.pretty (Cvlint.Render.to_sarif diags)));
+    let threshold = match fail_on with `Warning -> D.Warning | `Error -> D.Error in
+    (match D.worst diags with
+    | Some w when D.severity_rank w >= D.severity_rank threshold -> 1
+    | _ -> 0)
 
 (* ------------------------------------------------------------------ *)
 (* remediate                                                           *)
@@ -364,8 +387,34 @@ let coverage_cmd =
   Cmd.v (Cmd.info "coverage" ~doc:"print rule coverage (paper Table 1)") Term.(const coverage $ const ())
 
 let lint_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  Cmd.v (Cmd.info "lint" ~doc:"parse and validate a CVL rule file") Term.(const lint $ file)
+  let files =
+    let doc =
+      "CVL rule files to lint (paths relative to --rules-dir when given). With no FILE, \
+       lints the whole corpus: manifest.yaml and every rule file it references."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc)
+  in
+  let lint_format =
+    let doc = "Output format: text, json, or sarif." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+      & info [ "format"; "f" ] ~doc)
+  in
+  let fail_on =
+    let doc = "Exit 1 when a finding of this severity (or worse) exists: warning or error." in
+    Arg.(
+      value
+      & opt (enum [ ("warning", `Warning); ("error", `Error) ]) `Warning
+      & info [ "fail-on" ] ~docv:"SEVERITY" ~doc)
+  in
+  let lens =
+    let doc = "Lens the linted rules target; enables lens-aware checks (e.g. dead config_path)." in
+    Arg.(value & opt (some string) None & info [ "lens" ] ~docv:"LENS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"statically analyze CVL rule files (cvlint)")
+    Term.(const lint $ files $ lint_format $ fail_on $ rules_dir_arg $ lens)
 
 let keywords_cmd =
   Cmd.v (Cmd.info "keywords" ~doc:"list the CVL vocabulary") Term.(const keywords $ const ())

@@ -1,1 +1,1 @@
-lib/cvl/keyword.ml: List Option String
+lib/cvl/keyword.ml: Array Fun Hashtbl Lazy List String

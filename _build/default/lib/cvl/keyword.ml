@@ -70,11 +70,17 @@ let all =
     ("composite_rule", Composite, "boolean expression over per-entity results");
   ]
 
-let is_keyword k = List.exists (fun (name, _, _) -> String.equal name k) all
+(* The linter probes every key of every rule against the vocabulary, so
+   lookups are backed by a hashtable built once on first use rather than
+   scanning the 46-entry list per call. *)
+let by_name : (string, group) Hashtbl.t Lazy.t =
+  lazy
+    (let h = Hashtbl.create (2 * List.length all) in
+     List.iter (fun (name, g, _) -> Hashtbl.replace h name g) all;
+     h)
 
-let group_of k =
-  List.find_opt (fun (name, _, _) -> String.equal name k) all
-  |> Option.map (fun (_, g, _) -> g)
+let is_keyword k = Hashtbl.mem (Lazy.force by_name) k
+let group_of k = Hashtbl.find_opt (Lazy.force by_name) k
 
 let in_group g = List.filter_map (fun (name, g', _) -> if g = g' then Some name else None) all
 
@@ -86,3 +92,38 @@ let allowed_in g =
 
 let count = List.length all
 let count_in_group g = List.length (in_group g)
+
+(* Bounded Levenshtein distance for "did you mean" suggestions: gives up
+   (returns [limit + 1]) as soon as no path can stay within [limit]. *)
+let distance ~limit a b =
+  let la = String.length a and lb = String.length b in
+  if abs (la - lb) > limit then limit + 1
+  else begin
+    let prev = Array.init (lb + 1) Fun.id in
+    let cur = Array.make (lb + 1) 0 in
+    let exceeded = ref false in
+    let i = ref 1 in
+    while (not !exceeded) && !i <= la do
+      cur.(0) <- !i;
+      let row_min = ref cur.(0) in
+      for j = 1 to lb do
+        let cost = if a.[!i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost);
+        if cur.(j) < !row_min then row_min := cur.(j)
+      done;
+      if !row_min > limit then exceeded := true;
+      Array.blit cur 0 prev 0 (lb + 1);
+      incr i
+    done;
+    if !exceeded then limit + 1 else prev.(lb)
+  end
+
+let nearest k =
+  let limit = 3 in
+  List.fold_left
+    (fun best (name, _, _) ->
+      let d = distance ~limit k name in
+      match best with
+      | Some (_, bd) when bd <= d -> best
+      | _ -> if d <= limit then Some (name, d) else best)
+    None all

@@ -31,3 +31,12 @@ val allowed_in : group -> string list
 
 val count : int
 val count_in_group : group -> int
+
+(** Bounded Levenshtein distance: the exact distance when it is at most
+    [limit], any value greater than [limit] otherwise. *)
+val distance : limit:int -> string -> string -> int
+
+(** [nearest k] is the keyword closest to [k] by edit distance, with the
+    distance, when one is within distance 3 — the linter's
+    "did you mean" source. [nearest k = Some (k, 0)] for a keyword. *)
+val nearest : string -> (string * int) option

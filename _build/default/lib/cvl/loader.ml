@@ -13,7 +13,7 @@ let file_source ~root =
   {
     load =
       (fun path ->
-        let full = Filename.concat root path in
+        let full = if Filename.is_relative path then Filename.concat root path else path in
         match In_channel.with_open_text full In_channel.input_all with
         | text -> Ok text
         | exception Sys_error msg -> Error msg);
@@ -263,47 +263,126 @@ let rule_of_yaml v =
 (* File shapes and inheritance                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Extract (parent, rule maps) from a parsed document. *)
-let doc_shape v =
-  match v with
-  | Yamlite.Value.List items ->
-    let maps = List.filter_map Yamlite.Value.get_map items in
-    if List.length maps = List.length items then Ok (None, maps)
-    else Error "rule list contains a non-mapping entry"
-  | Yamlite.Value.Map kvs when List.mem_assoc "rules" kvs ->
-    let parent = str_field kvs "parent_cvl_file" in
-    let* () =
-      match List.filter (fun (k, _) -> k <> "rules" && k <> "parent_cvl_file") kvs with
-      | [] -> Ok ()
-      | (k, _) :: _ -> Error (Printf.sprintf "unexpected top-level key %S in rule file" k)
+(* Positioned view of a rule file: the same three accepted document
+   shapes, but every rule and every field keeps the physical line it was
+   written on. [shapes_of_text] (and so the whole loader) is an erasure
+   of this, which is what lets cvlint report real file:line spans
+   without a second parser. *)
+module Raw = struct
+  type field = { key : string; key_line : int; value : Yamlite.Value.t }
+  type rule = { line : int; fields : field list }
+
+  type doc = {
+    parent : string option;
+    parent_line : int;  (** line of the [parent_cvl_file:] key; [0] if absent *)
+    rules : rule list;
+  }
+
+  type err = { err_line : int; err_msg : string }
+
+  let to_map r = List.map (fun f -> (f.key, f.value)) r.fields
+  let field r key = List.find_opt (fun f -> String.equal f.key key) r.fields
+
+  let rule_of_entries line entries =
+    {
+      line;
+      fields =
+        List.map
+          (fun (e : Yamlite.Ast.entry) ->
+            { key = e.Yamlite.Ast.key;
+              key_line = e.Yamlite.Ast.key_line;
+              value = Yamlite.Ast.to_value e.Yamlite.Ast.value })
+          entries;
+    }
+
+  (* Extract (parent, rules) from one parsed document; error strings
+     match the historical loader messages. *)
+  let doc_shape (ast : Yamlite.Ast.t) =
+    let fail_at line msg = Error { err_line = line; err_msg = msg } in
+    match ast.Yamlite.Ast.v with
+    | Yamlite.Ast.List items ->
+      let rec go acc = function
+        | [] -> Ok (None, 0, List.rev acc)
+        | ({ Yamlite.Ast.v = Yamlite.Ast.Map entries; line } : Yamlite.Ast.t) :: rest ->
+          go (rule_of_entries line entries :: acc) rest
+        | (item : Yamlite.Ast.t) :: _ ->
+          fail_at item.Yamlite.Ast.line "rule list contains a non-mapping entry"
+      in
+      go [] items
+    | Yamlite.Ast.Map entries
+      when List.exists (fun (e : Yamlite.Ast.entry) -> e.Yamlite.Ast.key = "rules") entries -> (
+      let parent_entry =
+        List.find_opt (fun (e : Yamlite.Ast.entry) -> e.Yamlite.Ast.key = "parent_cvl_file") entries
+      in
+      let parent =
+        Option.bind parent_entry (fun e ->
+            Yamlite.Value.get_str (Yamlite.Ast.to_value e.Yamlite.Ast.value))
+      in
+      let parent_line =
+        match parent_entry with Some e -> e.Yamlite.Ast.key_line | None -> 0
+      in
+      match
+        List.find_opt
+          (fun (e : Yamlite.Ast.entry) ->
+            e.Yamlite.Ast.key <> "rules" && e.Yamlite.Ast.key <> "parent_cvl_file")
+          entries
+      with
+      | Some e ->
+        fail_at e.Yamlite.Ast.key_line
+          (Printf.sprintf "unexpected top-level key %S in rule file" e.Yamlite.Ast.key)
+      | None -> (
+        let rules_entry =
+          List.find (fun (e : Yamlite.Ast.entry) -> e.Yamlite.Ast.key = "rules") entries
+        in
+        let rules_value = rules_entry.Yamlite.Ast.value in
+        match rules_value.Yamlite.Ast.v with
+        | Yamlite.Ast.List items ->
+          let rec go acc = function
+            | [] -> Ok (parent, parent_line, List.rev acc)
+            | ({ Yamlite.Ast.v = Yamlite.Ast.Map entries; line } : Yamlite.Ast.t) :: rest ->
+              go (rule_of_entries line entries :: acc) rest
+            | (item : Yamlite.Ast.t) :: _ ->
+              fail_at item.Yamlite.Ast.line "`rules:` contains a non-mapping entry"
+          in
+          go [] items
+        | Yamlite.Ast.Null | Yamlite.Ast.Bool _ | Yamlite.Ast.Int _ | Yamlite.Ast.Float _
+        | Yamlite.Ast.Str _ | Yamlite.Ast.Map _ ->
+          fail_at rules_entry.Yamlite.Ast.key_line "`rules:` must be a list"))
+    | Yamlite.Ast.Map entries -> Ok (None, 0, [ rule_of_entries ast.Yamlite.Ast.line entries ])
+    | Yamlite.Ast.Null -> Ok (None, 0, [])
+    | Yamlite.Ast.Bool _ | Yamlite.Ast.Int _ | Yamlite.Ast.Float _ | Yamlite.Ast.Str _ ->
+      fail_at ast.Yamlite.Ast.line "a CVL file must contain rule mappings"
+
+  let of_asts asts =
+    let rec go parent parent_line rules = function
+      | [] -> Ok { parent; parent_line; rules = List.rev rules }
+      | ast :: rest -> (
+        match doc_shape ast with
+        | Error _ as e -> e
+        | Ok (p, pl, rs) ->
+          let parent, parent_line =
+            match (parent, p) with
+            | None, p -> (p, pl)
+            | Some _, _ -> (parent, parent_line)
+          in
+          go parent parent_line (List.rev_append rs rules) rest)
     in
-    (match Yamlite.Value.get_list (List.assoc "rules" kvs) with
-    | None -> Error "`rules:` must be a list"
-    | Some items ->
-      let maps = List.filter_map Yamlite.Value.get_map items in
-      if List.length maps = List.length items then Ok (parent, maps)
-      else Error "`rules:` contains a non-mapping entry")
-  | Yamlite.Value.Map kvs -> Ok (None, [ kvs ])
-  | Yamlite.Value.Null -> Ok (None, [])
-  | Yamlite.Value.Bool _ | Yamlite.Value.Int _ | Yamlite.Value.Float _ | Yamlite.Value.Str _ ->
-    Error "a CVL file must contain rule mappings"
+    go None 0 [] asts
+
+  let of_text text =
+    match Yamlite.Parse.multi_ast text with
+    | Error e ->
+      Error { err_line = e.Yamlite.Parse.line; err_msg = Yamlite.Parse.error_to_string e }
+    | Ok asts -> of_asts asts
+end
 
 let shapes_of_text text =
-  match Yamlite.Parse.multi text with
+  match Yamlite.Parse.multi_ast text with
   | Error e -> Error (Yamlite.Parse.error_to_string e)
-  | Ok docs ->
-    let rec go parent maps = function
-      | [] -> Ok (parent, List.rev maps)
-      | doc :: rest ->
-        let* p, ms = doc_shape doc in
-        let parent =
-          match (parent, p) with
-          | None, p -> p
-          | Some _, _ -> parent
-        in
-        go parent (List.rev_append ms maps) rest
-    in
-    go None [] docs
+  | Ok asts -> (
+    match Raw.of_asts asts with
+    | Error err -> Error err.Raw.err_msg
+    | Ok doc -> Ok (doc.Raw.parent, List.map Raw.to_map doc.Raw.rules))
 
 (* Merge child rule maps over parent maps by rule name: child keys win;
    unmatched child rules are appended in order. *)

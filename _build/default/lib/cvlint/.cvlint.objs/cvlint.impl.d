@@ -1,0 +1,1 @@
+lib/cvlint/cvlint.ml: Crawler Cvl Diagnostic Hashtbl Lenses List Option Printf Re Render String Yamlite

@@ -1,0 +1,1 @@
+lib/cvlint/cvlint.mli: Cvl Diagnostic Render

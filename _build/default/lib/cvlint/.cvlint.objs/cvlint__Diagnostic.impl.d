@@ -1,0 +1,1 @@
+lib/cvlint/diagnostic.ml: Int List String

@@ -1,0 +1,1 @@
+lib/cvlint/render.ml: Buffer Diagnostic Jsonlite List Printf

@@ -1,0 +1,1 @@
+lib/cvlint/render.mli: Diagnostic Jsonlite

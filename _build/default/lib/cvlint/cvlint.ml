@@ -1,0 +1,769 @@
+module Diagnostic = Diagnostic
+module Render = Render
+
+type context = {
+  lenses : string list;
+  plugins : string list;
+  entities : string list option;
+}
+
+let default_context =
+  {
+    lenses = List.map (fun (l : Lenses.Lens.t) -> l.Lenses.Lens.name) Lenses.Registry.all;
+    plugins = List.map (fun (p : Crawler.plugin) -> p.Crawler.plugin_name) Crawler.plugins;
+    entities = None;
+  }
+
+let span file line = { Diagnostic.file; line }
+
+(* ------------------------------------------------------------------ *)
+(* Positioned rules                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A rule as the analyzer sees it: each field carries the span it was
+   written at. After inheritance merging a single rule mixes spans from
+   several files — a diagnostic about an inherited field points at the
+   ancestor file that defined it. *)
+type pfield = { key : string; fspan : Diagnostic.span; value : Yamlite.Value.t }
+type prule = { rspan : Diagnostic.span; pfields : pfield list }
+
+let pfind p key = List.find_opt (fun f -> String.equal f.key key) p.pfields
+let to_map p = List.map (fun f -> (f.key, f.value)) p.pfields
+
+let prules_of_doc file (doc : Cvl.Loader.Raw.doc) =
+  List.map
+    (fun (r : Cvl.Loader.Raw.rule) ->
+      {
+        rspan = span file r.Cvl.Loader.Raw.line;
+        pfields =
+          List.map
+            (fun (f : Cvl.Loader.Raw.field) ->
+              {
+                key = f.Cvl.Loader.Raw.key;
+                fspan = span file f.Cvl.Loader.Raw.key_line;
+                value = f.Cvl.Loader.Raw.value;
+              })
+            r.Cvl.Loader.Raw.fields;
+      })
+    doc.Cvl.Loader.Raw.rules
+
+let discriminators =
+  [
+    ("config_name", Cvl.Keyword.Tree);
+    ("config_schema_name", Cvl.Keyword.Schema);
+    ("path_name", Cvl.Keyword.Path);
+    ("script_name", Cvl.Keyword.Script);
+    ("composite_rule_name", Cvl.Keyword.Composite);
+  ]
+
+let kind_of p = List.filter (fun (k, _) -> pfind p k <> None) discriminators
+
+let name_of p =
+  match kind_of p with
+  | [ (k, _) ] ->
+    Option.bind (pfind p k) (fun f -> Yamlite.Value.get_str f.value)
+  | _ -> None
+
+let str_of p key = Option.bind (pfind p key) (fun f -> Yamlite.Value.get_str f.value)
+
+let str_list_of p key =
+  Option.bind (pfind p key) (fun f -> Yamlite.Value.get_str_list f.value)
+
+let bool_of p key = Option.bind (pfind p key) (fun f -> Yamlite.Value.get_bool f.value)
+
+(* Closest name in [candidates] by bounded edit distance — the
+   "did you mean" source for lens, plugin, entity, and manifest keys. *)
+let nearest_in candidates k =
+  let limit = 3 in
+  List.fold_left
+    (fun best c ->
+      let d = Cvl.Keyword.distance ~limit k c in
+      match best with
+      | Some (_, bd) when bd <= d -> best
+      | _ -> if d <= limit then Some (c, d) else best)
+    None candidates
+
+let did_you_mean candidates k =
+  Option.map (fun (c, _) -> Printf.sprintf "did you mean %S?" c) (nearest_in candidates k)
+
+(* ------------------------------------------------------------------ *)
+(* Suppressions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Tracked in-file annotations:
+     # cvlint-disable-file CVL040 CVL041
+     # cvlint-disable-next-line CVL042
+   The first silences the codes anywhere in the file, the second only on
+   the line directly below the comment. *)
+type suppressions = {
+  file_wide : string list;
+  by_line : (int * string) list;  (** (line, code id) *)
+}
+
+let suppressions_of_text text =
+  let file_wide = ref [] and by_line = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if String.length line > 0 && line.[0] = '#' then
+        let words =
+          String.sub line 1 (String.length line - 1)
+          |> String.split_on_char ' '
+          |> List.filter (fun w -> w <> "")
+        in
+        match words with
+        | "cvlint-disable-file" :: codes -> file_wide := codes @ !file_wide
+        | "cvlint-disable-next-line" :: codes ->
+          by_line := List.map (fun c -> (i + 2, c)) codes @ !by_line
+        | _ -> ())
+    lines;
+  { file_wide = !file_wide; by_line = !by_line }
+
+let suppressed tbl (d : Diagnostic.t) =
+  match Hashtbl.find_opt tbl d.Diagnostic.span.Diagnostic.file with
+  | None -> false
+  | Some s ->
+    let id = d.Diagnostic.code.Diagnostic.id in
+    List.mem id s.file_wide
+    || List.mem (d.Diagnostic.span.Diagnostic.line, id) s.by_line
+
+(* ------------------------------------------------------------------ *)
+(* Chain loading                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type file_doc = { fpath : string; doc : Cvl.Loader.Raw.doc }
+
+(* Load [path] and its parent_cvl_file ancestors. Returns the chain
+   child-first; a break (missing file, cycle, parse error) becomes a
+   diagnostic at the span that referenced the broken link and truncates
+   the chain there. *)
+let load_chain ~(source : Cvl.Loader.source) ~ref_span ~supp path =
+  let rec go path ~ref_span visited =
+    if List.mem path visited then
+      ( [
+          Diagnostic.make Diagnostic.inheritance_cycle ref_span
+            (Printf.sprintf "parent_cvl_file chain forms a cycle through %S" path);
+        ],
+        [] )
+    else
+      match source.Cvl.Loader.load path with
+      | Error msg ->
+        ( [
+            Diagnostic.make Diagnostic.missing_rule_file ref_span
+              (Printf.sprintf "cannot read rule file %S: %s" path msg);
+          ],
+          [] )
+      | Ok text -> (
+        Hashtbl.replace supp path (suppressions_of_text text);
+        match Cvl.Loader.Raw.of_text text with
+        | Error err ->
+          ( [
+              Diagnostic.make Diagnostic.parse_error
+                (span path err.Cvl.Loader.Raw.err_line)
+                err.Cvl.Loader.Raw.err_msg;
+            ],
+            [] )
+        | Ok doc -> (
+          let here = { fpath = path; doc } in
+          match doc.Cvl.Loader.Raw.parent with
+          | None -> ([], [ here ])
+          | Some parent ->
+            let pspan = span path doc.Cvl.Loader.Raw.parent_line in
+            let ds, chain = go parent ~ref_span:pspan (path :: visited) in
+            (ds, here :: chain)))
+  in
+  go path ~ref_span []
+
+(* ------------------------------------------------------------------ *)
+(* Per-file passes                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* CVL012: two rules in one file sharing a name. The loader silently
+   lets the later rule ride along; after an inheritance merge only one
+   survives, so the duplicate is almost certainly an editing mistake. *)
+let duplicate_names_pass prules =
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun p ->
+      match name_of p with
+      | None -> []
+      | Some name -> (
+        match Hashtbl.find_opt seen name with
+        | Some (first : Diagnostic.span) ->
+          [
+            Diagnostic.make Diagnostic.duplicate_rule_name p.rspan
+              (Printf.sprintf "rule %S is already defined at line %d" name
+                 first.Diagnostic.line);
+          ]
+        | None ->
+          Hashtbl.add seen name p.rspan;
+          []))
+    prules
+
+(* CVL010/CVL011: every field must be a CVL keyword legal for the
+   rule's type. Unknown keywords get an edit-distance suggestion. *)
+let keyword_pass p =
+  match kind_of p with
+  | [ (_, group) ] ->
+    let allowed = Cvl.Keyword.allowed_in group in
+    List.concat_map
+      (fun f ->
+        if List.mem f.key allowed then []
+        else if Cvl.Keyword.is_keyword f.key then
+          [
+            Diagnostic.make Diagnostic.misplaced_keyword f.fspan
+              (Printf.sprintf "keyword %S is not valid in a %s rule" f.key
+                 (Cvl.Keyword.group_to_string group));
+          ]
+        else
+          let suggestion =
+            match Cvl.Keyword.nearest f.key with
+            | Some (k, _) -> Some (Printf.sprintf "did you mean %S?" k)
+            | None -> None
+          in
+          [
+            Diagnostic.make Diagnostic.unknown_keyword ?suggestion f.fspan
+              (Printf.sprintf "unknown keyword %S" f.key);
+          ])
+      p.pfields
+  | _ -> []
+(* 0 or several discriminators: reported as CVL003 by the semantic pass *)
+
+let file_passes fd =
+  let prules = prules_of_doc fd.fpath fd.doc in
+  duplicate_names_pass prules @ List.concat_map keyword_pass prules
+
+(* ------------------------------------------------------------------ *)
+(* Positioned inheritance merge                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirror of [Loader.merge_maps], keeping spans: an overriding child
+   field carries the child's span, an inherited field the ancestor's.
+   Emits CVL013 for each override so intentional site deltas are
+   visible (Info — overriding is what parent_cvl_file is for). *)
+let merge_prules parents children =
+  let find_child name =
+    List.find_opt (fun c -> name_of c = Some name) children
+  in
+  let shadows = ref [] in
+  let overridden =
+    List.map
+      (fun parent ->
+        match Option.bind (name_of parent) (fun n -> find_child n) with
+        | Some child ->
+          shadows :=
+            Diagnostic.make Diagnostic.shadowed_rule child.rspan
+              (Printf.sprintf "rule %S overrides the definition at %s:%d"
+                 (Option.value (name_of child) ~default:"")
+                 parent.rspan.Diagnostic.file parent.rspan.Diagnostic.line)
+            :: !shadows;
+          let merged_fields =
+            List.map
+              (fun pf ->
+                match pfind child pf.key with Some cf -> cf | None -> pf)
+              parent.pfields
+            @ List.filter
+                (fun (cf : pfield) -> pfind parent cf.key = None)
+                child.pfields
+          in
+          { rspan = child.rspan; pfields = merged_fields }
+        | None -> parent)
+      parents
+  in
+  let parent_names = List.filter_map name_of parents in
+  let fresh =
+    List.filter
+      (fun c ->
+        match name_of c with
+        | Some n -> not (List.mem n parent_names)
+        | None -> true)
+      children
+  in
+  (overridden @ fresh, !shadows)
+
+(* Fold the chain root-first into the effective rule set. *)
+let effective_rules chain_child_first =
+  List.fold_left
+    (fun (acc, ds) fd ->
+      let children = prules_of_doc fd.fpath fd.doc in
+      let merged, shadow = merge_prules acc children in
+      (merged, ds @ shadow))
+    ([], [])
+    (List.rev chain_child_first)
+
+(* ------------------------------------------------------------------ *)
+(* Semantic passes over effective rules                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Lenses that normalize to a flat dotted-key tree: a config_path
+   written filesystem-style ([a/b/c]) can never match their output. *)
+let flat_lenses = [ "sysctl"; "postgres"; "hadoop"; "properties" ]
+
+let expectation_keys =
+  [
+    ("preferred_value", "preferred_value_match");
+    ("non_preferred_value", "non_preferred_value_match");
+  ]
+
+let regex_compiles v =
+  match Re.compile (Re.Pcre.re v) with _ -> true | exception _ -> false
+
+let expectation_passes p =
+  List.concat_map
+    (fun (value_key, match_key) ->
+      let vfield = pfind p value_key and mfield = pfind p match_key in
+      let spec_diags, spec =
+        match mfield with
+        | None -> ([], Cvl.Matcher.default)
+        | Some mf -> (
+          match vfield with
+          | None ->
+            ( [
+                Diagnostic.make Diagnostic.match_without_value mf.fspan
+                  (Printf.sprintf "%s given without %s" match_key value_key);
+              ],
+              Cvl.Matcher.default )
+          | Some _ -> (
+            match Yamlite.Value.get_str mf.value with
+            | None -> ([], Cvl.Matcher.default)
+            | Some text -> (
+              match Cvl.Matcher.parse text with
+              | Ok spec -> ([], spec)
+              | Error e ->
+                ( [
+                    Diagnostic.make Diagnostic.bad_match_spec mf.fspan
+                      (Printf.sprintf "%s: %s" match_key e);
+                  ],
+                  Cvl.Matcher.default ))))
+      in
+      let regex_diags =
+        match (spec.Cvl.Matcher.kind, vfield) with
+        | Cvl.Matcher.Regex, Some vf ->
+          let values =
+            Option.value (Yamlite.Value.get_str_list vf.value) ~default:[]
+          in
+          List.filter_map
+            (fun v ->
+              if regex_compiles v then None
+              else
+                Some
+                  (Diagnostic.make Diagnostic.bad_regex vf.fspan
+                     (Printf.sprintf "%s value %S is not a valid regex" value_key v)))
+            values
+        | _ -> []
+      in
+      spec_diags @ regex_diags)
+    expectation_keys
+
+(* CVL020: a value listed as both preferred and non-preferred can never
+   be classified — the rule contradicts itself. *)
+let conflicting_values_pass p =
+  match
+    ( str_list_of p "preferred_value",
+      str_list_of p "non_preferred_value",
+      pfind p "non_preferred_value" )
+  with
+  | Some pref, Some non, Some nf ->
+    let both = List.filter (fun v -> List.mem v pref) non in
+    if both = [] then []
+    else
+      [
+        Diagnostic.make Diagnostic.conflicting_values nf.fspan
+          (Printf.sprintf "value%s %s appear%s in both preferred_value and non_preferred_value"
+             (if List.length both = 1 then "" else "s")
+             (String.concat ", " (List.map (Printf.sprintf "%S") both))
+             (if List.length both = 1 then "s" else ""));
+      ]
+  | _ -> []
+
+let tree_passes ?lens p =
+  let presence_only =
+    match (bool_of p "check_presence_only", pfind p "check_presence_only") with
+    | Some true, Some f
+      when pfind p "preferred_value" <> None || pfind p "non_preferred_value" <> None ->
+      [
+        Diagnostic.make Diagnostic.presence_only_with_values f.fspan
+          "check_presence_only: true makes the rule's value constraints dead";
+      ]
+    | _ -> []
+  in
+  let dead_paths =
+    match (lens, pfind p "config_path") with
+    | Some lens, Some f when List.mem lens flat_lenses ->
+      let paths = Option.value (Yamlite.Value.get_str_list f.value) ~default:[] in
+      List.filter_map
+        (fun path ->
+          if String.contains path '/' then
+            Some
+              (Diagnostic.make Diagnostic.dead_config_path f.fspan
+                 ~suggestion:"flat lenses address settings by dotted key, e.g. a.b.c"
+                 (Printf.sprintf
+                    "config_path %S can never be produced by the flat %s lens" path lens))
+          else None)
+        paths
+    | _ -> []
+  in
+  presence_only @ dead_paths
+
+let path_passes p =
+  match (bool_of p "should_exist", pfind p "should_exist") with
+  | Some false, Some f ->
+    let attrs =
+      List.filter (fun k -> pfind p k <> None) [ "ownership"; "permission"; "file_type" ]
+    in
+    if attrs = [] then []
+    else
+      [
+        Diagnostic.make Diagnostic.absent_path_with_attributes f.fspan
+          (Printf.sprintf "should_exist: false makes %s unsatisfiable"
+             (String.concat ", " attrs));
+      ]
+  | _ -> []
+
+let script_passes ctx p =
+  match pfind p "script" with
+  | Some f -> (
+    match Yamlite.Value.get_str f.value with
+    | Some name when not (List.mem name ctx.plugins) ->
+      [
+        Diagnostic.make Diagnostic.unknown_script f.fspan
+          ?suggestion:(did_you_mean ctx.plugins name)
+          (Printf.sprintf "script %S names no crawler plugin" name);
+      ]
+    | _ -> [])
+  | None -> []
+
+let composite_passes ctx p =
+  match pfind p "composite_rule" with
+  | Some f -> (
+    match Yamlite.Value.get_str f.value with
+    | None -> []
+    | Some text -> (
+      match Cvl.Expr.parse text with
+      | Error e ->
+        [
+          Diagnostic.make Diagnostic.bad_composite_expression f.fspan
+            (Printf.sprintf "composite expression does not parse: %s" e);
+        ]
+      | Ok ast -> (
+        match ctx.entities with
+        | None -> []
+        | Some known ->
+          List.filter_map
+            (fun entity ->
+              if List.mem entity known then None
+              else
+                Some
+                  (Diagnostic.make Diagnostic.unknown_entity f.fspan
+                     ?suggestion:(did_you_mean known entity)
+                     (Printf.sprintf
+                        "composite expression references entity %S, absent from the manifest"
+                        entity)))
+            (Cvl.Expr.entities ast))))
+  | None -> []
+
+let is_blank s = String.trim s = ""
+
+let tag_passes p =
+  match pfind p "tags" with
+  | None ->
+    [ Diagnostic.make Diagnostic.no_tags p.rspan "rule carries no tags" ]
+  | Some f -> (
+    match Yamlite.Value.get_str_list f.value with
+    | Some [] -> [ Diagnostic.make Diagnostic.no_tags f.fspan "tags list is empty" ]
+    | Some tags ->
+      let blank =
+        if List.exists is_blank tags then
+          [ Diagnostic.make Diagnostic.bad_tag f.fspan "a tag is empty or blank" ]
+        else []
+      in
+      let spacey =
+        List.filter_map
+          (fun t ->
+            if (not (is_blank t)) && String.contains t ' ' then
+              Some
+                (Diagnostic.make Diagnostic.bad_tag f.fspan
+                   (Printf.sprintf "tag %S contains whitespace" t))
+            else None)
+          tags
+      in
+      let dups =
+        List.filter_map
+          (fun t ->
+            if List.length (List.filter (String.equal t) tags) > 1 then Some t else None)
+          tags
+        |> List.sort_uniq String.compare
+        |> List.map (fun t ->
+               Diagnostic.make Diagnostic.bad_tag f.fspan
+                 (Printf.sprintf "tag %S is listed more than once" t))
+      in
+      blank @ spacey @ dups
+    | None -> [])
+
+let remediation_passes p =
+  let severity = Option.value (str_of p "severity") ~default:"medium" in
+  if not (List.mem severity [ "high"; "critical" ]) then []
+  else
+    let has key =
+      match str_of p key with Some s -> not (is_blank s) | None -> false
+    in
+    if has "suggested_action" || has "not_matched_preferred_value_description" then []
+    else
+      let sp =
+        match pfind p "severity" with Some f -> f.fspan | None -> p.rspan
+      in
+      [
+        Diagnostic.make Diagnostic.missing_remediation sp
+          (Printf.sprintf
+             "%s-severity rule %S has no suggested_action or violation description"
+             severity
+             (Option.value (name_of p) ~default:"?"));
+      ]
+
+let semantic_passes ctx ?lens p =
+  match kind_of p with
+  | [] ->
+    [
+      Diagnostic.make Diagnostic.rule_load_error p.rspan
+        "rule has no discriminator key (expected one of config_name, config_schema_name, \
+         path_name, script_name, composite_rule_name)";
+    ]
+  | _ :: _ :: _ as multiple ->
+    [
+      Diagnostic.make Diagnostic.rule_load_error p.rspan
+        (Printf.sprintf "rule mixes discriminator keys: %s"
+           (String.concat ", " (List.map fst multiple)));
+    ]
+  | [ (dkey, group) ] -> (
+    match str_of p dkey with
+    | None ->
+      [
+        Diagnostic.make Diagnostic.rule_load_error p.rspan
+          (Printf.sprintf "%s must be a scalar" dkey);
+      ]
+    | Some _ ->
+      let typed =
+        match group with
+        | Cvl.Keyword.Tree -> tree_passes ?lens p
+        | Cvl.Keyword.Path -> path_passes p
+        | Cvl.Keyword.Script -> script_passes ctx p
+        | Cvl.Keyword.Composite -> composite_passes ctx p
+        | Cvl.Keyword.Schema | Cvl.Keyword.Common -> []
+      in
+      let diags =
+        expectation_passes p @ conflicting_values_pass p @ typed @ tag_passes p
+        @ remediation_passes p
+      in
+      (* CVL003 backstop: whatever the loader still rejects that no
+         specialized pass explained. Suppressed when an error-severity
+         diagnostic already covers this rule — including keyword errors,
+         which the per-file pass reported at field spans. *)
+      let already_errored =
+        keyword_pass p <> []
+        || List.exists
+             (fun (d : Diagnostic.t) ->
+               d.Diagnostic.code.Diagnostic.severity = Diagnostic.Error)
+             diags
+      in
+      let backstop =
+        if already_errored then []
+        else
+          match Cvl.Loader.rule_of_map (to_map p) with
+          | Ok _ -> []
+          | Error msg -> [ Diagnostic.make Diagnostic.rule_load_error p.rspan msg ]
+      in
+      diags @ backstop)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let finish supp diags =
+  Diagnostic.sort (List.filter (fun d -> not (suppressed supp d)) diags)
+
+let lint_text ?(ctx = default_context) ?lens ?(path = "<input>") text =
+  let supp = Hashtbl.create 4 in
+  Hashtbl.replace supp path (suppressions_of_text text);
+  match Cvl.Loader.Raw.of_text text with
+  | Error err ->
+    finish supp
+      [
+        Diagnostic.make Diagnostic.parse_error
+          (span path err.Cvl.Loader.Raw.err_line)
+          err.Cvl.Loader.Raw.err_msg;
+      ]
+  | Ok doc ->
+    let fd = { fpath = path; doc } in
+    let prules = prules_of_doc path doc in
+    finish supp (file_passes fd @ List.concat_map (semantic_passes ctx ?lens) prules)
+
+let lint_chain ~ctx ?lens ~source ~ref_span ~supp path =
+  let load_diags, chain = load_chain ~source ~ref_span ~supp path in
+  let per_file = List.concat_map file_passes chain in
+  let effective, shadow = effective_rules chain in
+  let semantic = List.concat_map (semantic_passes ctx ?lens) effective in
+  load_diags @ per_file @ shadow @ semantic
+
+let lint_file ?(ctx = default_context) ?lens ~source path =
+  let supp = Hashtbl.create 4 in
+  finish supp (lint_chain ~ctx ?lens ~source ~ref_span:(span path 0) ~supp path)
+
+(* ------------------------------------------------------------------ *)
+(* Manifest / corpus                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let manifest_keys =
+  [ "enabled"; "config_search_paths"; "cvl_file"; "lens"; "rule_type"; "entity_name" ]
+
+let rule_types = [ "tree"; "schema"; "path"; "script"; "composite" ]
+
+type mentry = {
+  m_entity : string;
+  m_cvl_file : (string * Diagnostic.span) option;
+  m_lens : string option;
+}
+
+(* Positioned manifest checks. Returns the diagnostics plus what the
+   corpus walk needs from each well-formed section. *)
+let lint_manifest ~ctx ~path text =
+  match Yamlite.Parse.ast text with
+  | Error e ->
+    ( [
+        Diagnostic.make Diagnostic.parse_error
+          (span path e.Yamlite.Parse.line)
+          (Yamlite.Parse.error_to_string e);
+      ],
+      [] )
+  | Ok ast -> (
+    match ast.Yamlite.Ast.v with
+    | Yamlite.Ast.Map sections ->
+      let results =
+        List.map
+          (fun (section : Yamlite.Ast.entry) ->
+            let entity = section.Yamlite.Ast.key in
+            let sspan = span path section.Yamlite.Ast.key_line in
+            match section.Yamlite.Ast.value.Yamlite.Ast.v with
+            | Yamlite.Ast.Map fields ->
+              let unknown =
+                List.filter_map
+                  (fun (f : Yamlite.Ast.entry) ->
+                    if List.mem f.Yamlite.Ast.key manifest_keys then None
+                    else
+                      Some
+                        (Diagnostic.make Diagnostic.manifest_error
+                           ?suggestion:(did_you_mean manifest_keys f.Yamlite.Ast.key)
+                           (span path f.Yamlite.Ast.key_line)
+                           (Printf.sprintf "manifest %s: unknown key %S" entity
+                              f.Yamlite.Ast.key)))
+                  fields
+              in
+              let field key =
+                List.find_opt
+                  (fun (f : Yamlite.Ast.entry) -> String.equal f.Yamlite.Ast.key key)
+                  fields
+              in
+              let fspan (f : Yamlite.Ast.entry) = span path f.Yamlite.Ast.key_line in
+              let fstr (f : Yamlite.Ast.entry) =
+                Yamlite.Value.get_str (Yamlite.Ast.to_value f.Yamlite.Ast.value)
+              in
+              let enabled_diags =
+                match field "enabled" with
+                | Some f
+                  when Yamlite.Value.get_bool (Yamlite.Ast.to_value f.Yamlite.Ast.value)
+                       = None ->
+                  [
+                    Diagnostic.make Diagnostic.manifest_error (fspan f)
+                      (Printf.sprintf "manifest %s: enabled must be a boolean" entity);
+                  ]
+                | _ -> []
+              in
+              let cvl_file, cvl_diags =
+                match field "cvl_file" with
+                | None ->
+                  ( None,
+                    [
+                      Diagnostic.make Diagnostic.manifest_error sspan
+                        (Printf.sprintf "manifest %s: cvl_file is required" entity);
+                    ] )
+                | Some f -> (
+                  match fstr f with
+                  | Some file -> (Some (file, fspan f), [])
+                  | None ->
+                    ( None,
+                      [
+                        Diagnostic.make Diagnostic.manifest_error (fspan f)
+                          (Printf.sprintf "manifest %s: cvl_file must be a scalar" entity);
+                      ] ))
+              in
+              let lens, lens_diags =
+                match field "lens" with
+                | None -> (None, [])
+                | Some f -> (
+                  match fstr f with
+                  | Some l when not (List.mem l ctx.lenses) ->
+                    ( None,
+                      [
+                        Diagnostic.make Diagnostic.unknown_lens (fspan f)
+                          ?suggestion:(did_you_mean ctx.lenses l)
+                          (Printf.sprintf "manifest %s: lens %S is not in the registry"
+                             entity l);
+                      ] )
+                  | l -> (l, []))
+              in
+              let rt_diags =
+                match field "rule_type" with
+                | Some f -> (
+                  match fstr f with
+                  | Some t when not (List.mem t rule_types) ->
+                    [
+                      Diagnostic.make Diagnostic.bad_rule_type (fspan f)
+                        ?suggestion:(did_you_mean rule_types t)
+                        (Printf.sprintf "manifest %s: rule_type %S is not a CVL rule type"
+                           entity t);
+                    ]
+                  | _ -> [])
+                | None -> []
+              in
+              ( unknown @ enabled_diags @ cvl_diags @ lens_diags @ rt_diags,
+                [ { m_entity = entity; m_cvl_file = cvl_file; m_lens = lens } ] )
+            | _ ->
+              ( [
+                  Diagnostic.make Diagnostic.manifest_error sspan
+                    (Printf.sprintf "manifest %s: section must be a mapping" entity);
+                ],
+                [] ))
+          sections
+      in
+      (List.concat_map fst results, List.concat_map snd results)
+    | _ ->
+      ( [
+          Diagnostic.make Diagnostic.manifest_error
+            (span path ast.Yamlite.Ast.line)
+            "a manifest must be a mapping of entity sections";
+        ],
+        [] ))
+
+let lint_corpus ?(ctx = default_context) ~(source : Cvl.Loader.source)
+    ?(manifest_path = "manifest.yaml") () =
+  let supp = Hashtbl.create 8 in
+  match source.Cvl.Loader.load manifest_path with
+  | Error msg ->
+    [
+      Diagnostic.make Diagnostic.missing_rule_file (span manifest_path 0)
+        (Printf.sprintf "cannot read manifest %S: %s" manifest_path msg);
+    ]
+  | Ok text ->
+    Hashtbl.replace supp manifest_path (suppressions_of_text text);
+    let manifest_diags, entries = lint_manifest ~ctx ~path:manifest_path text in
+    let ctx = { ctx with entities = Some (List.map (fun e -> e.m_entity) entries) } in
+    let chain_diags =
+      List.concat_map
+        (fun e ->
+          match e.m_cvl_file with
+          | None -> []
+          | Some (file, ref_span) ->
+            lint_chain ~ctx ?lens:e.m_lens ~source ~ref_span ~supp file)
+        entries
+    in
+    finish supp (manifest_diags @ chain_diags)

@@ -1,0 +1,54 @@
+(** cvlint — a semgrep-style static analyzer for CVL rule sets.
+
+    Where the loader answers "does this file parse?", cvlint answers
+    "will these rules do what the author meant?": typo'd keywords (with
+    edit-distance suggestions), keywords outside their rule-type group,
+    unsatisfiable preferred/non-preferred combinations, regexes that do
+    not compile, lenses and crawler plugins that do not exist, rules
+    shadowed across [parent_cvl_file] chains, composite expressions over
+    undefined entities — each as a structured {!Diagnostic.t} with a
+    stable code and a real [file:line] span threaded up from the YAML
+    parser.
+
+    Three entry points, by how much context is available:
+    - {!lint_text}: one rule file, no inheritance resolution;
+    - {!lint_file}: one rule file resolved through a {!Cvl.Loader.source}
+      (parents are loaded, the whole chain is linted);
+    - {!lint_corpus}: a manifest plus every rule file it references —
+      the full analysis, including manifest-level and cross-entity
+      passes. *)
+
+module Diagnostic = Diagnostic
+module Render = Render
+
+(** What the analyzer checks names against. [entities] enables the
+    composite-expression pass; [None] (no manifest in sight) skips it. *)
+type context = {
+  lenses : string list;
+  plugins : string list;
+  entities : string list option;
+}
+
+(** Lens and plugin names from {!Lenses.Registry} and {!Crawler.plugins};
+    no entities. *)
+val default_context : context
+
+(** Lint standalone rule text. A [parent_cvl_file] reference is left
+    unresolved (no source to read it from). [path] labels spans;
+    it defaults to ["<input>"]. [lens] enables the lens-aware passes. *)
+val lint_text : ?ctx:context -> ?lens:string -> ?path:string -> string -> Diagnostic.t list
+
+(** Lint one rule file through [source], following and also linting its
+    [parent_cvl_file] chain. *)
+val lint_file :
+  ?ctx:context -> ?lens:string -> source:Cvl.Loader.source -> string -> Diagnostic.t list
+
+(** Lint a manifest and every rule file it references. The manifest's
+    entity names feed the composite-expression pass; each entry's [lens]
+    feeds the lens-aware passes for that entity's chain. *)
+val lint_corpus :
+  ?ctx:context ->
+  source:Cvl.Loader.source ->
+  ?manifest_path:string ->
+  unit ->
+  Diagnostic.t list

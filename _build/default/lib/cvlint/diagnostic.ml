@@ -1,0 +1,146 @@
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+type code = {
+  id : string;
+  name : string;
+  severity : severity;
+  summary : string;
+}
+
+let code id name severity summary = { id; name; severity; summary }
+
+let parse_error =
+  code "CVL001" "parse-error" Error "the file is not parseable as YAML/CVL"
+
+let manifest_error =
+  code "CVL002" "manifest-error" Error "the manifest section is malformed"
+
+let rule_load_error =
+  code "CVL003" "rule-load-error" Error "the rule is rejected by the CVL loader"
+
+let missing_rule_file =
+  code "CVL004" "missing-rule-file" Error "a cvl_file or parent_cvl_file cannot be read"
+
+let inheritance_cycle =
+  code "CVL005" "inheritance-cycle" Error "the parent_cvl_file chain forms a cycle"
+
+let unknown_keyword =
+  code "CVL010" "unknown-keyword" Error "the key is not part of the CVL vocabulary"
+
+let misplaced_keyword =
+  code "CVL011" "misplaced-keyword" Error "the keyword is not valid for this rule type"
+
+let duplicate_rule_name =
+  code "CVL012" "duplicate-rule-name" Error "two rules in the same file share a name"
+
+let shadowed_rule =
+  code "CVL013" "shadowed-rule" Info "the rule overrides a parent_cvl_file ancestor"
+
+let conflicting_values =
+  code "CVL020" "conflicting-values" Error
+    "a value appears in both preferred_value and non_preferred_value"
+
+let presence_only_with_values =
+  code "CVL021" "presence-only-with-values" Warning
+    "check_presence_only makes the rule's value constraints dead"
+
+let absent_path_with_attributes =
+  code "CVL022" "absent-path-with-attributes" Warning
+    "should_exist: false makes ownership/permission/file_type unsatisfiable"
+
+let bad_match_spec =
+  code "CVL023" "bad-match-spec" Error "the *_value_match spec is not kind,scope"
+
+let bad_regex = code "CVL024" "bad-regex" Error "a regex rule value does not compile"
+
+let match_without_value =
+  code "CVL025" "match-without-value" Error
+    "a *_value_match is given without the matching *_value list"
+
+let unknown_lens = code "CVL030" "unknown-lens" Error "the lens is not in the registry"
+
+let unknown_script =
+  code "CVL031" "unknown-script" Error "the script names no crawler plugin"
+
+let dead_config_path =
+  code "CVL032" "dead-config-path" Warning
+    "a config_path alternate can never be produced by the declared lens"
+
+let unknown_entity =
+  code "CVL033" "unknown-entity" Error
+    "the composite expression references an entity absent from the manifest"
+
+let bad_composite_expression =
+  code "CVL034" "bad-composite-expression" Error "the composite_rule expression does not parse"
+
+let no_tags = code "CVL040" "no-tags" Warning "the rule carries no tags"
+
+let bad_tag =
+  code "CVL041" "bad-tag" Warning "a tag is empty, duplicated, or contains whitespace"
+
+let missing_remediation =
+  code "CVL042" "missing-remediation" Warning
+    "a high-severity rule lacks suggested_action or a violation description"
+
+let bad_rule_type =
+  code "CVL043" "bad-rule-type" Warning "the manifest rule_type is not a CVL rule type"
+
+let registry =
+  [
+    parse_error; manifest_error; rule_load_error; missing_rule_file; inheritance_cycle;
+    unknown_keyword; misplaced_keyword; duplicate_rule_name; shadowed_rule;
+    conflicting_values; presence_only_with_values; absent_path_with_attributes;
+    bad_match_spec; bad_regex; match_without_value; unknown_lens; unknown_script;
+    dead_config_path; unknown_entity; bad_composite_expression; no_tags; bad_tag;
+    missing_remediation; bad_rule_type;
+  ]
+
+let find_code key =
+  List.find_opt (fun c -> String.equal c.id key || String.equal c.name key) registry
+
+type span = { file : string; line : int }
+
+type t = {
+  code : code;
+  span : span;
+  message : string;
+  suggestion : string option;
+}
+
+let make code ?suggestion span message = { code; span; message; suggestion }
+
+let compare a b =
+  let c = String.compare a.span.file b.span.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.span.line b.span.line in
+    if c <> 0 then c
+    else
+      let c = String.compare a.code.id b.code.id in
+      if c <> 0 then c else String.compare a.message b.message
+
+let sort diags = List.sort_uniq compare diags
+
+let count diags =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.code.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) diags
+
+let worst diags =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | Some s when severity_rank s >= severity_rank d.code.severity -> acc
+      | _ -> Some d.code.severity)
+    None diags

@@ -1,0 +1,81 @@
+(** Structured lint diagnostics and the code registry.
+
+    Every finding cvlint can emit is declared here once, with a stable
+    numeric id ([CVL0xx]), a semgrep-style slug, a fixed severity, and a
+    one-line summary. Renderers (text/JSON/SARIF), the CLI's [--fail-on]
+    gating, and the documentation table in DESIGN.md all read this
+    registry, so adding a pass starts by adding its code. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+
+(** [Error] > [Warning] > [Info]. *)
+val severity_rank : severity -> int
+
+type code = {
+  id : string;  (** stable, e.g. ["CVL010"] *)
+  name : string;  (** slug, e.g. ["unknown-keyword"] *)
+  severity : severity;
+  summary : string;
+}
+
+(** All diagnostic codes, in id order. *)
+val registry : code list
+
+(** Lookup by id or slug. *)
+val find_code : string -> code option
+
+type span = {
+  file : string;
+  line : int;  (** 1-based; [0] when the finding has no useful line *)
+}
+
+type t = {
+  code : code;
+  span : span;
+  message : string;
+  suggestion : string option;  (** an optional suggested fix *)
+}
+
+val make : code -> ?suggestion:string -> span -> string -> t
+
+(** Order by (file, line, id, message); [sort] also deduplicates —
+    linting a parent file once per inheritance chain must not double
+    report. *)
+val compare : t -> t -> int
+
+val sort : t list -> t list
+
+(** [(errors, warnings, infos)] census. *)
+val count : t list -> int * int * int
+
+(** Highest severity present. *)
+val worst : t list -> severity option
+
+(** {2 The registry} *)
+
+val parse_error : code
+val manifest_error : code
+val rule_load_error : code
+val missing_rule_file : code
+val inheritance_cycle : code
+val unknown_keyword : code
+val misplaced_keyword : code
+val duplicate_rule_name : code
+val shadowed_rule : code
+val conflicting_values : code
+val presence_only_with_values : code
+val absent_path_with_attributes : code
+val bad_match_spec : code
+val bad_regex : code
+val match_without_value : code
+val unknown_lens : code
+val unknown_script : code
+val dead_config_path : code
+val unknown_entity : code
+val bad_composite_expression : code
+val no_tags : code
+val bad_tag : code
+val missing_remediation : code
+val bad_rule_type : code

@@ -1,0 +1,1 @@
+lib/yamlite/ast.ml: List String Value

@@ -1,0 +1,1 @@
+lib/yamlite/ast.mli: Value

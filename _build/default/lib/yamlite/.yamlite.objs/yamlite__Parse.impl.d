@@ -1,1 +1,1 @@
-lib/yamlite/parse.ml: Array Buffer List Printf String Value
+lib/yamlite/parse.ml: Array Ast Buffer List Printf Result String Value

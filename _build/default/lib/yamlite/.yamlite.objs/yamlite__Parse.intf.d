@@ -1,1 +1,1 @@
-lib/yamlite/parse.mli: Value
+lib/yamlite/parse.mli: Ast Value

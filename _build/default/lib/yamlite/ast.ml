@@ -1,0 +1,39 @@
+type t = {
+  line : int;
+  v : node;
+}
+
+and node =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Map of entry list
+
+and entry = {
+  key : string;
+  key_line : int;
+  value : t;
+}
+
+let rec to_value t =
+  match t.v with
+  | Null -> Value.Null
+  | Bool b -> Value.Bool b
+  | Int i -> Value.Int i
+  | Float f -> Value.Float f
+  | Str s -> Value.Str s
+  | List items -> Value.List (List.map to_value items)
+  | Map entries -> Value.Map (List.map (fun e -> (e.key, to_value e.value)) entries)
+
+let find key t =
+  match t.v with
+  | Map entries -> List.find_opt (fun e -> String.equal e.key key) entries
+  | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None
+
+let keys t =
+  match t.v with
+  | Map entries -> List.map (fun e -> (e.key, e.key_line)) entries
+  | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> []

@@ -1,0 +1,1 @@
+test/test_cvlint.ml: Alcotest Cvl Cvlint Jsonlite List Option Rulesets String

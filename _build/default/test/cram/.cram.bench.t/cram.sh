@@ -2,3 +2,6 @@
   $ grep -c '"jobs"' smoke.json
   $ grep -o '"deterministic": true' smoke.json
   $ grep -o '"unique_files": [0-9]*' smoke.json
+  $ ../../bench/main.exe lint --smoke --lint-out lint_smoke.json | grep -v ' us ' | grep -v ' ms ' | grep -v ' ns ' | grep -v overhead
+  $ grep -o '"seeded_findings": 4' lint_smoke.json
+  $ grep -o '"clean_findings": 0' lint_smoke.json

@@ -16,6 +16,7 @@
   > rules:
   >   - config_name: x
   >     prefered_value: ["no"]
+  >     tags: ["#cis"]
   > YAML
   $ configvalidator lint bad.yaml
   $ configvalidator remediate -t docker-host-bad | tail -2

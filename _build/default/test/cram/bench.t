@@ -22,3 +22,21 @@ cold/warm normalization ablation.
   "deterministic": true
   $ grep -o '"unique_files": [0-9]*' smoke.json
   "unique_files": 16
+
+The lint benchmark has the same smoke mode. The finding counts are
+deterministic (the corpus generator seeds exactly one typo'd keyword
+per 25 rules); only the timings vary by machine.
+
+  $ ../../bench/main.exe lint --smoke --lint-out lint_smoke.json | grep -v ' us ' | grep -v ' ms ' | grep -v ' ns ' | grep -v overhead
+  
+  ==================================================================
+  Lint - cvlint static analysis over a 100-rule synthetic corpus (smoke)
+  ==================================================================
+  clean corpus findings: 0
+  seeded corpus findings: 4 (4 seeded defects)
+  wrote lint_smoke.json
+
+  $ grep -o '"seeded_findings": 4' lint_smoke.json
+  "seeded_findings": 4
+  $ grep -o '"clean_findings": 0' lint_smoke.json
+  "clean_findings": 0

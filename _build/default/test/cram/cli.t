@@ -48,7 +48,7 @@ Frames round-trip through export and --frame-file.
   $ configvalidator validate --frame-file frame.json --only-violations | grep -c FAIL
   23
 
-Linting a CVL file reports its rules.
+Linting a clean CVL file reports nothing and exits 0.
 
   $ cat > rules.yaml <<'YAML'
   > rules:
@@ -57,18 +57,20 @@ Linting a CVL file reports its rules.
   >     tags: ["#cis"]
   > YAML
   $ configvalidator lint rules.yaml
-  rules.yaml: 1 rule(s) OK
-    config-tree  PermitRootLogin [#cis]
+  0 errors, 0 warnings, 0 infos
 
-Lint rejects unknown keywords with a precise message.
+Lint flags unknown keywords at their line, with a spelling suggestion.
 
   $ cat > bad.yaml <<'YAML'
   > rules:
   >   - config_name: x
   >     prefered_value: ["no"]
+  >     tags: ["#cis"]
   > YAML
   $ configvalidator lint bad.yaml
-  bad.yaml: rule "x": unknown keyword "prefered_value"
+  bad.yaml:3: error CVL010 [unknown-keyword]: unknown keyword "prefered_value"
+      suggestion: did you mean "preferred_value"?
+  1 error, 0 warnings, 0 infos
   [1]
 
 Remediation fixes the docker daemon host completely.

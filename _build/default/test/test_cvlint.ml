@@ -1,0 +1,222 @@
+(* The cvlint static analyzer: every diagnostic code in the registry is
+   triggered by a fixture under test/cvl_bad/ and asserted with its
+   exact file:line span. *)
+
+module D = Cvlint.Diagnostic
+
+let source = Cvl.Loader.file_source ~root:"cvl_bad"
+let lint file = Cvlint.lint_file ~source file
+
+let show diags =
+  let text = Cvlint.Render.to_text diags in
+  if text = "" then "(no diagnostics)" else text
+
+let check_has diags code file line =
+  if
+    not
+      (List.exists
+         (fun (d : D.t) ->
+           String.equal d.D.code.D.id code
+           && String.equal d.D.span.D.file file
+           && d.D.span.D.line = line)
+         diags)
+  then
+    Alcotest.failf "expected %s at %s:%d, got:\n%s" code file line (show diags)
+
+let suggestion_of diags code =
+  List.find_map
+    (fun (d : D.t) ->
+      if String.equal d.D.code.D.id code then d.D.suggestion else None)
+    diags
+
+(* (code, fixture, expected line of the span) — the span points at the
+   offending field/rule, not at the top of the file. *)
+let fixture_cases =
+  [
+    ("CVL001", "cvl001.yaml", 5);
+    ("CVL003", "cvl003.yaml", 3);
+    ("CVL004", "cvl004.yaml", 2);
+    ("CVL010", "cvl010.yaml", 4);
+    ("CVL011", "cvl011.yaml", 6);
+    ("CVL012", "cvl012.yaml", 7);
+    ("CVL020", "cvl020.yaml", 5);
+    ("CVL021", "cvl021.yaml", 4);
+    ("CVL022", "cvl022.yaml", 5);
+    ("CVL023", "cvl023.yaml", 5);
+    ("CVL024", "cvl024.yaml", 4);
+    ("CVL025", "cvl025.yaml", 4);
+    ("CVL031", "cvl031.yaml", 5);
+    ("CVL034", "cvl034.yaml", 4);
+    ("CVL040", "cvl040.yaml", 3);
+    ("CVL041", "cvl041.yaml", 5);
+    ("CVL042", "cvl042.yaml", 6);
+  ]
+
+let fixture_tests =
+  [
+    Alcotest.test_case "single-file fixtures" `Quick (fun () ->
+        List.iter
+          (fun (code, file, line) -> check_has (lint file) code file line)
+          fixture_cases);
+    Alcotest.test_case "inheritance cycle (CVL005)" `Quick (fun () ->
+        (* cvl005.yaml -> cvl005_other.yaml -> cvl005.yaml: the cycle is
+           reported at the parent_cvl_file line that closes it. *)
+        check_has (lint "cvl005.yaml") "CVL005" "cvl005_other.yaml" 1);
+    Alcotest.test_case "shadowed rule is info (CVL013)" `Quick (fun () ->
+        let diags = lint "cvl013.yaml" in
+        check_has diags "CVL013" "cvl013.yaml" 5;
+        let d =
+          List.find (fun (d : D.t) -> d.D.code.D.id = "CVL013") diags
+        in
+        Alcotest.(check string) "severity" "info"
+          (D.severity_to_string d.D.code.D.severity);
+        (* the message names the ancestor definition *)
+        Alcotest.(check bool) "names parent" true
+          (List.exists
+             (fun sub -> sub = "cvl013_parent.yaml:2")
+             (String.split_on_char ' ' d.D.message)));
+    Alcotest.test_case "corpus fixtures (manifest-level codes)" `Quick (fun () ->
+        let diags =
+          Cvlint.lint_corpus
+            ~source:(Cvl.Loader.file_source ~root:"cvl_bad/corpus")
+            ()
+        in
+        check_has diags "CVL002" "manifest.yaml" 15;  (* unknown key *)
+        check_has diags "CVL002" "manifest.yaml" 17;  (* cvl_file required *)
+        check_has diags "CVL030" "manifest.yaml" 14;
+        check_has diags "CVL043" "manifest.yaml" 11;
+        check_has diags "CVL032" "cvl032.yaml" 5;
+        check_has diags "CVL033" "cvl033.yaml" 4);
+  ]
+
+let behavior_tests =
+  [
+    Alcotest.test_case "did-you-mean suggestions" `Quick (fun () ->
+        Alcotest.(check (option string)) "keyword typo"
+          (Some "did you mean \"preferred_value\"?")
+          (suggestion_of (lint "cvl010.yaml") "CVL010");
+        Alcotest.(check (option string)) "plugin typo"
+          (Some "did you mean \"sysctl_runtime\"?")
+          (suggestion_of (lint "cvl031.yaml") "CVL031"));
+    Alcotest.test_case "clean file has no findings" `Quick (fun () ->
+        let diags =
+          Cvlint.lint_text
+            "rules:\n  - config_name: ssl\n    preferred_value: [\"on\"]\n    tags: [\"#x\"]\n"
+        in
+        Alcotest.(check int) "count" 0 (List.length diags));
+    Alcotest.test_case "lint_text labels spans with ?path" `Quick (fun () ->
+        let diags = Cvlint.lint_text ~path:"inline.yaml" "rules:\n  - tags: []\n" in
+        check_has diags "CVL003" "inline.yaml" 2);
+    Alcotest.test_case "suppressions" `Quick (fun () ->
+        let text = "# cvlint-disable-file CVL040\nrules:\n  - config_name: ssl\n" in
+        Alcotest.(check int) "file-wide" 0 (List.length (Cvlint.lint_text text));
+        let text =
+          "rules:\n  # cvlint-disable-next-line CVL010\n  - config_name: ssl\n    \
+           prefered_value: [\"on\"]\n    tags: [\"#x\"]\n"
+        in
+        (* next-line only shields its own line; the typo sits two lines
+           below the annotation and must still be reported *)
+        check_has (Cvlint.lint_text ~path:"f.yaml" text) "CVL010" "f.yaml" 4;
+        let text =
+          "rules:\n  - config_name: ssl\n    # cvlint-disable-next-line CVL010\n    \
+           prefered_value: [\"on\"]\n    tags: [\"#x\"]\n"
+        in
+        Alcotest.(check int) "next-line" 0 (List.length (Cvlint.lint_text text)));
+    Alcotest.test_case "worst and fail-on ordering" `Quick (fun () ->
+        Alcotest.(check bool) "info < warning" true
+          (D.severity_rank D.Info < D.severity_rank D.Warning);
+        Alcotest.(check (option string)) "worst of cvl013 chain" (Some "info")
+          (Option.map D.severity_to_string (D.worst (lint "cvl013.yaml"))));
+    Alcotest.test_case "sort deduplicates repeat lintings" `Quick (fun () ->
+        let once = lint "cvl010.yaml" in
+        Alcotest.(check int) "dedup" (List.length once)
+          (List.length (D.sort (once @ once))));
+    Alcotest.test_case "registry ids are unique and sorted" `Quick (fun () ->
+        let ids = List.map (fun (c : D.code) -> c.D.id) D.registry in
+        Alcotest.(check (list string)) "sorted uniquely" ids
+          (List.sort_uniq String.compare ids);
+        Alcotest.(check bool) "lookup by slug" true
+          (D.find_code "unknown-keyword" = D.find_code "CVL010"));
+  ]
+
+let render_tests =
+  [
+    Alcotest.test_case "json carries code, span and summary" `Quick (fun () ->
+        let json = Cvlint.Render.to_json (lint "cvl010.yaml") in
+        let diags = Option.get (Jsonlite.member "diagnostics" json) in
+        (match diags with
+        | Jsonlite.Arr [ d ] ->
+          Alcotest.(check (option string)) "code" (Some "CVL010")
+            (Option.bind (Jsonlite.member "code" d) Jsonlite.get_str);
+          Alcotest.(check (option (float 0.0))) "line" (Some 4.0)
+            (Option.bind (Jsonlite.member "line" d) Jsonlite.get_num)
+        | _ -> Alcotest.fail "expected exactly one diagnostic");
+        let summary = Option.get (Jsonlite.member "summary" json) in
+        Alcotest.(check (option (float 0.0))) "errors" (Some 1.0)
+          (Option.bind (Jsonlite.member "errors" summary) Jsonlite.get_num));
+    Alcotest.test_case "sarif run lists registry rules and results" `Quick (fun () ->
+        let sarif = Cvlint.Render.to_sarif (lint "cvl010.yaml") in
+        match Jsonlite.member "runs" sarif with
+        | Some (Jsonlite.Arr [ run ]) ->
+          let driver =
+            Option.get
+              (Option.bind (Jsonlite.member "tool" run) (Jsonlite.member "driver"))
+          in
+          (match Jsonlite.member "rules" driver with
+          | Some (Jsonlite.Arr rules) ->
+            Alcotest.(check int) "all registry codes" (List.length D.registry)
+              (List.length rules)
+          | _ -> Alcotest.fail "missing rules");
+          (match Jsonlite.member "results" run with
+          | Some (Jsonlite.Arr [ result ]) ->
+            Alcotest.(check (option string)) "level" (Some "error")
+              (Option.bind (Jsonlite.member "level" result) Jsonlite.get_str)
+          | _ -> Alcotest.fail "expected one result")
+        | _ -> Alcotest.fail "expected one run");
+    Alcotest.test_case "summary line pluralization" `Quick (fun () ->
+        Alcotest.(check string) "singular" "1 error, 0 warnings, 0 infos"
+          (Cvlint.Render.summary_line (lint "cvl010.yaml")));
+  ]
+
+let keyword_tests =
+  [
+    Alcotest.test_case "hashtable lookup agrees with the list" `Quick (fun () ->
+        List.iter
+          (fun (k, g, _) ->
+            Alcotest.(check bool) k true (Cvl.Keyword.is_keyword k);
+            Alcotest.(check bool) (k ^ " group") true (Cvl.Keyword.group_of k = Some g))
+          Cvl.Keyword.all;
+        Alcotest.(check bool) "negative" false (Cvl.Keyword.is_keyword "not_a_keyword"));
+    Alcotest.test_case "bounded edit distance" `Quick (fun () ->
+        Alcotest.(check int) "equal" 0 (Cvl.Keyword.distance ~limit:3 "tags" "tags");
+        Alcotest.(check int) "one deletion" 1
+          (Cvl.Keyword.distance ~limit:3 "prefered_value" "preferred_value");
+        Alcotest.(check bool) "over limit clamps" true
+          (Cvl.Keyword.distance ~limit:2 "tags" "composite_rule_name" > 2));
+    Alcotest.test_case "nearest" `Quick (fun () ->
+        Alcotest.(check (option (pair string int))) "typo"
+          (Some ("preferred_value", 1))
+          (Cvl.Keyword.nearest "prefered_value");
+        Alcotest.(check (option (pair string int))) "exact" (Some ("tags", 0))
+          (Cvl.Keyword.nearest "tags");
+        Alcotest.(check (option (pair string int))) "hopeless" None
+          (Cvl.Keyword.nearest "zzzzzzzzzzzzzzzz"));
+  ]
+
+let shipped_tests =
+  [
+    Alcotest.test_case "embedded corpus lints clean" `Quick (fun () ->
+        let diags = Cvlint.lint_corpus ~source:Rulesets.source () in
+        let errors, warnings, _ = D.count diags in
+        if errors > 0 || warnings > 0 then
+          Alcotest.failf "shipped rulesets have findings:\n%s" (show diags));
+    Alcotest.test_case "site_overrides chain lints clean" `Quick (fun () ->
+        let diags = Cvlint.lint_file ~source:Rulesets.source "site_overrides/sshd.yaml" in
+        let errors, warnings, _ = D.count diags in
+        Alcotest.(check (pair int int)) "no errors or warnings" (0, 0) (errors, warnings);
+        (* ...but the two intentional overrides are visible as infos *)
+        Alcotest.(check int) "override infos" 2
+          (List.length (List.filter (fun (d : D.t) -> d.D.code.D.id = "CVL013") diags)));
+  ]
+
+let suite = fixture_tests @ behavior_tests @ render_tests @ keyword_tests @ shipped_tests

@@ -19,6 +19,7 @@ let () =
       ("engine-props", Test_engine_props.suite);
       ("validator", Test_validator.suite);
       ("rulesets", Test_rulesets.suite);
+      ("cvlint", Test_cvlint.suite);
       ("remediate", Test_remediate.suite);
       ("orchestrator", Test_orchestrator.suite);
       ("incremental", Test_incremental.suite);

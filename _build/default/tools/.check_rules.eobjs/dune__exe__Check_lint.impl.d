@@ -1,0 +1,1 @@
+tools/check_lint.ml: Array Cvl Cvlint Printf Rulesets Sys

@@ -1,0 +1,33 @@
+(* Lint gate, run under `dune runtest`: the embedded ruleset corpus and
+   every CVL example directory passed on the command line must be clean
+   — no error- or warning-severity findings. Info findings (e.g. the
+   intentional site_overrides rule shadowing) are printed but allowed.
+
+   A finding that is a deliberate part of an example belongs under a
+   tracked `# cvlint-disable-file CVLnnn` annotation in the file itself,
+   not in an exception list here. *)
+
+let failed = ref false
+
+let check label diags =
+  let errors, warnings, infos = Cvlint.Diagnostic.count diags in
+  if errors > 0 || warnings > 0 then begin
+    failed := true;
+    Printf.printf "%-28s FAIL (%s)\n" label (Cvlint.Render.summary_line diags);
+    print_string (Cvlint.Render.to_text diags)
+  end
+  else Printf.printf "%-28s ok (%d infos)\n" label infos
+
+let () =
+  check "embedded corpus" (Cvlint.lint_corpus ~source:Rulesets.source ());
+  (* Embedded files the manifest does not reference (the inheritance
+     example) still have to lint clean as standalone chains. *)
+  check "site_overrides/sshd.yaml"
+    (Cvlint.lint_file ~source:Rulesets.source "site_overrides/sshd.yaml");
+  Array.iteri
+    (fun i dir ->
+      if i > 0 then
+        check dir
+          (Cvlint.lint_corpus ~source:(Cvl.Loader.file_source ~root:dir) ()))
+    Sys.argv;
+  if !failed then exit 1

@@ -40,3 +40,31 @@ val load_file : source -> string -> (Rule.t list, string) result
 
 (** Parse one YAML rule mapping. *)
 val rule_of_yaml : Yamlite.Value.t -> (Rule.t, string) result
+
+(** Parse one rule from its key/value fields (the erased form of a
+    {!Raw.rule}). *)
+val rule_of_map : (string * Yamlite.Value.t) list -> (Rule.t, string) result
+
+(** {2 Positioned rule maps}
+
+    The linter's view of a rule file: the same three accepted document
+    shapes, with every rule and field carrying the physical line it was
+    written on (threaded from {!Yamlite.Parse.multi_ast}). The loader's
+    own [shapes_of_text] is an erasure of this, so the two views cannot
+    drift. *)
+module Raw : sig
+  type field = { key : string; key_line : int; value : Yamlite.Value.t }
+  type rule = { line : int; fields : field list }
+
+  type doc = {
+    parent : string option;
+    parent_line : int;  (** line of the [parent_cvl_file:] key; [0] if absent *)
+    rules : rule list;
+  }
+
+  type err = { err_line : int; err_msg : string }
+
+  val to_map : rule -> (string * Yamlite.Value.t) list
+  val field : rule -> string -> field option
+  val of_text : string -> (doc, err) result
+end

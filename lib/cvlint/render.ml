@@ -1,0 +1,138 @@
+let to_text diags =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d: %s %s [%s]: %s\n" d.Diagnostic.span.Diagnostic.file
+           d.Diagnostic.span.Diagnostic.line
+           (Diagnostic.severity_to_string d.Diagnostic.code.Diagnostic.severity)
+           d.Diagnostic.code.Diagnostic.id d.Diagnostic.code.Diagnostic.name
+           d.Diagnostic.message);
+      match d.Diagnostic.suggestion with
+      | Some s -> Buffer.add_string buf (Printf.sprintf "    suggestion: %s\n" s)
+      | None -> ())
+    (Diagnostic.sort diags);
+  Buffer.contents buf
+
+let summary_line diags =
+  let errors, warnings, infos = Diagnostic.count diags in
+  let plural n = if n = 1 then "" else "s" in
+  Printf.sprintf "%d error%s, %d warning%s, %d info%s" errors (plural errors) warnings
+    (plural warnings) infos (plural infos)
+
+let diag_to_json (d : Diagnostic.t) =
+  let base =
+    [
+      ("file", Jsonlite.Str d.Diagnostic.span.Diagnostic.file);
+      ("line", Jsonlite.Num (float_of_int d.Diagnostic.span.Diagnostic.line));
+      ("code", Jsonlite.Str d.Diagnostic.code.Diagnostic.id);
+      ("name", Jsonlite.Str d.Diagnostic.code.Diagnostic.name);
+      ( "severity",
+        Jsonlite.Str (Diagnostic.severity_to_string d.Diagnostic.code.Diagnostic.severity) );
+      ("message", Jsonlite.Str d.Diagnostic.message);
+    ]
+  in
+  match d.Diagnostic.suggestion with
+  | Some s -> Jsonlite.Obj (base @ [ ("suggestion", Jsonlite.Str s) ])
+  | None -> Jsonlite.Obj base
+
+let to_json diags =
+  let diags = Diagnostic.sort diags in
+  let errors, warnings, infos = Diagnostic.count diags in
+  Jsonlite.Obj
+    [
+      ("version", Jsonlite.Num 1.0);
+      ("diagnostics", Jsonlite.Arr (List.map diag_to_json diags));
+      ( "summary",
+        Jsonlite.Obj
+          [
+            ("errors", Jsonlite.Num (float_of_int errors));
+            ("warnings", Jsonlite.Num (float_of_int warnings));
+            ("infos", Jsonlite.Num (float_of_int infos));
+          ] );
+    ]
+
+let sarif_level = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Info -> "note"
+
+let to_sarif diags =
+  let diags = Diagnostic.sort diags in
+  let rules =
+    List.map
+      (fun (c : Diagnostic.code) ->
+        Jsonlite.Obj
+          [
+            ("id", Jsonlite.Str c.Diagnostic.id);
+            ("name", Jsonlite.Str c.Diagnostic.name);
+            ( "shortDescription",
+              Jsonlite.Obj [ ("text", Jsonlite.Str c.Diagnostic.summary) ] );
+            ( "defaultConfiguration",
+              Jsonlite.Obj [ ("level", Jsonlite.Str (sarif_level c.Diagnostic.severity)) ] );
+          ])
+      Diagnostic.registry
+  in
+  let results =
+    List.map
+      (fun (d : Diagnostic.t) ->
+        let message =
+          match d.Diagnostic.suggestion with
+          | Some s -> d.Diagnostic.message ^ " (suggestion: " ^ s ^ ")"
+          | None -> d.Diagnostic.message
+        in
+        Jsonlite.Obj
+          [
+            ("ruleId", Jsonlite.Str d.Diagnostic.code.Diagnostic.id);
+            ("level", Jsonlite.Str (sarif_level d.Diagnostic.code.Diagnostic.severity));
+            ("message", Jsonlite.Obj [ ("text", Jsonlite.Str message) ]);
+            ( "locations",
+              Jsonlite.Arr
+                [
+                  Jsonlite.Obj
+                    [
+                      ( "physicalLocation",
+                        Jsonlite.Obj
+                          [
+                            ( "artifactLocation",
+                              Jsonlite.Obj
+                                [ ("uri", Jsonlite.Str d.Diagnostic.span.Diagnostic.file) ] );
+                            ( "region",
+                              Jsonlite.Obj
+                                [
+                                  ( "startLine",
+                                    Jsonlite.Num
+                                      (float_of_int
+                                         (max 1 d.Diagnostic.span.Diagnostic.line)) );
+                                ] );
+                          ] );
+                    ];
+                ] );
+          ])
+      diags
+  in
+  Jsonlite.Obj
+    [
+      ("version", Jsonlite.Str "2.1.0");
+      ( "$schema",
+        Jsonlite.Str "https://json.schemastore.org/sarif-2.1.0.json" );
+      ( "runs",
+        Jsonlite.Arr
+          [
+            Jsonlite.Obj
+              [
+                ( "tool",
+                  Jsonlite.Obj
+                    [
+                      ( "driver",
+                        Jsonlite.Obj
+                          [
+                            ("name", Jsonlite.Str "cvlint");
+                            ("version", Jsonlite.Str "1.0.0");
+                            ("rules", Jsonlite.Arr rules);
+                          ] );
+                    ] );
+                ("results", Jsonlite.Arr results);
+              ];
+          ] );
+    ]

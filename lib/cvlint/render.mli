@@ -1,0 +1,18 @@
+(** Diagnostic renderers: human text, stable machine JSON, and a
+    SARIF-2.1.0 subset that code-review UIs ingest. All three render the
+    diagnostics in {!Diagnostic.sort} order, so output is deterministic
+    for golden tests. *)
+
+(** One line per diagnostic ([file:line: severity CODE [slug]: message]),
+    with a [suggestion:] continuation line when a fix is attached. *)
+val to_text : Diagnostic.t list -> string
+
+(** ["N errors, N warnings, N infos"]. *)
+val summary_line : Diagnostic.t list -> string
+
+val to_json : Diagnostic.t list -> Jsonlite.t
+
+(** SARIF-lite: [version]/[runs[0].tool.driver.rules]/[runs[0].results],
+    enough for GitHub code scanning to ingest. The rules table is the
+    full {!Diagnostic.registry} regardless of which codes fired. *)
+val to_sarif : Diagnostic.t list -> Jsonlite.t

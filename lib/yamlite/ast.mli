@@ -1,0 +1,40 @@
+(** Line-annotated parse trees.
+
+    {!Parse.ast} and {!Parse.multi_ast} return the same structure as
+    {!Value.t} but with every node carrying the 1-based physical line it
+    started on, and every mapping entry carrying the line of its key.
+    {!to_value} erases the annotations; the plain {!Parse.string} API is
+    implemented as parse-to-AST followed by erasure, so both views are
+    guaranteed to agree.
+
+    Consumers that report source positions (the CVL linter) read the
+    annotated view; everything else keeps using {!Value.t}. *)
+
+type t = {
+  line : int;  (** physical line (1-based) the node starts on *)
+  v : node;
+}
+
+and node =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Map of entry list
+
+and entry = {
+  key : string;
+  key_line : int;  (** line the key itself appears on *)
+  value : t;
+}
+
+val to_value : t -> Value.t
+
+(** Mapping entry lookup; [None] for non-maps and absent keys. *)
+val find : string -> t -> entry option
+
+(** Keys of a mapping in document order with their lines; [[]] for
+    non-maps. *)
+val keys : t -> (string * int) list

@@ -268,6 +268,25 @@ let flow_of_string num s =
   | None -> ());
   v
 
+(* Flow content lives on a single physical line, so lifting a flow value
+   into the positioned AST annotates every node with that line. *)
+let rec annotate num (v : Value.t) : Ast.t =
+  let node =
+    match v with
+    | Value.Null -> Ast.Null
+    | Value.Bool b -> Ast.Bool b
+    | Value.Int i -> Ast.Int i
+    | Value.Float f -> Ast.Float f
+    | Value.Str s -> Ast.Str s
+    | Value.List items -> Ast.List (List.map (annotate num) items)
+    | Value.Map kvs ->
+      Ast.Map
+        (List.map
+           (fun (key, v) -> { Ast.key; key_line = num; value = annotate num v })
+           kvs)
+  in
+  { Ast.line = num; v = node }
+
 (* ------------------------------------------------------------------ *)
 (* Block structure                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -378,18 +397,22 @@ let parse_block_scalar st ~style ~key_num ~parent_indent =
       | _ -> l)
   in
   let lines = drop_trailing lines in
-  match style with
-  | '|' -> Value.Str (String.concat "\n" lines)
-  | '>' -> Value.Str (String.concat " " (List.filter (fun l -> l <> "") lines))
-  | _ -> assert false
+  let s =
+    match style with
+    | '|' -> String.concat "\n" lines
+    | '>' -> String.concat " " (List.filter (fun l -> l <> "") lines)
+    | _ -> assert false
+  in
+  { Ast.line = key_num; v = Ast.Str s }
 
-let rec parse_node st ~min_indent =
+let rec parse_node st ~min_indent : Ast.t =
   match peek_line st with
-  | None -> Value.Null
-  | Some l when l.indent < min_indent -> Value.Null
+  | None -> { Ast.line = 0; v = Ast.Null }
+  | Some l when l.indent < min_indent -> { Ast.line = l.num; v = Ast.Null }
   | Some l -> if is_seq_item l.text then parse_sequence st ~indent:l.indent else parse_mapping st ~indent:l.indent
 
 and parse_sequence st ~indent =
+  let start_num = match peek_line st with Some l -> l.num | None -> 0 in
   let items = ref [] in
   let rec loop () =
     match peek_line st with
@@ -406,7 +429,7 @@ and parse_sequence st ~indent =
     | Some _ | None -> ()
   in
   loop ();
-  Value.List (List.rev !items)
+  { Ast.line = start_num; v = Ast.List (List.rev !items) }
 
 (* A sequence item with inline content: either a scalar/flow value, or
    the first entry of a nested mapping ("- key: value"). *)
@@ -417,12 +440,13 @@ and parse_inline_item st ~line ~rest ~indent =
     (* The virtual indent of the nested mapping is where [rest] starts. *)
     let virtual_indent = indent + (String.length line.text - String.length rest) in
     let first = parse_entry_value st ~num:line.num ~parent_indent:virtual_indent ~rest:key_rest in
-    let tail = parse_mapping_entries st ~indent:virtual_indent ~acc:[ (key, first) ] ~first_num:line.num in
-    Value.Map tail
+    let entry = { Ast.key; key_line = line.num; value = first } in
+    let tail = parse_mapping_entries st ~indent:virtual_indent ~acc:[ entry ] ~first_num:line.num in
+    { Ast.line = line.num; v = Ast.Map tail }
 
 and parse_mapping st ~indent =
   match peek_line st with
-  | None -> Value.Null
+  | None -> { Ast.line = 0; v = Ast.Null }
   | Some first -> (
     match split_key first.num first.text with
     | None ->
@@ -432,7 +456,9 @@ and parse_mapping st ~indent =
     | Some (key, rest) ->
       st.cur <- st.cur + 1;
       let v = parse_entry_value st ~num:first.num ~parent_indent:indent ~rest in
-      Value.Map (parse_mapping_entries st ~indent ~acc:[ (key, v) ] ~first_num:first.num))
+      let entry = { Ast.key; key_line = first.num; value = v } in
+      { Ast.line = first.num;
+        v = Ast.Map (parse_mapping_entries st ~indent ~acc:[ entry ] ~first_num:first.num) })
 
 and parse_mapping_entries st ~indent ~acc ~first_num =
   match peek_line st with
@@ -440,10 +466,12 @@ and parse_mapping_entries st ~indent ~acc ~first_num =
     match split_key l.num l.text with
     | None -> fail l.num "expected 'key:' in mapping"
     | Some (key, rest) ->
-      if List.mem_assoc key acc then fail l.num "duplicate key %S" key;
+      if List.exists (fun (e : Ast.entry) -> String.equal e.Ast.key key) acc then
+        fail l.num "duplicate key %S" key;
       st.cur <- st.cur + 1;
       let v = parse_entry_value st ~num:l.num ~parent_indent:indent ~rest in
-      parse_mapping_entries st ~indent ~acc:((key, v) :: acc) ~first_num)
+      let entry = { Ast.key; key_line = l.num; value = v } in
+      parse_mapping_entries st ~indent ~acc:(entry :: acc) ~first_num)
   | Some l when l.indent > indent -> fail l.num "unexpected indentation in mapping"
   | Some _ | None -> List.rev acc
 
@@ -455,7 +483,7 @@ and parse_entry_value st ~num ~parent_indent ~rest =
     match peek_line st with
     | Some l when l.indent > parent_indent -> parse_node st ~min_indent:(parent_indent + 1)
     | Some l when l.indent = parent_indent && is_seq_item l.text -> parse_sequence st ~indent:parent_indent
-    | Some _ | None -> Value.Null
+    | Some _ | None -> { Ast.line = num; v = Ast.Null }
   else if rest = "|" || rest = ">" then
     parse_block_scalar st ~style:rest.[0] ~key_num:num ~parent_indent
   else parse_value_text st ~num ~parent_indent ~text:rest
@@ -463,7 +491,7 @@ and parse_entry_value st ~num ~parent_indent ~rest =
 and parse_value_text st ~num ~parent_indent ~text =
   ignore st;
   ignore parent_indent;
-  flow_of_string num text
+  annotate num (flow_of_string num text)
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -480,14 +508,21 @@ let parse_document raw_lines =
   | None -> ());
   v
 
-let string_exn input = parse_document (physical_lines input)
+let ast_exn input = parse_document (physical_lines input)
+
+let ast input =
+  match ast_exn input with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+
+let string_exn input = Ast.to_value (ast_exn input)
 
 let string input =
   match string_exn input with
   | v -> Ok v
   | exception Parse_error e -> Error e
 
-let multi input =
+let multi_documents input =
   let raw = physical_lines input in
   (* Split on physical lines whose trimmed content is "---". *)
   let docs = ref [] in
@@ -501,7 +536,11 @@ let multi input =
     raw;
   flush ();
   let non_empty d = List.exists (fun (_, s) -> String.trim (strip_comment 0 s) <> "") d in
-  let docs = List.rev !docs |> List.filter non_empty in
-  match List.map parse_document docs with
+  List.rev !docs |> List.filter non_empty
+
+let multi_ast input =
+  match List.map parse_document (multi_documents input) with
   | vs -> Ok vs
   | exception Parse_error e -> Error e
+
+let multi input = Result.map (List.map Ast.to_value) (multi_ast input)

@@ -28,3 +28,16 @@ val string_exn : string -> Value.t
 
 (** Parse a [---]-separated stream of documents. *)
 val multi : string -> (Value.t list, error) result
+
+(** {2 Positioned parses}
+
+    The same grammar, but returning the line-annotated {!Ast.t} view.
+    [string]/[multi] are erasures of these, so positions and plain
+    values always agree. *)
+
+val ast : string -> (Ast.t, error) result
+
+(** @raise Parse_error on malformed input. *)
+val ast_exn : string -> Ast.t
+
+val multi_ast : string -> (Ast.t list, error) result
