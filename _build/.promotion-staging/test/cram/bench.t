@@ -21,7 +21,7 @@ cold/warm normalization ablation.
   $ grep -o '"deterministic": true' smoke.json
   "deterministic": true
   $ grep -o '"unique_files": [0-9]*' smoke.json
-  "unique_files": 16
+  "unique_files": 14
 
 The lint benchmark has the same smoke mode. The finding counts are
 deterministic (the corpus generator seeds exactly one typo'd keyword
@@ -40,3 +40,22 @@ per 25 rules); only the timings vary by machine.
   "seeded_findings": 4
   $ grep -o '"clean_findings": 0' lint_smoke.json
   "clean_findings": 0
+
+The chaos benchmark replays three seeded fault plans over the full
+corpus. Timings and per-seed counters vary only with the plan, never
+the machine: the smoke assertion is that every run completes
+degraded-but-total.
+
+  $ ../../bench/main.exe chaos --smoke --chaos-out chaos_smoke.json | grep -v 'clean run:' | grep -v '^seed '
+  
+  ==================================================================
+  Chaos - full corpus under seeded fault plans (smoke)
+  ==================================================================
+  every chaos run completed degraded-but-total: true
+  wrote chaos_smoke.json
+
+
+  $ grep -o '"all_runs_degraded_but_total": true' chaos_smoke.json
+  "all_runs_degraded_but_total": true
+  $ grep -c '"seed"' chaos_smoke.json
+  3

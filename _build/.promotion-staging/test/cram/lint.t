@@ -50,13 +50,14 @@ referenced file arrive in one deterministically sorted report.
   cvl032.yaml:5: warning CVL032 [dead-config-path]: config_path "net/ipv4/ip_forward" can never be produced by the flat sysctl lens
       suggestion: flat lenses address settings by dotted key, e.g. a.b.c
   cvl033.yaml:4: error CVL033 [unknown-entity]: composite expression references entity "mysq", absent from the manifest
+  cvl050.yaml:5: warning CVL050 [flaky-plugin-no-fallback]: plugin "mysql_variables" is marked flaky in the manifest; declare on_plugin_failure: degrade (or error) so a fault does not abort the run
   manifest.yaml:11: warning CVL043 [bad-rule-type]: manifest stack: rule_type "composit" is not a CVL rule type
       suggestion: did you mean "composite"?
   manifest.yaml:14: error CVL030 [unknown-lens]: manifest web: lens "ngnix" is not in the registry
       suggestion: did you mean "nginx"?
   manifest.yaml:15: error CVL002 [manifest-error]: manifest web: unknown key "search_paths"
   manifest.yaml:17: error CVL002 [manifest-error]: manifest db: cvl_file is required
-  4 errors, 2 warnings, 0 infos
+  4 errors, 3 warnings, 0 infos
   [1]
 
 SARIF output carries the full rule registry plus one result per

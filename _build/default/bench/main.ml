@@ -358,6 +358,7 @@ let ablation_d () =
       cvl_file = "-";
       lens = Some "nginx";
       rule_type = None;
+      flaky_plugins = [];
     }
   in
   Printf.printf "%-46s %-8s %-8s %-8s\n" "case" "truth" "cvl" "grep";
@@ -700,6 +701,113 @@ let lint_bench () =
   Printf.printf "wrote %s\n" !lint_out
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: resilient runtime under seeded fault plans                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The degraded path must not be the slow path: a run with faults pays
+   for simulated backoff and containment bookkeeping, not wall-clock
+   sleeping. Validates the full corpus under three seeded plans and
+   reports the overhead against a clean run plus what each plan
+   injected. Emits BENCH_chaos.json. *)
+
+let chaos_out = ref "BENCH_chaos.json"
+
+let chaos_bench () =
+  heading
+    (Printf.sprintf "Chaos - full corpus under seeded fault plans%s"
+       (if !smoke then " (smoke)" else ""));
+  let reps = if !smoke then 1 else 5 in
+  let frames =
+    Scenarios.Deployment.three_tier ~compliant:false
+    @ Scenarios.Deployment.three_tier ~compliant:true
+  in
+  let rules =
+    Result.get_ok (Cvl.Validator.load_rules ~source:Rulesets.source ~manifest:Rulesets.manifest)
+  in
+  let time_run () =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to reps do
+      let s, t =
+        wall (fun () -> Cvl.Validator.run_loaded ~keep_not_applicable:true ~rules frames)
+      in
+      if s < !best then best := s;
+      result := Some t
+    done;
+    (!best, Option.get !result)
+  in
+  Cvl.Normcache.reset ();
+  let clean_s, clean = time_run () in
+  Printf.printf "clean run: %s, %d results, degraded=%b\n" (pp_time (clean_s *. 1e9))
+    (List.length clean.Cvl.Validator.results)
+    clean.Cvl.Validator.health.Cvl.Resilience.degraded;
+  let plans =
+    List.map (fun seed -> (seed, Faultsim.sample ~seed ~rules frames)) [ 1; 2; 3 ]
+  in
+  let rows =
+    List.map
+      (fun (seed, plan) ->
+        Faultsim.arm plan;
+        let s, t =
+          Fun.protect ~finally:Faultsim.disarm (fun () ->
+              Cvl.Normcache.reset ();
+              time_run ())
+        in
+        let fired = List.length (Faultsim.triggered ()) in
+        let h = t.Cvl.Validator.health in
+        Printf.printf
+          "seed %d: %s (%.2fx clean)  plan=%d faults, fired=%d, retries=%d, breaker \
+           trips=%d, contained=%d, simulated backoff=%d ms\n"
+          seed (pp_time (s *. 1e9))
+          (s /. Float.max clean_s 1e-9)
+          (List.length plan.Faultsim.faults)
+          fired h.Cvl.Resilience.retries h.Cvl.Resilience.breaker_trips
+          h.Cvl.Resilience.contained h.Cvl.Resilience.simulated_ms;
+        (seed, plan, s, fired, h))
+      plans
+  in
+  let all_complete =
+    List.for_all
+      (fun (_, _, _, _, (h : Cvl.Resilience.health)) -> h.Cvl.Resilience.degraded)
+      rows
+  in
+  Printf.printf "every chaos run completed degraded-but-total: %b\n" all_complete;
+  let json =
+    Jsonlite.Obj
+      [
+        ("smoke", Jsonlite.Bool !smoke);
+        ("frames", Jsonlite.Num (float_of_int (List.length frames)));
+        ("clean_seconds", Jsonlite.Num clean_s);
+        ("all_runs_degraded_but_total", Jsonlite.Bool all_complete);
+        ( "runs",
+          Jsonlite.Arr
+            (List.map
+               (fun (seed, plan, s, fired, (h : Cvl.Resilience.health)) ->
+                 Jsonlite.Obj
+                   [
+                     ("seed", Jsonlite.Num (float_of_int seed));
+                     ("plan_faults", Jsonlite.Num (float_of_int (List.length plan.Faultsim.faults)));
+                     ("fired", Jsonlite.Num (float_of_int fired));
+                     ("seconds", Jsonlite.Num s);
+                     ("overhead_vs_clean", Jsonlite.Num (s /. Float.max clean_s 1e-9));
+                     ("retries", Jsonlite.Num (float_of_int h.Cvl.Resilience.retries));
+                     ("breaker_trips", Jsonlite.Num (float_of_int h.Cvl.Resilience.breaker_trips));
+                     ("contained", Jsonlite.Num (float_of_int h.Cvl.Resilience.contained));
+                     ("simulated_ms", Jsonlite.Num (float_of_int h.Cvl.Resilience.simulated_ms));
+                     ( "errors",
+                       Jsonlite.Num
+                         (float_of_int
+                            (h.Cvl.Resilience.extract_errors + h.Cvl.Resilience.normalize_errors
+                           + h.Cvl.Resilience.evaluate_errors)) );
+                   ])
+               rows) );
+      ]
+  in
+  Out_channel.with_open_text !chaos_out (fun oc ->
+      Out_channel.output_string oc (Jsonlite.pretty json));
+  Printf.printf "wrote %s\n" !chaos_out
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -715,6 +823,7 @@ let sections =
     ("ablation-e", ablation_e);
     ("scaling", scaling);
     ("lint", lint_bench);
+    ("chaos", chaos_bench);
   ]
 
 let () =
@@ -728,6 +837,9 @@ let () =
       parse_args rest
     | "--lint-out" :: file :: rest ->
       lint_out := file;
+      parse_args rest
+    | "--chaos-out" :: file :: rest ->
+      chaos_out := file;
       parse_args rest
     | arg :: rest -> arg :: parse_args rest
   in

@@ -76,7 +76,12 @@ let resolve_frames target frame_files =
         (Printf.sprintf "unknown target %S; available:\n  %s" target
            (String.concat "\n  " (List.map fst targets)))
 
-let validate target frame_files tags format verbose only_violations rules_dir jobs no_cache =
+(* Exit codes: 0 compliant, 2 violations, 3 infrastructure errors (a
+   degraded run — engine errors, tripped breakers, contained
+   exceptions). 3 wins over 2 so CI can tell "the target is bad" from
+   "the scan itself is suspect". *)
+let validate target frame_files tags format verbose only_violations rules_dir jobs no_cache chaos
+    retry =
   match resolve_frames target frame_files with
   | Error e ->
     prerr_endline e;
@@ -88,22 +93,36 @@ let validate target frame_files tags format verbose only_violations rules_dir jo
       1
     | Ok (source, manifest) ->
       if no_cache then Cvl.Normcache.set_enabled false;
+      (match retry with
+      | Some n ->
+        Cvl.Resilience.set_policy { (Cvl.Resilience.policy ()) with Cvl.Resilience.retries = n }
+      | None -> ());
+      (match chaos with
+      | Some seed -> (
+        match Cvl.Validator.load_rules ~source ~manifest with
+        | Ok rules -> Faultsim.arm (Faultsim.sample ~seed ~rules frames)
+        | Error _ -> ())
+      | None -> ());
       let run = Cvl.Validator.run ~jobs ~tags ~source ~manifest frames in
+      if chaos <> None then Faultsim.disarm ();
       List.iter
         (fun (entity, msg) -> Printf.eprintf "warning: rules for %s failed to load: %s\n" entity msg)
         run.Cvl.Validator.load_errors;
+      let health = run.Cvl.Validator.health in
       let results =
         if only_violations then Cvl.Report.violations run.Cvl.Validator.results
         else run.Cvl.Validator.results
       in
       (match format with
       | `Text ->
-        print_string (Cvl.Report.to_text ~verbose results);
+        print_string (Cvl.Report.to_text ~verbose ~health results);
         print_endline (Cvl.Report.summary_line (Cvl.Report.summarize run.Cvl.Validator.results))
-      | `Json -> print_string (Jsonlite.pretty (Cvl.Report.to_json results))
-      | `Junit -> print_string (Cvl.Report.to_junit results));
+      | `Json -> print_string (Jsonlite.pretty (Cvl.Report.to_json ~health results))
+      | `Junit -> print_string (Cvl.Report.to_junit ~health results));
       let s = Cvl.Report.summarize run.Cvl.Validator.results in
-      if s.Cvl.Report.violations > 0 || s.Cvl.Report.errors > 0 then 2 else 0)
+      if s.Cvl.Report.errors > 0 || health.Cvl.Resilience.degraded then 3
+      else if s.Cvl.Report.violations > 0 then 2
+      else 0)
 
 (* ------------------------------------------------------------------ *)
 (* coverage (Table 1)                                                  *)
@@ -375,13 +394,25 @@ let no_cache_arg =
     & info [ "no-cache" ]
         ~doc:"Disable the content-addressed normalization cache (parse every file per frame).")
 
+let chaos_arg =
+  let doc =
+    "Arm a seeded fault-injection plan before validating: unreadable/truncated/garbage \
+     files, dead and transient plugins, evaluation faults. Deterministic per $(docv); \
+     the run degrades instead of aborting and exits 3."
+  in
+  Arg.(value & opt (some int) None & info [ "chaos" ] ~docv:"SEED" ~doc)
+
+let retry_arg =
+  let doc = "Retry budget for faulted plugin calls (default 2; backoff is simulated)." in
+  Arg.(value & opt (some int) None & info [ "retry" ] ~docv:"N" ~doc)
+
 let validate_cmd =
   let doc = "validate a target against CVL rules" in
   Cmd.v
     (Cmd.info "validate" ~doc)
     Term.(
       const validate $ target_arg $ frame_files_arg $ tags_arg $ format_arg $ verbose_arg
-      $ only_violations_arg $ rules_dir_arg $ jobs_arg $ no_cache_arg)
+      $ only_violations_arg $ rules_dir_arg $ jobs_arg $ no_cache_arg $ chaos_arg $ retry_arg)
 
 let coverage_cmd =
   Cmd.v (Cmd.info "coverage" ~doc:"print rule coverage (paper Table 1)") Term.(const coverage $ const ())

@@ -1,1 +1,1 @@
-lib/cvl/engine.ml: Configtree Crawler Format Frames Lenses List Manifest Matcher Normcache Option Printf Result Rule Stdlib String
+lib/cvl/engine.ml: Configtree Crawler Format Frames Lenses List Manifest Matcher Normcache Option Printf Resilience Result Rule Stdlib String

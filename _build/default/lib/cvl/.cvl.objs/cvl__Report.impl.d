@@ -1,1 +1,1 @@
-lib/cvl/report.ml: Buffer Engine Jsonlite List Printf Rule String Xmllite
+lib/cvl/report.ml: Buffer Engine Jsonlite List Printf Resilience Rule String Xmllite

@@ -1,1 +1,1 @@
-lib/cvl/report.mli: Engine Jsonlite
+lib/cvl/report.mli: Engine Jsonlite Resilience

@@ -1,0 +1,1 @@
+lib/cvl/resilience.ml: Atomic Crawler Frames Fun Hashtbl Mutex Option Printexc Printf

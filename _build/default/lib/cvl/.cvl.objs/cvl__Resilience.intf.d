@@ -1,0 +1,1 @@
+lib/cvl/resilience.mli: Crawler Frames

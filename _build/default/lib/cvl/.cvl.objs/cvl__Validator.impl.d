@@ -1,1 +1,1 @@
-lib/cvl/validator.ml: Engine Expr Frames Hashtbl List Manifest Option Pool Printf Result Rule
+lib/cvl/validator.ml: Engine Expr Frames Hashtbl List Manifest Option Pool Printexc Printf Resilience Result Rule

@@ -1,1 +1,1 @@
-lib/cvl/validator.mli: Engine Expr Frames Loader Manifest Pool Rule
+lib/cvl/validator.mli: Engine Expr Frames Loader Manifest Pool Resilience Rule

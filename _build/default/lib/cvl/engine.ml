@@ -3,14 +3,15 @@ type verdict =
   | Not_matched
   | Not_present
   | Not_applicable
-  | Engine_error of string
+  | Engine_error of { stage : Resilience.stage; message : string }
 
 let verdict_to_string = function
   | Matched -> "matched"
   | Not_matched -> "not-matched"
   | Not_present -> "not-present"
   | Not_applicable -> "not-applicable"
-  | Engine_error msg -> Printf.sprintf "error(%s)" msg
+  | Engine_error { stage; message } ->
+    Printf.sprintf "error(%s: %s)" (Resilience.stage_to_string stage) message
 
 let is_violation = function
   | Not_matched | Not_present -> true
@@ -35,12 +36,19 @@ let build_ctx frame (entry : Manifest.entry) =
   let extracted =
     Crawler.find_config_files frame ~search_paths:entry.Manifest.search_paths ~patterns:[]
   in
+  let frame_id = Frames.Frame.id frame in
   let configs =
     List.map
       (fun (e : Crawler.extracted) ->
-        ( e.Crawler.source_path,
-          Normcache.parse ?lens_name:entry.Manifest.lens ~path:e.Crawler.source_path
-            e.Crawler.content ))
+        let path = e.Crawler.source_path in
+        (* The read hook (armed by Faultsim, identity otherwise) can
+           corrupt, truncate, delay or fail the read; a failed read is
+           retained per-file like a parse error, so it degrades only
+           the rules needing this file. *)
+        match Resilience.apply_read_hook ~frame_id ~path e.Crawler.content with
+        | Error (f : Resilience.fault_info) ->
+          (path, Error (Printf.sprintf "read failed: %s" f.Resilience.message))
+        | Ok content -> (path, Normcache.parse ?lens_name:entry.Manifest.lens ~path content))
       extracted
   in
   { entity = entry.Manifest.entity; frame; configs }
@@ -55,6 +63,8 @@ let ctx_of_documents ~entity frame docs =
 let mk ctx rule verdict ~detail ~evidence =
   { entity = ctx.entity; frame_id = Frames.Frame.id ctx.frame; rule; verdict; detail; evidence }
 
+let err stage message = Engine_error { stage; message }
+
 (* Pick the configured output string for the verdict, with a generic
    fallback so reports never show empty findings. *)
 let describe (c : Rule.common) verdict =
@@ -64,7 +74,7 @@ let describe (c : Rule.common) verdict =
     | Not_matched -> Printf.sprintf "%s: configuration does not match the preferred value" c.Rule.name
     | Not_present -> Printf.sprintf "%s: configuration not present" c.Rule.name
     | Not_applicable -> Printf.sprintf "%s: not applicable" c.Rule.name
-    | Engine_error msg -> Printf.sprintf "%s: %s" c.Rule.name msg
+    | Engine_error { message; _ } -> Printf.sprintf "%s: %s" c.Rule.name message
   in
   let configured =
     match verdict with
@@ -156,9 +166,8 @@ let eval_tree_in ctx rule (r : Rule.tree_rule) =
   if files = [] then
     let errors = parse_errors_in_context ctx r.Rule.file_context in
     if errors <> [] then
-      mk ctx rule (Engine_error "configuration files failed to parse")
-        ~detail:(describe c (Engine_error "configuration files failed to parse"))
-        ~evidence:errors
+      let v = err Resilience.Normalize "configuration files failed to parse" in
+      mk ctx rule v ~detail:(describe c v) ~evidence:errors
     else
       mk ctx rule Not_applicable
         ~detail:(Printf.sprintf "%s: no configuration files found" c.Rule.name)
@@ -242,7 +251,9 @@ let eval_schema_in ctx rule (r : Rule.schema_rule) =
     in
     let outcomes = List.map run tables in
     (match List.find_opt Result.is_error outcomes with
-    | Some (Error e) -> mk ctx rule (Engine_error e) ~detail:(describe c (Engine_error e)) ~evidence:[ e ]
+    | Some (Error e) ->
+      let v = err Resilience.Evaluate e in
+      mk ctx rule v ~detail:(describe c v) ~evidence:[ e ]
     | Some (Ok _) -> assert false
     | None ->
       let per_file = List.filter_map Result.to_option outcomes in
@@ -340,21 +351,40 @@ let eval_path_in ctx rule (r : Rule.path_rule) =
 
 let eval_script_in ctx rule (r : Rule.script_rule) =
   let c = r.Rule.script_common in
+  (* An infrastructure fault that exhausted its retry budget (or hit an
+     open breaker) either degrades to Not_applicable — when the rule
+     declares [on_plugin_failure: degrade] — or surfaces as an
+     attributed extract-stage error. *)
+  let faulted stage message =
+    match r.Rule.on_plugin_failure with
+    | Some "degrade" ->
+      mk ctx rule Not_applicable
+        ~detail:(Printf.sprintf "%s: degraded — %s" c.Rule.name message)
+        ~evidence:[]
+    | Some _ | None ->
+      let v = err stage message in
+      mk ctx rule v ~detail:(describe c v) ~evidence:[]
+  in
   match Crawler.find_plugin r.Rule.plugin with
   | None ->
-    let msg = Printf.sprintf "unknown plugin %S" r.Rule.plugin in
-    mk ctx rule (Engine_error msg) ~detail:(describe c (Engine_error msg)) ~evidence:[]
+    let v = err Resilience.Extract (Printf.sprintf "unknown plugin %S" r.Rule.plugin) in
+    mk ctx rule v ~detail:(describe c v) ~evidence:[]
   | Some plugin -> (
-    match plugin.Crawler.run ctx.frame with
-    | Error msg -> mk ctx rule Not_applicable ~detail:msg ~evidence:[]
+    match Resilience.run_plugin ~frame:ctx.frame plugin with
+    | Error (Resilience.Soft msg) -> mk ctx rule Not_applicable ~detail:msg ~evidence:[]
+    | Error (Resilience.Faulted { stage; message }) -> faulted stage message
     | Ok output -> (
       let virtual_path = "plugin://" ^ r.Rule.plugin in
       match Normcache.parse ~lens_name:plugin.Crawler.lens_name ~path:virtual_path output with
       | Error msg ->
-        mk ctx rule (Engine_error msg) ~detail:(describe c (Engine_error msg)) ~evidence:[ output ]
+        let v = err Resilience.Normalize msg in
+        mk ctx rule v ~detail:(describe c v) ~evidence:[ output ]
       | Ok (Lenses.Lens.Table _) ->
-        let msg = Printf.sprintf "plugin %s yields a table; script rules assert on trees" r.Rule.plugin in
-        mk ctx rule (Engine_error msg) ~detail:(describe c (Engine_error msg)) ~evidence:[]
+        let v =
+          err Resilience.Normalize
+            (Printf.sprintf "plugin %s yields a table; script rules assert on trees" r.Rule.plugin)
+        in
+        mk ctx rule v ~detail:(describe c v) ~evidence:[]
       | Ok (Lenses.Lens.Tree forest) ->
         (* Script config_paths are full paths to the asserted leaf. *)
         let nodes =
@@ -412,7 +442,7 @@ let eval_rule ctx rule =
     | Rule.Script r -> eval_script_in ctx rule r
     | Rule.Composite _ ->
       let msg = "composite rules are evaluated by the validator, not the engine" in
-      mk ctx rule (Engine_error msg) ~detail:msg ~evidence:[]
+      mk ctx rule (err Resilience.Evaluate msg) ~detail:msg ~evidence:[]
 
 let eval_entity ctx rules = List.map (eval_rule ctx) rules
 

@@ -10,7 +10,10 @@ type verdict =
   | Not_matched  (** a violation: non-preferred matched or preferred did not *)
   | Not_present  (** the configuration item was not found *)
   | Not_applicable  (** required context missing (no files, unmet require_other_configs) *)
-  | Engine_error of string  (** lens failure, unknown plugin, bad query, … *)
+  | Engine_error of { stage : Resilience.stage; message : string }
+      (** infrastructure failure attributed to the pipeline stage that
+          produced it: lens failure, unknown or faulted plugin, bad
+          query, contained exception, … *)
 
 val verdict_to_string : verdict -> string
 

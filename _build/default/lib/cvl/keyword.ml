@@ -16,7 +16,7 @@ let group_to_string = function
 
 let all =
   [
-    (* Keywords common across rules and entity description: 19. *)
+    (* Keywords common across rules and entity description: 20. *)
     ("entity_name", Common, "name of the entity a manifest section describes");
     ("enabled", Common, "whether the entity's rules are evaluated");
     ("cvl_file", Common, "path of the file holding the entity's CVL rules");
@@ -36,6 +36,7 @@ let all =
     ("not_matched_preferred_value_description", Common, "output string on a violation");
     ("not_present_description", Common, "output string when the configuration is absent");
     ("suggested_action", Common, "remediation hint included in the report");
+    ("flaky_plugins", Common, "plugins a manifest marks as unreliable for this entity");
     (* Config tree rules: 9. *)
     ("config_name", Tree, "key (leaf label) the rule asserts on");
     ("config_path", Tree, "alternate tree paths under which config_name may appear");
@@ -60,10 +61,11 @@ let all =
     ("permission", Path, "maximum permission bits (octal); stricter modes pass");
     ("should_exist", Path, "whether the path must exist (default) or must not");
     ("file_type", Path, "expected kind: file | directory | symlink");
-    (* Script rules: 3. *)
+    (* Script rules: 4. *)
     ("script_name", Script, "rule name for a runtime-state assertion");
     ("script_description", Script, "what the script assertion checks");
     ("script", Script, "crawler plugin that extracts the runtime state");
+    ("on_plugin_failure", Script, "fallback when the plugin faults after retries: degrade | error");
     (* Composite rules: 3. *)
     ("composite_rule_name", Composite, "rule name for a cross-entity assertion");
     ("composite_rule_description", Composite, "what the composite assertion checks");
@@ -72,7 +74,7 @@ let all =
 
 (* The linter probes every key of every rule against the vocabulary, so
    lookups are backed by a hashtable built once on first use rather than
-   scanning the 46-entry list per call. *)
+   scanning the 48-entry list per call. *)
 let by_name : (string, group) Hashtbl.t Lazy.t =
   lazy
     (let h = Hashtbl.create (2 * List.length all) in

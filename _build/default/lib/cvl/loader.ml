@@ -218,6 +218,14 @@ let script_of_map kvs ~name =
     expectation kvs ~value_key:"non_preferred_value" ~match_key:"non_preferred_value_match"
   in
   let* script_not_present_pass = bool_field kvs "not_present_pass" ~default:false in
+  let on_plugin_failure = str_field kvs "on_plugin_failure" in
+  let* () =
+    match on_plugin_failure with
+    | None | Some "degrade" | Some "error" -> Ok ()
+    | Some v ->
+      Error
+        (Printf.sprintf "rule %S: on_plugin_failure must be \"degrade\" or \"error\", got %S" name v)
+  in
   match str_field kvs "script" with
   | None -> Error (Printf.sprintf "rule %S: script rules need a `script:` plugin name" name)
   | Some plugin ->
@@ -230,6 +238,7 @@ let script_of_map kvs ~name =
            script_preferred = preferred;
            script_non_preferred = non_preferred;
            script_not_present_pass;
+           on_plugin_failure;
          })
 
 let composite_of_map kvs ~name =

@@ -11,9 +11,15 @@
    result across frames and domains is safe. The table is guarded by a
    single mutex; the parse itself runs outside the critical section, so
    two domains missing on the same key at the same time duplicate the
-   parse (benign) rather than serialize on it. *)
+   parse (benign) rather than serialize on it.
 
-type stats = { hits : int; misses : int }
+   Only [Ok] outcomes are memoized. A parse failure can be transient —
+   a half-written file observed mid-scan, a fault injected by the chaos
+   harness — and memoizing it would pin the failure for the process
+   lifetime even after the input recovers. Failures are counted in
+   [errors_cached] (the would-have-been-cached count) instead. *)
+
+type stats = { hits : int; misses : int; errors_cached : int }
 
 let enabled = Atomic.make true
 
@@ -24,6 +30,7 @@ let table : (string * string * string, (Lenses.Lens.normalized, string) result) 
 
 let hits = ref 0
 let misses = ref 0
+let errors = ref 0
 
 (* Crude bound so a long-lived validator cannot grow without limit;
    one full fleet scan fits with lots of room. *)
@@ -32,21 +39,41 @@ let max_entries = 8192
 let set_enabled b = Atomic.set enabled b
 let is_enabled () = Atomic.get enabled
 
+(* Test/fault hook: when set, consulted instead of the real registry
+   parse (a [None] answer falls through to the registry). Lets tests
+   make the same (lens, path, digest) fail once and then succeed. *)
+let parse_hook :
+    (lens_name:string option -> path:string -> string -> (Lenses.Lens.normalized, string) result option)
+      option
+      Atomic.t =
+  Atomic.make None
+
+let set_parse_hook h = Atomic.set parse_hook h
+
+let raw_parse ?lens_name ~path content =
+  match Atomic.get parse_hook with
+  | None -> Lenses.Registry.parse ?lens_name ~path content
+  | Some h -> (
+    match h ~lens_name ~path content with
+    | Some outcome -> outcome
+    | None -> Lenses.Registry.parse ?lens_name ~path content)
+
 let reset () =
   Mutex.lock mutex;
   Hashtbl.reset table;
   hits := 0;
   misses := 0;
+  errors := 0;
   Mutex.unlock mutex
 
 let stats () =
   Mutex.lock mutex;
-  let s = { hits = !hits; misses = !misses } in
+  let s = { hits = !hits; misses = !misses; errors_cached = !errors } in
   Mutex.unlock mutex;
   s
 
 let parse ?lens_name ~path content =
-  if not (Atomic.get enabled) then Lenses.Registry.parse ?lens_name ~path content
+  if not (Atomic.get enabled) then raw_parse ?lens_name ~path content
   else begin
     let key = (Option.value lens_name ~default:"", path, Digest.string content) in
     Mutex.lock mutex;
@@ -56,12 +83,18 @@ let parse ?lens_name ~path content =
       Mutex.unlock mutex;
       outcome
     | None ->
-      incr misses;
       Mutex.unlock mutex;
-      let outcome = Lenses.Registry.parse ?lens_name ~path content in
+      let outcome = raw_parse ?lens_name ~path content in
       Mutex.lock mutex;
-      if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-      Hashtbl.replace table key outcome;
+      (* A failed parse is recomputed on every lookup, so counting it as
+         a miss would grow the miss counter forever in steady state;
+         [misses] tracks cacheable work only. *)
+      (match outcome with
+      | Ok _ ->
+        incr misses;
+        if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+        Hashtbl.replace table key outcome
+      | Error _ -> incr errors);
       Mutex.unlock mutex;
       outcome
   end

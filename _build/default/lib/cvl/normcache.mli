@@ -7,17 +7,26 @@
     Identical content under the same path and lens normalizes once per
     process instead of once per frame.
 
+    Only successful parses are memoized: a failure can be transient (a
+    half-written file observed mid-scan), and caching it would make it
+    permanent for the process even after the input recovers. A retried
+    parse of the same (lens, path, digest) can therefore succeed.
+
     The cache is process-global, domain-safe, and enabled by default;
     the benchmark harness toggles it for the cold/warm ablation and the
     incremental tests assert on the hit/miss counters. *)
 
 (** Cumulative counters since the last {!reset}. A hit means the parse
-    was skipped entirely. *)
-type stats = { hits : int; misses : int }
+    was skipped entirely; a miss is a parse whose [Ok] result entered
+    the cache. [errors_cached] counts parse failures that would have
+    been memoized before error caching was removed — they are observed,
+    counted, and deliberately not stored (and not counted as misses, so
+    steady-state miss counts stay flat even over unparseable files). *)
+type stats = { hits : int; misses : int; errors_cached : int }
 
 (** Cached equivalent of {!Lenses.Registry.parse}: same signature, same
-    outcomes (parse errors are cached too — identical content fails
-    identically). *)
+    outcomes. [Ok] results are served from the cache on repeat;
+    [Error] results are recomputed every time. *)
 val parse :
   ?lens_name:string -> path:string -> string -> (Lenses.Lens.normalized, string) result
 
@@ -31,3 +40,12 @@ val is_enabled : unit -> bool
 val reset : unit -> unit
 
 val stats : unit -> stats
+
+(** Test/fault hook: when [Some h], [h ~lens_name ~path content] is
+    consulted before the lens registry; [Some outcome] replaces the
+    registry parse (subject to the same caching rules), [None] falls
+    through. Used by unit tests to model transient parse failures. *)
+val set_parse_hook :
+  (lens_name:string option -> path:string -> string -> (Lenses.Lens.normalized, string) result option)
+  option ->
+  unit

@@ -44,7 +44,21 @@ let verdict_glyph = function
   | Engine.Not_applicable -> "N/A "
   | Engine.Engine_error _ -> "ERR "
 
-let to_text ?(verbose = false) results =
+(* The health section appears only on degraded runs, so clean-run text
+   output is byte-identical with or without a health record. *)
+let health_to_text (h : Resilience.health) =
+  if not h.Resilience.degraded then ""
+  else
+    Printf.sprintf
+      "run health: DEGRADED\n\
+      \  errors by stage: extract %d, normalize %d, evaluate %d\n\
+      \  retries %d · breaker trips %d · contained exceptions %d · faults injected %d\n\
+      \  simulated backoff: %d ms\n"
+      h.Resilience.extract_errors h.Resilience.normalize_errors h.Resilience.evaluate_errors
+      h.Resilience.retries h.Resilience.breaker_trips h.Resilience.contained
+      h.Resilience.faults_injected h.Resilience.simulated_ms
+
+let to_text ?(verbose = false) ?health results =
   let buf = Buffer.create 1024 in
   List.iter
     (fun (r : Engine.result) ->
@@ -61,6 +75,9 @@ let to_text ?(verbose = false) results =
             (Printf.sprintf "         · tags: %s\n" (String.concat " " c.Rule.tags))
       end)
     results;
+  (match health with
+  | Some h -> Buffer.add_string buf (health_to_text h)
+  | None -> ());
   Buffer.contents buf
 
 let summary_line s =
@@ -84,7 +101,7 @@ let result_to_json (r : Engine.result) =
       ("suggested_action", Jsonlite.Str c.Rule.suggested_action);
     ]
 
-let to_junit results =
+let to_junit ?health results =
   (* One testsuite per entity; Not_applicable maps to a skipped case. *)
   let entities =
     List.sort_uniq String.compare (List.map (fun (r : Engine.result) -> r.Engine.entity) results)
@@ -105,7 +122,12 @@ let to_junit results =
                ~children:[ Xmllite.text_child (String.concat "\n" r.Engine.evidence) ]);
         ]
       | Engine.Not_applicable -> [ Xmllite.Element (el "skipped" ~attrs:[ ("message", r.Engine.detail) ]) ]
-      | Engine.Engine_error msg -> [ Xmllite.Element (el "error" ~attrs:[ ("message", msg) ]) ]
+      | Engine.Engine_error { stage; message } ->
+        [
+          Xmllite.Element
+            (el "error"
+               ~attrs:[ ("type", Resilience.stage_to_string stage); ("message", message) ]);
+        ]
     in
     Xmllite.Element
       (el "testcase" ~attrs:[ ("name", name); ("classname", r.Engine.entity) ] ~children)
@@ -125,7 +147,18 @@ let to_junit results =
            ]
          ~children:(List.map case own))
   in
-  Xmllite.to_string (el "testsuites" ~children:(List.map suite entities))
+  let attrs =
+    match health with
+    | Some (h : Resilience.health) when h.Resilience.degraded ->
+      [
+        ("degraded", "true");
+        ("retries", string_of_int h.Resilience.retries);
+        ("breaker-trips", string_of_int h.Resilience.breaker_trips);
+        ("contained", string_of_int h.Resilience.contained);
+      ]
+    | Some _ | None -> []
+  in
+  Xmllite.to_string (el "testsuites" ~attrs ~children:(List.map suite entities))
 
 type run_comparison = {
   regressions : Engine.result list;
@@ -153,9 +186,28 @@ let comparison_summary c =
   Printf.sprintf "%d regression(s), %d fix(es), %d still violating"
     (List.length c.regressions) (List.length c.fixes) (List.length c.still_violating)
 
-let to_json results =
-  let s = summarize results in
+let health_to_json (h : Resilience.health) =
+  let num n = Jsonlite.Num (float_of_int n) in
   Jsonlite.Obj
+    [
+      ("degraded", Jsonlite.Bool h.Resilience.degraded);
+      ( "errors",
+        Jsonlite.Obj
+          [
+            ("extract", num h.Resilience.extract_errors);
+            ("normalize", num h.Resilience.normalize_errors);
+            ("evaluate", num h.Resilience.evaluate_errors);
+          ] );
+      ("retries", num h.Resilience.retries);
+      ("breaker_trips", num h.Resilience.breaker_trips);
+      ("contained", num h.Resilience.contained);
+      ("faults_injected", num h.Resilience.faults_injected);
+      ("simulated_ms", num h.Resilience.simulated_ms);
+    ]
+
+let to_json ?health results =
+  let s = summarize results in
+  let base =
     [
       ( "summary",
         Jsonlite.Obj
@@ -169,3 +221,8 @@ let to_json results =
           ] );
       ("results", Jsonlite.Arr (List.map result_to_json results));
     ]
+  in
+  Jsonlite.Obj
+    (match health with
+    | Some h -> base @ [ ("health", health_to_json h) ]
+    | None -> base)

@@ -20,18 +20,29 @@ val filter_by_tags : string list -> Engine.result list -> Engine.result list
 val violations : Engine.result list -> Engine.result list
 
 (** Render a findings report. [verbose] includes evidence lines and
-    suggested actions. *)
-val to_text : ?verbose:bool -> Engine.result list -> string
+    suggested actions. [health], when given and degraded, appends the
+    run-health section ({!health_to_text}); a healthy run renders
+    byte-identically with or without it. *)
+val to_text : ?verbose:bool -> ?health:Resilience.health -> Engine.result list -> string
 
 val summary_line : summary -> string
 
+(** Run-health section for degraded runs; [""] when not degraded. *)
+val health_to_text : Resilience.health -> string
+
 val result_to_json : Engine.result -> Jsonlite.t
-val to_json : Engine.result list -> Jsonlite.t
+val health_to_json : Resilience.health -> Jsonlite.t
+
+(** [health], when given, adds a ["health"] object (always, degraded or
+    not — JSON consumers want the counters either way). *)
+val to_json : ?health:Resilience.health -> Engine.result list -> Jsonlite.t
 
 (** JUnit-style XML (one testsuite per entity, one testcase per rule) —
     the common CI integration format, so validation gates pipelines the
-    way the paper's production deployment gates image pushes. *)
-val to_junit : Engine.result list -> string
+    way the paper's production deployment gates image pushes. A
+    degraded [health] marks the root element with [degraded="true"] and
+    the retry/breaker counters. *)
+val to_junit : ?health:Resilience.health -> Engine.result list -> string
 
 (** {2 Run comparison}
 

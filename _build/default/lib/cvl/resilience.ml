@@ -1,0 +1,239 @@
+(* Resilience policy layer: bounded retries with deterministic backoff,
+   per-plugin circuit breakers, and the hook points lib/faultsim uses to
+   inject faults. Everything is driven by a simulated clock so runs are
+   reproducible and tests never sleep. *)
+
+type stage = Extract | Normalize | Evaluate
+
+let stage_to_string = function
+  | Extract -> "extract"
+  | Normalize -> "normalize"
+  | Evaluate -> "evaluate"
+
+type fault_info = { stage : stage; transient : bool; message : string }
+
+exception Fault of fault_info
+
+type policy = { retries : int; backoff_ms : int; breaker_threshold : int }
+
+let default_policy = { retries = 2; backoff_ms = 50; breaker_threshold = 3 }
+let policy_ref = Atomic.make default_policy
+let set_policy p = Atomic.set policy_ref p
+let policy () = Atomic.get policy_ref
+
+(* ------------------------------------------------------------------ *)
+(* Simulated clock                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let clock_ms = Atomic.make 0
+let now_ms () = Atomic.get clock_ms
+let sleep_ms ms = if ms > 0 then ignore (Atomic.fetch_and_add clock_ms ms)
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type counters = {
+  retries : int;
+  breaker_trips : int;
+  contained : int;
+  faults_injected : int;
+  simulated_ms : int;
+}
+
+let retries_c = Atomic.make 0
+let trips_c = Atomic.make 0
+let contained_c = Atomic.make 0
+let injected_c = Atomic.make 0
+
+let counters () =
+  {
+    retries = Atomic.get retries_c;
+    breaker_trips = Atomic.get trips_c;
+    contained = Atomic.get contained_c;
+    faults_injected = Atomic.get injected_c;
+    simulated_ms = Atomic.get clock_ms;
+  }
+
+let diff_counters ~before ~after =
+  {
+    retries = after.retries - before.retries;
+    breaker_trips = after.breaker_trips - before.breaker_trips;
+    contained = after.contained - before.contained;
+    faults_injected = after.faults_injected - before.faults_injected;
+    simulated_ms = after.simulated_ms - before.simulated_ms;
+  }
+
+let note_contained () = ignore (Atomic.fetch_and_add contained_c 1)
+let note_injected () = ignore (Atomic.fetch_and_add injected_c 1)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker (per plugin, per run)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Consecutive-failure count per plugin; a plugin whose count reaches
+   the threshold is open for the remainder of the run. *)
+let breaker_mutex = Mutex.create ()
+let breaker : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let with_breaker f =
+  Mutex.lock breaker_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock breaker_mutex) f
+
+let begin_run () = with_breaker (fun () -> Hashtbl.reset breaker)
+
+let breaker_open plugin =
+  with_breaker (fun () ->
+      match Hashtbl.find_opt breaker plugin with
+      | Some n -> n >= (policy ()).breaker_threshold
+      | None -> false)
+
+let breaker_success plugin = with_breaker (fun () -> Hashtbl.remove breaker plugin)
+
+(* Returns [true] when this failure is the one that opens the breaker. *)
+let breaker_failure plugin =
+  with_breaker (fun () ->
+      let n = 1 + Option.value (Hashtbl.find_opt breaker plugin) ~default:0 in
+      Hashtbl.replace breaker plugin n;
+      let tripped = n = (policy ()).breaker_threshold in
+      if tripped then ignore (Atomic.fetch_and_add trips_c 1);
+      tripped)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection hooks (installed by Faultsim)                       *)
+(* ------------------------------------------------------------------ *)
+
+type read_hook = frame_id:string -> path:string -> string -> (string, fault_info) result
+type plugin_hook = plugin:string -> frame_id:string -> attempt:int -> string option
+type eval_hook = entity:string -> rule:string -> frame_id:string -> unit
+
+let read_hook : read_hook option Atomic.t = Atomic.make None
+let plugin_hook : plugin_hook option Atomic.t = Atomic.make None
+let eval_hook : eval_hook option Atomic.t = Atomic.make None
+
+let set_read_hook h = Atomic.set read_hook h
+let set_plugin_hook h = Atomic.set plugin_hook h
+let set_eval_hook h = Atomic.set eval_hook h
+
+let clear_hooks () =
+  Atomic.set read_hook None;
+  Atomic.set plugin_hook None;
+  Atomic.set eval_hook None
+
+let apply_read_hook ~frame_id ~path content =
+  match Atomic.get read_hook with
+  | None -> Ok content
+  | Some h -> h ~frame_id ~path content
+
+let apply_eval_hook ~entity ~rule ~frame_id =
+  match Atomic.get eval_hook with
+  | None -> ()
+  | Some h -> h ~entity ~rule ~frame_id
+
+(* ------------------------------------------------------------------ *)
+(* Resilient plugin execution                                          *)
+(* ------------------------------------------------------------------ *)
+
+type failure = Soft of string | Faulted of { stage : stage; message : string }
+
+let run_plugin ~frame (plugin : Crawler.plugin) =
+  let name = plugin.Crawler.plugin_name in
+  let frame_id = Frames.Frame.id frame in
+  if breaker_open name then
+    Error
+      (Faulted
+         {
+           stage = Extract;
+           message = Printf.sprintf "circuit breaker open for plugin %S" name;
+         })
+  else
+    let p = policy () in
+    let rec attempt n =
+      let outcome =
+        match Atomic.get plugin_hook with
+        | Some h -> (
+          match h ~plugin:name ~frame_id ~attempt:n with
+          | Some msg -> `Fault msg
+          | None -> `Run)
+        | None -> `Run
+      in
+      let outcome =
+        match outcome with
+        | `Fault msg -> `Fault msg
+        | `Run -> (
+          (* The plugin's own [Error] is a soft "not applicable here"
+             answer, not an infrastructure fault: no retry, no breaker,
+             so clean runs behave exactly as before. Only exceptions
+             (and injected faults) enter the retry path. *)
+          match plugin.Crawler.run frame with
+          | Ok out -> `Ok out
+          | Error msg -> `Soft msg
+          | exception e -> `Fault (Printexc.to_string e))
+      in
+      match outcome with
+      | `Ok out ->
+        breaker_success name;
+        Ok out
+      | `Soft msg -> Error (Soft msg)
+      | `Fault msg ->
+        if n < p.retries then begin
+          ignore (Atomic.fetch_and_add retries_c 1);
+          sleep_ms (p.backoff_ms * (1 lsl n));
+          attempt (n + 1)
+        end
+        else begin
+          let tripped = breaker_failure name in
+          let message =
+            if tripped then
+              Printf.sprintf "plugin %S: %s (circuit breaker opened after %d consecutive failures)"
+                name msg p.breaker_threshold
+            else Printf.sprintf "plugin %S: %s (after %d attempt(s))" name msg (n + 1)
+          in
+          Error (Faulted { stage = Extract; message })
+        end
+    in
+    attempt 0
+
+(* ------------------------------------------------------------------ *)
+(* Run health                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type health = {
+  extract_errors : int;
+  normalize_errors : int;
+  evaluate_errors : int;
+  retries : int;
+  breaker_trips : int;
+  contained : int;
+  faults_injected : int;
+  simulated_ms : int;
+  degraded : bool;
+}
+
+let empty_health =
+  {
+    extract_errors = 0;
+    normalize_errors = 0;
+    evaluate_errors = 0;
+    retries = 0;
+    breaker_trips = 0;
+    contained = 0;
+    faults_injected = 0;
+    simulated_ms = 0;
+    degraded = false;
+  }
+
+let make_health ~extract_errors ~normalize_errors ~evaluate_errors (c : counters) =
+  {
+    extract_errors;
+    normalize_errors;
+    evaluate_errors;
+    retries = c.retries;
+    breaker_trips = c.breaker_trips;
+    contained = c.contained;
+    faults_injected = c.faults_injected;
+    simulated_ms = c.simulated_ms;
+    degraded =
+      extract_errors + normalize_errors + evaluate_errors > 0
+      || c.breaker_trips > 0 || c.contained > 0;
+  }

@@ -1,0 +1,149 @@
+(** Resilience policy for the validation pipeline: bounded retries with
+    deterministic backoff, a per-plugin circuit breaker, exception
+    containment counters, and the hook points {!Faultsim} uses to
+    inject faults.
+
+    The production deployment the paper describes scans tens of
+    thousands of containers where extraction is the flaky stage —
+    plugins talk to live runtimes, files vanish mid-scan. The policy
+    here makes a run degrade instead of abort: transient faults are
+    retried, persistently failing plugins are short-circuited, and
+    every contained failure is attributed to the (entity, rule, frame)
+    it belongs to as an [Engine_error] result.
+
+    All time is simulated (an atomic millisecond counter advanced by
+    {!sleep_ms}), so retry backoff is reproducible and tests never
+    sleep for real. *)
+
+(** Pipeline stage a failure is attributed to. *)
+type stage =
+  | Extract  (** crawling files, running plugins *)
+  | Normalize  (** lens parsing of extracted content *)
+  | Evaluate  (** rule evaluation over normalized trees *)
+
+val stage_to_string : stage -> string
+(** ["extract"], ["normalize"], ["evaluate"]. *)
+
+type fault_info = { stage : stage; transient : bool; message : string }
+
+exception Fault of fault_info
+(** Raised by injection hooks (and catchable by the validator's
+    containment wrappers) to signal an attributed infrastructure
+    fault. *)
+
+type policy = { retries : int; backoff_ms : int; breaker_threshold : int }
+(** [retries] extra attempts after the first failure; [backoff_ms]
+    initial backoff, doubling per retry (simulated); the breaker opens
+    after [breaker_threshold] consecutive exhausted-retry failures of
+    one plugin. *)
+
+val default_policy : policy
+(** [{ retries = 2; backoff_ms = 50; breaker_threshold = 3 }] *)
+
+val set_policy : policy -> unit
+val policy : unit -> policy
+
+(** {2 Simulated clock} *)
+
+val now_ms : unit -> int
+val sleep_ms : int -> unit
+
+(** {2 Counters}
+
+    Monotonic across runs; snapshot with {!counters} before and after a
+    run and subtract with {!diff_counters}. *)
+
+type counters = {
+  retries : int;  (** retry attempts performed *)
+  breaker_trips : int;  (** breakers opened *)
+  contained : int;  (** exceptions converted to [Engine_error] results *)
+  faults_injected : int;  (** faults fired by an armed {!Faultsim} plan *)
+  simulated_ms : int;  (** simulated clock value *)
+}
+
+val counters : unit -> counters
+val diff_counters : before:counters -> after:counters -> counters
+
+val note_contained : unit -> unit
+(** Called by the validator when it converts an escaped exception into
+    an [Engine_error] result. *)
+
+val note_injected : unit -> unit
+(** Called by {!Faultsim} each time an armed fault actually fires. *)
+
+(** {2 Circuit breaker} *)
+
+val begin_run : unit -> unit
+(** Reset breaker state. The validator calls this at the start of every
+    run: breakers are per-(plugin, run), as a deployment scan is the
+    unit after which a flaky backend deserves a fresh chance. *)
+
+val breaker_open : string -> bool
+(** Whether the named plugin's breaker is open. *)
+
+(** {2 Fault-injection hooks}
+
+    Installed by {!Faultsim.arm}, cleared by {!Faultsim.disarm}; all
+    [None] in normal operation. Hooks must be pure functions of their
+    arguments (plus the plan's seed) — they are called concurrently
+    from pool workers. *)
+
+type read_hook = frame_id:string -> path:string -> string -> (string, fault_info) result
+(** Applied to every extracted file's content in [Engine.build_ctx]:
+    may corrupt or truncate the content, simulate latency via
+    {!sleep_ms}, or fail the read outright. *)
+
+type plugin_hook = plugin:string -> frame_id:string -> attempt:int -> string option
+(** Consulted before each plugin attempt; [Some msg] fails that attempt
+    with [msg] without running the plugin (transient faults return
+    [Some] for the first N attempts only; dead plugins always). *)
+
+type eval_hook = entity:string -> rule:string -> frame_id:string -> unit
+(** Called before each rule evaluation; may raise {!Fault}. *)
+
+val set_read_hook : read_hook option -> unit
+val set_plugin_hook : plugin_hook option -> unit
+val set_eval_hook : eval_hook option -> unit
+val clear_hooks : unit -> unit
+
+val apply_read_hook :
+  frame_id:string -> path:string -> string -> (string, fault_info) result
+(** Identity when no hook is installed. *)
+
+val apply_eval_hook : entity:string -> rule:string -> frame_id:string -> unit
+(** No-op when no hook is installed. *)
+
+(** {2 Resilient plugin execution} *)
+
+(** How a plugin invocation failed. [Soft] is the plugin's own [Error]
+    answer ("not applicable on this frame") — no retry, no breaker, so
+    clean runs are unchanged. [Faulted] is an infrastructure failure
+    that survived the retry budget. *)
+type failure = Soft of string | Faulted of { stage : stage; message : string }
+
+val run_plugin : frame:Frames.Frame.t -> Crawler.plugin -> (string, failure) result
+(** Run a plugin under the policy: short-circuit if its breaker is
+    open; otherwise attempt up to [1 + retries] times with doubling
+    simulated backoff, counting retries, and record exhausted failures
+    against the breaker. *)
+
+(** {2 Run health} *)
+
+type health = {
+  extract_errors : int;
+  normalize_errors : int;
+  evaluate_errors : int;
+  retries : int;
+  breaker_trips : int;
+  contained : int;
+  faults_injected : int;
+  simulated_ms : int;
+  degraded : bool;
+      (** errors, trips, or contained exceptions occurred; retries that
+          ultimately succeeded do not degrade a run *)
+}
+
+val empty_health : health
+
+val make_health :
+  extract_errors:int -> normalize_errors:int -> evaluate_errors:int -> counters -> health

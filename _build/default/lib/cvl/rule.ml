@@ -69,6 +69,7 @@ type script_rule = {
   script_preferred : expectation option;
   script_non_preferred : expectation option;
   script_not_present_pass : bool;
+  on_plugin_failure : string option;
 }
 
 type composite_rule = {

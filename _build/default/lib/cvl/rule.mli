@@ -76,6 +76,9 @@ type script_rule = {
   script_preferred : expectation option;
   script_non_preferred : expectation option;
   script_not_present_pass : bool;
+  on_plugin_failure : string option;
+      (** ["degrade"] turns an exhausted plugin fault into
+          [Not_applicable] instead of an [Engine_error] *)
 }
 
 type composite_rule = {

@@ -1,6 +1,7 @@
 type t = {
   results : Engine.result list;
   load_errors : (string * string) list;
+  health : Resilience.health;
 }
 
 let env_of ~results ~ctxs =
@@ -75,7 +76,8 @@ let eval_composites ~rules ~plain_results ~ctxs ~deployment_id =
                  (Engine.Not_applicable, Printf.sprintf "%s: disabled" c.Rule.name, [])
                else
                  match Expr.parse expression with
-                 | Error e -> (Engine.Engine_error e, e, [ expression ])
+                 | Error e ->
+                   (Engine.Engine_error { stage = Resilience.Evaluate; message = e }, e, [ expression ])
                  | Ok ast ->
                    if Expr.eval env ast then
                      ( Engine.Matched,
@@ -113,8 +115,63 @@ let with_effective_pool ?jobs ?pool f =
     let j = match jobs with Some 0 -> Pool.default_jobs () | Some j -> j | None -> 1 in
     if j <= 1 then f Pool.sequential else Pool.with_pool ~jobs:j f)
 
+(* Containment: any exception escaping context building or a rule
+   evaluation — including a {!Resilience.Fault} raised by an armed
+   fault plan — becomes an attributed [Engine_error] result for exactly
+   that (entity, rule, frame) cell instead of aborting the run. *)
+
+let error_of_exn default_stage e =
+  match e with
+  | Resilience.Fault f -> (f.Resilience.stage, f.Resilience.message)
+  | e -> (default_stage, Printexc.to_string e)
+
+let contained_result ~entity ~frame rule (stage, message) =
+  {
+    Engine.entity;
+    frame_id = Frames.Frame.id frame;
+    rule;
+    verdict = Engine.Engine_error { stage; message };
+    detail = Printf.sprintf "%s: contained failure: %s" (Rule.name rule) message;
+    evidence = [];
+  }
+
+let eval_unit ((entry : Manifest.entry), rs, frame) =
+  let entity = entry.Manifest.entity in
+  let plain = List.filter (fun r -> not (is_composite r)) rs in
+  match Engine.build_ctx frame entry with
+  | exception e ->
+    Resilience.note_contained ();
+    let attributed = error_of_exn Resilience.Extract e in
+    let ctx = { Engine.entity; frame; configs = [] } in
+    (ctx, List.map (fun rule -> contained_result ~entity ~frame rule attributed) plain)
+  | ctx ->
+    let eval rule =
+      match
+        Resilience.apply_eval_hook ~entity ~rule:(Rule.name rule)
+          ~frame_id:(Frames.Frame.id frame);
+        Engine.eval_rule ctx rule
+      with
+      | result -> result
+      | exception e ->
+        Resilience.note_contained ();
+        contained_result ~entity ~frame rule (error_of_exn Resilience.Evaluate e)
+    in
+    (ctx, List.map eval plain)
+
+let stage_error_tallies results =
+  List.fold_left
+    (fun (ex, no, ev) (r : Engine.result) ->
+      match r.Engine.verdict with
+      | Engine.Engine_error { stage = Resilience.Extract; _ } -> (ex + 1, no, ev)
+      | Engine.Engine_error { stage = Resilience.Normalize; _ } -> (ex, no + 1, ev)
+      | Engine.Engine_error { stage = Resilience.Evaluate; _ } -> (ex, no, ev + 1)
+      | _ -> (ex, no, ev))
+    (0, 0, 0) results
+
 let run_loaded ?(tags = []) ?keep_not_applicable ?jobs ?pool ~rules frames =
   let keep_na = match keep_not_applicable with Some b -> b | None -> List.length frames <= 1 in
+  Resilience.begin_run ();
+  let before = Resilience.counters () in
   let entity_rules =
     List.map (fun (entry, rs) -> (entry, List.filter (tag_selected tags) rs)) rules
   in
@@ -127,15 +184,7 @@ let run_loaded ?(tags = []) ?keep_not_applicable ?jobs ?pool ~rules frames =
     List.concat_map (fun (entry, rs) -> List.map (fun frame -> (entry, rs, frame)) frames)
       entity_rules
   in
-  let evaluated =
-    with_effective_pool ?jobs ?pool (fun p ->
-        Pool.map p
-          (fun ((entry : Manifest.entry), rs, frame) ->
-            let ctx = Engine.build_ctx frame entry in
-            let plain = List.filter (fun r -> not (is_composite r)) rs in
-            (ctx, Engine.eval_entity ctx plain))
-          units)
-  in
+  let evaluated = with_effective_pool ?jobs ?pool (fun p -> Pool.map p eval_unit units) in
   (* [units] laid the grid out entity-major with exactly one cell per
      frame, so consecutive runs of |frames| cells regroup per entity. *)
   let nframes = List.length frames in
@@ -164,7 +213,15 @@ let run_loaded ?(tags = []) ?keep_not_applicable ?jobs ?pool ~rules frames =
     eval_composites ~rules:entity_rules ~plain_results ~ctxs
       ~deployment_id:(deployment_id_of frames)
   in
-  { results = plain_results @ composite_results; load_errors = [] }
+  let results = plain_results @ composite_results in
+  let extract_errors, normalize_errors, evaluate_errors = stage_error_tallies results in
+  let counters =
+    Resilience.diff_counters ~before ~after:(Resilience.counters ())
+  in
+  let health =
+    Resilience.make_health ~extract_errors ~normalize_errors ~evaluate_errors counters
+  in
+  { results; load_errors = []; health }
 
 let run ?tags ?keep_not_applicable ?jobs ?pool ~source ~manifest frames =
   (* Load errors disable just the affected entity, mirroring production

@@ -12,6 +12,9 @@
 type t = {
   results : Engine.result list;  (** per-entity results, then composites *)
   load_errors : (string * string) list;  (** (entity, message) *)
+  health : Resilience.health;
+      (** per-stage error taxonomy, retry/breaker counters and the
+          degraded flag for this run *)
 }
 
 (** [run ~source ~manifest frames] loads every enabled entity's rules

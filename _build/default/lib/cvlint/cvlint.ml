@@ -5,6 +5,7 @@ type context = {
   lenses : string list;
   plugins : string list;
   entities : string list option;
+  flaky_plugins : string list;
 }
 
 let default_context =
@@ -12,6 +13,7 @@ let default_context =
     lenses = List.map (fun (l : Lenses.Lens.t) -> l.Lenses.Lens.name) Lenses.Registry.all;
     plugins = List.map (fun (p : Crawler.plugin) -> p.Crawler.plugin_name) Crawler.plugins;
     entities = None;
+    flaky_plugins = [];
   }
 
 let span file line = { Diagnostic.file; line }
@@ -431,6 +433,14 @@ let script_passes ctx p =
           ?suggestion:(did_you_mean ctx.plugins name)
           (Printf.sprintf "script %S names no crawler plugin" name);
       ]
+    | Some name when List.mem name ctx.flaky_plugins && pfind p "on_plugin_failure" = None ->
+      [
+        Diagnostic.make Diagnostic.flaky_plugin_no_fallback f.fspan
+          (Printf.sprintf
+             "plugin %S is marked flaky in the manifest; declare on_plugin_failure: degrade \
+              (or error) so a fault does not abort the run"
+             name);
+      ]
     | _ -> [])
   | None -> []
 
@@ -614,7 +624,8 @@ let lint_file ?(ctx = default_context) ?lens ~source path =
 (* ------------------------------------------------------------------ *)
 
 let manifest_keys =
-  [ "enabled"; "config_search_paths"; "cvl_file"; "lens"; "rule_type"; "entity_name" ]
+  [ "enabled"; "config_search_paths"; "cvl_file"; "lens"; "rule_type"; "entity_name";
+    "flaky_plugins" ]
 
 let rule_types = [ "tree"; "schema"; "path"; "script"; "composite" ]
 
@@ -622,6 +633,7 @@ type mentry = {
   m_entity : string;
   m_cvl_file : (string * Diagnostic.span) option;
   m_lens : string option;
+  m_flaky : string list;
 }
 
 (* Positioned manifest checks. Returns the diagnostics plus what the
@@ -725,8 +737,25 @@ let lint_manifest ~ctx ~path text =
                   | _ -> [])
                 | None -> []
               in
-              ( unknown @ enabled_diags @ cvl_diags @ lens_diags @ rt_diags,
-                [ { m_entity = entity; m_cvl_file = cvl_file; m_lens = lens } ] )
+              let flaky, flaky_diags =
+                match field "flaky_plugins" with
+                | None -> ([], [])
+                | Some f -> (
+                  match Yamlite.Ast.to_value f.Yamlite.Ast.value with
+                  | Yamlite.Value.List items ->
+                    (List.filter_map Yamlite.Value.get_str items, [])
+                  | _ ->
+                    ( [],
+                      [
+                        Diagnostic.make Diagnostic.manifest_error (fspan f)
+                          (Printf.sprintf
+                             "manifest %s: flaky_plugins must be a list of plugin names"
+                             entity);
+                      ] ))
+              in
+              ( unknown @ enabled_diags @ cvl_diags @ lens_diags @ rt_diags @ flaky_diags,
+                [ { m_entity = entity; m_cvl_file = cvl_file; m_lens = lens; m_flaky = flaky } ]
+              )
             | _ ->
               ( [
                   Diagnostic.make Diagnostic.manifest_error sspan
@@ -763,6 +792,7 @@ let lint_corpus ?(ctx = default_context) ~(source : Cvl.Loader.source)
           match e.m_cvl_file with
           | None -> []
           | Some (file, ref_span) ->
+            let ctx = { ctx with flaky_plugins = e.m_flaky } in
             lint_chain ~ctx ?lens:e.m_lens ~source ~ref_span ~supp file)
         entries
     in

@@ -92,6 +92,10 @@ let missing_remediation =
 let bad_rule_type =
   code "CVL043" "bad-rule-type" Warning "the manifest rule_type is not a CVL rule type"
 
+let flaky_plugin_no_fallback =
+  code "CVL050" "flaky-plugin-no-fallback" Warning
+    "a script rule uses a plugin the manifest marks flaky without declaring on_plugin_failure"
+
 let registry =
   [
     parse_error; manifest_error; rule_load_error; missing_rule_file; inheritance_cycle;
@@ -99,7 +103,7 @@ let registry =
     conflicting_values; presence_only_with_values; absent_path_with_attributes;
     bad_match_spec; bad_regex; match_without_value; unknown_lens; unknown_script;
     dead_config_path; unknown_entity; bad_composite_expression; no_tags; bad_tag;
-    missing_remediation; bad_rule_type;
+    missing_remediation; bad_rule_type; flaky_plugin_no_fallback;
   ]
 
 let find_code key =

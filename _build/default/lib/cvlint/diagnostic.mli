@@ -79,3 +79,4 @@ val no_tags : code
 val bad_tag : code
 val missing_remediation : code
 val bad_rule_type : code
+val flaky_plugin_no_fallback : code

@@ -1,0 +1,251 @@
+(* Deterministic fault injection for the validation pipeline.
+
+   A fault plan is a pure function of its seed: sites are sampled by
+   hashing (seed, site key) with a splitmix64-style finalizer, so the
+   same seed over the same frames and rules yields the same plan — and
+   because every decision is keyed by site, not by evaluation order,
+   the same faults fire regardless of how the pool shards the grid.
+   No wall clock anywhere: latency faults advance the simulated clock
+   in [Cvl.Resilience]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded hashing (splitmix64 finalizer)                               *)
+(* ------------------------------------------------------------------ *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let hash64 ~seed key =
+  let h = ref (mix64 (Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L)) in
+  String.iter
+    (fun c -> h := mix64 (Int64.logxor !h (Int64.of_int (Char.code c))))
+    key;
+  !h
+
+(* Uniform in [0, 1): top 53 bits as a float. *)
+let unit ~seed key =
+  Int64.to_float (Int64.shift_right_logical (hash64 ~seed key) 11) /. 9007199254740992.0
+
+let pick ~seed key n = Int64.to_int (Int64.rem (Int64.shift_right_logical (hash64 ~seed key) 17) (Int64.of_int n))
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type fault_kind =
+  | Unreadable_file of { frame_id : string; path : string }
+  | Truncated_file of { frame_id : string; path : string }
+  | Garbage_file of { frame_id : string; path : string }
+  | Slow_read of { frame_id : string; path : string; delay_ms : int }
+  | Dead_plugin of { plugin : string }
+  | Transient_plugin of { plugin : string; failures : int }
+  | Eval_fault of { entity : string; rule : string; frame_id : string }
+
+type fault = { id : string; kind : fault_kind }
+type plan = { seed : int; faults : fault list }
+
+let kind_to_string = function
+  | Unreadable_file { frame_id; path } ->
+    Printf.sprintf "unreadable-file frame=%s path=%s" frame_id path
+  | Truncated_file { frame_id; path } ->
+    Printf.sprintf "truncated-file frame=%s path=%s" frame_id path
+  | Garbage_file { frame_id; path } ->
+    Printf.sprintf "garbage-file frame=%s path=%s" frame_id path
+  | Slow_read { frame_id; path; delay_ms } ->
+    Printf.sprintf "slow-read frame=%s path=%s delay=%dms" frame_id path delay_ms
+  | Dead_plugin { plugin } -> Printf.sprintf "dead-plugin plugin=%s" plugin
+  | Transient_plugin { plugin; failures } ->
+    Printf.sprintf "transient-plugin plugin=%s failures=%d" plugin failures
+  | Eval_fault { entity; rule; frame_id } ->
+    Printf.sprintf "eval-fault entity=%s rule=%s frame=%s" entity rule frame_id
+
+let describe plan =
+  String.concat ""
+    (List.map
+       (fun f -> Printf.sprintf "%s %s\n" f.id (kind_to_string f.kind))
+       plan.faults)
+
+let with_ids faults =
+  List.mapi (fun i kind -> { id = Printf.sprintf "F%03d" i; kind }) faults
+
+let is_plain = function
+  | Cvl.Rule.Composite _ -> false
+  | Cvl.Rule.Tree _ | Cvl.Rule.Schema _ | Cvl.Rule.Path _ | Cvl.Rule.Script _ -> true
+
+(* Every (entity, rule, frame) evaluation site of the plain-rule grid,
+   in deterministic entity-major order. *)
+let eval_sites ~rules ~frames =
+  List.concat_map
+    (fun ((entry : Cvl.Manifest.entry), rs) ->
+      List.concat_map
+        (fun frame ->
+          List.filter_map
+            (fun rule ->
+              if is_plain rule then
+                Some
+                  ( entry.Cvl.Manifest.entity,
+                    Cvl.Rule.name rule,
+                    Frames.Frame.id frame )
+              else None)
+            rs)
+        frames)
+    rules
+
+let file_sites frames =
+  List.concat_map
+    (fun frame ->
+      let id = Frames.Frame.id frame in
+      List.map
+        (fun (f : Frames.File.t) -> (id, f.Frames.File.path))
+        (Frames.Frame.all_files frame))
+    frames
+
+let sample_eval ?(rate = 0.02) ~seed ~rules frames =
+  let faults =
+    List.filter_map
+      (fun (entity, rule, frame_id) ->
+        let key = Printf.sprintf "eval:%s:%s:%s" entity rule frame_id in
+        if unit ~seed key < rate then Some (Eval_fault { entity; rule; frame_id })
+        else None)
+      (eval_sites ~rules ~frames)
+  in
+  { seed; faults = with_ids faults }
+
+let sample ?(rate = 0.05) ~seed ~rules frames =
+  let files =
+    List.filter_map
+      (fun (frame_id, path) ->
+        let key = Printf.sprintf "file:%s:%s" frame_id path in
+        if unit ~seed key >= rate then None
+        else
+          Some
+            (match pick ~seed ("kind:" ^ key) 4 with
+            | 0 -> Unreadable_file { frame_id; path }
+            | 1 -> Truncated_file { frame_id; path }
+            | 2 -> Garbage_file { frame_id; path }
+            | _ ->
+              Slow_read { frame_id; path; delay_ms = 5 + pick ~seed ("delay:" ^ key) 45 }))
+      (file_sites frames)
+  in
+  let plugins =
+    List.filter_map
+      (fun (p : Crawler.plugin) ->
+        let name = p.Crawler.plugin_name in
+        let key = "plugin:" ^ name in
+        if unit ~seed key >= 4.0 *. rate then None
+        else if pick ~seed ("pkind:" ^ key) 2 = 0 then Some (Dead_plugin { plugin = name })
+        else
+          Some
+            (Transient_plugin { plugin = name; failures = 1 + pick ~seed ("pfail:" ^ key) 2 }))
+      Crawler.plugins
+  in
+  let evals =
+    List.filter_map
+      (fun (entity, rule, frame_id) ->
+        let key = Printf.sprintf "eval:%s:%s:%s" entity rule frame_id in
+        if unit ~seed key < rate /. 2.0 then Some (Eval_fault { entity; rule; frame_id })
+        else None)
+      (eval_sites ~rules ~frames)
+  in
+  { seed; faults = with_ids (files @ plugins @ evals) }
+
+(* ------------------------------------------------------------------ *)
+(* Arming: translate a plan into Resilience hooks                      *)
+(* ------------------------------------------------------------------ *)
+
+let fired_mutex = Mutex.create ()
+let fired : (string, unit) Hashtbl.t = Hashtbl.create 64
+
+let record id =
+  Mutex.lock fired_mutex;
+  if not (Hashtbl.mem fired id) then Hashtbl.replace fired id ();
+  Mutex.unlock fired_mutex;
+  Cvl.Resilience.note_injected ()
+
+let triggered () =
+  Mutex.lock fired_mutex;
+  let ids = Hashtbl.fold (fun id () acc -> id :: acc) fired [] in
+  Mutex.unlock fired_mutex;
+  List.sort String.compare ids
+
+(* Deterministic garbage: bytes no lens grammar accepts, tagged with
+   the fault id so a leak is attributable from the parse error. *)
+let garbage id = Printf.sprintf "\x00\x01{{{[[<<%s>>]]}}}\xff\xfe garbage" id
+
+let arm plan =
+  Mutex.lock fired_mutex;
+  Hashtbl.reset fired;
+  Mutex.unlock fired_mutex;
+  let file_tbl = Hashtbl.create 16 in
+  let dead_tbl = Hashtbl.create 4 in
+  let transient_tbl = Hashtbl.create 4 in
+  let eval_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      match f.kind with
+      | Unreadable_file { frame_id; path }
+      | Truncated_file { frame_id; path }
+      | Garbage_file { frame_id; path }
+      | Slow_read { frame_id; path; _ } -> Hashtbl.replace file_tbl (frame_id, path) f
+      | Dead_plugin { plugin } -> Hashtbl.replace dead_tbl plugin f
+      | Transient_plugin { plugin; _ } -> Hashtbl.replace transient_tbl plugin f
+      | Eval_fault { entity; rule; frame_id } ->
+        Hashtbl.replace eval_tbl (entity, rule, frame_id) f)
+    plan.faults;
+  Cvl.Resilience.set_read_hook
+    (Some
+       (fun ~frame_id ~path content ->
+         match Hashtbl.find_opt file_tbl (frame_id, path) with
+         | None -> Ok content
+         | Some f -> (
+           record f.id;
+           match f.kind with
+           | Unreadable_file _ ->
+             Error
+               {
+                 Cvl.Resilience.stage = Cvl.Resilience.Extract;
+                 transient = false;
+                 message = Printf.sprintf "injected:%s: unreadable %s" f.id path;
+               }
+           | Truncated_file _ -> Ok (String.sub content 0 (String.length content / 2))
+           | Garbage_file _ -> Ok (garbage f.id)
+           | Slow_read { delay_ms; _ } ->
+             Cvl.Resilience.sleep_ms delay_ms;
+             Ok content
+           | Dead_plugin _ | Transient_plugin _ | Eval_fault _ -> Ok content)));
+  Cvl.Resilience.set_plugin_hook
+    (Some
+       (fun ~plugin ~frame_id:_ ~attempt ->
+         match Hashtbl.find_opt dead_tbl plugin with
+         | Some f ->
+           record f.id;
+           Some (Printf.sprintf "injected:%s: plugin %s is dead" f.id plugin)
+         | None -> (
+           match Hashtbl.find_opt transient_tbl plugin with
+           | Some ({ kind = Transient_plugin { failures; _ }; _ } as f) when attempt < failures ->
+             record f.id;
+             Some
+               (Printf.sprintf "injected:%s: plugin %s transient failure %d/%d" f.id plugin
+                  (attempt + 1) failures)
+           | Some _ | None -> None)));
+  Cvl.Resilience.set_eval_hook
+    (Some
+       (fun ~entity ~rule ~frame_id ->
+         match Hashtbl.find_opt eval_tbl (entity, rule, frame_id) with
+         | None -> ()
+         | Some f ->
+           record f.id;
+           raise
+             (Cvl.Resilience.Fault
+                {
+                  Cvl.Resilience.stage = Cvl.Resilience.Evaluate;
+                  transient = false;
+                  message =
+                    Printf.sprintf "injected:%s: evaluation fault for %s/%s@%s" f.id entity
+                      rule frame_id;
+                })))
+
+let disarm () = Cvl.Resilience.clear_hooks ()

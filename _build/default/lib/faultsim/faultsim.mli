@@ -1,0 +1,84 @@
+(** Seeded, reproducible fault injection for the validation pipeline.
+
+    A {e fault plan} is a pure function of its integer seed: each
+    candidate site (a file in a frame, a crawler plugin, an
+    (entity, rule, frame) evaluation cell) is selected by hashing
+    (seed, site key) with a splitmix64-style finalizer. Decisions
+    depend only on the site, never on evaluation order, so the same
+    plan fires the same faults whether the grid runs on 1 job or 8.
+    There is no wall clock: latency faults advance
+    {!Cvl.Resilience.sleep_ms}'s simulated clock.
+
+    Usage: build a plan ({!sample} or {!sample_eval}), {!arm} it
+    (installs the {!Cvl.Resilience} hooks), run the validator, inspect
+    {!triggered}, and {!disarm}. *)
+
+type fault_kind =
+  | Unreadable_file of { frame_id : string; path : string }
+      (** the read fails outright (extract-stage fault) *)
+  | Truncated_file of { frame_id : string; path : string }
+      (** the read returns the first half of the content *)
+  | Garbage_file of { frame_id : string; path : string }
+      (** the read returns bytes no lens accepts *)
+  | Slow_read of { frame_id : string; path : string; delay_ms : int }
+      (** the read succeeds after simulated latency *)
+  | Dead_plugin of { plugin : string }
+      (** every attempt fails: retries exhaust, the breaker opens *)
+  | Transient_plugin of { plugin : string; failures : int }
+      (** the first [failures] attempts fail, then the plugin works —
+          recovered by retry when [failures <= policy.retries] *)
+  | Eval_fault of { entity : string; rule : string; frame_id : string }
+      (** {!Cvl.Resilience.Fault} raised at one evaluation cell *)
+
+type fault = { id : string;  (** unique within the plan, e.g. ["F007"]; injected
+                                 messages embed it as ["injected:F007: …"] *)
+               kind : fault_kind }
+
+type plan = { seed : int; faults : fault list }
+
+(** One line per fault — the textual fault-plan grammar documented in
+    DESIGN.md. *)
+val describe : plan -> string
+
+(** [sample ~seed ~rules frames] draws a mixed-kind plan over the
+    frames' files, the registered plugins, and the evaluation grid.
+    [rate] (default [0.05]) is the per-file selection probability;
+    plugins are selected at [4 * rate], evaluation cells at
+    [rate / 2]. *)
+val sample :
+  ?rate:float ->
+  seed:int ->
+  rules:(Cvl.Manifest.entry * Cvl.Rule.t list) list ->
+  Frames.Frame.t list ->
+  plan
+
+(** [sample_eval ~seed ~rules frames] draws evaluation faults only
+    ([rate] default [0.02]). Each selected (entity, rule, frame) cell
+    evaluates exactly once per run, so every fault in the plan fires at
+    most once and is attributed to exactly one [Engine_error] result —
+    the plan shape behind the chaos invariant test. *)
+val sample_eval :
+  ?rate:float ->
+  seed:int ->
+  rules:(Cvl.Manifest.entry * Cvl.Rule.t list) list ->
+  Frames.Frame.t list ->
+  plan
+
+(** Every plain-rule (entity, rule-name, frame-id) cell of the grid, in
+    deterministic entity-major order. *)
+val eval_sites :
+  rules:(Cvl.Manifest.entry * Cvl.Rule.t list) list ->
+  frames:Frames.Frame.t list ->
+  (string * string * string) list
+
+(** Install the plan as {!Cvl.Resilience} hooks and clear the
+    triggered-fault record. Only one plan can be armed at a time. *)
+val arm : plan -> unit
+
+(** Remove all hooks (idempotent; the triggered record survives until
+    the next {!arm}). *)
+val disarm : unit -> unit
+
+(** Sorted ids of the faults that actually fired since the last
+    {!arm}. *)
+val triggered : unit -> string list

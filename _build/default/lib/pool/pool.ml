@@ -86,25 +86,27 @@ let with_pool ~jobs f =
   let t = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let map_array t f arr =
+(* Per-item containment: every slot gets either its result or the
+   exception its own [f] raised. A failing item never poisons the
+   results of unrelated items — chunks keep draining, and all slots are
+   filled before the caller sees anything. *)
+let map_array_results t f arr =
   let n = Array.length arr in
   let out = Array.make n None in
   (* More chunks than executors keeps the tail balanced when item costs
      differ; chunk boundaries are index arithmetic, never allocation. *)
   let nchunks = min n (4 * t.jobs) in
   let next = Atomic.make 0 in
-  let failure = Atomic.make None in
   let body () =
     let rec drain () =
       let c = Atomic.fetch_and_add next 1 in
       if c < nchunks then begin
-        (try
-           for i = c * n / nchunks to ((c + 1) * n / nchunks) - 1 do
-             out.(i) <- Some (f arr.(i))
-           done
-         with e ->
-           let bt = Printexc.get_raw_backtrace () in
-           ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+        for i = c * n / nchunks to ((c + 1) * n / nchunks) - 1 do
+          out.(i) <-
+            Some
+              (try Ok (f arr.(i))
+               with e -> Error (e, Printexc.get_raw_backtrace ()))
+        done;
         drain ()
       end
     in
@@ -122,10 +124,26 @@ let map_array t f arr =
   done;
   t.task <- None;
   Mutex.unlock t.mutex;
-  (match Atomic.get failure with
-  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-  | None -> ());
   Array.map Option.get out
+
+let map_array t f arr =
+  let results = map_array_results t f arr in
+  (* The lowest-index failure is re-raised regardless of which worker
+     hit it first, so the escaping exception is deterministic. *)
+  Array.iter
+    (function Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
+    results;
+  Array.map (function Ok v -> v | Error _ -> assert false) results
+
+let map_results t f xs =
+  match xs with
+  | [] -> []
+  | _ ->
+    let wrap x = try Ok (f x) with e -> Error e in
+    if t.jobs <= 1 || t.domains = [] then List.map wrap xs
+    else
+      Array.to_list (map_array_results t f (Array.of_list xs))
+      |> List.map (function Ok v -> Ok v | Error (e, _) -> Error e)
 
 let map t f xs =
   match xs with

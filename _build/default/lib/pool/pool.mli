@@ -17,9 +17,10 @@
 
     Pools are not reentrant: calling {!map} from inside a function
     being mapped by the same pool deadlocks. Exceptions raised by [f]
-    are caught on the worker, and the first one is re-raised (with its
-    backtrace) on the calling domain after every in-flight chunk has
-    drained. *)
+    are contained per item: a raising item cannot poison the results of
+    unrelated items. {!map_results} exposes the per-item outcomes;
+    {!map} completes every item and then re-raises the lowest-index
+    failure (with its backtrace) on the calling domain. *)
 
 type t
 
@@ -37,8 +38,13 @@ val sequential : t
 (** [Domain.recommended_domain_count], for [-j 0] style "auto". *)
 val default_jobs : unit -> int
 
-(** Order-preserving parallel map. *)
+(** Order-preserving parallel map. If any item raises, every other
+    item still completes and the lowest-index exception is re-raised. *)
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Like {!map}, but exceptions raised by [f] are returned in place as
+    [Error] instead of escaping, one slot per input item. *)
+val map_results : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 
 (** [concat_map t f xs] is [List.concat (map t f xs)]. *)
 val concat_map : t -> ('a -> 'b list) -> 'a list -> 'b list

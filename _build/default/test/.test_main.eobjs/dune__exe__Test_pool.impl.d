@@ -1,1 +1,1 @@
-test/test_pool.ml: Alcotest Atomic Domain Fun List Pool
+test/test_pool.ml: Alcotest Atomic Domain Fun List Pool Printexc Result

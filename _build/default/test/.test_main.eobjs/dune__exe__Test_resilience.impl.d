@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Crawler Cvl Engine Faultsim Frames Fun Hashtbl List Matcher Normcache Option Printf Resilience Result Rule Rulesets Scenarios String Validator

@@ -5,3 +5,6 @@
   $ ../../bench/main.exe lint --smoke --lint-out lint_smoke.json | grep -v ' us ' | grep -v ' ms ' | grep -v ' ns ' | grep -v overhead
   $ grep -o '"seeded_findings": 4' lint_smoke.json
   $ grep -o '"clean_findings": 0' lint_smoke.json
+  $ ../../bench/main.exe chaos --smoke --chaos-out chaos_smoke.json | grep -v 'clean run:' | grep -v '^seed '
+  $ grep -o '"all_runs_degraded_but_total": true' chaos_smoke.json
+  $ grep -c '"seed"' chaos_smoke.json

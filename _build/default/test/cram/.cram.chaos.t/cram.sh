@@ -1,0 +1,11 @@
+  $ configvalidator validate -t host-good >/dev/null
+  $ configvalidator validate -t host-good --chaos 42 >/dev/null
+  $ configvalidator validate -t host-good --chaos 42 | grep 'ERR'
+  $ configvalidator validate -t host-good --chaos 42 | tail -5
+  $ configvalidator validate -t host-good --chaos 6 | tail -5
+  $ configvalidator validate -t host-good --chaos 6 > a.txt
+  $ configvalidator validate -t host-good --chaos 6 > b.txt
+  $ cmp a.txt b.txt
+  $ configvalidator validate -t host-good --chaos 6 --retry 0 | tail -5
+  $ configvalidator validate -t host-good --chaos 42 -f json | grep '"degraded"'
+  $ configvalidator validate -t host-good --chaos 42 -f junit | grep -c 'type="evaluate"'

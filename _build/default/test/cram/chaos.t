@@ -1,0 +1,67 @@
+Chaos mode arms a seeded, reproducible fault plan before validating.
+The run must complete degraded-but-total: every fired fault surfaces as
+an attributed [ERR ] result, the report grows a run-health section, and
+the exit code distinguishes infrastructure errors (3) from plain
+violations (2).
+
+A clean run of the compliant host fails only the cross-entity
+composites and exits 2; a chaos run of the same target exits 3.
+
+  $ configvalidator validate -t host-good >/dev/null
+  [2]
+  $ configvalidator validate -t host-good --chaos 42 >/dev/null
+  [3]
+
+Seed 42 injects three faults; two land on evaluation cells and are
+attributed to exactly the (entity, rule, frame) they hit.
+
+  $ configvalidator validate -t host-good --chaos 42 | grep 'ERR'
+  [ERR ] openstack  host-good                    insecure_debug — insecure_debug: contained failure: injected:F002: evaluation fault for openstack/insecure_debug@host-good
+  [ERR ] postgres   host-good                    shared_preload_libraries — shared_preload_libraries: contained failure: injected:F003: evaluation fault for postgres/shared_preload_libraries@host-good
+
+The same run renders the degraded health section.
+
+  $ configvalidator validate -t host-good --chaos 42 | tail -5
+  run health: DEGRADED
+    errors by stage: extract 0, normalize 0, evaluate 2
+    retries 0 · breaker trips 0 · contained exceptions 2 · faults injected 3
+    simulated backoff: 0 ms
+  170 checks: 45 passed, 3 violations (0 missing), 120 n/a, 2 errors
+
+Seed 6 also hits plugins: retries fire with simulated (not wall-clock)
+backoff, and a persistently dead plugin opens its circuit breaker.
+
+  $ configvalidator validate -t host-good --chaos 6 | tail -5
+  run health: DEGRADED
+    errors by stage: extract 3, normalize 0, evaluate 5
+    retries 6 · breaker trips 1 · contained exceptions 5 · faults injected 14
+    simulated backoff: 450 ms
+  170 checks: 59 passed, 3 violations (0 missing), 100 n/a, 8 errors
+
+Plans are pure functions of the seed — a repeat run is byte-identical.
+
+  $ configvalidator validate -t host-good --chaos 6 > a.txt
+  [3]
+  $ configvalidator validate -t host-good --chaos 6 > b.txt
+  [3]
+  $ cmp a.txt b.txt
+
+--retry 0 disables retrying: the dead plugin fails fast (no simulated
+backoff), the breaker still opens, and the verdicts are unchanged.
+
+  $ configvalidator validate -t host-good --chaos 6 --retry 0 | tail -5
+  run health: DEGRADED
+    errors by stage: extract 3, normalize 0, evaluate 5
+    retries 0 · breaker trips 1 · contained exceptions 5 · faults injected 8
+    simulated backoff: 0 ms
+  170 checks: 59 passed, 3 violations (0 missing), 100 n/a, 8 errors
+
+JSON output carries the same health record.
+
+  $ configvalidator validate -t host-good --chaos 42 -f json | grep '"degraded"'
+      "degraded": true,
+
+JUnit output marks the suite degraded and types each error by stage.
+
+  $ configvalidator validate -t host-good --chaos 42 -f junit | grep -c 'type="evaluate"'
+  2

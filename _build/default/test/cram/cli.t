@@ -8,10 +8,10 @@ The coverage table reproduces the paper's Table 1 census.
   
   11 target types, 135 rules in total
 
-The keyword census matches the paper's 46.
+The keyword census matches the paper's 46 plus two resilience keywords.
 
   $ configvalidator keywords | head -1
-  CVL defines 46 keywords:
+  CVL defines 48 keywords:
 
 Validating the misconfigured host reports the sshd findings and exits 2.
 

@@ -86,7 +86,15 @@ let fixture_tests =
         check_has diags "CVL030" "manifest.yaml" 14;
         check_has diags "CVL043" "manifest.yaml" 11;
         check_has diags "CVL032" "cvl032.yaml" 5;
-        check_has diags "CVL033" "cvl033.yaml" 4);
+        check_has diags "CVL033" "cvl033.yaml" 4;
+        check_has diags "CVL050" "cvl050.yaml" 5;
+        let d = List.find (fun (d : D.t) -> d.D.code.D.id = "CVL050") diags in
+        Alcotest.(check string) "CVL050 is a warning" "warning"
+          (D.severity_to_string d.D.code.D.severity);
+        (* the same rule without the manifest flag draws nothing *)
+        let solo = lint "corpus/cvl050.yaml" in
+        Alcotest.(check bool) "no CVL050 without the flaky_plugins flag" false
+          (List.exists (fun (d : D.t) -> d.D.code.D.id = "CVL050") solo));
   ]
 
 let behavior_tests =

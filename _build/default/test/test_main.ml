@@ -25,6 +25,7 @@ let () =
       ("incremental", Test_incremental.suite);
       ("report", Test_report.suite);
       ("robustness", Test_robustness.suite);
+      ("resilience", Test_resilience.suite);
       ("misc", Test_misc.suite);
       ("baselines", Test_baselines.suite);
       ("dsl", Test_dsl.suite);

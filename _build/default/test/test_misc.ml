@@ -51,7 +51,9 @@ let report_cases =
         Alcotest.(check bool) "not_present violates" true (Engine.is_violation Engine.Not_present);
         Alcotest.(check bool) "matched ok" false (Engine.is_violation Engine.Matched);
         Alcotest.(check bool) "n/a neutral" false (Engine.is_violation Engine.Not_applicable);
-        Alcotest.(check bool) "error neutral" false (Engine.is_violation (Engine.Engine_error "x")));
+        Alcotest.(check bool) "error neutral" false
+          (Engine.is_violation
+             (Engine.Engine_error { stage = Cvl.Resilience.Extract; message = "x" })));
   ]
 
 let fleet_case =
@@ -91,6 +93,7 @@ let lookup_cases =
               cvl_file = "-";
               lens = Some "ini";
               rule_type = None;
+              flaky_plugins = [];
             }
         in
         Alcotest.(check (option string)) "scoped" (Some "/etc/mysql/cacert.pem")

@@ -78,6 +78,33 @@ let exception_cases =
         match Pool.with_pool ~jobs:2 (fun _ -> failwith "escape") with
         | () -> Alcotest.fail "expected Failure"
         | exception Failure _ -> ());
+    Alcotest.test_case "map_results contains per-item failures" `Quick (fun () ->
+        Pool.with_pool ~jobs:4 (fun p ->
+            let xs = List.init 200 Fun.id in
+            let rs = Pool.map_results p (fun x -> if x mod 50 = 17 then raise (Boom x) else x * x) xs in
+            Alcotest.(check int) "length" 200 (List.length rs);
+            List.iteri
+              (fun i r ->
+                match r with
+                | Ok v -> Alcotest.(check int) "ok value" (i * i) v
+                | Error (Boom n) -> Alcotest.(check int) "boom index" i n
+                | Error e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
+              rs;
+            let failed = List.filter Result.is_error rs in
+            Alcotest.(check int) "exactly the faulted items fail" 4 (List.length failed)));
+    Alcotest.test_case "map_results on sequential pool matches parallel" `Quick (fun () ->
+        let f x = if x = 3 then raise (Boom 3) else succ x in
+        let xs = List.init 10 Fun.id in
+        let seq = Pool.map_results Pool.sequential f xs in
+        Pool.with_pool ~jobs:4 (fun p ->
+            let par = Pool.map_results p f xs in
+            List.iter2
+              (fun a b ->
+                match (a, b) with
+                | Ok x, Ok y -> Alcotest.(check int) "ok" x y
+                | Error (Boom x), Error (Boom y) -> Alcotest.(check int) "err" x y
+                | _ -> Alcotest.fail "sequential and parallel disagree")
+              seq par));
   ]
 
 let suite = map_cases @ fallback_cases @ exception_cases

@@ -60,6 +60,7 @@ let sshd_entry =
     cvl_file = "component_configs/sshd.yaml";
     lens = Some "sshd";
     rule_type = None;
+    flaky_plugins = [];
   }
 
 let sshd_rules () = Result.get_ok (Loader.load_file Rulesets.source "component_configs/sshd.yaml")

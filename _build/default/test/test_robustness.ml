@@ -46,6 +46,68 @@ let lens_cases =
         (fun s -> ignore (lens.Lenses.Lens.parse ~filename:"/fuzz" s)))
     Lenses.Registry.all
 
+(* Registry.parse adds name resolution and path inference on top of the
+   lenses; both entry points must stay total too. *)
+let registry_cases =
+  List.map
+    (fun (lens : Lenses.Lens.t) ->
+      total ~count:300
+        (Printf.sprintf "registry parse via %s is total" lens.Lenses.Lens.name)
+        (fun s -> ignore (Lenses.Registry.parse ~lens_name:lens.Lenses.Lens.name ~path:"/fuzz" s)))
+    Lenses.Registry.all
+  @ [
+      total ~count:500 "registry parse with inferred lens is total" (fun s ->
+          List.iter
+            (fun path -> ignore (Lenses.Registry.parse ~path s))
+            [ "/etc/my.cnf"; "/etc/nginx/nginx.conf"; "/app/config.json"; "/app/config.yaml";
+              "/etc/ssh/sshd_config"; "/etc/fstab"; "/no/lens/matches/this" ]);
+    ]
+
+(* Report renderers must be total over results carrying Engine_error
+   verdicts with arbitrary messages — the degraded-mode path that chaos
+   runs exercise. XML/JSON escaping of hostile bytes lives here. *)
+let error_result message stage =
+  {
+    Cvl.Engine.entity = "fuzz";
+    frame_id = "frame<&>\"1\"";
+    rule = Cvl.Rule.Composite { Cvl.Rule.composite_common = Cvl.Rule.common "c"; expression = "a.b" };
+    verdict = Cvl.Engine.Engine_error { stage; message };
+    detail = "contained failure: " ^ message;
+    evidence = [ message; "path=<\"&'>" ];
+  }
+
+let degraded_health =
+  Cvl.Resilience.make_health ~extract_errors:1 ~normalize_errors:1 ~evaluate_errors:1
+    {
+      Cvl.Resilience.retries = 2;
+      breaker_trips = 1;
+      contained = 3;
+      faults_injected = 4;
+      simulated_ms = 150;
+    }
+
+let renderer_cases =
+  [
+    total ~count:500 "report renderers are total over engine errors" (fun s ->
+        let results =
+          [
+            error_result s Cvl.Resilience.Extract;
+            error_result s Cvl.Resilience.Normalize;
+            error_result s Cvl.Resilience.Evaluate;
+          ]
+        in
+        let text = Cvl.Report.to_text ~verbose:true ~health:degraded_health results in
+        let junit = Cvl.Report.to_junit ~health:degraded_health results in
+        let json = Jsonlite.to_string (Cvl.Report.to_json ~health:degraded_health results) in
+        if String.length text = 0 || String.length junit = 0 || String.length json = 0 then
+          failwith "a renderer produced no output";
+        (* JSON output must round-trip through our own parser whatever
+           the error message contains. *)
+        match Jsonlite.parse json with
+        | Ok _ -> ()
+        | Error _ -> failwith "rendered JSON does not re-parse");
+  ]
+
 (* Structured-but-hostile CVL documents: the loader must reject or load,
    never crash, and accepted rules must evaluate without exceptions. *)
 let rule_fragments =
@@ -86,6 +148,7 @@ let hostile_rules =
                  cvl_file = "-";
                  lens = None;
                  rule_type = None;
+                 flaky_plugins = [];
                }
            in
            match List.iter (fun rule -> ignore (Cvl.Engine.eval_rule ctx rule)) rules with
@@ -93,4 +156,4 @@ let hostile_rules =
            | exception e ->
              QCheck.Test.fail_reportf "engine leaked %s on:\n%s" (Printexc.to_string e) doc)))
 
-let suite = parser_cases @ lens_cases @ [ hostile_rules ]
+let suite = parser_cases @ lens_cases @ registry_cases @ renderer_cases @ [ hostile_rules ]

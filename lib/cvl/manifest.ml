@@ -5,13 +5,17 @@ type entry = {
   cvl_file : string;
   lens : string option;
   rule_type : string option;
+  flaky_plugins : string list;
 }
 
 let ( let* ) = Result.bind
 
 let entry_of_section entity kvs =
   let allowed =
-    [ "enabled"; "config_search_paths"; "cvl_file"; "lens"; "rule_type"; "entity_name" ]
+    [
+      "enabled"; "config_search_paths"; "cvl_file"; "lens"; "rule_type"; "entity_name";
+      "flaky_plugins";
+    ]
   in
   let* () =
     match List.find_opt (fun (k, _) -> not (List.mem k allowed)) kvs with
@@ -35,6 +39,14 @@ let entry_of_section entity kvs =
       | Some l -> Ok l
       | None -> Error (Printf.sprintf "manifest %s: config_search_paths must be a list" entity))
   in
+  let* flaky_plugins =
+    match List.assoc_opt "flaky_plugins" kvs with
+    | None -> Ok []
+    | Some v -> (
+      match Yamlite.Value.get_str_list v with
+      | Some l -> Ok l
+      | None -> Error (Printf.sprintf "manifest %s: flaky_plugins must be a list" entity))
+  in
   match str "cvl_file" with
   | None -> Error (Printf.sprintf "manifest %s: cvl_file is required" entity)
   | Some cvl_file ->
@@ -46,6 +58,7 @@ let entry_of_section entity kvs =
         cvl_file;
         lens = str "lens";
         rule_type = str "rule_type";
+        flaky_plugins;
       }
 
 let parse text =
@@ -92,6 +105,13 @@ let to_yaml entries =
            match e.rule_type with
            | Some t -> base @ [ ("rule_type", Yamlite.Value.Str t) ]
            | None -> base
+         in
+         let base =
+           match e.flaky_plugins with
+           | [] -> base
+           | ps ->
+             base
+             @ [ ("flaky_plugins", Yamlite.Value.List (List.map (fun p -> Yamlite.Value.Str p) ps)) ]
          in
          (e.entity, Yamlite.Value.Map base))
        entries)

@@ -20,6 +20,10 @@ type entry = {
   cvl_file : string;
   lens : string option;
   rule_type : string option;  (** advisory; rules carry their own type *)
+  flaky_plugins : string list;
+      (** plugins known to be unreliable for this entity; the linter
+          warns when a script rule names one without declaring an
+          [on_plugin_failure] fallback *)
 }
 
 val parse : string -> (entry list, string) result

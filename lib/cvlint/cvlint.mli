@@ -22,11 +22,15 @@ module Diagnostic = Diagnostic
 module Render = Render
 
 (** What the analyzer checks names against. [entities] enables the
-    composite-expression pass; [None] (no manifest in sight) skips it. *)
+    composite-expression pass; [None] (no manifest in sight) skips it.
+    [flaky_plugins] are the plugins the current entity's manifest entry
+    marks unreliable — script rules using one without an
+    [on_plugin_failure] fallback draw CVL050. *)
 type context = {
   lenses : string list;
   plugins : string list;
   entities : string list option;
+  flaky_plugins : string list;
 }
 
 (** Lens and plugin names from {!Lenses.Registry} and {!Crawler.plugins};

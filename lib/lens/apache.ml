@@ -13,7 +13,9 @@ let parse_tree input =
       | (tag, _, _) :: _ -> Error (Printf.sprintf "apache: unclosed <%s> section" tag))
     | { Lex.num; text } :: rest ->
       if Lex.starts_with ~prefix:"</" text then begin
-        let tag = String.trim (String.sub text 2 (String.length text - 3)) in
+        let len = String.length text in
+        let stop = if len > 2 && text.[len - 1] = '>' then len - 3 else len - 2 in
+        let tag = String.trim (String.sub text 2 stop) in
         match stack with
         | (open_tag, value, children) :: outer when String.lowercase_ascii open_tag = String.lowercase_ascii tag ->
           let node = Configtree.Tree.node ?value ~children:(List.rev children) open_tag in

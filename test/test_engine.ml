@@ -15,6 +15,7 @@ let ctx ?(entity = "sshd") content =
       cvl_file = "unused";
       lens = Some "sshd";
       rule_type = None;
+      flaky_plugins = [];
     }
 
 let tree_rule ?(paths = [ "" ]) ?preferred ?non_preferred ?(not_present_pass = false)
@@ -159,6 +160,7 @@ let fstab_ctx content =
       cvl_file = "unused";
       lens = Some "fstab";
       rule_type = None;
+      flaky_plugins = [];
     }
 
 let expect_schema name rule content expected =
@@ -211,6 +213,7 @@ let script_cases =
               script_preferred = Some { Rule.values = [ "YES" ]; match_spec = Matcher.default };
               script_non_preferred = None;
               script_not_present_pass = false;
+              on_plugin_failure = None;
             }
         in
         let r = Engine.eval_rule ctx rule in
@@ -226,6 +229,7 @@ let script_cases =
               script_preferred = None;
               script_non_preferred = None;
               script_not_present_pass = false;
+              on_plugin_failure = None;
             }
         in
         match (Engine.eval_rule ctx rule).Engine.verdict with
@@ -242,6 +246,7 @@ let script_cases =
               script_preferred = None;
               script_non_preferred = None;
               script_not_present_pass = false;
+              on_plugin_failure = None;
             }
         in
         Alcotest.(check string) "verdict" "not-applicable"
@@ -270,6 +275,7 @@ let parse_error_case =
             cvl_file = "u";
             lens = Some "nginx";
             rule_type = None;
+            flaky_plugins = [];
           }
       in
       let rule = tree_rule ~preferred:(exact [ "off" ]) "server_tokens" in

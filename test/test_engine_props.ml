@@ -27,6 +27,7 @@ let ctx_of entries =
       cvl_file = "-";
       lens = Some "sshd";
       rule_type = None;
+      flaky_plugins = [];
     }
 
 let tree_rule ?preferred ?non_preferred ?(not_present_pass = false) ?(check_presence_only = false)

@@ -1,0 +1,372 @@
+(* The resilient runtime under injected faults: retry/backoff semantics,
+   the per-run circuit breaker, exception containment, Normcache's
+   refusal to memoize transient parse failures, and the headline chaos
+   invariant — under any fault plan the run completes, every fired
+   fault is attributed to exactly one result, and the non-faulted
+   results are byte-identical to a clean run. *)
+
+open Cvl
+
+let rules =
+  Result.get_ok (Validator.load_rules ~source:Rulesets.source ~manifest:Rulesets.manifest)
+
+let frames () = Scenarios.Deployment.three_tier ~compliant:false
+
+let contains_sub s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let is_composite (r : Engine.result) =
+  match r.Engine.rule with Rule.Composite _ -> true | _ -> false
+
+let key (r : Engine.result) = (r.Engine.entity, Rule.name r.Engine.rule, r.Engine.frame_id)
+
+let row (r : Engine.result) =
+  (key r, Engine.verdict_to_string r.Engine.verdict, r.Engine.detail, r.Engine.evidence)
+
+let holds_fault id (r : Engine.result) =
+  let tag = "injected:" ^ id ^ ":" in
+  contains_sub r.Engine.detail tag
+  ||
+  match r.Engine.verdict with
+  | Engine.Engine_error { message; _ } -> contains_sub message tag
+  | _ -> false
+
+let holds_any_fault (r : Engine.result) =
+  contains_sub r.Engine.detail "injected:"
+  ||
+  match r.Engine.verdict with
+  | Engine.Engine_error { message; _ } -> contains_sub message "injected:"
+  | _ -> false
+
+let with_plan plan f =
+  Faultsim.arm plan;
+  Fun.protect ~finally:Faultsim.disarm f
+
+let mysql_plugin () = Option.get (Crawler.find_plugin "mysql_variables")
+
+let script_rule ?on_plugin_failure () =
+  Rule.Script
+    {
+      Rule.script_common = Rule.common "have_ssl";
+      plugin = "mysql_variables";
+      script_config_paths = [ "have_ssl" ];
+      script_preferred = Some { Rule.values = [ "YES" ]; match_spec = Matcher.default };
+      script_non_preferred = None;
+      script_not_present_pass = false;
+      on_plugin_failure;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* The chaos invariant (acceptance criterion)                          *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_invariant =
+  Alcotest.test_case "chaos invariant: completion, attribution, byte-identity" `Slow (fun () ->
+      let frames = frames () in
+      let clean = Validator.run_loaded ~keep_not_applicable:true ~rules frames in
+      Alcotest.(check bool) "clean run is healthy" false clean.Validator.health.Resilience.degraded;
+      let clean_rows =
+        List.filter (fun r -> not (is_composite r)) clean.Validator.results |> List.map row
+      in
+      List.iter
+        (fun seed ->
+          let plan = Faultsim.sample_eval ~seed ~rules frames in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d draws a non-empty plan" seed)
+            true
+            (plan.Faultsim.faults <> []);
+          let runs =
+            List.map
+              (fun jobs ->
+                let t =
+                  with_plan plan (fun () ->
+                      Validator.run_loaded ~jobs ~keep_not_applicable:true ~rules frames)
+                in
+                let trig = Faultsim.triggered () in
+                (jobs, t, trig))
+              [ 1; 4 ]
+          in
+          List.iter
+            (fun (jobs, t, trig) ->
+              let label fmt = Printf.ksprintf Fun.id fmt in
+              Alcotest.(check bool)
+                (label "seed %d -j%d: faults fired" seed jobs)
+                true (trig <> []);
+              Alcotest.(check bool)
+                (label "seed %d -j%d: run degraded" seed jobs)
+                true t.Validator.health.Resilience.degraded;
+              (* Every fired fault is attributed to exactly one result. *)
+              List.iter
+                (fun id ->
+                  let holders = List.filter (holds_fault id) t.Validator.results in
+                  Alcotest.(check int)
+                    (label "seed %d -j%d: fault %s attributed exactly once" seed jobs id)
+                    1 (List.length holders))
+                trig;
+              (* An eval-only plan surfaces every fault as an evaluate-stage
+                 error, and nothing else errors. *)
+              Alcotest.(check int)
+                (label "seed %d -j%d: evaluate errors = fired faults" seed jobs)
+                (List.length trig)
+                t.Validator.health.Resilience.evaluate_errors;
+              Alcotest.(check int)
+                (label "seed %d -j%d: no extract errors" seed jobs)
+                0 t.Validator.health.Resilience.extract_errors;
+              (* Non-faulted results are byte-identical to the clean run. *)
+              let chaos_rows =
+                List.filter (fun r -> not (is_composite r)) t.Validator.results
+                |> List.filter_map (fun r -> if holds_any_fault r then None else Some (row r))
+              in
+              let chaos_tbl = Hashtbl.create 512 in
+              List.iter
+                (fun ((k, _, _, _) as rw) -> Hashtbl.replace chaos_tbl k rw)
+                chaos_rows;
+              List.iter
+                (fun ((k, _, _, _) as clean_row) ->
+                  match Hashtbl.find_opt chaos_tbl k with
+                  | None -> () (* the faulted cell, excluded above *)
+                  | Some chaos_row ->
+                    if chaos_row <> clean_row then
+                      let e, rn, f = k in
+                      Alcotest.failf
+                        "seed %d -j%d: non-faulted result drifted for %s/%s@%s" seed jobs e rn
+                        f)
+                clean_rows;
+              Alcotest.(check int)
+                (label "seed %d -j%d: grid size unchanged" seed jobs)
+                (List.length clean_rows)
+                (chaos_rows |> List.length |> ( + ) (List.length trig)))
+            runs;
+          (* Eval-only plans are order-independent: -j1 and -j4 agree byte
+             for byte. *)
+          match runs with
+          | [ (_, t1, trig1); (_, t4, trig4) ] ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "seed %d: same faults fire at -j1 and -j4" seed)
+              trig1 trig4;
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d: identical results at -j1 and -j4" seed)
+              true
+              (List.map row t1.Validator.results = List.map row t4.Validator.results)
+          | _ -> assert false)
+        [ 7; 11; 42 ])
+
+let mixed_plan_completes =
+  Alcotest.test_case "mixed-kind plans always complete and stay deterministic" `Slow (fun () ->
+      let frames = frames () in
+      List.iter
+        (fun seed ->
+          let plan = Faultsim.sample ~seed ~rules frames in
+          let run () =
+            with_plan plan (fun () ->
+                let t = Validator.run_loaded ~jobs:1 ~keep_not_applicable:true ~rules frames in
+                (List.map row t.Validator.results, t.Validator.health, Faultsim.triggered ()))
+          in
+          let rows1, health1, trig1 = run () in
+          let rows2, _, trig2 = run () in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: degraded" seed)
+            true health1.Resilience.degraded;
+          Alcotest.(check bool) (Printf.sprintf "seed %d: faults fired" seed) true (trig1 <> []);
+          Alcotest.(check (list string)) (Printf.sprintf "seed %d: same faults" seed) trig1 trig2;
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: repeat run identical" seed)
+            true (rows1 = rows2))
+        [ 1; 2; 3 ])
+
+(* ------------------------------------------------------------------ *)
+(* Retry, backoff, breaker                                             *)
+(* ------------------------------------------------------------------ *)
+
+let transient_plan ~failures =
+  {
+    Faultsim.seed = 0;
+    faults =
+      [ { Faultsim.id = "F000"; kind = Faultsim.Transient_plugin { plugin = "mysql_variables"; failures } } ];
+  }
+
+let dead_plan =
+  {
+    Faultsim.seed = 0;
+    faults = [ { Faultsim.id = "F000"; kind = Faultsim.Dead_plugin { plugin = "mysql_variables" } } ];
+  }
+
+let retry_cases =
+  [
+    Alcotest.test_case "transient plugin fault is recovered by retry" `Quick (fun () ->
+        Resilience.begin_run ();
+        let fr = Scenarios.Webstack.mysql_container_frame ~compliant:true in
+        let before = Resilience.counters () in
+        let r = with_plan (transient_plan ~failures:2) (fun () ->
+            Resilience.run_plugin ~frame:fr (mysql_plugin ())) in
+        Alcotest.(check bool) "recovered" true (Result.is_ok r);
+        let d = Resilience.diff_counters ~before ~after:(Resilience.counters ()) in
+        Alcotest.(check int) "two retries" 2 d.Resilience.retries;
+        Alcotest.(check int) "backoff doubles: 50 + 100 ms" 150 d.Resilience.simulated_ms;
+        Alcotest.(check int) "no breaker trip" 0 d.Resilience.breaker_trips;
+        Alcotest.(check bool) "breaker closed" false (Resilience.breaker_open "mysql_variables"));
+    Alcotest.test_case "recovered retries do not degrade the run" `Quick (fun () ->
+        let frames = frames () in
+        let clean = Validator.run_loaded ~keep_not_applicable:true ~rules frames in
+        let t = with_plan (transient_plan ~failures:2) (fun () ->
+            Validator.run_loaded ~keep_not_applicable:true ~rules frames) in
+        Alcotest.(check bool) "not degraded" false t.Validator.health.Resilience.degraded;
+        Alcotest.(check bool) "retries happened" true (t.Validator.health.Resilience.retries > 0);
+        Alcotest.(check bool) "verdicts identical to clean run" true
+          (List.map row t.Validator.results = List.map row clean.Validator.results));
+    Alcotest.test_case "dead plugin exhausts retries, then the breaker opens" `Quick (fun () ->
+        Resilience.begin_run ();
+        let fr = Scenarios.Webstack.mysql_container_frame ~compliant:true in
+        let plugin = mysql_plugin () in
+        let before = Resilience.counters () in
+        with_plan dead_plan (fun () ->
+            let threshold = (Resilience.policy ()).Resilience.breaker_threshold in
+            for i = 1 to threshold do
+              (match Resilience.run_plugin ~frame:fr plugin with
+              | Error (Resilience.Faulted { stage = Resilience.Extract; _ }) -> ()
+              | _ -> Alcotest.failf "attempt %d: expected an extract-stage fault" i);
+              Alcotest.(check bool)
+                (Printf.sprintf "breaker after failure %d/%d" i threshold)
+                (i >= threshold)
+                (Resilience.breaker_open "mysql_variables")
+            done;
+            (* Open breaker short-circuits: no further attempts, no retries. *)
+            let mid = Resilience.counters () in
+            (match Resilience.run_plugin ~frame:fr plugin with
+            | Error (Resilience.Faulted { message; _ }) ->
+              Alcotest.(check bool) "short-circuit names the breaker" true
+                (contains_sub message "circuit breaker open")
+            | _ -> Alcotest.fail "expected a breaker short-circuit");
+            let d = Resilience.diff_counters ~before:mid ~after:(Resilience.counters ()) in
+            Alcotest.(check int) "no retry behind an open breaker" 0 d.Resilience.retries);
+        let d = Resilience.diff_counters ~before ~after:(Resilience.counters ()) in
+        Alcotest.(check int) "one trip" 1 d.Resilience.breaker_trips;
+        Alcotest.(check int) "retries = threshold * policy.retries"
+          ((Resilience.policy ()).Resilience.breaker_threshold * (Resilience.policy ()).Resilience.retries)
+          d.Resilience.retries;
+        Resilience.begin_run ();
+        Alcotest.(check bool) "begin_run resets the breaker" false
+          (Resilience.breaker_open "mysql_variables"));
+    Alcotest.test_case "plugin's own soft failure: no retry, no breaker" `Quick (fun () ->
+        Resilience.begin_run ();
+        let host = Frames.Frame.create ~id:"empty" Frames.Frame.Host in
+        let before = Resilience.counters () in
+        (match Resilience.run_plugin ~frame:host (mysql_plugin ()) with
+        | Error (Resilience.Soft _) -> ()
+        | _ -> Alcotest.fail "expected a soft failure");
+        let d = Resilience.diff_counters ~before ~after:(Resilience.counters ()) in
+        Alcotest.(check int) "no retries" 0 d.Resilience.retries;
+        Alcotest.(check int) "no simulated backoff" 0 d.Resilience.simulated_ms;
+        Alcotest.(check bool) "breaker closed" false (Resilience.breaker_open "mysql_variables"));
+  ]
+
+let fallback_cases =
+  [
+    Alcotest.test_case "dead plugin without fallback is an extract error" `Quick (fun () ->
+        Resilience.begin_run ();
+        let fr = Scenarios.Webstack.mysql_container_frame ~compliant:true in
+        let ctx = Engine.ctx_of_documents ~entity:"mysql" fr [] in
+        let r = with_plan dead_plan (fun () -> Engine.eval_rule ctx (script_rule ())) in
+        match r.Engine.verdict with
+        | Engine.Engine_error { stage = Resilience.Extract; message } ->
+          Alcotest.(check bool) "names the fault" true (contains_sub message "injected:F000:")
+        | v -> Alcotest.failf "expected extract error, got %s" (Engine.verdict_to_string v));
+    Alcotest.test_case "on_plugin_failure: degrade turns the fault into n/a" `Quick (fun () ->
+        Resilience.begin_run ();
+        let fr = Scenarios.Webstack.mysql_container_frame ~compliant:true in
+        let ctx = Engine.ctx_of_documents ~entity:"mysql" fr [] in
+        let r =
+          with_plan dead_plan (fun () ->
+              Engine.eval_rule ctx (script_rule ~on_plugin_failure:"degrade" ()))
+        in
+        Alcotest.(check string) "verdict" "not-applicable"
+          (Engine.verdict_to_string r.Engine.verdict);
+        Alcotest.(check bool) "detail says degraded" true (contains_sub r.Engine.detail "degraded"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Normcache: transient parse failures are never memoized              *)
+(* ------------------------------------------------------------------ *)
+
+let normcache_cases =
+  [
+    Alcotest.test_case "a transient parse failure is not cached" `Quick (fun () ->
+        Normcache.reset ();
+        let calls = ref 0 in
+        Normcache.set_parse_hook
+          (Some
+             (fun ~lens_name:_ ~path:_ _content ->
+               incr calls;
+               if !calls = 1 then Some (Error "transient: half-written file") else None));
+        Fun.protect
+          ~finally:(fun () ->
+            Normcache.set_parse_hook None;
+            Normcache.reset ())
+          (fun () ->
+            let parse () = Normcache.parse ~path:"/etc/app/config.json" "{\"a\": 1}\n" in
+            Alcotest.(check bool) "first parse fails" true (Result.is_error (parse ()));
+            let s = Normcache.stats () in
+            Alcotest.(check int) "failure observed, not stored" 1 s.Normcache.errors_cached;
+            Alcotest.(check int) "no hit for the failure" 0 s.Normcache.hits;
+            (* Same (path, content, lens): the input "recovered", so the
+               retry must reach the parser instead of a cached error. *)
+            Alcotest.(check bool) "retry succeeds" true (Result.is_ok (parse ()));
+            Alcotest.(check int) "parser consulted again" 2 !calls;
+            Alcotest.(check bool) "success is served from cache" true (Result.is_ok (parse ()));
+            let s = Normcache.stats () in
+            Alcotest.(check int) "one hit" 1 s.Normcache.hits;
+            Alcotest.(check int) "one cacheable miss" 1 s.Normcache.misses;
+            Alcotest.(check int) "hook not consulted on the hit" 2 !calls));
+    Alcotest.test_case "persistent parse errors are recomputed every time" `Quick (fun () ->
+        Normcache.reset ();
+        Fun.protect ~finally:Normcache.reset (fun () ->
+            let parse () = Normcache.parse ~lens_name:"json" ~path:"/x.json" "{{{ nope" in
+            Alcotest.(check bool) "error" true (Result.is_error (parse ()));
+            Alcotest.(check bool) "error again" true (Result.is_error (parse ()));
+            let s = Normcache.stats () in
+            Alcotest.(check int) "both runs counted as uncacheable errors" 2
+              s.Normcache.errors_cached;
+            Alcotest.(check int) "never served from cache" 0 s.Normcache.hits));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Plan determinism and the simulated clock                            *)
+(* ------------------------------------------------------------------ *)
+
+let plan_cases =
+  [
+    Alcotest.test_case "plans are pure functions of the seed" `Quick (fun () ->
+        let frames = frames () in
+        let p1 = Faultsim.sample ~seed:5 ~rules frames in
+        let p2 = Faultsim.sample ~seed:5 ~rules frames in
+        Alcotest.(check string) "same description" (Faultsim.describe p1) (Faultsim.describe p2);
+        let q = Faultsim.sample ~seed:6 ~rules frames in
+        Alcotest.(check bool) "different seed, different plan" true
+          (Faultsim.describe p1 <> Faultsim.describe q));
+    Alcotest.test_case "slow reads advance only the simulated clock" `Quick (fun () ->
+        let frames = frames () in
+        let plan =
+          let all = Faultsim.sample ~seed:1 ~rules frames in
+          {
+            all with
+            Faultsim.faults =
+              List.filter
+                (fun (f : Faultsim.fault) ->
+                  match f.Faultsim.kind with Faultsim.Slow_read _ -> true | _ -> false)
+                all.Faultsim.faults;
+          }
+        in
+        Alcotest.(check bool) "seed 1 has a slow read" true (plan.Faultsim.faults <> []);
+        let t = with_plan plan (fun () ->
+            Validator.run_loaded ~keep_not_applicable:true ~rules frames) in
+        Alcotest.(check bool) "simulated time advanced" true
+          (t.Validator.health.Resilience.simulated_ms > 0);
+        Alcotest.(check bool) "latency alone does not degrade" false
+          t.Validator.health.Resilience.degraded);
+  ]
+
+let suite =
+  plan_cases @ retry_cases @ fallback_cases @ normcache_cases
+  @ [ chaos_invariant; mixed_plan_completes ]
