@@ -808,6 +808,170 @@ let chaos_bench () =
   Printf.printf "wrote %s\n" !chaos_out
 
 (* ------------------------------------------------------------------ *)
+(* Compile: ahead-of-time rule programs vs the interpreter             *)
+(* ------------------------------------------------------------------ *)
+
+(* The steady state of a long-running validator is load once, compile
+   once, scan forever — so the interesting comparison is evaluation
+   cost with parsing and normalization already warm. Two workloads:
+   the embedded corpus on the three-tier deployment (realistic mix),
+   and a synthetic path-heavy set where every rule walks a deep [**]
+   query, the case the pre-parsed paths + per-frame index exist for.
+   Emits BENCH_compile.json. *)
+
+let compile_out = ref "BENCH_compile.json"
+
+(* One deep YAML document: services/svcNN/runtime/settings/optNN. *)
+let pathbench_yaml ~services ~opts =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "services:\n";
+  for s = 0 to services - 1 do
+    Buffer.add_string buf (Printf.sprintf "  svc%02d:\n    runtime:\n      settings:\n" s);
+    for o = 0 to opts - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "        opt%02d: \"%s\"\n" o (if (s + o) mod 2 = 0 then "on" else "off"))
+    done
+  done;
+  Buffer.contents buf
+
+(* Every rule resolves through a deep-descent path, so the interpreter
+   re-parses the literal and re-walks the whole tree per rule per scan
+   while the compiled program answers from the shared index. *)
+let pathbench_rules ~opts =
+  "rules:\n"
+  ^ String.concat ""
+      (List.init opts (fun o ->
+           Printf.sprintf
+             "  - config_name: opt%02d\n    config_path: [\"services/**/settings\"]\n\
+             \    preferred_value: [\"on\"]\n    tags: [\"#pathbench\"]\n"
+             o))
+
+let pathbench_manifest : Cvl.Manifest.entry list =
+  [
+    {
+      Cvl.Manifest.entity = "pathbench";
+      enabled = true;
+      search_paths = [ "/etc/pathbench" ];
+      cvl_file = "pathbench.yaml";
+      lens = Some "yaml";
+      rule_type = None;
+      flaky_plugins = [];
+    };
+  ]
+
+let pathbench_frame ~services ~opts =
+  let frame = Frames.Frame.create ~id:"pathbench-01" Frames.Frame.Host in
+  Frames.Frame.add_file frame
+    (Frames.File.make ~content:(pathbench_yaml ~services ~opts) "/etc/pathbench/app.yaml")
+
+let compile_bench () =
+  heading
+    (Printf.sprintf "Compile - ahead-of-time programs vs interpreter%s"
+       (if !smoke then " (smoke)" else ""));
+  let reps = if !smoke then 2 else 5 in
+  let best_of k f =
+    let rec go k best =
+      if k = 0 then best
+      else
+        let s, _ = wall f in
+        go (k - 1) (Float.min best s)
+    in
+    go k Float.infinity
+  in
+  let measure ~label ~rules frames =
+    (* Warm the normalization cache first so both engines measure rule
+       evaluation on the same shared forests, not crawling/parsing. *)
+    Cvl.Normcache.set_enabled true;
+    Cvl.Normcache.reset ();
+    let interp () = Cvl.Validator.run_loaded ~engine:`Interpreted ~rules frames in
+    let interp_ref = interp () in
+    let interp_s = best_of reps (fun () -> ignore (interp ())) in
+    let compile_s, compiled = wall (fun () -> Cvl.Validator.compile rules) in
+    let compiled_run () = Cvl.Validator.run_compiled ~compiled frames in
+    let compiled_ref = compiled_run () in
+    let compiled_s = best_of reps (fun () -> ignore (compiled_run ())) in
+    let identical = result_signature interp_ref = result_signature compiled_ref in
+    let speedup = interp_s /. Float.max compiled_s 1e-9 in
+    Printf.printf
+      "%-12s interpreted %s, compiled %s (%.2fx; compile itself %s, %d diagnostics, %d \
+       results)\n"
+      label
+      (pp_time (interp_s *. 1e9))
+      (pp_time (compiled_s *. 1e9))
+      speedup
+      (pp_time (compile_s *. 1e9))
+      (List.length compiled.Cvl.Compile.diagnostics)
+      (List.length compiled_ref.Cvl.Validator.results);
+    (interp_s, compiled_s, compile_s, speedup, identical, compiled, compiled_ref)
+  in
+  let corpus_rules =
+    Result.get_ok (Cvl.Validator.load_rules ~source:Rulesets.source ~manifest:Rulesets.manifest)
+  in
+  let corpus_frames =
+    Scenarios.Deployment.three_tier ~compliant:false
+    @ Scenarios.Deployment.three_tier ~compliant:true
+  in
+  let c_interp, c_comp, c_compile, c_speedup, c_identical, c_compiled, c_ref =
+    measure ~label:"corpus" ~rules:corpus_rules corpus_frames
+  in
+  let services = if !smoke then 6 else 24 in
+  let opts = if !smoke then 8 else 48 in
+  let path_rules =
+    Result.get_ok
+      (Cvl.Validator.load_rules
+         ~source:
+           {
+             Cvl.Loader.load =
+               (fun name ->
+                 if String.equal name "pathbench.yaml" then Ok (pathbench_rules ~opts)
+                 else Error (Printf.sprintf "no such file %S" name));
+           }
+         ~manifest:pathbench_manifest)
+  in
+  let path_frames = [ pathbench_frame ~services ~opts ] in
+  let p_interp, p_comp, p_compile, p_speedup, p_identical, _, p_ref =
+    measure ~label:"path-heavy" ~rules:path_rules path_frames
+  in
+  let identical = c_identical && p_identical in
+  Printf.printf "results identical interpreted vs compiled: %b\n" identical;
+  Printf.printf "path-heavy speedup target (>=3x): %s (measured %.2fx)\n"
+    (if p_speedup >= 3.0 then "met" else "not met")
+    p_speedup;
+  let workload label (interp_s, comp_s, compile_s, speedup, ident, nresults) =
+    ( label,
+      Jsonlite.Obj
+        [
+          ("interpreted_seconds", Jsonlite.Num interp_s);
+          ("compiled_seconds", Jsonlite.Num comp_s);
+          ("compile_seconds", Jsonlite.Num compile_s);
+          ("speedup", Jsonlite.Num speedup);
+          ("identical", Jsonlite.Bool ident);
+          ("results", Jsonlite.Num (float_of_int nresults));
+        ] )
+  in
+  let json =
+    Jsonlite.Obj
+      [
+        ("smoke", Jsonlite.Bool !smoke);
+        ("corpus_diagnostics",
+         Jsonlite.Num (float_of_int (List.length c_compiled.Cvl.Compile.diagnostics)));
+        workload "corpus"
+          (c_interp, c_comp, c_compile, c_speedup, c_identical,
+           List.length c_ref.Cvl.Validator.results);
+        workload "path_heavy"
+          ( p_interp, p_comp, p_compile, p_speedup, p_identical,
+            List.length p_ref.Cvl.Validator.results );
+        ("path_heavy_rules", Jsonlite.Num (float_of_int opts));
+        ("path_heavy_services", Jsonlite.Num (float_of_int services));
+        ("path_heavy_target_3x_met", Jsonlite.Bool (p_speedup >= 3.0));
+        ("identical", Jsonlite.Bool identical);
+      ]
+  in
+  Out_channel.with_open_text !compile_out (fun oc ->
+      Out_channel.output_string oc (Jsonlite.pretty json));
+  Printf.printf "wrote %s\n" !compile_out
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -824,6 +988,7 @@ let sections =
     ("scaling", scaling);
     ("lint", lint_bench);
     ("chaos", chaos_bench);
+    ("compile", compile_bench);
   ]
 
 let () =
@@ -840,6 +1005,9 @@ let () =
       parse_args rest
     | "--chaos-out" :: file :: rest ->
       chaos_out := file;
+      parse_args rest
+    | "--compile-out" :: file :: rest ->
+      compile_out := file;
       parse_args rest
     | arg :: rest -> arg :: parse_args rest
   in

@@ -108,6 +108,13 @@ let validate target frame_files tags format verbose only_violations rules_dir jo
       List.iter
         (fun (entity, msg) -> Printf.eprintf "warning: rules for %s failed to load: %s\n" entity msg)
         run.Cvl.Validator.load_errors;
+      (* Compile diagnostics: malformed path literals the interpreter
+         used to swallow silently. Reported before the results, not
+         fatal — the affected paths simply contribute no nodes. *)
+      List.iter
+        (fun d ->
+          Printf.eprintf "warning: compile: %s\n" (Cvl.Compile.diagnostic_to_string d))
+        run.Cvl.Validator.compile_diagnostics;
       let health = run.Cvl.Validator.health in
       let results =
         if only_violations then Cvl.Report.violations run.Cvl.Validator.results

@@ -1,0 +1,1 @@
+lib/configtree/index.ml: Domain Hashtbl Lazy List Option Path Tree

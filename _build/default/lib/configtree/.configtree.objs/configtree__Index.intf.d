@@ -1,0 +1,1 @@
+lib/configtree/index.mli: Path Tree

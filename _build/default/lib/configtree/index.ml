@@ -1,0 +1,182 @@
+(* Per-forest query accelerator.
+
+   [Path.find] rescans every sibling list per segment; rule corpora ask
+   the same handful of paths of the same forest over and over (every
+   tree rule per frame, every composite lookup). An [Index] is built
+   lazily over one immutable forest and answers those queries from
+
+   - interned labels: a label absent from the pool exists nowhere in
+     the forest, so [Label]/[Indexed] segments short-circuit to [];
+   - children-by-label tables: per parent node, built on first touch,
+     so a [Label] segment is a hash lookup instead of a sibling scan;
+   - memoized [**] deep-descent results per (node, suffix), plus a
+     top-level memo per full path.
+
+   Trees are immutable, so an index never goes stale for *its* forest:
+   frame mutation parses a new forest, and [for_forest] (keyed by
+   physical identity) builds a fresh index for it. The per-domain cache
+   means indexes are shared across every rule touching a frame within a
+   domain without any locking; results are guaranteed element-for-element
+   identical to [Path.find] (same traversal order, same [dedup_phys]). *)
+
+module Node_tbl = Hashtbl.Make (struct
+  type t = Tree.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type by_label = (int, Tree.t list) Hashtbl.t
+
+type t = {
+  forest : Tree.t list;
+  labels : (string, int) Hashtbl.t;  (* complete intern pool, built at create *)
+  mutable root_tbl : by_label option;
+  node_tbls : by_label Node_tbl.t;
+  deep_memo : (string, Tree.t list) Hashtbl.t Node_tbl.t;
+  memo : (string, Tree.t list) Hashtbl.t;  (* full results by path text *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let forest t = t.forest
+
+let create forest =
+  let labels = Hashtbl.create 64 in
+  let rec intern (n : Tree.t) =
+    if not (Hashtbl.mem labels n.label) then
+      Hashtbl.add labels n.label (Hashtbl.length labels);
+    List.iter intern n.children
+  in
+  List.iter intern forest;
+  {
+    forest;
+    labels;
+    root_tbl = None;
+    node_tbls = Node_tbl.create 64;
+    deep_memo = Node_tbl.create 16;
+    memo = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+  }
+
+let stats t = (t.hits, t.misses)
+
+(* Children grouped by interned label, preserving sibling order. *)
+let build_by_label t (children : Tree.t list) : by_label =
+  let tbl = Hashtbl.create (max 8 (List.length children)) in
+  List.iter
+    (fun (n : Tree.t) ->
+      let id = Hashtbl.find t.labels n.label in
+      match Hashtbl.find_opt tbl id with
+      | None -> Hashtbl.add tbl id [ n ]
+      | Some ns -> Hashtbl.replace tbl id (n :: ns))
+    children;
+  Hashtbl.filter_map_inplace (fun _ ns -> Some (List.rev ns)) tbl;
+  tbl
+
+let root_tbl t =
+  match t.root_tbl with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = build_by_label t t.forest in
+    t.root_tbl <- Some tbl;
+    tbl
+
+let node_tbl t (n : Tree.t) =
+  match Node_tbl.find_opt t.node_tbls n with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = build_by_label t n.children in
+    Node_tbl.add t.node_tbls n tbl;
+    tbl
+
+let by_label t tbl l =
+  match Hashtbl.find_opt t.labels l with
+  | None -> []  (* label occurs nowhere in the forest *)
+  | Some id -> Option.value (Hashtbl.find_opt (Lazy.force tbl) id) ~default:[]
+
+let select t (forest : Tree.t list) tbl seg =
+  match seg with
+  | Path.Wildcard -> forest
+  | Path.Label l -> by_label t tbl l
+  | Path.Indexed (l, idx) -> (
+    match List.nth_opt (by_label t tbl l) (idx - 1) with Some n -> [ n ] | None -> [])
+  | Path.Deep -> assert false
+
+(* Mirrors [Path.find]'s traversal exactly, segment for segment, so that
+   match order (and hence dedup order) is identical. *)
+let rec go t (forest : Tree.t list) tbl path =
+  match path with
+  | [] -> forest
+  | Path.Deep :: rest ->
+    let here = go t forest tbl rest in
+    let deeper = List.concat_map (fun (n : Tree.t) -> deep_of t n rest) forest in
+    here @ deeper
+  | seg :: rest ->
+    let selected = select t forest tbl seg in
+    if rest = [] then selected
+    else List.concat_map (fun n -> go_node t n rest) selected
+
+and go_node t (n : Tree.t) path = go t n.children (lazy (node_tbl t n)) path
+
+(* Memoized [n.children // (Deep :: rest)], pre-dedup: duplicates are
+   folded out once at the top level, as in [Path.find]. *)
+and deep_of t (n : Tree.t) rest =
+  let per_node =
+    match Node_tbl.find_opt t.deep_memo n with
+    | Some m -> m
+    | None ->
+      let m = Hashtbl.create 4 in
+      Node_tbl.add t.deep_memo n m;
+      m
+  in
+  let key = Path.to_string rest in
+  match Hashtbl.find_opt per_node key with
+  | Some r -> r
+  | None ->
+    let r = go_node t n (Path.Deep :: rest) in
+    Hashtbl.add per_node key r;
+    r
+
+let find t path =
+  let key = Path.to_string path in
+  match Hashtbl.find_opt t.memo key with
+  | Some r ->
+    t.hits <- t.hits + 1;
+    r
+  | None ->
+    t.misses <- t.misses + 1;
+    let r = Path.dedup_phys (go t t.forest (lazy (root_tbl t)) path) in
+    Hashtbl.add t.memo key r;
+    r
+
+let find_values t path = List.filter_map (fun (n : Tree.t) -> n.value) (find t path)
+let exists t path = find t path <> []
+
+(* Per-domain forest→index cache. Keyed by physical identity of the
+   forest list: Normcache shares parsed forests across frames with
+   identical content, so one index serves every such frame. Domain-local
+   state (no mutex on the query path); worker domains each warm their
+   own copy. *)
+module Forest_tbl = Hashtbl.Make (struct
+  type t = Tree.t list
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let max_cached_forests = 512
+
+let cache : t Forest_tbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Forest_tbl.create 32)
+
+let for_forest forest =
+  let tbl = Domain.DLS.get cache in
+  match Forest_tbl.find_opt tbl forest with
+  | Some idx -> idx
+  | None ->
+    let idx = create forest in
+    if Forest_tbl.length tbl >= max_cached_forests then Forest_tbl.reset tbl;
+    Forest_tbl.add tbl forest idx;
+    idx

@@ -1,0 +1,41 @@
+(** Per-forest query accelerator.
+
+    An index wraps one immutable forest and answers [Path] queries with
+    interned labels, per-node children-by-label hashtables (built on
+    first touch), memoized [**] deep-descent results, and a top-level
+    memo per full path. Results are guaranteed element-for-element
+    identical to [Path.find] on the same forest — same traversal order,
+    same physical-identity dedup.
+
+    Trees are immutable, so an index can never observe a stale forest:
+    mutating a frame re-parses into a *new* forest value, and
+    [for_forest] (keyed by physical identity) hands back a fresh index
+    for it while old indexes keep answering for the old forest. *)
+
+type t
+
+(** Build an (empty, lazily filled) index over a forest. The label
+    intern pool is completed eagerly; everything else on demand. *)
+val create : Tree.t list -> t
+
+(** The forest this index answers for. *)
+val forest : t -> Tree.t list
+
+(** Same contract as {!Path.find}, accelerated. *)
+val find : t -> Path.t -> Tree.t list
+
+(** Same contract as {!Path.find_values}, accelerated. *)
+val find_values : t -> Path.t -> string list
+
+(** Same contract as {!Path.exists}, accelerated. *)
+val exists : t -> Path.t -> bool
+
+(** [(memo_hits, memo_misses)] of the top-level per-path memo. *)
+val stats : t -> int * int
+
+(** The index for [forest] from the calling domain's cache, built on
+    first request. Keyed by physical identity: parsed forests are shared
+    by the normalization cache, so frames with identical content share
+    one index, while any re-parse (frame mutation) yields a new forest
+    and therefore a new index. Domain-local, hence lock-free. *)
+val for_forest : Tree.t list -> t

@@ -56,9 +56,39 @@ let select (forest : Tree.t list) seg =
   | Wildcard -> forest
   | Label l -> List.filter (fun (n : Tree.t) -> String.equal n.label l) forest
   | Indexed (l, idx) ->
-    let same = List.filter (fun (n : Tree.t) -> String.equal n.label l) forest in
-    (match List.nth_opt same (idx - 1) with Some n -> [ n ] | None -> [])
+    (* Walk straight to the k-th same-label sibling instead of
+       materializing the whole filtered list first. *)
+    let rec nth k = function
+      | [] -> []
+      | (n : Tree.t) :: rest ->
+        if String.equal n.label l then if k = 1 then [ n ] else nth (k - 1) rest
+        else nth k rest
+    in
+    nth idx forest
   | Deep -> assert false
+
+(* Physical identity is the dedup criterion: [( == )] for equality, and
+   since physically equal values are structurally equal the (depth-bounded)
+   structural [Hashtbl.hash] is a valid hash for it. *)
+module Phys_tbl = Hashtbl.Make (struct
+  type t = Tree.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let dedup_phys = function
+  | ([] | [ _ ]) as nodes -> nodes
+  | nodes ->
+    let seen = Phys_tbl.create (List.length nodes) in
+    List.filter
+      (fun n ->
+        if Phys_tbl.mem seen n then false
+        else begin
+          Phys_tbl.add seen n ();
+          true
+        end)
+      nodes
 
 let find forest path =
   (* [**] matches zero or more labels, so [**/x] must reach root-level
@@ -76,9 +106,7 @@ let find forest path =
       if rest = [] then selected
       else List.concat_map (fun (n : Tree.t) -> go n.children rest) selected
   in
-  let matches = go forest path in
-  List.fold_left (fun acc n -> if List.memq n acc then acc else n :: acc) [] matches
-  |> List.rev
+  dedup_phys (go forest path)
 
 let find_values forest path =
   List.filter_map (fun (n : Tree.t) -> n.value) (find forest path)

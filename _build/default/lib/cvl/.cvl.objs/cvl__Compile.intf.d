@@ -1,0 +1,1 @@
+lib/cvl/compile.mli: Configtree Engine Expr Hashtbl Manifest Rule

@@ -1,1 +1,1 @@
-lib/cvl/engine.mli: Frames Lenses Manifest Resilience Rule Stdlib
+lib/cvl/engine.mli: Configtree Crawler Frames Lenses Manifest Resilience Rule Stdlib

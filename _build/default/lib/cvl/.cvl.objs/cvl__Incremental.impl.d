@@ -1,1 +1,1 @@
-lib/cvl/incremental.ml: Engine Frames List Manifest Option Pool Rule String Validator
+lib/cvl/incremental.ml: Compile Engine Frames List Manifest Option Pool Rule String Validator

@@ -1,0 +1,254 @@
+(* Ahead-of-time rule compilation.
+
+   The loader produces declarative rule records; the engine's
+   interpreter re-derives everything executable about them — parsed
+   paths, resolved match specs, compiled regexes, plugin lookups, row
+   queries, composite ASTs — on every (entity, frame, rule) evaluation.
+   [compile] does that derivation exactly once per [load_rules],
+   lowering each rule into a *program*: an execution plan (see
+   {!Engine.tree_exec} and friends) closed over pre-parsed
+   [Configtree.Path.t]s, [Matcher.compile]d expectations, and tree
+   queries routed through the per-forest {!Configtree.Index}.
+
+   Malformed path literals — which the interpreter swallows silently,
+   yielding no nodes on every single run — surface here as compile
+   diagnostics. Runtime behaviour is deliberately unchanged (a program
+   with a malformed path still contributes no nodes, byte-identical to
+   the interpreter); the diagnostics are reported alongside, so
+   [validate] can show them before the run.
+
+   Programs are also indexed by tag so [run_loaded ~tags] dispatches
+   via hash lookups instead of rescanning every rule's tag list. *)
+
+type diagnostic = {
+  entity : string;
+  rule : string;
+  field : string;  (* the CVL keyword holding the literal *)
+  literal : string;
+  message : string;
+}
+
+let diagnostic_to_string d =
+  Printf.sprintf "%s/%s: %s %S: %s" d.entity d.rule d.field d.literal d.message
+
+type program = {
+  rule : Rule.t;
+  ordinal : int;  (* position among the entity's plain rules *)
+  exec : Engine.entity_ctx -> Engine.result;
+}
+
+type entity_programs = {
+  entry : Manifest.entry;
+  rules : Rule.t list;  (* the original loaded list, composites included *)
+  programs : program list;  (* plain rules, original order *)
+  composites : (Rule.t * (Expr.t, string) result) list;
+      (* composite rules with their expression pre-parsed *)
+  by_tag : (string, int list) Hashtbl.t;  (* tag -> program ordinals, ascending *)
+}
+
+type t = {
+  entities : entity_programs list;
+  diagnostics : diagnostic list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Path literal compilation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The compile-time parser behind both the [config_path] lowering here
+   and cvlint's CVL060 check: a literal is good iff [Path.parse]
+   accepts it. *)
+let check_path_literal = Configtree.Path.parse
+
+(* Diagnostics accumulate into a per-[compile]-call ref threaded through
+   the lowering functions (no global state: compiles may run on any
+   domain). *)
+type notes = diagnostic list ref
+
+let note (notes : notes) ~entity ~rule ~field ~literal message =
+  notes := { entity; rule; field; literal; message } :: !notes
+
+(* Tree-rule config paths address the *section* holding the rule-named
+   key, so the executable path is [config_path ^ "/" ^ name]. *)
+let tree_paths notes ~entity (r : Rule.tree_rule) =
+  let name = r.Rule.tree_common.Rule.name in
+  List.filter_map
+    (fun cp ->
+      let text = if cp = "" then name else cp ^ "/" ^ name in
+      match check_path_literal text with
+      | Ok path -> Some path
+      | Error e ->
+        note notes ~entity ~rule:name ~field:"config_path" ~literal:cp e;
+        None)
+    r.Rule.config_paths
+
+let script_paths notes ~entity (r : Rule.script_rule) =
+  let name = r.Rule.script_common.Rule.name in
+  List.filter_map
+    (fun p ->
+      match check_path_literal p with
+      | Ok path -> Some path
+      | Error e ->
+        note notes ~entity ~rule:name ~field:"config_path" ~literal:p e;
+        None)
+    r.Rule.script_config_paths
+
+(* [require_other_configs] labels are path expressions probed at the
+   roots and anywhere ([**/label]); a malformed label can never be
+   satisfied (the interpreter's [label_exists] is [false] for it), so
+   the whole gate compiles to a constant. *)
+let requires_gate notes ~entity ~rule labels =
+  let parsed =
+    List.map
+      (fun label ->
+        match check_path_literal label with
+        | Ok p -> Some (p, Configtree.Path.Deep :: p)
+        | Error e ->
+          note notes ~entity ~rule ~field:"require_other_configs" ~literal:label e;
+          None)
+      labels
+  in
+  if List.exists Option.is_none parsed then fun _ -> false
+  else
+    let pairs = List.filter_map Fun.id parsed in
+    fun forest ->
+      let idx = Configtree.Index.for_forest forest in
+      List.for_all
+        (fun (rooted, deep) ->
+          Configtree.Index.exists idx rooted || Configtree.Index.exists idx deep)
+        pairs
+
+let indexed_find paths forest =
+  let idx = Configtree.Index.for_forest forest in
+  List.concat_map (fun p -> Configtree.Index.find idx p) paths
+
+let compiled_expectation ?case_insensitive (e : Rule.expectation) =
+  Matcher.compile ?case_insensitive e.Rule.match_spec ~rule_values:e.Rule.values
+
+let preferred_fn ?case_insensitive e =
+  Option.map
+    (fun e ->
+      let sat = compiled_expectation ?case_insensitive e in
+      fun values -> List.for_all sat values)
+    e
+
+let non_preferred_fn ?case_insensitive e =
+  Option.map
+    (fun e ->
+      let sat = compiled_expectation ?case_insensitive e in
+      fun values -> List.filter sat values)
+    e
+
+(* ------------------------------------------------------------------ *)
+(* Per-rule lowering                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let tree_exec notes ~entity (r : Rule.tree_rule) : Engine.tree_exec =
+  let case_insensitive = r.Rule.case_insensitive in
+  let paths = tree_paths notes ~entity r in
+  {
+    Engine.te_nodes = indexed_find paths;
+    te_requires =
+      requires_gate notes ~entity ~rule:r.Rule.tree_common.Rule.name
+        r.Rule.require_other_configs;
+    te_preferred = preferred_fn ~case_insensitive r.Rule.preferred;
+    te_non_preferred = non_preferred_fn ~case_insensitive r.Rule.non_preferred;
+  }
+
+let schema_exec (r : Rule.schema_rule) : Engine.schema_exec =
+  {
+    Engine.se_query =
+      Configtree.Table.parse_query ~constraints:r.Rule.query_constraints
+        ~values:r.Rule.query_constraints_value;
+    se_preferred = preferred_fn r.Rule.schema_preferred;
+    se_non_preferred = non_preferred_fn r.Rule.schema_non_preferred;
+  }
+
+let script_exec notes ~entity (r : Rule.script_rule) : Engine.script_exec =
+  let paths = script_paths notes ~entity r in
+  {
+    Engine.sc_plugin = Crawler.find_plugin r.Rule.plugin;
+    sc_nodes = indexed_find paths;
+    sc_preferred = preferred_fn r.Rule.script_preferred;
+    sc_non_preferred = non_preferred_fn r.Rule.script_non_preferred;
+  }
+
+let rule_exec notes ~entity rule =
+  if Rule.is_disabled rule then fun ctx -> Engine.eval_rule ctx rule
+  else
+    match rule with
+    | Rule.Tree r ->
+      let x = tree_exec notes ~entity r in
+      fun ctx -> Engine.eval_tree_core ctx rule r x
+    | Rule.Schema r ->
+      let x = schema_exec r in
+      fun ctx -> Engine.eval_schema_core ctx rule r x
+    | Rule.Path r -> fun ctx -> Engine.eval_path_in ctx rule r
+    | Rule.Script r ->
+      let x = script_exec notes ~entity r in
+      fun ctx -> Engine.eval_script_core ctx rule r x
+    | Rule.Composite _ ->
+      (* Composites are dispatched by the validator after all plain
+         results exist; evaluating one as a program yields the same
+         attributed error as the interpreter. *)
+      fun ctx -> Engine.eval_rule ctx rule
+
+let is_composite = function
+  | Rule.Composite _ -> true
+  | Rule.Tree _ | Rule.Schema _ | Rule.Path _ | Rule.Script _ -> false
+
+let compile_entity notes ((entry : Manifest.entry), rules) =
+  let entity = entry.Manifest.entity in
+  let plain = List.filter (fun r -> not (is_composite r)) rules in
+  let programs =
+    List.mapi (fun i rule -> { rule; ordinal = i; exec = rule_exec notes ~entity rule }) plain
+  in
+  let composites =
+    List.filter_map
+      (function
+        | Rule.Composite r as rule -> Some (rule, Expr.parse r.Rule.expression)
+        | _ -> None)
+      rules
+  in
+  let by_tag = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun tag ->
+          match Hashtbl.find_opt by_tag tag with
+          | None -> Hashtbl.add by_tag tag [ p.ordinal ]
+          | Some os -> Hashtbl.replace by_tag tag (p.ordinal :: os))
+        (Rule.tags p.rule))
+    programs;
+  Hashtbl.filter_map_inplace (fun _ os -> Some (List.rev os)) by_tag;
+  { entry; rules; programs; composites; by_tag }
+
+let compile rules =
+  let notes : notes = ref [] in
+  let entities = List.map (compile_entity notes) rules in
+  { entities; diagnostics = List.rev !notes }
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tag_selected tags rule = tags = [] || List.exists (fun t -> Rule.has_tag rule t) tags
+
+(* Programs carrying at least one of [tags], in original rule order —
+   via the ordinal index rather than rescanning each rule's tag list.
+   An empty [tags] selects everything (no filtering pass at all). *)
+let select ~tags ep =
+  if tags = [] then (ep.programs, ep.composites)
+  else begin
+    let wanted = Hashtbl.create 32 in
+    List.iter
+      (fun tag ->
+        match Hashtbl.find_opt ep.by_tag tag with
+        | None -> ()
+        | Some ordinals -> List.iter (fun o -> Hashtbl.replace wanted o ()) ordinals)
+      tags;
+    ( List.filter (fun p -> Hashtbl.mem wanted p.ordinal) ep.programs,
+      List.filter (fun (rule, _) -> tag_selected tags rule) ep.composites )
+  end
+
+let run_program ctx (p : program) = p.exec ctx

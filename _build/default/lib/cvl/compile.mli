@@ -1,0 +1,75 @@
+(** Ahead-of-time rule compilation: lower loaded CVL rules into
+    executable {e programs}, once per [load_rules], instead of
+    re-deriving paths, match specs, regexes, queries and plugin lookups
+    on every (entity, frame, rule) evaluation.
+
+    Compilation
+    - parses every [config_path] / [require_other_configs] literal to a
+      {!Configtree.Path.t} — malformed literals become {!diagnostic}s
+      instead of the interpreter's silent empty match, while runtime
+      results stay byte-identical (the program still contributes no
+      nodes for them);
+    - resolves match specs to {!Matcher.compile}d closures (regexes
+      compiled, case folding done once);
+    - pre-parses schema row queries and composite expressions, and
+      resolves script plugins;
+    - routes tree queries through the per-forest {!Configtree.Index};
+    - indexes programs by tag for {!select}.
+
+    The program/interpreter equivalence — byte-identical results at
+    every job count — is asserted by the differential tests over the
+    embedded corpus and scenario suite. *)
+
+type diagnostic = {
+  entity : string;
+  rule : string;
+  field : string;  (** the CVL keyword holding the literal *)
+  literal : string;
+  message : string;
+}
+
+val diagnostic_to_string : diagnostic -> string
+
+(** One compiled plain rule: the original rule plus its execution
+    closure. [ordinal] is its position among the entity's plain rules
+    (the dispatch index key). *)
+type program = {
+  rule : Rule.t;
+  ordinal : int;
+  exec : Engine.entity_ctx -> Engine.result;
+}
+
+type entity_programs = {
+  entry : Manifest.entry;
+  rules : Rule.t list;  (** the original loaded list, composites included *)
+  programs : program list;  (** plain rules, original order *)
+  composites : (Rule.t * (Expr.t, string) result) list;
+      (** composite rules with their expression pre-parsed *)
+  by_tag : (string, int list) Hashtbl.t;
+}
+
+type t = {
+  entities : entity_programs list;
+  diagnostics : diagnostic list;
+}
+
+(** The compile-time path parser, shared with cvlint's CVL060
+    (malformed config_path literal) check. *)
+val check_path_literal : string -> (Configtree.Path.t, string) result
+
+(** Compile a loaded corpus (the [Validator.load_rules] shape). Never
+    fails: malformed literals degrade to diagnostics plus
+    interpreter-equivalent runtime behaviour. *)
+val compile : (Manifest.entry * Rule.t list) list -> t
+
+(** Programs and pre-parsed composites carrying at least one of [tags]
+    (everything when [tags] is empty), in original rule order, resolved
+    through the tag index. *)
+val select :
+  tags:string list ->
+  entity_programs ->
+  program list * (Rule.t * (Expr.t, string) result) list
+
+(** Run one program. Equivalent to [Engine.eval_rule ctx p.rule],
+    faster. *)
+val run_program : Engine.entity_ctx -> program -> Engine.result

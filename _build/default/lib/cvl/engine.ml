@@ -131,22 +131,6 @@ let nodes_at forest ~config_path ~name =
   | Error _ -> []
   | Ok path -> Configtree.Path.find forest path
 
-(* Gather the observed values for a tree rule in one file's forest. *)
-let observed_values (r : Rule.tree_rule) forest =
-  let name = r.Rule.tree_common.Rule.name in
-  let nodes = List.concat_map (fun cp -> nodes_at forest ~config_path:cp ~name) r.Rule.config_paths in
-  let raw = List.filter_map (fun (n : Configtree.Tree.t) -> n.value) nodes in
-  let values =
-    match r.Rule.value_separator with
-    | None -> raw
-    | Some sep when String.length sep = 1 ->
-      List.concat_map
-        (fun v -> String.split_on_char sep.[0] v |> List.map String.trim |> List.filter (( <> ) ""))
-        raw
-    | Some _ -> raw
-  in
-  (List.length nodes, values)
-
 let expectation_violated ?(case_insensitive = false) (e : Rule.expectation) values =
   (* Non-preferred semantics: any observed value matching is a
      violation. *)
@@ -160,7 +144,36 @@ let expectation_satisfied ?(case_insensitive = false) (e : Rule.expectation) val
     (fun v -> Matcher.satisfies ~case_insensitive e.Rule.match_spec ~rule_values:e.Rule.values ~config_value:v)
     values
 
-let eval_tree_in ctx rule (r : Rule.tree_rule) =
+(* The verdict logic is shared between the interpreter and compiled
+   programs through an execution plan: how nodes are located, how the
+   required-config gate is checked, how expectations are decided. The
+   interpreter builds its plan afresh on every evaluation (parsing path
+   strings and resolving match specs per call); [Compile] builds one
+   per rule, once, with pre-parsed paths, compiled matchers and indexed
+   queries. The differential tests pin both constructions to identical
+   results. *)
+type tree_exec = {
+  te_nodes : Configtree.Tree.t list -> Configtree.Tree.t list;
+      (** all [config_path/name] hits of one file's forest, in
+          [config_paths] order *)
+  te_requires : Configtree.Tree.t list -> bool;
+      (** the [require_other_configs] gate *)
+  te_preferred : (string list -> bool) option;
+      (** every observed value satisfies the preferred expectation *)
+  te_non_preferred : (string list -> string list) option;
+      (** observed values matching the non-preferred expectation *)
+}
+
+let split_values (r : Rule.tree_rule) raw =
+  match r.Rule.value_separator with
+  | None -> raw
+  | Some sep when String.length sep = 1 ->
+    List.concat_map
+      (fun v -> String.split_on_char sep.[0] v |> List.map String.trim |> List.filter (( <> ) ""))
+      raw
+  | Some _ -> raw
+
+let eval_tree_core ctx rule (r : Rule.tree_rule) (x : tree_exec) =
   let c = r.Rule.tree_common in
   let files = trees_in_context ctx r.Rule.file_context in
   if files = [] then
@@ -174,11 +187,7 @@ let eval_tree_in ctx rule (r : Rule.tree_rule) =
         ~evidence:[]
   else
     (* Keep only the files whose required context configs are present. *)
-    let applicable =
-      List.filter
-        (fun (_, forest) -> List.for_all (label_exists forest) r.Rule.require_other_configs)
-        files
-    in
+    let applicable = List.filter (fun (_, forest) -> x.te_requires forest) files in
     if applicable = [] then
       mk ctx rule Not_applicable
         ~detail:
@@ -186,7 +195,14 @@ let eval_tree_in ctx rule (r : Rule.tree_rule) =
              (String.concat ", " r.Rule.require_other_configs))
         ~evidence:(List.map fst files)
     else
-      let per_file = List.map (fun (path, forest) -> (path, observed_values r forest)) applicable in
+      let per_file =
+        List.map
+          (fun (path, forest) ->
+            let nodes = x.te_nodes forest in
+            let raw = List.filter_map (fun (n : Configtree.Tree.t) -> n.value) nodes in
+            (path, (List.length nodes, split_values r raw)))
+          applicable
+      in
       let total_nodes = List.fold_left (fun acc (_, (n, _)) -> acc + n) 0 per_file in
       let values = List.concat_map (fun (_, (_, vs)) -> vs) per_file in
       let evidence =
@@ -207,29 +223,44 @@ let eval_tree_in ctx rule (r : Rule.tree_rule) =
       else if r.Rule.check_presence_only then
         mk ctx rule Matched ~detail:(describe c Matched) ~evidence
       else
-        let case_insensitive = r.Rule.case_insensitive in
-        let bad =
-          match r.Rule.non_preferred with
-          | Some e -> expectation_violated ~case_insensitive e values
-          | None -> []
-        in
+        let bad = match x.te_non_preferred with Some f -> f values | None -> [] in
         if bad <> [] then
           mk ctx rule Not_matched ~detail:(describe c Not_matched)
             ~evidence:(evidence @ [ Printf.sprintf "non-preferred value(s): %s" (String.concat "; " bad) ])
         else
-          let ok =
-            match r.Rule.preferred with
-            | Some e -> expectation_satisfied ~case_insensitive e values
-            | None -> true
-          in
+          let ok = match x.te_preferred with Some f -> f values | None -> true in
           if ok then mk ctx rule Matched ~detail:(describe c Matched) ~evidence
           else mk ctx rule Not_matched ~detail:(describe c Not_matched) ~evidence
+
+let interp_tree_exec (r : Rule.tree_rule) =
+  let name = r.Rule.tree_common.Rule.name in
+  let case_insensitive = r.Rule.case_insensitive in
+  {
+    te_nodes =
+      (fun forest ->
+        List.concat_map (fun cp -> nodes_at forest ~config_path:cp ~name) r.Rule.config_paths);
+    te_requires =
+      (fun forest -> List.for_all (label_exists forest) r.Rule.require_other_configs);
+    te_preferred =
+      Option.map (fun e values -> expectation_satisfied ~case_insensitive e values) r.Rule.preferred;
+    te_non_preferred =
+      Option.map (fun e values -> expectation_violated ~case_insensitive e values) r.Rule.non_preferred;
+  }
+
+let eval_tree_in ctx rule (r : Rule.tree_rule) = eval_tree_core ctx rule r (interp_tree_exec r)
 
 (* ------------------------------------------------------------------ *)
 (* Schema rules                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let eval_schema_in ctx rule (r : Rule.schema_rule) =
+type schema_exec = {
+  se_query : (Configtree.Table.query, string) Stdlib.result;
+      (** the parsed row query — file-independent, so compiled once *)
+  se_preferred : (string list -> bool) option;
+  se_non_preferred : (string list -> string list) option;
+}
+
+let eval_schema_core ctx rule (r : Rule.schema_rule) (x : schema_exec) =
   let c = r.Rule.schema_common in
   let tables = tables_in_context ctx r.Rule.schema_file_context in
   if tables = [] then
@@ -238,10 +269,7 @@ let eval_schema_in ctx rule (r : Rule.schema_rule) =
       ~evidence:(parse_errors_in_context ctx r.Rule.schema_file_context)
   else
     let run (path, table) =
-      match
-        Configtree.Table.parse_query ~constraints:r.Rule.query_constraints
-          ~values:r.Rule.query_constraints_value
-      with
+      match x.se_query with
       | Error e -> Error (Printf.sprintf "%s: %s" path e)
       | Ok query -> (
         let rows = Configtree.Table.select table query in
@@ -276,22 +304,26 @@ let eval_schema_in ctx rule (r : Rule.schema_rule) =
           ~detail:(describe c Not_matched)
           ~evidence:(evidence @ [ Printf.sprintf "expected >= %d row(s), found %d" (Option.get r.Rule.expect_rows) row_count ])
       else
-        let bad =
-          match r.Rule.schema_non_preferred with
-          | Some e -> expectation_violated e cells
-          | None -> []
-        in
+        let bad = match x.se_non_preferred with Some f -> f cells | None -> [] in
         if bad <> [] then
           mk ctx rule Not_matched ~detail:(describe c Not_matched)
             ~evidence:(evidence @ [ Printf.sprintf "non-preferred value(s): %s" (String.concat "; " bad) ])
         else
-          let ok =
-            match r.Rule.schema_preferred with
-            | Some e -> expectation_satisfied e cells
-            | None -> true
-          in
+          let ok = match x.se_preferred with Some f -> f cells | None -> true in
           if ok then mk ctx rule Matched ~detail:(describe c Matched) ~evidence
           else mk ctx rule Not_matched ~detail:(describe c Not_matched) ~evidence)
+
+let interp_schema_exec (r : Rule.schema_rule) =
+  {
+    se_query =
+      Configtree.Table.parse_query ~constraints:r.Rule.query_constraints
+        ~values:r.Rule.query_constraints_value;
+    se_preferred = Option.map (fun e cells -> expectation_satisfied e cells) r.Rule.schema_preferred;
+    se_non_preferred = Option.map (fun e cells -> expectation_violated e cells) r.Rule.schema_non_preferred;
+  }
+
+let eval_schema_in ctx rule (r : Rule.schema_rule) =
+  eval_schema_core ctx rule r (interp_schema_exec r)
 
 (* ------------------------------------------------------------------ *)
 (* Path rules                                                          *)
@@ -349,7 +381,15 @@ let eval_path_in ctx rule (r : Rule.path_rule) =
 (* Script rules                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let eval_script_in ctx rule (r : Rule.script_rule) =
+type script_exec = {
+  sc_plugin : Crawler.plugin option;  (** registry lookup, done once *)
+  sc_nodes : Configtree.Tree.t list -> Configtree.Tree.t list;
+      (** all [script_config_paths] hits in the plugin's output forest *)
+  sc_preferred : (string list -> bool) option;
+  sc_non_preferred : (string list -> string list) option;
+}
+
+let eval_script_core ctx rule (r : Rule.script_rule) (x : script_exec) =
   let c = r.Rule.script_common in
   (* An infrastructure fault that exhausted its retry budget (or hit an
      open breaker) either degrades to Not_applicable — when the rule
@@ -365,7 +405,7 @@ let eval_script_in ctx rule (r : Rule.script_rule) =
       let v = err stage message in
       mk ctx rule v ~detail:(describe c v) ~evidence:[]
   in
-  match Crawler.find_plugin r.Rule.plugin with
+  match x.sc_plugin with
   | None ->
     let v = err Resilience.Extract (Printf.sprintf "unknown plugin %S" r.Rule.plugin) in
     mk ctx rule v ~detail:(describe c v) ~evidence:[]
@@ -386,15 +426,7 @@ let eval_script_in ctx rule (r : Rule.script_rule) =
         in
         mk ctx rule v ~detail:(describe c v) ~evidence:[]
       | Ok (Lenses.Lens.Tree forest) ->
-        (* Script config_paths are full paths to the asserted leaf. *)
-        let nodes =
-          List.concat_map
-            (fun p ->
-              match Configtree.Path.parse p with
-              | Ok path -> Configtree.Path.find forest path
-              | Error _ -> [])
-            r.Rule.script_config_paths
-        in
+        let nodes = x.sc_nodes forest in
         let values = List.filter_map (fun (n : Configtree.Tree.t) -> n.value) nodes in
         let evidence =
           List.map (fun v -> Printf.sprintf "%s: %s" virtual_path v) values
@@ -408,22 +440,33 @@ let eval_script_in ctx rule (r : Rule.script_rule) =
           in
           mk ctx rule verdict ~detail ~evidence:[]
         else
-          let bad =
-            match r.Rule.script_non_preferred with
-            | Some e -> expectation_violated e values
-            | None -> []
-          in
+          let bad = match x.sc_non_preferred with Some f -> f values | None -> [] in
           if bad <> [] then
             mk ctx rule Not_matched ~detail:(describe c Not_matched)
               ~evidence:(evidence @ [ Printf.sprintf "non-preferred value(s): %s" (String.concat "; " bad) ])
           else
-            let ok =
-              match r.Rule.script_preferred with
-              | Some e -> expectation_satisfied e values
-              | None -> true
-            in
+            let ok = match x.sc_preferred with Some f -> f values | None -> true in
             if ok then mk ctx rule Matched ~detail:(describe c Matched) ~evidence
             else mk ctx rule Not_matched ~detail:(describe c Not_matched) ~evidence))
+
+let interp_script_exec (r : Rule.script_rule) =
+  {
+    sc_plugin = Crawler.find_plugin r.Rule.plugin;
+    sc_nodes =
+      (* Script config_paths are full paths to the asserted leaf. *)
+      (fun forest ->
+        List.concat_map
+          (fun p ->
+            match Configtree.Path.parse p with
+            | Ok path -> Configtree.Path.find forest path
+            | Error _ -> [])
+          r.Rule.script_config_paths);
+    sc_preferred = Option.map (fun e values -> expectation_satisfied e values) r.Rule.script_preferred;
+    sc_non_preferred = Option.map (fun e values -> expectation_violated e values) r.Rule.script_non_preferred;
+  }
+
+let eval_script_in ctx rule (r : Rule.script_rule) =
+  eval_script_core ctx rule r (interp_script_exec r)
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)

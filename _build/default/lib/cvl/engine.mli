@@ -57,6 +57,52 @@ val ctx_of_documents :
     [Engine_error]. *)
 val eval_rule : entity_ctx -> Rule.t -> result
 
+(** {2 Execution plans}
+
+    The verdict logic of each rule type is a {e core} parameterized by
+    an execution plan: how nodes are located, how the required-config
+    gate is decided, how expectations are checked. [eval_rule] builds
+    an interpretive plan afresh on every call (parsing path strings,
+    resolving match specs); {!Compile} builds one plan per rule, once,
+    with pre-parsed paths, compiled matchers and {!Configtree.Index}
+    queries. Both constructions produce byte-identical results — the
+    differential tests assert it over the whole corpus. *)
+
+type tree_exec = {
+  te_nodes : Configtree.Tree.t list -> Configtree.Tree.t list;
+      (** all [config_path/name] hits of one file's forest, in
+          [config_paths] order *)
+  te_requires : Configtree.Tree.t list -> bool;
+      (** the [require_other_configs] gate *)
+  te_preferred : (string list -> bool) option;
+      (** every observed value satisfies the preferred expectation *)
+  te_non_preferred : (string list -> string list) option;
+      (** observed values matching the non-preferred expectation *)
+}
+
+type schema_exec = {
+  se_query : (Configtree.Table.query, string) Stdlib.result;
+      (** the parsed row query — file-independent, so compiled once *)
+  se_preferred : (string list -> bool) option;
+  se_non_preferred : (string list -> string list) option;
+}
+
+type script_exec = {
+  sc_plugin : Crawler.plugin option;  (** registry lookup, done once *)
+  sc_nodes : Configtree.Tree.t list -> Configtree.Tree.t list;
+      (** all [script_config_paths] hits in the plugin's output forest *)
+  sc_preferred : (string list -> bool) option;
+  sc_non_preferred : (string list -> string list) option;
+}
+
+val eval_tree_core : entity_ctx -> Rule.t -> Rule.tree_rule -> tree_exec -> result
+val eval_schema_core : entity_ctx -> Rule.t -> Rule.schema_rule -> schema_exec -> result
+val eval_script_core : entity_ctx -> Rule.t -> Rule.script_rule -> script_exec -> result
+
+(** Path rules stat the frame directly; there is nothing to precompile,
+    so compiled programs call the interpreter's evaluator. *)
+val eval_path_in : entity_ctx -> Rule.t -> Rule.path_rule -> result
+
 (** Evaluate an entity's rules in order. *)
 val eval_entity : entity_ctx -> Rule.t list -> result list
 

@@ -53,16 +53,21 @@ let revalidate ?pool ~rules ~previous ~diff frame =
         previous
     in
     let fresh =
+      (* Only the affected entities are compiled — a handful of rule
+         lists, so per-revalidate compilation is cheap — and their
+         programs dispatched against the new frame. Manifest order is
+         preserved by the filter, matching a full run's ordering. *)
+      let affected_rules =
+        List.filter
+          (fun ((entry : Manifest.entry), _) -> List.mem entry.Manifest.entity affected)
+          rules
+      in
+      let compiled = Compile.compile affected_rules in
       Pool.concat_map pool
-        (fun ((entry : Manifest.entry), entity_rules) ->
-          if not (List.mem entry.Manifest.entity affected) then []
-          else
-            let ctx = Engine.build_ctx frame entry in
-            let plain =
-              List.filter (function Rule.Composite _ -> false | _ -> true) entity_rules
-            in
-            Engine.eval_entity ctx plain)
-        rules
+        (fun (ep : Compile.entity_programs) ->
+          let ctx = Engine.build_ctx frame ep.Compile.entry in
+          List.map (Compile.run_program ctx) ep.Compile.programs)
+        compiled.Compile.entities
     in
     let plain_results = kept @ fresh in
     let has_composites =

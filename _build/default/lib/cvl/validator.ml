@@ -1,6 +1,7 @@
 type t = {
   results : Engine.result list;
   load_errors : (string * string) list;
+  compile_diagnostics : Compile.diagnostic list;
   health : Resilience.health;
 }
 
@@ -60,6 +61,42 @@ let is_composite = function
   | Rule.Composite _ -> true
   | Rule.Tree _ | Rule.Schema _ | Rule.Path _ | Rule.Script _ -> false
 
+(* One composite's result from its pre-parsed expression. Shared by the
+   interpreter path (which parses here, per evaluation) and the
+   compiled path (whose ASTs come from [Compile]). *)
+let composite_result ~env ~deployment_id (entry : Manifest.entry) (rule, parsed) =
+  let c = Rule.common_of rule in
+  let expression =
+    match rule with Rule.Composite r -> r.Rule.expression | _ -> assert false
+  in
+  let verdict, detail, evidence =
+    if Rule.is_disabled rule then
+      (Engine.Not_applicable, Printf.sprintf "%s: disabled" c.Rule.name, [])
+    else
+      match parsed with
+      | Error e ->
+        (Engine.Engine_error { stage = Resilience.Evaluate; message = e }, e, [ expression ])
+      | Ok ast ->
+        if Expr.eval env ast then
+          ( Engine.Matched,
+            (if c.Rule.matched_description <> "" then c.Rule.matched_description
+             else Printf.sprintf "%s: composite holds" c.Rule.name),
+            [ expression ] )
+        else
+          ( Engine.Not_matched,
+            (if c.Rule.not_matched_description <> "" then c.Rule.not_matched_description
+             else Printf.sprintf "%s: composite does not hold" c.Rule.name),
+            [ expression ] )
+  in
+  {
+    Engine.entity = entry.Manifest.entity;
+    frame_id = deployment_id;
+    rule;
+    verdict;
+    detail;
+    evidence;
+  }
+
 let eval_composites ~rules ~plain_results ~ctxs ~deployment_id =
   let env = env_of ~results:plain_results ~ctxs in
   List.concat_map
@@ -67,38 +104,19 @@ let eval_composites ~rules ~plain_results ~ctxs ~deployment_id =
       entity_rules
       |> List.filter is_composite
       |> List.map (fun rule ->
-             let c = Rule.common_of rule in
              let expression =
                match rule with Rule.Composite r -> r.Rule.expression | _ -> assert false
              in
-             let verdict, detail, evidence =
-               if Rule.is_disabled rule then
-                 (Engine.Not_applicable, Printf.sprintf "%s: disabled" c.Rule.name, [])
-               else
-                 match Expr.parse expression with
-                 | Error e ->
-                   (Engine.Engine_error { stage = Resilience.Evaluate; message = e }, e, [ expression ])
-                 | Ok ast ->
-                   if Expr.eval env ast then
-                     ( Engine.Matched,
-                       (if c.Rule.matched_description <> "" then c.Rule.matched_description
-                        else Printf.sprintf "%s: composite holds" c.Rule.name),
-                       [ expression ] )
-                   else
-                     ( Engine.Not_matched,
-                       (if c.Rule.not_matched_description <> "" then c.Rule.not_matched_description
-                        else Printf.sprintf "%s: composite does not hold" c.Rule.name),
-                       [ expression ] )
-             in
-             {
-               Engine.entity = entry.Manifest.entity;
-               frame_id = deployment_id;
-               rule;
-               verdict;
-               detail;
-               evidence;
-             }))
+             composite_result ~env ~deployment_id entry (rule, Expr.parse expression)))
     rules
+
+(* Compiled variant: the expressions were parsed once at compile time. *)
+let eval_composites_pre ~entities ~plain_results ~ctxs ~deployment_id =
+  let env = env_of ~results:plain_results ~ctxs in
+  List.concat_map
+    (fun (entry, composites) ->
+      List.map (composite_result ~env ~deployment_id entry) composites)
+    entities
 
 let deployment_id_of frames =
   match frames with
@@ -135,28 +153,40 @@ let contained_result ~entity ~frame rule (stage, message) =
     evidence = [];
   }
 
-let eval_unit ((entry : Manifest.entry), rs, frame) =
+(* One (entity, frame) cell of the work grid, generic over the unit of
+   evaluation: rules for the interpreter, programs for compiled
+   dispatch. Containment and the resilience eval hook wrap each item
+   identically in both modes, so chaos runs stay byte-identical too. *)
+let eval_cell ~rule_of ~eval ((entry : Manifest.entry), items, frame) =
   let entity = entry.Manifest.entity in
-  let plain = List.filter (fun r -> not (is_composite r)) rs in
   match Engine.build_ctx frame entry with
   | exception e ->
     Resilience.note_contained ();
     let attributed = error_of_exn Resilience.Extract e in
     let ctx = { Engine.entity; frame; configs = [] } in
-    (ctx, List.map (fun rule -> contained_result ~entity ~frame rule attributed) plain)
+    (ctx, List.map (fun item -> contained_result ~entity ~frame (rule_of item) attributed) items)
   | ctx ->
-    let eval rule =
+    let eval_one item =
+      let rule = rule_of item in
       match
         Resilience.apply_eval_hook ~entity ~rule:(Rule.name rule)
           ~frame_id:(Frames.Frame.id frame);
-        Engine.eval_rule ctx rule
+        eval ctx item
       with
       | result -> result
       | exception e ->
         Resilience.note_contained ();
         contained_result ~entity ~frame rule (error_of_exn Resilience.Evaluate e)
     in
-    (ctx, List.map eval plain)
+    (ctx, List.map eval_one items)
+
+let eval_unit cell = eval_cell ~rule_of:Fun.id ~eval:Engine.eval_rule cell
+
+let eval_unit_compiled cell =
+  eval_cell
+    ~rule_of:(fun (p : Compile.program) -> p.Compile.rule)
+    ~eval:(fun ctx p -> Compile.run_program ctx p)
+    cell
 
 let stage_error_tallies results =
   List.fold_left
@@ -168,27 +198,10 @@ let stage_error_tallies results =
       | _ -> (ex, no, ev))
     (0, 0, 0) results
 
-let run_loaded ?(tags = []) ?keep_not_applicable ?jobs ?pool ~rules frames =
-  let keep_na = match keep_not_applicable with Some b -> b | None -> List.length frames <= 1 in
-  Resilience.begin_run ();
-  let before = Resilience.counters () in
-  let entity_rules =
-    List.map (fun (entry, rs) -> (entry, List.filter (tag_selected tags) rs)) rules
-  in
-  (* The shard unit is one (entity, frame) cell of the work grid: build
-     the context (crawl + normalize) and evaluate the entity's plain
-     rules against it. [Pool.map] preserves input order, so the merged
-     output is the sequential entity-major / frame-minor / rule order,
-     byte-identical for every job count. *)
-  let units =
-    List.concat_map (fun (entry, rs) -> List.map (fun frame -> (entry, rs, frame)) frames)
-      entity_rules
-  in
-  let evaluated = with_effective_pool ?jobs ?pool (fun p -> Pool.map p eval_unit units) in
-  (* [units] laid the grid out entity-major with exactly one cell per
-     frame, so consecutive runs of |frames| cells regroup per entity. *)
-  let nframes = List.length frames in
-  let rec regroup entries cells =
+(* The grid was laid out entity-major with exactly one cell per frame,
+   so consecutive runs of |frames| cells regroup per entity. *)
+let regroup ~nframes entries cells =
+  let rec go entries cells =
     match entries with
     | [] -> []
     | (entry : Manifest.entry) :: rest ->
@@ -200,9 +213,18 @@ let run_loaded ?(tags = []) ?keep_not_applicable ?jobs ?pool ~rules frames =
           | c :: cs -> take (k - 1) (c :: acc) cs
       in
       let mine, others = take nframes [] cells in
-      (entry.Manifest.entity, List.map fst mine) :: regroup rest others
+      (entry.Manifest.entity, List.map fst mine) :: go rest others
   in
-  let ctxs = regroup (List.map fst entity_rules) evaluated in
+  go entries cells
+
+let keep_na_default keep_not_applicable frames =
+  match keep_not_applicable with Some b -> b | None -> List.length frames <= 1
+
+(* Shared tail of a run, after the grid has been evaluated: regroup
+   contexts, filter Not_applicable, aggregate composites, tally
+   health. *)
+let finish ~keep_na ~frames ~entries ~evaluated ~composites_of ~compile_diagnostics ~before =
+  let ctxs = regroup ~nframes:(List.length frames) entries evaluated in
   let plain_results = List.concat_map snd evaluated in
   let plain_results =
     if keep_na then plain_results
@@ -210,8 +232,7 @@ let run_loaded ?(tags = []) ?keep_not_applicable ?jobs ?pool ~rules frames =
       List.filter (fun (r : Engine.result) -> r.Engine.verdict <> Engine.Not_applicable) plain_results
   in
   let composite_results =
-    eval_composites ~rules:entity_rules ~plain_results ~ctxs
-      ~deployment_id:(deployment_id_of frames)
+    composites_of ~plain_results ~ctxs ~deployment_id:(deployment_id_of frames)
   in
   let results = plain_results @ composite_results in
   let extract_errors, normalize_errors, evaluate_errors = stage_error_tallies results in
@@ -221,7 +242,59 @@ let run_loaded ?(tags = []) ?keep_not_applicable ?jobs ?pool ~rules frames =
   let health =
     Resilience.make_health ~extract_errors ~normalize_errors ~evaluate_errors counters
   in
-  { results; load_errors = []; health }
+  { results; load_errors = []; compile_diagnostics; health }
+
+let compile = Compile.compile
+
+(* The shard unit is one (entity, frame) cell of the work grid: build
+   the context (crawl + normalize) and evaluate the entity's programs
+   against it. [Pool.map] preserves input order, so the merged output
+   is the sequential entity-major / frame-minor / rule order,
+   byte-identical for every job count. *)
+let run_compiled ?(tags = []) ?keep_not_applicable ?jobs ?pool ~(compiled : Compile.t) frames =
+  let keep_na = keep_na_default keep_not_applicable frames in
+  Resilience.begin_run ();
+  let before = Resilience.counters () in
+  let selected =
+    List.map
+      (fun (ep : Compile.entity_programs) -> (ep.Compile.entry, Compile.select ~tags ep))
+      compiled.Compile.entities
+  in
+  let units =
+    List.concat_map
+      (fun (entry, (programs, _)) -> List.map (fun frame -> (entry, programs, frame)) frames)
+      selected
+  in
+  let evaluated = with_effective_pool ?jobs ?pool (fun p -> Pool.map p eval_unit_compiled units) in
+  finish ~keep_na ~frames ~entries:(List.map fst selected) ~evaluated
+    ~composites_of:
+      (eval_composites_pre
+         ~entities:(List.map (fun (entry, (_, comps)) -> (entry, comps)) selected))
+    ~compile_diagnostics:compiled.Compile.diagnostics ~before
+
+let run_loaded ?(tags = []) ?keep_not_applicable ?jobs ?pool ?(engine = `Compiled) ~rules frames =
+  match engine with
+  | `Compiled ->
+    run_compiled ~tags ?keep_not_applicable ?jobs ?pool ~compiled:(Compile.compile rules) frames
+  | `Interpreted ->
+    let keep_na = keep_na_default keep_not_applicable frames in
+    Resilience.begin_run ();
+    let before = Resilience.counters () in
+    let entity_rules =
+      List.map (fun (entry, rs) -> (entry, List.filter (tag_selected tags) rs)) rules
+    in
+    let units =
+      List.concat_map
+        (fun (entry, rs) ->
+          let plain = List.filter (fun r -> not (is_composite r)) rs in
+          List.map (fun frame -> (entry, plain, frame)) frames)
+        entity_rules
+    in
+    let evaluated = with_effective_pool ?jobs ?pool (fun p -> Pool.map p eval_unit units) in
+    finish ~keep_na ~frames ~entries:(List.map fst entity_rules) ~evaluated
+      ~composites_of:(fun ~plain_results ~ctxs ~deployment_id ->
+        eval_composites ~rules:entity_rules ~plain_results ~ctxs ~deployment_id)
+      ~compile_diagnostics:[] ~before
 
 let run ?tags ?keep_not_applicable ?jobs ?pool ~source ~manifest frames =
   (* Load errors disable just the affected entity, mirroring production

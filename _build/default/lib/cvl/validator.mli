@@ -12,6 +12,9 @@
 type t = {
   results : Engine.result list;  (** per-entity results, then composites *)
   load_errors : (string * string) list;  (** (entity, message) *)
+  compile_diagnostics : Compile.diagnostic list;
+      (** malformed path literals found while lowering rules to
+          programs — reported, not fatal; empty on interpreted runs *)
   health : Resilience.health;
       (** per-stage error taxonomy, retry/breaker counters and the
           degraded flag for this run *)
@@ -49,13 +52,38 @@ val run :
 (** [run_loaded ~rules frames] is {!run} with rule loading already done
     — the per-target work of a long-running validator that amortizes
     rule loading across targets (as the paper's production deployment
-    does across tens of thousands of containers). *)
+    does across tens of thousands of containers).
+
+    [engine] selects the evaluation strategy: [`Compiled] (the default)
+    lowers the rules to programs via {!Compile} and dispatches those;
+    [`Interpreted] re-derives paths, match specs and queries on every
+    evaluation, as the engine did before ahead-of-time compilation
+    existed. Both produce byte-identical results at every job count —
+    the differential tests assert it — so the only reason to pass
+    [`Interpreted] is benchmarking or differential testing. *)
 val run_loaded :
   ?tags:string list ->
   ?keep_not_applicable:bool ->
   ?jobs:int ->
   ?pool:Pool.t ->
+  ?engine:[ `Compiled | `Interpreted ] ->
   rules:(Manifest.entry * Rule.t list) list ->
+  Frames.Frame.t list ->
+  t
+
+(** [compile rules] is {!Compile.compile}: lower loaded rules into
+    programs once, for many {!run_compiled} calls. *)
+val compile : (Manifest.entry * Rule.t list) list -> Compile.t
+
+(** [run_compiled ~compiled frames] is {!run_loaded} with compilation
+    already done — the steady state of a long-running validator: load
+    once, compile once, dispatch per scan. *)
+val run_compiled :
+  ?tags:string list ->
+  ?keep_not_applicable:bool ->
+  ?jobs:int ->
+  ?pool:Pool.t ->
+  compiled:Compile.t ->
   Frames.Frame.t list ->
   t
 

@@ -408,6 +408,26 @@ let tree_passes ?lens p =
   in
   presence_only @ dead_paths
 
+(* CVL060: powered by the same compile-time path parser the rule
+   compiler uses — a literal it rejects contributes no nodes at run
+   time, silently, on every scan. Applies to tree rules (where the
+   literal is a section prefix) and script rules (a full leaf path). *)
+let malformed_path_pass p =
+  match pfind p "config_path" with
+  | None -> []
+  | Some f ->
+    let paths = Option.value (Yamlite.Value.get_str_list f.value) ~default:[] in
+    List.filter_map
+      (fun path ->
+        match Cvl.Compile.check_path_literal path with
+        | Ok _ -> None
+        | Error e ->
+          Some
+            (Diagnostic.make Diagnostic.malformed_config_path f.fspan
+               ~suggestion:"segments are labels, label[n], * or **, separated by '/'"
+               (Printf.sprintf "config_path %S does not parse: %s" path e)))
+      paths
+
 let path_passes p =
   match (bool_of p "should_exist", pfind p "should_exist") with
   | Some false, Some f ->
@@ -555,9 +575,9 @@ let semantic_passes ctx ?lens p =
     | Some _ ->
       let typed =
         match group with
-        | Cvl.Keyword.Tree -> tree_passes ?lens p
+        | Cvl.Keyword.Tree -> tree_passes ?lens p @ malformed_path_pass p
         | Cvl.Keyword.Path -> path_passes p
-        | Cvl.Keyword.Script -> script_passes ctx p
+        | Cvl.Keyword.Script -> script_passes ctx p @ malformed_path_pass p
         | Cvl.Keyword.Composite -> composite_passes ctx p
         | Cvl.Keyword.Schema | Cvl.Keyword.Common -> []
       in

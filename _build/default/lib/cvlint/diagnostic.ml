@@ -96,6 +96,10 @@ let flaky_plugin_no_fallback =
   code "CVL050" "flaky-plugin-no-fallback" Warning
     "a script rule uses a plugin the manifest marks flaky without declaring on_plugin_failure"
 
+let malformed_config_path =
+  code "CVL060" "malformed-config-path" Error
+    "a config_path literal does not parse as a path expression"
+
 let registry =
   [
     parse_error; manifest_error; rule_load_error; missing_rule_file; inheritance_cycle;
@@ -103,7 +107,7 @@ let registry =
     conflicting_values; presence_only_with_values; absent_path_with_attributes;
     bad_match_spec; bad_regex; match_without_value; unknown_lens; unknown_script;
     dead_config_path; unknown_entity; bad_composite_expression; no_tags; bad_tag;
-    missing_remediation; bad_rule_type; flaky_plugin_no_fallback;
+    missing_remediation; bad_rule_type; flaky_plugin_no_fallback; malformed_config_path;
   ]
 
 let find_code key =

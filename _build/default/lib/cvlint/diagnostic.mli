@@ -80,3 +80,8 @@ val bad_tag : code
 val missing_remediation : code
 val bad_rule_type : code
 val flaky_plugin_no_fallback : code
+
+(** CVL060 — a [config_path] literal the compile-time path parser
+    rejects: at run time it silently contributes no nodes, on every
+    scan. *)
+val malformed_config_path : code

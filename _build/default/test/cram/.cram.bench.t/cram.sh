@@ -8,3 +8,7 @@
   $ ../../bench/main.exe chaos --smoke --chaos-out chaos_smoke.json | grep -v 'clean run:' | grep -v '^seed '
   $ grep -o '"all_runs_degraded_but_total": true' chaos_smoke.json
   $ grep -c '"seed"' chaos_smoke.json
+  $ ../../bench/main.exe compile --smoke --compile-out compile_smoke.json | grep -v ' us ' | grep -v ' ms ' | grep -v ' ns ' | grep -v 'speedup target'
+  $ grep -o '"identical": true' compile_smoke.json | sort -u
+  $ grep -c '"speedup"' compile_smoke.json
+  $ grep -o '"corpus_diagnostics": 0' compile_smoke.json

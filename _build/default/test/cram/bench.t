@@ -59,3 +59,23 @@ degraded-but-total.
   "all_runs_degraded_but_total": true
   $ grep -c '"seed"' chaos_smoke.json
   3
+
+The compile benchmark compares the interpreter against ahead-of-time
+compiled rule programs on the embedded corpus and on a synthetic
+path-heavy rule set. Timings and the measured speedup vary by machine;
+the differential verdict does not.
+
+  $ ../../bench/main.exe compile --smoke --compile-out compile_smoke.json | grep -v ' us ' | grep -v ' ms ' | grep -v ' ns ' | grep -v 'speedup target'
+  
+  ==================================================================
+  Compile - ahead-of-time programs vs interpreter (smoke)
+  ==================================================================
+  results identical interpreted vs compiled: true
+  wrote compile_smoke.json
+
+  $ grep -o '"identical": true' compile_smoke.json | sort -u
+  "identical": true
+  $ grep -c '"speedup"' compile_smoke.json
+  2
+  $ grep -o '"corpus_diagnostics": 0' compile_smoke.json
+  "corpus_diagnostics": 0

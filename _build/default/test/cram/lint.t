@@ -35,6 +35,18 @@ warnings-only file pass.
   cvl042.yaml:6: warning CVL042 [missing-remediation]: high-severity rule "ssl" has no suggested_action or violation description
   0 errors, 1 warning, 0 infos
 
+A config_path literal the compile-time path parser rejects is flagged
+where it is written (CVL060): at run time the rule would silently
+contribute no nodes on every scan. The check shares the parser the
+rule compiler uses, so linter and engine can never disagree on what
+parses.
+
+  $ configvalidator lint --rules-dir ../cvl_bad cvl060.yaml
+  cvl060.yaml:5: error CVL060 [malformed-config-path]: config_path "Match[abc]" does not parse: malformed index in segment "Match[abc]"
+      suggestion: segments are labels, label[n], * or **, separated by '/'
+  1 error, 0 warnings, 0 infos
+  [1]
+
 An unreadable file is an input error, not a finding: the message goes
 to stderr and the exit code is 2, distinct from exit 1 for bad rules.
 

@@ -1,0 +1,207 @@
+(* The ahead-of-time rule compiler: compiled programs must be
+   observationally identical to the interpreter — same verdicts, same
+   details and evidence, same order — at every job count, under tag
+   selection, and under an armed fault plan. Compile-time diagnostics
+   surface malformed path literals that the interpreter silently
+   swallows, without changing the run's results. *)
+
+open Cvl
+
+let corpus_rules =
+  Result.get_ok (Validator.load_rules ~source:Rulesets.source ~manifest:Rulesets.manifest)
+
+let frames () =
+  Scenarios.Deployment.three_tier ~compliant:false
+  @ Scenarios.Deployment.three_tier ~compliant:true
+
+let row (r : Engine.result) =
+  ( r.Engine.entity,
+    r.Engine.frame_id,
+    Rule.name r.Engine.rule,
+    Engine.verdict_to_string r.Engine.verdict,
+    r.Engine.detail,
+    r.Engine.evidence )
+
+let rows (t : Validator.t) = List.map row t.Validator.results
+
+let run_both ?tags ?keep_not_applicable ?jobs rules fs =
+  Normcache.reset ();
+  let interp =
+    Validator.run_loaded ?tags ?keep_not_applicable ?jobs ~engine:`Interpreted ~rules fs
+  in
+  Normcache.reset ();
+  let compiled =
+    Validator.run_loaded ?tags ?keep_not_applicable ?jobs ~engine:`Compiled ~rules fs
+  in
+  (interp, compiled)
+
+let check_identical name ?tags ?keep_not_applicable ?jobs rules fs =
+  Alcotest.test_case name `Quick (fun () ->
+      let interp, compiled = run_both ?tags ?keep_not_applicable ?jobs rules fs in
+      Alcotest.(check bool) "some results" true (rows interp <> []);
+      Alcotest.(check bool) "identical rows" true (rows interp = rows compiled))
+
+let differential_cases =
+  [
+    check_identical "corpus identical at jobs=1" ~jobs:1 corpus_rules (frames ());
+    check_identical "corpus identical at jobs=4" ~jobs:4 corpus_rules (frames ());
+    check_identical "corpus identical with not-applicable kept" ~keep_not_applicable:true
+      ~jobs:2 corpus_rules (frames ());
+    check_identical "corpus identical under tag selection" ~tags:[ "#security" ] ~jobs:2
+      corpus_rules (frames ());
+    Alcotest.test_case "run_compiled matches run_loaded" `Quick (fun () ->
+        let fs = frames () in
+        Normcache.reset ();
+        let via_loaded = Validator.run_loaded ~rules:corpus_rules fs in
+        let compiled = Validator.compile corpus_rules in
+        Normcache.reset ();
+        let direct = Validator.run_compiled ~compiled fs in
+        Alcotest.(check bool) "identical rows" true (rows via_loaded = rows direct));
+    Alcotest.test_case "corpus compiles without diagnostics" `Quick (fun () ->
+        let compiled = Validator.compile corpus_rules in
+        Alcotest.(check int) "diagnostics" 0 (List.length compiled.Compile.diagnostics));
+  ]
+
+(* Chaos differential: under the same armed fault plan both engines
+   fire the same faults (the plan keys on entity/rule/frame, not on
+   evaluation strategy) and contain them identically. Re-armed before
+   each run because fault firing is stateful (fail-the-first-k). *)
+let chaos_cases =
+  List.map
+    (fun seed ->
+      Alcotest.test_case (Printf.sprintf "chaos differential, seed %d" seed) `Quick (fun () ->
+          let fs = frames () in
+          let plan = Faultsim.sample ~seed ~rules:corpus_rules fs in
+          let run engine =
+            Faultsim.arm plan;
+            Fun.protect ~finally:Faultsim.disarm (fun () ->
+                Normcache.reset ();
+                Validator.run_loaded ~keep_not_applicable:true ~engine ~rules:corpus_rules fs)
+          in
+          let interp = run `Interpreted and compiled = run `Compiled in
+          Alcotest.(check bool) "identical rows under faults" true
+            (rows interp = rows compiled);
+          Alcotest.(check bool) "identical health" true
+            (interp.Validator.health = compiled.Validator.health)))
+    [ 1; 2; 3 ]
+
+(* Matcher.compile law: the lowered closure equals satisfies on every
+   input, across kinds, scopes, and case folding. *)
+let matcher_gen =
+  QCheck.Gen.(
+    pair
+      (list_size (int_range 0 4) (string_size ~gen:(char_range 'a' 'd') (int_range 0 4)))
+      (string_size ~gen:(char_range 'a' 'd') (int_range 0 8)))
+
+let matcher_compile_prop =
+  QCheck.Test.make ~count:500 ~name:"Matcher.compile equals Matcher.satisfies"
+    (QCheck.make
+       ~print:(fun (vs, c) -> Printf.sprintf "[%s] / %s" (String.concat ";" vs) c)
+       matcher_gen)
+    (fun (rule_values, config_value) ->
+      List.for_all
+        (fun kind ->
+          List.for_all
+            (fun scope ->
+              List.for_all
+                (fun ci ->
+                  let t = { Matcher.kind; scope } in
+                  Matcher.compile ~case_insensitive:ci t ~rule_values config_value
+                  = Matcher.satisfies ~case_insensitive:ci t ~rule_values ~config_value)
+                [ false; true ])
+            [ Matcher.Any; Matcher.All ])
+        [ Matcher.Exact; Matcher.Substr ])
+
+(* Malformed path literals: the compiler reports them as diagnostics;
+   the run's results stay identical to the interpreter, which silently
+   matched nothing. *)
+let bad_path_source =
+  {
+    Loader.load =
+      (fun name ->
+        if String.equal name "bad.yaml" then
+          Ok
+            "rules:\n\
+            \  - config_name: PermitRootLogin\n\
+            \    config_path: [\"Match[abc]\"]\n\
+            \    preferred_value: [\"no\"]\n\
+            \    tags: [\"#ssh\"]\n\
+            \  - config_name: Protocol\n\
+            \    preferred_value: [\"2\"]\n\
+            \    tags: [\"#ssh\"]\n"
+        else Error (Printf.sprintf "no such file %S" name));
+  }
+
+let bad_path_manifest =
+  [
+    {
+      Manifest.entity = "ssh";
+      enabled = true;
+      search_paths = [ "/etc/ssh" ];
+      cvl_file = "bad.yaml";
+      lens = Some "sshd";
+      rule_type = None;
+      flaky_plugins = [];
+    };
+  ]
+
+let diagnostic_cases =
+  [
+    Alcotest.test_case "malformed config_path becomes a compile diagnostic" `Quick (fun () ->
+        let rules =
+          Result.get_ok (Validator.load_rules ~source:bad_path_source ~manifest:bad_path_manifest)
+        in
+        let compiled = Validator.compile rules in
+        match compiled.Compile.diagnostics with
+        | [ d ] ->
+          Alcotest.(check string) "entity" "ssh" d.Compile.entity;
+          Alcotest.(check string) "rule" "PermitRootLogin" d.Compile.rule;
+          Alcotest.(check string) "field" "config_path" d.Compile.field;
+          Alcotest.(check bool) "literal named" true
+            (String.equal d.Compile.literal "Match[abc]")
+        | ds -> Alcotest.failf "expected exactly one diagnostic, got %d" (List.length ds));
+    Alcotest.test_case "diagnosed rule still runs identically" `Quick (fun () ->
+        let rules =
+          Result.get_ok (Validator.load_rules ~source:bad_path_source ~manifest:bad_path_manifest)
+        in
+        let fs = [ Scenarios.Host.misconfigured () ] in
+        let interp, compiled = run_both ~keep_not_applicable:true rules fs in
+        Alcotest.(check bool) "identical rows" true (rows interp = rows compiled);
+        Alcotest.(check int) "diagnostics surfaced on the run" 1
+          (List.length compiled.Validator.compile_diagnostics);
+        Alcotest.(check int) "interpreter reports none" 0
+          (List.length interp.Validator.compile_diagnostics));
+    Alcotest.test_case "diagnostic_to_string carries the literal" `Quick (fun () ->
+        match Compile.check_path_literal "a//b" with
+        | Ok _ -> Alcotest.fail "expected a parse error"
+        | Error _ -> ());
+  ]
+
+(* Tag dispatch on the compiled form: select returns exactly the
+   programs whose rules carry a requested tag, in original order. *)
+let select_cases =
+  [
+    Alcotest.test_case "select filters by tag preserving order" `Quick (fun () ->
+        let compiled = Validator.compile corpus_rules in
+        List.iter
+          (fun ep ->
+            let all, _ = Compile.select ~tags:[] ep in
+            Alcotest.(check int) "empty tags select everything"
+              (List.length ep.Compile.programs)
+              (List.length all);
+            let picked, _ = Compile.select ~tags:[ "#security" ] ep in
+            let expected =
+              List.filter
+                (fun (p : Compile.program) ->
+                  List.mem "#security" (Rule.tags p.Compile.rule))
+                ep.Compile.programs
+            in
+            Alcotest.(check (list int)) "ordinals match a plain filter"
+              (List.map (fun (p : Compile.program) -> p.Compile.ordinal) expected)
+              (List.map (fun (p : Compile.program) -> p.Compile.ordinal) picked))
+          compiled.Compile.entities);
+  ]
+
+let suite =
+  differential_cases @ chaos_cases @ diagnostic_cases @ select_cases
+  @ [ QCheck_alcotest.to_alcotest matcher_compile_prop ]

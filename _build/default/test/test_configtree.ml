@@ -132,11 +132,123 @@ let deep_superset_prop =
       let deep = Path.find forest [ Path.Deep; Path.Label label ] in
       List.for_all (fun n -> List.memq n deep) rooted)
 
+(* Wide fan-out: [**/leaf] over n sections visits every node once, and
+   the result must contain each physical leaf exactly once in document
+   order. The old O(n^2) structural dedup also collapsed distinct
+   sibling leaves that happened to be structurally equal; the physical
+   dedup must not. *)
+let wide_fanout_cases =
+  let n = 2000 in
+  let wide =
+    List.init n (fun i -> Tree.section (Printf.sprintf "s%04d" i) [ Tree.leaf "leaf" "same" ])
+  in
+  [
+    Alcotest.test_case "wide fan-out deep search keeps equal siblings" `Quick (fun () ->
+        let hits = Path.find wide (Path.parse_exn "**/leaf") in
+        Alcotest.(check int) "one hit per section" n (List.length hits));
+    Alcotest.test_case "dedup_phys drops only physical duplicates" `Quick (fun () ->
+        let a = Tree.leaf "a" "v" and b = Tree.leaf "a" "v" in
+        Alcotest.(check int) "structural twins survive" 2
+          (List.length (Path.dedup_phys [ a; b ]));
+        Alcotest.(check int) "physical repeats collapse" 2
+          (List.length (Path.dedup_phys [ a; b; a; b; a ])));
+    Alcotest.test_case "dedup_phys preserves first-occurrence order" `Quick (fun () ->
+        let a = Tree.leaf "a" "1" and b = Tree.leaf "b" "2" and c = Tree.leaf "c" "3" in
+        let out = Path.dedup_phys [ b; a; b; c; a ] in
+        Alcotest.(check (list string)) "order"
+          [ "b"; "a"; "c" ]
+          (List.map (fun (n : Tree.t) -> n.Tree.label) out));
+    Alcotest.test_case "indexed segment selects k-th same-label sibling" `Quick (fun () ->
+        let many =
+          List.init 500 (fun i -> Tree.leaf "item" (string_of_int i))
+          @ [ Tree.leaf "other" "x" ]
+        in
+        Alcotest.(check (list string)) "first" [ "0" ] (Path.find_values_str many "item[1]");
+        Alcotest.(check (list string)) "third" [ "2" ] (Path.find_values_str many "item[3]");
+        Alcotest.(check (list string)) "past the end" [] (Path.find_values_str many "item[501]"));
+  ]
+
+(* The per-forest index answers exactly like Path.find — element-
+   identical node lists — and is keyed on the forest's physical
+   identity, so a re-parsed (mutated) forest gets a fresh index while
+   the old forest keeps its old one. *)
+let index_cases =
+  let paths =
+    [ "user"; "http/server_tokens"; "http/server/listen"; "http/server[2]/listen";
+      "http/*/listen"; "**/listen"; "**/root"; "http/nothing"; "missing_label" ]
+  in
+  [
+    Alcotest.test_case "index agrees with Path.find on every query" `Quick (fun () ->
+        let idx = Index.create forest in
+        List.iter
+          (fun text ->
+            let p = Path.parse_exn text in
+            let direct = Path.find forest p and indexed = Index.find idx p in
+            Alcotest.(check int) (text ^ " count") (List.length direct) (List.length indexed);
+            List.iter2
+              (fun a b -> Alcotest.(check bool) (text ^ " element-identical") true (a == b))
+              direct indexed)
+          paths);
+    Alcotest.test_case "repeat queries hit the memo" `Quick (fun () ->
+        let idx = Index.create forest in
+        let p = Path.parse_exn "**/listen" in
+        ignore (Index.find idx p);
+        let _, misses_after_first = Index.stats idx in
+        ignore (Index.find idx p);
+        ignore (Index.find idx p);
+        let hits, misses = Index.stats idx in
+        Alcotest.(check int) "no new misses" misses_after_first misses;
+        Alcotest.(check bool) "hits recorded" true (hits >= 2));
+    Alcotest.test_case "for_forest is keyed on physical identity" `Quick (fun () ->
+        let idx1 = Index.for_forest forest in
+        let idx2 = Index.for_forest forest in
+        Alcotest.(check bool) "same forest, same index" true (idx1 == idx2);
+        (* a structurally equal but re-built forest — what a frame
+           mutation produces via re-parse — gets a fresh index *)
+        let rebuilt = List.map (fun (n : Tree.t) -> Tree.node ?value:n.Tree.value ~children:n.Tree.children n.Tree.label) forest in
+        let idx3 = Index.for_forest rebuilt in
+        Alcotest.(check bool) "new forest, new index" true (not (idx3 == idx1));
+        Alcotest.(check (list string)) "old index still answers for old forest"
+          [ "443 ssl"; "80"; "8080" ]
+          (Index.find_values idx1 (Path.parse_exn "http/server/listen"));
+        Alcotest.(check (list string)) "new index answers for new forest"
+          [ "443 ssl"; "80"; "8080" ]
+          (Index.find_values idx3 (Path.parse_exn "http/server/listen")));
+    Alcotest.test_case "exists matches find" `Quick (fun () ->
+        let idx = Index.create forest in
+        Alcotest.(check bool) "present" true (Index.exists idx (Path.parse_exn "**/root"));
+        Alcotest.(check bool) "absent" false (Index.exists idx (Path.parse_exn "http/nope")));
+  ]
+
+(* Property: the index agrees with Path.find on random forests and a
+   few path shapes, including element identity. *)
+let index_agrees_prop =
+  QCheck.Test.make ~count:300 ~name:"Index.find agrees with Path.find"
+    (QCheck.make
+       ~print:(fun (forest, label) -> Printf.sprintf "%s @ %s" (Tree.to_string forest) label)
+       QCheck.Gen.(pair tree_gen label_gen))
+    (fun (forest, label) ->
+      let idx = Index.create forest in
+      let shapes =
+        [ [ Path.Label label ]; [ Path.Deep; Path.Label label ];
+          [ Path.Wildcard; Path.Label label ]; [ Path.Label label; Path.Label label ];
+          [ Path.Deep; Path.Label label; Path.Wildcard ] ]
+      in
+      List.for_all
+        (fun p ->
+          let direct = Path.find forest p and indexed = Index.find idx p in
+          List.length direct = List.length indexed && List.for_all2 ( == ) direct indexed)
+        shapes)
+
 let size_flatten_prop =
   QCheck.Test.make ~count:300 ~name:"flatten length is bounded by size"
     (QCheck.make ~print:Tree.to_string tree_gen)
     (fun forest -> List.length (Tree.flatten forest) <= Tree.size forest)
 
 let suite =
-  tree_cases @ table_cases
-  @ [ QCheck_alcotest.to_alcotest deep_superset_prop; QCheck_alcotest.to_alcotest size_flatten_prop ]
+  tree_cases @ table_cases @ wide_fanout_cases @ index_cases
+  @ [
+      QCheck_alcotest.to_alcotest deep_superset_prop;
+      QCheck_alcotest.to_alcotest size_flatten_prop;
+      QCheck_alcotest.to_alcotest index_agrees_prop;
+    ]

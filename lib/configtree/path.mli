@@ -45,3 +45,9 @@ val find_str : Tree.t list -> string -> Tree.t list
 
 val find_values_str : Tree.t list -> string -> string list
 val exists_str : Tree.t list -> string -> bool
+
+(** First-occurrence deduplication by physical identity, as applied to
+    [find] results (several [**] segments can reach one node twice).
+    Exposed so alternate query evaluators ([Index]) produce lists that
+    are element-for-element identical to [find]. *)
+val dedup_phys : Tree.t list -> Tree.t list

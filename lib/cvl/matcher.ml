@@ -82,6 +82,34 @@ let value_matches ?(case_insensitive = false) kind ~rule_value ~config_value =
     | Some re -> Re.execp re config_value
     | None -> false)
 
+(* Compiled form: rule values case-folded and regexes compiled once, at
+   rule-compile time, leaving only the per-value work in the returned
+   closure. Law (checked by the differential property tests):
+   [compile ?case_insensitive t ~rule_values v] equals
+   [satisfies ?case_insensitive t ~rule_values ~config_value:v]. *)
+type compiled = string -> bool
+
+let compile ?(case_insensitive = false) t ~rule_values : compiled =
+  match rule_values with
+  | [] -> fun _ -> false
+  | _ ->
+    let fold v = if case_insensitive then String.lowercase_ascii v else v in
+    let one rv =
+      let rv = fold rv in
+      match t.kind with
+      | Exact -> fun cv -> String.equal rv cv
+      | Substr -> fun cv -> contains ~needle:rv cv
+      | Regex -> (
+        match compile_cached rv with
+        | Some re -> fun cv -> Re.execp re cv
+        | None -> fun _ -> false)
+    in
+    let fns = List.map one rule_values in
+    let combine = match t.scope with Any -> List.exists | All -> List.for_all in
+    fun config_value ->
+      let cv = fold config_value in
+      combine (fun f -> f cv) fns
+
 let satisfies ?case_insensitive t ~rule_values ~config_value =
   match rule_values with
   | [] -> false

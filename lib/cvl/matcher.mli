@@ -40,3 +40,13 @@ val value_matches :
     rule-value list never satisfies. *)
 val satisfies :
   ?case_insensitive:bool -> t -> rule_values:string list -> config_value:string -> bool
+
+(** A match spec lowered to a closure over the configuration value: rule
+    values are case-folded and regexes compiled once, when the rule is
+    compiled, instead of per evaluation. For all inputs
+    [compile ?case_insensitive t ~rule_values v] equals
+    [satisfies ?case_insensitive t ~rule_values ~config_value:v] — a law
+    the differential property tests check. *)
+type compiled = string -> bool
+
+val compile : ?case_insensitive:bool -> t -> rule_values:string list -> compiled
