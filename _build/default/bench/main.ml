@@ -972,6 +972,171 @@ let compile_bench () =
   Printf.printf "wrote %s\n" !compile_out
 
 (* ------------------------------------------------------------------ *)
+(* Fusion: one shared tree walk for the whole ruleset                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The compiled engine already amortizes parsing and per-path work, but
+   still answers every rule's queries independently: against a freshly
+   parsed frame (the cold case every new scan target is), 48 deep [**]
+   rules mean 48 full-forest descents. The fused engine walks each
+   forest once for the whole ruleset, so the comparison that matters is
+   end-to-end on cold frames — the normalization cache is reset inside
+   the measured thunk. The corpus workload is measured warm (steady
+   state) to show fusion costs nothing when memos already answer
+   everything. Node-visit counts and plan-build time go into the JSON
+   so the win is attributable to walk sharing, not just wall clock.
+   Emits BENCH_fusion.json. *)
+
+let fusion_out = ref "BENCH_fusion.json"
+
+type fusion_row = {
+  fr_interp_s : float;
+  fr_comp_s : float;
+  fr_fused_s : float;
+  fr_compile_s : float;
+  fr_fuse_s : float;
+  fr_visits : int * int * int;  (* interpreted, compiled, fused; one cold run *)
+  fr_identical : bool;
+  fr_results : int;
+}
+
+let fusion_bench () =
+  heading
+    (Printf.sprintf "Fusion - whole-ruleset shared walk vs per-rule programs%s"
+       (if !smoke then " (smoke)" else ""));
+  let reps = if !smoke then 2 else 5 in
+  let best_of k f =
+    let rec go k best =
+      if k = 0 then best
+      else
+        let s, _ = wall f in
+        go (k - 1) (Float.min best s)
+    in
+    go k Float.infinity
+  in
+  let measure ~label ~cold ~rules frames =
+    Cvl.Normcache.set_enabled true;
+    Cvl.Normcache.reset ();
+    let compile_s, compiled = wall (fun () -> Cvl.Validator.compile rules) in
+    let fuse_s, fused = wall (fun () -> Cvl.Fuse.fuse compiled) in
+    let run engine () =
+      (* Cold workloads re-parse (and hence re-index and re-walk) every
+         frame per run, as a scan of a new target does; warm ones keep
+         every cache. *)
+      if cold then Cvl.Normcache.reset ();
+      match engine with
+      | `Interpreted -> Cvl.Validator.run_loaded ~engine:`Interpreted ~rules frames
+      | `Compiled -> Cvl.Validator.run_compiled ~compiled frames
+      | `Fused -> Cvl.Validator.run_fused ~fused frames
+    in
+    let interp_ref = run `Interpreted () in
+    let compiled_ref = run `Compiled () in
+    let fused_ref = run `Fused () in
+    let identical =
+      result_signature fused_ref = result_signature interp_ref
+      && result_signature fused_ref = result_signature compiled_ref
+    in
+    let interp_s = best_of reps (fun () -> ignore (run `Interpreted ())) in
+    let comp_s = best_of reps (fun () -> ignore (run `Compiled ())) in
+    let fused_s = best_of reps (fun () -> ignore (run `Fused ())) in
+    let visits engine =
+      Cvl.Normcache.reset ();
+      Configtree.Metrics.reset ();
+      ignore (run engine ());
+      Configtree.Metrics.count ()
+    in
+    let vi = visits `Interpreted and vc = visits `Compiled and vf = visits `Fused in
+    Printf.printf
+      "%-12s interpreted %s, compiled %s, fused %s (fused %.2fx vs compiled; plan build %s)\n"
+      label
+      (pp_time (interp_s *. 1e9))
+      (pp_time (comp_s *. 1e9))
+      (pp_time (fused_s *. 1e9))
+      (comp_s /. Float.max fused_s 1e-9)
+      (pp_time (fuse_s *. 1e9));
+    Printf.printf "%-12s node visits: interpreted %d, compiled %d, fused %d\n" label vi vc vf;
+    {
+      fr_interp_s = interp_s;
+      fr_comp_s = comp_s;
+      fr_fused_s = fused_s;
+      fr_compile_s = compile_s;
+      fr_fuse_s = fuse_s;
+      fr_visits = (vi, vc, vf);
+      fr_identical = identical;
+      fr_results = List.length fused_ref.Cvl.Validator.results;
+    }
+  in
+  let corpus_rules =
+    Result.get_ok (Cvl.Validator.load_rules ~source:Rulesets.source ~manifest:Rulesets.manifest)
+  in
+  let corpus_frames =
+    Scenarios.Deployment.three_tier ~compliant:false
+    @ Scenarios.Deployment.three_tier ~compliant:true
+  in
+  let corpus = measure ~label:"corpus" ~cold:false ~rules:corpus_rules corpus_frames in
+  let services = if !smoke then 6 else 24 in
+  let opts = if !smoke then 8 else 48 in
+  let path_rules =
+    Result.get_ok
+      (Cvl.Validator.load_rules
+         ~source:
+           {
+             Cvl.Loader.load =
+               (fun name ->
+                 if String.equal name "pathbench.yaml" then Ok (pathbench_rules ~opts)
+                 else Error (Printf.sprintf "no such file %S" name));
+           }
+         ~manifest:pathbench_manifest)
+  in
+  let path_frames = [ pathbench_frame ~services ~opts ] in
+  let path = measure ~label:"path-heavy" ~cold:true ~rules:path_rules path_frames in
+  let identical = corpus.fr_identical && path.fr_identical in
+  let p_speedup = path.fr_comp_s /. Float.max path.fr_fused_s 1e-9 in
+  let _, pvc, pvf = path.fr_visits in
+  Printf.printf "results identical across engines: %b\n" identical;
+  Printf.printf "fused visits fewer nodes than compiled on path-heavy: %b\n" (pvf < pvc);
+  Printf.printf "path-heavy fused vs compiled target (>=2x): %s (measured %.2fx)\n"
+    (if p_speedup >= 2.0 then "met" else "not met")
+    p_speedup;
+  let workload label (r : fusion_row) =
+    let vi, vc, vf = r.fr_visits in
+    ( label,
+      Jsonlite.Obj
+        [
+          ("interpreted_seconds", Jsonlite.Num r.fr_interp_s);
+          ("compiled_seconds", Jsonlite.Num r.fr_comp_s);
+          ("fused_seconds", Jsonlite.Num r.fr_fused_s);
+          ("compile_seconds", Jsonlite.Num r.fr_compile_s);
+          ("plan_build_seconds", Jsonlite.Num r.fr_fuse_s);
+          ("speedup_fused_vs_interpreted",
+           Jsonlite.Num (r.fr_interp_s /. Float.max r.fr_fused_s 1e-9));
+          ("speedup_fused_vs_compiled",
+           Jsonlite.Num (r.fr_comp_s /. Float.max r.fr_fused_s 1e-9));
+          ("visits_interpreted", Jsonlite.Num (float_of_int vi));
+          ("visits_compiled", Jsonlite.Num (float_of_int vc));
+          ("visits_fused", Jsonlite.Num (float_of_int vf));
+          ("identical", Jsonlite.Bool r.fr_identical);
+          ("results", Jsonlite.Num (float_of_int r.fr_results));
+        ] )
+  in
+  let json =
+    Jsonlite.Obj
+      [
+        ("smoke", Jsonlite.Bool !smoke);
+        workload "corpus" corpus;
+        workload "path_heavy" path;
+        ("path_heavy_rules", Jsonlite.Num (float_of_int opts));
+        ("path_heavy_services", Jsonlite.Num (float_of_int services));
+        ("path_heavy_fused_visits_below_compiled", Jsonlite.Bool (pvf < pvc));
+        ("path_heavy_fused_2x_met", Jsonlite.Bool (p_speedup >= 2.0));
+        ("identical", Jsonlite.Bool identical);
+      ]
+  in
+  Out_channel.with_open_text !fusion_out (fun oc ->
+      Out_channel.output_string oc (Jsonlite.pretty json));
+  Printf.printf "wrote %s\n" !fusion_out
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -989,6 +1154,7 @@ let sections =
     ("lint", lint_bench);
     ("chaos", chaos_bench);
     ("compile", compile_bench);
+    ("fusion", fusion_bench);
   ]
 
 let () =
@@ -1008,6 +1174,9 @@ let () =
       parse_args rest
     | "--compile-out" :: file :: rest ->
       compile_out := file;
+      parse_args rest
+    | "--fusion-out" :: file :: rest ->
+      fusion_out := file;
       parse_args rest
     | arg :: rest -> arg :: parse_args rest
   in

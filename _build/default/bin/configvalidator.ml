@@ -81,7 +81,7 @@ let resolve_frames target frame_files =
    exceptions). 3 wins over 2 so CI can tell "the target is bad" from
    "the scan itself is suspect". *)
 let validate target frame_files tags format verbose only_violations rules_dir jobs no_cache chaos
-    retry =
+    retry engine =
   match resolve_frames target frame_files with
   | Error e ->
     prerr_endline e;
@@ -103,7 +103,7 @@ let validate target frame_files tags format verbose only_violations rules_dir jo
         | Ok rules -> Faultsim.arm (Faultsim.sample ~seed ~rules frames)
         | Error _ -> ())
       | None -> ());
-      let run = Cvl.Validator.run ~jobs ~tags ~source ~manifest frames in
+      let run = Cvl.Validator.run ~engine ~jobs ~tags ~source ~manifest frames in
       if chaos <> None then Faultsim.disarm ();
       List.iter
         (fun (entity, msg) -> Printf.eprintf "warning: rules for %s failed to load: %s\n" entity msg)
@@ -413,13 +413,28 @@ let retry_arg =
   let doc = "Retry budget for faulted plugin calls (default 2; backoff is simulated)." in
   Arg.(value & opt (some int) None & info [ "retry" ] ~docv:"N" ~doc)
 
+let engine_arg =
+  let doc =
+    "Evaluation engine: $(b,fused) (default; one shared tree walk per entity ruleset with \
+     cross-rule query/plugin sharing), $(b,compiled) (per-rule ahead-of-time programs), or \
+     $(b,interpreted). All three produce byte-identical reports; the non-default engines \
+     exist for benchmarking and differential testing."
+  in
+  Arg.(
+    value
+    & opt
+        (enum [ ("fused", `Fused); ("compiled", `Compiled); ("interpreted", `Interpreted) ])
+        `Fused
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let validate_cmd =
   let doc = "validate a target against CVL rules" in
   Cmd.v
     (Cmd.info "validate" ~doc)
     Term.(
       const validate $ target_arg $ frame_files_arg $ tags_arg $ format_arg $ verbose_arg
-      $ only_violations_arg $ rules_dir_arg $ jobs_arg $ no_cache_arg $ chaos_arg $ retry_arg)
+      $ only_violations_arg $ rules_dir_arg $ jobs_arg $ no_cache_arg $ chaos_arg $ retry_arg
+      $ engine_arg)
 
 let coverage_cmd =
   Cmd.v (Cmd.info "coverage" ~doc:"print rule coverage (paper Table 1)") Term.(const coverage $ const ())

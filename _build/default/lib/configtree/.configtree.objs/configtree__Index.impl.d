@@ -1,1 +1,1 @@
-lib/configtree/index.ml: Domain Hashtbl Lazy List Option Path Tree
+lib/configtree/index.ml: Array Atomic Domain Hashtbl Lazy List Metrics Option Path Tree

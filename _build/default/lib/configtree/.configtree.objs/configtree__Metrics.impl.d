@@ -1,0 +1,1 @@
+lib/configtree/metrics.ml: Atomic

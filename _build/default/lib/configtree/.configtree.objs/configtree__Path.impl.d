@@ -1,1 +1,1 @@
-lib/configtree/path.ml: Hashtbl List Printf String Tree
+lib/configtree/path.ml: Hashtbl List Metrics Printf String Tree

@@ -30,8 +30,40 @@ val find_values : t -> Path.t -> string list
 (** Same contract as {!Path.exists}, accelerated. *)
 val exists : t -> Path.t -> bool
 
-(** [(memo_hits, memo_misses)] of the top-level per-path memo. *)
+(** [(memo_hits, memo_misses)] of the top-level per-path memo. A fused
+    {!run_plan} counts once: a hit when the plan's result table is
+    already memoized for this index, a miss when the shared walk runs. *)
 val stats : t -> int * int
+
+(** Fused multi-query plans: N path queries merged into one prefix trie,
+    answered by a single shared walk over the forest. *)
+module Plan : sig
+  type plan
+
+  (** Merge the given queries into one trie. The array index of each
+      path is its query id in the result table of {!Index.run_plan}.
+      Plans are immutable after construction and safe to share across
+      domains; each carries a process-unique id used as the memo key. *)
+  val build : Path.t array -> plan
+
+  (** The planned queries, in query-id order. *)
+  val paths : plan -> Path.t array
+
+  (** Number of planned queries. *)
+  val size : plan -> int
+
+  (** Proper-prefix pairs [(i, j)]: query [i]'s segment list is a strict
+      prefix of query [j]'s (the shared walk for [j] passes through
+      [i]'s end node). Identical paths don't count. Sorted. *)
+  val subsumptions : plan -> (int * int) list
+end
+
+(** Answer every query of [plan] with one shared walk over this index's
+    forest. [result.(i)] is element-for-element identical to
+    [find t (Plan.paths plan).(i)] — same match order, same dedup. The
+    result table is memoized per (index, plan), and the walk seeds the
+    per-path memo so residual single-path [find]s on planned paths hit. *)
+val run_plan : t -> Plan.plan -> Tree.t list array
 
 (** The index for [forest] from the calling domain's cache, built on
     first request. Keyed by physical identity: parsed forests are shared

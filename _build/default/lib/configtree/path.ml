@@ -52,6 +52,7 @@ let to_string p = String.concat "/" (List.map segment_to_string p)
 (* [select forest seg] is the list of children of [forest] matched by one
    segment. Indexing is relative to same-label siblings, as in Augeas. *)
 let select (forest : Tree.t list) seg =
+  Metrics.note (List.length forest);
   match seg with
   | Wildcard -> forest
   | Label l -> List.filter (fun (n : Tree.t) -> String.equal n.label l) forest
@@ -98,6 +99,7 @@ let find forest path =
   let rec go (forest : Tree.t list) = function
     | [] -> forest
     | Deep :: rest ->
+      Metrics.note (List.length forest);
       let here = go forest rest in
       let deeper = List.concat_map (fun (n : Tree.t) -> go n.children (Deep :: rest)) forest in
       here @ deeper

@@ -1,0 +1,1 @@
+lib/cvl/fuse.ml: Array Compile Configtree Crawler Engine Hashtbl List Manifest Option Resilience Rule

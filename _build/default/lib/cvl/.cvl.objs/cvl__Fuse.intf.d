@@ -1,0 +1,1 @@
+lib/cvl/fuse.mli: Compile Configtree Engine Expr Manifest Rule

@@ -1,1 +1,1 @@
-lib/cvl/validator.mli: Compile Engine Expr Frames Loader Manifest Pool Resilience Rule
+lib/cvl/validator.mli: Compile Engine Expr Frames Fuse Loader Manifest Pool Resilience Rule

@@ -70,17 +70,27 @@ let note (notes : notes) ~entity ~rule ~field ~literal message =
 
 (* Tree-rule config paths address the *section* holding the rule-named
    key, so the executable path is [config_path ^ "/" ^ name]. *)
+let tree_path_texts (r : Rule.tree_rule) =
+  let name = r.Rule.tree_common.Rule.name in
+  List.map (fun cp -> (cp, if cp = "" then name else cp ^ "/" ^ name)) r.Rule.config_paths
+
 let tree_paths notes ~entity (r : Rule.tree_rule) =
   let name = r.Rule.tree_common.Rule.name in
   List.filter_map
-    (fun cp ->
-      let text = if cp = "" then name else cp ^ "/" ^ name in
+    (fun (cp, text) ->
       match check_path_literal text with
       | Ok path -> Some path
       | Error e ->
         note notes ~entity ~rule:name ~field:"config_path" ~literal:cp e;
         None)
-    r.Rule.config_paths
+    (tree_path_texts r)
+
+(* Silent variant for re-lowering by [Fuse]: [compile] already recorded
+   the diagnostics, so the planner just wants the well-formed paths. *)
+let tree_query_paths (r : Rule.tree_rule) =
+  List.filter_map
+    (fun (_, text) -> Result.to_option (check_path_literal text))
+    (tree_path_texts r)
 
 let script_paths notes ~entity (r : Rule.script_rule) =
   let name = r.Rule.script_common.Rule.name in
@@ -91,6 +101,11 @@ let script_paths notes ~entity (r : Rule.script_rule) =
       | Error e ->
         note notes ~entity ~rule:name ~field:"config_path" ~literal:p e;
         None)
+    r.Rule.script_config_paths
+
+let script_query_paths (r : Rule.script_rule) =
+  List.filter_map
+    (fun p -> Result.to_option (check_path_literal p))
     r.Rule.script_config_paths
 
 (* [require_other_configs] labels are path expressions probed at the
@@ -117,6 +132,20 @@ let requires_gate notes ~entity ~rule labels =
         (fun (rooted, deep) ->
           Configtree.Index.exists idx rooted || Configtree.Index.exists idx deep)
         pairs
+
+(* Silent [requires_gate] lowering for [Fuse]: [None] means some label
+   is malformed, i.e. the gate is the constant [false]. *)
+let requires_pairs (r : Rule.tree_rule) =
+  let parsed =
+    List.map
+      (fun label ->
+        match check_path_literal label with
+        | Ok p -> Some (p, Configtree.Path.Deep :: p)
+        | Error _ -> None)
+      r.Rule.require_other_configs
+  in
+  if List.exists Option.is_none parsed then None
+  else Some (List.filter_map Fun.id parsed)
 
 let indexed_find paths forest =
   let idx = Configtree.Index.for_forest forest in
@@ -157,9 +186,7 @@ let tree_exec notes ~entity (r : Rule.tree_rule) : Engine.tree_exec =
 
 let schema_exec (r : Rule.schema_rule) : Engine.schema_exec =
   {
-    Engine.se_query =
-      Configtree.Table.parse_query ~constraints:r.Rule.query_constraints
-        ~values:r.Rule.query_constraints_value;
+    Engine.se_rows = Engine.schema_rows r;
     se_preferred = preferred_fn r.Rule.schema_preferred;
     se_non_preferred = non_preferred_fn r.Rule.schema_non_preferred;
   }
@@ -168,6 +195,7 @@ let script_exec notes ~entity (r : Rule.script_rule) : Engine.script_exec =
   let paths = script_paths notes ~entity r in
   {
     Engine.sc_plugin = Crawler.find_plugin r.Rule.plugin;
+    sc_run = (fun frame plugin -> Resilience.run_plugin ~frame plugin);
     sc_nodes = indexed_find paths;
     sc_preferred = preferred_fn r.Rule.script_preferred;
     sc_non_preferred = non_preferred_fn r.Rule.script_non_preferred;

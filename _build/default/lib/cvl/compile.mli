@@ -57,6 +57,34 @@ type t = {
     (malformed config_path literal) check. *)
 val check_path_literal : string -> (Configtree.Path.t, string) result
 
+(** {2 Lowering helpers shared with the fused planner}
+
+    {!Fuse} re-derives per-rule queries when building the shared
+    evaluation plan; these are the same lowerings [compile] performs,
+    minus diagnostics (which [compile] already recorded). *)
+
+(** The well-formed executable paths of a tree rule
+    ([config_path ^ "/" ^ name]), in [config_paths] order; malformed
+    literals are skipped, exactly as the compiled program skips them. *)
+val tree_query_paths : Rule.tree_rule -> Configtree.Path.t list
+
+(** The well-formed [script_config_paths], in order. *)
+val script_query_paths : Rule.script_rule -> Configtree.Path.t list
+
+(** The [require_other_configs] gate as (rooted, [**]-prefixed) path
+    pairs; [None] when any label is malformed, which compiles the whole
+    gate to the constant [false]. *)
+val requires_pairs :
+  Rule.tree_rule -> (Configtree.Path.t * Configtree.Path.t) list option
+
+(** [Matcher.compile]d expectation closures, as used by every compiled
+    execution plan. *)
+val preferred_fn :
+  ?case_insensitive:bool -> Rule.expectation option -> (string list -> bool) option
+
+val non_preferred_fn :
+  ?case_insensitive:bool -> Rule.expectation option -> (string list -> string list) option
+
 (** Compile a loaded corpus (the [Validator.load_rules] shape). Never
     fails: malformed literals degrade to diagnostics plus
     interpreter-equivalent runtime behaviour. *)

@@ -254,11 +254,28 @@ let eval_tree_in ctx rule (r : Rule.tree_rule) = eval_tree_core ctx rule r (inte
 (* ------------------------------------------------------------------ *)
 
 type schema_exec = {
-  se_query : (Configtree.Table.query, string) Stdlib.result;
-      (** the parsed row query — file-independent, so compiled once *)
+  se_rows : Configtree.Table.t -> (string list list, string) Stdlib.result;
+      (** select + project one table; the parsed row query inside is
+          file-independent, so compiled once (and the fused engine
+          memoizes whole-table results across rules sharing a query) *)
   se_preferred : (string list -> bool) option;
   se_non_preferred : (string list -> string list) option;
 }
+
+(* The canonical [se_rows]: parse the query once, then select + project
+   per table. Shared by interpreter, compiled and fused constructions so
+   error text stays byte-identical. *)
+let schema_rows (r : Rule.schema_rule) =
+  let query =
+    Configtree.Table.parse_query ~constraints:r.Rule.query_constraints
+      ~values:r.Rule.query_constraints_value
+  in
+  fun table ->
+    match query with
+    | Error e -> Error e
+    | Ok q ->
+      Configtree.Table.project table ~columns:r.Rule.query_columns
+        (Configtree.Table.select table q)
 
 let eval_schema_core ctx rule (r : Rule.schema_rule) (x : schema_exec) =
   let c = r.Rule.schema_common in
@@ -269,13 +286,9 @@ let eval_schema_core ctx rule (r : Rule.schema_rule) (x : schema_exec) =
       ~evidence:(parse_errors_in_context ctx r.Rule.schema_file_context)
   else
     let run (path, table) =
-      match x.se_query with
+      match x.se_rows table with
       | Error e -> Error (Printf.sprintf "%s: %s" path e)
-      | Ok query -> (
-        let rows = Configtree.Table.select table query in
-        match Configtree.Table.project table ~columns:r.Rule.query_columns rows with
-        | Error e -> Error (Printf.sprintf "%s: %s" path e)
-        | Ok projected -> Ok (path, projected))
+      | Ok projected -> Ok (path, projected)
     in
     let outcomes = List.map run tables in
     (match List.find_opt Result.is_error outcomes with
@@ -315,9 +328,7 @@ let eval_schema_core ctx rule (r : Rule.schema_rule) (x : schema_exec) =
 
 let interp_schema_exec (r : Rule.schema_rule) =
   {
-    se_query =
-      Configtree.Table.parse_query ~constraints:r.Rule.query_constraints
-        ~values:r.Rule.query_constraints_value;
+    se_rows = schema_rows r;
     se_preferred = Option.map (fun e cells -> expectation_satisfied e cells) r.Rule.schema_preferred;
     se_non_preferred = Option.map (fun e cells -> expectation_violated e cells) r.Rule.schema_non_preferred;
   }
@@ -383,6 +394,11 @@ let eval_path_in ctx rule (r : Rule.path_rule) =
 
 type script_exec = {
   sc_plugin : Crawler.plugin option;  (** registry lookup, done once *)
+  sc_run : Frames.Frame.t -> Crawler.plugin -> (string, Resilience.failure) Stdlib.result;
+      (** how to invoke the plugin under the resilience policy; the
+          fused engine routes this through a per-cell shared memo so the
+          expensive plugin body runs once per entity evaluation while
+          the retry/breaker bookkeeping still replays per rule *)
   sc_nodes : Configtree.Tree.t list -> Configtree.Tree.t list;
       (** all [script_config_paths] hits in the plugin's output forest *)
   sc_preferred : (string list -> bool) option;
@@ -410,7 +426,7 @@ let eval_script_core ctx rule (r : Rule.script_rule) (x : script_exec) =
     let v = err Resilience.Extract (Printf.sprintf "unknown plugin %S" r.Rule.plugin) in
     mk ctx rule v ~detail:(describe c v) ~evidence:[]
   | Some plugin -> (
-    match Resilience.run_plugin ~frame:ctx.frame plugin with
+    match x.sc_run ctx.frame plugin with
     | Error (Resilience.Soft msg) -> mk ctx rule Not_applicable ~detail:msg ~evidence:[]
     | Error (Resilience.Faulted { stage; message }) -> faulted stage message
     | Ok output -> (
@@ -452,6 +468,7 @@ let eval_script_core ctx rule (r : Rule.script_rule) (x : script_exec) =
 let interp_script_exec (r : Rule.script_rule) =
   {
     sc_plugin = Crawler.find_plugin r.Rule.plugin;
+    sc_run = (fun frame plugin -> Resilience.run_plugin ~frame plugin);
     sc_nodes =
       (* Script config_paths are full paths to the asserted leaf. *)
       (fun forest ->

@@ -81,14 +81,27 @@ type tree_exec = {
 }
 
 type schema_exec = {
-  se_query : (Configtree.Table.query, string) Stdlib.result;
-      (** the parsed row query — file-independent, so compiled once *)
+  se_rows : Configtree.Table.t -> (string list list, string) Stdlib.result;
+      (** select + project one table; the parsed row query inside is
+          file-independent, so compiled once (and the fused engine
+          memoizes whole-table results across rules sharing a query) *)
   se_preferred : (string list -> bool) option;
   se_non_preferred : (string list -> string list) option;
 }
 
+(** The canonical [se_rows] for a schema rule: the query is parsed once,
+    each call selects and projects one table. Shared by the interpreter,
+    compiled and fused constructions so error text stays byte-identical. *)
+val schema_rows :
+  Rule.schema_rule -> Configtree.Table.t -> (string list list, string) Stdlib.result
+
 type script_exec = {
   sc_plugin : Crawler.plugin option;  (** registry lookup, done once *)
+  sc_run : Frames.Frame.t -> Crawler.plugin -> (string, Resilience.failure) Stdlib.result;
+      (** how to invoke the plugin under the resilience policy; the
+          fused engine routes this through a per-cell shared memo so the
+          expensive plugin body runs once per entity evaluation while
+          the retry/breaker bookkeeping still replays per rule *)
   sc_nodes : Configtree.Tree.t list -> Configtree.Tree.t list;
       (** all [script_config_paths] hits in the plugin's output forest *)
   sc_preferred : (string list -> bool) option;

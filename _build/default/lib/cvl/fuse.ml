@@ -1,0 +1,238 @@
+(* Whole-ruleset query fusion.
+
+   Compiled programs (see [Compile]) still answer each rule's path
+   queries independently: N tree rules over one frame forest mean N
+   separate descents, re-walking shared prefixes — and every [**] rule
+   re-descends the entire forest. Fusion merges all of an entity's
+   well-formed path queries (tree [config_path/name] hits, the
+   [require_other_configs] probes, script output paths) into ONE
+   [Configtree.Index.Plan] prefix trie; the first rule that needs any
+   query drives a single shared walk over the forest, and every rule
+   then reads its matched node sets out of the memoized result table.
+
+   Cross-rule common subexpressions are shared the same way:
+   - schema rules with identical (constraints, values, columns) share
+     one select+project per table, memoized per evaluation cell;
+   - script rules subscribing to the same plugin share one execution of
+     the plugin *body* per cell via [Resilience.run_plugin ?shared] —
+     the retry/breaker state machine still replays per rule, so a
+     shared call that trips the breaker yields exactly the per-rule
+     [Engine_error] verdicts (and health counters) unshared execution
+     would have produced.
+
+   Everything downstream of node location reuses the verdict cores and
+   [Matcher]-compiled closures of the compiled engine, so interpreted,
+   compiled and fused results are byte-identical (the differential
+   suite asserts it across jobs, tags and chaos seeds). *)
+
+module Index = Configtree.Index
+
+(* Table identity is physical: normalized tables are shared by the
+   content-addressed cache, and a re-parse produces a new table. *)
+module Tbl_tbl = Hashtbl.Make (struct
+  type t = Configtree.Table.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(* Per-(entity, frame) evaluation state: the CSE memos. Created once
+   per validator cell and shared by every rule of that cell; must not
+   outlive the cell (plugin outcomes and table identities are only
+   stable within one). Shared tree-walk results need no per-cell state:
+   they live in the per-forest index's plan memo. *)
+type state = {
+  plugin_memo : Resilience.plugin_memo;
+  schema_memo : (int, (string list list, string) result) Hashtbl.t Tbl_tbl.t;
+      (* table -> query-signature id -> select+project outcome *)
+}
+
+let new_state () =
+  { plugin_memo = Resilience.plugin_memo (); schema_memo = Tbl_tbl.create 8 }
+
+type program = {
+  rule : Rule.t;
+  ordinal : int;
+  exec : state -> Engine.entity_ctx -> Engine.result;
+}
+
+type entity_plan = {
+  entry : Manifest.entry;
+  base : Compile.entity_programs;  (* tag index, composites, rule list *)
+  programs : program array;  (* ordinal-indexed, parallel to [base.programs] *)
+  plan : Index.Plan.plan option;  (* None when the entity has no path queries *)
+}
+
+type t = {
+  entities : entity_plan list;
+  diagnostics : Compile.diagnostic list;
+}
+
+let results_for plan forest = Index.run_plan (Index.for_forest forest) plan
+
+let nodes_of_qids plan qids =
+  match qids with
+  | [] -> fun _ -> []
+  | qids ->
+    fun forest ->
+      let rs = results_for plan forest in
+      List.concat_map (fun q -> rs.(q)) qids
+
+(* What each program contributes to the shared plan, gathered before
+   the trie exists. *)
+type outline =
+  | Plain  (* disabled / path / composite: the compiled exec is already optimal *)
+  | Tree of Rule.tree_rule * int list * (int * int) list option
+  | Schema of Rule.schema_rule * int  (* query-signature id *)
+  | Script of Rule.script_rule * int list
+
+let fuse_entity (ep : Compile.entity_programs) =
+  (* Dedup queries by path text so N rules asking the same path share
+     one query id (and the trie inserts it once). *)
+  let qid_by_text = Hashtbl.create 64 in
+  let rev_paths = ref [] in
+  let npaths = ref 0 in
+  let add_path p =
+    let key = Configtree.Path.to_string p in
+    match Hashtbl.find_opt qid_by_text key with
+    | Some q -> q
+    | None ->
+      let q = !npaths in
+      incr npaths;
+      Hashtbl.add qid_by_text key q;
+      rev_paths := p :: !rev_paths;
+      q
+  in
+  let sig_by_query = Hashtbl.create 8 in
+  let sig_of (r : Rule.schema_rule) =
+    let key = (r.Rule.query_constraints, r.Rule.query_constraints_value, r.Rule.query_columns) in
+    match Hashtbl.find_opt sig_by_query key with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length sig_by_query in
+      Hashtbl.add sig_by_query key i;
+      i
+  in
+  let outlines =
+    List.map
+      (fun (p : Compile.program) ->
+        if Rule.is_disabled p.Compile.rule then Plain
+        else
+          match p.Compile.rule with
+          | Rule.Tree r ->
+            let qids = List.map add_path (Compile.tree_query_paths r) in
+            let rpairs =
+              Option.map
+                (List.map (fun (a, b) -> (add_path a, add_path b)))
+                (Compile.requires_pairs r)
+            in
+            Tree (r, qids, rpairs)
+          | Rule.Schema r -> Schema (r, sig_of r)
+          | Rule.Script r -> Script (r, List.map add_path (Compile.script_query_paths r))
+          | Rule.Path _ | Rule.Composite _ -> Plain)
+      ep.Compile.programs
+  in
+  let plan =
+    if !npaths = 0 then None
+    else Some (Index.Plan.build (Array.of_list (List.rev !rev_paths)))
+  in
+  let tree_exec (r : Rule.tree_rule) qids rpairs : Engine.tree_exec =
+    let case_insensitive = r.Rule.case_insensitive in
+    let te_nodes =
+      match plan with None -> (fun _ -> []) | Some plan -> nodes_of_qids plan qids
+    in
+    let te_requires =
+      match (rpairs, plan) with
+      | None, _ -> fun _ -> false  (* some label malformed: gate is constant *)
+      | Some [], _ -> fun _ -> true
+      | Some _, None -> assert false  (* pairs imply planned paths *)
+      | Some pairs, Some plan ->
+        fun forest ->
+          let rs = results_for plan forest in
+          List.for_all (fun (rooted, deep) -> rs.(rooted) <> [] || rs.(deep) <> []) pairs
+    in
+    {
+      Engine.te_nodes;
+      te_requires;
+      te_preferred = Compile.preferred_fn ~case_insensitive r.Rule.preferred;
+      te_non_preferred = Compile.non_preferred_fn ~case_insensitive r.Rule.non_preferred;
+    }
+  in
+  let schema_exec (r : Rule.schema_rule) sig_id =
+    let rows = Engine.schema_rows r in
+    let se_preferred = Compile.preferred_fn r.Rule.schema_preferred in
+    let se_non_preferred = Compile.non_preferred_fn r.Rule.schema_non_preferred in
+    fun state ->
+      {
+        Engine.se_rows =
+          (fun table ->
+            let per_table =
+              match Tbl_tbl.find_opt state.schema_memo table with
+              | Some m -> m
+              | None ->
+                let m = Hashtbl.create 4 in
+                Tbl_tbl.add state.schema_memo table m;
+                m
+            in
+            match Hashtbl.find_opt per_table sig_id with
+            | Some r -> r
+            | None ->
+              let r = rows table in
+              Hashtbl.add per_table sig_id r;
+              r);
+        se_preferred;
+        se_non_preferred;
+      }
+  in
+  let script_exec (r : Rule.script_rule) qids =
+    let sc_plugin = Crawler.find_plugin r.Rule.plugin in
+    let sc_nodes =
+      match plan with None -> (fun _ -> []) | Some plan -> nodes_of_qids plan qids
+    in
+    let sc_preferred = Compile.preferred_fn r.Rule.script_preferred in
+    let sc_non_preferred = Compile.non_preferred_fn r.Rule.script_non_preferred in
+    fun state ->
+      {
+        Engine.sc_plugin;
+        sc_run = (fun frame plugin -> Resilience.run_plugin ~shared:state.plugin_memo ~frame plugin);
+        sc_nodes;
+        sc_preferred;
+        sc_non_preferred;
+      }
+  in
+  let programs =
+    List.map2
+      (fun (p : Compile.program) outline ->
+        let exec =
+          match outline with
+          | Plain -> fun _ ctx -> Compile.run_program ctx p
+          | Tree (r, qids, rpairs) ->
+            let x = tree_exec r qids rpairs in
+            fun _ ctx -> Engine.eval_tree_core ctx p.Compile.rule r x
+          | Schema (r, sig_id) ->
+            let mk = schema_exec r sig_id in
+            fun st ctx -> Engine.eval_schema_core ctx p.Compile.rule r (mk st)
+          | Script (r, qids) ->
+            let mk = script_exec r qids in
+            fun st ctx -> Engine.eval_script_core ctx p.Compile.rule r (mk st)
+        in
+        { rule = p.Compile.rule; ordinal = p.Compile.ordinal; exec })
+      ep.Compile.programs outlines
+  in
+  { entry = ep.Compile.entry; base = ep; programs = Array.of_list programs; plan }
+
+let fuse (compiled : Compile.t) =
+  {
+    entities = List.map fuse_entity compiled.Compile.entities;
+    diagnostics = compiled.Compile.diagnostics;
+  }
+
+(* Tag dispatch delegates to [Compile.select] (same tag index, same
+   order) and maps the chosen ordinals onto the fused programs. The
+   shared plan still contains deselected rules' queries — walking them
+   is pure, and their result slots simply go unread. *)
+let select ~tags fp =
+  let programs, composites = Compile.select ~tags fp.base in
+  (List.map (fun (p : Compile.program) -> fp.programs.(p.Compile.ordinal)) programs, composites)
+
+let run_program state ctx (p : program) = p.exec state ctx

@@ -121,11 +121,24 @@ val apply_eval_hook : entity:string -> rule:string -> frame_id:string -> unit
     that survived the retry budget. *)
 type failure = Soft of string | Faulted of { stage : stage; message : string }
 
-val run_plugin : frame:Frames.Frame.t -> Crawler.plugin -> (string, failure) result
+type plugin_memo
+(** Cross-rule memo of raw plugin *body* outcomes, keyed by plugin name.
+    The fused engine hands one memo to every rule of one (entity, frame)
+    evaluation so the expensive plugin body runs once; the retry/breaker
+    state machine still replays in full on every call, so shared calls
+    produce byte-identical verdicts and health counters. A memo must not
+    outlive the (entity, frame) cell it was created for. *)
+
+val plugin_memo : unit -> plugin_memo
+
+val run_plugin :
+  ?shared:plugin_memo -> frame:Frames.Frame.t -> Crawler.plugin -> (string, failure) result
 (** Run a plugin under the policy: short-circuit if its breaker is
     open; otherwise attempt up to [1 + retries] times with doubling
     simulated backoff, counting retries, and record exhausted failures
-    against the breaker. *)
+    against the breaker. With [?shared], the plugin body's raw outcome
+    is served from (and recorded into) the memo; all policy bookkeeping
+    is unchanged. *)
 
 (** {2 Run health} *)
 

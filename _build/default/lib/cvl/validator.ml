@@ -188,6 +188,16 @@ let eval_unit_compiled cell =
     ~eval:(fun ctx p -> Compile.run_program ctx p)
     cell
 
+(* Fused dispatch: one fresh CSE state per cell — the whole point is
+   that every rule of this (entity, frame) cell shares it, and nothing
+   outside the cell ever sees it. *)
+let eval_unit_fused cell =
+  let state = Fuse.new_state () in
+  eval_cell
+    ~rule_of:(fun (p : Fuse.program) -> p.Fuse.rule)
+    ~eval:(fun ctx p -> Fuse.run_program state ctx p)
+    cell
+
 let stage_error_tallies results =
   List.fold_left
     (fun (ex, no, ev) (r : Engine.result) ->
@@ -272,8 +282,34 @@ let run_compiled ?(tags = []) ?keep_not_applicable ?jobs ?pool ~(compiled : Comp
          ~entities:(List.map (fun (entry, (_, comps)) -> (entry, comps)) selected))
     ~compile_diagnostics:compiled.Compile.diagnostics ~before
 
-let run_loaded ?(tags = []) ?keep_not_applicable ?jobs ?pool ?(engine = `Compiled) ~rules frames =
+(* Same grid and tail as [run_compiled], dispatching fused programs. *)
+let run_fused ?(tags = []) ?keep_not_applicable ?jobs ?pool ~(fused : Fuse.t) frames =
+  let keep_na = keep_na_default keep_not_applicable frames in
+  Resilience.begin_run ();
+  let before = Resilience.counters () in
+  let selected =
+    List.map
+      (fun (fp : Fuse.entity_plan) -> (fp.Fuse.entry, Fuse.select ~tags fp))
+      fused.Fuse.entities
+  in
+  let units =
+    List.concat_map
+      (fun (entry, (programs, _)) -> List.map (fun frame -> (entry, programs, frame)) frames)
+      selected
+  in
+  let evaluated = with_effective_pool ?jobs ?pool (fun p -> Pool.map p eval_unit_fused units) in
+  finish ~keep_na ~frames ~entries:(List.map fst selected) ~evaluated
+    ~composites_of:
+      (eval_composites_pre
+         ~entities:(List.map (fun (entry, (_, comps)) -> (entry, comps)) selected))
+    ~compile_diagnostics:fused.Fuse.diagnostics ~before
+
+let run_loaded ?(tags = []) ?keep_not_applicable ?jobs ?pool ?(engine = `Fused) ~rules frames =
   match engine with
+  | `Fused ->
+    run_fused ~tags ?keep_not_applicable ?jobs ?pool
+      ~fused:(Fuse.fuse (Compile.compile rules))
+      frames
   | `Compiled ->
     run_compiled ~tags ?keep_not_applicable ?jobs ?pool ~compiled:(Compile.compile rules) frames
   | `Interpreted ->
@@ -296,7 +332,7 @@ let run_loaded ?(tags = []) ?keep_not_applicable ?jobs ?pool ?(engine = `Compile
         eval_composites ~rules:entity_rules ~plain_results ~ctxs ~deployment_id)
       ~compile_diagnostics:[] ~before
 
-let run ?tags ?keep_not_applicable ?jobs ?pool ~source ~manifest frames =
+let run ?tags ?keep_not_applicable ?jobs ?pool ?engine ~source ~manifest frames =
   (* Load errors disable just the affected entity, mirroring production
      behaviour: one bad rule file must not block the whole scan. *)
   let loaded =
@@ -317,5 +353,5 @@ let run ?tags ?keep_not_applicable ?jobs ?pool ~source ~manifest frames =
       (fun (entry, outcome) -> Result.to_option outcome |> Option.map (fun r -> (entry, r)))
       loaded
   in
-  let t = run_loaded ?tags ?keep_not_applicable ?jobs ?pool ~rules frames in
+  let t = run_loaded ?tags ?keep_not_applicable ?jobs ?pool ?engine ~rules frames in
   { t with load_errors }

@@ -38,12 +38,16 @@ type t = {
     takes precedence over [jobs]. Whatever the parallelism, results
     come back in the deterministic sequential order (entity in manifest
     order, then frame in deployment order, then rule in file order,
-    composites last) — byte-identical across job counts. *)
+    composites last) — byte-identical across job counts.
+
+    [engine] selects the evaluation strategy, as in {!run_loaded};
+    default [`Fused]. *)
 val run :
   ?tags:string list ->
   ?keep_not_applicable:bool ->
   ?jobs:int ->
   ?pool:Pool.t ->
+  ?engine:[ `Fused | `Compiled | `Interpreted ] ->
   source:Loader.source ->
   manifest:Manifest.entry list ->
   Frames.Frame.t list ->
@@ -54,19 +58,23 @@ val run :
     rule loading across targets (as the paper's production deployment
     does across tens of thousands of containers).
 
-    [engine] selects the evaluation strategy: [`Compiled] (the default)
-    lowers the rules to programs via {!Compile} and dispatches those;
+    [engine] selects the evaluation strategy: [`Fused] (the default)
+    compiles the rules and merges every entity's path queries into one
+    shared {!Configtree.Index.Plan} walk per forest, with cross-rule
+    schema and plugin sharing (see {!Fuse}); [`Compiled] lowers the
+    rules to per-rule programs via {!Compile} and dispatches those;
     [`Interpreted] re-derives paths, match specs and queries on every
     evaluation, as the engine did before ahead-of-time compilation
-    existed. Both produce byte-identical results at every job count —
-    the differential tests assert it — so the only reason to pass
-    [`Interpreted] is benchmarking or differential testing. *)
+    existed. All three produce byte-identical results at every job
+    count — the differential tests assert it — so the only reason to
+    pass a non-default engine is benchmarking or differential
+    testing. *)
 val run_loaded :
   ?tags:string list ->
   ?keep_not_applicable:bool ->
   ?jobs:int ->
   ?pool:Pool.t ->
-  ?engine:[ `Compiled | `Interpreted ] ->
+  ?engine:[ `Fused | `Compiled | `Interpreted ] ->
   rules:(Manifest.entry * Rule.t list) list ->
   Frames.Frame.t list ->
   t
@@ -84,6 +92,19 @@ val run_compiled :
   ?jobs:int ->
   ?pool:Pool.t ->
   compiled:Compile.t ->
+  Frames.Frame.t list ->
+  t
+
+(** [run_fused ~fused frames] is {!run_compiled} over a fused plan (see
+    {!Fuse.fuse}): the steady state of the default engine — load once,
+    compile once, fuse once, one shared walk per (entity, forest) per
+    scan. Byte-identical results to both other engines. *)
+val run_fused :
+  ?tags:string list ->
+  ?keep_not_applicable:bool ->
+  ?jobs:int ->
+  ?pool:Pool.t ->
+  fused:Fuse.t ->
   Frames.Frame.t list ->
   t
 

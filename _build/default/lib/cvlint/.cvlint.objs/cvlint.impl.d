@@ -1,1 +1,1 @@
-lib/cvlint/cvlint.ml: Crawler Cvl Diagnostic Hashtbl Lenses List Option Printf Re Render String Yamlite
+lib/cvlint/cvlint.ml: Array Configtree Crawler Cvl Diagnostic Hashtbl Lenses List Option Printf Re Render String Yamlite

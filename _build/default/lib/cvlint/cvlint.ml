@@ -606,6 +606,52 @@ let semantic_passes ctx ?lens p =
       diags @ backstop)
 
 (* ------------------------------------------------------------------ *)
+(* Cross-rule passes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* CVL061: two rules whose config_path literals nest — one a strict
+   prefix of the other, as decided by the fused planner's prefix trie
+   (Configtree.Index.Plan.subsumptions), the same structure the fused
+   engine uses to share walks at run time. Informational: the overlap
+   costs nothing under fusion, but it usually marks related checks that
+   could live in one rule. Runs over the effective rule set, after
+   inheritance merging, so a child overriding its parent's path is not
+   reported against the stale parent literal. *)
+let overlap_pass prules =
+  let entries =
+    List.concat_map
+      (fun p ->
+        match (kind_of p, pfind p "config_path") with
+        | [ (_, (Cvl.Keyword.Tree | Cvl.Keyword.Script)) ], Some f ->
+          let name = Option.value (name_of p) ~default:"?" in
+          let texts = Option.value (Yamlite.Value.get_str_list f.value) ~default:[] in
+          List.filter_map
+            (fun text ->
+              match Cvl.Compile.check_path_literal text with
+              | Ok path when path <> [] -> Some (name, f.fspan, text, path)
+              | Ok _ | Error _ -> None)
+            texts
+        | _ -> [])
+      prules
+  in
+  if List.compare_length_with entries 2 < 0 then []
+  else
+    let arr = Array.of_list entries in
+    let plan = Configtree.Index.Plan.build (Array.map (fun (_, _, _, p) -> p) arr) in
+    List.filter_map
+      (fun (i, j) ->
+        let prefix_rule, _, prefix_text, _ = arr.(i) in
+        let rule, fspan, text, _ = arr.(j) in
+        if String.equal prefix_rule rule then None
+        else
+          Some
+            (Diagnostic.make Diagnostic.overlapping_rule_queries fspan
+               (Printf.sprintf
+                  "config_path %S is inside the subtree rule %S already reads via %S"
+                  text prefix_rule prefix_text)))
+      (Configtree.Index.Plan.subsumptions plan)
+
+(* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -626,14 +672,17 @@ let lint_text ?(ctx = default_context) ?lens ?(path = "<input>") text =
   | Ok doc ->
     let fd = { fpath = path; doc } in
     let prules = prules_of_doc path doc in
-    finish supp (file_passes fd @ List.concat_map (semantic_passes ctx ?lens) prules)
+    finish supp
+      (file_passes fd
+      @ List.concat_map (semantic_passes ctx ?lens) prules
+      @ overlap_pass prules)
 
 let lint_chain ~ctx ?lens ~source ~ref_span ~supp path =
   let load_diags, chain = load_chain ~source ~ref_span ~supp path in
   let per_file = List.concat_map file_passes chain in
   let effective, shadow = effective_rules chain in
   let semantic = List.concat_map (semantic_passes ctx ?lens) effective in
-  load_diags @ per_file @ shadow @ semantic
+  load_diags @ per_file @ shadow @ semantic @ overlap_pass effective
 
 let lint_file ?(ctx = default_context) ?lens ~source path =
   let supp = Hashtbl.create 4 in

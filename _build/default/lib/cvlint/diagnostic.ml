@@ -100,6 +100,10 @@ let malformed_config_path =
   code "CVL060" "malformed-config-path" Error
     "a config_path literal does not parse as a path expression"
 
+let overlapping_rule_queries =
+  code "CVL061" "overlapping-rule-queries" Info
+    "two rules' config_path queries read nested subtrees of the same forest"
+
 let registry =
   [
     parse_error; manifest_error; rule_load_error; missing_rule_file; inheritance_cycle;
@@ -108,6 +112,7 @@ let registry =
     bad_match_spec; bad_regex; match_without_value; unknown_lens; unknown_script;
     dead_config_path; unknown_entity; bad_composite_expression; no_tags; bad_tag;
     missing_remediation; bad_rule_type; flaky_plugin_no_fallback; malformed_config_path;
+    overlapping_rule_queries;
   ]
 
 let find_code key =

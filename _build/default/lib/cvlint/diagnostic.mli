@@ -85,3 +85,10 @@ val flaky_plugin_no_fallback : code
     rejects: at run time it silently contributes no nodes, on every
     scan. *)
 val malformed_config_path : code
+
+(** CVL061 — one rule's [config_path] is a strict prefix of another's,
+    so the two queries read nested subtrees. Informational: the fused
+    engine answers both from one shared walk (see
+    [Configtree.Index.Plan]); the note surfaces consolidation
+    candidates. *)
+val overlapping_rule_queries : code

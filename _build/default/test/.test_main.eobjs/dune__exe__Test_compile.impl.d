@@ -1,1 +1,1 @@
-test/test_compile.ml: Alcotest Compile Cvl Engine Faultsim Fun List Loader Manifest Matcher Normcache Printf QCheck QCheck_alcotest Result Rule Rulesets Scenarios String Validator
+test/test_compile.ml: Alcotest Compile Cvl Engine Faultsim Fun Fuse List Loader Manifest Matcher Normcache Printf QCheck QCheck_alcotest Result Rule Rulesets Scenarios String Validator

@@ -1,1 +1,1 @@
-test/test_configtree.ml: Alcotest Configtree Index List Option Path Printf QCheck QCheck_alcotest Result Table Tree
+test/test_configtree.ml: Alcotest Array Configtree Index List Option Path Printf QCheck QCheck_alcotest Result Table Tree

@@ -12,3 +12,7 @@
   $ grep -o '"identical": true' compile_smoke.json | sort -u
   $ grep -c '"speedup"' compile_smoke.json
   $ grep -o '"corpus_diagnostics": 0' compile_smoke.json
+  $ ../../bench/main.exe fusion --smoke --fusion-out fusion_smoke.json | grep -v '^corpus ' | grep -v '^path-heavy ' | grep -v 'target'
+  $ grep -o '"identical": true' fusion_smoke.json | sort -u
+  $ grep -o '"path_heavy_fused_visits_below_compiled": true' fusion_smoke.json
+  $ grep -c '"visits_fused"' fusion_smoke.json

@@ -79,3 +79,24 @@ the differential verdict does not.
   2
   $ grep -o '"corpus_diagnostics": 0' compile_smoke.json
   "corpus_diagnostics": 0
+
+The fusion benchmark drives the interpreted, compiled, and fused
+engines over the same workloads and counts tree-node visits from the
+shared-walk instrumentation. Timings and visit totals vary with the
+corpus; the engine-identity verdict and the visit ordering do not.
+
+  $ ../../bench/main.exe fusion --smoke --fusion-out fusion_smoke.json | grep -v '^corpus ' | grep -v '^path-heavy ' | grep -v 'target'
+  
+  ==================================================================
+  Fusion - whole-ruleset shared walk vs per-rule programs (smoke)
+  ==================================================================
+  results identical across engines: true
+  fused visits fewer nodes than compiled on path-heavy: true
+  wrote fusion_smoke.json
+
+  $ grep -o '"identical": true' fusion_smoke.json | sort -u
+  "identical": true
+  $ grep -o '"path_heavy_fused_visits_below_compiled": true' fusion_smoke.json
+  "path_heavy_fused_visits_below_compiled": true
+  $ grep -c '"visits_fused"' fusion_smoke.json
+  2

@@ -1,4 +1,5 @@
-(* The ahead-of-time rule compiler: compiled programs must be
+(* The ahead-of-time rule compiler and the fused whole-ruleset engine:
+   compiled programs and the fused shared-walk plan must both be
    observationally identical to the interpreter — same verdicts, same
    details and evidence, same order — at every job count, under tag
    selection, and under an armed fault plan. Compile-time diagnostics
@@ -24,22 +25,19 @@ let row (r : Engine.result) =
 
 let rows (t : Validator.t) = List.map row t.Validator.results
 
-let run_both ?tags ?keep_not_applicable ?jobs rules fs =
-  Normcache.reset ();
-  let interp =
-    Validator.run_loaded ?tags ?keep_not_applicable ?jobs ~engine:`Interpreted ~rules fs
+let run_engines ?tags ?keep_not_applicable ?jobs rules fs =
+  let one engine =
+    Normcache.reset ();
+    Validator.run_loaded ?tags ?keep_not_applicable ?jobs ~engine ~rules fs
   in
-  Normcache.reset ();
-  let compiled =
-    Validator.run_loaded ?tags ?keep_not_applicable ?jobs ~engine:`Compiled ~rules fs
-  in
-  (interp, compiled)
+  (one `Interpreted, one `Compiled, one `Fused)
 
 let check_identical name ?tags ?keep_not_applicable ?jobs rules fs =
   Alcotest.test_case name `Quick (fun () ->
-      let interp, compiled = run_both ?tags ?keep_not_applicable ?jobs rules fs in
+      let interp, compiled, fused = run_engines ?tags ?keep_not_applicable ?jobs rules fs in
       Alcotest.(check bool) "some results" true (rows interp <> []);
-      Alcotest.(check bool) "identical rows" true (rows interp = rows compiled))
+      Alcotest.(check bool) "compiled rows identical" true (rows interp = rows compiled);
+      Alcotest.(check bool) "fused rows identical" true (rows interp = rows fused))
 
 let differential_cases =
   [
@@ -57,15 +55,28 @@ let differential_cases =
         Normcache.reset ();
         let direct = Validator.run_compiled ~compiled fs in
         Alcotest.(check bool) "identical rows" true (rows via_loaded = rows direct));
+    Alcotest.test_case "run_fused matches run_compiled" `Quick (fun () ->
+        let fs = frames () in
+        let compiled = Validator.compile corpus_rules in
+        Normcache.reset ();
+        let direct = Validator.run_compiled ~compiled fs in
+        let fused = Validator.compile corpus_rules |> Fuse.fuse in
+        Normcache.reset ();
+        let via_fused = Validator.run_fused ~fused fs in
+        Alcotest.(check bool) "identical rows" true (rows direct = rows via_fused);
+        Alcotest.(check bool) "fused carries compile diagnostics" true
+          (via_fused.Validator.compile_diagnostics = direct.Validator.compile_diagnostics));
     Alcotest.test_case "corpus compiles without diagnostics" `Quick (fun () ->
         let compiled = Validator.compile corpus_rules in
         Alcotest.(check int) "diagnostics" 0 (List.length compiled.Compile.diagnostics));
   ]
 
-(* Chaos differential: under the same armed fault plan both engines
-   fire the same faults (the plan keys on entity/rule/frame, not on
-   evaluation strategy) and contain them identically. Re-armed before
-   each run because fault firing is stateful (fail-the-first-k). *)
+(* Chaos differential: under the same armed fault plan all three
+   engines fire the same faults (the plan keys on entity/rule/frame,
+   not on evaluation strategy) and contain them identically — including
+   the fused engine's shared plugin execution, whose retry/breaker
+   bookkeeping is replayed per rule. Re-armed before each run because
+   fault firing is stateful (fail-the-first-k). *)
 let chaos_cases =
   List.map
     (fun seed ->
@@ -78,11 +89,17 @@ let chaos_cases =
                 Normcache.reset ();
                 Validator.run_loaded ~keep_not_applicable:true ~engine ~rules:corpus_rules fs)
           in
-          let interp = run `Interpreted and compiled = run `Compiled in
-          Alcotest.(check bool) "identical rows under faults" true
+          let interp = run `Interpreted
+          and compiled = run `Compiled
+          and fused = run `Fused in
+          Alcotest.(check bool) "compiled rows identical under faults" true
             (rows interp = rows compiled);
-          Alcotest.(check bool) "identical health" true
-            (interp.Validator.health = compiled.Validator.health)))
+          Alcotest.(check bool) "fused rows identical under faults" true
+            (rows interp = rows fused);
+          Alcotest.(check bool) "compiled health identical" true
+            (interp.Validator.health = compiled.Validator.health);
+          Alcotest.(check bool) "fused health identical" true
+            (interp.Validator.health = fused.Validator.health)))
     [ 1; 2; 3 ]
 
 (* Matcher.compile law: the lowered closure equals satisfies on every
@@ -165,10 +182,13 @@ let diagnostic_cases =
           Result.get_ok (Validator.load_rules ~source:bad_path_source ~manifest:bad_path_manifest)
         in
         let fs = [ Scenarios.Host.misconfigured () ] in
-        let interp, compiled = run_both ~keep_not_applicable:true rules fs in
+        let interp, compiled, fused = run_engines ~keep_not_applicable:true rules fs in
         Alcotest.(check bool) "identical rows" true (rows interp = rows compiled);
+        Alcotest.(check bool) "fused rows identical" true (rows interp = rows fused);
         Alcotest.(check int) "diagnostics surfaced on the run" 1
           (List.length compiled.Validator.compile_diagnostics);
+        Alcotest.(check int) "diagnostics surfaced on the fused run" 1
+          (List.length fused.Validator.compile_diagnostics);
         Alcotest.(check int) "interpreter reports none" 0
           (List.length interp.Validator.compile_diagnostics));
     Alcotest.test_case "diagnostic_to_string carries the literal" `Quick (fun () ->

@@ -1,0 +1,1 @@
+tools/check_bench.ml: In_channel Jsonlite Option Printf String Sys

@@ -1,0 +1,1 @@
+tools/check_bench.mli:

@@ -1,0 +1,81 @@
+(* Bench gate: parse the machine-readable bench reports and fail the
+   build when an engine stops being byte-identical or a speedup falls
+   through the floor.
+
+   Correctness checks (result identity, node-visit ordering) are exact:
+   they are deterministic, so any failure is a real regression. Timing
+   checks use floors well below the targets printed by the bench
+   itself — smoke runs on shared CI hardware are noisy, and the gate
+   exists to catch "the optimization stopped optimizing", not to
+   re-certify the paper numbers.
+
+   Usage: check_bench.exe BENCH_compile.json BENCH_fusion.json *)
+
+let failures = ref 0
+
+let check label ok =
+  Printf.printf "%-60s %s\n" label (if ok then "ok" else "FAIL");
+  if not ok then incr failures
+
+let load file =
+  match Jsonlite.parse (In_channel.with_open_text file In_channel.input_all) with
+  | Ok json -> json
+  | Error e ->
+    Printf.eprintf "%s: %s\n" file (Jsonlite.error_to_string e);
+    exit 2
+
+let num json path =
+  let rec go json = function
+    | [] -> Jsonlite.get_num json
+    | key :: rest -> Option.bind (Jsonlite.member key json) (fun j -> go j rest)
+  in
+  match go json path with
+  | Some n -> n
+  | None ->
+    Printf.eprintf "missing numeric field %s\n" (String.concat "." path);
+    exit 2
+
+let flag json key = Jsonlite.member key json = Some (Jsonlite.Bool true)
+
+let () =
+  let compile_file, fusion_file =
+    match Sys.argv with
+    | [| _; c; f |] -> (c, f)
+    | _ ->
+      prerr_endline "usage: check_bench.exe BENCH_compile.json BENCH_fusion.json";
+      exit 2
+  in
+  let compile = load compile_file in
+  let fusion = load fusion_file in
+
+  (* Compiled engine vs interpreted (BENCH_compile.json). Both
+     workloads are measured warm; the printed target for path-heavy is
+     3x, the gate floor is far lower. *)
+  let floor_path = if flag compile "smoke" then 1.2 else 2.0 in
+  check "compile: results identical across engines" (flag compile "identical");
+  check
+    (Printf.sprintf "compile: path-heavy speedup >= %.1fx" floor_path)
+    (num compile [ "path_heavy"; "speedup" ] >= floor_path);
+  check "compile: corpus speedup >= 0.5x (no warm-path regression)"
+    (num compile [ "corpus"; "speedup" ] >= 0.5);
+
+  (* Fused engine vs compiled (BENCH_fusion.json). Node-visit counts
+     are deterministic, so the shared-walk claim is gated exactly; the
+     cold path-heavy wall-clock floor stays generous. *)
+  let floor_fused = if flag fusion "smoke" then 1.2 else 2.0 in
+  check "fusion: results identical across engines" (flag fusion "identical");
+  check "fusion: path-heavy fused visits < compiled visits"
+    (num fusion [ "path_heavy"; "visits_fused" ]
+    < num fusion [ "path_heavy"; "visits_compiled" ]);
+  check "fusion: corpus fused visits <= compiled visits"
+    (num fusion [ "corpus"; "visits_fused" ]
+    <= num fusion [ "corpus"; "visits_compiled" ]);
+  check
+    (Printf.sprintf "fusion: path-heavy fused vs compiled >= %.1fx" floor_fused)
+    (num fusion [ "path_heavy"; "speedup_fused_vs_compiled" ] >= floor_fused);
+  check "fusion: corpus fused vs compiled >= 0.5x (no warm-path regression)"
+    (num fusion [ "corpus"; "speedup_fused_vs_compiled" ] >= 0.5);
+
+  if !failures > 0 then (
+    Printf.eprintf "check_bench: %d check(s) failed\n" !failures;
+    exit 1)

@@ -35,6 +35,7 @@ type t = {
   node_tbls : by_label Node_tbl.t;
   deep_memo : (string, Tree.t list) Hashtbl.t Node_tbl.t;
   memo : (string, Tree.t list) Hashtbl.t;  (* full results by path text *)
+  plan_memo : (int, Tree.t list array) Hashtbl.t;  (* fused results by plan id *)
   mutable hits : int;
   mutable misses : int;
 }
@@ -56,6 +57,7 @@ let create forest =
     node_tbls = Node_tbl.create 64;
     deep_memo = Node_tbl.create 16;
     memo = Hashtbl.create 16;
+    plan_memo = Hashtbl.create 4;
     hits = 0;
     misses = 0;
   }
@@ -64,6 +66,7 @@ let stats t = (t.hits, t.misses)
 
 (* Children grouped by interned label, preserving sibling order. *)
 let build_by_label t (children : Tree.t list) : by_label =
+  Metrics.note (List.length children);
   let tbl = Hashtbl.create (max 8 (List.length children)) in
   List.iter
     (fun (n : Tree.t) ->
@@ -94,11 +97,16 @@ let node_tbl t (n : Tree.t) =
 let by_label t tbl l =
   match Hashtbl.find_opt t.labels l with
   | None -> []  (* label occurs nowhere in the forest *)
-  | Some id -> Option.value (Hashtbl.find_opt (Lazy.force tbl) id) ~default:[]
+  | Some id ->
+    let r = Option.value (Hashtbl.find_opt (Lazy.force tbl) id) ~default:[] in
+    Metrics.note (List.length r);
+    r
 
 let select t (forest : Tree.t list) tbl seg =
   match seg with
-  | Path.Wildcard -> forest
+  | Path.Wildcard ->
+    Metrics.note (List.length forest);
+    forest
   | Path.Label l -> by_label t tbl l
   | Path.Indexed (l, idx) -> (
     match List.nth_opt (by_label t tbl l) (idx - 1) with Some n -> [ n ] | None -> [])
@@ -110,6 +118,7 @@ let rec go t (forest : Tree.t list) tbl path =
   match path with
   | [] -> forest
   | Path.Deep :: rest ->
+    Metrics.note (List.length forest);
     let here = go t forest tbl rest in
     let deeper = List.concat_map (fun (n : Tree.t) -> deep_of t n rest) forest in
     here @ deeper
@@ -153,6 +162,132 @@ let find t path =
 
 let find_values t path = List.filter_map (fun (n : Tree.t) -> n.value) (find t path)
 let exists t path = find t path <> []
+
+(* Fused multi-query plans.
+
+   A plan merges N path queries into one prefix trie keyed on segments;
+   [run_plan] drives the trie with a single walk over the forest and
+   fans matched node sets back out to each query id. Per query, chunk
+   arrival order is exactly the concatenation order of [Path.find]'s
+   recursion (here-parts before deeper parts, per-node outer
+   concatenation), so after the same per-query [dedup_phys] the results
+   are element-for-element identical to [find] — which lets [run_plan]
+   seed the per-path memo so residual single-path [find]s hit. *)
+module Plan = struct
+  type trie = {
+    mutable ends : int list;  (* query ids whose path ends here *)
+    mutable kids : (Path.segment * trie) list;  (* non-[**] edges, insertion order *)
+    mutable deep : trie option;  (* the [**] edge *)
+  }
+
+  type plan = { id : int; root : trie; paths : Path.t array }
+
+  let next_id = Atomic.make 0
+  let fresh () = { ends = []; kids = []; deep = None }
+
+  let build (paths : Path.t array) =
+    let root = fresh () in
+    Array.iteri
+      (fun qid path ->
+        let rec insert node = function
+          | [] -> node.ends <- node.ends @ [ qid ]
+          | Path.Deep :: rest ->
+            let d =
+              match node.deep with
+              | Some d -> d
+              | None ->
+                let d = fresh () in
+                node.deep <- Some d;
+                d
+            in
+            insert d rest
+          | seg :: rest ->
+            let child =
+              match List.assoc_opt seg node.kids with
+              | Some c -> c
+              | None ->
+                let c = fresh () in
+                node.kids <- node.kids @ [ (seg, c) ];
+                c
+            in
+            insert child rest
+        in
+        insert root path)
+      paths;
+    { id = Atomic.fetch_and_add next_id 1; root; paths }
+
+  let paths plan = plan.paths
+  let size plan = Array.length plan.paths
+
+  (* Proper-prefix pairs [(i, j)]: query [i]'s segment list is a strict
+     prefix of query [j]'s, i.e. the trie walk for [j] passes through
+     [i]'s end node. Identical paths (same end node) don't count. *)
+  let subsumptions plan =
+    let acc = ref [] in
+    let rec walk node above =
+      List.iter (fun j -> List.iter (fun i -> acc := (i, j) :: !acc) above) node.ends;
+      let above = node.ends @ above in
+      List.iter (fun (_, c) -> walk c above) node.kids;
+      Option.iter (fun d -> walk d above) node.deep
+    in
+    walk plan.root [];
+    List.sort compare !acc
+end
+
+let run_plan t (plan : Plan.plan) =
+  match Hashtbl.find_opt t.plan_memo plan.Plan.id with
+  | Some rs ->
+    t.hits <- t.hits + 1;
+    rs
+  | None ->
+    t.misses <- t.misses + 1;
+    let buf : Tree.t list list array = Array.make (Array.length plan.Plan.paths) [] in
+    let add ends chunk =
+      if chunk <> [] then List.iter (fun q -> buf.(q) <- chunk :: buf.(q)) ends
+    in
+    (* Mirrors [go] above: [over] fires every outgoing trie edge on one
+       sibling list; [enter] lands a selection on a trie node ([go]'s
+       "if rest = [] then selected else recurse" step); [deep_walk]
+       expands a [**] edge (here-part first, then per-node descents,
+       exactly [Path.find]'s [here @ deeper]). *)
+    let rec over node forest tbl =
+      List.iter
+        (fun (seg, child) -> enter child (select t forest tbl seg))
+        node.Plan.kids;
+      match node.Plan.deep with
+      | None -> ()
+      | Some d -> deep_walk d forest tbl
+    and enter child selected =
+      add child.Plan.ends selected;
+      if (child.Plan.kids <> [] || child.Plan.deep <> None) && selected <> [] then
+        List.iter
+          (fun (n : Tree.t) -> over child n.children (lazy (node_tbl t n)))
+          selected
+    and deep_walk d forest tbl =
+      if forest <> [] then begin
+        Metrics.note (List.length forest);
+        add d.Plan.ends forest;
+        over d forest tbl;
+        List.iter
+          (fun (n : Tree.t) -> deep_walk d n.children (lazy (node_tbl t n)))
+          forest
+      end
+    in
+    add plan.Plan.root.Plan.ends t.forest;
+    over plan.Plan.root t.forest (lazy (root_tbl t));
+    let rs =
+      Array.mapi
+        (fun i chunks ->
+          let r = Path.dedup_phys (List.concat (List.rev chunks)) in
+          (* Seed the per-path memo: residual [find]s on any planned
+             path hit instead of re-walking. *)
+          let key = Path.to_string plan.Plan.paths.(i) in
+          if not (Hashtbl.mem t.memo key) then Hashtbl.add t.memo key r;
+          r)
+        buf
+    in
+    Hashtbl.add t.plan_memo plan.Plan.id rs;
+    rs
 
 (* Per-domain forest→index cache. Keyed by physical identity of the
    forest list: Normcache shares parsed forests across frames with

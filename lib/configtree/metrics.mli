@@ -1,0 +1,21 @@
+(** Node-visit accounting for path-query evaluation.
+
+    Every query strategy — the plain {!Path.find} recursion, the
+    per-forest {!Index}, and the fused multi-query {!Index.Plan} walk —
+    bumps this process-wide counter once per node it touches. The bench
+    harness resets it around a run to report how many nodes each engine
+    visited, making speedups explainable structurally rather than only
+    by wall clock. Coarse by design; monotonic between {!reset}s;
+    atomic, so safe from any domain. *)
+
+val note : int -> unit
+(** Record [n] node visits ([n <= 0] is a no-op). *)
+
+val note1 : unit -> unit
+(** Record one node visit. *)
+
+val reset : unit -> unit
+(** Zero the counter (bench harness only; not per-run). *)
+
+val count : unit -> int
+(** Visits recorded since the last {!reset}. *)

@@ -1,0 +1,56 @@
+(** Whole-ruleset query fusion: one shared tree walk for N compiled
+    rules.
+
+    [fuse] merges all of an entity's well-formed path queries — tree
+    [config_path/name] hits, [require_other_configs] probes, script
+    output paths — into a single {!Configtree.Index.Plan} prefix trie.
+    At evaluation time the first rule needing any query drives one
+    shared walk per forest; every rule then reads its matched node set
+    from the memoized result table. Schema queries with identical
+    (constraints, values, columns) run once per table per evaluation
+    cell, and script rules subscribing to one plugin share a single
+    execution of the plugin body ({!Resilience.run_plugin} [?shared]) —
+    with the retry/breaker bookkeeping still replayed per rule, so
+    verdicts and health counters stay byte-identical to the compiled
+    and interpreted engines. *)
+
+(** Cross-rule CSE memos for one (entity, frame) evaluation cell.
+    Create one per cell ({!new_state}); never reuse across cells. *)
+type state
+
+val new_state : unit -> state
+
+type program = {
+  rule : Rule.t;
+  ordinal : int;  (** same dispatch index as the compiled program's *)
+  exec : state -> Engine.entity_ctx -> Engine.result;
+}
+
+type entity_plan = {
+  entry : Manifest.entry;
+  base : Compile.entity_programs;
+      (** the compiled form underneath: tag index, composites, rules *)
+  programs : program array;  (** ordinal-indexed *)
+  plan : Configtree.Index.Plan.plan option;
+      (** the entity's shared query trie; [None] when no path queries *)
+}
+
+type t = {
+  entities : entity_plan list;
+  diagnostics : Compile.diagnostic list;  (** as recorded by {!Compile.compile} *)
+}
+
+(** Build the fused form of a compiled corpus. Pure planning — no
+    forest is touched until programs execute. *)
+val fuse : Compile.t -> t
+
+(** Tag dispatch, delegating to {!Compile.select} and mapping the
+    selected ordinals onto fused programs; same order, same composites. *)
+val select :
+  tags:string list ->
+  entity_plan ->
+  program list * (Rule.t * (Expr.t, string) result) list
+
+(** Run one fused program. Byte-identical to
+    [Engine.eval_rule ctx p.rule]. *)
+val run_program : state -> Engine.entity_ctx -> program -> Engine.result

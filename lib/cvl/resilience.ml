@@ -136,7 +136,24 @@ let apply_eval_hook ~entity ~rule ~frame_id =
 
 type failure = Soft of string | Faulted of { stage : stage; message : string }
 
-let run_plugin ~frame (plugin : Crawler.plugin) =
+(* Cross-rule sharing of the plugin *body*. The fused engine hands the
+   same memo to every rule of one entity evaluation; the first call that
+   actually reaches the plugin stores the raw body outcome and later
+   calls replay it. Only the expensive [plugin.run frame] is shared —
+   the full retry/breaker state machine (hook consultation per attempt,
+   retry counters, backoff, breaker transitions and their exact error
+   messages) still executes on every call, so a shared call that trips
+   the breaker yields byte-identical per-rule verdicts and identical
+   health counters to unshared execution. Sound because plugins are
+   deterministic in the frame and hooks are pure in (plugin, frame_id,
+   attempt); a memo must never outlive one (entity, frame) cell. *)
+type body_outcome = Body_ok of string | Body_soft of string | Body_fault of string
+
+type plugin_memo = (string, body_outcome) Hashtbl.t
+
+let plugin_memo () : plugin_memo = Hashtbl.create 8
+
+let run_plugin ?shared ~frame (plugin : Crawler.plugin) =
   let name = plugin.Crawler.plugin_name in
   let frame_id = Frames.Frame.id frame in
   if breaker_open name then
@@ -160,15 +177,32 @@ let run_plugin ~frame (plugin : Crawler.plugin) =
       let outcome =
         match outcome with
         | `Fault msg -> `Fault msg
-        | `Run -> (
+        | `Run ->
           (* The plugin's own [Error] is a soft "not applicable here"
              answer, not an infrastructure fault: no retry, no breaker,
              so clean runs behave exactly as before. Only exceptions
              (and injected faults) enter the retry path. *)
-          match plugin.Crawler.run frame with
-          | Ok out -> `Ok out
-          | Error msg -> `Soft msg
-          | exception e -> `Fault (Printexc.to_string e))
+          let body () =
+            match plugin.Crawler.run frame with
+            | Ok out -> Body_ok out
+            | Error msg -> Body_soft msg
+            | exception e -> Body_fault (Printexc.to_string e)
+          in
+          let b =
+            match shared with
+            | None -> body ()
+            | Some memo -> (
+              match Hashtbl.find_opt memo name with
+              | Some b -> b
+              | None ->
+                let b = body () in
+                Hashtbl.add memo name b;
+                b)
+          in
+          (match b with
+          | Body_ok out -> `Ok out
+          | Body_soft msg -> `Soft msg
+          | Body_fault msg -> `Fault msg)
       in
       match outcome with
       | `Ok out ->

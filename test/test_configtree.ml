@@ -220,6 +220,90 @@ let index_cases =
         Alcotest.(check bool) "absent" false (Index.exists idx (Path.parse_exn "http/nope")));
   ]
 
+(* The fused query plan: N paths merged into one prefix trie, answered
+   by a single shared walk. Each query's node list must be element-
+   identical to Path.find, the walk must seed the per-path memo (so
+   residual single-path finds after a plan run are cache hits), and a
+   repeated run of the same plan must be answered from the plan memo. *)
+let plan_cases =
+  let plan_paths =
+    [ "user"; "http/server_tokens"; "http/server/listen"; "http/server[2]/listen";
+      "http/*/listen"; "**/listen"; "**/root"; "http/nothing"; "missing_label" ]
+  in
+  [
+    Alcotest.test_case "plan run agrees with Path.find on every query" `Quick (fun () ->
+        let paths = Array.of_list (List.map Path.parse_exn plan_paths) in
+        let plan = Index.Plan.build paths in
+        Alcotest.(check int) "size" (Array.length paths) (Index.Plan.size plan);
+        let results = Index.run_plan (Index.create forest) plan in
+        Array.iteri
+          (fun i p ->
+            let direct = Path.find forest p in
+            let text = List.nth plan_paths i in
+            Alcotest.(check int) (text ^ " count") (List.length direct)
+              (List.length results.(i));
+            List.iter2
+              (fun a b -> Alcotest.(check bool) (text ^ " element-identical") true (a == b))
+              direct results.(i))
+          (Index.Plan.paths plan));
+    Alcotest.test_case "repeated plan runs hit the plan memo" `Quick (fun () ->
+        let plan = Index.Plan.build [| Path.parse_exn "**/listen" |] in
+        let idx = Index.create forest in
+        let r1 = Index.run_plan idx plan in
+        let hits1, misses1 = Index.stats idx in
+        let r2 = Index.run_plan idx plan in
+        Alcotest.(check bool) "same array back" true (r1 == r2);
+        let hits2, misses2 = Index.stats idx in
+        Alcotest.(check int) "no new misses" misses1 misses2;
+        Alcotest.(check int) "one more hit" (hits1 + 1) hits2);
+    Alcotest.test_case "plan run seeds the per-path memo" `Quick (fun () ->
+        (* satellite of the fused engine: residual per-rule Index.find
+           calls after the shared walk must not re-walk the forest *)
+        let p = Path.parse_exn "http/server/listen" in
+        let plan = Index.Plan.build [| p |] in
+        let idx = Index.create forest in
+        let planned = Index.run_plan idx plan in
+        let _, misses_after_plan = Index.stats idx in
+        let found = Index.find idx p in
+        let hits, misses = Index.stats idx in
+        Alcotest.(check int) "find after plan adds no miss" misses_after_plan misses;
+        Alcotest.(check bool) "find after plan is a hit" true (hits >= 1);
+        Alcotest.(check bool) "memoized list is the plan's" true (found == planned.(0)));
+    Alcotest.test_case "subsumptions are the proper-prefix pairs" `Quick (fun () ->
+        let build texts =
+          Index.Plan.build (Array.of_list (List.map Path.parse_exn texts))
+        in
+        let plan = build [ "http"; "http/server"; "http/server/listen"; "user" ] in
+        Alcotest.(check (list (pair int int))) "chain"
+          [ (0, 1); (0, 2); (1, 2) ]
+          (Index.Plan.subsumptions plan);
+        Alcotest.(check (list (pair int int))) "identical paths do not subsume" []
+          (Index.Plan.subsumptions (build [ "a/b"; "a/b" ]));
+        Alcotest.(check (list (pair int int))) "deep prefix subsumes" [ (0, 1) ]
+          (Index.Plan.subsumptions (build [ "**/listen"; "**/listen/cert" ])));
+  ]
+
+(* Property: a plan over several shapes answers element-identically to
+   Path.find per query, on random forests. *)
+let plan_agrees_prop =
+  QCheck.Test.make ~count:300 ~name:"Plan run agrees with Path.find"
+    (QCheck.make
+       ~print:(fun (forest, label) -> Printf.sprintf "%s @ %s" (Tree.to_string forest) label)
+       QCheck.Gen.(pair tree_gen label_gen))
+    (fun (forest, label) ->
+      let shapes =
+        [| [ Path.Label label ]; [ Path.Deep; Path.Label label ];
+           [ Path.Wildcard; Path.Label label ]; [ Path.Label label; Path.Label label ];
+           [ Path.Deep; Path.Label label; Path.Wildcard ];
+           [ Path.Deep; Path.Label label; Path.Deep; Path.Label label ] |]
+      in
+      let results = Index.run_plan (Index.create forest) (Index.Plan.build shapes) in
+      Array.for_all2
+        (fun p planned ->
+          let direct = Path.find forest p in
+          List.length direct = List.length planned && List.for_all2 ( == ) direct planned)
+        shapes results)
+
 (* Property: the index agrees with Path.find on random forests and a
    few path shapes, including element identity. *)
 let index_agrees_prop =
@@ -246,9 +330,10 @@ let size_flatten_prop =
     (fun forest -> List.length (Tree.flatten forest) <= Tree.size forest)
 
 let suite =
-  tree_cases @ table_cases @ wide_fanout_cases @ index_cases
+  tree_cases @ table_cases @ wide_fanout_cases @ index_cases @ plan_cases
   @ [
       QCheck_alcotest.to_alcotest deep_superset_prop;
       QCheck_alcotest.to_alcotest size_flatten_prop;
       QCheck_alcotest.to_alcotest index_agrees_prop;
+      QCheck_alcotest.to_alcotest plan_agrees_prop;
     ]

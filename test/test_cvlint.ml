@@ -130,6 +130,67 @@ let behavior_tests =
            prefered_value: [\"on\"]\n    tags: [\"#x\"]\n"
         in
         Alcotest.(check int) "next-line" 0 (List.length (Cvlint.lint_text text)));
+    Alcotest.test_case "overlapping rule queries are info (CVL061)" `Quick (fun () ->
+        let text =
+          "rules:\n\
+          \  - config_name: server_tokens\n\
+          \    config_path: [\"http\"]\n\
+          \    preferred_value: [\"off\"]\n\
+          \    tags: [\"#x\"]\n\
+          \  - config_name: listen\n\
+          \    config_path: [\"http/server\"]\n\
+          \    preferred_value: [\"443 ssl\"]\n\
+          \    tags: [\"#x\"]\n"
+        in
+        let diags = Cvlint.lint_text ~path:"overlap.yaml" text in
+        check_has diags "CVL061" "overlap.yaml" 7;
+        let d = List.find (fun (d : D.t) -> d.D.code.D.id = "CVL061") diags in
+        Alcotest.(check string) "severity" "info"
+          (D.severity_to_string d.D.code.D.severity);
+        Alcotest.(check bool) "names the prefix rule" true
+          (List.exists
+             (fun sub -> sub = "\"server_tokens\"")
+             (String.split_on_char ' ' d.D.message)));
+    Alcotest.test_case "CVL061 skips same-rule, identical, and disjoint paths" `Quick
+      (fun () ->
+        let count text =
+          List.length
+            (List.filter
+               (fun (d : D.t) -> d.D.code.D.id = "CVL061")
+               (Cvlint.lint_text text))
+        in
+        (* alternates within one rule are one query, not an overlap *)
+        Alcotest.(check int) "same rule" 0
+          (count
+             "rules:\n\
+             \  - config_name: listen\n\
+             \    config_path: [\"http\", \"http/server\"]\n\
+             \    preferred_value: [\"443\"]\n\
+             \    tags: [\"#x\"]\n");
+        (* two rules reading the same section share an end node — equal,
+           not nested, so nothing to report *)
+        Alcotest.(check int) "identical paths" 0
+          (count
+             "rules:\n\
+             \  - config_name: a\n\
+             \    config_path: [\"http\"]\n\
+             \    preferred_value: [\"1\"]\n\
+             \    tags: [\"#x\"]\n\
+             \  - config_name: b\n\
+             \    config_path: [\"http\"]\n\
+             \    preferred_value: [\"2\"]\n\
+             \    tags: [\"#x\"]\n");
+        Alcotest.(check int) "disjoint paths" 0
+          (count
+             "rules:\n\
+             \  - config_name: a\n\
+             \    config_path: [\"http\"]\n\
+             \    preferred_value: [\"1\"]\n\
+             \    tags: [\"#x\"]\n\
+             \  - config_name: b\n\
+             \    config_path: [\"mail\"]\n\
+             \    preferred_value: [\"2\"]\n\
+             \    tags: [\"#x\"]\n"));
     Alcotest.test_case "worst and fail-on ordering" `Quick (fun () ->
         Alcotest.(check bool) "info < warning" true
           (D.severity_rank D.Info < D.severity_rank D.Warning);
