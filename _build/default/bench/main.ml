@@ -1137,6 +1137,181 @@ let fusion_bench () =
   Printf.printf "wrote %s\n" !fusion_out
 
 (* ------------------------------------------------------------------ *)
+(* daemon: warm engine-as-a-service vs cold one-shot                   *)
+(* ------------------------------------------------------------------ *)
+
+let daemon_out = ref "BENCH_daemon.json"
+
+(* A synthetic fleet streamed through a warm [validated] server (rules
+   loaded + compiled + fused once, persistent pool, warm Normcache)
+   versus the same batches each paying the full one-shot cost. The
+   daemon runs in-process over a socketpair, so the protocol cost —
+   framing, JSON codec both ways, verdict streaming — is charged to the
+   warm side honestly. *)
+let daemon_bench () =
+  heading
+    (Printf.sprintf "Daemon - warm jobs vs cold one-shot%s" (if !smoke then " (smoke)" else ""));
+  (* Full-mode jobs are deliberately small: the daemon's workload is a
+     stream of watch/CI events touching a frame or two, and that is
+     where holding the loaded+compiled+fused ruleset resident pays —
+     a cold one-shot run re-derives all of it per event. Big batches
+     amortize the cold setup away and the comparison measures only the
+     protocol tax. *)
+  let batch = if !smoke then 8 else 2 in
+  let n_jobs = if !smoke then 3 else 3500 in
+  let entities =
+    List.length
+      (List.filter (fun (e : Cvl.Manifest.entry) -> e.Cvl.Manifest.enabled) Rulesets.manifest)
+  in
+  let fleet = scaling_fleet (batch * n_jobs) in
+  let rec chunk = function
+    | [] -> []
+    | xs ->
+      let rec take n acc rest =
+        match (n, rest) with
+        | 0, _ | _, [] -> (List.rev acc, rest)
+        | n, x :: tl -> take (n - 1) (x :: acc) tl
+      in
+      let b, rest = take batch [] xs in
+      b :: chunk rest
+  in
+  let batches = chunk fleet in
+  Printf.printf "fleet: %d frames x %d entities = %d cells (%d jobs of %d frames)\n"
+    (List.length fleet) entities
+    (List.length fleet * entities)
+    n_jobs batch;
+  Cvl.Normcache.set_enabled true;
+  Cvl.Normcache.reset ();
+  let server =
+    match
+      Daemon.Server.create ~jobs:1 ~source:Rulesets.source ~manifest:Rulesets.manifest ()
+    with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  let client = Daemon.Client.in_process server in
+  (* One untimed job first: the daemon's steady state is what's being
+     measured, not the first connection's cache fill. *)
+  (match
+     Daemon.Client.validate client ~on_verdict:ignore
+       (Daemon.Protocol.job ~frames:(List.hd batches) ())
+   with
+  | Ok _ -> ()
+  | Error m -> failwith ("daemon warmup job failed: " ^ m));
+  let verdicts = ref 0 in
+  let latencies =
+    List.map
+      (fun frames ->
+        let dt, outcome =
+          wall (fun () ->
+              Daemon.Client.validate client
+                ~on_verdict:(fun _ -> incr verdicts)
+                (Daemon.Protocol.job ~frames ()))
+        in
+        (match outcome with Ok _ -> () | Error m -> failwith ("daemon job failed: " ^ m));
+        dt)
+      batches
+  in
+  let busy = List.fold_left ( +. ) 0.0 latencies in
+  let sorted = Array.of_list latencies in
+  Array.sort compare sorted;
+  let pct p =
+    let n = Array.length sorted in
+    sorted.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1)))
+  in
+  let warm_s = busy /. float_of_int (List.length latencies) in
+  let vps = float_of_int !verdicts /. Float.max busy 1e-9 in
+  (* Differential: the same batch through the warm daemon and through
+     the one-shot entry point must agree verdict for verdict, in
+     order. *)
+  let first = List.hd batches in
+  let streamed = ref [] in
+  (match
+     Daemon.Client.validate client
+       ~on_verdict:(fun v -> streamed := v :: !streamed)
+       (Daemon.Protocol.job ~frames:first ())
+   with
+  | Ok _ -> ()
+  | Error m -> failwith ("daemon differential job failed: " ^ m));
+  let daemon_sig =
+    List.rev_map
+      (fun (v : Daemon.Protocol.verdict) ->
+        ( v.Daemon.Protocol.v_entity,
+          v.Daemon.Protocol.v_frame,
+          v.Daemon.Protocol.v_rule,
+          v.Daemon.Protocol.v_verdict,
+          v.Daemon.Protocol.v_detail,
+          v.Daemon.Protocol.v_evidence ))
+      !streamed
+  in
+  let oneshot = Cvl.Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest first in
+  let identical = daemon_sig = result_signature oneshot in
+  Printf.printf "daemon verdicts byte-identical to one-shot: %b\n" identical;
+  (match Daemon.Client.shutdown client with Ok () -> () | Error m -> failwith m);
+  Daemon.Client.close client;
+  Daemon.Server.destroy server;
+  (* Cold: what each batch costs as a fresh subprocess-style run — rule
+     load + compile + fuse + parse everything, no retained state. *)
+  let rule_load_s, _ =
+    wall (fun () ->
+        let rules =
+          Result.get_ok
+            (Cvl.Validator.load_rules ~source:Rulesets.source ~manifest:Rulesets.manifest)
+        in
+        ignore (Cvl.Fuse.fuse (Cvl.Validator.compile rules)))
+  in
+  let samples = [ List.nth batches 0; List.nth batches (n_jobs / 2); List.nth batches (n_jobs - 1) ] in
+  let cold_s =
+    List.fold_left
+      (fun acc frames ->
+        Cvl.Normcache.reset ();
+        let dt, _ =
+          wall (fun () ->
+              Cvl.Validator.run ~source:Rulesets.source ~manifest:Rulesets.manifest frames)
+        in
+        acc +. dt)
+      0.0 samples
+    /. float_of_int (List.length samples)
+  in
+  let speedup = cold_s /. Float.max warm_s 1e-9 in
+  (* Smoke batches are tiny, so the per-job protocol overhead nearly
+     cancels the amortized rule load: the smoke floor only catches
+     "warm serving collapsed", the full floor certifies the win. *)
+  let floor = if !smoke then 0.75 else 1.3 in
+  Printf.printf "warm daemon beats cold one-shot: %b\n" (speedup >= floor);
+  Printf.printf "warm job %s (p50 %s, p99 %s)\n" (pp_time (warm_s *. 1e9))
+    (pp_time (pct 50.0 *. 1e9))
+    (pp_time (pct 99.0 *. 1e9));
+  Printf.printf "cold job %s (rule load+compile+fuse alone %s)\n" (pp_time (cold_s *. 1e9))
+    (pp_time (rule_load_s *. 1e9));
+  Printf.printf "sustained %.0f verdicts/sec, speedup warm vs cold %.2fx\n" vps speedup;
+  let json =
+    Jsonlite.Obj
+      [
+        ("smoke", Jsonlite.Bool !smoke);
+        ("entities", Jsonlite.Num (float_of_int entities));
+        ("frames", Jsonlite.Num (float_of_int (List.length fleet)));
+        ("cells", Jsonlite.Num (float_of_int (List.length fleet * entities)));
+        ("batch_frames", Jsonlite.Num (float_of_int batch));
+        ("jobs", Jsonlite.Num (float_of_int n_jobs));
+        ("verdicts", Jsonlite.Num (float_of_int !verdicts));
+        ("verdicts_per_sec", Jsonlite.Num vps);
+        ("p50_ms", Jsonlite.Num (pct 50.0 *. 1e3));
+        ("p99_ms", Jsonlite.Num (pct 99.0 *. 1e3));
+        ("warm_job_seconds", Jsonlite.Num warm_s);
+        ("cold_job_seconds", Jsonlite.Num cold_s);
+        ("rule_load_seconds", Jsonlite.Num rule_load_s);
+        ("speedup_warm_vs_cold", Jsonlite.Num speedup);
+        ("warm_beats_cold_floor", Jsonlite.Num floor);
+        ("warm_beats_cold", Jsonlite.Bool (speedup >= floor));
+        ("identical", Jsonlite.Bool identical);
+      ]
+  in
+  Out_channel.with_open_text !daemon_out (fun oc ->
+      Out_channel.output_string oc (Jsonlite.pretty json));
+  Printf.printf "wrote %s\n" !daemon_out
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1155,7 +1330,18 @@ let sections =
     ("chaos", chaos_bench);
     ("compile", compile_bench);
     ("fusion", fusion_bench);
+    ("daemon", daemon_bench);
   ]
+
+(* A mistyped flag or section must fail loudly: a CI bench invocation
+   that silently runs the wrong (or no) section writes stale BENCH_*
+   files that the gates then happily re-check. *)
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] \
+     [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE]\n";
+  Printf.eprintf "sections: %s\n" (String.concat ", " (List.map fst sections));
+  exit 2
 
 let () =
   let rec parse_args = function
@@ -1178,20 +1364,29 @@ let () =
     | "--fusion-out" :: file :: rest ->
       fusion_out := file;
       parse_args rest
+    | "--daemon-out" :: file :: rest ->
+      daemon_out := file;
+      parse_args rest
+    | [ (("--out" | "--lint-out" | "--chaos-out" | "--compile-out" | "--fusion-out" | "--daemon-out") as flag) ]
+      ->
+      Printf.eprintf "flag %s needs a FILE argument\n" flag;
+      usage ()
+    | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
+      Printf.eprintf "unknown flag %S\n" flag;
+      usage ()
     | arg :: rest -> arg :: parse_args rest
   in
   let requested = parse_args (List.tl (Array.to_list Sys.argv)) in
   let to_run =
     if requested = [] then sections
     else
-      List.filter_map
+      List.map
         (fun name ->
           match List.assoc_opt name sections with
-          | Some f -> Some (name, f)
+          | Some f -> (name, f)
           | None ->
-            Printf.eprintf "unknown section %S (have: %s)\n" name
-              (String.concat ", " (List.map fst sections));
-            None)
+            Printf.eprintf "unknown section %S\n" name;
+            usage ())
         requested
   in
   List.iter (fun (_, f) -> f ()) to_run

@@ -517,6 +517,249 @@ let remediate_cmd =
   let doc = "derive and apply configuration fixes from the rules (advisory)" in
   Cmd.v (Cmd.info "remediate" ~doc) Term.(const remediate $ target_arg $ rules_dir_arg)
 
+(* ------------------------------------------------------------------ *)
+(* validated: long-running validation daemon + its client              *)
+(* ------------------------------------------------------------------ *)
+
+let validated socket rules_dir jobs quiet =
+  match source_and_manifest rules_dir with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok (source, manifest) -> (
+    let log = if quiet then fun _ -> () else fun m -> Printf.printf "validated: %s\n%!" m in
+    let manifest_path = Option.map (fun d -> Filename.concat d "manifest.yaml") rules_dir in
+    match Daemon.Server.create ~jobs ~log ?manifest_path ~source ~manifest () with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok server -> (
+      match Daemon.Server.listen server ~socket_path:socket with
+      | () ->
+        Daemon.Server.destroy server;
+        0
+      | exception Unix.Unix_error (err, _, _) ->
+        Daemon.Server.destroy server;
+        Printf.eprintf "cannot serve on %s: %s\n" socket (Unix.error_message err);
+        1))
+
+let glyph_of_verdict = function
+  | "matched" -> "PASS"
+  | "not-matched" -> "FAIL"
+  | "not-present" -> "MISS"
+  | "not-applicable" -> "N/A "
+  | _ -> "ERR "
+
+let print_verdict (v : Daemon.Protocol.verdict) =
+  Printf.printf "[%s] %-10s %-28s %s — %s\n"
+    (glyph_of_verdict v.Daemon.Protocol.v_verdict)
+    v.Daemon.Protocol.v_entity v.Daemon.Protocol.v_frame v.Daemon.Protocol.v_rule
+    v.Daemon.Protocol.v_detail
+
+(* The counter line matches the one-shot CLI's summary; the cache line
+   is the daemon's warm-state observable (hits grow across jobs). *)
+let print_stream_summary (s : Daemon.Protocol.summary) =
+  Printf.printf "%d checks: %d passed, %d violations (%d missing), %d n/a, %d errors\n"
+    s.Daemon.Protocol.s_total s.Daemon.Protocol.s_matched s.Daemon.Protocol.s_violations
+    s.Daemon.Protocol.s_not_present s.Daemon.Protocol.s_not_applicable
+    s.Daemon.Protocol.s_errors;
+  Printf.printf "engine %s, cache %d hits / %d misses\n"
+    (Daemon.Protocol.engine_to_string s.Daemon.Protocol.s_engine)
+    s.Daemon.Protocol.s_cache_hits s.Daemon.Protocol.s_cache_misses;
+  match s.Daemon.Protocol.s_revalidated with
+  | Some [] -> print_endline "revalidated: (nothing)"
+  | Some entities -> Printf.printf "revalidated: %s\n" (String.concat " " entities)
+  | None -> ()
+
+let summary_exit (s : Daemon.Protocol.summary) =
+  if s.Daemon.Protocol.s_errors > 0 || s.Daemon.Protocol.s_degraded then 3
+  else if s.Daemon.Protocol.s_violations > 0 then 2
+  else 0
+
+let print_stats verbose (st : Daemon.Protocol.stats) =
+  Printf.printf "requests: %d\n" st.Daemon.Protocol.st_requests;
+  Printf.printf "jobs: %d\n" st.Daemon.Protocol.st_jobs;
+  Printf.printf "verdicts: %d\n" st.Daemon.Protocol.st_verdicts;
+  Printf.printf "protocol-errors: %d\n" st.Daemon.Protocol.st_protocol_errors;
+  Printf.printf "contained: %d\n" st.Daemon.Protocol.st_contained;
+  Printf.printf "reloads: %d\n" st.Daemon.Protocol.st_reloads;
+  Printf.printf "entities: %d\n" st.Daemon.Protocol.st_entities;
+  Printf.printf "rules: %d\n" st.Daemon.Protocol.st_rules;
+  Printf.printf "retained-frames: %d\n" st.Daemon.Protocol.st_retained_frames;
+  if verbose then begin
+    Printf.printf "p50: %.3f ms\n" st.Daemon.Protocol.st_p50_ms;
+    Printf.printf "p99: %.3f ms\n" st.Daemon.Protocol.st_p99_ms;
+    Printf.printf "mean: %.3f ms\n" st.Daemon.Protocol.st_mean_ms;
+    Printf.printf "verdicts/sec: %.0f\n" st.Daemon.Protocol.st_verdicts_per_sec
+  end
+
+let load_frame_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text -> (
+    match Frames.Codec.of_string text with
+    | Ok frame -> Ok frame
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+
+let validated_client socket wait op target frame_files tags entities engine jobs chaos
+    interval_ms max_events verbose =
+  match Daemon.Client.connect ~retry_for:wait socket with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok c -> (
+    let finish code =
+      Daemon.Client.close c;
+      code
+    in
+    let fail m =
+      prerr_endline m;
+      finish 1
+    in
+    match op with
+    | `Ping -> (
+      match Daemon.Client.ping c with
+      | Ok () ->
+        print_endline "pong";
+        finish 0
+      | Error m -> fail m)
+    | `Shutdown -> (
+      match Daemon.Client.shutdown c with
+      | Ok () ->
+        print_endline "server stopped";
+        finish 0
+      | Error m -> fail m)
+    | `Reload -> (
+      match Daemon.Client.reload_rules c with
+      | Ok (entities, rules) ->
+        Printf.printf "reloaded %d entities, %d rules\n" entities rules;
+        finish 0
+      | Error m -> fail m)
+    | `Stats -> (
+      match Daemon.Client.stats c with
+      | Ok st ->
+        print_stats verbose st;
+        finish 0
+      | Error m -> fail m)
+    | `Validate -> (
+      let inline =
+        match target with
+        | None -> Ok []
+        | Some tgt -> (
+          match List.assoc_opt tgt targets with
+          | Some frames -> Ok (frames ())
+          | None -> Error (Printf.sprintf "unknown target %S" tgt))
+      in
+      match inline with
+      | Error m -> fail m
+      | Ok [] when frame_files = [] -> fail "validate needs --target or --frame-file"
+      | Ok frames -> (
+        let job =
+          Daemon.Protocol.job ~frames ~frame_files ~tags ~entities ~engine ~jobs ?chaos ()
+        in
+        match Daemon.Client.validate c ~on_verdict:print_verdict job with
+        | Ok s ->
+          print_stream_summary s;
+          finish (summary_exit s)
+        | Error m -> fail m))
+    | `Revalidate -> (
+      match frame_files with
+      | [ file ] -> (
+        match Daemon.Client.revalidate_file c ~on_verdict:print_verdict file with
+        | Ok s ->
+          print_stream_summary s;
+          finish (summary_exit s)
+        | Error m -> fail m)
+      | _ -> fail "revalidate needs exactly one --frame-file")
+    | `Watch -> (
+      match frame_files with
+      | [ file ] -> (
+        let outcome =
+          Daemon.Client.watch c
+            ~load:(fun () -> load_frame_file file)
+            ~sleep:(fun () ->
+              Unix.sleepf (float_of_int interval_ms /. 1000.0);
+              true)
+            ~max_events
+            ~on_event:(fun s ->
+              let revalidated =
+                match s.Daemon.Protocol.s_revalidated with
+                | Some entities -> String.concat " " entities
+                | None -> ""
+              in
+              Printf.printf "change: revalidated [%s], %d violations, %d errors\n%!" revalidated
+                s.Daemon.Protocol.s_violations s.Daemon.Protocol.s_errors)
+            ()
+        in
+        match outcome with
+        | Ok events ->
+          Printf.printf "watched %d change(s)\n" events;
+          finish 0
+        | Error m -> fail m)
+      | _ -> fail "watch needs exactly one --frame-file"))
+
+let socket_arg =
+  let doc = "Unix domain socket path the daemon serves on." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let validated_cmd =
+  let doc = "run the long-lived validation daemon (engine-as-a-service)" in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the event log.") in
+  Cmd.v
+    (Cmd.info "validated" ~doc)
+    Term.(const validated $ socket_arg $ rules_dir_arg $ jobs_arg $ quiet)
+
+let validated_client_cmd =
+  let doc = "talk to a running validated daemon" in
+  let op =
+    let ops =
+      [
+        ("ping", `Ping); ("validate", `Validate); ("revalidate", `Revalidate);
+        ("stats", `Stats); ("reload-rules", `Reload); ("shutdown", `Shutdown);
+        ("watch", `Watch);
+      ]
+    in
+    Arg.(required & pos 0 (some (enum ops)) None & info [] ~docv:"OP" ~doc:"Operation.")
+  in
+  let wait =
+    Arg.(
+      value & opt float 5.0
+      & info [ "wait" ] ~docv:"SECS" ~doc:"Keep retrying the connection this long.")
+  in
+  let target =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "target" ] ~docv:"TARGET" ~doc:"Validate a synthetic target inline.")
+  in
+  let entities =
+    Arg.(
+      value & opt_all string []
+      & info [ "entity" ] ~docv:"NAME" ~doc:"Restrict to this entity (repeatable).")
+  in
+  let client_jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Shard this job across N domains (default: the server's persistent pool).")
+  in
+  let interval_ms =
+    Arg.(
+      value & opt int 200
+      & info [ "interval-ms" ] ~docv:"MS" ~doc:"Watch-mode poll interval.")
+  in
+  let max_events =
+    Arg.(
+      value & opt int max_int
+      & info [ "max-events" ] ~docv:"N" ~doc:"Stop watch mode after N change events.")
+  in
+  Cmd.v
+    (Cmd.info "validated-client" ~doc)
+    Term.(
+      const validated_client $ socket_arg $ wait $ op $ target $ frame_files_arg $ tags_arg
+      $ entities $ engine_arg $ client_jobs $ chaos_arg $ interval_ms $ max_events
+      $ verbose_arg)
+
 let () =
   let info =
     Cmd.info "configvalidator" ~version:"1.0.0"
@@ -527,5 +770,5 @@ let () =
        (Cmd.group info
           [
             validate_cmd; coverage_cmd; lint_cmd; keywords_cmd; remediate_cmd; export_frame_cmd;
-            rules_doc_cmd; explain_cmd;
+            rules_doc_cmd; explain_cmd; validated_cmd; validated_client_cmd;
           ]))

@@ -428,6 +428,40 @@ let malformed_path_pass p =
                (Printf.sprintf "config_path %S does not parse: %s" path e)))
       paths
 
+(* CVL062: a require_other_configs probe that can never be satisfied —
+   the rule compiler lowers an unparseable literal to a constant-false
+   gate, and a flat lens never produces nested labels. Either way the
+   rule silently never fires; a resident daemon ruleset keeps the dead
+   rule until the next reload. *)
+let unsatisfiable_probe_pass ?lens p =
+  match pfind p "require_other_configs" with
+  | None -> []
+  | Some f ->
+    let probes = Option.value (Yamlite.Value.get_str_list f.value) ~default:[] in
+    List.filter_map
+      (fun probe ->
+        match Cvl.Compile.check_path_literal probe with
+        | Error e ->
+          Some
+            (Diagnostic.make Diagnostic.unsatisfiable_require_probe f.fspan
+               ~suggestion:"segments are labels, label[n], * or **, separated by '/'"
+               (Printf.sprintf
+                  "require_other_configs probe %S does not parse (%s): the gate is \
+                   constant-false and the rule can never fire"
+                  probe e))
+        | Ok _ -> (
+          match lens with
+          | Some l when List.mem l flat_lenses && String.contains probe '/' ->
+            Some
+              (Diagnostic.make Diagnostic.unsatisfiable_require_probe f.fspan
+                 ~suggestion:"flat lenses address settings by dotted key, e.g. a.b.c"
+                 (Printf.sprintf
+                    "require_other_configs probe %S can never be produced by the flat %s \
+                     lens: the rule can never fire"
+                    probe l))
+          | _ -> None))
+      probes
+
 let path_passes p =
   match (bool_of p "should_exist", pfind p "should_exist") with
   | Some false, Some f ->
@@ -575,7 +609,8 @@ let semantic_passes ctx ?lens p =
     | Some _ ->
       let typed =
         match group with
-        | Cvl.Keyword.Tree -> tree_passes ?lens p @ malformed_path_pass p
+        | Cvl.Keyword.Tree ->
+          tree_passes ?lens p @ malformed_path_pass p @ unsatisfiable_probe_pass ?lens p
         | Cvl.Keyword.Path -> path_passes p
         | Cvl.Keyword.Script -> script_passes ctx p @ malformed_path_pass p
         | Cvl.Keyword.Composite -> composite_passes ctx p

@@ -104,6 +104,10 @@ let overlapping_rule_queries =
   code "CVL061" "overlapping-rule-queries" Info
     "two rules' config_path queries read nested subtrees of the same forest"
 
+let unsatisfiable_require_probe =
+  code "CVL062" "unsatisfiable-require-probe" Warning
+    "a require_other_configs probe can never be satisfied, so the rule silently never fires"
+
 let registry =
   [
     parse_error; manifest_error; rule_load_error; missing_rule_file; inheritance_cycle;
@@ -112,7 +116,7 @@ let registry =
     bad_match_spec; bad_regex; match_without_value; unknown_lens; unknown_script;
     dead_config_path; unknown_entity; bad_composite_expression; no_tags; bad_tag;
     missing_remediation; bad_rule_type; flaky_plugin_no_fallback; malformed_config_path;
-    overlapping_rule_queries;
+    overlapping_rule_queries; unsatisfiable_require_probe;
   ]
 
 let find_code key =

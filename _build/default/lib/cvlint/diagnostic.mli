@@ -92,3 +92,11 @@ val malformed_config_path : code
     [Configtree.Index.Plan]); the note surfaces consolidation
     candidates. *)
 val overlapping_rule_queries : code
+
+(** CVL062 — a [require_other_configs] probe that can never be
+    satisfied: the compiler lowers an unparseable literal to a
+    constant-false gate, and a flat lens never produces nested labels —
+    either way the rule silently never fires, on every scan. A one-shot
+    run pays this once; a long-running daemon bakes the dead rule into
+    its resident ruleset until the next reload. *)
+val unsatisfiable_require_probe : code

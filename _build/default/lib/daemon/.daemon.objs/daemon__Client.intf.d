@@ -1,0 +1,1 @@
+lib/daemon/client.mli: Frames Protocol Server

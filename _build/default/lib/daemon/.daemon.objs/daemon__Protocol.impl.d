@@ -1,0 +1,1 @@
+lib/daemon/protocol.ml: Bytes Frames Fun Jsonlite List Option Printf Result Stdlib String

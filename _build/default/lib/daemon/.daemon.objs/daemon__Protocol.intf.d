@@ -1,0 +1,1 @@
+lib/daemon/protocol.mli: Frames Jsonlite

@@ -1,0 +1,1 @@
+lib/daemon/server.ml: Array Cvl Cvlint Faultsim Frames Fun Hashtbl In_channel Lazy List Option Pool Printexc Printf Protocol Result Sys Unix

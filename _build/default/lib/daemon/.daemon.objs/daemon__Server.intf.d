@@ -1,0 +1,1 @@
+lib/daemon/server.mli: Cvl Protocol

@@ -1,0 +1,142 @@
+open Protocol
+
+type t = { ic : in_channel; oc : out_channel; close_fn : unit -> unit; mutable closed : bool }
+
+let of_channels ?close ic oc =
+  let close_fn =
+    match close with
+    | Some f -> f
+    | None ->
+        fun () ->
+          close_out_noerr oc;
+          close_in_noerr ic
+  in
+  { ic; oc; close_fn; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.close_fn ()
+  end
+
+let connect ?(retry_for = 0.0) path =
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec attempt () =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect sock (Unix.ADDR_UNIX path) with
+    | () -> Ok (of_channels (Unix.in_channel_of_descr sock) (Unix.out_channel_of_descr sock))
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () < deadline then begin
+          Unix.sleepf 0.05;
+          attempt ()
+        end
+        else Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+  in
+  attempt ()
+
+let in_process server =
+  let client_fd, server_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let domain =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr server_fd in
+        let oc = Unix.out_channel_of_descr server_fd in
+        let (_ : [ `Disconnect | `Shutdown ]) = Server.serve server ic oc in
+        close_out_noerr oc;
+        close_in_noerr ic)
+  in
+  let ic = Unix.in_channel_of_descr client_fd in
+  let oc = Unix.out_channel_of_descr client_fd in
+  of_channels
+    ~close:(fun () ->
+      close_out_noerr oc;
+      close_in_noerr ic;
+      Domain.join domain)
+    ic oc
+
+(* ---------------------------------------------------------------- *)
+(* Calls                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let send t req =
+  match write_request t.oc req with
+  | () -> Ok ()
+  | exception Sys_error m -> Error (Printf.sprintf "send failed: %s" m)
+
+let rpc t req =
+  let* () = send t req in
+  read_response t.ic
+
+let ping t =
+  match rpc t Ping with
+  | Ok Pong -> Ok ()
+  | Ok (Error_reply m) -> Error m
+  | Ok _ -> Error "unexpected reply to ping"
+  | Error m -> Error m
+
+let stats t =
+  match rpc t Stats with
+  | Ok (Stats_reply st) -> Ok st
+  | Ok (Error_reply m) -> Error m
+  | Ok _ -> Error "unexpected reply to stats"
+  | Error m -> Error m
+
+let reload_rules t =
+  match rpc t Reload_rules with
+  | Ok (Reloaded { entities; rules }) -> Ok (entities, rules)
+  | Ok (Error_reply m) -> Error m
+  | Ok _ -> Error "unexpected reply to reload-rules"
+  | Error m -> Error m
+
+let shutdown t =
+  match rpc t Shutdown with
+  | Ok Bye -> Ok ()
+  | Ok (Error_reply m) -> Error m
+  | Ok _ -> Error "unexpected reply to shutdown"
+  | Error m -> Error m
+
+let stream t req ~on_verdict =
+  let* () = send t req in
+  let rec drain () =
+    match read_response t.ic with
+    | Ok (Verdict v) ->
+        on_verdict v;
+        drain ()
+    | Ok (Summary s) -> Ok s
+    | Ok (Error_reply m) -> Error m
+    | Ok _ -> Error "unexpected reply in verdict stream"
+    | Error m -> Error m
+  in
+  drain ()
+
+let validate t ~on_verdict job = stream t (Validate job) ~on_verdict
+
+let revalidate t ~on_verdict frame =
+  stream t (Revalidate { frame = Some frame; frame_file = None }) ~on_verdict
+
+let revalidate_file t ~on_verdict path =
+  stream t (Revalidate { frame = None; frame_file = Some path }) ~on_verdict
+
+(* ---------------------------------------------------------------- *)
+(* Watch mode                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let watch t ~load ~sleep ~max_events ~on_event () =
+  let digest frame = Digest.string (Frames.Codec.to_string frame) in
+  let* first = load () in
+  let* (_ : summary) = validate t ~on_verdict:(fun _ -> ()) (job ~frames:[ first ] ()) in
+  let rec poll last_digest events =
+    if events >= max_events then Ok events
+    else if not (sleep ()) then Ok events
+    else
+      let* frame = load () in
+      let d = digest frame in
+      if String.equal d last_digest then poll last_digest events
+      else
+        let* s = revalidate t ~on_verdict:(fun _ -> ()) frame in
+        on_event s;
+        poll d (events + 1)
+  in
+  poll (digest first) 0

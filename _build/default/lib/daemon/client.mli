@@ -1,0 +1,80 @@
+(** Client side of the [validated] protocol.
+
+    The transport is pluggable: {!of_channels} wraps any channel pair,
+    {!connect} dials a Unix domain socket, and {!in_process} spawns a
+    {!Server} loop on the other end of a socketpair in a fresh domain —
+    the transport the test suite and the bench use, so the whole
+    protocol runs under [dune runtest] without networking flakiness. *)
+
+type t
+
+val of_channels : ?close:(unit -> unit) -> in_channel -> out_channel -> t
+
+(** Close the transport. Idempotent. For {!in_process} clients this
+    also joins the server domain. *)
+val close : t -> unit
+
+(** Dial a Unix domain socket. [retry_for] (seconds, default [0]) keeps
+    retrying a refused/absent socket — for "start the server in the
+    background, then connect" scripts. *)
+val connect : ?retry_for:float -> string -> (t, string) result
+
+(** Run [serve] for [server] on the other end of a socketpair, in its
+    own domain. *)
+val in_process : Server.t -> t
+
+(** Send a request and read exactly one reply. *)
+val rpc : t -> Protocol.request -> (Protocol.response, string) result
+
+val ping : t -> (unit, string) result
+val stats : t -> (Protocol.stats, string) result
+
+(** Returns (entities, rules) after a successful reload. *)
+val reload_rules : t -> (int * int, string) result
+
+val shutdown : t -> (unit, string) result
+
+(** Send a streaming request and consume its reply stream: [on_verdict]
+    per verdict message, in order, until the summary trailer arrives.
+    A server-side [error] reply surfaces as [Error]. *)
+val stream :
+  t ->
+  Protocol.request ->
+  on_verdict:(Protocol.verdict -> unit) ->
+  (Protocol.summary, string) result
+
+val validate :
+  t ->
+  on_verdict:(Protocol.verdict -> unit) ->
+  Protocol.validate_job ->
+  (Protocol.summary, string) result
+
+(** Revalidate an inline frame against the server's retained baseline. *)
+val revalidate :
+  t ->
+  on_verdict:(Protocol.verdict -> unit) ->
+  Frames.Frame.t ->
+  (Protocol.summary, string) result
+
+(** Like {!revalidate} with the server reading the frame from disk. *)
+val revalidate_file :
+  t ->
+  on_verdict:(Protocol.verdict -> unit) ->
+  string ->
+  (Protocol.summary, string) result
+
+(** Watch mode: poll [load] for the current snapshot; the first
+    snapshot is validated (alone) to establish the baseline, every
+    subsequent {e changed} snapshot is revalidated and reported via
+    [on_event]. Stops after [max_events] change events and returns how
+    many were delivered. [sleep] runs between polls — injectable, so
+    tests drive the loop without wall-clock waits; returning [false]
+    stops the watch early. *)
+val watch :
+  t ->
+  load:(unit -> (Frames.Frame.t, string) result) ->
+  sleep:(unit -> bool) ->
+  max_events:int ->
+  on_event:(Protocol.summary -> unit) ->
+  unit ->
+  (int, string) result

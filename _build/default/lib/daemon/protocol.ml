@@ -1,0 +1,396 @@
+type engine = [ `Fused | `Compiled | `Interpreted ]
+
+let engine_to_string = function
+  | `Fused -> "fused"
+  | `Compiled -> "compiled"
+  | `Interpreted -> "interpreted"
+
+let engine_of_string = function
+  | "fused" -> Ok `Fused
+  | "compiled" -> Ok `Compiled
+  | "interpreted" -> Ok `Interpreted
+  | s -> Error (Printf.sprintf "unknown engine %S (fused|compiled|interpreted)" s)
+
+type validate_job = {
+  frames : Frames.Frame.t list;
+  frame_files : string list;
+  tags : string list;
+  entities : string list;
+  engine : engine;
+  jobs : int;
+  keep_not_applicable : bool option;
+  chaos : int option;
+}
+
+let job ?(frames = []) ?(frame_files = []) ?(tags = []) ?(entities = []) ?(engine = `Fused)
+    ?(jobs = 0) ?keep_not_applicable ?chaos () =
+  { frames; frame_files; tags; entities; engine; jobs; keep_not_applicable; chaos }
+
+type request =
+  | Ping
+  | Validate of validate_job
+  | Revalidate of { frame : Frames.Frame.t option; frame_file : string option }
+  | Reload_rules
+  | Stats
+  | Shutdown
+
+type verdict = {
+  v_entity : string;
+  v_frame : string;
+  v_rule : string;
+  v_verdict : string;
+  v_detail : string;
+  v_evidence : string list;
+}
+
+type summary = {
+  s_total : int;
+  s_matched : int;
+  s_violations : int;
+  s_not_present : int;
+  s_not_applicable : int;
+  s_errors : int;
+  s_degraded : bool;
+  s_engine : engine;
+  s_job_ms : float;
+  s_cache_hits : int;
+  s_cache_misses : int;
+  s_revalidated : string list option;
+}
+
+type stats = {
+  st_requests : int;
+  st_jobs : int;
+  st_verdicts : int;
+  st_protocol_errors : int;
+  st_contained : int;
+  st_reloads : int;
+  st_entities : int;
+  st_rules : int;
+  st_retained_frames : int;
+  st_p50_ms : float;
+  st_p99_ms : float;
+  st_mean_ms : float;
+  st_verdicts_per_sec : float;
+}
+
+type response =
+  | Pong
+  | Verdict of verdict
+  | Summary of summary
+  | Stats_reply of stats
+  | Reloaded of { entities : int; rules : int }
+  | Error_reply of string
+  | Bye
+
+(* ---------------------------------------------------------------- *)
+(* JSON encoding                                                     *)
+(* ---------------------------------------------------------------- *)
+
+open Jsonlite
+
+let num_i n = Num (float_of_int n)
+let str_list xs = Arr (List.map (fun s -> Str s) xs)
+
+(* Omit empty/default fields so captured streams stay readable. *)
+let obj fields = Obj (List.filter_map Fun.id fields)
+let field k v = Some (k, v)
+let opt_field k = function None -> None | Some v -> Some (k, v)
+
+let request_to_json = function
+  | Ping -> Obj [ ("op", Str "ping") ]
+  | Reload_rules -> Obj [ ("op", Str "reload-rules") ]
+  | Stats -> Obj [ ("op", Str "stats") ]
+  | Shutdown -> Obj [ ("op", Str "shutdown") ]
+  | Validate j ->
+      obj
+        [
+          field "op" (Str "validate");
+          (if j.frames = [] then None
+           else Some ("frames", Arr (List.map Frames.Codec.to_json j.frames)));
+          (if j.frame_files = [] then None else Some ("frame_files", str_list j.frame_files));
+          (if j.tags = [] then None else Some ("tags", str_list j.tags));
+          (if j.entities = [] then None else Some ("entities", str_list j.entities));
+          field "engine" (Str (engine_to_string j.engine));
+          (if j.jobs = 0 then None else Some ("jobs", num_i j.jobs));
+          opt_field "keep_not_applicable" (Option.map (fun b -> Bool b) j.keep_not_applicable);
+          opt_field "chaos" (Option.map num_i j.chaos);
+        ]
+  | Revalidate { frame; frame_file } ->
+      obj
+        [
+          field "op" (Str "revalidate");
+          opt_field "frame" (Option.map Frames.Codec.to_json frame);
+          opt_field "frame_file" (Option.map (fun f -> Str f) frame_file);
+        ]
+
+let verdict_to_json v =
+  obj
+    [
+      field "type" (Str "verdict");
+      field "entity" (Str v.v_entity);
+      field "frame" (Str v.v_frame);
+      field "rule" (Str v.v_rule);
+      field "verdict" (Str v.v_verdict);
+      field "detail" (Str v.v_detail);
+      (if v.v_evidence = [] then None else Some ("evidence", str_list v.v_evidence));
+    ]
+
+let summary_to_json s =
+  obj
+    [
+      field "type" (Str "summary");
+      field "total" (num_i s.s_total);
+      field "matched" (num_i s.s_matched);
+      field "violations" (num_i s.s_violations);
+      field "not_present" (num_i s.s_not_present);
+      field "not_applicable" (num_i s.s_not_applicable);
+      field "errors" (num_i s.s_errors);
+      field "degraded" (Bool s.s_degraded);
+      field "engine" (Str (engine_to_string s.s_engine));
+      field "job_ms" (Num s.s_job_ms);
+      field "cache_hits" (num_i s.s_cache_hits);
+      field "cache_misses" (num_i s.s_cache_misses);
+      opt_field "revalidated" (Option.map str_list s.s_revalidated);
+    ]
+
+let stats_to_json st =
+  Obj
+    [
+      ("type", Str "stats");
+      ("requests", num_i st.st_requests);
+      ("jobs", num_i st.st_jobs);
+      ("verdicts", num_i st.st_verdicts);
+      ("protocol_errors", num_i st.st_protocol_errors);
+      ("contained", num_i st.st_contained);
+      ("reloads", num_i st.st_reloads);
+      ("entities", num_i st.st_entities);
+      ("rules", num_i st.st_rules);
+      ("retained_frames", num_i st.st_retained_frames);
+      ("p50_ms", Num st.st_p50_ms);
+      ("p99_ms", Num st.st_p99_ms);
+      ("mean_ms", Num st.st_mean_ms);
+      ("verdicts_per_sec", Num st.st_verdicts_per_sec);
+    ]
+
+let response_to_json = function
+  | Pong -> Obj [ ("type", Str "pong") ]
+  | Bye -> Obj [ ("type", Str "bye") ]
+  | Error_reply m -> Obj [ ("type", Str "error"); ("message", Str m) ]
+  | Reloaded { entities; rules } ->
+      Obj [ ("type", Str "reloaded"); ("entities", num_i entities); ("rules", num_i rules) ]
+  | Verdict v -> verdict_to_json v
+  | Summary s -> summary_to_json s
+  | Stats_reply st -> stats_to_json st
+
+(* ---------------------------------------------------------------- *)
+(* JSON decoding                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let get_string_field json k =
+  match member k json with Some (Str s) -> Some s | _ -> None
+
+let get_int_field json k =
+  match member k json with Some (Num n) -> Some (int_of_float n) | _ -> None
+
+let get_float_field json k =
+  match member k json with Some (Num n) -> Some n | _ -> None
+
+let get_bool_field json k =
+  match member k json with Some (Bool b) -> Some b | _ -> None
+
+let get_strings_field json k =
+  match member k json with
+  | Some (Arr xs) -> Ok (List.filter_map get_str xs)
+  | Some _ -> Error (Printf.sprintf "field %S must be an array of strings" k)
+  | None -> Ok []
+
+let ( let* ) = Result.bind
+
+let frames_of_json json =
+  match member "frames" json with
+  | None -> Ok []
+  | Some (Arr xs) ->
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          let* f = Frames.Codec.of_json x in
+          Ok (f :: acc))
+        (Ok []) xs
+      |> Result.map List.rev
+  | Some _ -> Error "field \"frames\" must be an array of frame documents"
+
+let validate_of_json json =
+  let* frames = frames_of_json json in
+  let* frame_files = get_strings_field json "frame_files" in
+  let* tags = get_strings_field json "tags" in
+  let* entities = get_strings_field json "entities" in
+  let* engine =
+    match get_string_field json "engine" with
+    | None -> Ok `Fused
+    | Some s -> engine_of_string s
+  in
+  let jobs = Option.value ~default:0 (get_int_field json "jobs") in
+  let keep_not_applicable = get_bool_field json "keep_not_applicable" in
+  let chaos = get_int_field json "chaos" in
+  Ok (Validate { frames; frame_files; tags; entities; engine; jobs; keep_not_applicable; chaos })
+
+let revalidate_of_json json =
+  let* frame =
+    match member "frame" json with
+    | None -> Ok None
+    | Some doc ->
+        let* f = Frames.Codec.of_json doc in
+        Ok (Some f)
+  in
+  let frame_file = get_string_field json "frame_file" in
+  match (frame, frame_file) with
+  | None, None -> Error "revalidate needs a \"frame\" or a \"frame_file\""
+  | Some _, Some _ -> Error "revalidate takes \"frame\" or \"frame_file\", not both"
+  | _ -> Ok (Revalidate { frame; frame_file })
+
+let request_of_json json =
+  match get_string_field json "op" with
+  | Some "ping" -> Ok Ping
+  | Some "reload-rules" -> Ok Reload_rules
+  | Some "stats" -> Ok Stats
+  | Some "shutdown" -> Ok Shutdown
+  | Some "validate" -> validate_of_json json
+  | Some "revalidate" -> revalidate_of_json json
+  | Some op -> Error (Printf.sprintf "unknown op %S" op)
+  | None -> Error "request has no \"op\" field"
+
+let req_int json k = Option.value ~default:0 (get_int_field json k)
+let req_float json k = Option.value ~default:0.0 (get_float_field json k)
+let req_str json k = Option.value ~default:"" (get_string_field json k)
+
+let verdict_of_json json =
+  let* v_evidence = get_strings_field json "evidence" in
+  Ok
+    (Verdict
+       {
+         v_entity = req_str json "entity";
+         v_frame = req_str json "frame";
+         v_rule = req_str json "rule";
+         v_verdict = req_str json "verdict";
+         v_detail = req_str json "detail";
+         v_evidence;
+       })
+
+let summary_of_json json =
+  let* s_engine = engine_of_string (Option.value ~default:"fused" (get_string_field json "engine")) in
+  let* s_revalidated =
+    match member "revalidated" json with
+    | None -> Ok None
+    | Some _ ->
+        let* xs = get_strings_field json "revalidated" in
+        Ok (Some xs)
+  in
+  Ok
+    (Summary
+       {
+         s_total = req_int json "total";
+         s_matched = req_int json "matched";
+         s_violations = req_int json "violations";
+         s_not_present = req_int json "not_present";
+         s_not_applicable = req_int json "not_applicable";
+         s_errors = req_int json "errors";
+         s_degraded = Option.value ~default:false (get_bool_field json "degraded");
+         s_engine;
+         s_job_ms = req_float json "job_ms";
+         s_cache_hits = req_int json "cache_hits";
+         s_cache_misses = req_int json "cache_misses";
+         s_revalidated;
+       })
+
+let stats_of_json json =
+  Ok
+    (Stats_reply
+       {
+         st_requests = req_int json "requests";
+         st_jobs = req_int json "jobs";
+         st_verdicts = req_int json "verdicts";
+         st_protocol_errors = req_int json "protocol_errors";
+         st_contained = req_int json "contained";
+         st_reloads = req_int json "reloads";
+         st_entities = req_int json "entities";
+         st_rules = req_int json "rules";
+         st_retained_frames = req_int json "retained_frames";
+         st_p50_ms = req_float json "p50_ms";
+         st_p99_ms = req_float json "p99_ms";
+         st_mean_ms = req_float json "mean_ms";
+         st_verdicts_per_sec = req_float json "verdicts_per_sec";
+       })
+
+let response_of_json json =
+  match get_string_field json "type" with
+  | Some "pong" -> Ok Pong
+  | Some "bye" -> Ok Bye
+  | Some "error" -> Ok (Error_reply (req_str json "message"))
+  | Some "reloaded" ->
+      Ok (Reloaded { entities = req_int json "entities"; rules = req_int json "rules" })
+  | Some "verdict" -> verdict_of_json json
+  | Some "summary" -> summary_of_json json
+  | Some "stats" -> stats_of_json json
+  | Some t -> Error (Printf.sprintf "unknown response type %S" t)
+  | None -> Error "response has no \"type\" field"
+
+(* ---------------------------------------------------------------- *)
+(* Framing                                                           *)
+(* ---------------------------------------------------------------- *)
+
+type read_result =
+  | Msg of Jsonlite.t
+  | Bad_payload of string
+  | Truncated of string
+  | Closed
+
+let write_message ?(flush = true) oc json =
+  let payload = Jsonlite.to_string json in
+  Printf.fprintf oc "%d\n%s\n" (String.length payload) payload;
+  if flush then Stdlib.flush oc
+
+(* An adversarial peer could claim a huge length and make us allocate
+   it; cap a single message well above any real job. *)
+let max_message_bytes = 512 * 1024 * 1024
+
+let read_message ic =
+  match input_line ic with
+  | exception End_of_file -> Closed
+  | exception Sys_error m -> Truncated m
+  | line -> (
+      match int_of_string_opt (String.trim line) with
+      | None -> Truncated (Printf.sprintf "bad length line %S" (String.trim line))
+      | Some n when n < 0 || n > max_message_bytes ->
+          Truncated (Printf.sprintf "unreasonable message length %d" n)
+      | Some n -> (
+          let buf = Bytes.create n in
+          match really_input ic buf 0 n with
+          | exception End_of_file -> Truncated "message truncated mid-payload"
+          | exception Sys_error m -> Truncated m
+          | () -> (
+              (* the trailing newline; tolerate its absence at EOF, but
+                 any other byte means the declared length was wrong *)
+              match input_char ic with
+              | exception End_of_file | '\n' -> (
+                  match Jsonlite.parse (Bytes.to_string buf) with
+                  | Ok json -> Msg json
+                  | Error e -> Bad_payload (Jsonlite.error_to_string e))
+              | c -> Truncated (Printf.sprintf "expected newline after payload, got %C" c))))
+
+let write_request oc req = write_message oc (request_to_json req)
+
+(* Verdicts are never the last message of a stream — the summary (or an
+   error) trailer always follows and flushes — so they ride the channel
+   buffer instead of paying a syscall each. Terminal replies flush. *)
+let write_response oc resp =
+  match resp with
+  | Verdict _ -> write_message ~flush:false oc (response_to_json resp)
+  | _ -> write_message oc (response_to_json resp)
+
+let read_response ic =
+  match read_message ic with
+  | Msg json -> response_of_json json
+  | Bad_payload m -> Error (Printf.sprintf "malformed response payload: %s" m)
+  | Truncated m -> Error (Printf.sprintf "response stream truncated: %s" m)
+  | Closed -> Error "connection closed by server"

@@ -1,0 +1,152 @@
+(** Wire protocol of the [validated] daemon: length-prefixed JSON
+    messages over any byte stream.
+
+    Framing grammar (both directions):
+
+    {v
+      message  ::=  <decimal byte length of payload> "\n" <payload> "\n"
+      payload  ::=  one JSON document (compact, no raw newlines)
+    v}
+
+    The length prefix gives the reader an exact read size — no
+    scanning, no ambiguity about embedded newlines — while the trailing
+    ["\n"] keeps a captured stream greppable as JSON lines. A response
+    to [validate]/[revalidate] is a {e stream}: one [verdict] message
+    per result, in the engine's deterministic order, then exactly one
+    [summary] trailer. Everything else is a single reply message.
+
+    Reader errors distinguish recoverable from fatal: a well-framed but
+    unparseable payload ({!Bad_payload}) leaves the stream synchronized
+    — the peer can answer with an error and keep going — while a
+    corrupt length line or a truncated payload ({!Truncated}) means
+    nobody knows where the next message starts, so the connection must
+    be dropped (the server itself stays up). *)
+
+type engine = [ `Fused | `Compiled | `Interpreted ]
+
+val engine_to_string : engine -> string
+val engine_of_string : string -> (engine, string) result
+
+(** One validation job. [frames] are inline snapshots; [frame_files]
+    are paths the server reads ({!Frames.Codec} documents). [entities]
+    and [tags] filter the ruleset ([[]] = no filter). [jobs = 0] uses
+    the server's persistent pool; [jobs > 0] shards with that many
+    domains for this job only. [keep_not_applicable = None] applies the
+    engine default (keep iff the deployment has a single frame).
+    [chaos] arms a seeded fault plan for this job only. *)
+type validate_job = {
+  frames : Frames.Frame.t list;
+  frame_files : string list;
+  tags : string list;
+  entities : string list;
+  engine : engine;
+  jobs : int;
+  keep_not_applicable : bool option;
+  chaos : int option;
+}
+
+(** [job ()] is a default job: no frames, no filters, fused engine,
+    server pool, engine-default NA handling, no chaos. *)
+val job :
+  ?frames:Frames.Frame.t list ->
+  ?frame_files:string list ->
+  ?tags:string list ->
+  ?entities:string list ->
+  ?engine:engine ->
+  ?jobs:int ->
+  ?keep_not_applicable:bool ->
+  ?chaos:int ->
+  unit ->
+  validate_job
+
+type request =
+  | Ping
+  | Validate of validate_job
+  | Revalidate of { frame : Frames.Frame.t option; frame_file : string option }
+      (** exactly one of [frame]/[frame_file]; diffed against the
+          daemon's retained snapshot of the same frame id *)
+  | Reload_rules
+  | Stats
+  | Shutdown
+
+(** One streamed result — the same six observables
+    {!Cvl.Engine.result} carries, stringified the way the one-shot CLI
+    does, so byte-identity with [Validator.run] is checkable field by
+    field. *)
+type verdict = {
+  v_entity : string;
+  v_frame : string;
+  v_rule : string;
+  v_verdict : string;  (** {!Cvl.Engine.verdict_to_string} *)
+  v_detail : string;
+  v_evidence : string list;
+}
+
+(** Trailer of a [validate]/[revalidate] stream. *)
+type summary = {
+  s_total : int;
+  s_matched : int;
+  s_violations : int;
+  s_not_present : int;
+  s_not_applicable : int;
+  s_errors : int;
+  s_degraded : bool;
+  s_engine : engine;
+  s_job_ms : float;  (** server-side wall time for the job *)
+  s_cache_hits : int;  (** {!Cvl.Normcache} delta across this job *)
+  s_cache_misses : int;
+  s_revalidated : string list option;
+      (** [revalidate] only: entities actually re-evaluated *)
+}
+
+type stats = {
+  st_requests : int;  (** every request served, pings included *)
+  st_jobs : int;  (** validate + revalidate jobs *)
+  st_verdicts : int;  (** verdict messages streamed *)
+  st_protocol_errors : int;
+  st_contained : int;  (** jobs that failed and were contained *)
+  st_reloads : int;
+  st_entities : int;
+  st_rules : int;
+  st_retained_frames : int;  (** revalidation baselines held *)
+  st_p50_ms : float;  (** per-job latency percentiles *)
+  st_p99_ms : float;
+  st_mean_ms : float;
+  st_verdicts_per_sec : float;  (** sustained, over busy time *)
+}
+
+type response =
+  | Pong
+  | Verdict of verdict
+  | Summary of summary
+  | Stats_reply of stats
+  | Reloaded of { entities : int; rules : int }
+  | Error_reply of string
+  | Bye
+
+val request_to_json : request -> Jsonlite.t
+val request_of_json : Jsonlite.t -> (request, string) result
+val response_to_json : response -> Jsonlite.t
+val response_of_json : Jsonlite.t -> (response, string) result
+
+(** Outcome of reading one framed message. *)
+type read_result =
+  | Msg of Jsonlite.t
+  | Bad_payload of string  (** framed correctly, payload not JSON *)
+  | Truncated of string  (** framing broken: stream desynchronized *)
+  | Closed  (** clean EOF at a message boundary *)
+
+(** [flush] (default [true]) may be disabled for messages that are
+    always followed by another on the same channel. *)
+val write_message : ?flush:bool -> out_channel -> Jsonlite.t -> unit
+
+val read_message : in_channel -> read_result
+val write_request : out_channel -> request -> unit
+
+(** Verdict messages are buffered (the summary/error trailer that ends
+    every stream flushes them); every other response flushes. *)
+val write_response : out_channel -> response -> unit
+
+(** [read_response ic] is {!read_message} plus decoding; [Bad_payload]
+    and an undecodable response both surface as [Error]. *)
+val read_response : in_channel -> (response, string) result

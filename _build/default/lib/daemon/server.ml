@@ -1,0 +1,431 @@
+open Protocol
+
+(* Writing to a peer that vanished must surface as Sys_error/EPIPE on
+   the channel, not kill the process. *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
+type t = {
+  source : Cvl.Loader.source;
+  manifest : Cvl.Manifest.entry list;
+  manifest_path : string option;
+  log : string -> unit;
+  pool : Pool.t;
+  mutable rules : (Cvl.Manifest.entry * Cvl.Rule.t list) list;
+  mutable load_errors : (string * string) list;
+  mutable compiled : Cvl.Compile.t;
+  mutable fused : Cvl.Fuse.t;
+  mutable lint_findings : int;
+  (* frame id -> (last validated snapshot, its results): the baseline
+     [revalidate] diffs against *)
+  baselines : (string, Frames.Frame.t * Cvl.Engine.result list) Hashtbl.t;
+  mutable requests : int;
+  mutable jobs_served : int;
+  mutable verdicts_streamed : int;
+  mutable protocol_errors : int;
+  mutable contained : int;
+  mutable reloads : int;
+  mutable latencies_ms : float list;  (* newest first *)
+  mutable busy_s : float;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Loading                                                           *)
+(* ---------------------------------------------------------------- *)
+
+(* Tolerant load, as [Validator.run] does it: a broken entity is
+   reported and skipped, the rest of the fleet still validates. *)
+let load_corpus ~source ~manifest =
+  let rules, errors =
+    List.fold_left
+      (fun (ok, errs) (entry : Cvl.Manifest.entry) ->
+        if not entry.Cvl.Manifest.enabled then (ok, errs)
+        else
+          match Cvl.Manifest.load_rules source entry with
+          | Ok rs -> ((entry, rs) :: ok, errs)
+          | Error m -> (ok, (entry.Cvl.Manifest.entity, m) :: errs))
+      ([], []) manifest
+  in
+  let rules = List.rev rules and errors = List.rev errors in
+  if rules = [] then
+    Error
+      (match errors with
+      | [] -> "manifest has no enabled entities"
+      | (e, m) :: _ -> Printf.sprintf "no entity loaded; first error: %s: %s" e m)
+  else Ok (rules, errors)
+
+let rule_total rules = List.fold_left (fun n (_, rs) -> n + List.length rs) 0 rules
+
+let lint_count ~source ~manifest_path =
+  try List.length (Cvlint.lint_corpus ~source ?manifest_path ()) with _ -> 0
+
+let create ?(jobs = 1) ?(log = fun _ -> ()) ?manifest_path ~source ~manifest () =
+  match load_corpus ~source ~manifest with
+  | Error m -> Error m
+  | Ok (rules, load_errors) ->
+      let compiled = Cvl.Validator.compile rules in
+      let fused = Cvl.Fuse.fuse compiled in
+      let lint_findings = lint_count ~source ~manifest_path in
+      let pool = Pool.create ~jobs:(if jobs = 0 then Pool.default_jobs () else jobs) in
+      List.iter (fun (e, m) -> log (Printf.sprintf "load error: %s: %s" e m)) load_errors;
+      log
+        (Printf.sprintf "loaded %d entities, %d rules (lint findings: %d, pool jobs: %d)"
+           (List.length rules) (rule_total rules) lint_findings (Pool.jobs pool));
+      Ok
+        {
+          source;
+          manifest;
+          manifest_path;
+          log;
+          pool;
+          rules;
+          load_errors;
+          compiled;
+          fused;
+          lint_findings;
+          baselines = Hashtbl.create 64;
+          requests = 0;
+          jobs_served = 0;
+          verdicts_streamed = 0;
+          protocol_errors = 0;
+          contained = 0;
+          reloads = 0;
+          latencies_ms = [];
+          busy_s = 0.0;
+        }
+
+let entity_count t = List.length t.rules
+let rule_count t = rule_total t.rules
+let lint_findings t = t.lint_findings
+let destroy t = Pool.shutdown t.pool
+
+(* ---------------------------------------------------------------- *)
+(* Job plumbing                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let read_frame_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | content -> (
+      match Frames.Codec.of_string content with
+      | Ok f -> Ok f
+      | Error m -> Error (Printf.sprintf "%s: %s" path m))
+
+let resolve_frames (j : validate_job) =
+  let* from_files =
+    List.fold_left
+      (fun acc path ->
+        let* acc = acc in
+        let* f = read_frame_file path in
+        Ok (f :: acc))
+      (Ok []) j.frame_files
+    |> Result.map List.rev
+  in
+  match j.frames @ from_files with
+  | [] -> Error "validate: no frames given"
+  | frames -> Ok frames
+
+(* Entity filter: restrict every engine's view of the corpus to the
+   named entities, preserving manifest order. *)
+let select_entities t names =
+  if names = [] then Ok (t.rules, t.compiled, t.fused)
+  else
+    let known =
+      List.filter (fun n -> List.exists (fun (e, _) -> e.Cvl.Manifest.entity = n) t.rules) names
+    in
+    match List.filter (fun n -> not (List.mem n known)) names with
+    | missing :: _ -> Error (Printf.sprintf "unknown entity %S" missing)
+    | [] ->
+        let keep entity = List.mem entity names in
+        let rules = List.filter (fun (e, _) -> keep e.Cvl.Manifest.entity) t.rules in
+        let compiled =
+          {
+            t.compiled with
+            Cvl.Compile.entities =
+              List.filter
+                (fun (ep : Cvl.Compile.entity_programs) ->
+                  keep ep.Cvl.Compile.entry.Cvl.Manifest.entity)
+                t.compiled.Cvl.Compile.entities;
+          }
+        in
+        let fused =
+          {
+            t.fused with
+            Cvl.Fuse.entities =
+              List.filter
+                (fun (ep : Cvl.Fuse.entity_plan) -> keep ep.Cvl.Fuse.entry.Cvl.Manifest.entity)
+                t.fused.Cvl.Fuse.entities;
+          }
+        in
+        Ok (rules, compiled, fused)
+
+let verdict_of_result (r : Cvl.Engine.result) =
+  {
+    v_entity = r.Cvl.Engine.entity;
+    v_frame = r.Cvl.Engine.frame_id;
+    v_rule = Cvl.Rule.name r.Cvl.Engine.rule;
+    v_verdict = Cvl.Engine.verdict_to_string r.Cvl.Engine.verdict;
+    v_detail = r.Cvl.Engine.detail;
+    v_evidence = r.Cvl.Engine.evidence;
+  }
+
+let summary_of ~engine ~job_ms ~cache0 ~revalidated ~degraded results =
+  let s = Cvl.Report.summarize results in
+  let cache1 = Cvl.Normcache.stats () in
+  {
+    s_total = s.Cvl.Report.total;
+    s_matched = s.Cvl.Report.matched;
+    s_violations = s.Cvl.Report.violations;
+    s_not_present = s.Cvl.Report.not_present;
+    s_not_applicable = s.Cvl.Report.not_applicable;
+    s_errors = s.Cvl.Report.errors;
+    s_degraded = degraded;
+    s_engine = engine;
+    s_job_ms = job_ms;
+    s_cache_hits = cache1.Cvl.Normcache.hits - cache0.Cvl.Normcache.hits;
+    s_cache_misses = cache1.Cvl.Normcache.misses - cache0.Cvl.Normcache.misses;
+    s_revalidated = revalidated;
+  }
+
+let record_job t ~t0 ~verdicts =
+  let dt = Unix.gettimeofday () -. t0 in
+  t.jobs_served <- t.jobs_served + 1;
+  t.verdicts_streamed <- t.verdicts_streamed + verdicts;
+  t.latencies_ms <- (dt *. 1000.0) :: t.latencies_ms;
+  t.busy_s <- t.busy_s +. dt;
+  dt *. 1000.0
+
+(* A single-frame, unfiltered, fault-free validate with default NA
+   handling is exactly the shape [Incremental.revalidate] can splice
+   into later: retain it as that frame's baseline. *)
+let retain_baseline t (j : validate_job) frames results =
+  match frames with
+  | [ frame ]
+    when j.tags = [] && j.entities = [] && j.chaos = None
+         && j.keep_not_applicable <> Some false ->
+      Hashtbl.replace t.baselines (Frames.Frame.id frame) (frame, results)
+  | _ -> ()
+
+let run_validate t (j : validate_job) respond =
+  let* frames = resolve_frames j in
+  let* rules, compiled, fused = select_entities t j.entities in
+  let t0 = Unix.gettimeofday () in
+  let cache0 = Cvl.Normcache.stats () in
+  let chaos_plan = Option.map (fun seed -> Faultsim.sample ~seed ~rules frames) j.chaos in
+  Option.iter Faultsim.arm chaos_plan;
+  let run =
+    Fun.protect
+      ~finally:(fun () -> if chaos_plan <> None then Faultsim.disarm ())
+      (fun () ->
+        let tags = j.tags and kna = j.keep_not_applicable in
+        let pool, jobs = if j.jobs = 0 then (Some t.pool, None) else (None, Some j.jobs) in
+        match j.engine with
+        | `Fused ->
+            Cvl.Validator.run_fused ~tags ?keep_not_applicable:kna ?pool ?jobs ~fused frames
+        | `Compiled ->
+            Cvl.Validator.run_compiled ~tags ?keep_not_applicable:kna ?pool ?jobs ~compiled
+              frames
+        | `Interpreted ->
+            Cvl.Validator.run_loaded ~tags ?keep_not_applicable:kna ?pool ?jobs
+              ~engine:`Interpreted ~rules frames)
+  in
+  let results = run.Cvl.Validator.results in
+  List.iter (fun r -> respond (Verdict (verdict_of_result r))) results;
+  let job_ms = record_job t ~t0 ~verdicts:(List.length results) in
+  retain_baseline t j frames results;
+  respond
+    (Summary
+       (summary_of ~engine:j.engine ~job_ms ~cache0 ~revalidated:None
+          ~degraded:run.Cvl.Validator.health.Cvl.Resilience.degraded results));
+  Ok ()
+
+let run_revalidate t ~frame ~frame_file respond =
+  let* frame =
+    match (frame, frame_file) with
+    | Some f, None -> Ok f
+    | None, Some path -> read_frame_file path
+    | _ -> Error "revalidate takes \"frame\" or \"frame_file\", not both"
+  in
+  let id = Frames.Frame.id frame in
+  let* previous_frame, previous =
+    match Hashtbl.find_opt t.baselines id with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (Printf.sprintf "no retained baseline for frame %S: validate it (alone) first" id)
+  in
+  let t0 = Unix.gettimeofday () in
+  let cache0 = Cvl.Normcache.stats () in
+  let diff = Frames.Diff.between previous_frame frame in
+  let results, revalidated =
+    Cvl.Incremental.revalidate ~pool:t.pool ~rules:t.rules ~previous ~diff frame
+  in
+  List.iter (fun r -> respond (Verdict (verdict_of_result r))) results;
+  let job_ms = record_job t ~t0 ~verdicts:(List.length results) in
+  Hashtbl.replace t.baselines id (frame, results);
+  respond
+    (Summary
+       (summary_of ~engine:`Fused ~job_ms ~cache0 ~revalidated:(Some revalidated)
+          ~degraded:false results));
+  Ok ()
+
+let reload_rules t =
+  let* rules, load_errors = load_corpus ~source:t.source ~manifest:t.manifest in
+  t.rules <- rules;
+  t.load_errors <- load_errors;
+  t.compiled <- Cvl.Validator.compile rules;
+  t.fused <- Cvl.Fuse.fuse t.compiled;
+  t.lint_findings <- lint_count ~source:t.source ~manifest_path:t.manifest_path;
+  (* The old results were produced by the old ruleset: every retained
+     baseline is invalid now. *)
+  Hashtbl.reset t.baselines;
+  t.reloads <- t.reloads + 1;
+  Ok (Reloaded { entities = List.length rules; rules = rule_total rules })
+
+(* ---------------------------------------------------------------- *)
+(* Stats                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let stats_of t =
+  let sorted = Array.of_list t.latencies_ms in
+  Array.sort compare sorted;
+  let mean =
+    if Array.length sorted = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 sorted /. float_of_int (Array.length sorted)
+  in
+  {
+    st_requests = t.requests;
+    st_jobs = t.jobs_served;
+    st_verdicts = t.verdicts_streamed;
+    st_protocol_errors = t.protocol_errors;
+    st_contained = t.contained;
+    st_reloads = t.reloads;
+    st_entities = List.length t.rules;
+    st_rules = rule_total t.rules;
+    st_retained_frames = Hashtbl.length t.baselines;
+    st_p50_ms = percentile sorted 50.0;
+    st_p99_ms = percentile sorted 99.0;
+    st_mean_ms = mean;
+    st_verdicts_per_sec =
+      (if t.busy_s > 0.0 then float_of_int t.verdicts_streamed /. t.busy_s else 0.0);
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Dispatch                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let request_label = function
+  | Ping -> "ping"
+  | Validate j ->
+      Printf.sprintf "validate (%d inline, %d files)" (List.length j.frames)
+        (List.length j.frame_files)
+  | Revalidate _ -> "revalidate"
+  | Reload_rules -> "reload-rules"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let handle t req ~respond =
+  t.requests <- t.requests + 1;
+  t.log (request_label req);
+  let contain job =
+    (* Per-job containment: a failing job answers with an error reply
+       and the server keeps serving — the daemon-level analogue of the
+       engine's [Engine_error] verdicts. *)
+    (match (try job () with exn -> Error (Printexc.to_string exn)) with
+    | Ok () -> ()
+    | Error m ->
+        t.contained <- t.contained + 1;
+        respond (Error_reply m));
+    `Continue
+  in
+  match req with
+  | Ping ->
+      respond Pong;
+      `Continue
+  | Stats ->
+      respond (Stats_reply (stats_of t));
+      `Continue
+  | Validate j -> contain (fun () -> run_validate t j respond)
+  | Revalidate { frame; frame_file } -> contain (fun () -> run_revalidate t ~frame ~frame_file respond)
+  | Reload_rules ->
+      contain (fun () ->
+          let* reply = reload_rules t in
+          respond reply;
+          Ok ())
+  | Shutdown ->
+      respond Bye;
+      `Shutdown
+
+(* ---------------------------------------------------------------- *)
+(* Connection loop                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let serve t ic oc =
+  Lazy.force ignore_sigpipe;
+  let respond resp = write_response oc resp in
+  let rec loop () =
+    match read_message ic with
+    | Closed -> `Disconnect
+    | Truncated m ->
+        (* Nobody knows where the next message starts: drop this
+           connection (only this connection — the listener and all
+           server state survive). *)
+        t.protocol_errors <- t.protocol_errors + 1;
+        t.log (Printf.sprintf "protocol error (desync): %s" m);
+        (try respond (Error_reply (Printf.sprintf "protocol: %s" m)) with Sys_error _ -> ());
+        `Disconnect
+    | Bad_payload m ->
+        (* Framed correctly, so the stream is still synchronized:
+           answer and keep serving this connection. *)
+        t.protocol_errors <- t.protocol_errors + 1;
+        t.log (Printf.sprintf "protocol error (payload): %s" m);
+        respond (Error_reply (Printf.sprintf "malformed request: %s" m));
+        loop ()
+    | Msg json -> (
+        match request_of_json json with
+        | Error m ->
+            t.requests <- t.requests + 1;
+            t.protocol_errors <- t.protocol_errors + 1;
+            respond (Error_reply m);
+            loop ()
+        | Ok req -> (
+            match handle t req ~respond with `Continue -> loop () | `Shutdown -> `Shutdown))
+  in
+  try loop () with
+  | End_of_file -> `Disconnect
+  | Sys_error m ->
+      (* Peer vanished mid-write. *)
+      t.log (Printf.sprintf "connection dropped: %s" m);
+      `Disconnect
+
+let listen t ~socket_path =
+  Lazy.force ignore_sigpipe;
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX socket_path);
+      Unix.listen sock 8;
+      t.log (Printf.sprintf "listening on %s" socket_path);
+      let rec accept_loop () =
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let outcome = serve t ic oc in
+        close_out_noerr oc;
+        close_in_noerr ic;
+        match outcome with `Disconnect -> accept_loop () | `Shutdown -> t.log "stopped"
+      in
+      accept_loop ())

@@ -1,0 +1,72 @@
+(** The [validated] daemon: engine-as-a-service.
+
+    A server loads, lints, compiles and fuses the ruleset exactly once
+    at {!create} time, holds a persistent {!Pool.t}, and then serves
+    {!Protocol.request}s over any channel pair. Requests on one
+    connection are served strictly sequentially, and every job runs
+    through the same engine entry points as the one-shot CLI — so a
+    [validate] stream is byte-identical, verdict by verdict and in the
+    same order, to [Cvl.Validator.run] over the same frames (the
+    differential tests assert this for all three engines, several job
+    counts, and chaos on/off).
+
+    State retained between jobs:
+    - the loaded rules and their compiled + fused forms (until
+      [reload-rules], which rebuilds them and drops every baseline);
+    - the worker pool;
+    - per-frame revalidation baselines: the last snapshot and results
+      of each frame validated alone with default NA handling, which
+      [revalidate] diffs against via {!Cvl.Incremental.revalidate};
+    - the content-addressed {!Cvl.Normcache} (process-global), which is
+      what makes warm jobs cheap;
+    - latency/throughput counters for [stats].
+
+    Failure containment mirrors the engine's [Engine_error] philosophy:
+    a job that raises is caught and answered with an [error] reply, a
+    malformed payload is answered and the connection continues, a
+    desynchronized stream drops only that connection — the server
+    process never dies on peer input. *)
+
+type t
+
+(** [create ~source ~manifest ()] loads every enabled entity's rules,
+    lints the corpus, compiles and fuses. Per-entity load failures are
+    tolerated (reported in the log and in job summaries would-be
+    degraded state), but a corpus where {e nothing} loads is an error.
+
+    [jobs] sizes the persistent pool ([0] = auto, default [1]).
+    [manifest_path] labels the manifest for the lint pass. [log]
+    receives one line per lifecycle event and request (default:
+    silent). *)
+val create :
+  ?jobs:int ->
+  ?log:(string -> unit) ->
+  ?manifest_path:string ->
+  source:Cvl.Loader.source ->
+  manifest:Cvl.Manifest.entry list ->
+  unit ->
+  (t, string) result
+
+val entity_count : t -> int
+val rule_count : t -> int
+val lint_findings : t -> int
+
+(** Serve one already-decoded request, calling [respond] once per
+    response message (possibly many for a [validate]/[revalidate]
+    stream). Never raises on job failure: exceptions are contained
+    into an [Error_reply]. *)
+val handle :
+  t -> Protocol.request -> respond:(Protocol.response -> unit) -> [ `Continue | `Shutdown ]
+
+(** Serve one connection until EOF, a desynchronized stream, or a
+    [shutdown] request. The server value stays valid afterwards:
+    call {!serve} again with the next connection. *)
+val serve : t -> in_channel -> out_channel -> [ `Disconnect | `Shutdown ]
+
+(** Accept loop on a Unix domain socket ([socket_path] is created,
+    and unlinked again on exit). Serves connections one at a time
+    until a [shutdown] request, then closes and removes the socket. *)
+val listen : t -> socket_path:string -> unit
+
+(** Stop the worker domains. The server remains usable (sequential). *)
+val destroy : t -> unit

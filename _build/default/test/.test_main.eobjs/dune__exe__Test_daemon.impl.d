@@ -1,0 +1,1 @@
+test/test_daemon.ml: Alcotest Buffer Client Cvl Daemon Domain Faultsim Filename Frames Fun In_channel Jsonlite List Option Out_channel Printf Protocol Result Rulesets Scenarios Server String Sys Unix

@@ -1,0 +1,14 @@
+  $ configvalidator export-frame -t host-bad -o frame.json
+  $ configvalidator validated --socket v.sock > server.log 2>&1 &
+  $ configvalidator validated-client --socket v.sock --wait 10 ping
+  $ configvalidator validated-client --socket v.sock validate --frame-file frame.json > first.out
+  $ tail -6 first.out
+  $ configvalidator validated-client --socket v.sock validate --frame-file frame.json | grep '^engine'
+  $ sed -i 's/PermitRootLogin yes/PermitRootLogin no/' frame.json
+  $ configvalidator validated-client --socket v.sock revalidate --frame-file frame.json > reval.out
+  $ tail -3 reval.out
+  $ configvalidator validated-client --socket v.sock stats
+  $ configvalidator validated-client --socket v.sock shutdown
+  $ wait
+  $ cat server.log
+  $ test -S v.sock || echo socket removed

@@ -100,3 +100,44 @@ corpus; the engine-identity verdict and the visit ordering do not.
   "path_heavy_fused_visits_below_compiled": true
   $ grep -c '"visits_fused"' fusion_smoke.json
   2
+
+The daemon benchmark pushes the fleet through a warm in-process daemon
+and compares against cold one-shot runs. The fleet shape and the
+byte-identity verdict are deterministic; the timing lines and the
+warm-vs-cold margin vary by machine (the runtest gate bounds them with
+a generous floor).
+
+  $ ../../bench/main.exe daemon --smoke --daemon-out daemon_smoke.json | grep -v '^warm ' | grep -v '^cold ' | grep -v '^sustained ' | grep -v 'beats cold'
+  
+  ==================================================================
+  Daemon - warm jobs vs cold one-shot (smoke)
+  ==================================================================
+  fleet: 24 frames x 15 entities = 360 cells (3 jobs of 8 frames)
+  daemon verdicts byte-identical to one-shot: true
+  wrote daemon_smoke.json
+
+
+  $ grep -o '"identical": true' daemon_smoke.json
+  "identical": true
+  $ grep -o '"cells": 360' daemon_smoke.json
+  "cells": 360
+
+The bench refuses to guess at typos: an unknown section, an unknown
+flag, or an output flag without its FILE argument all exit 2 with the
+usage string instead of silently running nothing.
+
+  $ ../../bench/main.exe daemno; echo "exit: $?"
+  unknown section "daemno"
+  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE]
+  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon
+  exit: 2
+  $ ../../bench/main.exe --frobnicate; echo "exit: $?"
+  unknown flag "--frobnicate"
+  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE]
+  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon
+  exit: 2
+  $ ../../bench/main.exe daemon --daemon-out; echo "exit: $?"
+  flag --daemon-out needs a FILE argument
+  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE]
+  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon
+  exit: 2

@@ -1,0 +1,75 @@
+The validated daemon loads, lints, compiles and fuses the ruleset once,
+then serves validation jobs over a Unix domain socket. Start it in the
+background against the embedded corpus; the client's --wait retries
+until the socket answers.
+
+  $ configvalidator export-frame -t host-bad -o frame.json
+  wrote frame.json
+  $ configvalidator validated --socket v.sock > server.log 2>&1 &
+  $ configvalidator validated-client --socket v.sock --wait 10 ping
+  pong
+
+A validate streams one verdict per rule x frame cell — in the same
+deterministic order as the one-shot CLI — then a summary trailer. The
+exit code mirrors the one-shot CLI too: 2 for violations.
+
+  $ configvalidator validated-client --socket v.sock validate --frame-file frame.json > first.out
+  [2]
+  $ tail -6 first.out
+  [N/A ] postgres   host-bad                     /var/lib/postgresql/data — /var/lib/postgresql/data: entity not present in this frame
+  [FAIL] stack      host-bad                     mysql ssl-ca path and sysctl and nginx SSL — Either mysql server ssl-ca does not have a cert, or ip_forward is enabled, or nginx has SSL disabled.
+  [FAIL] stack      host-bad                     tls_everywhere — At least one tier serves traffic without modern TLS.
+  [FAIL] stack      host-bad                     no_root_anywhere — A tier still runs as (or admits) root.
+  170 checks: 40 passed, 25 violations (2 missing), 105 n/a, 0 errors
+  engine fused, cache 0 hits / 6 misses
+
+The second job over the same content is served warm: every normalized
+document comes from the daemon's content-addressed cache.
+
+  $ configvalidator validated-client --socket v.sock validate --frame-file frame.json | grep '^engine'
+  engine fused, cache 6 hits / 0 misses
+
+Fix one setting on disk and revalidate: the daemon diffs the frame
+against its retained baseline and re-evaluates only the affected
+entity (one fresh parse, everything else from cache).
+
+  $ sed -i 's/PermitRootLogin yes/PermitRootLogin no/' frame.json
+  $ configvalidator validated-client --socket v.sock revalidate --frame-file frame.json > reval.out
+  [2]
+  $ tail -3 reval.out
+  170 checks: 41 passed, 24 violations (2 missing), 105 n/a, 0 errors
+  engine fused, cache 5 hits / 1 misses
+  revalidated: sshd
+
+The daemon's counters are deterministic (timing percentiles hide
+behind --verbose).
+
+  $ configvalidator validated-client --socket v.sock stats
+  requests: 5
+  jobs: 3
+  verdicts: 510
+  protocol-errors: 0
+  contained: 0
+  reloads: 0
+  entities: 15
+  rules: 170
+  retained-frames: 1
+
+Clean shutdown: the daemon answers, closes the socket, and its event
+log tells the whole story, one line per request.
+
+  $ configvalidator validated-client --socket v.sock shutdown
+  server stopped
+  $ wait
+  $ cat server.log
+  validated: loaded 15 entities, 170 rules (lint findings: 97, pool jobs: 1)
+  validated: listening on v.sock
+  validated: ping
+  validated: validate (0 inline, 1 files)
+  validated: validate (0 inline, 1 files)
+  validated: revalidate
+  validated: stats
+  validated: shutdown
+  validated: stopped
+  $ test -S v.sock || echo socket removed
+  socket removed

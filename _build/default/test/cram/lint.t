@@ -47,6 +47,18 @@ parses.
   1 error, 0 warnings, 0 infos
   [1]
 
+A require_other_configs probe that can never be satisfied is flagged
+too (CVL062): the compiler lowers an unparseable literal to a
+constant-false gate, so the rule silently never fires — a one-shot run
+pays that once, a resident daemon bakes the dead rule into its ruleset
+until the next reload.
+
+  $ configvalidator lint --rules-dir ../cvl_bad cvl062.yaml
+  cvl062.yaml:7: warning CVL062 [unsatisfiable-require-probe]: require_other_configs probe "listen[" does not parse (malformed index in segment "listen["): the gate is constant-false and the rule can never fire
+      suggestion: segments are labels, label[n], * or **, separated by '/'
+  0 errors, 1 warning, 0 infos
+  [1]
+
 An unreadable file is an input error, not a finding: the message goes
 to stderr and the exit code is 2, distinct from exit 1 for bad rules.
 

@@ -1,0 +1,489 @@
+(* The [validated] daemon: protocol codec/framing round-trips, the
+   differential identity of streamed verdicts against the one-shot
+   engine (all three engines, several job counts, chaos on and off),
+   per-connection failure containment, baseline retention across
+   reload, and watch mode over an injected transport. *)
+
+open Daemon
+
+let source = Rulesets.source
+let manifest = Rulesets.manifest
+let make_server ?(jobs = 1) () = Result.get_ok (Server.create ~jobs ~source ~manifest ())
+
+let fleet () =
+  [
+    Scenarios.Host.compliant ();
+    Scenarios.Host.misconfigured ();
+    Scenarios.Webstack.nginx_container_frame ~compliant:false;
+    Scenarios.Webstack.mysql_container_frame ~compliant:true;
+  ]
+
+let verdict_sig (v : Protocol.verdict) =
+  (v.Protocol.v_entity, v.Protocol.v_frame, v.Protocol.v_rule, v.Protocol.v_verdict,
+   v.Protocol.v_detail, String.concat "\x00" v.Protocol.v_evidence)
+
+let result_sig (r : Cvl.Engine.result) =
+  ( r.Cvl.Engine.entity,
+    r.Cvl.Engine.frame_id,
+    Cvl.Rule.name r.Cvl.Engine.rule,
+    Cvl.Engine.verdict_to_string r.Cvl.Engine.verdict,
+    r.Cvl.Engine.detail,
+    String.concat "\x00" r.Cvl.Engine.evidence )
+
+let sig_t = Alcotest.(list (pair (pair string string) (pair (pair string string) (pair string string))))
+let nest (a, b, c, d, e, f) = ((a, b), ((c, d), (e, f)))
+
+(* ---------------------------------------------------------------- *)
+(* Protocol                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let check_request_roundtrip r =
+  let json = Protocol.request_to_json r in
+  match Protocol.request_of_json json with
+  | Error m -> Alcotest.failf "request did not decode: %s" m
+  | Ok r' ->
+      Alcotest.(check string)
+        "request JSON round-trip" (Jsonlite.to_string json)
+        (Jsonlite.to_string (Protocol.request_to_json r'))
+
+let check_response_roundtrip r =
+  let json = Protocol.response_to_json r in
+  match Protocol.response_of_json json with
+  | Error m -> Alcotest.failf "response did not decode: %s" m
+  | Ok r' ->
+      Alcotest.(check string)
+        "response JSON round-trip" (Jsonlite.to_string json)
+        (Jsonlite.to_string (Protocol.response_to_json r'))
+
+(* Feed raw bytes to the framed reader. *)
+let with_bytes bytes f =
+  let path = Filename.temp_file "daemon" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc bytes);
+      In_channel.with_open_bin path f)
+
+let read_kind ic =
+  match Protocol.read_message ic with
+  | Protocol.Msg _ -> "msg"
+  | Protocol.Bad_payload _ -> "bad-payload"
+  | Protocol.Truncated _ -> "truncated"
+  | Protocol.Closed -> "closed"
+
+(* List elements evaluate right-to-left: force the reads in order. *)
+let read_kinds ic n =
+  let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (read_kind ic :: acc) in
+  go n []
+
+let protocol_cases =
+  [
+    Alcotest.test_case "requests round-trip through JSON" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        List.iter check_request_roundtrip
+          [
+            Protocol.Ping;
+            Protocol.Validate (Protocol.job ());
+            Protocol.Validate
+              (Protocol.job ~frames:[ f ] ~frame_files:[ "a.json"; "b.json" ]
+                 ~tags:[ "#security" ] ~entities:[ "sshd"; "sysctl" ] ~engine:`Compiled
+                 ~jobs:4 ~keep_not_applicable:false ~chaos:7 ());
+            Protocol.Revalidate { frame = Some f; frame_file = None };
+            Protocol.Revalidate { frame = None; frame_file = Some "f.json" };
+            Protocol.Reload_rules;
+            Protocol.Stats;
+            Protocol.Shutdown;
+          ]);
+    Alcotest.test_case "responses round-trip through JSON" `Quick (fun () ->
+        List.iter check_response_roundtrip
+          [
+            Protocol.Pong;
+            Protocol.Verdict
+              {
+                Protocol.v_entity = "sshd";
+                v_frame = "host-1";
+                v_rule = "PermitRootLogin";
+                v_verdict = "not-matched";
+                v_detail = "expected no, got yes";
+                v_evidence = [ "/etc/ssh/sshd_config:12" ];
+              };
+            Protocol.Summary
+              {
+                Protocol.s_total = 170;
+                s_matched = 140;
+                s_violations = 25;
+                s_not_present = 3;
+                s_not_applicable = 2;
+                s_errors = 0;
+                s_degraded = false;
+                s_engine = `Fused;
+                s_job_ms = 12.5;
+                s_cache_hits = 6;
+                s_cache_misses = 0;
+                s_revalidated = Some [ "sshd" ];
+              };
+            Protocol.Stats_reply
+              {
+                Protocol.st_requests = 5;
+                st_jobs = 3;
+                st_verdicts = 510;
+                st_protocol_errors = 1;
+                st_contained = 0;
+                st_reloads = 1;
+                st_entities = 15;
+                st_rules = 170;
+                st_retained_frames = 1;
+                st_p50_ms = 1.0;
+                st_p99_ms = 2.0;
+                st_mean_ms = 1.2;
+                st_verdicts_per_sec = 40000.0;
+              };
+            Protocol.Reloaded { entities = 15; rules = 170 };
+            Protocol.Error_reply "boom";
+            Protocol.Bye;
+          ]);
+    Alcotest.test_case "framing reads messages then a clean EOF" `Quick (fun () ->
+        let buf = Buffer.create 64 in
+        let oc_path = Filename.temp_file "daemon" ".bin" in
+        Out_channel.with_open_bin oc_path (fun oc ->
+            Protocol.write_message oc (Jsonlite.Str "one");
+            Protocol.write_message oc (Jsonlite.Num 2.0));
+        Buffer.add_string buf (In_channel.with_open_bin oc_path In_channel.input_all);
+        Sys.remove oc_path;
+        with_bytes (Buffer.contents buf) (fun ic ->
+            Alcotest.(check (list string))
+              "two messages then closed" [ "msg"; "msg"; "closed" ] (read_kinds ic 3)));
+    Alcotest.test_case "framing: errors are classified" `Quick (fun () ->
+        let kind bytes = with_bytes bytes read_kind in
+        (* Non-numeric length line: nobody knows where the next message
+           starts. *)
+        Alcotest.(check string) "garbage length" "truncated" (kind "xyz\n{}\n");
+        Alcotest.(check string) "negative length" "truncated" (kind "-4\n{}\n");
+        (* EOF in the middle of a declared payload. *)
+        Alcotest.(check string) "short payload" "truncated" (kind "100\n{\"op\":");
+        (* Payload not followed by the frame-terminating newline. *)
+        Alcotest.(check string) "missing terminator" "truncated" (kind "2\n{}X");
+        (* Framed correctly but not JSON: stream still synchronized. *)
+        Alcotest.(check string) "non-JSON payload" "bad-payload" (kind "9\nnot json!\n");
+        (* And the reader really is still synchronized after one. *)
+        with_bytes "9\nnot json!\n4\ntrue\n" (fun ic ->
+            Alcotest.(check (list string))
+              "bad payload, then a good message" [ "bad-payload"; "msg"; "closed" ]
+              (read_kinds ic 3)));
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Differential: daemon stream vs one-shot engine                    *)
+(* ---------------------------------------------------------------- *)
+
+let one_shot_signature ~rules ~chaos frames =
+  let plan = Option.map (fun seed -> Faultsim.sample ~seed ~rules frames) chaos in
+  Option.iter Faultsim.arm plan;
+  Fun.protect
+    ~finally:(fun () -> if plan <> None then Faultsim.disarm ())
+    (fun () ->
+      let t = Cvl.Validator.run_loaded ~rules frames in
+      List.map result_sig t.Cvl.Validator.results)
+
+let differential_cases =
+  [
+    Alcotest.test_case "streamed verdicts byte-identical to one-shot runs" `Slow (fun () ->
+        let frames = fleet () in
+        let rules =
+          Result.get_ok (Cvl.Validator.load_rules ~source ~manifest)
+        in
+        let server = make_server () in
+        let client = Client.in_process server in
+        Fun.protect
+          ~finally:(fun () ->
+            Client.close client;
+            Server.destroy server)
+          (fun () ->
+            List.iter
+              (fun ((engine : Protocol.engine), jobs, chaos) ->
+                let reference = one_shot_signature ~rules ~chaos frames in
+                let streamed = ref [] in
+                let summary =
+                  Client.validate client
+                    ~on_verdict:(fun v -> streamed := verdict_sig v :: !streamed)
+                    (Protocol.job ~frames ~engine ~jobs ?chaos ())
+                in
+                let label =
+                  Printf.sprintf "%s, jobs=%d, chaos=%s"
+                    (Protocol.engine_to_string engine)
+                    jobs
+                    (match chaos with None -> "off" | Some s -> string_of_int s)
+                in
+                match summary with
+                | Error m -> Alcotest.failf "%s: stream failed: %s" label m
+                | Ok s ->
+                    Alcotest.(check sig_t)
+                      (label ^ ": same verdicts, same order")
+                      (List.map nest reference)
+                      (List.map nest (List.rev !streamed));
+                    Alcotest.(check int)
+                      (label ^ ": summary counts the stream")
+                      (List.length reference) s.Protocol.s_total;
+                    Alcotest.(check bool)
+                      (label ^ ": chaos degrades, clean runs do not")
+                      (chaos <> None) s.Protocol.s_degraded)
+              [
+                (`Fused, 1, None);
+                (`Fused, 4, None);
+                (`Fused, 1, Some 1);
+                (`Compiled, 1, None);
+                (`Compiled, 4, Some 1);
+                (`Interpreted, 1, None);
+                (`Interpreted, 4, Some 1);
+              ]));
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Containment: malformed and truncated peers                        *)
+(* ---------------------------------------------------------------- *)
+
+(* Serve one raw connection: [f] talks bytes to the server, returns
+   with the connection outcome once the peer side is closed. *)
+let raw_connection server f =
+  let client_fd, server_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let domain =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr server_fd in
+        let oc = Unix.out_channel_of_descr server_fd in
+        let outcome = Server.serve server ic oc in
+        close_out_noerr oc;
+        close_in_noerr ic;
+        outcome)
+  in
+  let ic = Unix.in_channel_of_descr client_fd in
+  let oc = Unix.out_channel_of_descr client_fd in
+  let result = f ic oc in
+  close_out_noerr oc;
+  close_in_noerr ic;
+  (result, Domain.join domain)
+
+let expect_pong ic =
+  match Protocol.read_response ic with
+  | Ok Protocol.Pong -> ()
+  | Ok _ -> Alcotest.fail "expected pong"
+  | Error m -> Alcotest.failf "expected pong, got error: %s" m
+
+let expect_error ic =
+  match Protocol.read_response ic with
+  | Ok (Protocol.Error_reply m) -> m
+  | Ok _ -> Alcotest.fail "expected an error reply"
+  | Error m -> Alcotest.failf "transport error instead of error reply: %s" m
+
+let containment_cases =
+  [
+    Alcotest.test_case "malformed payload answered, connection continues" `Quick (fun () ->
+        let server = make_server () in
+        Fun.protect
+          ~finally:(fun () -> Server.destroy server)
+          (fun () ->
+            let (), outcome =
+              raw_connection server (fun ic oc ->
+                  Protocol.write_request oc Protocol.Ping;
+                  expect_pong ic;
+                  (* Well-framed garbage: the stream stays synchronized,
+                     so the server answers and keeps this connection. *)
+                  output_string oc "9\nnot json!\n";
+                  flush oc;
+                  let m = expect_error ic in
+                  Alcotest.(check bool) "error names the malformed request" true
+                    (String.length m > 0);
+                  Protocol.write_request oc Protocol.Ping;
+                  expect_pong ic)
+            in
+            Alcotest.(check bool) "clean disconnect" true (outcome = `Disconnect)));
+    Alcotest.test_case "truncated stream drops only that connection" `Quick (fun () ->
+        let server = make_server () in
+        Fun.protect
+          ~finally:(fun () -> Server.destroy server)
+          (fun () ->
+            let (), outcome =
+              raw_connection server (fun ic oc ->
+                  Protocol.write_request oc Protocol.Ping;
+                  expect_pong ic;
+                  (* Declare 999 bytes, send 6, then half-close: the
+                     server sees EOF mid-payload — desynchronized. *)
+                  output_string oc "999\n{\"op\":";
+                  flush oc;
+                  (try Unix.shutdown (Unix.descr_of_out_channel oc) Unix.SHUTDOWN_SEND
+                   with Unix.Unix_error _ -> ());
+                  let (_ : string) = expect_error ic in
+                  ())
+            in
+            Alcotest.(check bool) "connection dropped" true (outcome = `Disconnect);
+            (* The server value survives: the next connection serves. *)
+            let (), outcome =
+              raw_connection server (fun ic oc ->
+                  Protocol.write_request oc Protocol.Ping;
+                  expect_pong ic)
+            in
+            Alcotest.(check bool) "server alive for the next peer" true
+              (outcome = `Disconnect)));
+    Alcotest.test_case "a failing job is contained, the server keeps serving" `Quick (fun () ->
+        let server = make_server () in
+        let client = Client.in_process server in
+        Fun.protect
+          ~finally:(fun () ->
+            Client.close client;
+            Server.destroy server)
+          (fun () ->
+            (* Unreadable frame file. *)
+            (match
+               Client.validate client ~on_verdict:ignore
+                 (Protocol.job ~frame_files:[ "/no/such/frame.json" ] ())
+             with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "expected an error for an unreadable frame file");
+            (* Unknown entity filter. *)
+            (match
+               Client.validate client ~on_verdict:ignore
+                 (Protocol.job ~frames:[ Scenarios.Host.compliant () ]
+                    ~entities:[ "no-such-entity" ] ())
+             with
+            | Error m ->
+                Alcotest.(check bool) "error names the entity" true
+                  (String.length m > 0)
+            | Ok _ -> Alcotest.fail "expected an error for an unknown entity");
+            (* No frames at all. *)
+            (match Client.validate client ~on_verdict:ignore (Protocol.job ()) with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "expected an error for an empty job");
+            Alcotest.(check (result unit string)) "still serving" (Ok ())
+              (Client.ping client);
+            match Client.stats client with
+            | Error m -> Alcotest.failf "stats: %s" m
+            | Ok st ->
+                Alcotest.(check int) "every failure contained" 3
+                  st.Protocol.st_contained;
+                Alcotest.(check int) "no protocol errors" 0
+                  st.Protocol.st_protocol_errors));
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Retained baselines, reload, watch                                 *)
+(* ---------------------------------------------------------------- *)
+
+let broken_host () =
+  let f = Scenarios.Host.compliant () in
+  Frames.Frame.set_content f ~path:"/etc/ssh/sshd_config"
+    (Scenarios.Host.good_sshd_config ^ "PermitRootLogin yes\n")
+
+let lifecycle_cases =
+  [
+    Alcotest.test_case "revalidate needs a baseline; reload drops them all" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let f' = broken_host () in
+        let server = make_server () in
+        let client = Client.in_process server in
+        Fun.protect
+          ~finally:(fun () ->
+            Client.close client;
+            Server.destroy server)
+          (fun () ->
+            (* No baseline yet. *)
+            (match Client.revalidate client ~on_verdict:ignore f' with
+            | Error m ->
+                Alcotest.(check bool) "asks for a validate first" true
+                  (String.length m > 0)
+            | Ok _ -> Alcotest.fail "revalidate without a baseline must fail");
+            (* Validate (alone) retains the baseline... *)
+            let s =
+              Result.get_ok
+                (Client.validate client ~on_verdict:ignore (Protocol.job ~frames:[ f ] ()))
+            in
+            Alcotest.(check bool) "clean run" false s.Protocol.s_degraded;
+            let st = Result.get_ok (Client.stats client) in
+            Alcotest.(check int) "one baseline retained" 1 st.Protocol.st_retained_frames;
+            (* ...so revalidate works and re-evaluates only sshd. *)
+            let s' = Result.get_ok (Client.revalidate client ~on_verdict:ignore f') in
+            Alcotest.(check (option (list string)))
+              "only sshd re-evaluated" (Some [ "sshd" ]) s'.Protocol.s_revalidated;
+            Alcotest.(check bool) "the regression is visible" true
+              (s'.Protocol.s_violations > s.Protocol.s_violations);
+            (* Rule reload invalidates every retained baseline: the old
+               results were produced by the old ruleset. *)
+            let entities, rules = Result.get_ok (Client.reload_rules client) in
+            Alcotest.(check bool) "reload reports the corpus" true (entities > 0 && rules > 0);
+            let st = Result.get_ok (Client.stats client) in
+            Alcotest.(check int) "baselines dropped" 0 st.Protocol.st_retained_frames;
+            Alcotest.(check int) "reload counted" 1 st.Protocol.st_reloads;
+            (match Client.revalidate client ~on_verdict:ignore f' with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "revalidate after reload must require a fresh validate");
+            (* And a fresh validate re-arms revalidation. *)
+            let (_ : Protocol.summary) =
+              Result.get_ok
+                (Client.validate client ~on_verdict:ignore (Protocol.job ~frames:[ f' ] ()))
+            in
+            let s'' = Result.get_ok (Client.revalidate client ~on_verdict:ignore f') in
+            Alcotest.(check (option (list string)))
+              "no change after re-validate" (Some []) s''.Protocol.s_revalidated));
+    Alcotest.test_case "multi-frame and filtered validates retain no baseline" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let server = make_server () in
+        let client = Client.in_process server in
+        Fun.protect
+          ~finally:(fun () ->
+            Client.close client;
+            Server.destroy server)
+          (fun () ->
+            let run job =
+              let (_ : Protocol.summary) =
+                Result.get_ok (Client.validate client ~on_verdict:ignore job)
+              in
+              ()
+            in
+            run (Protocol.job ~frames:(fleet ()) ());
+            run (Protocol.job ~frames:[ f ] ~entities:[ "sshd" ] ());
+            run (Protocol.job ~frames:[ f ] ~tags:[ "#security" ] ());
+            run (Protocol.job ~frames:[ f ] ~chaos:1 ());
+            let st = Result.get_ok (Client.stats client) in
+            Alcotest.(check int) "nothing retained" 0 st.Protocol.st_retained_frames));
+    Alcotest.test_case "watch revalidates each changed snapshot" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let f' = broken_host () in
+        (* The watched "file": f, unchanged, broken, unchanged, fixed. *)
+        let snapshots = ref [ f; f; f'; f'; f ] in
+        let load () =
+          match !snapshots with
+          | [] -> Ok f
+          | [ last ] -> Ok last
+          | s :: rest ->
+              snapshots := rest;
+              Ok s
+        in
+        let polls = ref 0 in
+        let sleep () =
+          incr polls;
+          !polls <= 10
+        in
+        let events = ref [] in
+        let server = make_server () in
+        let client = Client.in_process server in
+        Fun.protect
+          ~finally:(fun () ->
+            Client.close client;
+            Server.destroy server)
+          (fun () ->
+            match
+              Client.watch client ~load ~sleep ~max_events:2
+                ~on_event:(fun s -> events := s :: !events)
+                ()
+            with
+            | Error m -> Alcotest.failf "watch: %s" m
+            | Ok n ->
+                Alcotest.(check int) "two change events" 2 n;
+                let revalidated =
+                  List.rev_map (fun (s : Protocol.summary) -> s.Protocol.s_revalidated) !events
+                in
+                Alcotest.(check (list (option (list string))))
+                  "each event re-evaluated sshd"
+                  [ Some [ "sshd" ]; Some [ "sshd" ] ]
+                  revalidated));
+  ]
+
+let suite = protocol_cases @ differential_cases @ containment_cases @ lifecycle_cases

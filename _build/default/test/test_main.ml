@@ -23,6 +23,7 @@ let () =
       ("remediate", Test_remediate.suite);
       ("orchestrator", Test_orchestrator.suite);
       ("incremental", Test_incremental.suite);
+      ("daemon", Test_daemon.suite);
       ("compile", Test_compile.suite);
       ("report", Test_report.suite);
       ("robustness", Test_robustness.suite);

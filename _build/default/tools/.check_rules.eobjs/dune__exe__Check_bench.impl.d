@@ -1,1 +1,1 @@
-tools/check_bench.ml: In_channel Jsonlite Option Printf String Sys
+tools/check_bench.ml: In_channel Jsonlite List Option Printf String Sys

@@ -9,7 +9,9 @@
    exists to catch "the optimization stopped optimizing", not to
    re-certify the paper numbers.
 
-   Usage: check_bench.exe BENCH_compile.json BENCH_fusion.json *)
+   Usage:
+     check_bench.exe BENCH_compile.json BENCH_fusion.json \
+                     [BENCH_chaos.json [BENCH_daemon.json]] *)
 
 let failures = ref 0
 
@@ -38,11 +40,15 @@ let num json path =
 let flag json key = Jsonlite.member key json = Some (Jsonlite.Bool true)
 
 let () =
-  let compile_file, fusion_file =
+  let compile_file, fusion_file, chaos_file, daemon_file =
     match Sys.argv with
-    | [| _; c; f |] -> (c, f)
+    | [| _; c; f |] -> (c, f, None, None)
+    | [| _; c; f; ch |] -> (c, f, Some ch, None)
+    | [| _; c; f; ch; d |] -> (c, f, Some ch, Some d)
     | _ ->
-      prerr_endline "usage: check_bench.exe BENCH_compile.json BENCH_fusion.json";
+      prerr_endline
+        "usage: check_bench.exe BENCH_compile.json BENCH_fusion.json [BENCH_chaos.json \
+         [BENCH_daemon.json]]";
       exit 2
   in
   let compile = load compile_file in
@@ -75,6 +81,37 @@ let () =
     (num fusion [ "path_heavy"; "speedup_fused_vs_compiled" ] >= floor_fused);
   check "fusion: corpus fused vs compiled >= 0.5x (no warm-path regression)"
     (num fusion [ "corpus"; "speedup_fused_vs_compiled" ] >= 0.5);
+
+  (* Chaos harness (BENCH_chaos.json). The invariant is exact: every
+     seeded fault plan must complete degraded-but-total — faults fire,
+     runs degrade, no run aborts. *)
+  (match chaos_file with
+  | None -> ()
+  | Some file ->
+    let chaos = load file in
+    check "chaos: every run completed degraded-but-total" (flag chaos "all_runs_degraded_but_total");
+    let runs = match Jsonlite.member "runs" chaos with Some (Jsonlite.Arr rs) -> rs | _ -> [] in
+    check "chaos: three seeded fault plans recorded" (List.length runs = 3);
+    check "chaos: every plan fired at least one fault"
+      (runs <> [] && List.for_all (fun r -> num r [ "fired" ] > 0.0) runs));
+
+  (* Warm daemon vs cold one-shot (BENCH_daemon.json). Verdict identity
+     is exact; the warm-beats-cold floor is generous (the daemon pays
+     the whole protocol cost: framing, codec, verdict streaming). *)
+  (match daemon_file with
+  | None -> ()
+  | Some file ->
+    let daemon = load file in
+    let floor = if flag daemon "smoke" then 0.75 else 1.3 in
+    check "daemon: streamed verdicts identical to one-shot" (flag daemon "identical");
+    check
+      (Printf.sprintf "daemon: warm job vs cold one-shot >= %.2fx" floor)
+      (num daemon [ "speedup_warm_vs_cold" ] >= floor);
+    check "daemon: sustained verdicts/sec recorded" (num daemon [ "verdicts_per_sec" ] > 0.0);
+    check "daemon: latency percentiles ordered (p50 <= p99)"
+      (num daemon [ "p50_ms" ] <= num daemon [ "p99_ms" ]);
+    check "daemon: full fleet covers >= 100k cells"
+      (flag daemon "smoke" || num daemon [ "cells" ] >= 100000.0));
 
   if !failures > 0 then (
     Printf.eprintf "check_bench: %d check(s) failed\n" !failures;

@@ -77,6 +77,28 @@ let incremental_cases =
           "same verdicts as a full run"
           (List.sort compare (List.map key full))
           (List.sort compare (List.map key incremental)));
+    Alcotest.test_case "empty diff short-circuits to the previous results" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let rules = rules () in
+        let previous = (Validator.run_loaded ~rules [ f ]).Validator.results in
+        let merged, reeval =
+          Incremental.revalidate ~rules ~previous ~diff:(Frames.Diff.between f f) f
+        in
+        Alcotest.(check (list string)) "nothing re-evaluated" [] reeval;
+        (* Not just equal: the very same list, no rebuild happened. *)
+        Alcotest.(check bool) "previous returned physically" true (merged == previous));
+    Alcotest.test_case "a diff on a file no rule queries affects nothing" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let rules = rules () in
+        let f' = Frames.Frame.add_file f (Frames.File.make ~content:"x=1\n" "/etc/unqueried.conf") in
+        let diff = Frames.Diff.between f f' in
+        Alcotest.(check bool) "the diff itself is real" false (Frames.Diff.is_empty diff);
+        Alcotest.(check (list string)) "no entity affected" []
+          (Incremental.affected_entities ~rules diff);
+        let previous = (Validator.run_loaded ~rules [ f ]).Validator.results in
+        let merged, reeval = Incremental.revalidate ~rules ~previous ~diff f' in
+        Alcotest.(check (list string)) "nothing re-evaluated" [] reeval;
+        Alcotest.(check bool) "previous returned physically" true (merged == previous));
     Alcotest.test_case "no change revalidates nothing" `Quick (fun () ->
         let f = Scenarios.Host.compliant () in
         let rules = rules () in
@@ -135,6 +157,37 @@ let cache_counter_cases =
           "equals full run"
           (List.sort compare (List.map key full))
           (List.sort compare (List.map key merged)));
+    Alcotest.test_case "an edit invalidates exactly its cache entry; a revert re-hits" `Quick
+      (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let rules = rules () in
+        Normcache.set_enabled true;
+        Normcache.reset ();
+        let previous = (Validator.run_loaded ~rules [ f ]).Validator.results in
+        (* Edit: the new content is absent from the cache, so the
+           affected entity pays exactly one miss. *)
+        let f' = Frames.Frame.set_content f ~path:"/etc/sysctl.conf" "net.ipv4.ip_forward = 1\n" in
+        let before = Normcache.stats () in
+        let merged, _ =
+          Incremental.revalidate ~rules ~previous ~diff:(Frames.Diff.between f f') f'
+        in
+        let mid = Normcache.stats () in
+        Alcotest.(check int) "edit misses once" (before.Normcache.misses + 1) mid.Normcache.misses;
+        (* Revert: the original bytes are still cached from the first
+           run, so revalidating back costs zero fresh parses. *)
+        let merged', reeval =
+          Incremental.revalidate ~rules ~previous:merged ~diff:(Frames.Diff.between f' f) f
+        in
+        let after = Normcache.stats () in
+        Alcotest.(check (list string)) "revert re-evaluates sysctl" [ "sysctl" ] reeval;
+        Alcotest.(check int) "revert misses nothing" mid.Normcache.misses after.Normcache.misses;
+        let key (r : Engine.result) =
+          (r.Engine.entity, Rule.name r.Engine.rule, Engine.verdict_to_string r.Engine.verdict)
+        in
+        Alcotest.(check (list (triple string string string)))
+          "revert restores the original verdicts"
+          (List.sort compare (List.map key previous))
+          (List.sort compare (List.map key merged')));
     Alcotest.test_case "revalidate with a pool matches sequential revalidate" `Quick (fun () ->
         let f = Scenarios.Host.compliant () in
         let rules = rules () in
