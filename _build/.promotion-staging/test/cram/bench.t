@@ -114,10 +114,13 @@ a generous floor).
   ==================================================================
   fleet: 24 frames x 15 entities = 360 cells (3 jobs of 8 frames)
   daemon verdicts byte-identical to one-shot: true
+  4 concurrent clients x 2 jobs: 2024 verdicts, byte-identical: true
+  concurrent 7545 verdicts/sec (p99 147.65 ms), 0.14x of single-client
   wrote daemon_smoke.json
 
 
   $ grep -o '"identical": true' daemon_smoke.json
+  "identical": true
   "identical": true
   $ grep -o '"cells": 360' daemon_smoke.json
   "cells": 360

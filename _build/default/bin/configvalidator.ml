@@ -521,7 +521,8 @@ let remediate_cmd =
 (* validated: long-running validation daemon + its client              *)
 (* ------------------------------------------------------------------ *)
 
-let validated socket rules_dir jobs quiet =
+let validated socket rules_dir jobs quiet backlog max_connections max_inflight queue_depth
+    deadline_ms idle_timeout_ms drain_ms =
   match source_and_manifest rules_dir with
   | Error e ->
     prerr_endline e;
@@ -529,7 +530,18 @@ let validated socket rules_dir jobs quiet =
   | Ok (source, manifest) -> (
     let log = if quiet then fun _ -> () else fun m -> Printf.printf "validated: %s\n%!" m in
     let manifest_path = Option.map (fun d -> Filename.concat d "manifest.yaml") rules_dir in
-    match Daemon.Server.create ~jobs ~log ?manifest_path ~source ~manifest () with
+    let config =
+      {
+        Daemon.Server.backlog;
+        max_connections;
+        max_inflight;
+        queue_depth;
+        deadline_ms;
+        idle_timeout_ms;
+        drain_ms;
+      }
+    in
+    match Daemon.Server.create ~config ~jobs ~log ?manifest_path ~source ~manifest () with
     | Error e ->
       prerr_endline e;
       1
@@ -586,6 +598,12 @@ let print_stats verbose (st : Daemon.Protocol.stats) =
   Printf.printf "entities: %d\n" st.Daemon.Protocol.st_entities;
   Printf.printf "rules: %d\n" st.Daemon.Protocol.st_rules;
   Printf.printf "retained-frames: %d\n" st.Daemon.Protocol.st_retained_frames;
+  Printf.printf "sessions: %d\n" st.Daemon.Protocol.st_sessions;
+  Printf.printf "peak-sessions: %d\n" st.Daemon.Protocol.st_peak_sessions;
+  Printf.printf "shed: %d\n" st.Daemon.Protocol.st_shed;
+  Printf.printf "deadline-misses: %d\n" st.Daemon.Protocol.st_deadline_misses;
+  Printf.printf "idle-reaped: %d\n" st.Daemon.Protocol.st_idle_reaped;
+  Printf.printf "crashed: %d\n" st.Daemon.Protocol.st_crashed;
   if verbose then begin
     Printf.printf "p50: %.3f ms\n" st.Daemon.Protocol.st_p50_ms;
     Printf.printf "p99: %.3f ms\n" st.Daemon.Protocol.st_p99_ms;
@@ -601,8 +619,55 @@ let load_frame_file path =
     | Ok frame -> Ok frame
     | Error e -> Error (Printf.sprintf "%s: %s" path e))
 
+(* Pipe stdin's bytes to the socket verbatim and print every reply
+   frame — the footgun-shaped op the protocol edge-case crams use to
+   poke the reader with hand-crafted framing. *)
+let raw_op socket wait =
+  let give_up = Unix.gettimeofday () +. wait in
+  let rec dial () =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect sock (Unix.ADDR_UNIX socket) with
+    | () -> Ok sock
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () < give_up then begin
+        Unix.sleepf 0.05;
+        dial ()
+      end
+      else Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
+  in
+  match dial () with
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok sock ->
+    let bytes = In_channel.input_all stdin in
+    (try ignore (Unix.write_substring sock bytes 0 (String.length bytes))
+     with Unix.Unix_error _ -> ());
+    (try Unix.shutdown sock Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    let ic = Unix.in_channel_of_descr sock in
+    let rec pump () =
+      match Daemon.Protocol.read_message ic with
+      | Daemon.Protocol.Msg json ->
+        print_endline (Jsonlite.to_string json);
+        pump ()
+      | Daemon.Protocol.Bad_payload m ->
+        Printf.printf "bad-payload: %s\n" m;
+        pump ()
+      | Daemon.Protocol.Truncated m ->
+        Printf.printf "truncated: %s\n" m;
+        0
+      | Daemon.Protocol.Closed -> 0
+    in
+    let code = pump () in
+    close_in_noerr ic;
+    code
+
 let validated_client socket wait op target frame_files tags entities engine jobs chaos
-    interval_ms max_events verbose =
+    deadline_ms interval_ms max_events verbose =
+  match op with
+  | `Raw -> raw_op socket wait
+  | (`Ping | `Shutdown | `Reload | `Stats | `Validate | `Revalidate | `Watch) as op -> (
   match Daemon.Client.connect ~retry_for:wait socket with
   | Error e ->
     prerr_endline e;
@@ -655,7 +720,8 @@ let validated_client socket wait op target frame_files tags entities engine jobs
       | Ok [] when frame_files = [] -> fail "validate needs --target or --frame-file"
       | Ok frames -> (
         let job =
-          Daemon.Protocol.job ~frames ~frame_files ~tags ~entities ~engine ~jobs ?chaos ()
+          Daemon.Protocol.job ~frames ~frame_files ~tags ~entities ~engine ~jobs ?chaos
+            ?deadline_ms ()
         in
         match Daemon.Client.validate c ~on_verdict:print_verdict job with
         | Ok s ->
@@ -696,7 +762,7 @@ let validated_client socket wait op target frame_files tags entities engine jobs
           Printf.printf "watched %d change(s)\n" events;
           finish 0
         | Error m -> fail m)
-      | _ -> fail "watch needs exactly one --frame-file"))
+      | _ -> fail "watch needs exactly one --frame-file")))
 
 let socket_arg =
   let doc = "Unix domain socket path the daemon serves on." in
@@ -705,9 +771,64 @@ let socket_arg =
 let validated_cmd =
   let doc = "run the long-lived validation daemon (engine-as-a-service)" in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the event log.") in
+  let d = Daemon.Server.default_config in
+  let backlog =
+    Arg.(
+      value
+      & opt int d.Daemon.Server.backlog
+      & info [ "backlog" ] ~docv:"N" ~doc:"listen(2) queue length for pending connections.")
+  in
+  let max_connections =
+    Arg.(
+      value
+      & opt int d.Daemon.Server.max_connections
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Concurrent session cap; connections beyond it are answered with an overloaded \
+             reply and closed.")
+  in
+  let max_inflight =
+    Arg.(
+      value
+      & opt int d.Daemon.Server.max_inflight
+      & info [ "max-inflight" ] ~docv:"N" ~doc:"Jobs allowed to run concurrently.")
+  in
+  let queue_depth =
+    Arg.(
+      value
+      & opt int d.Daemon.Server.queue_depth
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Jobs allowed to wait for a slot before shedding starts.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default wall-clock budget per job; requests may override. Expiry answers with \
+             an error reply.")
+  in
+  let idle_timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "idle-timeout-ms" ] ~docv:"MS"
+          ~doc:"Reap connections with no traffic for this long (default: never).")
+  in
+  let drain_ms =
+    Arg.(
+      value
+      & opt int d.Daemon.Server.drain_ms
+      & info [ "drain-ms" ] ~docv:"MS"
+          ~doc:"How long a graceful shutdown waits for in-flight jobs before forcing.")
+  in
   Cmd.v
     (Cmd.info "validated" ~doc)
-    Term.(const validated $ socket_arg $ rules_dir_arg $ jobs_arg $ quiet)
+    Term.(
+      const validated $ socket_arg $ rules_dir_arg $ jobs_arg $ quiet $ backlog
+      $ max_connections $ max_inflight $ queue_depth $ deadline_ms $ idle_timeout_ms
+      $ drain_ms)
 
 let validated_client_cmd =
   let doc = "talk to a running validated daemon" in
@@ -716,7 +837,7 @@ let validated_client_cmd =
       [
         ("ping", `Ping); ("validate", `Validate); ("revalidate", `Revalidate);
         ("stats", `Stats); ("reload-rules", `Reload); ("shutdown", `Shutdown);
-        ("watch", `Watch);
+        ("watch", `Watch); ("raw", `Raw);
       ]
     in
     Arg.(required & pos 0 (some (enum ops)) None & info [] ~docv:"OP" ~doc:"Operation.")
@@ -743,6 +864,13 @@ let validated_client_cmd =
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:"Shard this job across N domains (default: the server's persistent pool).")
   in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-job wall-clock budget (overrides the server default).")
+  in
   let interval_ms =
     Arg.(
       value & opt int 200
@@ -757,8 +885,8 @@ let validated_client_cmd =
     (Cmd.info "validated-client" ~doc)
     Term.(
       const validated_client $ socket_arg $ wait $ op $ target $ frame_files_arg $ tags_arg
-      $ entities $ engine_arg $ client_jobs $ chaos_arg $ interval_ms $ max_events
-      $ verbose_arg)
+      $ entities $ engine_arg $ client_jobs $ chaos_arg $ deadline_ms $ interval_ms
+      $ max_events $ verbose_arg)
 
 let () =
   let info =

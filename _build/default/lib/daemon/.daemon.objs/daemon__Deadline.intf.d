@@ -1,0 +1,1 @@
+lib/daemon/deadline.mli:

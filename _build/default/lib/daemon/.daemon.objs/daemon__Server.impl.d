@@ -1,1 +1,1 @@
-lib/daemon/server.ml: Array Cvl Cvlint Faultsim Frames Fun Hashtbl In_channel Lazy List Option Pool Printexc Printf Protocol Result Sys Unix
+lib/daemon/server.ml: Array Condition Cvl Cvlint Deadline Domain Faultsim Float Frames Fun Hashtbl In_channel Lazy List Mutex Option Pool Printexc Printf Protocol Result String Sys Unix

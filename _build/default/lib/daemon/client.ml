@@ -19,21 +19,37 @@ let close t =
     t.close_fn ()
   end
 
-let connect ?(retry_for = 0.0) path =
-  let deadline = Unix.gettimeofday () +. retry_for in
-  let rec attempt () =
+(* Deterministic jitter: a cheap integer hash of the attempt number
+   mapped into [0.5, 1.0]. No RNG state, so two clients started from
+   the same script still spread out (they race the clock, not the
+   hash), and tests can predict the exact bounds of every delay. *)
+let jitter attempt =
+  let h = attempt * 2654435761 land 0xFFFF in
+  0.5 +. (0.5 *. (float_of_int h /. 65535.0))
+
+let connect ?(retry_for = 0.0) ?(base_backoff = 0.025) ?(max_backoff = 0.4)
+    ?(now = Unix.gettimeofday) ?(sleep = Unix.sleepf) path =
+  let deadline = now () +. retry_for in
+  let rec attempt n =
     let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect sock (Unix.ADDR_UNIX path) with
     | () -> Ok (of_channels (Unix.in_channel_of_descr sock) (Unix.out_channel_of_descr sock))
     | exception Unix.Unix_error (e, _, _) ->
         (try Unix.close sock with Unix.Unix_error _ -> ());
-        if Unix.gettimeofday () < deadline then begin
-          Unix.sleepf 0.05;
-          attempt ()
+        let remaining = deadline -. now () in
+        if remaining <= 0.0 then
+          Error
+            (Printf.sprintf "cannot connect to %s after %d attempt(s): %s" path (n + 1)
+               (Unix.error_message e))
+        else begin
+          (* Jittered exponential backoff, capped, and never sleeping
+             past the total connect deadline. *)
+          let d = Float.min max_backoff (base_backoff *. (2.0 ** float_of_int n)) *. jitter n in
+          sleep (Float.min d remaining);
+          attempt (n + 1)
         end
-        else Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
   in
-  attempt ()
+  attempt 0
 
 let in_process server =
   let client_fd, server_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -106,6 +122,10 @@ let stream t req ~on_verdict =
         drain ()
     | Ok (Summary s) -> Ok s
     | Ok (Error_reply m) -> Error m
+    | Ok (Overloaded { queue_depth; retry_after_ms }) ->
+        Error
+          (Printf.sprintf "server overloaded (queue depth %d): retry in %d ms" queue_depth
+             retry_after_ms)
     | Ok _ -> Error "unexpected reply in verdict stream"
     | Error m -> Error m
   in
@@ -114,10 +134,10 @@ let stream t req ~on_verdict =
 let validate t ~on_verdict job = stream t (Validate job) ~on_verdict
 
 let revalidate t ~on_verdict frame =
-  stream t (Revalidate { frame = Some frame; frame_file = None }) ~on_verdict
+  stream t (Revalidate { frame = Some frame; frame_file = None; deadline_ms = None }) ~on_verdict
 
 let revalidate_file t ~on_verdict path =
-  stream t (Revalidate { frame = None; frame_file = Some path }) ~on_verdict
+  stream t (Revalidate { frame = None; frame_file = Some path; deadline_ms = None }) ~on_verdict
 
 (* ---------------------------------------------------------------- *)
 (* Watch mode                                                        *)

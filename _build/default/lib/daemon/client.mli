@@ -15,9 +15,21 @@ val of_channels : ?close:(unit -> unit) -> in_channel -> out_channel -> t
 val close : t -> unit
 
 (** Dial a Unix domain socket. [retry_for] (seconds, default [0]) keeps
-    retrying a refused/absent socket — for "start the server in the
-    background, then connect" scripts. *)
-val connect : ?retry_for:float -> string -> (t, string) result
+    retrying a refused/absent socket under jittered exponential backoff
+    — for "start the server in the background, then connect" scripts.
+    Delays start at [base_backoff] seconds (default 25ms), double per
+    attempt up to [max_backoff] (default 400ms), are scaled by a
+    deterministic per-attempt jitter in [0.5, 1.0], and never sleep
+    past the total [retry_for] deadline. [now]/[sleep] are injectable
+    so tests cover the retry schedule without wall-clock waits. *)
+val connect :
+  ?retry_for:float ->
+  ?base_backoff:float ->
+  ?max_backoff:float ->
+  ?now:(unit -> float) ->
+  ?sleep:(float -> unit) ->
+  string ->
+  (t, string) result
 
 (** Run [serve] for [server] on the other end of a socketpair, in its
     own domain. *)
@@ -36,7 +48,8 @@ val shutdown : t -> (unit, string) result
 
 (** Send a streaming request and consume its reply stream: [on_verdict]
     per verdict message, in order, until the summary trailer arrives.
-    A server-side [error] reply surfaces as [Error]. *)
+    A server-side [error] reply surfaces as [Error]; an [overloaded]
+    shed surfaces as [Error] carrying the queue depth and retry hint. *)
 val stream :
   t ->
   Protocol.request ->

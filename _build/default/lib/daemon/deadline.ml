@@ -1,0 +1,40 @@
+(* Wall-clock budgets for daemon jobs.
+
+   A deadline is captured once at admission and threaded through the
+   whole job — frame resolution, engine run, verdict streaming — so a
+   single slow stage cannot silently eat the budget of the stages after
+   it. [None] means unlimited: the common path pays one option match
+   and no clock read.
+
+   The clock is injectable so unit tests can drive expiry without
+   sleeping; production callers use [Unix.gettimeofday]. *)
+
+type t = { until : float option; clock : unit -> float }
+
+let default_clock = Unix.gettimeofday
+
+let none = { until = None; clock = default_clock }
+
+let after_ms ?(clock = default_clock) ms =
+  { until = Some (clock () +. (float_of_int ms /. 1000.0)); clock }
+
+let of_request ?clock ~default_ms override_ms =
+  match (override_ms, default_ms) with
+  | Some ms, _ | None, Some ms -> after_ms ?clock ms
+  | None, None -> none
+
+let unlimited t = t.until = None
+
+let remaining_ms t =
+  match t.until with
+  | None -> None
+  | Some until -> Some (Float.max 0.0 ((until -. t.clock ()) *. 1000.0))
+
+let expired t =
+  match t.until with None -> false | Some until -> t.clock () >= until
+
+let check t ~what =
+  if expired t then
+    Error
+      (Printf.sprintf "deadline exceeded (%s): job budget exhausted" what)
+  else Ok ()

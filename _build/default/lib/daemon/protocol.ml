@@ -20,16 +20,21 @@ type validate_job = {
   jobs : int;
   keep_not_applicable : bool option;
   chaos : int option;
+  deadline_ms : int option;
 }
 
 let job ?(frames = []) ?(frame_files = []) ?(tags = []) ?(entities = []) ?(engine = `Fused)
-    ?(jobs = 0) ?keep_not_applicable ?chaos () =
-  { frames; frame_files; tags; entities; engine; jobs; keep_not_applicable; chaos }
+    ?(jobs = 0) ?keep_not_applicable ?chaos ?deadline_ms () =
+  { frames; frame_files; tags; entities; engine; jobs; keep_not_applicable; chaos; deadline_ms }
 
 type request =
   | Ping
   | Validate of validate_job
-  | Revalidate of { frame : Frames.Frame.t option; frame_file : string option }
+  | Revalidate of {
+      frame : Frames.Frame.t option;
+      frame_file : string option;
+      deadline_ms : int option;
+    }
   | Reload_rules
   | Stats
   | Shutdown
@@ -72,6 +77,12 @@ type stats = {
   st_p99_ms : float;
   st_mean_ms : float;
   st_verdicts_per_sec : float;
+  st_sessions : int;
+  st_peak_sessions : int;
+  st_shed : int;
+  st_deadline_misses : int;
+  st_idle_reaped : int;
+  st_crashed : int;
 }
 
 type response =
@@ -80,6 +91,7 @@ type response =
   | Summary of summary
   | Stats_reply of stats
   | Reloaded of { entities : int; rules : int }
+  | Overloaded of { queue_depth : int; retry_after_ms : int }
   | Error_reply of string
   | Bye
 
@@ -115,13 +127,15 @@ let request_to_json = function
           (if j.jobs = 0 then None else Some ("jobs", num_i j.jobs));
           opt_field "keep_not_applicable" (Option.map (fun b -> Bool b) j.keep_not_applicable);
           opt_field "chaos" (Option.map num_i j.chaos);
+          opt_field "deadline_ms" (Option.map num_i j.deadline_ms);
         ]
-  | Revalidate { frame; frame_file } ->
+  | Revalidate { frame; frame_file; deadline_ms } ->
       obj
         [
           field "op" (Str "revalidate");
           opt_field "frame" (Option.map Frames.Codec.to_json frame);
           opt_field "frame_file" (Option.map (fun f -> Str f) frame_file);
+          opt_field "deadline_ms" (Option.map num_i deadline_ms);
         ]
 
 let verdict_to_json v =
@@ -171,6 +185,12 @@ let stats_to_json st =
       ("p99_ms", Num st.st_p99_ms);
       ("mean_ms", Num st.st_mean_ms);
       ("verdicts_per_sec", Num st.st_verdicts_per_sec);
+      ("sessions", num_i st.st_sessions);
+      ("peak_sessions", num_i st.st_peak_sessions);
+      ("shed", num_i st.st_shed);
+      ("deadline_misses", num_i st.st_deadline_misses);
+      ("idle_reaped", num_i st.st_idle_reaped);
+      ("crashed", num_i st.st_crashed);
     ]
 
 let response_to_json = function
@@ -179,6 +199,13 @@ let response_to_json = function
   | Error_reply m -> Obj [ ("type", Str "error"); ("message", Str m) ]
   | Reloaded { entities; rules } ->
       Obj [ ("type", Str "reloaded"); ("entities", num_i entities); ("rules", num_i rules) ]
+  | Overloaded { queue_depth; retry_after_ms } ->
+      Obj
+        [
+          ("type", Str "overloaded");
+          ("queue_depth", num_i queue_depth);
+          ("retry_after_ms", num_i retry_after_ms);
+        ]
   | Verdict v -> verdict_to_json v
   | Summary s -> summary_to_json s
   | Stats_reply st -> stats_to_json st
@@ -233,7 +260,10 @@ let validate_of_json json =
   let jobs = Option.value ~default:0 (get_int_field json "jobs") in
   let keep_not_applicable = get_bool_field json "keep_not_applicable" in
   let chaos = get_int_field json "chaos" in
-  Ok (Validate { frames; frame_files; tags; entities; engine; jobs; keep_not_applicable; chaos })
+  let deadline_ms = get_int_field json "deadline_ms" in
+  Ok
+    (Validate
+       { frames; frame_files; tags; entities; engine; jobs; keep_not_applicable; chaos; deadline_ms })
 
 let revalidate_of_json json =
   let* frame =
@@ -244,10 +274,11 @@ let revalidate_of_json json =
         Ok (Some f)
   in
   let frame_file = get_string_field json "frame_file" in
+  let deadline_ms = get_int_field json "deadline_ms" in
   match (frame, frame_file) with
   | None, None -> Error "revalidate needs a \"frame\" or a \"frame_file\""
   | Some _, Some _ -> Error "revalidate takes \"frame\" or \"frame_file\", not both"
-  | _ -> Ok (Revalidate { frame; frame_file })
+  | _ -> Ok (Revalidate { frame; frame_file; deadline_ms })
 
 let request_of_json json =
   match get_string_field json "op" with
@@ -320,6 +351,12 @@ let stats_of_json json =
          st_p99_ms = req_float json "p99_ms";
          st_mean_ms = req_float json "mean_ms";
          st_verdicts_per_sec = req_float json "verdicts_per_sec";
+         st_sessions = req_int json "sessions";
+         st_peak_sessions = req_int json "peak_sessions";
+         st_shed = req_int json "shed";
+         st_deadline_misses = req_int json "deadline_misses";
+         st_idle_reaped = req_int json "idle_reaped";
+         st_crashed = req_int json "crashed";
        })
 
 let response_of_json json =
@@ -329,6 +366,10 @@ let response_of_json json =
   | Some "error" -> Ok (Error_reply (req_str json "message"))
   | Some "reloaded" ->
       Ok (Reloaded { entities = req_int json "entities"; rules = req_int json "rules" })
+  | Some "overloaded" ->
+      Ok
+        (Overloaded
+           { queue_depth = req_int json "queue_depth"; retry_after_ms = req_int json "retry_after_ms" })
   | Some "verdict" -> verdict_of_json json
   | Some "summary" -> summary_of_json json
   | Some "stats" -> stats_of_json json
@@ -345,9 +386,14 @@ type read_result =
   | Truncated of string
   | Closed
 
-let write_message ?(flush = true) oc json =
+(* The framed bytes of one message, for transports that need to mangle
+   or chunk the stream (faultsim's I/O shims, the raw client op). *)
+let frame_bytes json =
   let payload = Jsonlite.to_string json in
-  Printf.fprintf oc "%d\n%s\n" (String.length payload) payload;
+  Printf.sprintf "%d\n%s\n" (String.length payload) payload
+
+let write_message ?(flush = true) oc json =
+  output_string oc (frame_bytes json);
   if flush then Stdlib.flush oc
 
 (* An adversarial peer could claim a huge length and make us allocate

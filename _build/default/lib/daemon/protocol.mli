@@ -33,7 +33,10 @@ val engine_of_string : string -> (engine, string) result
     the server's persistent pool; [jobs > 0] shards with that many
     domains for this job only. [keep_not_applicable = None] applies the
     engine default (keep iff the deployment has a single frame).
-    [chaos] arms a seeded fault plan for this job only. *)
+    [chaos] arms a seeded fault plan for this job only. [deadline_ms]
+    caps the job's wall-clock budget, overriding the server-wide
+    [--deadline-ms] default; expiry yields an error reply, never a
+    silent drop. *)
 type validate_job = {
   frames : Frames.Frame.t list;
   frame_files : string list;
@@ -43,10 +46,12 @@ type validate_job = {
   jobs : int;
   keep_not_applicable : bool option;
   chaos : int option;
+  deadline_ms : int option;
 }
 
 (** [job ()] is a default job: no frames, no filters, fused engine,
-    server pool, engine-default NA handling, no chaos. *)
+    server pool, engine-default NA handling, no chaos, no per-request
+    deadline. *)
 val job :
   ?frames:Frames.Frame.t list ->
   ?frame_files:string list ->
@@ -56,13 +61,18 @@ val job :
   ?jobs:int ->
   ?keep_not_applicable:bool ->
   ?chaos:int ->
+  ?deadline_ms:int ->
   unit ->
   validate_job
 
 type request =
   | Ping
   | Validate of validate_job
-  | Revalidate of { frame : Frames.Frame.t option; frame_file : string option }
+  | Revalidate of {
+      frame : Frames.Frame.t option;
+      frame_file : string option;
+      deadline_ms : int option;
+    }
       (** exactly one of [frame]/[frame_file]; diffed against the
           daemon's retained snapshot of the same frame id *)
   | Reload_rules
@@ -113,6 +123,12 @@ type stats = {
   st_p99_ms : float;
   st_mean_ms : float;
   st_verdicts_per_sec : float;  (** sustained, over busy time *)
+  st_sessions : int;  (** connections currently open *)
+  st_peak_sessions : int;
+  st_shed : int;  (** jobs refused with [Overloaded] *)
+  st_deadline_misses : int;  (** jobs cut off by their budget *)
+  st_idle_reaped : int;  (** connections reaped for idleness *)
+  st_crashed : int;  (** sessions contained by the supervisor *)
 }
 
 type response =
@@ -121,6 +137,10 @@ type response =
   | Summary of summary
   | Stats_reply of stats
   | Reloaded of { entities : int; rules : int }
+  | Overloaded of { queue_depth : int; retry_after_ms : int }
+      (** explicit load-shed: the admission queue is full. [queue_depth]
+          counts jobs running + waiting at refusal time; [retry_after_ms]
+          is a backoff hint from recent job latencies. *)
   | Error_reply of string
   | Bye
 
@@ -135,6 +155,11 @@ type read_result =
   | Bad_payload of string  (** framed correctly, payload not JSON *)
   | Truncated of string  (** framing broken: stream desynchronized *)
   | Closed  (** clean EOF at a message boundary *)
+
+val frame_bytes : Jsonlite.t -> string
+(** The exact framed bytes {!write_message} would emit — for transports
+    that chunk, truncate, or otherwise mangle the stream (faultsim's
+    I/O fault shims, the CLI [raw] op). *)
 
 (** [flush] (default [true]) may be disabled for messages that are
     always followed by another on the same channel. *)

@@ -5,12 +5,40 @@ open Protocol
 let ignore_sigpipe =
   lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
 
+type config = {
+  backlog : int;
+  max_connections : int;
+  max_inflight : int;
+  queue_depth : int;
+  deadline_ms : int option;
+  idle_timeout_ms : int option;
+  drain_ms : int;
+}
+
+let default_config =
+  {
+    backlog = 8;
+    max_connections = 64;
+    max_inflight = 4;
+    queue_depth = 16;
+    deadline_ms = None;
+    idle_timeout_ms = None;
+    drain_ms = 2000;
+  }
+
 type t = {
   source : Cvl.Loader.source;
   manifest : Cvl.Manifest.entry list;
   manifest_path : string option;
   log : string -> unit;
+  log_lock : Mutex.t;
   pool : Pool.t;
+  config : config;
+  (* [lock] guards every mutable field below plus [baselines] and the
+     rules/compiled/fused swap; [slot_freed] is broadcast whenever an
+     admission slot frees up or drain state changes. *)
+  lock : Mutex.t;
+  slot_freed : Condition.t;
   mutable rules : (Cvl.Manifest.entry * Cvl.Rule.t list) list;
   mutable load_errors : (string * string) list;
   mutable compiled : Cvl.Compile.t;
@@ -27,7 +55,36 @@ type t = {
   mutable reloads : int;
   mutable latencies_ms : float list;  (* newest first *)
   mutable busy_s : float;
+  (* admission limiter *)
+  mutable inflight : int;
+  mutable exclusive_running : bool;
+  mutable exclusive_waiting : int;
+  mutable queued : int;
+  mutable shed : int;
+  mutable deadline_misses : int;
+  (* session registry *)
+  mutable next_sid : int;
+  mutable session_count : int;
+  mutable peak_sessions : int;
+  session_fds : (int, Unix.file_descr) Hashtbl.t;
+  mutable session_domains : unit Domain.t list;
+  mutable idle_reaped : int;
+  mutable crashed : int;
+  (* lifecycle *)
+  mutable draining : bool;
+  mutable wake : Unix.file_descr option;  (* write end of the accept-loop wake pipe *)
 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Sessions log from their own domains; serialize so lines don't shear. *)
+let logf t msg =
+  Mutex.lock t.log_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.log_lock) (fun () -> t.log msg)
+
+let draining t = locked t (fun () -> t.draining)
 
 (* ---------------------------------------------------------------- *)
 (* Loading                                                           *)
@@ -59,7 +116,8 @@ let rule_total rules = List.fold_left (fun n (_, rs) -> n + List.length rs) 0 ru
 let lint_count ~source ~manifest_path =
   try List.length (Cvlint.lint_corpus ~source ?manifest_path ()) with _ -> 0
 
-let create ?(jobs = 1) ?(log = fun _ -> ()) ?manifest_path ~source ~manifest () =
+let create ?(config = default_config) ?(jobs = 1) ?(log = fun _ -> ()) ?manifest_path ~source
+    ~manifest () =
   match load_corpus ~source ~manifest with
   | Error m -> Error m
   | Ok (rules, load_errors) ->
@@ -77,7 +135,11 @@ let create ?(jobs = 1) ?(log = fun _ -> ()) ?manifest_path ~source ~manifest () 
           manifest;
           manifest_path;
           log;
+          log_lock = Mutex.create ();
           pool;
+          config;
+          lock = Mutex.create ();
+          slot_freed = Condition.create ();
           rules;
           load_errors;
           compiled;
@@ -92,18 +154,117 @@ let create ?(jobs = 1) ?(log = fun _ -> ()) ?manifest_path ~source ~manifest () 
           reloads = 0;
           latencies_ms = [];
           busy_s = 0.0;
+          inflight = 0;
+          exclusive_running = false;
+          exclusive_waiting = 0;
+          queued = 0;
+          shed = 0;
+          deadline_misses = 0;
+          next_sid = 0;
+          session_count = 0;
+          peak_sessions = 0;
+          session_fds = Hashtbl.create 16;
+          session_domains = [];
+          idle_reaped = 0;
+          crashed = 0;
+          draining = false;
+          wake = None;
         }
 
-let entity_count t = List.length t.rules
-let rule_count t = rule_total t.rules
-let lint_findings t = t.lint_findings
+let entity_count t = locked t (fun () -> List.length t.rules)
+let rule_count t = locked t (fun () -> rule_total t.rules)
+let lint_findings t = locked t (fun () -> t.lint_findings)
 let destroy t = Pool.shutdown t.pool
+
+(* ---------------------------------------------------------------- *)
+(* Admission: bounded concurrency with explicit load-shedding         *)
+(* ---------------------------------------------------------------- *)
+
+(* Up to [max_inflight] jobs run at once; up to [queue_depth] more wait
+   on the condvar. Anything beyond that is shed with an [Overloaded]
+   reply — never a silent drop. Chaos jobs arm process-global fault
+   hooks and read process-global resilience counters, so they take an
+   exclusive slot: they wait for the server to quiesce and nothing else
+   starts while one runs. That is what keeps every stream byte-identical
+   to its one-shot run even under concurrency. *)
+
+type admission = Admitted | Shed of int | Refused_draining | Expired of string
+
+let mean_latency_locked t =
+  match t.latencies_ms with
+  | [] -> 25.0
+  | ls -> List.fold_left ( +. ) 0.0 ls /. float_of_int (List.length ls)
+
+let retry_hint_locked t depth =
+  int_of_float (Float.min 5000.0 (Float.max 5.0 (mean_latency_locked t *. float_of_int (depth + 1))))
+
+let retry_hint t depth = locked t (fun () -> retry_hint_locked t depth)
+
+let admit t ~exclusive ~deadline =
+  locked t (fun () ->
+      let can_run () =
+        if exclusive then t.inflight = 0 && not t.exclusive_running
+        else
+          (not t.exclusive_running)
+          && t.exclusive_waiting = 0
+          && t.inflight < t.config.max_inflight
+      in
+      let grant () =
+        t.inflight <- t.inflight + 1;
+        if exclusive then t.exclusive_running <- true;
+        Admitted
+      in
+      if t.draining then Refused_draining
+      else if can_run () then grant ()
+      else if t.queued >= t.config.queue_depth then (
+        t.shed <- t.shed + 1;
+        Shed (t.inflight + t.queued))
+      else (
+        t.queued <- t.queued + 1;
+        if exclusive then t.exclusive_waiting <- t.exclusive_waiting + 1;
+        let leave () =
+          t.queued <- t.queued - 1;
+          if exclusive then t.exclusive_waiting <- t.exclusive_waiting - 1
+        in
+        let rec wait () =
+          if t.draining then (
+            leave ();
+            Refused_draining)
+          else if Deadline.expired deadline then (
+            leave ();
+            t.deadline_misses <- t.deadline_misses + 1;
+            Expired "deadline exceeded (admission queue): job budget exhausted")
+          else if can_run () then (
+            leave ();
+            grant ())
+          else (
+            Condition.wait t.slot_freed t.lock;
+            wait ())
+        in
+        wait ()))
+
+let release t ~exclusive =
+  locked t (fun () ->
+      t.inflight <- t.inflight - 1;
+      if exclusive then t.exclusive_running <- false;
+      Condition.broadcast t.slot_freed)
 
 (* ---------------------------------------------------------------- *)
 (* Job plumbing                                                      *)
 (* ---------------------------------------------------------------- *)
 
 let ( let* ) = Result.bind
+
+(* Job failures split in two: [`Job] counts as contained, [`Deadline]
+   counts as a budget miss (already recorded where it was detected). *)
+let job_err r = Result.map_error (fun m -> `Job m) r
+
+let deadline_gate t deadline ~what =
+  match Deadline.check deadline ~what with
+  | Ok () -> Ok ()
+  | Error m ->
+      locked t (fun () -> t.deadline_misses <- t.deadline_misses + 1);
+      Error (`Deadline m)
 
 let read_frame_file path =
   match In_channel.with_open_bin path In_channel.input_all with
@@ -128,8 +289,10 @@ let resolve_frames (j : validate_job) =
   | frames -> Ok frames
 
 (* Entity filter: restrict every engine's view of the corpus to the
-   named entities, preserving manifest order. *)
-let select_entities t names =
+   named entities, preserving manifest order. Runs under [t.lock] so it
+   snapshots a consistent (rules, compiled, fused) triple even if a
+   reload swaps them. *)
+let select_entities_locked t names =
   if names = [] then Ok (t.rules, t.compiled, t.fused)
   else
     let known =
@@ -161,6 +324,8 @@ let select_entities t names =
         in
         Ok (rules, compiled, fused)
 
+let select_entities t names = locked t (fun () -> select_entities_locked t names)
+
 let verdict_of_result (r : Cvl.Engine.result) =
   {
     v_entity = r.Cvl.Engine.entity;
@@ -191,10 +356,11 @@ let summary_of ~engine ~job_ms ~cache0 ~revalidated ~degraded results =
 
 let record_job t ~t0 ~verdicts =
   let dt = Unix.gettimeofday () -. t0 in
-  t.jobs_served <- t.jobs_served + 1;
-  t.verdicts_streamed <- t.verdicts_streamed + verdicts;
-  t.latencies_ms <- (dt *. 1000.0) :: t.latencies_ms;
-  t.busy_s <- t.busy_s +. dt;
+  locked t (fun () ->
+      t.jobs_served <- t.jobs_served + 1;
+      t.verdicts_streamed <- t.verdicts_streamed + verdicts;
+      t.latencies_ms <- (dt *. 1000.0) :: t.latencies_ms;
+      t.busy_s <- t.busy_s +. dt);
   dt *. 1000.0
 
 (* A single-frame, unfiltered, fault-free validate with default NA
@@ -205,12 +371,33 @@ let retain_baseline t (j : validate_job) frames results =
   | [ frame ]
     when j.tags = [] && j.entities = [] && j.chaos = None
          && j.keep_not_applicable <> Some false ->
-      Hashtbl.replace t.baselines (Frames.Frame.id frame) (frame, results)
+      locked t (fun () ->
+          Hashtbl.replace t.baselines (Frames.Frame.id frame) (frame, results))
   | _ -> ()
 
-let run_validate t (j : validate_job) respond =
-  let* frames = resolve_frames j in
-  let* rules, compiled, fused = select_entities t j.entities in
+(* Stream verdicts with a periodic budget check: a huge result set
+   cannot blow past the deadline unobserved, and expiry surfaces as an
+   error trailer — the peer knows the stream is incomplete. *)
+let stream_results t deadline respond results =
+  let rec go n = function
+    | [] -> Ok n
+    | r :: rest ->
+        if n land 63 = 0 && Deadline.expired deadline then (
+          locked t (fun () -> t.deadline_misses <- t.deadline_misses + 1);
+          Error
+            (`Deadline
+               (Printf.sprintf
+                  "deadline exceeded (verdict streaming): stopped after %d verdict(s)" n)))
+        else (
+          respond (Verdict (verdict_of_result r));
+          go (n + 1) rest)
+  in
+  go 0 results
+
+let run_validate t deadline (j : validate_job) respond =
+  let* frames = job_err (resolve_frames j) in
+  let* rules, compiled, fused = job_err (select_entities t j.entities) in
+  let* () = deadline_gate t deadline ~what:"frame resolution" in
   let t0 = Unix.gettimeofday () in
   let cache0 = Cvl.Normcache.stats () in
   let chaos_plan = Option.map (fun seed -> Faultsim.sample ~seed ~rules frames) j.chaos in
@@ -231,9 +418,10 @@ let run_validate t (j : validate_job) respond =
             Cvl.Validator.run_loaded ~tags ?keep_not_applicable:kna ?pool ?jobs
               ~engine:`Interpreted ~rules frames)
   in
+  let* () = deadline_gate t deadline ~what:"engine run" in
   let results = run.Cvl.Validator.results in
-  List.iter (fun r -> respond (Verdict (verdict_of_result r))) results;
-  let job_ms = record_job t ~t0 ~verdicts:(List.length results) in
+  let* streamed = stream_results t deadline respond results in
+  let job_ms = record_job t ~t0 ~verdicts:streamed in
   retain_baseline t j frames results;
   respond
     (Summary
@@ -241,47 +429,58 @@ let run_validate t (j : validate_job) respond =
           ~degraded:run.Cvl.Validator.health.Cvl.Resilience.degraded results));
   Ok ()
 
-let run_revalidate t ~frame ~frame_file respond =
+let run_revalidate t deadline ~frame ~frame_file respond =
   let* frame =
-    match (frame, frame_file) with
-    | Some f, None -> Ok f
-    | None, Some path -> read_frame_file path
-    | _ -> Error "revalidate takes \"frame\" or \"frame_file\", not both"
+    job_err
+      (match (frame, frame_file) with
+      | Some f, None -> Ok f
+      | None, Some path -> read_frame_file path
+      | _ -> Error "revalidate takes \"frame\" or \"frame_file\", not both")
   in
   let id = Frames.Frame.id frame in
   let* previous_frame, previous =
-    match Hashtbl.find_opt t.baselines id with
-    | Some b -> Ok b
-    | None ->
-        Error
-          (Printf.sprintf "no retained baseline for frame %S: validate it (alone) first" id)
+    job_err
+      (match locked t (fun () -> Hashtbl.find_opt t.baselines id) with
+      | Some b -> Ok b
+      | None ->
+          Error
+            (Printf.sprintf "no retained baseline for frame %S: validate it (alone) first" id))
   in
+  let* () = deadline_gate t deadline ~what:"frame resolution" in
   let t0 = Unix.gettimeofday () in
   let cache0 = Cvl.Normcache.stats () in
+  let rules = locked t (fun () -> t.rules) in
   let diff = Frames.Diff.between previous_frame frame in
   let results, revalidated =
-    Cvl.Incremental.revalidate ~pool:t.pool ~rules:t.rules ~previous ~diff frame
+    Cvl.Incremental.revalidate ~pool:t.pool ~rules ~previous ~diff frame
   in
-  List.iter (fun r -> respond (Verdict (verdict_of_result r))) results;
-  let job_ms = record_job t ~t0 ~verdicts:(List.length results) in
-  Hashtbl.replace t.baselines id (frame, results);
+  let* () = deadline_gate t deadline ~what:"engine run" in
+  let* streamed = stream_results t deadline respond results in
+  let job_ms = record_job t ~t0 ~verdicts:streamed in
+  locked t (fun () -> Hashtbl.replace t.baselines id (frame, results));
   respond
     (Summary
        (summary_of ~engine:`Fused ~job_ms ~cache0 ~revalidated:(Some revalidated)
           ~degraded:false results));
   Ok ()
 
+(* Runs with an exclusive admission slot, so no job observes the swap
+   mid-flight; the lock still guards against concurrent stats readers. *)
 let reload_rules t =
   let* rules, load_errors = load_corpus ~source:t.source ~manifest:t.manifest in
-  t.rules <- rules;
-  t.load_errors <- load_errors;
-  t.compiled <- Cvl.Validator.compile rules;
-  t.fused <- Cvl.Fuse.fuse t.compiled;
-  t.lint_findings <- lint_count ~source:t.source ~manifest_path:t.manifest_path;
-  (* The old results were produced by the old ruleset: every retained
-     baseline is invalid now. *)
-  Hashtbl.reset t.baselines;
-  t.reloads <- t.reloads + 1;
+  let compiled = Cvl.Validator.compile rules in
+  let fused = Cvl.Fuse.fuse compiled in
+  let lint_findings = lint_count ~source:t.source ~manifest_path:t.manifest_path in
+  locked t (fun () ->
+      t.rules <- rules;
+      t.load_errors <- load_errors;
+      t.compiled <- compiled;
+      t.fused <- fused;
+      t.lint_findings <- lint_findings;
+      (* The old results were produced by the old ruleset: every retained
+         baseline is invalid now. *)
+      Hashtbl.reset t.baselines;
+      t.reloads <- t.reloads + 1);
   Ok (Reloaded { entities = List.length rules; rules = rule_total rules })
 
 (* ---------------------------------------------------------------- *)
@@ -296,28 +495,35 @@ let percentile sorted p =
     sorted.(max 0 (min (n - 1) rank))
 
 let stats_of t =
-  let sorted = Array.of_list t.latencies_ms in
-  Array.sort compare sorted;
-  let mean =
-    if Array.length sorted = 0 then 0.0
-    else Array.fold_left ( +. ) 0.0 sorted /. float_of_int (Array.length sorted)
-  in
-  {
-    st_requests = t.requests;
-    st_jobs = t.jobs_served;
-    st_verdicts = t.verdicts_streamed;
-    st_protocol_errors = t.protocol_errors;
-    st_contained = t.contained;
-    st_reloads = t.reloads;
-    st_entities = List.length t.rules;
-    st_rules = rule_total t.rules;
-    st_retained_frames = Hashtbl.length t.baselines;
-    st_p50_ms = percentile sorted 50.0;
-    st_p99_ms = percentile sorted 99.0;
-    st_mean_ms = mean;
-    st_verdicts_per_sec =
-      (if t.busy_s > 0.0 then float_of_int t.verdicts_streamed /. t.busy_s else 0.0);
-  }
+  locked t (fun () ->
+      let sorted = Array.of_list t.latencies_ms in
+      Array.sort compare sorted;
+      let mean =
+        if Array.length sorted = 0 then 0.0
+        else Array.fold_left ( +. ) 0.0 sorted /. float_of_int (Array.length sorted)
+      in
+      {
+        st_requests = t.requests;
+        st_jobs = t.jobs_served;
+        st_verdicts = t.verdicts_streamed;
+        st_protocol_errors = t.protocol_errors;
+        st_contained = t.contained;
+        st_reloads = t.reloads;
+        st_entities = List.length t.rules;
+        st_rules = rule_total t.rules;
+        st_retained_frames = Hashtbl.length t.baselines;
+        st_p50_ms = percentile sorted 50.0;
+        st_p99_ms = percentile sorted 99.0;
+        st_mean_ms = mean;
+        st_verdicts_per_sec =
+          (if t.busy_s > 0.0 then float_of_int t.verdicts_streamed /. t.busy_s else 0.0);
+        st_sessions = t.session_count;
+        st_peak_sessions = t.peak_sessions;
+        st_shed = t.shed;
+        st_deadline_misses = t.deadline_misses;
+        st_idle_reaped = t.idle_reaped;
+        st_crashed = t.crashed;
+      })
 
 (* ---------------------------------------------------------------- *)
 (* Dispatch                                                          *)
@@ -334,18 +540,35 @@ let request_label = function
   | Shutdown -> "shutdown"
 
 let handle t req ~respond =
-  t.requests <- t.requests + 1;
-  t.log (request_label req);
+  locked t (fun () -> t.requests <- t.requests + 1);
+  logf t (request_label req);
   let contain job =
     (* Per-job containment: a failing job answers with an error reply
        and the server keeps serving — the daemon-level analogue of the
-       engine's [Engine_error] verdicts. *)
-    (match (try job () with exn -> Error (Printexc.to_string exn)) with
+       engine's [Engine_error] verdicts. Deadline misses answer the
+       same way but are counted as budget misses, not crashes. *)
+    (match (try job () with exn -> Error (`Job (Printexc.to_string exn))) with
     | Ok () -> ()
-    | Error m ->
-        t.contained <- t.contained + 1;
+    | Error (`Deadline m) -> respond (Error_reply m)
+    | Error (`Job m) ->
+        locked t (fun () -> t.contained <- t.contained + 1);
         respond (Error_reply m));
     `Continue
+  in
+  let heavy ~exclusive ~deadline job =
+    match admit t ~exclusive ~deadline with
+    | Refused_draining ->
+        respond (Error_reply "server is draining: job refused");
+        `Continue
+    | Shed depth ->
+        logf t (Printf.sprintf "job shed: admission queue full (depth %d)" depth);
+        respond (Overloaded { queue_depth = depth; retry_after_ms = retry_hint t depth });
+        `Continue
+    | Expired m ->
+        respond (Error_reply m);
+        `Continue
+    | Admitted ->
+        Fun.protect ~finally:(fun () -> release t ~exclusive) (fun () -> contain job)
   in
   match req with
   | Ping ->
@@ -354,11 +577,19 @@ let handle t req ~respond =
   | Stats ->
       respond (Stats_reply (stats_of t));
       `Continue
-  | Validate j -> contain (fun () -> run_validate t j respond)
-  | Revalidate { frame; frame_file } -> contain (fun () -> run_revalidate t ~frame ~frame_file respond)
+  | Validate j ->
+      let deadline = Deadline.of_request ~default_ms:t.config.deadline_ms j.deadline_ms in
+      heavy ~exclusive:(j.chaos <> None) ~deadline (fun () ->
+          let* () = deadline_gate t deadline ~what:"admission" in
+          run_validate t deadline j respond)
+  | Revalidate { frame; frame_file; deadline_ms } ->
+      let deadline = Deadline.of_request ~default_ms:t.config.deadline_ms deadline_ms in
+      heavy ~exclusive:false ~deadline (fun () ->
+          let* () = deadline_gate t deadline ~what:"admission" in
+          run_revalidate t deadline ~frame ~frame_file respond)
   | Reload_rules ->
-      contain (fun () ->
-          let* reply = reload_rules t in
+      heavy ~exclusive:true ~deadline:Deadline.none (fun () ->
+          let* reply = job_err (reload_rules t) in
           respond reply;
           Ok ())
   | Shutdown ->
@@ -366,66 +597,244 @@ let handle t req ~respond =
       `Shutdown
 
 (* ---------------------------------------------------------------- *)
-(* Connection loop                                                   *)
+(* Sessions                                                          *)
 (* ---------------------------------------------------------------- *)
+
+let register_session t fd_opt =
+  locked t (fun () ->
+      let sid = t.next_sid + 1 in
+      t.next_sid <- sid;
+      t.session_count <- t.session_count + 1;
+      if t.session_count > t.peak_sessions then t.peak_sessions <- t.session_count;
+      Option.iter (fun fd -> Hashtbl.replace t.session_fds sid fd) fd_opt;
+      sid)
+
+let unregister_session t sid =
+  locked t (fun () ->
+      t.session_count <- t.session_count - 1;
+      Hashtbl.remove t.session_fds sid;
+      Condition.broadcast t.slot_freed)
 
 let serve t ic oc =
   Lazy.force ignore_sigpipe;
-  let respond resp = write_response oc resp in
-  let rec loop () =
-    match read_message ic with
-    | Closed -> `Disconnect
-    | Truncated m ->
-        (* Nobody knows where the next message starts: drop this
-           connection (only this connection — the listener and all
-           server state survive). *)
-        t.protocol_errors <- t.protocol_errors + 1;
-        t.log (Printf.sprintf "protocol error (desync): %s" m);
-        (try respond (Error_reply (Printf.sprintf "protocol: %s" m)) with Sys_error _ -> ());
-        `Disconnect
-    | Bad_payload m ->
-        (* Framed correctly, so the stream is still synchronized:
-           answer and keep serving this connection. *)
-        t.protocol_errors <- t.protocol_errors + 1;
-        t.log (Printf.sprintf "protocol error (payload): %s" m);
-        respond (Error_reply (Printf.sprintf "malformed request: %s" m));
-        loop ()
-    | Msg json -> (
-        match request_of_json json with
-        | Error m ->
-            t.requests <- t.requests + 1;
-            t.protocol_errors <- t.protocol_errors + 1;
-            respond (Error_reply m);
-            loop ()
-        | Ok req -> (
-            match handle t req ~respond with `Continue -> loop () | `Shutdown -> `Shutdown))
-  in
-  try loop () with
-  | End_of_file -> `Disconnect
-  | Sys_error m ->
-      (* Peer vanished mid-write. *)
-      t.log (Printf.sprintf "connection dropped: %s" m);
-      `Disconnect
+  let fd = try Some (Unix.descr_of_in_channel ic) with Sys_error _ | Invalid_argument _ -> None in
+  (* With an idle timeout configured, bound mid-frame stalls too: a
+     peer that sends half a frame and goes quiet trips SO_RCVTIMEO,
+     which the reader classifies as a (fatal) truncation. *)
+  (match (fd, t.config.idle_timeout_ms) with
+  | Some fd, Some ms -> (
+      try Unix.setsockopt_float fd Unix.SO_RCVTIMEO (float_of_int ms /. 1000.0)
+      with Unix.Unix_error _ | Invalid_argument _ -> ())
+  | _ -> ());
+  let sid = register_session t fd in
+  Fun.protect
+    ~finally:(fun () -> unregister_session t sid)
+    (fun () ->
+      let respond resp = write_response oc resp in
+      (* Idle reaping waits on the raw fd before each message-boundary
+         read. Caveat: bytes a peer pipelined into the channel buffer
+         are invisible to select, so idle timeouts assume
+         request/response peers (the protocol is request/response). *)
+      let idle_check () =
+        match (fd, t.config.idle_timeout_ms) with
+        | Some fd, Some ms ->
+            let rec sel () =
+              match Unix.select [ fd ] [] [] (float_of_int ms /. 1000.0) with
+              | [], _, _ -> `Idle
+              | _ -> `Ready
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> sel ()
+            in
+            sel ()
+        | _ -> `Ready
+      in
+      let rec loop () =
+        if draining t then `Disconnect
+        else
+          match idle_check () with
+          | `Idle ->
+              locked t (fun () -> t.idle_reaped <- t.idle_reaped + 1);
+              logf t (Printf.sprintf "session %d: idle timeout, reaped" sid);
+              (try respond (Error_reply "idle timeout: closing connection")
+               with Sys_error _ -> ());
+              `Disconnect
+          | `Ready -> (
+              match read_message ic with
+              | Closed -> `Disconnect
+              | Truncated m ->
+                  (* Nobody knows where the next message starts: drop this
+                     connection (only this connection — the listener and all
+                     server state survive). *)
+                  locked t (fun () -> t.protocol_errors <- t.protocol_errors + 1);
+                  logf t (Printf.sprintf "protocol error (desync): %s" m);
+                  (try respond (Error_reply (Printf.sprintf "protocol: %s" m))
+                   with Sys_error _ -> ());
+                  `Disconnect
+              | Bad_payload m ->
+                  (* Framed correctly, so the stream is still synchronized:
+                     answer and keep serving this connection. *)
+                  locked t (fun () -> t.protocol_errors <- t.protocol_errors + 1);
+                  logf t (Printf.sprintf "protocol error (payload): %s" m);
+                  respond (Error_reply (Printf.sprintf "malformed request: %s" m));
+                  loop ()
+              | Msg json -> (
+                  match request_of_json json with
+                  | Error m ->
+                      locked t (fun () ->
+                          t.requests <- t.requests + 1;
+                          t.protocol_errors <- t.protocol_errors + 1);
+                      respond (Error_reply m);
+                      loop ()
+                  | Ok req -> (
+                      match handle t req ~respond with
+                      | `Continue -> loop ()
+                      | `Shutdown -> `Shutdown)))
+      in
+      try loop () with
+      | End_of_file -> `Disconnect
+      | Sys_error m ->
+          (* Peer vanished mid-write. *)
+          logf t (Printf.sprintf "connection dropped: %s" m);
+          `Disconnect)
 
-let listen t ~socket_path =
+(* ---------------------------------------------------------------- *)
+(* Listener: supervised concurrent accept loop + graceful drain       *)
+(* ---------------------------------------------------------------- *)
+
+let request_drain t =
+  locked t (fun () ->
+      if not t.draining then (
+        t.draining <- true;
+        Condition.broadcast t.slot_freed;
+        match t.wake with
+        | None -> ()
+        | Some fd -> (
+            try ignore (Unix.write_substring fd "x" 0 1) with Unix.Unix_error _ -> ())))
+
+(* One domain per connection, under a supervisor: whatever a session
+   does, its fds are closed and the listener keeps accepting. *)
+let spawn_session t fd =
+  let d =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        match
+          Fun.protect
+            ~finally:(fun () ->
+              close_out_noerr oc;
+              close_in_noerr ic)
+            (fun () -> serve t ic oc)
+        with
+        | `Disconnect -> ()
+        | `Shutdown -> request_drain t
+        | exception exn ->
+            locked t (fun () -> t.crashed <- t.crashed + 1);
+            (try logf t (Printf.sprintf "session crashed (contained): %s" (Printexc.to_string exn))
+             with _ -> ()))
+  in
+  locked t (fun () -> t.session_domains <- d :: t.session_domains)
+
+let at_capacity t = locked t (fun () -> t.session_count >= t.config.max_connections)
+
+(* Over connection capacity: reply with an explicit shed on the raw fd
+   (no channel, so nothing else can end up owning the descriptor) and
+   let the caller close it. *)
+let refuse_connection t fd =
+  let depth, hint =
+    locked t (fun () ->
+        t.shed <- t.shed + 1;
+        (t.session_count, retry_hint_locked t t.session_count))
+  in
+  logf t (Printf.sprintf "connection refused: %d session(s) at capacity" depth);
+  let bytes =
+    frame_bytes (response_to_json (Overloaded { queue_depth = depth; retry_after_ms = hint }))
+  in
+  try ignore (Unix.write_substring fd bytes 0 (String.length bytes))
+  with Unix.Unix_error _ -> ()
+
+let session_fds_snapshot t =
+  locked t (fun () -> Hashtbl.fold (fun _ fd acc -> fd :: acc) t.session_fds [])
+
+let drain t =
+  logf t "draining: accept loop stopped";
+  let shutdown_reads () =
+    List.iter
+      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      (session_fds_snapshot t)
+  in
+  (* Phase 1 — nudge: shutting down the read side makes blocked reads
+     see EOF while in-flight jobs keep running and streaming replies. *)
+  shutdown_reads ();
+  let give_up = Unix.gettimeofday () +. (float_of_int t.config.drain_ms /. 1000.0) in
+  let rec wait () =
+    if locked t (fun () -> t.session_count) = 0 then true
+    else if Unix.gettimeofday () >= give_up then false
+    else (
+      Unix.sleepf 0.005;
+      shutdown_reads ();
+      wait ())
+  in
+  let drained = wait () in
+  (* Phase 2 — force: past the drain deadline, cut both directions. *)
+  if not drained then (
+    logf t "drain deadline hit: forcing remaining sessions closed";
+    List.iter
+      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      (session_fds_snapshot t));
+  let domains =
+    locked t (fun () ->
+        let ds = t.session_domains in
+        t.session_domains <- [];
+        ds)
+  in
+  List.iter Domain.join domains;
+  let st = stats_of t in
+  logf t
+    (Printf.sprintf "drained: %d job(s) served, %d verdict(s) streamed, %d shed, %d contained"
+       st.st_jobs st.st_verdicts st.st_shed st.st_contained);
+  logf t "stopped"
+
+let listen ?backlog t ~socket_path =
   Lazy.force ignore_sigpipe;
+  let backlog = Option.value ~default:t.config.backlog backlog in
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let wake_r, wake_w = Unix.pipe () in
+  locked t (fun () -> t.wake <- Some wake_w);
   Fun.protect
     ~finally:(fun () ->
+      locked t (fun () -> t.wake <- None);
+      (try Unix.close wake_r with Unix.Unix_error _ -> ());
+      (try Unix.close wake_w with Unix.Unix_error _ -> ());
       (try Unix.close sock with Unix.Unix_error _ -> ());
       try Unix.unlink socket_path with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX socket_path);
-      Unix.listen sock 8;
-      t.log (Printf.sprintf "listening on %s" socket_path);
+      Unix.listen sock backlog;
+      logf t (Printf.sprintf "listening on %s" socket_path);
       let rec accept_loop () =
-        let fd, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr fd in
-        let oc = Unix.out_channel_of_descr fd in
-        let outcome = serve t ic oc in
-        close_out_noerr oc;
-        close_in_noerr ic;
-        match outcome with `Disconnect -> accept_loop () | `Shutdown -> t.log "stopped"
+        if draining t then ()
+        else
+          match Unix.select [ sock; wake_r ] [] [] (-1.0) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | ready, _, _ ->
+              if List.mem wake_r ready then ()
+              else (
+                (match Unix.accept sock with
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                | fd, _ ->
+                    (* Everything between accept and session handoff runs
+                       under one protect: no path can leak the fd. *)
+                    let handed = ref false in
+                    Fun.protect
+                      ~finally:(fun () ->
+                        if not !handed then
+                          try Unix.close fd with Unix.Unix_error _ -> ())
+                      (fun () ->
+                        if at_capacity t then refuse_connection t fd
+                        else (
+                          spawn_session t fd;
+                          handed := true)));
+                accept_loop ())
       in
-      accept_loop ())
+      accept_loop ();
+      drain t)

@@ -2,13 +2,46 @@
 
     A server loads, lints, compiles and fuses the ruleset exactly once
     at {!create} time, holds a persistent {!Pool.t}, and then serves
-    {!Protocol.request}s over any channel pair. Requests on one
-    connection are served strictly sequentially, and every job runs
-    through the same engine entry points as the one-shot CLI — so a
-    [validate] stream is byte-identical, verdict by verdict and in the
-    same order, to [Cvl.Validator.run] over the same frames (the
-    differential tests assert this for all three engines, several job
-    counts, and chaos on/off).
+    {!Protocol.request}s over any channel pair. {!listen} runs a
+    supervised concurrent session model: the accept loop hands each
+    connection to its own session domain, sessions feed jobs through a
+    bounded admission limiter, and a supervisor contains anything a
+    session does — so N clients validate concurrently and the listener
+    never dies on peer input.
+
+    {2 Determinism under concurrency}
+
+    Every job runs through the same engine entry points as the one-shot
+    CLI, so a [validate] stream is byte-identical, verdict by verdict
+    and in the same order, to [Cvl.Validator.run] over the same frames
+    — {e including} when other clients are validating at the same time
+    (the differential tests assert this for 4 concurrent clients, all
+    three engines, and chaos on/off). Two mechanisms make that safe:
+    clean jobs share admission slots (engine state that matters to them
+    is immutable after load or domain-safe), while chaos jobs — which
+    arm process-global fault hooks and read process-global resilience
+    counters — take an {e exclusive} slot: they wait for in-flight jobs
+    to finish and nothing else starts until they are done.
+
+    {2 Admission, deadlines, shedding}
+
+    At most [max_inflight] jobs run at once and [queue_depth] more may
+    wait; past that a job is refused with an [Overloaded] reply carrying
+    the queue depth and a retry-after hint — never a silent drop. Jobs
+    carry an optional wall-clock budget ([--deadline-ms] server default,
+    per-request override); expiry at any stage boundary or mid-stream
+    answers with an error trailer and counts a deadline miss.
+
+    {2 Session lifecycle}
+
+    accepting -> serving -> (idle-reaped | disconnected | crashed |
+    draining): an idle connection is reaped after [idle_timeout_ms]; a
+    session that raises is contained by the supervisor (fds closed,
+    [crashed] counted, server still serving). A [shutdown] request
+    turns the whole server to draining: the listener stops accepting,
+    in-flight jobs finish and stream their summaries (new jobs are
+    refused), then past [drain_ms] stragglers are forcibly closed and
+    all session domains joined.
 
     State retained between jobs:
     - the loaded rules and their compiled + fused forms (until
@@ -19,26 +52,44 @@
       [revalidate] diffs against via {!Cvl.Incremental.revalidate};
     - the content-addressed {!Cvl.Normcache} (process-global), which is
       what makes warm jobs cheap;
-    - latency/throughput counters for [stats].
-
-    Failure containment mirrors the engine's [Engine_error] philosophy:
-    a job that raises is caught and answered with an [error] reply, a
-    malformed payload is answered and the connection continues, a
-    desynchronized stream drops only that connection — the server
-    process never dies on peer input. *)
+    - latency/throughput/limiter counters for [stats]. *)
 
 type t
+
+(** Knobs of the concurrent server. [backlog] is the listen(2) queue.
+    [max_connections] caps concurrent sessions: connections beyond it
+    are answered with [Overloaded] and closed. [max_inflight] caps
+    concurrently running jobs; [queue_depth] jobs may wait beyond that
+    before shedding starts. [deadline_ms] is the default per-job budget
+    ([None] = unlimited). [idle_timeout_ms] reaps connections with no
+    traffic ([None] = never; it also bounds mid-frame stalls via a
+    socket receive timeout). [drain_ms] is how long a graceful shutdown
+    waits for in-flight jobs. *)
+type config = {
+  backlog : int;
+  max_connections : int;
+  max_inflight : int;
+  queue_depth : int;
+  deadline_ms : int option;
+  idle_timeout_ms : int option;
+  drain_ms : int;
+}
+
+val default_config : config
+(** backlog 8, 64 connections, 4 in-flight, queue 16, no deadline, no
+    idle timeout, 2s drain. *)
 
 (** [create ~source ~manifest ()] loads every enabled entity's rules,
     lints the corpus, compiles and fuses. Per-entity load failures are
     tolerated (reported in the log and in job summaries would-be
     degraded state), but a corpus where {e nothing} loads is an error.
 
-    [jobs] sizes the persistent pool ([0] = auto, default [1]).
-    [manifest_path] labels the manifest for the lint pass. [log]
-    receives one line per lifecycle event and request (default:
-    silent). *)
+    [config] defaults to {!default_config}. [jobs] sizes the persistent
+    pool ([0] = auto, default [1]). [manifest_path] labels the manifest
+    for the lint pass. [log] receives one line per lifecycle event and
+    request (default: silent); calls are serialized across sessions. *)
 val create :
+  ?config:config ->
   ?jobs:int ->
   ?log:(string -> unit) ->
   ?manifest_path:string ->
@@ -53,20 +104,32 @@ val lint_findings : t -> int
 
 (** Serve one already-decoded request, calling [respond] once per
     response message (possibly many for a [validate]/[revalidate]
-    stream). Never raises on job failure: exceptions are contained
-    into an [Error_reply]. *)
+    stream). Heavy requests go through the admission limiter and may
+    answer [Overloaded]. Never raises on job failure: exceptions are
+    contained into an [Error_reply]. *)
 val handle :
   t -> Protocol.request -> respond:(Protocol.response -> unit) -> [ `Continue | `Shutdown ]
 
-(** Serve one connection until EOF, a desynchronized stream, or a
-    [shutdown] request. The server value stays valid afterwards:
-    call {!serve} again with the next connection. *)
+(** Serve one connection until EOF, an idle timeout, a desynchronized
+    stream, or a [shutdown] request. Registers as a session for the
+    duration (so it shows in [stats] and participates in draining) and
+    is safe to run from several domains at once against the same [t].
+    The server value stays valid afterwards. *)
 val serve : t -> in_channel -> out_channel -> [ `Disconnect | `Shutdown ]
 
-(** Accept loop on a Unix domain socket ([socket_path] is created,
-    and unlinked again on exit). Serves connections one at a time
-    until a [shutdown] request, then closes and removes the socket. *)
-val listen : t -> socket_path:string -> unit
+(** Move the server to draining: no new jobs are admitted, sessions
+    close at their next message boundary, and a concurrent {!listen}
+    stops accepting and drains. Idempotent. (A [shutdown] request does
+    exactly this.) *)
+val request_drain : t -> unit
+
+(** Concurrent accept loop on a Unix domain socket ([socket_path] is
+    created, and unlinked again on exit). Each accepted connection gets
+    its own supervised session domain; connections over
+    [max_connections] are refused with [Overloaded]. Returns after a
+    [shutdown] request completes its graceful drain. [backlog]
+    overrides the config's listen queue length. *)
+val listen : ?backlog:int -> t -> socket_path:string -> unit
 
 (** Stop the worker domains. The server remains usable (sequential). *)
 val destroy : t -> unit

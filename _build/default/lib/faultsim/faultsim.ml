@@ -153,6 +153,93 @@ let sample ?(rate = 0.05) ~seed ~rules frames =
   { seed; faults = with_ids (files @ plugins @ evals) }
 
 (* ------------------------------------------------------------------ *)
+(* I/O fault family: transport-level chaos                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Faults on the daemon's byte streams rather than its evaluation
+   grid. Pure byte manglers — no Unix dependency here: [mangle] turns
+   one framed message into the chunk list a hostile peer would send,
+   plus what the peer does to the connection afterwards. The test
+   harness owns the actual sockets (and, for [Stalled_read], the
+   refusal to read replies). Sampling is the same seeded site-keyed
+   scheme as evaluation faults, keyed by stream name. *)
+
+type io_fault_kind =
+  | Slow_loris of { chunk_bytes : int }
+  | Mid_stream_disconnect of { after_bytes : int }
+  | Stalled_read
+  | Short_write of { drop_bytes : int }
+
+type io_fault = { io_id : string; stream : string; io_kind : io_fault_kind }
+type io_plan = { io_seed : int; io_faults : io_fault list }
+
+let io_kind_to_string = function
+  | Slow_loris { chunk_bytes } -> Printf.sprintf "slow-loris chunk=%dB" chunk_bytes
+  | Mid_stream_disconnect { after_bytes } ->
+    Printf.sprintf "mid-stream-disconnect after=%dB" after_bytes
+  | Stalled_read -> "stalled-read"
+  | Short_write { drop_bytes } -> Printf.sprintf "short-write drop=%dB" drop_bytes
+
+let describe_io plan =
+  String.concat ""
+    (List.map
+       (fun f -> Printf.sprintf "%s %s %s\n" f.io_id f.stream (io_kind_to_string f.io_kind))
+       plan.io_faults)
+
+let sample_io ?(rate = 0.5) ~seed ~streams () =
+  let faults =
+    List.filter_map
+      (fun stream ->
+        let key = "io:" ^ stream in
+        if unit ~seed key >= rate then None
+        else
+          let io_kind =
+            match pick ~seed ("iokind:" ^ key) 4 with
+            | 0 -> Slow_loris { chunk_bytes = 1 + pick ~seed ("iochunk:" ^ key) 7 }
+            | 1 -> Mid_stream_disconnect { after_bytes = 1 + pick ~seed ("iocut:" ^ key) 40 }
+            | 2 -> Stalled_read
+            | _ -> Short_write { drop_bytes = 1 + pick ~seed ("iodrop:" ^ key) 16 }
+          in
+          Some (stream, io_kind))
+      streams
+  in
+  {
+    io_seed = seed;
+    io_faults =
+      List.mapi
+        (fun i (stream, io_kind) ->
+          { io_id = Printf.sprintf "IO%03d" i; stream; io_kind })
+        faults;
+  }
+
+let io_fault_for plan stream = List.find_opt (fun f -> f.stream = stream) plan.io_faults
+
+let chunk_string n s =
+  let len = String.length s in
+  let n = max 1 n in
+  let rec go i acc =
+    if i >= len then List.rev acc
+    else go (i + n) (String.sub s i (min n (len - i)) :: acc)
+  in
+  go 0 []
+
+let mangle kind frame =
+  let len = String.length frame in
+  match kind with
+  | Slow_loris { chunk_bytes } -> (chunk_string chunk_bytes frame, `Keep_open)
+  | Stalled_read ->
+    (* The frame arrives whole; the fault is the peer never reading the
+       reply stream (and then vanishing). *)
+    ([ frame ], `Keep_open)
+  | Mid_stream_disconnect { after_bytes } ->
+    (* Clamp to len - 1 so the cut is always genuinely mid-frame. *)
+    let keep = max 1 (min after_bytes (len - 1)) in
+    ([ String.sub frame 0 keep ], `Close_now)
+  | Short_write { drop_bytes } ->
+    let keep = max 1 (len - max 1 drop_bytes) in
+    ([ String.sub frame 0 keep ], `Close_now)
+
+(* ------------------------------------------------------------------ *)
 (* Arming: translate a plan into Resilience hooks                      *)
 (* ------------------------------------------------------------------ *)
 

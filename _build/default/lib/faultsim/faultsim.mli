@@ -71,6 +71,47 @@ val eval_sites :
   frames:Frames.Frame.t list ->
   (string * string * string) list
 
+(** {2 I/O fault family}
+
+    Transport-level chaos for the daemon's framed byte streams, under
+    the same seeded site-keyed sampling. These faults never install
+    hooks: {!mangle} is a pure function from one framed message to the
+    chunk sequence a hostile peer would write, so the test harness (or
+    any transport shim) owns the sockets and the timing. *)
+
+type io_fault_kind =
+  | Slow_loris of { chunk_bytes : int }
+      (** the frame arrives, but dribbled in [chunk_bytes]-byte writes *)
+  | Mid_stream_disconnect of { after_bytes : int }
+      (** the peer hangs up after [after_bytes] bytes of the frame
+          (clamped to stay strictly mid-frame) *)
+  | Stalled_read
+      (** the frame arrives whole but the peer never reads the reply
+          stream, then vanishes — backpressure on the server's writes *)
+  | Short_write of { drop_bytes : int }
+      (** the peer's last write loses its final [drop_bytes] bytes
+          before the connection closes *)
+
+type io_fault = { io_id : string; stream : string; io_kind : io_fault_kind }
+type io_plan = { io_seed : int; io_faults : io_fault list }
+
+(** [sample_io ~seed ~streams ()] selects streams (by name) at [rate]
+    (default [0.5]) and draws each selected stream's fault kind and
+    parameters from the seed. Pure in the seed, order-independent. *)
+val sample_io : ?rate:float -> seed:int -> streams:string list -> unit -> io_plan
+
+val io_fault_for : io_plan -> string -> io_fault option
+
+(** One line per fault: [<id> <stream> <kind …>]. *)
+val describe_io : io_plan -> string
+
+(** [mangle kind frame] is the chunk sequence the faulty peer writes
+    (in order, flushing between chunks) and whether it then keeps the
+    connection open or slams it shut. Chunks always concatenate to a
+    prefix of [frame]; for {!Slow_loris} and {!Stalled_read} the prefix
+    is the whole frame. *)
+val mangle : io_fault_kind -> string -> string list * [ `Keep_open | `Close_now ]
+
 (** Install the plan as {!Cvl.Resilience} hooks and clear the
     triggered-fault record. Only one plan can be armed at a time. *)
 val arm : plan -> unit

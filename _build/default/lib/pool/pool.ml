@@ -12,6 +12,11 @@
 type t = {
   jobs : int;
   mutex : Mutex.t;
+  (* One parallel map at a time: [task] is a single published slot, so
+     two callers racing it from different domains would overwrite each
+     other's closures. Concurrent callers (daemon sessions) serialize
+     here; the sequential fast paths below never touch it. *)
+  caller : Mutex.t;
   work : Condition.t;
   done_ : Condition.t;
   mutable task : (unit -> unit) option;
@@ -54,6 +59,7 @@ let create ~jobs =
     {
       jobs;
       mutex = Mutex.create ();
+      caller = Mutex.create ();
       work = Condition.create ();
       done_ = Condition.create ();
       task = None;
@@ -90,7 +96,7 @@ let with_pool ~jobs f =
    exception its own [f] raised. A failing item never poisons the
    results of unrelated items — chunks keep draining, and all slots are
    filled before the caller sees anything. *)
-let map_array_results t f arr =
+let map_array_results_exclusive t f arr =
   let n = Array.length arr in
   let out = Array.make n None in
   (* More chunks than executors keeps the tail balanced when item costs
@@ -125,6 +131,12 @@ let map_array_results t f arr =
   t.task <- None;
   Mutex.unlock t.mutex;
   Array.map Option.get out
+
+let map_array_results t f arr =
+  Mutex.lock t.caller;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.caller)
+    (fun () -> map_array_results_exclusive t f arr)
 
 let map_array t f arr =
   let results = map_array_results t f arr in

@@ -16,7 +16,7 @@
   $ grep -o '"identical": true' fusion_smoke.json | sort -u
   $ grep -o '"path_heavy_fused_visits_below_compiled": true' fusion_smoke.json
   $ grep -c '"visits_fused"' fusion_smoke.json
-  $ ../../bench/main.exe daemon --smoke --daemon-out daemon_smoke.json | grep -v '^warm ' | grep -v '^cold ' | grep -v '^sustained ' | grep -v 'beats cold'
+  $ ../../bench/main.exe daemon --smoke --daemon-out daemon_smoke.json | grep -v '^warm ' | grep -v '^cold ' | grep -v '^sustained ' | grep -v 'beats cold' | grep -v '^concurrent '
   $ grep -o '"identical": true' daemon_smoke.json
   $ grep -o '"cells": 360' daemon_smoke.json
   $ ../../bench/main.exe daemno; echo "exit: $?"

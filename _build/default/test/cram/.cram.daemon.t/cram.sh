@@ -7,6 +7,10 @@
   $ sed -i 's/PermitRootLogin yes/PermitRootLogin no/' frame.json
   $ configvalidator validated-client --socket v.sock revalidate --frame-file frame.json > reval.out
   $ tail -3 reval.out
+  $ configvalidator validated-client --socket v.sock validate --frame-file frame.json --deadline-ms 0
+  $ printf '0\n\n' | configvalidator validated-client --socket v.sock raw
+  $ printf '999999999\n' | configvalidator validated-client --socket v.sock raw
+  $ printf '12' | configvalidator validated-client --socket v.sock raw
   $ configvalidator validated-client --socket v.sock stats
   $ configvalidator validated-client --socket v.sock shutdown
   $ wait

@@ -107,17 +107,19 @@ byte-identity verdict are deterministic; the timing lines and the
 warm-vs-cold margin vary by machine (the runtest gate bounds them with
 a generous floor).
 
-  $ ../../bench/main.exe daemon --smoke --daemon-out daemon_smoke.json | grep -v '^warm ' | grep -v '^cold ' | grep -v '^sustained ' | grep -v 'beats cold'
+  $ ../../bench/main.exe daemon --smoke --daemon-out daemon_smoke.json | grep -v '^warm ' | grep -v '^cold ' | grep -v '^sustained ' | grep -v 'beats cold' | grep -v '^concurrent '
   
   ==================================================================
   Daemon - warm jobs vs cold one-shot (smoke)
   ==================================================================
   fleet: 24 frames x 15 entities = 360 cells (3 jobs of 8 frames)
   daemon verdicts byte-identical to one-shot: true
+  4 concurrent clients x 2 jobs: 2024 verdicts, byte-identical: true
   wrote daemon_smoke.json
 
 
   $ grep -o '"identical": true' daemon_smoke.json
+  "identical": true
   "identical": true
   $ grep -o '"cells": 360' daemon_smoke.json
   "cells": 360

@@ -41,22 +41,50 @@ entity (one fresh parse, everything else from cache).
   engine fused, cache 5 hits / 1 misses
   revalidated: sshd
 
+A job may carry a wall-clock budget (--deadline-ms, or a server-wide
+default). An exhausted budget answers an explicit error — counted as a
+deadline miss, not a crash.
+
+  $ configvalidator validated-client --socket v.sock validate --frame-file frame.json --deadline-ms 0
+  deadline exceeded (admission): job budget exhausted
+  [1]
+
+The raw op speaks unframed bytes, which shows how the reader classifies
+hostile input. A zero-length frame is well-framed garbage: the server
+answers and keeps the connection. An unreasonable declared length or a
+frame cut off mid-payload desynchronizes the stream, so the server
+answers and hangs up.
+
+  $ printf '0\n\n' | configvalidator validated-client --socket v.sock raw
+  {"type":"error","message":"malformed request: offset 0: unexpected end of input"}
+  $ printf '999999999\n' | configvalidator validated-client --socket v.sock raw
+  {"type":"error","message":"protocol: unreasonable message length 999999999"}
+  $ printf '12' | configvalidator validated-client --socket v.sock raw
+  {"type":"error","message":"protocol: message truncated mid-payload"}
+
 The daemon's counters are deterministic (timing percentiles hide
-behind --verbose).
+behind --verbose). Each CLI call above was one short-lived session, so
+one session is live (this stats call) and the peak is one.
 
   $ configvalidator validated-client --socket v.sock stats
-  requests: 5
+  requests: 6
   jobs: 3
   verdicts: 510
-  protocol-errors: 0
+  protocol-errors: 3
   contained: 0
   reloads: 0
   entities: 15
   rules: 170
   retained-frames: 1
+  sessions: 1
+  peak-sessions: 1
+  shed: 0
+  deadline-misses: 1
+  idle-reaped: 0
+  crashed: 0
 
-Clean shutdown: the daemon answers, closes the socket, and its event
-log tells the whole story, one line per request.
+Clean shutdown: the daemon answers, stops accepting, drains, closes the
+socket, and its event log tells the whole story, one line per request.
 
   $ configvalidator validated-client --socket v.sock shutdown
   server stopped
@@ -68,8 +96,14 @@ log tells the whole story, one line per request.
   validated: validate (0 inline, 1 files)
   validated: validate (0 inline, 1 files)
   validated: revalidate
+  validated: validate (0 inline, 1 files)
+  validated: protocol error (payload): offset 0: unexpected end of input
+  validated: protocol error (desync): unreasonable message length 999999999
+  validated: protocol error (desync): message truncated mid-payload
   validated: stats
   validated: shutdown
+  validated: draining: accept loop stopped
+  validated: drained: 3 job(s) served, 510 verdict(s) streamed, 0 shed, 0 contained
   validated: stopped
   $ test -S v.sock || echo socket removed
   socket removed

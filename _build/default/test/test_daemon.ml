@@ -87,9 +87,9 @@ let protocol_cases =
             Protocol.Validate
               (Protocol.job ~frames:[ f ] ~frame_files:[ "a.json"; "b.json" ]
                  ~tags:[ "#security" ] ~entities:[ "sshd"; "sysctl" ] ~engine:`Compiled
-                 ~jobs:4 ~keep_not_applicable:false ~chaos:7 ());
-            Protocol.Revalidate { frame = Some f; frame_file = None };
-            Protocol.Revalidate { frame = None; frame_file = Some "f.json" };
+                 ~jobs:4 ~keep_not_applicable:false ~chaos:7 ~deadline_ms:250 ());
+            Protocol.Revalidate { frame = Some f; frame_file = None; deadline_ms = None };
+            Protocol.Revalidate { frame = None; frame_file = Some "f.json"; deadline_ms = Some 50 };
             Protocol.Reload_rules;
             Protocol.Stats;
             Protocol.Shutdown;
@@ -137,8 +137,15 @@ let protocol_cases =
                 st_p99_ms = 2.0;
                 st_mean_ms = 1.2;
                 st_verdicts_per_sec = 40000.0;
+                st_sessions = 2;
+                st_peak_sessions = 4;
+                st_shed = 1;
+                st_deadline_misses = 1;
+                st_idle_reaped = 2;
+                st_crashed = 1;
               };
             Protocol.Reloaded { entities = 15; rules = 170 };
+            Protocol.Overloaded { queue_depth = 21; retry_after_ms = 125 };
             Protocol.Error_reply "boom";
             Protocol.Bye;
           ]);
@@ -486,4 +493,682 @@ let lifecycle_cases =
                   revalidated));
   ]
 
-let suite = protocol_cases @ differential_cases @ containment_cases @ lifecycle_cases
+(* ---------------------------------------------------------------- *)
+(* Deadlines                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let check_contains label hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: %S does not mention %S" label hay needle
+
+let deadline_cases =
+  [
+    Alcotest.test_case "deadline: none is unlimited forever" `Quick (fun () ->
+        Alcotest.(check bool) "unlimited" true (Deadline.unlimited Deadline.none);
+        Alcotest.(check bool) "never expired" false (Deadline.expired Deadline.none);
+        Alcotest.(check (option (float 0.0))) "no remaining" None
+          (Deadline.remaining_ms Deadline.none);
+        Alcotest.(check (result unit string)) "check passes" (Ok ())
+          (Deadline.check Deadline.none ~what:"anything"));
+    Alcotest.test_case "deadline: a fake clock drives expiry deterministically" `Quick
+      (fun () ->
+        let now = ref 0.0 in
+        let clock () = !now in
+        let d = Deadline.after_ms ~clock 100 in
+        Alcotest.(check bool) "fresh budget lives" false (Deadline.expired d);
+        Alcotest.(check (option (float 0.001))) "full budget" (Some 100.0)
+          (Deadline.remaining_ms d);
+        now := 0.075;
+        Alcotest.(check (option (float 0.001))) "quarter left" (Some 25.0)
+          (Deadline.remaining_ms d);
+        now := 0.2;
+        Alcotest.(check bool) "expired" true (Deadline.expired d);
+        Alcotest.(check (option (float 0.001))) "clamped at zero" (Some 0.0)
+          (Deadline.remaining_ms d);
+        match Deadline.check d ~what:"engine run" with
+        | Ok () -> Alcotest.fail "expired deadline passed check"
+        | Error m ->
+            check_contains "names the stage" m "engine run";
+            check_contains "names the cause" m "deadline exceeded");
+    Alcotest.test_case "deadline: non-positive budgets are born expired" `Quick (fun () ->
+        Alcotest.(check bool) "zero" true (Deadline.expired (Deadline.after_ms 0));
+        Alcotest.(check bool) "negative" true (Deadline.expired (Deadline.after_ms (-5))));
+    Alcotest.test_case "deadline: the request override beats the server default" `Quick
+      (fun () ->
+        let now = ref 0.0 in
+        let clock () = !now in
+        let d = Deadline.of_request ~clock ~default_ms:(Some 1000) (Some 10) in
+        Alcotest.(check (option (float 0.001))) "override wins" (Some 10.0)
+          (Deadline.remaining_ms d);
+        let d = Deadline.of_request ~clock ~default_ms:(Some 50) None in
+        Alcotest.(check (option (float 0.001))) "default applies" (Some 50.0)
+          (Deadline.remaining_ms d);
+        Alcotest.(check bool) "neither set = unlimited" true
+          (Deadline.unlimited (Deadline.of_request ~clock ~default_ms:None None)));
+    Alcotest.test_case "an exhausted budget answers an error, counts a miss" `Quick
+      (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let config = { Server.default_config with Server.deadline_ms = Some 0 } in
+        let server = Result.get_ok (Server.create ~config ~source ~manifest ()) in
+        let client = Client.in_process server in
+        Fun.protect
+          ~finally:(fun () ->
+            Client.close client;
+            Server.destroy server)
+          (fun () ->
+            (* The server-wide default budget of 0 is already exhausted
+               at the first gate. *)
+            (match
+               Client.validate client ~on_verdict:ignore (Protocol.job ~frames:[ f ] ())
+             with
+            | Ok _ -> Alcotest.fail "a 0ms budget must expire"
+            | Error m -> check_contains "expiry reaches the client" m "deadline exceeded");
+            (* A per-request override beats the hopeless default. *)
+            (match
+               Client.validate client ~on_verdict:ignore
+                 (Protocol.job ~frames:[ f ] ~deadline_ms:60_000 ())
+             with
+            | Ok _ -> ()
+            | Error m -> Alcotest.failf "override should rescue the job: %s" m);
+            Alcotest.(check (result unit string)) "still serving" (Ok ())
+              (Client.ping client);
+            let st = Result.get_ok (Client.stats client) in
+            Alcotest.(check int) "one deadline miss" 1 st.Protocol.st_deadline_misses;
+            Alcotest.(check int) "misses are not crashes" 0 st.Protocol.st_contained));
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Concurrency: N clients, byte-identical streams                    *)
+(* ---------------------------------------------------------------- *)
+
+(* Block the first rule evaluation of a job on a condition variable so
+   a test can hold a job in-flight while it probes the server. *)
+let eval_gate () =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let entered = ref false and hold = ref true in
+  let hook ~entity:_ ~rule:_ ~frame_id:_ =
+    Mutex.lock m;
+    if !hold && not !entered then begin
+      entered := true;
+      Condition.broadcast c;
+      while !hold do
+        Condition.wait c m
+      done
+    end;
+    Mutex.unlock m
+  in
+  let await_entered () =
+    Mutex.lock m;
+    while not !entered do
+      Condition.wait c m
+    done;
+    Mutex.unlock m
+  in
+  let release () =
+    Mutex.lock m;
+    hold := false;
+    Condition.broadcast c;
+    Mutex.unlock m
+  in
+  (hook, await_entered, release)
+
+let concurrent_cases =
+  [
+    Alcotest.test_case "4 concurrent clients stream byte-identical output" `Slow (fun () ->
+        let frames = fleet () in
+        let rules = Result.get_ok (Cvl.Validator.load_rules ~source ~manifest) in
+        let combos =
+          [| (`Fused, None); (`Compiled, Some 1); (`Interpreted, None); (`Fused, Some 2) |]
+        in
+        (* References run first, alone: chaos references arm the
+           process-global fault hooks, which must never overlap the
+           concurrent phase. *)
+        let refs =
+          Array.map (fun (_, chaos) -> one_shot_signature ~rules ~chaos frames) combos
+        in
+        let server = make_server ~jobs:2 () in
+        let run_client i () =
+          let engine, chaos = combos.(i) in
+          let client = Client.in_process server in
+          Fun.protect
+            ~finally:(fun () -> Client.close client)
+            (fun () ->
+              List.init 2 (fun _ ->
+                  let streamed = ref [] in
+                  match
+                    Client.validate client
+                      ~on_verdict:(fun v -> streamed := verdict_sig v :: !streamed)
+                      (Protocol.job ~frames ~engine ?chaos ())
+                  with
+                  | Error m -> Error m
+                  | Ok s -> Ok (List.rev !streamed, s.Protocol.s_degraded)))
+        in
+        let domains = List.init 4 (fun i -> Domain.spawn (run_client i)) in
+        let outputs = List.map Domain.join domains in
+        Fun.protect
+          ~finally:(fun () -> Server.destroy server)
+          (fun () ->
+            List.iteri
+              (fun i reps ->
+                let engine, chaos = combos.(i) in
+                let label =
+                  Printf.sprintf "client %d (%s, chaos=%s)" i
+                    (Protocol.engine_to_string engine)
+                    (match chaos with None -> "off" | Some s -> string_of_int s)
+                in
+                List.iteri
+                  (fun rep outcome ->
+                    match outcome with
+                    | Error m -> Alcotest.failf "%s rep %d: %s" label rep m
+                    | Ok (streamed, degraded) ->
+                        Alcotest.(check sig_t)
+                          (Printf.sprintf "%s rep %d: byte-identical stream" label rep)
+                          (List.map nest refs.(i))
+                          (List.map nest streamed);
+                        Alcotest.(check bool)
+                          (Printf.sprintf "%s rep %d: chaos degrades" label rep)
+                          (chaos <> None) degraded)
+                  reps)
+              outputs;
+            let probe = Client.in_process server in
+            Fun.protect
+              ~finally:(fun () -> Client.close probe)
+              (fun () ->
+                let st = Result.get_ok (Client.stats probe) in
+                Alcotest.(check bool) "sessions overlapped" true
+                  (st.Protocol.st_peak_sessions >= 2);
+                Alcotest.(check int) "8 jobs served" 8 st.Protocol.st_jobs;
+                Alcotest.(check int) "nothing shed at this load" 0 st.Protocol.st_shed)));
+    Alcotest.test_case "over-budget jobs answer overloaded, never a silent drop" `Quick
+      (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let rules = Result.get_ok (Cvl.Validator.load_rules ~source ~manifest) in
+        let reference = one_shot_signature ~rules ~chaos:None [ f ] in
+        let config =
+          { Server.default_config with Server.max_inflight = 1; queue_depth = 0 }
+        in
+        let server = Result.get_ok (Server.create ~config ~source ~manifest ()) in
+        let hook, await_entered, release = eval_gate () in
+        Cvl.Resilience.set_eval_hook (Some hook);
+        Fun.protect
+          ~finally:(fun () ->
+            release ();
+            Cvl.Resilience.set_eval_hook None;
+            Server.destroy server)
+          (fun () ->
+            let blocked =
+              Domain.spawn (fun () ->
+                  let client = Client.in_process server in
+                  let streamed = ref [] in
+                  let r =
+                    Client.validate client
+                      ~on_verdict:(fun v -> streamed := verdict_sig v :: !streamed)
+                      (Protocol.job ~frames:[ f ] ~engine:`Compiled ())
+                  in
+                  Client.close client;
+                  (r, List.rev !streamed))
+            in
+            await_entered ();
+            (* The one slot is taken and the queue is zero: the next job
+               is shed with a typed reply, queue depth and retry hint. *)
+            let client = Client.in_process server in
+            Fun.protect
+              ~finally:(fun () -> Client.close client)
+              (fun () ->
+                (match
+                   Client.rpc client
+                     (Protocol.Validate (Protocol.job ~frames:[ f ] ~engine:`Compiled ()))
+                 with
+                | Ok (Protocol.Overloaded { queue_depth; retry_after_ms }) ->
+                    Alcotest.(check int) "queue depth reported" 1 queue_depth;
+                    Alcotest.(check bool) "retry hint is sane" true
+                      (retry_after_ms >= 5 && retry_after_ms <= 5000)
+                | Ok _ -> Alcotest.fail "expected a typed overloaded reply"
+                | Error m -> Alcotest.failf "rpc: %s" m);
+                (match
+                   Client.validate client ~on_verdict:ignore
+                     (Protocol.job ~frames:[ f ] ~engine:`Compiled ())
+                 with
+                | Ok _ -> Alcotest.fail "shed job must not succeed"
+                | Error m ->
+                    check_contains "stream surfaces the shed" m "overloaded";
+                    check_contains "with the queue depth" m "queue depth");
+                release ();
+                let r, streamed = Domain.join blocked in
+                (match r with
+                | Error m -> Alcotest.failf "blocked job should finish: %s" m
+                | Ok _ ->
+                    Alcotest.(check sig_t) "blocked job streams byte-identical"
+                      (List.map nest reference) (List.map nest streamed));
+                let st = Result.get_ok (Client.stats client) in
+                Alcotest.(check int) "both shed jobs counted" 2 st.Protocol.st_shed;
+                Alcotest.(check int) "sheds are not crashes" 0 st.Protocol.st_contained)));
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Listener: real sockets, chaos, drain, supervision                  *)
+(* ---------------------------------------------------------------- *)
+
+let temp_socket_path () =
+  let p = Filename.temp_file "cvld" ".sock" in
+  (try Sys.remove p with Sys_error _ -> ());
+  p
+
+let rec dial ?(tries = 500) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if tries = 0 then failwith "listener never came up"
+      else begin
+        Unix.sleepf 0.01;
+        dial ~tries:(tries - 1) path
+      end
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  go 0
+
+(* Read one validate reply stream off a raw connection. *)
+let read_stream ic =
+  let rec go acc =
+    match Protocol.read_response ic with
+    | Ok (Protocol.Verdict v) -> go (verdict_sig v :: acc)
+    | Ok (Protocol.Summary _) -> Ok (List.rev acc)
+    | Ok (Protocol.Error_reply m) -> Error m
+    | Ok _ -> Error "unexpected reply in stream"
+    | Error m -> Error m
+  in
+  go []
+
+let make_logged_server ?(config = Server.default_config) ?log () =
+  let lines = ref [] in
+  let lock = Mutex.create () in
+  let log =
+    match log with
+    | Some f -> f
+    | None -> fun _ -> ()
+  in
+  let logger m =
+    Mutex.lock lock;
+    lines := m :: !lines;
+    Mutex.unlock lock;
+    log m
+  in
+  let server = Result.get_ok (Server.create ~config ~log:logger ~source ~manifest ()) in
+  (server, fun () -> List.rev !lines)
+
+let mangle_kinds =
+  [
+    Faultsim.Slow_loris { chunk_bytes = 3 };
+    Faultsim.Mid_stream_disconnect { after_bytes = 11 };
+    Faultsim.Stalled_read;
+    Faultsim.Short_write { drop_bytes = 4 };
+  ]
+
+let listener_cases =
+  [
+    Alcotest.test_case "io faults: plans are pure in the seed, mangle keeps prefixes"
+      `Quick (fun () ->
+        let streams = List.init 8 (fun i -> Printf.sprintf "c%d" i) in
+        let p1 = Faultsim.sample_io ~seed:42 ~streams () in
+        let p2 = Faultsim.sample_io ~seed:42 ~streams () in
+        Alcotest.(check string) "same seed, same plan" (Faultsim.describe_io p1)
+          (Faultsim.describe_io p2);
+        let all = Faultsim.sample_io ~rate:1.0 ~seed:7 ~streams () in
+        Alcotest.(check int) "rate 1 selects every stream" (List.length streams)
+          (List.length all.Faultsim.io_faults);
+        let none = Faultsim.sample_io ~rate:0.0 ~seed:7 ~streams () in
+        Alcotest.(check int) "rate 0 selects none" 0 (List.length none.Faultsim.io_faults);
+        let frame = Protocol.frame_bytes (Protocol.request_to_json Protocol.Ping) in
+        List.iter
+          (fun kind ->
+            let chunks, disposition = Faultsim.mangle kind frame in
+            let sent = String.concat "" chunks in
+            Alcotest.(check bool) "chunks form a prefix" true
+              (String.length sent <= String.length frame
+              && String.sub frame 0 (String.length sent) = sent);
+            match kind with
+            | Faultsim.Slow_loris _ | Faultsim.Stalled_read ->
+                Alcotest.(check string) "whole frame arrives" frame sent;
+                Alcotest.(check bool) "keeps the connection" true
+                  (disposition = `Keep_open)
+            | Faultsim.Mid_stream_disconnect _ | Faultsim.Short_write _ ->
+                Alcotest.(check bool) "strictly mid-frame" true
+                  (String.length sent >= 1 && String.length sent < String.length frame);
+                Alcotest.(check bool) "slams the connection" true
+                  (disposition = `Close_now))
+          mangle_kinds);
+    Alcotest.test_case "seeded socket chaos leaves the listener serving" `Slow (fun () ->
+        let frames = [ Scenarios.Host.compliant (); Scenarios.Host.misconfigured () ] in
+        let rules = Result.get_ok (Cvl.Validator.load_rules ~source ~manifest) in
+        let reference = one_shot_signature ~rules ~chaos:None frames in
+        let server, logs = make_logged_server () in
+        let socket_path = temp_socket_path () in
+        let listener = Domain.spawn (fun () -> Server.listen server ~socket_path) in
+        let request_frame =
+          Protocol.frame_bytes
+            (Protocol.request_to_json (Protocol.Validate (Protocol.job ~frames ())))
+        in
+        let clean_stream label fd =
+          let ic = Unix.in_channel_of_descr fd in
+          write_all fd request_frame;
+          (match read_stream ic with
+          | Error m -> Alcotest.failf "%s: %s" label m
+          | Ok streamed ->
+              Alcotest.(check sig_t)
+                (label ^ ": byte-identical to the one-shot run")
+                (List.map nest reference) (List.map nest streamed));
+          close_in_noerr ic
+        in
+        Fun.protect
+          ~finally:(fun () -> Server.destroy server)
+          (fun () ->
+            (* Wait for the listener, then prove the clean path once. *)
+            clean_stream "warmup" (dial socket_path);
+            List.iter
+              (fun seed ->
+                let streams = List.init 4 (fun i -> Printf.sprintf "s%d" i) in
+                let plan = Faultsim.sample_io ~seed ~streams () in
+                List.iter
+                  (fun stream ->
+                    match Faultsim.io_fault_for plan stream with
+                    | None -> clean_stream (Printf.sprintf "seed %d %s" seed stream)
+                                (dial socket_path)
+                    | Some { Faultsim.io_kind; _ } -> (
+                        let fd = dial socket_path in
+                        let chunks, disposition = Faultsim.mangle io_kind request_frame in
+                        List.iter (write_all fd) chunks;
+                        match (io_kind, disposition) with
+                        | Faultsim.Slow_loris _, _ ->
+                            (* Dribbled but complete: the stream still
+                               answers, byte-identical. *)
+                            let ic = Unix.in_channel_of_descr fd in
+                            (match read_stream ic with
+                            | Error m ->
+                                Alcotest.failf "seed %d %s (slow-loris): %s" seed stream m
+                            | Ok streamed ->
+                                Alcotest.(check sig_t)
+                                  (Printf.sprintf "seed %d %s: slow-loris stream survives"
+                                     seed stream)
+                                  (List.map nest reference) (List.map nest streamed));
+                            close_in_noerr ic
+                        | _, _ ->
+                            (* Vanishing peers: hang up (possibly
+                               mid-frame, possibly mid-reply). *)
+                            (try Unix.close fd with Unix.Unix_error _ -> ())))
+                  streams;
+                (* Invariant: after every seeded plan the listener still
+                   accepts and serves clean streams. *)
+                clean_stream (Printf.sprintf "seed %d aftermath" seed) (dial socket_path))
+              [ 1; 2; 3 ];
+            let shutdown = Result.get_ok (Client.connect ~retry_for:5.0 socket_path) in
+            let st = Result.get_ok (Client.stats shutdown) in
+            Alcotest.(check bool) "truncated peers counted" true
+              (st.Protocol.st_protocol_errors > 0);
+            Alcotest.(check (result unit string)) "graceful shutdown" (Ok ())
+              (Client.shutdown shutdown);
+            Client.close shutdown;
+            Domain.join listener;
+            Alcotest.(check bool) "socket removed" false (Sys.file_exists socket_path);
+            Alcotest.(check bool) "drain summary logged" true
+              (List.exists (fun l -> contains l "drained:") (logs ()))));
+    Alcotest.test_case "graceful drain finishes in-flight streams before stopping" `Slow
+      (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let rules = Result.get_ok (Cvl.Validator.load_rules ~source ~manifest) in
+        let reference = one_shot_signature ~rules ~chaos:None [ f ] in
+        let server, logs = make_logged_server () in
+        let socket_path = temp_socket_path () in
+        let listener = Domain.spawn (fun () -> Server.listen server ~socket_path) in
+        let hook, await_entered, release = eval_gate () in
+        Cvl.Resilience.set_eval_hook (Some hook);
+        Fun.protect
+          ~finally:(fun () ->
+            release ();
+            Cvl.Resilience.set_eval_hook None;
+            Server.destroy server)
+          (fun () ->
+            let blocked =
+              Domain.spawn (fun () ->
+                  let client = Result.get_ok (Client.connect ~retry_for:5.0 socket_path) in
+                  let streamed = ref [] in
+                  let r =
+                    Client.validate client
+                      ~on_verdict:(fun v -> streamed := verdict_sig v :: !streamed)
+                      (Protocol.job ~frames:[ f ] ~engine:`Compiled ())
+                  in
+                  Client.close client;
+                  (r, List.rev !streamed))
+            in
+            await_entered ();
+            (* Shut the server down while that job is mid-flight. *)
+            let other = Result.get_ok (Client.connect ~retry_for:5.0 socket_path) in
+            Alcotest.(check (result unit string)) "shutdown acknowledged" (Ok ())
+              (Client.shutdown other);
+            Client.close other;
+            release ();
+            let r, streamed = Domain.join blocked in
+            (match r with
+            | Error m -> Alcotest.failf "drained job should finish its stream: %s" m
+            | Ok _ ->
+                Alcotest.(check sig_t) "in-flight stream completed byte-identical"
+                  (List.map nest reference) (List.map nest streamed));
+            Domain.join listener;
+            let lines = logs () in
+            Alcotest.(check bool) "accept loop stop logged" true
+              (List.exists (fun l -> contains l "draining: accept loop stopped") lines);
+            Alcotest.(check bool) "drain summary logged" true
+              (List.exists (fun l -> contains l "drained:") lines);
+            Alcotest.(check bool) "no forced close needed" false
+              (List.exists (fun l -> contains l "drain deadline hit") lines);
+            Alcotest.(check bool) "socket removed" false (Sys.file_exists socket_path)));
+    Alcotest.test_case "a crashing session is contained, the listener keeps serving"
+      `Quick (fun () ->
+        let crash_next = Atomic.make false in
+        let log m =
+          if contains m "validate" && Atomic.compare_and_set crash_next true false then
+            failwith "injected session crash"
+        in
+        let server, logs = make_logged_server ~log () in
+        let socket_path = temp_socket_path () in
+        let listener = Domain.spawn (fun () -> Server.listen server ~socket_path) in
+        Fun.protect
+          ~finally:(fun () -> Server.destroy server)
+          (fun () ->
+            let victim = Result.get_ok (Client.connect ~retry_for:5.0 socket_path) in
+            Atomic.set crash_next true;
+            (match
+               Client.validate victim ~on_verdict:ignore
+                 (Protocol.job ~frames:[ Scenarios.Host.compliant () ] ())
+             with
+            | Ok _ -> Alcotest.fail "the crashed session cannot have answered"
+            | Error _ -> ());
+            Client.close victim;
+            let survivor = Result.get_ok (Client.connect ~retry_for:5.0 socket_path) in
+            Alcotest.(check (result unit string)) "listener still serving" (Ok ())
+              (Client.ping survivor);
+            let st = Result.get_ok (Client.stats survivor) in
+            Alcotest.(check int) "crash counted" 1 st.Protocol.st_crashed;
+            Alcotest.(check (result unit string)) "shutdown" (Ok ())
+              (Client.shutdown survivor);
+            Client.close survivor;
+            Domain.join listener;
+            Alcotest.(check bool) "supervisor logged the containment" true
+              (List.exists (fun l -> contains l "session crashed (contained)") (logs ()))));
+    Alcotest.test_case "connections past the cap are refused; no fd leaks" `Slow
+      (fun () ->
+        (* Warm up lazy runtime fds (domain machinery) so the before /
+           after comparison only sees this test's descriptors. *)
+        Domain.join (Domain.spawn (fun () -> ()));
+        let count_fds () = Array.length (Sys.readdir "/proc/self/fd") in
+        let config = { Server.default_config with Server.max_connections = 1 } in
+        let server, logs = make_logged_server ~config () in
+        let before = count_fds () in
+        let socket_path = temp_socket_path () in
+        let listener = Domain.spawn (fun () -> Server.listen server ~socket_path) in
+        Fun.protect
+          ~finally:(fun () -> Server.destroy server)
+          (fun () ->
+            let fd1 = dial socket_path in
+            let ic1 = Unix.in_channel_of_descr fd1 in
+            let oc1 = Unix.out_channel_of_descr fd1 in
+            Protocol.write_request oc1 Protocol.Ping;
+            expect_pong ic1;
+            (* The only session slot is taken: the next connection gets
+               a typed overloaded reply, then EOF. *)
+            let fd2 = dial socket_path in
+            let ic2 = Unix.in_channel_of_descr fd2 in
+            (match Protocol.read_response ic2 with
+            | Ok (Protocol.Overloaded { queue_depth; _ }) ->
+                Alcotest.(check int) "reports the session count" 1 queue_depth
+            | Ok _ -> Alcotest.fail "expected an overloaded refusal"
+            | Error m -> Alcotest.failf "refused connection: %s" m);
+            (match Protocol.read_message ic2 with
+            | Protocol.Closed -> ()
+            | _ -> Alcotest.fail "refused connection must be closed");
+            close_in_noerr ic2;
+            Protocol.write_request oc1 Protocol.Shutdown;
+            (match Protocol.read_response ic1 with
+            | Ok Protocol.Bye -> ()
+            | _ -> Alcotest.fail "expected bye");
+            close_out_noerr oc1;
+            close_in_noerr ic1;
+            Domain.join listener;
+            Alcotest.(check bool) "refusal logged" true
+              (List.exists (fun l -> contains l "connection refused") (logs ()));
+            Alcotest.(check int) "every descriptor returned" before (count_fds ())));
+    Alcotest.test_case "an idle connection is reaped" `Quick (fun () ->
+        let config = { Server.default_config with Server.idle_timeout_ms = Some 50 } in
+        let server = Result.get_ok (Server.create ~config ~source ~manifest ()) in
+        Fun.protect
+          ~finally:(fun () -> Server.destroy server)
+          (fun () ->
+            let (), outcome =
+              raw_connection server (fun ic oc ->
+                  Protocol.write_request oc Protocol.Ping;
+                  expect_pong ic;
+                  (* Then go quiet: the server notices and says so. *)
+                  let m = expect_error ic in
+                  check_contains "reap names the cause" m "idle timeout")
+            in
+            Alcotest.(check bool) "connection dropped" true (outcome = `Disconnect);
+            let client = Client.in_process server in
+            Fun.protect
+              ~finally:(fun () -> Client.close client)
+              (fun () ->
+                let st = Result.get_ok (Client.stats client) in
+                Alcotest.(check int) "reap counted" 1 st.Protocol.st_idle_reaped)));
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Client dial retry                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let backoff_cases =
+  [
+    Alcotest.test_case "connect retries until the server shows up late" `Quick (fun () ->
+        let socket_path = temp_socket_path () in
+        let time = ref 0.0 in
+        let now () = !time in
+        let sleeps = ref [] in
+        let listener = ref None in
+        let sleep d =
+          sleeps := d :: !sleeps;
+          time := !time +. d;
+          (* The server "starts" during the second backoff: a bound,
+             listening socket is enough for connect to succeed (the
+             connection parks in the backlog). *)
+          if List.length !sleeps = 2 then begin
+            let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.bind sock (Unix.ADDR_UNIX socket_path);
+            Unix.listen sock 8;
+            listener := Some sock
+          end
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Option.iter (fun s -> try Unix.close s with Unix.Unix_error _ -> ()) !listener;
+            try Sys.remove socket_path with Sys_error _ -> ())
+          (fun () ->
+            match Client.connect ~retry_for:10.0 ~now ~sleep socket_path with
+            | Error m -> Alcotest.failf "late server should be reachable: %s" m
+            | Ok client ->
+                Client.close client;
+                Alcotest.(check int) "two backoffs before success" 2
+                  (List.length !sleeps);
+                List.iter
+                  (fun d ->
+                    Alcotest.(check bool) "delays bounded by the cap" true
+                      (d > 0.0 && d <= 0.4))
+                  !sleeps));
+    Alcotest.test_case "connect gives up with the attempt count when no server exists"
+      `Quick (fun () ->
+        let path = Filename.concat (Filename.get_temp_dir_name ()) "cvld-never.sock" in
+        (try Sys.remove path with Sys_error _ -> ());
+        let time = ref 0.0 in
+        let now () = !time in
+        let sleeps = ref [] in
+        let sleep d =
+          sleeps := d :: !sleeps;
+          time := !time +. d
+        in
+        (match Client.connect ~retry_for:0.5 ~now ~sleep path with
+        | Ok _ -> Alcotest.fail "nothing is listening"
+        | Error m ->
+            check_contains "says how hard it tried" m "attempt";
+            check_contains "names the socket" m path);
+        Alcotest.(check bool) "it retried" true (List.length !sleeps >= 2);
+        Alcotest.(check bool) "never slept past the deadline" true (!time <= 0.5 +. 1e-9);
+        List.iter
+          (fun d -> Alcotest.(check bool) "bounded delay" true (d > 0.0 && d <= 0.4))
+          !sleeps;
+        (* The default is one shot: no retry budget, no sleeps. *)
+        let eager = ref 0 in
+        (match Client.connect ~sleep:(fun _ -> incr eager) path with
+        | Ok _ -> Alcotest.fail "nothing is listening"
+        | Error m -> check_contains "single attempt" m "1 attempt");
+        Alcotest.(check int) "no sleeps without a retry budget" 0 !eager);
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Reader edge cases                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let reader_edge_cases =
+  [
+    Alcotest.test_case "framing: zero-length, oversized, and mid-prefix EOF" `Quick
+      (fun () ->
+        let kind bytes = with_bytes bytes read_kind in
+        (* Length 0 frames correctly — an empty payload is not JSON,
+           but the stream stays synchronized. *)
+        Alcotest.(check string) "zero length is recoverable" "bad-payload" (kind "0\n\n");
+        with_bytes "0\n\n4\ntrue\n" (fun ic ->
+            Alcotest.(check (list string))
+              "reader resyncs after a zero-length frame"
+              [ "bad-payload"; "msg"; "closed" ] (read_kinds ic 3));
+        (* A length over the 512 MiB ceiling is rejected before any
+           allocation: nobody trusts the declared payload. *)
+        Alcotest.(check string) "oversized length" "truncated"
+          (kind (Printf.sprintf "%d\nx\n" (600 * 1024 * 1024)));
+        Alcotest.(check string) "absurd length" "truncated"
+          (kind "999999999999999999999\n");
+        (* EOF while the length prefix itself is incomplete. *)
+        Alcotest.(check string) "EOF mid-prefix" "truncated" (kind "12");
+        Alcotest.(check string) "EOF right after the prefix" "truncated" (kind "12\n");
+        with_bytes "" (fun ic ->
+            Alcotest.(check string) "empty stream is a clean close" "closed"
+              (read_kind ic)));
+  ]
+
+let suite =
+  protocol_cases @ reader_edge_cases @ differential_cases @ containment_cases
+  @ lifecycle_cases @ deadline_cases @ concurrent_cases @ listener_cases @ backoff_cases

@@ -111,7 +111,27 @@ let () =
     check "daemon: latency percentiles ordered (p50 <= p99)"
       (num daemon [ "p50_ms" ] <= num daemon [ "p99_ms" ]);
     check "daemon: full fleet covers >= 100k cells"
-      (flag daemon "smoke" || num daemon [ "cells" ] >= 100000.0));
+      (flag daemon "smoke" || num daemon [ "cells" ] >= 100000.0);
+    (* Concurrent serving (the "concurrent" section). Stream identity
+       under concurrency is exact — losing it means the session model
+       broke determinism, a hard failure. The scaling floor is far
+       below linear: a one-core container can at best hold single-client
+       throughput, so the gate only catches a collapse under the
+       admission/session locks. *)
+    let conc = [ "concurrent" ] in
+    let scaling_floor = num daemon (conc @ [ "scaling_floor" ]) in
+    check "daemon-concurrent: streams byte-identical under load"
+      (Jsonlite.member "concurrent" daemon
+      |> Option.map (fun j -> flag j "identical")
+      |> Option.value ~default:false);
+    check
+      (Printf.sprintf "daemon-concurrent: >= %.2fx of single-client throughput" scaling_floor)
+      (num daemon (conc @ [ "scaling_ratio" ]) >= scaling_floor);
+    check "daemon-concurrent: p99 under load recorded"
+      (num daemon (conc @ [ "p99_ms" ]) > 0.0);
+    check "daemon-concurrent: several sessions actually served"
+      (num daemon (conc @ [ "clients" ]) >= 2.0
+      && num daemon (conc @ [ "verdicts" ]) > 0.0));
 
   if !failures > 0 then (
     Printf.eprintf "check_bench: %d check(s) failed\n" !failures;

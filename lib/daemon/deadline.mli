@@ -1,0 +1,36 @@
+(** Wall-clock budgets for daemon jobs.
+
+    A deadline is captured once when a job is admitted and checked at
+    every expensive stage boundary (frame resolution, engine run,
+    verdict streaming). Expiry turns into an [Error_reply] on the wire
+    — never a silent drop — and bumps the server's deadline-miss
+    counter.
+
+    The clock is injectable so tests can drive expiry deterministically
+    without sleeping. *)
+
+type t
+
+val none : t
+(** No budget: [expired] is always [false]. The common path. *)
+
+val after_ms : ?clock:(unit -> float) -> int -> t
+(** [after_ms ms] expires [ms] milliseconds after the call. [ms <= 0]
+    yields a deadline that is already expired — useful both for tests
+    and for callers that want an "admission only if idle" probe. *)
+
+val of_request : ?clock:(unit -> float) -> default_ms:int option -> int option -> t
+(** [of_request ~default_ms override] builds a job deadline from the
+    server-wide default and the per-request override; the override wins,
+    and [none] results when neither is set. *)
+
+val unlimited : t -> bool
+
+val remaining_ms : t -> float option
+(** [None] if unlimited, otherwise milliseconds left (clamped at 0). *)
+
+val expired : t -> bool
+
+val check : t -> what:string -> (unit, string) result
+(** [Ok ()] while the budget lasts; [Error msg] naming [what] ran over
+    once it is exhausted. *)

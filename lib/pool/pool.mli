@@ -15,8 +15,12 @@
     construction, independent of the number of jobs — the determinism
     guarantee {!Cvl.Validator.run_loaded} builds on.
 
-    Pools are not reentrant: calling {!map} from inside a function
-    being mapped by the same pool deadlocks. Exceptions raised by [f]
+    Pools are safe to share across domains: concurrent {!map} calls on
+    the same pool (daemon sessions validating at once) serialize on an
+    internal caller lock — each parallel phase runs alone, in caller
+    arrival order. They are still not reentrant: calling {!map} from
+    inside a function being mapped by the same pool deadlocks (the
+    sequential [jobs <= 1] paths excepted). Exceptions raised by [f]
     are contained per item: a raising item cannot poison the results of
     unrelated items. {!map_results} exposes the per-item outcomes;
     {!map} completes every item and then re-raises the lowest-index

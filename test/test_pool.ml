@@ -107,4 +107,24 @@ let exception_cases =
               seq par));
   ]
 
-let suite = map_cases @ fallback_cases @ exception_cases
+let sharing_cases =
+  [
+    Alcotest.test_case "concurrent callers from many domains serialize safely" `Quick
+      (fun () ->
+        (* Daemon sessions share one pool: four domains hammer the same
+           pool at once, and every caller must get its own ordered
+           results — the single published task slot is caller-locked. *)
+        Pool.with_pool ~jobs:3 (fun p ->
+            let run offset () =
+              List.init 20 (fun round ->
+                  let xs = List.init 200 (fun i -> offset + round + i) in
+                  Pool.map p (fun x -> x * x) xs = List.map (fun x -> x * x) xs)
+            in
+            let callers = List.init 4 (fun d -> Domain.spawn (run (d * 10_000))) in
+            let outcomes = List.concat_map Domain.join callers in
+            Alcotest.(check int) "every call answered" 80 (List.length outcomes);
+            Alcotest.(check bool) "every caller got its own results" true
+              (List.for_all Fun.id outcomes)));
+  ]
+
+let suite = map_cases @ fallback_cases @ exception_cases @ sharing_cases
