@@ -107,7 +107,7 @@ byte-identity verdict are deterministic; the timing lines and the
 warm-vs-cold margin vary by machine (the runtest gate bounds them with
 a generous floor).
 
-  $ ../../bench/main.exe daemon --smoke --daemon-out daemon_smoke.json | grep -v '^warm ' | grep -v '^cold ' | grep -v '^sustained ' | grep -v 'beats cold'
+  $ ../../bench/main.exe daemon --smoke --daemon-out daemon_smoke.json | grep -v '^warm ' | grep -v '^cold ' | grep -v '^sustained ' | grep -v 'beats cold' | grep -v '^concurrent '
   
   ==================================================================
   Daemon - warm jobs vs cold one-shot (smoke)
@@ -115,7 +115,6 @@ a generous floor).
   fleet: 24 frames x 15 entities = 360 cells (3 jobs of 8 frames)
   daemon verdicts byte-identical to one-shot: true
   4 concurrent clients x 2 jobs: 2024 verdicts, byte-identical: true
-  concurrent 7545 verdicts/sec (p99 147.65 ms), 0.14x of single-client
   wrote daemon_smoke.json
 
 
@@ -131,16 +130,16 @@ usage string instead of silently running nothing.
 
   $ ../../bench/main.exe daemno; echo "exit: $?"
   unknown section "daemno"
-  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE]
-  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon
+  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE] [--cluster-out FILE]
+  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon, cluster
   exit: 2
   $ ../../bench/main.exe --frobnicate; echo "exit: $?"
   unknown flag "--frobnicate"
-  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE]
-  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon
+  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE] [--cluster-out FILE]
+  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon, cluster
   exit: 2
   $ ../../bench/main.exe daemon --daemon-out; echo "exit: $?"
   flag --daemon-out needs a FILE argument
-  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE]
-  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon
+  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE] [--cluster-out FILE]
+  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon, cluster
   exit: 2

@@ -1400,6 +1400,173 @@ let daemon_bench () =
   Printf.printf "wrote %s\n" !daemon_out
 
 (* ------------------------------------------------------------------ *)
+(* cluster: fleet-scoped aggregation over N replicas                   *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_out = ref "BENCH_cluster.json"
+
+(* One [scope: cluster] ruleset over a synthetic N-replica fleet: each
+   replica is one frame, the four aggregators judge the whole
+   deployment at once. Gated claims: the three engines stay
+   byte-identical with cluster rules in play, a seeded drift is
+   detected, verdicts are invariant in frame arrival order, and
+   fleet-scoped scans sustain a useful verdict rate. Emits
+   BENCH_cluster.json. *)
+let cluster_manifest_yaml =
+  "app:\n\
+  \  enabled: True\n\
+  \  config_search_paths:\n\
+  \    - /etc/app\n\
+  \  cvl_file: \"component_configs/app.yaml\"\n\
+  \  lens: properties\n"
+
+let cluster_rules_yaml =
+  "rules:\n\
+  \  - cluster_rule_name: cache_uniform\n\
+  \    scope: cluster\n\
+  \    aggregate: equal_across\n\
+  \    config_path: [\"cache_size\"]\n\
+  \    file_context: [\"app.properties\"]\n\
+  \    not_matched_preferred_value_description: \"cache_size drifts across the fleet.\"\n\
+  \    tags: [\"#fleet\"]\n\
+  \  - cluster_rule_name: upstreams_resolve\n\
+  \    scope: cluster\n\
+  \    aggregate: exists_referent\n\
+  \    config_path: [\"upstream\"]\n\
+  \    referent_config_path: \"advertised_name\"\n\
+  \    value_separator: \",\"\n\
+  \    file_context: [\"app.properties\"]\n\
+  \    tags: [\"#fleet\"]\n\
+  \  - cluster_rule_name: quorum\n\
+  \    scope: cluster\n\
+  \    aggregate: count\n\
+  \    config_path: [\"cache_size\"]\n\
+  \    min_frames: 2\n\
+  \    file_context: [\"app.properties\"]\n\
+  \    tags: [\"#fleet\"]\n\
+  \  - cluster_rule_name: shard_agreement\n\
+  \    scope: cluster\n\
+  \    aggregate: consistent_across\n\
+  \    config_path: [\"shard_weight\"]\n\
+  \    group_by: shard_group\n\
+  \    file_context: [\"app.properties\"]\n\
+  \    tags: [\"#fleet\"]\n\
+  \  - config_name: cache_size\n\
+  \    config_path: [\"\"]\n\
+  \    file_context: [\"app.properties\"]\n\
+  \    check_presence_only: True\n\
+  \    tags: [\"#fleet\"]\n"
+
+let cluster_bench () =
+  heading
+    (Printf.sprintf "Cluster - fleet-scoped aggregation%s" (if !smoke then " (smoke)" else ""));
+  let manifest = Cvl.Manifest.parse_exn cluster_manifest_yaml in
+  let source = Cvl.Loader.assoc_source [ ("component_configs/app.yaml", cluster_rules_yaml) ] in
+  let n = if !smoke then 8 else 512 in
+  let ids = List.init n (Printf.sprintf "web-%d") in
+  let upstreams = String.concat "," ids in
+  let replica ?(cache = "64") id i =
+    Frames.Frame.add_file
+      (Frames.Frame.create ~id Frames.Frame.Host)
+      (Frames.File.make
+         ~content:
+           (Printf.sprintf
+              "advertised_name=%s\ncache_size=%s\nupstream=%s\nshard_group=%s\nshard_weight=%s\n"
+              id cache upstreams
+              (if i mod 2 = 0 then "a" else "b")
+              (if i mod 2 = 0 then "10" else "20"))
+         "/etc/app/app.properties")
+  in
+  let fleet = List.mapi (fun i id -> replica id i) ids in
+  (* Seeded drift: one replica's cache_size disagrees with the fleet. *)
+  let drifted =
+    List.mapi (fun i id -> if i = n / 2 then replica ~cache:"128" id i else replica id i) ids
+  in
+  let run ?(engine = `Fused) frames = Cvl.Validator.run ~engine ~source ~manifest frames in
+  Printf.printf "fleet: %d replica frames, 4 cluster rules + 1 per-frame rule\n" n;
+
+  (* Three-engine identity, with cluster rules in the ruleset. *)
+  let fused = run ~engine:`Fused drifted in
+  let identical =
+    result_signature fused = result_signature (run ~engine:`Compiled drifted)
+    && result_signature fused = result_signature (run ~engine:`Interpreted drifted)
+  in
+  Printf.printf "results identical across the three engines: %b\n" identical;
+
+  (* Drift detection: the compliant fleet matches, the seeded drift is
+     flagged by equal_across. *)
+  let verdict_of (t : Cvl.Validator.t) name =
+    match
+      List.find_opt
+        (fun (r : Cvl.Engine.result) -> Cvl.Rule.name r.Cvl.Engine.rule = name)
+        t.Cvl.Validator.results
+    with
+    | Some r -> Cvl.Engine.verdict_to_string r.Cvl.Engine.verdict
+    | None -> "absent"
+  in
+  let clean = run fleet in
+  let detects_drift =
+    verdict_of clean "cache_uniform" = "matched"
+    && verdict_of fused "cache_uniform" = "not-matched"
+  in
+  Printf.printf "seeded cache drift detected: %b\n" detects_drift;
+
+  (* Order invariance: shuffled arrival order, identical cluster
+     verdicts (per-frame results follow arrival order by design). *)
+  let cluster_signature (t : Cvl.Validator.t) =
+    List.filter
+      (fun (_, frame, _, _, _, _) ->
+        String.length frame >= 10 && String.sub frame 0 10 = "deployment")
+      (result_signature t)
+  in
+  let shuffle seed l =
+    let st = Random.State.make [| seed |] in
+    let a = Array.of_list l in
+    for i = Array.length a - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    Array.to_list a
+  in
+  let order_invariant =
+    List.for_all
+      (fun seed -> cluster_signature (run (shuffle seed drifted)) = cluster_signature fused)
+      [ 1; 7; 42 ]
+  in
+  Printf.printf "verdicts invariant in frame arrival order: %b\n" order_invariant;
+
+  (* Throughput: steady-state fused scans of the whole fleet. *)
+  let reps = if !smoke then 2 else 5 in
+  let verdicts = List.length clean.Cvl.Validator.results in
+  let seconds =
+    let rec go k acc = if k = 0 then acc else go (k - 1) (acc +. fst (wall (fun () -> run fleet))) in
+    go reps 0.0 /. float_of_int reps
+  in
+  let vps = float_of_int verdicts /. Float.max seconds 1e-9 in
+  Printf.printf "fleet scan %s, %d verdicts, %.0f verdicts/sec\n"
+    (pp_time (seconds *. 1e9))
+    verdicts vps;
+  let json =
+    Jsonlite.Obj
+      [
+        ("smoke", Jsonlite.Bool !smoke);
+        ("frames", Jsonlite.Num (float_of_int n));
+        ("cluster_rules", Jsonlite.Num 4.0);
+        ("verdicts", Jsonlite.Num (float_of_int verdicts));
+        ("scan_seconds", Jsonlite.Num seconds);
+        ("verdicts_per_sec", Jsonlite.Num vps);
+        ("identical", Jsonlite.Bool identical);
+        ("detects_drift", Jsonlite.Bool detects_drift);
+        ("order_invariant", Jsonlite.Bool order_invariant);
+      ]
+  in
+  Out_channel.with_open_text !cluster_out (fun oc ->
+      Out_channel.output_string oc (Jsonlite.pretty json));
+  Printf.printf "wrote %s\n" !cluster_out
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1419,6 +1586,7 @@ let sections =
     ("compile", compile_bench);
     ("fusion", fusion_bench);
     ("daemon", daemon_bench);
+    ("cluster", cluster_bench);
   ]
 
 (* A mistyped flag or section must fail loudly: a CI bench invocation
@@ -1427,7 +1595,7 @@ let sections =
 let usage () =
   Printf.eprintf
     "usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] \
-     [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE]\n";
+     [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE] [--cluster-out FILE]\n";
   Printf.eprintf "sections: %s\n" (String.concat ", " (List.map fst sections));
   exit 2
 
@@ -1455,7 +1623,11 @@ let () =
     | "--daemon-out" :: file :: rest ->
       daemon_out := file;
       parse_args rest
-    | [ (("--out" | "--lint-out" | "--chaos-out" | "--compile-out" | "--fusion-out" | "--daemon-out") as flag) ]
+    | "--cluster-out" :: file :: rest ->
+      cluster_out := file;
+      parse_args rest
+    | [ (("--out" | "--lint-out" | "--chaos-out" | "--compile-out" | "--fusion-out" | "--daemon-out"
+         | "--cluster-out") as flag) ]
       ->
       Printf.eprintf "flag %s needs a FILE argument\n" flag;
       usage ()

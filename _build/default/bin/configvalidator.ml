@@ -248,7 +248,7 @@ let keywords () =
         Cvl.Keyword.all;
       print_newline ())
     [ Cvl.Keyword.Common; Cvl.Keyword.Tree; Cvl.Keyword.Schema; Cvl.Keyword.Path;
-      Cvl.Keyword.Script; Cvl.Keyword.Composite ];
+      Cvl.Keyword.Script; Cvl.Keyword.Composite; Cvl.Keyword.Cluster ];
   0
 
 (* ------------------------------------------------------------------ *)
@@ -309,6 +309,18 @@ let rules_doc () =
               @ expectation_text "non-preferred" r.Cvl.Rule.script_non_preferred
             | Cvl.Rule.Composite r ->
               [ Printf.sprintf "  - expression: `%s`" r.Cvl.Rule.expression ]
+            | Cvl.Rule.Cluster r ->
+              [ Printf.sprintf "  - aggregate: `%s`, path: `%s`" r.Cvl.Rule.aggregate
+                  (String.concat "` | `" r.Cvl.Rule.cluster_config_paths) ]
+              @ (match r.Cvl.Rule.referent_config_path with
+                | Some p -> [ Printf.sprintf "  - referent: `%s`" p ]
+                | None -> [])
+              @ (match (r.Cvl.Rule.min_frames, r.Cvl.Rule.max_frames) with
+                | None, None -> []
+                | mn, mx ->
+                  [ Printf.sprintf "  - frames: %s..%s"
+                      (match mn with Some n -> string_of_int n | None -> "")
+                      (match mx with Some n -> string_of_int n | None -> "") ])
           in
           List.iter print_endline details;
           if c.Cvl.Rule.suggested_action <> "" then

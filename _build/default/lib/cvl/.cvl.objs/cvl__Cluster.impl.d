@@ -1,0 +1,1 @@
+lib/cvl/cluster.ml: Array Configtree Engine Frames List Option Printf Resilience Rule String

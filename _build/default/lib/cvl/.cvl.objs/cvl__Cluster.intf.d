@@ -1,0 +1,1 @@
+lib/cvl/cluster.mli: Configtree Engine Rule

@@ -1,1 +1,1 @@
-lib/cvl/compile.ml: Configtree Crawler Engine Expr Fun Hashtbl List Manifest Matcher Option Printf Resilience Result Rule
+lib/cvl/compile.ml: Cluster Configtree Crawler Engine Expr Fun Hashtbl List Manifest Matcher Option Printf Resilience Result Rule

@@ -1,1 +1,1 @@
-lib/cvl/compile.mli: Configtree Engine Expr Hashtbl Manifest Rule
+lib/cvl/compile.mli: Cluster Configtree Engine Expr Hashtbl Manifest Rule

@@ -1,1 +1,1 @@
-lib/cvl/validator.ml: Compile Engine Expr Frames Fun Fuse Hashtbl List Manifest Option Pool Printexc Printf Resilience Result Rule
+lib/cvl/validator.ml: Cluster Compile Engine Expr Frames Fun Fuse Hashtbl List Manifest Option Pool Printexc Printf Resilience Result Rule

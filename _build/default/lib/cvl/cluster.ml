@@ -1,0 +1,253 @@
+(* Fleet-scoped rule evaluation: a cluster rule's query runs per frame
+   (through the same Index.Plan trie the fused engine uses, so each
+   frame's forest is walked once for all of the rule's paths), then a
+   cross-frame aggregator judges the whole deployment at once.
+
+   All output is canonicalized — participants sorted by frame id, value
+   sets [sort_uniq]ed — so a verdict is a pure function of the *set* of
+   frames, independent of arrival order. The property tests pin this. *)
+
+let aggregators = [ "equal_across"; "exists_referent"; "count"; "consistent_across" ]
+
+type issue = {
+  field : string;
+  literal : string;
+  message : string;
+}
+
+type lowered = {
+  rule : Rule.t;
+  cr : Rule.cluster_rule;
+  plan : Configtree.Index.Plan.plan option;
+  nquery : int;
+}
+
+let lower rule (cr : Rule.cluster_rule) =
+  let issues = ref [] in
+  let parse field literal =
+    match Configtree.Path.parse literal with
+    | Ok p -> Some p
+    | Error message ->
+      issues := { field; literal; message } :: !issues;
+      None
+  in
+  let config_paths = List.filter_map (parse "config_path") cr.Rule.cluster_config_paths in
+  let referent = Option.bind cr.Rule.referent_config_path (parse "referent_config_path") in
+  let queries = config_paths @ Option.to_list referent in
+  let plan =
+    match queries with [] -> None | qs -> Some (Configtree.Index.Plan.build (Array.of_list qs))
+  in
+  ({ rule; cr; plan; nquery = List.length config_paths }, List.rev !issues)
+
+(* Same fallback logic as the engine's per-frame describe; duplicated
+   here because cluster verdicts are built outside an [entity_ctx]. *)
+let describe (c : Rule.common) (verdict : Engine.verdict) =
+  let fallback =
+    match verdict with
+    | Engine.Matched ->
+      Printf.sprintf "%s: configuration matches the preferred value" c.Rule.name
+    | Engine.Not_matched ->
+      Printf.sprintf "%s: configuration does not match the preferred value" c.Rule.name
+    | Engine.Not_present -> Printf.sprintf "%s: configuration not present" c.Rule.name
+    | Engine.Not_applicable -> Printf.sprintf "%s: not applicable" c.Rule.name
+    | Engine.Engine_error { message; _ } -> Printf.sprintf "%s: %s" c.Rule.name message
+  in
+  let configured =
+    match verdict with
+    | Engine.Matched -> c.Rule.matched_description
+    | Engine.Not_matched -> c.Rule.not_matched_description
+    | Engine.Not_present -> c.Rule.not_present_description
+    | Engine.Not_applicable | Engine.Engine_error _ -> ""
+  in
+  if configured = "" then fallback else configured
+
+let split_values sep raw =
+  match sep with
+  | Some s when String.length s = 1 ->
+    List.concat_map
+      (fun v -> String.split_on_char s.[0] v |> List.map String.trim |> List.filter (( <> ) ""))
+      raw
+  | Some _ | None -> raw
+
+(* One frame's view of the rule: did any config path match, and with
+   which (canonical) value set. *)
+type observation = {
+  fid : string;
+  ctx : Engine.entity_ctx;
+  participates : bool;
+  values : string list;
+  referent_values : string list;
+}
+
+let observe lw (ctx : Engine.entity_ctx) =
+  let fid = Frames.Frame.id ctx.Engine.frame in
+  match lw.plan with
+  | None -> { fid; ctx; participates = false; values = []; referent_values = [] }
+  | Some plan ->
+    let forests = Engine.trees_in_context ctx lw.cr.Rule.cluster_file_context in
+    let nodes = ref 0 in
+    let raw = ref [] in
+    let raw_ref = ref [] in
+    List.iter
+      (fun (_path, forest) ->
+        let table = Configtree.Index.run_plan (Configtree.Index.for_forest forest) plan in
+        Array.iteri
+          (fun qid hits ->
+            if qid < lw.nquery then begin
+              nodes := !nodes + List.length hits;
+              List.iter
+                (fun (n : Configtree.Tree.t) ->
+                  match n.Configtree.Tree.value with
+                  | Some v -> raw := v :: !raw
+                  | None -> ())
+                hits
+            end
+            else
+              List.iter
+                (fun (n : Configtree.Tree.t) ->
+                  match n.Configtree.Tree.value with
+                  | Some v -> raw_ref := v :: !raw_ref
+                  | None -> ())
+                hits)
+          table)
+      forests;
+    let sep = lw.cr.Rule.cluster_value_separator in
+    {
+      fid;
+      ctx;
+      participates = !nodes > 0;
+      values = List.sort_uniq String.compare (split_values sep (List.rev !raw));
+      referent_values = List.sort_uniq String.compare (split_values sep (List.rev !raw_ref));
+    }
+
+let eval ~deployment_id ~entity lw ctxs =
+  let cr = lw.cr in
+  let c = cr.Rule.cluster_common in
+  let mk verdict ~detail ~evidence =
+    { Engine.entity; frame_id = deployment_id; rule = lw.rule; verdict; detail; evidence }
+  in
+  if Rule.is_disabled lw.rule then
+    mk Engine.Not_applicable ~detail:(Printf.sprintf "%s: disabled" c.Rule.name) ~evidence:[]
+  else if not (List.mem cr.Rule.aggregate aggregators) then
+    let v =
+      Engine.Engine_error
+        {
+          stage = Resilience.Evaluate;
+          message = Printf.sprintf "unknown cluster aggregate %S" cr.Rule.aggregate;
+        }
+    in
+    mk v ~detail:(describe c v) ~evidence:[]
+  else
+    let obs =
+      List.sort (fun a b -> String.compare a.fid b.fid) (List.map (observe lw) ctxs)
+    in
+    let total = List.length obs in
+    let participants = List.filter (fun o -> o.participates) obs in
+    let p = List.length participants in
+    let participants_line =
+      Printf.sprintf "participants: %s (%d/%d frames)"
+        (match participants with
+        | [] -> "none"
+        | ps -> String.concat ", " (List.map (fun o -> o.fid) ps))
+        p total
+    in
+    let frame_lines =
+      List.map (fun o -> Printf.sprintf "%s: [%s]" o.fid (String.concat "; " o.values)) participants
+    in
+    let bounds_ok =
+      (match cr.Rule.min_frames with Some m -> p >= m | None -> true)
+      && match cr.Rule.max_frames with Some m -> p <= m | None -> true
+    in
+    let bounds_text =
+      match (cr.Rule.min_frames, cr.Rule.max_frames) with
+      | Some a, Some b ->
+        Printf.sprintf "expected between %d and %d participating frame(s), found %d" a b p
+      | Some a, None -> Printf.sprintf "expected at least %d participating frame(s), found %d" a p
+      | None, Some b -> Printf.sprintf "expected at most %d participating frame(s), found %d" b p
+      | None, None -> Printf.sprintf "found %d participating frame(s)" p
+    in
+    if total = 0 then
+      mk Engine.Not_applicable
+        ~detail:(Printf.sprintf "%s: no frames to evaluate" c.Rule.name)
+        ~evidence:[]
+    else if p = 0 && cr.Rule.aggregate <> "count" then
+      mk Engine.Not_present ~detail:(describe c Engine.Not_present)
+        ~evidence:[ participants_line ]
+    else if not bounds_ok then
+      mk Engine.Not_matched ~detail:(describe c Engine.Not_matched)
+        ~evidence:((participants_line :: frame_lines) @ [ bounds_text ])
+    else
+      match cr.Rule.aggregate with
+      | "count" ->
+        mk Engine.Matched ~detail:(describe c Engine.Matched)
+          ~evidence:((participants_line :: frame_lines) @ [ bounds_text ])
+      | "equal_across" ->
+        let sets = List.sort_uniq compare (List.map (fun o -> o.values) participants) in
+        if List.length sets <= 1 then
+          mk Engine.Matched ~detail:(describe c Engine.Matched)
+            ~evidence:(participants_line :: frame_lines)
+        else
+          mk Engine.Not_matched ~detail:(describe c Engine.Not_matched)
+            ~evidence:
+              ((participants_line :: frame_lines)
+              @ [ Printf.sprintf "%d distinct value set(s) across the fleet" (List.length sets) ])
+      | "exists_referent" ->
+        (* The referent set: fleet-wide values under referent_config_path
+           when given (every frame contributes, participant or not),
+           otherwise the fleet's frame ids. *)
+        let referent =
+          match cr.Rule.referent_config_path with
+          | Some _ ->
+            List.sort_uniq String.compare (List.concat_map (fun o -> o.referent_values) obs)
+          | None -> List.sort_uniq String.compare (List.map (fun o -> o.fid) obs)
+        in
+        let unknown =
+          List.sort_uniq String.compare
+            (List.concat_map
+               (fun o -> List.filter (fun v -> not (List.mem v referent)) o.values)
+               participants)
+        in
+        let ref_line = Printf.sprintf "referent set: [%s]" (String.concat "; " referent) in
+        if unknown = [] then
+          mk Engine.Matched ~detail:(describe c Engine.Matched)
+            ~evidence:((participants_line :: frame_lines) @ [ ref_line ])
+        else
+          mk Engine.Not_matched ~detail:(describe c Engine.Not_matched)
+            ~evidence:
+              ((participants_line :: frame_lines)
+              @ [
+                  ref_line;
+                  Printf.sprintf "unknown referent value(s): %s" (String.concat "; " unknown);
+                ])
+      | "consistent_across" ->
+        let key = Option.value cr.Rule.group_by ~default:"" in
+        let group_of o =
+          match Engine.lookup_config_value o.ctx ~key ~subpath:None with
+          | Some g -> g
+          | None -> "(ungrouped)"
+        in
+        let groups =
+          List.fold_left
+            (fun acc o ->
+              let g = group_of o in
+              match List.assoc_opt g acc with
+              | Some os -> (g, o :: os) :: List.remove_assoc g acc
+              | None -> (g, [ o ]) :: acc)
+            [] participants
+          |> List.map (fun (g, os) -> (g, List.rev os))
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        let group_lines =
+          List.map
+            (fun (g, os) ->
+              let sets = List.sort_uniq compare (List.map (fun o -> o.values) os) in
+              (List.length sets > 1,
+               Printf.sprintf "group %S: %d frame(s), %d value set(s)" g (List.length os)
+                 (List.length sets)))
+            groups
+        in
+        let inconsistent = List.exists fst group_lines in
+        let verdict = if inconsistent then Engine.Not_matched else Engine.Matched in
+        mk verdict ~detail:(describe c verdict)
+          ~evidence:((participants_line :: frame_lines) @ List.map snd group_lines)
+      | _ -> assert false

@@ -43,6 +43,7 @@ type entity_programs = {
   programs : program list;  (* plain rules, original order *)
   composites : (Rule.t * (Expr.t, string) result) list;
       (* composite rules with their expression pre-parsed *)
+  clusters : Cluster.lowered list;  (* fleet-scoped rules, pre-planned *)
   by_tag : (string, int list) Hashtbl.t;  (* tag -> program ordinals, ascending *)
 }
 
@@ -215,19 +216,24 @@ let rule_exec notes ~entity rule =
     | Rule.Script r ->
       let x = script_exec notes ~entity r in
       fun ctx -> Engine.eval_script_core ctx rule r x
-    | Rule.Composite _ ->
-      (* Composites are dispatched by the validator after all plain
-         results exist; evaluating one as a program yields the same
-         attributed error as the interpreter. *)
+    | Rule.Composite _ | Rule.Cluster _ ->
+      (* Composites and cluster rules are dispatched by the validator
+         after all plain results (resp. all frame contexts) exist;
+         evaluating one as a program yields the same attributed error
+         as the interpreter. *)
       fun ctx -> Engine.eval_rule ctx rule
 
 let is_composite = function
   | Rule.Composite _ -> true
-  | Rule.Tree _ | Rule.Schema _ | Rule.Path _ | Rule.Script _ -> false
+  | Rule.Tree _ | Rule.Schema _ | Rule.Path _ | Rule.Script _ | Rule.Cluster _ -> false
+
+let is_cluster = function
+  | Rule.Cluster _ -> true
+  | Rule.Tree _ | Rule.Schema _ | Rule.Path _ | Rule.Script _ | Rule.Composite _ -> false
 
 let compile_entity notes ((entry : Manifest.entry), rules) =
   let entity = entry.Manifest.entity in
-  let plain = List.filter (fun r -> not (is_composite r)) rules in
+  let plain = List.filter (fun r -> not (is_composite r || is_cluster r)) rules in
   let programs =
     List.mapi (fun i rule -> { rule; ordinal = i; exec = rule_exec notes ~entity rule }) plain
   in
@@ -235,6 +241,20 @@ let compile_entity notes ((entry : Manifest.entry), rules) =
     List.filter_map
       (function
         | Rule.Composite r as rule -> Some (rule, Expr.parse r.Rule.expression)
+        | _ -> None)
+      rules
+  in
+  let clusters =
+    List.filter_map
+      (function
+        | Rule.Cluster r as rule ->
+          let lowered, issues = Cluster.lower rule r in
+          List.iter
+            (fun (i : Cluster.issue) ->
+              note notes ~entity ~rule:(Rule.name rule) ~field:i.Cluster.field
+                ~literal:i.Cluster.literal i.Cluster.message)
+            issues;
+          Some lowered
         | _ -> None)
       rules
   in
@@ -249,7 +269,7 @@ let compile_entity notes ((entry : Manifest.entry), rules) =
         (Rule.tags p.rule))
     programs;
   Hashtbl.filter_map_inplace (fun _ os -> Some (List.rev os)) by_tag;
-  { entry; rules; programs; composites; by_tag }
+  { entry; rules; programs; composites; clusters; by_tag }
 
 let compile rules =
   let notes : notes = ref [] in
@@ -278,5 +298,10 @@ let select ~tags ep =
     ( List.filter (fun p -> Hashtbl.mem wanted p.ordinal) ep.programs,
       List.filter (fun (rule, _) -> tag_selected tags rule) ep.composites )
   end
+
+(* Lowered cluster rules carrying at least one of [tags], original
+   order. Clusters are few, so a linear tag scan is fine here. *)
+let select_clusters ~tags ep =
+  List.filter (fun (lw : Cluster.lowered) -> tag_selected tags lw.Cluster.rule) ep.clusters
 
 let run_program ctx (p : program) = p.exec ctx

@@ -53,9 +53,16 @@ val ctx_of_documents :
   entity:string -> Frames.Frame.t -> (string * Lenses.Lens.normalized) list -> entity_ctx
 
 (** Evaluate one non-composite rule. Disabled rules yield
-    [Not_applicable]. Passing a [Rule.Composite] yields
+    [Not_applicable]. Passing a [Rule.Composite] or [Rule.Cluster]
+    (both resolved by {!Validator} over many results/frames) yields
     [Engine_error]. *)
 val eval_rule : entity_ctx -> Rule.t -> result
+
+(** The context's parsed tree forests, restricted to files matching any
+    of the given patterns ([[]] = all files). Used by {!Cluster} to run
+    fleet-scoped queries over each frame's forests. *)
+val trees_in_context :
+  entity_ctx -> string list -> (string * Configtree.Tree.t list) list
 
 (** {2 Execution plans}
 

@@ -129,7 +129,7 @@ let fuse_entity (ep : Compile.entity_programs) =
             Tree (r, qids, rpairs)
           | Rule.Schema r -> Schema (r, sig_of r)
           | Rule.Script r -> Script (r, List.map add_path (Compile.script_query_paths r))
-          | Rule.Path _ | Rule.Composite _ -> Plain)
+          | Rule.Path _ | Rule.Composite _ | Rule.Cluster _ -> Plain)
       ep.Compile.programs
   in
   let plan =

@@ -5,6 +5,7 @@ type group =
   | Path
   | Script
   | Composite
+  | Cluster
 
 let group_to_string = function
   | Common -> "common"
@@ -13,6 +14,7 @@ let group_to_string = function
   | Path -> "path"
   | Script -> "script"
   | Composite -> "composite"
+  | Cluster -> "cluster"
 
 let all =
   [
@@ -70,11 +72,22 @@ let all =
     ("composite_rule_name", Composite, "rule name for a cross-entity assertion");
     ("composite_rule_description", Composite, "what the composite assertion checks");
     ("composite_rule", Composite, "boolean expression over per-entity results");
+    (* Cluster rules: 8. *)
+    ("cluster_rule_name", Cluster, "rule name for a fleet-scoped assertion");
+    ("cluster_rule_description", Cluster, "what the cluster assertion checks");
+    ("scope", Cluster, "evaluation scope; must be 'cluster' for fleet-wide rules");
+    ("aggregate", Cluster,
+     "cross-frame aggregator: equal_across | exists_referent | count | consistent_across");
+    ("referent_config_path", Cluster,
+     "path whose fleet-wide values form the referent set (default: frame ids)");
+    ("min_frames", Cluster, "minimum number of frames that must carry the configuration");
+    ("max_frames", Cluster, "maximum number of frames allowed to carry the configuration");
+    ("group_by", Cluster, "config key partitioning frames into consistency groups");
   ]
 
 (* The linter probes every key of every rule against the vocabulary, so
    lookups are backed by a hashtable built once on first use rather than
-   scanning the 48-entry list per call. *)
+   scanning the 56-entry list per call. *)
 let by_name : (string, group) Hashtbl.t Lazy.t =
   lazy
     (let h = Hashtbl.create (2 * List.length all) in
@@ -90,6 +103,7 @@ let allowed_in g =
   let own = in_group g @ in_group Common in
   match g with
   | Script -> "config_path" :: "not_present_pass" :: own
+  | Cluster -> "config_path" :: "file_context" :: "value_separator" :: own
   | Common | Tree | Schema | Path | Composite -> own
 
 let count = List.length all

@@ -32,6 +32,7 @@ let discriminators =
     ("path_name", `Path);
     ("script_name", `Script);
     ("composite_rule_name", `Composite);
+    ("cluster_rule_name", `Cluster);
   ]
 
 let rule_kind_of_map kvs =
@@ -41,7 +42,7 @@ let rule_kind_of_map kvs =
   | [] ->
     Error
       "rule has no discriminator key (expected one of config_name, config_schema_name, \
-       path_name, script_name, composite_rule_name)"
+       path_name, script_name, composite_rule_name, cluster_rule_name)"
   | multiple ->
     Error
       (Printf.sprintf "rule mixes discriminator keys: %s"
@@ -253,6 +254,66 @@ let composite_of_map kvs ~name =
     | Error e -> Error (Printf.sprintf "rule %S: bad composite expression: %s" name e)
     | Ok _ -> Ok (Rule.Composite { Rule.composite_common = common; expression }))
 
+let cluster_of_map kvs ~name =
+  let* () = check_keywords ~group:Keyword.Cluster ~name kvs in
+  let* common = common_of_map kvs ~name ~description_key:"cluster_rule_description" in
+  let* () =
+    match str_field kvs "scope" with
+    | None | Some "cluster" -> Ok ()
+    | Some v ->
+      Error (Printf.sprintf "rule %S: scope must be \"cluster\", got %S" name v)
+  in
+  let* config_paths = str_list_field kvs "config_path" in
+  let* file_context = str_list_field kvs "file_context" in
+  let* min_frames = int_field kvs "min_frames" in
+  let* max_frames = int_field kvs "max_frames" in
+  let aggregate = str_field_default kvs "aggregate" ~default:"" in
+  let* () =
+    match aggregate with
+    | "equal_across" | "exists_referent" | "count" | "consistent_across" -> Ok ()
+    | "" -> Error (Printf.sprintf "rule %S: cluster rules need an `aggregate:` keyword" name)
+    | v ->
+      Error
+        (Printf.sprintf
+           "rule %S: unknown aggregate %S (expected equal_across, exists_referent, count or \
+            consistent_across)"
+           name v)
+  in
+  let* () =
+    match config_paths with
+    | Some (_ :: _) -> Ok ()
+    | Some [] | None ->
+      Error
+        (Printf.sprintf "rule %S: cluster rules need a non-empty `config_path:` list" name)
+  in
+  let* () =
+    match (aggregate, min_frames, max_frames) with
+    | "count", None, None ->
+      Error
+        (Printf.sprintf "rule %S: aggregate count needs min_frames and/or max_frames" name)
+    | _ -> Ok ()
+  in
+  let group_by = str_field kvs "group_by" in
+  let* () =
+    match (aggregate, group_by) with
+    | "consistent_across", None ->
+      Error (Printf.sprintf "rule %S: aggregate consistent_across needs a `group_by:` key" name)
+    | _ -> Ok ()
+  in
+  Ok
+    (Rule.Cluster
+       {
+         Rule.cluster_common = common;
+         aggregate;
+         cluster_config_paths = Option.value config_paths ~default:[];
+         cluster_file_context = Option.value file_context ~default:[];
+         referent_config_path = str_field kvs "referent_config_path";
+         cluster_value_separator = str_field kvs "value_separator";
+         min_frames;
+         max_frames;
+         group_by;
+       })
+
 let rule_of_map kvs =
   let* _key, kind = rule_kind_of_map kvs in
   let* name = rule_name_of_map kvs in
@@ -262,6 +323,7 @@ let rule_of_map kvs =
   | `Path -> path_of_map kvs ~name
   | `Script -> script_of_map kvs ~name
   | `Composite -> composite_of_map kvs ~name
+  | `Cluster -> cluster_of_map kvs ~name
 
 let rule_of_yaml v =
   match Yamlite.Value.get_map v with

@@ -431,6 +431,8 @@ let entity frame (entry : Manifest.entry) rules =
           | Rule.Path r -> fix_path_rule frame r
           | Rule.Script _ -> (frame, Skipped "runtime state cannot be fixed by editing files")
           | Rule.Composite _ -> (frame, Skipped "composite rules are fixed through their atoms")
+          | Rule.Cluster _ ->
+            (frame, Skipped "fleet-scoped rules are fixed per member frame")
         in
         (frame, { entity = entry.Manifest.entity; rule_name; outcome } :: reports))
     (frame, []) results

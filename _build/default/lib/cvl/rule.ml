@@ -77,12 +77,25 @@ type composite_rule = {
   expression : string;
 }
 
+type cluster_rule = {
+  cluster_common : common;
+  aggregate : string;
+  cluster_config_paths : string list;
+  cluster_file_context : string list;
+  referent_config_path : string option;
+  cluster_value_separator : string option;
+  min_frames : int option;
+  max_frames : int option;
+  group_by : string option;
+}
+
 type t =
   | Tree of tree_rule
   | Schema of schema_rule
   | Path of path_rule
   | Script of script_rule
   | Composite of composite_rule
+  | Cluster of cluster_rule
 
 let common_of = function
   | Tree r -> r.tree_common
@@ -90,6 +103,7 @@ let common_of = function
   | Path r -> r.path_common
   | Script r -> r.script_common
   | Composite r -> r.composite_common
+  | Cluster r -> r.cluster_common
 
 let name t = (common_of t).name
 let tags t = (common_of t).tags
@@ -100,6 +114,7 @@ let kind_to_string = function
   | Path _ -> "path"
   | Script _ -> "script"
   | Composite _ -> "composite"
+  | Cluster _ -> "cluster"
 
 let is_disabled t = (common_of t).disabled
 
@@ -110,5 +125,6 @@ let with_common t c =
   | Path r -> Path { r with path_common = c }
   | Script r -> Script { r with script_common = c }
   | Composite r -> Composite { r with composite_common = c }
+  | Cluster r -> Cluster { r with cluster_common = c }
 
 let has_tag t tag = List.exists (String.equal tag) (tags t)

@@ -1,4 +1,6 @@
-(** The CVL rule model: the five rule types of the paper (§3.2).
+(** The CVL rule model: the five rule types of the paper (§3.2), plus
+    the fleet-scoped [scope: cluster] rule type whose queries span a
+    whole set of frames (see {!Cluster}).
 
     Construction normally happens through {!Loader}; the records are
     exposed so programs can also build rules directly (the embedded
@@ -86,12 +88,36 @@ type composite_rule = {
   expression : string;  (** parsed by {!Expr} at evaluation time *)
 }
 
+(** A fleet-scoped rule ([scope: cluster]): the query runs per frame,
+    then a cross-frame aggregator judges the whole deployment at once.
+    Evaluated by the validator over the regrouped per-frame contexts
+    (see {!Cluster}), never per (entity, frame) cell. *)
+type cluster_rule = {
+  cluster_common : common;
+  aggregate : string;
+      (** [equal_across] | [exists_referent] | [count] |
+          [consistent_across] *)
+  cluster_config_paths : string list;
+      (** full paths to the observed leaf, script-rule style *)
+  cluster_file_context : string list;  (** file patterns; [] = all files *)
+  referent_config_path : string option;
+      (** [exists_referent]: path whose fleet-wide values form the
+          referent set; absent = the fleet's frame ids *)
+  cluster_value_separator : string option;
+  min_frames : int option;  (** quorum floor on participating frames *)
+  max_frames : int option;  (** quorum ceiling on participating frames *)
+  group_by : string option;
+      (** [consistent_across]: config key partitioning frames into
+          consistency groups *)
+}
+
 type t =
   | Tree of tree_rule
   | Schema of schema_rule
   | Path of path_rule
   | Script of script_rule
   | Composite of composite_rule
+  | Cluster of cluster_rule
 
 val common_of : t -> common
 val name : t -> string

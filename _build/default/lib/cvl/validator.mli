@@ -114,6 +114,16 @@ val load_rules :
   manifest:Manifest.entry list ->
   ((Manifest.entry * Rule.t list) list, (string * string) list) result
 
+(** Evaluate only the cluster rules of [rules] over already-built frame
+    contexts — used by incremental revalidation, which (like composites)
+    always recomputes fleet-scoped verdicts after splicing. Results are
+    in manifest/rule order with [frame_id = deployment_id]. *)
+val eval_clusters :
+  rules:(Manifest.entry * Rule.t list) list ->
+  ctxs:(string * Engine.entity_ctx list) list ->
+  deployment_id:string ->
+  Engine.result list
+
 (** Evaluate only the composite rules of [rules] against
     already-computed per-entity results — used by incremental
     revalidation, which recomputes composites after splicing. *)

@@ -56,6 +56,7 @@ let discriminators =
     ("path_name", Cvl.Keyword.Path);
     ("script_name", Cvl.Keyword.Script);
     ("composite_rule_name", Cvl.Keyword.Composite);
+    ("cluster_rule_name", Cvl.Keyword.Cluster);
   ]
 
 let kind_of p = List.filter (fun (k, _) -> pfind p k <> None) discriminators
@@ -72,6 +73,7 @@ let str_list_of p key =
   Option.bind (pfind p key) (fun f -> Yamlite.Value.get_str_list f.value)
 
 let bool_of p key = Option.bind (pfind p key) (fun f -> Yamlite.Value.get_bool f.value)
+let int_of p key = Option.bind (pfind p key) (fun f -> Yamlite.Value.get_int f.value)
 
 (* Closest name in [candidates] by bounded edit distance — the
    "did you mean" source for lens, plugin, entity, and manifest keys. *)
@@ -585,13 +587,83 @@ let remediation_passes p =
              (Option.value (name_of p) ~default:"?"));
       ]
 
+(* CVL070/071/072: cluster-scope checks, anchored at the offending
+   field's own span (the aggregator token, the bound, the referent) so
+   the finding points at what to edit, not at the rule header. *)
+let cluster_passes p =
+  let aggregate = str_of p "aggregate" in
+  let unknown_aggregate =
+    match (aggregate, pfind p "aggregate") with
+    | Some a, Some f when not (List.mem a Cvl.Cluster.aggregators) ->
+      [
+        Diagnostic.make Diagnostic.unknown_cluster_aggregator f.fspan
+          ?suggestion:(did_you_mean Cvl.Cluster.aggregators a)
+          (Printf.sprintf "unknown aggregate %S" a);
+      ]
+    | _ -> []
+  in
+  let cross_frame =
+    match aggregate with
+    | Some ("equal_across" | "consistent_across") -> true
+    | _ -> false
+  in
+  let vacuous_bounds =
+    match (int_of p "max_frames", pfind p "max_frames") with
+    | Some m, Some f when m <= 1 && cross_frame ->
+      [
+        Diagnostic.make Diagnostic.cluster_single_frame_query f.fspan
+          ~suggestion:"cross-frame aggregators need at least two participating frames"
+          (Printf.sprintf
+             "max_frames: %d confines %s to at most one frame, so it always holds" m
+             (Option.value aggregate ~default:"the aggregator"));
+      ]
+    | _ -> []
+  in
+  let impossible_bounds =
+    match (int_of p "min_frames", int_of p "max_frames", pfind p "min_frames") with
+    | Some mn, Some mx, Some f when mn > mx ->
+      [
+        Diagnostic.make Diagnostic.cluster_single_frame_query f.fspan
+          (Printf.sprintf
+             "min_frames: %d exceeds max_frames: %d — the quorum can never be satisfied" mn
+             mx);
+      ]
+    | _ -> []
+  in
+  let referent =
+    match pfind p "referent_config_path" with
+    | None -> []
+    | Some f -> (
+      let literal = Option.value (Yamlite.Value.get_str f.value) ~default:"" in
+      match Cvl.Compile.check_path_literal literal with
+      | Error e ->
+        [
+          Diagnostic.make Diagnostic.unsatisfiable_referent f.fspan
+            ~suggestion:"segments are labels, label[n], * or **, separated by '/'"
+            (Printf.sprintf
+               "referent_config_path %S does not parse (%s): the referent set is empty and \
+                every observed value is a violation"
+               literal e);
+        ]
+      | Ok _ -> (
+        match aggregate with
+        | Some a when a <> "exists_referent" ->
+          [
+            Diagnostic.make Diagnostic.unsatisfiable_referent f.fspan
+              ~suggestion:"only exists_referent consults the referent set"
+              (Printf.sprintf "referent_config_path is ignored by aggregate %s" a);
+          ]
+        | _ -> []))
+  in
+  unknown_aggregate @ vacuous_bounds @ impossible_bounds @ referent
+
 let semantic_passes ctx ?lens p =
   match kind_of p with
   | [] ->
     [
       Diagnostic.make Diagnostic.rule_load_error p.rspan
         "rule has no discriminator key (expected one of config_name, config_schema_name, \
-         path_name, script_name, composite_rule_name)";
+         path_name, script_name, composite_rule_name, cluster_rule_name)";
     ]
   | _ :: _ :: _ as multiple ->
     [
@@ -614,6 +686,7 @@ let semantic_passes ctx ?lens p =
         | Cvl.Keyword.Path -> path_passes p
         | Cvl.Keyword.Script -> script_passes ctx p @ malformed_path_pass p
         | Cvl.Keyword.Composite -> composite_passes ctx p
+        | Cvl.Keyword.Cluster -> cluster_passes p @ malformed_path_pass p
         | Cvl.Keyword.Schema | Cvl.Keyword.Common -> []
       in
       let diags =
@@ -731,7 +804,7 @@ let manifest_keys =
   [ "enabled"; "config_search_paths"; "cvl_file"; "lens"; "rule_type"; "entity_name";
     "flaky_plugins" ]
 
-let rule_types = [ "tree"; "schema"; "path"; "script"; "composite" ]
+let rule_types = [ "tree"; "schema"; "path"; "script"; "composite"; "cluster" ]
 
 type mentry = {
   m_entity : string;

@@ -108,6 +108,19 @@ let unsatisfiable_require_probe =
   code "CVL062" "unsatisfiable-require-probe" Warning
     "a require_other_configs probe can never be satisfied, so the rule silently never fires"
 
+let unknown_cluster_aggregator =
+  code "CVL070" "unknown-cluster-aggregator" Error
+    "the aggregate is not one of equal_across, exists_referent, count, consistent_across"
+
+let cluster_single_frame_query =
+  code "CVL071" "cluster-single-frame-query" Warning
+    "the frame bounds confine a fleet-scoped rule to at most one frame, so the cross-frame \
+     aggregator is vacuous"
+
+let unsatisfiable_referent =
+  code "CVL072" "unsatisfiable-referent" Warning
+    "the referent set can never contain a value, so every observed value is a violation"
+
 let registry =
   [
     parse_error; manifest_error; rule_load_error; missing_rule_file; inheritance_cycle;
@@ -116,7 +129,8 @@ let registry =
     bad_match_spec; bad_regex; match_without_value; unknown_lens; unknown_script;
     dead_config_path; unknown_entity; bad_composite_expression; no_tags; bad_tag;
     missing_remediation; bad_rule_type; flaky_plugin_no_fallback; malformed_config_path;
-    overlapping_rule_queries; unsatisfiable_require_probe;
+    overlapping_rule_queries; unsatisfiable_require_probe; unknown_cluster_aggregator;
+    cluster_single_frame_query; unsatisfiable_referent;
   ]
 
 let find_code key =

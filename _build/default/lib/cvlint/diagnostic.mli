@@ -100,3 +100,17 @@ val overlapping_rule_queries : code
     run pays this once; a long-running daemon bakes the dead rule into
     its resident ruleset until the next reload. *)
 val unsatisfiable_require_probe : code
+
+(** CVL070 — an [aggregate:] value no cluster evaluator implements; the
+    rule errors on every run. *)
+val unknown_cluster_aggregator : code
+
+(** CVL071 — [min_frames]/[max_frames] confine a fleet-scoped rule to
+    at most one participating frame, making the cross-frame aggregator
+    vacuous (an [equal_across] over one frame always holds). *)
+val cluster_single_frame_query : code
+
+(** CVL072 — a referent set that can never contain a value (malformed
+    [referent_config_path], or a referent on an aggregator that ignores
+    it): every observed value would count as a violation. *)
+val unsatisfiable_referent : code

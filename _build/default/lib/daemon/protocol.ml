@@ -109,6 +109,13 @@ let obj fields = Obj (List.filter_map Fun.id fields)
 let field k v = Some (k, v)
 let opt_field k = function None -> None | Some v -> Some (k, v)
 
+(* The codec's wire vocabulary, kept next to the (de)serializers that
+   speak it. docs/PROTOCOL.md must anchor every name (doc gate). *)
+let op_names = [ "ping"; "validate"; "revalidate"; "reload-rules"; "stats"; "shutdown" ]
+
+let reply_names =
+  [ "pong"; "verdict"; "summary"; "stats"; "reloaded"; "overloaded"; "error"; "bye" ]
+
 let request_to_json = function
   | Ping -> Obj [ ("op", Str "ping") ]
   | Reload_rules -> Obj [ ("op", Str "reload-rules") ]

@@ -144,6 +144,15 @@ type response =
   | Error_reply of string
   | Bye
 
+val op_names : string list
+(** Every request ["op"] string the codec accepts, in dispatch order.
+    The doc gate ([tools/check_lint.exe]) checks each appears in
+    [docs/PROTOCOL.md]. *)
+
+val reply_names : string list
+(** Every response ["type"] string the codec emits. Anchored in
+    [docs/PROTOCOL.md] like {!op_names}. *)
+
 val request_to_json : request -> Jsonlite.t
 val request_of_json : Jsonlite.t -> (request, string) result
 val response_to_json : response -> Jsonlite.t

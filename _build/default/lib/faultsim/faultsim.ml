@@ -72,7 +72,7 @@ let with_ids faults =
   List.mapi (fun i kind -> { id = Printf.sprintf "F%03d" i; kind }) faults
 
 let is_plain = function
-  | Cvl.Rule.Composite _ -> false
+  | Cvl.Rule.Composite _ | Cvl.Rule.Cluster _ -> false
   | Cvl.Rule.Tree _ | Cvl.Rule.Schema _ | Cvl.Rule.Path _ | Cvl.Rule.Script _ -> true
 
 (* Every (entity, rule, frame) evaluation site of the plain-rule grid,

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Cvl Daemon Engine Frames Fun Incremental List Loader Manifest Printf QCheck QCheck_alcotest Random Result Rule String Validator

@@ -3,6 +3,9 @@
   $ configvalidator lint --rules-dir ../cvl_bad cvl042.yaml --fail-on error
   $ configvalidator lint --rules-dir ../cvl_bad cvl060.yaml
   $ configvalidator lint --rules-dir ../cvl_bad cvl062.yaml
+  $ configvalidator lint --rules-dir ../cvl_bad cvl070.yaml
+  $ configvalidator lint --rules-dir ../cvl_bad cvl071.yaml
+  $ configvalidator lint --rules-dir ../cvl_bad cvl072.yaml
   $ configvalidator lint --rules-dir ../cvl_bad no_such_file.yaml
   $ configvalidator lint --rules-dir ../cvl_bad/corpus
   $ configvalidator lint --rules-dir ../cvl_bad cvl010.yaml --format sarif | grep -c '"ruleId"'

@@ -130,16 +130,16 @@ usage string instead of silently running nothing.
 
   $ ../../bench/main.exe daemno; echo "exit: $?"
   unknown section "daemno"
-  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE]
-  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon
+  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE] [--cluster-out FILE]
+  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon, cluster
   exit: 2
   $ ../../bench/main.exe --frobnicate; echo "exit: $?"
   unknown flag "--frobnicate"
-  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE]
-  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon
+  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE] [--cluster-out FILE]
+  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon, cluster
   exit: 2
   $ ../../bench/main.exe daemon --daemon-out; echo "exit: $?"
   flag --daemon-out needs a FILE argument
-  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE]
-  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon
+  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE] [--cluster-out FILE]
+  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon, cluster
   exit: 2

@@ -59,6 +59,39 @@ until the next reload.
   0 errors, 1 warning, 0 infos
   [1]
 
+Fleet-scoped (scope: cluster) rules get their own checks, each anchored
+at the offending token rather than the rule header. An aggregate no
+evaluator implements errors on every run (CVL070):
+
+  $ configvalidator lint --rules-dir ../cvl_bad cvl070.yaml
+  cvl070.yaml:6: error CVL070 [unknown-cluster-aggregator]: unknown aggregate "equals_across"
+      suggestion: did you mean "equal_across"?
+  1 error, 0 warnings, 0 infos
+  [1]
+
+Frame bounds that confine a cross-frame aggregator to a single frame
+make it vacuous, and an inverted min/max can never be satisfied
+(CVL071):
+
+  $ configvalidator lint --rules-dir ../cvl_bad cvl071.yaml
+  cvl071.yaml:10: warning CVL071 [cluster-single-frame-query]: max_frames: 1 confines equal_across to at most one frame, so it always holds
+      suggestion: cross-frame aggregators need at least two participating frames
+  cvl071.yaml:15: warning CVL071 [cluster-single-frame-query]: min_frames: 5 exceeds max_frames: 3 — the quorum can never be satisfied
+  0 errors, 2 warnings, 0 infos
+  [1]
+
+A referent set that can never hold a value makes every observed value a
+violation; a referent on an aggregate that ignores it is dead weight
+(CVL072):
+
+  $ configvalidator lint --rules-dir ../cvl_bad cvl072.yaml
+  cvl072.yaml:10: warning CVL072 [unsatisfiable-referent]: referent_config_path "advertised[" does not parse (malformed index in segment "advertised["): the referent set is empty and every observed value is a violation
+      suggestion: segments are labels, label[n], * or **, separated by '/'
+  cvl072.yaml:16: warning CVL072 [unsatisfiable-referent]: referent_config_path is ignored by aggregate equal_across
+      suggestion: only exists_referent consults the referent set
+  0 errors, 2 warnings, 0 infos
+  [1]
+
 An unreadable file is an input error, not a finding: the message goes
 to stderr and the exit code is 2, distinct from exit 1 for bad rules.
 

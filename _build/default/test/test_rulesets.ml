@@ -6,14 +6,16 @@ let corpus_cases =
         Alcotest.(check int) "rules" 135 (Rulesets.paper_rule_count ());
         Alcotest.(check int) "targets" 11
           (List.length (Rulesets.applications @ Rulesets.system_services @ Rulesets.cloud_services)));
-    Alcotest.test_case "48 keywords (46 paper + 2 resilience), grouped" `Quick (fun () ->
-        Alcotest.(check int) "total" 48 Keyword.count;
+    Alcotest.test_case "56 keywords (46 paper + 2 resilience + 8 cluster), grouped" `Quick
+      (fun () ->
+        Alcotest.(check int) "total" 56 Keyword.count;
         Alcotest.(check int) "common" 20 (Keyword.count_in_group Keyword.Common);
         Alcotest.(check int) "tree" 9 (Keyword.count_in_group Keyword.Tree);
         Alcotest.(check int) "schema" 6 (Keyword.count_in_group Keyword.Schema);
         Alcotest.(check int) "path" 6 (Keyword.count_in_group Keyword.Path);
         Alcotest.(check int) "script" 4 (Keyword.count_in_group Keyword.Script);
-        Alcotest.(check int) "composite" 3 (Keyword.count_in_group Keyword.Composite));
+        Alcotest.(check int) "composite" 3 (Keyword.count_in_group Keyword.Composite);
+        Alcotest.(check int) "cluster" 8 (Keyword.count_in_group Keyword.Cluster));
     Alcotest.test_case "a rule typically has no more than ten keywords" `Quick (fun () ->
         (* §3.2's usability claim, measured over our whole corpus via the
            rendered rule files. *)

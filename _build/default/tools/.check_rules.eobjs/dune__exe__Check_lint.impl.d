@@ -1,1 +1,1 @@
-tools/check_lint.ml: Array Cvl Cvlint Printf Rulesets Sys
+tools/check_lint.ml: Array Cvl Cvlint Daemon In_channel List Printf Rulesets String Sys

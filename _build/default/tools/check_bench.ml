@@ -11,7 +11,7 @@
 
    Usage:
      check_bench.exe BENCH_compile.json BENCH_fusion.json \
-                     [BENCH_chaos.json [BENCH_daemon.json]] *)
+                     [BENCH_chaos.json [BENCH_daemon.json [BENCH_cluster.json]]] *)
 
 let failures = ref 0
 
@@ -40,15 +40,16 @@ let num json path =
 let flag json key = Jsonlite.member key json = Some (Jsonlite.Bool true)
 
 let () =
-  let compile_file, fusion_file, chaos_file, daemon_file =
+  let compile_file, fusion_file, chaos_file, daemon_file, cluster_file =
     match Sys.argv with
-    | [| _; c; f |] -> (c, f, None, None)
-    | [| _; c; f; ch |] -> (c, f, Some ch, None)
-    | [| _; c; f; ch; d |] -> (c, f, Some ch, Some d)
+    | [| _; c; f |] -> (c, f, None, None, None)
+    | [| _; c; f; ch |] -> (c, f, Some ch, None, None)
+    | [| _; c; f; ch; d |] -> (c, f, Some ch, Some d, None)
+    | [| _; c; f; ch; d; cl |] -> (c, f, Some ch, Some d, Some cl)
     | _ ->
       prerr_endline
         "usage: check_bench.exe BENCH_compile.json BENCH_fusion.json [BENCH_chaos.json \
-         [BENCH_daemon.json]]";
+         [BENCH_daemon.json [BENCH_cluster.json]]]";
       exit 2
   in
   let compile = load compile_file in
@@ -132,6 +133,21 @@ let () =
     check "daemon-concurrent: several sessions actually served"
       (num daemon (conc @ [ "clients" ]) >= 2.0
       && num daemon (conc @ [ "verdicts" ]) > 0.0));
+
+  (* Fleet-scoped cluster rules (BENCH_cluster.json). All three claims
+     are deterministic, so they gate exactly: the engines stay
+     byte-identical with cluster rules in the ruleset, a seeded drift
+     is flagged, and verdicts are invariant in frame arrival order. *)
+  (match cluster_file with
+  | None -> ()
+  | Some file ->
+    let cluster = load file in
+    check "cluster: results identical across the three engines" (flag cluster "identical");
+    check "cluster: seeded cache drift detected" (flag cluster "detects_drift");
+    check "cluster: verdicts invariant in frame arrival order" (flag cluster "order_invariant");
+    check "cluster: fleet large enough to exercise aggregation"
+      (num cluster [ "frames" ] >= if flag cluster "smoke" then 8.0 else 256.0);
+    check "cluster: sustained verdicts/sec recorded" (num cluster [ "verdicts_per_sec" ] > 0.0));
 
   if !failures > 0 then (
     Printf.eprintf "check_bench: %d check(s) failed\n" !failures;

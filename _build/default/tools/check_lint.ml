@@ -18,16 +18,56 @@ let check label diags =
   end
   else Printf.printf "%-28s ok (%d infos)\n" label infos
 
+(* Doc-anchor gate: the reference docs must mention every name the
+   implementation actually speaks — each CVL keyword in docs/CVL.md,
+   each wire op/reply in docs/PROTOCOL.md. Presence is checked as a
+   backtick-delimited anchor (`name`) so prose mentions of a substring
+   ("stats" inside "statistics") cannot mask a missing entry. *)
+let check_doc ~label ~doc names =
+  match In_channel.with_open_text doc In_channel.input_all with
+  | exception Sys_error e ->
+    failed := true;
+    Printf.printf "%-28s FAIL (%s)\n" label e
+  | text ->
+    let contains anchor =
+      let alen = String.length anchor and tlen = String.length text in
+      let rec scan i = i + alen <= tlen && (String.sub text i alen = anchor || scan (i + 1)) in
+      scan 0
+    in
+    let missing = List.filter (fun n -> not (contains ("`" ^ n ^ "`"))) names in
+    if missing = [] then
+      Printf.printf "%-28s ok (%d anchors)\n" label (List.length names)
+    else begin
+      failed := true;
+      Printf.printf "%-28s FAIL (%d of %d anchors missing)\n" label (List.length missing)
+        (List.length names);
+      List.iter (fun n -> Printf.printf "  %s: no `%s` anchor\n" doc n) missing
+    end
+
+let check_docs cvl_doc protocol_doc =
+  check_doc ~label:"doc anchors: CVL keywords" ~doc:cvl_doc
+    (List.map (fun (name, _, _) -> name) Cvl.Keyword.all);
+  check_doc ~label:"doc anchors: protocol ops" ~doc:protocol_doc Daemon.Protocol.op_names;
+  check_doc ~label:"doc anchors: protocol replies" ~doc:protocol_doc
+    Daemon.Protocol.reply_names
+
 let () =
   check "embedded corpus" (Cvlint.lint_corpus ~source:Rulesets.source ());
   (* Embedded files the manifest does not reference (the inheritance
      example) still have to lint clean as standalone chains. *)
   check "site_overrides/sshd.yaml"
     (Cvlint.lint_file ~source:Rulesets.source "site_overrides/sshd.yaml");
-  Array.iteri
-    (fun i dir ->
-      if i > 0 then
-        check dir
-          (Cvlint.lint_corpus ~source:(Cvl.Loader.file_source ~root:dir) ()))
-    Sys.argv;
+  let rec handle = function
+    | [] -> ()
+    | "--docs" :: cvl_doc :: protocol_doc :: rest ->
+      check_docs cvl_doc protocol_doc;
+      handle rest
+    | "--docs" :: _ ->
+      prerr_endline "usage: check_lint.exe [CVL_DIR ...] [--docs CVL.md PROTOCOL.md]";
+      exit 2
+    | dir :: rest ->
+      check dir (Cvlint.lint_corpus ~source:(Cvl.Loader.file_source ~root:dir) ());
+      handle rest
+  in
+  handle (List.tl (Array.to_list Sys.argv));
   if !failed then exit 1

@@ -1,0 +1,58 @@
+(** Fleet-scoped ([scope: cluster]) rule evaluation.
+
+    A cluster rule's query runs per frame — through the same
+    {!Configtree.Index.Plan} trie the fused engine uses, so each frame's
+    forests are walked once for all of the rule's paths — and a
+    cross-frame aggregator then judges the whole deployment at once:
+
+    - [equal_across]: every participating frame carries the same
+      (canonical) value set — replica-config equality.
+    - [exists_referent]: every observed value is a member of the
+      referent set (the fleet-wide values under [referent_config_path],
+      or the fleet's frame ids when absent) — e.g. upstream hosts that
+      actually exist.
+    - [count]: the number of participating frames satisfies the
+      [min_frames]/[max_frames] bounds — quorum-size invariants.
+    - [consistent_across]: frames partitioned by the [group_by] config
+      key agree within each group — inheritance-group consistency.
+
+    [min_frames]/[max_frames] also act as a quorum precondition for the
+    other aggregators. Verdicts are canonical — participants sorted by
+    frame id, value sets deduplicated and sorted — so the result is a
+    pure function of the frame {e set}, independent of arrival order. *)
+
+val aggregators : string list
+(** The recognised [aggregate:] values, in documentation order. *)
+
+(** A config-path literal that failed to parse during lowering. The
+    compiled engine surfaces these as compile diagnostics; evaluation
+    treats the path as matching nothing (like the other engines do for
+    malformed literals), so verdicts stay engine-independent. *)
+type issue = {
+  field : string;  (** ["config_path"] or ["referent_config_path"] *)
+  literal : string;
+  message : string;
+}
+
+(** A cluster rule lowered once per load: pre-parsed paths merged into
+    one shared-walk plan (query ids [0 .. nquery-1] are the config
+    paths, any id beyond is the referent path). *)
+type lowered = {
+  rule : Rule.t;
+  cr : Rule.cluster_rule;
+  plan : Configtree.Index.Plan.plan option;
+  nquery : int;
+}
+
+val lower : Rule.t -> Rule.cluster_rule -> lowered * issue list
+
+(** Evaluate one lowered cluster rule over the per-frame contexts of one
+    entity. The result's [frame_id] is [deployment_id] (the fleet-level
+    pseudo-frame, matching composite results). Deterministic in the
+    frame set: permuting [ctxs] cannot change a byte of the result. *)
+val eval :
+  deployment_id:string ->
+  entity:string ->
+  lowered ->
+  Engine.entity_ctx list ->
+  Engine.result

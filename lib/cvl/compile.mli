@@ -45,6 +45,9 @@ type entity_programs = {
   programs : program list;  (** plain rules, original order *)
   composites : (Rule.t * (Expr.t, string) result) list;
       (** composite rules with their expression pre-parsed *)
+  clusters : Cluster.lowered list;
+      (** fleet-scoped rules with their query plans pre-built; malformed
+          path literals surface in [diagnostics] *)
   by_tag : (string, int list) Hashtbl.t;
 }
 
@@ -97,6 +100,10 @@ val select :
   tags:string list ->
   entity_programs ->
   program list * (Rule.t * (Expr.t, string) result) list
+
+(** Lowered cluster rules carrying at least one of [tags] (everything
+    when [tags] is empty), in original rule order. *)
+val select_clusters : tags:string list -> entity_programs -> Cluster.lowered list
 
 (** Run one program. Equivalent to [Engine.eval_rule ctx p.rule],
     faster. *)

@@ -503,6 +503,9 @@ let eval_rule ctx rule =
     | Rule.Composite _ ->
       let msg = "composite rules are evaluated by the validator, not the engine" in
       mk ctx rule (err Resilience.Evaluate msg) ~detail:msg ~evidence:[]
+    | Rule.Cluster _ ->
+      let msg = "cluster rules are evaluated by the validator over the whole fleet, not per frame" in
+      mk ctx rule (err Resilience.Evaluate msg) ~detail:msg ~evidence:[]
 
 let eval_entity ctx rules = List.map (eval_rule ctx) rules
 

@@ -48,7 +48,7 @@ let revalidate ?pool ~rules ~previous ~diff frame =
       List.filter
         (fun (r : Engine.result) ->
           match r.Engine.rule with
-          | Rule.Composite _ -> false (* always recomputed *)
+          | Rule.Composite _ | Rule.Cluster _ -> false (* always recomputed *)
           | _ -> not (String.equal r.Engine.frame_id frame_id && List.mem r.Engine.entity affected))
         previous
     in
@@ -70,26 +70,33 @@ let revalidate ?pool ~rules ~previous ~diff frame =
         compiled.Compile.entities
     in
     let plain_results = kept @ fresh in
-    let has_composites =
-      List.exists
-        (fun (_, entity_rules) ->
-          List.exists (function Rule.Composite _ -> true | _ -> false) entity_rules)
-        rules
+    let has_kind pred =
+      List.exists (fun (_, entity_rules) -> List.exists pred entity_rules) rules
     in
-    if not has_composites then (plain_results, affected)
+    let has_composites = has_kind (function Rule.Composite _ -> true | _ -> false) in
+    let has_clusters = has_kind (function Rule.Cluster _ -> true | _ -> false) in
+    if not (has_composites || has_clusters) then (plain_results, affected)
     else begin
-      (* Composites see the merged results; their config lookups need
-         contexts for every entity of this frame. Unaffected entities'
-         files are unchanged, so rebuilding their contexts costs only
-         Normcache hits — no re-parsing. *)
+      (* Cluster rules and composites see the merged results; their
+         queries/config lookups need contexts for every entity of this
+         frame. Unaffected entities' files are unchanged, so rebuilding
+         their contexts costs only Normcache hits — no re-parsing. *)
       let ctxs =
         Pool.map pool
           (fun ((entry : Manifest.entry), _) ->
             (entry.Manifest.entity, [ Engine.build_ctx frame entry ]))
           rules
       in
+      let clusters =
+        if has_clusters then
+          Validator.eval_clusters ~rules ~ctxs ~deployment_id:frame_id
+        else []
+      in
+      let plain_results = plain_results @ clusters in
       let composites =
-        Validator.eval_composites ~rules ~plain_results ~ctxs ~deployment_id:frame_id
+        if has_composites then
+          Validator.eval_composites ~rules ~plain_results ~ctxs ~deployment_id:frame_id
+        else []
       in
       (plain_results @ composites, affected)
     end

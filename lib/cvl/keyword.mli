@@ -1,12 +1,13 @@
-(** The CVL vocabulary: 46 keywords across entity description and the
-    five rule types (the paper, §3.2: "CVL has a total of 46 keywords
-    across all rule types and entity description. A configuration rule
-    typically has no more than ten keywords.").
+(** The CVL vocabulary: the paper's 46 keywords across entity
+    description and the five rule types (§3.2: "CVL has a total of 46
+    keywords across all rule types and entity description. A
+    configuration rule typically has no more than ten keywords."), plus
+    this implementation's fleet-scoped cluster group.
 
-    Grouping mirrors the paper: keywords common across rules (19 — the
+    Grouping mirrors the paper: keywords common across rules (20 — the
     manifest/entity keys, tags, the value-to-match keys, and the output
     descriptions), then per-rule-type keywords: config tree (9), schema
-    (6), path (6), script (3), composite (3). *)
+    (6), path (6), script (4), composite (3), cluster (8). *)
 
 type group =
   | Common
@@ -15,10 +16,11 @@ type group =
   | Path
   | Script
   | Composite
+  | Cluster
 
 val group_to_string : group -> string
 
-(** All 46 keywords with their group and a one-line meaning. *)
+(** All keywords with their group and a one-line meaning. *)
 val all : (string * group * string) list
 
 val is_keyword : string -> bool
@@ -26,7 +28,8 @@ val group_of : string -> group option
 
 (** Keywords legal in a rule of the given group: its own plus [Common].
     (Script rules additionally borrow [config_path] and
-    [not_present_pass] from the tree group.) *)
+    [not_present_pass] from the tree group; cluster rules borrow
+    [config_path], [file_context] and [value_separator].) *)
 val allowed_in : group -> string list
 
 val count : int

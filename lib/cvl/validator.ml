@@ -59,7 +59,11 @@ let load_rules ~source ~manifest =
 
 let is_composite = function
   | Rule.Composite _ -> true
-  | Rule.Tree _ | Rule.Schema _ | Rule.Path _ | Rule.Script _ -> false
+  | Rule.Tree _ | Rule.Schema _ | Rule.Path _ | Rule.Script _ | Rule.Cluster _ -> false
+
+let is_cluster = function
+  | Rule.Cluster _ -> true
+  | Rule.Tree _ | Rule.Schema _ | Rule.Path _ | Rule.Script _ | Rule.Composite _ -> false
 
 (* One composite's result from its pre-parsed expression. Shared by the
    interpreter path (which parses here, per evaluation) and the
@@ -117,6 +121,35 @@ let eval_composites_pre ~entities ~plain_results ~ctxs ~deployment_id =
     (fun (entry, composites) ->
       List.map (composite_result ~env ~deployment_id entry) composites)
     entities
+
+(* Cluster rules evaluate once per (entity, rule) over the entity's
+   whole list of frame contexts; like composites, their result carries
+   the deployment pseudo-frame id. *)
+let eval_clusters_pre ~entities ~ctxs ~deployment_id =
+  List.concat_map
+    (fun ((entry : Manifest.entry), clusters) ->
+      let entity = entry.Manifest.entity in
+      let entity_ctxs = Option.value (List.assoc_opt entity ctxs) ~default:[] in
+      List.map
+        (fun (lw : Cluster.lowered) -> Cluster.eval ~deployment_id ~entity lw entity_ctxs)
+        clusters)
+    entities
+
+(* Interpreted variant: lower per evaluation (issues already surface as
+   compile diagnostics on the compiled engines; the interpreter, like
+   the other rule types, swallows malformed literals silently). *)
+let eval_clusters ~rules ~ctxs ~deployment_id =
+  eval_clusters_pre ~ctxs ~deployment_id
+    ~entities:
+      (List.map
+         (fun (entry, rs) ->
+           ( entry,
+             List.filter_map
+               (function
+                 | Rule.Cluster r as rule -> Some (fst (Cluster.lower rule r))
+                 | _ -> None)
+               rs ))
+         rules)
 
 let deployment_id_of frames =
   match frames with
@@ -231,19 +264,23 @@ let keep_na_default keep_not_applicable frames =
   match keep_not_applicable with Some b -> b | None -> List.length frames <= 1
 
 (* Shared tail of a run, after the grid has been evaluated: regroup
-   contexts, filter Not_applicable, aggregate composites, tally
-   health. *)
-let finish ~keep_na ~frames ~entries ~evaluated ~composites_of ~compile_diagnostics ~before =
+   contexts, filter Not_applicable, aggregate cluster rules over the
+   frame set, aggregate composites, tally health. Cluster results sit
+   between plain and composite results, and composite expressions see
+   both (so a composite can reference a cluster rule by name). *)
+let finish ~keep_na ~frames ~entries ~evaluated ~clusters_of ~composites_of
+    ~compile_diagnostics ~before =
   let ctxs = regroup ~nframes:(List.length frames) entries evaluated in
+  let deployment_id = deployment_id_of frames in
   let plain_results = List.concat_map snd evaluated in
   let plain_results =
     if keep_na then plain_results
     else
       List.filter (fun (r : Engine.result) -> r.Engine.verdict <> Engine.Not_applicable) plain_results
   in
-  let composite_results =
-    composites_of ~plain_results ~ctxs ~deployment_id:(deployment_id_of frames)
-  in
+  let cluster_results = clusters_of ~ctxs ~deployment_id in
+  let plain_results = plain_results @ cluster_results in
+  let composite_results = composites_of ~plain_results ~ctxs ~deployment_id in
   let results = plain_results @ composite_results in
   let extract_errors, normalize_errors, evaluate_errors = stage_error_tallies results in
   let counters =
@@ -277,6 +314,13 @@ let run_compiled ?(tags = []) ?keep_not_applicable ?jobs ?pool ~(compiled : Comp
   in
   let evaluated = with_effective_pool ?jobs ?pool (fun p -> Pool.map p eval_unit_compiled units) in
   finish ~keep_na ~frames ~entries:(List.map fst selected) ~evaluated
+    ~clusters_of:
+      (eval_clusters_pre
+         ~entities:
+           (List.map
+              (fun (ep : Compile.entity_programs) ->
+                (ep.Compile.entry, Compile.select_clusters ~tags ep))
+              compiled.Compile.entities))
     ~composites_of:
       (eval_composites_pre
          ~entities:(List.map (fun (entry, (_, comps)) -> (entry, comps)) selected))
@@ -299,6 +343,13 @@ let run_fused ?(tags = []) ?keep_not_applicable ?jobs ?pool ~(fused : Fuse.t) fr
   in
   let evaluated = with_effective_pool ?jobs ?pool (fun p -> Pool.map p eval_unit_fused units) in
   finish ~keep_na ~frames ~entries:(List.map fst selected) ~evaluated
+    ~clusters_of:
+      (eval_clusters_pre
+         ~entities:
+           (List.map
+              (fun (fp : Fuse.entity_plan) ->
+                (fp.Fuse.entry, Compile.select_clusters ~tags fp.Fuse.base))
+              fused.Fuse.entities))
     ~composites_of:
       (eval_composites_pre
          ~entities:(List.map (fun (entry, (_, comps)) -> (entry, comps)) selected))
@@ -322,12 +373,14 @@ let run_loaded ?(tags = []) ?keep_not_applicable ?jobs ?pool ?(engine = `Fused) 
     let units =
       List.concat_map
         (fun (entry, rs) ->
-          let plain = List.filter (fun r -> not (is_composite r)) rs in
+          let plain = List.filter (fun r -> not (is_composite r || is_cluster r)) rs in
           List.map (fun frame -> (entry, plain, frame)) frames)
         entity_rules
     in
     let evaluated = with_effective_pool ?jobs ?pool (fun p -> Pool.map p eval_unit units) in
     finish ~keep_na ~frames ~entries:(List.map fst entity_rules) ~evaluated
+      ~clusters_of:(fun ~ctxs ~deployment_id ->
+        eval_clusters ~rules:entity_rules ~ctxs ~deployment_id)
       ~composites_of:(fun ~plain_results ~ctxs ~deployment_id ->
         eval_composites ~rules:entity_rules ~plain_results ~ctxs ~deployment_id)
       ~compile_diagnostics:[] ~before

@@ -8,10 +8,11 @@ The coverage table reproduces the paper's Table 1 census.
   
   11 target types, 135 rules in total
 
-The keyword census matches the paper's 46 plus two resilience keywords.
+The keyword census matches the paper's 46 plus two resilience keywords
+plus the eight fleet-scope (cluster) keywords.
 
   $ configvalidator keywords | head -1
-  CVL defines 48 keywords:
+  CVL defines 56 keywords:
 
 Validating the misconfigured host reports the sshd findings and exits 2.
 

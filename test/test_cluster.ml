@@ -1,0 +1,346 @@
+(* Fleet-scoped (scope: cluster) rules: aggregator verdicts over
+   synthetic replica fleets, three-engine byte-identity, the daemon
+   differential (streamed cluster verdicts identical to one-shot runs),
+   incremental revalidation, and the order-invariance property — a
+   cluster verdict is a pure function of the frame *set*, so permuting
+   frame arrival order cannot change a byte. *)
+
+open Cvl
+
+let manifest_yaml =
+  {|app:
+  enabled: True
+  config_search_paths:
+    - /etc/app
+  cvl_file: "component_configs/app.yaml"
+  lens: properties
+|}
+
+let rules_yaml =
+  {|rules:
+  - cluster_rule_name: cache_uniform
+    scope: cluster
+    aggregate: equal_across
+    config_path: ["cache_size"]
+    file_context: ["app.properties"]
+    matched_description: "cache_size agrees across the fleet."
+    not_matched_preferred_value_description: "cache_size drifts across the fleet."
+    not_present_description: "no replica declares cache_size."
+    tags: ["#fleet"]
+  - cluster_rule_name: upstreams_resolve
+    scope: cluster
+    aggregate: exists_referent
+    config_path: ["upstream"]
+    referent_config_path: "advertised_name"
+    value_separator: ","
+    file_context: ["app.properties"]
+    not_matched_preferred_value_description: "an upstream names no fleet member."
+    tags: ["#fleet"]
+  - cluster_rule_name: quorum
+    scope: cluster
+    aggregate: count
+    config_path: ["cache_size"]
+    min_frames: 3
+    file_context: ["app.properties"]
+    matched_description: "the replica quorum is satisfied."
+    not_matched_preferred_value_description: "too few replicas participate."
+    tags: ["#fleet"]
+  - cluster_rule_name: shard_agreement
+    scope: cluster
+    aggregate: consistent_across
+    config_path: ["shard_weight"]
+    group_by: shard_group
+    file_context: ["app.properties"]
+    not_matched_preferred_value_description: "a shard group disagrees on its weight."
+    tags: ["#fleet"]
+  - config_name: cache_size
+    config_path: [""]
+    file_context: ["app.properties"]
+    check_presence_only: True
+    not_present_description: "a replica has no cache_size."
+    tags: ["#fleet"]
+|}
+
+let manifest = Manifest.parse_exn manifest_yaml
+let source = Loader.assoc_source [ ("component_configs/app.yaml", rules_yaml) ]
+let rules () = Result.get_ok (Validator.load_rules ~source ~manifest)
+
+let replica ~id ~cache ~shard ~weight ~upstreams =
+  let content =
+    Printf.sprintf
+      "advertised_name=%s\ncache_size=%s\nupstream=%s\nshard_group=%s\nshard_weight=%s\n" id
+      cache (String.concat "," upstreams) shard weight
+  in
+  Frames.Frame.add_file
+    (Frames.Frame.create ~id Frames.Frame.Host)
+    (Frames.File.make ~content "/etc/app/app.properties")
+
+let ids n = List.init n (fun i -> Printf.sprintf "web-%d" i)
+
+(* n replicas, caches equal, upstreams all point at fleet members, and
+   shard groups a/b each agree on their weight. *)
+let compliant_fleet n =
+  let all = ids n in
+  List.mapi
+    (fun i id ->
+      let shard = if i mod 2 = 0 then "a" else "b" in
+      let weight = if i mod 2 = 0 then "10" else "20" in
+      replica ~id ~cache:"64" ~shard ~weight ~upstreams:all)
+    all
+
+(* web-0 drifts on every axis: cache differs, an upstream names a ghost
+   replica, and its shard-a weight disagrees with the other members. *)
+let drifted_fleet n =
+  let all = ids n in
+  List.mapi
+    (fun i id ->
+      let shard = if i mod 2 = 0 then "a" else "b" in
+      if i = 0 then
+        replica ~id ~cache:"128" ~shard ~weight:"11" ~upstreams:("web-999" :: all)
+      else
+        let weight = if i mod 2 = 0 then "10" else "20" in
+        replica ~id ~cache:"64" ~shard ~weight ~upstreams:all)
+    all
+
+let result_sig (r : Engine.result) =
+  ( r.Engine.entity,
+    r.Engine.frame_id,
+    Rule.name r.Engine.rule,
+    Engine.verdict_to_string r.Engine.verdict,
+    r.Engine.detail,
+    String.concat "\x00" r.Engine.evidence )
+
+let sig_t =
+  Alcotest.(list (pair (pair string string) (pair (pair string string) (pair string string))))
+
+let nest (a, b, c, d, e, f) = ((a, b), ((c, d), (e, f)))
+let signature results = List.map (fun r -> nest (result_sig r)) results
+
+let run ?tags ?(engine = `Fused) frames =
+  (Validator.run ?tags ~engine ~source ~manifest frames).Validator.results
+
+let verdict_of results name =
+  match
+    List.find_opt (fun (r : Engine.result) -> Rule.name r.Engine.rule = name) results
+  with
+  | Some r -> Engine.verdict_to_string r.Engine.verdict
+  | None -> "absent"
+
+let check_verdict results name expected =
+  Alcotest.(check string) name expected (verdict_of results name)
+
+let aggregator_cases =
+  [
+    Alcotest.test_case "compliant fleet: all four aggregators match" `Quick (fun () ->
+        let results = run (compliant_fleet 4) in
+        check_verdict results "cache_uniform" "matched";
+        check_verdict results "upstreams_resolve" "matched";
+        check_verdict results "quorum" "matched";
+        check_verdict results "shard_agreement" "matched");
+    Alcotest.test_case "drifted fleet: every cross-frame invariant breaks" `Quick (fun () ->
+        let results = run (drifted_fleet 4) in
+        check_verdict results "cache_uniform" "not-matched";
+        check_verdict results "upstreams_resolve" "not-matched";
+        check_verdict results "shard_agreement" "not-matched";
+        (* All four frames still participate, so the quorum holds. *)
+        check_verdict results "quorum" "matched");
+    Alcotest.test_case "cluster verdicts carry the participating frames" `Quick (fun () ->
+        let results = run (drifted_fleet 3) in
+        let r =
+          List.find (fun (r : Engine.result) -> Rule.name r.Engine.rule = "cache_uniform") results
+        in
+        Alcotest.(check string)
+          "fleet pseudo-frame" "deployment(3 frames)" r.Engine.frame_id;
+        Alcotest.(check string)
+          "participants line" "participants: web-0, web-1, web-2 (3/3 frames)"
+          (List.hd r.Engine.evidence);
+        Alcotest.(check bool)
+          "per-frame value sets listed" true
+          (List.mem "web-0: [128]" r.Engine.evidence && List.mem "web-1: [64]" r.Engine.evidence));
+    Alcotest.test_case "quorum bounds fail below min_frames" `Quick (fun () ->
+        let results = run (compliant_fleet 2) in
+        check_verdict results "quorum" "not-matched";
+        let r =
+          List.find (fun (r : Engine.result) -> Rule.name r.Engine.rule = "quorum") results
+        in
+        Alcotest.(check bool)
+          "bounds text present" true
+          (List.mem "expected at least 3 participating frame(s), found 2" r.Engine.evidence));
+    Alcotest.test_case "no participating frame: not-present, count excepted" `Quick (fun () ->
+        let bare = Frames.Frame.create ~id:"empty" Frames.Frame.Host in
+        let results = run [ bare; bare ] in
+        check_verdict results "cache_uniform" "not-present";
+        check_verdict results "upstreams_resolve" "not-present";
+        check_verdict results "shard_agreement" "not-present";
+        (* count asserts the census itself, so zero participants is a
+           verdict, not an absence. *)
+        check_verdict results "quorum" "not-matched");
+    Alcotest.test_case "single-frame deployment uses the frame id" `Quick (fun () ->
+        let results = run [ List.hd (compliant_fleet 1) ] in
+        let r =
+          List.find (fun (r : Engine.result) -> Rule.name r.Engine.rule = "cache_uniform") results
+        in
+        Alcotest.(check string) "frame id" "web-0" r.Engine.frame_id);
+    Alcotest.test_case "tag filtering reaches cluster rules" `Quick (fun () ->
+        let results = run ~tags:[ "#nothing" ] (compliant_fleet 3) in
+        Alcotest.(check string) "filtered out" "absent" (verdict_of results "cache_uniform"));
+    Alcotest.test_case "configured descriptions drive the detail line" `Quick (fun () ->
+        let results = run (drifted_fleet 4) in
+        let r =
+          List.find (fun (r : Engine.result) -> Rule.name r.Engine.rule = "cache_uniform") results
+        in
+        Alcotest.(check string)
+          "not_matched_description" "cache_size drifts across the fleet." r.Engine.detail);
+  ]
+
+let engine_cases =
+  [
+    Alcotest.test_case "three engines byte-identical on cluster fleets" `Quick (fun () ->
+        List.iter
+          (fun (label, frames) ->
+            let fused = signature (run ~engine:`Fused frames) in
+            let compiled = signature (run ~engine:`Compiled frames) in
+            let interpreted = signature (run ~engine:`Interpreted frames) in
+            Alcotest.(check sig_t) (label ^ ": fused = compiled") fused compiled;
+            Alcotest.(check sig_t) (label ^ ": fused = interpreted") fused interpreted)
+          [
+            ("compliant", compliant_fleet 4);
+            ("drifted", drifted_fleet 5);
+            ("below quorum", compliant_fleet 2);
+          ]);
+    Alcotest.test_case "jobs do not change cluster verdicts" `Quick (fun () ->
+        let frames = drifted_fleet 4 in
+        let seq = (Validator.run ~source ~manifest ~jobs:1 frames).Validator.results in
+        let par = (Validator.run ~source ~manifest ~jobs:4 frames).Validator.results in
+        Alcotest.(check sig_t) "jobs=1 = jobs=4" (signature seq) (signature par));
+    Alcotest.test_case "incremental revalidation recomputes cluster verdicts" `Quick (fun () ->
+        let rules = rules () in
+        let f = List.hd (compliant_fleet 1) in
+        let previous = (Validator.run_loaded ~rules [ f ]).Validator.results in
+        let f' =
+          Frames.Frame.set_content f ~path:"/etc/app/app.properties"
+            "advertised_name=web-0\nupstream=web-0,web-7\n"
+        in
+        let merged, _ =
+          Incremental.revalidate ~rules ~previous ~diff:(Frames.Diff.between f f') f'
+        in
+        let full = (Validator.run_loaded ~rules [ f' ]).Validator.results in
+        Alcotest.(check sig_t) "incremental = full run" (signature full) (signature merged));
+  ]
+
+let daemon_cases =
+  [
+    Alcotest.test_case "daemon streams cluster verdicts byte-identical to one-shot" `Quick
+      (fun () ->
+        let server = Result.get_ok (Daemon.Server.create ~source ~manifest ()) in
+        let client = Daemon.Client.in_process server in
+        Fun.protect
+          ~finally:(fun () ->
+            Daemon.Client.close client;
+            Daemon.Server.destroy server)
+          (fun () ->
+            List.iter
+              (fun ((engine : Daemon.Protocol.engine), frames) ->
+                let reference = signature (run ~engine:(engine :> [ `Fused | `Compiled | `Interpreted ]) frames) in
+                let streamed = ref [] in
+                (match
+                   Daemon.Client.validate client
+                     ~on_verdict:(fun (v : Daemon.Protocol.verdict) ->
+                       streamed :=
+                         nest
+                           ( v.Daemon.Protocol.v_entity,
+                             v.Daemon.Protocol.v_frame,
+                             v.Daemon.Protocol.v_rule,
+                             v.Daemon.Protocol.v_verdict,
+                             v.Daemon.Protocol.v_detail,
+                             String.concat "\x00" v.Daemon.Protocol.v_evidence )
+                         :: !streamed)
+                     (Daemon.Protocol.job ~frames ~engine ())
+                 with
+                | Error m -> Alcotest.failf "stream failed: %s" m
+                | Ok _ -> ());
+                Alcotest.(check sig_t)
+                  (Daemon.Protocol.engine_to_string engine ^ ": stream = one-shot")
+                  reference (List.rev !streamed))
+              [
+                (`Fused, drifted_fleet 4);
+                (`Compiled, drifted_fleet 4);
+                (`Interpreted, compliant_fleet 3);
+              ]));
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Order invariance                                                  *)
+(* ---------------------------------------------------------------- *)
+
+(* A random fleet spec: per replica, a cache value drawn from a small
+   alphabet (so drift appears with useful probability), plus a
+   permutation seed for the arrival order. *)
+let fleet_spec_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 6 in
+    let* caches = list_size (return n) (int_range 0 2) in
+    let* seed = int_range 0 1_000_000 in
+    return (caches, seed))
+
+let print_spec (caches, seed) =
+  Printf.sprintf "caches=[%s] seed=%d"
+    (String.concat ";" (List.map string_of_int caches))
+    seed
+
+let fleet_of_caches caches =
+  let n = List.length caches in
+  let all = ids n in
+  List.mapi
+    (fun i cache ->
+      replica
+        ~id:(List.nth all i)
+        ~cache:(string_of_int (64 + cache))
+        ~shard:(if i mod 2 = 0 then "a" else "b")
+        ~weight:(string_of_int cache) ~upstreams:all)
+    caches
+
+(* Deterministic Fisher–Yates from an explicit seed. *)
+let shuffle seed l =
+  let st = Random.State.make [| seed |] in
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(* Per-frame results follow arrival order by design; the invariance
+   claim is about the fleet-scoped verdicts. *)
+let cluster_signature results =
+  signature
+    (List.filter
+       (fun (r : Engine.result) ->
+         match r.Engine.rule with Rule.Cluster _ -> true | _ -> false)
+       results)
+
+let property_cases =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:100
+         ~name:"equal_across is invariant in frame arrival order"
+         (QCheck.make ~print:print_spec fleet_spec_gen)
+         (fun (caches, seed) ->
+           let fleet = fleet_of_caches caches in
+           let baseline = cluster_signature (run fleet) in
+           let permuted = cluster_signature (run (shuffle seed fleet)) in
+           baseline <> [] && baseline = permuted));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:50
+         ~name:"all three engines agree on random fleets"
+         (QCheck.make ~print:print_spec fleet_spec_gen)
+         (fun (caches, seed) ->
+           let fleet = shuffle seed (fleet_of_caches caches) in
+           let fused = signature (run ~engine:`Fused fleet) in
+           fused = signature (run ~engine:`Compiled fleet)
+           && fused = signature (run ~engine:`Interpreted fleet)));
+  ]
+
+let suite = aggregator_cases @ engine_cases @ daemon_cases @ property_cases

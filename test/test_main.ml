@@ -24,6 +24,7 @@ let () =
       ("orchestrator", Test_orchestrator.suite);
       ("incremental", Test_incremental.suite);
       ("daemon", Test_daemon.suite);
+      ("cluster", Test_cluster.suite);
       ("compile", Test_compile.suite);
       ("report", Test_report.suite);
       ("robustness", Test_robustness.suite);

@@ -6,7 +6,7 @@ let violations frames = Report.violations (run frames).Validator.results
 
 let is_script_or_composite (r : Engine.result) =
   match r.Engine.rule with
-  | Rule.Script _ | Rule.Composite _ -> true
+  | Rule.Script _ | Rule.Composite _ | Rule.Cluster _ -> true
   | Rule.Tree _ | Rule.Schema _ | Rule.Path _ -> false
 
 let fixpoint_cases =
