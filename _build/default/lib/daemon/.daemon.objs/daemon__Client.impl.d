@@ -1,1 +1,1 @@
-lib/daemon/client.ml: Digest Domain Float Frames Printf Protocol Result Server String Unix
+lib/daemon/client.ml: Array Buffer Digest Domain Float Frames Hashtbl List Printf Protocol Result Server String Unix V2

@@ -1,1 +1,1 @@
-lib/daemon/protocol.ml: Bytes Frames Fun Jsonlite List Option Printf Result Stdlib String
+lib/daemon/protocol.ml: Array Buffer Bytes Char Frames Fun Hashtbl Jsonlite List Option Printf Result Stdlib String

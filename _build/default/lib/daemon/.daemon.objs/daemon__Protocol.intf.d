@@ -1,1 +1,1 @@
-lib/daemon/protocol.mli: Frames Jsonlite
+lib/daemon/protocol.mli: Buffer Frames Jsonlite

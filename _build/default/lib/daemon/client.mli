@@ -4,15 +4,59 @@
     {!connect} dials a Unix domain socket, and {!in_process} spawns a
     {!Server} loop on the other end of a socketpair in a fresh domain —
     the transport the test suite and the bench use, so the whole
-    protocol runs under [dune runtest] without networking flakiness. *)
+    protocol runs under [dune runtest] without networking flakiness.
+
+    {!connect} and {!in_process} negotiate the wire protocol before
+    returning: by default ([`Auto]) the client offers
+    {!Protocol.binary_version} and falls back to the v1 JSON framing
+    when the server predates the handshake, so old and new ends mix
+    freely. After a v2 upgrade, [revalidate] streams arrive as
+    incremental deltas spliced against the connection's retained
+    baselines — reassembled here, so callers still observe the exact
+    verdict sequence v1 would have streamed. *)
 
 type t
 
+(** Wire-protocol preference for {!connect}/{!in_process}. [`Auto]
+    offers v2 and accepts whatever the server grants; [`V1] skips the
+    handshake entirely (byte-compatible with pre-handshake clients);
+    [`V2] demands the binary protocol and fails the connect if the
+    server cannot grant it. *)
+type protocol = [ `Auto | `V1 | `V2 ]
+
+(** What a v2 delta stream saved. [d_copied] verdicts were spliced from
+    the retained baseline instead of crossing the wire; [d_full] marks
+    a stream sent in full (no usable baseline, or [~full:true]). Fields
+    mirror {!Protocol.V2.epoch_header}. *)
+type delta_info = {
+  d_frame : string;
+  d_epoch : int;
+  d_baseline : int;
+  d_total : int;
+  d_added : int;
+  d_changed : int;
+  d_removed : int;
+  d_copied : int;
+  d_full : bool;
+}
+
 val of_channels : ?close:(unit -> unit) -> in_channel -> out_channel -> t
+(** Wrap raw channels. No handshake is attempted: the client speaks v1
+    until {!negotiate} upgrades it. *)
 
 (** Close the transport. Idempotent. For {!in_process} clients this
     also joins the server domain. *)
 val close : t -> unit
+
+val version : t -> int
+(** The protocol version this connection settled on:
+    {!Protocol.json_version} or {!Protocol.binary_version}. *)
+
+(** Run the [hello]/[welcome] handshake per the [protocol] preference.
+    Under [`Auto], a server that rejects the op (pre-handshake builds
+    answer [error]) leaves the connection on v1 and succeeds. Called
+    automatically by {!connect}/{!in_process}. *)
+val negotiate : t -> protocol -> (unit, string) result
 
 (** Dial a Unix domain socket. [retry_for] (seconds, default [0]) keeps
     retrying a refused/absent socket under jittered exponential backoff
@@ -21,8 +65,11 @@ val close : t -> unit
     attempt up to [max_backoff] (default 400ms), are scaled by a
     deterministic per-attempt jitter in [0.5, 1.0], and never sleep
     past the total [retry_for] deadline. [now]/[sleep] are injectable
-    so tests cover the retry schedule without wall-clock waits. *)
+    so tests cover the retry schedule without wall-clock waits.
+    [protocol] (default [`Auto]) picks the wire protocol; negotiation
+    failure closes the socket and returns [Error]. *)
 val connect :
+  ?protocol:protocol ->
   ?retry_for:float ->
   ?base_backoff:float ->
   ?max_backoff:float ->
@@ -32,8 +79,9 @@ val connect :
   (t, string) result
 
 (** Run [serve] for [server] on the other end of a socketpair, in its
-    own domain. *)
-val in_process : Server.t -> t
+    own domain. Raises [Failure] if [protocol] (default [`Auto])
+    cannot be negotiated — impossible with an up-to-date {!Server}. *)
+val in_process : ?protocol:protocol -> Server.t -> t
 
 (** Send a request and read exactly one reply. *)
 val rpc : t -> Protocol.request -> (Protocol.response, string) result
@@ -49,12 +97,27 @@ val shutdown : t -> (unit, string) result
 (** Send a streaming request and consume its reply stream: [on_verdict]
     per verdict message, in order, until the summary trailer arrives.
     A server-side [error] reply surfaces as [Error]; an [overloaded]
-    shed surfaces as [Error] carrying the queue depth and retry hint. *)
+    shed surfaces as [Error] carrying the queue depth and retry hint.
+    Under v2 the stream is reassembled first — copy runs are spliced
+    from the connection's retained baseline — so [on_verdict] sees the
+    same sequence in the same order as a v1 stream of the same job. *)
 val stream :
   t ->
   Protocol.request ->
   on_verdict:(Protocol.verdict -> unit) ->
   (Protocol.summary, string) result
+
+(** {!stream} exposing the v2 machinery: [on_fresh] fires only for
+    verdicts that actually crossed the wire (under v1, every verdict),
+    and the returned {!delta_info} describes the splice for streams
+    that carried an epoch header ([None] for v1 streams and v2 streams
+    of non-retainable jobs). *)
+val stream_ex :
+  t ->
+  Protocol.request ->
+  on_verdict:(Protocol.verdict -> unit) ->
+  on_fresh:(Protocol.verdict -> unit) ->
+  (Protocol.summary * delta_info option, string) result
 
 val validate :
   t ->
@@ -62,32 +125,51 @@ val validate :
   Protocol.validate_job ->
   (Protocol.summary, string) result
 
-(** Revalidate an inline frame against the server's retained baseline. *)
+(** Revalidate an inline frame against the server's retained baseline.
+    [full] (default [false]) forces a full stream even when this
+    connection could receive a delta. *)
 val revalidate :
+  ?full:bool ->
   t ->
   on_verdict:(Protocol.verdict -> unit) ->
   Frames.Frame.t ->
   (Protocol.summary, string) result
 
+(** {!revalidate} through {!stream_ex}. *)
+val revalidate_ex :
+  ?full:bool ->
+  ?on_fresh:(Protocol.verdict -> unit) ->
+  t ->
+  on_verdict:(Protocol.verdict -> unit) ->
+  Frames.Frame.t ->
+  (Protocol.summary * delta_info option, string) result
+
 (** Like {!revalidate} with the server reading the frame from disk. *)
 val revalidate_file :
+  ?full:bool ->
   t ->
   on_verdict:(Protocol.verdict -> unit) ->
   string ->
   (Protocol.summary, string) result
 
 (** Watch mode: poll [load] for the current snapshot; the first
-    snapshot is validated (alone) to establish the baseline, every
-    subsequent {e changed} snapshot is revalidated and reported via
-    [on_event]. Stops after [max_events] change events and returns how
-    many were delivered. [sleep] runs between polls — injectable, so
-    tests drive the loop without wall-clock waits; returning [false]
-    stops the watch early. *)
+    snapshot is validated (alone, silently) to establish the baseline,
+    every subsequent {e changed} snapshot is revalidated and reported
+    via [on_event] with the delta info of its stream (when any). Stops
+    after [max_events] change events and returns how many were
+    delivered. [sleep] runs between polls — injectable, so tests drive
+    the loop without wall-clock waits; returning [false] stops the
+    watch early. [full] forces full streams; [on_verdict] sees every
+    reassembled verdict of each event, [on_fresh] only those that
+    crossed the wire. *)
 val watch :
   t ->
   load:(unit -> (Frames.Frame.t, string) result) ->
   sleep:(unit -> bool) ->
   max_events:int ->
-  on_event:(Protocol.summary -> unit) ->
+  ?full:bool ->
+  ?on_verdict:(Protocol.verdict -> unit) ->
+  ?on_fresh:(Protocol.verdict -> unit) ->
+  on_event:(Protocol.summary -> delta_info option -> unit) ->
   unit ->
   (int, string) result

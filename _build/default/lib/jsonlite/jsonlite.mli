@@ -29,6 +29,11 @@ val error_to_string : error -> string
 (** Compact rendering. *)
 val to_string : t -> string
 
+(** Compact rendering appended to a caller-owned buffer — the
+    allocation-free path message encoders reuse one buffer across
+    calls with ([to_string] is [to_buffer] into a fresh buffer). *)
+val to_buffer : Buffer.t -> t -> unit
+
 (** Two-space indented rendering with a trailing newline. *)
 val pretty : t -> string
 

@@ -19,6 +19,9 @@
   $ ../../bench/main.exe daemon --smoke --daemon-out daemon_smoke.json | grep -v '^warm ' | grep -v '^cold ' | grep -v '^sustained ' | grep -v 'beats cold' | grep -v '^concurrent '
   $ grep -o '"identical": true' daemon_smoke.json
   $ grep -o '"cells": 360' daemon_smoke.json
+  $ ../../bench/main.exe protocol --smoke --protocol-out protocol_smoke.json | grep -v '^codec: ' | grep -v '^jsonlite ' | grep -v '^delta stream '
+  $ grep -o '"identical": true' protocol_smoke.json
+  $ grep -o '"replicas": 8' protocol_smoke.json
   $ ../../bench/main.exe daemno; echo "exit: $?"
   $ ../../bench/main.exe --frobnicate; echo "exit: $?"
   $ ../../bench/main.exe daemon --daemon-out; echo "exit: $?"

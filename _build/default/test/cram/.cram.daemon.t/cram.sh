@@ -4,9 +4,18 @@
   $ configvalidator validated-client --socket v.sock validate --frame-file frame.json > first.out
   $ tail -6 first.out
   $ configvalidator validated-client --socket v.sock validate --frame-file frame.json | grep '^engine'
+  $ configvalidator validated-client --socket v.sock --protocol 1 validate --frame-file frame.json > v1.out
+  $ configvalidator validated-client --socket v.sock --protocol 2 validate --frame-file frame.json > v2.out
+  $ cmp v1.out v2.out && echo "v1 and v2 render identically"
   $ sed -i 's/PermitRootLogin yes/PermitRootLogin no/' frame.json
   $ configvalidator validated-client --socket v.sock revalidate --frame-file frame.json > reval.out
   $ tail -3 reval.out
+  $ (sleep 1; sed -i 's/PermitRootLogin no/PermitRootLogin yes/' frame.json) &
+  $ configvalidator validated-client --socket v.sock watch --frame-file frame.json --interval-ms 50 --max-events 1
+  $ (sleep 1; sed -i 's/PermitRootLogin yes/PermitRootLogin no/' frame.json) &
+  $ configvalidator validated-client --socket v.sock watch --full --frame-file frame.json --interval-ms 50 --max-events 1 > watch_full.out
+  $ grep '^change:' watch_full.out
+  $ grep -c '^\[' watch_full.out
   $ configvalidator validated-client --socket v.sock validate --frame-file frame.json --deadline-ms 0
   $ printf '0\n\n' | configvalidator validated-client --socket v.sock raw
   $ printf '999999999\n' | configvalidator validated-client --socket v.sock raw

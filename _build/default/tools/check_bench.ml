@@ -11,7 +11,8 @@
 
    Usage:
      check_bench.exe BENCH_compile.json BENCH_fusion.json \
-                     [BENCH_chaos.json [BENCH_daemon.json [BENCH_cluster.json]]] *)
+                     [BENCH_chaos.json [BENCH_daemon.json \
+                     [BENCH_cluster.json [BENCH_protocol.json]]]] *)
 
 let failures = ref 0
 
@@ -40,16 +41,17 @@ let num json path =
 let flag json key = Jsonlite.member key json = Some (Jsonlite.Bool true)
 
 let () =
-  let compile_file, fusion_file, chaos_file, daemon_file, cluster_file =
+  let compile_file, fusion_file, chaos_file, daemon_file, cluster_file, protocol_file =
     match Sys.argv with
-    | [| _; c; f |] -> (c, f, None, None, None)
-    | [| _; c; f; ch |] -> (c, f, Some ch, None, None)
-    | [| _; c; f; ch; d |] -> (c, f, Some ch, Some d, None)
-    | [| _; c; f; ch; d; cl |] -> (c, f, Some ch, Some d, Some cl)
+    | [| _; c; f |] -> (c, f, None, None, None, None)
+    | [| _; c; f; ch |] -> (c, f, Some ch, None, None, None)
+    | [| _; c; f; ch; d |] -> (c, f, Some ch, Some d, None, None)
+    | [| _; c; f; ch; d; cl |] -> (c, f, Some ch, Some d, Some cl, None)
+    | [| _; c; f; ch; d; cl; p |] -> (c, f, Some ch, Some d, Some cl, Some p)
     | _ ->
       prerr_endline
         "usage: check_bench.exe BENCH_compile.json BENCH_fusion.json [BENCH_chaos.json \
-         [BENCH_daemon.json [BENCH_cluster.json]]]";
+         [BENCH_daemon.json [BENCH_cluster.json [BENCH_protocol.json]]]]";
       exit 2
   in
   let compile = load compile_file in
@@ -132,7 +134,12 @@ let () =
       (num daemon (conc @ [ "p99_ms" ]) > 0.0);
     check "daemon-concurrent: several sessions actually served"
       (num daemon (conc @ [ "clients" ]) >= 2.0
-      && num daemon (conc @ [ "verdicts" ]) > 0.0));
+      && num daemon (conc @ [ "verdicts" ]) > 0.0);
+    (* Bench clients negotiate protocol v2, so the stats ledger must
+       show upgraded connections and bytes on the v2 side. *)
+    check "daemon: stats report v2 connections and bytes"
+      (num daemon [ "protocol"; "v2_connections" ] >= 1.0
+      && num daemon [ "protocol"; "v2_bytes_out" ] > 0.0));
 
   (* Fleet-scoped cluster rules (BENCH_cluster.json). All three claims
      are deterministic, so they gate exactly: the engines stay
@@ -148,6 +155,34 @@ let () =
     check "cluster: fleet large enough to exercise aggregation"
       (num cluster [ "frames" ] >= if flag cluster "smoke" then 8.0 else 256.0);
     check "cluster: sustained verdicts/sec recorded" (num cluster [ "verdicts_per_sec" ] > 0.0));
+
+  (* Protocol v2 (BENCH_protocol.json). Decode identity is exact on
+     both claims — a codec or a delta splice that loses a byte is a
+     hard failure. The codec speedup floor and the delta byte ceiling
+     are the PR's gated perf claims; the bench records its own floor
+     (lower under --smoke, where the measurement quota is tiny). *)
+  (match protocol_file with
+  | None -> ()
+  | Some file ->
+    let protocol = load file in
+    let codec = match Jsonlite.member "codec" protocol with Some j -> j | None -> Jsonlite.Null in
+    let delta = match Jsonlite.member "delta" protocol with Some j -> j | None -> Jsonlite.Null in
+    let codec_floor = num codec [ "speedup_floor" ] in
+    check "protocol: v2 codec decode identical to encode input" (flag codec "identical");
+    check
+      (Printf.sprintf "protocol: v2 codec >= %.1fx of v1 JSON round-trip" codec_floor)
+      (num codec [ "speedup" ] >= codec_floor);
+    check "protocol: jsonlite reused-buffer datapoint recorded"
+      (num protocol [ "jsonlite"; "fresh_us" ] > 0.0
+      && num protocol [ "jsonlite"; "reused_us" ] > 0.0);
+    let ceiling = num delta [ "ratio_ceiling" ] in
+    check "protocol: delta reassembly identical to full stream + one-shot"
+      (flag delta "identical");
+    check
+      (Printf.sprintf "protocol: delta stream <= %.0f%% of full stream bytes" (ceiling *. 100.0))
+      (num delta [ "ratio" ] <= ceiling);
+    check "protocol: the drift actually crossed the wire"
+      (num delta [ "fresh_verdicts" ] >= 1.0 && num delta [ "copied_verdicts" ] > 0.0));
 
   if !failures > 0 then (
     Printf.eprintf "check_bench: %d check(s) failed\n" !failures;

@@ -49,7 +49,8 @@ let check_docs cvl_doc protocol_doc =
     (List.map (fun (name, _, _) -> name) Cvl.Keyword.all);
   check_doc ~label:"doc anchors: protocol ops" ~doc:protocol_doc Daemon.Protocol.op_names;
   check_doc ~label:"doc anchors: protocol replies" ~doc:protocol_doc
-    Daemon.Protocol.reply_names
+    Daemon.Protocol.reply_names;
+  check_doc ~label:"doc anchors: v2 frames" ~doc:protocol_doc Daemon.Protocol.V2.frame_names
 
 let () =
   check "embedded corpus" (Cvlint.lint_corpus ~source:Rulesets.source ());

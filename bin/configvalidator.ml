@@ -616,7 +616,13 @@ let print_stats verbose (st : Daemon.Protocol.stats) =
   Printf.printf "deadline-misses: %d\n" st.Daemon.Protocol.st_deadline_misses;
   Printf.printf "idle-reaped: %d\n" st.Daemon.Protocol.st_idle_reaped;
   Printf.printf "crashed: %d\n" st.Daemon.Protocol.st_crashed;
+  Printf.printf "protocol-v1-connections: %d\n" st.Daemon.Protocol.st_v1_connections;
+  Printf.printf "protocol-v2-connections: %d\n" st.Daemon.Protocol.st_v2_connections;
+  Printf.printf "delta-streams: %d\n" st.Daemon.Protocol.st_delta_streams;
   if verbose then begin
+    Printf.printf "delta-copied: %d\n" st.Daemon.Protocol.st_delta_copied;
+    Printf.printf "v1-bytes-out: %d\n" st.Daemon.Protocol.st_v1_bytes_out;
+    Printf.printf "v2-bytes-out: %d\n" st.Daemon.Protocol.st_v2_bytes_out;
     Printf.printf "p50: %.3f ms\n" st.Daemon.Protocol.st_p50_ms;
     Printf.printf "p99: %.3f ms\n" st.Daemon.Protocol.st_p99_ms;
     Printf.printf "mean: %.3f ms\n" st.Daemon.Protocol.st_mean_ms;
@@ -675,12 +681,12 @@ let raw_op socket wait =
     close_in_noerr ic;
     code
 
-let validated_client socket wait op target frame_files tags entities engine jobs chaos
-    deadline_ms interval_ms max_events verbose =
+let validated_client socket wait op protocol full target frame_files tags entities engine
+    jobs chaos deadline_ms interval_ms max_events verbose =
   match op with
   | `Raw -> raw_op socket wait
   | (`Ping | `Shutdown | `Reload | `Stats | `Validate | `Revalidate | `Watch) as op -> (
-  match Daemon.Client.connect ~retry_for:wait socket with
+  match Daemon.Client.connect ~protocol ~retry_for:wait socket with
   | Error e ->
     prerr_endline e;
     1
@@ -743,7 +749,7 @@ let validated_client socket wait op target frame_files tags entities engine jobs
     | `Revalidate -> (
       match frame_files with
       | [ file ] -> (
-        match Daemon.Client.revalidate_file c ~on_verdict:print_verdict file with
+        match Daemon.Client.revalidate_file ~full c ~on_verdict:print_verdict file with
         | Ok s ->
           print_stream_summary s;
           finish (summary_exit s)
@@ -752,21 +758,35 @@ let validated_client socket wait op target frame_files tags entities engine jobs
     | `Watch -> (
       match frame_files with
       | [ file ] -> (
+        (* Under a v2 connection the default render shows only verdicts
+           that actually crossed the wire (the changes); --full restores
+           the every-verdict render v1 connections always get. *)
+        let render_all = full || Daemon.Client.version c = Daemon.Protocol.json_version in
+        let on_verdict v = if render_all then print_verdict v in
+        let on_fresh v = if not render_all then print_verdict v in
         let outcome =
           Daemon.Client.watch c
             ~load:(fun () -> load_frame_file file)
             ~sleep:(fun () ->
               Unix.sleepf (float_of_int interval_ms /. 1000.0);
               true)
-            ~max_events
-            ~on_event:(fun s ->
+            ~max_events ~full ~on_verdict ~on_fresh
+            ~on_event:(fun s delta ->
               let revalidated =
                 match s.Daemon.Protocol.s_revalidated with
                 | Some entities -> String.concat " " entities
                 | None -> ""
               in
-              Printf.printf "change: revalidated [%s], %d violations, %d errors\n%!" revalidated
-                s.Daemon.Protocol.s_violations s.Daemon.Protocol.s_errors)
+              let savings =
+                match delta with
+                | Some d when not d.Daemon.Client.d_full ->
+                  Printf.sprintf " (delta: %d fresh, %d copied)"
+                    (d.Daemon.Client.d_added + d.Daemon.Client.d_changed)
+                    d.Daemon.Client.d_copied
+                | _ -> ""
+              in
+              Printf.printf "change: revalidated [%s], %d violations, %d errors%s\n%!"
+                revalidated s.Daemon.Protocol.s_violations s.Daemon.Protocol.s_errors savings)
             ()
         in
         match outcome with
@@ -859,6 +879,24 @@ let validated_client_cmd =
       value & opt float 5.0
       & info [ "wait" ] ~docv:"SECS" ~doc:"Keep retrying the connection this long.")
   in
+  let protocol =
+    let prefs = [ ("auto", `Auto); ("1", `V1); ("2", `V2) ] in
+    Arg.(
+      value
+      & opt (enum prefs) `Auto
+      & info [ "protocol" ] ~docv:"auto|1|2"
+          ~doc:
+            "Wire protocol: $(b,auto) offers v2 and falls back to framed JSON (v1) on old \
+             servers; $(b,1) skips the handshake; $(b,2) requires the binary protocol.")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "Force full verdict streams (and full watch renders) instead of v2 incremental \
+             deltas.")
+  in
   let target =
     Arg.(
       value
@@ -896,9 +934,9 @@ let validated_client_cmd =
   Cmd.v
     (Cmd.info "validated-client" ~doc)
     Term.(
-      const validated_client $ socket_arg $ wait $ op $ target $ frame_files_arg $ tags_arg
-      $ entities $ engine_arg $ client_jobs $ chaos_arg $ deadline_ms $ interval_ms
-      $ max_events $ verbose_arg)
+      const validated_client $ socket_arg $ wait $ op $ protocol $ full $ target
+      $ frame_files_arg $ tags_arg $ entities $ engine_arg $ client_jobs $ chaos_arg
+      $ deadline_ms $ interval_ms $ max_events $ verbose_arg)
 
 let () =
   let info =

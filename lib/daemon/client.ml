@@ -1,6 +1,36 @@
 open Protocol
 
-type t = { ic : in_channel; oc : out_channel; close_fn : unit -> unit; mutable closed : bool }
+type protocol = [ `Auto | `V1 | `V2 ]
+
+(* What a v2 delta stream saved, reported per reassembled stream. *)
+type delta_info = {
+  d_frame : string;
+  d_epoch : int;
+  d_baseline : int;
+  d_total : int;
+  d_added : int;
+  d_changed : int;
+  d_removed : int;
+  d_copied : int;
+  d_full : bool;
+}
+
+type t = {
+  ic : in_channel;
+  oc : out_channel;
+  close_fn : unit -> unit;
+  mutable closed : bool;
+  mutable version : int;
+  (* v2 transport state: the reader's intern table for server frames,
+     the writer (+ its table) for our own requests, and a reused
+     request-encode buffer. All idle until a hello upgrades us. *)
+  rd : V2.reader;
+  wr : V2.writer;
+  wbuf : Buffer.t;
+  (* frame id -> (epoch, verdicts): the reassembly baselines this
+     connection has retained from epoch-headed streams *)
+  bases : (string, int * verdict array) Hashtbl.t;
+}
 
 let of_channels ?close ic oc =
   let close_fn =
@@ -11,13 +41,86 @@ let of_channels ?close ic oc =
           close_out_noerr oc;
           close_in_noerr ic
   in
-  { ic; oc; close_fn; closed = false }
+  {
+    ic;
+    oc;
+    close_fn;
+    closed = false;
+    version = json_version;
+    rd = V2.reader ();
+    wr = V2.writer ();
+    wbuf = Buffer.create 256;
+    bases = Hashtbl.create 8;
+  }
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
     t.close_fn ()
   end
+
+let version t = t.version
+
+(* ---------------------------------------------------------------- *)
+(* Transport: version-aware send / receive                           *)
+(* ---------------------------------------------------------------- *)
+
+let send t req =
+  try
+    (if t.version = binary_version then begin
+       Buffer.clear t.wbuf;
+       V2.add_request t.wr t.wbuf req;
+       Buffer.output_buffer t.oc t.wbuf
+     end
+     else output_string t.oc (frame_bytes (request_to_json req)));
+    flush t.oc;
+    Ok ()
+  with Sys_error m -> Error (Printf.sprintf "send failed: %s" m)
+
+(* One non-stream reply. Under v2 the reply arrives as a [json] frame. *)
+let read_reply t =
+  if t.version = binary_version then
+    match V2.read_frame t.rd t.ic with
+    | V2.Frame (V2.Json json) -> response_of_json json
+    | V2.Frame _ -> Error "unexpected stream frame in reply position"
+    | V2.Bad m -> Error (Printf.sprintf "malformed response payload: %s" m)
+    | V2.Truncated m -> Error (Printf.sprintf "response stream truncated: %s" m)
+    | V2.Closed -> Error "connection closed by server"
+  else read_response t.ic
+
+let ( let* ) = Result.bind
+
+let rpc t req =
+  let* () = send t req in
+  read_reply t
+
+(* ---------------------------------------------------------------- *)
+(* Version negotiation                                               *)
+(* ---------------------------------------------------------------- *)
+
+(* The hello round-trip always runs v1-framed (we only upgrade after a
+   welcome grants v2). [`Auto] falls back to v1 when the peer rejects
+   the op — that is what a pre-v2 server answers — while [`V2] treats
+   anything short of a v2 grant as failure. *)
+let negotiate t (protocol : protocol) =
+  match protocol with
+  | `V1 -> Ok ()
+  | (`Auto | `V2) as pref -> (
+      match rpc t (Hello { version = binary_version }) with
+      | Ok (Welcome { version }) ->
+          let granted = if version >= binary_version then binary_version else json_version in
+          t.version <- granted;
+          if pref = `V2 && granted <> binary_version then
+            Error (Printf.sprintf "server granted protocol v%d, v2 required" granted)
+          else Ok ()
+      | Ok (Error_reply _) when pref = `Auto -> Ok ()
+      | Ok (Error_reply m) -> Error (Printf.sprintf "hello rejected: %s" m)
+      | Ok (Overloaded { queue_depth; retry_after_ms }) ->
+          Error
+            (Printf.sprintf "server overloaded (queue depth %d): retry in %d ms" queue_depth
+               retry_after_ms)
+      | Ok _ -> Error "unexpected reply to hello"
+      | Error m -> Error m)
 
 (* Deterministic jitter: a cheap integer hash of the attempt number
    mapped into [0.5, 1.0]. No RNG state, so two clients started from
@@ -27,13 +130,19 @@ let jitter attempt =
   let h = attempt * 2654435761 land 0xFFFF in
   0.5 +. (0.5 *. (float_of_int h /. 65535.0))
 
-let connect ?(retry_for = 0.0) ?(base_backoff = 0.025) ?(max_backoff = 0.4)
+let connect ?(protocol = `Auto) ?(retry_for = 0.0) ?(base_backoff = 0.025) ?(max_backoff = 0.4)
     ?(now = Unix.gettimeofday) ?(sleep = Unix.sleepf) path =
   let deadline = now () +. retry_for in
   let rec attempt n =
     let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect sock (Unix.ADDR_UNIX path) with
-    | () -> Ok (of_channels (Unix.in_channel_of_descr sock) (Unix.out_channel_of_descr sock))
+    | () -> (
+        let t = of_channels (Unix.in_channel_of_descr sock) (Unix.out_channel_of_descr sock) in
+        match negotiate t protocol with
+        | Ok () -> Ok t
+        | Error m ->
+            close t;
+            Error (Printf.sprintf "cannot negotiate with %s: %s" path m))
     | exception Unix.Unix_error (e, _, _) ->
         (try Unix.close sock with Unix.Unix_error _ -> ());
         let remaining = deadline -. now () in
@@ -51,7 +160,7 @@ let connect ?(retry_for = 0.0) ?(base_backoff = 0.025) ?(max_backoff = 0.4)
   in
   attempt 0
 
-let in_process server =
+let in_process ?(protocol = `Auto) server =
   let client_fd, server_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let domain =
     Domain.spawn (fun () ->
@@ -63,27 +172,25 @@ let in_process server =
   in
   let ic = Unix.in_channel_of_descr client_fd in
   let oc = Unix.out_channel_of_descr client_fd in
-  of_channels
-    ~close:(fun () ->
-      close_out_noerr oc;
-      close_in_noerr ic;
-      Domain.join domain)
-    ic oc
+  let t =
+    of_channels
+      ~close:(fun () ->
+        close_out_noerr oc;
+        close_in_noerr ic;
+        Domain.join domain)
+      ic oc
+  in
+  (* An in-process server always speaks v2, so [`Auto]/[`V2] cannot
+     fail here — but surface a negotiation error rather than hide it. *)
+  match negotiate t protocol with
+  | Ok () -> t
+  | Error m ->
+      close t;
+      failwith (Printf.sprintf "in-process negotiation failed: %s" m)
 
 (* ---------------------------------------------------------------- *)
 (* Calls                                                             *)
 (* ---------------------------------------------------------------- *)
-
-let ( let* ) = Result.bind
-
-let send t req =
-  match write_request t.oc req with
-  | () -> Ok ()
-  | exception Sys_error m -> Error (Printf.sprintf "send failed: %s" m)
-
-let rpc t req =
-  let* () = send t req in
-  read_response t.ic
 
 let ping t =
   match rpc t Ping with
@@ -113,37 +220,157 @@ let shutdown t =
   | Ok _ -> Error "unexpected reply to shutdown"
   | Error m -> Error m
 
-let stream t req ~on_verdict =
-  let* () = send t req in
+(* ---------------------------------------------------------------- *)
+(* Verdict streams                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let stream_error = function
+  | Error_reply m -> Error m
+  | Overloaded { queue_depth; retry_after_ms } ->
+      Error
+        (Printf.sprintf "server overloaded (queue depth %d): retry in %d ms" queue_depth
+           retry_after_ms)
+  | _ -> Error "unexpected reply in verdict stream"
+
+(* v1 stream: every verdict arrives on the wire, so it is both a full
+   verdict and a fresh one. *)
+let drain_v1 t ~on_verdict ~on_fresh =
   let rec drain () =
     match read_response t.ic with
     | Ok (Verdict v) ->
+        on_fresh v;
         on_verdict v;
         drain ()
-    | Ok (Summary s) -> Ok s
-    | Ok (Error_reply m) -> Error m
-    | Ok (Overloaded { queue_depth; retry_after_ms }) ->
-        Error
-          (Printf.sprintf "server overloaded (queue depth %d): retry in %d ms" queue_depth
-             retry_after_ms)
-    | Ok _ -> Error "unexpected reply in verdict stream"
+    | Ok (Summary s) -> Ok (s, None)
+    | Ok other -> stream_error other
     | Error m -> Error m
   in
   drain ()
 
+(* v2 stream: reassemble the full verdict sequence from fresh verdict
+   frames and baseline copy runs. [on_verdict] sees the reassembled
+   sequence in engine order — byte-identical to what v1 would have
+   streamed — while [on_fresh] sees only what actually crossed the
+   wire. Baselines are retained only once the summary trailer lands,
+   so an aborted stream leaves both ends on the old epoch. *)
+let drain_v2 t ~on_verdict ~on_fresh =
+  let acc = ref [] in
+  let count = ref 0 in
+  let header = ref None in
+  let copied = ref 0 in
+  let push v =
+    acc := v :: !acc;
+    incr count;
+    on_verdict v
+  in
+  let finish s =
+    match !header with
+    | None -> Ok (s, None)
+    | Some ((h : V2.epoch_header), _) ->
+        if !count <> h.e_total then
+          Error
+            (Printf.sprintf "reassembled %d verdict(s), epoch header promised %d" !count
+               h.e_total)
+        else begin
+          let full = Array.of_list (List.rev !acc) in
+          Hashtbl.replace t.bases h.e_frame (h.e_epoch, full);
+          Ok
+            ( s,
+              Some
+                {
+                  d_frame = h.e_frame;
+                  d_epoch = h.e_epoch;
+                  d_baseline = h.e_baseline;
+                  d_total = h.e_total;
+                  d_added = h.e_added;
+                  d_changed = h.e_changed;
+                  d_removed = h.e_removed;
+                  d_copied = !copied;
+                  d_full = not h.e_delta;
+                } )
+        end
+  in
+  let rec drain () =
+    match V2.read_frame t.rd t.ic with
+    | V2.Frame (V2.Json json) -> (
+        match response_of_json json with
+        | Ok (Summary s) -> finish s
+        | Ok other -> stream_error other
+        | Error m -> Error m)
+    | V2.Frame (V2.Verdict_frame v) ->
+        on_fresh v;
+        push v;
+        drain ()
+    | V2.Frame (V2.Epoch h) -> (
+        match !header with
+        | Some _ -> Error "second epoch header in one stream"
+        | None ->
+            if not h.e_delta then begin
+              header := Some (h, None);
+              drain ()
+            end
+            else (
+              match Hashtbl.find_opt t.bases h.e_frame with
+              | None ->
+                  Error
+                    (Printf.sprintf "delta stream for frame %S without a retained baseline"
+                       h.e_frame)
+              | Some (epoch, _) when epoch <> h.e_baseline ->
+                  Error
+                    (Printf.sprintf
+                       "delta stream for frame %S builds on epoch %d, but epoch %d is retained"
+                       h.e_frame h.e_baseline epoch)
+              | Some (_, base) ->
+                  header := Some (h, Some base);
+                  drain ()))
+    | V2.Frame (V2.Copy { start; count = n }) -> (
+        match !header with
+        | Some (_, Some base) when start >= 0 && n >= 0 && start + n <= Array.length base ->
+            for i = start to start + n - 1 do
+              push base.(i)
+            done;
+            copied := !copied + n;
+            drain ()
+        | Some (_, Some base) ->
+            Error
+              (Printf.sprintf "copy run [%d, %d) outside the %d-verdict baseline" start
+                 (start + n) (Array.length base))
+        | _ -> Error "copy frame outside a delta stream")
+    | V2.Bad m -> Error (Printf.sprintf "malformed response payload: %s" m)
+    | V2.Truncated m -> Error (Printf.sprintf "response stream truncated: %s" m)
+    | V2.Closed -> Error "connection closed by server"
+  in
+  drain ()
+
+let stream_ex t req ~on_verdict ~on_fresh =
+  let* () = send t req in
+  if t.version = binary_version then drain_v2 t ~on_verdict ~on_fresh
+  else drain_v1 t ~on_verdict ~on_fresh
+
+let stream t req ~on_verdict =
+  Result.map fst (stream_ex t req ~on_verdict ~on_fresh:(fun _ -> ()))
+
 let validate t ~on_verdict job = stream t (Validate job) ~on_verdict
 
-let revalidate t ~on_verdict frame =
-  stream t (Revalidate { frame = Some frame; frame_file = None; deadline_ms = None }) ~on_verdict
+let revalidate_req ?(full = false) frame =
+  Revalidate { frame = Some frame; frame_file = None; deadline_ms = None; full }
 
-let revalidate_file t ~on_verdict path =
-  stream t (Revalidate { frame = None; frame_file = Some path; deadline_ms = None }) ~on_verdict
+let revalidate ?full t ~on_verdict frame = stream t (revalidate_req ?full frame) ~on_verdict
+
+let revalidate_ex ?full ?(on_fresh = fun _ -> ()) t ~on_verdict frame =
+  stream_ex t (revalidate_req ?full frame) ~on_verdict ~on_fresh
+
+let revalidate_file ?(full = false) t ~on_verdict path =
+  stream t
+    (Revalidate { frame = None; frame_file = Some path; deadline_ms = None; full })
+    ~on_verdict
 
 (* ---------------------------------------------------------------- *)
 (* Watch mode                                                        *)
 (* ---------------------------------------------------------------- *)
 
-let watch t ~load ~sleep ~max_events ~on_event () =
+let watch t ~load ~sleep ~max_events ?(full = false) ?(on_verdict = fun _ -> ())
+    ?(on_fresh = fun _ -> ()) ~on_event () =
   let digest frame = Digest.string (Frames.Codec.to_string frame) in
   let* first = load () in
   let* (_ : summary) = validate t ~on_verdict:(fun _ -> ()) (job ~frames:[ first ] ()) in
@@ -155,8 +382,8 @@ let watch t ~load ~sleep ~max_events ~on_event () =
       let d = digest frame in
       if String.equal d last_digest then poll last_digest events
       else
-        let* s = revalidate t ~on_verdict:(fun _ -> ()) frame in
-        on_event s;
+        let* s, delta = revalidate_ex ~full ~on_fresh t ~on_verdict frame in
+        on_event s delta;
         poll d (events + 1)
   in
   poll (digest first) 0

@@ -27,13 +27,21 @@ let job ?(frames = []) ?(frame_files = []) ?(tags = []) ?(entities = []) ?(engin
     ?(jobs = 0) ?keep_not_applicable ?chaos ?deadline_ms () =
   { frames; frame_files; tags; entities; engine; jobs; keep_not_applicable; chaos; deadline_ms }
 
+(* Wire protocol versions: v1 is the framed-JSON protocol every client
+   speaks by default; v2 adds the binary fast path below (module {!V2}),
+   entered only after an explicit [hello]/[welcome] handshake. *)
+let json_version = 1
+let binary_version = 2
+
 type request =
   | Ping
+  | Hello of { version : int }
   | Validate of validate_job
   | Revalidate of {
       frame : Frames.Frame.t option;
       frame_file : string option;
       deadline_ms : int option;
+      full : bool;
     }
   | Reload_rules
   | Stats
@@ -83,10 +91,17 @@ type stats = {
   st_deadline_misses : int;
   st_idle_reaped : int;
   st_crashed : int;
+  st_v1_connections : int;
+  st_v2_connections : int;
+  st_v1_bytes_out : int;
+  st_v2_bytes_out : int;
+  st_delta_streams : int;
+  st_delta_copied : int;
 }
 
 type response =
   | Pong
+  | Welcome of { version : int }
   | Verdict of verdict
   | Summary of summary
   | Stats_reply of stats
@@ -111,13 +126,14 @@ let opt_field k = function None -> None | Some v -> Some (k, v)
 
 (* The codec's wire vocabulary, kept next to the (de)serializers that
    speak it. docs/PROTOCOL.md must anchor every name (doc gate). *)
-let op_names = [ "ping"; "validate"; "revalidate"; "reload-rules"; "stats"; "shutdown" ]
+let op_names = [ "ping"; "hello"; "validate"; "revalidate"; "reload-rules"; "stats"; "shutdown" ]
 
 let reply_names =
-  [ "pong"; "verdict"; "summary"; "stats"; "reloaded"; "overloaded"; "error"; "bye" ]
+  [ "pong"; "welcome"; "verdict"; "summary"; "stats"; "reloaded"; "overloaded"; "error"; "bye" ]
 
 let request_to_json = function
   | Ping -> Obj [ ("op", Str "ping") ]
+  | Hello { version } -> Obj [ ("op", Str "hello"); ("version", num_i version) ]
   | Reload_rules -> Obj [ ("op", Str "reload-rules") ]
   | Stats -> Obj [ ("op", Str "stats") ]
   | Shutdown -> Obj [ ("op", Str "shutdown") ]
@@ -136,13 +152,14 @@ let request_to_json = function
           opt_field "chaos" (Option.map num_i j.chaos);
           opt_field "deadline_ms" (Option.map num_i j.deadline_ms);
         ]
-  | Revalidate { frame; frame_file; deadline_ms } ->
+  | Revalidate { frame; frame_file; deadline_ms; full } ->
       obj
         [
           field "op" (Str "revalidate");
           opt_field "frame" (Option.map Frames.Codec.to_json frame);
           opt_field "frame_file" (Option.map (fun f -> Str f) frame_file);
           opt_field "deadline_ms" (Option.map num_i deadline_ms);
+          (if full then Some ("full", Bool true) else None);
         ]
 
 let verdict_to_json v =
@@ -198,10 +215,17 @@ let stats_to_json st =
       ("deadline_misses", num_i st.st_deadline_misses);
       ("idle_reaped", num_i st.st_idle_reaped);
       ("crashed", num_i st.st_crashed);
+      ("v1_connections", num_i st.st_v1_connections);
+      ("v2_connections", num_i st.st_v2_connections);
+      ("v1_bytes_out", num_i st.st_v1_bytes_out);
+      ("v2_bytes_out", num_i st.st_v2_bytes_out);
+      ("delta_streams", num_i st.st_delta_streams);
+      ("delta_copied", num_i st.st_delta_copied);
     ]
 
 let response_to_json = function
   | Pong -> Obj [ ("type", Str "pong") ]
+  | Welcome { version } -> Obj [ ("type", Str "welcome"); ("version", num_i version) ]
   | Bye -> Obj [ ("type", Str "bye") ]
   | Error_reply m -> Obj [ ("type", Str "error"); ("message", Str m) ]
   | Reloaded { entities; rules } ->
@@ -282,14 +306,17 @@ let revalidate_of_json json =
   in
   let frame_file = get_string_field json "frame_file" in
   let deadline_ms = get_int_field json "deadline_ms" in
+  let full = Option.value ~default:false (get_bool_field json "full") in
   match (frame, frame_file) with
   | None, None -> Error "revalidate needs a \"frame\" or a \"frame_file\""
   | Some _, Some _ -> Error "revalidate takes \"frame\" or \"frame_file\", not both"
-  | _ -> Ok (Revalidate { frame; frame_file; deadline_ms })
+  | _ -> Ok (Revalidate { frame; frame_file; deadline_ms; full })
 
 let request_of_json json =
   match get_string_field json "op" with
   | Some "ping" -> Ok Ping
+  | Some "hello" ->
+      Ok (Hello { version = Option.value ~default:json_version (get_int_field json "version") })
   | Some "reload-rules" -> Ok Reload_rules
   | Some "stats" -> Ok Stats
   | Some "shutdown" -> Ok Shutdown
@@ -364,11 +391,19 @@ let stats_of_json json =
          st_deadline_misses = req_int json "deadline_misses";
          st_idle_reaped = req_int json "idle_reaped";
          st_crashed = req_int json "crashed";
+         st_v1_connections = req_int json "v1_connections";
+         st_v2_connections = req_int json "v2_connections";
+         st_v1_bytes_out = req_int json "v1_bytes_out";
+         st_v2_bytes_out = req_int json "v2_bytes_out";
+         st_delta_streams = req_int json "delta_streams";
+         st_delta_copied = req_int json "delta_copied";
        })
 
 let response_of_json json =
   match get_string_field json "type" with
   | Some "pong" -> Ok Pong
+  | Some "welcome" ->
+      Ok (Welcome { version = Option.value ~default:json_version (get_int_field json "version") })
   | Some "bye" -> Ok Bye
   | Some "error" -> Ok (Error_reply (req_str json "message"))
   | Some "reloaded" ->
@@ -433,6 +468,21 @@ let read_message ic =
 
 let write_request oc req = write_message oc (request_to_json req)
 
+(* Same framing, but the payload renders into a caller-owned scratch
+   buffer (reused across messages — no per-message string) and the
+   framed byte count comes back for bytes-on-wire accounting. *)
+let write_message_buf ~buf ?(flush = true) oc json =
+  Buffer.clear buf;
+  Jsonlite.to_buffer buf json;
+  let len = Buffer.length buf in
+  let prefix = string_of_int len in
+  output_string oc prefix;
+  output_char oc '\n';
+  Buffer.output_buffer oc buf;
+  output_char oc '\n';
+  if flush then Stdlib.flush oc;
+  String.length prefix + len + 2
+
 (* Verdicts are never the last message of a stream — the summary (or an
    error) trailer always follows and flushes — so they ride the channel
    buffer instead of paying a syscall each. Terminal replies flush. *)
@@ -441,9 +491,295 @@ let write_response oc resp =
   | Verdict _ -> write_message ~flush:false oc (response_to_json resp)
   | _ -> write_message oc (response_to_json resp)
 
+let write_response_buf ~buf oc resp =
+  match resp with
+  | Verdict _ -> write_message_buf ~buf ~flush:false oc (response_to_json resp)
+  | _ -> write_message_buf ~buf oc (response_to_json resp)
+
 let read_response ic =
   match read_message ic with
   | Msg json -> response_of_json json
   | Bad_payload m -> Error (Printf.sprintf "malformed response payload: %s" m)
   | Truncated m -> Error (Printf.sprintf "response stream truncated: %s" m)
   | Closed -> Error "connection closed by server"
+
+(* ---------------------------------------------------------------- *)
+(* Protocol v2: binary fast path                                     *)
+(* ---------------------------------------------------------------- *)
+
+(* After a [hello]/[welcome] handshake grants v2, every subsequent
+   message in both directions is one binary frame:
+
+     frame ::= tag:u8  length:u32le  payload[length]
+
+   Verdicts — the hot path — are five intern-table ordinals plus the
+   evidence list, so a steady-state verdict costs ~30 bytes and zero
+   JSON work. Every string (entity, frame id, rule, severity, detail,
+   evidence) is sent once in an [intern] frame and referenced by
+   ordinal afterwards. Everything that is not a verdict (requests,
+   summaries, stats, errors) rides in a [json] frame whose payload is
+   the v1 JSON document — the residual path.
+
+   Classification mirrors v1: a well-framed payload that cannot be
+   decoded (unknown tag, ordinal past the intern table, short payload)
+   is [Bad] — the stream is still synchronized and the peer may answer
+   with an error and continue. A broken header or a payload cut short
+   is [Truncated] — fatal for the connection. *)
+module V2 = struct
+  let version = binary_version
+
+  (* Doc-gate vocabulary, like [op_names]/[reply_names]: one name per
+     frame tag, anchored in docs/PROTOCOL.md. *)
+  let frame_names = [ "json"; "intern"; "verdict"; "copy"; "epoch" ]
+
+  (* Delta streams open with one [epoch] header: which frame id the
+     stream describes, the epoch being streamed, the connection epoch
+     it builds on ([e_baseline], 0 for a full stream), and the shape of
+     the reassembled set. [e_delta = false] announces a full stream the
+     client should retain as its new baseline. *)
+  type epoch_header = {
+    e_frame : string;
+    e_epoch : int;
+    e_baseline : int;
+    e_total : int;
+    e_added : int;
+    e_changed : int;
+    e_removed : int;
+    e_delta : bool;
+  }
+
+  type frame =
+    | Json of Jsonlite.t
+    | Verdict_frame of verdict
+    | Copy of { start : int; count : int }  (** splice [count] baseline verdicts from [start] *)
+    | Epoch of epoch_header
+
+  let add_u32 buf n =
+    Buffer.add_char buf (Char.unsafe_chr (n land 0xff));
+    Buffer.add_char buf (Char.unsafe_chr ((n lsr 8) land 0xff));
+    Buffer.add_char buf (Char.unsafe_chr ((n lsr 16) land 0xff));
+    Buffer.add_char buf (Char.unsafe_chr ((n lsr 24) land 0xff))
+
+  (* ---- encoder: one writer per connection direction ---- *)
+
+  type writer = {
+    interned : (string, int) Hashtbl.t;
+    mutable next_ordinal : int;
+    scratch : Buffer.t;  (* reused for json payload rendering *)
+  }
+
+  let writer () = { interned = Hashtbl.create 256; next_ordinal = 0; scratch = Buffer.create 512 }
+
+  (* Returns the ordinal for [s], emitting its [intern] frame first the
+     one time the string is new to this stream. *)
+  let intern w buf s =
+    match Hashtbl.find_opt w.interned s with
+    | Some ord -> ord
+    | None ->
+        let ord = w.next_ordinal in
+        w.next_ordinal <- ord + 1;
+        Hashtbl.add w.interned s ord;
+        Buffer.add_char buf 'I';
+        add_u32 buf (String.length s);
+        Buffer.add_string buf s;
+        ord
+
+  (* verdict payload: entity frame rule verdict detail (u32 ordinals),
+     evidence count (u32), then one u32 ordinal per evidence line *)
+  let add_verdict w buf v =
+    let entity = intern w buf v.v_entity in
+    let frame = intern w buf v.v_frame in
+    let rule = intern w buf v.v_rule in
+    let verdict = intern w buf v.v_verdict in
+    let detail = intern w buf v.v_detail in
+    let evidence = List.map (intern w buf) v.v_evidence in
+    Buffer.add_char buf 'V';
+    add_u32 buf (24 + (4 * List.length evidence));
+    add_u32 buf entity;
+    add_u32 buf frame;
+    add_u32 buf rule;
+    add_u32 buf verdict;
+    add_u32 buf detail;
+    add_u32 buf (List.length evidence);
+    List.iter (add_u32 buf) evidence
+
+  let add_json w buf json =
+    Buffer.clear w.scratch;
+    Jsonlite.to_buffer w.scratch json;
+    Buffer.add_char buf 'J';
+    add_u32 buf (Buffer.length w.scratch);
+    Buffer.add_buffer buf w.scratch
+
+  let add_copy buf ~start ~count =
+    Buffer.add_char buf 'C';
+    add_u32 buf 8;
+    add_u32 buf start;
+    add_u32 buf count
+
+  let add_epoch w buf h =
+    let frame = intern w buf h.e_frame in
+    Buffer.add_char buf 'E';
+    add_u32 buf 29;
+    add_u32 buf frame;
+    add_u32 buf h.e_epoch;
+    add_u32 buf h.e_baseline;
+    add_u32 buf h.e_total;
+    add_u32 buf h.e_added;
+    add_u32 buf h.e_changed;
+    add_u32 buf h.e_removed;
+    Buffer.add_char buf (if h.e_delta then '\001' else '\000')
+
+  let add_request w buf req = add_json w buf (request_to_json req)
+
+  let add_response w buf = function
+    | Verdict v -> add_verdict w buf v
+    | resp -> add_json w buf (response_to_json resp)
+
+  (* ---- decoder ---- *)
+
+  type reader = { mutable table : string array; mutable count : int }
+
+  let reader () = { table = Array.make 64 ""; count = 0 }
+
+  let learn rd s =
+    if rd.count = Array.length rd.table then begin
+      let bigger = Array.make (2 * Array.length rd.table) "" in
+      Array.blit rd.table 0 bigger 0 rd.count;
+      rd.table <- bigger
+    end;
+    rd.table.(rd.count) <- s;
+    rd.count <- rd.count + 1
+
+  type read =
+    | Frame of frame
+    | Bad of string  (** well-framed but undecodable; stream still synchronized *)
+    | Truncated of string  (** framing broken: drop the connection *)
+    | Closed
+
+  let u32 s off =
+    Char.code s.[off]
+    lor (Char.code s.[off + 1] lsl 8)
+    lor (Char.code s.[off + 2] lsl 16)
+    lor (Char.code s.[off + 3] lsl 24)
+
+  exception Bad_frame of string
+
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad_frame m)) fmt
+
+  let resolve rd ord =
+    if ord >= 0 && ord < rd.count then rd.table.(ord)
+    else bad "intern ordinal %d out of range (table holds %d)" ord rd.count
+
+  (* Decode one well-framed payload. [`Intern] is table maintenance the
+     read loops consume silently; a decode failure inside the payload is
+     [`Bad] because the framing itself was sound. *)
+  let decode rd tag payload =
+    let len = String.length payload in
+    try
+      match tag with
+      | 'I' ->
+          learn rd payload;
+          `Intern
+      | 'J' -> (
+          match Jsonlite.parse payload with
+          | Ok json -> `Frame (Json json)
+          | Error e -> `Bad ("json frame: " ^ Jsonlite.error_to_string e))
+      | 'V' ->
+          if len < 24 then bad "verdict frame too short (%d bytes)" len;
+          let evidence_count = u32 payload 20 in
+          if len <> 24 + (4 * evidence_count) then
+            bad "verdict frame length %d does not fit %d evidence ordinal(s)" len evidence_count;
+          let s off = resolve rd (u32 payload off) in
+          let v_evidence = List.init evidence_count (fun i -> s (24 + (4 * i))) in
+          `Frame
+            (Verdict_frame
+               {
+                 v_entity = s 0;
+                 v_frame = s 4;
+                 v_rule = s 8;
+                 v_verdict = s 12;
+                 v_detail = s 16;
+                 v_evidence;
+               })
+      | 'C' ->
+          if len <> 8 then bad "copy frame must be 8 bytes, got %d" len;
+          `Frame (Copy { start = u32 payload 0; count = u32 payload 4 })
+      | 'E' ->
+          if len <> 29 then bad "epoch frame must be 29 bytes, got %d" len;
+          `Frame
+            (Epoch
+               {
+                 e_frame = resolve rd (u32 payload 0);
+                 e_epoch = u32 payload 4;
+                 e_baseline = u32 payload 8;
+                 e_total = u32 payload 12;
+                 e_added = u32 payload 16;
+                 e_changed = u32 payload 20;
+                 e_removed = u32 payload 24;
+                 e_delta = payload.[28] <> '\000';
+               })
+      | c -> `Bad (Printf.sprintf "unknown v2 frame tag %C" c)
+    with Bad_frame m -> `Bad m
+
+  let read_frame rd ic =
+    let rec next () =
+      match input_char ic with
+      | exception End_of_file -> Closed
+      | exception Sys_error m -> Truncated m
+      | tag -> (
+          let hdr = Bytes.create 4 in
+          match really_input ic hdr 0 4 with
+          | exception End_of_file -> Truncated "v2 frame truncated mid-header"
+          | exception Sys_error m -> Truncated m
+          | () -> (
+              let len = u32 (Bytes.unsafe_to_string hdr) 0 in
+              if len < 0 || len > max_message_bytes then
+                Truncated (Printf.sprintf "unreasonable v2 frame length %d" len)
+              else
+                let payload = Bytes.create len in
+                match really_input ic payload 0 len with
+                | exception End_of_file -> Truncated "v2 frame truncated mid-payload"
+                | exception Sys_error m -> Truncated m
+                | () -> (
+                    match decode rd tag (Bytes.unsafe_to_string payload) with
+                    | `Intern -> next ()
+                    | `Frame f -> Frame f
+                    | `Bad m -> Bad m)))
+    in
+    next ()
+
+  (* Same state machine over an in-memory byte string — what the fuzz
+     tests and the codec micro-benchmark drive, so they exercise the
+     exact decoder the channel reader uses. [pos] advances past every
+     consumed byte. *)
+  let read_frame_string rd src pos =
+    let total = String.length src in
+    let rec next () =
+      let p = !pos in
+      if p >= total then Closed
+      else if total - p < 5 then begin
+        pos := total;
+        Truncated "v2 frame truncated mid-header"
+      end
+      else
+        let tag = src.[p] in
+        let len = u32 src (p + 1) in
+        if len < 0 || len > max_message_bytes then begin
+          pos := total;
+          Truncated (Printf.sprintf "unreasonable v2 frame length %d" len)
+        end
+        else if total - p - 5 < len then begin
+          pos := total;
+          Truncated "v2 frame truncated mid-payload"
+        end
+        else begin
+          let payload = String.sub src (p + 5) len in
+          pos := p + 5 + len;
+          match decode rd tag payload with
+          | `Intern -> next ()
+          | `Frame f -> Frame f
+          | `Bad m -> Bad m
+        end
+    in
+    next ()
+end

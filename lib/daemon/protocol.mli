@@ -1,7 +1,8 @@
-(** Wire protocol of the [validated] daemon: length-prefixed JSON
-    messages over any byte stream.
+(** Wire protocol of the [validated] daemon.
 
-    Framing grammar (both directions):
+    Two protocol versions share this codec. {b v1} — the wire default
+    every client speaks without negotiation — is length-prefixed JSON
+    messages over any byte stream:
 
     {v
       message  ::=  <decimal byte length of payload> "\n" <payload> "\n"
@@ -15,12 +16,24 @@
     per result, in the engine's deterministic order, then exactly one
     [summary] trailer. Everything else is a single reply message.
 
-    Reader errors distinguish recoverable from fatal: a well-framed but
-    unparseable payload ({!Bad_payload}) leaves the stream synchronized
-    — the peer can answer with an error and keep going — while a
-    corrupt length line or a truncated payload ({!Truncated}) means
-    nobody knows where the next message starts, so the connection must
-    be dropped (the server itself stays up). *)
+    {b v2} — module {!V2} — is the binary fast path a client enters by
+    sending [hello] and receiving a [welcome] granting version 2 (both
+    always v1-framed). After the upgrade, every message in both
+    directions is one binary frame with a per-stream string-interning
+    table; see {!V2} for the layout and the incremental-delta frames.
+
+    Reader errors distinguish recoverable from fatal in both versions:
+    a well-framed but undecodable payload ({!Bad_payload} / {!V2.Bad})
+    leaves the stream synchronized — the peer can answer with an error
+    and keep going — while broken framing ({!Truncated} /
+    {!V2.Truncated}) means nobody knows where the next message starts,
+    so the connection must be dropped (the server itself stays up). *)
+
+val json_version : int
+(** 1 — the framed-JSON protocol, the wire default. *)
+
+val binary_version : int
+(** 2 — the {!V2} binary fast path, entered by handshake only. *)
 
 type engine = [ `Fused | `Compiled | `Interpreted ]
 
@@ -67,11 +80,20 @@ val job :
 
 type request =
   | Ping
+  | Hello of { version : int }
+      (** version negotiation: the highest protocol version the client
+          speaks. Answered with {!Welcome} carrying the granted
+          version. Always v1-framed — it is what decides whether the
+          connection upgrades. *)
   | Validate of validate_job
   | Revalidate of {
       frame : Frames.Frame.t option;
       frame_file : string option;
       deadline_ms : int option;
+      full : bool;
+          (** under v2, force a full verdict stream even when the
+              connection holds a baseline epoch to delta against;
+              ignored (always full) under v1 *)
     }
       (** exactly one of [frame]/[frame_file]; diffed against the
           daemon's retained snapshot of the same frame id *)
@@ -129,10 +151,20 @@ type stats = {
   st_deadline_misses : int;  (** jobs cut off by their budget *)
   st_idle_reaped : int;  (** connections reaped for idleness *)
   st_crashed : int;  (** sessions contained by the supervisor *)
+  st_v1_connections : int;
+      (** sessions that spoke v1 only, counted when they close *)
+  st_v2_connections : int;
+      (** sessions upgraded to v2, counted at the handshake *)
+  st_v1_bytes_out : int;  (** reply bytes written to v1 sessions *)
+  st_v2_bytes_out : int;  (** reply bytes written to v2 sessions *)
+  st_delta_streams : int;  (** revalidate streams answered as deltas *)
+  st_delta_copied : int;
+      (** verdicts spliced from connection baselines instead of re-sent *)
 }
 
 type response =
   | Pong
+  | Welcome of { version : int }  (** reply to {!Hello}: the granted version *)
   | Verdict of verdict
   | Summary of summary
   | Stats_reply of stats
@@ -174,6 +206,12 @@ val frame_bytes : Jsonlite.t -> string
     always followed by another on the same channel. *)
 val write_message : ?flush:bool -> out_channel -> Jsonlite.t -> unit
 
+(** Like {!write_message}, but the payload renders into [buf] — a
+    caller-owned scratch buffer reused across messages, so the encode
+    hot path allocates no intermediate string — and the framed byte
+    count comes back for bytes-on-wire accounting. *)
+val write_message_buf : buf:Buffer.t -> ?flush:bool -> out_channel -> Jsonlite.t -> int
+
 val read_message : in_channel -> read_result
 val write_request : out_channel -> request -> unit
 
@@ -181,6 +219,101 @@ val write_request : out_channel -> request -> unit
     every stream flushes them); every other response flushes. *)
 val write_response : out_channel -> response -> unit
 
+(** {!write_response} through {!write_message_buf}: same flush policy,
+    reused scratch buffer, returns the framed byte count. *)
+val write_response_buf : buf:Buffer.t -> out_channel -> response -> int
+
 (** [read_response ic] is {!read_message} plus decoding; [Bad_payload]
     and an undecodable response both surface as [Error]. *)
 val read_response : in_channel -> (response, string) result
+
+(** Protocol v2: the binary fast path.
+
+    Entered only after a {!Hello}/{!Welcome} handshake grants version
+    {!binary_version}; from then on every message in both directions is
+    one frame:
+
+    {v
+      frame ::= tag:u8  length:u32le  payload[length]
+    v}
+
+    Five tags ({!frame_names}): [intern] ([I]) defines the next string
+    ordinal for this stream; [verdict] ([V]) is five ordinals plus an
+    evidence-ordinal list — the hot path; [copy] ([C]) splices a run of
+    verdicts from the connection's retained baseline; [epoch] ([E])
+    opens a retainable or delta stream; [json] ([J]) carries any other
+    request/reply as a v1 JSON payload. Writers own the intern table
+    for the direction they encode; readers learn it frame by frame. *)
+module V2 : sig
+  val version : int
+  (** = {!binary_version} *)
+
+  val frame_names : string list
+  (** One name per frame tag, in tag order [J I V C E] — anchored in
+      [docs/PROTOCOL.md] by the doc gate like {!op_names}. *)
+
+  (** Opens a verdict stream that the client can retain or splice.
+      [e_frame] is the frame id the stream describes; [e_epoch] the
+      connection-local epoch being streamed; [e_baseline] the epoch a
+      delta builds on (0 for a full stream). [e_total] is the size of
+      the reassembled set, split as [e_added]/[e_changed] fresh
+      verdicts and [e_total - e_added - e_changed] baseline copies;
+      [e_removed] counts baseline verdicts absent from the new set.
+      [e_delta = false] announces a full stream to retain. *)
+  type epoch_header = {
+    e_frame : string;
+    e_epoch : int;
+    e_baseline : int;
+    e_total : int;
+    e_added : int;
+    e_changed : int;
+    e_removed : int;
+    e_delta : bool;
+  }
+
+  type frame =
+    | Json of Jsonlite.t
+    | Verdict_frame of verdict
+    | Copy of { start : int; count : int }
+    | Epoch of epoch_header
+
+  (** Encoder state: the intern table for one direction of one
+      connection, plus a reused scratch buffer. *)
+  type writer
+
+  val writer : unit -> writer
+
+  (** Encoders append complete frames (intern definitions first, as
+      needed) to a caller-owned output buffer. *)
+
+  val add_verdict : writer -> Buffer.t -> verdict -> unit
+
+  val add_json : writer -> Buffer.t -> Jsonlite.t -> unit
+  val add_copy : Buffer.t -> start:int -> count:int -> unit
+  val add_epoch : writer -> Buffer.t -> epoch_header -> unit
+  val add_request : writer -> Buffer.t -> request -> unit
+  val add_response : writer -> Buffer.t -> response -> unit
+
+  (** Decoder state: the intern table learned from the peer. *)
+  type reader
+
+  val reader : unit -> reader
+
+  type read =
+    | Frame of frame
+    | Bad of string
+        (** well-framed but undecodable (unknown tag, ordinal past the
+            intern table, payload of the wrong shape): the stream is
+            still synchronized *)
+    | Truncated of string  (** framing broken: drop the connection *)
+    | Closed  (** clean EOF at a frame boundary *)
+
+  (** Read one client-visible frame, consuming intern definitions
+      silently. *)
+  val read_frame : reader -> in_channel -> read
+
+  (** The same decoder over an in-memory byte string: [pos] advances
+      past every consumed byte. What the fuzz tests and the codec
+      micro-benchmark drive. *)
+  val read_frame_string : reader -> string -> int ref -> read
+end

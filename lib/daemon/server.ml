@@ -70,6 +70,15 @@ type t = {
   mutable session_domains : unit Domain.t list;
   mutable idle_reaped : int;
   mutable crashed : int;
+  (* protocol accounting: connection counts per negotiated version,
+     reply bytes written per version, and how much work the v2 delta
+     path saved *)
+  mutable v1_connections : int;
+  mutable v2_connections : int;
+  mutable v1_bytes_out : int;
+  mutable v2_bytes_out : int;
+  mutable delta_streams : int;
+  mutable delta_copied : int;
   (* lifecycle *)
   mutable draining : bool;
   mutable wake : Unix.file_descr option;  (* write end of the accept-loop wake pipe *)
@@ -167,6 +176,12 @@ let create ?(config = default_config) ?(jobs = 1) ?(log = fun _ -> ()) ?manifest
           session_domains = [];
           idle_reaped = 0;
           crashed = 0;
+          v1_connections = 0;
+          v2_connections = 0;
+          v1_bytes_out = 0;
+          v2_bytes_out = 0;
+          delta_streams = 0;
+          delta_copied = 0;
           draining = false;
           wake = None;
         }
@@ -375,6 +390,50 @@ let retain_baseline t (j : validate_job) frames results =
           Hashtbl.replace t.baselines (Frames.Frame.id frame) (frame, results))
   | _ -> ()
 
+(* The connection-level analogue of [retain_baseline]: a stream with
+   this shape opens with a v2 epoch header so the client retains it
+   (and later deltas can splice against it). *)
+let stream_frame_id (j : validate_job) = function
+  | [ frame ]
+    when j.tags = [] && j.entities = [] && j.chaos = None
+         && j.keep_not_applicable <> Some false ->
+      Some (Frames.Frame.id frame)
+  | _ -> None
+
+(* ---------------------------------------------------------------- *)
+(* Reply wire: v1 responses, v2 stream frames                        *)
+(* ---------------------------------------------------------------- *)
+
+(* Per-connection v2 stream state: the epoch counter plus the verdict
+   sets this connection has been streamed, which delta streams splice
+   against. Lives in the session domain — no locking. *)
+type v2_session = {
+  mutable epoch : int;
+  bases : (string, int * verdict array) Hashtbl.t;
+}
+
+let v2_session () = { epoch = 0; bases = Hashtbl.create 8 }
+
+(* How replies leave a handler. [respond] carries every [response]; a
+   connection upgraded to v2 additionally carries the stream frames
+   that have no JSON form — epoch headers and baseline copy runs —
+   plus the session state those splice against. *)
+type v2_wire = {
+  session : v2_session;
+  emit_epoch : Protocol.V2.epoch_header -> unit;
+  emit_copy : start:int -> count:int -> unit;
+}
+
+type wire = { respond : response -> unit; v2 : v2_wire option }
+
+let deadline_cut t deadline n =
+  if n land 63 = 0 && Deadline.expired deadline then (
+    locked t (fun () -> t.deadline_misses <- t.deadline_misses + 1);
+    Error
+      (`Deadline
+         (Printf.sprintf "deadline exceeded (verdict streaming): stopped after %d verdict(s)" n)))
+  else Ok ()
+
 (* Stream verdicts with a periodic budget check: a huge result set
    cannot blow past the deadline unobserved, and expiry surfaces as an
    error trailer — the peer knows the stream is incomplete. *)
@@ -382,19 +441,117 @@ let stream_results t deadline respond results =
   let rec go n = function
     | [] -> Ok n
     | r :: rest ->
-        if n land 63 = 0 && Deadline.expired deadline then (
-          locked t (fun () -> t.deadline_misses <- t.deadline_misses + 1);
-          Error
-            (`Deadline
-               (Printf.sprintf
-                  "deadline exceeded (verdict streaming): stopped after %d verdict(s)" n)))
-        else (
-          respond (Verdict (verdict_of_result r));
-          go (n + 1) rest)
+        let* () = deadline_cut t deadline n in
+        respond (Verdict (verdict_of_result r));
+        go (n + 1) rest
   in
   go 0 results
 
-let run_validate t deadline (j : validate_job) respond =
+let verdict_array results = Array.of_list (List.map verdict_of_result results)
+
+(* Full v2 stream for frame [id]: epoch header announcing a retainable
+   set, every verdict, and the session baseline updated — only once the
+   whole stream made it out (a deadline cut must not desync the two
+   ends' baselines). *)
+let stream_full_v2 t deadline wire v2 ~id verdicts =
+  let n = Array.length verdicts in
+  v2.session.epoch <- v2.session.epoch + 1;
+  let epoch = v2.session.epoch in
+  v2.emit_epoch
+    {
+      Protocol.V2.e_frame = id;
+      e_epoch = epoch;
+      e_baseline = 0;
+      e_total = n;
+      e_added = n;
+      e_changed = 0;
+      e_removed = 0;
+      e_delta = false;
+    };
+  let rec go i =
+    if i = n then Ok n
+    else
+      let* () = deadline_cut t deadline i in
+      wire.respond (Verdict verdicts.(i));
+      go (i + 1)
+  in
+  let* streamed = go 0 in
+  Hashtbl.replace v2.session.bases id (epoch, verdicts);
+  Ok streamed
+
+(* Plan a delta stream: the new verdict sequence expressed as baseline
+   copy runs plus fresh verdicts, order preserved. [None] when two
+   baseline verdicts share an (entity, frame, rule) key — ambiguous to
+   splice, so the caller falls back to a full stream. *)
+let delta_plan old news =
+  let key (v : verdict) = (v.v_entity, v.v_frame, v.v_rule) in
+  let index = Hashtbl.create (2 * Array.length old) in
+  let ambiguous = ref false in
+  Array.iteri
+    (fun i v ->
+      let k = key v in
+      if Hashtbl.mem index k then ambiguous := true else Hashtbl.add index k i)
+    old;
+  if !ambiguous then None
+  else begin
+    let ops = ref [] and added = ref 0 and changed = ref 0 and copied = ref 0 in
+    Array.iter
+      (fun v ->
+        match Hashtbl.find_opt index (key v) with
+        | Some i when old.(i) = v ->
+            incr copied;
+            (match !ops with
+            | `Copy (start, count) :: rest when start + count = i ->
+                ops := `Copy (start, count + 1) :: rest
+            | _ -> ops := `Copy (i, 1) :: !ops)
+        | Some _ ->
+            incr changed;
+            ops := `Fresh v :: !ops
+        | None ->
+            incr added;
+            ops := `Fresh v :: !ops)
+      news;
+    let removed = max 0 (Array.length old - !copied - !changed) in
+    Some (List.rev !ops, !added, !changed, removed, !copied)
+  end
+
+(* Delta v2 stream: epoch header naming the baseline epoch, then copy
+   runs and fresh verdicts interleaved in reassembly order. *)
+let stream_delta_v2 t deadline wire v2 ~id ~bepoch ~plan verdicts =
+  let ops, added, changed, removed, copied = plan in
+  v2.session.epoch <- v2.session.epoch + 1;
+  let epoch = v2.session.epoch in
+  v2.emit_epoch
+    {
+      Protocol.V2.e_frame = id;
+      e_epoch = epoch;
+      e_baseline = bepoch;
+      e_total = Array.length verdicts;
+      e_added = added;
+      e_changed = changed;
+      e_removed = removed;
+      e_delta = true;
+    };
+  let rec go i streamed = function
+    | [] -> Ok streamed
+    | op :: rest -> (
+        let* () = deadline_cut t deadline i in
+        match op with
+        | `Copy (start, count) ->
+            v2.emit_copy ~start ~count;
+            go (i + 1) streamed rest
+        | `Fresh v ->
+            wire.respond (Verdict v);
+            go (i + 1) (streamed + 1) rest)
+  in
+  let* streamed = go 0 0 ops in
+  locked t (fun () ->
+      t.delta_streams <- t.delta_streams + 1;
+      t.delta_copied <- t.delta_copied + copied);
+  Hashtbl.replace v2.session.bases id (epoch, verdicts);
+  Ok streamed
+
+let run_validate t deadline (j : validate_job) wire =
   let* frames = job_err (resolve_frames j) in
   let* rules, compiled, fused = job_err (select_entities t j.entities) in
   let* () = deadline_gate t deadline ~what:"frame resolution" in
@@ -420,16 +577,20 @@ let run_validate t deadline (j : validate_job) respond =
   in
   let* () = deadline_gate t deadline ~what:"engine run" in
   let results = run.Cvl.Validator.results in
-  let* streamed = stream_results t deadline respond results in
+  let* streamed =
+    match (wire.v2, stream_frame_id j frames) with
+    | Some v2, Some id -> stream_full_v2 t deadline wire v2 ~id (verdict_array results)
+    | _ -> stream_results t deadline wire.respond results
+  in
   let job_ms = record_job t ~t0 ~verdicts:streamed in
   retain_baseline t j frames results;
-  respond
+  wire.respond
     (Summary
        (summary_of ~engine:j.engine ~job_ms ~cache0 ~revalidated:None
           ~degraded:run.Cvl.Validator.health.Cvl.Resilience.degraded results));
   Ok ()
 
-let run_revalidate t deadline ~frame ~frame_file respond =
+let run_revalidate t deadline ~frame ~frame_file ~full wire =
   let* frame =
     job_err
       (match (frame, frame_file) with
@@ -455,10 +616,21 @@ let run_revalidate t deadline ~frame ~frame_file respond =
     Cvl.Incremental.revalidate ~pool:t.pool ~rules ~previous ~diff frame
   in
   let* () = deadline_gate t deadline ~what:"engine run" in
-  let* streamed = stream_results t deadline respond results in
+  let* streamed =
+    match wire.v2 with
+    | Some v2 -> (
+        let verdicts = verdict_array results in
+        match (if full then None else Hashtbl.find_opt v2.session.bases id) with
+        | Some (bepoch, old) -> (
+            match delta_plan old verdicts with
+            | Some plan -> stream_delta_v2 t deadline wire v2 ~id ~bepoch ~plan verdicts
+            | None -> stream_full_v2 t deadline wire v2 ~id verdicts)
+        | None -> stream_full_v2 t deadline wire v2 ~id verdicts)
+    | None -> stream_results t deadline wire.respond results
+  in
   let job_ms = record_job t ~t0 ~verdicts:streamed in
   locked t (fun () -> Hashtbl.replace t.baselines id (frame, results));
-  respond
+  wire.respond
     (Summary
        (summary_of ~engine:`Fused ~job_ms ~cache0 ~revalidated:(Some revalidated)
           ~degraded:false results));
@@ -523,6 +695,12 @@ let stats_of t =
         st_deadline_misses = t.deadline_misses;
         st_idle_reaped = t.idle_reaped;
         st_crashed = t.crashed;
+        st_v1_connections = t.v1_connections;
+        st_v2_connections = t.v2_connections;
+        st_v1_bytes_out = t.v1_bytes_out;
+        st_v2_bytes_out = t.v2_bytes_out;
+        st_delta_streams = t.delta_streams;
+        st_delta_copied = t.delta_copied;
       })
 
 (* ---------------------------------------------------------------- *)
@@ -531,6 +709,7 @@ let stats_of t =
 
 let request_label = function
   | Ping -> "ping"
+  | Hello { version } -> Printf.sprintf "hello (v%d)" version
   | Validate j ->
       Printf.sprintf "validate (%d inline, %d files)" (List.length j.frames)
         (List.length j.frame_files)
@@ -539,7 +718,8 @@ let request_label = function
   | Stats -> "stats"
   | Shutdown -> "shutdown"
 
-let handle t req ~respond =
+let handle_wire t wire req =
+  let respond = wire.respond in
   locked t (fun () -> t.requests <- t.requests + 1);
   logf t (request_label req);
   let contain job =
@@ -574,6 +754,13 @@ let handle t req ~respond =
   | Ping ->
       respond Pong;
       `Continue
+  | Hello _ ->
+      (* The version upgrade itself is transport-level ([serve]
+         intercepts hello before dispatch); a direct [handle] caller is
+         granted whatever its wire already carries. *)
+      respond
+        (Welcome { version = (if wire.v2 = None then json_version else binary_version) });
+      `Continue
   | Stats ->
       respond (Stats_reply (stats_of t));
       `Continue
@@ -581,12 +768,12 @@ let handle t req ~respond =
       let deadline = Deadline.of_request ~default_ms:t.config.deadline_ms j.deadline_ms in
       heavy ~exclusive:(j.chaos <> None) ~deadline (fun () ->
           let* () = deadline_gate t deadline ~what:"admission" in
-          run_validate t deadline j respond)
-  | Revalidate { frame; frame_file; deadline_ms } ->
+          run_validate t deadline j wire)
+  | Revalidate { frame; frame_file; deadline_ms; full } ->
       let deadline = Deadline.of_request ~default_ms:t.config.deadline_ms deadline_ms in
       heavy ~exclusive:false ~deadline (fun () ->
           let* () = deadline_gate t deadline ~what:"admission" in
-          run_revalidate t deadline ~frame ~frame_file respond)
+          run_revalidate t deadline ~frame ~frame_file ~full wire)
   | Reload_rules ->
       heavy ~exclusive:true ~deadline:Deadline.none (fun () ->
           let* reply = job_err (reload_rules t) in
@@ -595,6 +782,8 @@ let handle t req ~respond =
   | Shutdown ->
       respond Bye;
       `Shutdown
+
+let handle t req ~respond = handle_wire t { respond; v2 = None } req
 
 (* ---------------------------------------------------------------- *)
 (* Sessions                                                          *)
@@ -627,10 +816,77 @@ let serve t ic oc =
       with Unix.Unix_error _ | Invalid_argument _ -> ())
   | _ -> ());
   let sid = register_session t fd in
+  (* Per-connection protocol state: the negotiated version (v1 until a
+     hello upgrades it), one v2 writer/reader pair, the reused reply
+     buffer, the v2 stream baselines, and the bytes-out tally flushed
+     into the server counters after every request. *)
+  let version = ref json_version in
+  let w2 = V2.writer () in
+  let r2 = V2.reader () in
+  let out = Buffer.create 1024 in
+  let session = v2_session () in
+  let pending = ref 0 in
+  let flush_bytes () =
+    let n = !pending in
+    if n > 0 then begin
+      pending := 0;
+      locked t (fun () ->
+          if !version = binary_version then t.v2_bytes_out <- t.v2_bytes_out + n
+          else t.v1_bytes_out <- t.v1_bytes_out + n)
+    end
+  in
   Fun.protect
-    ~finally:(fun () -> unregister_session t sid)
+    ~finally:(fun () ->
+      flush_bytes ();
+      locked t (fun () ->
+          if !version = json_version then t.v1_connections <- t.v1_connections + 1);
+      unregister_session t sid)
     (fun () ->
-      let respond resp = write_response oc resp in
+      let respond resp =
+        if !version = binary_version then begin
+          Buffer.clear out;
+          V2.add_response w2 out resp;
+          Buffer.output_buffer oc out;
+          pending := !pending + Buffer.length out;
+          (* same flush policy as v1: verdict frames ride the channel
+             buffer, everything else flushes *)
+          match resp with Verdict _ -> () | _ -> Stdlib.flush oc
+        end
+        else pending := !pending + write_response_buf ~buf:out oc resp
+      in
+      let emit_frame fill =
+        Buffer.clear out;
+        fill out;
+        Buffer.output_buffer oc out;
+        pending := !pending + Buffer.length out
+      in
+      let wire () =
+        {
+          respond;
+          v2 =
+            (if !version = binary_version then
+               Some
+                 {
+                   session;
+                   emit_epoch = (fun h -> emit_frame (fun b -> V2.add_epoch w2 b h));
+                   emit_copy =
+                     (fun ~start ~count -> emit_frame (fun b -> V2.add_copy b ~start ~count));
+                 }
+             else None);
+        }
+      in
+      (* Same classification in both protocols: a v2 [Bad] frame is the
+         synchronized-stream case, a v2 [Truncated] is the desync case. *)
+      let read_request () =
+        if !version = binary_version then
+          match V2.read_frame r2 ic with
+          | V2.Closed -> Closed
+          | V2.Truncated m -> Truncated m
+          | V2.Bad m -> Bad_payload m
+          | V2.Frame (V2.Json json) -> Msg json
+          | V2.Frame _ -> Bad_payload "unexpected stream frame from client"
+        else read_message ic
+      in
       (* Idle reaping waits on the raw fd before each message-boundary
          read. Caveat: bytes a peer pipelined into the channel buffer
          are invisible to select, so idle timeouts assume
@@ -658,7 +914,7 @@ let serve t ic oc =
                with Sys_error _ -> ());
               `Disconnect
           | `Ready -> (
-              match read_message ic with
+              match read_request () with
               | Closed -> `Disconnect
               | Truncated m ->
                   (* Nobody knows where the next message starts: drop this
@@ -675,6 +931,7 @@ let serve t ic oc =
                   locked t (fun () -> t.protocol_errors <- t.protocol_errors + 1);
                   logf t (Printf.sprintf "protocol error (payload): %s" m);
                   respond (Error_reply (Printf.sprintf "malformed request: %s" m));
+                  flush_bytes ();
                   loop ()
               | Msg json -> (
                   match request_of_json json with
@@ -683,10 +940,29 @@ let serve t ic oc =
                           t.requests <- t.requests + 1;
                           t.protocol_errors <- t.protocol_errors + 1);
                       respond (Error_reply m);
+                      flush_bytes ();
+                      loop ()
+                  | Ok (Hello { version = asked }) ->
+                      (* Negotiation is transport-level: answer in the
+                         connection's current framing, then switch. A v1
+                         client that never says hello stays on v1. *)
+                      locked t (fun () -> t.requests <- t.requests + 1);
+                      let granted =
+                        if asked >= binary_version then binary_version else json_version
+                      in
+                      logf t (Printf.sprintf "hello: negotiated protocol v%d" granted);
+                      respond (Welcome { version = granted });
+                      flush_bytes ();
+                      if granted = binary_version && !version <> binary_version then begin
+                        version := binary_version;
+                        locked t (fun () -> t.v2_connections <- t.v2_connections + 1)
+                      end;
                       loop ()
                   | Ok req -> (
-                      match handle t req ~respond with
-                      | `Continue -> loop ()
+                      match handle_wire t (wire ()) req with
+                      | `Continue ->
+                          flush_bytes ();
+                          loop ()
                       | `Shutdown -> `Shutdown)))
       in
       try loop () with

@@ -110,11 +110,38 @@ val lint_findings : t -> int
 val handle :
   t -> Protocol.request -> respond:(Protocol.response -> unit) -> [ `Continue | `Shutdown ]
 
+(** Per-connection v2 stream state: the epoch counter and the verdict
+    sets already streamed to this connection, which delta streams
+    splice against. One per connection, owned by its session. *)
+type v2_session
+
+val v2_session : unit -> v2_session
+
+(** How replies leave a handler. [respond] carries every
+    {!Protocol.response}; a connection upgraded to v2 additionally
+    carries the stream frames that have no JSON form — epoch headers
+    and baseline copy runs — plus the session state those splice
+    against. {!handle} is [handle_wire] with a v1-only wire. *)
+type v2_wire = {
+  session : v2_session;
+  emit_epoch : Protocol.V2.epoch_header -> unit;
+  emit_copy : start:int -> count:int -> unit;
+}
+
+type wire = { respond : Protocol.response -> unit; v2 : v2_wire option }
+
+(** {!handle} with an explicit wire — how [serve] dispatches after a
+    v2 upgrade, and how the protocol benchmark drives the exact server
+    encode paths without a socket in the way. *)
+val handle_wire : t -> wire -> Protocol.request -> [ `Continue | `Shutdown ]
+
 (** Serve one connection until EOF, an idle timeout, a desynchronized
-    stream, or a [shutdown] request. Registers as a session for the
-    duration (so it shows in [stats] and participates in draining) and
-    is safe to run from several domains at once against the same [t].
-    The server value stays valid afterwards. *)
+    stream, or a [shutdown] request. Starts on protocol v1 and upgrades
+    to the {!Protocol.V2} binary framing when a [hello] negotiates it.
+    Registers as a session for the duration (so it shows in [stats] and
+    participates in draining) and is safe to run from several domains
+    at once against the same [t]. The server value stays valid
+    afterwards. *)
 val serve : t -> in_channel -> out_channel -> [ `Disconnect | `Shutdown ]
 
 (** Move the server to draining: no new jobs are admitted, sessions

@@ -183,8 +183,7 @@ let parse input =
   | v -> Ok v
   | exception Parse_error e -> Error e
 
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
+let add_escaped buf s =
   String.iter
     (fun c ->
       match c with
@@ -195,23 +194,54 @@ let escape s =
       | '\t' -> Buffer.add_string buf "\\t"
       | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
-    s;
+    s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  add_escaped buf s;
   Buffer.contents buf
 
 let number_to_string f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%g" f
 
-let rec to_string = function
-  | Null -> "null"
-  | Bool true -> "true"
-  | Bool false -> "false"
-  | Num f -> number_to_string f
-  | Str s -> "\"" ^ escape s ^ "\""
-  | Arr items -> "[" ^ String.concat "," (List.map to_string items) ^ "]"
+(* Encode straight into a caller-owned buffer: the daemon's verdict
+   streams render one JSON document per message, and reusing one Buffer
+   per connection keeps the hot path free of the intermediate strings
+   [to_string]'s concatenation would allocate. *)
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool true -> Buffer.add_string buf "true"
+  | Bool false -> Buffer.add_string buf "false"
+  | Num f -> Buffer.add_string buf (number_to_string f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    add_escaped buf s;
+    Buffer.add_char buf '"'
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf item)
+      items;
+    Buffer.add_char buf ']'
   | Obj kvs ->
-    let entry (k, v) = "\"" ^ escape k ^ "\":" ^ to_string v in
-    "{" ^ String.concat "," (List.map entry kvs) ^ "}"
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        add_escaped buf k;
+        Buffer.add_string buf "\":";
+        to_buffer buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
 
 let pretty v =
   let buf = Buffer.create 256 in

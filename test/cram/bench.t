@@ -115,6 +115,7 @@ a generous floor).
   fleet: 24 frames x 15 entities = 360 cells (3 jobs of 8 frames)
   daemon verdicts byte-identical to one-shot: true
   4 concurrent clients x 2 jobs: 2024 verdicts, byte-identical: true
+  protocol: 5 v2 connection(s), bytes-on-wire ledger live
   wrote daemon_smoke.json
 
 
@@ -124,22 +125,44 @@ a generous floor).
   $ grep -o '"cells": 360' daemon_smoke.json
   "cells": 360
 
+The protocol benchmark races the v2 binary verdict codec against the
+v1 JSON round-trip and replays a drifted fleet as incremental deltas.
+The identity verdicts and the delta shape are deterministic; the
+timing lines and raw byte totals (stream trailers carry wall-clock
+fields) vary by machine, so they stay out of the golden.
+
+  $ ../../bench/main.exe protocol --smoke --protocol-out protocol_smoke.json | grep -v '^codec: ' | grep -v '^jsonlite ' | grep -v '^delta stream '
+  
+  ==================================================================
+  Protocol - v2 codec + incremental deltas (smoke)
+  ==================================================================
+  codec decode identical: true
+  delta: 8 replicas, 1 drifted; 2 fresh verdict(s), 1358 spliced from baselines
+  delta reassembly identical to full stream: true, to one-shot: true
+  wrote protocol_smoke.json
+
+  $ grep -o '"identical": true' protocol_smoke.json
+  "identical": true
+  "identical": true
+  $ grep -o '"replicas": 8' protocol_smoke.json
+  "replicas": 8
+
 The bench refuses to guess at typos: an unknown section, an unknown
 flag, or an output flag without its FILE argument all exit 2 with the
 usage string instead of silently running nothing.
 
   $ ../../bench/main.exe daemno; echo "exit: $?"
   unknown section "daemno"
-  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE] [--cluster-out FILE]
-  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon, cluster
+  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE] [--cluster-out FILE] [--protocol-out FILE]
+  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon, cluster, protocol
   exit: 2
   $ ../../bench/main.exe --frobnicate; echo "exit: $?"
   unknown flag "--frobnicate"
-  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE] [--cluster-out FILE]
-  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon, cluster
+  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE] [--cluster-out FILE] [--protocol-out FILE]
+  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon, cluster, protocol
   exit: 2
   $ ../../bench/main.exe daemon --daemon-out; echo "exit: $?"
   flag --daemon-out needs a FILE argument
-  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE] [--cluster-out FILE]
-  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon, cluster
+  usage: main.exe [SECTION...] [--smoke] [--out FILE] [--lint-out FILE] [--chaos-out FILE] [--compile-out FILE] [--fusion-out FILE] [--daemon-out FILE] [--cluster-out FILE] [--protocol-out FILE]
+  sections: table1, table2, listing6, ablation-a, ablation-b, ablation-c, ablation-d, ablation-e, scaling, lint, chaos, compile, fusion, daemon, cluster, protocol
   exit: 2

@@ -29,6 +29,17 @@ document comes from the daemon's content-addressed cache.
   $ configvalidator validated-client --socket v.sock validate --frame-file frame.json | grep '^engine'
   engine fused, cache 6 hits / 0 misses
 
+By default the client negotiates the v2 binary protocol at connect.
+--protocol 1 pins the framed-JSON wire (what pre-handshake clients
+speak); the rendered stream is byte-identical either way.
+
+  $ configvalidator validated-client --socket v.sock --protocol 1 validate --frame-file frame.json > v1.out
+  [2]
+  $ configvalidator validated-client --socket v.sock --protocol 2 validate --frame-file frame.json > v2.out
+  [2]
+  $ cmp v1.out v2.out && echo "v1 and v2 render identically"
+  v1 and v2 render identically
+
 Fix one setting on disk and revalidate: the daemon diffs the frame
 against its retained baseline and re-evaluates only the affected
 entity (one fresh parse, everything else from cache).
@@ -40,6 +51,29 @@ entity (one fresh parse, everything else from cache).
   170 checks: 41 passed, 24 violations (2 missing), 105 n/a, 0 errors
   engine fused, cache 5 hits / 1 misses
   revalidated: sshd
+
+Watch mode follows the frame file. On a v2 connection the server
+streams each change as an incremental delta against the connection's
+baseline, and the client renders only the verdicts that actually
+crossed the wire — here, the sshd rules the flipped setting touches —
+with the splice savings on the event line.
+
+  $ (sleep 1; sed -i 's/PermitRootLogin no/PermitRootLogin yes/' frame.json) &
+  $ configvalidator validated-client --socket v.sock watch --frame-file frame.json --interval-ms 50 --max-events 1
+  [FAIL] sshd       host-bad                     /etc/ssh/sshd_config — sshd_config is readable by non-root users.
+  [FAIL] sshd       host-bad                     PermitRootLogin — PermitRootLogin is present but it is enabled.
+  change: revalidated [sshd], 25 violations, 0 errors (delta: 2 fresh, 168 copied)
+  watched 1 change(s)
+
+--full restores the every-verdict render (and full streams on the
+wire): the same change now reprints all 170 checks.
+
+  $ (sleep 1; sed -i 's/PermitRootLogin yes/PermitRootLogin no/' frame.json) &
+  $ configvalidator validated-client --socket v.sock watch --full --frame-file frame.json --interval-ms 50 --max-events 1 > watch_full.out
+  $ grep '^change:' watch_full.out
+  change: revalidated [sshd], 24 violations, 0 errors
+  $ grep -c '^\[' watch_full.out
+  170
 
 A job may carry a wall-clock budget (--deadline-ms, or a server-wide
 default). An exhausted budget answers an explicit error — counted as a
@@ -67,9 +101,9 @@ behind --verbose). Each CLI call above was one short-lived session, so
 one session is live (this stats call) and the peak is one.
 
   $ configvalidator validated-client --socket v.sock stats
-  requests: 6
-  jobs: 3
-  verdicts: 510
+  requests: 21
+  jobs: 9
+  verdicts: 1362
   protocol-errors: 3
   contained: 0
   reloads: 0
@@ -82,6 +116,9 @@ one session is live (this stats call) and the peak is one.
   deadline-misses: 1
   idle-reaped: 0
   crashed: 0
+  protocol-v1-connections: 4
+  protocol-v2-connections: 9
+  delta-streams: 1
 
 Clean shutdown: the daemon answers, stops accepting, drains, closes the
 socket, and its event log tells the whole story, one line per request.
@@ -92,18 +129,34 @@ socket, and its event log tells the whole story, one line per request.
   $ cat server.log
   validated: loaded 15 entities, 170 rules (lint findings: 97, pool jobs: 1)
   validated: listening on v.sock
+  validated: hello: negotiated protocol v2
   validated: ping
+  validated: hello: negotiated protocol v2
+  validated: validate (0 inline, 1 files)
+  validated: hello: negotiated protocol v2
   validated: validate (0 inline, 1 files)
   validated: validate (0 inline, 1 files)
+  validated: hello: negotiated protocol v2
+  validated: validate (0 inline, 1 files)
+  validated: hello: negotiated protocol v2
   validated: revalidate
+  validated: hello: negotiated protocol v2
+  validated: validate (1 inline, 0 files)
+  validated: revalidate
+  validated: hello: negotiated protocol v2
+  validated: validate (1 inline, 0 files)
+  validated: revalidate
+  validated: hello: negotiated protocol v2
   validated: validate (0 inline, 1 files)
   validated: protocol error (payload): offset 0: unexpected end of input
   validated: protocol error (desync): unreasonable message length 999999999
   validated: protocol error (desync): message truncated mid-payload
+  validated: hello: negotiated protocol v2
   validated: stats
+  validated: hello: negotiated protocol v2
   validated: shutdown
   validated: draining: accept loop stopped
-  validated: drained: 3 job(s) served, 510 verdict(s) streamed, 0 shed, 0 contained
+  validated: drained: 9 job(s) served, 1362 verdict(s) streamed, 0 shed, 0 contained
   validated: stopped
   $ test -S v.sock || echo socket removed
   socket removed

@@ -88,8 +88,11 @@ let protocol_cases =
               (Protocol.job ~frames:[ f ] ~frame_files:[ "a.json"; "b.json" ]
                  ~tags:[ "#security" ] ~entities:[ "sshd"; "sysctl" ] ~engine:`Compiled
                  ~jobs:4 ~keep_not_applicable:false ~chaos:7 ~deadline_ms:250 ());
-            Protocol.Revalidate { frame = Some f; frame_file = None; deadline_ms = None };
-            Protocol.Revalidate { frame = None; frame_file = Some "f.json"; deadline_ms = Some 50 };
+            Protocol.Hello { version = Protocol.binary_version };
+            Protocol.Revalidate
+              { frame = Some f; frame_file = None; deadline_ms = None; full = false };
+            Protocol.Revalidate
+              { frame = None; frame_file = Some "f.json"; deadline_ms = Some 50; full = true };
             Protocol.Reload_rules;
             Protocol.Stats;
             Protocol.Shutdown;
@@ -98,6 +101,7 @@ let protocol_cases =
         List.iter check_response_roundtrip
           [
             Protocol.Pong;
+            Protocol.Welcome { version = Protocol.binary_version };
             Protocol.Verdict
               {
                 Protocol.v_entity = "sshd";
@@ -143,6 +147,12 @@ let protocol_cases =
                 st_deadline_misses = 1;
                 st_idle_reaped = 2;
                 st_crashed = 1;
+                st_v1_connections = 3;
+                st_v2_connections = 2;
+                st_v1_bytes_out = 4096;
+                st_v2_bytes_out = 1024;
+                st_delta_streams = 2;
+                st_delta_copied = 480;
               };
             Protocol.Reloaded { entities = 15; rules = 170 };
             Protocol.Overloaded { queue_depth = 21; retry_after_ms = 125 };
@@ -478,7 +488,7 @@ let lifecycle_cases =
           (fun () ->
             match
               Client.watch client ~load ~sleep ~max_events:2
-                ~on_event:(fun s -> events := s :: !events)
+                ~on_event:(fun s _ -> events := s :: !events)
                 ()
             with
             | Error m -> Alcotest.failf "watch: %s" m
@@ -1099,7 +1109,9 @@ let backoff_cases =
             Option.iter (fun s -> try Unix.close s with Unix.Unix_error _ -> ()) !listener;
             try Sys.remove socket_path with Sys_error _ -> ())
           (fun () ->
-            match Client.connect ~retry_for:10.0 ~now ~sleep socket_path with
+            (* [`V1] skips the hello round-trip: a bound socket with no
+               accept loop is enough for this transport-level test. *)
+            match Client.connect ~protocol:`V1 ~retry_for:10.0 ~now ~sleep socket_path with
             | Error m -> Alcotest.failf "late server should be reachable: %s" m
             | Ok client ->
                 Client.close client;
@@ -1169,6 +1181,553 @@ let reader_edge_cases =
               (read_kind ic)));
   ]
 
+(* ---------------------------------------------------------------- *)
+(* Protocol v2: binary codec, handshake, deltas, fuzz                *)
+(* ---------------------------------------------------------------- *)
+
+module V2 = Protocol.V2
+
+(* A verdict corpus with heavy string repetition — the shape interning
+   exists for. Every 5th verdict has no evidence, so both payload
+   sizes appear. *)
+let v2_verdict i =
+  {
+    Protocol.v_entity = "sshd";
+    v_frame = Printf.sprintf "host-%d" (i mod 2);
+    v_rule = Printf.sprintf "Rule%d" (i mod 3);
+    v_verdict = (if i mod 2 = 0 then "matched" else "not-matched");
+    v_detail = Printf.sprintf "detail %d" (i mod 4);
+    v_evidence =
+      (if i mod 5 = 0 then []
+       else [ "/etc/ssh/sshd_config:12"; Printf.sprintf "line %d" (i mod 2) ]);
+  }
+
+let u32le n = String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+let v2_frame tag payload = Printf.sprintf "%c%s%s" tag (u32le (String.length payload)) payload
+
+let dec_u32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+(* Decode a byte string to the full read sequence: every client-visible
+   frame, every [Bad] (the reader stays synchronized after one), and
+   the terminating [Closed]/[Truncated]. *)
+let v2_reads bytes =
+  let rd = V2.reader () in
+  let pos = ref 0 in
+  let rec go acc =
+    match V2.read_frame_string rd bytes pos with
+    | V2.Closed -> List.rev (V2.Closed :: acc)
+    | V2.Truncated m -> List.rev (V2.Truncated m :: acc)
+    | r -> go (r :: acc)
+  in
+  go []
+
+let v2_decoded_verdicts bytes =
+  List.filter_map
+    (function V2.Frame (V2.Verdict_frame v) -> Some (verdict_sig v) | _ -> None)
+    (v2_reads bytes)
+
+(* Frame-start offsets of a well-formed v2 byte string (intern frames
+   included): a prefix cut exactly there is a clean close, anywhere
+   else is a truncation. *)
+let v2_boundaries bytes =
+  let rec go p acc =
+    if p >= String.length bytes then acc else go (p + 5 + dec_u32 bytes (p + 1)) (p :: acc)
+  in
+  go 0 []
+
+let collect_stream f =
+  let acc = ref [] in
+  match f (fun v -> acc := verdict_sig v :: !acc) with
+  | Error m -> Alcotest.failf "stream failed: %s" m
+  | Ok s -> (List.rev !acc, s)
+
+let v2_codec_cases =
+  [
+    Alcotest.test_case "v2 codec: verdicts round-trip, interning amortizes" `Quick (fun () ->
+        let verdicts = List.init 40 v2_verdict in
+        let w = V2.writer () in
+        let buf = Buffer.create 1024 in
+        let sizes =
+          List.map
+            (fun v ->
+              let before = Buffer.length buf in
+              V2.add_verdict w buf v;
+              Buffer.length buf - before)
+            verdicts
+        in
+        let bytes = Buffer.contents buf in
+        Alcotest.(check sig_t)
+          "decoded sequence is the input, in order"
+          (List.map nest (List.map verdict_sig verdicts))
+          (List.map nest (v2_decoded_verdicts bytes));
+        (* The first verdict pays the intern definitions; once every
+           string has crossed once, a verdict is pure ordinals:
+           5-byte frame header + 24 bytes + 4 per evidence line. *)
+        Alcotest.(check bool) "first verdict carries intern frames" true
+          (List.hd sizes > 29 + (2 * 4));
+        List.iteri
+          (fun i size ->
+            if i >= 20 then
+              Alcotest.(check int)
+                (Printf.sprintf "verdict %d is ordinals only" i)
+                (if i mod 5 = 0 then 29 else 37)
+                size)
+          sizes);
+    Alcotest.test_case "v2 codec: json, copy and epoch frames round-trip" `Quick (fun () ->
+        let w = V2.writer () in
+        let buf = Buffer.create 256 in
+        let hdr =
+          {
+            V2.e_frame = "host-1";
+            e_epoch = 3;
+            e_baseline = 2;
+            e_total = 170;
+            e_added = 1;
+            e_changed = 2;
+            e_removed = 0;
+            e_delta = true;
+          }
+        in
+        V2.add_epoch w buf hdr;
+        V2.add_copy buf ~start:5 ~count:120;
+        V2.add_response w buf Protocol.Pong;
+        V2.add_request w buf Protocol.Ping;
+        match v2_reads (Buffer.contents buf) with
+        | [ V2.Frame (V2.Epoch hdr');
+            V2.Frame (V2.Copy { start = 5; count = 120 });
+            V2.Frame (V2.Json pong);
+            V2.Frame (V2.Json ping);
+            V2.Closed ] ->
+            Alcotest.(check bool) "epoch header round-trips" true (hdr' = hdr);
+            Alcotest.(check bool) "pong decodes" true
+              (Protocol.response_of_json pong = Ok Protocol.Pong);
+            Alcotest.(check bool) "ping decodes" true
+              (Protocol.request_of_json ping = Ok Protocol.Ping)
+        | reads -> Alcotest.failf "unexpected read sequence (%d reads)" (List.length reads));
+    Alcotest.test_case "v2 reader: corruption is Bad, framing loss is Truncated" `Quick
+      (fun () ->
+        let kinds bytes =
+          List.map
+            (function
+              | V2.Frame _ -> "frame"
+              | V2.Bad _ -> "bad"
+              | V2.Truncated _ -> "truncated"
+              | V2.Closed -> "closed")
+            (v2_reads bytes)
+        in
+        (* Unknown tag: well-framed, so the reader skips exactly that
+           frame and decodes the next one. *)
+        let w = V2.writer () in
+        let buf = Buffer.create 128 in
+        Buffer.add_string buf (v2_frame 'Z' "abc");
+        V2.add_verdict w buf (v2_verdict 0);
+        (match v2_reads (Buffer.contents buf) with
+        | [ V2.Bad _; V2.Frame (V2.Verdict_frame v); V2.Closed ] ->
+            Alcotest.(check bool) "resynced onto the verdict" true
+              (verdict_sig v = verdict_sig (v2_verdict 0))
+        | _ -> Alcotest.fail "unknown tag must be Bad, then resync");
+        (* Ordinals past the intern table: Bad, synchronized. *)
+        let orphan = v2_frame 'V' (String.concat "" (List.map u32le [ 9; 9; 9; 9; 9; 0 ])) in
+        Alcotest.(check (list string)) "orphan ordinal" [ "bad"; "closed" ] (kinds orphan);
+        (* Payload sizes that cannot be what the tag claims: Bad. *)
+        Alcotest.(check (list string)) "short verdict" [ "bad"; "closed" ]
+          (kinds (v2_frame 'V' "tiny"));
+        Alcotest.(check (list string)) "copy of the wrong size" [ "bad"; "closed" ]
+          (kinds (v2_frame 'C' "123456789"));
+        Alcotest.(check (list string)) "epoch of the wrong size" [ "bad"; "closed" ]
+          (kinds (v2_frame 'E' "x"));
+        Alcotest.(check (list string)) "json frame that is not JSON" [ "bad"; "closed" ]
+          (kinds (v2_frame 'J' "not json!"));
+        (* Broken framing: nobody knows where the next frame starts. *)
+        Alcotest.(check (list string)) "oversized length" [ "truncated" ]
+          (kinds ("V" ^ u32le (600 * 1024 * 1024)));
+        Alcotest.(check (list string)) "EOF mid-header" [ "truncated" ] (kinds "V\x01");
+        Alcotest.(check (list string)) "EOF mid-payload" [ "truncated" ]
+          (kinds ("V" ^ u32le 24 ^ "abc"));
+        Alcotest.(check (list string)) "empty stream is a clean close" [ "closed" ]
+          (kinds ""));
+    Alcotest.test_case "v2 reader: every truncation point classifies cleanly" `Quick
+      (fun () ->
+        let w = V2.writer () in
+        let buf = Buffer.create 512 in
+        List.iter (V2.add_verdict w buf) (List.init 6 v2_verdict);
+        V2.add_copy buf ~start:0 ~count:3;
+        let bytes = Buffer.contents buf in
+        let boundaries = v2_boundaries bytes in
+        for cut = 0 to String.length bytes - 1 do
+          let reads = v2_reads (String.sub bytes 0 cut) in
+          (* A pure truncation of valid frames never reads as payload
+             corruption... *)
+          List.iter
+            (function
+              | V2.Bad m -> Alcotest.failf "cut %d: classified Bad (%s)" cut m
+              | _ -> ())
+            reads;
+          (* ...and ends Closed exactly at frame boundaries, Truncated
+             everywhere else. *)
+          let last = List.nth reads (List.length reads - 1) in
+          let at_boundary = List.mem cut boundaries in
+          match (last, at_boundary) with
+          | V2.Closed, true | V2.Truncated _, false -> ()
+          | V2.Closed, false -> Alcotest.failf "cut %d mid-frame read as clean EOF" cut
+          | V2.Truncated _, true -> Alcotest.failf "cut %d at a boundary read as truncation" cut
+          | _ -> Alcotest.failf "cut %d: stream did not terminate" cut
+        done);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:500 ~name:"v2 fuzz: random bytes never kill the reader"
+         QCheck.(string_of_size Gen.(0 -- 200))
+         (fun s ->
+           let reads = v2_reads s in
+           match List.nth reads (List.length reads - 1) with
+           | V2.Closed | V2.Truncated _ -> true
+           | _ -> false));
+    QCheck_alcotest.to_alcotest
+      (let corpus =
+         let w = V2.writer () in
+         let buf = Buffer.create 512 in
+         List.iter (V2.add_verdict w buf) (List.init 8 v2_verdict);
+         Buffer.contents buf
+       in
+       QCheck.Test.make ~count:300
+         ~name:"v2 fuzz: a corrupted byte is classified, never an exception"
+         QCheck.(pair (int_bound (String.length corpus - 1)) (int_bound 255))
+         (fun (at, byte) ->
+           let mangled = Bytes.of_string corpus in
+           Bytes.set mangled at (Char.chr byte);
+           let reads = v2_reads (Bytes.to_string mangled) in
+           reads <> []
+           &&
+           match List.nth reads (List.length reads - 1) with
+           | V2.Closed | V2.Truncated _ -> true
+           | _ -> false));
+  ]
+
+let v2_session_cases =
+  [
+    Alcotest.test_case "handshake: auto upgrades, `V1 pins, `V2 demands" `Quick (fun () ->
+        let server = make_server () in
+        Fun.protect
+          ~finally:(fun () -> Server.destroy server)
+          (fun () ->
+            let check_client protocol expect =
+              let c = Client.in_process ~protocol server in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "granted version (expect v%d)" expect)
+                    expect (Client.version c);
+                  Alcotest.(check (result unit string)) "ping works" (Ok ())
+                    (Client.ping c))
+            in
+            check_client `Auto Protocol.binary_version;
+            check_client `V2 Protocol.binary_version;
+            check_client `V1 Protocol.json_version));
+    Alcotest.test_case "v2 streams and deltas reassemble byte-identical to v1" `Slow
+      (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let f' = broken_host () in
+        (* One server per client: server-side revalidation snapshots are
+           shared state, and the comparison needs both protocols to walk
+           the identical validate → revalidate → revalidate history. *)
+        let server1 = make_server () in
+        let server2 = make_server () in
+        let c1 = Client.in_process ~protocol:`V1 server1 in
+        let c2 = Client.in_process server2 in
+        Fun.protect
+          ~finally:(fun () ->
+            Client.close c1;
+            Client.close c2;
+            Server.destroy server1;
+            Server.destroy server2)
+          (fun () ->
+            Alcotest.(check int) "c2 negotiated the binary protocol"
+              Protocol.binary_version (Client.version c2);
+            (* Full validate: v2 decodes to the exact v1 stream, and its
+               epoch header announces a retainable full stream. *)
+            let v1_full, _ =
+              collect_stream (fun k ->
+                  Client.validate c1 ~on_verdict:k (Protocol.job ~frames:[ f ] ()))
+            in
+            let streamed = ref [] in
+            (match
+               Client.stream_ex c2
+                 (Protocol.Validate (Protocol.job ~frames:[ f ] ()))
+                 ~on_verdict:(fun v -> streamed := verdict_sig v :: !streamed)
+                 ~on_fresh:ignore
+             with
+            | Error m -> Alcotest.failf "v2 validate: %s" m
+            | Ok (_, None) -> Alcotest.fail "single-frame v2 validate must carry an epoch"
+            | Ok (_, Some d) ->
+                Alcotest.(check bool) "initial stream is full" true d.Client.d_full;
+                Alcotest.(check int) "nothing spliced yet" 0 d.Client.d_copied;
+                Alcotest.(check sig_t) "v2 validate decodes to the v1 stream"
+                  (List.map nest v1_full)
+                  (List.map nest (List.rev !streamed)));
+            (* Drifted revalidate: v1 resends everything, v2 splices the
+               unchanged verdicts from the connection baseline — and the
+               reassembly is the same sequence. *)
+            let v1_reval, _ =
+              collect_stream (fun k -> Client.revalidate c1 ~on_verdict:k f')
+            in
+            let fresh = ref 0 in
+            let streamed = ref [] in
+            (match
+               Client.revalidate_ex c2
+                 ~on_fresh:(fun _ -> incr fresh)
+                 ~on_verdict:(fun v -> streamed := verdict_sig v :: !streamed)
+                 f'
+             with
+            | Error m -> Alcotest.failf "v2 revalidate: %s" m
+            | Ok (_, None) -> Alcotest.fail "v2 revalidate must carry an epoch"
+            | Ok (s, Some d) ->
+                Alcotest.(check bool) "streamed as a delta" false d.Client.d_full;
+                Alcotest.(check bool) "baseline verdicts were spliced" true
+                  (d.Client.d_copied > 0);
+                Alcotest.(check bool) "only the drift crossed the wire" true
+                  (!fresh > 0 && !fresh < List.length v1_reval);
+                Alcotest.(check int) "fresh + copied covers the stream"
+                  (List.length v1_reval)
+                  (d.Client.d_copied + !fresh);
+                Alcotest.(check int) "summary counts the reassembled set"
+                  (List.length v1_reval) s.Protocol.s_total;
+                Alcotest.(check sig_t)
+                  "delta reassembles the exact v1 revalidate stream"
+                  (List.map nest v1_reval)
+                  (List.map nest (List.rev !streamed)));
+            (* ~full:true opts out of the delta but not the codec. *)
+            let v1_reval2, _ =
+              collect_stream (fun k -> Client.revalidate c1 ~on_verdict:k f')
+            in
+            let streamed = ref [] in
+            (match
+               Client.revalidate_ex c2 ~full:true
+                 ~on_verdict:(fun v -> streamed := verdict_sig v :: !streamed)
+                 f'
+             with
+            | Error m -> Alcotest.failf "v2 revalidate --full: %s" m
+            | Ok (_, None) -> Alcotest.fail "full v2 revalidate must carry an epoch"
+            | Ok (_, Some d) ->
+                Alcotest.(check bool) "forced full" true d.Client.d_full;
+                Alcotest.(check int) "no splices in a full stream" 0 d.Client.d_copied;
+                Alcotest.(check sig_t) "full stream matches v1"
+                  (List.map nest v1_reval2)
+                  (List.map nest (List.rev !streamed)));
+            (* A fresh connection has no baseline to delta against, even
+               though the server retains the frame snapshot: the first
+               revalidate streams full. *)
+            let c3 = Client.in_process server2 in
+            Fun.protect
+              ~finally:(fun () -> Client.close c3)
+              (fun () ->
+                match Client.revalidate_ex c3 ~on_verdict:ignore f' with
+                | Error m -> Alcotest.failf "reconnect revalidate: %s" m
+                | Ok (_, None) -> Alcotest.fail "reconnect revalidate must carry an epoch"
+                | Ok (_, Some d) ->
+                    Alcotest.(check bool) "no baseline: full stream" true d.Client.d_full)));
+    Alcotest.test_case "watch under v2 delivers delta savings" `Quick (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let f' = broken_host () in
+        let snapshots = ref [ f; f'; f ] in
+        let load () =
+          match !snapshots with
+          | [] -> Ok f
+          | [ last ] -> Ok last
+          | s :: rest ->
+              snapshots := rest;
+              Ok s
+        in
+        let polls = ref 0 in
+        let sleep () =
+          incr polls;
+          !polls <= 10
+        in
+        let deltas = ref [] in
+        let fresh = ref 0 in
+        let total = ref 0 in
+        let server = make_server () in
+        let client = Client.in_process server in
+        Fun.protect
+          ~finally:(fun () ->
+            Client.close client;
+            Server.destroy server)
+          (fun () ->
+            match
+              Client.watch client ~load ~sleep ~max_events:2
+                ~on_verdict:(fun _ -> incr total)
+                ~on_fresh:(fun _ -> incr fresh)
+                ~on_event:(fun _ d -> deltas := d :: !deltas)
+                ()
+            with
+            | Error m -> Alcotest.failf "watch: %s" m
+            | Ok n ->
+                Alcotest.(check int) "two change events" 2 n;
+                Alcotest.(check int) "both events were deltas" 2
+                  (List.length
+                     (List.filter
+                        (function Some d -> not d.Client.d_full | None -> false)
+                        !deltas));
+                Alcotest.(check bool) "most verdicts never crossed the wire" true
+                  (!fresh > 0 && !fresh < !total / 2)));
+    Alcotest.test_case "stats: per-protocol connections, bytes and delta splices" `Quick
+      (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let f' = broken_host () in
+        let server = make_server () in
+        Fun.protect
+          ~finally:(fun () -> Server.destroy server)
+          (fun () ->
+            (* A v1 session is tallied when it closes un-upgraded. *)
+            let c1 = Client.in_process ~protocol:`V1 server in
+            Alcotest.(check (result unit string)) "v1 ping" (Ok ()) (Client.ping c1);
+            Client.close c1;
+            let c2 = Client.in_process server in
+            Fun.protect
+              ~finally:(fun () -> Client.close c2)
+              (fun () ->
+                let (_ : Protocol.summary) =
+                  Result.get_ok
+                    (Client.validate c2 ~on_verdict:ignore (Protocol.job ~frames:[ f ] ()))
+                in
+                let (_ : Protocol.summary) =
+                  Result.get_ok (Client.revalidate c2 ~on_verdict:ignore f')
+                in
+                let st = Result.get_ok (Client.stats c2) in
+                Alcotest.(check int) "one v1 connection closed" 1
+                  st.Protocol.st_v1_connections;
+                Alcotest.(check int) "one v2 connection negotiated" 1
+                  st.Protocol.st_v2_connections;
+                Alcotest.(check bool) "v1 bytes were written" true
+                  (st.Protocol.st_v1_bytes_out > 0);
+                Alcotest.(check bool) "v2 bytes were written" true
+                  (st.Protocol.st_v2_bytes_out > 0);
+                Alcotest.(check int) "one delta stream served" 1
+                  st.Protocol.st_delta_streams;
+                Alcotest.(check bool) "splices counted" true
+                  (st.Protocol.st_delta_copied > 0))));
+    Alcotest.test_case "v2 garbage and vanishing peers leave the listener serving" `Slow
+      (fun () ->
+        let f = Scenarios.Host.compliant () in
+        let rules = Result.get_ok (Cvl.Validator.load_rules ~source ~manifest) in
+        let reference = one_shot_signature ~rules ~chaos:None [ f ] in
+        let server, _logs = make_logged_server () in
+        let socket_path = temp_socket_path () in
+        let listener = Domain.spawn (fun () -> Server.listen server ~socket_path) in
+        let hello =
+          Protocol.frame_bytes
+            (Protocol.request_to_json (Protocol.Hello { version = Protocol.binary_version }))
+        in
+        (* Dial raw, upgrade by hand, then feed the server v2 wire
+           garbage: a Bad frame must be answered (in v2 framing) on a
+           connection that stays usable; broken framing and vanishing
+           peers must cost only that connection. *)
+        let upgraded () =
+          let fd = dial socket_path in
+          let ic = Unix.in_channel_of_descr fd in
+          write_all fd hello;
+          (match Protocol.read_response ic with
+          | Ok (Protocol.Welcome { version }) when version = Protocol.binary_version -> ()
+          | Ok _ | Error _ -> Alcotest.fail "handshake did not grant v2");
+          (fd, ic)
+        in
+        let clean_check label =
+          match Client.connect ~retry_for:5.0 socket_path with
+          | Error m -> Alcotest.failf "%s: %s" label m
+          | Ok c ->
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  Alcotest.(check int)
+                    (label ^ ": clean client negotiates v2")
+                    Protocol.binary_version (Client.version c);
+                  let streamed, _ =
+                    collect_stream (fun k ->
+                        Client.validate c ~on_verdict:k (Protocol.job ~frames:[ f ] ()))
+                  in
+                  Alcotest.(check sig_t)
+                    (label ^ ": byte-identical to the one-shot run")
+                    (List.map nest reference) (List.map nest streamed))
+        in
+        Fun.protect
+          ~finally:(fun () -> Server.destroy server)
+          (fun () ->
+            clean_check "warmup";
+            (* Well-framed garbage: answered, connection survives. *)
+            let fd, ic = upgraded () in
+            write_all fd
+              (v2_frame 'V' (String.concat "" (List.map u32le [ 9; 9; 9; 9; 9; 0 ])));
+            let rd = V2.reader () in
+            (match V2.read_frame rd ic with
+            | V2.Frame (V2.Json j) -> (
+                match Protocol.response_of_json j with
+                | Ok (Protocol.Error_reply m) ->
+                    check_contains "error names the bad frame" m "ordinal"
+                | Ok _ | Error _ -> Alcotest.fail "expected a v2-framed error reply")
+            | _ -> Alcotest.fail "expected a v2-framed reply");
+            let w = V2.writer () in
+            let buf = Buffer.create 64 in
+            V2.add_request w buf Protocol.Ping;
+            write_all fd (Buffer.contents buf);
+            (match V2.read_frame rd ic with
+            | V2.Frame (V2.Json j) when Protocol.response_of_json j = Ok Protocol.Pong -> ()
+            | _ -> Alcotest.fail "connection unusable after a Bad frame");
+            close_in_noerr ic;
+            (* Seeded fault plans over v2 request bytes: dribbled frames
+               still answer; mid-frame hangups cost one connection. *)
+            Buffer.clear buf;
+            V2.add_request (V2.writer ()) buf
+              (Protocol.Validate (Protocol.job ~frames:[ f ] ()));
+            let request = Buffer.contents buf in
+            List.iter
+              (fun kind ->
+                let fd, ic = upgraded () in
+                let chunks, disposition = Faultsim.mangle kind request in
+                List.iter (write_all fd) chunks;
+                (match disposition with
+                | `Keep_open ->
+                    let rd = V2.reader () in
+                    let rec drain n =
+                      if n > 10_000 then Alcotest.fail "stream never ended"
+                      else
+                        match V2.read_frame rd ic with
+                        | V2.Frame (V2.Json j) -> (
+                            match Protocol.response_of_json j with
+                            | Ok (Protocol.Summary _) -> ()
+                            | Ok _ | Error _ -> Alcotest.fail "stream ended abnormally")
+                        | V2.Frame _ -> drain (n + 1)
+                        | V2.Bad m | V2.Truncated m ->
+                            Alcotest.failf "dribbled stream broke: %s" m
+                        | V2.Closed -> Alcotest.fail "dribbled stream closed early"
+                    in
+                    drain 0
+                | `Close_now -> ());
+                close_in_noerr ic)
+              mangle_kinds;
+            (* Truncated framing (a length the reader cannot trust). *)
+            let fd, ic = upgraded () in
+            write_all fd ("V" ^ u32le (600 * 1024 * 1024));
+            close_in_noerr ic;
+            ignore fd;
+            (* Invariant: the listener still serves clean v2 streams. *)
+            clean_check "aftermath";
+            let shutdown = Result.get_ok (Client.connect ~retry_for:5.0 socket_path) in
+            let st = Result.get_ok (Client.stats shutdown) in
+            Alcotest.(check bool) "wire damage was counted" true
+              (st.Protocol.st_protocol_errors > 0);
+            Alcotest.(check bool) "v2 sessions tallied" true
+              (st.Protocol.st_v2_connections >= 5);
+            Alcotest.(check (result unit string)) "graceful shutdown" (Ok ())
+              (Client.shutdown shutdown);
+            Client.close shutdown;
+            Domain.join listener;
+            Alcotest.(check bool) "socket removed" false (Sys.file_exists socket_path)));
+  ]
+
 let suite =
-  protocol_cases @ reader_edge_cases @ differential_cases @ containment_cases
-  @ lifecycle_cases @ deadline_cases @ concurrent_cases @ listener_cases @ backoff_cases
+  protocol_cases @ reader_edge_cases @ v2_codec_cases @ differential_cases
+  @ containment_cases @ lifecycle_cases @ deadline_cases @ concurrent_cases
+  @ listener_cases @ backoff_cases @ v2_session_cases
